@@ -1,0 +1,292 @@
+//! Ambiguity analysis of classical regular expressions.
+//!
+//! Theorem 3.9 of the paper gives its tightest bounds — `O(|r|²|w|)` time
+//! and `O(|r||w|)` oracle queries — when the skeleton `skel(r)` is
+//! *unambiguous*, i.e. when every string admits a single parse tree (Book
+//! et al., 1971).  This module decides that property so that users (and the
+//! benchmark harness) can tell which regime a SemRE falls into.
+//!
+//! The check is the textbook one: build the Glushkov (position) automaton
+//! of the skeleton — whose accepting runs are in bijection with parse
+//! trees — and test it for ambiguity by searching the self-product
+//! automaton for a reachable, co-accessible pair of *distinct* states.
+
+use semre_syntax::{skeleton, CharClass, Semre};
+
+/// A position (occurrence of a character class) in the linearised regex.
+type Position = usize;
+
+/// The Glushkov construction data for one sub-expression.
+struct Glushkov {
+    nullable: bool,
+    first: Vec<Position>,
+    last: Vec<Position>,
+}
+
+/// Decides whether the *skeleton* of `r` is an unambiguous regular
+/// expression: every string in its language has exactly one parse tree.
+///
+/// Oracle refinements are ignored (they do not affect parse-tree structure);
+/// pass a classical expression to analyse it directly.
+///
+/// # Examples
+///
+/// ```
+/// use semre_automata::skeleton_is_unambiguous;
+/// use semre_syntax::parse;
+///
+/// assert!(skeleton_is_unambiguous(&parse("(a|b)*abb").unwrap()));
+/// assert!(skeleton_is_unambiguous(&parse("(?<q>: [a-z]+)@[a-z]+").unwrap()));
+/// assert!(!skeleton_is_unambiguous(&parse("a*a*").unwrap()));
+/// assert!(!skeleton_is_unambiguous(&parse("(ab|a)b?").unwrap()));
+/// ```
+pub fn skeleton_is_unambiguous(r: &Semre) -> bool {
+    let skel = skeleton(r);
+    let mut classes: Vec<CharClass> = Vec::new();
+    let mut follow: Vec<Vec<Position>> = Vec::new();
+    let g = glushkov(&skel, &mut classes, &mut follow);
+
+    // The empty string has a unique parse tree only if ⊥/ε-level ambiguity
+    // is absent; parse-tree ambiguity on ε (e.g. (ε|ε) or (a?)(a?) vs …) is
+    // not observable through the position automaton, so we additionally
+    // check nullability ambiguity structurally.
+    if epsilon_ambiguous(&skel) {
+        return false;
+    }
+
+    // Product-automaton search: a pair of distinct positions (p, q) that is
+    // (a) reachable from the start by a common word and (b) co-accessible
+    // to acceptance by a common word witnesses two distinct accepting runs,
+    // i.e. two distinct parse trees for some string.
+    let n = classes.len();
+    let accepting: Vec<bool> = {
+        let mut acc = vec![false; n];
+        for &p in &g.last {
+            acc[p] = true;
+        }
+        acc
+    };
+    let overlap = |p: Position, q: Position| classes[p].overlaps(&classes[q]);
+
+    // Forward reachability of ordered pairs (p <= q to halve the work).
+    let mut reachable = vec![vec![false; n]; n];
+    let mut work: Vec<(Position, Position)> = Vec::new();
+    for (i, &p) in g.first.iter().enumerate() {
+        for &q in &g.first[i..] {
+            if overlap(p, q) {
+                let (a, b) = (p.min(q), p.max(q));
+                if !reachable[a][b] {
+                    reachable[a][b] = true;
+                    work.push((a, b));
+                }
+            }
+        }
+    }
+    while let Some((p, q)) = work.pop() {
+        for &p2 in &follow[p] {
+            for &q2 in &follow[q] {
+                if overlap(p2, q2) {
+                    let (a, b) = (p2.min(q2), p2.max(q2));
+                    if !reachable[a][b] {
+                        reachable[a][b] = true;
+                        work.push((a, b));
+                    }
+                }
+            }
+        }
+    }
+
+    // Backward co-accessibility of ordered pairs.
+    let mut coaccessible = vec![vec![false; n]; n];
+    let mut work: Vec<(Position, Position)> = Vec::new();
+    for p in 0..n {
+        for q in p..n {
+            if accepting[p] && accepting[q] {
+                coaccessible[p][q] = true;
+                work.push((p, q));
+            }
+        }
+    }
+    // Predecessor relation: s precedes t when t ∈ follow(s).
+    let mut preds: Vec<Vec<Position>> = vec![Vec::new(); n];
+    for (s, succs) in follow.iter().enumerate() {
+        for &t in succs {
+            preds[t].push(s);
+        }
+    }
+    while let Some((p, q)) = work.pop() {
+        for &p2 in &preds[p] {
+            for &q2 in &preds[q] {
+                if overlap(p, q) {
+                    let (a, b) = (p2.min(q2), p2.max(q2));
+                    if !coaccessible[a][b] {
+                        coaccessible[a][b] = true;
+                        work.push((a, b));
+                    }
+                }
+            }
+        }
+    }
+
+    for p in 0..n {
+        for q in p + 1..n {
+            if reachable[p][q] && coaccessible[p][q] {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Recursive Glushkov construction: assigns positions to character-class
+/// leaves, computes nullable/first/last, and fills in the follow relation.
+fn glushkov(r: &Semre, classes: &mut Vec<CharClass>, follow: &mut Vec<Vec<Position>>) -> Glushkov {
+    match r {
+        Semre::Bot => Glushkov { nullable: false, first: vec![], last: vec![] },
+        Semre::Eps => Glushkov { nullable: true, first: vec![], last: vec![] },
+        Semre::Class(c) => {
+            let p = classes.len();
+            classes.push(*c);
+            follow.push(Vec::new());
+            Glushkov { nullable: false, first: vec![p], last: vec![p] }
+        }
+        Semre::Union(a, b) => {
+            let ga = glushkov(a, classes, follow);
+            let gb = glushkov(b, classes, follow);
+            Glushkov {
+                nullable: ga.nullable || gb.nullable,
+                first: concat_positions(&ga.first, &gb.first),
+                last: concat_positions(&ga.last, &gb.last),
+            }
+        }
+        Semre::Concat(a, b) => {
+            let ga = glushkov(a, classes, follow);
+            let gb = glushkov(b, classes, follow);
+            for &p in &ga.last {
+                for &q in &gb.first {
+                    push_unique(&mut follow[p], q);
+                }
+            }
+            Glushkov {
+                nullable: ga.nullable && gb.nullable,
+                first: if ga.nullable {
+                    concat_positions(&ga.first, &gb.first)
+                } else {
+                    ga.first
+                },
+                last: if gb.nullable { concat_positions(&ga.last, &gb.last) } else { gb.last },
+            }
+        }
+        Semre::Star(a) => {
+            let ga = glushkov(a, classes, follow);
+            for &p in &ga.last {
+                for &q in &ga.first {
+                    push_unique(&mut follow[p], q);
+                }
+            }
+            Glushkov { nullable: true, first: ga.first, last: ga.last }
+        }
+        Semre::Query(a, _) => glushkov(a, classes, follow),
+    }
+}
+
+fn concat_positions(a: &[Position], b: &[Position]) -> Vec<Position> {
+    let mut out = a.to_vec();
+    for &p in b {
+        push_unique(&mut out, p);
+    }
+    out
+}
+
+fn push_unique(v: &mut Vec<Position>, p: Position) {
+    if !v.contains(&p) {
+        v.push(p);
+    }
+}
+
+/// Structural check for parse-tree ambiguity that is invisible to the
+/// position automaton because it only involves the empty string: a union
+/// whose two sides are both nullable, a concatenation/star whose nullable
+/// parts admit several ε-decompositions, or a starred nullable body.
+fn epsilon_ambiguous(r: &Semre) -> bool {
+    match r {
+        Semre::Bot | Semre::Eps | Semre::Class(_) => false,
+        Semre::Union(a, b) => {
+            (a.skeleton_nullable() && b.skeleton_nullable())
+                || epsilon_ambiguous(a)
+                || epsilon_ambiguous(b)
+        }
+        Semre::Concat(a, b) => epsilon_ambiguous(a) || epsilon_ambiguous(b),
+        Semre::Star(a) => a.skeleton_nullable() || epsilon_ambiguous(a),
+        Semre::Query(a, _) => epsilon_ambiguous(a),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semre_syntax::parse;
+
+    #[track_caller]
+    fn check(pattern: &str, expected_unambiguous: bool) {
+        let r = parse(pattern).unwrap();
+        assert_eq!(
+            skeleton_is_unambiguous(&r),
+            expected_unambiguous,
+            "wrong ambiguity verdict for {pattern}"
+        );
+    }
+
+    #[test]
+    fn unambiguous_patterns() {
+        check("", true);
+        check("abc", true);
+        check("[a-z]+", true);
+        check("(a|b)*abb", true);
+        check("a(b|c)d", true);
+        check("(0|1)*", true);
+        check("[a-z]+@[a-z]+", true);
+        check("a?b", true);
+        // Deterministic even with queries: refinements do not affect the
+        // skeleton's parse trees.
+        check("(?<q>: [0-9]+)-[0-9]+", true);
+    }
+
+    #[test]
+    fn ambiguous_patterns() {
+        check("a*a*", false);
+        check("(a|a)", false);
+        check("(ab|a)b?", false);
+        check(".*.*", false);
+        // Note that `(a*)*` cannot be tested: the `star` constructor
+        // collapses it to the unambiguous `a*`.
+        check("(a+)*", false);
+        check("(a?)?", false);
+        check("[ab]*[b]*", false);
+        // The padded idiom Σ*⟨q⟩Σ* is ambiguous: padding can absorb
+        // characters on either side.
+        check(".*<q>.*", false);
+        // Character classes that overlap create ambiguity even when the
+        // literals differ syntactically.
+        check("([a-m]|[h-z])x", false);
+        check("([a-m]|[n-z])x", true);
+    }
+
+    #[test]
+    fn paper_benchmarks_classification() {
+        use semre_syntax::examples;
+        // The anchored identifier/file/credential skeletons are ambiguous
+        // because of their Σ* padding or overlapping alternatives; this is
+        // exactly why the paper's general bound (not the unambiguous one)
+        // applies to its benchmark set.
+        assert!(!skeleton_is_unambiguous(&Semre::padded(examples::r_spam1())));
+        assert!(!skeleton_is_unambiguous(&examples::r_id_padded()));
+        assert!(!skeleton_is_unambiguous(&Semre::padded(examples::r_pal())));
+        // The bare (unpadded) IP pattern has a single way to parse any
+        // dotted quad only up to where each octet ends; expansion of the
+        // bounded repetition keeps it ambiguous.
+        assert!(!skeleton_is_unambiguous(&examples::r_ip()));
+        // A fully anchored, deterministic SemRE falls in the fast regime.
+        assert!(skeleton_is_unambiguous(&parse("(?<q>: [a-z]+)@[a-z]+\\.com").unwrap()));
+    }
+}

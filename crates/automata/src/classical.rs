@@ -1,0 +1,210 @@
+//! Classical (oracle-free) simulation of an SNFA.
+//!
+//! Ignoring the query labels of an SNFA yields an ordinary Thompson NFA for
+//! the *skeleton* `skel(r)` of the SemRE.  Simulating it takes
+//! `O(|r| · |w|)` time and never touches the oracle; since
+//! `⟦r⟧ ⊆ ⟦skel(r)⟧`, a skeleton miss proves a SemRE miss.  The matcher uses
+//! this both as a cheap prefilter and as ground truth in tests comparing
+//! against classical regex semantics.
+
+use crate::snfa::{Snfa, StateId};
+
+/// A reusable skeleton simulator for one SNFA.
+///
+/// The simulator owns scratch buffers so that matching many lines against
+/// the same expression allocates only once.
+///
+/// # Examples
+///
+/// ```
+/// use semre_automata::{compile, SkeletonMatcher};
+/// use semre_syntax::parse;
+///
+/// let snfa = compile(&parse("(?<Q>: [0-9]+)-[0-9]+").unwrap());
+/// let mut skel = SkeletonMatcher::new(&snfa);
+/// assert!(skel.matches(b"42-17"));       // skeleton matches (oracle not consulted)
+/// assert!(!skel.matches(b"42-seventeen"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct SkeletonMatcher<'m> {
+    snfa: &'m Snfa,
+    current: Vec<bool>,
+    next: Vec<bool>,
+    stack: Vec<StateId>,
+}
+
+impl<'m> SkeletonMatcher<'m> {
+    /// Creates a simulator for `snfa`.
+    pub fn new(snfa: &'m Snfa) -> Self {
+        let n = snfa.num_states();
+        SkeletonMatcher { snfa, current: vec![false; n], next: vec![false; n], stack: Vec::new() }
+    }
+
+    /// Whether `input` matches the skeleton of the underlying SemRE.
+    pub fn matches(&mut self, input: &[u8]) -> bool {
+        self.reset();
+        self.add_with_closure_current(self.snfa.start());
+        for &byte in input {
+            if !self.step(byte) {
+                return false;
+            }
+        }
+        self.current[self.snfa.accept()]
+    }
+
+    /// The set of skeleton-reachable states after consuming `input`
+    /// (the classical `S_w` of Section 3.2).
+    pub fn reachable_states(&mut self, input: &[u8]) -> Vec<StateId> {
+        self.reset();
+        self.add_with_closure_current(self.snfa.start());
+        for &byte in input {
+            if !self.step(byte) {
+                return Vec::new();
+            }
+        }
+        self.current.iter().enumerate().filter(|(_, &b)| b).map(|(s, _)| s).collect()
+    }
+
+    fn reset(&mut self) {
+        self.current.iter_mut().for_each(|b| *b = false);
+    }
+
+    /// Advances the frontier by one character; returns `false` when the
+    /// frontier becomes empty (no possible match).
+    fn step(&mut self, byte: u8) -> bool {
+        self.next.iter_mut().for_each(|b| *b = false);
+        let mut any = false;
+        for s in 0..self.current.len() {
+            if !self.current[s] {
+                continue;
+            }
+            for &(class, t) in self.snfa.char_out(s) {
+                if class.contains(byte) && !self.next[t] {
+                    self.next[t] = true;
+                    self.stack.push(t);
+                    any = true;
+                }
+            }
+        }
+        // ε-closure of the new frontier.
+        while let Some(s) = self.stack.pop() {
+            for &t in self.snfa.eps_out(s) {
+                if !self.next[t] {
+                    self.next[t] = true;
+                    self.stack.push(t);
+                }
+            }
+        }
+        std::mem::swap(&mut self.current, &mut self.next);
+        any
+    }
+
+    fn add_with_closure_current(&mut self, s: StateId) {
+        if !self.current[s] {
+            self.current[s] = true;
+            self.stack.push(s);
+        }
+        while let Some(u) = self.stack.pop() {
+            for &t in self.snfa.eps_out(u) {
+                if !self.current[t] {
+                    self.current[t] = true;
+                    self.stack.push(t);
+                }
+            }
+        }
+    }
+}
+
+/// One-shot convenience wrapper around [`SkeletonMatcher`].
+///
+/// # Examples
+///
+/// ```
+/// use semre_automata::{compile, skeleton_matches};
+/// use semre_syntax::parse;
+///
+/// let snfa = compile(&parse("a(b|c)*d").unwrap());
+/// assert!(skeleton_matches(&snfa, b"abccbd"));
+/// assert!(!skeleton_matches(&snfa, b"abca"));
+/// ```
+pub fn skeleton_matches(snfa: &Snfa, input: &[u8]) -> bool {
+    SkeletonMatcher::new(snfa).matches(input)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thompson::compile;
+    use semre_syntax::parse;
+
+    fn matches(pattern: &str, input: &[u8]) -> bool {
+        skeleton_matches(&compile(&parse(pattern).unwrap()), input)
+    }
+
+    #[test]
+    fn empty_pattern_and_empty_input() {
+        assert!(matches("", b""));
+        assert!(!matches("", b"a"));
+        assert!(matches("a*", b""));
+        assert!(!matches("a", b""));
+        assert!(matches("()|a", b""));
+    }
+
+    #[test]
+    fn basic_regex_semantics() {
+        assert!(matches("abc", b"abc"));
+        assert!(!matches("abc", b"abx"));
+        assert!(!matches("abc", b"ab"));
+        assert!(!matches("abc", b"abcd"));
+        assert!(matches("a|b", b"b"));
+        assert!(matches("(ab)*", b"ababab"));
+        assert!(!matches("(ab)*", b"ababa"));
+        assert!(matches("a+b?", b"aaa"));
+        assert!(matches("a+b?", b"aaab"));
+        assert!(!matches("a+b?", b"b"));
+        assert!(matches("[0-9]{2,4}", b"123"));
+        assert!(!matches("[0-9]{2,4}", b"1"));
+        assert!(!matches("[0-9]{2,4}", b"12345"));
+        assert!(matches(".*", b"anything at all"));
+    }
+
+    #[test]
+    fn queries_are_ignored_by_the_skeleton() {
+        assert!(matches("(?<Q>: a+)b", b"aab"));
+        assert!(matches("<Politician>", b"Lincoln"));
+        assert!(matches("(?<Celebrity>: .*(?<City>: .*).*)", b"Paris Hilton"));
+    }
+
+    #[test]
+    fn reachable_states_grow_and_shrink() {
+        let snfa = compile(&parse(".*a").unwrap());
+        let mut m = SkeletonMatcher::new(&snfa);
+        let after_b = m.reachable_states(b"b");
+        let after_ba = m.reachable_states(b"ba");
+        assert!(!after_b.contains(&snfa.accept()));
+        assert!(after_ba.contains(&snfa.accept()));
+        // A dead input empties the frontier.
+        let snfa2 = compile(&parse("abc").unwrap());
+        let mut m2 = SkeletonMatcher::new(&snfa2);
+        assert!(m2.reachable_states(b"zzz").is_empty());
+    }
+
+    #[test]
+    fn matcher_is_reusable() {
+        let snfa = compile(&parse("a*b").unwrap());
+        let mut m = SkeletonMatcher::new(&snfa);
+        assert!(m.matches(b"aaab"));
+        assert!(!m.matches(b"aaa"));
+        assert!(m.matches(b"b"));
+        assert!(m.matches(b"ab"));
+        assert!(!m.matches(b""));
+    }
+
+    #[test]
+    fn early_exit_on_dead_frontier() {
+        // The frontier dies on the first mismatching byte; subsequent bytes
+        // must not resurrect it.
+        assert!(!matches("abc", b"xbc"));
+        assert!(!matches("a+", b"ba"));
+    }
+}

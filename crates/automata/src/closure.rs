@@ -1,0 +1,348 @@
+//! ε-feasibility closure of an SNFA (Fig. 11 / Section 3.3.1 of the paper).
+//!
+//! Between two consecutive input characters the SNFA may follow any number
+//! of ε-transitions, and those moves may close and re-open oracle queries.
+//! The query-graph gadget of Section 3.3.2 summarizes all such moves with
+//! three kinds of edges; each kind is characterized by an ε-path whose
+//! *interior* labels form a balanced (well-parenthesized) sequence that is
+//! feasible on the empty string — i.e. every query opened and closed
+//! entirely within the ε-segment must accept `ε`.
+//!
+//! [`EpsClosure`] precomputes, once per (SemRE, oracle) pair:
+//!
+//! * `balanced_reach(s)` — the states `t` reachable from `s` by an ε-path
+//!   whose labels *after* `s` (including `t`) are balanced and ε-feasible
+//!   (this includes `s` itself and yields the gadget's layer-2 → layer-3
+//!   edges);
+//! * `close_targets(s)` — the close-labelled states reachable by an ε-path
+//!   whose interior is balanced and ε-feasible (layer-1 edges: closing the
+//!   innermost open query);
+//! * `open_targets(s)` — the open-labelled states reachable the same way
+//!   (layer-2 edges: opening a new query).
+//!
+//! Only queries that can be both opened and closed within an ε-segment are
+//! ever probed on the empty string, and each such query is probed at most
+//! once.
+
+use std::collections::HashMap;
+
+use semre_oracle::Oracle;
+use semre_syntax::QueryName;
+
+use crate::snfa::{Label, Snfa, StateId};
+
+/// Precomputed ε-feasibility relations of an SNFA (see the module
+/// documentation).
+#[derive(Clone, Debug)]
+pub struct EpsClosure {
+    balanced_reach: Vec<Vec<StateId>>,
+    close_targets: Vec<Vec<StateId>>,
+    open_targets: Vec<Vec<StateId>>,
+}
+
+impl EpsClosure {
+    /// Computes the closure for `snfa`, consulting `oracle` only for
+    /// `(q, ε)` probes.
+    ///
+    /// Runs a worklist fixpoint over state pairs; the number of derivable
+    /// pairs is bounded by `|S|²` and in practice is far smaller because
+    /// balanced ε-reachability preserves the query context.
+    pub fn compute(snfa: &Snfa, oracle: &dyn Oracle) -> Self {
+        Compute { snfa, oracle, eps_accepts: HashMap::new() }.run()
+    }
+
+    /// States `t` such that an ε-path `s → … → t` exists whose labels after
+    /// `s` (including `t`) are balanced and ε-feasible.  Always contains `s`
+    /// itself.  These are the targets of the gadget's layer-2 → layer-3
+    /// edges.
+    pub fn balanced_reach(&self, s: StateId) -> &[StateId] {
+        &self.balanced_reach[s]
+    }
+
+    /// Close-labelled states `t` such that an ε-path `s → … → t` of length
+    /// at least one exists whose *interior* labels are balanced and
+    /// ε-feasible.  These are the targets of the gadget's layer-1 edges.
+    pub fn close_targets(&self, s: StateId) -> &[StateId] {
+        &self.close_targets[s]
+    }
+
+    /// Open-labelled states `t` reachable like [`close_targets`]
+    /// (layer-2 edges).
+    ///
+    /// [`close_targets`]: Self::close_targets
+    pub fn open_targets(&self, s: StateId) -> &[StateId] {
+        &self.open_targets[s]
+    }
+
+    /// Whether `t` is in [`balanced_reach`](Self::balanced_reach)`(s)`.
+    pub fn is_balanced_reach(&self, s: StateId, t: StateId) -> bool {
+        self.balanced_reach[s].binary_search(&t).is_ok()
+    }
+}
+
+struct Compute<'a> {
+    snfa: &'a Snfa,
+    oracle: &'a dyn Oracle,
+    /// Memoized answers to `(q, ε)` probes.
+    eps_accepts: HashMap<QueryName, bool>,
+}
+
+impl<'a> Compute<'a> {
+    fn query_accepts_eps(&mut self, q: &QueryName) -> bool {
+        if let Some(&a) = self.eps_accepts.get(q) {
+            return a;
+        }
+        let a = self.oracle.holds(q.as_str(), b"");
+        self.eps_accepts.insert(q.clone(), a);
+        a
+    }
+
+    fn run(mut self) -> EpsClosure {
+        let n = self.snfa.num_states();
+        // member[s][t] holds `full_bal(s, t)`: an ε-path from s to t whose
+        // labels after s are balanced and ε-feasible.  lists[s] carries the
+        // same information as a vector, for iteration.
+        let mut member = vec![vec![false; n]; n];
+        let mut lists: Vec<Vec<StateId>> = vec![Vec::new(); n];
+        for s in 0..n {
+            member[s][s] = true;
+            lists[s].push(s);
+        }
+
+        // Chaotic iteration of the closure rules to a global fixpoint.  A
+        // pair discovered for one source may unlock completions for
+        // another, so the outer loop repeats until nothing changes.
+        loop {
+            let mut changed = false;
+            for s in 0..n {
+                let mut idx = 0;
+                while idx < lists[s].len() {
+                    let u = lists[s][idx];
+                    idx += 1;
+                    let successors: Vec<StateId> = self.snfa.eps_out(u).to_vec();
+                    for v in successors {
+                        match self.snfa.label(v).clone() {
+                            Label::Blank => {
+                                if !member[s][v] {
+                                    member[s][v] = true;
+                                    lists[s].push(v);
+                                    changed = true;
+                                }
+                            }
+                            Label::Open(q) => {
+                                // Only probe ⟦q⟧(ε) when a completion is
+                                // structurally possible; this keeps the
+                                // matcher from issuing pointless oracle
+                                // calls for queries that can never span an
+                                // empty segment.
+                                let completions = self.completions_of(&member[v], &q);
+                                if completions.is_empty() || !self.query_accepts_eps(&q) {
+                                    continue;
+                                }
+                                for y in completions {
+                                    if !member[s][y] {
+                                        member[s][y] = true;
+                                        lists[s].push(y);
+                                        changed = true;
+                                    }
+                                }
+                            }
+                            Label::Close(_) => {}
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Derive the gadget edge targets.
+        let mut balanced_reach = lists;
+        let mut close_targets: Vec<Vec<StateId>> = vec![Vec::new(); n];
+        let mut open_targets: Vec<Vec<StateId>> = vec![Vec::new(); n];
+        for s in 0..n {
+            for &u in &balanced_reach[s] {
+                for &v in self.snfa.eps_out(u) {
+                    match self.snfa.label(v) {
+                        Label::Close(_) => close_targets[s].push(v),
+                        Label::Open(_) => open_targets[s].push(v),
+                        Label::Blank => {}
+                    }
+                }
+            }
+        }
+        for list in balanced_reach
+            .iter_mut()
+            .chain(close_targets.iter_mut())
+            .chain(open_targets.iter_mut())
+        {
+            list.sort_unstable();
+            list.dedup();
+        }
+        EpsClosure { balanced_reach, close_targets, open_targets }
+    }
+
+    /// Close(q)-labelled states `y` such that some `x` with
+    /// `balanced_from_open[x]` has an ε-transition to `y` — i.e. the open
+    /// segment can be completed at `y`.
+    fn completions_of(&self, balanced_from_open: &[bool], q: &QueryName) -> Vec<StateId> {
+        let mut out = Vec::new();
+        for (x, &reachable) in balanced_from_open.iter().enumerate() {
+            if !reachable {
+                continue;
+            }
+            for &y in self.snfa.eps_out(x) {
+                if let Label::Close(q2) = self.snfa.label(y) {
+                    if q2 == q {
+                        out.push(y);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thompson::compile;
+    use semre_oracle::{ConstOracle, PredicateOracle};
+    use semre_syntax::parse;
+
+    fn closure(pattern: &str, oracle: &dyn Oracle) -> (Snfa, EpsClosure) {
+        let snfa = compile(&parse(pattern).unwrap());
+        let clo = EpsClosure::compute(&snfa, oracle);
+        (snfa, clo)
+    }
+
+    fn labelled_states(snfa: &Snfa, pred: impl Fn(&Label) -> bool) -> Vec<StateId> {
+        snfa.states().filter(|&s| pred(snfa.label(s))).collect()
+    }
+
+    #[test]
+    fn simple_refinement_edges() {
+        let oracle = ConstOracle::always_false();
+        let (snfa, clo) = closure("(?<Q>: a)", &oracle);
+        let start = snfa.start();
+        let opens = labelled_states(&snfa, |l| matches!(l, Label::Open(_)));
+        let closes = labelled_states(&snfa, |l| matches!(l, Label::Close(_)));
+        assert_eq!(opens.len(), 1);
+        assert_eq!(closes.len(), 1);
+        // From the start we can open Q but not close anything.
+        assert_eq!(clo.open_targets(start), &opens[..]);
+        assert!(clo.close_targets(start).is_empty());
+        assert!(clo.is_balanced_reach(start, start));
+        assert!(!clo.is_balanced_reach(start, opens[0]));
+        // After reading `a` (i.e. from the character-transition target), the
+        // close state is one balanced step away.
+        let after_a: Vec<StateId> = snfa
+            .states()
+            .flat_map(|s| snfa.char_out(s).iter().map(|&(_, t)| t))
+            .collect();
+        assert_eq!(after_a.len(), 1);
+        assert_eq!(clo.close_targets(after_a[0]), &closes[..]);
+    }
+
+    #[test]
+    fn epsilon_queries_gate_balanced_reach() {
+        // (?<Q>: a*) b  —  whether the Q-segment can be skipped over ε
+        // depends on the oracle's answer to (Q, ε).
+        let reject = ConstOracle::always_false();
+        let accept = ConstOracle::always_true();
+        let (snfa_r, clo_r) = closure("(?<Q>: a*)b", &reject);
+        let (snfa_a, clo_a) = closure("(?<Q>: a*)b", &accept);
+        // Identify the state carrying the character transition on 'b'.
+        let b_source = |snfa: &Snfa| {
+            snfa.states()
+                .find(|&s| snfa.char_out(s).iter().any(|(c, _)| c.contains(b'b')))
+                .expect("source of the b transition")
+        };
+        let br = b_source(&snfa_r);
+        let ba = b_source(&snfa_a);
+        assert!(
+            !clo_r.is_balanced_reach(snfa_r.start(), br),
+            "with ⟦Q⟧(ε) = false the b transition must not be ε-reachable"
+        );
+        assert!(
+            clo_a.is_balanced_reach(snfa_a.start(), ba),
+            "with ⟦Q⟧(ε) = true the b transition must be ε-reachable"
+        );
+    }
+
+    #[test]
+    fn epsilon_probe_is_memoized() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static CALLS: AtomicUsize = AtomicUsize::new(0);
+        let oracle = PredicateOracle::new(|_: &str, _: &[u8]| {
+            CALLS.fetch_add(1, Ordering::Relaxed);
+            true
+        });
+        CALLS.store(0, Ordering::Relaxed);
+        // Many ε-visible occurrences of the same query.
+        let _ = closure("(?<Q>: a*)(?<Q>: b*)(?<Q>: c*)", &oracle);
+        assert_eq!(CALLS.load(Ordering::Relaxed), 1, "one ε-probe per distinct query");
+    }
+
+    #[test]
+    fn nested_epsilon_segments() {
+        // (?<Out>: (?<In>: a*)*) b — skipping to `b` over ε requires both
+        // queries to accept ε... unless the outer star takes zero
+        // iterations, in which case only Out must accept ε.
+        let only_out = PredicateOracle::new(|q: &str, _: &[u8]| q == "Out");
+        let neither = ConstOracle::always_false();
+        let find_b = |snfa: &Snfa| {
+            snfa.states()
+                .find(|&s| snfa.char_out(s).iter().any(|(c, _)| c.contains(b'b')))
+                .expect("source of the b transition")
+        };
+        let (snfa1, clo1) = closure("(?<Out>: (?<In>: a*)*)b", &only_out);
+        assert!(clo1.is_balanced_reach(snfa1.start(), find_b(&snfa1)));
+        let (snfa2, clo2) = closure("(?<Out>: (?<In>: a*)*)b", &neither);
+        assert!(!clo2.is_balanced_reach(snfa2.start(), find_b(&snfa2)));
+        // If the inner query must be traversed (no enclosing star), both
+        // answers matter.
+        let (snfa3, clo3) = closure("(?<Out>: (?<In>: a*))b", &only_out);
+        assert!(!clo3.is_balanced_reach(snfa3.start(), find_b(&snfa3)));
+        let both = ConstOracle::always_true();
+        let (snfa4, clo4) = closure("(?<Out>: (?<In>: a*))b", &both);
+        assert!(clo4.is_balanced_reach(snfa4.start(), find_b(&snfa4)));
+    }
+
+    #[test]
+    fn close_then_reopen_targets() {
+        // (Σ* ∧ ⟨q⟩)* — Fig. 5 of the paper.  From the looping state, the
+        // close state is a layer-1 target, and the open state is a layer-2
+        // target reachable after closing.
+        let oracle = ConstOracle::always_false();
+        let snfa = compile(&semre_syntax::examples::r_qstar("q"));
+        let clo = EpsClosure::compute(&snfa, &oracle);
+        let sigma_state = snfa
+            .states()
+            .find(|&s| !snfa.char_out(s).is_empty())
+            .expect("state with the Σ transition");
+        // After reading a character we land on the Σ-transition target.
+        let landing = snfa.char_out(sigma_state)[0].1;
+        let closes = labelled_states(&snfa, |l| matches!(l, Label::Close(_)));
+        let opens = labelled_states(&snfa, |l| matches!(l, Label::Open(_)));
+        assert_eq!(clo.close_targets(landing), &closes[..]);
+        // Reopening is possible from the close state.
+        assert_eq!(clo.open_targets(closes[0]), &opens[..]);
+        // But not from the landing state directly (q has not been closed
+        // yet, and the only open state sits behind the close).
+        assert!(clo.open_targets(landing).is_empty());
+    }
+
+    #[test]
+    fn classical_expressions_have_plain_closures() {
+        let oracle = ConstOracle::always_false();
+        let (snfa, clo) = closure("(ab|c)*", &oracle);
+        for s in snfa.states() {
+            assert!(clo.close_targets(s).is_empty());
+            assert!(clo.open_targets(s).is_empty());
+            // balanced_reach is plain ε-reachability here.
+            assert!(clo.balanced_reach(s).contains(&s));
+        }
+    }
+}

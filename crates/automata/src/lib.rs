@@ -1,0 +1,52 @@
+//! Semantic NFAs for membership testing of semantic regular expressions.
+//!
+//! This crate implements the automaton layer of the paper's matching
+//! algorithm (Section 3.1 and Appendix A):
+//!
+//! * [`Snfa`] — semantic NFAs, i.e. Thompson NFAs whose states are labelled
+//!   with `open(q)` / `close(q)` query markers;
+//! * [`compile`] — the Thompson-style construction `r ↦ M_r` of Fig. 1 with
+//!   the Assumption A.1 normalizations;
+//! * [`EpsClosure`] — the ε-feasibility relations of Fig. 11, which
+//!   summarize all balanced ε-moves between two input characters and drive
+//!   the inter-character gadget of the query graph;
+//! * [`SkeletonMatcher`] — a classical (oracle-free) simulation of the
+//!   skeleton `skel(r)`, used as a prefilter and as a testing baseline.
+//!
+//! The query-graph construction and evaluation built on top of these pieces
+//! live in the `semre-core` crate.
+//!
+//! # Example
+//!
+//! ```
+//! use semre_automata::{compile, skeleton_matches, EpsClosure};
+//! use semre_oracle::ConstOracle;
+//! use semre_syntax::parse;
+//!
+//! let r = parse("(?<City>: [A-Za-z ]+), [0-9]{4}").unwrap();
+//! let snfa = compile(&r);
+//! assert!(snfa.validate().is_ok());
+//!
+//! // The skeleton already rules out ill-formed lines without any oracle.
+//! assert!(skeleton_matches(&snfa, b"Paris, 1889"));
+//! assert!(!skeleton_matches(&snfa, b"Paris 1889"));
+//!
+//! // The ε-closure only ever asks the oracle about the empty string.
+//! let closure = EpsClosure::compute(&snfa, &ConstOracle::always_false());
+//! assert!(closure.balanced_reach(snfa.start()).contains(&snfa.start()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ambiguity;
+mod classical;
+mod closure;
+mod snfa;
+mod thompson;
+
+pub use ambiguity::skeleton_is_unambiguous;
+pub use classical::{skeleton_matches, SkeletonMatcher};
+pub use closure::EpsClosure;
+pub use snfa::{Label, Snfa, SnfaInvariantError, StateId};
+pub use thompson::compile;

@@ -1,0 +1,526 @@
+//! Semantic NFAs (SNFAs).
+//!
+//! An SNFA (Section 3.1 of the paper) is a nondeterministic finite
+//! automaton whose states carry *query labels*: a state may be `blank`, or
+//! mark the position where an oracle query `q` is *opened* or *closed*.
+//! Along every path from the start state to the accepting state the
+//! open/close labels form a well-parenthesized string, and a path is
+//! *feasible* when the oracle accepts every `(q, substring)` pair delimited
+//! by a matching open/close pair.
+//!
+//! [`Snfa`] is the concrete automaton representation shared by the query
+//! graph construction ([`semre-core`](https://crates.io/crates/semre-core))
+//! and the classical skeleton simulation.
+
+use std::fmt;
+
+use semre_syntax::{CharClass, QueryName};
+
+/// Index of a state inside an [`Snfa`].
+pub type StateId = usize;
+
+/// The query label `λ(s)` of an SNFA state.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Label {
+    /// No query activity at this state.
+    #[default]
+    Blank,
+    /// Entering the scope of query `q`: the next characters (up to the
+    /// matching [`Label::Close`]) form the substring submitted to the
+    /// oracle.
+    Open(QueryName),
+    /// Leaving the scope of query `q`.
+    Close(QueryName),
+}
+
+impl Label {
+    /// Whether this is the blank label.
+    pub fn is_blank(&self) -> bool {
+        matches!(self, Label::Blank)
+    }
+
+    /// The query name, for open and close labels.
+    pub fn query(&self) -> Option<&QueryName> {
+        match self {
+            Label::Blank => None,
+            Label::Open(q) | Label::Close(q) => Some(q),
+        }
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Label::Blank => write!(f, "·"),
+            Label::Open(q) => write!(f, "open({q})"),
+            Label::Close(q) => write!(f, "close({q})"),
+        }
+    }
+}
+
+/// An error found while validating the structural invariants of an SNFA.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SnfaInvariantError {
+    message: String,
+}
+
+impl SnfaInvariantError {
+    fn new(message: impl Into<String>) -> Self {
+        SnfaInvariantError { message: message.into() }
+    }
+
+    /// Human-readable description of the violated invariant.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for SnfaInvariantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SNFA invariant violated: {}", self.message)
+    }
+}
+
+impl std::error::Error for SnfaInvariantError {}
+
+/// A semantic NFA `M = (S, Δ, λ, s₀, s_f)`.
+///
+/// States are numbered densely from `0`; transitions are split into
+/// character transitions (guarded by a [`CharClass`]) and ε-transitions.
+/// Use [`crate::compile`] to build the SNFA of a SemRE.
+#[derive(Clone, Debug)]
+pub struct Snfa {
+    labels: Vec<Label>,
+    char_out: Vec<Vec<(CharClass, StateId)>>,
+    eps_out: Vec<Vec<StateId>>,
+    start: StateId,
+    accept: StateId,
+}
+
+impl Snfa {
+    /// Creates an SNFA from its parts.  Prefer [`crate::compile`]; this
+    /// constructor is exposed for tests and for building automata by hand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transition tables do not all have one entry per state,
+    /// if a transition targets a non-existent state, or if `start`/`accept`
+    /// are out of range.
+    pub fn from_parts(
+        labels: Vec<Label>,
+        char_out: Vec<Vec<(CharClass, StateId)>>,
+        eps_out: Vec<Vec<StateId>>,
+        start: StateId,
+        accept: StateId,
+    ) -> Self {
+        let n = labels.len();
+        assert_eq!(char_out.len(), n, "char_out must have one entry per state");
+        assert_eq!(eps_out.len(), n, "eps_out must have one entry per state");
+        assert!(start < n, "start state out of range");
+        assert!(accept < n, "accept state out of range");
+        for outs in &char_out {
+            for &(_, t) in outs {
+                assert!(t < n, "character transition targets unknown state {t}");
+            }
+        }
+        for outs in &eps_out {
+            for &t in outs {
+                assert!(t < n, "ε-transition targets unknown state {t}");
+            }
+        }
+        Snfa { labels, char_out, eps_out, start, accept }
+    }
+
+    /// Number of states `|S|`.
+    pub fn num_states(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Total number of transitions (character plus ε).
+    pub fn num_transitions(&self) -> usize {
+        self.char_out.iter().map(Vec::len).sum::<usize>()
+            + self.eps_out.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// The start state `s₀`.
+    pub fn start(&self) -> StateId {
+        self.start
+    }
+
+    /// The accepting state `s_f`.
+    pub fn accept(&self) -> StateId {
+        self.accept
+    }
+
+    /// The label `λ(s)`.
+    pub fn label(&self, s: StateId) -> &Label {
+        &self.labels[s]
+    }
+
+    /// Iterator over all state ids.
+    pub fn states(&self) -> impl Iterator<Item = StateId> {
+        0..self.num_states()
+    }
+
+    /// The outgoing character transitions of `s`.
+    pub fn char_out(&self, s: StateId) -> &[(CharClass, StateId)] {
+        &self.char_out[s]
+    }
+
+    /// The outgoing ε-transitions of `s`.
+    pub fn eps_out(&self, s: StateId) -> &[StateId] {
+        &self.eps_out[s]
+    }
+
+    /// The states reachable from `s` by one character transition on `byte`.
+    pub fn step(&self, s: StateId, byte: u8) -> impl Iterator<Item = StateId> + '_ {
+        self.char_out[s].iter().filter(move |(c, _)| c.contains(byte)).map(|&(_, t)| t)
+    }
+
+    /// Incoming ε-transitions, computed on demand (one `Vec` per state).
+    pub fn eps_in(&self) -> Vec<Vec<StateId>> {
+        let mut inc = vec![Vec::new(); self.num_states()];
+        for s in self.states() {
+            for &t in self.eps_out(s) {
+                inc[t].push(s);
+            }
+        }
+        inc
+    }
+
+    /// States reachable from the start state by any number of transitions.
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.num_states()];
+        let mut stack = vec![self.start];
+        seen[self.start] = true;
+        while let Some(s) = stack.pop() {
+            for &t in self.eps_out(s) {
+                if !seen[t] {
+                    seen[t] = true;
+                    stack.push(t);
+                }
+            }
+            for &(_, t) in self.char_out(s) {
+                if !seen[t] {
+                    seen[t] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        seen
+    }
+
+    /// States from which the accepting state is reachable.
+    pub fn co_reachable(&self) -> Vec<bool> {
+        let mut rev: Vec<Vec<StateId>> = vec![Vec::new(); self.num_states()];
+        for s in self.states() {
+            for &t in self.eps_out(s) {
+                rev[t].push(s);
+            }
+            for &(_, t) in self.char_out(s) {
+                rev[t].push(s);
+            }
+        }
+        let mut seen = vec![false; self.num_states()];
+        let mut stack = vec![self.accept];
+        seen[self.accept] = true;
+        while let Some(s) = stack.pop() {
+            for &p in &rev[s] {
+                if !seen[p] {
+                    seen[p] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Whether every state is both reachable and co-reachable
+    /// (Assumption 3.3 of the paper).
+    pub fn is_trim(&self) -> bool {
+        let r = self.reachable();
+        let c = self.co_reachable();
+        self.states().all(|s| r[s] && c[s])
+    }
+
+    /// The query context `qcon(s)` of every reachable state: the stack of
+    /// currently open queries (innermost last), or `None` for unreachable
+    /// states.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if two paths from the start state assign different
+    /// contexts to the same state, or if some path closes a query that is
+    /// not the innermost open one — i.e. if the automaton is not
+    /// well-parenthesized in the sense of Section 3.1.
+    pub fn query_contexts(&self) -> Result<Vec<Option<Vec<QueryName>>>, SnfaInvariantError> {
+        let mut contexts: Vec<Option<Vec<QueryName>>> = vec![None; self.num_states()];
+        let start_ctx = apply_label(&Vec::new(), self.label(self.start)).ok_or_else(|| {
+            SnfaInvariantError::new("start state closes a query that was never opened")
+        })?;
+        contexts[self.start] = Some(start_ctx);
+        let mut work = vec![self.start];
+        while let Some(s) = work.pop() {
+            let ctx = contexts[s].clone().expect("queued states have contexts");
+            let successors: Vec<StateId> = self
+                .eps_out(s)
+                .iter()
+                .copied()
+                .chain(self.char_out(s).iter().map(|&(_, t)| t))
+                .collect();
+            for t in successors {
+                let next = apply_label(&ctx, self.label(t)).ok_or_else(|| {
+                    SnfaInvariantError::new(format!(
+                        "state {t} closes {:?} but the open context is {:?}",
+                        self.label(t),
+                        ctx
+                    ))
+                })?;
+                match &contexts[t] {
+                    Some(existing) if *existing != next => {
+                        return Err(SnfaInvariantError::new(format!(
+                            "state {t} is reachable with two different query contexts: {existing:?} and {next:?}"
+                        )));
+                    }
+                    Some(_) => {}
+                    None => {
+                        contexts[t] = Some(next);
+                        work.push(t);
+                    }
+                }
+            }
+        }
+        Ok(contexts)
+    }
+
+    /// Validates the structural invariants used by the matching algorithm:
+    /// consistent query contexts (well-parenthesization) and an empty
+    /// context at the accepting state.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnfaInvariantError`] describing the first violated
+    /// invariant.
+    pub fn validate(&self) -> Result<(), SnfaInvariantError> {
+        let contexts = self.query_contexts()?;
+        if let Some(Some(ctx)) = contexts.get(self.accept) {
+            if !ctx.is_empty() {
+                return Err(SnfaInvariantError::new(format!(
+                    "accepting state has non-empty query context {ctx:?}"
+                )));
+            }
+        }
+        // Character transitions must target blank states (Assumption A.1),
+        // which the query-graph gadget relies on.
+        for s in self.states() {
+            for &(_, t) in self.char_out(s) {
+                if !self.label(t).is_blank() {
+                    return Err(SnfaInvariantError::new(format!(
+                        "character transition {s} → {t} targets a labelled state"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Applies a state label to a query context, returning `None` on a
+/// mismatched close.
+fn apply_label(ctx: &[QueryName], label: &Label) -> Option<Vec<QueryName>> {
+    match label {
+        Label::Blank => Some(ctx.to_vec()),
+        Label::Open(q) => {
+            let mut next = ctx.to_vec();
+            next.push(q.clone());
+            Some(next)
+        }
+        Label::Close(q) => {
+            let (last, rest) = ctx.split_last()?;
+            if last == q {
+                Some(rest.to_vec())
+            } else {
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(name: &str) -> QueryName {
+        QueryName::new(name)
+    }
+
+    /// Hand-built SNFA for `Σ* a ⟨pal⟩` (Fig. 2 of the paper), normalized
+    /// per Assumption A.1 with an extra blank state 4 between the `a`
+    /// transition and the open state:
+    /// `s0 --Σ--> s0`, `s0 --a--> s4`, `s4 --ε--> s1[open]`,
+    /// `s1 --ε--> s2`, `s2 --Σ--> s2`, `s2 --ε--> s3[close]`.
+    fn fig2() -> Snfa {
+        Snfa::from_parts(
+            vec![
+                Label::Blank,
+                Label::Open(q("pal")),
+                Label::Blank,
+                Label::Close(q("pal")),
+                Label::Blank,
+            ],
+            vec![
+                vec![(CharClass::any(), 0), (CharClass::single(b'a'), 4)],
+                vec![],
+                vec![(CharClass::any(), 2)],
+                vec![],
+                vec![],
+            ],
+            vec![vec![], vec![2], vec![3], vec![], vec![1]],
+            0,
+            3,
+        )
+    }
+
+    #[test]
+    fn label_helpers() {
+        assert!(Label::Blank.is_blank());
+        assert!(!Label::Open(q("x")).is_blank());
+        assert_eq!(Label::Open(q("x")).query(), Some(&q("x")));
+        assert_eq!(Label::Blank.query(), None);
+        assert_eq!(Label::Close(q("x")).to_string(), "close(x)");
+        assert_eq!(Label::default(), Label::Blank);
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let m = fig2();
+        assert_eq!(m.num_states(), 5);
+        assert_eq!(m.num_transitions(), 6);
+        assert_eq!(m.start(), 0);
+        assert_eq!(m.accept(), 3);
+        assert_eq!(m.eps_out(1), &[2]);
+        assert_eq!(m.char_out(1), &[]);
+        assert_eq!(m.states().count(), 5);
+    }
+
+    #[test]
+    fn char_transition_targets_violation_detected() {
+        // Route the `a` transition straight into the open state — violates
+        // Assumption A.1 and must be caught by validate().
+        let bad = Snfa::from_parts(
+            vec![Label::Blank, Label::Open(q("pal")), Label::Blank, Label::Close(q("pal"))],
+            vec![vec![(CharClass::single(b'a'), 1)], vec![], vec![], vec![]],
+            vec![vec![], vec![2], vec![3], vec![]],
+            0,
+            3,
+        );
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn stepping_respects_char_classes() {
+        let m = fig2();
+        let on_a: Vec<_> = m.step(0, b'a').collect();
+        assert_eq!(on_a, vec![0, 4]);
+        let on_b: Vec<_> = m.step(0, b'b').collect();
+        assert_eq!(on_b, vec![0]);
+        assert_eq!(m.step(1, b'a').count(), 0);
+    }
+
+    #[test]
+    fn eps_in_inverts_eps_out() {
+        let m = fig2();
+        let inc = m.eps_in();
+        assert_eq!(inc[1], vec![4]);
+        assert_eq!(inc[2], vec![1]);
+        assert_eq!(inc[3], vec![2]);
+        assert!(inc[0].is_empty());
+    }
+
+    #[test]
+    fn reachability_and_trim() {
+        let m = fig2();
+        assert!(m.reachable().iter().all(|&b| b));
+        assert!(m.co_reachable().iter().all(|&b| b));
+        assert!(m.is_trim());
+
+        // Add an orphan state: no longer trim.
+        let orphan = Snfa::from_parts(
+            vec![Label::Blank, Label::Blank, Label::Blank],
+            vec![vec![(CharClass::any(), 1)], vec![], vec![]],
+            vec![vec![], vec![], vec![]],
+            0,
+            1,
+        );
+        assert!(!orphan.is_trim());
+        assert_eq!(orphan.reachable(), vec![true, true, false]);
+        assert_eq!(orphan.co_reachable(), vec![true, true, false]);
+    }
+
+    #[test]
+    fn query_contexts_of_fig2() {
+        let m = fig2();
+        let ctx = m.query_contexts().unwrap();
+        assert_eq!(ctx[0], Some(vec![]));
+        assert_eq!(ctx[4], Some(vec![]));
+        assert_eq!(ctx[1], Some(vec![q("pal")]));
+        assert_eq!(ctx[2], Some(vec![q("pal")]));
+        assert_eq!(ctx[3], Some(vec![]));
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn inconsistent_contexts_are_rejected() {
+        // s0 --ε--> s1[open q] --ε--> s2, and also s0 --ε--> s2 directly:
+        // s2 would be reachable both with [] and [q].
+        let bad = Snfa::from_parts(
+            vec![Label::Blank, Label::Open(q("q")), Label::Blank, Label::Close(q("q"))],
+            vec![vec![], vec![], vec![], vec![]],
+            vec![vec![1, 2], vec![2], vec![3], vec![]],
+            0,
+            3,
+        );
+        assert!(bad.query_contexts().is_err());
+        assert!(bad.validate().is_err());
+        let msg = bad.validate().unwrap_err().to_string();
+        assert!(msg.contains("invariant"));
+    }
+
+    #[test]
+    fn mismatched_close_is_rejected() {
+        let bad = Snfa::from_parts(
+            vec![Label::Blank, Label::Open(q("a")), Label::Close(q("b"))],
+            vec![vec![], vec![], vec![]],
+            vec![vec![1], vec![2], vec![]],
+            0,
+            2,
+        );
+        assert!(bad.query_contexts().is_err());
+    }
+
+    #[test]
+    fn accept_with_open_context_is_rejected() {
+        let bad = Snfa::from_parts(
+            vec![Label::Blank, Label::Open(q("a"))],
+            vec![vec![], vec![]],
+            vec![vec![1], vec![]],
+            0,
+            1,
+        );
+        // Contexts are consistent, but the accept state still has `a` open.
+        assert!(bad.query_contexts().is_ok());
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "targets unknown state")]
+    fn from_parts_validates_targets() {
+        let _ = Snfa::from_parts(
+            vec![Label::Blank],
+            vec![vec![(CharClass::any(), 7)]],
+            vec![vec![]],
+            0,
+            0,
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Criterion bench for the design-choice ablations called out in DESIGN.md
+//! (Note A.4 of the paper): the fully optimized matcher configuration
+//! (skeleton prefilter + co-reachability pruning + lazy oracle discharge)
+//! against the eager configuration, on a non-nested and a nested workload.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use semre_bench::ExperimentConfig;
+use semre_core::{Matcher, MatcherConfig};
+use semre_oracle::SetOracle;
+use semre_syntax::{examples, Semre};
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+
+    let configs: [(&str, MatcherConfig); 3] = [
+        ("optimized", MatcherConfig::default()),
+        ("no_prune", MatcherConfig { prune_coreachable: false, ..MatcherConfig::default() }),
+        ("eager", MatcherConfig::eager()),
+    ];
+
+    // Non-nested workload: spam,1 over a slice of the spam corpus.
+    let config = ExperimentConfig { spam_lines: 400, java_lines: 50, ..ExperimentConfig::default() };
+    let workbench = config.workbench();
+    let spec = workbench.benchmark("spam,1").expect("spam,1 exists");
+    let lines: Vec<String> = workbench
+        .spam()
+        .lines()
+        .iter()
+        .filter(|l| l.len() <= 120)
+        .take(60)
+        .cloned()
+        .collect();
+    for (name, matcher_config) in configs {
+        let matcher = Matcher::with_config(spec.semre.clone(), spec.oracle.clone(), matcher_config);
+        group.bench_with_input(BenchmarkId::new("spam1", name), &lines, |b, lines| {
+            b.iter(|| lines.iter().filter(|l| matcher.is_match(l.as_bytes())).count())
+        });
+    }
+
+    // Nested workload: the Paris Hilton SemRE (rule Bc / LOQ machinery).
+    let mut oracle = SetOracle::new();
+    oracle.insert_all("City", ["Paris", "Houston", "London"]);
+    oracle.insert_all("Celebrity", ["Paris Hilton", "London Breed"]);
+    let nested = Semre::padded(examples::r_paris_hilton());
+    let nested_lines: Vec<String> = [
+        "breaking: Paris Hilton spotted downtown",
+        "Houston traffic report for tuesday",
+        "nothing interesting happened today at all",
+        "mayor London Breed announced the budget",
+        "Paris Metro expands line fourteen",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    for (name, matcher_config) in configs {
+        let matcher = Matcher::with_config(nested.clone(), oracle.clone(), matcher_config);
+        group.bench_with_input(BenchmarkId::new("paris_hilton", name), &nested_lines, |b, lines| {
+            b.iter(|| lines.iter().filter(|l| matcher.is_match(l.as_bytes())).count())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

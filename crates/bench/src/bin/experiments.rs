@@ -1,0 +1,272 @@
+//! Prints the paper's tables and figure series from the synthetic
+//! workloads.
+//!
+//! ```text
+//! experiments [OPTIONS] [EXPERIMENT...]
+//!
+//!   EXPERIMENT        table1 | table2 | fig10-dist | fig10 |
+//!                     query-complexity | triangle | ablation | all
+//!                     (default: all)
+//!
+//!   --lines N         corpus lines per dataset          (default 4000)
+//!   --budget SECS     time budget per (SemRE, algorithm) (default 20)
+//!   --max-line-len N  drop lines longer than N bytes     (default none)
+//!   --seed N          corpus generation seed
+//!   --quick           small corpora and short budgets (smoke test)
+//! ```
+//!
+//! Absolute timings depend on the machine and on the synthetic oracle
+//! latency model; the *relative* picture (who wins, by how much, where the
+//! oracle dominates) is what reproduces the paper.  See EXPERIMENTS.md.
+
+use std::time::Duration;
+
+use semre_bench::harness::{self, ExperimentConfig};
+use semre_workloads::Workbench;
+
+fn main() {
+    let mut config = ExperimentConfig {
+        max_line_len: Some(400),
+        ..ExperimentConfig::default()
+    };
+    let mut experiments: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--lines" => {
+                let n = expect_number(args.next(), "--lines");
+                config.spam_lines = n;
+                config.java_lines = n;
+            }
+            "--budget" => {
+                config.time_budget = Duration::from_secs(expect_number(args.next(), "--budget") as u64);
+            }
+            "--max-line-len" => {
+                config.max_line_len = Some(expect_number(args.next(), "--max-line-len"));
+            }
+            "--seed" => {
+                config.seed = expect_number(args.next(), "--seed") as u64;
+            }
+            "--quick" => {
+                config = ExperimentConfig::smoke();
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown option {other}");
+                std::process::exit(2);
+            }
+            other => experiments.push(other.to_owned()),
+        }
+    }
+    if experiments.is_empty() || experiments.iter().any(|e| e == "all") {
+        experiments = ["table1", "table2", "fig10-dist", "fig10", "query-complexity", "triangle", "ablation"]
+            .map(str::to_owned)
+            .to_vec();
+    }
+
+    println!("# SemRE membership-testing experiments");
+    println!(
+        "# corpora: {} spam lines, {} java lines (seed {}), budget {:?} per run, max line length {:?}",
+        config.spam_lines, config.java_lines, config.seed, config.time_budget, config.max_line_len
+    );
+    let workbench = config.workbench();
+
+    for experiment in &experiments {
+        match experiment.as_str() {
+            "table1" => table1(&config, &workbench),
+            "table2" => table2(&config, &workbench),
+            "fig10-dist" => fig10_dist(&workbench),
+            "fig10" => fig10(&config, &workbench),
+            "query-complexity" => query_complexity(),
+            "triangle" => triangle(),
+            "ablation" => ablation(&workbench),
+            other => {
+                eprintln!("unknown experiment {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+fn expect_number(value: Option<String>, flag: &str) -> usize {
+    value
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            eprintln!("{flag} expects a number");
+            std::process::exit(2);
+        })
+}
+
+fn table1(config: &ExperimentConfig, workbench: &Workbench) {
+    println!("\n## Table 1: benchmark SemREs and their statistics");
+    println!("{:<8} {:<8} {:<22} {:>6} {:>10} {:>10}", "Dataset", "Name", "Oracle", "|r|", "Lines", "Matched");
+    for row in harness::table1(config, workbench) {
+        println!(
+            "{:<8} {:<8} {:<22} {:>6} {:>10} {:>10}",
+            row.dataset, row.name, row.oracle, row.size, row.lines, row.matched
+        );
+    }
+}
+
+fn table2(config: &ExperimentConfig, workbench: &Workbench) {
+    println!("\n## Table 2: SemRE matching performance (SNFA vs DP baseline)");
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>12} {:>10} {:>10} {:>8} {:>8} {:>10} {:>10} {:>9}",
+        "SemRE",
+        "RTtot SNFA",
+        "RTtot DP",
+        "RTmat SNFA",
+        "RTmat DP",
+        "calls SNFA",
+        "calls DP",
+        "of SNFA",
+        "of DP",
+        "qlen SNFA",
+        "qlen DP",
+        "speedup"
+    );
+    let rows = harness::table2(config, workbench);
+    for row in &rows {
+        println!(
+            "{:<8} {:>12.3} {:>12.3} {:>12.3} {:>12.3} {:>10.3} {:>10.3} {:>8.3} {:>8.3} {:>10.3} {:>10.3} {:>8.1}x",
+            row.name,
+            row.snfa.rt_total_ms,
+            row.dp.rt_total_ms,
+            row.snfa.rt_matched_ms,
+            row.dp.rt_matched_ms,
+            row.snfa.oracle_calls_per_line,
+            row.dp.oracle_calls_per_line,
+            row.snfa.oracle_fraction,
+            row.dp.oracle_fraction,
+            row.snfa.query_chars_per_line,
+            row.dp.query_chars_per_line,
+            row.speedup_total(),
+        );
+        if row.snfa.timed_out || row.dp.timed_out {
+            println!(
+                "         (budget hit: SNFA processed {} lines, DP processed {} lines)",
+                row.snfa.lines, row.dp.lines
+            );
+        }
+    }
+    let summary = harness::summarize_table2(&rows);
+    println!("\n### Headline aggregates (paper: 101x total, 12x matched, 51% fewer calls, 3x less oracle time)");
+    println!("geometric-mean speedup, whole dataset : {:>8.1}x", summary.geomean_speedup_total);
+    println!("geometric-mean speedup, matched lines : {:>8.1}x", summary.geomean_speedup_matched);
+    println!("oracle-call reduction (SNFA vs DP)    : {:>8.1}%", summary.oracle_call_reduction * 100.0);
+    println!("oracle-time ratio (DP / SNFA)         : {:>8.1}x", summary.oracle_time_ratio);
+}
+
+fn fig10_dist(workbench: &Workbench) {
+    println!("\n## Fig. 10 (top): line length distribution");
+    for (name, histogram) in harness::fig10_distributions(workbench, 100) {
+        println!("\n{name}");
+        println!("{:<12} {:>10}", "Length", "Frequency");
+        for (start, count) in histogram {
+            println!("{:<12} {:>10}", format!("{}-{}", start, start + 99), count);
+        }
+    }
+}
+
+fn fig10(config: &ExperimentConfig, workbench: &Workbench) {
+    println!("\n## Fig. 10 (grid): median running time vs line length (lines ≤ 200 chars)");
+    for series in harness::fig10(config, workbench, 25) {
+        println!("\n{}", series.name);
+        println!("{:<12} {:>14} {:>14} {:>10}", "Length", "SNFA (ms)", "DP (ms)", "Lines");
+        let mut by_bucket: std::collections::BTreeMap<usize, (Option<f64>, Option<f64>, usize)> =
+            std::collections::BTreeMap::new();
+        for (start, median, lines) in &series.snfa {
+            by_bucket.entry(*start).or_insert((None, None, 0)).0 = Some(*median);
+            by_bucket.get_mut(start).expect("just inserted").2 = *lines;
+        }
+        for (start, median, lines) in &series.dp {
+            let entry = by_bucket.entry(*start).or_insert((None, None, 0));
+            entry.1 = Some(*median);
+            if entry.2 == 0 {
+                entry.2 = *lines;
+            }
+        }
+        for (start, (snfa, dp, lines)) in by_bucket {
+            println!(
+                "{:<12} {:>14} {:>14} {:>10}",
+                format!("{}-{}", start, start + 24),
+                snfa.map_or("-".to_owned(), |v| format!("{v:.4}")),
+                dp.map_or("-".to_owned(), |v| format!("{v:.4}")),
+                lines
+            );
+        }
+    }
+}
+
+fn query_complexity() {
+    println!("\n## Theorem 4.1: oracle queries needed on the adversarial family Σ*⟨q⟩Σ*, w = 0^m 1^m");
+    println!("{:<8} {:<8} {:>14} {:>14} {:>16}", "m", "|w|", "SNFA calls", "DP calls", "lower bound");
+    let result = harness::query_complexity_experiment(&[4, 8, 16, 32, 64]);
+    for (s, d) in result.snfa.iter().zip(&result.dp) {
+        println!(
+            "{:<8} {:<8} {:>14} {:>14} {:>16}",
+            s.m,
+            s.input_len,
+            s.oracle_calls,
+            d.oracle_calls,
+            s.input_len * (s.input_len + 1) / 2
+        );
+    }
+}
+
+fn triangle() {
+    println!("\n## Section 4.2: triangle finding via SemRE matching (G(n, 0.15))");
+    println!("{:<6} {:>8} {:>10} {:>10} {:>14} {:>14}", "n", "edges", "direct", "via SemRE", "SemRE (ms)", "direct (µs)");
+    for r in harness::triangle_experiment(&[8, 12, 16, 24, 32], 0.15, 20250613) {
+        println!(
+            "{:<6} {:>8} {:>10} {:>10} {:>14.2} {:>14.2}",
+            r.vertices,
+            r.edges,
+            r.direct,
+            r.via_semre,
+            r.semre_time.as_secs_f64() * 1e3,
+            r.direct_time.as_secs_f64() * 1e6
+        );
+        assert_eq!(r.direct, r.via_semre, "reduction disagrees with direct detection");
+    }
+}
+
+fn ablation(workbench: &Workbench) {
+    println!("\n## Ablation: matcher configurations (oracle calls / time, Note A.4)");
+    // Non-nested workload: the spam,1 SemRE over spam subject lines.
+    let spec = workbench.benchmark("spam,1").expect("spam,1 exists");
+    let lines: Vec<String> =
+        workbench.spam().lines().iter().filter(|l| l.len() <= 200).take(400).cloned().collect();
+    println!("\nworkload: spam,1 over {} spam lines", lines.len());
+    println!("{:<42} {:>14} {:>12} {:>10}", "configuration", "oracle calls", "time (ms)", "matched");
+    for row in harness::ablation(&spec.semre, spec.oracle.clone(), &lines) {
+        println!(
+            "{:<42} {:>14} {:>12.2} {:>10}",
+            row.config,
+            row.oracle_calls,
+            row.total_time.as_secs_f64() * 1e3,
+            row.matched
+        );
+    }
+    // Nested workload: the Paris Hilton SemRE over celebrity-ish lines.
+    let mut oracle = semre_oracle::SetOracle::new();
+    oracle.insert_all("City", ["Paris", "Houston", "London"]);
+    oracle.insert_all("Celebrity", ["Paris Hilton", "London Breed", "Taylor Swift"]);
+    let lines: Vec<String> = [
+        "Paris Hilton", "Taylor Swift", "London Breed", "Houston Rockets", "a plain line",
+        "the celebrity Paris Hilton arrived", "nothing here", "Paris Metro",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    println!("\nworkload: nested Paris-Hilton SemRE over {} lines", lines.len());
+    println!("{:<42} {:>14} {:>12} {:>10}", "configuration", "oracle calls", "time (ms)", "matched");
+    for row in harness::ablation(&semre_syntax::Semre::padded(semre_syntax::examples::r_paris_hilton()), oracle, &lines) {
+        println!(
+            "{:<42} {:>14} {:>12.2} {:>10}",
+            row.config,
+            row.oracle_calls,
+            row.total_time.as_secs_f64() * 1e3,
+            row.matched
+        );
+    }
+}

@@ -1,0 +1,579 @@
+//! Shared experiment harness.
+//!
+//! Each public function regenerates the data behind one table or figure of
+//! the paper's evaluation section, returning plain row/series structs that
+//! the `experiments` binary formats as text and the Criterion benches reuse
+//! for workload construction.  All experiments are parameterised by an
+//! [`ExperimentConfig`] so that corpus sizes and time budgets can be scaled
+//! from quick smoke runs to long laptop-scale runs.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use semre_core::{DpMatcher, Matcher};
+use semre_grep::{scan, ScanOptions, ScanReport};
+use semre_oracle::{Instrumented, Oracle};
+use semre_workloads::query_complexity::{self, MatcherKind, QueryComplexityPoint};
+use semre_workloads::triangle::{self, Graph};
+use semre_workloads::{BenchSpec, Workbench};
+
+/// Knobs shared by every experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct ExperimentConfig {
+    /// Seed for corpus generation.
+    pub seed: u64,
+    /// Number of spam-corpus lines to generate.
+    pub spam_lines: usize,
+    /// Number of Java-corpus lines to generate.
+    pub java_lines: usize,
+    /// Per-(SemRE, algorithm) wall-clock budget, mirroring the paper's
+    /// 40-minute timeout (scaled down).
+    pub time_budget: Duration,
+    /// Cap on the number of lines scanned per (SemRE, algorithm).
+    pub max_lines: Option<usize>,
+    /// Drop corpus lines longer than this many bytes before scanning
+    /// (the paper keeps lines up to 1 000 characters; smaller caps keep the
+    /// cubic DP baseline affordable on small machines).
+    pub max_line_len: Option<usize>,
+    /// Whether to *spend* the simulated oracle latency (busy-waiting) so
+    /// that wall-clock numbers include oracle time, as in the paper.  When
+    /// `false` the latency is only accounted in the statistics.
+    pub spin_latency: bool,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            seed: 20250613,
+            spam_lines: 4000,
+            java_lines: 4000,
+            time_budget: Duration::from_secs(20),
+            max_lines: None,
+            max_line_len: None,
+            spin_latency: true,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// A configuration small enough for tests and smoke runs.
+    pub fn smoke() -> Self {
+        ExperimentConfig {
+            seed: 7,
+            spam_lines: 250,
+            java_lines: 250,
+            time_budget: Duration::from_secs(10),
+            max_lines: Some(100),
+            max_line_len: Some(100),
+            spin_latency: false,
+        }
+    }
+
+    /// Generates the corpora and oracle databases for this configuration.
+    pub fn workbench(&self) -> Workbench {
+        Workbench::generate(self.seed, self.spam_lines, self.java_lines)
+    }
+
+    fn scan_options(&self) -> ScanOptions {
+        ScanOptions { time_budget: Some(self.time_budget), max_lines: self.max_lines }
+    }
+
+    /// Applies the line-length cap to a corpus.
+    fn prepare<'c>(&self, corpus: &'c semre_workloads::Corpus) -> std::borrow::Cow<'c, semre_workloads::Corpus> {
+        match self.max_line_len {
+            Some(cap) => std::borrow::Cow::Owned(corpus.truncated_to(cap)),
+            None => std::borrow::Cow::Borrowed(corpus),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table 1
+// ---------------------------------------------------------------------------
+
+/// One row of Table 1: benchmark SemRE statistics.
+#[derive(Clone, Debug)]
+pub struct Table1Row {
+    /// Dataset name ("Spam" / "Code").
+    pub dataset: String,
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Backing oracle kind.
+    pub oracle: &'static str,
+    /// SemRE size `|r|` (AST nodes of the padded expression).
+    pub size: usize,
+    /// Number of corpus lines scanned.
+    pub lines: usize,
+    /// Number of lines that matched.
+    pub matched: usize,
+}
+
+/// Regenerates Table 1: sizes and matched-line counts for the nine
+/// benchmark SemREs over the synthetic corpora.
+pub fn table1(config: &ExperimentConfig, workbench: &Workbench) -> Vec<Table1Row> {
+    workbench
+        .benchmarks()
+        .into_iter()
+        .map(|spec| {
+            let corpus = config.prepare(workbench.corpus(spec.dataset));
+            let matcher = Matcher::new(spec.semre.clone(), Arc::clone(&spec.oracle));
+            let report = scan(
+                &matcher,
+                corpus.lines(),
+                semre_oracle::OracleStats::default,
+                config.scan_options(),
+            );
+            Table1Row {
+                dataset: spec.dataset.to_string(),
+                name: spec.name,
+                oracle: spec.oracle_kind,
+                size: spec.semre.size(),
+                lines: report.lines(),
+                matched: report.matched_lines(),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Table 2
+// ---------------------------------------------------------------------------
+
+/// Which algorithm a measurement refers to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algorithm {
+    /// The query-graph (SNFA) matcher of Section 3.
+    Snfa,
+    /// The dynamic-programming baseline of Section 2.1.
+    Dp,
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Algorithm::Snfa => write!(f, "SNFA"),
+            Algorithm::Dp => write!(f, "DP"),
+        }
+    }
+}
+
+/// The Table 2 measurements for one (SemRE, algorithm) pair.
+#[derive(Clone, Debug)]
+pub struct Table2Cell {
+    /// Reciprocal throughput over all scanned lines (ms/line).
+    pub rt_total_ms: f64,
+    /// Reciprocal throughput over matched lines (ms/line).
+    pub rt_matched_ms: f64,
+    /// Oracle calls per line.
+    pub oracle_calls_per_line: f64,
+    /// Fraction of matching time spent inside the oracle.
+    pub oracle_fraction: f64,
+    /// Characters submitted to the oracle per line.
+    pub query_chars_per_line: f64,
+    /// Lines processed within the budget.
+    pub lines: usize,
+    /// Lines that matched.
+    pub matched: usize,
+    /// Whether the scan hit the time budget.
+    pub timed_out: bool,
+}
+
+/// One row of Table 2: both algorithms on one benchmark SemRE.
+#[derive(Clone, Debug)]
+pub struct Table2Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Query-graph matcher measurements.
+    pub snfa: Table2Cell,
+    /// DP baseline measurements.
+    pub dp: Table2Cell,
+}
+
+impl Table2Row {
+    /// Total-throughput speedup of the SNFA matcher over the baseline.
+    pub fn speedup_total(&self) -> f64 {
+        safe_ratio(self.dp.rt_total_ms, self.snfa.rt_total_ms)
+    }
+
+    /// Matched-line-throughput speedup of the SNFA matcher over the
+    /// baseline.
+    pub fn speedup_matched(&self) -> f64 {
+        safe_ratio(self.dp.rt_matched_ms, self.snfa.rt_matched_ms)
+    }
+}
+
+fn safe_ratio(num: f64, den: f64) -> f64 {
+    if den <= 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+/// Aggregate statistics over a set of Table 2 rows (the headline numbers of
+/// Sections 5.1 and 5.2).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Table2Summary {
+    /// Geometric-mean speedup of total throughput (paper: ≈ 101×).
+    pub geomean_speedup_total: f64,
+    /// Geometric-mean speedup of matched-line throughput (paper: ≈ 12×).
+    pub geomean_speedup_matched: f64,
+    /// Relative reduction in oracle calls, SNFA vs DP (paper: ≈ 51 % fewer).
+    pub oracle_call_reduction: f64,
+    /// Ratio of DP oracle time to SNFA oracle time (paper: ≈ 3×).
+    pub oracle_time_ratio: f64,
+}
+
+/// Builds the scan report for one (spec, algorithm) pair.
+fn run_spec(
+    config: &ExperimentConfig,
+    workbench: &Workbench,
+    spec: &BenchSpec,
+    algorithm: Algorithm,
+) -> ScanReport {
+    let corpus = config.prepare(workbench.corpus(spec.dataset));
+    let oracle = if config.spin_latency {
+        Instrumented::with_spun_latency(Arc::clone(&spec.oracle), spec.latency)
+    } else {
+        Instrumented::with_latency(Arc::clone(&spec.oracle), spec.latency)
+    };
+    match algorithm {
+        Algorithm::Snfa => {
+            let matcher = Matcher::new(spec.semre.clone(), &oracle);
+            scan(&matcher, corpus.lines(), || oracle.stats(), config.scan_options())
+        }
+        Algorithm::Dp => {
+            let matcher = DpMatcher::new(spec.semre.clone(), &oracle);
+            scan(&matcher, corpus.lines(), || oracle.stats(), config.scan_options())
+        }
+    }
+}
+
+fn cell_from_report(report: &ScanReport) -> Table2Cell {
+    Table2Cell {
+        rt_total_ms: report.rt_total_ms(),
+        rt_matched_ms: report.rt_matched_ms(),
+        oracle_calls_per_line: report.oracle_calls_per_line(),
+        oracle_fraction: report.oracle_fraction(),
+        query_chars_per_line: report.query_chars_per_line(),
+        lines: report.lines(),
+        matched: report.matched_lines(),
+        timed_out: report.timed_out,
+    }
+}
+
+/// Regenerates Table 2: SNFA vs DP matching performance and oracle usage
+/// for every benchmark SemRE.
+pub fn table2(config: &ExperimentConfig, workbench: &Workbench) -> Vec<Table2Row> {
+    workbench
+        .benchmarks()
+        .iter()
+        .map(|spec| {
+            let snfa = cell_from_report(&run_spec(config, workbench, spec, Algorithm::Snfa));
+            let dp = cell_from_report(&run_spec(config, workbench, spec, Algorithm::Dp));
+            Table2Row { name: spec.name, snfa, dp }
+        })
+        .collect()
+}
+
+/// Computes the Section 5.1 / 5.2 headline aggregates from Table 2 rows.
+pub fn summarize_table2(rows: &[Table2Row]) -> Table2Summary {
+    if rows.is_empty() {
+        return Table2Summary::default();
+    }
+    let geomean = |values: Vec<f64>| -> f64 {
+        let positive: Vec<f64> = values.into_iter().filter(|v| *v > 0.0).collect();
+        if positive.is_empty() {
+            return 0.0;
+        }
+        (positive.iter().map(|v| v.ln()).sum::<f64>() / positive.len() as f64).exp()
+    };
+    let total_calls = |pick: fn(&Table2Row) -> &Table2Cell| -> f64 {
+        rows.iter().map(|r| pick(r).oracle_calls_per_line * pick(r).lines as f64).sum()
+    };
+    let oracle_time = |pick: fn(&Table2Row) -> &Table2Cell| -> f64 {
+        rows.iter()
+            .map(|r| pick(r).oracle_fraction * pick(r).rt_total_ms * pick(r).lines as f64)
+            .sum()
+    };
+    let snfa_calls = total_calls(|r| &r.snfa);
+    let dp_calls = total_calls(|r| &r.dp);
+    Table2Summary {
+        geomean_speedup_total: geomean(rows.iter().map(Table2Row::speedup_total).collect()),
+        geomean_speedup_matched: geomean(rows.iter().map(Table2Row::speedup_matched).collect()),
+        oracle_call_reduction: if dp_calls > 0.0 { 1.0 - snfa_calls / dp_calls } else { 0.0 },
+        oracle_time_ratio: safe_ratio(oracle_time(|r| &r.dp), oracle_time(|r| &r.snfa)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 10
+// ---------------------------------------------------------------------------
+
+/// The Fig. 10 data for one benchmark SemRE: median running time per
+/// line-length bucket, for both algorithms.
+#[derive(Clone, Debug)]
+pub struct Fig10Series {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// `(bucket_start, median_ms, lines)` for the SNFA matcher.
+    pub snfa: Vec<(usize, f64, usize)>,
+    /// `(bucket_start, median_ms, lines)` for the DP baseline.
+    pub dp: Vec<(usize, f64, usize)>,
+}
+
+/// Regenerates the Fig. 10 grid: lines longer than 200 characters are
+/// dropped, and the median per-line matching time is reported per
+/// length bucket (only buckets with at least 10 lines, as in the paper).
+pub fn fig10(config: &ExperimentConfig, workbench: &Workbench, bucket: usize) -> Vec<Fig10Series> {
+    workbench
+        .benchmarks()
+        .iter()
+        .map(|spec| {
+            let corpus = workbench.corpus(spec.dataset).truncated_to(200);
+            let run = |algorithm: Algorithm| -> Vec<(usize, f64, usize)> {
+                let oracle = if config.spin_latency {
+                    Instrumented::with_spun_latency(Arc::clone(&spec.oracle), spec.latency)
+                } else {
+                    Instrumented::with_latency(Arc::clone(&spec.oracle), spec.latency)
+                };
+                let report = match algorithm {
+                    Algorithm::Snfa => {
+                        let matcher = Matcher::new(spec.semre.clone(), &oracle);
+                        scan(&matcher, corpus.lines(), || oracle.stats(), config.scan_options())
+                    }
+                    Algorithm::Dp => {
+                        let matcher = DpMatcher::new(spec.semre.clone(), &oracle);
+                        scan(&matcher, corpus.lines(), || oracle.stats(), config.scan_options())
+                    }
+                };
+                report.median_rt_by_length(bucket, 10)
+            };
+            Fig10Series { name: spec.name, snfa: run(Algorithm::Snfa), dp: run(Algorithm::Dp) }
+        })
+        .collect()
+}
+
+/// The line-length histograms of the two corpora (top row of Fig. 10).
+pub fn fig10_distributions(workbench: &Workbench, bucket: usize) -> Vec<(String, Vec<(usize, usize)>)> {
+    vec![
+        ("Spam Emails Dataset".to_owned(), workbench.spam().length_histogram(bucket)),
+        ("Java Code Dataset".to_owned(), workbench.java().length_histogram(bucket)),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 4.1 and Section 4.2
+// ---------------------------------------------------------------------------
+
+/// Query-complexity measurements for both algorithms (Theorem 4.1).
+#[derive(Clone, Debug)]
+pub struct QueryComplexityResult {
+    /// Points measured for the query-graph matcher.
+    pub snfa: Vec<QueryComplexityPoint>,
+    /// Points measured for the DP baseline.
+    pub dp: Vec<QueryComplexityPoint>,
+}
+
+/// Measures oracle-call growth on the adversarial `Σ*⟨q⟩Σ*` / `0^m 1^m`
+/// family for both algorithms.
+pub fn query_complexity_experiment(ms: &[usize]) -> QueryComplexityResult {
+    QueryComplexityResult {
+        snfa: query_complexity::measure(MatcherKind::QueryGraph, 1, ms),
+        dp: query_complexity::measure(MatcherKind::Baseline, 1, ms),
+    }
+}
+
+/// One measurement of the triangle-finding reduction (Section 4.2).
+#[derive(Clone, Debug)]
+pub struct TriangleResult {
+    /// Number of vertices.
+    pub vertices: usize,
+    /// Number of edges of the random graph.
+    pub edges: usize,
+    /// Whether a triangle exists (direct detection).
+    pub direct: bool,
+    /// Whether the SemRE matcher found a triangle.
+    pub via_semre: bool,
+    /// Wall-clock time of the SemRE-based detection.
+    pub semre_time: Duration,
+    /// Wall-clock time of the direct cubic detection.
+    pub direct_time: Duration,
+}
+
+/// Runs the triangle reduction on Erdős–Rényi graphs of the given sizes.
+pub fn triangle_experiment(sizes: &[usize], edge_probability: f64, seed: u64) -> Vec<TriangleResult> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let graph = Graph::random(n, edge_probability, seed ^ n as u64);
+            let direct_start = std::time::Instant::now();
+            let direct = graph.has_triangle_direct();
+            let direct_time = direct_start.elapsed();
+            let semre_start = std::time::Instant::now();
+            let via_semre = triangle::has_triangle_via_semre(&graph);
+            let semre_time = semre_start.elapsed();
+            TriangleResult {
+                vertices: n,
+                edges: graph.num_edges(),
+                direct,
+                via_semre,
+                semre_time,
+                direct_time,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Ablations
+// ---------------------------------------------------------------------------
+
+/// Oracle-call counts for one matcher configuration on one workload
+/// (the Table 3 / Note A.4 ablation).
+#[derive(Clone, Debug)]
+pub struct AblationRow {
+    /// Description of the configuration.
+    pub config: &'static str,
+    /// Total oracle calls over the workload.
+    pub oracle_calls: u64,
+    /// Total matching time.
+    pub total_time: Duration,
+    /// Number of lines that matched (identical across configurations).
+    pub matched: usize,
+}
+
+/// Compares matcher configurations (lazy + pruned vs eager) on a workload
+/// of lines, reporting oracle calls and wall-clock time.
+pub fn ablation<O: Oracle + Clone>(
+    semre: &semre_syntax::Semre,
+    oracle: O,
+    lines: &[String],
+) -> Vec<AblationRow> {
+    use semre_core::MatcherConfig;
+    let configs: [(&'static str, MatcherConfig); 4] = [
+        ("optimized (prefilter + prune + lazy)", MatcherConfig::default()),
+        (
+            "no skeleton prefilter",
+            MatcherConfig { skeleton_prefilter: false, ..MatcherConfig::default() },
+        ),
+        (
+            "no co-reachability pruning",
+            MatcherConfig { prune_coreachable: false, ..MatcherConfig::default() },
+        ),
+        ("fully eager", MatcherConfig::eager()),
+    ];
+    configs
+        .into_iter()
+        .map(|(name, config)| {
+            let instrumented = Instrumented::new(oracle.clone());
+            let matcher = Matcher::with_config(semre.clone(), &instrumented, config);
+            let started = std::time::Instant::now();
+            let matched =
+                lines.iter().filter(|line| matcher.is_match(line.as_bytes())).count();
+            AblationRow {
+                config: name,
+                oracle_calls: instrumented.stats().calls,
+                total_time: started.elapsed(),
+                matched,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semre_oracle::SetOracle;
+    use semre_syntax::examples;
+
+    fn smoke() -> (ExperimentConfig, Workbench) {
+        let config = ExperimentConfig::smoke();
+        let workbench = config.workbench();
+        (config, workbench)
+    }
+
+    #[test]
+    fn table1_has_nine_rows_with_matches() {
+        let (config, workbench) = smoke();
+        let rows = table1(&config, &workbench);
+        assert_eq!(rows.len(), 9);
+        assert!(rows.iter().any(|r| r.matched > 0));
+        for row in &rows {
+            assert!(row.size > 5);
+            assert!(row.lines > 0);
+            assert!(row.matched <= row.lines);
+        }
+    }
+
+    #[test]
+    fn table2_shows_snfa_ahead_on_oracle_calls() {
+        let (config, workbench) = smoke();
+        let rows = table2(&config, &workbench);
+        assert_eq!(rows.len(), 9);
+        let summary = summarize_table2(&rows);
+        // The SNFA matcher must never need more oracle calls in aggregate.
+        assert!(summary.oracle_call_reduction >= 0.0, "summary: {summary:?}");
+        assert!(summary.geomean_speedup_total > 0.0);
+        for row in &rows {
+            assert_eq!(
+                row.snfa.lines, row.dp.lines,
+                "{}: smoke config should not time out",
+                row.name
+            );
+            assert_eq!(row.snfa.matched, row.dp.matched, "{}: algorithms disagree", row.name);
+        }
+    }
+
+    #[test]
+    fn fig10_produces_series_for_most_specs() {
+        let (config, workbench) = smoke();
+        let series = fig10(&config, &workbench, 50);
+        assert_eq!(series.len(), 9);
+        assert!(series.iter().any(|s| !s.snfa.is_empty() && !s.dp.is_empty()));
+        let dist = fig10_distributions(&workbench, 100);
+        assert_eq!(dist.len(), 2);
+        assert!(dist[0].1.iter().map(|&(_, c)| c).sum::<usize>() > 0);
+    }
+
+    #[test]
+    fn query_complexity_runs_for_both_algorithms() {
+        let result = query_complexity_experiment(&[2, 4]);
+        assert_eq!(result.snfa.len(), 2);
+        assert_eq!(result.dp.len(), 2);
+        assert!(result.snfa[1].oracle_calls > result.snfa[0].oracle_calls);
+        // The baseline also pays for the empty substrings, so it is never
+        // cheaper than the query-graph matcher here.
+        for (s, d) in result.snfa.iter().zip(&result.dp) {
+            assert!(d.oracle_calls >= s.oracle_calls);
+        }
+    }
+
+    #[test]
+    fn triangle_experiment_agrees_with_direct() {
+        let results = triangle_experiment(&[5, 7], 0.4, 99);
+        assert_eq!(results.len(), 2);
+        for r in results {
+            assert_eq!(r.direct, r.via_semre, "disagreement at n = {}", r.vertices);
+        }
+    }
+
+    #[test]
+    fn ablation_orders_configurations_sensibly() {
+        let mut oracle = SetOracle::new();
+        oracle.insert("City", "Paris");
+        oracle.insert("Celebrity", "Paris Hilton");
+        let lines: Vec<String> = vec![
+            "Paris Hilton".to_owned(),
+            "Taylor Swift".to_owned(),
+            "a completely unrelated line".to_owned(),
+        ];
+        let rows = ablation(&examples::r_paris_hilton(), oracle, &lines);
+        assert_eq!(rows.len(), 4);
+        let optimized = rows[0].oracle_calls;
+        let eager = rows[3].oracle_calls;
+        assert!(optimized <= eager, "optimized {optimized} > eager {eager}");
+        // All configurations agree on which lines match.
+        assert!(rows.iter().all(|r| r.matched == rows[0].matched));
+    }
+}

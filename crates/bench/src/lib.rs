@@ -1,0 +1,28 @@
+//! Benchmark harness regenerating the paper's evaluation.
+//!
+//! The `experiments` binary and the Criterion benches in `benches/` both
+//! build on the [`harness`] module, which provides one function per table
+//! and figure of the paper:
+//!
+//! | paper artefact | harness function |
+//! |---|---|
+//! | Table 1 (benchmark SemREs and matched lines) | [`harness::table1`] |
+//! | Table 2 (SNFA vs DP throughput and oracle use) | [`harness::table2`] / [`harness::summarize_table2`] |
+//! | Fig. 10 top row (line-length distributions) | [`harness::fig10_distributions`] |
+//! | Fig. 10 grid (median RT vs line length) | [`harness::fig10`] |
+//! | Theorem 4.1 (Ω(|w|²) oracle queries) | [`harness::query_complexity_experiment`] |
+//! | Section 4.2 (triangle-finding reduction) | [`harness::triangle_experiment`] |
+//! | Note A.4 / Table 3 (evaluation-strategy ablation) | [`harness::ablation`] |
+//!
+//! Run `cargo run --release -p semre-bench --bin experiments -- all` to print
+//! every table, or `cargo bench -p semre-bench` for the Criterion timings.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+
+pub use harness::{
+    ablation, fig10, fig10_distributions, query_complexity_experiment, summarize_table2, table1,
+    table2, triangle_experiment, Algorithm, ExperimentConfig,
+};

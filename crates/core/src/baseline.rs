@@ -1,0 +1,268 @@
+//! The dynamic-programming baseline matcher.
+//!
+//! This is the algorithm the paper compares against (Section 2.1 and
+//! Section 5): operationalize the denotational semantics of Equation 2
+//! directly, with top-down memoization over pairs of a sub-expression and a
+//! substring `w[i..j]`.  It is the approach used by the SMORE executor of
+//! Chen et al. and runs in `O(|r| · |w|³)` time, issuing an oracle query for
+//! every `(refinement, substring)` pair whose inner expression matches.
+
+use semre_oracle::Oracle;
+use semre_syntax::{CharClass, QueryName, Semre};
+
+/// Identifier of a node in the flattened SemRE used for memoization.
+type NodeId = usize;
+
+/// A SemRE flattened into an arena so that memo keys are small integers.
+#[derive(Clone, Debug)]
+enum Node {
+    Bot,
+    Eps,
+    Class(CharClass),
+    Union(NodeId, NodeId),
+    Concat(NodeId, NodeId),
+    Star(NodeId),
+    Query(NodeId, QueryName),
+}
+
+/// Statistics reported by a baseline match.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BaselineReport {
+    /// Whether the input belongs to `⟦r⟧`.
+    pub matched: bool,
+    /// Number of oracle invocations issued.
+    pub oracle_calls: u64,
+    /// Number of distinct `(sub-expression, substring)` pairs evaluated.
+    pub memo_entries: u64,
+}
+
+/// The memoized dynamic-programming matcher of Section 2.1.
+///
+/// # Examples
+///
+/// ```
+/// use semre_core::DpMatcher;
+/// use semre_oracle::SetOracle;
+/// use semre_syntax::parse;
+///
+/// let mut oracle = SetOracle::new();
+/// oracle.insert("City", "Paris");
+/// let matcher = DpMatcher::new(parse(".*(?<City>: [A-Za-z]+).*").unwrap(), oracle);
+/// assert!(matcher.is_match(b"I love Paris in spring"));
+/// assert!(!matcher.is_match(b"I love 1234 in spring"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct DpMatcher<O> {
+    nodes: Vec<Node>,
+    root: NodeId,
+    oracle: O,
+}
+
+impl<O: Oracle> DpMatcher<O> {
+    /// Builds a baseline matcher for `semre` backed by `oracle`.
+    pub fn new(semre: Semre, oracle: O) -> Self {
+        let mut nodes = Vec::with_capacity(semre.size());
+        let root = flatten(&semre, &mut nodes);
+        DpMatcher { nodes, root, oracle }
+    }
+
+    /// Whether `input` belongs to `⟦r⟧`.
+    pub fn is_match(&self, input: &[u8]) -> bool {
+        self.run(input).matched
+    }
+
+    /// Matches `input` and reports oracle / memoization statistics.
+    pub fn run(&self, input: &[u8]) -> BaselineReport {
+        let positions = input.len() + 1;
+        let mut run = Run {
+            matcher: self,
+            input,
+            // Dense memo table over (node, i, j), storing UNKNOWN / FALSE /
+            // TRUE per cell: one byte per cell keeps the O(|r||w|²) table
+            // affordable even for 1 000-character lines.
+            memo: vec![UNKNOWN; self.nodes.len() * positions * positions],
+            positions,
+            report: BaselineReport::default(),
+        };
+        let matched = run.matches(self.root, 0, input.len());
+        let mut report = run.report;
+        report.matched = matched;
+        report.memo_entries = run.memo.iter().filter(|&&m| m != UNKNOWN).count() as u64;
+        report
+    }
+
+    /// A reference to the backing oracle.
+    pub fn oracle(&self) -> &O {
+        &self.oracle
+    }
+}
+
+fn flatten(r: &Semre, nodes: &mut Vec<Node>) -> NodeId {
+    let node = match r {
+        Semre::Bot => Node::Bot,
+        Semre::Eps => Node::Eps,
+        Semre::Class(c) => Node::Class(*c),
+        Semre::Union(a, b) => {
+            let a = flatten(a, nodes);
+            let b = flatten(b, nodes);
+            Node::Union(a, b)
+        }
+        Semre::Concat(a, b) => {
+            let a = flatten(a, nodes);
+            let b = flatten(b, nodes);
+            Node::Concat(a, b)
+        }
+        Semre::Star(a) => {
+            let a = flatten(a, nodes);
+            Node::Star(a)
+        }
+        Semre::Query(a, q) => {
+            let a = flatten(a, nodes);
+            Node::Query(a, q.clone())
+        }
+    };
+    nodes.push(node);
+    nodes.len() - 1
+}
+
+const UNKNOWN: u8 = 0;
+const FALSE: u8 = 1;
+const TRUE: u8 = 2;
+
+struct Run<'m, O> {
+    matcher: &'m DpMatcher<O>,
+    input: &'m [u8],
+    memo: Vec<u8>,
+    positions: usize,
+    report: BaselineReport,
+}
+
+impl<'m, O: Oracle> Run<'m, O> {
+    fn memo_index(&self, id: NodeId, i: usize, j: usize) -> usize {
+        (id * self.positions + i) * self.positions + j
+    }
+
+    /// Does `w[i..j]` belong to the language of node `id`?
+    fn matches(&mut self, id: NodeId, i: usize, j: usize) -> bool {
+        let cell = self.memo_index(id, i, j);
+        match self.memo[cell] {
+            TRUE => return true,
+            FALSE => return false,
+            _ => {}
+        }
+        // Termination: every recursive call either shrinks the substring or
+        // moves to a structurally smaller node (the Star case excludes the
+        // empty first chunk), so no cell is ever re-entered while unknown.
+        let answer = match self.matcher.nodes[id].clone() {
+            Node::Bot => false,
+            Node::Eps => i == j,
+            Node::Class(c) => j == i + 1 && c.contains(self.input[i]),
+            Node::Union(a, b) => self.matches(a, i, j) || self.matches(b, i, j),
+            Node::Concat(a, b) => {
+                (i..=j).any(|k| self.matches(a, i, k) && self.matches(b, k, j))
+            }
+            Node::Star(a) => {
+                i == j || (i + 1..=j).any(|k| self.matches(a, i, k) && self.matches(id, k, j))
+            }
+            Node::Query(a, q) => {
+                if self.matches(a, i, j) {
+                    self.report.oracle_calls += 1;
+                    self.matcher.oracle.holds(q.as_str(), &self.input[i..j])
+                } else {
+                    false
+                }
+            }
+        };
+        self.memo[cell] = if answer { TRUE } else { FALSE };
+        answer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semre_oracle::{ConstOracle, PalindromeOracle, SetOracle};
+    use semre_syntax::{examples, parse};
+
+    fn dp(pattern: &str, oracle: impl Oracle) -> DpMatcher<impl Oracle> {
+        DpMatcher::new(parse(pattern).unwrap(), oracle)
+    }
+
+    #[test]
+    fn classical_semantics() {
+        let m = dp("a(b|c)*d", ConstOracle::always_true());
+        assert!(m.is_match(b"ad"));
+        assert!(m.is_match(b"abcbd"));
+        assert!(!m.is_match(b"abca"));
+        assert!(!m.is_match(b""));
+        let any = dp(".*", ConstOracle::always_false());
+        assert!(any.is_match(b""));
+        assert!(any.is_match(b"whatever"));
+    }
+
+    #[test]
+    fn bounded_repetition() {
+        let m = dp("[0-9]{2,3}", ConstOracle::always_true());
+        assert!(!m.is_match(b"1"));
+        assert!(m.is_match(b"12"));
+        assert!(m.is_match(b"123"));
+        assert!(!m.is_match(b"1234"));
+    }
+
+    #[test]
+    fn refinements_consult_oracle() {
+        let mut oracle = SetOracle::new();
+        oracle.insert("City", "Paris");
+        let m = dp(".*(?<City>: [A-Za-z]+).*", oracle);
+        assert!(m.is_match(b"in Paris today"));
+        assert!(!m.is_match(b"in Gotham today"));
+        assert!(!m.is_match(b"123 456"));
+    }
+
+    #[test]
+    fn palindrome_example() {
+        let m = DpMatcher::new(examples::r_pal(), PalindromeOracle);
+        assert!(m.is_match(b"babcacb"));
+        assert!(!m.is_match(b"bacbcb"));
+    }
+
+    #[test]
+    fn nested_queries() {
+        let mut oracle = SetOracle::new();
+        oracle.insert("City", "Paris");
+        oracle.insert("Celebrity", "Paris Hilton");
+        let m = DpMatcher::new(examples::r_paris_hilton(), oracle);
+        assert!(m.is_match(b"Paris Hilton"));
+        assert!(!m.is_match(b"Paris Metro"));
+    }
+
+    #[test]
+    fn star_of_nullable_inner_terminates() {
+        // (a?)* and ((?<q>: a*))* must not loop forever on the empty chunk.
+        let m = dp("(a?)*", ConstOracle::always_true());
+        assert!(m.is_match(b""));
+        assert!(m.is_match(b"aaa"));
+        let m2 = dp("((?<q>: a*))*b", ConstOracle::always_true());
+        assert!(m2.is_match(b"ab"));
+        assert!(m2.is_match(b"b"));
+        assert!(!m2.is_match(b"c"));
+    }
+
+    #[test]
+    fn report_counts_oracle_calls_and_memo_entries() {
+        let oracle = ConstOracle::always_false();
+        let m = dp(".*<q>.*", oracle);
+        let report = m.run(b"abcd");
+        assert!(!report.matched);
+        // The baseline queries every substring, including the empty ones:
+        // (n+1)(n+2)/2 = 15 for n = 4.
+        assert_eq!(report.oracle_calls, 15);
+        assert!(report.memo_entries > 0);
+    }
+
+    #[test]
+    fn oracle_accessor() {
+        let m = dp("a", ConstOracle::always_true());
+        assert!(m.oracle().holds("anything", b"x"));
+    }
+}

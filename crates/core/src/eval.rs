@@ -1,0 +1,614 @@
+//! Query-graph evaluation (Sections 3.3.3 and 3.4 of the paper).
+//!
+//! The query graph `G^w_M` is the DAG obtained by tiling one copy of the
+//! inter-character gadget per input position and connecting adjacent copies
+//! with the SNFA's character transitions (Eq. 14).  Following Note A.4 of
+//! the paper, the graph is never materialized: the evaluator walks the
+//! positions left to right, keeping only the per-position `Alive` /
+//! `Backref` frontiers, and derives adjacency on the fly from the
+//! precomputed [`GadgetTopology`].
+//!
+//! Evaluation implements the inference rules of Fig. 9:
+//!
+//! * `Alive(v)` — is there a tentatively feasible path from `start` to `v`?
+//! * `Backref(v)` — the last unclosed open vertices along those paths;
+//! * `Matched(v)` / `LOQ(v)` — which opens are discharged at a close vertex
+//!   and which backreferences they expose (the `Bc` rule; only non-empty for
+//!   nested queries).
+//!
+//! Two optional optimizations reproduce the behaviour of the paper's
+//! optimized implementation: pruning the evaluation to vertices that are
+//! syntactically co-reachable from `end` (a second, oracle-free pass over
+//! the graph, run backwards), and lazily short-circuiting oracle calls at
+//! close vertices whenever the discharged opens carry no backreferences
+//! (always the case for non-nested SemREs).
+
+use std::collections::HashMap;
+
+use semre_automata::{Label, Snfa, StateId};
+use semre_oracle::Oracle;
+
+use crate::topology::GadgetTopology;
+
+/// Options controlling how the query graph is evaluated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EvalOptions {
+    /// Restrict evaluation to vertices from which `end` is syntactically
+    /// reachable (computed by an oracle-free backward pass).
+    pub prune_coreachable: bool,
+    /// Short-circuit oracle calls at close vertices when the outcome cannot
+    /// affect backreference propagation.
+    pub lazy_oracle: bool,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions { prune_coreachable: true, lazy_oracle: true }
+    }
+}
+
+/// The outcome of evaluating the query graph on one input string.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EvalReport {
+    /// Whether the input belongs to `⟦r⟧`.
+    pub matched: bool,
+    /// Number of oracle invocations issued during evaluation (excluding the
+    /// `(q, ε)` probes made once when the matcher was constructed).
+    pub oracle_calls: u64,
+    /// Number of query-graph vertices that became alive.
+    pub vertices_alive: u64,
+    /// Number of gadget copies, i.e. `|w| + 1`.
+    pub positions: usize,
+}
+
+/// A reference to an open vertex `(state, layer 2, position)`, packed into a
+/// `u64` as `position << 32 | state`.
+type OpenRef = u64;
+
+fn open_ref(state: StateId, pos: usize) -> OpenRef {
+    ((pos as u64) << 32) | state as u64
+}
+
+fn open_ref_state(r: OpenRef) -> StateId {
+    (r & 0xffff_ffff) as StateId
+}
+
+fn open_ref_pos(r: OpenRef) -> usize {
+    (r >> 32) as usize
+}
+
+/// Merges `src` into the sorted, deduplicated set `dst`.
+fn merge_refs(dst: &mut Vec<OpenRef>, src: &[OpenRef]) {
+    if src.is_empty() {
+        return;
+    }
+    dst.extend_from_slice(src);
+    dst.sort_unstable();
+    dst.dedup();
+}
+
+/// Per-layer frontier of one gadget copy.
+#[derive(Clone, Debug)]
+struct Layer {
+    alive: Vec<bool>,
+    backref: Vec<Vec<OpenRef>>,
+}
+
+impl Layer {
+    fn new(states: usize) -> Self {
+        Layer { alive: vec![false; states], backref: vec![Vec::new(); states] }
+    }
+
+    fn clear(&mut self) {
+        self.alive.iter_mut().for_each(|a| *a = false);
+        self.backref.iter_mut().for_each(Vec::clear);
+    }
+}
+
+/// Evaluates the query graph of `snfa` over `input`, consulting `oracle`
+/// for refinement queries.
+pub(crate) fn evaluate(
+    snfa: &Snfa,
+    topo: &GadgetTopology,
+    input: &[u8],
+    oracle: &dyn Oracle,
+    options: EvalOptions,
+) -> EvalReport {
+    Evaluator {
+        snfa,
+        topo,
+        input,
+        oracle,
+        options,
+        loq: HashMap::new(),
+        report: EvalReport { positions: input.len() + 1, ..EvalReport::default() },
+    }
+    .run()
+}
+
+struct Evaluator<'a> {
+    snfa: &'a Snfa,
+    topo: &'a GadgetTopology,
+    input: &'a [u8],
+    oracle: &'a dyn Oracle,
+    options: EvalOptions,
+    /// `LOQ(o)` for every alive open vertex `o` with a non-empty LOQ set
+    /// (only nested SemREs ever populate this).
+    loq: HashMap<OpenRef, Vec<OpenRef>>,
+    report: EvalReport,
+}
+
+/// Co-reachability information: for each position and layer, which states'
+/// vertices can still reach `end`.
+struct CoReach {
+    layers: Vec<[Vec<bool>; 3]>,
+}
+
+impl CoReach {
+    fn allows(&self, layer: usize, state: StateId, pos: usize) -> bool {
+        self.layers[pos - 1][layer - 1][state]
+    }
+}
+
+impl<'a> Evaluator<'a> {
+    fn run(mut self) -> EvalReport {
+        let n = self.input.len();
+        let states = self.snfa.num_states();
+
+        let coreach = if self.options.prune_coreachable { Some(self.co_reachability()) } else { None };
+        let allowed = |layer: usize, state: StateId, pos: usize| -> bool {
+            coreach.as_ref().map_or(true, |c| c.allows(layer, state, pos))
+        };
+
+        // If even the start vertex cannot reach end, the skeleton does not
+        // match and no oracle call is needed.
+        if !allowed(1, self.snfa.start(), 1) {
+            return self.report;
+        }
+
+        let mut layer1 = Layer::new(states);
+        let mut layer2 = Layer::new(states);
+        let mut layer3 = Layer::new(states);
+        let mut prev3 = Layer::new(states);
+
+        for pos in 1..=n + 1 {
+            layer1.clear();
+            layer2.clear();
+            layer3.clear();
+
+            // ---- Layer 1: character step (targets are always blank) -----
+            if pos == 1 {
+                layer1.alive[self.snfa.start()] = true;
+            } else {
+                let byte = self.input[pos - 2];
+                for s in 0..states {
+                    if !prev3.alive[s] {
+                        continue;
+                    }
+                    for &(class, t) in self.snfa.char_out(s) {
+                        if !class.contains(byte) || !allowed(1, t, pos) {
+                            continue;
+                        }
+                        layer1.alive[t] = true;
+                        merge_refs(&mut layer1.backref[t], &prev3.backref[s]);
+                    }
+                }
+            }
+
+            // ---- Layer 1: close edges, in topological order -------------
+            for &t in self.topo.close_order() {
+                if !allowed(1, t, pos) {
+                    continue;
+                }
+                self.eval_close_vertex(t, pos, &mut layer1);
+            }
+
+            // ---- Layer 2: E12 copies, then open edges -------------------
+            for s in 0..states {
+                if !allowed(2, s, pos) {
+                    continue;
+                }
+                if matches!(self.snfa.label(s), Label::Open(_)) {
+                    continue; // handled below in topological order
+                }
+                if layer1.alive[s] {
+                    layer2.alive[s] = true;
+                    layer2.backref[s] = layer1.backref[s].clone();
+                }
+            }
+            for &t in self.topo.open_order() {
+                if !allowed(2, t, pos) {
+                    continue;
+                }
+                self.eval_open_vertex(t, pos, &layer1, &mut layer2);
+            }
+
+            // ---- Layer 3: balanced ε-reach edges -------------------------
+            for t in 0..states {
+                if !allowed(3, t, pos) {
+                    continue;
+                }
+                for &s in self.topo.bal_in(t) {
+                    if !layer2.alive[s] {
+                        continue;
+                    }
+                    layer3.alive[t] = true;
+                    merge_refs(&mut layer3.backref[t], &layer2.backref[s]);
+                }
+            }
+
+            self.report.vertices_alive += layer1.alive.iter().filter(|&&a| a).count() as u64;
+            self.report.vertices_alive += layer2.alive.iter().filter(|&&a| a).count() as u64;
+            self.report.vertices_alive += layer3.alive.iter().filter(|&&a| a).count() as u64;
+
+            if pos <= n {
+                // Early exit when the frontier dies: nothing downstream can
+                // become alive any more.
+                if layer3.alive.iter().all(|&a| !a) {
+                    return self.report;
+                }
+                std::mem::swap(&mut prev3, &mut layer3);
+            } else {
+                self.report.matched = layer3.alive[self.snfa.accept()];
+            }
+        }
+        self.report
+    }
+
+    /// Evaluates the close vertex `(t, layer 1, pos)`: discharges oracle
+    /// queries for the opens recorded in its predecessors' backreference
+    /// sets (rules M, Ac, Bc of Fig. 9).
+    fn eval_close_vertex(&mut self, t: StateId, pos: usize, layer1: &mut Layer) {
+        let query = self.topo.query(t).expect("close states carry a query").clone();
+
+        // Candidate opens: the union of the backreferences of the alive
+        // layer-1 predecessors, restricted to opens of the same query.
+        let mut candidates: Vec<OpenRef> = Vec::new();
+        let mut any_alive_pred = false;
+        for &p in self.topo.close_in(t) {
+            if !layer1.alive[p] {
+                continue;
+            }
+            any_alive_pred = true;
+            merge_refs(&mut candidates, &layer1.backref[p]);
+        }
+        if !any_alive_pred {
+            return;
+        }
+        candidates.retain(|&o| self.topo.query(open_ref_state(o)) == Some(&query));
+        if candidates.is_empty() {
+            return;
+        }
+
+        // Group candidate opens by their string position: all opens at the
+        // same position delimit the same substring, so one oracle call
+        // answers for all of them.
+        let mut groups: Vec<(usize, Vec<OpenRef>)> = Vec::new();
+        for &o in &candidates {
+            let p = open_ref_pos(o);
+            match groups.iter_mut().find(|(gp, _)| *gp == p) {
+                Some((_, members)) => members.push(o),
+                None => groups.push((p, vec![o])),
+            }
+        }
+        // Opens that carry backreferences of their own (nested queries) must
+        // all be resolved; opens without may be short-circuited.
+        let (with_loq, without_loq): (Vec<_>, Vec<_>) = groups
+            .into_iter()
+            .partition(|(_, members)| members.iter().any(|o| self.loq.contains_key(o)));
+
+        let mut matched_backrefs: Vec<OpenRef> = Vec::new();
+        let mut alive = false;
+
+        for (open_pos, members) in &with_loq {
+            if self.ask_oracle(&query, *open_pos, pos) {
+                alive = true;
+                for o in members {
+                    if let Some(refs) = self.loq.get(o) {
+                        let refs = refs.clone();
+                        merge_refs(&mut matched_backrefs, &refs);
+                    }
+                }
+            }
+        }
+        for (open_pos, _) in &without_loq {
+            if alive && self.options.lazy_oracle {
+                // The remaining groups cannot change Backref(v) (their LOQ
+                // sets are empty) and Alive(v) is already established.
+                break;
+            }
+            if self.ask_oracle(&query, *open_pos, pos) {
+                alive = true;
+            }
+        }
+
+        if alive {
+            layer1.alive[t] = true;
+            layer1.backref[t] = matched_backrefs;
+        }
+    }
+
+    /// Evaluates the open vertex `(t, layer 2, pos)`: rule Ao plus the
+    /// backreference rules Bo (the vertex references itself) and the LOQ
+    /// bookkeeping needed by rule Bc at the matching close.
+    fn eval_open_vertex(&mut self, t: StateId, pos: usize, layer1: &Layer, layer2: &mut Layer) {
+        let mut alive = false;
+        let mut loq: Vec<OpenRef> = Vec::new();
+        if layer1.alive[t] {
+            alive = true;
+            merge_refs(&mut loq, &layer1.backref[t]);
+        }
+        for &p in self.topo.open_in(t) {
+            if !layer2.alive[p] {
+                continue;
+            }
+            alive = true;
+            merge_refs(&mut loq, &layer2.backref[p]);
+        }
+        if !alive {
+            return;
+        }
+        let me = open_ref(t, pos);
+        layer2.alive[t] = true;
+        layer2.backref[t] = vec![me];
+        if !loq.is_empty() {
+            self.loq.insert(me, loq);
+        }
+    }
+
+    /// Issues the oracle query delimited by an open at `open_pos` and a
+    /// close at `close_pos` (both 1-based gadget positions).
+    fn ask_oracle(&mut self, query: &semre_syntax::QueryName, open_pos: usize, close_pos: usize) -> bool {
+        debug_assert!(open_pos <= close_pos);
+        let text = &self.input[open_pos - 1..close_pos - 1];
+        self.report.oracle_calls += 1;
+        self.oracle.holds(query.as_str(), text)
+    }
+
+    /// Backward, oracle-free pass computing for every vertex whether `end`
+    /// is syntactically reachable from it.
+    fn co_reachability(&self) -> CoReach {
+        let n = self.input.len();
+        let states = self.snfa.num_states();
+        let mut layers: Vec<[Vec<bool>; 3]> =
+            (0..n + 1).map(|_| [vec![false; states], vec![false; states], vec![false; states]]).collect();
+
+        for pos in (1..=n + 1).rev() {
+            let (before, rest) = layers.split_at_mut(pos - 1 + 1);
+            let current = &mut before[pos - 1];
+            let next_layer1: Option<&Vec<bool>> = rest.first().map(|l| &l[0]);
+
+            // Layer 3: end vertex, or a character edge into an allowed
+            // layer-1 vertex of the next position.
+            if pos == n + 1 {
+                current[2][self.snfa.accept()] = true;
+            } else if let Some(next1) = next_layer1 {
+                let byte = self.input[pos - 1];
+                for s in 0..states {
+                    if self
+                        .snfa
+                        .char_out(s)
+                        .iter()
+                        .any(|&(class, t)| class.contains(byte) && next1[t])
+                    {
+                        current[2][s] = true;
+                    }
+                }
+            }
+
+            // Layer 2: E23 edges into layer 3, then E22 edges (reverse
+            // topological order so that later opens are settled first).
+            for s in 0..states {
+                if self.topo_balanced(s).iter().any(|&t| current[2][t]) {
+                    current[1][s] = true;
+                }
+            }
+            for &t in self.topo.open_order().iter().rev() {
+                if current[1][t] {
+                    for &s in self.topo.open_in(t) {
+                        current[1][s] = true;
+                    }
+                }
+            }
+
+            // Layer 1: E12 edges into layer 2, then E11 edges in reverse
+            // topological order.
+            for s in 0..states {
+                if current[1][s] {
+                    current[0][s] = true;
+                }
+            }
+            for &t in self.topo.close_order().iter().rev() {
+                if current[0][t] {
+                    for &s in self.topo.close_in(t) {
+                        current[0][s] = true;
+                    }
+                }
+            }
+        }
+        CoReach { layers }
+    }
+
+    fn topo_balanced(&self, s: StateId) -> &[StateId] {
+        self.topo.balanced_targets(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::GadgetTopology;
+    use semre_automata::{compile, EpsClosure};
+    use semre_oracle::{ConstOracle, Oracle, PalindromeOracle, SetOracle};
+    use semre_syntax::{examples, parse, Semre};
+
+    fn run(pattern: &str, oracle: &dyn Oracle, input: &[u8], options: EvalOptions) -> EvalReport {
+        run_semre(&parse(pattern).unwrap(), oracle, input, options)
+    }
+
+    fn run_semre(r: &Semre, oracle: &dyn Oracle, input: &[u8], options: EvalOptions) -> EvalReport {
+        let snfa = compile(r);
+        let closure = EpsClosure::compute(&snfa, oracle);
+        let topo = GadgetTopology::new(&snfa, &closure);
+        evaluate(&snfa, &topo, input, oracle, options)
+    }
+
+    fn all_option_combos() -> Vec<EvalOptions> {
+        vec![
+            EvalOptions { prune_coreachable: false, lazy_oracle: false },
+            EvalOptions { prune_coreachable: false, lazy_oracle: true },
+            EvalOptions { prune_coreachable: true, lazy_oracle: false },
+            EvalOptions { prune_coreachable: true, lazy_oracle: true },
+        ]
+    }
+
+    #[test]
+    fn classical_matching_agrees_with_skeleton() {
+        let oracle = ConstOracle::always_true();
+        for options in all_option_combos() {
+            assert!(run("abc", &oracle, b"abc", options).matched);
+            assert!(!run("abc", &oracle, b"abd", options).matched);
+            assert!(run("(ab)*", &oracle, b"abab", options).matched);
+            assert!(!run("(ab)*", &oracle, b"aba", options).matched);
+            assert!(run("a|b*", &oracle, b"bbb", options).matched);
+            assert!(run("a|b*", &oracle, b"", options).matched);
+            assert!(!run("a+", &oracle, b"", options).matched);
+        }
+    }
+
+    #[test]
+    fn refinement_consults_the_oracle() {
+        let mut oracle = SetOracle::new();
+        oracle.insert("City", "Paris");
+        for options in all_option_combos() {
+            let r = "go to (?<City>: [A-Za-z]+)!";
+            assert!(run(r, &oracle, b"go to Paris!", options).matched, "{options:?}");
+            assert!(!run(r, &oracle, b"go to Gotham!", options).matched, "{options:?}");
+            // Skeleton mismatch: no oracle calls at all.
+            let report = run(r, &oracle, b"go to 1234!", options);
+            assert!(!report.matched);
+            assert_eq!(report.oracle_calls, 0, "{options:?}");
+        }
+    }
+
+    #[test]
+    fn fig2_palindrome_example() {
+        // Σ* a ⟨pal⟩ — the worked example of Section 3.2.
+        let oracle = PalindromeOracle;
+        for options in all_option_combos() {
+            let r = examples::r_pal();
+            // w4 w3 = babca·cb: feasible via the first `a` (bcacb is a
+            // palindrome), infeasible via the second.
+            assert!(run_semre(&r, &oracle, b"babcacb", options).matched, "{options:?}");
+            // w2 w3 = bacb·cb from the paper: not a match.
+            assert!(!run_semre(&r, &oracle, b"bacbcb", options).matched, "{options:?}");
+            // w1 w3 = babc·cb: match (the suffix `ccb`... is not a
+            // palindrome, but `bcccb`? no — check the genuine case `babccb`:
+            // after the first a, `bccb` is a palindrome).
+            assert!(run_semre(&r, &oracle, b"babccb", options).matched, "{options:?}");
+        }
+    }
+
+    #[test]
+    fn qstar_example_splits_the_string() {
+        // (Σ* ∧ ⟨q⟩)* with an oracle accepting only "ab" and "c".
+        let mut oracle = SetOracle::new();
+        oracle.insert("q", "ab");
+        oracle.insert("q", "c");
+        for options in all_option_combos() {
+            let r = examples::r_qstar("q");
+            assert!(run_semre(&r, &oracle, b"abc", options).matched, "{options:?}");
+            assert!(run_semre(&r, &oracle, b"cabab", options).matched, "{options:?}");
+            assert!(run_semre(&r, &oracle, b"", options).matched, "{options:?}");
+            assert!(!run_semre(&r, &oracle, b"abx", options).matched, "{options:?}");
+        }
+    }
+
+    #[test]
+    fn nested_queries_paris_hilton() {
+        let mut oracle = SetOracle::new();
+        oracle.insert("City", "Paris");
+        oracle.insert("Celebrity", "Paris Hilton");
+        oracle.insert("Celebrity", "Taylor Swift");
+        for options in all_option_combos() {
+            let r = examples::r_paris_hilton();
+            assert!(run_semre(&r, &oracle, b"Paris Hilton", options).matched, "{options:?}");
+            // A celebrity, but no city inside the name.
+            assert!(!run_semre(&r, &oracle, b"Taylor Swift", options).matched, "{options:?}");
+            // Contains a city but is not a celebrity.
+            assert!(!run_semre(&r, &oracle, b"Paris Metro", options).matched, "{options:?}");
+        }
+    }
+
+    #[test]
+    fn empty_string_queries() {
+        // (Σ* ∧ ⟨q⟩) where only ε is accepted.
+        let mut oracle = SetOracle::new();
+        oracle.insert("q", "");
+        for options in all_option_combos() {
+            assert!(run("<q>", &oracle, b"", options).matched, "{options:?}");
+            assert!(!run("(?<q>: .*)x", &oracle, b"yx", options).matched, "{options:?}");
+            assert!(run("(?<q>: .*)x", &oracle, b"x", options).matched, "{options:?}");
+        }
+    }
+
+    #[test]
+    fn lazy_oracle_reduces_calls() {
+        // Σ*⟨q⟩Σ* over a string where many substrings are accepted: the
+        // lazy evaluator stops at the first accepted group per close vertex.
+        let oracle = ConstOracle::always_true();
+        let eager = run(".*<q>.*", &oracle, b"aaaaaaaa", EvalOptions { prune_coreachable: true, lazy_oracle: false });
+        let lazy = run(".*<q>.*", &oracle, b"aaaaaaaa", EvalOptions { prune_coreachable: true, lazy_oracle: true });
+        assert!(eager.matched && lazy.matched);
+        assert!(
+            lazy.oracle_calls < eager.oracle_calls,
+            "lazy: {} eager: {}",
+            lazy.oracle_calls,
+            eager.oracle_calls
+        );
+    }
+
+    #[test]
+    fn pruning_skips_oracle_calls_on_hopeless_suffixes() {
+        // (?<q>: a+)zzz — after reading many a's the skeleton still demands
+        // a literal `zzz`; with a short input the query graph has vertices
+        // for the opens but none of them can reach end, so a pruned
+        // evaluation never calls the oracle.
+        let oracle = ConstOracle::always_true();
+        let pruned = run("(?<q>: a+)zzz", &oracle, b"aaaa", EvalOptions { prune_coreachable: true, lazy_oracle: true });
+        let unpruned = run("(?<q>: a+)zzz", &oracle, b"aaaa", EvalOptions { prune_coreachable: false, lazy_oracle: true });
+        assert!(!pruned.matched && !unpruned.matched);
+        assert_eq!(pruned.oracle_calls, 0);
+        assert!(unpruned.oracle_calls > 0);
+        assert!(pruned.vertices_alive <= unpruned.vertices_alive);
+    }
+
+    #[test]
+    fn oracle_call_counts_scale_quadratically_for_padded_queries() {
+        // Theorem 4.1: matching Σ*⟨q⟩Σ* inherently requires Ω(|w|²) oracle
+        // queries in the worst case (oracle rejects everything).
+        let oracle = ConstOracle::always_false();
+        let options = EvalOptions::default();
+        let calls_at = |len: usize| {
+            let input = vec![b'a'; len];
+            run(".*<q>.*", &oracle, &input, options).oracle_calls
+        };
+        let (c8, c16, c32) = (calls_at(8), calls_at(16), calls_at(32));
+        // Exact quadratic growth: one query per non-empty substring,
+        // n(n+1)/2 of them (the empty substring is probed once during the
+        // ε-closure, not here).
+        assert_eq!(c8, 36);
+        assert_eq!(c16, 136);
+        assert_eq!(c32, 528);
+    }
+
+    #[test]
+    fn report_positions_and_vertices() {
+        let oracle = ConstOracle::always_true();
+        let report = run("a*", &oracle, b"aaa", EvalOptions::default());
+        assert!(report.matched);
+        assert_eq!(report.positions, 4);
+        assert!(report.vertices_alive > 0);
+        assert_eq!(report.oracle_calls, 0);
+    }
+}

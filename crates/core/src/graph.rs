@@ -1,0 +1,510 @@
+//! An explicit, materialized query graph.
+//!
+//! The production matcher ([`crate::Matcher`]) never materializes the query
+//! graph: per Note A.4 of the paper, repeatedly allocating and discarding a
+//! graph per input line is measurably slower than deriving adjacency on the
+//! fly.  This module provides the *explicit* representation anyway, for
+//! three reasons:
+//!
+//! * it is the data structure actually defined in the paper (Section 3.2),
+//!   so having it concretely aids inspection and debugging;
+//! * it supports the "explicit vs implicit construction" ablation bench;
+//! * it can be exported to Graphviz DOT to visualize how a given string can
+//!   satisfy a given SemRE (which open/close positions are considered).
+//!
+//! Only vertices reachable from `start` are materialized.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use semre_automata::{Label, Snfa, StateId};
+use semre_oracle::Oracle;
+use semre_syntax::QueryName;
+
+use crate::eval::EvalReport;
+use crate::topology::GadgetTopology;
+
+/// Identifier of a materialized query-graph vertex.
+pub type VertexId = usize;
+
+/// The gadget layer a vertex belongs to (Eq. 13 of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Layer {
+    /// Layer 1: queries are closed here.
+    Close = 1,
+    /// Layer 2: queries are (re-)opened here.
+    Open = 2,
+    /// Layer 3: remaining ε-moves; character transitions leave from here.
+    Rest = 3,
+}
+
+/// The label of a query-graph vertex.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VertexLabel {
+    /// No query activity.
+    Blank,
+    /// The vertex opens query `q` at its string position.
+    Open(QueryName),
+    /// The vertex closes query `q` at its string position.
+    Close(QueryName),
+}
+
+/// A materialized query graph `G^w_M` (Section 3.2 / Eq. 14).
+#[derive(Clone, Debug)]
+pub struct QueryGraph {
+    /// `(state, layer, position)` of each vertex, in creation order.
+    vertices: Vec<(StateId, Layer, usize)>,
+    /// Vertex labels.
+    labels: Vec<VertexLabel>,
+    /// Forward adjacency.
+    successors: Vec<Vec<VertexId>>,
+    /// The `start` vertex.
+    start: VertexId,
+    /// The `end` vertex, if it is reachable from `start`.
+    end: Option<VertexId>,
+    /// Number of gadget copies, `|w| + 1`.
+    positions: usize,
+}
+
+impl QueryGraph {
+    /// Materializes the part of the query graph of `snfa` over `input` that
+    /// is reachable from the start vertex.
+    pub fn build(snfa: &Snfa, topo: &GadgetTopology, input: &[u8]) -> QueryGraph {
+        Builder {
+            snfa,
+            topo,
+            input,
+            ids: HashMap::new(),
+            graph: QueryGraph {
+                vertices: Vec::new(),
+                labels: Vec::new(),
+                successors: Vec::new(),
+                start: 0,
+                end: None,
+                positions: input.len() + 1,
+            },
+        }
+        .run()
+    }
+
+    /// Number of materialized (start-reachable) vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of materialized edges.
+    pub fn num_edges(&self) -> usize {
+        self.successors.iter().map(Vec::len).sum()
+    }
+
+    /// Number of gadget copies (`|w| + 1`).
+    pub fn positions(&self) -> usize {
+        self.positions
+    }
+
+    /// The start vertex.
+    pub fn start(&self) -> VertexId {
+        self.start
+    }
+
+    /// The end vertex, when it is syntactically reachable.
+    pub fn end(&self) -> Option<VertexId> {
+        self.end
+    }
+
+    /// The `(state, layer, position)` triple of a vertex.
+    pub fn vertex_info(&self, v: VertexId) -> (StateId, Layer, usize) {
+        self.vertices[v]
+    }
+
+    /// The label of a vertex.
+    pub fn label(&self, v: VertexId) -> &VertexLabel {
+        &self.labels[v]
+    }
+
+    /// The string index `idx(v)` of a vertex (1-based gadget position).
+    pub fn idx(&self, v: VertexId) -> usize {
+        self.vertices[v].2
+    }
+
+    /// The successors of a vertex.
+    pub fn successors(&self, v: VertexId) -> &[VertexId] {
+        &self.successors[v]
+    }
+
+    /// Evaluates `⟦G⟧` by applying the Fig. 9 inference rules over the
+    /// materialized graph in topological order, consulting `oracle` for the
+    /// delimited substrings.
+    ///
+    /// This is the reference (unoptimized, eager) evaluator; the streaming
+    /// evaluator used by [`crate::Matcher`] must agree with it.
+    pub fn evaluate(&self, input: &[u8], oracle: &dyn Oracle) -> EvalReport {
+        let mut report =
+            EvalReport { positions: self.positions, ..EvalReport::default() };
+        let end = match self.end {
+            Some(end) => end,
+            None => return report,
+        };
+        let order = self.topological_order();
+        let mut preds: Vec<Vec<VertexId>> = vec![Vec::new(); self.num_vertices()];
+        for v in 0..self.num_vertices() {
+            for &t in &self.successors[v] {
+                preds[t].push(v);
+            }
+        }
+        let mut alive = vec![false; self.num_vertices()];
+        let mut backref: Vec<Vec<VertexId>> = vec![Vec::new(); self.num_vertices()];
+        // LOQ(o) for open vertices: the union of the backreferences of their
+        // predecessors (rule Bc needs it at the matching close).
+        let mut loq: HashMap<VertexId, Vec<VertexId>> = HashMap::new();
+
+        for &v in &order {
+            match &self.labels[v] {
+                VertexLabel::Blank => {
+                    if v == self.start {
+                        alive[v] = true;
+                        continue;
+                    }
+                    let mut refs = Vec::new();
+                    for &p in &preds[v] {
+                        if alive[p] {
+                            alive[v] = true;
+                            refs.extend_from_slice(&backref[p]);
+                        }
+                    }
+                    refs.sort_unstable();
+                    refs.dedup();
+                    backref[v] = refs;
+                }
+                VertexLabel::Open(_) => {
+                    let mut incoming = Vec::new();
+                    let mut any = false;
+                    for &p in &preds[v] {
+                        if alive[p] {
+                            any = true;
+                            incoming.extend_from_slice(&backref[p]);
+                        }
+                    }
+                    if any {
+                        alive[v] = true;
+                        backref[v] = vec![v];
+                        incoming.sort_unstable();
+                        incoming.dedup();
+                        if !incoming.is_empty() {
+                            loq.insert(v, incoming);
+                        }
+                    }
+                }
+                VertexLabel::Close(q) => {
+                    let mut matched: Vec<VertexId> = Vec::new();
+                    let mut candidates: Vec<VertexId> = Vec::new();
+                    for &p in &preds[v] {
+                        if alive[p] {
+                            candidates.extend_from_slice(&backref[p]);
+                        }
+                    }
+                    candidates.sort_unstable();
+                    candidates.dedup();
+                    for o in candidates {
+                        if self.labels[o] != VertexLabel::Open(q.clone()) {
+                            continue;
+                        }
+                        let text = &input[self.idx(o) - 1..self.idx(v) - 1];
+                        report.oracle_calls += 1;
+                        if oracle.holds(q.as_str(), text) {
+                            matched.push(o);
+                        }
+                    }
+                    if !matched.is_empty() {
+                        alive[v] = true;
+                        let mut refs = Vec::new();
+                        for o in matched {
+                            if let Some(extra) = loq.get(&o) {
+                                refs.extend_from_slice(extra);
+                            }
+                        }
+                        refs.sort_unstable();
+                        refs.dedup();
+                        backref[v] = refs;
+                    }
+                }
+            }
+        }
+        report.vertices_alive = alive.iter().filter(|&&a| a).count() as u64;
+        report.matched = alive[end];
+        report
+    }
+
+    /// Renders the reachable query graph in Graphviz DOT format.
+    ///
+    /// Blank vertices are drawn as points; open and close vertices show
+    /// their query and string index, mirroring the `idx(v) : l(v)` notation
+    /// of Fig. 4.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph query_graph {\n  rankdir=LR;\n");
+        for v in 0..self.num_vertices() {
+            let (state, layer, pos) = self.vertices[v];
+            let (shape, label) = match &self.labels[v] {
+                VertexLabel::Blank => ("point".to_owned(), format!("s{state}/{}", layer as usize)),
+                VertexLabel::Open(q) => ("box".to_owned(), format!("{pos} : open({q})")),
+                VertexLabel::Close(q) => ("box".to_owned(), format!("{pos} : close({q})")),
+            };
+            let extra = if v == self.start {
+                ", color=green"
+            } else if Some(v) == self.end {
+                ", color=red"
+            } else {
+                ""
+            };
+            let _ = writeln!(out, "  v{v} [shape={shape}, label=\"{label}\"{extra}];");
+        }
+        for v in 0..self.num_vertices() {
+            for &t in &self.successors[v] {
+                let _ = writeln!(out, "  v{v} -> v{t};");
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Kahn topological order of the materialized DAG.
+    fn topological_order(&self) -> Vec<VertexId> {
+        let n = self.num_vertices();
+        let mut indegree = vec![0usize; n];
+        for v in 0..n {
+            for &t in &self.successors[v] {
+                indegree[t] += 1;
+            }
+        }
+        let mut ready: Vec<VertexId> =
+            (0..n).filter(|&v| indegree[v] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(v) = ready.pop() {
+            order.push(v);
+            for &t in &self.successors[v] {
+                indegree[t] -= 1;
+                if indegree[t] == 0 {
+                    ready.push(t);
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), n, "the query graph must be acyclic");
+        order
+    }
+}
+
+struct Builder<'a> {
+    snfa: &'a Snfa,
+    topo: &'a GadgetTopology,
+    input: &'a [u8],
+    ids: HashMap<(StateId, Layer, usize), VertexId>,
+    graph: QueryGraph,
+}
+
+impl<'a> Builder<'a> {
+    fn vertex(&mut self, state: StateId, layer: Layer, pos: usize) -> VertexId {
+        if let Some(&id) = self.ids.get(&(state, layer, pos)) {
+            return id;
+        }
+        let id = self.graph.vertices.len();
+        self.graph.vertices.push((state, layer, pos));
+        let label = match (self.snfa.label(state), layer) {
+            (Label::Close(q), Layer::Close) => VertexLabel::Close(q.clone()),
+            (Label::Open(q), Layer::Open) => VertexLabel::Open(q.clone()),
+            _ => VertexLabel::Blank,
+        };
+        self.graph.labels.push(label);
+        self.graph.successors.push(Vec::new());
+        self.ids.insert((state, layer, pos), id);
+        id
+    }
+
+    fn edge(&mut self, from: VertexId, to: VertexId) {
+        if !self.graph.successors[from].contains(&to) {
+            self.graph.successors[from].push(to);
+        }
+    }
+
+    /// Materializes (if needed) the vertex `(s, l, p)`, adds an edge from
+    /// `from` to it, and queues it for exploration when newly created.
+    fn link(&mut self, work: &mut Vec<VertexId>, from: VertexId, s: StateId, l: Layer, p: usize) {
+        let existed = self.ids.contains_key(&(s, l, p));
+        let t = self.vertex(s, l, p);
+        self.edge(from, t);
+        if !existed {
+            work.push(t);
+        }
+    }
+
+    fn run(mut self) -> QueryGraph {
+        let n = self.input.len();
+        let start = self.vertex(self.snfa.start(), Layer::Close, 1);
+        self.graph.start = start;
+        let mut work = vec![start];
+        while let Some(v) = work.pop() {
+            let (state, layer, pos) = self.graph.vertices[v];
+            match layer {
+                Layer::Close => {
+                    // E11 edges to close states, then the E12 edge.
+                    let closes = self.topo.close_targets(state).to_vec();
+                    for t in closes {
+                        self.link(&mut work, v, t, Layer::Close, pos);
+                    }
+                    self.link(&mut work, v, state, Layer::Open, pos);
+                }
+                Layer::Open => {
+                    let opens = self.topo.open_targets(state).to_vec();
+                    for t in opens {
+                        self.link(&mut work, v, t, Layer::Open, pos);
+                    }
+                    let rests = self.topo.balanced_targets(state).to_vec();
+                    for t in rests {
+                        self.link(&mut work, v, t, Layer::Rest, pos);
+                    }
+                }
+                Layer::Rest => {
+                    if pos <= n {
+                        let byte = self.input[pos - 1];
+                        let targets: Vec<StateId> = self
+                            .snfa
+                            .char_out(state)
+                            .iter()
+                            .filter(|(class, _)| class.contains(byte))
+                            .map(|&(_, t)| t)
+                            .collect();
+                        for t in targets {
+                            self.link(&mut work, v, t, Layer::Close, pos + 1);
+                        }
+                    }
+                }
+            }
+        }
+        self.graph.end = self.ids.get(&(self.snfa.accept(), Layer::Rest, n + 1)).copied();
+        self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::GadgetTopology;
+    use crate::{DpMatcher, Matcher};
+    use semre_automata::{compile, EpsClosure};
+    use semre_oracle::{ConstOracle, PalindromeOracle, SetOracle};
+    use semre_syntax::{examples, parse, Semre};
+
+    fn graph_for(r: &Semre, oracle: &dyn Oracle, input: &[u8]) -> QueryGraph {
+        let snfa = compile(r);
+        let closure = EpsClosure::compute(&snfa, oracle);
+        let topo = GadgetTopology::new(&snfa, &closure);
+        QueryGraph::build(&snfa, &topo, input)
+    }
+
+    fn agree(r: &Semre, oracle: &(impl Oracle + Clone), inputs: &[&[u8]]) {
+        for &input in inputs {
+            let graph = graph_for(r, oracle, input);
+            let explicit = graph.evaluate(input, oracle);
+            let streaming = Matcher::new(r.clone(), oracle.clone()).is_match(input);
+            let baseline = DpMatcher::new(r.clone(), oracle.clone()).is_match(input);
+            assert_eq!(explicit.matched, streaming, "explicit vs streaming on {input:?}");
+            assert_eq!(explicit.matched, baseline, "explicit vs baseline on {input:?}");
+        }
+    }
+
+    #[test]
+    fn explicit_evaluation_agrees_with_other_matchers() {
+        agree(
+            &examples::r_pal(),
+            &PalindromeOracle,
+            &[b"babcacb", b"bacbcb", b"babccb", b"", b"a"],
+        );
+        let mut oracle = SetOracle::new();
+        oracle.insert("q", "ab");
+        oracle.insert("q", "c");
+        agree(&examples::r_qstar("q"), &oracle, &[b"abc", b"cabab", b"", b"x"]);
+        let mut nested = SetOracle::new();
+        nested.insert("City", "Paris");
+        nested.insert("Celebrity", "Paris Hilton");
+        agree(
+            &examples::r_paris_hilton(),
+            &nested,
+            &[b"Paris Hilton", b"Taylor Swift", b"Paris Metro"],
+        );
+    }
+
+    #[test]
+    fn vertex_count_is_linear_in_pattern_and_input() {
+        let r = parse(".*(?<q>: [a-z]+).*").unwrap();
+        let oracle = ConstOracle::always_true();
+        let snfa = compile(&r);
+        // The empty input cannot satisfy the mandatory [a-z]+ part, so the
+        // end vertex is simply absent.
+        assert!(graph_for(&r, &oracle, b"").end().is_none());
+        for len in [5usize, 20, 50] {
+            let input = vec![b'x'; len];
+            let graph = graph_for(&r, &oracle, &input);
+            assert!(
+                graph.num_vertices() <= 3 * snfa.num_states() * (len + 1),
+                "too many vertices: {} for |S| = {}, |w| = {}",
+                graph.num_vertices(),
+                snfa.num_states(),
+                len
+            );
+            assert_eq!(graph.positions(), len + 1);
+            assert!(graph.end().is_some());
+        }
+    }
+
+    #[test]
+    fn unreachable_end_is_reported() {
+        let r = parse("abc").unwrap();
+        let oracle = ConstOracle::always_true();
+        let graph = graph_for(&r, &oracle, b"xyz");
+        assert!(graph.end().is_none());
+        assert!(!graph.evaluate(b"xyz", &oracle).matched);
+    }
+
+    #[test]
+    fn labels_and_indices_follow_fig4() {
+        let mut oracle = SetOracle::new();
+        oracle.insert("pal", "bccb");
+        let r = examples::r_pal();
+        let graph = graph_for(&r, &oracle, b"babccb");
+        // There is an open(pal) vertex for every position where an `a` was
+        // just consumed (position 3 here: after reading "ba").
+        let opens: Vec<usize> = (0..graph.num_vertices())
+            .filter(|&v| matches!(graph.label(v), VertexLabel::Open(_)))
+            .map(|v| graph.idx(v))
+            .collect();
+        assert!(opens.contains(&3), "expected an open vertex at index 3, got {opens:?}");
+        let closes: Vec<usize> = (0..graph.num_vertices())
+            .filter(|&v| matches!(graph.label(v), VertexLabel::Close(_)))
+            .map(|v| graph.idx(v))
+            .collect();
+        assert!(closes.contains(&7), "expected a close vertex at the final index, got {closes:?}");
+    }
+
+    #[test]
+    fn dot_export_mentions_queries_and_edges() {
+        let mut oracle = SetOracle::new();
+        oracle.insert("City", "Paris");
+        let r = parse("go (?<City>: [A-Z][a-z]+)").unwrap();
+        let graph = graph_for(&r, &oracle, b"go Paris");
+        let dot = graph.to_dot();
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("open(City)"));
+        assert!(dot.contains("close(City)"));
+        assert!(dot.contains("->"));
+        assert!(dot.ends_with("}\n"));
+        assert!(graph.num_edges() > 0);
+        // Every successor list refers to valid vertices.
+        for v in 0..graph.num_vertices() {
+            for &t in graph.successors(v) {
+                assert!(t < graph.num_vertices());
+            }
+            let (_, layer, pos) = graph.vertex_info(v);
+            assert!(pos >= 1 && pos <= graph.positions());
+            assert!(matches!(layer, Layer::Close | Layer::Open | Layer::Rest));
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! The public matching API.
+//!
+//! [`Matcher`] packages the full pipeline of the paper's algorithm — SemRE →
+//! SNFA (Fig. 1), ε-feasibility closure (Fig. 11), gadget topology (Eq. 13)
+//! — and exposes per-line membership testing via the query-graph evaluation
+//! of Fig. 9.  Construction work is done once; matching a line costs
+//! `O(|r|²|w|² + |r||w|³)` in the worst case (`O(|r|²|w|²)` without nested
+//! queries) plus the oracle's own response time.
+
+use semre_automata::{compile, EpsClosure, Snfa};
+use semre_oracle::Oracle;
+use semre_syntax::{skeleton, Semre};
+
+use crate::eval::{evaluate, EvalOptions, EvalReport};
+use crate::topology::GadgetTopology;
+
+/// Tuning knobs for the query-graph matcher.
+///
+/// The defaults correspond to the optimized configuration evaluated in the
+/// paper (Note A.4): skeleton prefilter on, evaluation pruned to vertices
+/// that can reach `end`, and lazy oracle discharge.  The alternative
+/// settings exist for the ablation benchmarks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MatcherConfig {
+    /// Run a classical simulation of `skel(r)` first and skip the query
+    /// graph entirely when it rejects (sound because `⟦r⟧ ⊆ ⟦skel(r)⟧`).
+    pub skeleton_prefilter: bool,
+    /// Restrict query-graph evaluation to vertices that are syntactically
+    /// co-reachable from `end`.
+    pub prune_coreachable: bool,
+    /// Short-circuit oracle calls at close vertices whenever the skipped
+    /// calls cannot influence backreference propagation.
+    pub lazy_oracle: bool,
+}
+
+impl Default for MatcherConfig {
+    fn default() -> Self {
+        MatcherConfig { skeleton_prefilter: true, prune_coreachable: true, lazy_oracle: true }
+    }
+}
+
+impl MatcherConfig {
+    /// The configuration used by the paper's measurements (all
+    /// optimizations on).  Same as `Default`.
+    pub fn optimized() -> Self {
+        MatcherConfig::default()
+    }
+
+    /// A deliberately naive configuration: no prefilter, no pruning, eager
+    /// oracle discharge.  Used by the ablation benchmarks.
+    pub fn eager() -> Self {
+        MatcherConfig { skeleton_prefilter: false, prune_coreachable: false, lazy_oracle: false }
+    }
+}
+
+/// The SNFA/query-graph membership tester (the paper's `grepₒ` matcher).
+///
+/// A `Matcher` owns its oracle; construction compiles the SemRE, computes
+/// the ε-feasibility closure (issuing only `(q, ε)` probes), and
+/// precomputes the gadget topology.  Matching then never allocates
+/// automaton structures again.
+///
+/// # Examples
+///
+/// ```
+/// use semre_core::Matcher;
+/// use semre_oracle::SetOracle;
+/// use semre_syntax::parse;
+///
+/// let mut oracle = SetOracle::new();
+/// oracle.insert("Sportsperson", "Simone Biles");
+/// let matcher = Matcher::new(parse(".*<Sportsperson>.*").unwrap(), oracle);
+/// assert!(matcher.is_match(b"gold for Simone Biles!"));
+/// assert!(!matcher.is_match(b"gold for Erased Name!"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Matcher<O> {
+    semre: Semre,
+    skeleton: Semre,
+    snfa: Snfa,
+    skeleton_snfa: Snfa,
+    topo: GadgetTopology,
+    oracle: O,
+    config: MatcherConfig,
+}
+
+impl<O: Oracle> Matcher<O> {
+    /// Builds a matcher with the default (fully optimized) configuration.
+    pub fn new(semre: Semre, oracle: O) -> Self {
+        Matcher::with_config(semre, oracle, MatcherConfig::default())
+    }
+
+    /// Builds a matcher with an explicit configuration.
+    pub fn with_config(semre: Semre, oracle: O, config: MatcherConfig) -> Self {
+        let snfa = compile(&semre);
+        let closure = EpsClosure::compute(&snfa, &oracle);
+        let topo = GadgetTopology::new(&snfa, &closure);
+        let skel = skeleton(&semre);
+        let skeleton_snfa = compile(&skel);
+        Matcher { semre, skeleton: skel, snfa, skeleton_snfa, topo, oracle, config }
+    }
+
+    /// Whether `input` belongs to `⟦r⟧`.
+    pub fn is_match(&self, input: &[u8]) -> bool {
+        self.run(input).matched
+    }
+
+    /// Matches `input` and reports evaluation statistics (oracle calls,
+    /// alive vertices).
+    pub fn run(&self, input: &[u8]) -> EvalReport {
+        if self.config.skeleton_prefilter
+            && !semre_automata::skeleton_matches(&self.skeleton_snfa, input)
+        {
+            return EvalReport { positions: input.len() + 1, ..EvalReport::default() };
+        }
+        let options = EvalOptions {
+            prune_coreachable: self.config.prune_coreachable,
+            lazy_oracle: self.config.lazy_oracle,
+        };
+        evaluate(&self.snfa, &self.topo, input, &self.oracle, options)
+    }
+
+    /// The SemRE this matcher was built from.
+    pub fn semre(&self) -> &Semre {
+        &self.semre
+    }
+
+    /// The classical skeleton `skel(r)`.
+    pub fn skeleton(&self) -> &Semre {
+        &self.skeleton
+    }
+
+    /// The compiled semantic NFA.
+    pub fn snfa(&self) -> &Snfa {
+        &self.snfa
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &MatcherConfig {
+        &self.config
+    }
+
+    /// A reference to the backing oracle.
+    pub fn oracle(&self) -> &O {
+        &self.oracle
+    }
+
+    /// Consumes the matcher and returns the backing oracle.
+    pub fn into_oracle(self) -> O {
+        self.oracle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semre_oracle::{ConstOracle, Instrumented, PalindromeOracle, SetOracle, SimLlmOracle};
+    use semre_syntax::{examples, parse};
+
+    #[test]
+    fn default_and_eager_configs_agree_on_membership() {
+        let mut oracle = SetOracle::new();
+        oracle.insert("q", "bb");
+        let pattern = parse("a*(?<q>: b*)c?").unwrap();
+        let inputs: &[&[u8]] = &[b"", b"a", b"abb", b"abbc", b"bbc", b"ac", b"abc", b"aabbbc"];
+        let default = Matcher::new(pattern.clone(), &oracle);
+        let eager = Matcher::with_config(pattern, &oracle, MatcherConfig::eager());
+        for &input in inputs {
+            assert_eq!(
+                default.is_match(input),
+                eager.is_match(input),
+                "disagreement on {:?}",
+                String::from_utf8_lossy(input)
+            );
+        }
+    }
+
+    #[test]
+    fn skeleton_prefilter_avoids_all_work() {
+        let oracle = Instrumented::new(ConstOracle::always_true());
+        let matcher = Matcher::new(parse("x+(?<q>: y+)z").unwrap(), oracle);
+        let report = matcher.run(b"completely different");
+        assert!(!report.matched);
+        assert_eq!(report.oracle_calls, 0);
+        assert_eq!(report.vertices_alive, 0);
+        // Only the (q, ε) probe from construction reached the oracle.
+        assert!(matcher.oracle().stats().calls <= 1);
+    }
+
+    #[test]
+    fn accessors_expose_components() {
+        let matcher = Matcher::new(examples::r_pal(), PalindromeOracle);
+        assert_eq!(matcher.semre(), &examples::r_pal());
+        assert!(matcher.skeleton().is_classical());
+        assert!(matcher.snfa().validate().is_ok());
+        assert_eq!(matcher.config(), &MatcherConfig::default());
+        assert!(matcher.oracle().holds("pal", b"aba"));
+        let oracle = matcher.into_oracle();
+        assert!(oracle.holds("pal", b"aa"));
+    }
+
+    #[test]
+    fn benchmark_semres_match_planted_lines() {
+        let llm = SimLlmOracle::new();
+        let spam = Matcher::new(Semre::padded(examples::r_spam1()), &llm);
+        assert!(spam.is_match(b"Subject: cheap viagra now"));
+        assert!(!spam.is_match(b"Subject: meeting notes for tuesday"));
+        assert!(!spam.is_match(b"Re: cheap viagra now"));
+
+        let spam2 = Matcher::new(Semre::padded(examples::r_spam2()), &llm);
+        assert!(spam2.is_match(b"Subject: buy xanax online today"));
+        assert!(!spam2.is_match(b"Subject: buyxanaxonline today"));
+
+        let pass = Matcher::new(Semre::padded(examples::r_pass()), &llm);
+        assert!(pass.is_match(br#"private key = "Tr0ub4dor&3x!Len" // TODO remove"#));
+        assert!(!pass.is_match(br#"message = "hello world""#));
+    }
+
+    #[test]
+    fn config_constructors() {
+        assert_eq!(MatcherConfig::optimized(), MatcherConfig::default());
+        let eager = MatcherConfig::eager();
+        assert!(!eager.skeleton_prefilter && !eager.prune_coreachable && !eager.lazy_oracle);
+    }
+}

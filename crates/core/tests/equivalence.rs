@@ -1,0 +1,128 @@
+//! Property-based equivalence between the query-graph matcher and the
+//! dynamic-programming baseline.
+//!
+//! The two algorithms implement the same denotational semantics
+//! (Equation 2 of the paper) by completely different means; Theorem 3.6 /
+//! Theorem 3.9 assert that the query-graph algorithm is correct.  These
+//! tests check that claim empirically on randomly generated SemREs, input
+//! strings, and (deterministic, pseudo-random) oracles, across every
+//! matcher configuration.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use proptest::prelude::*;
+
+use semre_core::{DpMatcher, Matcher, MatcherConfig};
+use semre_oracle::{Oracle, PredicateOracle};
+use semre_syntax::{CharClass, Semre};
+
+/// A deterministic pseudo-random oracle: accepts roughly a third of all
+/// `(query, text)` pairs, decided by hashing.
+fn hash_oracle(seed: u64) -> impl Oracle {
+    PredicateOracle::new(move |query: &str, text: &[u8]| {
+        let mut h = DefaultHasher::new();
+        seed.hash(&mut h);
+        query.hash(&mut h);
+        text.hash(&mut h);
+        h.finish() % 3 == 0
+    })
+}
+
+/// Strategy for random SemREs over the alphabet {a, b, c} with queries
+/// drawn from {q0, q1}, including nested refinements.
+fn semre_strategy() -> impl Strategy<Value = Semre> {
+    let leaf = prop_oneof![
+        Just(Semre::Eps),
+        Just(Semre::byte(b'a')),
+        Just(Semre::byte(b'b')),
+        Just(Semre::byte(b'c')),
+        Just(Semre::class(CharClass::from_bytes([b'a', b'b']))),
+        Just(Semre::any()),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Semre::concat(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Semre::union(a, b)),
+            inner.clone().prop_map(Semre::star),
+            (inner.clone(), 0..2u8).prop_map(|(a, q)| Semre::query(a, format!("q{q}"))),
+        ]
+    })
+}
+
+/// Strategy for short input strings over {a, b, c}.
+fn input_strategy() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c')], 0..9)
+}
+
+fn all_configs() -> Vec<MatcherConfig> {
+    vec![
+        MatcherConfig::default(),
+        MatcherConfig::eager(),
+        MatcherConfig { skeleton_prefilter: false, prune_coreachable: true, lazy_oracle: true },
+        MatcherConfig { skeleton_prefilter: true, prune_coreachable: false, lazy_oracle: false },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// The query-graph matcher agrees with the DP baseline on random
+    /// (SemRE, string, oracle) triples, in every configuration.
+    #[test]
+    fn snfa_matches_iff_baseline_matches(
+        semre in semre_strategy(),
+        input in input_strategy(),
+        seed in 0..32u64,
+    ) {
+        let oracle = hash_oracle(seed);
+        let baseline = DpMatcher::new(semre.clone(), &oracle);
+        let expected = baseline.is_match(&input);
+        for config in all_configs() {
+            let matcher = Matcher::with_config(semre.clone(), &oracle, config);
+            prop_assert_eq!(
+                matcher.is_match(&input),
+                expected,
+                "config {:?} disagrees on r = {} and w = {:?}",
+                config,
+                semre,
+                String::from_utf8_lossy(&input)
+            );
+        }
+    }
+
+    /// On classical expressions (no refinements), matching is independent of
+    /// the oracle and agrees across seeds.
+    #[test]
+    fn classical_expressions_ignore_the_oracle(
+        semre in semre_strategy(),
+        input in input_strategy(),
+    ) {
+        let skeleton = semre_syntax::skeleton(&semre);
+        let a = Matcher::new(skeleton.clone(), hash_oracle(0)).is_match(&input);
+        let b = Matcher::new(skeleton.clone(), hash_oracle(1)).is_match(&input);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Lazy oracle discharge and co-reachability pruning never *increase*
+    /// the number of oracle calls compared to the eager configuration.
+    #[test]
+    fn optimizations_do_not_increase_oracle_calls(
+        semre in semre_strategy(),
+        input in input_strategy(),
+        seed in 0..16u64,
+    ) {
+        let oracle = hash_oracle(seed);
+        let optimized = Matcher::new(semre.clone(), &oracle);
+        let eager = Matcher::with_config(semre.clone(), &oracle, MatcherConfig::eager());
+        let opt_calls = optimized.run(&input).oracle_calls;
+        let eager_calls = eager.run(&input).oracle_calls;
+        prop_assert!(
+            opt_calls <= eager_calls,
+            "optimized made {} calls, eager made {} (r = {})",
+            opt_calls,
+            eager_calls,
+            semre
+        );
+    }
+}

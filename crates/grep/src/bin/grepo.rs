@@ -1,0 +1,32 @@
+//! The `grepo` command-line tool: grep for semantic regular expressions.
+//!
+//! See [`semre_grep::cli`] for the accepted options.
+
+use std::process::ExitCode;
+
+use semre_grep::cli::{run, CliOptions};
+
+fn main() -> ExitCode {
+    let options = match CliOptions::parse(std::env::args().skip(1)) {
+        Ok(options) => options,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&options) {
+        Ok(outcome) => {
+            for line in &outcome.stdout {
+                println!("{line}");
+            }
+            for line in &outcome.stderr {
+                eprintln!("{line}");
+            }
+            ExitCode::from(outcome.exit_code as u8)
+        }
+        Err(e) => {
+            eprintln!("grepo: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,354 @@
+//! Command-line interface of the `grepo` binary.
+//!
+//! ```text
+//! grepo [OPTIONS] PATTERN [FILE]
+//!
+//!   PATTERN            a SemRE in the concrete syntax of `semre-syntax`
+//!   FILE               input file (standard input when omitted)
+//!
+//!   --oracle KIND      sim-llm (default) | always-true | always-false |
+//!                      set:FILE   (FILE holds "query<TAB>accepted text" lines)
+//!   --baseline         use the dynamic-programming baseline instead of the
+//!                      query-graph algorithm
+//!   --count            print only the number of matching lines
+//!   --stats            print aggregate statistics to standard error
+//!   --max-lines N      process at most N lines
+//!   --timeout-secs S   stop after S seconds of wall-clock time
+//! ```
+//!
+//! The option parsing and the scan driver live here (rather than in the
+//! binary) so they can be unit tested.
+
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::io::Read;
+use std::time::Duration;
+
+use semre_core::{DpMatcher, Matcher};
+use semre_oracle::{ConstOracle, Instrumented, Oracle, SetOracle, SimLlmOracle};
+use semre_syntax::parse;
+
+use crate::engine::{scan, LineMatcher, ScanOptions};
+use crate::stats::ScanReport;
+
+/// Errors produced while parsing command-line options or running the scan.
+#[derive(Debug)]
+pub struct CliError {
+    message: String,
+}
+
+impl CliError {
+    fn new(message: impl Into<String>) -> Self {
+        CliError { message: message.into() }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl Error for CliError {}
+
+/// Which oracle backend to instantiate.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub enum OracleChoice {
+    /// The built-in simulated LLM ([`SimLlmOracle`]).
+    #[default]
+    SimLlm,
+    /// Accept every query.
+    AlwaysTrue,
+    /// Reject every query.
+    AlwaysFalse,
+    /// A [`SetOracle`] loaded from a tab-separated file.
+    SetFile(String),
+}
+
+/// Parsed command-line options.
+#[derive(Clone, Debug, Default)]
+pub struct CliOptions {
+    /// The SemRE pattern.
+    pub pattern: String,
+    /// Input file; standard input when `None`.
+    pub file: Option<String>,
+    /// Oracle backend.
+    pub oracle: OracleChoice,
+    /// Use the DP baseline instead of the query-graph matcher.
+    pub baseline: bool,
+    /// Print only the number of matching lines.
+    pub count_only: bool,
+    /// Print aggregate statistics to standard error.
+    pub stats: bool,
+    /// Process at most this many lines.
+    pub max_lines: Option<usize>,
+    /// Wall-clock budget in seconds.
+    pub timeout_secs: Option<u64>,
+}
+
+/// The usage string printed on `--help` or malformed invocations.
+pub const USAGE: &str = "usage: grepo [--oracle KIND] [--baseline] [--count] [--stats] \
+[--max-lines N] [--timeout-secs S] PATTERN [FILE]";
+
+impl CliOptions {
+    /// Parses command-line arguments (excluding the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CliError`] describing the first malformed argument or a
+    /// missing pattern.
+    pub fn parse<I, S>(args: I) -> Result<CliOptions, CliError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut options = CliOptions::default();
+        let mut positional: Vec<String> = Vec::new();
+        let mut args = args.into_iter().map(Into::into);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--baseline" => options.baseline = true,
+                "--count" => options.count_only = true,
+                "--stats" => options.stats = true,
+                "--help" | "-h" => return Err(CliError::new(USAGE)),
+                "--oracle" => {
+                    let kind = args.next().ok_or_else(|| CliError::new("--oracle needs a value"))?;
+                    options.oracle = match kind.as_str() {
+                        "sim-llm" => OracleChoice::SimLlm,
+                        "always-true" => OracleChoice::AlwaysTrue,
+                        "always-false" => OracleChoice::AlwaysFalse,
+                        other => match other.strip_prefix("set:") {
+                            Some(path) if !path.is_empty() => OracleChoice::SetFile(path.to_owned()),
+                            _ => {
+                                return Err(CliError::new(format!("unknown oracle kind {other:?}")))
+                            }
+                        },
+                    };
+                }
+                "--max-lines" => {
+                    let n = args.next().ok_or_else(|| CliError::new("--max-lines needs a value"))?;
+                    options.max_lines =
+                        Some(n.parse().map_err(|_| CliError::new("--max-lines expects a number"))?);
+                }
+                "--timeout-secs" => {
+                    let n =
+                        args.next().ok_or_else(|| CliError::new("--timeout-secs needs a value"))?;
+                    options.timeout_secs =
+                        Some(n.parse().map_err(|_| CliError::new("--timeout-secs expects a number"))?);
+                }
+                other if other.starts_with("--") => {
+                    return Err(CliError::new(format!("unknown option {other:?}")));
+                }
+                _ => positional.push(arg),
+            }
+        }
+        let mut positional = positional.into_iter();
+        options.pattern =
+            positional.next().ok_or_else(|| CliError::new(format!("missing PATTERN\n{USAGE}")))?;
+        options.file = positional.next();
+        if positional.next().is_some() {
+            return Err(CliError::new("too many positional arguments"));
+        }
+        Ok(options)
+    }
+
+    fn build_oracle(&self) -> Result<Box<dyn Oracle>, CliError> {
+        Ok(match &self.oracle {
+            OracleChoice::SimLlm => Box::new(SimLlmOracle::new()),
+            OracleChoice::AlwaysTrue => Box::new(ConstOracle::always_true()),
+            OracleChoice::AlwaysFalse => Box::new(ConstOracle::always_false()),
+            OracleChoice::SetFile(path) => {
+                let content = fs::read_to_string(path)
+                    .map_err(|e| CliError::new(format!("cannot read oracle file {path}: {e}")))?;
+                Box::new(parse_set_oracle(&content))
+            }
+        })
+    }
+
+    fn scan_options(&self) -> ScanOptions {
+        ScanOptions {
+            max_lines: self.max_lines,
+            time_budget: self.timeout_secs.map(Duration::from_secs),
+        }
+    }
+}
+
+/// Parses the `query<TAB>text` lines of a `set:` oracle file; blank lines
+/// and lines starting with `#` are ignored.
+pub fn parse_set_oracle(content: &str) -> SetOracle {
+    let mut oracle = SetOracle::new();
+    for line in content.lines() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some((query, text)) = line.split_once('\t') {
+            oracle.insert(query, text);
+        }
+    }
+    oracle
+}
+
+/// The output of [`run`], ready to be printed by the binary.
+#[derive(Clone, Debug, Default)]
+pub struct CliOutcome {
+    /// Lines to print on standard output (matching lines, or the count).
+    pub stdout: Vec<String>,
+    /// Lines to print on standard error (statistics).
+    pub stderr: Vec<String>,
+    /// Process exit code: 0 if at least one line matched, 1 otherwise
+    /// (grep convention).
+    pub exit_code: i32,
+}
+
+/// Runs the tool on the given input text (used by the binary after reading
+/// the file or standard input).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] if the pattern does not parse or the oracle file
+/// cannot be loaded.
+pub fn run_on_text(options: &CliOptions, text: &str) -> Result<CliOutcome, CliError> {
+    let semre = parse(&options.pattern)
+        .map_err(|e| CliError::new(format!("invalid pattern: {e}")))?;
+    let oracle = Instrumented::new(options.build_oracle()?);
+    let lines: Vec<&str> = text.lines().collect();
+
+    let report: ScanReport;
+    let algorithm: &str;
+    if options.baseline {
+        let matcher = DpMatcher::new(semre, &oracle);
+        algorithm = matcher.algorithm();
+        report = scan(&matcher, &lines, || oracle.stats(), options.scan_options());
+    } else {
+        let matcher = Matcher::new(semre, &oracle);
+        algorithm = matcher.algorithm();
+        report = scan(&matcher, &lines, || oracle.stats(), options.scan_options());
+    }
+
+    let mut outcome = CliOutcome::default();
+    if options.count_only {
+        outcome.stdout.push(report.matched_lines().to_string());
+    } else {
+        for record in report.records.iter().filter(|r| r.matched) {
+            outcome.stdout.push(lines[record.index].to_owned());
+        }
+    }
+    if options.stats {
+        outcome.stderr.push(format!(
+            "algorithm={algorithm} lines={} matched={} timed_out={}",
+            report.lines(),
+            report.matched_lines(),
+            report.timed_out
+        ));
+        outcome.stderr.push(format!(
+            "rt_total={:.3} ms/line rt_matched={:.3} ms/line",
+            report.rt_total_ms(),
+            report.rt_matched_ms()
+        ));
+        outcome.stderr.push(format!(
+            "oracle_calls={:.3}/line oracle_fraction={:.3} query_chars={:.3}/line",
+            report.oracle_calls_per_line(),
+            report.oracle_fraction(),
+            report.query_chars_per_line()
+        ));
+    }
+    outcome.exit_code = if report.matched_lines() > 0 { 0 } else { 1 };
+    Ok(outcome)
+}
+
+/// Reads the input (file or standard input) and runs the tool.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for option, pattern, oracle, or I/O problems.
+pub fn run(options: &CliOptions) -> Result<CliOutcome, CliError> {
+    let text = match &options.file {
+        Some(path) => fs::read_to_string(path)
+            .map_err(|e| CliError::new(format!("cannot read {path}: {e}")))?,
+        None => {
+            let mut buffer = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buffer)
+                .map_err(|e| CliError::new(format!("cannot read standard input: {e}")))?;
+            buffer
+        }
+    };
+    run_on_text(options, &text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_parsing() {
+        let o = CliOptions::parse(["--stats", "--count", "a+", "input.txt"]).unwrap();
+        assert!(o.stats && o.count_only && !o.baseline);
+        assert_eq!(o.pattern, "a+");
+        assert_eq!(o.file.as_deref(), Some("input.txt"));
+        assert_eq!(o.oracle, OracleChoice::SimLlm);
+
+        let o = CliOptions::parse(["--oracle", "always-true", "--baseline", "x"]).unwrap();
+        assert!(o.baseline);
+        assert_eq!(o.oracle, OracleChoice::AlwaysTrue);
+        assert_eq!(o.file, None);
+
+        let o = CliOptions::parse(["--oracle", "set:oracle.tsv", "--max-lines", "10", "x"]).unwrap();
+        assert_eq!(o.oracle, OracleChoice::SetFile("oracle.tsv".into()));
+        assert_eq!(o.max_lines, Some(10));
+
+        let o = CliOptions::parse(["--timeout-secs", "30", "x"]).unwrap();
+        assert_eq!(o.timeout_secs, Some(30));
+    }
+
+    #[test]
+    fn malformed_options_are_rejected() {
+        assert!(CliOptions::parse(Vec::<String>::new()).is_err());
+        assert!(CliOptions::parse(["--oracle"]).is_err());
+        assert!(CliOptions::parse(["--oracle", "magic", "x"]).is_err());
+        assert!(CliOptions::parse(["--oracle", "set:", "x"]).is_err());
+        assert!(CliOptions::parse(["--max-lines", "many", "x"]).is_err());
+        assert!(CliOptions::parse(["--frobnicate", "x"]).is_err());
+        assert!(CliOptions::parse(["a", "b", "c"]).is_err());
+        assert!(CliOptions::parse(["--help"]).is_err());
+    }
+
+    #[test]
+    fn set_oracle_file_format() {
+        let oracle = parse_set_oracle("# comment\nCity\tParis\nCity\tHouston\n\nCeleb\tParis Hilton\n");
+        use semre_oracle::Oracle as _;
+        assert!(oracle.holds("City", b"Paris"));
+        assert!(oracle.holds("Celeb", b"Paris Hilton"));
+        assert!(!oracle.holds("City", b"Paris Hilton"));
+    }
+
+    #[test]
+    fn end_to_end_on_text() {
+        let options = CliOptions::parse(["--stats", r"Subject: .*(?<Medicine name>: .+).*"]).unwrap();
+        let text = "Subject: cheap viagra\nSubject: team meeting\nhello\n";
+        let outcome = run_on_text(&options, text).unwrap();
+        assert_eq!(outcome.stdout, vec!["Subject: cheap viagra".to_owned()]);
+        assert_eq!(outcome.exit_code, 0);
+        assert_eq!(outcome.stderr.len(), 3);
+        assert!(outcome.stderr[0].contains("algorithm=snfa"));
+
+        let count = CliOptions::parse(["--count", "--baseline", r"Subject: .*(?<Medicine name>: .+).*"])
+            .unwrap();
+        let outcome = run_on_text(&count, text).unwrap();
+        assert_eq!(outcome.stdout, vec!["1".to_owned()]);
+
+        let none = CliOptions::parse(["--oracle", "always-false", r".*(?<q>: .+).*"]).unwrap();
+        let outcome = run_on_text(&none, "abc\n").unwrap();
+        assert!(outcome.stdout.is_empty());
+        assert_eq!(outcome.exit_code, 1);
+    }
+
+    #[test]
+    fn invalid_pattern_is_reported() {
+        let options = CliOptions::parse(["(unclosed"]).unwrap();
+        let err = run_on_text(&options, "x").unwrap_err();
+        assert!(err.to_string().contains("invalid pattern"));
+    }
+}

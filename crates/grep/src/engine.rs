@@ -1,0 +1,247 @@
+//! The line-oriented scanning engine of `grep_O`.
+//!
+//! Like the paper's prototype, the engine treats each input line as an
+//! independent membership query: it runs a [`LineMatcher`] on every line,
+//! records per-line timing and oracle usage, honours an optional time
+//! budget (the paper uses 40 minutes per run), and can fan the work out
+//! over several threads when per-line statistics are not needed.
+
+use std::time::{Duration, Instant};
+
+use semre_core::{DpMatcher, Matcher};
+use semre_oracle::{Oracle, OracleStats};
+
+use crate::stats::{LineRecord, ScanReport};
+
+/// Anything that can decide membership of a single line.
+///
+/// Implemented by both matching algorithms so that the scanning engine, the
+/// CLI, and the benchmark harness can switch between them.
+pub trait LineMatcher: Sync {
+    /// Whether `line` belongs to the SemRE's language.
+    fn matches_line(&self, line: &[u8]) -> bool;
+
+    /// A short name identifying the algorithm ("snfa" or "dp").
+    fn algorithm(&self) -> &'static str;
+}
+
+impl<O: Oracle> LineMatcher for Matcher<O> {
+    fn matches_line(&self, line: &[u8]) -> bool {
+        self.is_match(line)
+    }
+
+    fn algorithm(&self) -> &'static str {
+        "snfa"
+    }
+}
+
+impl<O: Oracle> LineMatcher for DpMatcher<O> {
+    fn matches_line(&self, line: &[u8]) -> bool {
+        self.is_match(line)
+    }
+
+    fn algorithm(&self) -> &'static str {
+        "dp"
+    }
+}
+
+/// Options controlling a scan.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ScanOptions {
+    /// Stop scanning (reporting `timed_out`) once this much wall-clock time
+    /// has elapsed.
+    pub time_budget: Option<Duration>,
+    /// Process at most this many lines.
+    pub max_lines: Option<usize>,
+}
+
+impl ScanOptions {
+    /// No limits: scan every line.
+    pub fn unlimited() -> Self {
+        ScanOptions::default()
+    }
+
+    /// Scan with a wall-clock budget.
+    pub fn with_time_budget(budget: Duration) -> Self {
+        ScanOptions { time_budget: Some(budget), max_lines: None }
+    }
+}
+
+/// Scans `lines` sequentially with `matcher`, snapshotting `oracle_stats`
+/// around every line so that oracle usage can be attributed per line.
+///
+/// Pass a closure returning [`OracleStats::default`] when oracle accounting
+/// is not needed.
+pub fn scan<M, L, F>(matcher: &M, lines: &[L], oracle_stats: F, options: ScanOptions) -> ScanReport
+where
+    M: LineMatcher + ?Sized,
+    L: AsRef<str>,
+    F: Fn() -> OracleStats,
+{
+    let started = Instant::now();
+    let mut report = ScanReport::default();
+    for (index, line) in lines.iter().enumerate() {
+        if let Some(max) = options.max_lines {
+            if index >= max {
+                break;
+            }
+        }
+        if let Some(budget) = options.time_budget {
+            if started.elapsed() >= budget {
+                report.timed_out = true;
+                break;
+            }
+        }
+        let line = line.as_ref();
+        let before = oracle_stats();
+        let line_start = Instant::now();
+        let matched = matcher.matches_line(line.as_bytes());
+        let duration = line_start.elapsed();
+        let oracle = oracle_stats() - before;
+        report.records.push(LineRecord { index, length: line.len(), matched, duration, oracle });
+    }
+    report.total_duration = started.elapsed();
+    report
+}
+
+/// The result of a parallel scan: only which lines matched and the total
+/// wall-clock time (per-line oracle attribution is not meaningful when
+/// lines are matched concurrently).
+#[derive(Clone, Debug, Default)]
+pub struct ParallelScanReport {
+    /// `matched[i]` tells whether line `i` matched.
+    pub matched: Vec<bool>,
+    /// Total wall-clock time of the scan.
+    pub total_duration: Duration,
+    /// Number of worker threads used.
+    pub threads: usize,
+}
+
+impl ParallelScanReport {
+    /// Number of matching lines.
+    pub fn matched_lines(&self) -> usize {
+        self.matched.iter().filter(|&&m| m).count()
+    }
+}
+
+/// Scans `lines` with `matcher` using `threads` worker threads (chunked
+/// statically).  Falls back to a single thread when `threads` is 0 or 1.
+pub fn scan_parallel<M, L>(matcher: &M, lines: &[L], threads: usize) -> ParallelScanReport
+where
+    M: LineMatcher + ?Sized,
+    L: AsRef<str> + Sync,
+{
+    let started = Instant::now();
+    let threads = threads.max(1).min(lines.len().max(1));
+    let mut matched = vec![false; lines.len()];
+    if threads <= 1 {
+        for (slot, line) in matched.iter_mut().zip(lines) {
+            *slot = matcher.matches_line(line.as_ref().as_bytes());
+        }
+    } else {
+        let chunk = lines.len().div_ceil(threads);
+        crossbeam::thread::scope(|scope| {
+            for (line_chunk, out_chunk) in lines.chunks(chunk).zip(matched.chunks_mut(chunk)) {
+                scope.spawn(move |_| {
+                    for (slot, line) in out_chunk.iter_mut().zip(line_chunk) {
+                        *slot = matcher.matches_line(line.as_ref().as_bytes());
+                    }
+                });
+            }
+        })
+        .expect("worker threads do not panic");
+    }
+    ParallelScanReport { matched, total_duration: started.elapsed(), threads }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semre_oracle::{Instrumented, SimLlmOracle};
+    use semre_syntax::parse;
+
+    fn lines() -> Vec<String> {
+        vec![
+            "Subject: cheap viagra now".to_owned(),
+            "Subject: weekly report attached".to_owned(),
+            "nothing to see here".to_owned(),
+            "Subject: more tramadol deals".to_owned(),
+        ]
+    }
+
+    fn matcher() -> Matcher<Instrumented<SimLlmOracle>> {
+        let oracle = Instrumented::new(SimLlmOracle::new());
+        Matcher::new(parse("Subject: .*(?<Medicine name>: .+).*").unwrap(), oracle)
+    }
+
+    #[test]
+    fn sequential_scan_attributes_oracle_usage() {
+        let m = matcher();
+        let report = scan(&m, &lines(), || m.oracle().stats(), ScanOptions::unlimited());
+        assert_eq!(report.lines(), 4);
+        assert_eq!(report.matched_lines(), 2);
+        assert!(!report.timed_out);
+        // The line without the Subject prefix never consults the oracle.
+        assert_eq!(report.records[2].oracle.calls, 0);
+        assert!(report.records[0].oracle.calls > 0);
+        // The cumulative oracle counter may additionally have seen (q, ε)
+        // probes issued while the matcher was built, but nothing else.
+        let construction_probes = m.oracle().stats().calls - report.oracle_totals().calls;
+        assert!(construction_probes <= 1, "unexpected extra oracle calls: {construction_probes}");
+        assert_eq!(m.algorithm(), "snfa");
+    }
+
+    #[test]
+    fn max_lines_and_time_budget() {
+        let m = matcher();
+        let limited = scan(
+            &m,
+            &lines(),
+            OracleStats::default,
+            ScanOptions { max_lines: Some(2), time_budget: None },
+        );
+        assert_eq!(limited.lines(), 2);
+        assert!(!limited.timed_out);
+
+        let exhausted = scan(
+            &m,
+            &lines(),
+            OracleStats::default,
+            ScanOptions::with_time_budget(Duration::ZERO),
+        );
+        assert_eq!(exhausted.lines(), 0);
+        assert!(exhausted.timed_out);
+    }
+
+    #[test]
+    fn dp_matcher_is_a_line_matcher() {
+        let oracle = SimLlmOracle::new();
+        let dp = DpMatcher::new(parse("Subject: .*(?<Medicine name>: .+).*").unwrap(), oracle);
+        let report = scan(&dp, &lines(), OracleStats::default, ScanOptions::unlimited());
+        assert_eq!(report.matched_lines(), 2);
+        assert_eq!(dp.algorithm(), "dp");
+    }
+
+    #[test]
+    fn parallel_scan_agrees_with_sequential() {
+        let m = matcher();
+        let sequential = scan(&m, &lines(), OracleStats::default, ScanOptions::unlimited());
+        for threads in [1, 2, 4, 16] {
+            let parallel = scan_parallel(&m, &lines(), threads);
+            assert_eq!(parallel.matched.len(), 4);
+            assert_eq!(parallel.matched_lines(), sequential.matched_lines());
+            let expected: Vec<bool> = sequential.records.iter().map(|r| r.matched).collect();
+            assert_eq!(parallel.matched, expected);
+            assert!(parallel.threads >= 1);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let m = matcher();
+        let report = scan(&m, &Vec::<String>::new(), OracleStats::default, ScanOptions::unlimited());
+        assert_eq!(report.lines(), 0);
+        let parallel = scan_parallel(&m, &Vec::<String>::new(), 4);
+        assert_eq!(parallel.matched_lines(), 0);
+    }
+}

@@ -1,0 +1,39 @@
+//! `grep_O`: a grep-like tool for semantic regular expressions.
+//!
+//! The paper's evaluation (Section 5) is carried out with a prototype
+//! called `grep_O` — given a SemRE, an oracle, and an input file, it prints
+//! the matching lines and reports throughput and oracle-usage statistics.
+//! This crate provides that tool as a library plus a thin binary:
+//!
+//! * [`LineMatcher`] / [`scan`] / [`scan_parallel`] — the line-oriented
+//!   scanning engine, usable with either the query-graph matcher or the DP
+//!   baseline;
+//! * [`ScanReport`] — per-line records and the aggregate statistics of
+//!   Table 2 and Fig. 10;
+//! * [`cli`] — option parsing and the driver behind the `grepo` binary.
+//!
+//! # Example
+//!
+//! ```
+//! use semre_core::Matcher;
+//! use semre_grep::{scan, ScanOptions};
+//! use semre_oracle::{Instrumented, SimLlmOracle};
+//! use semre_syntax::parse;
+//!
+//! let oracle = Instrumented::new(SimLlmOracle::new());
+//! let matcher = Matcher::new(parse("Subject: .*(?<Medicine name>: .+).*").unwrap(), oracle);
+//! let lines = vec!["Subject: cheap cialis".to_owned(), "Subject: agenda".to_owned()];
+//! let report = scan(&matcher, &lines, || matcher.oracle().stats(), ScanOptions::unlimited());
+//! assert_eq!(report.matched_lines(), 1);
+//! assert!(report.oracle_calls_per_line() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+mod engine;
+mod stats;
+
+pub use engine::{scan, scan_parallel, LineMatcher, ParallelScanReport, ScanOptions};
+pub use stats::{LineRecord, ScanReport};

@@ -1,0 +1,139 @@
+//! Oracles for semantic regular expressions.
+//!
+//! A SemRE refinement `r ∧ ⟨q⟩` delegates the judgement "does this substring
+//! belong to the semantic category `q`?" to an external *oracle*
+//! `⟦·⟧ : Q × Σ* → bool` (Equation 2 of the paper).  The oracle might be a
+//! large language model, a Whois snapshot, a phishing-domain list, an IP
+//! geolocation database, a file system, or any other source of information
+//! (Note 2.6).  This crate defines:
+//!
+//! * the [`Oracle`] trait — the single point of contact between matching
+//!   algorithms and the outside world;
+//! * wrappers: [`Instrumented`] (call counting + simulated latency, feeding
+//!   the Table 2 statistics) and [`CachingOracle`] (memoization /
+//!   determinization, Assumption 2.4);
+//! * basic oracles: [`ConstOracle`], [`PredicateOracle`], [`SetOracle`],
+//!   [`TableOracle`], [`PalindromeOracle`];
+//! * stand-ins for the paper's experimental backends: [`SimLlmOracle`],
+//!   [`WhoisDb`], [`PhishingList`], [`IpGeoDb`], [`FileSystemOracle`].
+//!
+//! # Example
+//!
+//! ```
+//! use semre_oracle::{CachingOracle, Instrumented, LatencyModel, Oracle, SimLlmOracle};
+//!
+//! // The paper's LLM setup: a deterministic model behind a query cache,
+//! // with every call's cost accounted.
+//! let llm = Instrumented::with_latency(SimLlmOracle::new(), LatencyModel::llm());
+//! let oracle = CachingOracle::new(llm);
+//!
+//! assert!(oracle.holds("Medicine name", b"tramadol"));
+//! assert!(oracle.holds("Medicine name", b"tramadol")); // answered from cache
+//! assert_eq!(oracle.inner().stats().calls, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod services;
+mod sim_llm;
+mod simple;
+mod stats;
+mod wrappers;
+
+pub use services::{
+    FileSystemOracle, IpGeoDb, PhishingList, WhoisDb, DEAD_DOMAIN_QUERY, FOREIGN_IP_QUERY,
+    NONEXISTENT_PATH_QUERY, PHISHING_QUERY, REGISTERED_AFTER_PREFIX,
+};
+pub use sim_llm::{
+    SimLlmOracle, CELEBRITY_NAMES, CITY_NAMES, MEDICINE_NAMES, POLITICIAN_NAMES, SCIENTIST_NAMES,
+    SPORTSPERSON_NAMES,
+};
+pub use simple::{ConstOracle, PalindromeOracle, PredicateOracle, SetOracle, TableOracle};
+pub use stats::OracleStats;
+pub use wrappers::{CachingOracle, Instrumented, LatencyModel};
+
+/// An external oracle `⟦·⟧ : Q × Σ* → bool`.
+///
+/// Implementations must be deterministic: the matching algorithms may ask
+/// the same `(query, text)` pair any number of times (possibly zero) and in
+/// any order, and correctness relies on always receiving the same answer
+/// (Assumption 2.4 of the paper).  Nondeterministic backends should be
+/// wrapped in a [`CachingOracle`].
+///
+/// Oracles answer through a shared reference and must be usable from
+/// multiple matching threads, hence the `Send + Sync` supertraits; use
+/// interior mutability (as [`CachingOracle`] does) for stateful backends.
+pub trait Oracle: Send + Sync {
+    /// Does the string `text` belong to the semantic category named by
+    /// `query`?
+    fn holds(&self, query: &str, text: &[u8]) -> bool;
+
+    /// A short human-readable description of the oracle, used in logs and
+    /// experiment reports.
+    fn describe(&self) -> String {
+        "oracle".to_owned()
+    }
+}
+
+impl<O: Oracle + ?Sized> Oracle for &O {
+    fn holds(&self, query: &str, text: &[u8]) -> bool {
+        (**self).holds(query, text)
+    }
+
+    fn describe(&self) -> String {
+        (**self).describe()
+    }
+}
+
+impl<O: Oracle + ?Sized> Oracle for Box<O> {
+    fn holds(&self, query: &str, text: &[u8]) -> bool {
+        (**self).holds(query, text)
+    }
+
+    fn describe(&self) -> String {
+        (**self).describe()
+    }
+}
+
+impl<O: Oracle + ?Sized> Oracle for std::sync::Arc<O> {
+    fn holds(&self, query: &str, text: &[u8]) -> bool {
+        (**self).holds(query, text)
+    }
+
+    fn describe(&self) -> String {
+        (**self).describe()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trait_is_object_safe_and_blanket_impls_work() {
+        let boxed: Box<dyn Oracle> = Box::new(ConstOracle::always_true());
+        assert!(boxed.holds("q", b"w"));
+        let arc: std::sync::Arc<dyn Oracle> = std::sync::Arc::new(PalindromeOracle);
+        assert!(arc.holds("pal", b"aba"));
+        let by_ref: &dyn Oracle = &ConstOracle::always_false();
+        assert!(!by_ref.holds("q", b"w"));
+        // A reference to a reference still implements Oracle.
+        fn takes_oracle<O: Oracle>(o: O) -> bool {
+            o.holds("pal", b"aa")
+        }
+        assert!(takes_oracle(&&PalindromeOracle));
+    }
+
+    #[test]
+    fn default_describe() {
+        struct Bare;
+        impl Oracle for Bare {
+            fn holds(&self, _: &str, _: &[u8]) -> bool {
+                false
+            }
+        }
+        assert_eq!(Bare.describe(), "oracle");
+        assert_eq!(Box::new(Bare).describe(), "oracle");
+    }
+}

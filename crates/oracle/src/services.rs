@@ -1,0 +1,435 @@
+//! Stand-ins for the external services backing the paper's non-LLM
+//! benchmark SemREs: Whois, a phishing-domain list, an IP geolocation
+//! database, and a file-system probe.
+//!
+//! The paper pre-populated local databases for these services (to avoid
+//! rate limits and nondeterminism); the types in this module are those
+//! local databases, populated programmatically by the workload generators.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::Oracle;
+
+/// Query name answered by [`WhoisDb`]: non-existent sender domains
+/// (Example 2.9).
+pub const DEAD_DOMAIN_QUERY: &str = "Domain does not exist";
+/// Prefix of the query answered by [`WhoisDb`] about registration years
+/// (Example 2.10): the full query is e.g. `"Domain registered after 2010"`.
+pub const REGISTERED_AFTER_PREFIX: &str = "Domain registered after ";
+/// Query name answered by [`PhishingList`].
+pub const PHISHING_QUERY: &str = "Phishing domain";
+/// Query name answered by [`IpGeoDb`].
+pub const FOREIGN_IP_QUERY: &str = "Foreign IP address";
+/// Query name answered by [`FileSystemOracle`].
+pub const NONEXISTENT_PATH_QUERY: &str = "Non-existent file path";
+
+/// A pre-populated Whois snapshot: which domains exist, and when they were
+/// registered.
+///
+/// Answers two query families:
+/// * `"Domain does not exist"` — true when the domain is absent from the
+///   snapshot;
+/// * `"Domain registered after <year>"` — true when the domain exists and
+///   its registration year is strictly greater than `<year>`.
+///
+/// Domain names are compared case-insensitively.
+///
+/// # Examples
+///
+/// ```
+/// use semre_oracle::{Oracle, WhoisDb};
+///
+/// let mut whois = WhoisDb::new();
+/// whois.register("example.com", 1995);
+/// whois.register("newstartup.io", 2019);
+/// assert!(!whois.holds("Domain does not exist", b"example.com"));
+/// assert!(whois.holds("Domain does not exist", b"no-such-domain.zz"));
+/// assert!(whois.holds("Domain registered after 2010", b"newstartup.io"));
+/// assert!(!whois.holds("Domain registered after 2010", b"example.com"));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct WhoisDb {
+    registrations: HashMap<String, u32>,
+}
+
+impl WhoisDb {
+    /// Creates an empty snapshot.
+    pub fn new() -> Self {
+        WhoisDb::default()
+    }
+
+    /// Records that `domain` exists and was registered in `year`.
+    pub fn register(&mut self, domain: impl AsRef<str>, year: u32) {
+        self.registrations.insert(normalize_domain(domain.as_ref()), year);
+    }
+
+    /// Whether the snapshot knows `domain`.
+    pub fn exists(&self, domain: &str) -> bool {
+        self.registrations.contains_key(&normalize_domain(domain))
+    }
+
+    /// Registration year of `domain`, if known.
+    pub fn registration_year(&self, domain: &str) -> Option<u32> {
+        self.registrations.get(&normalize_domain(domain)).copied()
+    }
+
+    /// Number of known domains.
+    pub fn len(&self) -> usize {
+        self.registrations.len()
+    }
+
+    /// Whether the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.registrations.is_empty()
+    }
+}
+
+fn normalize_domain(d: &str) -> String {
+    d.trim().trim_end_matches('.').to_lowercase()
+}
+
+impl Oracle for WhoisDb {
+    fn holds(&self, query: &str, text: &[u8]) -> bool {
+        let domain = String::from_utf8_lossy(text);
+        if query == DEAD_DOMAIN_QUERY {
+            return !self.exists(&domain);
+        }
+        if let Some(year) = query.strip_prefix(REGISTERED_AFTER_PREFIX) {
+            if let Ok(threshold) = year.trim().parse::<u32>() {
+                return self.registration_year(&domain).is_some_and(|y| y > threshold);
+            }
+        }
+        false
+    }
+
+    fn describe(&self) -> String {
+        format!("whois({} domains)", self.registrations.len())
+    }
+}
+
+/// A list of known phishing domains (Example 2.10, openphish.com-style).
+///
+/// Matching is case-insensitive on the full domain string.
+#[derive(Clone, Debug, Default)]
+pub struct PhishingList {
+    domains: HashSet<String>,
+}
+
+impl PhishingList {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        PhishingList::default()
+    }
+
+    /// Adds a domain to the list.
+    pub fn insert(&mut self, domain: impl AsRef<str>) {
+        self.domains.insert(normalize_domain(domain.as_ref()));
+    }
+
+    /// Adds every domain in `domains`.
+    pub fn extend<I, S>(&mut self, domains: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        for d in domains {
+            self.insert(d);
+        }
+    }
+
+    /// Number of listed domains.
+    pub fn len(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.domains.is_empty()
+    }
+}
+
+impl Oracle for PhishingList {
+    fn holds(&self, query: &str, text: &[u8]) -> bool {
+        query == PHISHING_QUERY
+            && self.domains.contains(&normalize_domain(&String::from_utf8_lossy(text)))
+    }
+
+    fn describe(&self) -> String {
+        format!("phishing-list({} domains)", self.domains.len())
+    }
+}
+
+/// An IPv4 geolocation / network-topology database (Example 2.11).
+///
+/// The security researcher's intranet is described by a set of CIDR
+/// prefixes; the `"Foreign IP address"` query accepts dotted-quad strings
+/// that parse to an address *outside* every intranet prefix.  Strings that
+/// do not parse as an IPv4 address (e.g. `999.1.2.3`, which the SemRE
+/// skeleton cannot rule out) are rejected.
+#[derive(Clone, Debug, Default)]
+pub struct IpGeoDb {
+    intranet: Vec<(u32, u32)>, // (network, mask)
+}
+
+impl IpGeoDb {
+    /// Creates a database with no intranet ranges (every valid address is
+    /// foreign).
+    pub fn new() -> Self {
+        IpGeoDb::default()
+    }
+
+    /// Adds an intranet CIDR range, e.g. `add_intranet([10, 0, 0, 0], 8)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prefix_len > 32`.
+    pub fn add_intranet(&mut self, network: [u8; 4], prefix_len: u8) {
+        assert!(prefix_len <= 32, "CIDR prefix length must be at most 32");
+        let mask = if prefix_len == 0 { 0 } else { u32::MAX << (32 - prefix_len) };
+        self.intranet.push((u32::from_be_bytes(network) & mask, mask));
+    }
+
+    /// The conventional private, loopback, and reserved ranges 10/8,
+    /// 172.16/12, 192.168/16, 127/8, and 0/8: addresses in these ranges are
+    /// never reported as foreign.
+    pub fn with_private_ranges() -> Self {
+        let mut db = IpGeoDb::new();
+        db.add_intranet([10, 0, 0, 0], 8);
+        db.add_intranet([172, 16, 0, 0], 12);
+        db.add_intranet([192, 168, 0, 0], 16);
+        db.add_intranet([127, 0, 0, 0], 8);
+        db.add_intranet([0, 0, 0, 0], 8);
+        db
+    }
+
+    /// Parses a dotted-quad IPv4 address; rejects octets above 255 and
+    /// malformed strings.
+    pub fn parse_ipv4(text: &str) -> Option<u32> {
+        let mut parts = text.trim().split('.');
+        let mut value: u32 = 0;
+        for _ in 0..4 {
+            let part = parts.next()?;
+            if part.is_empty() || part.len() > 3 || !part.bytes().all(|b| b.is_ascii_digit()) {
+                return None;
+            }
+            let octet: u32 = part.parse().ok()?;
+            if octet > 255 {
+                return None;
+            }
+            value = (value << 8) | octet;
+        }
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(value)
+    }
+
+    /// Whether the (parsed) address lies inside one of the intranet ranges.
+    pub fn is_intranet(&self, addr: u32) -> bool {
+        self.intranet.iter().any(|&(net, mask)| addr & mask == net)
+    }
+}
+
+impl Oracle for IpGeoDb {
+    fn holds(&self, query: &str, text: &[u8]) -> bool {
+        if query != FOREIGN_IP_QUERY {
+            return false;
+        }
+        match Self::parse_ipv4(&String::from_utf8_lossy(text)) {
+            Some(addr) => !self.is_intranet(addr),
+            None => false,
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("ip-geo({} intranet ranges)", self.intranet.len())
+    }
+}
+
+/// A simulated file system answering the `"Non-existent file path"` query
+/// of Example 2.5.
+///
+/// The oracle is populated with the paths of existing files; a queried path
+/// "exists" when it names one of those files or one of their ancestor
+/// directories (with or without a trailing slash).
+///
+/// # Examples
+///
+/// ```
+/// use semre_oracle::{FileSystemOracle, Oracle};
+///
+/// let fs = FileSystemOracle::with_files(["/usr/lib/libc.so", "src/main.rs"]);
+/// assert!(!fs.holds("Non-existent file path", b"/usr/lib/libc.so"));
+/// assert!(!fs.holds("Non-existent file path", b"/usr/lib/"));
+/// assert!(fs.holds("Non-existent file path", b"/usr/lib/libm.so"));
+/// assert!(fs.holds("Non-existent file path", b"/opt/old/config.yaml"));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct FileSystemOracle {
+    entries: HashSet<String>,
+}
+
+impl FileSystemOracle {
+    /// Creates an empty (and therefore entirely stale) file system.
+    pub fn new() -> Self {
+        FileSystemOracle::default()
+    }
+
+    /// Creates a file system containing exactly the given files (and their
+    /// ancestor directories).
+    pub fn with_files<I, S>(files: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut fs = FileSystemOracle::new();
+        for f in files {
+            fs.add_file(f);
+        }
+        fs
+    }
+
+    /// Adds a file (and implicitly every ancestor directory).
+    pub fn add_file(&mut self, path: impl AsRef<str>) {
+        let path = path.as_ref().trim();
+        let normalized = path.trim_end_matches('/');
+        self.entries.insert(normalized.to_owned());
+        // Register every ancestor directory as existing too.
+        let mut prefix = normalized;
+        while let Some(idx) = prefix.rfind('/') {
+            prefix = &prefix[..idx];
+            if prefix.is_empty() {
+                break;
+            }
+            self.entries.insert(prefix.to_owned());
+        }
+    }
+
+    /// Whether `path` names an existing file or directory.
+    pub fn exists(&self, path: &str) -> bool {
+        let normalized = path.trim().trim_end_matches('/');
+        if normalized.is_empty() {
+            // The root directory always exists.
+            return path.trim().starts_with('/');
+        }
+        self.entries.contains(normalized)
+    }
+
+    /// Number of known files and directories.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the file system has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl Oracle for FileSystemOracle {
+    fn holds(&self, query: &str, text: &[u8]) -> bool {
+        query == NONEXISTENT_PATH_QUERY && !self.exists(&String::from_utf8_lossy(text))
+    }
+
+    fn describe(&self) -> String {
+        format!("filesystem({} entries)", self.entries.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whois_existence_and_age() {
+        let mut whois = WhoisDb::new();
+        whois.register("Example.COM", 1995);
+        whois.register("fresh.dev", 2021);
+        assert!(whois.exists("example.com"));
+        assert!(whois.exists("EXAMPLE.com."));
+        assert_eq!(whois.registration_year("fresh.dev"), Some(2021));
+        assert_eq!(whois.registration_year("unknown.org"), None);
+        assert_eq!(whois.len(), 2);
+        assert!(!whois.is_empty());
+
+        assert!(!whois.holds(DEAD_DOMAIN_QUERY, b"example.com"));
+        assert!(whois.holds(DEAD_DOMAIN_QUERY, b"unknown.org"));
+        assert!(whois.holds("Domain registered after 2010", b"fresh.dev"));
+        assert!(!whois.holds("Domain registered after 2010", b"example.com"));
+        // Unknown domains are not "registered after" anything.
+        assert!(!whois.holds("Domain registered after 2010", b"unknown.org"));
+        // Exact threshold year is not "after".
+        assert!(!whois.holds("Domain registered after 2021", b"fresh.dev"));
+        // Malformed query years and unrelated queries reject.
+        assert!(!whois.holds("Domain registered after MMXX", b"fresh.dev"));
+        assert!(!whois.holds("Phishing domain", b"fresh.dev"));
+    }
+
+    #[test]
+    fn phishing_list_membership() {
+        let mut list = PhishingList::new();
+        list.extend(["evil.example", "Login-Secure.bank.xyz"]);
+        assert_eq!(list.len(), 2);
+        assert!(list.holds(PHISHING_QUERY, b"evil.example"));
+        assert!(list.holds(PHISHING_QUERY, b"login-secure.bank.xyz"));
+        assert!(!list.holds(PHISHING_QUERY, b"good.example"));
+        assert!(!list.holds("Domain does not exist", b"evil.example"));
+        assert!(PhishingList::new().is_empty());
+    }
+
+    #[test]
+    fn ipv4_parsing() {
+        assert_eq!(IpGeoDb::parse_ipv4("10.0.0.1"), Some(0x0a000001));
+        assert_eq!(IpGeoDb::parse_ipv4("255.255.255.255"), Some(u32::MAX));
+        assert_eq!(IpGeoDb::parse_ipv4("0.0.0.0"), Some(0));
+        assert_eq!(IpGeoDb::parse_ipv4("256.1.1.1"), None);
+        assert_eq!(IpGeoDb::parse_ipv4("1.2.3"), None);
+        assert_eq!(IpGeoDb::parse_ipv4("1.2.3.4.5"), None);
+        assert_eq!(IpGeoDb::parse_ipv4("a.b.c.d"), None);
+        assert_eq!(IpGeoDb::parse_ipv4(""), None);
+        assert_eq!(IpGeoDb::parse_ipv4("1..2.3"), None);
+    }
+
+    #[test]
+    fn foreign_ip_classification() {
+        let db = IpGeoDb::with_private_ranges();
+        assert!(!db.holds(FOREIGN_IP_QUERY, b"10.1.2.3"));
+        assert!(!db.holds(FOREIGN_IP_QUERY, b"192.168.0.7"));
+        assert!(!db.holds(FOREIGN_IP_QUERY, b"172.20.1.1"));
+        assert!(!db.holds(FOREIGN_IP_QUERY, b"127.0.0.1"));
+        assert!(db.holds(FOREIGN_IP_QUERY, b"8.8.8.8"));
+        assert!(db.holds(FOREIGN_IP_QUERY, b"172.32.0.1"));
+        // Not parseable as an address: rejected even though it matches the
+        // skeleton (Σ_d{1,3} .)³ Σ_d{1,3}.
+        assert!(!db.holds(FOREIGN_IP_QUERY, b"999.999.999.999"));
+        assert!(!db.holds("some other query", b"8.8.8.8"));
+        // With no intranet configured, everything valid is foreign.
+        assert!(IpGeoDb::new().holds(FOREIGN_IP_QUERY, b"10.1.2.3"));
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix length")]
+    fn cidr_prefix_validation() {
+        IpGeoDb::new().add_intranet([1, 2, 3, 4], 33);
+    }
+
+    #[test]
+    fn filesystem_existence() {
+        let fs = FileSystemOracle::with_files(["/usr/lib/jvm/java/bin/javac", "relative/path.txt"]);
+        assert!(fs.exists("/usr/lib/jvm/java/bin/javac"));
+        assert!(fs.exists("/usr/lib/jvm"));
+        assert!(fs.exists("/usr/lib/jvm/"));
+        assert!(fs.exists("/usr"));
+        assert!(fs.exists("/"));
+        assert!(fs.exists("relative/path.txt"));
+        assert!(fs.exists("relative"));
+        assert!(!fs.exists("/usr/lib/jvm/java/bin/java"));
+        assert!(!fs.exists("elsewhere"));
+        assert!(fs.len() >= 6);
+
+        assert!(fs.holds(NONEXISTENT_PATH_QUERY, b"/does/not/exist"));
+        assert!(!fs.holds(NONEXISTENT_PATH_QUERY, b"/usr/lib/"));
+        assert!(!fs.holds("Phishing domain", b"/does/not/exist"));
+        assert!(FileSystemOracle::new().is_empty());
+    }
+}

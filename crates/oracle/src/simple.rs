@@ -1,0 +1,328 @@
+//! Basic oracles: constant, predicate-backed, set-backed, table-dispatch,
+//! and the palindrome oracle used in the paper's worked examples.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use crate::Oracle;
+
+/// An oracle that gives the same answer to every query.
+///
+/// `ConstOracle::new(false)` is the oracle `⟦·⟧_f` used in the proof of the
+/// query-complexity lower bound (Theorem 4.1); it is also handy for
+/// exercising the skeleton-only behaviour of matchers in tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConstOracle {
+    answer: bool,
+}
+
+impl ConstOracle {
+    /// Creates an oracle answering `answer` to everything.
+    pub fn new(answer: bool) -> Self {
+        ConstOracle { answer }
+    }
+
+    /// The oracle that accepts every `(q, w)` pair.
+    pub fn always_true() -> Self {
+        ConstOracle::new(true)
+    }
+
+    /// The oracle that rejects every `(q, w)` pair.
+    pub fn always_false() -> Self {
+        ConstOracle::new(false)
+    }
+}
+
+impl Oracle for ConstOracle {
+    fn holds(&self, _query: &str, _text: &[u8]) -> bool {
+        self.answer
+    }
+
+    fn describe(&self) -> String {
+        format!("const({})", self.answer)
+    }
+}
+
+/// An oracle backed by an arbitrary function `Q × Σ* → bool`.
+///
+/// # Examples
+///
+/// ```
+/// use semre_oracle::{Oracle, PredicateOracle};
+///
+/// let even = PredicateOracle::new(|_, text: &[u8]| text.len() % 2 == 0);
+/// assert!(even.holds("whatever", b"abcd"));
+/// assert!(!even.holds("whatever", b"abc"));
+/// ```
+pub struct PredicateOracle<F> {
+    predicate: F,
+}
+
+impl<F> PredicateOracle<F>
+where
+    F: Fn(&str, &[u8]) -> bool,
+{
+    /// Wraps the predicate `f(query, text)`.
+    pub fn new(predicate: F) -> Self {
+        PredicateOracle { predicate }
+    }
+}
+
+impl<F> Oracle for PredicateOracle<F>
+where
+    F: Fn(&str, &[u8]) -> bool + Send + Sync,
+{
+    fn holds(&self, query: &str, text: &[u8]) -> bool {
+        (self.predicate)(query, text)
+    }
+
+    fn describe(&self) -> String {
+        "predicate".to_owned()
+    }
+}
+
+impl<F> fmt::Debug for PredicateOracle<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PredicateOracle").finish_non_exhaustive()
+    }
+}
+
+/// An oracle defined by explicit sets of accepted strings, one per query.
+///
+/// This is the "database of award winners / atlas of major cities" style of
+/// oracle from the paper's introduction.  Queries with no registered set
+/// reject every string.
+///
+/// # Examples
+///
+/// ```
+/// use semre_oracle::{Oracle, SetOracle};
+///
+/// let mut oracle = SetOracle::new();
+/// oracle.insert("Sportsperson", "Simone Biles");
+/// oracle.insert("Sportsperson", "Lionel Messi");
+/// oracle.insert("Scientist", "Marie Curie");
+/// assert!(oracle.holds("Sportsperson", b"Lionel Messi"));
+/// assert!(!oracle.holds("Sportsperson", b"Marie Curie"));
+/// assert!(!oracle.holds("Politician", b"Lionel Messi"));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SetOracle {
+    sets: HashMap<String, HashSet<Vec<u8>>>,
+}
+
+impl SetOracle {
+    /// Creates an oracle with no registered strings.
+    pub fn new() -> Self {
+        SetOracle::default()
+    }
+
+    /// Registers `text` as accepted by `query`.
+    pub fn insert(&mut self, query: impl Into<String>, text: impl AsRef<[u8]>) {
+        self.sets.entry(query.into()).or_default().insert(text.as_ref().to_vec());
+    }
+
+    /// Registers every string in `texts` as accepted by `query`.
+    pub fn insert_all<I, T>(&mut self, query: impl Into<String>, texts: I)
+    where
+        I: IntoIterator<Item = T>,
+        T: AsRef<[u8]>,
+    {
+        let set = self.sets.entry(query.into()).or_default();
+        for t in texts {
+            set.insert(t.as_ref().to_vec());
+        }
+    }
+
+    /// Number of strings registered for `query`.
+    pub fn len_for(&self, query: &str) -> usize {
+        self.sets.get(query).map_or(0, HashSet::len)
+    }
+
+    /// The query names that have at least one registered string.
+    pub fn queries(&self) -> impl Iterator<Item = &str> {
+        self.sets.keys().map(String::as_str)
+    }
+}
+
+impl Oracle for SetOracle {
+    fn holds(&self, query: &str, text: &[u8]) -> bool {
+        self.sets.get(query).is_some_and(|set| set.contains(text))
+    }
+
+    fn describe(&self) -> String {
+        format!("set({} queries)", self.sets.len())
+    }
+}
+
+/// Dispatches each query name to its own boxed oracle.
+///
+/// This mirrors the paper's experimental setup, where different SemREs are
+/// backed by different external services (LLM, Whois, phishing list,
+/// geolocation database, file system).  Queries with no registered handler
+/// are answered by a configurable default (initially: reject).
+pub struct TableOracle {
+    handlers: HashMap<String, Box<dyn Oracle>>,
+    default_answer: bool,
+}
+
+impl TableOracle {
+    /// Creates an empty table whose unregistered queries reject.
+    pub fn new() -> Self {
+        TableOracle { handlers: HashMap::new(), default_answer: false }
+    }
+
+    /// Sets the answer given to queries with no registered handler.
+    pub fn with_default_answer(mut self, answer: bool) -> Self {
+        self.default_answer = answer;
+        self
+    }
+
+    /// Registers `oracle` as the handler for `query`.
+    pub fn register(&mut self, query: impl Into<String>, oracle: impl Oracle + 'static) {
+        self.handlers.insert(query.into(), Box::new(oracle));
+    }
+
+    /// Builder-style [`register`](Self::register).
+    pub fn with(mut self, query: impl Into<String>, oracle: impl Oracle + 'static) -> Self {
+        self.register(query, oracle);
+        self
+    }
+
+    /// Number of registered handlers.
+    pub fn len(&self) -> usize {
+        self.handlers.len()
+    }
+
+    /// Whether no handlers are registered.
+    pub fn is_empty(&self) -> bool {
+        self.handlers.is_empty()
+    }
+}
+
+impl Default for TableOracle {
+    fn default() -> Self {
+        TableOracle::new()
+    }
+}
+
+impl fmt::Debug for TableOracle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TableOracle")
+            .field("queries", &self.handlers.keys().collect::<Vec<_>>())
+            .field("default_answer", &self.default_answer)
+            .finish()
+    }
+}
+
+impl Oracle for TableOracle {
+    fn holds(&self, query: &str, text: &[u8]) -> bool {
+        match self.handlers.get(query) {
+            Some(oracle) => oracle.holds(query, text),
+            None => self.default_answer,
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("table({} handlers)", self.handlers.len())
+    }
+}
+
+/// The palindrome oracle `pal` used in the worked example of Fig. 2.
+///
+/// Accepts exactly the strings that read the same forwards and backwards
+/// (byte-wise); the empty string is a palindrome.
+///
+/// # Examples
+///
+/// ```
+/// use semre_oracle::{Oracle, PalindromeOracle};
+///
+/// let pal = PalindromeOracle;
+/// assert!(pal.holds("pal", b"bcacb"));
+/// assert!(pal.holds("pal", b""));
+/// assert!(!pal.holds("pal", b"bcacbX"));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PalindromeOracle;
+
+impl Oracle for PalindromeOracle {
+    fn holds(&self, _query: &str, text: &[u8]) -> bool {
+        let n = text.len();
+        (0..n / 2).all(|i| text[i] == text[n - 1 - i])
+    }
+
+    fn describe(&self) -> String {
+        "palindrome".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn const_oracle() {
+        assert!(ConstOracle::always_true().holds("q", b"x"));
+        assert!(!ConstOracle::always_false().holds("q", b"x"));
+        assert_eq!(ConstOracle::default(), ConstOracle::always_false());
+    }
+
+    #[test]
+    fn set_oracle_membership() {
+        let mut o = SetOracle::new();
+        o.insert_all("City", ["Paris", "Houston", "Łódź"]);
+        assert!(o.holds("City", b"Paris"));
+        assert!(o.holds("City", "Łódź".as_bytes()));
+        assert!(!o.holds("City", b"paris"));
+        assert!(!o.holds("Celebrity", b"Paris"));
+        assert_eq!(o.len_for("City"), 3);
+        assert_eq!(o.len_for("Celebrity"), 0);
+        assert_eq!(o.queries().count(), 1);
+    }
+
+    #[test]
+    fn table_oracle_dispatch() {
+        let table = TableOracle::new()
+            .with("even", PredicateOracle::new(|_, t: &[u8]| t.len() % 2 == 0))
+            .with("pal", PalindromeOracle);
+        assert!(table.holds("even", b"ab"));
+        assert!(!table.holds("even", b"abc"));
+        assert!(table.holds("pal", b"aba"));
+        assert!(!table.holds("unknown", b"anything"));
+        assert_eq!(table.len(), 2);
+        assert!(!table.is_empty());
+
+        let permissive = TableOracle::new().with_default_answer(true);
+        assert!(permissive.holds("unknown", b"anything"));
+        assert!(permissive.is_empty());
+    }
+
+    #[test]
+    fn palindromes() {
+        let pal = PalindromeOracle;
+        for yes in ["", "a", "aa", "aba", "abba", "bcacb"] {
+            assert!(pal.holds("pal", yes.as_bytes()), "{yes:?} should be a palindrome");
+        }
+        for no in ["ab", "abca", "bcacbc", "cb"] {
+            assert!(!pal.holds("pal", no.as_bytes()), "{no:?} should not be a palindrome");
+        }
+    }
+
+    #[test]
+    fn predicate_oracle_sees_query_name() {
+        let o = PredicateOracle::new(|q: &str, t: &[u8]| t.len() >= q.len());
+        assert!(o.holds("ab", b"xyz"));
+        assert!(!o.holds("abcdef", b"xyz"));
+        assert!(format!("{o:?}").contains("PredicateOracle"));
+    }
+
+    #[test]
+    fn trait_object_usability() {
+        let boxed: Box<dyn Oracle> = Box::new(PalindromeOracle);
+        assert!(boxed.holds("pal", b"aa"));
+        let table: TableOracle = TableOracle::new().with("pal", PalindromeOracle);
+        let as_ref: &dyn Oracle = &table;
+        assert!(as_ref.holds("pal", b"aa"));
+    }
+}

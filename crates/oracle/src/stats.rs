@@ -1,0 +1,127 @@
+//! Oracle usage statistics.
+//!
+//! Table 2 of the paper reports, per SemRE and per algorithm, the number of
+//! oracle calls per line, the fraction of running time spent inside the
+//! oracle, and the average number of characters submitted to the oracle per
+//! line.  [`OracleStats`] is the snapshot type from which those aggregate
+//! statistics are computed; it is produced by the
+//! [`Instrumented`](crate::Instrumented) wrapper.
+
+use std::ops::Sub;
+use std::time::Duration;
+
+/// A snapshot of cumulative oracle usage.
+///
+/// Snapshots are totals since the wrapper was created; per-line (or
+/// per-call-site) usage is obtained by subtracting two snapshots.
+///
+/// # Examples
+///
+/// ```
+/// use semre_oracle::{Instrumented, Oracle, PredicateOracle};
+///
+/// let oracle = Instrumented::new(PredicateOracle::new(|_, text: &[u8]| text.len() > 3));
+/// let before = oracle.stats();
+/// oracle.holds("q", b"hello");
+/// oracle.holds("q", b"hi");
+/// let used = oracle.stats() - before;
+/// assert_eq!(used.calls, 2);
+/// assert_eq!(used.query_bytes, 7);
+/// assert_eq!(used.positive, 1);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OracleStats {
+    /// Number of oracle invocations.
+    pub calls: u64,
+    /// Total number of bytes submitted across all invocations.
+    pub query_bytes: u64,
+    /// Number of invocations that returned `true`.
+    pub positive: u64,
+    /// Time spent inside the oracle (including simulated latency), in
+    /// nanoseconds.
+    pub oracle_nanos: u64,
+}
+
+impl OracleStats {
+    /// A zeroed snapshot.
+    pub fn new() -> Self {
+        OracleStats::default()
+    }
+
+    /// Time spent inside the oracle as a [`Duration`].
+    pub fn oracle_time(&self) -> Duration {
+        Duration::from_nanos(self.oracle_nanos)
+    }
+
+    /// Average number of bytes per call, or `0.0` when no calls were made.
+    pub fn mean_query_bytes(&self) -> f64 {
+        if self.calls == 0 {
+            0.0
+        } else {
+            self.query_bytes as f64 / self.calls as f64
+        }
+    }
+
+    /// Component-wise sum of two snapshots.
+    pub fn merged(&self, other: &OracleStats) -> OracleStats {
+        OracleStats {
+            calls: self.calls + other.calls,
+            query_bytes: self.query_bytes + other.query_bytes,
+            positive: self.positive + other.positive,
+            oracle_nanos: self.oracle_nanos + other.oracle_nanos,
+        }
+    }
+}
+
+impl Sub for OracleStats {
+    type Output = OracleStats;
+
+    /// Component-wise saturating difference, used to compute the usage
+    /// between two snapshots.
+    fn sub(self, earlier: OracleStats) -> OracleStats {
+        OracleStats {
+            calls: self.calls.saturating_sub(earlier.calls),
+            query_bytes: self.query_bytes.saturating_sub(earlier.query_bytes),
+            positive: self.positive.saturating_sub(earlier.positive),
+            oracle_nanos: self.oracle_nanos.saturating_sub(earlier.oracle_nanos),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_query_bytes_handles_zero_calls() {
+        assert_eq!(OracleStats::new().mean_query_bytes(), 0.0);
+        let s = OracleStats { calls: 4, query_bytes: 10, positive: 0, oracle_nanos: 0 };
+        assert_eq!(s.mean_query_bytes(), 2.5);
+    }
+
+    #[test]
+    fn subtraction_is_componentwise() {
+        let a = OracleStats { calls: 10, query_bytes: 100, positive: 3, oracle_nanos: 5000 };
+        let b = OracleStats { calls: 4, query_bytes: 40, positive: 1, oracle_nanos: 2000 };
+        let d = a - b;
+        assert_eq!(d, OracleStats { calls: 6, query_bytes: 60, positive: 2, oracle_nanos: 3000 });
+        // Saturating, never underflows.
+        assert_eq!((b - a).calls, 0);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let a = OracleStats { calls: 1, query_bytes: 2, positive: 1, oracle_nanos: 3 };
+        let b = OracleStats { calls: 10, query_bytes: 20, positive: 0, oracle_nanos: 30 };
+        assert_eq!(
+            a.merged(&b),
+            OracleStats { calls: 11, query_bytes: 22, positive: 1, oracle_nanos: 33 }
+        );
+    }
+
+    #[test]
+    fn oracle_time_conversion() {
+        let s = OracleStats { calls: 0, query_bytes: 0, positive: 0, oracle_nanos: 1_500_000 };
+        assert_eq!(s.oracle_time(), Duration::from_micros(1500));
+    }
+}

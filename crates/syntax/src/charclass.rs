@@ -1,0 +1,434 @@
+//! Byte-level character classes.
+//!
+//! The paper (Note 2.2) fixes the alphabet `Σ` to be the 256 possible byte
+//! values of a UTF-8 encoded stream and supports three kinds of character
+//! classes: the wildcard `Σ` (written `.`), ranges `[a-b]`, and negated
+//! ranges `[^a-b]`.  A [`CharClass`] is the effective Boolean algebra over
+//! these: an arbitrary subset of the 256 byte values, stored as a 256-bit
+//! set.  All Boolean operations are supported, so richer symbolic classes
+//! (unions of ranges, complements, intersections) can be expressed as well.
+
+use std::fmt;
+
+/// A set of byte values, i.e. a subset of the alphabet `Σ = {0, …, 255}`.
+///
+/// `CharClass` is a small value type (32 bytes) implementing the full
+/// Boolean algebra of byte sets.  It is the guard placed on character
+/// transitions of the semantic NFA and the payload of literal leaves of the
+/// SemRE AST.
+///
+/// # Examples
+///
+/// ```
+/// use semre_syntax::CharClass;
+///
+/// let digits = CharClass::range(b'0', b'9');
+/// let lower = CharClass::range(b'a', b'z');
+/// let alnum = digits.union(&lower);
+/// assert!(alnum.contains(b'7'));
+/// assert!(alnum.contains(b'k'));
+/// assert!(!alnum.contains(b'K'));
+/// assert_eq!(digits.len(), 10);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CharClass {
+    bits: [u64; 4],
+}
+
+impl CharClass {
+    /// The empty class: matched by no byte.
+    pub const fn empty() -> Self {
+        CharClass { bits: [0; 4] }
+    }
+
+    /// The full class `Σ` (the wildcard `.`): matched by every byte.
+    pub const fn any() -> Self {
+        CharClass { bits: [u64::MAX; 4] }
+    }
+
+    /// A class containing exactly one byte.
+    pub fn single(b: u8) -> Self {
+        let mut c = CharClass::empty();
+        c.insert(b);
+        c
+    }
+
+    /// The inclusive range `[lo-hi]`.  An empty class is returned when
+    /// `lo > hi`.
+    pub fn range(lo: u8, hi: u8) -> Self {
+        let mut c = CharClass::empty();
+        if lo <= hi {
+            for b in lo..=hi {
+                c.insert(b);
+            }
+        }
+        c
+    }
+
+    /// Builds a class from an explicit set of bytes.
+    pub fn from_bytes<I: IntoIterator<Item = u8>>(bytes: I) -> Self {
+        let mut c = CharClass::empty();
+        for b in bytes {
+            c.insert(b);
+        }
+        c
+    }
+
+    /// ASCII decimal digits `[0-9]` (the paper's `Σ_d`).
+    pub fn digit() -> Self {
+        CharClass::range(b'0', b'9')
+    }
+
+    /// ASCII letters `[a-zA-Z]` (the paper's `Σ_a`).
+    pub fn alpha() -> Self {
+        CharClass::range(b'a', b'z').union(&CharClass::range(b'A', b'Z'))
+    }
+
+    /// ASCII letters and digits.
+    pub fn alnum() -> Self {
+        CharClass::alpha().union(&CharClass::digit())
+    }
+
+    /// ASCII whitespace (space, tab, CR, LF, form feed, vertical tab).
+    pub fn whitespace() -> Self {
+        CharClass::from_bytes([b' ', b'\t', b'\r', b'\n', 0x0c, 0x0b])
+    }
+
+    /// Adds a byte to the class.
+    pub fn insert(&mut self, b: u8) {
+        self.bits[(b >> 6) as usize] |= 1u64 << (b & 63);
+    }
+
+    /// Removes a byte from the class.
+    pub fn remove(&mut self, b: u8) {
+        self.bits[(b >> 6) as usize] &= !(1u64 << (b & 63));
+    }
+
+    /// Tests whether the class contains the byte `b`.
+    pub fn contains(&self, b: u8) -> bool {
+        self.bits[(b >> 6) as usize] & (1u64 << (b & 63)) != 0
+    }
+
+    /// Number of bytes in the class.
+    pub fn len(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the class is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+
+    /// Whether the class is the full alphabet.
+    pub fn is_any(&self) -> bool {
+        self.bits.iter().all(|&w| w == u64::MAX)
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &CharClass) -> CharClass {
+        let mut bits = self.bits;
+        for (a, b) in bits.iter_mut().zip(other.bits.iter()) {
+            *a |= *b;
+        }
+        CharClass { bits }
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, other: &CharClass) -> CharClass {
+        let mut bits = self.bits;
+        for (a, b) in bits.iter_mut().zip(other.bits.iter()) {
+            *a &= *b;
+        }
+        CharClass { bits }
+    }
+
+    /// Set difference `self \ other`.
+    pub fn difference(&self, other: &CharClass) -> CharClass {
+        let mut bits = self.bits;
+        for (a, b) in bits.iter_mut().zip(other.bits.iter()) {
+            *a &= !*b;
+        }
+        CharClass { bits }
+    }
+
+    /// Set complement with respect to the full alphabet `Σ`.
+    pub fn complement(&self) -> CharClass {
+        let mut bits = self.bits;
+        for a in bits.iter_mut() {
+            *a = !*a;
+        }
+        CharClass { bits }
+    }
+
+    /// Whether the two classes share at least one byte.
+    pub fn overlaps(&self, other: &CharClass) -> bool {
+        !self.intersect(other).is_empty()
+    }
+
+    /// Whether `self` is a subset of `other`.
+    pub fn is_subset(&self, other: &CharClass) -> bool {
+        self.difference(other).is_empty()
+    }
+
+    /// Iterates over the bytes in the class in increasing order.
+    pub fn iter(&self) -> Bytes {
+        Bytes { class: *self, next: 0, done: false }
+    }
+
+    /// The smallest byte in the class, if non-empty.
+    pub fn min_byte(&self) -> Option<u8> {
+        self.iter().next()
+    }
+
+    /// Returns the class as a sorted list of maximal inclusive ranges.
+    ///
+    /// Used by the pretty printer and by tests; e.g. `[a-cx]` becomes
+    /// `[(b'a', b'c'), (b'x', b'x')]`.
+    pub fn ranges(&self) -> Vec<(u8, u8)> {
+        let mut out = Vec::new();
+        let mut cur: Option<(u8, u8)> = None;
+        for b in self.iter() {
+            match cur {
+                Some((lo, hi)) if hi as u16 + 1 == b as u16 => cur = Some((lo, b)),
+                Some(r) => {
+                    out.push(r);
+                    cur = Some((b, b));
+                }
+                None => cur = Some((b, b)),
+            }
+        }
+        if let Some(r) = cur {
+            out.push(r);
+        }
+        out
+    }
+}
+
+impl Default for CharClass {
+    fn default() -> Self {
+        CharClass::empty()
+    }
+}
+
+impl FromIterator<u8> for CharClass {
+    fn from_iter<T: IntoIterator<Item = u8>>(iter: T) -> Self {
+        CharClass::from_bytes(iter)
+    }
+}
+
+impl Extend<u8> for CharClass {
+    fn extend<T: IntoIterator<Item = u8>>(&mut self, iter: T) {
+        for b in iter {
+            self.insert(b);
+        }
+    }
+}
+
+/// Iterator over the bytes of a [`CharClass`], produced by
+/// [`CharClass::iter`].
+#[derive(Clone, Debug)]
+pub struct Bytes {
+    class: CharClass,
+    next: u16,
+    done: bool,
+}
+
+impl Iterator for Bytes {
+    type Item = u8;
+
+    fn next(&mut self) -> Option<u8> {
+        if self.done {
+            return None;
+        }
+        while self.next < 256 {
+            let b = self.next as u8;
+            self.next += 1;
+            if self.class.contains(b) {
+                return Some(b);
+            }
+        }
+        self.done = true;
+        None
+    }
+}
+
+fn display_byte(b: u8, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match b {
+        b'\n' => write!(f, "\\n"),
+        b'\t' => write!(f, "\\t"),
+        b'\r' => write!(f, "\\r"),
+        b'\\' | b'-' | b']' | b'[' | b'^' => write!(f, "\\{}", b as char),
+        0x20..=0x7e => write!(f, "{}", b as char),
+        _ => write!(f, "\\x{:02x}", b),
+    }
+}
+
+impl fmt::Display for CharClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_any() {
+            return write!(f, ".");
+        }
+        if self.len() == 1 {
+            // Single characters outside a bracket expression still need
+            // their own escaping rules, but rendering them inside brackets
+            // keeps the printer simple and unambiguous.
+            write!(f, "[")?;
+            display_byte(self.min_byte().expect("non-empty"), f)?;
+            return write!(f, "]");
+        }
+        // Prefer the negated form when it is much smaller.
+        let (neg, class) = if self.len() > 200 { (true, self.complement()) } else { (false, *self) };
+        write!(f, "[")?;
+        if neg {
+            write!(f, "^")?;
+        }
+        for (lo, hi) in class.ranges() {
+            if lo == hi {
+                display_byte(lo, f)?;
+            } else if hi == lo + 1 {
+                display_byte(lo, f)?;
+                display_byte(hi, f)?;
+            } else {
+                display_byte(lo, f)?;
+                write!(f, "-")?;
+                display_byte(hi, f)?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Debug for CharClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CharClass({})", self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_any() {
+        assert_eq!(CharClass::empty().len(), 0);
+        assert!(CharClass::empty().is_empty());
+        assert_eq!(CharClass::any().len(), 256);
+        assert!(CharClass::any().is_any());
+        assert!(!CharClass::any().is_empty());
+    }
+
+    #[test]
+    fn single_and_contains() {
+        let c = CharClass::single(b'x');
+        assert!(c.contains(b'x'));
+        assert!(!c.contains(b'y'));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.min_byte(), Some(b'x'));
+    }
+
+    #[test]
+    fn range_boundaries() {
+        let c = CharClass::range(b'a', b'f');
+        assert!(c.contains(b'a'));
+        assert!(c.contains(b'f'));
+        assert!(!c.contains(b'g'));
+        assert!(!c.contains(b'`'));
+        assert_eq!(c.len(), 6);
+    }
+
+    #[test]
+    fn inverted_range_is_empty() {
+        assert!(CharClass::range(b'z', b'a').is_empty());
+    }
+
+    #[test]
+    fn boolean_algebra_laws() {
+        let a = CharClass::range(b'a', b'm');
+        let b = CharClass::range(b'h', b'z');
+        let u = a.union(&b);
+        let i = a.intersect(&b);
+        assert_eq!(u.len(), 26);
+        assert_eq!(i.len(), 6);
+        // De Morgan
+        assert_eq!(u.complement(), a.complement().intersect(&b.complement()));
+        assert_eq!(i.complement(), a.complement().union(&b.complement()));
+        // difference
+        assert_eq!(a.difference(&b).len(), 7);
+        assert!(a.difference(&b).is_subset(&a));
+        assert!(!a.difference(&b).overlaps(&b));
+    }
+
+    #[test]
+    fn complement_roundtrip() {
+        let c = CharClass::from_bytes([0, 1, 2, 127, 128, 255]);
+        assert_eq!(c.complement().complement(), c);
+        assert_eq!(c.complement().len(), 250);
+        assert!(c.complement().contains(b'a'));
+        assert!(!c.complement().contains(0));
+        assert!(!c.complement().contains(255));
+    }
+
+    #[test]
+    fn insert_remove() {
+        let mut c = CharClass::empty();
+        c.insert(200);
+        assert!(c.contains(200));
+        c.remove(200);
+        assert!(!c.contains(200));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let c = CharClass::from_bytes([b'z', b'a', b'm']);
+        let got: Vec<u8> = c.iter().collect();
+        assert_eq!(got, vec![b'a', b'm', b'z']);
+    }
+
+    #[test]
+    fn ranges_coalesce() {
+        let c = CharClass::from_bytes([b'a', b'b', b'c', b'x', b'z']);
+        assert_eq!(c.ranges(), vec![(b'a', b'c'), (b'x', b'x'), (b'z', b'z')]);
+        assert_eq!(CharClass::empty().ranges(), vec![]);
+        assert_eq!(CharClass::any().ranges(), vec![(0, 255)]);
+    }
+
+    #[test]
+    fn named_classes() {
+        assert_eq!(CharClass::digit().len(), 10);
+        assert_eq!(CharClass::alpha().len(), 52);
+        assert_eq!(CharClass::alnum().len(), 62);
+        assert!(CharClass::whitespace().contains(b' '));
+        assert!(CharClass::whitespace().contains(b'\t'));
+        assert!(!CharClass::whitespace().contains(b'x'));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(CharClass::any().to_string(), ".");
+        assert_eq!(CharClass::single(b'a').to_string(), "[a]");
+        assert_eq!(CharClass::range(b'a', b'c').to_string(), "[a-c]");
+        // Large classes display in negated form.
+        let not_quote = CharClass::single(b'"').complement();
+        assert_eq!(not_quote.to_string(), "[^\"]");
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let c: CharClass = (b'0'..=b'3').collect();
+        assert_eq!(c.len(), 4);
+        let mut d = CharClass::empty();
+        d.extend([b'x', b'y']);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn subset_relation() {
+        let small = CharClass::range(b'b', b'd');
+        let big = CharClass::range(b'a', b'z');
+        assert!(small.is_subset(&big));
+        assert!(!big.is_subset(&small));
+        assert!(CharClass::empty().is_subset(&small));
+        assert!(big.is_subset(&CharClass::any()));
+    }
+}

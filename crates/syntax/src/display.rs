@@ -1,0 +1,150 @@
+//! Pretty printing of SemREs back into the concrete syntax of
+//! [`crate::parser`].
+//!
+//! The printer is precedence-aware and produces patterns that re-parse to a
+//! structurally equal AST (for ASTs built through the public constructors),
+//! which is checked by property tests in the crate's test suite.
+
+use std::fmt;
+
+use crate::ast::Semre;
+
+/// Operator precedence levels, from loosest to tightest binding.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Prec {
+    Union = 0,
+    Concat = 1,
+    Repeat = 2,
+    Atom = 3,
+}
+
+fn prec(r: &Semre) -> Prec {
+    match r {
+        Semre::Union(_, _) => Prec::Union,
+        Semre::Concat(_, _) => Prec::Concat,
+        Semre::Star(_) => Prec::Repeat,
+        Semre::Bot | Semre::Eps | Semre::Class(_) | Semre::Query(_, _) => Prec::Atom,
+    }
+}
+
+fn fmt_at(r: &Semre, min: Prec, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let needs_parens = prec(r) < min;
+    if needs_parens {
+        write!(f, "(")?;
+    }
+    match r {
+        Semre::Bot => write!(f, "[]")?,
+        Semre::Eps => write!(f, "()")?,
+        Semre::Class(c) => write!(f, "{c}")?,
+        Semre::Union(a, b) => {
+            fmt_at(a, Prec::Union, f)?;
+            write!(f, "|")?;
+            fmt_at(b, Prec::Concat, f)?;
+        }
+        Semre::Concat(a, b) => {
+            fmt_at(a, Prec::Concat, f)?;
+            fmt_at(b, Prec::Repeat, f)?;
+        }
+        Semre::Star(a) => {
+            fmt_at(a, Prec::Atom, f)?;
+            write!(f, "*")?;
+        }
+        Semre::Query(a, q) => {
+            write!(f, "(?<{q}>: ")?;
+            fmt_at(a, Prec::Union, f)?;
+            write!(f, ")")?;
+        }
+    }
+    if needs_parens {
+        write!(f, ")")?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for Semre {
+    /// Renders the expression in the concrete syntax accepted by
+    /// [`crate::parse`].
+    ///
+    /// ```
+    /// use semre_syntax::{parse, Semre};
+    ///
+    /// let r = Semre::padded(Semre::oracle("City"));
+    /// let printed = r.to_string();
+    /// assert_eq!(parse(&printed).unwrap(), r);
+    /// ```
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_at(self, Prec::Union, f)
+    }
+}
+
+impl fmt::Debug for Semre {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Semre({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ast::Semre;
+    use crate::charclass::CharClass;
+    use crate::parser::parse;
+
+    #[track_caller]
+    fn roundtrip(r: &Semre) {
+        let printed = r.to_string();
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("printed form {printed:?} does not re-parse: {e}"));
+        assert_eq!(&reparsed, r, "printed form {printed:?} re-parses differently");
+    }
+
+    #[test]
+    fn atoms_display() {
+        assert_eq!(Semre::Bot.to_string(), "[]");
+        assert_eq!(Semre::Eps.to_string(), "()");
+        assert_eq!(Semre::any().to_string(), ".");
+        assert_eq!(Semre::byte(b'a').to_string(), "[a]");
+    }
+
+    #[test]
+    fn precedence_parenthesisation() {
+        // (a|b)c vs a|bc
+        let a = Semre::byte(b'a');
+        let b = Semre::byte(b'b');
+        let c = Semre::byte(b'c');
+        let grouped = Semre::concat(Semre::Union(Box::new(a.clone()), Box::new(b.clone())), c.clone());
+        assert_eq!(grouped.to_string(), "([a]|[b])[c]");
+        let flat = Semre::Union(Box::new(a.clone()), Box::new(Semre::concat(b.clone(), c.clone())));
+        assert_eq!(flat.to_string(), "[a]|[b][c]");
+        // (ab)* vs ab*
+        let starred_group = Semre::star(Semre::concat(a.clone(), b.clone()));
+        assert_eq!(starred_group.to_string(), "([a][b])*");
+        roundtrip(&grouped);
+        roundtrip(&flat);
+        roundtrip(&starred_group);
+    }
+
+    #[test]
+    fn query_display() {
+        let r = Semre::query(Semre::plus(Semre::class(CharClass::range(b'a', b'z'))), "Medicine name");
+        assert_eq!(r.to_string(), "(?<Medicine name>: [a-z][a-z]*)");
+        roundtrip(&r);
+    }
+
+    #[test]
+    fn paper_patterns_roundtrip() {
+        roundtrip(&Semre::padded(Semre::oracle("Politician")));
+        roundtrip(&Semre::query(Semre::padded(Semre::oracle("City")), "Celebrity"));
+        roundtrip(&Semre::repeat(Semre::class(CharClass::digit()), 1, 3));
+        roundtrip(&Semre::concat(
+            Semre::literal("Subject: "),
+            Semre::padded(Semre::oracle_word("Medicine name")),
+        ));
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let dbg = format!("{:?}", Semre::any_star());
+        assert!(dbg.contains("Semre"));
+        assert!(dbg.len() > "Semre()".len());
+    }
+}

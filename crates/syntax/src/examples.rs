@@ -1,0 +1,330 @@
+//! The example SemREs from Section 2.2 and Section 3 of the paper.
+//!
+//! These are the nine benchmark expressions of Table 1 (credential leaks,
+//! stale file paths, identifier conventions, pharmaceutical spam, domain
+//! checks, foreign IPs) plus the small expressions used in the paper's
+//! worked examples (the palindrome pattern of Fig. 2, the `(Σ* ∧ ⟨q⟩)*`
+//! pattern of Fig. 5, and the nested "Paris Hilton" pattern).
+//!
+//! The constructors here build the *bare* expressions; the evaluation
+//! harness pads them with `Σ* … Σ*` (see [`Semre::padded`] and Table 1's
+//! `pad₁`/`pad₂`) before matching whole lines.
+
+use crate::ast::Semre;
+use crate::charclass::CharClass;
+
+/// Query names used by the benchmark SemREs, so that oracles and
+/// expressions agree on spelling.
+pub mod queries {
+    /// Oracle for Example 2.3 (credential leaks).
+    pub const PASSWORD: &str = "Password or SSH key";
+    /// Oracle for Example 2.5 (stale file paths).
+    pub const NONEXISTENT_PATH: &str = "Non-existent file path";
+    /// Oracle for Example 2.7 (identifier naming conventions).
+    pub const BAD_IDENTIFIER: &str = "Inappropriately named Java identifier";
+    /// Oracle for Example 2.8 (pharmaceutical spam).
+    pub const MEDICINE: &str = "Medicine name";
+    /// Oracle for Example 2.9 (dead sender domains).
+    pub const DEAD_DOMAIN: &str = "Domain does not exist";
+    /// Oracle for Example 2.10 (phishing URLs).
+    pub const PHISHING: &str = "Phishing domain";
+    /// Oracle for Example 2.10 (recently registered domains).
+    pub const RECENT_DOMAIN: &str = "Domain registered after 2010";
+    /// Oracle for Example 2.11 (foreign IP addresses).
+    pub const FOREIGN_IP: &str = "Foreign IP address";
+    /// Palindrome query used in the worked example of Fig. 2.
+    pub const PALINDROME: &str = "pal";
+    /// City query of the nested "Paris Hilton" example.
+    pub const CITY: &str = "City";
+    /// Celebrity query of the nested "Paris Hilton" example.
+    pub const CELEBRITY: &str = "Celebrity";
+}
+
+/// `Σ_s`: any byte except `"` and backslash (Example 2.3).
+pub fn string_body_class() -> CharClass {
+    CharClass::any().difference(&CharClass::from_bytes([b'"', b'\\']))
+}
+
+/// `Esc`: a backslash followed by one of `b t n f r " ' \` (Example 2.3).
+pub fn escape_sequence() -> Semre {
+    Semre::concat(
+        Semre::byte(b'\\'),
+        Semre::class(CharClass::from_bytes([b'b', b't', b'n', b'f', b'r', b'"', b'\'', b'\\'])),
+    )
+}
+
+/// `Σ_f`: file-name characters `[a-zA-Z0-9.\-_]` (Example 2.5).
+pub fn file_name_class() -> CharClass {
+    CharClass::alnum().union(&CharClass::from_bytes([b'-', b'.', b'_']))
+}
+
+/// `Σ_l`: Java identifier start characters `[a-zA-Z$_]` (Example 2.7).
+pub fn identifier_start_class() -> CharClass {
+    CharClass::alpha().union(&CharClass::from_bytes([b'$', b'_']))
+}
+
+/// `Σ_e`: e-mail / domain characters `[a-zA-Z0-9.\-]` (Example 2.9).
+pub fn domain_class() -> CharClass {
+    CharClass::alnum().union(&CharClass::from_bytes([b'-', b'.']))
+}
+
+/// Example 2.3, Equation 3 — credential leaks:
+/// `" ((Σ_s + Esc)* ∧ ⟨Password or SSH key⟩) "`.
+pub fn r_pass() -> Semre {
+    let body = Semre::star(Semre::union(Semre::class(string_body_class()), escape_sequence()));
+    Semre::concat_all([
+        Semre::byte(b'"'),
+        Semre::query(body, queries::PASSWORD),
+        Semre::byte(b'"'),
+    ])
+}
+
+/// Example 2.5, Equation 4 — non-existent file paths:
+/// `(Σ_f* / (Σ_f* + /)⁺ + Σ_f⁺ /) ∧ ⟨Non-existent file path⟩`.
+pub fn r_file() -> Semre {
+    let f = Semre::class(file_name_class());
+    let slash = Semre::byte(b'/');
+    let long_path = Semre::concat_all([
+        Semre::star(f.clone()),
+        slash.clone(),
+        Semre::plus(Semre::union(Semre::star(f.clone()), slash.clone())),
+    ]);
+    let short_path = Semre::concat(Semre::plus(f), slash);
+    Semre::query(Semre::union(long_path, short_path), queries::NONEXISTENT_PATH)
+}
+
+/// Example 2.7, Equation 5 — identifier naming conventions:
+/// `(Σ_l (Σ_l + [0-9])*) ∧ ⟨Inappropriately named Java identifier⟩`.
+pub fn r_id() -> Semre {
+    let start = Semre::class(identifier_start_class());
+    let rest = Semre::class(identifier_start_class().union(&CharClass::digit()));
+    Semre::query(Semre::concat(start, Semre::star(rest)), queries::BAD_IDENTIFIER)
+}
+
+/// Table 1's `pad₁ = (Σ* (Σ \ Σ_l))?`, the left padding used around
+/// [`r_id`] so that identifiers are matched on word boundaries.
+pub fn r_id_pad1() -> Semre {
+    Semre::opt(Semre::concat(
+        Semre::any_star(),
+        Semre::class(identifier_start_class().complement()),
+    ))
+}
+
+/// Table 1's `pad₂ = (Σ* (Σ \ (Σ_l ∪ [0-9])))?` reversed for the right
+/// side: `((Σ \ (Σ_l ∪ [0-9])) Σ*)?`.
+///
+/// The paper states `pad₂ = (Σ∗ (Σ\(Σ_l ∪ {0…9})))?`; placing the
+/// separator adjacent to the identifier (rather than at the end of the
+/// line) is the reading that yields a word-boundary check, and is the one
+/// we use.
+pub fn r_id_pad2() -> Semre {
+    Semre::opt(Semre::concat(
+        Semre::class(identifier_start_class().union(&CharClass::digit()).complement()),
+        Semre::any_star(),
+    ))
+}
+
+/// The fully padded identifier SemRE of Table 1: `pad₁ r_id pad₂`.
+pub fn r_id_padded() -> Semre {
+    Semre::concat_all([r_id_pad1(), r_id(), r_id_pad2()])
+}
+
+/// Example 2.9, Equation 8 — e-mail senders whose domain no longer exists:
+/// `Σ_e⁺ @ ((Σ_e⁺ . Σ_a{1,3}) ∧ ⟨Domain does not exist⟩)`.
+pub fn r_edom() -> Semre {
+    Semre::concat_all([
+        Semre::plus(Semre::class(domain_class())),
+        Semre::byte(b'@'),
+        Semre::query(domain_with_tld(), queries::DEAD_DOMAIN),
+    ])
+}
+
+/// The domain-with-TLD sub-pattern `Σ_e⁺ . Σ_a{1,3}` shared by the domain
+/// examples.
+pub fn domain_with_tld() -> Semre {
+    Semre::concat_all([
+        Semre::plus(Semre::class(domain_class())),
+        Semre::byte(b'.'),
+        Semre::repeat(Semre::class(CharClass::alpha()), 1, 3),
+    ])
+}
+
+/// Example 2.8, Equation 6 — pharmaceutical spam, whole-subject version:
+/// `Subject: Σ* (Σ⁺ ∧ ⟨Medicine name⟩) Σ*`.
+pub fn r_spam1() -> Semre {
+    Semre::concat_all([
+        Semre::literal("Subject: "),
+        Semre::any_star(),
+        Semre::oracle_word(queries::MEDICINE),
+        Semre::any_star(),
+    ])
+}
+
+/// Example 2.8, Equation 7 — pharmaceutical spam, whole-word version:
+/// `Subject: Σ* WS ([a-zA-Z]⁺ ∧ ⟨Medicine name⟩) WS Σ*`.
+pub fn r_spam2() -> Semre {
+    Semre::concat_all([
+        Semre::literal("Subject: "),
+        Semre::any_star(),
+        Semre::byte(b' '),
+        Semre::query(Semre::plus(Semre::class(CharClass::alpha())), queries::MEDICINE),
+        Semre::byte(b' '),
+        Semre::any_star(),
+    ])
+}
+
+/// The URL prefix `(http(s?):// + www.)` shared by the two `wdom`
+/// examples of Example 2.10.
+pub fn url_prefix() -> Semre {
+    Semre::union(
+        Semre::concat_all([
+            Semre::literal("http"),
+            Semre::opt(Semre::byte(b's')),
+            Semre::literal("://"),
+        ]),
+        Semre::literal("www."),
+    )
+}
+
+/// Example 2.10, Equation 9 — phishing URLs:
+/// `(http(s?):// + www.) ((Σ_e⁺ . Σ_a{1,3}) ∧ ⟨Phishing domain⟩)`.
+pub fn r_wdom1() -> Semre {
+    Semre::concat(url_prefix(), Semre::query(domain_with_tld(), queries::PHISHING))
+}
+
+/// Example 2.10, Equation 10 — recently registered domains:
+/// `(http(s?):// + www.) ((Σ_e⁺ . Σ_a{1,3}) ∧ ⟨Domain registered after 2010⟩)`.
+pub fn r_wdom2() -> Semre {
+    Semre::concat(url_prefix(), Semre::query(domain_with_tld(), queries::RECENT_DOMAIN))
+}
+
+/// Example 2.11, Equation 11 — foreign IP addresses:
+/// `((Σ_d{1,3} .)³ Σ_d{1,3}) ∧ ⟨Foreign IP address⟩`.
+pub fn r_ip() -> Semre {
+    let octet = Semre::repeat(Semre::class(CharClass::digit()), 1, 3);
+    let dotted = Semre::concat(
+        Semre::power(Semre::concat(octet.clone(), Semre::byte(b'.')), 3),
+        octet,
+    );
+    Semre::query(dotted, queries::FOREIGN_IP)
+}
+
+/// The worked example of Fig. 2: `Σ* a ⟨pal⟩`, where `pal` recognises
+/// palindromes.
+pub fn r_pal() -> Semre {
+    Semre::concat_all([Semre::any_star(), Semre::byte(b'a'), Semre::oracle(queries::PALINDROME)])
+}
+
+/// The pattern `(Σ* ∧ ⟨q⟩)*` of Fig. 5, for an arbitrary query name.
+pub fn r_qstar(query: &str) -> Semre {
+    Semre::star(Semre::query(Semre::any_star(), query))
+}
+
+/// The nested pattern of Fig. 4c: `Σ* a ((Σ* b ⟨q'⟩) ∧ ⟨q⟩)`.
+pub fn r_nest(outer: &str, inner: &str) -> Semre {
+    Semre::concat_all([
+        Semre::any_star(),
+        Semre::byte(b'a'),
+        Semre::query(
+            Semre::concat_all([Semre::any_star(), Semre::byte(b'b'), Semre::oracle(inner)]),
+            outer,
+        ),
+    ])
+}
+
+/// The "Paris Hilton" SemRE from the introduction:
+/// `(Σ* (Σ* ∧ ⟨City⟩) Σ*) ∧ ⟨Celebrity⟩` — celebrities whose names contain
+/// a city name.  This is the paper's canonical example of a *nested*
+/// query.
+pub fn r_paris_hilton() -> Semre {
+    Semre::query(Semre::padded(Semre::oracle(queries::CITY)), queries::CELEBRITY)
+}
+
+/// All nine benchmark SemREs of Table 1, with their table names, in table
+/// order, *without* the `Σ* … Σ*` padding that the evaluation adds.
+pub fn table1_semres() -> Vec<(&'static str, Semre)> {
+    vec![
+        ("pass", r_pass()),
+        ("file", r_file()),
+        ("id", r_id_padded()),
+        ("edom", r_edom()),
+        ("spam,1", r_spam1()),
+        ("spam,2", r_spam2()),
+        ("wdom,1", r_wdom1()),
+        ("wdom,2", r_wdom2()),
+        ("ip", r_ip()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_benchmarks_are_non_nested() {
+        for (name, r) in table1_semres() {
+            assert!(!r.has_nested_queries(), "{name} should not contain nested queries");
+            assert_eq!(r.query_count(), 1, "{name} should contain exactly one refinement");
+            assert!(!r.contains_bot(), "{name} should not contain ⊥");
+        }
+    }
+
+    #[test]
+    fn benchmark_sizes_are_plausible() {
+        // The absolute sizes in Table 1 depend on how character classes and
+        // bounded repetitions are counted; here we check relative ordering
+        // and rough magnitude: `pass` and `spam,1` are small, `id`, `edom`,
+        // `wdom` and `ip` are larger because of padding / repetition.
+        let sizes: std::collections::HashMap<_, _> =
+            table1_semres().into_iter().map(|(n, r)| (n, r.size())).collect();
+        assert!(sizes["pass"] < sizes["id"]);
+        assert!(sizes["spam,1"] < sizes["spam,2"]);
+        assert!(sizes["pass"] < 40, "pass has size {}", sizes["pass"]);
+        assert!(sizes["ip"] > 20, "ip has size {}", sizes["ip"]);
+    }
+
+    #[test]
+    fn paris_hilton_is_nested() {
+        assert!(r_paris_hilton().has_nested_queries());
+        assert_eq!(r_paris_hilton().nesting_depth(), 2);
+        assert!(r_nest("q", "q'").has_nested_queries());
+        assert!(!r_pal().has_nested_queries());
+        assert!(!r_qstar("q").has_nested_queries());
+    }
+
+    #[test]
+    fn character_class_helpers() {
+        assert!(!string_body_class().contains(b'"'));
+        assert!(!string_body_class().contains(b'\\'));
+        assert!(string_body_class().contains(b'a'));
+        assert!(file_name_class().contains(b'.'));
+        assert!(!file_name_class().contains(b'/'));
+        assert!(identifier_start_class().contains(b'$'));
+        assert!(!identifier_start_class().contains(b'0'));
+        assert!(domain_class().contains(b'-'));
+        assert!(!domain_class().contains(b'@'));
+    }
+
+    #[test]
+    fn queries_match_declared_names() {
+        assert_eq!(r_pass().queries()[0].as_str(), queries::PASSWORD);
+        assert_eq!(r_ip().queries()[0].as_str(), queries::FOREIGN_IP);
+        assert_eq!(r_spam1().queries()[0].as_str(), queries::MEDICINE);
+        assert_eq!(r_spam2().queries()[0].as_str(), queries::MEDICINE);
+        assert_eq!(r_wdom1().queries()[0].as_str(), queries::PHISHING);
+        assert_eq!(r_wdom2().queries()[0].as_str(), queries::RECENT_DOMAIN);
+        let ph: Vec<_> = r_paris_hilton().queries();
+        assert_eq!(ph[0].as_str(), queries::CELEBRITY);
+        assert_eq!(ph[1].as_str(), queries::CITY);
+    }
+
+    #[test]
+    fn printed_forms_reparse() {
+        for (name, r) in table1_semres() {
+            let printed = r.to_string();
+            let reparsed = crate::parse(&printed)
+                .unwrap_or_else(|e| panic!("{name}: printed form does not reparse: {e}"));
+            assert_eq!(reparsed, r, "{name}: reparse mismatch");
+        }
+    }
+}

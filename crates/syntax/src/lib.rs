@@ -1,0 +1,53 @@
+//! Syntax of semantic regular expressions (SemREs).
+//!
+//! A *semantic regular expression* (Chen et al., OOPSLA 2023; Huang et al.,
+//! PLDI 2025) extends classical regular expressions with an oracle
+//! refinement `r ∧ ⟨q⟩`: the set of strings that match `r` *and* are
+//! accepted by the external oracle when asked the question `q`.  This crate
+//! provides:
+//!
+//! * [`Semre`] — the AST (Equation 1 of the paper), with constructors for
+//!   all the standard syntactic sugar (`r?`, `r⁺`, `r{i,j}`, string
+//!   literals, the `⟨q⟩` and `[q]` shorthands);
+//! * [`CharClass`] — byte-level character classes forming an effective
+//!   Boolean algebra over the alphabet `Σ` of 256 byte values (Note 2.2);
+//! * [`parse`] — a parser for a POSIX-flavoured concrete syntax extended
+//!   with `(?<query>: r)` refinements, and a matching pretty printer
+//!   (`Display`);
+//! * [`skeleton`] / [`eliminate_bot`] — the structural transformations the
+//!   matching algorithm relies on;
+//! * [`examples`] — the paper's nine benchmark SemREs and worked examples.
+//!
+//! # Example
+//!
+//! ```
+//! use semre_syntax::{parse, skeleton, Semre};
+//!
+//! // Search for lines mentioning a medicine name surrounded by spaces
+//! // (Example 2.8 of the paper).
+//! let r = parse(r"Subject: .* (?<Medicine name>: [a-zA-Z]+) .*").unwrap();
+//! assert_eq!(r.query_count(), 1);
+//! assert!(!r.has_nested_queries());
+//!
+//! // Its skeleton is a classical regular expression.
+//! assert!(skeleton(&r).is_classical());
+//!
+//! // The same expression can be built programmatically.
+//! let again = Semre::concat(Semre::literal("Subject: "), Semre::any_star());
+//! assert!(again.is_classical());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ast;
+mod charclass;
+mod display;
+pub mod examples;
+mod parser;
+mod skeleton;
+
+pub use ast::{QueryName, Semre};
+pub use charclass::{Bytes, CharClass};
+pub use parser::{parse, ParseSemreError};
+pub use skeleton::{eliminate_bot, skeleton};

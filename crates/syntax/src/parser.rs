@@ -1,0 +1,539 @@
+//! A concrete syntax and parser for semantic regular expressions.
+//!
+//! The surface syntax extends the familiar POSIX-style regex notation with
+//! two forms for oracle refinements:
+//!
+//! | syntax | meaning |
+//! |---|---|
+//! | `abc` | the literal string `abc` |
+//! | `.` | the wildcard `Σ` (any byte) |
+//! | `[a-z0-9_]`, `[^"\\]` | character classes and negated classes |
+//! | `r1\|r2` | union `r₁ + r₂` |
+//! | `r1r2` | concatenation |
+//! | `r*`, `r+`, `r?` | Kleene star, plus, option |
+//! | `r{3}`, `r{1,3}`, `r{2,}` | bounded repetition |
+//! | `(r)` | grouping; `()` is `ε` |
+//! | `[]` | the empty language `⊥` |
+//! | `(?<Query name>: r)` | oracle refinement `r ∧ ⟨Query name⟩` |
+//! | `<Query name>` | the Note 2.1 shorthand `Σ* ∧ ⟨Query name⟩` |
+//!
+//! Escapes `\n \t \r \0 \xHH` and `\d \w \s \D \W \S` (digit, word,
+//! whitespace classes and their complements) are recognised both inside and
+//! outside bracket expressions; any other escaped byte stands for itself.
+//!
+//! # Examples
+//!
+//! ```
+//! use semre_syntax::parse;
+//!
+//! // The pharmaceutical-spam SemRE of Example 2.8.
+//! let r = parse(r"Subject: .*<Medicine name>.*").unwrap();
+//! assert_eq!(r.queries().len(), 1);
+//!
+//! // Nested queries (the "Paris Hilton" pattern).
+//! let nested = parse(r"(?<Celebrity>: .*(?<City>: .*).*)").unwrap();
+//! assert!(nested.has_nested_queries());
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ast::Semre;
+use crate::charclass::CharClass;
+
+/// An error produced while parsing the concrete SemRE syntax.
+///
+/// Carries the byte offset at which the problem was detected and a
+/// human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSemreError {
+    offset: usize,
+    message: String,
+}
+
+impl ParseSemreError {
+    fn new(offset: usize, message: impl Into<String>) -> Self {
+        ParseSemreError { offset, message: message.into() }
+    }
+
+    /// Byte offset into the pattern at which the error was detected.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// Human-readable description of the error.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ParseSemreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at offset {}", self.message, self.offset)
+    }
+}
+
+impl Error for ParseSemreError {}
+
+/// Parses a semantic regular expression from its concrete syntax.
+///
+/// # Errors
+///
+/// Returns a [`ParseSemreError`] describing the first syntax error, with its
+/// byte offset in `pattern`.
+///
+/// # Examples
+///
+/// ```
+/// use semre_syntax::parse;
+///
+/// let r = parse(r"[a-z]+@[a-z]+\.(com|org)").unwrap();
+/// assert!(r.is_classical());
+/// assert!(parse("(*oops").is_err());
+/// ```
+pub fn parse(pattern: &str) -> Result<Semre, ParseSemreError> {
+    let mut p = Parser { input: pattern.as_bytes(), pos: 0 };
+    let r = p.parse_union()?;
+    if p.pos != p.input.len() {
+        return Err(p.error(format!("unexpected character {:?}", p.input[p.pos] as char)));
+    }
+    Ok(r)
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: impl Into<String>) -> ParseSemreError {
+        ParseSemreError::new(self.pos, message)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseSemreError> {
+        if self.eat(b) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {:?}", b as char)))
+        }
+    }
+
+    // union := concat ('|' concat)*
+    fn parse_union(&mut self) -> Result<Semre, ParseSemreError> {
+        let mut r = self.parse_concat()?;
+        while self.eat(b'|') {
+            let rhs = self.parse_concat()?;
+            r = Semre::Union(Box::new(r), Box::new(rhs));
+        }
+        Ok(r)
+    }
+
+    // concat := repeat*
+    fn parse_concat(&mut self) -> Result<Semre, ParseSemreError> {
+        let mut parts: Vec<Semre> = Vec::new();
+        while let Some(b) = self.peek() {
+            if b == b'|' || b == b')' {
+                break;
+            }
+            parts.push(self.parse_repeat()?);
+        }
+        let mut it = parts.into_iter();
+        match it.next() {
+            None => Ok(Semre::Eps),
+            Some(first) => {
+                Ok(it.fold(first, |acc, r| Semre::Concat(Box::new(acc), Box::new(r))))
+            }
+        }
+    }
+
+    // repeat := atom postfix*
+    fn parse_repeat(&mut self) -> Result<Semre, ParseSemreError> {
+        let mut r = self.parse_atom()?;
+        loop {
+            match self.peek() {
+                Some(b'*') => {
+                    self.bump();
+                    r = Semre::star(r);
+                }
+                Some(b'+') => {
+                    self.bump();
+                    r = Semre::plus(r);
+                }
+                Some(b'?') => {
+                    self.bump();
+                    r = Semre::opt(r);
+                }
+                Some(b'{') => {
+                    self.bump();
+                    r = self.parse_bounds(r)?;
+                }
+                _ => break,
+            }
+        }
+        Ok(r)
+    }
+
+    // Parses the `{m}`, `{m,}`, `{m,n}` suffix; the opening brace has been
+    // consumed.
+    fn parse_bounds(&mut self, r: Semre) -> Result<Semre, ParseSemreError> {
+        let lo = self.parse_number()?;
+        let out = if self.eat(b',') {
+            if self.peek() == Some(b'}') {
+                Semre::repeat_at_least(r, lo)
+            } else {
+                let hi = self.parse_number()?;
+                if lo > hi {
+                    return Err(self.error(format!("invalid repetition bounds {{{lo},{hi}}}")));
+                }
+                Semre::repeat(r, lo, hi)
+            }
+        } else {
+            Semre::power(r, lo)
+        };
+        self.expect(b'}')?;
+        Ok(out)
+    }
+
+    fn parse_number(&mut self) -> Result<u32, ParseSemreError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.bump();
+        }
+        if self.pos == start {
+            return Err(self.error("expected a number"));
+        }
+        std::str::from_utf8(&self.input[start..self.pos])
+            .expect("digits are valid UTF-8")
+            .parse::<u32>()
+            .map_err(|_| ParseSemreError::new(start, "repetition bound too large".to_string()))
+    }
+
+    fn parse_atom(&mut self) -> Result<Semre, ParseSemreError> {
+        match self.peek() {
+            None => Err(self.error("unexpected end of pattern")),
+            Some(b'(') => {
+                self.bump();
+                if self.peek() == Some(b'?') {
+                    self.parse_refinement()
+                } else {
+                    if self.eat(b')') {
+                        return Ok(Semre::Eps);
+                    }
+                    let r = self.parse_union()?;
+                    self.expect(b')')?;
+                    Ok(r)
+                }
+            }
+            Some(b'<') => {
+                self.bump();
+                let name = self.parse_query_name(b'>')?;
+                self.expect(b'>')?;
+                Ok(Semre::oracle(name))
+            }
+            Some(b'[') => {
+                self.bump();
+                let class = self.parse_class()?;
+                Ok(Semre::class(class))
+            }
+            Some(b'.') => {
+                self.bump();
+                Ok(Semre::any())
+            }
+            Some(b'\\') => {
+                self.bump();
+                let class = self.parse_escape()?;
+                Ok(Semre::class(class))
+            }
+            Some(b @ (b'*' | b'+' | b'?' | b'{' | b'}' | b']' | b'>')) => {
+                Err(self.error(format!("unexpected metacharacter {:?}", b as char)))
+            }
+            Some(b) => {
+                self.bump();
+                Ok(Semre::byte(b))
+            }
+        }
+    }
+
+    // Parses `(?<name>: r)`; the opening `(` has been consumed and `?` is
+    // the current character.
+    fn parse_refinement(&mut self) -> Result<Semre, ParseSemreError> {
+        self.expect(b'?')?;
+        self.expect(b'<')?;
+        let name = self.parse_query_name(b'>')?;
+        self.expect(b'>')?;
+        self.expect(b':')?;
+        // An optional single space after the colon aids readability.
+        self.eat(b' ');
+        let r = self.parse_union()?;
+        self.expect(b')')?;
+        Ok(Semre::query(r, name))
+    }
+
+    fn parse_query_name(&mut self, terminator: u8) -> Result<String, ParseSemreError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == terminator {
+                break;
+            }
+            self.bump();
+        }
+        if self.pos == start {
+            return Err(self.error("empty query name"));
+        }
+        std::str::from_utf8(&self.input[start..self.pos])
+            .map(str::to_owned)
+            .map_err(|_| ParseSemreError::new(start, "query name is not valid UTF-8".to_string()))
+    }
+
+    // Parses a bracket expression; the opening `[` has been consumed.
+    fn parse_class(&mut self) -> Result<CharClass, ParseSemreError> {
+        let negate = self.eat(b'^');
+        let mut class = CharClass::empty();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated character class")),
+                Some(b']') => {
+                    self.bump();
+                    break;
+                }
+                Some(_) => {
+                    let lo = self.parse_class_item()?;
+                    // A range `lo-hi` (a trailing `-` is a literal dash).
+                    if self.peek() == Some(b'-') && self.input.get(self.pos + 1) != Some(&b']') {
+                        self.bump();
+                        let hi = self.parse_class_item()?;
+                        let (lo, hi) = match (lo.min_byte(), hi.min_byte()) {
+                            (Some(l), Some(h)) if lo.len() == 1 && hi.len() == 1 => (l, h),
+                            _ => {
+                                return Err(self.error("character class ranges must join single characters"))
+                            }
+                        };
+                        if lo > hi {
+                            return Err(self.error(format!(
+                                "invalid range [{}-{}]",
+                                lo as char, hi as char
+                            )));
+                        }
+                        class = class.union(&CharClass::range(lo, hi));
+                    } else {
+                        class = class.union(&lo);
+                    }
+                }
+            }
+        }
+        Ok(if negate { class.complement() } else { class })
+    }
+
+    // A single item inside a bracket expression: a literal byte or an
+    // escape (which may denote a multi-byte class like `\d`).
+    fn parse_class_item(&mut self) -> Result<CharClass, ParseSemreError> {
+        match self.bump() {
+            None => Err(self.error("unterminated character class")),
+            Some(b'\\') => self.parse_escape(),
+            Some(b) => Ok(CharClass::single(b)),
+        }
+    }
+
+    // Parses the character after a backslash.
+    fn parse_escape(&mut self) -> Result<CharClass, ParseSemreError> {
+        match self.bump() {
+            None => Err(self.error("dangling escape")),
+            Some(b'n') => Ok(CharClass::single(b'\n')),
+            Some(b't') => Ok(CharClass::single(b'\t')),
+            Some(b'r') => Ok(CharClass::single(b'\r')),
+            Some(b'0') => Ok(CharClass::single(0)),
+            Some(b'd') => Ok(CharClass::digit()),
+            Some(b'D') => Ok(CharClass::digit().complement()),
+            Some(b'w') => Ok(CharClass::alnum().union(&CharClass::single(b'_'))),
+            Some(b'W') => Ok(CharClass::alnum().union(&CharClass::single(b'_')).complement()),
+            Some(b's') => Ok(CharClass::whitespace()),
+            Some(b'S') => Ok(CharClass::whitespace().complement()),
+            Some(b'x') => {
+                let hi = self.parse_hex_digit()?;
+                let lo = self.parse_hex_digit()?;
+                Ok(CharClass::single(hi * 16 + lo))
+            }
+            Some(b) => Ok(CharClass::single(b)),
+        }
+    }
+
+    fn parse_hex_digit(&mut self) -> Result<u8, ParseSemreError> {
+        match self.bump() {
+            Some(b @ b'0'..=b'9') => Ok(b - b'0'),
+            Some(b @ b'a'..=b'f') => Ok(b - b'a' + 10),
+            Some(b @ b'A'..=b'F') => Ok(b - b'A' + 10),
+            _ => Err(self.error("expected a hexadecimal digit")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::QueryName;
+
+    fn p(s: &str) -> Semre {
+        parse(s).unwrap_or_else(|e| panic!("failed to parse {s:?}: {e}"))
+    }
+
+    #[test]
+    fn literals_and_concat() {
+        assert_eq!(p("abc"), Semre::literal("abc"));
+        assert_eq!(p(""), Semre::Eps);
+        assert_eq!(p("a b"), Semre::literal("a b"));
+    }
+
+    #[test]
+    fn union_is_left_associative() {
+        let r = p("a|b|c");
+        assert_eq!(
+            r,
+            Semre::Union(
+                Box::new(Semre::Union(Box::new(Semre::byte(b'a')), Box::new(Semre::byte(b'b')))),
+                Box::new(Semre::byte(b'c'))
+            )
+        );
+    }
+
+    #[test]
+    fn empty_alternative_is_epsilon() {
+        assert_eq!(p("a|"), Semre::Union(Box::new(Semre::byte(b'a')), Box::new(Semre::Eps)));
+        assert_eq!(p("|a"), Semre::Union(Box::new(Semre::Eps), Box::new(Semre::byte(b'a'))));
+    }
+
+    #[test]
+    fn postfix_operators() {
+        assert_eq!(p("a*"), Semre::star(Semre::byte(b'a')));
+        assert_eq!(p("a+"), Semre::plus(Semre::byte(b'a')));
+        assert_eq!(p("a?"), Semre::opt(Semre::byte(b'a')));
+        assert_eq!(p("a*?"), Semre::opt(Semre::star(Semre::byte(b'a'))));
+        assert_eq!(p("(ab)*"), Semre::star(Semre::literal("ab")));
+    }
+
+    #[test]
+    fn bounded_repetition() {
+        assert_eq!(p("a{3}"), Semre::power(Semre::byte(b'a'), 3));
+        assert_eq!(p("a{1,3}"), Semre::repeat(Semre::byte(b'a'), 1, 3));
+        assert_eq!(p("a{2,}"), Semre::repeat_at_least(Semre::byte(b'a'), 2));
+        assert!(parse("a{3,1}").is_err());
+        assert!(parse("a{x}").is_err());
+        assert!(parse("a{1").is_err());
+    }
+
+    #[test]
+    fn character_classes() {
+        assert_eq!(p("[abc]"), Semre::class(CharClass::from_bytes([b'a', b'b', b'c'])));
+        assert_eq!(p("[a-c]"), Semre::class(CharClass::range(b'a', b'c')));
+        assert_eq!(
+            p("[a-c0-9]"),
+            Semre::class(CharClass::range(b'a', b'c').union(&CharClass::digit()))
+        );
+        assert_eq!(p("[^a]"), Semre::class(CharClass::single(b'a').complement()));
+        // Trailing dash is a literal.
+        assert_eq!(p("[a-]"), Semre::class(CharClass::from_bytes([b'a', b'-'])));
+        // Empty class is ⊥.
+        assert_eq!(p("[]"), Semre::Bot);
+        assert!(parse("[a").is_err());
+        assert!(parse("[z-a]").is_err());
+    }
+
+    #[test]
+    fn wildcard_and_escapes() {
+        assert_eq!(p("."), Semre::any());
+        assert_eq!(p(r"\."), Semre::byte(b'.'));
+        assert_eq!(p(r"\n"), Semre::byte(b'\n'));
+        assert_eq!(p(r"\x41"), Semre::byte(b'A'));
+        assert_eq!(p(r"\d"), Semre::class(CharClass::digit()));
+        assert_eq!(p(r"[\d_]"), Semre::class(CharClass::digit().union(&CharClass::single(b'_'))));
+        assert_eq!(p(r"\s"), Semre::class(CharClass::whitespace()));
+        assert!(parse(r"\x4").is_err());
+        assert!(parse("\\").is_err());
+    }
+
+    #[test]
+    fn groups() {
+        assert_eq!(p("(a)"), Semre::byte(b'a'));
+        assert_eq!(p("()"), Semre::Eps);
+        assert_eq!(p("(a|b)c"), p("(a|b)c"));
+        assert!(parse("(a").is_err());
+        assert!(parse("a)").is_err());
+    }
+
+    #[test]
+    fn oracle_shorthand() {
+        let r = p("<Politician>");
+        assert_eq!(r, Semre::oracle("Politician"));
+        assert_eq!(r.queries(), vec![QueryName::new("Politician")]);
+        assert!(parse("<>").is_err());
+        assert!(parse("<unterminated").is_err());
+    }
+
+    #[test]
+    fn refinement_form() {
+        let r = p("(?<Password or SSH key>: [a-z]+)");
+        assert_eq!(r, Semre::query(Semre::plus(Semre::class(CharClass::range(b'a', b'z'))), "Password or SSH key"));
+        // Without the optional space after the colon.
+        let r2 = p("(?<Q>:abc)");
+        assert_eq!(r2, Semre::query(Semre::literal("abc"), "Q"));
+        assert!(parse("(?<Q> abc)").is_err());
+        assert!(parse("(?<>: abc)").is_err());
+    }
+
+    #[test]
+    fn nested_refinements() {
+        let r = p("(?<Celebrity>: .*(?<City>: .*).*)");
+        assert!(r.has_nested_queries());
+        assert_eq!(r.nesting_depth(), 2);
+    }
+
+    #[test]
+    fn paper_examples_parse() {
+        // Example 2.8 (spam,1): Subject: Σ* [Medicine name] Σ*
+        let spam = p("Subject: .*.+(?<Medicine name>: .+).*");
+        assert!(!spam.has_nested_queries());
+        // Example 2.11 (foreign IPs).
+        let ip = p(r"(?<Foreign IP address>: (\d{1,3}\.){3}\d{1,3})");
+        assert_eq!(ip.queries().len(), 1);
+        // Example 2.9 (domains).
+        let edom = p(r"[a-zA-Z0-9.-]+@(?<Domain does not exist>: [a-zA-Z0-9.-]+\.[a-zA-Z]{1,3})");
+        assert_eq!(edom.query_count(), 1);
+    }
+
+    #[test]
+    fn stray_metacharacters_are_rejected() {
+        for bad in ["*a", "+", "?", "a{", "a}b", "]", ">"] {
+            assert!(parse(bad).is_err(), "expected parse error for {bad:?}");
+        }
+    }
+
+    #[test]
+    fn error_reports_offset() {
+        let err = parse("ab(cd").unwrap_err();
+        assert_eq!(err.offset(), 5);
+        assert!(err.to_string().contains("offset 5"));
+        let err = parse("a)b").unwrap_err();
+        assert_eq!(err.offset(), 1);
+        assert!(!err.message().is_empty());
+    }
+}

@@ -1,0 +1,128 @@
+//! Skeleton extraction and ⊥-elimination.
+//!
+//! The *skeleton* `skel(r)` of a SemRE `r` is the classical regular
+//! expression obtained by stripping away all oracle refinements
+//! (Section 3.5 of the paper).  Since `⟦r⟧ ⊆ ⟦skel(r)⟧`, the skeleton is a
+//! sound over-approximation which the matcher uses as a zero-oracle-cost
+//! prefilter, and its (un)ambiguity governs the tightest complexity bound
+//! of Theorem 3.9.
+//!
+//! Assumption 3.3 of the paper requires every SNFA state to be both
+//! reachable and co-reachable, which holds automatically when the SemRE
+//! contains no `⊥` sub-expressions.  [`eliminate_bot`] implements the
+//! rewrite rules alluded to there.
+
+use crate::ast::Semre;
+
+/// Strips every oracle refinement from the expression, producing the
+/// classical regular expression `skel(r)`.
+///
+/// # Examples
+///
+/// ```
+/// use semre_syntax::{skeleton, Semre};
+///
+/// let r = Semre::padded(Semre::oracle("Politician"));
+/// let s = skeleton(&r);
+/// assert!(s.is_classical());
+/// assert_eq!(s, Semre::padded(Semre::any_star()));
+/// ```
+pub fn skeleton(r: &Semre) -> Semre {
+    match r {
+        Semre::Bot => Semre::Bot,
+        Semre::Eps => Semre::Eps,
+        Semre::Class(c) => Semre::Class(*c),
+        Semre::Union(a, b) => Semre::Union(Box::new(skeleton(a)), Box::new(skeleton(b))),
+        Semre::Concat(a, b) => Semre::Concat(Box::new(skeleton(a)), Box::new(skeleton(b))),
+        Semre::Star(a) => Semre::Star(Box::new(skeleton(a))),
+        Semre::Query(a, _) => skeleton(a),
+    }
+}
+
+/// Rewrites the expression so that `⊥` occurs either nowhere, or only as
+/// the top-level expression (in which case the language is empty).
+///
+/// The rewrite rules are semantics preserving:
+/// `⊥ + r = r`, `⊥ · r = r · ⊥ = ⊥`, `⊥* = ε`, `⊥ ∧ ⟨q⟩ = ⊥`.
+///
+/// # Examples
+///
+/// ```
+/// use semre_syntax::{eliminate_bot, parse, Semre};
+///
+/// let r = parse("a([]|b)c").unwrap();
+/// assert_eq!(eliminate_bot(&r), parse("abc").unwrap());
+/// let dead = parse("a[]c").unwrap();
+/// assert_eq!(eliminate_bot(&dead), Semre::Bot);
+/// ```
+pub fn eliminate_bot(r: &Semre) -> Semre {
+    match r {
+        Semre::Bot => Semre::Bot,
+        Semre::Eps => Semre::Eps,
+        Semre::Class(c) => Semre::class(*c),
+        Semre::Union(a, b) => match (eliminate_bot(a), eliminate_bot(b)) {
+            (Semre::Bot, r) | (r, Semre::Bot) => r,
+            (a, b) => Semre::Union(Box::new(a), Box::new(b)),
+        },
+        Semre::Concat(a, b) => match (eliminate_bot(a), eliminate_bot(b)) {
+            (Semre::Bot, _) | (_, Semre::Bot) => Semre::Bot,
+            (a, b) => Semre::Concat(Box::new(a), Box::new(b)),
+        },
+        Semre::Star(a) => match eliminate_bot(a) {
+            Semre::Bot => Semre::Eps,
+            a => Semre::Star(Box::new(a)),
+        },
+        Semre::Query(a, q) => match eliminate_bot(a) {
+            Semre::Bot => Semre::Bot,
+            a => Semre::Query(Box::new(a), q.clone()),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn skeleton_strips_queries() {
+        let r = parse("(?<Q>: a(?<P>: b)c)d").unwrap();
+        let s = skeleton(&r);
+        assert!(s.is_classical());
+        assert_eq!(s, parse("abcd").unwrap());
+    }
+
+    #[test]
+    fn skeleton_of_classical_is_identity() {
+        let r = parse("a(b|c)*d{2,4}").unwrap();
+        assert_eq!(skeleton(&r), r);
+    }
+
+    #[test]
+    fn skeleton_preserves_structure_elsewhere() {
+        let r = parse("x|(?<Q>: y)*").unwrap();
+        assert_eq!(skeleton(&r), parse("x|y*").unwrap());
+    }
+
+    #[test]
+    fn bot_elimination_rules() {
+        assert_eq!(eliminate_bot(&parse("[]|a").unwrap()), parse("a").unwrap());
+        assert_eq!(eliminate_bot(&parse("a|[]").unwrap()), parse("a").unwrap());
+        assert_eq!(eliminate_bot(&parse("[]a").unwrap()), Semre::Bot);
+        assert_eq!(eliminate_bot(&parse("[]*").unwrap()), Semre::Eps);
+        assert_eq!(eliminate_bot(&parse("(?<Q>: [])").unwrap()), Semre::Bot);
+        assert_eq!(eliminate_bot(&parse("([]|a)([]*|b)").unwrap()), parse("a(()|b)").unwrap());
+    }
+
+    #[test]
+    fn bot_free_results_contain_no_bot() {
+        let inputs = ["a([]|b)*c", "[]|[]|x", "(?<Q>: a|[])"];
+        for s in inputs {
+            let cleaned = eliminate_bot(&parse(s).unwrap());
+            assert!(
+                cleaned == Semre::Bot || !cleaned.contains_bot(),
+                "elimination left an inner ⊥ in {cleaned}"
+            );
+        }
+    }
+}

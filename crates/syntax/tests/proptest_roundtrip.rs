@@ -1,0 +1,79 @@
+//! Property tests for the SemRE syntax layer: printing and re-parsing is
+//! the identity, and the structural analyses are consistent with each
+//! other.
+
+use proptest::prelude::*;
+
+use semre_syntax::{eliminate_bot, parse, skeleton, CharClass, Semre};
+
+/// Random SemREs built through the public constructors (so that the
+/// printer/parser pair is exercised on exactly the shapes users build).
+fn semre_strategy() -> impl Strategy<Value = Semre> {
+    let leaf = prop_oneof![
+        Just(Semre::eps()),
+        Just(Semre::bot()),
+        Just(Semre::any()),
+        (0u8..3).prop_map(|b| Semre::byte(b'a' + b)),
+        Just(Semre::class(CharClass::range(b'0', b'9'))),
+        Just(Semre::class(CharClass::single(b'z').complement())),
+        "[a-z]{1,6}".prop_map(Semre::literal),
+    ];
+    leaf.prop_recursive(5, 40, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Semre::concat(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Semre::union(a, b)),
+            inner.clone().prop_map(Semre::star),
+            inner.clone().prop_map(Semre::plus),
+            inner.clone().prop_map(Semre::opt),
+            (inner.clone(), "[A-Za-z ]{1,12}").prop_map(|(a, q)| Semre::query(a, q.trim().to_owned() + "q")),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Printing then parsing gives back a structurally identical AST.
+    #[test]
+    fn print_parse_roundtrip(r in semre_strategy()) {
+        let printed = r.to_string();
+        let reparsed = parse(&printed);
+        prop_assert!(reparsed.is_ok(), "printed form {printed:?} does not parse: {:?}", reparsed.err());
+        prop_assert_eq!(reparsed.unwrap(), r, "round-trip mismatch for {}", printed);
+    }
+
+    /// The skeleton is classical, no larger than the original, and
+    /// idempotent.
+    #[test]
+    fn skeleton_properties(r in semre_strategy()) {
+        let s = skeleton(&r);
+        prop_assert!(s.is_classical());
+        prop_assert!(s.size() <= r.size());
+        prop_assert_eq!(skeleton(&s), s.clone());
+        // Skeleton nullability is preserved by definition.
+        prop_assert_eq!(r.skeleton_nullable(), s.skeleton_nullable());
+    }
+
+    /// ⊥-elimination removes every inner ⊥ and never changes nesting
+    /// beyond removal.
+    #[test]
+    fn bot_elimination_properties(r in semre_strategy()) {
+        let cleaned = eliminate_bot(&r);
+        prop_assert!(cleaned == Semre::Bot || !cleaned.contains_bot());
+        prop_assert!(cleaned.size() <= r.size());
+        prop_assert!(cleaned.nesting_depth() <= r.nesting_depth());
+        // Idempotent.
+        prop_assert_eq!(eliminate_bot(&cleaned), cleaned.clone());
+    }
+
+    /// Size and query counting are consistent: a SemRE has at least as many
+    /// nodes as refinements, and stripping queries removes exactly the
+    /// refinement nodes.
+    #[test]
+    fn size_accounting(r in semre_strategy()) {
+        prop_assert!(r.size() >= r.query_count());
+        prop_assert_eq!(skeleton(&r).size(), r.size() - r.query_count());
+        prop_assert_eq!(r.query_count() == 0, r.is_classical());
+        prop_assert!(r.queries().len() <= r.query_count());
+    }
+}

@@ -1,0 +1,337 @@
+//! The nine benchmark SemREs of Table 1, wired to their oracles and
+//! corpora.
+//!
+//! A [`Workbench`] generates both synthetic corpora, derives the oracle
+//! databases from the corpus ground truth (Whois snapshot, phishing list,
+//! IP geolocation ranges, simulated file system, simulated LLM), and
+//! produces one [`BenchSpec`] per row of Table 1.  Every spec carries the
+//! padded SemRE actually matched against whole lines, the backing oracle,
+//! and the latency model used to emulate that oracle's cost profile.
+
+use std::sync::Arc;
+
+use semre_oracle::{
+    FileSystemOracle, IpGeoDb, LatencyModel, Oracle, PhishingList, SimLlmOracle, TableOracle,
+    WhoisDb,
+};
+use semre_syntax::{examples, Semre};
+
+use crate::corpus::{java_corpus, spam_corpus, Corpus, Dataset, GroundTruth};
+
+/// One row of Table 1: a named, padded benchmark SemRE with its oracle.
+#[derive(Clone)]
+pub struct BenchSpec {
+    /// Short name used in the paper's tables (`pass`, `file`, `id`, …).
+    pub name: &'static str,
+    /// Which corpus the SemRE is evaluated on.
+    pub dataset: Dataset,
+    /// The padded SemRE matched against whole lines.
+    pub semre: Semre,
+    /// Human-readable description of the backing oracle (Table 1's
+    /// "Oracles" column).
+    pub oracle_kind: &'static str,
+    /// The backing oracle.
+    pub oracle: Arc<dyn Oracle>,
+    /// Latency model emulating the oracle's cost.
+    pub latency: LatencyModel,
+}
+
+impl std::fmt::Debug for BenchSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BenchSpec")
+            .field("name", &self.name)
+            .field("dataset", &self.dataset)
+            .field("oracle_kind", &self.oracle_kind)
+            .field("semre_size", &self.semre.size())
+            .finish()
+    }
+}
+
+/// Both corpora plus every oracle backend, generated from a single seed.
+pub struct Workbench {
+    spam: Corpus,
+    java: Corpus,
+    llm: Arc<SimLlmOracle>,
+    whois: Arc<WhoisDb>,
+    phishing: Arc<PhishingList>,
+    ipgeo: Arc<IpGeoDb>,
+    filesystem: Arc<FileSystemOracle>,
+}
+
+impl Workbench {
+    /// Generates corpora of the given sizes and populates every oracle from
+    /// the corpus ground truth.
+    pub fn generate(seed: u64, spam_lines: usize, java_lines: usize) -> Self {
+        let (spam, spam_truth) = spam_corpus(seed, spam_lines);
+        let (java, java_truth) = java_corpus(seed.wrapping_add(1), java_lines);
+        Workbench::from_parts(spam, java, &spam_truth, &java_truth)
+    }
+
+    fn from_parts(
+        spam: Corpus,
+        java: Corpus,
+        spam_truth: &GroundTruth,
+        java_truth: &GroundTruth,
+    ) -> Self {
+        let mut whois = WhoisDb::new();
+        for (domain, year) in &spam_truth.live_domains {
+            whois.register(domain, *year);
+        }
+        let mut phishing = PhishingList::new();
+        phishing.extend(spam_truth.phishing_domains.iter());
+        let filesystem = FileSystemOracle::with_files(java_truth.existing_paths.iter());
+        let ipgeo = IpGeoDb::with_private_ranges();
+        let llm = SimLlmOracle::new();
+        Workbench {
+            spam,
+            java,
+            llm: Arc::new(llm),
+            whois: Arc::new(whois),
+            phishing: Arc::new(phishing),
+            ipgeo: Arc::new(ipgeo),
+            filesystem: Arc::new(filesystem),
+        }
+    }
+
+    /// The spam-e-mail corpus.
+    pub fn spam(&self) -> &Corpus {
+        &self.spam
+    }
+
+    /// The Java-code corpus.
+    pub fn java(&self) -> &Corpus {
+        &self.java
+    }
+
+    /// The corpus for a given dataset.
+    pub fn corpus(&self, dataset: Dataset) -> &Corpus {
+        match dataset {
+            Dataset::Spam => &self.spam,
+            Dataset::Java => &self.java,
+        }
+    }
+
+    /// The simulated-LLM oracle (shared by `pass`, `id`, `spam,1`,
+    /// `spam,2`).
+    pub fn llm(&self) -> Arc<SimLlmOracle> {
+        Arc::clone(&self.llm)
+    }
+
+    /// The Whois snapshot (shared by `edom` and `wdom,2`).
+    pub fn whois(&self) -> Arc<WhoisDb> {
+        Arc::clone(&self.whois)
+    }
+
+    /// The nine benchmark specifications of Table 1, in table order.
+    pub fn benchmarks(&self) -> Vec<BenchSpec> {
+        let llm: Arc<dyn Oracle> = self.llm.clone();
+        let whois: Arc<dyn Oracle> = self.whois.clone();
+        let phishing: Arc<dyn Oracle> = self.phishing.clone();
+        let ipgeo: Arc<dyn Oracle> = self.ipgeo.clone();
+        let filesystem: Arc<dyn Oracle> = self.filesystem.clone();
+        vec![
+            BenchSpec {
+                name: "pass",
+                dataset: Dataset::Java,
+                semre: Semre::padded(examples::r_pass()),
+                oracle_kind: "LLM",
+                oracle: llm.clone(),
+                latency: LatencyModel::llm(),
+            },
+            BenchSpec {
+                name: "file",
+                dataset: Dataset::Java,
+                semre: Semre::padded(examples::r_file()),
+                oracle_kind: "File system",
+                oracle: filesystem,
+                latency: LatencyModel::local(),
+            },
+            BenchSpec {
+                name: "id",
+                dataset: Dataset::Java,
+                semre: examples::r_id_padded(),
+                oracle_kind: "LLM",
+                oracle: llm.clone(),
+                latency: LatencyModel::llm(),
+            },
+            BenchSpec {
+                name: "edom",
+                dataset: Dataset::Spam,
+                semre: Semre::padded(examples::r_edom()),
+                oracle_kind: "Whois",
+                oracle: whois.clone(),
+                latency: LatencyModel::service(),
+            },
+            BenchSpec {
+                name: "spam,1",
+                dataset: Dataset::Spam,
+                semre: Semre::padded(examples::r_spam1()),
+                oracle_kind: "LLM",
+                oracle: llm.clone(),
+                latency: LatencyModel::llm(),
+            },
+            BenchSpec {
+                name: "spam,2",
+                dataset: Dataset::Spam,
+                semre: Semre::padded(examples::r_spam2()),
+                oracle_kind: "LLM",
+                oracle: llm,
+                latency: LatencyModel::llm(),
+            },
+            BenchSpec {
+                name: "wdom,1",
+                dataset: Dataset::Spam,
+                semre: Semre::padded(examples::r_wdom1()),
+                oracle_kind: "Phishing website list",
+                oracle: phishing,
+                latency: LatencyModel::service(),
+            },
+            BenchSpec {
+                name: "wdom,2",
+                dataset: Dataset::Spam,
+                semre: Semre::padded(examples::r_wdom2()),
+                oracle_kind: "Whois",
+                oracle: whois,
+                latency: LatencyModel::service(),
+            },
+            BenchSpec {
+                name: "ip",
+                dataset: Dataset::Spam,
+                semre: Semre::padded(examples::r_ip()),
+                oracle_kind: "IP geolocation",
+                oracle: ipgeo,
+                latency: LatencyModel::service(),
+            },
+        ]
+    }
+
+    /// Looks up a single benchmark by its Table 1 name.
+    pub fn benchmark(&self, name: &str) -> Option<BenchSpec> {
+        self.benchmarks().into_iter().find(|b| b.name == name)
+    }
+
+    /// A combined oracle that dispatches every benchmark query to its
+    /// backend, useful for matching multiple SemREs over one shared oracle.
+    pub fn combined_oracle(&self) -> TableOracle {
+        TableOracle::new()
+            .with(examples::queries::PASSWORD, self.llm())
+            .with(examples::queries::BAD_IDENTIFIER, self.llm())
+            .with(examples::queries::MEDICINE, self.llm())
+            .with(examples::queries::NONEXISTENT_PATH, Arc::clone(&self.filesystem))
+            .with(examples::queries::DEAD_DOMAIN, Arc::clone(&self.whois))
+            .with(examples::queries::RECENT_DOMAIN, Arc::clone(&self.whois))
+            .with(examples::queries::PHISHING, Arc::clone(&self.phishing))
+            .with(examples::queries::FOREIGN_IP, Arc::clone(&self.ipgeo))
+    }
+}
+
+impl std::fmt::Debug for Workbench {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workbench")
+            .field("spam_lines", &self.spam.len())
+            .field("java_lines", &self.java.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semre_core::Matcher;
+
+    #[test]
+    fn workbench_produces_nine_benchmarks() {
+        let wb = Workbench::generate(11, 100, 100);
+        let benches = wb.benchmarks();
+        assert_eq!(benches.len(), 9);
+        let names: Vec<_> = benches.iter().map(|b| b.name).collect();
+        assert_eq!(
+            names,
+            vec!["pass", "file", "id", "edom", "spam,1", "spam,2", "wdom,1", "wdom,2", "ip"]
+        );
+        for b in &benches {
+            assert!(b.semre.size() > 5, "{} is suspiciously small", b.name);
+            assert!(!b.semre.has_nested_queries(), "{} should be non-nested", b.name);
+        }
+        assert!(wb.benchmark("ip").is_some());
+        assert!(wb.benchmark("nope").is_none());
+        assert!(format!("{wb:?}").contains("spam_lines"));
+        assert!(format!("{:?}", benches[0]).contains("pass"));
+    }
+
+    #[test]
+    fn every_benchmark_matches_at_least_one_line_of_its_corpus() {
+        // With a reasonably sized corpus, every benchmark should find some
+        // planted positives and also reject some lines.
+        let wb = Workbench::generate(17, 2500, 2500);
+        for spec in wb.benchmarks() {
+            let matcher = Matcher::new(spec.semre.clone(), Arc::clone(&spec.oracle));
+            let corpus = wb.corpus(spec.dataset);
+            let matched = corpus
+                .lines()
+                .iter()
+                .filter(|line| matcher.is_match(line.as_bytes()))
+                .count();
+            assert!(matched > 0, "{}: no line of the corpus matched", spec.name);
+            assert!(
+                matched < corpus.len(),
+                "{}: every line matched, which defeats the benchmark",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn planted_examples_match_expected_benchmarks() {
+        let wb = Workbench::generate(23, 200, 200);
+        let matcher_for = |name: &str| {
+            let spec = wb.benchmark(name).unwrap();
+            Matcher::new(spec.semre, spec.oracle)
+        };
+        // edom: dead sender domain.  (Note that lines with live sender
+        // domains can still match through truncated-TLD substrings such as
+        // "example.co" — an inherent looseness of the padded SemRE the
+        // paper also observes — so the negative example has no domain at
+        // all.)
+        assert!(matcher_for("edom").is_match(b"From: alice42@vanished.net"));
+        assert!(!matcher_for("edom").is_match(b"From: mailer daemon"));
+        // wdom,1: phishing URL.
+        assert!(matcher_for("wdom,1").is_match(b"click https://login-secure.xyz today"));
+        assert!(!matcher_for("wdom,1").is_match(b"click https://example.com today"));
+        // wdom,2: recently registered domain.
+        assert!(matcher_for("wdom,2").is_match(b"see http://www.newstartup.io for info"));
+        assert!(!matcher_for("wdom,2").is_match(b"see http://www.example.com for info"));
+        // ip: foreign addresses only.
+        assert!(matcher_for("ip").is_match(b"Received: from relay (93.184.216.34) by mx"));
+        assert!(!matcher_for("ip").is_match(b"Received: from relay (10.0.0.7) by mx"));
+        // file: stale path.  (Lines mentioning live paths can still match
+        // through proper substrings of the path, so the negative example
+        // contains no path separator at all.)
+        assert!(matcher_for("file").is_match(br#"File input = new File("/tmp/build-1999/output.jar");"#));
+        assert!(!matcher_for("file").is_match(b"File input = openDefault();"));
+        // pass: hard-coded secret.
+        assert!(matcher_for("pass").is_match(br#"String k = "Ab1!Cd2#Ef3%Gh4&";"#));
+        assert!(!matcher_for("pass").is_match(br#"String k = "plain text";"#));
+        // id: sloppy identifier.
+        assert!(matcher_for("id").is_match(b"int foo = compute();"));
+        assert!(!matcher_for("id").is_match(b"int counter = compute();"));
+        // spam,1 / spam,2: medicine names.
+        assert!(matcher_for("spam,1").is_match(b"Subject: cheap tramadol offer"));
+        assert!(matcher_for("spam,2").is_match(b"Subject: cheap tramadol offer"));
+        assert!(!matcher_for("spam,1").is_match(b"Subject: quarterly report"));
+    }
+
+    #[test]
+    fn combined_oracle_answers_all_query_families() {
+        let wb = Workbench::generate(29, 100, 100);
+        let oracle = wb.combined_oracle();
+        use semre_oracle::Oracle as _;
+        assert!(oracle.holds(examples::queries::MEDICINE, b"viagra"));
+        assert!(oracle.holds(examples::queries::DEAD_DOMAIN, b"vanished.net"));
+        assert!(!oracle.holds(examples::queries::DEAD_DOMAIN, b"example.com"));
+        assert!(oracle.holds(examples::queries::PHISHING, b"login-secure.xyz"));
+        assert!(oracle.holds(examples::queries::FOREIGN_IP, b"93.184.216.34"));
+        assert!(oracle.holds(examples::queries::NONEXISTENT_PATH, b"/no/such/file"));
+        assert!(!oracle.holds("unknown query", b"whatever"));
+    }
+}

@@ -1,0 +1,455 @@
+//! Synthetic benchmark corpora.
+//!
+//! The paper evaluates on two datasets: a corpus of spam e-mails and a
+//! corpus of Java source code downloaded from GitHub (Section 5), filtered
+//! to ASCII lines of at most 1 000 characters.  Neither corpus is
+//! redistributable, so this module generates deterministic synthetic
+//! stand-ins with the same *shape*: the same kinds of lines (subject lines,
+//! sender addresses, URLs, packet logs, string literals, identifiers, file
+//! paths, plain code/text), planted positives for each of the nine
+//! benchmark SemREs at controllable rates, and a right-skewed line-length
+//! distribution comparable to Fig. 10 (most lines well under 200
+//! characters, a long tail up to 1 000).
+//!
+//! Generation is seeded ([`rand::rngs::StdRng`]), so corpora — and therefore
+//! every downstream measurement — are reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which of the paper's two datasets a corpus models.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// The spam e-mail corpus.
+    Spam,
+    /// The Java source-code corpus.
+    Java,
+}
+
+impl std::fmt::Display for Dataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Dataset::Spam => write!(f, "Spam"),
+            Dataset::Java => write!(f, "Code"),
+        }
+    }
+}
+
+/// A generated corpus: a named list of text lines.
+#[derive(Clone, Debug)]
+pub struct Corpus {
+    dataset: Dataset,
+    lines: Vec<String>,
+}
+
+impl Corpus {
+    /// Which dataset this corpus models.
+    pub fn dataset(&self) -> Dataset {
+        self.dataset
+    }
+
+    /// The lines of the corpus.
+    pub fn lines(&self) -> &[String] {
+        &self.lines
+    }
+
+    /// Number of lines.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether the corpus has no lines.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// Total size in bytes (excluding line terminators).
+    pub fn total_bytes(&self) -> usize {
+        self.lines.iter().map(String::len).sum()
+    }
+
+    /// Histogram of line lengths with the given bucket width, as
+    /// `(bucket_start, count)` pairs — the top row of Fig. 10.
+    pub fn length_histogram(&self, bucket: usize) -> Vec<(usize, usize)> {
+        assert!(bucket > 0, "bucket width must be positive");
+        let mut counts: Vec<usize> = Vec::new();
+        for line in &self.lines {
+            let b = line.len() / bucket;
+            if counts.len() <= b {
+                counts.resize(b + 1, 0);
+            }
+            counts[b] += 1;
+        }
+        counts.into_iter().enumerate().map(|(i, c)| (i * bucket, c)).collect()
+    }
+
+    /// Retains only lines of at most `max_len` bytes, mirroring the
+    /// filtering applied for the paper's Fig. 10 (≤ 200 characters).
+    pub fn truncated_to(&self, max_len: usize) -> Corpus {
+        Corpus {
+            dataset: self.dataset,
+            lines: self.lines.iter().filter(|l| l.len() <= max_len).cloned().collect(),
+        }
+    }
+}
+
+/// Ground truth produced alongside the corpora, used to populate the
+/// non-LLM oracles so that generator and oracle agree on which lines are
+/// genuine positives.
+#[derive(Clone, Debug, Default)]
+pub struct GroundTruth {
+    /// Domains that exist, with registration years.
+    pub live_domains: Vec<(String, u32)>,
+    /// Domains that do not exist (used by `edom` positives).
+    pub dead_domains: Vec<String>,
+    /// Domains on the phishing list.
+    pub phishing_domains: Vec<String>,
+    /// File paths that exist on the simulated file system.
+    pub existing_paths: Vec<String>,
+}
+
+// ---------------------------------------------------------------------------
+// Word material
+// ---------------------------------------------------------------------------
+
+const COMMON_WORDS: &[&str] = &[
+    "the", "quarterly", "report", "meeting", "schedule", "update", "project", "review", "notes",
+    "team", "budget", "request", "invoice", "delivery", "status", "holiday", "travel", "photos",
+    "family", "weekend", "plans", "reminder", "agenda", "minutes", "draft", "final", "version",
+    "please", "attached", "forward", "regards", "thanks", "urgent", "action", "required",
+];
+
+const SPAM_WORDS: &[&str] = &[
+    "cheap", "discount", "offer", "limited", "exclusive", "deal", "buy", "now", "online",
+    "pharmacy", "pills", "weight", "loss", "miracle", "free", "shipping", "guaranteed", "results",
+];
+
+const MEDICINES: &[&str] = &[
+    "viagra", "cialis", "xanax", "tramadol", "phentermine", "ambien", "adderall", "hydroxycut",
+];
+
+const LIVE_DOMAIN_NAMES: &[&str] = &[
+    "example.com",
+    "mail.net",
+    "university.edu",
+    "oldcorp.org",
+    "pioneer.io",
+    "reliable.co",
+    "archive.org",
+    "weather.gov",
+];
+
+const DEAD_DOMAIN_NAMES: &[&str] =
+    &["bygone.biz", "defunct.info", "vanished.net", "expired.store", "ghost.site"];
+
+const PHISHING_DOMAIN_NAMES: &[&str] =
+    &["login-secure.xyz", "verify-account.top", "bank-update.click", "prize-winner.cam"];
+
+const RECENT_DOMAIN_NAMES: &[&str] =
+    &["newstartup.io", "freshapp.dev", "cloudnative.app", "trendy.shop"];
+
+const JAVA_TYPES: &[&str] = &["int", "long", "double", "boolean", "String", "Object", "List<String>"];
+
+const GOOD_IDENTIFIERS: &[&str] = &[
+    "count", "userName", "totalAmount", "parser", "index", "maxRetries", "configPath",
+    "isEnabled", "bufferSize", "resultSet",
+];
+
+const BAD_IDENTIFIERS: &[&str] =
+    &["foo", "tmp", "asdf", "my_mixedStyle", "xyzw", "data_Value", "qux", "thing"];
+
+const EXISTING_PATHS: &[&str] = &[
+    "/usr/lib/jvm/java-17/bin/javac",
+    "/etc/app/config.yaml",
+    "/var/log/server/access.log",
+    "/opt/tools/bin/runner",
+    "/home/build/workspace/Makefile",
+];
+
+const MISSING_PATHS: &[&str] = &[
+    "/usr/local/legacy/old.so",
+    "/tmp/build-1999/output.jar",
+    "/mnt/removed/data.csv",
+    "/opt/retired/daemon.conf",
+    "/home/alumni/thesis.tex",
+];
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+fn pick<'a>(rng: &mut StdRng, items: &'a [&'a str]) -> &'a str {
+    items[rng.gen_range(0..items.len())]
+}
+
+fn words(rng: &mut StdRng, source: &[&str], count: usize) -> String {
+    (0..count).map(|_| pick(rng, source)).collect::<Vec<_>>().join(" ")
+}
+
+/// A right-skewed word count: mostly short, occasionally very long.  Keeps
+/// generated lines under the paper's 1 000-character cap.
+fn skewed_word_count(rng: &mut StdRng) -> usize {
+    match rng.gen_range(0..100) {
+        0..=59 => rng.gen_range(3..12),
+        60..=89 => rng.gen_range(12..30),
+        90..=97 => rng.gen_range(30..80),
+        _ => rng.gen_range(80..100),
+    }
+}
+
+fn random_ipv4(rng: &mut StdRng, intranet: bool) -> String {
+    if intranet {
+        format!("10.{}.{}.{}", rng.gen_range(0..256), rng.gen_range(0..256), rng.gen_range(1..255))
+    } else {
+        format!(
+            "{}.{}.{}.{}",
+            rng.gen_range(11..224),
+            rng.gen_range(0..256),
+            rng.gen_range(0..256),
+            rng.gen_range(1..255)
+        )
+    }
+}
+
+fn random_secret(rng: &mut StdRng) -> String {
+    const UPPER: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZ";
+    const LOWER: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+    const DIGIT: &[u8] = b"0123456789";
+    const SYM: &[u8] = b"!#%&*+-_";
+    let len = rng.gen_range(12..24);
+    let mut out = String::new();
+    for i in 0..len {
+        let pool = match i % 4 {
+            0 => UPPER,
+            1 => LOWER,
+            2 => DIGIT,
+            _ => SYM,
+        };
+        out.push(pool[rng.gen_range(0..pool.len())] as char);
+    }
+    out
+}
+
+fn random_username(rng: &mut StdRng) -> String {
+    let first = pick(rng, &["alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi"]);
+    format!("{}{}", first, rng.gen_range(1..999))
+}
+
+/// Generates the spam-e-mail corpus together with its ground truth.
+pub fn spam_corpus(seed: u64, lines: usize) -> (Corpus, GroundTruth) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(lines);
+    let mut truth = GroundTruth::default();
+    for &d in LIVE_DOMAIN_NAMES {
+        truth.live_domains.push((d.to_owned(), 1995 + (d.len() as u32 % 10)));
+    }
+    for &d in RECENT_DOMAIN_NAMES {
+        truth.live_domains.push((d.to_owned(), 2015));
+    }
+    truth.dead_domains.extend(DEAD_DOMAIN_NAMES.iter().map(|s| s.to_string()));
+    truth.phishing_domains.extend(PHISHING_DOMAIN_NAMES.iter().map(|s| s.to_string()));
+
+    for _ in 0..lines {
+        let line = match rng.gen_range(0..100) {
+            // Spammy subject line containing a medicine name (matches spam,1
+            // and usually spam,2).
+            0..=3 => {
+                let med = pick(&mut rng, MEDICINES);
+                let before = rng.gen_range(1..4);
+                let after = rng.gen_range(1..5);
+                format!(
+                    "Subject: {} {} {}",
+                    words(&mut rng, SPAM_WORDS, before),
+                    med,
+                    words(&mut rng, SPAM_WORDS, after),
+                )
+            }
+            // Benign subject line.
+            4..=18 => {
+                let count = rng.gen_range(2..9);
+                format!("Subject: {}", words(&mut rng, COMMON_WORDS, count))
+            }
+            // Sender address: mostly live domains, some dead, some recent.
+            19..=33 => {
+                let (domain, _kind) = match rng.gen_range(0..10) {
+                    0..=1 => (pick(&mut rng, DEAD_DOMAIN_NAMES), "dead"),
+                    2..=3 => (pick(&mut rng, RECENT_DOMAIN_NAMES), "recent"),
+                    _ => (pick(&mut rng, LIVE_DOMAIN_NAMES), "live"),
+                };
+                format!("From: {}@{}", random_username(&mut rng), domain)
+            }
+            // URL line: some phishing, some recent, some fine.
+            34..=45 => {
+                let domain = match rng.gen_range(0..10) {
+                    0..=1 => pick(&mut rng, PHISHING_DOMAIN_NAMES),
+                    2..=4 => pick(&mut rng, RECENT_DOMAIN_NAMES),
+                    _ => pick(&mut rng, LIVE_DOMAIN_NAMES),
+                };
+                let scheme = if rng.gen_bool(0.5) { "https://" } else { "http://www." };
+                let before = rng.gen_range(1..6);
+                let after = rng.gen_range(0..4);
+                format!(
+                    "{} {}{} {}",
+                    words(&mut rng, COMMON_WORDS, before),
+                    scheme,
+                    domain,
+                    words(&mut rng, SPAM_WORDS, after),
+                )
+            }
+            // Mail-server trace with an IP address (mostly foreign).
+            46..=57 => {
+                let intranet = rng.gen_bool(0.3);
+                let ip = random_ipv4(&mut rng, intranet);
+                format!("Received: from relay ({}) by mx.example.com", ip)
+            }
+            // Plain body text of varying length.
+            _ => {
+                let count = skewed_word_count(&mut rng);
+                words(&mut rng, COMMON_WORDS, count)
+            }
+        };
+        out.push(line);
+    }
+    (Corpus { dataset: Dataset::Spam, lines: out }, truth)
+}
+
+/// Generates the Java-source corpus together with its ground truth.
+pub fn java_corpus(seed: u64, lines: usize) -> (Corpus, GroundTruth) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(lines);
+    let mut truth = GroundTruth::default();
+    truth.existing_paths.extend(EXISTING_PATHS.iter().map(|s| s.to_string()));
+
+    for _ in 0..lines {
+        let indent = "    ".repeat(rng.gen_range(0..3));
+        let line = match rng.gen_range(0..100) {
+            // Hard-coded secret in a string literal (matches `pass`).
+            0..=2 => {
+                format!(r#"{indent}private static final String API_KEY = "{}";"#, random_secret(&mut rng))
+            }
+            // Benign string literal.
+            3..=17 => {
+                let count = rng.gen_range(1..6);
+                format!(r#"{indent}String message = "{}";"#, words(&mut rng, COMMON_WORDS, count))
+            }
+            // File path in a string literal, existing or stale.
+            18..=27 => {
+                let path = if rng.gen_bool(0.4) {
+                    pick(&mut rng, MISSING_PATHS)
+                } else {
+                    pick(&mut rng, EXISTING_PATHS)
+                };
+                format!(r#"{indent}File input = new File("{path}");"#)
+            }
+            // Variable declarations, occasionally with sloppy names.
+            28..=57 => {
+                let ty = pick(&mut rng, JAVA_TYPES);
+                let name = if rng.gen_bool(0.25) {
+                    pick(&mut rng, BAD_IDENTIFIERS)
+                } else {
+                    pick(&mut rng, GOOD_IDENTIFIERS)
+                };
+                format!("{indent}{ty} {name} = compute{}();", rng.gen_range(0..40))
+            }
+            // Control flow and calls.
+            58..=84 => {
+                let id1 = pick(&mut rng, GOOD_IDENTIFIERS);
+                let id2 = pick(&mut rng, GOOD_IDENTIFIERS);
+                format!("{indent}if ({id1} > {}) {{ return {id2}.process({id1}); }}", rng.gen_range(0..100))
+            }
+            // Comments of varying length.
+            _ => {
+                let count = skewed_word_count(&mut rng);
+                format!("{indent}// {}", words(&mut rng, COMMON_WORDS, count))
+            }
+        };
+        out.push(line);
+    }
+    (Corpus { dataset: Dataset::Java, lines: out }, truth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpora_are_deterministic() {
+        let (a, _) = spam_corpus(7, 200);
+        let (b, _) = spam_corpus(7, 200);
+        assert_eq!(a.lines(), b.lines());
+        let (c, _) = spam_corpus(8, 200);
+        assert_ne!(a.lines(), c.lines());
+        let (d, _) = java_corpus(7, 200);
+        let (e, _) = java_corpus(7, 200);
+        assert_eq!(d.lines(), e.lines());
+    }
+
+    #[test]
+    fn corpora_have_requested_sizes_and_ascii_content() {
+        let (spam, _) = spam_corpus(1, 500);
+        let (java, _) = java_corpus(1, 500);
+        assert_eq!(spam.len(), 500);
+        assert_eq!(java.len(), 500);
+        assert!(!spam.is_empty());
+        assert!(spam.total_bytes() > 5_000);
+        for corpus in [&spam, &java] {
+            for line in corpus.lines() {
+                assert!(line.is_ascii(), "non-ASCII line generated: {line:?}");
+                assert!(line.len() <= 1000, "line exceeds the paper's 1000-char cap");
+            }
+        }
+        assert_eq!(spam.dataset(), Dataset::Spam);
+        assert_eq!(java.dataset(), Dataset::Java);
+        assert_eq!(Dataset::Java.to_string(), "Code");
+    }
+
+    #[test]
+    fn corpora_contain_each_line_family() {
+        let (spam, truth) = spam_corpus(42, 3000);
+        let text = spam.lines().join("\n");
+        assert!(text.contains("Subject: "));
+        assert!(text.contains("From: "));
+        assert!(text.contains("http"));
+        assert!(text.contains("Received: from relay"));
+        assert!(MEDICINES.iter().any(|m| text.contains(m)), "no medicine planted");
+        assert!(!truth.live_domains.is_empty());
+        assert!(!truth.phishing_domains.is_empty());
+
+        let (java, jtruth) = java_corpus(42, 3000);
+        let jtext = java.lines().join("\n");
+        assert!(jtext.contains("String"));
+        assert!(jtext.contains("new File("));
+        assert!(jtext.contains("API_KEY"));
+        assert!(!jtruth.existing_paths.is_empty());
+    }
+
+    #[test]
+    fn length_histogram_is_right_skewed() {
+        let (spam, _) = spam_corpus(3, 4000);
+        let hist = spam.length_histogram(50);
+        assert!(!hist.is_empty());
+        let total: usize = hist.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, spam.len());
+        // The first couple of buckets hold the majority of lines.
+        let head: usize = hist.iter().take(3).map(|&(_, c)| c).sum();
+        assert!(head * 2 > total, "distribution is not right-skewed: {hist:?}");
+        // But a tail beyond 200 characters exists.
+        assert!(hist.iter().any(|&(start, c)| start >= 200 && c > 0));
+    }
+
+    #[test]
+    fn truncation_filters_long_lines() {
+        let (spam, _) = spam_corpus(5, 2000);
+        let short = spam.truncated_to(200);
+        assert!(short.len() < spam.len());
+        assert!(short.lines().iter().all(|l| l.len() <= 200));
+        assert_eq!(short.dataset(), Dataset::Spam);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width")]
+    fn histogram_rejects_zero_bucket() {
+        let (spam, _) = spam_corpus(5, 10);
+        let _ = spam.length_histogram(0);
+    }
+}

@@ -1,0 +1,42 @@
+//! Benchmark workloads for SemRE membership testing.
+//!
+//! Everything the experimental evaluation of the paper needs, generated
+//! synthetically and deterministically:
+//!
+//! * [`corpus`] — the spam-e-mail and Java-code corpora (Section 5's two
+//!   datasets), with planted positives and ground truth;
+//! * [`bench_set`] — the nine benchmark SemREs of Table 1 wired to their
+//!   oracles ([`Workbench`] / [`BenchSpec`]);
+//! * [`triangle`] — the triangle-finding reduction of Section 4.2;
+//! * [`query_complexity`] — the Ω(|w|²) oracle-query lower-bound experiment
+//!   of Theorem 4.1.
+//!
+//! # Example
+//!
+//! ```
+//! use semre_core::Matcher;
+//! use semre_workloads::Workbench;
+//!
+//! let wb = Workbench::generate(42, 200, 200);
+//! let spec = wb.benchmark("spam,1").expect("spam,1 is a Table 1 row");
+//! let matcher = Matcher::new(spec.semre.clone(), spec.oracle.clone());
+//! let matched = wb
+//!     .corpus(spec.dataset)
+//!     .lines()
+//!     .iter()
+//!     .filter(|line| matcher.is_match(line.as_bytes()))
+//!     .count();
+//! assert!(matched > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench_set;
+pub mod corpus;
+pub mod query_complexity;
+pub mod triangle;
+
+pub use bench_set::{BenchSpec, Workbench};
+pub use corpus::{java_corpus, spam_corpus, Corpus, Dataset, GroundTruth};
+pub use triangle::{Graph, TriangleInstance};

@@ -1,0 +1,163 @@
+//! The query-complexity lower-bound experiment (Theorem 4.1).
+//!
+//! Theorem 4.1 shows that, in the black-box oracle setting, any correct
+//! matcher must issue Ω(|w|²) oracle queries in the worst case (and
+//! Ω(|r||w|²) when the query space is unbounded).  The adversarial family
+//! is
+//!
+//! * `r_k = Σ* (⟨q₁⟩ + ⟨q₂⟩ + … + ⟨q_k⟩) Σ*`, and
+//! * `w_m = 0^m 1^m`,
+//!
+//! together with the all-rejecting oracle: the matcher cannot conclude
+//! "no match" without having probed every `(qᵢ, substring)` pair.  This
+//! module builds the family and measures how many oracle calls the two
+//! matchers actually issue, which the benchmark harness plots against the
+//! quadratic lower bound.
+
+use std::sync::Arc;
+
+use semre_core::{DpMatcher, Matcher};
+use semre_oracle::{ConstOracle, Instrumented, Oracle};
+use semre_syntax::Semre;
+
+/// The adversarial SemRE `Σ* (⟨q₁⟩ + … + ⟨q_k⟩) Σ*` with `k` distinct
+/// queries.
+///
+/// # Panics
+///
+/// Panics if `queries` is zero.
+pub fn lower_bound_semre(queries: usize) -> Semre {
+    assert!(queries > 0, "at least one query is required");
+    let union = Semre::union_all((1..=queries).map(|i| Semre::oracle(format!("q{i}"))));
+    Semre::concat_all([Semre::any_star(), union, Semre::any_star()])
+}
+
+/// The adversarial input `0^m 1^m`.
+pub fn lower_bound_input(m: usize) -> Vec<u8> {
+    let mut w = vec![b'0'; m];
+    w.extend(std::iter::repeat(b'1').take(m));
+    w
+}
+
+/// The information-theoretic lower bound of Theorem 4.1 on the number of
+/// oracle calls for `|w| = 2m` and one query: one probe per substring,
+/// `(2m + 1)(2m + 2) / 2` including the empty ones.
+pub fn theoretical_lower_bound(m: usize, queries: usize) -> u64 {
+    let n = 2 * m as u64;
+    queries as u64 * (n + 1) * (n + 2) / 2
+}
+
+/// Which matcher to measure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MatcherKind {
+    /// The query-graph (SNFA) algorithm of Section 3.
+    QueryGraph,
+    /// The dynamic-programming baseline of Section 2.1.
+    Baseline,
+}
+
+/// One measured point of the query-complexity experiment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueryComplexityPoint {
+    /// Half-length `m` of the input `0^m 1^m`.
+    pub m: usize,
+    /// Input length `|w| = 2m`.
+    pub input_len: usize,
+    /// Oracle calls issued by the matcher (via its instrumentation).
+    pub oracle_calls: u64,
+    /// The Ω(|w|²) reference value.
+    pub lower_bound: u64,
+}
+
+/// Measures the number of oracle calls issued when matching the adversarial
+/// family with the all-rejecting oracle, for each `m` in `ms`.
+pub fn measure(kind: MatcherKind, queries: usize, ms: &[usize]) -> Vec<QueryComplexityPoint> {
+    let semre = lower_bound_semre(queries);
+    ms.iter()
+        .map(|&m| {
+            let input = lower_bound_input(m);
+            let oracle = Arc::new(Instrumented::new(ConstOracle::always_false()));
+            let calls = match kind {
+                MatcherKind::QueryGraph => {
+                    let matcher = Matcher::new(semre.clone(), Arc::clone(&oracle) as Arc<dyn Oracle>);
+                    let report = matcher.run(&input);
+                    assert!(!report.matched, "the all-rejecting oracle admits no match");
+                    oracle.stats().calls
+                }
+                MatcherKind::Baseline => {
+                    let matcher =
+                        DpMatcher::new(semre.clone(), Arc::clone(&oracle) as Arc<dyn Oracle>);
+                    let report = matcher.run(&input);
+                    assert!(!report.matched, "the all-rejecting oracle admits no match");
+                    oracle.stats().calls
+                }
+            };
+            QueryComplexityPoint {
+                m,
+                input_len: 2 * m,
+                oracle_calls: calls,
+                lower_bound: theoretical_lower_bound(m, queries),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_shapes() {
+        let r = lower_bound_semre(3);
+        assert_eq!(r.queries().len(), 3);
+        assert!(!r.has_nested_queries());
+        assert_eq!(lower_bound_input(3), b"000111".to_vec());
+        assert_eq!(lower_bound_input(0), Vec::<u8>::new());
+        assert_eq!(theoretical_lower_bound(2, 1), 15);
+        assert_eq!(theoretical_lower_bound(2, 3), 45);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one query")]
+    fn zero_queries_rejected() {
+        let _ = lower_bound_semre(0);
+    }
+
+    #[test]
+    fn both_matchers_grow_quadratically() {
+        for kind in [MatcherKind::QueryGraph, MatcherKind::Baseline] {
+            let points = measure(kind, 1, &[2, 4, 8]);
+            assert_eq!(points.len(), 3);
+            // Doubling the input length should roughly quadruple the number
+            // of oracle calls (between 3× and 5× allows for lower-order
+            // terms).
+            for pair in points.windows(2) {
+                let ratio = pair[1].oracle_calls as f64 / pair[0].oracle_calls as f64;
+                assert!(
+                    (3.0..=5.0).contains(&ratio),
+                    "{kind:?}: growth ratio {ratio} is not quadratic ({points:?})"
+                );
+            }
+            // And the measured counts are at least on the order of the
+            // non-empty-substring lower bound.
+            for p in &points {
+                let nonempty = (p.input_len * (p.input_len + 1) / 2) as u64;
+                assert!(
+                    p.oracle_calls >= nonempty,
+                    "{kind:?}: {} calls for m = {} is below the lower bound {}",
+                    p.oracle_calls,
+                    p.m,
+                    nonempty
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn query_count_scales_linearly() {
+        let one = measure(MatcherKind::QueryGraph, 1, &[6]);
+        let three = measure(MatcherKind::QueryGraph, 3, &[6]);
+        let ratio = three[0].oracle_calls as f64 / one[0].oracle_calls as f64;
+        assert!((2.5..=3.5).contains(&ratio), "expected ≈3× more calls, got {ratio}");
+    }
+}

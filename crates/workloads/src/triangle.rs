@@ -1,0 +1,342 @@
+//! The triangle-finding reduction of Section 4.2.
+//!
+//! Theorem 4.5 shows that SemRE membership testing is at least as hard as
+//! detecting triangles in a graph: given an undirected graph `G`, matching
+//! the string `w_G = #11#22#33…#nn` against the nested SemRE
+//!
+//! ```text
+//! r_Δ = Σ* # (Σ · (ΣΣ*#Σ) ∧ ⟨E⟩ · (ΣΣ*#Σ) ∧ ⟨E⟩ · Σ) ∧ ⟨E⟩ Σ*     (Eq. 18)
+//! ```
+//!
+//! succeeds exactly when `G` contains a triangle, where the oracle `⟨E⟩`
+//! accepts a string iff its first and last symbols are adjacent vertices.
+//! This module builds the reduction (graphs, encodings, the edge oracle,
+//! and the SemRE) and a direct cubic triangle detector for
+//! cross-validation.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use semre_oracle::Oracle;
+use semre_syntax::{CharClass, Semre};
+
+/// Name of the adjacency query used by the reduction.
+pub const EDGE_QUERY: &str = "E";
+
+/// A simple undirected graph on vertices `0..n`.
+#[derive(Clone, Debug, Default)]
+pub struct Graph {
+    vertices: usize,
+    edges: HashSet<(usize, usize)>,
+}
+
+impl Graph {
+    /// Creates a graph with `vertices` vertices and no edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vertices` exceeds 200: the reduction encodes each vertex
+    /// as one distinct byte of the input alphabet.
+    pub fn new(vertices: usize) -> Self {
+        assert!(vertices <= 200, "the byte-level encoding supports at most 200 vertices");
+        Graph { vertices, edges: HashSet::new() }
+    }
+
+    /// Adds the undirected edge `{u, v}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u == v` (self loops are not allowed) or if either endpoint
+    /// is out of range.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u != v, "self loops are not allowed");
+        assert!(u < self.vertices && v < self.vertices, "edge endpoint out of range");
+        self.edges.insert((u.min(v), u.max(v)));
+    }
+
+    /// Whether `{u, v}` is an edge.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        u != v && self.edges.contains(&(u.min(v), u.max(v)))
+    }
+
+    /// Number of vertices.
+    pub fn vertices(&self) -> usize {
+        self.vertices
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Generates an Erdős–Rényi random graph `G(n, p)`.
+    pub fn random(vertices: usize, edge_probability: f64, seed: u64) -> Self {
+        let mut g = Graph::new(vertices);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for u in 0..vertices {
+            for v in u + 1..vertices {
+                if rng.gen_bool(edge_probability) {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        g
+    }
+
+    /// The complete tripartite "triangle-free unless…" test graph: a cycle
+    /// of length `n` (triangle-free for `n ≥ 4`).
+    pub fn cycle(vertices: usize) -> Self {
+        let mut g = Graph::new(vertices);
+        for u in 0..vertices {
+            g.add_edge(u, (u + 1) % vertices);
+        }
+        g
+    }
+
+    /// Direct `O(n³)` triangle detection used as ground truth.
+    pub fn has_triangle_direct(&self) -> bool {
+        for &(u, v) in &self.edges {
+            for w in 0..self.vertices {
+                if w != u && w != v && self.has_edge(u, w) && self.has_edge(v, w) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// The byte encoding a vertex in `w_G` (vertex `v` ↦ byte `0x30 + v`, so
+/// that small graphs produce printable strings).
+pub fn vertex_byte(v: usize) -> u8 {
+    (0x30 + v) as u8
+}
+
+/// The delimiter byte `#`.
+pub const DELIMITER: u8 = b'#';
+
+/// The encoded string `w_G = #11#22#33…#nn` of Lemma 4.4.
+pub fn encode_graph(g: &Graph) -> Vec<u8> {
+    let mut out = Vec::with_capacity(3 * g.vertices());
+    for v in 0..g.vertices() {
+        out.push(DELIMITER);
+        out.push(vertex_byte(v));
+        out.push(vertex_byte(v));
+    }
+    out
+}
+
+/// The SemRE `r_Δ` of Eq. 18, over the alphabet of `n` vertex bytes plus the
+/// delimiter.
+pub fn triangle_semre(vertices: usize) -> Semre {
+    let mut alphabet = CharClass::empty();
+    alphabet.insert(DELIMITER);
+    for v in 0..vertices {
+        alphabet.insert(vertex_byte(v));
+    }
+    let sigma = Semre::class(alphabet);
+    let sigma_star = Semre::star(sigma.clone());
+    let hash = Semre::byte(DELIMITER);
+    // (Σ Σ* # Σ) ∧ ⟨E⟩ — one "hop" from the second copy of a vertex to the
+    // first copy of a later vertex.
+    let hop = || {
+        Semre::query(
+            Semre::concat_all([sigma.clone(), sigma_star.clone(), hash.clone(), sigma.clone()]),
+            EDGE_QUERY,
+        )
+    };
+    let triangle = Semre::query(
+        Semre::concat_all([sigma.clone(), hop(), hop(), sigma.clone()]),
+        EDGE_QUERY,
+    );
+    Semre::concat_all([sigma_star.clone(), hash, triangle, sigma_star])
+}
+
+/// The adjacency oracle `⟨E⟩`: accepts a non-empty string iff its first and
+/// last bytes decode to adjacent vertices of the graph.
+#[derive(Clone, Debug)]
+pub struct EdgeOracle {
+    graph: Graph,
+}
+
+impl EdgeOracle {
+    /// Creates the oracle for `graph`.
+    pub fn new(graph: Graph) -> Self {
+        EdgeOracle { graph }
+    }
+
+    fn decode(&self, byte: u8) -> Option<usize> {
+        let v = byte.checked_sub(0x30)? as usize;
+        (v < self.graph.vertices()).then_some(v)
+    }
+}
+
+impl Oracle for EdgeOracle {
+    fn holds(&self, query: &str, text: &[u8]) -> bool {
+        if query != EDGE_QUERY || text.is_empty() {
+            return false;
+        }
+        match (self.decode(text[0]), self.decode(*text.last().expect("non-empty"))) {
+            (Some(u), Some(v)) => self.graph.has_edge(u, v),
+            _ => false,
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("edge-oracle({} vertices, {} edges)", self.graph.vertices(), self.graph.num_edges())
+    }
+}
+
+/// A packaged instance of the reduction: the SemRE, the encoded string, and
+/// the oracle for one graph.
+#[derive(Clone, Debug)]
+pub struct TriangleInstance {
+    /// The nested SemRE `r_Δ`.
+    pub semre: Semre,
+    /// The encoded input string `w_G`.
+    pub input: Vec<u8>,
+    /// The adjacency oracle.
+    pub oracle: EdgeOracle,
+}
+
+impl TriangleInstance {
+    /// Builds the reduction instance for `graph`.
+    pub fn new(graph: Graph) -> Self {
+        TriangleInstance {
+            semre: triangle_semre(graph.vertices()),
+            input: encode_graph(&graph),
+            oracle: EdgeOracle::new(graph),
+        }
+    }
+}
+
+/// Decides triangle existence by running the SemRE matcher on the reduction
+/// instance (Theorem 4.5).
+pub fn has_triangle_via_semre(graph: &Graph) -> bool {
+    let instance = TriangleInstance::new(graph.clone());
+    let matcher = semre_core::Matcher::new(instance.semre, instance.oracle);
+    matcher.is_match(&instance.input)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_basics() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        assert!(g.has_edge(1, 0));
+        assert!(g.has_edge(1, 2));
+        assert!(!g.has_edge(0, 2));
+        assert!(!g.has_edge(2, 2));
+        assert_eq!(g.vertices(), 4);
+        assert_eq!(g.num_edges(), 2);
+        assert!(!g.has_triangle_direct());
+        g.add_edge(0, 2);
+        assert!(g.has_triangle_direct());
+    }
+
+    #[test]
+    #[should_panic(expected = "self loops")]
+    fn self_loops_rejected() {
+        Graph::new(3).add_edge(1, 1);
+    }
+
+    #[test]
+    fn cycles_are_triangle_free() {
+        assert!(Graph::cycle(3).has_triangle_direct());
+        for n in 4..10 {
+            assert!(!Graph::cycle(n).has_triangle_direct(), "C_{n} has no triangle");
+        }
+    }
+
+    #[test]
+    fn encoding_shape() {
+        let g = Graph::new(3);
+        assert_eq!(encode_graph(&g), b"#00#11#22".to_vec());
+        assert_eq!(vertex_byte(0), b'0');
+        let r = triangle_semre(3);
+        assert!(r.has_nested_queries());
+        assert_eq!(r.queries().len(), 1);
+        assert_eq!(r.queries()[0].as_str(), EDGE_QUERY);
+    }
+
+    #[test]
+    fn edge_oracle_semantics() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 2);
+        let oracle = EdgeOracle::new(g);
+        assert!(oracle.holds(EDGE_QUERY, b"0#2"));
+        assert!(oracle.holds(EDGE_QUERY, b"2xxxx0"));
+        assert!(!oracle.holds(EDGE_QUERY, b"0#1"));
+        assert!(!oracle.holds(EDGE_QUERY, b""));
+        assert!(!oracle.holds(EDGE_QUERY, b"0#9"));
+        assert!(!oracle.holds("other", b"0#2"));
+    }
+
+    #[test]
+    fn reduction_agrees_with_direct_detection_on_small_graphs() {
+        // A triangle, a path, a star, a 4-cycle, and the triangle plus a
+        // pendant vertex.
+        let mut triangle = Graph::new(3);
+        triangle.add_edge(0, 1);
+        triangle.add_edge(1, 2);
+        triangle.add_edge(0, 2);
+        let mut path = Graph::new(4);
+        path.add_edge(0, 1);
+        path.add_edge(1, 2);
+        path.add_edge(2, 3);
+        let mut star = Graph::new(5);
+        for v in 1..5 {
+            star.add_edge(0, v);
+        }
+        let mut pendant = triangle.clone();
+        // Recreate with an extra vertex.
+        let mut pendant4 = Graph::new(4);
+        for &(u, v) in pendant.edges.iter() {
+            pendant4.add_edge(u, v);
+        }
+        pendant4.add_edge(2, 3);
+        pendant = pendant4;
+
+        for (name, g) in [
+            ("triangle", &triangle),
+            ("path", &path),
+            ("star", &star),
+            ("C4", &Graph::cycle(4)),
+            ("pendant", &pendant),
+        ] {
+            assert_eq!(
+                has_triangle_via_semre(g),
+                g.has_triangle_direct(),
+                "disagreement on {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn reduction_agrees_on_random_graphs() {
+        for n in [4, 6, 8] {
+            for (i, p) in [0.1, 0.3, 0.5].into_iter().enumerate() {
+                let g = Graph::random(n, p, 1000 + n as u64 + i as u64);
+                assert_eq!(
+                    has_triangle_via_semre(&g),
+                    g.has_triangle_direct(),
+                    "disagreement on G({n}, {p})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_graph_density_follows_probability() {
+        let sparse = Graph::random(30, 0.05, 7);
+        let dense = Graph::random(30, 0.8, 7);
+        assert!(sparse.num_edges() < dense.num_edges());
+        assert!(dense.has_triangle_direct());
+    }
+}

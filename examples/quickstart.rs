@@ -1,0 +1,56 @@
+//! Quick start: parse a semantic regular expression, attach an oracle, and
+//! test a few lines for membership.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use semre::{Instrumented, Matcher, SetOracle, SimLlmOracle};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. A SemRE with an LLM-style oracle -----------------------------
+    // Example 2.8 of the paper: subject lines advertising medicines, where
+    // the medicine name must appear as a whole word.
+    let spam = semre::parse(r"Subject: .* (?<Medicine name>: [a-zA-Z]+) .*")?;
+    println!("pattern      : {spam}");
+    println!("skeleton     : {}", semre::skeleton(&spam));
+    println!("|r|          : {}", spam.size());
+    println!("nested       : {}", spam.has_nested_queries());
+
+    // The simulated LLM answers lexicon questions deterministically; the
+    // Instrumented wrapper counts calls so we can see how sparingly the
+    // matcher uses the oracle.
+    let oracle = Instrumented::new(SimLlmOracle::new());
+    let matcher = Matcher::new(spam, oracle);
+
+    let lines: &[&str] = &[
+        "Subject: buy cheap tramadol online now",
+        "Subject: agenda for the quarterly review",
+        "Re: buy cheap tramadol online now",
+        "Subject: weight loss miracle ambien offer",
+    ];
+    println!("\nscanning {} lines:", lines.len());
+    for line in lines {
+        let verdict = if matcher.is_match(line.as_bytes()) { "MATCH " } else { "      " };
+        println!("  {verdict} {line}");
+    }
+    let stats = matcher.oracle().stats();
+    println!(
+        "\noracle usage : {} calls, {} bytes submitted, {} positive answers",
+        stats.calls, stats.query_bytes, stats.positive
+    );
+
+    // --- 2. A database-backed oracle --------------------------------------
+    // Oracles need not be LLMs (Note 2.6): here the "Eastern European city"
+    // category is a plain set lookup.
+    let mut cities = SetOracle::new();
+    cities.insert_all("Eastern European city", ["Warsaw", "Prague", "Budapest", "Kyiv"]);
+    let travel = semre::parse(r"travel to (?<Eastern European city>: [A-Za-z]+)")?;
+    let travel_matcher = Matcher::new(travel, cities);
+    for line in ["travel to Prague", "travel to Lisbon"] {
+        println!(
+            "{:<18} -> {}",
+            line,
+            if travel_matcher.is_match(line.as_bytes()) { "match" } else { "no match" }
+        );
+    }
+    Ok(())
+}

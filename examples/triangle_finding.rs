@@ -1,0 +1,46 @@
+//! Triangle detection through SemRE matching (Section 4.2 of the paper).
+//!
+//! Theorem 4.5 reduces triangle finding to membership testing for a nested
+//! SemRE: a graph `G` is encoded as the string `#11#22…#nn`, the adjacency
+//! relation becomes an oracle, and `G` has a triangle exactly when the
+//! string matches `r_Δ`.  This example runs the reduction on random graphs
+//! of growing size and cross-checks it against a direct cubic detector —
+//! illustrating both the expressiveness of nested queries and why they are
+//! the expensive case of the matching algorithm.
+//!
+//! Run with `cargo run --release --example triangle_finding`.
+
+use std::time::Instant;
+
+use semre_workloads::triangle::{has_triangle_via_semre, Graph};
+
+fn main() {
+    println!(
+        "{:<10} {:>8} {:>10} {:>12} {:>16} {:>16}",
+        "vertices", "edges", "triangle?", "agreement", "via SemRE (ms)", "direct (µs)"
+    );
+    for n in [6usize, 10, 14, 18, 24, 30] {
+        let graph = Graph::random(n, 0.12, 0xC0FFEE + n as u64);
+
+        let started = Instant::now();
+        let direct = graph.has_triangle_direct();
+        let direct_time = started.elapsed();
+
+        let started = Instant::now();
+        let via_semre = has_triangle_via_semre(&graph);
+        let semre_time = started.elapsed();
+
+        println!(
+            "{:<10} {:>8} {:>10} {:>12} {:>16.3} {:>16.2}",
+            n,
+            graph.num_edges(),
+            direct,
+            if direct == via_semre { "ok" } else { "MISMATCH" },
+            semre_time.as_secs_f64() * 1e3,
+            direct_time.as_secs_f64() * 1e6,
+        );
+        assert_eq!(direct, via_semre);
+    }
+    println!("\nThe SemRE route is far slower — as Theorem 4.5 predicts, beating");
+    println!("cubic time here would yield a fast combinatorial triangle algorithm.");
+}

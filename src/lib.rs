@@ -1,0 +1,58 @@
+//! # semre — semantic regular expressions, end to end
+//!
+//! A production-oriented Rust implementation of *Membership Testing for
+//! Semantic Regular Expressions* (PLDI 2025).  Semantic regular expressions
+//! (SemREs) extend classical regular expressions with oracle refinements
+//! `r ∧ ⟨q⟩` that delegate judgements like "is this a medicine name?",
+//! "does this domain exist?", or "is this a hard-coded password?" to an
+//! external oracle — an LLM, a database, a network service, or a file
+//! system.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`syntax`] — the SemRE AST, parser, printer, and structural analyses;
+//! * [`oracle`] — the [`Oracle`](oracle::Oracle) trait, caching /
+//!   instrumentation wrappers, and a library of concrete oracles;
+//! * [`automata`] — semantic NFAs, the Thompson construction, and the
+//!   ε-feasibility closure;
+//! * [`core`] — the query-graph matcher ([`Matcher`]) and the
+//!   dynamic-programming baseline ([`DpMatcher`]);
+//! * [`grep`] — the `grep_O` line-scanning engine and CLI;
+//! * [`workloads`] — synthetic corpora, the paper's nine benchmark SemREs,
+//!   and the lower-bound / reduction experiments.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use semre::{Matcher, SimLlmOracle};
+//!
+//! // Example 2.8 of the paper: flag spam subject lines that mention a
+//! // medicine name as a whole word.
+//! let pattern = semre::parse(r"Subject: .* (?<Medicine name>: [a-zA-Z]+) .*")?;
+//! let matcher = Matcher::new(pattern, SimLlmOracle::new());
+//!
+//! assert!(matcher.is_match(b"Subject: buy xanax online today"));
+//! assert!(!matcher.is_match(b"Subject: minutes of the weekly sync"));
+//! # Ok::<(), semre::ParseSemreError>(())
+//! ```
+//!
+//! See the `examples/` directory for larger scenarios (credential scanning,
+//! spam filtering, triangle finding) and `DESIGN.md` / `EXPERIMENTS.md` for
+//! the reproduction methodology.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use semre_automata as automata;
+pub use semre_core as core;
+pub use semre_grep as grep;
+pub use semre_oracle as oracle;
+pub use semre_syntax as syntax;
+pub use semre_workloads as workloads;
+
+pub use semre_core::{DpMatcher, Matcher, MatcherConfig};
+pub use semre_oracle::{
+    CachingOracle, ConstOracle, Instrumented, LatencyModel, Oracle, PalindromeOracle,
+    PredicateOracle, SetOracle, SimLlmOracle, TableOracle,
+};
+pub use semre_syntax::{parse, skeleton, CharClass, ParseSemreError, QueryName, Semre};

@@ -1,0 +1,138 @@
+//! Cross-crate integration tests: the full pipeline from concrete syntax
+//! through oracles, corpora, matching, and the grep engine.
+
+use std::sync::Arc;
+
+use semre::grep::{scan, scan_parallel, ScanOptions};
+use semre::{
+    CachingOracle, DpMatcher, Instrumented, LatencyModel, Matcher, MatcherConfig, Oracle,
+    SimLlmOracle,
+};
+use semre_workloads::{Dataset, Workbench};
+
+#[test]
+fn both_algorithms_agree_on_a_corpus_sample() {
+    let workbench = Workbench::generate(123, 400, 400);
+    for spec in workbench.benchmarks() {
+        let corpus = workbench.corpus(spec.dataset).truncated_to(120);
+        let lines: Vec<&String> = corpus.lines().iter().take(120).collect();
+        let snfa = Matcher::new(spec.semre.clone(), Arc::clone(&spec.oracle));
+        let dp = DpMatcher::new(spec.semre.clone(), Arc::clone(&spec.oracle));
+        for line in lines {
+            assert_eq!(
+                snfa.is_match(line.as_bytes()),
+                dp.is_match(line.as_bytes()),
+                "{}: algorithms disagree on {line:?}",
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn matcher_configurations_agree_on_membership() {
+    let workbench = Workbench::generate(321, 200, 200);
+    let spec = workbench.benchmark("edom").expect("edom exists");
+    let corpus = workbench.corpus(Dataset::Spam).truncated_to(150);
+    let default = Matcher::new(spec.semre.clone(), Arc::clone(&spec.oracle));
+    let eager =
+        Matcher::with_config(spec.semre.clone(), Arc::clone(&spec.oracle), MatcherConfig::eager());
+    for line in corpus.lines().iter().take(150) {
+        assert_eq!(default.is_match(line.as_bytes()), eager.is_match(line.as_bytes()));
+    }
+}
+
+#[test]
+fn caching_reduces_oracle_traffic_without_changing_answers() {
+    let workbench = Workbench::generate(55, 300, 0);
+    let spec = workbench.benchmark("spam,1").expect("spam,1 exists");
+    let corpus = workbench.corpus(Dataset::Spam).truncated_to(120);
+
+    let raw = Instrumented::new(Arc::clone(&spec.oracle));
+    let uncached_matcher = Matcher::new(spec.semre.clone(), &raw);
+    let uncached_hits: Vec<bool> =
+        corpus.lines().iter().map(|l| uncached_matcher.is_match(l.as_bytes())).collect();
+
+    let backend = Instrumented::new(Arc::clone(&spec.oracle));
+    let cached = CachingOracle::new(&backend);
+    let cached_matcher = Matcher::new(spec.semre.clone(), &cached);
+    let cached_hits: Vec<bool> =
+        corpus.lines().iter().map(|l| cached_matcher.is_match(l.as_bytes())).collect();
+
+    assert_eq!(uncached_hits, cached_hits);
+    assert!(
+        backend.stats().calls < raw.stats().calls,
+        "the cache should absorb repeated (query, substring) pairs ({} vs {})",
+        backend.stats().calls,
+        raw.stats().calls
+    );
+    assert!(cached.hits() > 0);
+}
+
+#[test]
+fn grep_engine_matches_cli_outcome() {
+    let oracle = SimLlmOracle::new();
+    let pattern = r"Subject: .*(?<Medicine name>: .+).*";
+    let matcher = Matcher::new(semre::parse(pattern).unwrap(), &oracle);
+    let lines = vec![
+        "Subject: cheap adderall pills".to_owned(),
+        "Subject: faculty meeting".to_owned(),
+        "unrelated line".to_owned(),
+    ];
+    let report = scan(&matcher, &lines, semre::oracle::OracleStats::default, ScanOptions::unlimited());
+    assert_eq!(report.matched_lines(), 1);
+
+    let parallel = scan_parallel(&matcher, &lines, 3);
+    assert_eq!(parallel.matched_lines(), 1);
+
+    let options =
+        semre::grep::cli::CliOptions::parse(["--count", pattern]).expect("valid options");
+    let outcome =
+        semre::grep::cli::run_on_text(&options, &lines.join("\n")).expect("cli run succeeds");
+    assert_eq!(outcome.stdout, vec!["1".to_owned()]);
+}
+
+#[test]
+fn latency_model_shows_up_in_oracle_fraction() {
+    let workbench = Workbench::generate(77, 250, 0);
+    let spec = workbench.benchmark("spam,1").expect("spam,1 exists");
+    let corpus = workbench.corpus(Dataset::Spam).truncated_to(100);
+    let oracle = Instrumented::with_spun_latency(Arc::clone(&spec.oracle), LatencyModel::llm());
+    let matcher = Matcher::new(spec.semre.clone(), &oracle);
+    let report = scan(&matcher, corpus.lines(), || oracle.stats(), ScanOptions::unlimited());
+    // With a (scaled) LLM-like latency injected, matching time is dominated
+    // by the oracle, as in the paper's LLM-backed rows of Table 2.
+    assert!(
+        report.oracle_fraction() > 0.5,
+        "expected an oracle-dominated run, fraction = {}",
+        report.oracle_fraction()
+    );
+}
+
+#[test]
+fn skeleton_prefilter_spares_the_oracle_entirely_on_clean_corpora() {
+    // A corpus with no `Subject:` lines never needs the medicine oracle.
+    let lines: Vec<String> =
+        (0..50).map(|i| format!("ordinary log line number {i} with no e-mail headers")).collect();
+    let oracle = Instrumented::new(SimLlmOracle::new());
+    let matcher = Matcher::new(
+        semre::parse(r"Subject: .*(?<Medicine name>: .+).*").unwrap(),
+        &oracle,
+    );
+    let report = scan(&matcher, &lines, || oracle.stats(), ScanOptions::unlimited());
+    assert_eq!(report.matched_lines(), 0);
+    assert_eq!(report.oracle_totals().calls, 0);
+}
+
+#[test]
+fn facade_reexports_are_usable_together() {
+    // Build an oracle stack exactly like the paper's LLM setup and drive it
+    // through the facade's re-exports only.
+    let stack = CachingOracle::new(Instrumented::with_latency(SimLlmOracle::new(), LatencyModel::llm()));
+    assert!(stack.holds("Medicine name", b"cialis"));
+    let r = semre::parse("(?<Medicine name>: [a-z]+)").unwrap();
+    assert!(semre::skeleton(&r).is_classical());
+    let matcher = Matcher::new(r, stack);
+    assert!(matcher.is_match(b"cialis"));
+    assert!(!matcher.is_match(b"42"));
+}
