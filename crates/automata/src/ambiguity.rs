@@ -142,13 +142,25 @@ pub fn skeleton_is_unambiguous(r: &Semre) -> bool {
 /// leaves, computes nullable/first/last, and fills in the follow relation.
 fn glushkov(r: &Semre, classes: &mut Vec<CharClass>, follow: &mut Vec<Vec<Position>>) -> Glushkov {
     match r {
-        Semre::Bot => Glushkov { nullable: false, first: vec![], last: vec![] },
-        Semre::Eps => Glushkov { nullable: true, first: vec![], last: vec![] },
+        Semre::Bot => Glushkov {
+            nullable: false,
+            first: vec![],
+            last: vec![],
+        },
+        Semre::Eps => Glushkov {
+            nullable: true,
+            first: vec![],
+            last: vec![],
+        },
         Semre::Class(c) => {
             let p = classes.len();
             classes.push(*c);
             follow.push(Vec::new());
-            Glushkov { nullable: false, first: vec![p], last: vec![p] }
+            Glushkov {
+                nullable: false,
+                first: vec![p],
+                last: vec![p],
+            }
         }
         Semre::Union(a, b) => {
             let ga = glushkov(a, classes, follow);
@@ -174,7 +186,11 @@ fn glushkov(r: &Semre, classes: &mut Vec<CharClass>, follow: &mut Vec<Vec<Positi
                 } else {
                     ga.first
                 },
-                last: if gb.nullable { concat_positions(&ga.last, &gb.last) } else { gb.last },
+                last: if gb.nullable {
+                    concat_positions(&ga.last, &gb.last)
+                } else {
+                    gb.last
+                },
             }
         }
         Semre::Star(a) => {
@@ -184,7 +200,11 @@ fn glushkov(r: &Semre, classes: &mut Vec<CharClass>, follow: &mut Vec<Vec<Positi
                     push_unique(&mut follow[p], q);
                 }
             }
-            Glushkov { nullable: true, first: ga.first, last: ga.last }
+            Glushkov {
+                nullable: true,
+                first: ga.first,
+                last: ga.last,
+            }
         }
         Semre::Query(a, _) => glushkov(a, classes, follow),
     }
@@ -279,7 +299,9 @@ mod tests {
         // because of their Σ* padding or overlapping alternatives; this is
         // exactly why the paper's general bound (not the unambiguous one)
         // applies to its benchmark set.
-        assert!(!skeleton_is_unambiguous(&Semre::padded(examples::r_spam1())));
+        assert!(!skeleton_is_unambiguous(
+            &Semre::padded(examples::r_spam1())
+        ));
         assert!(!skeleton_is_unambiguous(&examples::r_id_padded()));
         assert!(!skeleton_is_unambiguous(&Semre::padded(examples::r_pal())));
         // The bare (unpadded) IP pattern has a single way to parse any
@@ -287,6 +309,8 @@ mod tests {
         // bounded repetition keeps it ambiguous.
         assert!(!skeleton_is_unambiguous(&examples::r_ip()));
         // A fully anchored, deterministic SemRE falls in the fast regime.
-        assert!(skeleton_is_unambiguous(&parse("(?<q>: [a-z]+)@[a-z]+\\.com").unwrap()));
+        assert!(skeleton_is_unambiguous(
+            &parse("(?<q>: [a-z]+)@[a-z]+\\.com").unwrap()
+        ));
     }
 }

@@ -37,7 +37,12 @@ impl<'m> SkeletonMatcher<'m> {
     /// Creates a simulator for `snfa`.
     pub fn new(snfa: &'m Snfa) -> Self {
         let n = snfa.num_states();
-        SkeletonMatcher { snfa, current: vec![false; n], next: vec![false; n], stack: Vec::new() }
+        SkeletonMatcher {
+            snfa,
+            current: vec![false; n],
+            next: vec![false; n],
+            stack: Vec::new(),
+        }
     }
 
     /// Whether `input` matches the skeleton of the underlying SemRE.
@@ -62,7 +67,12 @@ impl<'m> SkeletonMatcher<'m> {
                 return Vec::new();
             }
         }
-        self.current.iter().enumerate().filter(|(_, &b)| b).map(|(s, _)| s).collect()
+        self.current
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(s, _)| s)
+            .collect()
     }
 
     fn reset(&mut self) {
@@ -172,7 +182,10 @@ mod tests {
     fn queries_are_ignored_by_the_skeleton() {
         assert!(matches("(?<Q>: a+)b", b"aab"));
         assert!(matches("<Politician>", b"Lincoln"));
-        assert!(matches("(?<Celebrity>: .*(?<City>: .*).*)", b"Paris Hilton"));
+        assert!(matches(
+            "(?<Celebrity>: .*(?<City>: .*).*)",
+            b"Paris Hilton"
+        ));
     }
 
     #[test]

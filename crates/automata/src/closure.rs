@@ -48,7 +48,12 @@ impl EpsClosure {
     /// pairs is bounded by `|S|²` and in practice is far smaller because
     /// balanced ε-reachability preserves the query context.
     pub fn compute(snfa: &Snfa, oracle: &dyn Oracle) -> Self {
-        Compute { snfa, oracle, eps_accepts: HashMap::new() }.run()
+        Compute {
+            snfa,
+            oracle,
+            eps_accepts: HashMap::new(),
+        }
+        .run()
     }
 
     /// States `t` such that an ε-path `s → … → t` exists whose labels after
@@ -180,7 +185,11 @@ impl<'a> Compute<'a> {
             list.sort_unstable();
             list.dedup();
         }
-        EpsClosure { balanced_reach, close_targets, open_targets }
+        EpsClosure {
+            balanced_reach,
+            close_targets,
+            open_targets,
+        }
     }
 
     /// Close(q)-labelled states `y` such that some `x` with
@@ -282,7 +291,11 @@ mod tests {
         CALLS.store(0, Ordering::Relaxed);
         // Many ε-visible occurrences of the same query.
         let _ = closure("(?<Q>: a*)(?<Q>: b*)(?<Q>: c*)", &oracle);
-        assert_eq!(CALLS.load(Ordering::Relaxed), 1, "one ε-probe per distinct query");
+        assert_eq!(
+            CALLS.load(Ordering::Relaxed),
+            1,
+            "one ε-probe per distinct query"
+        );
     }
 
     #[test]

@@ -66,7 +66,9 @@ pub struct SnfaInvariantError {
 
 impl SnfaInvariantError {
     fn new(message: impl Into<String>) -> Self {
-        SnfaInvariantError { message: message.into() }
+        SnfaInvariantError {
+            message: message.into(),
+        }
     }
 
     /// Human-readable description of the violated invariant.
@@ -128,7 +130,13 @@ impl Snfa {
                 assert!(t < n, "ε-transition targets unknown state {t}");
             }
         }
-        Snfa { labels, char_out, eps_out, start, accept }
+        Snfa {
+            labels,
+            char_out,
+            eps_out,
+            start,
+            accept,
+        }
     }
 
     /// Number of states `|S|`.
@@ -174,7 +182,10 @@ impl Snfa {
 
     /// The states reachable from `s` by one character transition on `byte`.
     pub fn step(&self, s: StateId, byte: u8) -> impl Iterator<Item = StateId> + '_ {
-        self.char_out[s].iter().filter(move |(c, _)| c.contains(byte)).map(|&(_, t)| t)
+        self.char_out[s]
+            .iter()
+            .filter(move |(c, _)| c.contains(byte))
+            .map(|&(_, t)| t)
     }
 
     /// Incoming ε-transitions, computed on demand (one `Vec` per state).
@@ -408,7 +419,12 @@ mod tests {
         // Route the `a` transition straight into the open state — violates
         // Assumption A.1 and must be caught by validate().
         let bad = Snfa::from_parts(
-            vec![Label::Blank, Label::Open(q("pal")), Label::Blank, Label::Close(q("pal"))],
+            vec![
+                Label::Blank,
+                Label::Open(q("pal")),
+                Label::Blank,
+                Label::Close(q("pal")),
+            ],
             vec![vec![(CharClass::single(b'a'), 1)], vec![], vec![], vec![]],
             vec![vec![], vec![2], vec![3], vec![]],
             0,
@@ -474,7 +490,12 @@ mod tests {
         // s0 --ε--> s1[open q] --ε--> s2, and also s0 --ε--> s2 directly:
         // s2 would be reachable both with [] and [q].
         let bad = Snfa::from_parts(
-            vec![Label::Blank, Label::Open(q("q")), Label::Blank, Label::Close(q("q"))],
+            vec![
+                Label::Blank,
+                Label::Open(q("q")),
+                Label::Blank,
+                Label::Close(q("q")),
+            ],
             vec![vec![], vec![], vec![], vec![]],
             vec![vec![1, 2], vec![2], vec![3], vec![]],
             0,

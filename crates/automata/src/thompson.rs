@@ -134,7 +134,7 @@ impl Builder {
         // (2) Character transitions target blank states.
         for s in 0..self.char_out.len() {
             for i in 0..self.char_out[s].len() {
-                let (class, target) = self.char_out[s][i].clone();
+                let (class, target) = self.char_out[s][i];
                 if self.labels[target] != Label::Blank {
                     let mid = self.fresh(Label::Blank);
                     self.eps(mid, target);
@@ -214,8 +214,10 @@ mod tests {
     fn query_contexts_reflect_nesting() {
         let m = compiled("(?<Outer>: a(?<Inner>: b)c)");
         let contexts = m.query_contexts().unwrap();
-        let depths: Vec<usize> =
-            contexts.iter().map(|c| c.as_ref().map_or(0, Vec::len)).collect();
+        let depths: Vec<usize> = contexts
+            .iter()
+            .map(|c| c.as_ref().map_or(0, Vec::len))
+            .collect();
         assert_eq!(depths.iter().copied().max(), Some(2));
         assert_eq!(contexts[m.accept()].as_deref(), Some(&[][..]));
     }
@@ -244,7 +246,10 @@ mod tests {
             let m = compiled(pattern);
             for s in m.states() {
                 for &(_, t) in m.char_out(s) {
-                    assert!(m.label(t).is_blank(), "{pattern}: char transition into labelled state");
+                    assert!(
+                        m.label(t).is_blank(),
+                        "{pattern}: char transition into labelled state"
+                    );
                 }
             }
         }

@@ -1,29 +1,33 @@
-//! Criterion bench for the design-choice ablations called out in DESIGN.md
+//! Micro-bench for the design-choice ablations called out in DESIGN.md
 //! (Note A.4 of the paper): the fully optimized matcher configuration
 //! (skeleton prefilter + co-reachability pruning + lazy oracle discharge)
 //! against the eager configuration, on a non-nested and a nested workload.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
-use semre_bench::ExperimentConfig;
+use semre_bench::{micro, ExperimentConfig};
 use semre_core::{Matcher, MatcherConfig};
 use semre_oracle::SetOracle;
 use semre_syntax::{examples, Semre};
 
-fn bench_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
-
-    let configs: [(&str, MatcherConfig); 3] = [
+fn main() {
+    let configs: [(&str, MatcherConfig); 4] = [
         ("optimized", MatcherConfig::default()),
-        ("no_prune", MatcherConfig { prune_coreachable: false, ..MatcherConfig::default() }),
+        ("per_call", MatcherConfig::per_call()),
+        (
+            "no_prune",
+            MatcherConfig {
+                prune_coreachable: false,
+                ..MatcherConfig::default()
+            },
+        ),
         ("eager", MatcherConfig::eager()),
     ];
 
     // Non-nested workload: spam,1 over a slice of the spam corpus.
-    let config = ExperimentConfig { spam_lines: 400, java_lines: 50, ..ExperimentConfig::default() };
+    let config = ExperimentConfig {
+        spam_lines: 400,
+        java_lines: 50,
+        ..ExperimentConfig::default()
+    };
     let workbench = config.workbench();
     let spec = workbench.benchmark("spam,1").expect("spam,1 exists");
     let lines: Vec<String> = workbench
@@ -36,8 +40,11 @@ fn bench_ablation(c: &mut Criterion) {
         .collect();
     for (name, matcher_config) in configs {
         let matcher = Matcher::with_config(spec.semre.clone(), spec.oracle.clone(), matcher_config);
-        group.bench_with_input(BenchmarkId::new("spam1", name), &lines, |b, lines| {
-            b.iter(|| lines.iter().filter(|l| matcher.is_match(l.as_bytes())).count())
+        micro::bench("ablation", &format!("spam1/{name}"), || {
+            lines
+                .iter()
+                .filter(|l| matcher.is_match(l.as_bytes()))
+                .count()
         });
     }
 
@@ -58,12 +65,11 @@ fn bench_ablation(c: &mut Criterion) {
     .collect();
     for (name, matcher_config) in configs {
         let matcher = Matcher::with_config(nested.clone(), oracle.clone(), matcher_config);
-        group.bench_with_input(BenchmarkId::new("paris_hilton", name), &nested_lines, |b, lines| {
-            b.iter(|| lines.iter().filter(|l| matcher.is_match(l.as_bytes())).count())
+        micro::bench("ablation", &format!("paris_hilton/{name}"), || {
+            nested_lines
+                .iter()
+                .filter(|l| matcher.is_match(l.as_bytes()))
+                .count()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_ablation);
-criterion_main!(benches);

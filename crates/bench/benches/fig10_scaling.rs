@@ -1,16 +1,12 @@
-//! Criterion bench behind Fig. 10: how per-line matching time grows with
-//! line length, for the SNFA matcher and the DP baseline.
+//! Micro-bench behind Fig. 10: how per-line matching time grows with line
+//! length, for the SNFA matcher and the DP baseline.
 //!
 //! The paper's figure uses corpus lines bucketed by length; here we
 //! synthesize lines of exact lengths 25, 50, 100 and 200 for a
 //! representative subset of the benchmark SemREs (one per oracle family) so
-//! the scaling trend is directly visible in the Criterion report.
+//! the scaling trend is directly visible in the report.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
-use semre_bench::ExperimentConfig;
+use semre_bench::{micro, ExperimentConfig};
 use semre_core::{DpMatcher, Matcher};
 
 /// Builds a line of exactly `len` bytes that exercises the given benchmark
@@ -31,11 +27,13 @@ fn line_of_length(bench: &str, len: usize) -> String {
     line
 }
 
-fn bench_fig10(c: &mut Criterion) {
-    let config = ExperimentConfig { spam_lines: 50, java_lines: 50, ..ExperimentConfig::default() };
+fn main() {
+    let config = ExperimentConfig {
+        spam_lines: 50,
+        java_lines: 50,
+        ..ExperimentConfig::default()
+    };
     let workbench = config.workbench();
-    let mut group = c.benchmark_group("fig10_scaling");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
 
     for bench_name in ["spam,1", "ip", "edom", "pass"] {
         let spec = workbench.benchmark(bench_name).expect("known benchmark");
@@ -43,20 +41,12 @@ fn bench_fig10(c: &mut Criterion) {
         let dp = DpMatcher::new(spec.semre.clone(), spec.oracle.clone());
         for len in [25usize, 50, 100, 200] {
             let line = line_of_length(bench_name, len);
-            group.bench_with_input(
-                BenchmarkId::new(format!("snfa/{bench_name}"), len),
-                &line,
-                |b, line| b.iter(|| snfa.is_match(line.as_bytes())),
-            );
-            group.bench_with_input(
-                BenchmarkId::new(format!("dp/{bench_name}"), len),
-                &line,
-                |b, line| b.iter(|| dp.is_match(line.as_bytes())),
-            );
+            micro::bench("fig10_scaling", &format!("snfa/{bench_name}/{len}"), || {
+                snfa.is_match(line.as_bytes())
+            });
+            micro::bench("fig10_scaling", &format!("dp/{bench_name}/{len}"), || {
+                dp.is_match(line.as_bytes())
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig10);
-criterion_main!(benches);

@@ -1,37 +1,26 @@
-//! Criterion bench behind the Theorem 4.1 experiment: matching the
-//! adversarial family `Σ*⟨q⟩Σ*` against `0^m 1^m` with an all-rejecting
-//! oracle.  Time (and oracle calls, measured separately in the
-//! `experiments` binary) must grow quadratically in `|w|` for any correct
-//! matcher.
+//! Micro-bench behind the Theorem 4.1 experiment: matching the adversarial
+//! family `Σ*⟨q⟩Σ*` against `0^m 1^m` with an all-rejecting oracle.  Time
+//! (and oracle calls, measured separately in the `experiments` binary) must
+//! grow quadratically in `|w|` for any correct matcher.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-
+use semre_bench::micro;
 use semre_core::{DpMatcher, Matcher};
 use semre_oracle::ConstOracle;
 use semre_workloads::query_complexity::{lower_bound_input, lower_bound_semre};
 
-fn bench_query_complexity(c: &mut Criterion) {
+fn main() {
     let semre = lower_bound_semre(1);
     let oracle = ConstOracle::always_false();
     let snfa = Matcher::new(semre.clone(), oracle);
     let dp = DpMatcher::new(semre, oracle);
 
-    let mut group = c.benchmark_group("query_complexity");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
     for m in [8usize, 16, 32, 64] {
         let input = lower_bound_input(m);
-        group.throughput(Throughput::Bytes(input.len() as u64));
-        group.bench_with_input(BenchmarkId::new("snfa", 2 * m), &input, |b, input| {
-            b.iter(|| snfa.is_match(input))
+        micro::bench("query_complexity", &format!("snfa/{}", 2 * m), || {
+            snfa.is_match(&input)
         });
-        group.bench_with_input(BenchmarkId::new("dp", 2 * m), &input, |b, input| {
-            b.iter(|| dp.is_match(input))
+        micro::bench("query_complexity", &format!("dp/{}", 2 * m), || {
+            dp.is_match(&input)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_query_complexity);
-criterion_main!(benches);

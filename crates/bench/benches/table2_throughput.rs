@@ -1,23 +1,21 @@
-//! Criterion bench behind Table 2: per-line matching throughput of the
+//! Micro-bench behind Table 2: per-line matching throughput of the
 //! query-graph (SNFA) matcher vs the dynamic-programming baseline, for each
 //! of the nine benchmark SemREs.
 //!
-//! Oracle latency is *not* injected here (Criterion measures the pure
+//! Oracle latency is *not* injected here (the runner measures the pure
 //! algorithmic cost); the `experiments` binary reports the latency-inclusive
 //! numbers.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
-use semre_bench::ExperimentConfig;
+use semre_bench::{micro, ExperimentConfig};
 use semre_core::{DpMatcher, Matcher};
 
-fn bench_table2(c: &mut Criterion) {
-    let config = ExperimentConfig { spam_lines: 600, java_lines: 600, ..ExperimentConfig::default() };
+fn main() {
+    let config = ExperimentConfig {
+        spam_lines: 600,
+        java_lines: 600,
+        ..ExperimentConfig::default()
+    };
     let workbench = config.workbench();
-    let mut group = c.benchmark_group("table2_throughput");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
 
     for spec in workbench.benchmarks() {
         // A fixed sample of short-ish lines keeps each iteration bounded
@@ -30,16 +28,12 @@ fn bench_table2(c: &mut Criterion) {
             .take(40)
             .collect();
         let snfa = Matcher::new(spec.semre.clone(), spec.oracle.clone());
-        group.bench_with_input(BenchmarkId::new("snfa", spec.name), &lines, |b, lines| {
-            b.iter(|| lines.iter().filter(|l| snfa.is_match(l.as_bytes())).count())
+        micro::bench("table2_throughput", &format!("snfa/{}", spec.name), || {
+            lines.iter().filter(|l| snfa.is_match(l.as_bytes())).count()
         });
         let dp = DpMatcher::new(spec.semre.clone(), spec.oracle.clone());
-        group.bench_with_input(BenchmarkId::new("dp", spec.name), &lines, |b, lines| {
-            b.iter(|| lines.iter().filter(|l| dp.is_match(l.as_bytes())).count())
+        micro::bench("table2_throughput", &format!("dp/{}", spec.name), || {
+            lines.iter().filter(|l| dp.is_match(l.as_bytes())).count()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_table2);
-criterion_main!(benches);

@@ -1,28 +1,19 @@
-//! Criterion bench behind the Section 4.2 reduction: deciding triangle
+//! Micro-bench behind the Section 4.2 reduction: deciding triangle
 //! existence by SemRE matching (nested queries) versus the direct cubic
 //! scan.  The gap illustrates why the `O(|r||w|³)` term for nested SemREs
 //! is hard to avoid (Theorem 4.5).
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use semre_bench::micro;
 use semre_workloads::triangle::{has_triangle_via_semre, Graph};
 
-fn bench_triangle(c: &mut Criterion) {
-    let mut group = c.benchmark_group("triangle");
-    group.sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+fn main() {
     for n in [8usize, 12, 16, 24] {
         let graph = Graph::random(n, 0.15, 0xfeed ^ n as u64);
-        group.bench_with_input(BenchmarkId::new("via_semre", n), &graph, |b, g| {
-            b.iter(|| has_triangle_via_semre(g))
+        micro::bench("triangle", &format!("via_semre/{n}"), || {
+            has_triangle_via_semre(&graph)
         });
-        group.bench_with_input(BenchmarkId::new("direct", n), &graph, |b, g| {
-            b.iter(|| g.has_triangle_direct())
+        micro::bench("triangle", &format!("direct/{n}"), || {
+            graph.has_triangle_direct()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_triangle);
-criterion_main!(benches);

@@ -5,7 +5,8 @@
 //! experiments [OPTIONS] [EXPERIMENT...]
 //!
 //!   EXPERIMENT        table1 | table2 | fig10-dist | fig10 |
-//!                     query-complexity | triangle | ablation | all
+//!                     query-complexity | triangle | ablation |
+//!                     batch-efficiency | all
 //!                     (default: all)
 //!
 //!   --lines N         corpus lines per dataset          (default 4000)
@@ -39,7 +40,8 @@ fn main() {
                 config.java_lines = n;
             }
             "--budget" => {
-                config.time_budget = Duration::from_secs(expect_number(args.next(), "--budget") as u64);
+                config.time_budget =
+                    Duration::from_secs(expect_number(args.next(), "--budget") as u64);
             }
             "--max-line-len" => {
                 config.max_line_len = Some(expect_number(args.next(), "--max-line-len"));
@@ -58,9 +60,18 @@ fn main() {
         }
     }
     if experiments.is_empty() || experiments.iter().any(|e| e == "all") {
-        experiments = ["table1", "table2", "fig10-dist", "fig10", "query-complexity", "triangle", "ablation"]
-            .map(str::to_owned)
-            .to_vec();
+        experiments = [
+            "table1",
+            "table2",
+            "batch-efficiency",
+            "fig10-dist",
+            "fig10",
+            "query-complexity",
+            "triangle",
+            "ablation",
+        ]
+        .map(str::to_owned)
+        .to_vec();
     }
 
     println!("# SemRE membership-testing experiments");
@@ -74,6 +85,7 @@ fn main() {
         match experiment.as_str() {
             "table1" => table1(&config, &workbench),
             "table2" => table2(&config, &workbench),
+            "batch-efficiency" => batch_efficiency(&config, &workbench),
             "fig10-dist" => fig10_dist(&workbench),
             "fig10" => fig10(&config, &workbench),
             "query-complexity" => query_complexity(),
@@ -88,17 +100,18 @@ fn main() {
 }
 
 fn expect_number(value: Option<String>, flag: &str) -> usize {
-    value
-        .and_then(|v| v.parse().ok())
-        .unwrap_or_else(|| {
-            eprintln!("{flag} expects a number");
-            std::process::exit(2);
-        })
+    value.and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+        eprintln!("{flag} expects a number");
+        std::process::exit(2);
+    })
 }
 
 fn table1(config: &ExperimentConfig, workbench: &Workbench) {
     println!("\n## Table 1: benchmark SemREs and their statistics");
-    println!("{:<8} {:<8} {:<22} {:>6} {:>10} {:>10}", "Dataset", "Name", "Oracle", "|r|", "Lines", "Matched");
+    println!(
+        "{:<8} {:<8} {:<22} {:>6} {:>10} {:>10}",
+        "Dataset", "Name", "Oracle", "|r|", "Lines", "Matched"
+    );
     for row in harness::table1(config, workbench) {
         println!(
             "{:<8} {:<8} {:<22} {:>6} {:>10} {:>10}",
@@ -150,10 +163,58 @@ fn table2(config: &ExperimentConfig, workbench: &Workbench) {
     }
     let summary = harness::summarize_table2(&rows);
     println!("\n### Headline aggregates (paper: 101x total, 12x matched, 51% fewer calls, 3x less oracle time)");
-    println!("geometric-mean speedup, whole dataset : {:>8.1}x", summary.geomean_speedup_total);
-    println!("geometric-mean speedup, matched lines : {:>8.1}x", summary.geomean_speedup_matched);
-    println!("oracle-call reduction (SNFA vs DP)    : {:>8.1}%", summary.oracle_call_reduction * 100.0);
-    println!("oracle-time ratio (DP / SNFA)         : {:>8.1}x", summary.oracle_time_ratio);
+    println!(
+        "geometric-mean speedup, whole dataset : {:>8.1}x",
+        summary.geomean_speedup_total
+    );
+    println!(
+        "geometric-mean speedup, matched lines : {:>8.1}x",
+        summary.geomean_speedup_matched
+    );
+    println!(
+        "oracle-call reduction (SNFA vs DP)    : {:>8.1}%",
+        summary.oracle_call_reduction * 100.0
+    );
+    println!(
+        "oracle-time ratio (DP / SNFA)         : {:>8.1}x",
+        summary.oracle_time_ratio
+    );
+}
+
+fn batch_efficiency(config: &ExperimentConfig, workbench: &Workbench) {
+    println!("\n## Batched query plane: per-call calls vs ledger keys vs backend keys (chunked sessions)");
+    println!(
+        "{:<8} {:>8} {:>12} {:>12} {:>12} {:>9} {:>12} {:>9} {:>8}",
+        "SemRE",
+        "lines",
+        "per-call",
+        "unique keys",
+        "backend",
+        "batches",
+        "mean batch",
+        "dedup",
+        "agree"
+    );
+    for row in harness::batch_efficiency(config, workbench, 256) {
+        let mean_batch = row.mean_batch_size();
+        println!(
+            "{:<8} {:>8} {:>12} {:>12} {:>12} {:>9} {:>12.2} {:>8.1}% {:>8}",
+            row.name,
+            row.lines,
+            row.per_call_backend_calls,
+            row.unique_keys,
+            row.backend_keys,
+            row.batches,
+            mean_batch,
+            row.dedup_ratio * 100.0,
+            if row.verdicts_agree { "yes" } else { "NO" },
+        );
+        assert!(
+            row.verdicts_agree,
+            "{}: batched and per-call planes disagree",
+            row.name
+        );
+    }
 }
 
 fn fig10_dist(workbench: &Workbench) {
@@ -171,7 +232,10 @@ fn fig10(config: &ExperimentConfig, workbench: &Workbench) {
     println!("\n## Fig. 10 (grid): median running time vs line length (lines ≤ 200 chars)");
     for series in harness::fig10(config, workbench, 25) {
         println!("\n{}", series.name);
-        println!("{:<12} {:>14} {:>14} {:>10}", "Length", "SNFA (ms)", "DP (ms)", "Lines");
+        println!(
+            "{:<12} {:>14} {:>14} {:>10}",
+            "Length", "SNFA (ms)", "DP (ms)", "Lines"
+        );
         let mut by_bucket: std::collections::BTreeMap<usize, (Option<f64>, Option<f64>, usize)> =
             std::collections::BTreeMap::new();
         for (start, median, lines) in &series.snfa {
@@ -198,8 +262,13 @@ fn fig10(config: &ExperimentConfig, workbench: &Workbench) {
 }
 
 fn query_complexity() {
-    println!("\n## Theorem 4.1: oracle queries needed on the adversarial family Σ*⟨q⟩Σ*, w = 0^m 1^m");
-    println!("{:<8} {:<8} {:>14} {:>14} {:>16}", "m", "|w|", "SNFA calls", "DP calls", "lower bound");
+    println!(
+        "\n## Theorem 4.1: oracle queries needed on the adversarial family Σ*⟨q⟩Σ*, w = 0^m 1^m"
+    );
+    println!(
+        "{:<8} {:<8} {:>14} {:>14} {:>16}",
+        "m", "|w|", "SNFA calls", "DP calls", "lower bound"
+    );
     let result = harness::query_complexity_experiment(&[4, 8, 16, 32, 64]);
     for (s, d) in result.snfa.iter().zip(&result.dp) {
         println!(
@@ -215,7 +284,10 @@ fn query_complexity() {
 
 fn triangle() {
     println!("\n## Section 4.2: triangle finding via SemRE matching (G(n, 0.15))");
-    println!("{:<6} {:>8} {:>10} {:>10} {:>14} {:>14}", "n", "edges", "direct", "via SemRE", "SemRE (ms)", "direct (µs)");
+    println!(
+        "{:<6} {:>8} {:>10} {:>10} {:>14} {:>14}",
+        "n", "edges", "direct", "via SemRE", "SemRE (ms)", "direct (µs)"
+    );
     for r in harness::triangle_experiment(&[8, 12, 16, 24, 32], 0.15, 20250613) {
         println!(
             "{:<6} {:>8} {:>10} {:>10} {:>14.2} {:>14.2}",
@@ -226,7 +298,10 @@ fn triangle() {
             r.semre_time.as_secs_f64() * 1e3,
             r.direct_time.as_secs_f64() * 1e6
         );
-        assert_eq!(r.direct, r.via_semre, "reduction disagrees with direct detection");
+        assert_eq!(
+            r.direct, r.via_semre,
+            "reduction disagrees with direct detection"
+        );
     }
 }
 
@@ -234,10 +309,19 @@ fn ablation(workbench: &Workbench) {
     println!("\n## Ablation: matcher configurations (oracle calls / time, Note A.4)");
     // Non-nested workload: the spam,1 SemRE over spam subject lines.
     let spec = workbench.benchmark("spam,1").expect("spam,1 exists");
-    let lines: Vec<String> =
-        workbench.spam().lines().iter().filter(|l| l.len() <= 200).take(400).cloned().collect();
+    let lines: Vec<String> = workbench
+        .spam()
+        .lines()
+        .iter()
+        .filter(|l| l.len() <= 200)
+        .take(400)
+        .cloned()
+        .collect();
     println!("\nworkload: spam,1 over {} spam lines", lines.len());
-    println!("{:<42} {:>14} {:>12} {:>10}", "configuration", "oracle calls", "time (ms)", "matched");
+    println!(
+        "{:<42} {:>14} {:>12} {:>10}",
+        "configuration", "oracle calls", "time (ms)", "matched"
+    );
     for row in harness::ablation(&spec.semre, spec.oracle.clone(), &lines) {
         println!(
             "{:<42} {:>14} {:>12.2} {:>10}",
@@ -250,17 +334,36 @@ fn ablation(workbench: &Workbench) {
     // Nested workload: the Paris Hilton SemRE over celebrity-ish lines.
     let mut oracle = semre_oracle::SetOracle::new();
     oracle.insert_all("City", ["Paris", "Houston", "London"]);
-    oracle.insert_all("Celebrity", ["Paris Hilton", "London Breed", "Taylor Swift"]);
+    oracle.insert_all(
+        "Celebrity",
+        ["Paris Hilton", "London Breed", "Taylor Swift"],
+    );
     let lines: Vec<String> = [
-        "Paris Hilton", "Taylor Swift", "London Breed", "Houston Rockets", "a plain line",
-        "the celebrity Paris Hilton arrived", "nothing here", "Paris Metro",
+        "Paris Hilton",
+        "Taylor Swift",
+        "London Breed",
+        "Houston Rockets",
+        "a plain line",
+        "the celebrity Paris Hilton arrived",
+        "nothing here",
+        "Paris Metro",
     ]
     .iter()
     .map(|s| s.to_string())
     .collect();
-    println!("\nworkload: nested Paris-Hilton SemRE over {} lines", lines.len());
-    println!("{:<42} {:>14} {:>12} {:>10}", "configuration", "oracle calls", "time (ms)", "matched");
-    for row in harness::ablation(&semre_syntax::Semre::padded(semre_syntax::examples::r_paris_hilton()), oracle, &lines) {
+    println!(
+        "\nworkload: nested Paris-Hilton SemRE over {} lines",
+        lines.len()
+    );
+    println!(
+        "{:<42} {:>14} {:>12} {:>10}",
+        "configuration", "oracle calls", "time (ms)", "matched"
+    );
+    for row in harness::ablation(
+        &semre_syntax::Semre::padded(semre_syntax::examples::r_paris_hilton()),
+        oracle,
+        &lines,
+    ) {
         println!(
             "{:<42} {:>14} {:>12.2} {:>10}",
             row.config,

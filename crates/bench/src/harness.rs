@@ -10,9 +10,9 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use semre_core::{DpMatcher, Matcher};
+use semre_core::{DpMatcher, Matcher, MatcherConfig};
 use semre_grep::{scan, ScanOptions, ScanReport};
-use semre_oracle::{Instrumented, Oracle};
+use semre_oracle::{BatchStats, Instrumented, Oracle};
 use semre_workloads::query_complexity::{self, MatcherKind, QueryComplexityPoint};
 use semre_workloads::triangle::{self, Graph};
 use semre_workloads::{BenchSpec, Workbench};
@@ -75,11 +75,17 @@ impl ExperimentConfig {
     }
 
     fn scan_options(&self) -> ScanOptions {
-        ScanOptions { time_budget: Some(self.time_budget), max_lines: self.max_lines }
+        ScanOptions {
+            time_budget: Some(self.time_budget),
+            max_lines: self.max_lines,
+        }
     }
 
     /// Applies the line-length cap to a corpus.
-    fn prepare<'c>(&self, corpus: &'c semre_workloads::Corpus) -> std::borrow::Cow<'c, semre_workloads::Corpus> {
+    fn prepare<'c>(
+        &self,
+        corpus: &'c semre_workloads::Corpus,
+    ) -> std::borrow::Cow<'c, semre_workloads::Corpus> {
         match self.max_line_len {
             Some(cap) => std::borrow::Cow::Owned(corpus.truncated_to(cap)),
             None => std::borrow::Cow::Borrowed(corpus),
@@ -239,12 +245,27 @@ fn run_spec(
     };
     match algorithm {
         Algorithm::Snfa => {
-            let matcher = Matcher::new(spec.semre.clone(), &oracle);
-            scan(&matcher, corpus.lines(), || oracle.stats(), config.scan_options())
+            // The per-call plane, as in the paper's prototype: Table 2
+            // compares the *algorithms*, and the DP baseline has no batch
+            // transport to compare against.  Transport-level savings are
+            // measured by the batch-efficiency experiment.
+            let matcher =
+                Matcher::with_config(spec.semre.clone(), &oracle, MatcherConfig::per_call());
+            scan(
+                &matcher,
+                corpus.lines(),
+                || oracle.stats(),
+                config.scan_options(),
+            )
         }
         Algorithm::Dp => {
             let matcher = DpMatcher::new(spec.semre.clone(), &oracle);
-            scan(&matcher, corpus.lines(), || oracle.stats(), config.scan_options())
+            scan(
+                &matcher,
+                corpus.lines(),
+                || oracle.stats(),
+                config.scan_options(),
+            )
         }
     }
 }
@@ -271,7 +292,11 @@ pub fn table2(config: &ExperimentConfig, workbench: &Workbench) -> Vec<Table2Row
         .map(|spec| {
             let snfa = cell_from_report(&run_spec(config, workbench, spec, Algorithm::Snfa));
             let dp = cell_from_report(&run_spec(config, workbench, spec, Algorithm::Dp));
-            Table2Row { name: spec.name, snfa, dp }
+            Table2Row {
+                name: spec.name,
+                snfa,
+                dp,
+            }
         })
         .collect()
 }
@@ -289,7 +314,9 @@ pub fn summarize_table2(rows: &[Table2Row]) -> Table2Summary {
         (positive.iter().map(|v| v.ln()).sum::<f64>() / positive.len() as f64).exp()
     };
     let total_calls = |pick: fn(&Table2Row) -> &Table2Cell| -> f64 {
-        rows.iter().map(|r| pick(r).oracle_calls_per_line * pick(r).lines as f64).sum()
+        rows.iter()
+            .map(|r| pick(r).oracle_calls_per_line * pick(r).lines as f64)
+            .sum()
     };
     let oracle_time = |pick: fn(&Table2Row) -> &Table2Cell| -> f64 {
         rows.iter()
@@ -301,7 +328,11 @@ pub fn summarize_table2(rows: &[Table2Row]) -> Table2Summary {
     Table2Summary {
         geomean_speedup_total: geomean(rows.iter().map(Table2Row::speedup_total).collect()),
         geomean_speedup_matched: geomean(rows.iter().map(Table2Row::speedup_matched).collect()),
-        oracle_call_reduction: if dp_calls > 0.0 { 1.0 - snfa_calls / dp_calls } else { 0.0 },
+        oracle_call_reduction: if dp_calls > 0.0 {
+            1.0 - snfa_calls / dp_calls
+        } else {
+            0.0
+        },
         oracle_time_ratio: safe_ratio(oracle_time(|r| &r.dp), oracle_time(|r| &r.snfa)),
     }
 }
@@ -339,27 +370,172 @@ pub fn fig10(config: &ExperimentConfig, workbench: &Workbench, bucket: usize) ->
                 };
                 let report = match algorithm {
                     Algorithm::Snfa => {
-                        let matcher = Matcher::new(spec.semre.clone(), &oracle);
-                        scan(&matcher, corpus.lines(), || oracle.stats(), config.scan_options())
+                        // Per-call plane, matching Table 2 (see run_spec).
+                        let matcher = Matcher::with_config(
+                            spec.semre.clone(),
+                            &oracle,
+                            MatcherConfig::per_call(),
+                        );
+                        scan(
+                            &matcher,
+                            corpus.lines(),
+                            || oracle.stats(),
+                            config.scan_options(),
+                        )
                     }
                     Algorithm::Dp => {
                         let matcher = DpMatcher::new(spec.semre.clone(), &oracle);
-                        scan(&matcher, corpus.lines(), || oracle.stats(), config.scan_options())
+                        scan(
+                            &matcher,
+                            corpus.lines(),
+                            || oracle.stats(),
+                            config.scan_options(),
+                        )
                     }
                 };
                 report.median_rt_by_length(bucket, 10)
             };
-            Fig10Series { name: spec.name, snfa: run(Algorithm::Snfa), dp: run(Algorithm::Dp) }
+            Fig10Series {
+                name: spec.name,
+                snfa: run(Algorithm::Snfa),
+                dp: run(Algorithm::Dp),
+            }
         })
         .collect()
 }
 
 /// The line-length histograms of the two corpora (top row of Fig. 10).
-pub fn fig10_distributions(workbench: &Workbench, bucket: usize) -> Vec<(String, Vec<(usize, usize)>)> {
+pub fn fig10_distributions(
+    workbench: &Workbench,
+    bucket: usize,
+) -> Vec<(String, Vec<(usize, usize)>)> {
     vec![
-        ("Spam Emails Dataset".to_owned(), workbench.spam().length_histogram(bucket)),
-        ("Java Code Dataset".to_owned(), workbench.java().length_histogram(bucket)),
+        (
+            "Spam Emails Dataset".to_owned(),
+            workbench.spam().length_histogram(bucket),
+        ),
+        (
+            "Java Code Dataset".to_owned(),
+            workbench.java().length_histogram(bucket),
+        ),
     ]
+}
+
+// ---------------------------------------------------------------------------
+// Batch efficiency
+// ---------------------------------------------------------------------------
+
+/// Batch-plane efficiency of one benchmark SemRE: the batched matcher with
+/// one session per corpus chunk against the per-call reference plane.
+#[derive(Clone, Debug)]
+pub struct BatchEfficiencyRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Lines scanned.
+    pub lines: usize,
+    /// Oracle calls the per-call plane ships to the backend (one per
+    /// logical request).
+    pub per_call_backend_calls: u64,
+    /// Logical requests issued by the batched plane — identical inference
+    /// rules, so identical to the per-call count.
+    pub logical_requests: u64,
+    /// Distinct `(query, start, end)` keys the per-line ledgers resolved.
+    /// Never exceeds `per_call_backend_calls`.
+    pub unique_keys: u64,
+    /// Keys that reached the backend after chunk-level content
+    /// deduplication.
+    pub backend_keys: u64,
+    /// Backend round trips.
+    pub batches: u64,
+    /// Fraction of submitted keys answered without touching the backend.
+    pub dedup_ratio: f64,
+    /// Whether the two planes agreed on every line's verdict.
+    pub verdicts_agree: bool,
+}
+
+impl BatchEfficiencyRow {
+    /// Backend calls saved by the batched plane, as a fraction of the
+    /// per-call plane's calls.
+    pub fn backend_call_reduction(&self) -> f64 {
+        if self.per_call_backend_calls == 0 {
+            0.0
+        } else {
+            1.0 - self.backend_keys as f64 / self.per_call_backend_calls as f64
+        }
+    }
+
+    /// Mean number of keys per backend round trip
+    /// ([`BatchStats::mean_batch_size`]).
+    pub fn mean_batch_size(&self) -> f64 {
+        BatchStats {
+            batches: self.batches,
+            backend_keys: self.backend_keys,
+            ..BatchStats::default()
+        }
+        .mean_batch_size()
+    }
+}
+
+/// Measures the batched query plane against the per-call plane on every
+/// benchmark SemRE: identical verdicts, ledger dedup within lines, content
+/// dedup across the lines of each `chunk_lines`-sized chunk, and round-trip
+/// amortization.  Latency is not injected — this experiment is about
+/// counts, not wall-clock.
+pub fn batch_efficiency(
+    config: &ExperimentConfig,
+    workbench: &Workbench,
+    chunk_lines: usize,
+) -> Vec<BatchEfficiencyRow> {
+    let chunk_lines = chunk_lines.max(1);
+    workbench
+        .benchmarks()
+        .iter()
+        .map(|spec| {
+            let corpus = config.prepare(workbench.corpus(spec.dataset));
+            let limit = config.max_lines.unwrap_or(usize::MAX);
+            let lines: Vec<&String> = corpus.lines().iter().take(limit).collect();
+
+            // Per-call reference: every logical request is a backend call.
+            let backend = Instrumented::new(Arc::clone(&spec.oracle));
+            let per_call =
+                Matcher::with_config(spec.semre.clone(), &backend, MatcherConfig::per_call());
+            let construction_probes = backend.stats().calls;
+            let mut per_call_verdicts = Vec::with_capacity(lines.len());
+            for line in &lines {
+                per_call_verdicts.push(per_call.run(line.as_bytes()).matched);
+            }
+            let per_call_backend_calls = backend.stats().calls - construction_probes;
+
+            // Batched plane: one session per chunk.
+            let batched = Matcher::new(spec.semre.clone(), Arc::clone(&spec.oracle));
+            let mut batched_verdicts = Vec::with_capacity(lines.len());
+            let mut logical_requests = 0;
+            let mut unique_keys = 0;
+            let mut stats = BatchStats::default();
+            for chunk in lines.chunks(chunk_lines) {
+                let mut session = batched.session();
+                for line in chunk {
+                    let report = batched.run_in_session(line.as_bytes(), &mut session);
+                    batched_verdicts.push(report.matched);
+                    logical_requests += report.oracle_calls;
+                    unique_keys += report.unique_keys;
+                }
+                stats = stats.merged(&session.stats());
+            }
+
+            BatchEfficiencyRow {
+                name: spec.name,
+                lines: lines.len(),
+                per_call_backend_calls,
+                logical_requests,
+                unique_keys,
+                backend_keys: stats.backend_keys,
+                batches: stats.batches,
+                dedup_ratio: stats.dedup_ratio(),
+                verdicts_agree: per_call_verdicts == batched_verdicts,
+            }
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -402,7 +578,11 @@ pub struct TriangleResult {
 }
 
 /// Runs the triangle reduction on Erdős–Rényi graphs of the given sizes.
-pub fn triangle_experiment(sizes: &[usize], edge_probability: f64, seed: u64) -> Vec<TriangleResult> {
+pub fn triangle_experiment(
+    sizes: &[usize],
+    edge_probability: f64,
+    seed: u64,
+) -> Vec<TriangleResult> {
     sizes
         .iter()
         .map(|&n| {
@@ -451,15 +631,27 @@ pub fn ablation<O: Oracle + Clone>(
     lines: &[String],
 ) -> Vec<AblationRow> {
     use semre_core::MatcherConfig;
+    // All configurations stay on the per-call plane so the comparison
+    // isolates the algorithmic optimizations (Note A.4), not the batch
+    // transport's deduplication.
     let configs: [(&'static str, MatcherConfig); 4] = [
-        ("optimized (prefilter + prune + lazy)", MatcherConfig::default()),
+        (
+            "optimized (prefilter + prune + lazy)",
+            MatcherConfig::per_call(),
+        ),
         (
             "no skeleton prefilter",
-            MatcherConfig { skeleton_prefilter: false, ..MatcherConfig::default() },
+            MatcherConfig {
+                skeleton_prefilter: false,
+                ..MatcherConfig::per_call()
+            },
         ),
         (
             "no co-reachability pruning",
-            MatcherConfig { prune_coreachable: false, ..MatcherConfig::default() },
+            MatcherConfig {
+                prune_coreachable: false,
+                ..MatcherConfig::per_call()
+            },
         ),
         ("fully eager", MatcherConfig::eager()),
     ];
@@ -469,8 +661,10 @@ pub fn ablation<O: Oracle + Clone>(
             let instrumented = Instrumented::new(oracle.clone());
             let matcher = Matcher::with_config(semre.clone(), &instrumented, config);
             let started = std::time::Instant::now();
-            let matched =
-                lines.iter().filter(|line| matcher.is_match(line.as_bytes())).count();
+            let matched = lines
+                .iter()
+                .filter(|line| matcher.is_match(line.as_bytes()))
+                .count();
             AblationRow {
                 config: name,
                 oracle_calls: instrumented.stats().calls,
@@ -521,7 +715,11 @@ mod tests {
                 "{}: smoke config should not time out",
                 row.name
             );
-            assert_eq!(row.snfa.matched, row.dp.matched, "{}: algorithms disagree", row.name);
+            assert_eq!(
+                row.snfa.matched, row.dp.matched,
+                "{}: algorithms disagree",
+                row.name
+            );
         }
     }
 
@@ -530,10 +728,54 @@ mod tests {
         let (config, workbench) = smoke();
         let series = fig10(&config, &workbench, 50);
         assert_eq!(series.len(), 9);
-        assert!(series.iter().any(|s| !s.snfa.is_empty() && !s.dp.is_empty()));
+        assert!(series
+            .iter()
+            .any(|s| !s.snfa.is_empty() && !s.dp.is_empty()));
         let dist = fig10_distributions(&workbench, 100);
         assert_eq!(dist.len(), 2);
         assert!(dist[0].1.iter().map(|&(_, c)| c).sum::<usize>() > 0);
+    }
+
+    #[test]
+    fn batch_efficiency_meets_the_plane_invariants() {
+        let (config, workbench) = smoke();
+        let rows = batch_efficiency(&config, &workbench, 64);
+        assert_eq!(rows.len(), 9);
+        for row in &rows {
+            assert!(row.verdicts_agree, "{}: planes disagree", row.name);
+            assert_eq!(
+                row.logical_requests, row.per_call_backend_calls,
+                "{}: identical inference rules must issue identical requests",
+                row.name
+            );
+            assert!(
+                row.unique_keys <= row.per_call_backend_calls,
+                "{}: ledger resolved {} unique keys but per-call issued {} calls",
+                row.name,
+                row.unique_keys,
+                row.per_call_backend_calls
+            );
+            assert!(
+                row.backend_keys <= row.unique_keys,
+                "{}: content dedup cannot increase keys ({} vs {})",
+                row.name,
+                row.backend_keys,
+                row.unique_keys
+            );
+            assert!(
+                row.batches <= row.backend_keys.max(1),
+                "{}: more round trips than backend keys",
+                row.name
+            );
+            assert!((0.0..=1.0).contains(&row.dedup_ratio), "{}", row.name);
+            assert!(row.backend_call_reduction() >= 0.0, "{}", row.name);
+        }
+        // Across the whole bench set the chunk sessions must find real
+        // duplication to absorb.
+        assert!(
+            rows.iter().any(|r| r.dedup_ratio > 0.0),
+            "no benchmark deduplicated anything: {rows:?}"
+        );
     }
 
     #[test]

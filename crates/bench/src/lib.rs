@@ -13,16 +13,19 @@
 //! | Theorem 4.1 (Ω(|w|²) oracle queries) | [`harness::query_complexity_experiment`] |
 //! | Section 4.2 (triangle-finding reduction) | [`harness::triangle_experiment`] |
 //! | Note A.4 / Table 3 (evaluation-strategy ablation) | [`harness::ablation`] |
+//! | Batched query plane (DESIGN.md) | [`harness::batch_efficiency`] |
 //!
 //! Run `cargo run --release -p semre-bench --bin experiments -- all` to print
-//! every table, or `cargo bench -p semre-bench` for the Criterion timings.
+//! every table, or `cargo bench -p semre-bench` for the micro-bench timings.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod micro;
 
 pub use harness::{
-    ablation, fig10, fig10_distributions, query_complexity_experiment, summarize_table2, table1,
-    table2, triangle_experiment, Algorithm, ExperimentConfig,
+    ablation, batch_efficiency, fig10, fig10_distributions, query_complexity_experiment,
+    summarize_table2, table1, table2, triangle_experiment, Algorithm, BatchEfficiencyRow,
+    ExperimentConfig,
 };

@@ -1,0 +1,52 @@
+//! A minimal fixed-budget micro-benchmark runner.
+//!
+//! The workspace builds without external crates, so the `benches/` targets
+//! cannot use Criterion; this runner covers what they need: a warm-up /
+//! calibration pass, a bounded measurement loop, and a one-line report of
+//! mean and best iteration time.  Timings are indicative — the `experiments`
+//! binary remains the reference for the paper's tables.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Default wall-clock budget spent measuring one benchmark id.
+pub const DEFAULT_BUDGET: Duration = Duration::from_millis(200);
+
+/// Runs `f` repeatedly for roughly `budget` and prints a `group/id` line
+/// with the iteration count, mean, and best time.
+pub fn bench_with_budget<R>(group: &str, id: &str, budget: Duration, mut f: impl FnMut() -> R) {
+    // One calibration iteration (also serves as warm-up).
+    let started = Instant::now();
+    black_box(f());
+    let first = started.elapsed().max(Duration::from_nanos(1));
+
+    let iters = (budget.as_nanos() / first.as_nanos()).clamp(1, 100_000) as u32;
+    let mut total = Duration::ZERO;
+    let mut best = Duration::MAX;
+    for _ in 0..iters {
+        let started = Instant::now();
+        black_box(f());
+        let elapsed = started.elapsed();
+        total += elapsed;
+        best = best.min(elapsed);
+    }
+    let mean = total / iters;
+    println!("{group}/{id:<40} {iters:>7} iters   mean {mean:>12.3?}   best {best:>12.3?}");
+}
+
+/// [`bench_with_budget`] with the default budget.
+pub fn bench<R>(group: &str, id: &str, f: impl FnMut() -> R) {
+    bench_with_budget(group, id, DEFAULT_BUDGET, f);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_completes_and_is_cheap() {
+        let started = Instant::now();
+        bench_with_budget("micro", "noop", Duration::from_millis(5), || 1 + 1);
+        assert!(started.elapsed() < Duration::from_secs(2));
+    }
+}

@@ -7,7 +7,7 @@
 //! Chen et al. and runs in `O(|r| · |w|³)` time, issuing an oracle query for
 //! every `(refinement, substring)` pair whose inner expression matches.
 
-use semre_oracle::Oracle;
+use semre_oracle::{BatchSession, Oracle, QueryKey};
 use semre_syntax::{CharClass, QueryName, Semre};
 
 /// Identifier of a node in the flattened SemRE used for memoization.
@@ -63,7 +63,11 @@ impl<O: Oracle> DpMatcher<O> {
     pub fn new(semre: Semre, oracle: O) -> Self {
         let mut nodes = Vec::with_capacity(semre.size());
         let root = flatten(&semre, &mut nodes);
-        DpMatcher { nodes, root, oracle }
+        DpMatcher {
+            nodes,
+            root,
+            oracle,
+        }
     }
 
     /// Whether `input` belongs to `⟦r⟧`.
@@ -73,6 +77,25 @@ impl<O: Oracle> DpMatcher<O> {
 
     /// Matches `input` and reports oracle / memoization statistics.
     pub fn run(&self, input: &[u8]) -> BaselineReport {
+        self.run_impl(input, None)
+    }
+
+    /// A fresh [`BatchSession`] over this matcher's oracle, to be shared by
+    /// many [`run_in_session`](DpMatcher::run_in_session) calls.
+    pub fn session(&self) -> BatchSession<'_> {
+        BatchSession::new(&self.oracle)
+    }
+
+    /// Like [`run`](DpMatcher::run), but resolves oracle questions through
+    /// `session`, so identical `(query, text)` questions from this and
+    /// every other evaluation sharing the session reach the backend once.
+    /// (The memo table already makes questions unique *within* a line; the
+    /// session deduplicates across refinement nodes and across lines.)
+    pub fn run_in_session(&self, input: &[u8], session: &mut BatchSession<'_>) -> BaselineReport {
+        self.run_impl(input, Some(session))
+    }
+
+    fn run_impl(&self, input: &[u8], session: Option<&mut BatchSession<'_>>) -> BaselineReport {
         let positions = input.len() + 1;
         let mut run = Run {
             matcher: self,
@@ -83,6 +106,7 @@ impl<O: Oracle> DpMatcher<O> {
             memo: vec![UNKNOWN; self.nodes.len() * positions * positions],
             positions,
             report: BaselineReport::default(),
+            session,
         };
         let matched = run.matches(self.root, 0, input.len());
         let mut report = run.report;
@@ -129,15 +153,18 @@ const UNKNOWN: u8 = 0;
 const FALSE: u8 = 1;
 const TRUE: u8 = 2;
 
-struct Run<'m, O> {
+struct Run<'m, 's, 'o, O> {
     matcher: &'m DpMatcher<O>,
     input: &'m [u8],
     memo: Vec<u8>,
     positions: usize,
     report: BaselineReport,
+    /// When present, oracle questions resolve through this shared session
+    /// instead of point-wise `holds` calls.
+    session: Option<&'s mut BatchSession<'o>>,
 }
 
-impl<'m, O: Oracle> Run<'m, O> {
+impl<O: Oracle> Run<'_, '_, '_, O> {
     fn memo_index(&self, id: NodeId, i: usize, j: usize) -> usize {
         (id * self.positions + i) * self.positions + j
     }
@@ -158,16 +185,18 @@ impl<'m, O: Oracle> Run<'m, O> {
             Node::Eps => i == j,
             Node::Class(c) => j == i + 1 && c.contains(self.input[i]),
             Node::Union(a, b) => self.matches(a, i, j) || self.matches(b, i, j),
-            Node::Concat(a, b) => {
-                (i..=j).any(|k| self.matches(a, i, k) && self.matches(b, k, j))
-            }
+            Node::Concat(a, b) => (i..=j).any(|k| self.matches(a, i, k) && self.matches(b, k, j)),
             Node::Star(a) => {
                 i == j || (i + 1..=j).any(|k| self.matches(a, i, k) && self.matches(id, k, j))
             }
             Node::Query(a, q) => {
                 if self.matches(a, i, j) {
                     self.report.oracle_calls += 1;
-                    self.matcher.oracle.holds(q.as_str(), &self.input[i..j])
+                    let text = &self.input[i..j];
+                    match &mut self.session {
+                        Some(session) => session.resolve(&[QueryKey::new(q.as_str(), text)])[0],
+                        None => self.matcher.oracle.holds(q.as_str(), text),
+                    }
                 } else {
                     false
                 }
@@ -264,5 +293,32 @@ mod tests {
     fn oracle_accessor() {
         let m = dp("a", ConstOracle::always_true());
         assert!(m.oracle().holds("anything", b"x"));
+    }
+
+    #[test]
+    fn shared_session_absorbs_repeated_questions() {
+        use semre_oracle::Instrumented;
+        let backend = Instrumented::new(ConstOracle::always_false());
+        let m = DpMatcher::new(parse(".*<q>.*").unwrap(), &backend);
+
+        let before = backend.stats().calls;
+        let lone = m.run(b"abab");
+        let independent_calls = backend.stats().calls - before;
+        assert_eq!(lone.oracle_calls, independent_calls);
+
+        // The same line twice through one session: the second evaluation
+        // asks the same questions but none reach the backend.
+        let before = backend.stats().calls;
+        let mut session = m.session();
+        let first = m.run_in_session(b"abab", &mut session);
+        let after_first = backend.stats().calls - before;
+        let second = m.run_in_session(b"abab", &mut session);
+        let total = backend.stats().calls - before;
+
+        assert_eq!(first.matched, lone.matched);
+        assert_eq!(second.oracle_calls, first.oracle_calls);
+        assert!(after_first <= independent_calls);
+        assert_eq!(total, after_first, "second line must be fully deduplicated");
+        assert!(session.stats().keys_deduped >= first.oracle_calls);
     }
 }

@@ -22,11 +22,29 @@
 //! the graph, run backwards), and lazily short-circuiting oracle calls at
 //! close vertices whenever the discharged opens carry no backreferences
 //! (always the case for non-nested SemREs).
+//!
+//! # The batched query plane
+//!
+//! With [`EvalOptions::batched`] enabled (the default), oracle questions do
+//! not travel one `(q, substring)` pair at a time.  Each position runs in
+//! two phases: a *collect* phase walks the close vertices and enlists every
+//! oracle question the inference rules are certain to need into a
+//! deduplicating [`QueryLedger`] keyed by `(query, start, end)` — exactly
+//! the query-graph vertex identity, so gadget copies that delimit the same
+//! substring collapse onto one key — and flushes them through a
+//! [`BatchSession`] as one backend round trip; the *apply* phase then runs
+//! the unchanged Fig. 9 rules, reading answers from the ledger and
+//! resolving the (rare) stragglers whose need only becomes apparent as
+//! aliveness propagates.  The collect phase never speculates: it enlists a
+//! key only when the per-call path would provably issue that question, so
+//! batched evaluation issues exactly the same logical requests as per-call
+//! evaluation, and the ledger's unique-key count can only be smaller.
 
 use std::collections::HashMap;
 
 use semre_automata::{Label, Snfa, StateId};
-use semre_oracle::Oracle;
+use semre_oracle::{BatchSession, Oracle, QueryKey, QueryLedger};
+use semre_syntax::QueryName;
 
 use crate::topology::GadgetTopology;
 
@@ -39,11 +57,18 @@ pub struct EvalOptions {
     /// Short-circuit oracle calls at close vertices when the outcome cannot
     /// affect backreference propagation.
     pub lazy_oracle: bool,
+    /// Route oracle questions through the batched, deduplicating query
+    /// plane instead of issuing one `holds` call per question.
+    pub batched: bool,
 }
 
 impl Default for EvalOptions {
     fn default() -> Self {
-        EvalOptions { prune_coreachable: true, lazy_oracle: true }
+        EvalOptions {
+            prune_coreachable: true,
+            lazy_oracle: true,
+            batched: true,
+        }
     }
 }
 
@@ -52,9 +77,24 @@ impl Default for EvalOptions {
 pub struct EvalReport {
     /// Whether the input belongs to `⟦r⟧`.
     pub matched: bool,
-    /// Number of oracle invocations issued during evaluation (excluding the
-    /// `(q, ε)` probes made once when the matcher was constructed).
+    /// Number of logical oracle requests issued by the inference rules
+    /// (excluding the `(q, ε)` probes made once when the matcher was
+    /// constructed).  Identical between the batched and per-call planes; in
+    /// batched mode requests answered by the ledger never reach a backend.
     pub oracle_calls: u64,
+    /// Number of distinct `(query, start, end)` keys the ledger resolved.
+    /// Never exceeds `oracle_calls`; equals it on the per-call plane, where
+    /// nothing deduplicates.
+    pub unique_keys: u64,
+    /// Number of batches flushed from the ledger.  Each flush is one round
+    /// trip to the resolving session, which may still answer some or all
+    /// keys from its shared content store — true backend round trips are
+    /// the session's `BatchStats::batches`.  On the per-call plane every
+    /// request is its own round trip, so this equals `oracle_calls`.
+    pub batches: u64,
+    /// Logical requests answered without resolving a new key
+    /// (`oracle_calls - unique_keys`).
+    pub keys_deduped: u64,
     /// Number of query-graph vertices that became alive.
     pub vertices_alive: u64,
     /// Number of gadget copies, i.e. `|w| + 1`.
@@ -96,7 +136,10 @@ struct Layer {
 
 impl Layer {
     fn new(states: usize) -> Self {
-        Layer { alive: vec![false; states], backref: vec![Vec::new(); states] }
+        Layer {
+            alive: vec![false; states],
+            backref: vec![Vec::new(); states],
+        }
     }
 
     fn clear(&mut self) {
@@ -105,8 +148,83 @@ impl Layer {
     }
 }
 
+/// Ledger key: `(query id, open position, close position)` — the identity
+/// of an oracle question in the query graph.
+type LedgerKey = (u32, u32, u32);
+
+/// Interned query names of an SNFA: the id carried by each open/close
+/// state, derivable once from the immutable topology and reused by every
+/// evaluation (`Matcher` precomputes one at construction).
+#[derive(Clone, Debug)]
+pub(crate) struct QueryTable {
+    /// Distinct query names; ledger query ids index this table.
+    queries: Vec<QueryName>,
+    /// Query id carried by each state, if any.
+    state_query: Vec<Option<u32>>,
+}
+
+impl QueryTable {
+    pub(crate) fn build(snfa: &Snfa, topo: &GadgetTopology) -> Self {
+        let mut queries: Vec<QueryName> = Vec::new();
+        let mut state_query: Vec<Option<u32>> = vec![None; snfa.num_states()];
+        for (state, slot) in state_query.iter_mut().enumerate() {
+            if let Some(query) = topo.query(state) {
+                let id = match queries.iter().position(|known| known == query) {
+                    Some(id) => id,
+                    None => {
+                        queries.push(query.clone());
+                        queries.len() - 1
+                    }
+                };
+                *slot = Some(id as u32);
+            }
+        }
+        QueryTable {
+            queries,
+            state_query,
+        }
+    }
+}
+
+/// One close vertex's candidate computation, cached by the collect phase
+/// for reuse in the apply phase.
+struct CachedClose {
+    candidates: Vec<OpenRef>,
+    groups: Vec<(usize, bool)>,
+}
+
+/// The batched query plane threaded through one evaluation.
+struct Plane<'a, 's, 'o> {
+    /// Deduplicating accumulator of this line's `(q, i, j)` questions.
+    ledger: QueryLedger<LedgerKey>,
+    /// Content-level answer store, possibly shared across many lines.
+    session: &'s mut BatchSession<'o>,
+    /// Interned query names; `LedgerKey.0` indexes `table.queries`.
+    table: &'a QueryTable,
+}
+
+/// Resolves every pending ledger key through the session in one batch.
+fn flush_plane(plane: &mut Plane<'_, '_, '_>, input: &[u8]) {
+    let Plane {
+        ledger,
+        session,
+        table,
+    } = plane;
+    ledger.flush(
+        |&(qid, start, end)| {
+            QueryKey::new(
+                table.queries[qid as usize].as_str(),
+                &input[start as usize - 1..end as usize - 1],
+            )
+        },
+        |batch| session.resolve(batch),
+    );
+}
+
 /// Evaluates the query graph of `snfa` over `input`, consulting `oracle`
-/// for refinement queries.
+/// for refinement queries.  With `options.batched` a fresh, single-line
+/// [`BatchSession`] is used; [`evaluate_in_session`] shares one across
+/// lines.
 pub(crate) fn evaluate(
     snfa: &Snfa,
     topo: &GadgetTopology,
@@ -114,6 +232,11 @@ pub(crate) fn evaluate(
     oracle: &dyn Oracle,
     options: EvalOptions,
 ) -> EvalReport {
+    if options.batched {
+        let table = QueryTable::build(snfa, topo);
+        let mut session = BatchSession::new(oracle);
+        return evaluate_in_session(snfa, topo, &table, input, options, &mut session);
+    }
     Evaluator {
         snfa,
         topo,
@@ -121,12 +244,51 @@ pub(crate) fn evaluate(
         oracle,
         options,
         loq: HashMap::new(),
-        report: EvalReport { positions: input.len() + 1, ..EvalReport::default() },
+        report: EvalReport {
+            positions: input.len() + 1,
+            ..EvalReport::default()
+        },
+        close_cache: Vec::new(),
+        plane: None,
     }
     .run()
 }
 
-struct Evaluator<'a> {
+/// Evaluates the query graph with oracle questions resolved through
+/// `session` (and its backend), so `(query, text)` answers are shared with
+/// every other evaluation using the same session (e.g. the other lines of a
+/// grep chunk).  Implies the batched plane regardless of `options.batched`.
+pub(crate) fn evaluate_in_session<'a>(
+    snfa: &'a Snfa,
+    topo: &'a GadgetTopology,
+    table: &'a QueryTable,
+    input: &'a [u8],
+    options: EvalOptions,
+    session: &mut BatchSession<'_>,
+) -> EvalReport {
+    let oracle = session.backend();
+    Evaluator {
+        snfa,
+        topo,
+        input,
+        oracle,
+        options,
+        loq: HashMap::new(),
+        report: EvalReport {
+            positions: input.len() + 1,
+            ..EvalReport::default()
+        },
+        close_cache: Vec::new(),
+        plane: Some(Plane {
+            ledger: QueryLedger::new(),
+            session,
+            table,
+        }),
+    }
+    .run()
+}
+
+struct Evaluator<'a, 's, 'o> {
     snfa: &'a Snfa,
     topo: &'a GadgetTopology,
     input: &'a [u8],
@@ -136,6 +298,12 @@ struct Evaluator<'a> {
     /// (only nested SemREs ever populate this).
     loq: HashMap<OpenRef, Vec<OpenRef>>,
     report: EvalReport,
+    /// Per-position cache handing the collect phase's candidate
+    /// computations to the apply phase (always `None` per slot on the
+    /// per-call path; entries are taken as the apply phase visits them).
+    close_cache: Vec<Option<CachedClose>>,
+    /// The batched query plane, absent on the per-call path.
+    plane: Option<Plane<'a, 's, 'o>>,
 }
 
 /// Co-reachability information: for each position and layer, which states'
@@ -150,14 +318,39 @@ impl CoReach {
     }
 }
 
-impl<'a> Evaluator<'a> {
+impl Evaluator<'_, '_, '_> {
     fn run(mut self) -> EvalReport {
+        let mut report = self.run_inner();
+        match &self.plane {
+            Some(plane) => {
+                report.unique_keys = plane.ledger.unique_keys();
+                report.batches = plane.ledger.stats().batches;
+            }
+            None => {
+                // Per-call: every request is a distinct round trip and
+                // nothing deduplicates.
+                report.unique_keys = report.oracle_calls;
+                report.batches = report.oracle_calls;
+            }
+        }
+        report.keys_deduped = report.oracle_calls.saturating_sub(report.unique_keys);
+        report
+    }
+
+    fn run_inner(&mut self) -> EvalReport {
         let n = self.input.len();
         let states = self.snfa.num_states();
+        self.close_cache = std::iter::repeat_with(|| None).take(states).collect();
 
-        let coreach = if self.options.prune_coreachable { Some(self.co_reachability()) } else { None };
+        let coreach = if self.options.prune_coreachable {
+            Some(self.co_reachability())
+        } else {
+            None
+        };
         let allowed = |layer: usize, state: StateId, pos: usize| -> bool {
-            coreach.as_ref().map_or(true, |c| c.allows(layer, state, pos))
+            coreach
+                .as_ref()
+                .map_or(true, |c| c.allows(layer, state, pos))
         };
 
         // If even the start vertex cannot reach end, the skeleton does not
@@ -195,7 +388,15 @@ impl<'a> Evaluator<'a> {
                 }
             }
 
-            // ---- Layer 1: close edges, in topological order -------------
+            // ---- Layer 1: close edges ------------------------------------
+            // Collect phase: enlist every oracle question this position is
+            // certain to need and resolve them in one batch.
+            if self.plane.is_some() {
+                self.collect_close_queries(pos, &layer1, &allowed);
+            }
+            // Apply phase: the Fig. 9 rules, in topological order, reading
+            // answers from the ledger (or the oracle, on the per-call
+            // plane).
             for &t in self.topo.close_order() {
                 if !allowed(1, t, pos) {
                     continue;
@@ -255,14 +456,12 @@ impl<'a> Evaluator<'a> {
         self.report
     }
 
-    /// Evaluates the close vertex `(t, layer 1, pos)`: discharges oracle
-    /// queries for the opens recorded in its predecessors' backreference
-    /// sets (rules M, Ac, Bc of Fig. 9).
-    fn eval_close_vertex(&mut self, t: StateId, pos: usize, layer1: &mut Layer) {
-        let query = self.topo.query(t).expect("close states carry a query").clone();
-
-        // Candidate opens: the union of the backreferences of the alive
-        // layer-1 predecessors, restricted to opens of the same query.
+    /// Computes the candidate opens of the close vertex `(t, layer 1, pos)`
+    /// given the current layer-1 frontier: the union of the backreferences
+    /// of the alive predecessors, restricted to opens of `t`'s query.
+    /// Returns `None` when no predecessor is alive.
+    fn close_candidates(&self, t: StateId, layer1: &Layer) -> Option<Vec<OpenRef>> {
+        let query = self.topo.query(t).expect("close states carry a query");
         let mut candidates: Vec<OpenRef> = Vec::new();
         let mut any_alive_pred = false;
         for &p in self.topo.close_in(t) {
@@ -273,51 +472,156 @@ impl<'a> Evaluator<'a> {
             merge_refs(&mut candidates, &layer1.backref[p]);
         }
         if !any_alive_pred {
-            return;
+            return None;
         }
-        candidates.retain(|&o| self.topo.query(open_ref_state(o)) == Some(&query));
-        if candidates.is_empty() {
-            return;
-        }
+        candidates.retain(|&o| self.topo.query(open_ref_state(o)) == Some(query));
+        Some(candidates)
+    }
 
-        // Group candidate opens by their string position: all opens at the
-        // same position delimit the same substring, so one oracle call
-        // answers for all of them.
-        let mut groups: Vec<(usize, Vec<OpenRef>)> = Vec::new();
-        for &o in &candidates {
+    /// Groups candidate opens by their string position: all opens at the
+    /// same position delimit the same substring, so one oracle question
+    /// answers for all of them.  The second component records whether any
+    /// member carries a LOQ set (nested queries).  Candidates are sorted,
+    /// so the group order — and in particular the first group — is
+    /// identical however the candidate set was reached.
+    fn group_candidates(&self, candidates: &[OpenRef]) -> Vec<(usize, bool)> {
+        let mut groups: Vec<(usize, bool)> = Vec::new();
+        for &o in candidates {
             let p = open_ref_pos(o);
+            let has_loq = self.loq.contains_key(&o);
             match groups.iter_mut().find(|(gp, _)| *gp == p) {
-                Some((_, members)) => members.push(o),
-                None => groups.push((p, vec![o])),
+                Some((_, h)) => *h |= has_loq,
+                None => groups.push((p, has_loq)),
             }
         }
+        groups
+    }
+
+    /// Collect phase of one position: enlists into the ledger every oracle
+    /// question the apply phase is *certain* to issue, then flushes them as
+    /// one batch.
+    ///
+    /// Certainty is what keeps the batched plane's request set identical to
+    /// the per-call plane's: at this point the layer-1 frontier contains
+    /// only character-step aliveness, a subset of what the close cascade
+    /// will see, and aliveness (and alive vertices' backreference sets) only
+    /// grow during the cascade.  Hence every group computed here exists in
+    /// the apply phase too, and
+    ///
+    /// * groups whose opens carry backreferences (`with_loq`) are always
+    ///   discharged by rule Bc — enlist them;
+    /// * under eager discharge every group is asked — enlist them all;
+    /// * under lazy discharge, when no open anywhere carries a LOQ set (in
+    ///   particular for every non-nested SemRE), the candidate set cannot
+    ///   change during the cascade and the per-call path always asks the
+    ///   first group — enlist it.
+    ///
+    /// Anything else is left to the apply phase, which resolves stragglers
+    /// through the same ledger.
+    fn collect_close_queries<F>(&mut self, pos: usize, layer1: &Layer, allowed: &F)
+    where
+        F: Fn(usize, StateId, usize) -> bool,
+    {
+        // The apply phase takes every entry it visits, but clear anyway so
+        // a stale computation can never leak across positions.
+        self.close_cache.iter_mut().for_each(|slot| *slot = None);
+        // With no LOQ sets anywhere, candidate sets cannot change during
+        // the close cascade (newly alive close vertices carry empty
+        // backreferences), so the apply phase can reuse what is computed
+        // here instead of recomputing it per vertex.
+        let cache_reusable = self.loq.is_empty();
+        let mut wanted: Vec<(StateId, usize)> = Vec::new();
+        for &t in self.topo.close_order() {
+            if !allowed(1, t, pos) {
+                continue;
+            }
+            let candidates = match self.close_candidates(t, layer1) {
+                Some(c) if !c.is_empty() => c,
+                _ => continue,
+            };
+            let groups = self.group_candidates(&candidates);
+            if !self.options.lazy_oracle {
+                wanted.extend(groups.iter().map(|&(open_pos, _)| (t, open_pos)));
+            } else {
+                let mut any_loq = false;
+                for &(open_pos, has_loq) in &groups {
+                    if has_loq {
+                        any_loq = true;
+                        wanted.push((t, open_pos));
+                    }
+                }
+                if !any_loq && cache_reusable {
+                    wanted.push((t, groups[0].0));
+                }
+            }
+            if cache_reusable {
+                self.close_cache[t] = Some(CachedClose { candidates, groups });
+            }
+        }
+        if wanted.is_empty() {
+            return;
+        }
+        let plane = self
+            .plane
+            .as_mut()
+            .expect("collect phase runs on the batched plane");
+        for (t, open_pos) in wanted {
+            let qid = plane.table.state_query[t].expect("close states carry a query");
+            plane.ledger.enlist((qid, open_pos as u32, pos as u32));
+        }
+        flush_plane(plane, self.input);
+    }
+
+    /// Evaluates the close vertex `(t, layer 1, pos)`: discharges oracle
+    /// queries for the opens recorded in its predecessors' backreference
+    /// sets (rules M, Ac, Bc of Fig. 9).
+    fn eval_close_vertex(&mut self, t: StateId, pos: usize, layer1: &mut Layer) {
+        let query = self
+            .topo
+            .query(t)
+            .expect("close states carry a query")
+            .clone();
+        // Reuse the collect phase's computation when it cached one for this
+        // vertex (valid only while no LOQ set exists, which is when the
+        // candidate set provably cannot have changed since).
+        let (candidates, groups) = match self.close_cache[t].take() {
+            Some(CachedClose { candidates, groups }) => (candidates, groups),
+            None => {
+                let candidates = match self.close_candidates(t, layer1) {
+                    Some(c) if !c.is_empty() => c,
+                    _ => return,
+                };
+                let groups = self.group_candidates(&candidates);
+                (candidates, groups)
+            }
+        };
+
         // Opens that carry backreferences of their own (nested queries) must
         // all be resolved; opens without may be short-circuited.
-        let (with_loq, without_loq): (Vec<_>, Vec<_>) = groups
-            .into_iter()
-            .partition(|(_, members)| members.iter().any(|o| self.loq.contains_key(o)));
+        let (with_loq, without_loq): (Vec<_>, Vec<_>) =
+            groups.into_iter().partition(|&(_, has_loq)| has_loq);
 
         let mut matched_backrefs: Vec<OpenRef> = Vec::new();
         let mut alive = false;
 
-        for (open_pos, members) in &with_loq {
-            if self.ask_oracle(&query, *open_pos, pos) {
+        for &(open_pos, _) in &with_loq {
+            if self.ask_oracle(t, &query, open_pos, pos) {
                 alive = true;
-                for o in members {
-                    if let Some(refs) = self.loq.get(o) {
+                for &o in candidates.iter().filter(|&&o| open_ref_pos(o) == open_pos) {
+                    if let Some(refs) = self.loq.get(&o) {
                         let refs = refs.clone();
                         merge_refs(&mut matched_backrefs, &refs);
                     }
                 }
             }
         }
-        for (open_pos, _) in &without_loq {
+        for &(open_pos, _) in &without_loq {
             if alive && self.options.lazy_oracle {
                 // The remaining groups cannot change Backref(v) (their LOQ
                 // sets are empty) and Alive(v) is already established.
                 break;
             }
-            if self.ask_oracle(&query, *open_pos, pos) {
+            if self.ask_oracle(t, &query, open_pos, pos) {
                 alive = true;
             }
         }
@@ -356,13 +660,41 @@ impl<'a> Evaluator<'a> {
         }
     }
 
-    /// Issues the oracle query delimited by an open at `open_pos` and a
-    /// close at `close_pos` (both 1-based gadget positions).
-    fn ask_oracle(&mut self, query: &semre_syntax::QueryName, open_pos: usize, close_pos: usize) -> bool {
+    /// Issues the oracle question delimited by an open at `open_pos` and a
+    /// close at state `t` / position `close_pos` (both 1-based gadget
+    /// positions).  On the batched plane the question goes through the
+    /// ledger — usually answered by the collect phase's batch, otherwise
+    /// resolved as a straggler flush.
+    fn ask_oracle(
+        &mut self,
+        t: StateId,
+        query: &QueryName,
+        open_pos: usize,
+        close_pos: usize,
+    ) -> bool {
         debug_assert!(open_pos <= close_pos);
-        let text = &self.input[open_pos - 1..close_pos - 1];
         self.report.oracle_calls += 1;
-        self.oracle.holds(query.as_str(), text)
+        match &mut self.plane {
+            Some(plane) => {
+                let qid = plane.table.state_query[t].expect("close states carry a query");
+                debug_assert_eq!(&plane.table.queries[qid as usize], query);
+                let slot = plane
+                    .ledger
+                    .enlist((qid, open_pos as u32, close_pos as u32));
+                if let Some(answer) = plane.ledger.answer(slot) {
+                    return answer;
+                }
+                flush_plane(plane, self.input);
+                plane
+                    .ledger
+                    .answer(slot)
+                    .expect("a flush resolves every pending slot")
+            }
+            None => {
+                let text = &self.input[open_pos - 1..close_pos - 1];
+                self.oracle.holds(query.as_str(), text)
+            }
+        }
     }
 
     /// Backward, oracle-free pass computing for every vertex whether `end`
@@ -370,8 +702,15 @@ impl<'a> Evaluator<'a> {
     fn co_reachability(&self) -> CoReach {
         let n = self.input.len();
         let states = self.snfa.num_states();
-        let mut layers: Vec<[Vec<bool>; 3]> =
-            (0..n + 1).map(|_| [vec![false; states], vec![false; states], vec![false; states]]).collect();
+        let mut layers: Vec<[Vec<bool>; 3]> = (0..n + 1)
+            .map(|_| {
+                [
+                    vec![false; states],
+                    vec![false; states],
+                    vec![false; states],
+                ]
+            })
+            .collect();
 
         for pos in (1..=n + 1).rev() {
             let (before, rest) = layers.split_at_mut(pos - 1 + 1);
@@ -384,14 +723,14 @@ impl<'a> Evaluator<'a> {
                 current[2][self.snfa.accept()] = true;
             } else if let Some(next1) = next_layer1 {
                 let byte = self.input[pos - 1];
-                for s in 0..states {
+                for (s, slot) in current[2].iter_mut().enumerate() {
                     if self
                         .snfa
                         .char_out(s)
                         .iter()
                         .any(|&(class, t)| class.contains(byte) && next1[t])
                     {
-                        current[2][s] = true;
+                        *slot = true;
                     }
                 }
             }
@@ -413,9 +752,10 @@ impl<'a> Evaluator<'a> {
 
             // Layer 1: E12 edges into layer 2, then E11 edges in reverse
             // topological order.
-            for s in 0..states {
-                if current[1][s] {
-                    current[0][s] = true;
+            let [layer1, layer2, _] = current;
+            for (dst, &src) in layer1.iter_mut().zip(layer2.iter()) {
+                if src {
+                    *dst = true;
                 }
             }
             for &t in self.topo.close_order().iter().rev() {
@@ -454,12 +794,19 @@ mod tests {
     }
 
     fn all_option_combos() -> Vec<EvalOptions> {
-        vec![
-            EvalOptions { prune_coreachable: false, lazy_oracle: false },
-            EvalOptions { prune_coreachable: false, lazy_oracle: true },
-            EvalOptions { prune_coreachable: true, lazy_oracle: false },
-            EvalOptions { prune_coreachable: true, lazy_oracle: true },
-        ]
+        let mut combos = Vec::new();
+        for prune_coreachable in [false, true] {
+            for lazy_oracle in [false, true] {
+                for batched in [false, true] {
+                    combos.push(EvalOptions {
+                        prune_coreachable,
+                        lazy_oracle,
+                        batched,
+                    });
+                }
+            }
+        }
+        combos
     }
 
     #[test]
@@ -482,8 +829,14 @@ mod tests {
         oracle.insert("City", "Paris");
         for options in all_option_combos() {
             let r = "go to (?<City>: [A-Za-z]+)!";
-            assert!(run(r, &oracle, b"go to Paris!", options).matched, "{options:?}");
-            assert!(!run(r, &oracle, b"go to Gotham!", options).matched, "{options:?}");
+            assert!(
+                run(r, &oracle, b"go to Paris!", options).matched,
+                "{options:?}"
+            );
+            assert!(
+                !run(r, &oracle, b"go to Gotham!", options).matched,
+                "{options:?}"
+            );
             // Skeleton mismatch: no oracle calls at all.
             let report = run(r, &oracle, b"go to 1234!", options);
             assert!(!report.matched);
@@ -499,13 +852,21 @@ mod tests {
             let r = examples::r_pal();
             // w4 w3 = babca·cb: feasible via the first `a` (bcacb is a
             // palindrome), infeasible via the second.
-            assert!(run_semre(&r, &oracle, b"babcacb", options).matched, "{options:?}");
+            assert!(
+                run_semre(&r, &oracle, b"babcacb", options).matched,
+                "{options:?}"
+            );
             // w2 w3 = bacb·cb from the paper: not a match.
-            assert!(!run_semre(&r, &oracle, b"bacbcb", options).matched, "{options:?}");
-            // w1 w3 = babc·cb: match (the suffix `ccb`... is not a
-            // palindrome, but `bcccb`? no — check the genuine case `babccb`:
-            // after the first a, `bccb` is a palindrome).
-            assert!(run_semre(&r, &oracle, b"babccb", options).matched, "{options:?}");
+            assert!(
+                !run_semre(&r, &oracle, b"bacbcb", options).matched,
+                "{options:?}"
+            );
+            // w1 w3 = babc·cb: match (after the first a, `bccb` is a
+            // palindrome).
+            assert!(
+                run_semre(&r, &oracle, b"babccb", options).matched,
+                "{options:?}"
+            );
         }
     }
 
@@ -517,10 +878,19 @@ mod tests {
         oracle.insert("q", "c");
         for options in all_option_combos() {
             let r = examples::r_qstar("q");
-            assert!(run_semre(&r, &oracle, b"abc", options).matched, "{options:?}");
-            assert!(run_semre(&r, &oracle, b"cabab", options).matched, "{options:?}");
+            assert!(
+                run_semre(&r, &oracle, b"abc", options).matched,
+                "{options:?}"
+            );
+            assert!(
+                run_semre(&r, &oracle, b"cabab", options).matched,
+                "{options:?}"
+            );
             assert!(run_semre(&r, &oracle, b"", options).matched, "{options:?}");
-            assert!(!run_semre(&r, &oracle, b"abx", options).matched, "{options:?}");
+            assert!(
+                !run_semre(&r, &oracle, b"abx", options).matched,
+                "{options:?}"
+            );
         }
     }
 
@@ -532,11 +902,20 @@ mod tests {
         oracle.insert("Celebrity", "Taylor Swift");
         for options in all_option_combos() {
             let r = examples::r_paris_hilton();
-            assert!(run_semre(&r, &oracle, b"Paris Hilton", options).matched, "{options:?}");
+            assert!(
+                run_semre(&r, &oracle, b"Paris Hilton", options).matched,
+                "{options:?}"
+            );
             // A celebrity, but no city inside the name.
-            assert!(!run_semre(&r, &oracle, b"Taylor Swift", options).matched, "{options:?}");
+            assert!(
+                !run_semre(&r, &oracle, b"Taylor Swift", options).matched,
+                "{options:?}"
+            );
             // Contains a city but is not a celebrity.
-            assert!(!run_semre(&r, &oracle, b"Paris Metro", options).matched, "{options:?}");
+            assert!(
+                !run_semre(&r, &oracle, b"Paris Metro", options).matched,
+                "{options:?}"
+            );
         }
     }
 
@@ -547,8 +926,14 @@ mod tests {
         oracle.insert("q", "");
         for options in all_option_combos() {
             assert!(run("<q>", &oracle, b"", options).matched, "{options:?}");
-            assert!(!run("(?<q>: .*)x", &oracle, b"yx", options).matched, "{options:?}");
-            assert!(run("(?<q>: .*)x", &oracle, b"x", options).matched, "{options:?}");
+            assert!(
+                !run("(?<q>: .*)x", &oracle, b"yx", options).matched,
+                "{options:?}"
+            );
+            assert!(
+                run("(?<q>: .*)x", &oracle, b"x", options).matched,
+                "{options:?}"
+            );
         }
     }
 
@@ -557,15 +942,35 @@ mod tests {
         // Σ*⟨q⟩Σ* over a string where many substrings are accepted: the
         // lazy evaluator stops at the first accepted group per close vertex.
         let oracle = ConstOracle::always_true();
-        let eager = run(".*<q>.*", &oracle, b"aaaaaaaa", EvalOptions { prune_coreachable: true, lazy_oracle: false });
-        let lazy = run(".*<q>.*", &oracle, b"aaaaaaaa", EvalOptions { prune_coreachable: true, lazy_oracle: true });
-        assert!(eager.matched && lazy.matched);
-        assert!(
-            lazy.oracle_calls < eager.oracle_calls,
-            "lazy: {} eager: {}",
-            lazy.oracle_calls,
-            eager.oracle_calls
-        );
+        for batched in [false, true] {
+            let eager = run(
+                ".*<q>.*",
+                &oracle,
+                b"aaaaaaaa",
+                EvalOptions {
+                    prune_coreachable: true,
+                    lazy_oracle: false,
+                    batched,
+                },
+            );
+            let lazy = run(
+                ".*<q>.*",
+                &oracle,
+                b"aaaaaaaa",
+                EvalOptions {
+                    prune_coreachable: true,
+                    lazy_oracle: true,
+                    batched,
+                },
+            );
+            assert!(eager.matched && lazy.matched);
+            assert!(
+                lazy.oracle_calls < eager.oracle_calls,
+                "batched={batched} lazy: {} eager: {}",
+                lazy.oracle_calls,
+                eager.oracle_calls
+            );
+        }
     }
 
     #[test]
@@ -575,31 +980,153 @@ mod tests {
         // for the opens but none of them can reach end, so a pruned
         // evaluation never calls the oracle.
         let oracle = ConstOracle::always_true();
-        let pruned = run("(?<q>: a+)zzz", &oracle, b"aaaa", EvalOptions { prune_coreachable: true, lazy_oracle: true });
-        let unpruned = run("(?<q>: a+)zzz", &oracle, b"aaaa", EvalOptions { prune_coreachable: false, lazy_oracle: true });
-        assert!(!pruned.matched && !unpruned.matched);
-        assert_eq!(pruned.oracle_calls, 0);
-        assert!(unpruned.oracle_calls > 0);
-        assert!(pruned.vertices_alive <= unpruned.vertices_alive);
+        for batched in [false, true] {
+            let pruned = run(
+                "(?<q>: a+)zzz",
+                &oracle,
+                b"aaaa",
+                EvalOptions {
+                    prune_coreachable: true,
+                    lazy_oracle: true,
+                    batched,
+                },
+            );
+            let unpruned = run(
+                "(?<q>: a+)zzz",
+                &oracle,
+                b"aaaa",
+                EvalOptions {
+                    prune_coreachable: false,
+                    lazy_oracle: true,
+                    batched,
+                },
+            );
+            assert!(!pruned.matched && !unpruned.matched);
+            assert_eq!(pruned.oracle_calls, 0);
+            assert!(unpruned.oracle_calls > 0);
+            assert!(pruned.vertices_alive <= unpruned.vertices_alive);
+        }
     }
 
     #[test]
     fn oracle_call_counts_scale_quadratically_for_padded_queries() {
         // Theorem 4.1: matching Σ*⟨q⟩Σ* inherently requires Ω(|w|²) oracle
-        // queries in the worst case (oracle rejects everything).
+        // queries in the worst case (oracle rejects everything).  The
+        // batched plane issues exactly the same logical requests.
         let oracle = ConstOracle::always_false();
-        let options = EvalOptions::default();
-        let calls_at = |len: usize| {
-            let input = vec![b'a'; len];
-            run(".*<q>.*", &oracle, &input, options).oracle_calls
+        for batched in [false, true] {
+            let options = EvalOptions {
+                batched,
+                ..EvalOptions::default()
+            };
+            let calls_at = |len: usize| {
+                let input = vec![b'a'; len];
+                run(".*<q>.*", &oracle, &input, options).oracle_calls
+            };
+            let (c8, c16, c32) = (calls_at(8), calls_at(16), calls_at(32));
+            // Exact quadratic growth: one query per non-empty substring,
+            // n(n+1)/2 of them (the empty substring is probed once during
+            // the ε-closure, not here).
+            assert_eq!(c8, 36, "batched={batched}");
+            assert_eq!(c16, 136, "batched={batched}");
+            assert_eq!(c32, 528, "batched={batched}");
+        }
+    }
+
+    #[test]
+    fn batched_plane_matches_per_call_and_never_resolves_more_keys() {
+        let mut oracle = SetOracle::new();
+        oracle.insert("q", "a");
+        oracle.insert("q", "aaa");
+        let cases: &[(&str, &[u8])] = &[
+            (".*<q>.*", b"aaaa"),
+            ("(?<q>: a*)b?", b"aaab"),
+            ("<q>a|<q>b", b"xa"),
+            ("(<q>)*", b"aaaa"),
+        ];
+        for &(pattern, input) in cases {
+            for lazy_oracle in [false, true] {
+                for prune_coreachable in [false, true] {
+                    let base = EvalOptions {
+                        prune_coreachable,
+                        lazy_oracle,
+                        batched: false,
+                    };
+                    let batched = EvalOptions {
+                        batched: true,
+                        ..base
+                    };
+                    let per_call_report = run(pattern, &oracle, input, base);
+                    let batched_report = run(pattern, &oracle, input, batched);
+                    assert_eq!(batched_report.matched, per_call_report.matched, "{pattern}");
+                    assert_eq!(
+                        batched_report.oracle_calls, per_call_report.oracle_calls,
+                        "{pattern}: logical request counts must agree"
+                    );
+                    assert!(
+                        batched_report.unique_keys <= per_call_report.oracle_calls,
+                        "{pattern}: {} unique keys vs {} per-call requests",
+                        batched_report.unique_keys,
+                        per_call_report.oracle_calls
+                    );
+                    assert!(
+                        batched_report.batches <= batched_report.unique_keys.max(1),
+                        "{pattern}: more batches than resolved keys"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ledger_deduplicates_across_gadget_copies() {
+        // Two refinement nodes with the same query name close over the same
+        // substring: per-call evaluation asks twice, the ledger resolves
+        // one key.
+        let oracle = ConstOracle::always_false();
+        let options = EvalOptions {
+            prune_coreachable: false,
+            lazy_oracle: false,
+            batched: true,
         };
-        let (c8, c16, c32) = (calls_at(8), calls_at(16), calls_at(32));
-        // Exact quadratic growth: one query per non-empty substring,
-        // n(n+1)/2 of them (the empty substring is probed once during the
-        // ε-closure, not here).
-        assert_eq!(c8, 36);
-        assert_eq!(c16, 136);
-        assert_eq!(c32, 528);
+        let report = run("<q>a|<q>b", &oracle, b"xa", options);
+        assert!(!report.matched);
+        assert!(
+            report.keys_deduped > 0,
+            "expected cross-copy dedup: {report:?}"
+        );
+        assert!(report.unique_keys < report.oracle_calls, "{report:?}");
+        assert_eq!(
+            report.keys_deduped,
+            report.oracle_calls - report.unique_keys
+        );
+    }
+
+    #[test]
+    fn batched_evaluation_groups_round_trips() {
+        // Eager + batched: all groups of a position travel together, so
+        // there are far fewer round trips than logical requests.
+        let oracle = ConstOracle::always_false();
+        let input = vec![b'a'; 16];
+        let batched = run(
+            ".*<q>.*",
+            &oracle,
+            &input,
+            EvalOptions {
+                prune_coreachable: true,
+                lazy_oracle: false,
+                batched: true,
+            },
+        );
+        assert!(batched.oracle_calls > 0);
+        assert!(
+            batched.batches < batched.oracle_calls,
+            "expected amortization: {} batches for {} requests",
+            batched.batches,
+            batched.oracle_calls
+        );
+        // One collect-phase batch per position that asks anything.
+        assert!(batched.batches as usize <= input.len() + 1, "{batched:?}");
     }
 
     #[test]
@@ -610,5 +1137,7 @@ mod tests {
         assert_eq!(report.positions, 4);
         assert!(report.vertices_alive > 0);
         assert_eq!(report.oracle_calls, 0);
+        assert_eq!(report.unique_keys, 0);
+        assert_eq!(report.batches, 0);
     }
 }

@@ -139,8 +139,10 @@ impl QueryGraph {
     /// This is the reference (unoptimized, eager) evaluator; the streaming
     /// evaluator used by [`crate::Matcher`] must agree with it.
     pub fn evaluate(&self, input: &[u8], oracle: &dyn Oracle) -> EvalReport {
-        let mut report =
-            EvalReport { positions: self.positions, ..EvalReport::default() };
+        let mut report = EvalReport {
+            positions: self.positions,
+            ..EvalReport::default()
+        };
         let end = match self.end {
             Some(end) => end,
             None => return report,
@@ -276,8 +278,7 @@ impl QueryGraph {
                 indegree[t] += 1;
             }
         }
-        let mut ready: Vec<VertexId> =
-            (0..n).filter(|&v| indegree[v] == 0).collect();
+        let mut ready: Vec<VertexId> = (0..n).filter(|&v| indegree[v] == 0).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(v) = ready.pop() {
             order.push(v);
@@ -379,7 +380,10 @@ impl<'a> Builder<'a> {
                 }
             }
         }
-        self.graph.end = self.ids.get(&(self.snfa.accept(), Layer::Rest, n + 1)).copied();
+        self.graph.end = self
+            .ids
+            .get(&(self.snfa.accept(), Layer::Rest, n + 1))
+            .copied();
         self.graph
     }
 }
@@ -406,8 +410,14 @@ mod tests {
             let explicit = graph.evaluate(input, oracle);
             let streaming = Matcher::new(r.clone(), oracle.clone()).is_match(input);
             let baseline = DpMatcher::new(r.clone(), oracle.clone()).is_match(input);
-            assert_eq!(explicit.matched, streaming, "explicit vs streaming on {input:?}");
-            assert_eq!(explicit.matched, baseline, "explicit vs baseline on {input:?}");
+            assert_eq!(
+                explicit.matched, streaming,
+                "explicit vs streaming on {input:?}"
+            );
+            assert_eq!(
+                explicit.matched, baseline,
+                "explicit vs baseline on {input:?}"
+            );
         }
     }
 
@@ -421,7 +431,11 @@ mod tests {
         let mut oracle = SetOracle::new();
         oracle.insert("q", "ab");
         oracle.insert("q", "c");
-        agree(&examples::r_qstar("q"), &oracle, &[b"abc", b"cabab", b"", b"x"]);
+        agree(
+            &examples::r_qstar("q"),
+            &oracle,
+            &[b"abc", b"cabab", b"", b"x"],
+        );
         let mut nested = SetOracle::new();
         nested.insert("City", "Paris");
         nested.insert("Celebrity", "Paris Hilton");
@@ -476,12 +490,18 @@ mod tests {
             .filter(|&v| matches!(graph.label(v), VertexLabel::Open(_)))
             .map(|v| graph.idx(v))
             .collect();
-        assert!(opens.contains(&3), "expected an open vertex at index 3, got {opens:?}");
+        assert!(
+            opens.contains(&3),
+            "expected an open vertex at index 3, got {opens:?}"
+        );
         let closes: Vec<usize> = (0..graph.num_vertices())
             .filter(|&v| matches!(graph.label(v), VertexLabel::Close(_)))
             .map(|v| graph.idx(v))
             .collect();
-        assert!(closes.contains(&7), "expected a close vertex at the final index, got {closes:?}");
+        assert!(
+            closes.contains(&7),
+            "expected a close vertex at the final index, got {closes:?}"
+        );
     }
 
     #[test]

@@ -17,6 +17,14 @@
 //! * [`DpMatcher`] — the memoized dynamic-programming baseline used by the
 //!   SMORE system (`O(|r||w|³)`), against which the paper evaluates.
 //!
+//! Both matchers route oracle questions through the batched, deduplicating
+//! query plane of `semre-oracle` by default (see `DESIGN.md`): questions
+//! are collected per input position, deduplicated by their `(query, start,
+//! end)` query-graph identity, and shipped to the backend in batches — the
+//! same logical requests as the per-call plane, strictly fewer backend
+//! keys.  Share a `BatchSession` across lines ([`Matcher::run_in_session`])
+//! to extend the deduplication across a whole grep chunk.
+//!
 //! # Example
 //!
 //! ```

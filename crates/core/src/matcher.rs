@@ -8,10 +8,10 @@
 //! queries) plus the oracle's own response time.
 
 use semre_automata::{compile, EpsClosure, Snfa};
-use semre_oracle::Oracle;
+use semre_oracle::{BatchSession, Oracle};
 use semre_syntax::{skeleton, Semre};
 
-use crate::eval::{evaluate, EvalOptions, EvalReport};
+use crate::eval::{evaluate, evaluate_in_session, EvalOptions, EvalReport, QueryTable};
 use crate::topology::GadgetTopology;
 
 /// Tuning knobs for the query-graph matcher.
@@ -31,11 +31,20 @@ pub struct MatcherConfig {
     /// Short-circuit oracle calls at close vertices whenever the skipped
     /// calls cannot influence backreference propagation.
     pub lazy_oracle: bool,
+    /// Route oracle questions through the batched, deduplicating query
+    /// plane (collect → flush → apply per position) instead of one
+    /// `holds` call per question.
+    pub batched_oracle: bool,
 }
 
 impl Default for MatcherConfig {
     fn default() -> Self {
-        MatcherConfig { skeleton_prefilter: true, prune_coreachable: true, lazy_oracle: true }
+        MatcherConfig {
+            skeleton_prefilter: true,
+            prune_coreachable: true,
+            lazy_oracle: true,
+            batched_oracle: true,
+        }
     }
 }
 
@@ -46,10 +55,26 @@ impl MatcherConfig {
         MatcherConfig::default()
     }
 
+    /// The fully optimized configuration on the per-call oracle plane:
+    /// every question travels as its own `holds` call, as in the paper's
+    /// prototype.  The reference point for batch-efficiency comparisons.
+    pub fn per_call() -> Self {
+        MatcherConfig {
+            batched_oracle: false,
+            ..MatcherConfig::default()
+        }
+    }
+
     /// A deliberately naive configuration: no prefilter, no pruning, eager
-    /// oracle discharge.  Used by the ablation benchmarks.
+    /// oracle discharge, per-call oracle plane.  Used by the ablation
+    /// benchmarks.
     pub fn eager() -> Self {
-        MatcherConfig { skeleton_prefilter: false, prune_coreachable: false, lazy_oracle: false }
+        MatcherConfig {
+            skeleton_prefilter: false,
+            prune_coreachable: false,
+            lazy_oracle: false,
+            batched_oracle: false,
+        }
     }
 }
 
@@ -80,6 +105,7 @@ pub struct Matcher<O> {
     snfa: Snfa,
     skeleton_snfa: Snfa,
     topo: GadgetTopology,
+    query_table: QueryTable,
     oracle: O,
     config: MatcherConfig,
 }
@@ -95,9 +121,19 @@ impl<O: Oracle> Matcher<O> {
         let snfa = compile(&semre);
         let closure = EpsClosure::compute(&snfa, &oracle);
         let topo = GadgetTopology::new(&snfa, &closure);
+        let query_table = QueryTable::build(&snfa, &topo);
         let skel = skeleton(&semre);
         let skeleton_snfa = compile(&skel);
-        Matcher { semre, skeleton: skel, snfa, skeleton_snfa, topo, oracle, config }
+        Matcher {
+            semre,
+            skeleton: skel,
+            snfa,
+            skeleton_snfa,
+            topo,
+            query_table,
+            oracle,
+            config,
+        }
     }
 
     /// Whether `input` belongs to `⟦r⟧`.
@@ -106,18 +142,74 @@ impl<O: Oracle> Matcher<O> {
     }
 
     /// Matches `input` and reports evaluation statistics (oracle calls,
-    /// alive vertices).
+    /// batch-plane usage, alive vertices).
     pub fn run(&self, input: &[u8]) -> EvalReport {
         if self.config.skeleton_prefilter
             && !semre_automata::skeleton_matches(&self.skeleton_snfa, input)
         {
-            return EvalReport { positions: input.len() + 1, ..EvalReport::default() };
+            return EvalReport {
+                positions: input.len() + 1,
+                ..EvalReport::default()
+            };
         }
-        let options = EvalOptions {
+        if self.config.batched_oracle {
+            // Transient single-line session, reusing the precomputed query
+            // table rather than rebuilding it per line.
+            let mut session = self.session();
+            return evaluate_in_session(
+                &self.snfa,
+                &self.topo,
+                &self.query_table,
+                input,
+                self.eval_options(),
+                &mut session,
+            );
+        }
+        evaluate(
+            &self.snfa,
+            &self.topo,
+            input,
+            &self.oracle,
+            self.eval_options(),
+        )
+    }
+
+    /// A fresh [`BatchSession`] over this matcher's oracle, to be shared by
+    /// many [`run_in_session`](Matcher::run_in_session) calls (e.g. every
+    /// line of a grep chunk) so identical `(query, text)` questions reach
+    /// the backend once.
+    pub fn session(&self) -> BatchSession<'_> {
+        BatchSession::new(&self.oracle)
+    }
+
+    /// Like [`run`](Matcher::run), but resolves oracle questions through
+    /// `session`, batching and deduplicating across every evaluation that
+    /// shares it.  Always uses the batched plane.
+    pub fn run_in_session(&self, input: &[u8], session: &mut BatchSession<'_>) -> EvalReport {
+        if self.config.skeleton_prefilter
+            && !semre_automata::skeleton_matches(&self.skeleton_snfa, input)
+        {
+            return EvalReport {
+                positions: input.len() + 1,
+                ..EvalReport::default()
+            };
+        }
+        evaluate_in_session(
+            &self.snfa,
+            &self.topo,
+            &self.query_table,
+            input,
+            self.eval_options(),
+            session,
+        )
+    }
+
+    fn eval_options(&self) -> EvalOptions {
+        EvalOptions {
             prune_coreachable: self.config.prune_coreachable,
             lazy_oracle: self.config.lazy_oracle,
-        };
-        evaluate(&self.snfa, &self.topo, input, &self.oracle, options)
+            batched: self.config.batched_oracle,
+        }
     }
 
     /// The SemRE this matcher was built from.
@@ -219,7 +311,53 @@ mod tests {
     #[test]
     fn config_constructors() {
         assert_eq!(MatcherConfig::optimized(), MatcherConfig::default());
+        assert!(MatcherConfig::default().batched_oracle);
         let eager = MatcherConfig::eager();
         assert!(!eager.skeleton_prefilter && !eager.prune_coreachable && !eager.lazy_oracle);
+        assert!(!eager.batched_oracle);
+        let per_call = MatcherConfig::per_call();
+        assert!(per_call.skeleton_prefilter && per_call.prune_coreachable && per_call.lazy_oracle);
+        assert!(!per_call.batched_oracle);
+    }
+
+    #[test]
+    fn shared_session_deduplicates_across_lines() {
+        let backend = Instrumented::new(SimLlmOracle::new());
+        let matcher = Matcher::new(
+            parse("Subject: .*(?<Medicine name>: .+).*").unwrap(),
+            &backend,
+        );
+        let lines: [&[u8]; 3] = [
+            b"Subject: cheap viagra now",
+            b"Subject: cheap viagra now",
+            b"Subject: cheap viagra today",
+        ];
+
+        // Independent runs: every line pays for its own questions.
+        let before = backend.stats().calls;
+        for line in lines {
+            matcher.run(line);
+        }
+        let independent_calls = backend.stats().calls - before;
+
+        // One shared session: the duplicate line costs nothing, and the
+        // near-duplicate reuses most answers.
+        let before = backend.stats().calls;
+        let mut session = matcher.session();
+        let reports: Vec<_> = lines
+            .iter()
+            .map(|l| matcher.run_in_session(l, &mut session))
+            .collect();
+        let shared_calls = backend.stats().calls - before;
+
+        assert!(reports.iter().all(|r| r.matched));
+        assert_eq!(reports[0].matched, matcher.is_match(lines[0]));
+        assert!(
+            shared_calls < independent_calls,
+            "session should absorb repeats: {shared_calls} vs {independent_calls}"
+        );
+        let stats = session.stats();
+        assert!(stats.keys_deduped > 0);
+        assert_eq!(stats.backend_keys, shared_calls);
     }
 }

@@ -73,20 +73,33 @@ impl GadgetTopology {
             open_out[s] = closure.open_targets(s).to_vec();
         }
 
-        let close_states: Vec<StateId> =
-            snfa.states().filter(|&s| matches!(snfa.label(s), Label::Close(_))).collect();
-        let open_states: Vec<StateId> =
-            snfa.states().filter(|&s| matches!(snfa.label(s), Label::Open(_))).collect();
+        let close_states: Vec<StateId> = snfa
+            .states()
+            .filter(|&s| matches!(snfa.label(s), Label::Close(_)))
+            .collect();
+        let open_states: Vec<StateId> = snfa
+            .states()
+            .filter(|&s| matches!(snfa.label(s), Label::Open(_)))
+            .collect();
         let close_order = topological_order(&close_states, |t| {
-            close_in[t].iter().copied().filter(|s| matches!(snfa.label(*s), Label::Close(_)))
+            close_in[t]
+                .iter()
+                .copied()
+                .filter(|s| matches!(snfa.label(*s), Label::Close(_)))
         })
         .expect("layer-1 gadget edges must be acyclic");
         let open_order = topological_order(&open_states, |t| {
-            open_in[t].iter().copied().filter(|s| matches!(snfa.label(*s), Label::Open(_)))
+            open_in[t]
+                .iter()
+                .copied()
+                .filter(|s| matches!(snfa.label(*s), Label::Open(_)))
         })
         .expect("layer-2 gadget edges must be acyclic");
 
-        let query = snfa.states().map(|s| snfa.label(s).query().cloned()).collect();
+        let query = snfa
+            .states()
+            .map(|s| snfa.label(s).query().cloned())
+            .collect();
         GadgetTopology {
             close_in,
             open_in,
@@ -156,10 +169,7 @@ impl GadgetTopology {
 
 /// Kahn's algorithm restricted to the given nodes, with predecessors
 /// supplied by `preds`.  Returns `None` if a cycle is detected.
-fn topological_order<I>(
-    nodes: &[StateId],
-    preds: impl Fn(StateId) -> I,
-) -> Option<Vec<StateId>>
+fn topological_order<I>(nodes: &[StateId], preds: impl Fn(StateId) -> I) -> Option<Vec<StateId>>
 where
     I: Iterator<Item = StateId>,
 {
@@ -179,8 +189,7 @@ where
             }
         }
     }
-    let mut ready: Vec<StateId> =
-        nodes.iter().copied().filter(|s| indegree[s] == 0).collect();
+    let mut ready: Vec<StateId> = nodes.iter().copied().filter(|s| indegree[s] == 0).collect();
     let mut order = Vec::with_capacity(nodes.len());
     while let Some(s) = ready.pop() {
         order.push(s);
@@ -229,10 +238,14 @@ mod tests {
     #[test]
     fn single_refinement_topology() {
         let (snfa, topo) = topology("x(?<Q>: a+)y");
-        let closes: Vec<StateId> =
-            snfa.states().filter(|&s| matches!(snfa.label(s), Label::Close(_))).collect();
-        let opens: Vec<StateId> =
-            snfa.states().filter(|&s| matches!(snfa.label(s), Label::Open(_))).collect();
+        let closes: Vec<StateId> = snfa
+            .states()
+            .filter(|&s| matches!(snfa.label(s), Label::Close(_)))
+            .collect();
+        let opens: Vec<StateId> = snfa
+            .states()
+            .filter(|&s| matches!(snfa.label(s), Label::Open(_)))
+            .collect();
         assert_eq!(closes.len(), 1);
         assert_eq!(opens.len(), 1);
         assert_eq!(topo.close_order(), &closes[..]);
@@ -278,7 +291,9 @@ mod tests {
             let topo = GadgetTopology::new(&snfa, &closure);
             assert_eq!(
                 topo.close_order().len(),
-                snfa.states().filter(|&s| matches!(snfa.label(s), Label::Close(_))).count(),
+                snfa.states()
+                    .filter(|&s| matches!(snfa.label(s), Label::Close(_)))
+                    .count(),
                 "{name}: close order misses states"
             );
         }

@@ -6,16 +6,17 @@
 //! Theorem 3.9 assert that the query-graph algorithm is correct.  These
 //! tests check that claim empirically on randomly generated SemREs, input
 //! strings, and (deterministic, pseudo-random) oracles, across every
-//! matcher configuration.
+//! matcher configuration — including the batched oracle plane against the
+//! per-call plane.  Randomness comes from a seeded SplitMix64 sweep, so the
+//! suite is deterministic without external crates.
 
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 
-use proptest::prelude::*;
-
 use semre_core::{DpMatcher, Matcher, MatcherConfig};
 use semre_oracle::{Oracle, PredicateOracle};
 use semre_syntax::{CharClass, Semre};
+use semre_workloads::rng::StdRng as Rng;
 
 /// A deterministic pseudo-random oracle: accepts roughly a third of all
 /// `(query, text)` pairs, decided by hashing.
@@ -29,100 +30,153 @@ fn hash_oracle(seed: u64) -> impl Oracle {
     })
 }
 
-/// Strategy for random SemREs over the alphabet {a, b, c} with queries
-/// drawn from {q0, q1}, including nested refinements.
-fn semre_strategy() -> impl Strategy<Value = Semre> {
-    let leaf = prop_oneof![
-        Just(Semre::Eps),
-        Just(Semre::byte(b'a')),
-        Just(Semre::byte(b'b')),
-        Just(Semre::byte(b'c')),
-        Just(Semre::class(CharClass::from_bytes([b'a', b'b']))),
-        Just(Semre::any()),
-    ];
-    leaf.prop_recursive(4, 24, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Semre::concat(a, b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Semre::union(a, b)),
-            inner.clone().prop_map(Semre::star),
-            (inner.clone(), 0..2u8).prop_map(|(a, q)| Semre::query(a, format!("q{q}"))),
-        ]
-    })
+/// Random SemREs over the alphabet {a, b, c} with queries drawn from
+/// {q0, q1}, including nested refinements.
+fn random_semre(rng: &mut Rng, depth: u32) -> Semre {
+    if depth == 0 || rng.gen_range(0..3u32) == 0 {
+        return match rng.gen_range(0..6u32) {
+            0 => Semre::Eps,
+            1 => Semre::byte(b'a'),
+            2 => Semre::byte(b'b'),
+            3 => Semre::byte(b'c'),
+            4 => Semre::class(CharClass::from_bytes([b'a', b'b'])),
+            _ => Semre::any(),
+        };
+    }
+    match rng.gen_range(0..4u32) {
+        0 => Semre::concat(random_semre(rng, depth - 1), random_semre(rng, depth - 1)),
+        1 => Semre::union(random_semre(rng, depth - 1), random_semre(rng, depth - 1)),
+        2 => Semre::star(random_semre(rng, depth - 1)),
+        _ => Semre::query(
+            random_semre(rng, depth - 1),
+            format!("q{}", rng.gen_range(0..2u32)),
+        ),
+    }
 }
 
-/// Strategy for short input strings over {a, b, c}.
-fn input_strategy() -> impl Strategy<Value = Vec<u8>> {
-    proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c')], 0..9)
+/// Random short input strings over {a, b, c}.
+fn random_input(rng: &mut Rng) -> Vec<u8> {
+    let len = rng.gen_range(0..9usize);
+    (0..len)
+        .map(|_| b'a' + rng.gen_range(0..3u32) as u8)
+        .collect()
 }
 
 fn all_configs() -> Vec<MatcherConfig> {
     vec![
         MatcherConfig::default(),
+        MatcherConfig::per_call(),
         MatcherConfig::eager(),
-        MatcherConfig { skeleton_prefilter: false, prune_coreachable: true, lazy_oracle: true },
-        MatcherConfig { skeleton_prefilter: true, prune_coreachable: false, lazy_oracle: false },
+        MatcherConfig {
+            batched_oracle: true,
+            ..MatcherConfig::eager()
+        },
+        MatcherConfig {
+            skeleton_prefilter: false,
+            prune_coreachable: true,
+            lazy_oracle: true,
+            batched_oracle: true,
+        },
+        MatcherConfig {
+            skeleton_prefilter: true,
+            prune_coreachable: false,
+            lazy_oracle: false,
+            batched_oracle: false,
+        },
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(200))]
-
-    /// The query-graph matcher agrees with the DP baseline on random
-    /// (SemRE, string, oracle) triples, in every configuration.
-    #[test]
-    fn snfa_matches_iff_baseline_matches(
-        semre in semre_strategy(),
-        input in input_strategy(),
-        seed in 0..32u64,
-    ) {
-        let oracle = hash_oracle(seed);
+/// The query-graph matcher agrees with the DP baseline on random
+/// (SemRE, string, oracle) triples, in every configuration.
+#[test]
+fn snfa_matches_iff_baseline_matches() {
+    let mut rng = Rng::seed_from_u64(0x5EED);
+    for case in 0..250 {
+        let semre = random_semre(&mut rng, 4);
+        let input = random_input(&mut rng);
+        let oracle = hash_oracle(rng.gen_range(0..32u64));
         let baseline = DpMatcher::new(semre.clone(), &oracle);
         let expected = baseline.is_match(&input);
         for config in all_configs() {
             let matcher = Matcher::with_config(semre.clone(), &oracle, config);
-            prop_assert_eq!(
+            assert_eq!(
                 matcher.is_match(&input),
                 expected,
-                "config {:?} disagrees on r = {} and w = {:?}",
+                "case {case}: config {:?} disagrees on r = {} and w = {:?}",
                 config,
                 semre,
                 String::from_utf8_lossy(&input)
             );
         }
     }
+}
 
-    /// On classical expressions (no refinements), matching is independent of
-    /// the oracle and agrees across seeds.
-    #[test]
-    fn classical_expressions_ignore_the_oracle(
-        semre in semre_strategy(),
-        input in input_strategy(),
-    ) {
+/// On classical expressions (no refinements), matching is independent of
+/// the oracle and agrees across seeds.
+#[test]
+fn classical_expressions_ignore_the_oracle() {
+    let mut rng = Rng::seed_from_u64(0xA11CE);
+    for _ in 0..200 {
+        let semre = random_semre(&mut rng, 4);
+        let input = random_input(&mut rng);
         let skeleton = semre_syntax::skeleton(&semre);
         let a = Matcher::new(skeleton.clone(), hash_oracle(0)).is_match(&input);
         let b = Matcher::new(skeleton.clone(), hash_oracle(1)).is_match(&input);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "skeleton {skeleton} depends on the oracle");
     }
+}
 
-    /// Lazy oracle discharge and co-reachability pruning never *increase*
-    /// the number of oracle calls compared to the eager configuration.
-    #[test]
-    fn optimizations_do_not_increase_oracle_calls(
-        semre in semre_strategy(),
-        input in input_strategy(),
-        seed in 0..16u64,
-    ) {
-        let oracle = hash_oracle(seed);
+/// Lazy oracle discharge and co-reachability pruning never *increase* the
+/// number of oracle calls compared to the eager configuration.
+#[test]
+fn optimizations_do_not_increase_oracle_calls() {
+    let mut rng = Rng::seed_from_u64(0xBADA55);
+    for _ in 0..200 {
+        let semre = random_semre(&mut rng, 4);
+        let input = random_input(&mut rng);
+        let oracle = hash_oracle(rng.gen_range(0..16u64));
         let optimized = Matcher::new(semre.clone(), &oracle);
         let eager = Matcher::with_config(semre.clone(), &oracle, MatcherConfig::eager());
         let opt_calls = optimized.run(&input).oracle_calls;
         let eager_calls = eager.run(&input).oracle_calls;
-        prop_assert!(
+        assert!(
             opt_calls <= eager_calls,
-            "optimized made {} calls, eager made {} (r = {})",
-            opt_calls,
-            eager_calls,
-            semre
+            "optimized made {opt_calls} calls, eager made {eager_calls} (r = {semre})"
         );
+    }
+}
+
+/// The batched plane never resolves more unique oracle keys than the
+/// per-call plane issues calls, and issues the same logical requests.
+#[test]
+fn batched_plane_is_no_worse_than_per_call() {
+    let mut rng = Rng::seed_from_u64(0x1ED6E2);
+    for _ in 0..250 {
+        let semre = random_semre(&mut rng, 4);
+        let input = random_input(&mut rng);
+        let oracle = hash_oracle(rng.gen_range(0..16u64));
+        let batched = Matcher::with_config(
+            semre.clone(),
+            &oracle,
+            MatcherConfig {
+                batched_oracle: true,
+                ..MatcherConfig::default()
+            },
+        );
+        let per_call = Matcher::with_config(semre.clone(), &oracle, MatcherConfig::per_call());
+        let b = batched.run(&input);
+        let p = per_call.run(&input);
+        assert_eq!(b.matched, p.matched, "verdicts diverge on r = {semre}");
+        assert_eq!(
+            b.oracle_calls, p.oracle_calls,
+            "logical request counts diverge on r = {semre}"
+        );
+        assert!(
+            b.unique_keys <= p.oracle_calls,
+            "ledger resolved {} unique keys but per-call issued only {} calls (r = {semre})",
+            b.unique_keys,
+            p.oracle_calls
+        );
+        assert_eq!(b.keys_deduped, b.oracle_calls - b.unique_keys);
     }
 }

@@ -10,6 +10,10 @@
 //!                      set:FILE   (FILE holds "query<TAB>accepted text" lines)
 //!   --baseline         use the dynamic-programming baseline instead of the
 //!                      query-graph algorithm
+//!   --batched          share one batch session per chunk of lines, so
+//!                      repeated (query, text) questions reach the oracle
+//!                      backend once per chunk
+//!   --chunk-lines N    lines per batch-session chunk (default 256)
 //!   --count            print only the number of matching lines
 //!   --stats            print aggregate statistics to standard error
 //!   --max-lines N      process at most N lines
@@ -29,8 +33,11 @@ use semre_core::{DpMatcher, Matcher};
 use semre_oracle::{ConstOracle, Instrumented, Oracle, SetOracle, SimLlmOracle};
 use semre_syntax::parse;
 
-use crate::engine::{scan, LineMatcher, ScanOptions};
+use crate::engine::{scan, scan_batched, LineMatcher, ScanOptions};
 use crate::stats::ScanReport;
+
+/// Default number of lines per batch-session chunk for `--batched` scans.
+pub const DEFAULT_CHUNK_LINES: usize = 256;
 
 /// Errors produced while parsing command-line options or running the scan.
 #[derive(Debug)]
@@ -40,7 +47,9 @@ pub struct CliError {
 
 impl CliError {
     fn new(message: impl Into<String>) -> Self {
-        CliError { message: message.into() }
+        CliError {
+            message: message.into(),
+        }
     }
 }
 
@@ -77,6 +86,11 @@ pub struct CliOptions {
     pub oracle: OracleChoice,
     /// Use the DP baseline instead of the query-graph matcher.
     pub baseline: bool,
+    /// Share one batch session per chunk of lines (cross-line
+    /// deduplication of oracle questions).
+    pub batched: bool,
+    /// Lines per batch-session chunk (`0` means the default).
+    pub chunk_lines: usize,
     /// Print only the number of matching lines.
     pub count_only: bool,
     /// Print aggregate statistics to standard error.
@@ -88,8 +102,8 @@ pub struct CliOptions {
 }
 
 /// The usage string printed on `--help` or malformed invocations.
-pub const USAGE: &str = "usage: grepo [--oracle KIND] [--baseline] [--count] [--stats] \
-[--max-lines N] [--timeout-secs S] PATTERN [FILE]";
+pub const USAGE: &str = "usage: grepo [--oracle KIND] [--baseline] [--batched] [--chunk-lines N] \
+[--count] [--stats] [--max-lines N] [--timeout-secs S] PATTERN [FILE]";
 
 impl CliOptions {
     /// Parses command-line arguments (excluding the program name).
@@ -109,17 +123,34 @@ impl CliOptions {
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--baseline" => options.baseline = true,
+                "--batched" => options.batched = true,
+                "--chunk-lines" => {
+                    let n = args
+                        .next()
+                        .ok_or_else(|| CliError::new("--chunk-lines needs a value"))?;
+                    let n: usize = n
+                        .parse()
+                        .map_err(|_| CliError::new("--chunk-lines expects a number"))?;
+                    if n == 0 {
+                        return Err(CliError::new("--chunk-lines must be positive"));
+                    }
+                    options.chunk_lines = n;
+                }
                 "--count" => options.count_only = true,
                 "--stats" => options.stats = true,
                 "--help" | "-h" => return Err(CliError::new(USAGE)),
                 "--oracle" => {
-                    let kind = args.next().ok_or_else(|| CliError::new("--oracle needs a value"))?;
+                    let kind = args
+                        .next()
+                        .ok_or_else(|| CliError::new("--oracle needs a value"))?;
                     options.oracle = match kind.as_str() {
                         "sim-llm" => OracleChoice::SimLlm,
                         "always-true" => OracleChoice::AlwaysTrue,
                         "always-false" => OracleChoice::AlwaysFalse,
                         other => match other.strip_prefix("set:") {
-                            Some(path) if !path.is_empty() => OracleChoice::SetFile(path.to_owned()),
+                            Some(path) if !path.is_empty() => {
+                                OracleChoice::SetFile(path.to_owned())
+                            }
                             _ => {
                                 return Err(CliError::new(format!("unknown oracle kind {other:?}")))
                             }
@@ -127,15 +158,22 @@ impl CliOptions {
                     };
                 }
                 "--max-lines" => {
-                    let n = args.next().ok_or_else(|| CliError::new("--max-lines needs a value"))?;
-                    options.max_lines =
-                        Some(n.parse().map_err(|_| CliError::new("--max-lines expects a number"))?);
+                    let n = args
+                        .next()
+                        .ok_or_else(|| CliError::new("--max-lines needs a value"))?;
+                    options.max_lines = Some(
+                        n.parse()
+                            .map_err(|_| CliError::new("--max-lines expects a number"))?,
+                    );
                 }
                 "--timeout-secs" => {
-                    let n =
-                        args.next().ok_or_else(|| CliError::new("--timeout-secs needs a value"))?;
-                    options.timeout_secs =
-                        Some(n.parse().map_err(|_| CliError::new("--timeout-secs expects a number"))?);
+                    let n = args
+                        .next()
+                        .ok_or_else(|| CliError::new("--timeout-secs needs a value"))?;
+                    options.timeout_secs = Some(
+                        n.parse()
+                            .map_err(|_| CliError::new("--timeout-secs expects a number"))?,
+                    );
                 }
                 other if other.starts_with("--") => {
                     return Err(CliError::new(format!("unknown option {other:?}")));
@@ -143,9 +181,13 @@ impl CliOptions {
                 _ => positional.push(arg),
             }
         }
+        if options.chunk_lines != 0 && !options.batched {
+            return Err(CliError::new("--chunk-lines requires --batched"));
+        }
         let mut positional = positional.into_iter();
-        options.pattern =
-            positional.next().ok_or_else(|| CliError::new(format!("missing PATTERN\n{USAGE}")))?;
+        options.pattern = positional
+            .next()
+            .ok_or_else(|| CliError::new(format!("missing PATTERN\n{USAGE}")))?;
         options.file = positional.next();
         if positional.next().is_some() {
             return Err(CliError::new("too many positional arguments"));
@@ -210,21 +252,42 @@ pub struct CliOutcome {
 /// Returns a [`CliError`] if the pattern does not parse or the oracle file
 /// cannot be loaded.
 pub fn run_on_text(options: &CliOptions, text: &str) -> Result<CliOutcome, CliError> {
-    let semre = parse(&options.pattern)
-        .map_err(|e| CliError::new(format!("invalid pattern: {e}")))?;
+    let semre =
+        parse(&options.pattern).map_err(|e| CliError::new(format!("invalid pattern: {e}")))?;
     let oracle = Instrumented::new(options.build_oracle()?);
     let lines: Vec<&str> = text.lines().collect();
+    let chunk = if options.chunk_lines == 0 {
+        DEFAULT_CHUNK_LINES
+    } else {
+        options.chunk_lines
+    };
 
     let report: ScanReport;
     let algorithm: &str;
     if options.baseline {
         let matcher = DpMatcher::new(semre, &oracle);
         algorithm = matcher.algorithm();
-        report = scan(&matcher, &lines, || oracle.stats(), options.scan_options());
+        report = if options.batched {
+            scan_batched(&matcher, &lines, chunk, options.scan_options())
+        } else {
+            scan(&matcher, &lines, || oracle.stats(), options.scan_options())
+        };
     } else {
-        let matcher = Matcher::new(semre, &oracle);
+        // Without --batched the scan runs on the per-call plane, so the
+        // per-line `oracle_calls` statistic keeps meaning what it says:
+        // one backend call per logical oracle question.
+        let matcher_config = if options.batched {
+            semre_core::MatcherConfig::default()
+        } else {
+            semre_core::MatcherConfig::per_call()
+        };
+        let matcher = Matcher::with_config(semre, &oracle, matcher_config);
         algorithm = matcher.algorithm();
-        report = scan(&matcher, &lines, || oracle.stats(), options.scan_options());
+        report = if options.batched {
+            scan_batched(&matcher, &lines, chunk, options.scan_options())
+        } else {
+            scan(&matcher, &lines, || oracle.stats(), options.scan_options())
+        };
     }
 
     let mut outcome = CliOutcome::default();
@@ -247,12 +310,28 @@ pub fn run_on_text(options: &CliOptions, text: &str) -> Result<CliOutcome, CliEr
             report.rt_total_ms(),
             report.rt_matched_ms()
         ));
-        outcome.stderr.push(format!(
-            "oracle_calls={:.3}/line oracle_fraction={:.3} query_chars={:.3}/line",
-            report.oracle_calls_per_line(),
-            report.oracle_fraction(),
-            report.query_chars_per_line()
-        ));
+        if !options.batched {
+            // Per-line oracle attribution only exists on the per-call path;
+            // on batched scans a batch belongs to a chunk, not a line, and
+            // usage is reported by the batch-plane line below instead.
+            outcome.stderr.push(format!(
+                "oracle_calls={:.3}/line oracle_fraction={:.3} query_chars={:.3}/line",
+                report.oracle_calls_per_line(),
+                report.oracle_fraction(),
+                report.query_chars_per_line()
+            ));
+        }
+        if options.batched {
+            outcome.stderr.push(format!(
+                "batches={} keys_submitted={} keys_deduped={} backend_keys={} dedup_ratio={:.3} mean_batch={:.2}",
+                report.batch.batches,
+                report.batch.keys_submitted,
+                report.batch.keys_deduped,
+                report.batch.backend_keys,
+                report.batch_dedup_ratio(),
+                report.mean_batch_size()
+            ));
+        }
     }
     outcome.exit_code = if report.matched_lines() > 0 { 0 } else { 1 };
     Ok(outcome)
@@ -295,12 +374,17 @@ mod tests {
         assert_eq!(o.oracle, OracleChoice::AlwaysTrue);
         assert_eq!(o.file, None);
 
-        let o = CliOptions::parse(["--oracle", "set:oracle.tsv", "--max-lines", "10", "x"]).unwrap();
+        let o =
+            CliOptions::parse(["--oracle", "set:oracle.tsv", "--max-lines", "10", "x"]).unwrap();
         assert_eq!(o.oracle, OracleChoice::SetFile("oracle.tsv".into()));
         assert_eq!(o.max_lines, Some(10));
 
         let o = CliOptions::parse(["--timeout-secs", "30", "x"]).unwrap();
         assert_eq!(o.timeout_secs, Some(30));
+
+        let o = CliOptions::parse(["--batched", "--chunk-lines", "64", "x"]).unwrap();
+        assert!(o.batched);
+        assert_eq!(o.chunk_lines, 64);
     }
 
     #[test]
@@ -310,6 +394,10 @@ mod tests {
         assert!(CliOptions::parse(["--oracle", "magic", "x"]).is_err());
         assert!(CliOptions::parse(["--oracle", "set:", "x"]).is_err());
         assert!(CliOptions::parse(["--max-lines", "many", "x"]).is_err());
+        assert!(CliOptions::parse(["--batched", "--chunk-lines", "0", "x"]).is_err());
+        assert!(CliOptions::parse(["--batched", "--chunk-lines"]).is_err());
+        // --chunk-lines without --batched would be silently ignored.
+        assert!(CliOptions::parse(["--chunk-lines", "64", "x"]).is_err());
         assert!(CliOptions::parse(["--frobnicate", "x"]).is_err());
         assert!(CliOptions::parse(["a", "b", "c"]).is_err());
         assert!(CliOptions::parse(["--help"]).is_err());
@@ -317,7 +405,8 @@ mod tests {
 
     #[test]
     fn set_oracle_file_format() {
-        let oracle = parse_set_oracle("# comment\nCity\tParis\nCity\tHouston\n\nCeleb\tParis Hilton\n");
+        let oracle =
+            parse_set_oracle("# comment\nCity\tParis\nCity\tHouston\n\nCeleb\tParis Hilton\n");
         use semre_oracle::Oracle as _;
         assert!(oracle.holds("City", b"Paris"));
         assert!(oracle.holds("Celeb", b"Paris Hilton"));
@@ -326,7 +415,8 @@ mod tests {
 
     #[test]
     fn end_to_end_on_text() {
-        let options = CliOptions::parse(["--stats", r"Subject: .*(?<Medicine name>: .+).*"]).unwrap();
+        let options =
+            CliOptions::parse(["--stats", r"Subject: .*(?<Medicine name>: .+).*"]).unwrap();
         let text = "Subject: cheap viagra\nSubject: team meeting\nhello\n";
         let outcome = run_on_text(&options, text).unwrap();
         assert_eq!(outcome.stdout, vec!["Subject: cheap viagra".to_owned()]);
@@ -334,8 +424,12 @@ mod tests {
         assert_eq!(outcome.stderr.len(), 3);
         assert!(outcome.stderr[0].contains("algorithm=snfa"));
 
-        let count = CliOptions::parse(["--count", "--baseline", r"Subject: .*(?<Medicine name>: .+).*"])
-            .unwrap();
+        let count = CliOptions::parse([
+            "--count",
+            "--baseline",
+            r"Subject: .*(?<Medicine name>: .+).*",
+        ])
+        .unwrap();
         let outcome = run_on_text(&count, text).unwrap();
         assert_eq!(outcome.stdout, vec!["1".to_owned()]);
 
@@ -343,6 +437,36 @@ mod tests {
         let outcome = run_on_text(&none, "abc\n").unwrap();
         assert!(outcome.stdout.is_empty());
         assert_eq!(outcome.exit_code, 1);
+    }
+
+    #[test]
+    fn batched_scan_from_the_cli() {
+        let pattern = r"Subject: .*(?<Medicine name>: .+).*";
+        let text = "Subject: cheap viagra\nSubject: cheap viagra\nSubject: team meeting\n";
+
+        let plain = CliOptions::parse([pattern]).unwrap();
+        let expected = run_on_text(&plain, text).unwrap();
+
+        let batched = CliOptions::parse(["--batched", "--stats", pattern]).unwrap();
+        let outcome = run_on_text(&batched, text).unwrap();
+        assert_eq!(outcome.stdout, expected.stdout);
+        let batch_line = outcome
+            .stderr
+            .iter()
+            .find(|l| l.starts_with("batches="))
+            .expect("batched stats line present");
+        assert!(batch_line.contains("keys_deduped="), "{batch_line}");
+        assert!(batch_line.contains("dedup_ratio="), "{batch_line}");
+
+        // Per-call runs do not print batch-plane statistics.
+        let plain_stats = CliOptions::parse(["--stats", pattern]).unwrap();
+        let outcome = run_on_text(&plain_stats, text).unwrap();
+        assert!(outcome.stderr.iter().all(|l| !l.starts_with("batches=")));
+
+        // The baseline also supports batched scans.
+        let baseline = CliOptions::parse(["--batched", "--baseline", "--count", pattern]).unwrap();
+        let outcome = run_on_text(&baseline, text).unwrap();
+        assert_eq!(outcome.stdout, vec!["2".to_owned()]);
     }
 
     #[test]

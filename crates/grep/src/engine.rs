@@ -9,7 +9,7 @@
 use std::time::{Duration, Instant};
 
 use semre_core::{DpMatcher, Matcher};
-use semre_oracle::{Oracle, OracleStats};
+use semre_oracle::{BatchSession, Oracle, OracleStats};
 
 use crate::stats::{LineRecord, ScanReport};
 
@@ -21,6 +21,15 @@ pub trait LineMatcher: Sync {
     /// Whether `line` belongs to the SemRE's language.
     fn matches_line(&self, line: &[u8]) -> bool;
 
+    /// Like [`matches_line`](LineMatcher::matches_line), but resolving
+    /// oracle questions through `session`, so answers are batched and
+    /// deduplicated across every line sharing the session.
+    fn matches_line_in_session(&self, line: &[u8], session: &mut BatchSession<'_>) -> bool;
+
+    /// A fresh batch session over this matcher's oracle, typically one per
+    /// scanned chunk.
+    fn session(&self) -> BatchSession<'_>;
+
     /// A short name identifying the algorithm ("snfa" or "dp").
     fn algorithm(&self) -> &'static str;
 }
@@ -28,6 +37,14 @@ pub trait LineMatcher: Sync {
 impl<O: Oracle> LineMatcher for Matcher<O> {
     fn matches_line(&self, line: &[u8]) -> bool {
         self.is_match(line)
+    }
+
+    fn matches_line_in_session(&self, line: &[u8], session: &mut BatchSession<'_>) -> bool {
+        self.run_in_session(line, session).matched
+    }
+
+    fn session(&self) -> BatchSession<'_> {
+        Matcher::session(self)
     }
 
     fn algorithm(&self) -> &'static str {
@@ -38,6 +55,14 @@ impl<O: Oracle> LineMatcher for Matcher<O> {
 impl<O: Oracle> LineMatcher for DpMatcher<O> {
     fn matches_line(&self, line: &[u8]) -> bool {
         self.is_match(line)
+    }
+
+    fn matches_line_in_session(&self, line: &[u8], session: &mut BatchSession<'_>) -> bool {
+        self.run_in_session(line, session).matched
+    }
+
+    fn session(&self) -> BatchSession<'_> {
+        DpMatcher::session(self)
     }
 
     fn algorithm(&self) -> &'static str {
@@ -63,7 +88,10 @@ impl ScanOptions {
 
     /// Scan with a wall-clock budget.
     pub fn with_time_budget(budget: Duration) -> Self {
-        ScanOptions { time_budget: Some(budget), max_lines: None }
+        ScanOptions {
+            time_budget: Some(budget),
+            max_lines: None,
+        }
     }
 }
 
@@ -98,7 +126,70 @@ where
         let matched = matcher.matches_line(line.as_bytes());
         let duration = line_start.elapsed();
         let oracle = oracle_stats() - before;
-        report.records.push(LineRecord { index, length: line.len(), matched, duration, oracle });
+        report.records.push(LineRecord {
+            index,
+            length: line.len(),
+            matched,
+            duration,
+            oracle,
+        });
+    }
+    report.total_duration = started.elapsed();
+    report
+}
+
+/// Scans `lines` with one [`BatchSession`] per `chunk_lines`-sized chunk,
+/// so oracle questions are batched within each line (the evaluator's
+/// collect phase) *and* deduplicated across the lines of a chunk — repeated
+/// domains, medicine names, or paths in a corpus reach the backend once per
+/// chunk instead of once per occurrence.
+///
+/// The per-chunk [`BatchStats`](semre_oracle::BatchStats) are accumulated
+/// into [`ScanReport::batch`]; per-line oracle attribution is not recorded
+/// (a batch belongs to a chunk, not a line).
+pub fn scan_batched<M, L>(
+    matcher: &M,
+    lines: &[L],
+    chunk_lines: usize,
+    options: ScanOptions,
+) -> ScanReport
+where
+    M: LineMatcher + ?Sized,
+    L: AsRef<str>,
+{
+    let started = Instant::now();
+    let chunk_lines = chunk_lines.max(1);
+    let mut report = ScanReport::default();
+    'scan: for (chunk_index, chunk) in lines.chunks(chunk_lines).enumerate() {
+        let mut session = matcher.session();
+        for (offset, line) in chunk.iter().enumerate() {
+            let index = chunk_index * chunk_lines + offset;
+            if let Some(max) = options.max_lines {
+                if index >= max {
+                    report.batch = report.batch.merged(&session.stats());
+                    break 'scan;
+                }
+            }
+            if let Some(budget) = options.time_budget {
+                if started.elapsed() >= budget {
+                    report.timed_out = true;
+                    report.batch = report.batch.merged(&session.stats());
+                    break 'scan;
+                }
+            }
+            let line = line.as_ref();
+            let line_start = Instant::now();
+            let matched = matcher.matches_line_in_session(line.as_bytes(), &mut session);
+            let duration = line_start.elapsed();
+            report.records.push(LineRecord {
+                index,
+                length: line.len(),
+                matched,
+                duration,
+                oracle: OracleStats::default(),
+            });
+        }
+        report.batch = report.batch.merged(&session.stats());
     }
     report.total_duration = started.elapsed();
     report
@@ -140,18 +231,21 @@ where
         }
     } else {
         let chunk = lines.len().div_ceil(threads);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (line_chunk, out_chunk) in lines.chunks(chunk).zip(matched.chunks_mut(chunk)) {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (slot, line) in out_chunk.iter_mut().zip(line_chunk) {
                         *slot = matcher.matches_line(line.as_ref().as_bytes());
                     }
                 });
             }
-        })
-        .expect("worker threads do not panic");
+        });
     }
-    ParallelScanReport { matched, total_duration: started.elapsed(), threads }
+    ParallelScanReport {
+        matched,
+        total_duration: started.elapsed(),
+        threads,
+    }
 }
 
 #[cfg(test)]
@@ -171,13 +265,21 @@ mod tests {
 
     fn matcher() -> Matcher<Instrumented<SimLlmOracle>> {
         let oracle = Instrumented::new(SimLlmOracle::new());
-        Matcher::new(parse("Subject: .*(?<Medicine name>: .+).*").unwrap(), oracle)
+        Matcher::new(
+            parse("Subject: .*(?<Medicine name>: .+).*").unwrap(),
+            oracle,
+        )
     }
 
     #[test]
     fn sequential_scan_attributes_oracle_usage() {
         let m = matcher();
-        let report = scan(&m, &lines(), || m.oracle().stats(), ScanOptions::unlimited());
+        let report = scan(
+            &m,
+            &lines(),
+            || m.oracle().stats(),
+            ScanOptions::unlimited(),
+        );
         assert_eq!(report.lines(), 4);
         assert_eq!(report.matched_lines(), 2);
         assert!(!report.timed_out);
@@ -187,7 +289,10 @@ mod tests {
         // The cumulative oracle counter may additionally have seen (q, ε)
         // probes issued while the matcher was built, but nothing else.
         let construction_probes = m.oracle().stats().calls - report.oracle_totals().calls;
-        assert!(construction_probes <= 1, "unexpected extra oracle calls: {construction_probes}");
+        assert!(
+            construction_probes <= 1,
+            "unexpected extra oracle calls: {construction_probes}"
+        );
         assert_eq!(m.algorithm(), "snfa");
     }
 
@@ -198,7 +303,10 @@ mod tests {
             &m,
             &lines(),
             OracleStats::default,
-            ScanOptions { max_lines: Some(2), time_budget: None },
+            ScanOptions {
+                max_lines: Some(2),
+                time_budget: None,
+            },
         );
         assert_eq!(limited.lines(), 2);
         assert!(!limited.timed_out);
@@ -216,8 +324,16 @@ mod tests {
     #[test]
     fn dp_matcher_is_a_line_matcher() {
         let oracle = SimLlmOracle::new();
-        let dp = DpMatcher::new(parse("Subject: .*(?<Medicine name>: .+).*").unwrap(), oracle);
-        let report = scan(&dp, &lines(), OracleStats::default, ScanOptions::unlimited());
+        let dp = DpMatcher::new(
+            parse("Subject: .*(?<Medicine name>: .+).*").unwrap(),
+            oracle,
+        );
+        let report = scan(
+            &dp,
+            &lines(),
+            OracleStats::default,
+            ScanOptions::unlimited(),
+        );
         assert_eq!(report.matched_lines(), 2);
         assert_eq!(dp.algorithm(), "dp");
     }
@@ -239,9 +355,94 @@ mod tests {
     #[test]
     fn empty_input() {
         let m = matcher();
-        let report = scan(&m, &Vec::<String>::new(), OracleStats::default, ScanOptions::unlimited());
+        let report = scan(
+            &m,
+            &Vec::<String>::new(),
+            OracleStats::default,
+            ScanOptions::unlimited(),
+        );
         assert_eq!(report.lines(), 0);
         let parallel = scan_parallel(&m, &Vec::<String>::new(), 4);
         assert_eq!(parallel.matched_lines(), 0);
+        let batched = scan_batched(&m, &Vec::<String>::new(), 16, ScanOptions::unlimited());
+        assert_eq!(batched.lines(), 0);
+        assert_eq!(batched.batch.batches, 0);
+    }
+
+    #[test]
+    fn batched_scan_agrees_with_sequential_and_dedups_across_lines() {
+        let m = matcher();
+        let mut corpus = lines();
+        // Duplicate the whole corpus: the second half must be answered from
+        // the chunk session.
+        corpus.extend(lines());
+
+        let sequential = scan(&m, &corpus, || m.oracle().stats(), ScanOptions::unlimited());
+        let sequential_calls = sequential.oracle_totals().calls;
+
+        m.oracle().reset();
+        let batched = scan_batched(&m, &corpus, corpus.len(), ScanOptions::unlimited());
+        let batched_backend_calls = m.oracle().stats().calls;
+
+        let expected: Vec<bool> = sequential.records.iter().map(|r| r.matched).collect();
+        let got: Vec<bool> = batched.records.iter().map(|r| r.matched).collect();
+        assert_eq!(got, expected);
+        assert!(batched.batch.keys_submitted > 0);
+        assert!(
+            batched.batch.keys_deduped > 0,
+            "duplicated lines must dedup: {:?}",
+            batched.batch
+        );
+        assert_eq!(batched.batch.backend_keys, batched_backend_calls);
+        assert!(
+            batched_backend_calls < sequential_calls,
+            "chunk session should reach the backend less often ({batched_backend_calls} vs {sequential_calls})"
+        );
+        assert!(batched.batch_dedup_ratio() > 0.0);
+    }
+
+    #[test]
+    fn batched_scan_honours_chunk_boundaries_and_limits() {
+        let m = matcher();
+        let corpus = lines();
+        // Chunk size 1: every line gets a fresh session, so cross-line
+        // dedup disappears but verdicts are unchanged.
+        let per_line = scan_batched(&m, &corpus, 1, ScanOptions::unlimited());
+        let whole = scan_batched(&m, &corpus, corpus.len(), ScanOptions::unlimited());
+        assert_eq!(per_line.matched_lines(), whole.matched_lines());
+        assert!(per_line.batch.keys_submitted >= whole.batch.keys_submitted);
+
+        let limited = scan_batched(
+            &m,
+            &corpus,
+            2,
+            ScanOptions {
+                max_lines: Some(2),
+                time_budget: None,
+            },
+        );
+        assert_eq!(limited.lines(), 2);
+        assert!(!limited.timed_out);
+
+        let exhausted = scan_batched(
+            &m,
+            &corpus,
+            2,
+            ScanOptions::with_time_budget(Duration::ZERO),
+        );
+        assert_eq!(exhausted.lines(), 0);
+        assert!(exhausted.timed_out);
+    }
+
+    #[test]
+    fn dp_matcher_supports_batched_scans() {
+        let oracle = SimLlmOracle::new();
+        let dp = DpMatcher::new(
+            parse("Subject: .*(?<Medicine name>: .+).*").unwrap(),
+            oracle,
+        );
+        let report = scan_batched(&dp, &lines(), 16, ScanOptions::unlimited());
+        assert_eq!(report.matched_lines(), 2);
+        assert!(report.batch.keys_submitted > 0);
     }
 }

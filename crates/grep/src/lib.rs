@@ -35,5 +35,5 @@ pub mod cli;
 mod engine;
 mod stats;
 
-pub use engine::{scan, scan_parallel, LineMatcher, ParallelScanReport, ScanOptions};
+pub use engine::{scan, scan_batched, scan_parallel, LineMatcher, ParallelScanReport, ScanOptions};
 pub use stats::{LineRecord, ScanReport};

@@ -10,7 +10,7 @@
 
 use std::time::Duration;
 
-use semre_oracle::OracleStats;
+use semre_oracle::{BatchStats, OracleStats};
 
 /// Raw measurements for one scanned line.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -37,6 +37,10 @@ pub struct ScanReport {
     pub timed_out: bool,
     /// Total wall-clock time of the scan.
     pub total_duration: Duration,
+    /// Batched query-plane usage, accumulated over every chunk session of a
+    /// [`scan_batched`](crate::scan_batched) run (all zero for per-call
+    /// scans).
+    pub batch: BatchStats,
 }
 
 impl ScanReport {
@@ -52,7 +56,20 @@ impl ScanReport {
 
     /// Total oracle usage across all processed lines.
     pub fn oracle_totals(&self) -> OracleStats {
-        self.records.iter().fold(OracleStats::default(), |acc, r| acc.merged(&r.oracle))
+        self.records
+            .iter()
+            .fold(OracleStats::default(), |acc, r| acc.merged(&r.oracle))
+    }
+
+    /// Fraction of batch-plane keys answered without touching the backend
+    /// (duplicates within a line or across the lines of a chunk).
+    pub fn batch_dedup_ratio(&self) -> f64 {
+        self.batch.dedup_ratio()
+    }
+
+    /// Mean number of keys per backend round trip of the batch plane.
+    pub fn mean_batch_size(&self) -> f64 {
+        self.batch.mean_batch_size()
     }
 
     /// Reciprocal throughput over all processed lines, in milliseconds per
@@ -163,6 +180,12 @@ mod tests {
             ],
             timed_out: false,
             total_duration: Duration::from_millis(12),
+            batch: BatchStats {
+                batches: 3,
+                keys_submitted: 6,
+                keys_deduped: 3,
+                backend_keys: 3,
+            },
         }
     }
 
@@ -178,6 +201,8 @@ mod tests {
         // Oracle time is half of each line's duration by construction.
         assert!((report.oracle_fraction() - 0.5).abs() < 0.01);
         assert_eq!(report.oracle_totals().calls, 6);
+        assert!((report.batch_dedup_ratio() - 0.5).abs() < 1e-9);
+        assert!((report.mean_batch_size() - 1.0).abs() < 1e-9);
     }
 
     #[test]
@@ -190,6 +215,8 @@ mod tests {
         assert_eq!(report.oracle_calls_per_line(), 0.0);
         assert_eq!(report.oracle_fraction(), 0.0);
         assert_eq!(report.query_chars_per_line(), 0.0);
+        assert_eq!(report.batch_dedup_ratio(), 0.0);
+        assert_eq!(report.mean_batch_size(), 0.0);
         assert!(report.median_rt_by_length(50, 1).is_empty());
     }
 

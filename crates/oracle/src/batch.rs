@@ -1,0 +1,482 @@
+//! The batched, deduplicating oracle query plane.
+//!
+//! The paper's algorithm bounds *how many* oracle queries are issued; this
+//! module bounds *how they travel*.  Real backends (LLMs, Whois snapshots,
+//! geo databases) amortize dramatically when questions are shipped in
+//! batches, and the query-graph evaluator naturally produces bursts of
+//! `(query, substring)` questions per input position.  Three pieces make up
+//! the plane:
+//!
+//! * [`QueryKey`] — one pending question, a `(query, text)` pair borrowed
+//!   from the caller;
+//! * [`BatchOracle`] — the batched entry point (`resolve(&[QueryKey]) ->
+//!   Vec<bool>`), with a blanket adapter so every existing [`Oracle`] keeps
+//!   working (the adapter routes through [`Oracle::resolve_batch`], which
+//!   wrappers such as `Instrumented` and `CachingOracle` override with
+//!   batch-aware behaviour);
+//! * [`QueryLedger`] — a position-keyed, deduplicating accumulator used by
+//!   the evaluator: keys are enlisted as the frontier advances, duplicates
+//!   across gadget copies collapse onto one slot, and a flush resolves all
+//!   outstanding slots in one round trip;
+//! * [`BatchSession`] — a content-keyed answer store shared across many
+//!   membership tests (e.g. all lines of a grep chunk), so identical
+//!   `(query, text)` questions from different lines reach the backend once.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::stats::BatchStats;
+use crate::Oracle;
+
+/// A single pending oracle question: does `text` belong to the semantic
+/// category named by `query`?
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueryKey<'a> {
+    /// The query name, e.g. `"Medicine name"`.
+    pub query: &'a str,
+    /// The substring being judged.
+    pub text: &'a [u8],
+}
+
+impl<'a> QueryKey<'a> {
+    /// Convenience constructor.
+    pub fn new(query: &'a str, text: &'a [u8]) -> Self {
+        QueryKey { query, text }
+    }
+}
+
+/// A backend that answers many oracle questions in one round trip.
+///
+/// Every [`Oracle`] is a `BatchOracle` through a blanket adapter that calls
+/// [`Oracle::resolve_batch`] (point-wise by default, overridden by the
+/// instrumentation and caching wrappers), so the batched plane can be
+/// threaded through existing code without touching any backend.
+pub trait BatchOracle: Send + Sync {
+    /// Answers `batch[i]` in `result[i]`, for every `i`.
+    fn resolve(&self, batch: &[QueryKey<'_>]) -> Vec<bool>;
+}
+
+impl<O: Oracle + ?Sized> BatchOracle for O {
+    fn resolve(&self, batch: &[QueryKey<'_>]) -> Vec<bool> {
+        self.resolve_batch(batch)
+    }
+}
+
+/// Index of a key within a [`QueryLedger`], returned by
+/// [`QueryLedger::enlist`] and accepted by [`QueryLedger::answer`].
+pub type LedgerSlot = usize;
+
+/// A deduplicating accumulator of oracle questions.
+///
+/// The evaluator enlists keys as it discovers oracle-dependent frontier
+/// transitions; keys equal to an already-enlisted one collapse onto the
+/// same slot (`keys_deduped`), so gadget copies that delimit the same
+/// substring cost one backend question.  A [`flush`](QueryLedger::flush)
+/// materializes and resolves every outstanding slot in one batch.
+///
+/// The key type is generic so callers can choose the cheapest faithful
+/// identity — the evaluator uses `(query id, start, end)` triples, exactly
+/// the `(q, i, j)` vertices of the paper's query graph.
+#[derive(Clone, Debug)]
+pub struct QueryLedger<K> {
+    slots: HashMap<K, LedgerSlot>,
+    keys: Vec<K>,
+    answers: Vec<Option<bool>>,
+    resolved: usize,
+    stats: BatchStats,
+}
+
+impl<K: Eq + Hash + Clone> QueryLedger<K> {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        QueryLedger {
+            slots: HashMap::new(),
+            keys: Vec::new(),
+            answers: Vec::new(),
+            resolved: 0,
+            stats: BatchStats::default(),
+        }
+    }
+
+    /// Records that `key` is needed, deduplicating against every key seen
+    /// so far, and returns its slot.
+    pub fn enlist(&mut self, key: K) -> LedgerSlot {
+        self.stats.keys_submitted += 1;
+        if let Some(&slot) = self.slots.get(&key) {
+            self.stats.keys_deduped += 1;
+            return slot;
+        }
+        let slot = self.keys.len();
+        self.slots.insert(key.clone(), slot);
+        self.keys.push(key);
+        self.answers.push(None);
+        slot
+    }
+
+    /// The answer for `slot`, if it has been resolved by a flush.
+    pub fn answer(&self, slot: LedgerSlot) -> Option<bool> {
+        self.answers[slot]
+    }
+
+    /// Number of enlisted keys not yet resolved.
+    pub fn pending(&self) -> usize {
+        self.keys.len() - self.resolved
+    }
+
+    /// Number of distinct keys enlisted so far.
+    pub fn unique_keys(&self) -> u64 {
+        self.keys.len() as u64
+    }
+
+    /// Batch-plane counters accumulated by this ledger.
+    pub fn stats(&self) -> BatchStats {
+        self.stats
+    }
+
+    /// Resolves every pending slot in one batch: `materialize` turns each
+    /// key into the `(query, text)` question and `resolver` answers the
+    /// whole batch (typically [`BatchSession::resolve`] or
+    /// [`BatchOracle::resolve`]).
+    ///
+    /// Does nothing when no key is pending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resolver returns a wrong-sized answer vector.
+    pub fn flush<'k, F, R>(&mut self, mut materialize: F, resolver: R)
+    where
+        F: FnMut(&K) -> QueryKey<'k>,
+        R: FnOnce(&[QueryKey<'k>]) -> Vec<bool>,
+    {
+        if self.resolved == self.keys.len() {
+            return;
+        }
+        let batch: Vec<QueryKey<'k>> = self.keys[self.resolved..]
+            .iter()
+            .map(&mut materialize)
+            .collect();
+        let answers = resolver(&batch);
+        assert_eq!(
+            answers.len(),
+            batch.len(),
+            "batch resolver returned a wrong-sized answer vector"
+        );
+        for (offset, answer) in answers.into_iter().enumerate() {
+            self.answers[self.resolved + offset] = Some(answer);
+        }
+        self.resolved = self.keys.len();
+        self.stats.batches += 1;
+        self.stats.backend_keys += batch.len() as u64;
+    }
+}
+
+impl<K: Eq + Hash + Clone> Default for QueryLedger<K> {
+    fn default() -> Self {
+        QueryLedger::new()
+    }
+}
+
+/// A `query → text → answer` store with allocation-free lookups.
+///
+/// The nested shape lets hits probe with borrowed `&str` / `&[u8]` keys;
+/// owned keys are built only when a miss is inserted.
+#[derive(Debug, Default)]
+pub(crate) struct AnswerStore {
+    map: HashMap<String, HashMap<Vec<u8>, bool>>,
+}
+
+impl AnswerStore {
+    pub(crate) fn get(&self, key: &QueryKey<'_>) -> Option<bool> {
+        self.map
+            .get(key.query)
+            .and_then(|texts| texts.get(key.text))
+            .copied()
+    }
+
+    pub(crate) fn insert(&mut self, key: &QueryKey<'_>, answer: bool) {
+        self.map
+            .entry(key.query.to_owned())
+            .or_default()
+            .insert(key.text.to_vec(), answer);
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.map.values().map(HashMap::len).sum()
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+/// Where each position of an incoming batch gets its answer from.
+enum Source {
+    /// Already answered by the store.
+    Known(bool),
+    /// Answered by the miss sub-batch at this slot.
+    Miss(usize),
+}
+
+/// One batch classified against an answer store: per-position sources, the
+/// deduplicated misses to forward, and how many positions were answered
+/// without the backend.  Shared by [`BatchSession`] and the caching
+/// wrapper so the two-phase logic cannot drift apart.
+pub(crate) struct BatchPlan<'a> {
+    sources: Vec<Source>,
+    pub(crate) misses: Vec<QueryKey<'a>>,
+    hits: u64,
+}
+
+impl<'a> BatchPlan<'a> {
+    /// Splits `batch` into store-answered positions and deduplicated
+    /// misses.  `lookup` probes the store; intra-batch duplicates collapse
+    /// onto one miss without any allocation.
+    pub(crate) fn classify(
+        batch: &[QueryKey<'a>],
+        mut lookup: impl FnMut(&QueryKey<'a>) -> Option<bool>,
+    ) -> Self {
+        let mut sources: Vec<Source> = Vec::with_capacity(batch.len());
+        let mut misses: Vec<QueryKey<'a>> = Vec::new();
+        let mut pending: HashMap<(&'a str, &'a [u8]), usize> = HashMap::new();
+        let mut hits = 0;
+        for key in batch {
+            if let Some(answer) = lookup(key) {
+                hits += 1;
+                sources.push(Source::Known(answer));
+            } else if let Some(&slot) = pending.get(&(key.query, key.text)) {
+                hits += 1;
+                sources.push(Source::Miss(slot));
+            } else {
+                pending.insert((key.query, key.text), misses.len());
+                sources.push(Source::Miss(misses.len()));
+                misses.push(*key);
+            }
+        }
+        BatchPlan {
+            sources,
+            misses,
+            hits,
+        }
+    }
+
+    /// Positions answered without the backend (store hits plus intra-batch
+    /// duplicates).
+    pub(crate) fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Combines the miss sub-batch's answers back into per-position order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `miss_answers` does not answer exactly the misses.
+    pub(crate) fn into_answers(self, miss_answers: Vec<bool>) -> Vec<bool> {
+        assert_eq!(
+            miss_answers.len(),
+            self.misses.len(),
+            "backend returned a wrong-sized answer vector"
+        );
+        self.sources
+            .into_iter()
+            .map(|source| match source {
+                Source::Known(answer) => answer,
+                Source::Miss(slot) => miss_answers[slot],
+            })
+            .collect()
+    }
+}
+
+/// A content-keyed answer store shared across membership tests.
+///
+/// A session owns a borrowed backend plus a `(query, text) → bool` map.
+/// Resolving a batch first consults the map (and deduplicates identical
+/// questions *within* the batch), then ships the remaining questions to the
+/// backend as one sub-batch through [`Oracle::resolve_batch`].  Sharing one
+/// session across all lines of a grep chunk is what turns per-line batches
+/// into chunk-level batches.
+pub struct BatchSession<'o> {
+    oracle: &'o dyn Oracle,
+    cache: AnswerStore,
+    stats: BatchStats,
+}
+
+impl<'o> BatchSession<'o> {
+    /// A fresh session over `oracle`.
+    pub fn new(oracle: &'o dyn Oracle) -> Self {
+        BatchSession {
+            oracle,
+            cache: AnswerStore::default(),
+            stats: BatchStats::default(),
+        }
+    }
+
+    /// The backend this session resolves against.
+    pub fn backend(&self) -> &'o dyn Oracle {
+        self.oracle
+    }
+
+    /// Answers `batch[i]` in `result[i]`, consulting the session store
+    /// first and forwarding at most one deduplicated sub-batch to the
+    /// backend.
+    pub fn resolve(&mut self, batch: &[QueryKey<'_>]) -> Vec<bool> {
+        self.stats.keys_submitted += batch.len() as u64;
+        if batch.is_empty() {
+            return Vec::new();
+        }
+
+        let plan = BatchPlan::classify(batch, |key| self.cache.get(key));
+        self.stats.keys_deduped += plan.hits();
+
+        let miss_answers = if plan.misses.is_empty() {
+            Vec::new()
+        } else {
+            self.stats.batches += 1;
+            self.stats.backend_keys += plan.misses.len() as u64;
+            let answers = self.oracle.resolve_batch(&plan.misses);
+            for (key, &answer) in plan.misses.iter().zip(&answers) {
+                self.cache.insert(key, answer);
+            }
+            answers
+        };
+        plan.into_answers(miss_answers)
+    }
+
+    /// Batch-plane counters accumulated by this session.
+    pub fn stats(&self) -> BatchStats {
+        self.stats
+    }
+
+    /// Number of distinct `(query, text)` answers currently stored.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Whether the session store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cache.len() == 0
+    }
+
+    /// Drops all stored answers and counters (e.g. at a chunk boundary).
+    pub fn clear(&mut self) {
+        self.cache.clear();
+        self.stats = BatchStats::default();
+    }
+}
+
+impl std::fmt::Debug for BatchSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchSession")
+            .field("backend", &self.oracle.describe())
+            .field("entries", &self.cache.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simple::{PredicateOracle, SetOracle};
+    use crate::wrappers::Instrumented;
+
+    fn keys<'a>(pairs: &'a [(&'a str, &'a [u8])]) -> Vec<QueryKey<'a>> {
+        pairs.iter().map(|&(q, t)| QueryKey::new(q, t)).collect()
+    }
+
+    #[test]
+    fn blanket_adapter_answers_pointwise() {
+        let mut set = SetOracle::new();
+        set.insert("City", "Paris");
+        let batch = keys(&[("City", b"Paris"), ("City", b"Gotham")]);
+        let answers = BatchOracle::resolve(&set, &batch);
+        assert_eq!(answers, vec![true, false]);
+        // Trait objects work on both sides of the adapter.
+        let dynamic: &dyn Oracle = &set;
+        assert_eq!(BatchOracle::resolve(&dynamic, &batch), vec![true, false]);
+    }
+
+    #[test]
+    fn ledger_deduplicates_and_flushes_once() {
+        let oracle = Instrumented::new(PredicateOracle::new(|_, t: &[u8]| t.len() % 2 == 0));
+        let input = b"abcdef";
+        let mut ledger: QueryLedger<(u32, u32, u32)> = QueryLedger::new();
+        let a = ledger.enlist((0, 1, 3));
+        let b = ledger.enlist((0, 3, 7));
+        let dup = ledger.enlist((0, 1, 3));
+        assert_eq!(a, dup);
+        assert_eq!(ledger.pending(), 2);
+        assert_eq!(ledger.unique_keys(), 2);
+        assert_eq!(ledger.stats().keys_submitted, 3);
+        assert_eq!(ledger.stats().keys_deduped, 1);
+        assert!(ledger.answer(a).is_none());
+
+        ledger.flush(
+            |&(_, s, e)| QueryKey::new("q", &input[(s - 1) as usize..(e - 1) as usize]),
+            |batch| oracle.resolve_batch(batch),
+        );
+        assert_eq!(ledger.answer(a), Some(true)); // "ab"
+        assert_eq!(ledger.answer(b), Some(true)); // "cdef"
+        assert_eq!(ledger.pending(), 0);
+        assert_eq!(ledger.stats().batches, 1);
+        assert_eq!(ledger.stats().backend_keys, 2);
+        assert_eq!(oracle.stats().calls, 2);
+
+        // A flush with nothing pending is free.
+        ledger.flush(
+            |_| QueryKey::new("q", b""),
+            |batch| oracle.resolve_batch(batch),
+        );
+        assert_eq!(ledger.stats().batches, 1);
+
+        // Later enlists only resolve the new suffix.
+        let c = ledger.enlist((0, 1, 2));
+        ledger.flush(
+            |&(_, s, e)| QueryKey::new("q", &input[(s - 1) as usize..(e - 1) as usize]),
+            |batch| oracle.resolve_batch(batch),
+        );
+        assert_eq!(ledger.answer(c), Some(false)); // "a"
+        assert_eq!(oracle.stats().calls, 3);
+        assert_eq!(ledger.stats().batches, 2);
+    }
+
+    #[test]
+    fn session_shares_answers_across_batches() {
+        let oracle = Instrumented::new(PredicateOracle::new(|_, t: &[u8]| t.starts_with(b"a")));
+        let mut session = BatchSession::new(&oracle);
+        let first = keys(&[("q", b"ab"), ("q", b"cd"), ("q", b"ab")]);
+        assert_eq!(session.resolve(&first), vec![true, false, true]);
+        // Intra-batch duplicate: only two questions reached the backend.
+        assert_eq!(oracle.stats().calls, 2);
+        assert_eq!(session.stats().batches, 1);
+        assert_eq!(session.stats().keys_submitted, 3);
+        assert_eq!(session.stats().keys_deduped, 1);
+        assert_eq!(session.stats().backend_keys, 2);
+        assert_eq!(session.len(), 2);
+
+        // A second batch reuses the stored answers entirely.
+        let second = keys(&[("q", b"cd"), ("q", b"ab")]);
+        assert_eq!(session.resolve(&second), vec![false, true]);
+        assert_eq!(
+            oracle.stats().calls,
+            2,
+            "fully deduplicated batch must not reach the backend"
+        );
+        assert_eq!(session.stats().batches, 1);
+        assert_eq!(session.stats().keys_deduped, 3);
+
+        session.clear();
+        assert!(session.is_empty());
+        assert_eq!(session.stats(), BatchStats::default());
+        assert_eq!(session.resolve(&[]), Vec::<bool>::new());
+    }
+
+    #[test]
+    fn session_distinguishes_queries_with_identical_text() {
+        let oracle = PredicateOracle::new(|q: &str, _: &[u8]| q == "yes");
+        let mut session = BatchSession::new(&oracle);
+        let batch = keys(&[("yes", b"x"), ("no", b"x")]);
+        assert_eq!(session.resolve(&batch), vec![true, false]);
+        assert_eq!(session.len(), 2);
+        assert!(format!("{session:?}").contains("entries"));
+    }
+}

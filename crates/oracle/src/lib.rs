@@ -35,12 +35,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod services;
 mod sim_llm;
 mod simple;
 mod stats;
 mod wrappers;
 
+pub use batch::{BatchOracle, BatchSession, LedgerSlot, QueryKey, QueryLedger};
 pub use services::{
     FileSystemOracle, IpGeoDb, PhishingList, WhoisDb, DEAD_DOMAIN_QUERY, FOREIGN_IP_QUERY,
     NONEXISTENT_PATH_QUERY, PHISHING_QUERY, REGISTERED_AFTER_PREFIX,
@@ -50,7 +52,7 @@ pub use sim_llm::{
     SPORTSPERSON_NAMES,
 };
 pub use simple::{ConstOracle, PalindromeOracle, PredicateOracle, SetOracle, TableOracle};
-pub use stats::OracleStats;
+pub use stats::{BatchStats, OracleStats};
 pub use wrappers::{CachingOracle, Instrumented, LatencyModel};
 
 /// An external oracle `⟦·⟧ : Q × Σ* → bool`.
@@ -69,6 +71,21 @@ pub trait Oracle: Send + Sync {
     /// `query`?
     fn holds(&self, query: &str, text: &[u8]) -> bool;
 
+    /// Answers a whole batch of questions in one call: `result[i]` answers
+    /// `batch[i]`.
+    ///
+    /// The default implementation is point-wise [`holds`](Oracle::holds),
+    /// so every oracle participates in the batched query plane unchanged;
+    /// backends that amortize round trips (and the instrumentation /
+    /// caching wrappers) override it.  Overrides must answer exactly like
+    /// point-wise `holds` would.
+    fn resolve_batch(&self, batch: &[QueryKey<'_>]) -> Vec<bool> {
+        batch
+            .iter()
+            .map(|key| self.holds(key.query, key.text))
+            .collect()
+    }
+
     /// A short human-readable description of the oracle, used in logs and
     /// experiment reports.
     fn describe(&self) -> String {
@@ -81,6 +98,10 @@ impl<O: Oracle + ?Sized> Oracle for &O {
         (**self).holds(query, text)
     }
 
+    fn resolve_batch(&self, batch: &[QueryKey<'_>]) -> Vec<bool> {
+        (**self).resolve_batch(batch)
+    }
+
     fn describe(&self) -> String {
         (**self).describe()
     }
@@ -91,6 +112,10 @@ impl<O: Oracle + ?Sized> Oracle for Box<O> {
         (**self).holds(query, text)
     }
 
+    fn resolve_batch(&self, batch: &[QueryKey<'_>]) -> Vec<bool> {
+        (**self).resolve_batch(batch)
+    }
+
     fn describe(&self) -> String {
         (**self).describe()
     }
@@ -99,6 +124,10 @@ impl<O: Oracle + ?Sized> Oracle for Box<O> {
 impl<O: Oracle + ?Sized> Oracle for std::sync::Arc<O> {
     fn holds(&self, query: &str, text: &[u8]) -> bool {
         (**self).holds(query, text)
+    }
+
+    fn resolve_batch(&self, batch: &[QueryKey<'_>]) -> Vec<bool> {
+        (**self).resolve_batch(batch)
     }
 
     fn describe(&self) -> String {
@@ -122,7 +151,7 @@ mod tests {
         fn takes_oracle<O: Oracle>(o: O) -> bool {
             o.holds("pal", b"aa")
         }
-        assert!(takes_oracle(&&PalindromeOracle));
+        assert!(takes_oracle(PalindromeOracle));
     }
 
     #[test]

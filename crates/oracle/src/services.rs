@@ -60,7 +60,8 @@ impl WhoisDb {
 
     /// Records that `domain` exists and was registered in `year`.
     pub fn register(&mut self, domain: impl AsRef<str>, year: u32) {
-        self.registrations.insert(normalize_domain(domain.as_ref()), year);
+        self.registrations
+            .insert(normalize_domain(domain.as_ref()), year);
     }
 
     /// Whether the snapshot knows `domain`.
@@ -96,7 +97,9 @@ impl Oracle for WhoisDb {
         }
         if let Some(year) = query.strip_prefix(REGISTERED_AFTER_PREFIX) {
             if let Ok(threshold) = year.trim().parse::<u32>() {
-                return self.registration_year(&domain).is_some_and(|y| y > threshold);
+                return self
+                    .registration_year(&domain)
+                    .is_some_and(|y| y > threshold);
             }
         }
         false
@@ -151,7 +154,9 @@ impl PhishingList {
 impl Oracle for PhishingList {
     fn holds(&self, query: &str, text: &[u8]) -> bool {
         query == PHISHING_QUERY
-            && self.domains.contains(&normalize_domain(&String::from_utf8_lossy(text)))
+            && self
+                .domains
+                .contains(&normalize_domain(&String::from_utf8_lossy(text)))
     }
 
     fn describe(&self) -> String {
@@ -185,8 +190,13 @@ impl IpGeoDb {
     /// Panics if `prefix_len > 32`.
     pub fn add_intranet(&mut self, network: [u8; 4], prefix_len: u8) {
         assert!(prefix_len <= 32, "CIDR prefix length must be at most 32");
-        let mask = if prefix_len == 0 { 0 } else { u32::MAX << (32 - prefix_len) };
-        self.intranet.push((u32::from_be_bytes(network) & mask, mask));
+        let mask = if prefix_len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - prefix_len)
+        };
+        self.intranet
+            .push((u32::from_be_bytes(network) & mask, mask));
     }
 
     /// The conventional private, loopback, and reserved ranges 10/8,

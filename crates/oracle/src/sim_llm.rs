@@ -50,8 +50,9 @@ pub const MEDICINE_NAMES: &[&str] = &[
 
 /// Built-in lexicon of city names (the `City` query of the nested
 /// "Paris Hilton" example).
-pub const CITY_NAMES: &[&str] =
-    &["paris", "houston", "london", "warsaw", "prague", "budapest", "vienna", "krakow", "austin"];
+pub const CITY_NAMES: &[&str] = &[
+    "paris", "houston", "london", "warsaw", "prague", "budapest", "vienna", "krakow", "austin",
+];
 
 /// Built-in lexicon of celebrity names (the `Celebrity` query).
 pub const CELEBRITY_NAMES: &[&str] = &[
@@ -64,16 +65,30 @@ pub const CELEBRITY_NAMES: &[&str] = &[
 ];
 
 /// Built-in lexicon of politician names.
-pub const POLITICIAN_NAMES: &[&str] =
-    &["abraham lincoln", "angela merkel", "winston churchill", "london breed"];
+pub const POLITICIAN_NAMES: &[&str] = &[
+    "abraham lincoln",
+    "angela merkel",
+    "winston churchill",
+    "london breed",
+];
 
 /// Built-in lexicon of sportsperson names.
-pub const SPORTSPERSON_NAMES: &[&str] =
-    &["simone biles", "lionel messi", "roger federer", "serena williams", "usain bolt"];
+pub const SPORTSPERSON_NAMES: &[&str] = &[
+    "simone biles",
+    "lionel messi",
+    "roger federer",
+    "serena williams",
+    "usain bolt",
+];
 
 /// Built-in lexicon of scientist names.
-pub const SCIENTIST_NAMES: &[&str] =
-    &["albert einstein", "marie curie", "charles darwin", "ada lovelace", "alan turing"];
+pub const SCIENTIST_NAMES: &[&str] = &[
+    "albert einstein",
+    "marie curie",
+    "charles darwin",
+    "ada lovelace",
+    "alan turing",
+];
 
 /// A deterministic, lexicon- and heuristic-backed "LLM" oracle.
 ///
@@ -101,7 +116,9 @@ const IDENTIFIER_QUERY: &str = "Inappropriately named Java identifier";
 impl SimLlmOracle {
     /// Creates the oracle with the built-in lexicons.
     pub fn new() -> Self {
-        let mut this = SimLlmOracle { lexicons: HashMap::new() };
+        let mut this = SimLlmOracle {
+            lexicons: HashMap::new(),
+        };
         this.add_lexicon("Medicine name", MEDICINE_NAMES.iter().copied());
         this.add_lexicon("City", CITY_NAMES.iter().copied());
         this.add_lexicon("Celebrity", CELEBRITY_NAMES.iter().copied());
@@ -190,11 +207,23 @@ impl SimLlmOracle {
             && !t.chars().any(|c| "aeiouAEIOU".contains(c));
         let placeholder = matches!(
             t.to_lowercase().as_str(),
-            "foo" | "bar" | "baz" | "qux" | "tmp" | "temp" | "data" | "stuff" | "thing"
-                | "asdf" | "qwerty" | "val2" | "var1" | "obj"
+            "foo"
+                | "bar"
+                | "baz"
+                | "qux"
+                | "tmp"
+                | "temp"
+                | "data"
+                | "stuff"
+                | "thing"
+                | "asdf"
+                | "qwerty"
+                | "val2"
+                | "var1"
+                | "obj"
         );
-        let starts_lower_then_screams =
-            t.chars().next().is_some_and(|c| c.is_ascii_lowercase()) && t[1..].chars().filter(|c| c.is_ascii_uppercase()).count() * 2 > t.len();
+        let starts_lower_then_screams = t.chars().next().is_some_and(|c| c.is_ascii_lowercase())
+            && t[1..].chars().filter(|c| c.is_ascii_uppercase()).count() * 2 > t.len();
         has_underscore_interior || all_consonant_blob || placeholder || starts_lower_then_screams
     }
 }
@@ -259,12 +288,23 @@ mod tests {
             "ghp_16charslongtoken",
         ];
         for p in positives {
-            assert!(llm.holds(PASSWORD_QUERY, p.as_bytes()), "{p:?} should look like a secret");
+            assert!(
+                llm.holds(PASSWORD_QUERY, p.as_bytes()),
+                "{p:?} should look like a secret"
+            );
         }
-        let negatives: &[&str] =
-            &["hello world", "short", "justlowercaseletters", "Title Case Sentence", ""];
+        let negatives: &[&str] = &[
+            "hello world",
+            "short",
+            "justlowercaseletters",
+            "Title Case Sentence",
+            "",
+        ];
         for n in negatives {
-            assert!(!llm.holds(PASSWORD_QUERY, n.as_bytes()), "{n:?} should not look like a secret");
+            assert!(
+                !llm.holds(PASSWORD_QUERY, n.as_bytes()),
+                "{n:?} should not look like a secret"
+            );
         }
     }
 
@@ -273,11 +313,17 @@ mod tests {
         let llm = SimLlmOracle::new();
         let bad: &[&str] = &["foo", "tmp", "my_mixedStyle", "xyzw", "asdf", "aBCDE"];
         for b in bad {
-            assert!(llm.holds(IDENTIFIER_QUERY, b.as_bytes()), "{b:?} should be flagged");
+            assert!(
+                llm.holds(IDENTIFIER_QUERY, b.as_bytes()),
+                "{b:?} should be flagged"
+            );
         }
         let good: &[&str] = &["i", "count", "userName", "MAX_VALUE_LIMIT_X", "parser"];
         for g in good {
-            assert!(!llm.holds(IDENTIFIER_QUERY, g.as_bytes()), "{g:?} should be acceptable");
+            assert!(
+                !llm.holds(IDENTIFIER_QUERY, g.as_bytes()),
+                "{g:?} should be acceptable"
+            );
         }
     }
 
@@ -285,9 +331,9 @@ mod tests {
     fn determinism() {
         let llm = SimLlmOracle::new();
         for _ in 0..3 {
-            assert_eq!(llm.holds("City", b"Paris"), true);
-            assert_eq!(llm.holds(PASSWORD_QUERY, b"Tr0ub4dor&3x!Len"), true);
-            assert_eq!(llm.holds("City", b"Nowhere"), false);
+            assert!(llm.holds("City", b"Paris"));
+            assert!(llm.holds(PASSWORD_QUERY, b"Tr0ub4dor&3x!Len"));
+            assert!(!llm.holds("City", b"Nowhere"));
         }
     }
 }

@@ -119,7 +119,10 @@ impl SetOracle {
 
     /// Registers `text` as accepted by `query`.
     pub fn insert(&mut self, query: impl Into<String>, text: impl AsRef<[u8]>) {
-        self.sets.entry(query.into()).or_default().insert(text.as_ref().to_vec());
+        self.sets
+            .entry(query.into())
+            .or_default()
+            .insert(text.as_ref().to_vec());
     }
 
     /// Registers every string in `texts` as accepted by `query`.
@@ -169,7 +172,10 @@ pub struct TableOracle {
 impl TableOracle {
     /// Creates an empty table whose unregistered queries reject.
     pub fn new() -> Self {
-        TableOracle { handlers: HashMap::new(), default_answer: false }
+        TableOracle {
+            handlers: HashMap::new(),
+            default_answer: false,
+        }
     }
 
     /// Sets the answer given to queries with no registered handler.
@@ -302,10 +308,16 @@ mod tests {
     fn palindromes() {
         let pal = PalindromeOracle;
         for yes in ["", "a", "aa", "aba", "abba", "bcacb"] {
-            assert!(pal.holds("pal", yes.as_bytes()), "{yes:?} should be a palindrome");
+            assert!(
+                pal.holds("pal", yes.as_bytes()),
+                "{yes:?} should be a palindrome"
+            );
         }
         for no in ["ab", "abca", "bcacbc", "cb"] {
-            assert!(!pal.holds("pal", no.as_bytes()), "{no:?} should not be a palindrome");
+            assert!(
+                !pal.holds("pal", no.as_bytes()),
+                "{no:?} should not be a palindrome"
+            );
         }
     }
 

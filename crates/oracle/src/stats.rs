@@ -88,40 +88,196 @@ impl Sub for OracleStats {
     }
 }
 
+/// Counters for the batched query plane.
+///
+/// Produced by the `QueryLedger` / `BatchSession` machinery and by the
+/// batch-aware wrappers: how many round trips were issued, how many keys
+/// entered the plane, and how many of those were answered without touching
+/// the backend.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Number of round trips issued to the next layer down: for a
+    /// `BatchSession` these are true backend round trips; for a
+    /// `QueryLedger` they are flushes to its resolver (typically a session,
+    /// which may answer from its shared store).
+    pub batches: u64,
+    /// Number of keys submitted to the plane.
+    pub keys_submitted: u64,
+    /// Keys answered without forwarding (duplicates within a line, across
+    /// gadget copies, or across lines of a chunk).
+    pub keys_deduped: u64,
+    /// Keys forwarded to the next layer down (the backend, for a session).
+    pub backend_keys: u64,
+}
+
+impl BatchStats {
+    /// A zeroed snapshot.
+    pub fn new() -> Self {
+        BatchStats::default()
+    }
+
+    /// Fraction of submitted keys answered without touching the backend,
+    /// or `0.0` when nothing was submitted.
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.keys_submitted == 0 {
+            0.0
+        } else {
+            self.keys_deduped as f64 / self.keys_submitted as f64
+        }
+    }
+
+    /// Mean number of keys per backend round trip, or `0.0` when no batch
+    /// was issued.
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.backend_keys as f64 / self.batches as f64
+        }
+    }
+
+    /// Component-wise sum of two snapshots.
+    pub fn merged(&self, other: &BatchStats) -> BatchStats {
+        BatchStats {
+            batches: self.batches + other.batches,
+            keys_submitted: self.keys_submitted + other.keys_submitted,
+            keys_deduped: self.keys_deduped + other.keys_deduped,
+            backend_keys: self.backend_keys + other.backend_keys,
+        }
+    }
+}
+
+impl Sub for BatchStats {
+    type Output = BatchStats;
+
+    /// Component-wise saturating difference, used to compute the usage
+    /// between two snapshots.
+    fn sub(self, earlier: BatchStats) -> BatchStats {
+        BatchStats {
+            batches: self.batches.saturating_sub(earlier.batches),
+            keys_submitted: self.keys_submitted.saturating_sub(earlier.keys_submitted),
+            keys_deduped: self.keys_deduped.saturating_sub(earlier.keys_deduped),
+            backend_keys: self.backend_keys.saturating_sub(earlier.backend_keys),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
+    fn batch_stats_ratios_and_arithmetic() {
+        let stats = BatchStats {
+            batches: 4,
+            keys_submitted: 20,
+            keys_deduped: 12,
+            backend_keys: 8,
+        };
+        assert!((stats.dedup_ratio() - 0.6).abs() < 1e-9);
+        assert!((stats.mean_batch_size() - 2.0).abs() < 1e-9);
+        assert_eq!(BatchStats::new().dedup_ratio(), 0.0);
+        assert_eq!(BatchStats::new().mean_batch_size(), 0.0);
+        let other = BatchStats {
+            batches: 1,
+            keys_submitted: 2,
+            keys_deduped: 1,
+            backend_keys: 1,
+        };
+        assert_eq!(
+            stats.merged(&other),
+            BatchStats {
+                batches: 5,
+                keys_submitted: 22,
+                keys_deduped: 13,
+                backend_keys: 9
+            }
+        );
+        assert_eq!(
+            stats - other,
+            BatchStats {
+                batches: 3,
+                keys_submitted: 18,
+                keys_deduped: 11,
+                backend_keys: 7
+            }
+        );
+        assert_eq!((other - stats).batches, 0);
+    }
+
+    #[test]
     fn mean_query_bytes_handles_zero_calls() {
         assert_eq!(OracleStats::new().mean_query_bytes(), 0.0);
-        let s = OracleStats { calls: 4, query_bytes: 10, positive: 0, oracle_nanos: 0 };
+        let s = OracleStats {
+            calls: 4,
+            query_bytes: 10,
+            positive: 0,
+            oracle_nanos: 0,
+        };
         assert_eq!(s.mean_query_bytes(), 2.5);
     }
 
     #[test]
     fn subtraction_is_componentwise() {
-        let a = OracleStats { calls: 10, query_bytes: 100, positive: 3, oracle_nanos: 5000 };
-        let b = OracleStats { calls: 4, query_bytes: 40, positive: 1, oracle_nanos: 2000 };
+        let a = OracleStats {
+            calls: 10,
+            query_bytes: 100,
+            positive: 3,
+            oracle_nanos: 5000,
+        };
+        let b = OracleStats {
+            calls: 4,
+            query_bytes: 40,
+            positive: 1,
+            oracle_nanos: 2000,
+        };
         let d = a - b;
-        assert_eq!(d, OracleStats { calls: 6, query_bytes: 60, positive: 2, oracle_nanos: 3000 });
+        assert_eq!(
+            d,
+            OracleStats {
+                calls: 6,
+                query_bytes: 60,
+                positive: 2,
+                oracle_nanos: 3000
+            }
+        );
         // Saturating, never underflows.
         assert_eq!((b - a).calls, 0);
     }
 
     #[test]
     fn merge_adds() {
-        let a = OracleStats { calls: 1, query_bytes: 2, positive: 1, oracle_nanos: 3 };
-        let b = OracleStats { calls: 10, query_bytes: 20, positive: 0, oracle_nanos: 30 };
+        let a = OracleStats {
+            calls: 1,
+            query_bytes: 2,
+            positive: 1,
+            oracle_nanos: 3,
+        };
+        let b = OracleStats {
+            calls: 10,
+            query_bytes: 20,
+            positive: 0,
+            oracle_nanos: 30,
+        };
         assert_eq!(
             a.merged(&b),
-            OracleStats { calls: 11, query_bytes: 22, positive: 1, oracle_nanos: 33 }
+            OracleStats {
+                calls: 11,
+                query_bytes: 22,
+                positive: 1,
+                oracle_nanos: 33
+            }
         );
     }
 
     #[test]
     fn oracle_time_conversion() {
-        let s = OracleStats { calls: 0, query_bytes: 0, positive: 0, oracle_nanos: 1_500_000 };
+        let s = OracleStats {
+            calls: 0,
+            query_bytes: 0,
+            positive: 0,
+            oracle_nanos: 1_500_000,
+        };
         assert_eq!(s.oracle_time(), Duration::from_micros(1500));
     }
 }

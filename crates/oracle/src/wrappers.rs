@@ -10,12 +10,11 @@
 //! * [`CachingOracle`] memoizes `(query, text)` pairs, both to determinize
 //!   nondeterministic backends and to avoid paying for repeated queries.
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
-
+use crate::batch::{AnswerStore, BatchPlan};
 use crate::stats::OracleStats;
 use crate::Oracle;
 
@@ -37,7 +36,10 @@ pub struct LatencyModel {
 impl LatencyModel {
     /// No simulated latency (the default).
     pub fn zero() -> Self {
-        LatencyModel { base: Duration::ZERO, per_byte: Duration::ZERO }
+        LatencyModel {
+            base: Duration::ZERO,
+            per_byte: Duration::ZERO,
+        }
     }
 
     /// A latency model with the given fixed and per-byte costs.
@@ -122,6 +124,7 @@ pub struct Instrumented<O> {
     query_bytes: AtomicU64,
     positive: AtomicU64,
     oracle_nanos: AtomicU64,
+    batches: AtomicU64,
 }
 
 impl<O: Oracle> Instrumented<O> {
@@ -141,6 +144,7 @@ impl<O: Oracle> Instrumented<O> {
             query_bytes: AtomicU64::new(0),
             positive: AtomicU64::new(0),
             oracle_nanos: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
         }
     }
 
@@ -162,12 +166,20 @@ impl<O: Oracle> Instrumented<O> {
         }
     }
 
+    /// Number of batched round trips answered via
+    /// [`resolve_batch`](Oracle::resolve_batch) (point-wise `holds` calls
+    /// are not counted here).
+    pub fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
     /// Resets all counters to zero.
     pub fn reset(&self) {
         self.calls.store(0, Ordering::Relaxed);
         self.query_bytes.store(0, Ordering::Relaxed);
         self.positive.store(0, Ordering::Relaxed);
         self.oracle_nanos.store(0, Ordering::Relaxed);
+        self.batches.store(0, Ordering::Relaxed);
     }
 
     /// A reference to the wrapped oracle.
@@ -194,12 +206,43 @@ impl<O: Oracle> Oracle for Instrumented<O> {
             elapsed += simulated;
         }
         self.calls.fetch_add(1, Ordering::Relaxed);
-        self.query_bytes.fetch_add(text.len() as u64, Ordering::Relaxed);
+        self.query_bytes
+            .fetch_add(text.len() as u64, Ordering::Relaxed);
         if answer {
             self.positive.fetch_add(1, Ordering::Relaxed);
         }
-        self.oracle_nanos.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        self.oracle_nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
         answer
+    }
+
+    fn resolve_batch(&self, batch: &[crate::QueryKey<'_>]) -> Vec<bool> {
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        let started = Instant::now();
+        let total_bytes: usize = batch.iter().map(|key| key.text.len()).sum();
+        // One round trip for the whole batch: the fixed per-call cost is
+        // paid once, the per-byte cost for every submitted byte — exactly
+        // why real backends amortize under batching.
+        let simulated = self.latency.cost(total_bytes);
+        if self.spin {
+            spin_for(simulated);
+        }
+        let answers = self.inner.resolve_batch(batch);
+        let mut elapsed = started.elapsed();
+        if !self.spin {
+            elapsed += simulated;
+        }
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.calls.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        self.query_bytes
+            .fetch_add(total_bytes as u64, Ordering::Relaxed);
+        let positives = answers.iter().filter(|&&a| a).count() as u64;
+        self.positive.fetch_add(positives, Ordering::Relaxed);
+        self.oracle_nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        answers
     }
 
     fn describe(&self) -> String {
@@ -230,20 +273,31 @@ impl<O: Oracle> Oracle for Instrumented<O> {
 #[derive(Debug)]
 pub struct CachingOracle<O> {
     inner: O,
-    cache: Mutex<HashMap<(String, Vec<u8>), bool>>,
+    cache: Mutex<AnswerStore>,
     hits: AtomicU64,
     misses: AtomicU64,
+    batches: AtomicU64,
 }
 
 impl<O: Oracle> CachingOracle<O> {
+    fn lock_cache(&self) -> std::sync::MutexGuard<'_, AnswerStore> {
+        self.cache.lock().expect("oracle cache lock poisoned")
+    }
+
     /// Wraps `inner` with an initially empty cache.
     pub fn new(inner: O) -> Self {
         CachingOracle {
             inner,
-            cache: Mutex::new(HashMap::new()),
+            cache: Mutex::new(AnswerStore::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
         }
+    }
+
+    /// Number of batched round trips forwarded to the underlying oracle.
+    pub fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
     }
 
     /// Number of calls answered from the cache.
@@ -258,19 +312,20 @@ impl<O: Oracle> CachingOracle<O> {
 
     /// Number of distinct `(query, text)` pairs currently cached.
     pub fn len(&self) -> usize {
-        self.cache.lock().len()
+        self.lock_cache().len()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.cache.lock().is_empty()
+        self.len() == 0
     }
 
     /// Clears the cache and resets the hit/miss counters.
     pub fn clear(&self) {
-        self.cache.lock().clear();
+        self.lock_cache().clear();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.batches.store(0, Ordering::Relaxed);
     }
 
     /// A reference to the wrapped oracle.
@@ -286,8 +341,8 @@ impl<O: Oracle> CachingOracle<O> {
 
 impl<O: Oracle> Oracle for CachingOracle<O> {
     fn holds(&self, query: &str, text: &[u8]) -> bool {
-        let key = (query.to_owned(), text.to_vec());
-        if let Some(&answer) = self.cache.lock().get(&key) {
+        let key = crate::QueryKey::new(query, text);
+        if let Some(answer) = self.lock_cache().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return answer;
         }
@@ -295,8 +350,39 @@ impl<O: Oracle> Oracle for CachingOracle<O> {
         // does not serialize unrelated queries from other threads.
         let answer = self.inner.holds(query, text);
         self.misses.fetch_add(1, Ordering::Relaxed);
-        self.cache.lock().insert(key, answer);
+        self.lock_cache().insert(&key, answer);
         answer
+    }
+
+    fn resolve_batch(&self, batch: &[crate::QueryKey<'_>]) -> Vec<bool> {
+        if batch.is_empty() {
+            return Vec::new();
+        }
+
+        let plan = {
+            // One lock acquisition for the whole classification.
+            let cache = self.lock_cache();
+            BatchPlan::classify(batch, |key| cache.get(key))
+        };
+        // Intra-batch duplicates count as hits: they are resolved by the
+        // same backend question and cost nothing extra.
+        self.hits.fetch_add(plan.hits(), Ordering::Relaxed);
+
+        // The inner batch is resolved outside the lock, as in `holds`.
+        let miss_answers = if plan.misses.is_empty() {
+            Vec::new()
+        } else {
+            self.batches.fetch_add(1, Ordering::Relaxed);
+            let answers = self.inner.resolve_batch(&plan.misses);
+            self.misses
+                .fetch_add(plan.misses.len() as u64, Ordering::Relaxed);
+            let mut cache = self.lock_cache();
+            for (key, &answer) in plan.misses.iter().zip(&answers) {
+                cache.insert(key, answer);
+            }
+            answers
+        };
+        plan.into_answers(miss_answers)
     }
 
     fn describe(&self) -> String {
@@ -335,7 +421,10 @@ mod tests {
         let accounted = oracle.stats().oracle_time();
         // 10 ms + 10 * 100 µs = 11 ms accounted, but essentially no wall time.
         assert!(accounted >= Duration::from_millis(11));
-        assert!(wall < Duration::from_millis(5), "accounting should not block ({wall:?})");
+        assert!(
+            wall < Duration::from_millis(5),
+            "accounting should not block ({wall:?})"
+        );
     }
 
     #[test]

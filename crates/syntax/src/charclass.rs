@@ -43,7 +43,9 @@ impl CharClass {
 
     /// The full class `Σ` (the wildcard `.`): matched by every byte.
     pub const fn any() -> Self {
-        CharClass { bits: [u64::MAX; 4] }
+        CharClass {
+            bits: [u64::MAX; 4],
+        }
     }
 
     /// A class containing exactly one byte.
@@ -172,7 +174,11 @@ impl CharClass {
 
     /// Iterates over the bytes in the class in increasing order.
     pub fn iter(&self) -> Bytes {
-        Bytes { class: *self, next: 0, done: false }
+        Bytes {
+            class: *self,
+            next: 0,
+            done: false,
+        }
     }
 
     /// The smallest byte in the class, if non-empty.
@@ -277,7 +283,11 @@ impl fmt::Display for CharClass {
             return write!(f, "]");
         }
         // Prefer the negated form when it is much smaller.
-        let (neg, class) = if self.len() > 200 { (true, self.complement()) } else { (false, *self) };
+        let (neg, class) = if self.len() > 200 {
+            (true, self.complement())
+        } else {
+            (false, *self)
+        };
         write!(f, "[")?;
         if neg {
             write!(f, "^")?;

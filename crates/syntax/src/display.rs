@@ -94,7 +94,10 @@ mod tests {
         let printed = r.to_string();
         let reparsed = parse(&printed)
             .unwrap_or_else(|e| panic!("printed form {printed:?} does not re-parse: {e}"));
-        assert_eq!(&reparsed, r, "printed form {printed:?} re-parses differently");
+        assert_eq!(
+            &reparsed, r,
+            "printed form {printed:?} re-parses differently"
+        );
     }
 
     #[test]
@@ -111,9 +114,15 @@ mod tests {
         let a = Semre::byte(b'a');
         let b = Semre::byte(b'b');
         let c = Semre::byte(b'c');
-        let grouped = Semre::concat(Semre::Union(Box::new(a.clone()), Box::new(b.clone())), c.clone());
+        let grouped = Semre::concat(
+            Semre::Union(Box::new(a.clone()), Box::new(b.clone())),
+            c.clone(),
+        );
         assert_eq!(grouped.to_string(), "([a]|[b])[c]");
-        let flat = Semre::Union(Box::new(a.clone()), Box::new(Semre::concat(b.clone(), c.clone())));
+        let flat = Semre::Union(
+            Box::new(a.clone()),
+            Box::new(Semre::concat(b.clone(), c.clone())),
+        );
         assert_eq!(flat.to_string(), "[a]|[b][c]");
         // (ab)* vs ab*
         let starred_group = Semre::star(Semre::concat(a.clone(), b.clone()));
@@ -125,7 +134,10 @@ mod tests {
 
     #[test]
     fn query_display() {
-        let r = Semre::query(Semre::plus(Semre::class(CharClass::range(b'a', b'z'))), "Medicine name");
+        let r = Semre::query(
+            Semre::plus(Semre::class(CharClass::range(b'a', b'z'))),
+            "Medicine name",
+        );
         assert_eq!(r.to_string(), "(?<Medicine name>: [a-z][a-z]*)");
         roundtrip(&r);
     }
@@ -133,7 +145,10 @@ mod tests {
     #[test]
     fn paper_patterns_roundtrip() {
         roundtrip(&Semre::padded(Semre::oracle("Politician")));
-        roundtrip(&Semre::query(Semre::padded(Semre::oracle("City")), "Celebrity"));
+        roundtrip(&Semre::query(
+            Semre::padded(Semre::oracle("City")),
+            "Celebrity",
+        ));
         roundtrip(&Semre::repeat(Semre::class(CharClass::digit()), 1, 3));
         roundtrip(&Semre::concat(
             Semre::literal("Subject: "),

@@ -49,7 +49,9 @@ pub fn string_body_class() -> CharClass {
 pub fn escape_sequence() -> Semre {
     Semre::concat(
         Semre::byte(b'\\'),
-        Semre::class(CharClass::from_bytes([b'b', b't', b'n', b'f', b'r', b'"', b'\'', b'\\'])),
+        Semre::class(CharClass::from_bytes([
+            b'b', b't', b'n', b'f', b'r', b'"', b'\'', b'\\',
+        ])),
     )
 }
 
@@ -71,7 +73,10 @@ pub fn domain_class() -> CharClass {
 /// Example 2.3, Equation 3 — credential leaks:
 /// `" ((Σ_s + Esc)* ∧ ⟨Password or SSH key⟩) "`.
 pub fn r_pass() -> Semre {
-    let body = Semre::star(Semre::union(Semre::class(string_body_class()), escape_sequence()));
+    let body = Semre::star(Semre::union(
+        Semre::class(string_body_class()),
+        escape_sequence(),
+    ));
     Semre::concat_all([
         Semre::byte(b'"'),
         Semre::query(body, queries::PASSWORD),
@@ -90,7 +95,10 @@ pub fn r_file() -> Semre {
         Semre::plus(Semre::union(Semre::star(f.clone()), slash.clone())),
     ]);
     let short_path = Semre::concat(Semre::plus(f), slash);
-    Semre::query(Semre::union(long_path, short_path), queries::NONEXISTENT_PATH)
+    Semre::query(
+        Semre::union(long_path, short_path),
+        queries::NONEXISTENT_PATH,
+    )
 }
 
 /// Example 2.7, Equation 5 — identifier naming conventions:
@@ -98,7 +106,10 @@ pub fn r_file() -> Semre {
 pub fn r_id() -> Semre {
     let start = Semre::class(identifier_start_class());
     let rest = Semre::class(identifier_start_class().union(&CharClass::digit()));
-    Semre::query(Semre::concat(start, Semre::star(rest)), queries::BAD_IDENTIFIER)
+    Semre::query(
+        Semre::concat(start, Semre::star(rest)),
+        queries::BAD_IDENTIFIER,
+    )
 }
 
 /// Table 1's `pad₁ = (Σ* (Σ \ Σ_l))?`, the left padding used around
@@ -119,7 +130,11 @@ pub fn r_id_pad1() -> Semre {
 /// we use.
 pub fn r_id_pad2() -> Semre {
     Semre::opt(Semre::concat(
-        Semre::class(identifier_start_class().union(&CharClass::digit()).complement()),
+        Semre::class(
+            identifier_start_class()
+                .union(&CharClass::digit())
+                .complement(),
+        ),
         Semre::any_star(),
     ))
 }
@@ -167,7 +182,10 @@ pub fn r_spam2() -> Semre {
         Semre::literal("Subject: "),
         Semre::any_star(),
         Semre::byte(b' '),
-        Semre::query(Semre::plus(Semre::class(CharClass::alpha())), queries::MEDICINE),
+        Semre::query(
+            Semre::plus(Semre::class(CharClass::alpha())),
+            queries::MEDICINE,
+        ),
         Semre::byte(b' '),
         Semre::any_star(),
     ])
@@ -189,13 +207,19 @@ pub fn url_prefix() -> Semre {
 /// Example 2.10, Equation 9 — phishing URLs:
 /// `(http(s?):// + www.) ((Σ_e⁺ . Σ_a{1,3}) ∧ ⟨Phishing domain⟩)`.
 pub fn r_wdom1() -> Semre {
-    Semre::concat(url_prefix(), Semre::query(domain_with_tld(), queries::PHISHING))
+    Semre::concat(
+        url_prefix(),
+        Semre::query(domain_with_tld(), queries::PHISHING),
+    )
 }
 
 /// Example 2.10, Equation 10 — recently registered domains:
 /// `(http(s?):// + www.) ((Σ_e⁺ . Σ_a{1,3}) ∧ ⟨Domain registered after 2010⟩)`.
 pub fn r_wdom2() -> Semre {
-    Semre::concat(url_prefix(), Semre::query(domain_with_tld(), queries::RECENT_DOMAIN))
+    Semre::concat(
+        url_prefix(),
+        Semre::query(domain_with_tld(), queries::RECENT_DOMAIN),
+    )
 }
 
 /// Example 2.11, Equation 11 — foreign IP addresses:
@@ -212,7 +236,11 @@ pub fn r_ip() -> Semre {
 /// The worked example of Fig. 2: `Σ* a ⟨pal⟩`, where `pal` recognises
 /// palindromes.
 pub fn r_pal() -> Semre {
-    Semre::concat_all([Semre::any_star(), Semre::byte(b'a'), Semre::oracle(queries::PALINDROME)])
+    Semre::concat_all([
+        Semre::any_star(),
+        Semre::byte(b'a'),
+        Semre::oracle(queries::PALINDROME),
+    ])
 }
 
 /// The pattern `(Σ* ∧ ⟨q⟩)*` of Fig. 5, for an arbitrary query name.
@@ -237,7 +265,10 @@ pub fn r_nest(outer: &str, inner: &str) -> Semre {
 /// a city name.  This is the paper's canonical example of a *nested*
 /// query.
 pub fn r_paris_hilton() -> Semre {
-    Semre::query(Semre::padded(Semre::oracle(queries::CITY)), queries::CELEBRITY)
+    Semre::query(
+        Semre::padded(Semre::oracle(queries::CITY)),
+        queries::CELEBRITY,
+    )
 }
 
 /// All nine benchmark SemREs of Table 1, with their table names, in table
@@ -263,8 +294,15 @@ mod tests {
     #[test]
     fn all_benchmarks_are_non_nested() {
         for (name, r) in table1_semres() {
-            assert!(!r.has_nested_queries(), "{name} should not contain nested queries");
-            assert_eq!(r.query_count(), 1, "{name} should contain exactly one refinement");
+            assert!(
+                !r.has_nested_queries(),
+                "{name} should not contain nested queries"
+            );
+            assert_eq!(
+                r.query_count(),
+                1,
+                "{name} should contain exactly one refinement"
+            );
             assert!(!r.contains_bot(), "{name} should not contain ⊥");
         }
     }
@@ -275,8 +313,10 @@ mod tests {
         // bounded repetitions are counted; here we check relative ordering
         // and rough magnitude: `pass` and `spam,1` are small, `id`, `edom`,
         // `wdom` and `ip` are larger because of padding / repetition.
-        let sizes: std::collections::HashMap<_, _> =
-            table1_semres().into_iter().map(|(n, r)| (n, r.size())).collect();
+        let sizes: std::collections::HashMap<_, _> = table1_semres()
+            .into_iter()
+            .map(|(n, r)| (n, r.size()))
+            .collect();
         assert!(sizes["pass"] < sizes["id"]);
         assert!(sizes["spam,1"] < sizes["spam,2"]);
         assert!(sizes["pass"] < 40, "pass has size {}", sizes["pass"]);

@@ -53,7 +53,10 @@ pub struct ParseSemreError {
 
 impl ParseSemreError {
     fn new(offset: usize, message: impl Into<String>) -> Self {
-        ParseSemreError { offset, message: message.into() }
+        ParseSemreError {
+            offset,
+            message: message.into(),
+        }
     }
 
     /// Byte offset into the pattern at which the error was detected.
@@ -92,7 +95,10 @@ impl Error for ParseSemreError {}
 /// assert!(parse("(*oops").is_err());
 /// ```
 pub fn parse(pattern: &str) -> Result<Semre, ParseSemreError> {
-    let mut p = Parser { input: pattern.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        input: pattern.as_bytes(),
+        pos: 0,
+    };
     let r = p.parse_union()?;
     if p.pos != p.input.len() {
         return Err(p.error(format!("unexpected character {:?}", p.input[p.pos] as char)));
@@ -161,9 +167,7 @@ impl<'a> Parser<'a> {
         let mut it = parts.into_iter();
         match it.next() {
             None => Ok(Semre::Eps),
-            Some(first) => {
-                Ok(it.fold(first, |acc, r| Semre::Concat(Box::new(acc), Box::new(r))))
-            }
+            Some(first) => Ok(it.fold(first, |acc, r| Semre::Concat(Box::new(acc), Box::new(r)))),
         }
     }
 
@@ -326,14 +330,13 @@ impl<'a> Parser<'a> {
                         let (lo, hi) = match (lo.min_byte(), hi.min_byte()) {
                             (Some(l), Some(h)) if lo.len() == 1 && hi.len() == 1 => (l, h),
                             _ => {
-                                return Err(self.error("character class ranges must join single characters"))
+                                return Err(self
+                                    .error("character class ranges must join single characters"))
                             }
                         };
                         if lo > hi {
-                            return Err(self.error(format!(
-                                "invalid range [{}-{}]",
-                                lo as char, hi as char
-                            )));
+                            return Err(self
+                                .error(format!("invalid range [{}-{}]", lo as char, hi as char)));
                         }
                         class = class.union(&CharClass::range(lo, hi));
                     } else {
@@ -366,7 +369,9 @@ impl<'a> Parser<'a> {
             Some(b'd') => Ok(CharClass::digit()),
             Some(b'D') => Ok(CharClass::digit().complement()),
             Some(b'w') => Ok(CharClass::alnum().union(&CharClass::single(b'_'))),
-            Some(b'W') => Ok(CharClass::alnum().union(&CharClass::single(b'_')).complement()),
+            Some(b'W') => Ok(CharClass::alnum()
+                .union(&CharClass::single(b'_'))
+                .complement()),
             Some(b's') => Ok(CharClass::whitespace()),
             Some(b'S') => Ok(CharClass::whitespace().complement()),
             Some(b'x') => {
@@ -410,7 +415,10 @@ mod tests {
         assert_eq!(
             r,
             Semre::Union(
-                Box::new(Semre::Union(Box::new(Semre::byte(b'a')), Box::new(Semre::byte(b'b')))),
+                Box::new(Semre::Union(
+                    Box::new(Semre::byte(b'a')),
+                    Box::new(Semre::byte(b'b'))
+                )),
                 Box::new(Semre::byte(b'c'))
             )
         );
@@ -418,8 +426,14 @@ mod tests {
 
     #[test]
     fn empty_alternative_is_epsilon() {
-        assert_eq!(p("a|"), Semre::Union(Box::new(Semre::byte(b'a')), Box::new(Semre::Eps)));
-        assert_eq!(p("|a"), Semre::Union(Box::new(Semre::Eps), Box::new(Semre::byte(b'a'))));
+        assert_eq!(
+            p("a|"),
+            Semre::Union(Box::new(Semre::byte(b'a')), Box::new(Semre::Eps))
+        );
+        assert_eq!(
+            p("|a"),
+            Semre::Union(Box::new(Semre::Eps), Box::new(Semre::byte(b'a')))
+        );
     }
 
     #[test]
@@ -443,13 +457,19 @@ mod tests {
 
     #[test]
     fn character_classes() {
-        assert_eq!(p("[abc]"), Semre::class(CharClass::from_bytes([b'a', b'b', b'c'])));
+        assert_eq!(
+            p("[abc]"),
+            Semre::class(CharClass::from_bytes([b'a', b'b', b'c']))
+        );
         assert_eq!(p("[a-c]"), Semre::class(CharClass::range(b'a', b'c')));
         assert_eq!(
             p("[a-c0-9]"),
             Semre::class(CharClass::range(b'a', b'c').union(&CharClass::digit()))
         );
-        assert_eq!(p("[^a]"), Semre::class(CharClass::single(b'a').complement()));
+        assert_eq!(
+            p("[^a]"),
+            Semre::class(CharClass::single(b'a').complement())
+        );
         // Trailing dash is a literal.
         assert_eq!(p("[a-]"), Semre::class(CharClass::from_bytes([b'a', b'-'])));
         // Empty class is ⊥.
@@ -465,7 +485,10 @@ mod tests {
         assert_eq!(p(r"\n"), Semre::byte(b'\n'));
         assert_eq!(p(r"\x41"), Semre::byte(b'A'));
         assert_eq!(p(r"\d"), Semre::class(CharClass::digit()));
-        assert_eq!(p(r"[\d_]"), Semre::class(CharClass::digit().union(&CharClass::single(b'_'))));
+        assert_eq!(
+            p(r"[\d_]"),
+            Semre::class(CharClass::digit().union(&CharClass::single(b'_')))
+        );
         assert_eq!(p(r"\s"), Semre::class(CharClass::whitespace()));
         assert!(parse(r"\x4").is_err());
         assert!(parse("\\").is_err());
@@ -492,7 +515,13 @@ mod tests {
     #[test]
     fn refinement_form() {
         let r = p("(?<Password or SSH key>: [a-z]+)");
-        assert_eq!(r, Semre::query(Semre::plus(Semre::class(CharClass::range(b'a', b'z'))), "Password or SSH key"));
+        assert_eq!(
+            r,
+            Semre::query(
+                Semre::plus(Semre::class(CharClass::range(b'a', b'z'))),
+                "Password or SSH key"
+            )
+        );
         // Without the optional space after the colon.
         let r2 = p("(?<Q>:abc)");
         assert_eq!(r2, Semre::query(Semre::literal("abc"), "Q"));

@@ -111,7 +111,10 @@ mod tests {
         assert_eq!(eliminate_bot(&parse("[]a").unwrap()), Semre::Bot);
         assert_eq!(eliminate_bot(&parse("[]*").unwrap()), Semre::Eps);
         assert_eq!(eliminate_bot(&parse("(?<Q>: [])").unwrap()), Semre::Bot);
-        assert_eq!(eliminate_bot(&parse("([]|a)([]*|b)").unwrap()), parse("a(()|b)").unwrap());
+        assert_eq!(
+            eliminate_bot(&parse("([]|a)([]*|b)").unwrap()),
+            parse("a(()|b)").unwrap()
+        );
     }
 
     #[test]

@@ -1,79 +1,107 @@
 //! Property tests for the SemRE syntax layer: printing and re-parsing is
 //! the identity, and the structural analyses are consistent with each
 //! other.
-
-use proptest::prelude::*;
+//!
+//! The random SemREs are produced by a small seeded generator (the
+//! workspace builds without external crates, so `proptest` is not
+//! available); with a fixed seed the suite is fully deterministic while
+//! still sweeping a few hundred structurally diverse expressions per
+//! property.
 
 use semre_syntax::{eliminate_bot, parse, skeleton, CharClass, Semre};
+use semre_workloads::rng::StdRng as Rng;
+
+/// A uniform draw from `[0, n)`.
+fn below(rng: &mut Rng, n: usize) -> usize {
+    rng.gen_range(0..n)
+}
+
+const LITERALS: &[&str] = &["a", "ab", "xyz", "hello", "qrs", "zz"];
+const QUERY_NAMES: &[&str] = &["City q", "Medicine nameq", "palq", "Eq", "nested oneq"];
 
 /// Random SemREs built through the public constructors (so that the
 /// printer/parser pair is exercised on exactly the shapes users build).
-fn semre_strategy() -> impl Strategy<Value = Semre> {
-    let leaf = prop_oneof![
-        Just(Semre::eps()),
-        Just(Semre::bot()),
-        Just(Semre::any()),
-        (0u8..3).prop_map(|b| Semre::byte(b'a' + b)),
-        Just(Semre::class(CharClass::range(b'0', b'9'))),
-        Just(Semre::class(CharClass::single(b'z').complement())),
-        "[a-z]{1,6}".prop_map(Semre::literal),
-    ];
-    leaf.prop_recursive(5, 40, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Semre::concat(a, b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Semre::union(a, b)),
-            inner.clone().prop_map(Semre::star),
-            inner.clone().prop_map(Semre::plus),
-            inner.clone().prop_map(Semre::opt),
-            (inner.clone(), "[A-Za-z ]{1,12}").prop_map(|(a, q)| Semre::query(a, q.trim().to_owned() + "q")),
-        ]
-    })
+fn random_semre(rng: &mut Rng, depth: u32) -> Semre {
+    if depth == 0 || below(rng, 3) == 0 {
+        return match below(rng, 7) {
+            0 => Semre::eps(),
+            1 => Semre::bot(),
+            2 => Semre::any(),
+            3 => Semre::byte(b'a' + below(rng, 3) as u8),
+            4 => Semre::class(CharClass::range(b'0', b'9')),
+            5 => Semre::class(CharClass::single(b'z').complement()),
+            _ => Semre::literal(LITERALS[below(rng, LITERALS.len())]),
+        };
+    }
+    match below(rng, 6) {
+        0 => Semre::concat(random_semre(rng, depth - 1), random_semre(rng, depth - 1)),
+        1 => Semre::union(random_semre(rng, depth - 1), random_semre(rng, depth - 1)),
+        2 => Semre::star(random_semre(rng, depth - 1)),
+        3 => Semre::plus(random_semre(rng, depth - 1)),
+        4 => Semre::opt(random_semre(rng, depth - 1)),
+        _ => {
+            let name = QUERY_NAMES[below(rng, QUERY_NAMES.len())];
+            Semre::query(random_semre(rng, depth - 1), name.to_owned())
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(300))]
+fn cases(seed: u64, count: usize) -> impl Iterator<Item = Semre> {
+    let mut rng = Rng::seed_from_u64(seed);
+    std::iter::repeat_with(move || random_semre(&mut rng, 5)).take(count)
+}
 
-    /// Printing then parsing gives back a structurally identical AST.
-    #[test]
-    fn print_parse_roundtrip(r in semre_strategy()) {
+/// Printing then parsing gives back a structurally identical AST.
+#[test]
+fn print_parse_roundtrip() {
+    for r in cases(0xC0FFEE, 300) {
         let printed = r.to_string();
         let reparsed = parse(&printed);
-        prop_assert!(reparsed.is_ok(), "printed form {printed:?} does not parse: {:?}", reparsed.err());
-        prop_assert_eq!(reparsed.unwrap(), r, "round-trip mismatch for {}", printed);
+        assert!(
+            reparsed.is_ok(),
+            "printed form {printed:?} does not parse: {:?}",
+            reparsed.err()
+        );
+        assert_eq!(reparsed.unwrap(), r, "round-trip mismatch for {printed}");
     }
+}
 
-    /// The skeleton is classical, no larger than the original, and
-    /// idempotent.
-    #[test]
-    fn skeleton_properties(r in semre_strategy()) {
+/// The skeleton is classical, no larger than the original, and idempotent.
+#[test]
+fn skeleton_properties() {
+    for r in cases(0xBEEF, 300) {
         let s = skeleton(&r);
-        prop_assert!(s.is_classical());
-        prop_assert!(s.size() <= r.size());
-        prop_assert_eq!(skeleton(&s), s.clone());
+        assert!(s.is_classical());
+        assert!(s.size() <= r.size());
+        assert_eq!(skeleton(&s), s);
         // Skeleton nullability is preserved by definition.
-        prop_assert_eq!(r.skeleton_nullable(), s.skeleton_nullable());
+        assert_eq!(r.skeleton_nullable(), s.skeleton_nullable());
     }
+}
 
-    /// ⊥-elimination removes every inner ⊥ and never changes nesting
-    /// beyond removal.
-    #[test]
-    fn bot_elimination_properties(r in semre_strategy()) {
+/// ⊥-elimination removes every inner ⊥ and never changes nesting beyond
+/// removal.
+#[test]
+fn bot_elimination_properties() {
+    for r in cases(0xDEAD, 300) {
         let cleaned = eliminate_bot(&r);
-        prop_assert!(cleaned == Semre::Bot || !cleaned.contains_bot());
-        prop_assert!(cleaned.size() <= r.size());
-        prop_assert!(cleaned.nesting_depth() <= r.nesting_depth());
+        assert!(cleaned == Semre::Bot || !cleaned.contains_bot());
+        assert!(cleaned.size() <= r.size());
+        assert!(cleaned.nesting_depth() <= r.nesting_depth());
         // Idempotent.
-        prop_assert_eq!(eliminate_bot(&cleaned), cleaned.clone());
+        assert_eq!(eliminate_bot(&cleaned), cleaned);
     }
+}
 
-    /// Size and query counting are consistent: a SemRE has at least as many
-    /// nodes as refinements, and stripping queries removes exactly the
-    /// refinement nodes.
-    #[test]
-    fn size_accounting(r in semre_strategy()) {
-        prop_assert!(r.size() >= r.query_count());
-        prop_assert_eq!(skeleton(&r).size(), r.size() - r.query_count());
-        prop_assert_eq!(r.query_count() == 0, r.is_classical());
-        prop_assert!(r.queries().len() <= r.query_count());
+/// Size and query counting are consistent: a SemRE has at least as many
+/// nodes as refinements, and stripping queries removes exactly the
+/// refinement nodes.
+#[test]
+fn size_accounting() {
+    for r in cases(0xF00D, 300) {
+        assert!(r.size() >= r.query_count());
+        assert_eq!(skeleton(&r).size(), r.size() - r.query_count());
+        assert_eq!(r.query_count() == 0, r.is_classical());
+        assert!(r.queries().len() <= r.query_count());
     }
 }

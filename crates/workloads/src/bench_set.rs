@@ -217,7 +217,10 @@ impl Workbench {
             .with(examples::queries::PASSWORD, self.llm())
             .with(examples::queries::BAD_IDENTIFIER, self.llm())
             .with(examples::queries::MEDICINE, self.llm())
-            .with(examples::queries::NONEXISTENT_PATH, Arc::clone(&self.filesystem))
+            .with(
+                examples::queries::NONEXISTENT_PATH,
+                Arc::clone(&self.filesystem),
+            )
             .with(examples::queries::DEAD_DOMAIN, Arc::clone(&self.whois))
             .with(examples::queries::RECENT_DOMAIN, Arc::clone(&self.whois))
             .with(examples::queries::PHISHING, Arc::clone(&self.phishing))
@@ -251,7 +254,11 @@ mod tests {
         );
         for b in &benches {
             assert!(b.semre.size() > 5, "{} is suspiciously small", b.name);
-            assert!(!b.semre.has_nested_queries(), "{} should be non-nested", b.name);
+            assert!(
+                !b.semre.has_nested_queries(),
+                "{} should be non-nested",
+                b.name
+            );
         }
         assert!(wb.benchmark("ip").is_some());
         assert!(wb.benchmark("nope").is_none());
@@ -307,7 +314,8 @@ mod tests {
         // file: stale path.  (Lines mentioning live paths can still match
         // through proper substrings of the path, so the negative example
         // contains no path separator at all.)
-        assert!(matcher_for("file").is_match(br#"File input = new File("/tmp/build-1999/output.jar");"#));
+        assert!(matcher_for("file")
+            .is_match(br#"File input = new File("/tmp/build-1999/output.jar");"#));
         assert!(!matcher_for("file").is_match(b"File input = openDefault();"));
         // pass: hard-coded secret.
         assert!(matcher_for("pass").is_match(br#"String k = "Ab1!Cd2#Ef3%Gh4&";"#));

@@ -11,11 +11,10 @@
 //! distribution comparable to Fig. 10 (most lines well under 200
 //! characters, a long tail up to 1 000).
 //!
-//! Generation is seeded ([`rand::rngs::StdRng`]), so corpora — and therefore
+//! Generation is seeded ([`crate::rng::StdRng`]), so corpora — and therefore
 //! every downstream measurement — are reproducible.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::StdRng;
 
 /// Which of the paper's two datasets a corpus models.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -80,7 +79,11 @@ impl Corpus {
             }
             counts[b] += 1;
         }
-        counts.into_iter().enumerate().map(|(i, c)| (i * bucket, c)).collect()
+        counts
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| (i * bucket, c))
+            .collect()
     }
 
     /// Retains only lines of at most `max_len` bytes, mirroring the
@@ -88,7 +91,12 @@ impl Corpus {
     pub fn truncated_to(&self, max_len: usize) -> Corpus {
         Corpus {
             dataset: self.dataset,
-            lines: self.lines.iter().filter(|l| l.len() <= max_len).cloned().collect(),
+            lines: self
+                .lines
+                .iter()
+                .filter(|l| l.len() <= max_len)
+                .cloned()
+                .collect(),
         }
     }
 }
@@ -113,19 +121,73 @@ pub struct GroundTruth {
 // ---------------------------------------------------------------------------
 
 const COMMON_WORDS: &[&str] = &[
-    "the", "quarterly", "report", "meeting", "schedule", "update", "project", "review", "notes",
-    "team", "budget", "request", "invoice", "delivery", "status", "holiday", "travel", "photos",
-    "family", "weekend", "plans", "reminder", "agenda", "minutes", "draft", "final", "version",
-    "please", "attached", "forward", "regards", "thanks", "urgent", "action", "required",
+    "the",
+    "quarterly",
+    "report",
+    "meeting",
+    "schedule",
+    "update",
+    "project",
+    "review",
+    "notes",
+    "team",
+    "budget",
+    "request",
+    "invoice",
+    "delivery",
+    "status",
+    "holiday",
+    "travel",
+    "photos",
+    "family",
+    "weekend",
+    "plans",
+    "reminder",
+    "agenda",
+    "minutes",
+    "draft",
+    "final",
+    "version",
+    "please",
+    "attached",
+    "forward",
+    "regards",
+    "thanks",
+    "urgent",
+    "action",
+    "required",
 ];
 
 const SPAM_WORDS: &[&str] = &[
-    "cheap", "discount", "offer", "limited", "exclusive", "deal", "buy", "now", "online",
-    "pharmacy", "pills", "weight", "loss", "miracle", "free", "shipping", "guaranteed", "results",
+    "cheap",
+    "discount",
+    "offer",
+    "limited",
+    "exclusive",
+    "deal",
+    "buy",
+    "now",
+    "online",
+    "pharmacy",
+    "pills",
+    "weight",
+    "loss",
+    "miracle",
+    "free",
+    "shipping",
+    "guaranteed",
+    "results",
 ];
 
 const MEDICINES: &[&str] = &[
-    "viagra", "cialis", "xanax", "tramadol", "phentermine", "ambien", "adderall", "hydroxycut",
+    "viagra",
+    "cialis",
+    "xanax",
+    "tramadol",
+    "phentermine",
+    "ambien",
+    "adderall",
+    "hydroxycut",
 ];
 
 const LIVE_DOMAIN_NAMES: &[&str] = &[
@@ -139,24 +201,61 @@ const LIVE_DOMAIN_NAMES: &[&str] = &[
     "weather.gov",
 ];
 
-const DEAD_DOMAIN_NAMES: &[&str] =
-    &["bygone.biz", "defunct.info", "vanished.net", "expired.store", "ghost.site"];
-
-const PHISHING_DOMAIN_NAMES: &[&str] =
-    &["login-secure.xyz", "verify-account.top", "bank-update.click", "prize-winner.cam"];
-
-const RECENT_DOMAIN_NAMES: &[&str] =
-    &["newstartup.io", "freshapp.dev", "cloudnative.app", "trendy.shop"];
-
-const JAVA_TYPES: &[&str] = &["int", "long", "double", "boolean", "String", "Object", "List<String>"];
-
-const GOOD_IDENTIFIERS: &[&str] = &[
-    "count", "userName", "totalAmount", "parser", "index", "maxRetries", "configPath",
-    "isEnabled", "bufferSize", "resultSet",
+const DEAD_DOMAIN_NAMES: &[&str] = &[
+    "bygone.biz",
+    "defunct.info",
+    "vanished.net",
+    "expired.store",
+    "ghost.site",
 ];
 
-const BAD_IDENTIFIERS: &[&str] =
-    &["foo", "tmp", "asdf", "my_mixedStyle", "xyzw", "data_Value", "qux", "thing"];
+const PHISHING_DOMAIN_NAMES: &[&str] = &[
+    "login-secure.xyz",
+    "verify-account.top",
+    "bank-update.click",
+    "prize-winner.cam",
+];
+
+const RECENT_DOMAIN_NAMES: &[&str] = &[
+    "newstartup.io",
+    "freshapp.dev",
+    "cloudnative.app",
+    "trendy.shop",
+];
+
+const JAVA_TYPES: &[&str] = &[
+    "int",
+    "long",
+    "double",
+    "boolean",
+    "String",
+    "Object",
+    "List<String>",
+];
+
+const GOOD_IDENTIFIERS: &[&str] = &[
+    "count",
+    "userName",
+    "totalAmount",
+    "parser",
+    "index",
+    "maxRetries",
+    "configPath",
+    "isEnabled",
+    "bufferSize",
+    "resultSet",
+];
+
+const BAD_IDENTIFIERS: &[&str] = &[
+    "foo",
+    "tmp",
+    "asdf",
+    "my_mixedStyle",
+    "xyzw",
+    "data_Value",
+    "qux",
+    "thing",
+];
 
 const EXISTING_PATHS: &[&str] = &[
     "/usr/lib/jvm/java-17/bin/javac",
@@ -183,7 +282,10 @@ fn pick<'a>(rng: &mut StdRng, items: &'a [&'a str]) -> &'a str {
 }
 
 fn words(rng: &mut StdRng, source: &[&str], count: usize) -> String {
-    (0..count).map(|_| pick(rng, source)).collect::<Vec<_>>().join(" ")
+    (0..count)
+        .map(|_| pick(rng, source))
+        .collect::<Vec<_>>()
+        .join(" ")
 }
 
 /// A right-skewed word count: mostly short, occasionally very long.  Keeps
@@ -199,7 +301,12 @@ fn skewed_word_count(rng: &mut StdRng) -> usize {
 
 fn random_ipv4(rng: &mut StdRng, intranet: bool) -> String {
     if intranet {
-        format!("10.{}.{}.{}", rng.gen_range(0..256), rng.gen_range(0..256), rng.gen_range(1..255))
+        format!(
+            "10.{}.{}.{}",
+            rng.gen_range(0..256),
+            rng.gen_range(0..256),
+            rng.gen_range(1..255)
+        )
     } else {
         format!(
             "{}.{}.{}.{}",
@@ -231,7 +338,12 @@ fn random_secret(rng: &mut StdRng) -> String {
 }
 
 fn random_username(rng: &mut StdRng) -> String {
-    let first = pick(rng, &["alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi"]);
+    let first = pick(
+        rng,
+        &[
+            "alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi",
+        ],
+    );
     format!("{}{}", first, rng.gen_range(1..999))
 }
 
@@ -241,13 +353,19 @@ pub fn spam_corpus(seed: u64, lines: usize) -> (Corpus, GroundTruth) {
     let mut out = Vec::with_capacity(lines);
     let mut truth = GroundTruth::default();
     for &d in LIVE_DOMAIN_NAMES {
-        truth.live_domains.push((d.to_owned(), 1995 + (d.len() as u32 % 10)));
+        truth
+            .live_domains
+            .push((d.to_owned(), 1995 + (d.len() as u32 % 10)));
     }
     for &d in RECENT_DOMAIN_NAMES {
         truth.live_domains.push((d.to_owned(), 2015));
     }
-    truth.dead_domains.extend(DEAD_DOMAIN_NAMES.iter().map(|s| s.to_string()));
-    truth.phishing_domains.extend(PHISHING_DOMAIN_NAMES.iter().map(|s| s.to_string()));
+    truth
+        .dead_domains
+        .extend(DEAD_DOMAIN_NAMES.iter().map(|s| s.to_string()));
+    truth
+        .phishing_domains
+        .extend(PHISHING_DOMAIN_NAMES.iter().map(|s| s.to_string()));
 
     for _ in 0..lines {
         let line = match rng.gen_range(0..100) {
@@ -285,7 +403,11 @@ pub fn spam_corpus(seed: u64, lines: usize) -> (Corpus, GroundTruth) {
                     2..=4 => pick(&mut rng, RECENT_DOMAIN_NAMES),
                     _ => pick(&mut rng, LIVE_DOMAIN_NAMES),
                 };
-                let scheme = if rng.gen_bool(0.5) { "https://" } else { "http://www." };
+                let scheme = if rng.gen_bool(0.5) {
+                    "https://"
+                } else {
+                    "http://www."
+                };
                 let before = rng.gen_range(1..6);
                 let after = rng.gen_range(0..4);
                 format!(
@@ -310,7 +432,13 @@ pub fn spam_corpus(seed: u64, lines: usize) -> (Corpus, GroundTruth) {
         };
         out.push(line);
     }
-    (Corpus { dataset: Dataset::Spam, lines: out }, truth)
+    (
+        Corpus {
+            dataset: Dataset::Spam,
+            lines: out,
+        },
+        truth,
+    )
 }
 
 /// Generates the Java-source corpus together with its ground truth.
@@ -318,19 +446,27 @@ pub fn java_corpus(seed: u64, lines: usize) -> (Corpus, GroundTruth) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = Vec::with_capacity(lines);
     let mut truth = GroundTruth::default();
-    truth.existing_paths.extend(EXISTING_PATHS.iter().map(|s| s.to_string()));
+    truth
+        .existing_paths
+        .extend(EXISTING_PATHS.iter().map(|s| s.to_string()));
 
     for _ in 0..lines {
         let indent = "    ".repeat(rng.gen_range(0..3));
         let line = match rng.gen_range(0..100) {
             // Hard-coded secret in a string literal (matches `pass`).
             0..=2 => {
-                format!(r#"{indent}private static final String API_KEY = "{}";"#, random_secret(&mut rng))
+                format!(
+                    r#"{indent}private static final String API_KEY = "{}";"#,
+                    random_secret(&mut rng)
+                )
             }
             // Benign string literal.
             3..=17 => {
                 let count = rng.gen_range(1..6);
-                format!(r#"{indent}String message = "{}";"#, words(&mut rng, COMMON_WORDS, count))
+                format!(
+                    r#"{indent}String message = "{}";"#,
+                    words(&mut rng, COMMON_WORDS, count)
+                )
             }
             // File path in a string literal, existing or stale.
             18..=27 => {
@@ -355,7 +491,10 @@ pub fn java_corpus(seed: u64, lines: usize) -> (Corpus, GroundTruth) {
             58..=84 => {
                 let id1 = pick(&mut rng, GOOD_IDENTIFIERS);
                 let id2 = pick(&mut rng, GOOD_IDENTIFIERS);
-                format!("{indent}if ({id1} > {}) {{ return {id2}.process({id1}); }}", rng.gen_range(0..100))
+                format!(
+                    "{indent}if ({id1} > {}) {{ return {id2}.process({id1}); }}",
+                    rng.gen_range(0..100)
+                )
             }
             // Comments of varying length.
             _ => {
@@ -365,7 +504,13 @@ pub fn java_corpus(seed: u64, lines: usize) -> (Corpus, GroundTruth) {
         };
         out.push(line);
     }
-    (Corpus { dataset: Dataset::Java, lines: out }, truth)
+    (
+        Corpus {
+            dataset: Dataset::Java,
+            lines: out,
+        },
+        truth,
+    )
 }
 
 #[cfg(test)]
@@ -411,7 +556,10 @@ mod tests {
         assert!(text.contains("From: "));
         assert!(text.contains("http"));
         assert!(text.contains("Received: from relay"));
-        assert!(MEDICINES.iter().any(|m| text.contains(m)), "no medicine planted");
+        assert!(
+            MEDICINES.iter().any(|m| text.contains(m)),
+            "no medicine planted"
+        );
         assert!(!truth.live_domains.is_empty());
         assert!(!truth.phishing_domains.is_empty());
 
@@ -432,7 +580,10 @@ mod tests {
         assert_eq!(total, spam.len());
         // The first couple of buckets hold the majority of lines.
         let head: usize = hist.iter().take(3).map(|&(_, c)| c).sum();
-        assert!(head * 2 > total, "distribution is not right-skewed: {hist:?}");
+        assert!(
+            head * 2 > total,
+            "distribution is not right-skewed: {hist:?}"
+        );
         // But a tail beyond 200 characters exists.
         assert!(hist.iter().any(|&(start, c)| start >= 200 && c > 0));
     }

@@ -35,6 +35,7 @@
 pub mod bench_set;
 pub mod corpus;
 pub mod query_complexity;
+pub mod rng;
 pub mod triangle;
 
 pub use bench_set::{BenchSpec, Workbench};

@@ -16,9 +16,6 @@
 
 use std::collections::HashSet;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use semre_oracle::Oracle;
 use semre_syntax::{CharClass, Semre};
 
@@ -40,8 +37,14 @@ impl Graph {
     /// Panics if `vertices` exceeds 200: the reduction encodes each vertex
     /// as one distinct byte of the input alphabet.
     pub fn new(vertices: usize) -> Self {
-        assert!(vertices <= 200, "the byte-level encoding supports at most 200 vertices");
-        Graph { vertices, edges: HashSet::new() }
+        assert!(
+            vertices <= 200,
+            "the byte-level encoding supports at most 200 vertices"
+        );
+        Graph {
+            vertices,
+            edges: HashSet::new(),
+        }
     }
 
     /// Adds the undirected edge `{u, v}`.
@@ -52,7 +55,10 @@ impl Graph {
     /// is out of range.
     pub fn add_edge(&mut self, u: usize, v: usize) {
         assert!(u != v, "self loops are not allowed");
-        assert!(u < self.vertices && v < self.vertices, "edge endpoint out of range");
+        assert!(
+            u < self.vertices && v < self.vertices,
+            "edge endpoint out of range"
+        );
         self.edges.insert((u.min(v), u.max(v)));
     }
 
@@ -74,7 +80,7 @@ impl Graph {
     /// Generates an Erdős–Rényi random graph `G(n, p)`.
     pub fn random(vertices: usize, edge_probability: f64, seed: u64) -> Self {
         let mut g = Graph::new(vertices);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = crate::rng::StdRng::seed_from_u64(seed);
         for u in 0..vertices {
             for v in u + 1..vertices {
                 if rng.gen_bool(edge_probability) {
@@ -143,7 +149,12 @@ pub fn triangle_semre(vertices: usize) -> Semre {
     // first copy of a later vertex.
     let hop = || {
         Semre::query(
-            Semre::concat_all([sigma.clone(), sigma_star.clone(), hash.clone(), sigma.clone()]),
+            Semre::concat_all([
+                sigma.clone(),
+                sigma_star.clone(),
+                hash.clone(),
+                sigma.clone(),
+            ]),
             EDGE_QUERY,
         )
     };
@@ -178,14 +189,21 @@ impl Oracle for EdgeOracle {
         if query != EDGE_QUERY || text.is_empty() {
             return false;
         }
-        match (self.decode(text[0]), self.decode(*text.last().expect("non-empty"))) {
+        match (
+            self.decode(text[0]),
+            self.decode(*text.last().expect("non-empty")),
+        ) {
             (Some(u), Some(v)) => self.graph.has_edge(u, v),
             _ => false,
         }
     }
 
     fn describe(&self) -> String {
-        format!("edge-oracle({} vertices, {} edges)", self.graph.vertices(), self.graph.num_edges())
+        format!(
+            "edge-oracle({} vertices, {} edges)",
+            self.graph.vertices(),
+            self.graph.num_edges()
+        )
     }
 }
 
@@ -250,7 +268,10 @@ mod tests {
     fn cycles_are_triangle_free() {
         assert!(Graph::cycle(3).has_triangle_direct());
         for n in 4..10 {
-            assert!(!Graph::cycle(n).has_triangle_direct(), "C_{n} has no triangle");
+            assert!(
+                !Graph::cycle(n).has_triangle_direct(),
+                "C_{n} has no triangle"
+            );
         }
     }
 

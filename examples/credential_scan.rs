@@ -16,13 +16,22 @@ use semre_workloads::Workbench;
 fn main() {
     let workbench = Workbench::generate(2025, 0, 1500);
     let corpus = workbench.java();
-    println!("scanning {} lines of generated Java ({} bytes)\n", corpus.len(), corpus.total_bytes());
+    println!(
+        "scanning {} lines of generated Java ({} bytes)\n",
+        corpus.len(),
+        corpus.total_bytes()
+    );
 
     for bench in ["pass", "file"] {
         let spec = workbench.benchmark(bench).expect("known benchmark");
         let oracle = Instrumented::with_latency(spec.oracle.clone(), spec.latency);
         let matcher = Matcher::new(spec.semre.clone(), &oracle);
-        let report = scan(&matcher, corpus.lines(), || oracle.stats(), ScanOptions::unlimited());
+        let report = scan(
+            &matcher,
+            corpus.lines(),
+            || oracle.stats(),
+            ScanOptions::unlimited(),
+        );
 
         println!("== rule `{bench}` ({}) ==", spec.oracle_kind);
         println!("   pattern size |r| = {}", spec.semre.size());

@@ -29,7 +29,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
     println!("\nscanning {} lines:", lines.len());
     for line in lines {
-        let verdict = if matcher.is_match(line.as_bytes()) { "MATCH " } else { "      " };
+        let verdict = if matcher.is_match(line.as_bytes()) {
+            "MATCH "
+        } else {
+            "      "
+        };
         println!("  {verdict} {line}");
     }
     let stats = matcher.oracle().stats();
@@ -42,14 +46,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Oracles need not be LLMs (Note 2.6): here the "Eastern European city"
     // category is a plain set lookup.
     let mut cities = SetOracle::new();
-    cities.insert_all("Eastern European city", ["Warsaw", "Prague", "Budapest", "Kyiv"]);
+    cities.insert_all(
+        "Eastern European city",
+        ["Warsaw", "Prague", "Budapest", "Kyiv"],
+    );
     let travel = semre::parse(r"travel to (?<Eastern European city>: [A-Za-z]+)")?;
     let travel_matcher = Matcher::new(travel, cities);
     for line in ["travel to Prague", "travel to Lisbon"] {
         println!(
             "{:<18} -> {}",
             line,
-            if travel_matcher.is_match(line.as_bytes()) { "match" } else { "no match" }
+            if travel_matcher.is_match(line.as_bytes()) {
+                "match"
+            } else {
+                "no match"
+            }
         );
     }
     Ok(())

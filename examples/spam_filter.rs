@@ -31,13 +31,21 @@ fn main() {
         let snfa_oracle = Instrumented::new(spec.oracle.clone());
         let snfa = Matcher::new(spec.semre.clone(), &snfa_oracle);
         let started = Instant::now();
-        let flagged = corpus.lines().iter().filter(|l| snfa.is_match(l.as_bytes())).count();
+        let flagged = corpus
+            .lines()
+            .iter()
+            .filter(|l| snfa.is_match(l.as_bytes()))
+            .count();
         let snfa_time = started.elapsed();
 
         let dp_oracle = Instrumented::new(spec.oracle.clone());
         let dp = DpMatcher::new(spec.semre.clone(), &dp_oracle);
         let started = Instant::now();
-        let dp_flagged = corpus.lines().iter().filter(|l| dp.is_match(l.as_bytes())).count();
+        let dp_flagged = corpus
+            .lines()
+            .iter()
+            .filter(|l| dp.is_match(l.as_bytes()))
+            .count();
         let dp_time = started.elapsed();
 
         assert_eq!(flagged, dp_flagged, "the two algorithms must agree");

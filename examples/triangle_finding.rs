@@ -35,7 +35,11 @@ fn main() {
             n,
             graph.num_edges(),
             direct,
-            if direct == via_semre { "ok" } else { "MISMATCH" },
+            if direct == via_semre {
+                "ok"
+            } else {
+                "MISMATCH"
+            },
             semre_time.as_secs_f64() * 1e3,
             direct_time.as_secs_f64() * 1e6,
         );

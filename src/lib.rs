@@ -11,13 +11,15 @@
 //! This facade crate re-exports the whole workspace:
 //!
 //! * [`syntax`] — the SemRE AST, parser, printer, and structural analyses;
-//! * [`oracle`] — the [`Oracle`](oracle::Oracle) trait, caching /
+//! * [`oracle`] — the [`Oracle`](oracle::Oracle) trait, the batched query
+//!   plane ([`BatchOracle`], [`QueryLedger`], [`BatchSession`]), caching /
 //!   instrumentation wrappers, and a library of concrete oracles;
 //! * [`automata`] — semantic NFAs, the Thompson construction, and the
 //!   ε-feasibility closure;
 //! * [`core`] — the query-graph matcher ([`Matcher`]) and the
 //!   dynamic-programming baseline ([`DpMatcher`]);
-//! * [`grep`] — the `grep_O` line-scanning engine and CLI;
+//! * [`grep`] — the `grep_O` line-scanning engine and CLI, including
+//!   chunk-batched scans ([`grep::scan_batched`]);
 //! * [`workloads`] — synthetic corpora, the paper's nine benchmark SemREs,
 //!   and the lower-bound / reduction experiments.
 //!
@@ -37,8 +39,10 @@
 //! ```
 //!
 //! See the `examples/` directory for larger scenarios (credential scanning,
-//! spam filtering, triangle finding) and `DESIGN.md` / `EXPERIMENTS.md` for
-//! the reproduction methodology.
+//! spam filtering, triangle finding), `DESIGN.md` for the architecture —
+//! in particular the batched oracle query plane threaded through
+//! eval → matcher → grep — and `EXPERIMENTS.md` for the reproduction
+//! methodology.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -50,9 +54,10 @@ pub use semre_oracle as oracle;
 pub use semre_syntax as syntax;
 pub use semre_workloads as workloads;
 
-pub use semre_core::{DpMatcher, Matcher, MatcherConfig};
+pub use semre_core::{DpMatcher, EvalReport, Matcher, MatcherConfig};
 pub use semre_oracle::{
-    CachingOracle, ConstOracle, Instrumented, LatencyModel, Oracle, PalindromeOracle,
-    PredicateOracle, SetOracle, SimLlmOracle, TableOracle,
+    BatchOracle, BatchSession, BatchStats, CachingOracle, ConstOracle, Instrumented, LatencyModel,
+    Oracle, PalindromeOracle, PredicateOracle, QueryKey, QueryLedger, SetOracle, SimLlmOracle,
+    TableOracle,
 };
 pub use semre_syntax::{parse, skeleton, CharClass, ParseSemreError, QueryName, Semre};

@@ -35,10 +35,16 @@ fn matcher_configurations_agree_on_membership() {
     let spec = workbench.benchmark("edom").expect("edom exists");
     let corpus = workbench.corpus(Dataset::Spam).truncated_to(150);
     let default = Matcher::new(spec.semre.clone(), Arc::clone(&spec.oracle));
-    let eager =
-        Matcher::with_config(spec.semre.clone(), Arc::clone(&spec.oracle), MatcherConfig::eager());
+    let eager = Matcher::with_config(
+        spec.semre.clone(),
+        Arc::clone(&spec.oracle),
+        MatcherConfig::eager(),
+    );
     for line in corpus.lines().iter().take(150) {
-        assert_eq!(default.is_match(line.as_bytes()), eager.is_match(line.as_bytes()));
+        assert_eq!(
+            default.is_match(line.as_bytes()),
+            eager.is_match(line.as_bytes())
+        );
     }
 }
 
@@ -50,14 +56,20 @@ fn caching_reduces_oracle_traffic_without_changing_answers() {
 
     let raw = Instrumented::new(Arc::clone(&spec.oracle));
     let uncached_matcher = Matcher::new(spec.semre.clone(), &raw);
-    let uncached_hits: Vec<bool> =
-        corpus.lines().iter().map(|l| uncached_matcher.is_match(l.as_bytes())).collect();
+    let uncached_hits: Vec<bool> = corpus
+        .lines()
+        .iter()
+        .map(|l| uncached_matcher.is_match(l.as_bytes()))
+        .collect();
 
     let backend = Instrumented::new(Arc::clone(&spec.oracle));
     let cached = CachingOracle::new(&backend);
     let cached_matcher = Matcher::new(spec.semre.clone(), &cached);
-    let cached_hits: Vec<bool> =
-        corpus.lines().iter().map(|l| cached_matcher.is_match(l.as_bytes())).collect();
+    let cached_hits: Vec<bool> = corpus
+        .lines()
+        .iter()
+        .map(|l| cached_matcher.is_match(l.as_bytes()))
+        .collect();
 
     assert_eq!(uncached_hits, cached_hits);
     assert!(
@@ -79,14 +91,18 @@ fn grep_engine_matches_cli_outcome() {
         "Subject: faculty meeting".to_owned(),
         "unrelated line".to_owned(),
     ];
-    let report = scan(&matcher, &lines, semre::oracle::OracleStats::default, ScanOptions::unlimited());
+    let report = scan(
+        &matcher,
+        &lines,
+        semre::oracle::OracleStats::default,
+        ScanOptions::unlimited(),
+    );
     assert_eq!(report.matched_lines(), 1);
 
     let parallel = scan_parallel(&matcher, &lines, 3);
     assert_eq!(parallel.matched_lines(), 1);
 
-    let options =
-        semre::grep::cli::CliOptions::parse(["--count", pattern]).expect("valid options");
+    let options = semre::grep::cli::CliOptions::parse(["--count", pattern]).expect("valid options");
     let outcome =
         semre::grep::cli::run_on_text(&options, &lines.join("\n")).expect("cli run succeeds");
     assert_eq!(outcome.stdout, vec!["1".to_owned()]);
@@ -99,7 +115,12 @@ fn latency_model_shows_up_in_oracle_fraction() {
     let corpus = workbench.corpus(Dataset::Spam).truncated_to(100);
     let oracle = Instrumented::with_spun_latency(Arc::clone(&spec.oracle), LatencyModel::llm());
     let matcher = Matcher::new(spec.semre.clone(), &oracle);
-    let report = scan(&matcher, corpus.lines(), || oracle.stats(), ScanOptions::unlimited());
+    let report = scan(
+        &matcher,
+        corpus.lines(),
+        || oracle.stats(),
+        ScanOptions::unlimited(),
+    );
     // With a (scaled) LLM-like latency injected, matching time is dominated
     // by the oracle, as in the paper's LLM-backed rows of Table 2.
     assert!(
@@ -112,14 +133,20 @@ fn latency_model_shows_up_in_oracle_fraction() {
 #[test]
 fn skeleton_prefilter_spares_the_oracle_entirely_on_clean_corpora() {
     // A corpus with no `Subject:` lines never needs the medicine oracle.
-    let lines: Vec<String> =
-        (0..50).map(|i| format!("ordinary log line number {i} with no e-mail headers")).collect();
+    let lines: Vec<String> = (0..50)
+        .map(|i| format!("ordinary log line number {i} with no e-mail headers"))
+        .collect();
     let oracle = Instrumented::new(SimLlmOracle::new());
     let matcher = Matcher::new(
         semre::parse(r"Subject: .*(?<Medicine name>: .+).*").unwrap(),
         &oracle,
     );
-    let report = scan(&matcher, &lines, || oracle.stats(), ScanOptions::unlimited());
+    let report = scan(
+        &matcher,
+        &lines,
+        || oracle.stats(),
+        ScanOptions::unlimited(),
+    );
     assert_eq!(report.matched_lines(), 0);
     assert_eq!(report.oracle_totals().calls, 0);
 }
@@ -128,7 +155,10 @@ fn skeleton_prefilter_spares_the_oracle_entirely_on_clean_corpora() {
 fn facade_reexports_are_usable_together() {
     // Build an oracle stack exactly like the paper's LLM setup and drive it
     // through the facade's re-exports only.
-    let stack = CachingOracle::new(Instrumented::with_latency(SimLlmOracle::new(), LatencyModel::llm()));
+    let stack = CachingOracle::new(Instrumented::with_latency(
+        SimLlmOracle::new(),
+        LatencyModel::llm(),
+    ));
     assert!(stack.holds("Medicine name", b"cialis"));
     let r = semre::parse("(?<Medicine name>: [a-z]+)").unwrap();
     assert!(semre::skeleton(&r).is_classical());

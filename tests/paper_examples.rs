@@ -10,7 +10,10 @@ use semre_syntax::examples;
 #[test]
 fn section_2_2_team_rosters() {
     let mut oracle = SetOracle::new();
-    oracle.insert_all("Sportsperson", ["Simone Biles", "Lionel Messi", "Roger Federer"]);
+    oracle.insert_all(
+        "Sportsperson",
+        ["Simone Biles", "Lionel Messi", "Roger Federer"],
+    );
     // (⟨Sportsperson⟩ ", ")* ⟨Sportsperson⟩ — rosters of sports teams.
     let roster = semre::parse(r"((?<Sportsperson>: .*), )*(?<Sportsperson>: .*)").unwrap();
     let matcher = Matcher::new(roster, oracle);
@@ -54,7 +57,10 @@ fn figure_5_chunked_acceptance() {
 fn introduction_paris_hilton() {
     let mut oracle = SetOracle::new();
     oracle.insert_all("City", ["Paris", "London"]);
-    oracle.insert_all("Celebrity", ["Paris Hilton", "London Breed", "Taylor Swift"]);
+    oracle.insert_all(
+        "Celebrity",
+        ["Paris Hilton", "London Breed", "Taylor Swift"],
+    );
     let matcher = Matcher::new(examples::r_paris_hilton(), oracle);
     assert!(matcher.is_match(b"Paris Hilton"));
     assert!(matcher.is_match(b"London Breed"));
@@ -155,6 +161,10 @@ fn assumption_2_4_cache_determinizes() {
     let matcher = Matcher::new(semre::parse("(?<q>: abc)").unwrap(), &cached);
     let first = matcher.is_match(b"abc");
     for _ in 0..5 {
-        assert_eq!(matcher.is_match(b"abc"), first, "cached answers must not change");
+        assert_eq!(
+            matcher.is_match(b"abc"),
+            first,
+            "cached answers must not change"
+        );
     }
 }

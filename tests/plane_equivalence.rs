@@ -1,0 +1,162 @@
+//! Equivalence of the three execution paths on the nine benchmark SemREs:
+//!
+//! * `Matcher` on the batched query plane (the default),
+//! * `Matcher` on the per-call plane (the paper's prototype behaviour),
+//! * `DpMatcher`, the dynamic-programming baseline,
+//!
+//! including the batch-plane accounting invariants the refactor promises:
+//! the batched plane issues exactly the per-call plane's logical requests,
+//! and the ledger resolves at most as many unique keys as the per-call
+//! plane issues calls.
+
+use std::sync::Arc;
+
+use semre::{DpMatcher, Matcher, MatcherConfig};
+use semre_workloads::Workbench;
+
+/// A corpus sample small enough for the cubic DP baseline.
+fn sample_lines(workbench: &Workbench, spec: &semre_workloads::BenchSpec) -> Vec<String> {
+    workbench
+        .corpus(spec.dataset)
+        .truncated_to(100)
+        .lines()
+        .iter()
+        .take(80)
+        .cloned()
+        .collect()
+}
+
+#[test]
+fn batched_per_call_and_dp_agree_on_the_bench_set() {
+    let workbench = Workbench::generate(20250613, 400, 400);
+    for spec in workbench.benchmarks() {
+        let lines = sample_lines(&workbench, &spec);
+        let batched = Matcher::new(spec.semre.clone(), Arc::clone(&spec.oracle));
+        let per_call = Matcher::with_config(
+            spec.semre.clone(),
+            Arc::clone(&spec.oracle),
+            MatcherConfig::per_call(),
+        );
+        let dp = DpMatcher::new(spec.semre.clone(), Arc::clone(&spec.oracle));
+
+        let mut matched_lines = 0;
+        for line in &lines {
+            let b = batched.run(line.as_bytes());
+            let p = per_call.run(line.as_bytes());
+            let d = dp.run(line.as_bytes());
+            assert_eq!(
+                b.matched, p.matched,
+                "{}: batched and per-call planes disagree on {line:?}",
+                spec.name
+            );
+            assert_eq!(
+                b.matched, d.matched,
+                "{}: query-graph and DP matchers disagree on {line:?}",
+                spec.name
+            );
+            assert_eq!(
+                b.oracle_calls, p.oracle_calls,
+                "{}: the planes must issue identical logical requests on {line:?}",
+                spec.name
+            );
+            assert!(
+                b.unique_keys <= p.oracle_calls,
+                "{}: ledger resolved {} unique keys, per-call issued {} calls on {line:?}",
+                spec.name,
+                b.unique_keys,
+                p.oracle_calls
+            );
+            assert!(
+                b.batches <= b.unique_keys.max(1),
+                "{}: more round trips than resolved keys on {line:?}",
+                spec.name
+            );
+            matched_lines += usize::from(b.matched);
+        }
+        assert!(
+            matched_lines > 0,
+            "{}: sample contains no positives",
+            spec.name
+        );
+        assert!(
+            matched_lines < lines.len(),
+            "{}: sample contains no negatives",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn shared_sessions_preserve_verdicts_on_the_bench_set() {
+    let workbench = Workbench::generate(77, 300, 300);
+    for spec in workbench.benchmarks() {
+        let lines = sample_lines(&workbench, &spec);
+        let matcher = Matcher::new(spec.semre.clone(), Arc::clone(&spec.oracle));
+
+        let independent: Vec<bool> = lines
+            .iter()
+            .map(|l| matcher.is_match(l.as_bytes()))
+            .collect();
+
+        let mut session = matcher.session();
+        let mut shared = Vec::with_capacity(lines.len());
+        let mut unique_keys = 0;
+        let mut logical_requests = 0;
+        for line in &lines {
+            let report = matcher.run_in_session(line.as_bytes(), &mut session);
+            shared.push(report.matched);
+            unique_keys += report.unique_keys;
+            logical_requests += report.oracle_calls;
+        }
+        assert_eq!(
+            shared, independent,
+            "{}: chunk session changed verdicts",
+            spec.name
+        );
+
+        let stats = session.stats();
+        assert_eq!(
+            stats.keys_submitted, unique_keys,
+            "{}: the session sees exactly the ledgers' unique keys",
+            spec.name
+        );
+        assert!(
+            stats.backend_keys <= unique_keys,
+            "{}: content dedup cannot increase keys",
+            spec.name
+        );
+        assert!(logical_requests >= unique_keys, "{}", spec.name);
+    }
+}
+
+#[test]
+fn dp_baseline_sessions_never_increase_backend_traffic() {
+    use semre::Instrumented;
+    let workbench = Workbench::generate(9, 200, 200);
+    for name in ["spam,1", "ip", "file"] {
+        let spec = workbench.benchmark(name).expect("bench set row");
+        let lines = sample_lines(&workbench, &spec);
+        let lines: Vec<&String> = lines.iter().take(30).collect();
+
+        let backend = Instrumented::new(Arc::clone(&spec.oracle));
+        let dp = DpMatcher::new(spec.semre.clone(), &backend);
+
+        let before = backend.stats().calls;
+        let independent: Vec<bool> = lines.iter().map(|l| dp.is_match(l.as_bytes())).collect();
+        let per_call_calls = backend.stats().calls - before;
+
+        let before = backend.stats().calls;
+        let mut session = dp.session();
+        let shared: Vec<bool> = lines
+            .iter()
+            .map(|l| dp.run_in_session(l.as_bytes(), &mut session).matched)
+            .collect();
+        let session_calls = backend.stats().calls - before;
+
+        assert_eq!(shared, independent, "{name}: session changed DP verdicts");
+        assert!(
+            session_calls <= per_call_calls,
+            "{name}: session increased backend traffic ({session_calls} vs {per_call_calls})"
+        );
+    }
+}
