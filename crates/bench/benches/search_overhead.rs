@@ -1,0 +1,52 @@
+//! Micro-bench for the facade's unanchored span search: wall-clock and
+//! oracle-call cost of `SemRegex::find` against anchored
+//! `SemRegex::is_match` on benchmark SemREs, plus `find_iter` extraction of
+//! every span.  The count-level comparison across all nine benchmarks lives
+//! in the `search-overhead` experiment (`cargo run --bin experiments --
+//! search-overhead`).
+
+use std::sync::Arc;
+
+use semre::SemRegexBuilder;
+use semre_bench::{micro, ExperimentConfig};
+
+fn main() {
+    let config = ExperimentConfig {
+        spam_lines: 400,
+        java_lines: 400,
+        ..ExperimentConfig::default()
+    };
+    let workbench = config.workbench();
+
+    for rule in ["spam,1", "edom", "pass"] {
+        let spec = workbench.benchmark(rule).expect("known benchmark");
+        let lines: Vec<String> = workbench
+            .corpus(spec.dataset)
+            .truncated_to(100)
+            .lines()
+            .iter()
+            .take(40)
+            .cloned()
+            .collect();
+        let re = SemRegexBuilder::new()
+            .build_semre_shared(spec.semre.clone(), Arc::clone(&spec.oracle))
+            .expect("benchmark SemREs compile");
+
+        let tag = rule.replace(',', "");
+        micro::bench("search-overhead", &format!("{tag}/is_match"), || {
+            lines.iter().filter(|l| re.is_match(l.as_bytes())).count()
+        });
+        micro::bench("search-overhead", &format!("{tag}/find"), || {
+            lines
+                .iter()
+                .filter(|l| re.find(l.as_bytes()).is_some())
+                .count()
+        });
+        micro::bench("search-overhead", &format!("{tag}/find_iter"), || {
+            lines
+                .iter()
+                .map(|l| re.find_iter(l.as_bytes()).count())
+                .sum::<usize>()
+        });
+    }
+}

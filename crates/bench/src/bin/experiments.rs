@@ -6,7 +6,7 @@
 //!
 //!   EXPERIMENT        table1 | table2 | fig10-dist | fig10 |
 //!                     query-complexity | triangle | ablation |
-//!                     batch-efficiency | all
+//!                     batch-efficiency | search-overhead | all
 //!                     (default: all)
 //!
 //!   --lines N         corpus lines per dataset          (default 4000)
@@ -64,6 +64,7 @@ fn main() {
             "table1",
             "table2",
             "batch-efficiency",
+            "search-overhead",
             "fig10-dist",
             "fig10",
             "query-complexity",
@@ -86,6 +87,7 @@ fn main() {
             "table1" => table1(&config, &workbench),
             "table2" => table2(&config, &workbench),
             "batch-efficiency" => batch_efficiency(&config, &workbench),
+            "search-overhead" => search_overhead(&config, &workbench),
             "fig10-dist" => fig10_dist(&workbench),
             "fig10" => fig10(&config, &workbench),
             "query-complexity" => query_complexity(),
@@ -213,6 +215,31 @@ fn batch_efficiency(config: &ExperimentConfig, workbench: &Workbench) {
             row.verdicts_agree,
             "{}: batched and per-call planes disagree",
             row.name
+        );
+    }
+}
+
+fn search_overhead(config: &ExperimentConfig, workbench: &Workbench) {
+    const MAX_LINES: usize = 60;
+    const MAX_LINE_LEN: usize = 100;
+    println!(
+        "\n## Search overhead: oracle calls of unanchored `find` vs anchored `is_match` \
+         (≤ {MAX_LINES} lines of ≤ {MAX_LINE_LEN} bytes per SemRE)"
+    );
+    println!(
+        "{:<8} {:>8} {:>14} {:>14} {:>10} {:>10} {:>10}",
+        "SemRE", "lines", "anchored", "search", "matched", "spanned", "overhead"
+    );
+    for row in harness::search_overhead(config, workbench, MAX_LINES, MAX_LINE_LEN) {
+        println!(
+            "{:<8} {:>8} {:>14} {:>14} {:>10} {:>10} {:>9.2}x",
+            row.name,
+            row.lines,
+            row.anchored_backend_calls,
+            row.search_backend_calls,
+            row.matched_lines,
+            row.spanned_lines,
+            row.overhead(),
         );
     }
 }

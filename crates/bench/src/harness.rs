@@ -539,6 +539,106 @@ pub fn batch_efficiency(
 }
 
 // ---------------------------------------------------------------------------
+// Search overhead
+// ---------------------------------------------------------------------------
+
+/// Oracle cost of unanchored span search versus anchored membership on one
+/// benchmark SemRE.
+#[derive(Clone, Debug)]
+pub struct SearchOverheadRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Lines measured.
+    pub lines: usize,
+    /// Backend oracle calls for whole-line `is_match` over the sample.
+    pub anchored_backend_calls: u64,
+    /// Backend oracle calls for leftmost-earliest `find` over the sample.
+    pub search_backend_calls: u64,
+    /// Lines whose whole content matched (anchored).
+    pub matched_lines: usize,
+    /// Lines containing at least one matching span.
+    pub spanned_lines: usize,
+}
+
+impl SearchOverheadRow {
+    /// Oracle-call multiplier of search over anchored matching.
+    pub fn overhead(&self) -> f64 {
+        if self.anchored_backend_calls == 0 {
+            if self.search_backend_calls == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.search_backend_calls as f64 / self.anchored_backend_calls as f64
+        }
+    }
+}
+
+/// Measures the oracle-query overhead of the facade's unanchored `find`
+/// (implicit `.*` prefix, all span starts answered in one pass) against
+/// anchored `is_match`, per benchmark SemRE.  The sample is capped at
+/// `max_lines` lines of at most `max_line_len` bytes — search is quadratic
+/// in line length on top of matching — and the caps are echoed in
+/// [`SearchOverheadRow::lines`].  Latency is not injected: this experiment
+/// is about counts.
+pub fn search_overhead(
+    config: &ExperimentConfig,
+    workbench: &Workbench,
+    max_lines: usize,
+    max_line_len: usize,
+) -> Vec<SearchOverheadRow> {
+    use semre::SemRegexBuilder;
+    workbench
+        .benchmarks()
+        .iter()
+        .map(|spec| {
+            let corpus = workbench.corpus(spec.dataset).truncated_to(
+                config
+                    .max_line_len
+                    .unwrap_or(max_line_len)
+                    .min(max_line_len),
+            );
+            let limit = config.max_lines.unwrap_or(max_lines).min(max_lines);
+            let lines: Vec<&String> = corpus.lines().iter().take(limit).collect();
+
+            let backend = Arc::new(Instrumented::new(Arc::clone(&spec.oracle)));
+            let re = SemRegexBuilder::new()
+                .build_semre_shared(spec.semre.clone(), backend.clone())
+                .expect("benchmark SemREs compile");
+
+            backend.reset();
+            let matched_lines = lines
+                .iter()
+                .filter(|line| re.is_match(line.as_bytes()))
+                .count();
+            let anchored_backend_calls = backend.stats().calls;
+
+            backend.reset();
+            let spanned_lines = lines
+                .iter()
+                .filter(|line| re.find(line.as_bytes()).is_some())
+                .count();
+            let search_backend_calls = backend.stats().calls;
+
+            assert!(
+                spanned_lines >= matched_lines,
+                "{}: a whole-line match is itself a span",
+                spec.name
+            );
+            SearchOverheadRow {
+                name: spec.name,
+                lines: lines.len(),
+                anchored_backend_calls,
+                search_backend_calls,
+                matched_lines,
+                spanned_lines,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
 // Theorem 4.1 and Section 4.2
 // ---------------------------------------------------------------------------
 

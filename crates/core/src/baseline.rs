@@ -95,6 +95,76 @@ impl<O: Oracle> DpMatcher<O> {
         self.run_impl(input, Some(session))
     }
 
+    /// The leftmost-earliest span `(start, end)` with
+    /// `input[start..end] ∈ ⟦r⟧`, by brute force over substrings (the
+    /// baseline has no automaton to search with).  A fresh session keeps
+    /// repeated oracle questions across substrings from reaching the
+    /// backend more than once.
+    pub fn find(&self, input: &[u8]) -> Option<(usize, usize)> {
+        let mut session = self.session();
+        self.find_in_session(input, &mut session)
+    }
+
+    /// Like [`find`](DpMatcher::find), but sharing `session` across calls.
+    pub fn find_in_session(
+        &self,
+        input: &[u8],
+        session: &mut BatchSession<'_>,
+    ) -> Option<(usize, usize)> {
+        for start in 0..=input.len() {
+            for end in start..=input.len() {
+                if self.run_in_session(&input[start..end], session).matched {
+                    return Some((start, end));
+                }
+            }
+        }
+        None
+    }
+
+    /// Like [`find`](DpMatcher::find), but issuing every oracle question as
+    /// its own `holds` call (no session), so oracle accounting matches the
+    /// per-call plane of the paper's prototype.
+    pub fn find_per_call(&self, input: &[u8]) -> Option<(usize, usize)> {
+        for start in 0..=input.len() {
+            for end in start..=input.len() {
+                if self.run(&input[start..end]).matched {
+                    return Some((start, end));
+                }
+            }
+        }
+        None
+    }
+
+    /// The end of the earliest-ending matching span (brute force, earliest
+    /// end first).
+    pub fn shortest_match(&self, input: &[u8]) -> Option<usize> {
+        let mut session = self.session();
+        for end in 0..=input.len() {
+            for start in 0..=end {
+                if self
+                    .run_in_session(&input[start..end], &mut session)
+                    .matched
+                {
+                    return Some(end);
+                }
+            }
+        }
+        None
+    }
+
+    /// Like [`shortest_match`](DpMatcher::shortest_match) on the per-call
+    /// plane: every oracle question is its own `holds` call.
+    pub fn shortest_match_per_call(&self, input: &[u8]) -> Option<usize> {
+        for end in 0..=input.len() {
+            for start in 0..=end {
+                if self.run(&input[start..end]).matched {
+                    return Some(end);
+                }
+            }
+        }
+        None
+    }
+
     fn run_impl(&self, input: &[u8], session: Option<&mut BatchSession<'_>>) -> BaselineReport {
         let positions = input.len() + 1;
         let mut run = Run {

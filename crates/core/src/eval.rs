@@ -72,11 +72,34 @@ impl Default for EvalOptions {
     }
 }
 
+/// Which span the unanchored search entry points look for.
+///
+/// A *span* `(start, end)` matches when `input[start..end] ∈ ⟦r⟧`.  The
+/// search evaluation finds spans by seeding the start vertex at every
+/// position — the query-graph effect of an implicit `.*` prefix — and
+/// tagging each seed with a pseudo-backreference that rides the Fig. 9
+/// rules, so the rule `Bc` discards starts whose oracle path fails exactly
+/// like it discards infeasible open vertices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SearchKind {
+    /// The span with the smallest start; among those, the smallest end
+    /// (leftmost-earliest, the natural order for `find` / `find_iter`).
+    Leftmost,
+    /// The span with the smallest end; among those, the smallest start
+    /// (the `shortest_match` question: the first position at which *some*
+    /// match is known to exist).
+    EarliestEnd,
+}
+
 /// The outcome of evaluating the query graph on one input string.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct EvalReport {
-    /// Whether the input belongs to `⟦r⟧`.
+    /// Whether the input belongs to `⟦r⟧` (anchored evaluation), or whether
+    /// any span matched (search evaluation).
     pub matched: bool,
+    /// The span found by a search evaluation ([`SearchKind`] decides which
+    /// one); always `None` for anchored evaluation.
+    pub span: Option<(usize, usize)>,
     /// Number of logical oracle requests issued by the inference rules
     /// (excluding the `(q, ε)` probes made once when the matcher was
     /// constructed).  Identical between the batched and per-call planes; in
@@ -104,6 +127,11 @@ pub struct EvalReport {
 /// A reference to an open vertex `(state, layer 2, position)`, packed into a
 /// `u64` as `position << 32 | state`.
 type OpenRef = u64;
+
+/// Pseudo-state used by search evaluation to tag span-start seeds.  Seeds
+/// travel through the backreference machinery like open vertices (sorting
+/// after any real state of the same position) but never name an SNFA state.
+const SEED_STATE: StateId = 0xffff_ffff;
 
 fn open_ref(state: StateId, pos: usize) -> OpenRef {
     ((pos as u64) << 32) | state as u64
@@ -250,6 +278,82 @@ pub(crate) fn evaluate(
         },
         close_cache: Vec::new(),
         plane: None,
+        search: None,
+        best: None,
+    }
+    .run()
+}
+
+/// Unanchored search over `input`: finds the [`SearchKind`]-preferred span
+/// `(start, end)` with `input[start..end] ∈ ⟦r⟧`, reported in
+/// [`EvalReport::span`].  One pass over the text answers all start
+/// positions: every position seeds the start vertex (the implicit `.*`
+/// prefix) and the seeds ride the backreference rules to the accept vertex.
+pub(crate) fn evaluate_search(
+    snfa: &Snfa,
+    topo: &GadgetTopology,
+    input: &[u8],
+    oracle: &dyn Oracle,
+    options: EvalOptions,
+    kind: SearchKind,
+) -> EvalReport {
+    if options.batched {
+        let table = QueryTable::build(snfa, topo);
+        let mut session = BatchSession::new(oracle);
+        return evaluate_search_in_session(snfa, topo, &table, input, options, kind, &mut session);
+    }
+    Evaluator {
+        snfa,
+        topo,
+        input,
+        oracle,
+        options,
+        loq: HashMap::new(),
+        report: EvalReport {
+            positions: input.len() + 1,
+            ..EvalReport::default()
+        },
+        close_cache: Vec::new(),
+        plane: None,
+        search: Some(kind),
+        best: None,
+    }
+    .run()
+}
+
+/// Like [`evaluate_search`], but resolving oracle questions through
+/// `session` so answers are shared with every other evaluation using it
+/// (e.g. the successive suffix searches of a `find_iter`).  Implies the
+/// batched plane.
+pub(crate) fn evaluate_search_in_session<'a>(
+    snfa: &'a Snfa,
+    topo: &'a GadgetTopology,
+    table: &'a QueryTable,
+    input: &'a [u8],
+    options: EvalOptions,
+    kind: SearchKind,
+    session: &mut BatchSession<'_>,
+) -> EvalReport {
+    let oracle = session.backend();
+    Evaluator {
+        snfa,
+        topo,
+        input,
+        oracle,
+        options,
+        loq: HashMap::new(),
+        report: EvalReport {
+            positions: input.len() + 1,
+            ..EvalReport::default()
+        },
+        close_cache: Vec::new(),
+        plane: Some(Plane {
+            ledger: QueryLedger::new(),
+            session,
+            table,
+        }),
+        search: Some(kind),
+        best: None,
     }
     .run()
 }
@@ -284,6 +388,8 @@ pub(crate) fn evaluate_in_session<'a>(
             session,
             table,
         }),
+        search: None,
+        best: None,
     }
     .run()
 }
@@ -304,6 +410,11 @@ struct Evaluator<'a, 's, 'o> {
     close_cache: Vec<Option<CachedClose>>,
     /// The batched query plane, absent on the per-call path.
     plane: Option<Plane<'a, 's, 'o>>,
+    /// Unanchored search mode: `Some` makes every position seed the start
+    /// vertex and checks the accept vertex at every position.
+    search: Option<SearchKind>,
+    /// Best span found so far by a search evaluation.
+    best: Option<(usize, usize)>,
 }
 
 /// Co-reachability information: for each position and layer, which states'
@@ -321,6 +432,10 @@ impl CoReach {
 impl Evaluator<'_, '_, '_> {
     fn run(mut self) -> EvalReport {
         let mut report = self.run_inner();
+        if self.search.is_some() {
+            report.span = self.best;
+            report.matched = self.best.is_some();
+        }
         match &self.plane {
             Some(plane) => {
                 report.unique_keys = plane.ledger.unique_keys();
@@ -354,8 +469,9 @@ impl Evaluator<'_, '_, '_> {
         };
 
         // If even the start vertex cannot reach end, the skeleton does not
-        // match and no oracle call is needed.
-        if !allowed(1, self.snfa.start(), 1) {
+        // match and no oracle call is needed.  (In search mode each seed is
+        // gated individually below.)
+        if self.search.is_none() && !allowed(1, self.snfa.start(), 1) {
             return self.report;
         }
 
@@ -371,7 +487,9 @@ impl Evaluator<'_, '_, '_> {
 
             // ---- Layer 1: character step (targets are always blank) -----
             if pos == 1 {
-                layer1.alive[self.snfa.start()] = true;
+                if self.search.is_none() {
+                    layer1.alive[self.snfa.start()] = true;
+                }
             } else {
                 let byte = self.input[pos - 2];
                 for s in 0..states {
@@ -385,6 +503,25 @@ impl Evaluator<'_, '_, '_> {
                         layer1.alive[t] = true;
                         merge_refs(&mut layer1.backref[t], &prev3.backref[s]);
                     }
+                }
+            }
+
+            // ---- Search seeds: the implicit `.*` prefix ------------------
+            // Every position seeds the start vertex, tagged with a
+            // pseudo-backreference recording the candidate span start, so
+            // one pass answers all start positions.  Seeds that can no
+            // longer improve on the best span are suppressed, sparing their
+            // oracle questions.
+            if let Some(kind) = self.search {
+                let seed_index = pos - 1;
+                let useful = match kind {
+                    SearchKind::Leftmost => self.best.map_or(true, |(s, _)| seed_index < s),
+                    SearchKind::EarliestEnd => true,
+                };
+                let start = self.snfa.start();
+                if useful && allowed(1, start, pos) {
+                    layer1.alive[start] = true;
+                    merge_refs(&mut layer1.backref[start], &[open_ref(SEED_STATE, pos)]);
                 }
             }
 
@@ -442,14 +579,59 @@ impl Evaluator<'_, '_, '_> {
             self.report.vertices_alive += layer2.alive.iter().filter(|&&a| a).count() as u64;
             self.report.vertices_alive += layer3.alive.iter().filter(|&&a| a).count() as u64;
 
+            // ---- Search: check the accept vertex at every position -------
+            // The seeds alive in the accept vertex's backreference set are
+            // exactly the valid span starts ending here (the Bc rule has
+            // already discarded starts whose oracle path failed); the set is
+            // sorted, so the first seed is the leftmost valid start.
+            if let Some(kind) = self.search {
+                let accept = self.snfa.accept();
+                if layer3.alive[accept] {
+                    let leftmost_seed = layer3.backref[accept]
+                        .iter()
+                        .find(|&&r| open_ref_state(r) == SEED_STATE);
+                    if let Some(&seed) = leftmost_seed {
+                        let span = (open_ref_pos(seed) - 1, pos - 1);
+                        match kind {
+                            SearchKind::EarliestEnd => {
+                                self.best = Some(span);
+                                return self.report;
+                            }
+                            SearchKind::Leftmost => {
+                                if self.best.map_or(true, |(s, _)| span.0 < s) {
+                                    self.best = Some(span);
+                                    if span.0 == 0 {
+                                        // No span can start earlier, and this
+                                        // is the earliest end for that start.
+                                        return self.report;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+
             if pos <= n {
                 // Early exit when the frontier dies: nothing downstream can
-                // become alive any more.
+                // become alive any more.  In search mode the next seed
+                // revives the frontier, so bail out only once every seed
+                // that could still improve the best span is behind us.
                 if layer3.alive.iter().all(|&a| !a) {
-                    return self.report;
+                    match self.search {
+                        None => return self.report,
+                        Some(SearchKind::Leftmost) => {
+                            if let Some((s, _)) = self.best {
+                                if s <= pos {
+                                    return self.report;
+                                }
+                            }
+                        }
+                        Some(SearchKind::EarliestEnd) => {}
+                    }
                 }
                 std::mem::swap(&mut prev3, &mut layer3);
-            } else {
+            } else if self.search.is_none() {
                 self.report.matched = layer3.alive[self.snfa.accept()];
             }
         }
@@ -474,7 +656,10 @@ impl Evaluator<'_, '_, '_> {
         if !any_alive_pred {
             return None;
         }
-        candidates.retain(|&o| self.topo.query(open_ref_state(o)) == Some(query));
+        candidates.retain(|&o| {
+            let state = open_ref_state(o);
+            state != SEED_STATE && self.topo.query(state) == Some(query)
+        });
         Some(candidates)
     }
 
@@ -718,20 +903,26 @@ impl Evaluator<'_, '_, '_> {
             let next_layer1: Option<&Vec<bool>> = rest.first().map(|l| &l[0]);
 
             // Layer 3: end vertex, or a character edge into an allowed
-            // layer-1 vertex of the next position.
+            // layer-1 vertex of the next position.  Search mode checks the
+            // accept vertex at *every* position, so it is always a target.
             if pos == n + 1 {
                 current[2][self.snfa.accept()] = true;
-            } else if let Some(next1) = next_layer1 {
-                let byte = self.input[pos - 1];
-                for (s, slot) in current[2].iter_mut().enumerate() {
-                    if self
-                        .snfa
-                        .char_out(s)
-                        .iter()
-                        .any(|&(class, t)| class.contains(byte) && next1[t])
-                    {
-                        *slot = true;
+            } else {
+                if let Some(next1) = next_layer1 {
+                    let byte = self.input[pos - 1];
+                    for (s, slot) in current[2].iter_mut().enumerate() {
+                        if self
+                            .snfa
+                            .char_out(s)
+                            .iter()
+                            .any(|&(class, t)| class.contains(byte) && next1[t])
+                        {
+                            *slot = true;
+                        }
                     }
+                }
+                if self.search.is_some() {
+                    current[2][self.snfa.accept()] = true;
                 }
             }
 
@@ -1127,6 +1318,179 @@ mod tests {
         );
         // One collect-phase batch per position that asks anything.
         assert!(batched.batches as usize <= input.len() + 1, "{batched:?}");
+    }
+
+    fn find(
+        pattern: &str,
+        oracle: &dyn Oracle,
+        input: &[u8],
+        options: EvalOptions,
+    ) -> Option<(usize, usize)> {
+        search(pattern, oracle, input, options, SearchKind::Leftmost).span
+    }
+
+    fn search(
+        pattern: &str,
+        oracle: &dyn Oracle,
+        input: &[u8],
+        options: EvalOptions,
+        kind: SearchKind,
+    ) -> EvalReport {
+        let r = parse(pattern).unwrap();
+        let snfa = compile(&r);
+        let closure = EpsClosure::compute(&snfa, oracle);
+        let topo = GadgetTopology::new(&snfa, &closure);
+        evaluate_search(&snfa, &topo, input, oracle, options, kind)
+    }
+
+    #[test]
+    fn search_finds_classical_spans() {
+        let oracle = ConstOracle::always_true();
+        for options in all_option_combos() {
+            assert_eq!(
+                find("abc", &oracle, b"xxabcxx", options),
+                Some((2, 5)),
+                "{options:?}"
+            );
+            assert_eq!(find("abc", &oracle, b"ab", options), None, "{options:?}");
+            // Leftmost start wins, then the earliest end: `a+` in "xaaax"
+            // is the single `a` at position 1.
+            assert_eq!(
+                find("a+", &oracle, b"xaaax", options),
+                Some((1, 2)),
+                "{options:?}"
+            );
+            // A nullable pattern matches the empty span at position 0.
+            assert_eq!(
+                find("a*", &oracle, b"ba", options),
+                Some((0, 0)),
+                "{options:?}"
+            );
+            assert_eq!(find("a+", &oracle, b"", options), None, "{options:?}");
+        }
+    }
+
+    #[test]
+    fn search_finds_refinement_spans() {
+        let mut oracle = SetOracle::new();
+        oracle.insert("City", "Paris");
+        for options in all_option_combos() {
+            let r = "go to (?<City>: [A-Za-z]+)!";
+            assert_eq!(
+                find(r, &oracle, b"-- go to Paris! --", options),
+                Some((3, 15)),
+                "{options:?}"
+            );
+            assert_eq!(
+                find(r, &oracle, b"-- go to Gotham! --", options),
+                None,
+                "{options:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn search_does_not_mix_starts_across_oracle_verdicts() {
+        // `(?<q>: a*)b` where only "a" is accepted: the span of "aab" is
+        // (1, 3), never (0, 3) — a seed at 0 reaches the close vertex
+        // tentatively, but its group's oracle answer is negative, so the Bc
+        // rule must drop that start.
+        let mut oracle = SetOracle::new();
+        oracle.insert("q", "a");
+        for options in all_option_combos() {
+            assert_eq!(
+                find("(?<q>: a*)b", &oracle, b"aab", options),
+                Some((1, 3)),
+                "{options:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn earliest_end_prefers_the_shortest_known_match() {
+        // Spans: (0, 10) via the long arm, (5, 7) via "cd".  Leftmost picks
+        // the first, EarliestEnd the second.
+        let oracle = ConstOracle::always_true();
+        for options in all_option_combos() {
+            let pattern = "a.{8}b|cd";
+            let input = b"axxxxcdxxb";
+            assert_eq!(
+                find(pattern, &oracle, input, options),
+                Some((0, 10)),
+                "{options:?}"
+            );
+            assert_eq!(
+                search(pattern, &oracle, input, options, SearchKind::EarliestEnd).span,
+                Some((5, 7)),
+                "{options:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn search_agrees_across_planes_and_reports_spans() {
+        let mut oracle = SetOracle::new();
+        oracle.insert("q", "aa");
+        let cases: &[(&str, &[u8])] = &[
+            (".*<q>.*", b"xaax"),
+            ("(?<q>: a*)b", b"aaab"),
+            ("<q>", b"baab"),
+            ("(<q>)+", b"aaaa"),
+        ];
+        for &(pattern, input) in cases {
+            for lazy_oracle in [false, true] {
+                for prune_coreachable in [false, true] {
+                    let base = EvalOptions {
+                        prune_coreachable,
+                        lazy_oracle,
+                        batched: false,
+                    };
+                    let batched = EvalOptions {
+                        batched: true,
+                        ..base
+                    };
+                    let p = search(pattern, &oracle, input, base, SearchKind::Leftmost);
+                    let b = search(pattern, &oracle, input, batched, SearchKind::Leftmost);
+                    assert_eq!(b.span, p.span, "{pattern}: planes disagree on the span");
+                    assert_eq!(b.matched, p.matched, "{pattern}");
+                    assert_eq!(
+                        b.oracle_calls, p.oracle_calls,
+                        "{pattern}: logical request counts must agree"
+                    );
+                    assert!(b.unique_keys <= p.oracle_calls, "{pattern}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn search_matches_brute_force_on_small_inputs() {
+        // Exhaustive cross-check against anchored evaluation over every
+        // substring, on a pattern with unions, stars, and a refinement.
+        let mut oracle = SetOracle::new();
+        oracle.insert("q", "ab");
+        oracle.insert("q", "c");
+        let pattern = "(a|b)(?<q>: .*)c?";
+        let inputs: &[&[u8]] = &[b"", b"a", b"babc", b"aabcc", b"xxabcx", b"ccba"];
+        for &input in inputs {
+            for options in all_option_combos() {
+                let mut expected = None;
+                'outer: for i in 0..=input.len() {
+                    for j in i..=input.len() {
+                        if run(pattern, &oracle, &input[i..j], options).matched {
+                            expected = Some((i, j));
+                            break 'outer;
+                        }
+                    }
+                }
+                assert_eq!(
+                    find(pattern, &oracle, input, options),
+                    expected,
+                    "input {:?}, {options:?}",
+                    String::from_utf8_lossy(input)
+                );
+            }
+        }
     }
 
     #[test]

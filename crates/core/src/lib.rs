@@ -54,7 +54,7 @@ mod matcher;
 mod topology;
 
 pub use baseline::{BaselineReport, DpMatcher};
-pub use eval::{EvalOptions, EvalReport};
+pub use eval::{EvalOptions, EvalReport, SearchKind};
 pub use graph::{Layer, QueryGraph, VertexId, VertexLabel};
 pub use matcher::{Matcher, MatcherConfig};
 pub use topology::GadgetTopology;

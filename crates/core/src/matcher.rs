@@ -11,7 +11,10 @@ use semre_automata::{compile, EpsClosure, Snfa};
 use semre_oracle::{BatchSession, Oracle};
 use semre_syntax::{skeleton, Semre};
 
-use crate::eval::{evaluate, evaluate_in_session, EvalOptions, EvalReport, QueryTable};
+use crate::eval::{
+    evaluate, evaluate_in_session, evaluate_search, evaluate_search_in_session, EvalOptions,
+    EvalReport, QueryTable, SearchKind,
+};
 use crate::topology::GadgetTopology;
 
 /// Tuning knobs for the query-graph matcher.
@@ -104,6 +107,9 @@ pub struct Matcher<O> {
     skeleton: Semre,
     snfa: Snfa,
     skeleton_snfa: Snfa,
+    /// Skeleton of `Σ* skel(r) Σ*`: the classical prefilter for unanchored
+    /// span search (a line without any skeleton span has no semantic span).
+    search_skeleton_snfa: Snfa,
     topo: GadgetTopology,
     query_table: QueryTable,
     oracle: O,
@@ -124,11 +130,13 @@ impl<O: Oracle> Matcher<O> {
         let query_table = QueryTable::build(&snfa, &topo);
         let skel = skeleton(&semre);
         let skeleton_snfa = compile(&skel);
+        let search_skeleton_snfa = compile(&Semre::padded(skel.clone()));
         Matcher {
             semre,
             skeleton: skel,
             snfa,
             skeleton_snfa,
+            search_skeleton_snfa,
             topo,
             query_table,
             oracle,
@@ -202,6 +210,90 @@ impl<O: Oracle> Matcher<O> {
             self.eval_options(),
             session,
         )
+    }
+
+    /// The leftmost-earliest span `(start, end)` with
+    /// `input[start..end] ∈ ⟦r⟧`: the smallest start, and among spans with
+    /// that start the smallest end.  `None` when no span of `input`
+    /// matches.
+    ///
+    /// Search evaluates the query graph of `Σ* r` in one pass (Fig. 9 rules
+    /// unchanged): every position seeds the start vertex, and each seed
+    /// rides the backreference machinery so that only starts whose oracle
+    /// path validates survive to the accept vertex.
+    pub fn find(&self, input: &[u8]) -> Option<(usize, usize)> {
+        self.search(input, SearchKind::Leftmost).span
+    }
+
+    /// Unanchored search with an explicit [`SearchKind`], reporting full
+    /// evaluation statistics; the span is in [`EvalReport::span`].
+    pub fn search(&self, input: &[u8], kind: SearchKind) -> EvalReport {
+        if self.config.skeleton_prefilter
+            && !semre_automata::skeleton_matches(&self.search_skeleton_snfa, input)
+        {
+            return EvalReport {
+                positions: input.len() + 1,
+                ..EvalReport::default()
+            };
+        }
+        if self.config.batched_oracle {
+            let mut session = self.session();
+            return evaluate_search_in_session(
+                &self.snfa,
+                &self.topo,
+                &self.query_table,
+                input,
+                self.eval_options(),
+                kind,
+                &mut session,
+            );
+        }
+        evaluate_search(
+            &self.snfa,
+            &self.topo,
+            input,
+            &self.oracle,
+            self.eval_options(),
+            kind,
+        )
+    }
+
+    /// Like [`search`](Matcher::search), but resolving oracle questions
+    /// through `session`, so the successive searches of an iteration (or
+    /// the other lines of a chunk) share `(query, text)` answers.  Always
+    /// uses the batched plane.
+    pub fn search_in_session(
+        &self,
+        input: &[u8],
+        kind: SearchKind,
+        session: &mut BatchSession<'_>,
+    ) -> EvalReport {
+        if self.config.skeleton_prefilter
+            && !semre_automata::skeleton_matches(&self.search_skeleton_snfa, input)
+        {
+            return EvalReport {
+                positions: input.len() + 1,
+                ..EvalReport::default()
+            };
+        }
+        evaluate_search_in_session(
+            &self.snfa,
+            &self.topo,
+            &self.query_table,
+            input,
+            self.eval_options(),
+            kind,
+            session,
+        )
+    }
+
+    /// The end of the earliest-ending matching span: the first position at
+    /// which some span of `input` is known to match, like
+    /// `Regex::shortest_match`.
+    pub fn shortest_match(&self, input: &[u8]) -> Option<usize> {
+        self.search(input, SearchKind::EarliestEnd)
+            .span
+            .map(|(_, end)| end)
     }
 
     fn eval_options(&self) -> EvalOptions {
@@ -318,6 +410,56 @@ mod tests {
         let per_call = MatcherConfig::per_call();
         assert!(per_call.skeleton_prefilter && per_call.prune_coreachable && per_call.lazy_oracle);
         assert!(!per_call.batched_oracle);
+    }
+
+    #[test]
+    fn find_locates_spans_and_respects_the_prefilter() {
+        let mut oracle = SetOracle::new();
+        oracle.insert("Medicine name", "tramadol");
+        let matcher = Matcher::new(
+            parse("Subject: .*(?<Medicine name>: [a-z]+)").unwrap(),
+            Instrumented::new(&oracle),
+        );
+        let line = b"x-header; Subject: cheap tramadol";
+        let span = matcher.find(line).expect("span exists");
+        assert_eq!(&line[span.0..span.1], b"Subject: cheap tramadol");
+        assert!(matcher.is_match(&line[span.0..span.1]));
+        assert_eq!(matcher.shortest_match(line), Some(span.1));
+
+        // The unanchored skeleton prefilter rejects without oracle work.
+        let before = matcher.oracle().stats().calls;
+        let report = matcher.search(b"no subject here", SearchKind::Leftmost);
+        assert_eq!(report.span, None);
+        assert_eq!(report.oracle_calls, 0);
+        assert_eq!(matcher.oracle().stats().calls, before);
+    }
+
+    #[test]
+    fn search_sessions_share_answers_across_suffixes() {
+        let backend = Instrumented::new(SimLlmOracle::new());
+        let matcher = Matcher::new(parse("(?<Medicine name>: [a-z]+)").unwrap(), &backend);
+        let line = b"viagra viagra";
+
+        let before = backend.stats().calls;
+        let mut session = matcher.session();
+        let first = matcher
+            .search_in_session(line, SearchKind::Leftmost, &mut session)
+            .span
+            .expect("span exists");
+        assert_eq!(&line[first.0..first.1], b"viagra");
+        let after_first = backend.stats().calls - before;
+        // Searching the rest of the line reuses the session's answers for
+        // the repeated word.
+        let second = matcher
+            .search_in_session(&line[first.1..], SearchKind::Leftmost, &mut session)
+            .span
+            .expect("second span exists");
+        assert_eq!(&line[first.1..][second.0..second.1], b"viagra");
+        let total = backend.stats().calls - before;
+        assert!(
+            total - after_first < after_first,
+            "suffix search should be mostly deduplicated ({after_first} then {total})"
+        );
     }
 
     #[test]

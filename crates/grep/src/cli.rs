@@ -14,11 +14,24 @@
 //!                      repeated (query, text) questions reach the oracle
 //!                      backend once per chunk
 //!   --chunk-lines N    lines per batch-session chunk (default 256)
+//!   --only-matching    print each matched span instead of the whole line
+//!                      (lines match when the pattern matches a substring)
+//!   --color            highlight matched spans in printed lines
 //!   --count            print only the number of matching lines
 //!   --stats            print aggregate statistics to standard error
 //!   --max-lines N      process at most N lines
 //!   --timeout-secs S   stop after S seconds of wall-clock time
 //! ```
+//!
+//! The driver is built entirely on the `semre` facade: one
+//! [`semre::SemRegex`] handle per run, configured by [`SemRegexBuilder`],
+//! with oracle backends
+//! dispatched by [`semre::OracleSpec`].  By default a line matches when the
+//! *whole line* belongs to the SemRE's language (the paper's membership
+//! question); `--only-matching` switches to unanchored span search, where
+//! a line matches when the pattern matches some substring.  `--color` is
+//! purely presentational — it highlights the spans `find` locates inside
+//! the printed lines and never changes which lines match.
 //!
 //! The option parsing and the scan driver live here (rather than in the
 //! binary) so they can be unit tested.
@@ -27,17 +40,12 @@ use std::error::Error;
 use std::fmt;
 use std::fs;
 use std::io::Read;
+use std::sync::Arc;
 use std::time::Duration;
 
-use semre_core::{DpMatcher, Matcher};
-use semre_oracle::{ConstOracle, Instrumented, Oracle, SetOracle, SimLlmOracle};
-use semre_syntax::parse;
+use semre::{Instrumented, OracleSpec, SemRegexBuilder, DEFAULT_CHUNK_LINES};
 
-use crate::engine::{scan, scan_batched, LineMatcher, ScanOptions};
-use crate::stats::ScanReport;
-
-/// Default number of lines per batch-session chunk for `--batched` scans.
-pub const DEFAULT_CHUNK_LINES: usize = 256;
+use crate::engine::{scan, scan_batched, scan_spans, ScanOptions};
 
 /// Errors produced while parsing command-line options or running the scan.
 #[derive(Debug)]
@@ -61,18 +69,10 @@ impl fmt::Display for CliError {
 
 impl Error for CliError {}
 
-/// Which oracle backend to instantiate.
-#[derive(Clone, Debug, PartialEq, Eq, Default)]
-pub enum OracleChoice {
-    /// The built-in simulated LLM ([`SimLlmOracle`]).
-    #[default]
-    SimLlm,
-    /// Accept every query.
-    AlwaysTrue,
-    /// Reject every query.
-    AlwaysFalse,
-    /// A [`SetOracle`] loaded from a tab-separated file.
-    SetFile(String),
+impl From<semre::Error> for CliError {
+    fn from(e: semre::Error) -> Self {
+        CliError::new(e.to_string())
+    }
 }
 
 /// Parsed command-line options.
@@ -82,8 +82,8 @@ pub struct CliOptions {
     pub pattern: String,
     /// Input file; standard input when `None`.
     pub file: Option<String>,
-    /// Oracle backend.
-    pub oracle: OracleChoice,
+    /// Oracle backend specification.
+    pub oracle: OracleSpec,
     /// Use the DP baseline instead of the query-graph matcher.
     pub baseline: bool,
     /// Share one batch session per chunk of lines (cross-line
@@ -91,6 +91,11 @@ pub struct CliOptions {
     pub batched: bool,
     /// Lines per batch-session chunk (`0` means the default).
     pub chunk_lines: usize,
+    /// Print matched spans instead of whole lines (span-search mode).
+    pub only_matching: bool,
+    /// Highlight matched spans in printed lines (presentational; never
+    /// changes which lines match).
+    pub color: bool,
     /// Print only the number of matching lines.
     pub count_only: bool,
     /// Print aggregate statistics to standard error.
@@ -103,7 +108,7 @@ pub struct CliOptions {
 
 /// The usage string printed on `--help` or malformed invocations.
 pub const USAGE: &str = "usage: grepo [--oracle KIND] [--baseline] [--batched] [--chunk-lines N] \
-[--count] [--stats] [--max-lines N] [--timeout-secs S] PATTERN [FILE]";
+[--only-matching] [--color] [--count] [--stats] [--max-lines N] [--timeout-secs S] PATTERN [FILE]";
 
 impl CliOptions {
     /// Parses command-line arguments (excluding the program name).
@@ -136,6 +141,8 @@ impl CliOptions {
                     }
                     options.chunk_lines = n;
                 }
+                "--only-matching" | "-o" => options.only_matching = true,
+                "--color" => options.color = true,
                 "--count" => options.count_only = true,
                 "--stats" => options.stats = true,
                 "--help" | "-h" => return Err(CliError::new(USAGE)),
@@ -143,19 +150,7 @@ impl CliOptions {
                     let kind = args
                         .next()
                         .ok_or_else(|| CliError::new("--oracle needs a value"))?;
-                    options.oracle = match kind.as_str() {
-                        "sim-llm" => OracleChoice::SimLlm,
-                        "always-true" => OracleChoice::AlwaysTrue,
-                        "always-false" => OracleChoice::AlwaysFalse,
-                        other => match other.strip_prefix("set:") {
-                            Some(path) if !path.is_empty() => {
-                                OracleChoice::SetFile(path.to_owned())
-                            }
-                            _ => {
-                                return Err(CliError::new(format!("unknown oracle kind {other:?}")))
-                            }
-                        },
-                    };
+                    options.oracle = OracleSpec::parse(&kind)?;
                 }
                 "--max-lines" => {
                     let n = args
@@ -195,17 +190,11 @@ impl CliOptions {
         Ok(options)
     }
 
-    fn build_oracle(&self) -> Result<Box<dyn Oracle>, CliError> {
-        Ok(match &self.oracle {
-            OracleChoice::SimLlm => Box::new(SimLlmOracle::new()),
-            OracleChoice::AlwaysTrue => Box::new(ConstOracle::always_true()),
-            OracleChoice::AlwaysFalse => Box::new(ConstOracle::always_false()),
-            OracleChoice::SetFile(path) => {
-                let content = fs::read_to_string(path)
-                    .map_err(|e| CliError::new(format!("cannot read oracle file {path}: {e}")))?;
-                Box::new(parse_set_oracle(&content))
-            }
-        })
+    /// Whether the run uses unanchored span search instead of whole-line
+    /// membership.  Only `--only-matching` changes matching semantics;
+    /// `--color` is presentational.
+    fn span_mode(&self) -> bool {
+        self.only_matching
     }
 
     fn scan_options(&self) -> ScanOptions {
@@ -216,32 +205,55 @@ impl CliOptions {
     }
 }
 
-/// Parses the `query<TAB>text` lines of a `set:` oracle file; blank lines
-/// and lines starting with `#` are ignored.
-pub fn parse_set_oracle(content: &str) -> SetOracle {
-    let mut oracle = SetOracle::new();
-    for line in content.lines() {
-        let line = line.trim_end();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        if let Some((query, text)) = line.split_once('\t') {
-            oracle.insert(query, text);
-        }
-    }
-    oracle
-}
-
 /// The output of [`run`], ready to be printed by the binary.
 #[derive(Clone, Debug, Default)]
 pub struct CliOutcome {
-    /// Lines to print on standard output (matching lines, or the count).
+    /// Lines to print on standard output (matching lines, spans, or the
+    /// count).
     pub stdout: Vec<String>,
     /// Lines to print on standard error (statistics).
     pub stderr: Vec<String>,
     /// Process exit code: 0 if at least one line matched, 1 otherwise
     /// (grep convention).
     pub exit_code: i32,
+}
+
+/// ANSI escape wrapping for `--color` span highlighting.
+const HIGHLIGHT_START: &str = "\x1b[1;31m";
+const HIGHLIGHT_END: &str = "\x1b[0m";
+
+/// Widens a byte span outward to UTF-8 character boundaries of `line`, so
+/// display slicing never splits a multi-byte character (matching is
+/// byte-level, so a span may end mid-character).
+fn snap_span(line: &str, start: usize, end: usize) -> (usize, usize) {
+    let mut start = start.min(line.len());
+    while !line.is_char_boundary(start) {
+        start -= 1;
+    }
+    let mut end = end.min(line.len());
+    while !line.is_char_boundary(end) {
+        end += 1;
+    }
+    (start, end)
+}
+
+/// Renders `line` with every span wrapped in ANSI highlight codes.
+fn highlight_spans(line: &str, spans: &[(usize, usize)]) -> String {
+    let mut out = String::new();
+    let mut pos = 0;
+    for &(start, end) in spans {
+        let (start, end) = snap_span(line, start, end);
+        if start < pos {
+            continue;
+        }
+        out.push_str(&line[pos..start]);
+        out.push_str(HIGHLIGHT_START);
+        out.push_str(&line[start..end]);
+        out.push_str(HIGHLIGHT_END);
+        pos = end;
+    }
+    out.push_str(&line[pos..]);
+    out
 }
 
 /// Runs the tool on the given input text (used by the binary after reading
@@ -252,55 +264,90 @@ pub struct CliOutcome {
 /// Returns a [`CliError`] if the pattern does not parse or the oracle file
 /// cannot be loaded.
 pub fn run_on_text(options: &CliOptions, text: &str) -> Result<CliOutcome, CliError> {
-    let semre =
-        parse(&options.pattern).map_err(|e| CliError::new(format!("invalid pattern: {e}")))?;
-    let oracle = Instrumented::new(options.build_oracle()?);
-    let lines: Vec<&str> = text.lines().collect();
+    let backend = options.oracle.build()?;
+    let oracle = Arc::new(Instrumented::new(backend));
     let chunk = if options.chunk_lines == 0 {
         DEFAULT_CHUNK_LINES
     } else {
         options.chunk_lines
     };
+    // Without --batched the per-call plane keeps the per-line
+    // `oracle_calls` statistic meaning what it says: one backend call per
+    // logical oracle question.
+    let shared: Arc<dyn semre::Oracle> = oracle.clone();
+    let re = SemRegexBuilder::new()
+        .dp_baseline(options.baseline)
+        .batched(options.batched)
+        .chunk_lines(chunk)
+        .build_shared(&options.pattern, shared)?;
 
-    let report: ScanReport;
-    let algorithm: &str;
-    if options.baseline {
-        let matcher = DpMatcher::new(semre, &oracle);
-        algorithm = matcher.algorithm();
-        report = if options.batched {
-            scan_batched(&matcher, &lines, chunk, options.scan_options())
-        } else {
-            scan(&matcher, &lines, || oracle.stats(), options.scan_options())
-        };
+    let lines: Vec<&str> = text.lines().collect();
+    let mut outcome = CliOutcome::default();
+    let report;
+
+    if options.span_mode() {
+        // Only the first span per line is needed when nothing but the
+        // count will be printed.
+        let (span_report, spans_per_line) = scan_spans(
+            &re,
+            &lines,
+            chunk,
+            options.scan_options(),
+            options.count_only,
+        );
+        if !options.count_only {
+            for record in span_report.records.iter().filter(|r| r.matched) {
+                let line = lines[record.index];
+                for &(start, end) in &spans_per_line[record.index] {
+                    let (start, end) = snap_span(line, start, end);
+                    let span = &line[start..end];
+                    if options.color {
+                        outcome
+                            .stdout
+                            .push(format!("{HIGHLIGHT_START}{span}{HIGHLIGHT_END}"));
+                    } else {
+                        outcome.stdout.push(span.to_owned());
+                    }
+                }
+            }
+        }
+        report = span_report;
     } else {
-        // Without --batched the scan runs on the per-call plane, so the
-        // per-line `oracle_calls` statistic keeps meaning what it says:
-        // one backend call per logical oracle question.
-        let matcher_config = if options.batched {
-            semre_core::MatcherConfig::default()
-        } else {
-            semre_core::MatcherConfig::per_call()
-        };
-        let matcher = Matcher::with_config(semre, &oracle, matcher_config);
-        algorithm = matcher.algorithm();
         report = if options.batched {
-            scan_batched(&matcher, &lines, chunk, options.scan_options())
+            scan_batched(&re, &lines, chunk, options.scan_options())
         } else {
-            scan(&matcher, &lines, || oracle.stats(), options.scan_options())
+            scan(&re, &lines, || oracle.stats(), options.scan_options())
         };
+        if !options.count_only {
+            for record in report.records.iter().filter(|r| r.matched) {
+                let line = lines[record.index];
+                if options.color {
+                    // Presentational only: membership decided which lines
+                    // match; `find_iter` locates the spans to highlight.
+                    let spans: Vec<(usize, usize)> = re
+                        .find_iter(line.as_bytes())
+                        .map(|m| (m.start(), m.end()))
+                        .collect();
+                    outcome.stdout.push(highlight_spans(line, &spans));
+                } else {
+                    outcome.stdout.push(line.to_owned());
+                }
+            }
+        }
     }
 
-    let mut outcome = CliOutcome::default();
     if options.count_only {
-        outcome.stdout.push(report.matched_lines().to_string());
-    } else {
-        for record in report.records.iter().filter(|r| r.matched) {
-            outcome.stdout.push(lines[record.index].to_owned());
-        }
+        outcome.stdout = vec![report.matched_lines().to_string()];
     }
     if options.stats {
         outcome.stderr.push(format!(
-            "algorithm={algorithm} lines={} matched={} timed_out={}",
+            "algorithm={} mode={} lines={} matched={} timed_out={}",
+            re.algorithm(),
+            if options.span_mode() {
+                "search"
+            } else {
+                "membership"
+            },
             report.lines(),
             report.matched_lines(),
             report.timed_out
@@ -310,10 +357,10 @@ pub fn run_on_text(options: &CliOptions, text: &str) -> Result<CliOutcome, CliEr
             report.rt_total_ms(),
             report.rt_matched_ms()
         ));
-        if !options.batched {
-            // Per-line oracle attribution only exists on the per-call path;
-            // on batched scans a batch belongs to a chunk, not a line, and
-            // usage is reported by the batch-plane line below instead.
+        if !options.batched && !options.span_mode() {
+            // Per-line oracle attribution only exists on the per-call
+            // membership path; batched and span scans attribute batches to
+            // chunks, reported by the batch-plane line below.
             outcome.stderr.push(format!(
                 "oracle_calls={:.3}/line oracle_fraction={:.3} query_chars={:.3}/line",
                 report.oracle_calls_per_line(),
@@ -322,6 +369,8 @@ pub fn run_on_text(options: &CliOptions, text: &str) -> Result<CliOutcome, CliEr
             ));
         }
         if options.batched {
+            // Span scans on the per-call plane bypass the chunk session, so
+            // the batch counters would all be zero there.
             outcome.stderr.push(format!(
                 "batches={} keys_submitted={} keys_deduped={} backend_keys={} dedup_ratio={:.3} mean_batch={:.2}",
                 report.batch.batches,
@@ -367,16 +416,16 @@ mod tests {
         assert!(o.stats && o.count_only && !o.baseline);
         assert_eq!(o.pattern, "a+");
         assert_eq!(o.file.as_deref(), Some("input.txt"));
-        assert_eq!(o.oracle, OracleChoice::SimLlm);
+        assert_eq!(o.oracle, OracleSpec::SimLlm);
 
         let o = CliOptions::parse(["--oracle", "always-true", "--baseline", "x"]).unwrap();
         assert!(o.baseline);
-        assert_eq!(o.oracle, OracleChoice::AlwaysTrue);
+        assert_eq!(o.oracle, OracleSpec::AlwaysTrue);
         assert_eq!(o.file, None);
 
         let o =
             CliOptions::parse(["--oracle", "set:oracle.tsv", "--max-lines", "10", "x"]).unwrap();
-        assert_eq!(o.oracle, OracleChoice::SetFile("oracle.tsv".into()));
+        assert_eq!(o.oracle, OracleSpec::SetFile("oracle.tsv".into()));
         assert_eq!(o.max_lines, Some(10));
 
         let o = CliOptions::parse(["--timeout-secs", "30", "x"]).unwrap();
@@ -385,6 +434,11 @@ mod tests {
         let o = CliOptions::parse(["--batched", "--chunk-lines", "64", "x"]).unwrap();
         assert!(o.batched);
         assert_eq!(o.chunk_lines, 64);
+
+        let o = CliOptions::parse(["--only-matching", "--color", "x"]).unwrap();
+        assert!(o.only_matching && o.color);
+        let o = CliOptions::parse(["-o", "x"]).unwrap();
+        assert!(o.only_matching);
     }
 
     #[test]
@@ -404,16 +458,6 @@ mod tests {
     }
 
     #[test]
-    fn set_oracle_file_format() {
-        let oracle =
-            parse_set_oracle("# comment\nCity\tParis\nCity\tHouston\n\nCeleb\tParis Hilton\n");
-        use semre_oracle::Oracle as _;
-        assert!(oracle.holds("City", b"Paris"));
-        assert!(oracle.holds("Celeb", b"Paris Hilton"));
-        assert!(!oracle.holds("City", b"Paris Hilton"));
-    }
-
-    #[test]
     fn end_to_end_on_text() {
         let options =
             CliOptions::parse(["--stats", r"Subject: .*(?<Medicine name>: .+).*"]).unwrap();
@@ -423,6 +467,7 @@ mod tests {
         assert_eq!(outcome.exit_code, 0);
         assert_eq!(outcome.stderr.len(), 3);
         assert!(outcome.stderr[0].contains("algorithm=snfa"));
+        assert!(outcome.stderr[0].contains("mode=membership"));
 
         let count = CliOptions::parse([
             "--count",
@@ -458,7 +503,7 @@ mod tests {
         assert!(batch_line.contains("keys_deduped="), "{batch_line}");
         assert!(batch_line.contains("dedup_ratio="), "{batch_line}");
 
-        // Per-call runs do not print batch-plane statistics.
+        // Per-call membership runs do not print batch-plane statistics.
         let plain_stats = CliOptions::parse(["--stats", pattern]).unwrap();
         let outcome = run_on_text(&plain_stats, text).unwrap();
         assert!(outcome.stderr.iter().all(|l| !l.starts_with("batches=")));
@@ -467,6 +512,93 @@ mod tests {
         let baseline = CliOptions::parse(["--batched", "--baseline", "--count", pattern]).unwrap();
         let outcome = run_on_text(&baseline, text).unwrap();
         assert_eq!(outcome.stdout, vec!["2".to_owned()]);
+    }
+
+    #[test]
+    fn only_matching_prints_spans() {
+        // Span-search mode: lines match on substrings, and -o prints the
+        // matched spans themselves.
+        let options =
+            CliOptions::parse(["--only-matching", "--stats", r"(?<Medicine name>: [a-z]+)"])
+                .unwrap();
+        let text = "please buy tramadol today\nnothing here\nambien and xanax\n";
+        let outcome = run_on_text(&options, text).unwrap();
+        assert_eq!(
+            outcome.stdout,
+            vec![
+                "tramadol".to_owned(),
+                "ambien".to_owned(),
+                "xanax".to_owned()
+            ]
+        );
+        assert_eq!(outcome.exit_code, 0);
+        assert!(outcome.stderr[0].contains("mode=search"));
+        assert!(outcome.stderr[0].contains("matched=2"));
+        // Per-call span scans bypass the chunk session: no batch line.
+        assert!(outcome.stderr.iter().all(|l| !l.starts_with("batches=")));
+
+        // Batched span scans report the chunk sessions' batch statistics.
+        let batched = CliOptions::parse([
+            "--only-matching",
+            "--batched",
+            "--stats",
+            r"(?<Medicine name>: [a-z]+)",
+        ])
+        .unwrap();
+        let outcome = run_on_text(&batched, text).unwrap();
+        assert_eq!(outcome.stdout.len(), 3);
+        let batch_line = outcome
+            .stderr
+            .iter()
+            .find(|l| l.starts_with("batches="))
+            .expect("batched span scan reports batch stats");
+        assert!(!batch_line.contains("batches=0 "), "{batch_line}");
+    }
+
+    #[test]
+    fn color_highlights_spans_without_changing_verdicts() {
+        // Membership mode with --color: which lines match is unchanged
+        // (whole-line membership), and `find` locates the spans to
+        // highlight inside each printed line.
+        let pattern = r".*(?<Medicine name>: [a-z]+).*";
+        let text = "take ambien nightly\nno meds here\n";
+        let plain = run_on_text(&CliOptions::parse([pattern]).unwrap(), text).unwrap();
+        let colored = run_on_text(&CliOptions::parse(["--color", pattern]).unwrap(), text).unwrap();
+        assert_eq!(
+            plain.stdout.len(),
+            colored.stdout.len(),
+            "--color changed verdicts"
+        );
+        let line = &colored.stdout[0];
+        assert!(
+            line.contains(HIGHLIGHT_START) && line.contains(HIGHLIGHT_END),
+            "span not highlighted: {line:?}"
+        );
+        assert!(line.ends_with(" nightly"));
+
+        // --color never flips a non-matching line to matching: the
+        // unpadded pattern substring-matches this line but the whole line
+        // is not a member, so nothing is printed either way.
+        let unpadded = r"(?<Medicine name>: [a-z]+)";
+        for args in [vec![unpadded], vec!["--color", unpadded]] {
+            let outcome = run_on_text(&CliOptions::parse(args).unwrap(), "take ambien\n").unwrap();
+            assert!(outcome.stdout.is_empty());
+            assert_eq!(outcome.exit_code, 1);
+        }
+
+        // --only-matching --color prints highlighted spans only.
+        let options = CliOptions::parse(["--only-matching", "--color", unpadded]).unwrap();
+        let outcome = run_on_text(&options, "take ambien nightly\n").unwrap();
+        assert_eq!(outcome.stdout, vec!["\x1b[1;31mambien\x1b[0m".to_owned()]);
+    }
+
+    #[test]
+    fn span_mode_counts_lines_not_spans() {
+        let options =
+            CliOptions::parse(["--only-matching", "--count", r"(?<Medicine name>: [a-z]+)"])
+                .unwrap();
+        let outcome = run_on_text(&options, "ambien and xanax\nnope\n").unwrap();
+        assert_eq!(outcome.stdout, vec!["1".to_owned()]);
     }
 
     #[test]

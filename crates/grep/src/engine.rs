@@ -8,6 +8,7 @@
 
 use std::time::{Duration, Instant};
 
+use semre::SemRegex;
 use semre_core::{DpMatcher, Matcher};
 use semre_oracle::{BatchSession, Oracle, OracleStats};
 
@@ -15,8 +16,10 @@ use crate::stats::{LineRecord, ScanReport};
 
 /// Anything that can decide membership of a single line.
 ///
-/// Implemented by both matching algorithms so that the scanning engine, the
-/// CLI, and the benchmark harness can switch between them.
+/// Implemented by the facade's [`SemRegex`] handle (the normal entry
+/// point) and directly by both internal matching algorithms, so that the
+/// scanning engine, the CLI, and the benchmark harness can switch between
+/// them.
 pub trait LineMatcher: Sync {
     /// Whether `line` belongs to the SemRE's language.
     fn matches_line(&self, line: &[u8]) -> bool;
@@ -32,6 +35,24 @@ pub trait LineMatcher: Sync {
 
     /// A short name identifying the algorithm ("snfa" or "dp").
     fn algorithm(&self) -> &'static str;
+}
+
+impl LineMatcher for SemRegex {
+    fn matches_line(&self, line: &[u8]) -> bool {
+        self.is_match(line)
+    }
+
+    fn matches_line_in_session(&self, line: &[u8], session: &mut BatchSession<'_>) -> bool {
+        self.is_match_in_session(line, session)
+    }
+
+    fn session(&self) -> BatchSession<'_> {
+        SemRegex::session(self)
+    }
+
+    fn algorithm(&self) -> &'static str {
+        SemRegex::algorithm(self)
+    }
 }
 
 impl<O: Oracle> LineMatcher for Matcher<O> {
@@ -138,20 +159,17 @@ where
     report
 }
 
-/// Scans `lines` with one [`BatchSession`] per `chunk_lines`-sized chunk,
-/// so oracle questions are batched within each line (the evaluator's
-/// collect phase) *and* deduplicated across the lines of a chunk — repeated
-/// domains, medicine names, or paths in a corpus reach the backend once per
-/// chunk instead of once per occurrence.
-///
-/// The per-chunk [`BatchStats`](semre_oracle::BatchStats) are accumulated
-/// into [`ScanReport::batch`]; per-line oracle attribution is not recorded
-/// (a batch belongs to a chunk, not a line).
-pub fn scan_batched<M, L>(
+/// Shared driver for chunk-session scans: one session per
+/// `chunk_lines`-sized chunk, the `max_lines` / `time_budget` limits, and
+/// batch-stats accumulation.  `match_line` decides one line through the
+/// chunk's session (recording whatever per-line detail it needs on the
+/// side).
+fn scan_in_chunks<M, L>(
     matcher: &M,
     lines: &[L],
     chunk_lines: usize,
     options: ScanOptions,
+    mut match_line: impl FnMut(&M, usize, &[u8], &mut BatchSession<'_>) -> bool,
 ) -> ScanReport
 where
     M: LineMatcher + ?Sized,
@@ -179,7 +197,7 @@ where
             }
             let line = line.as_ref();
             let line_start = Instant::now();
-            let matched = matcher.matches_line_in_session(line.as_bytes(), &mut session);
+            let matched = match_line(matcher, index, line.as_bytes(), &mut session);
             let duration = line_start.elapsed();
             report.records.push(LineRecord {
                 index,
@@ -193,6 +211,83 @@ where
     }
     report.total_duration = started.elapsed();
     report
+}
+
+/// Scans `lines` with one [`BatchSession`] per `chunk_lines`-sized chunk,
+/// so oracle questions are batched within each line (the evaluator's
+/// collect phase) *and* deduplicated across the lines of a chunk — repeated
+/// domains, medicine names, or paths in a corpus reach the backend once per
+/// chunk instead of once per occurrence.
+///
+/// The per-chunk [`BatchStats`](semre_oracle::BatchStats) are accumulated
+/// into [`ScanReport::batch`]; per-line oracle attribution is not recorded
+/// (a batch belongs to a chunk, not a line).
+pub fn scan_batched<M, L>(
+    matcher: &M,
+    lines: &[L],
+    chunk_lines: usize,
+    options: ScanOptions,
+) -> ScanReport
+where
+    M: LineMatcher + ?Sized,
+    L: AsRef<str>,
+{
+    scan_in_chunks(
+        matcher,
+        lines,
+        chunk_lines,
+        options,
+        |m, _, line, session| m.matches_line_in_session(line, session),
+    )
+}
+
+/// Scans `lines` in span-search mode: every processed line is searched for
+/// its non-overlapping leftmost-earliest spans, and a line counts as
+/// matched when it has at least one.  Chunking, limits, and batch-stats
+/// accumulation behave exactly like [`scan_batched`]; the second component
+/// maps each processed line index to its spans.
+///
+/// With `first_span_only` the search of a line stops at its first span —
+/// enough to decide the line, and much cheaper when only verdicts or
+/// counts are needed.
+pub fn scan_spans<L>(
+    re: &SemRegex,
+    lines: &[L],
+    chunk_lines: usize,
+    options: ScanOptions,
+    first_span_only: bool,
+) -> (ScanReport, Vec<Vec<(usize, usize)>>)
+where
+    L: AsRef<str>,
+{
+    let mut spans_per_line: Vec<Vec<(usize, usize)>> = vec![Vec::new(); lines.len()];
+    let report = scan_in_chunks(
+        re,
+        lines,
+        chunk_lines,
+        options,
+        |re, index, line, session| {
+            let mut spans = Vec::new();
+            let mut at = 0;
+            while at <= line.len() {
+                match re.find_at_in_session(line, at, session) {
+                    Some(m) => {
+                        // The advance rule is shared with `find_iter`.
+                        at = m.next_search_start();
+                        spans.push((m.start(), m.end()));
+                        if first_span_only {
+                            break;
+                        }
+                    }
+                    None => break,
+                }
+            }
+            let matched = !spans.is_empty();
+            spans_per_line[index] = spans;
+            matched
+        },
+    );
+    (report, spans_per_line)
 }
 
 /// The result of a parallel scan: only which lines matched and the total
@@ -367,6 +462,32 @@ mod tests {
         let batched = scan_batched(&m, &Vec::<String>::new(), 16, ScanOptions::unlimited());
         assert_eq!(batched.lines(), 0);
         assert_eq!(batched.batch.batches, 0);
+    }
+
+    #[test]
+    fn semregex_handles_drive_all_scan_modes() {
+        let re = semre::SemRegex::new(
+            "Subject: .*(?<Medicine name>: .+).*",
+            semre_oracle::SimLlmOracle::new(),
+        )
+        .unwrap();
+        let sequential = scan(
+            &re,
+            &lines(),
+            OracleStats::default,
+            ScanOptions::unlimited(),
+        );
+        assert_eq!(sequential.matched_lines(), 2);
+        assert_eq!(LineMatcher::algorithm(&re), "snfa");
+
+        let batched = scan_batched(&re, &lines(), 16, ScanOptions::unlimited());
+        let got: Vec<bool> = batched.records.iter().map(|r| r.matched).collect();
+        let expected: Vec<bool> = sequential.records.iter().map(|r| r.matched).collect();
+        assert_eq!(got, expected);
+        assert!(batched.batch.keys_submitted > 0);
+
+        let parallel = scan_parallel(&re, &lines(), 2);
+        assert_eq!(parallel.matched_lines(), 2);
     }
 
     #[test]

@@ -3,29 +3,30 @@
 //! The paper's evaluation (Section 5) is carried out with a prototype
 //! called `grep_O` — given a SemRE, an oracle, and an input file, it prints
 //! the matching lines and reports throughput and oracle-usage statistics.
-//! This crate provides that tool as a library plus a thin binary:
+//! This crate provides that tool as a library plus a thin binary, built on
+//! top of the `semre` facade (a [`semre::SemRegex`] handle is the normal
+//! way to drive a scan):
 //!
-//! * [`LineMatcher`] / [`scan`] / [`scan_parallel`] — the line-oriented
-//!   scanning engine, usable with either the query-graph matcher or the DP
-//!   baseline;
+//! * [`LineMatcher`] / [`scan`] / [`scan_parallel`] / [`scan_batched`] —
+//!   the line-oriented scanning engine, accepting a facade handle or
+//!   either internal matcher;
 //! * [`ScanReport`] — per-line records and the aggregate statistics of
 //!   Table 2 and Fig. 10;
-//! * [`cli`] — option parsing and the driver behind the `grepo` binary.
+//! * [`cli`] — option parsing and the driver behind the `grepo` binary,
+//!   including span search (`--only-matching`, `--color`).
 //!
 //! # Example
 //!
 //! ```
-//! use semre_core::Matcher;
+//! use semre::SemRegex;
 //! use semre_grep::{scan, ScanOptions};
-//! use semre_oracle::{Instrumented, SimLlmOracle};
-//! use semre_syntax::parse;
+//! use semre_oracle::{OracleStats, SimLlmOracle};
 //!
-//! let oracle = Instrumented::new(SimLlmOracle::new());
-//! let matcher = Matcher::new(parse("Subject: .*(?<Medicine name>: .+).*").unwrap(), oracle);
+//! let re = SemRegex::new("Subject: .*(?<Medicine name>: .+).*", SimLlmOracle::new())?;
 //! let lines = vec!["Subject: cheap cialis".to_owned(), "Subject: agenda".to_owned()];
-//! let report = scan(&matcher, &lines, || matcher.oracle().stats(), ScanOptions::unlimited());
+//! let report = scan(&re, &lines, OracleStats::default, ScanOptions::unlimited());
 //! assert_eq!(report.matched_lines(), 1);
-//! assert!(report.oracle_calls_per_line() > 0.0);
+//! # Ok::<(), semre::Error>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -35,5 +36,7 @@ pub mod cli;
 mod engine;
 mod stats;
 
-pub use engine::{scan, scan_batched, scan_parallel, LineMatcher, ParallelScanReport, ScanOptions};
+pub use engine::{
+    scan, scan_batched, scan_parallel, scan_spans, LineMatcher, ParallelScanReport, ScanOptions,
+};
 pub use stats::{LineRecord, ScanReport};

@@ -4,16 +4,20 @@
 //! The example generates a synthetic Java corpus, then scans it with two
 //! SemREs — one flagging string literals that look like hard-coded secrets
 //! (LLM-style oracle) and one flagging references to file paths that no
-//! longer exist (file-system oracle) — and prints the flagged lines
-//! together with throughput and oracle-usage statistics.
+//! longer exist (file-system oracle).  Each rule is a [`semre::SemRegex`]
+//! handle driving the `semre-grep` engine; besides the flagged lines the
+//! example uses span search (`find`) to point at *where* in the line the
+//! rule fired.
 //!
 //! Run with `cargo run --release --example credential_scan`.
 
-use semre::grep::{scan, ScanOptions};
-use semre::{Instrumented, Matcher};
-use semre_workloads::Workbench;
+use std::sync::Arc;
 
-fn main() {
+use semre::workloads::Workbench;
+use semre::{Instrumented, SemRegexBuilder};
+use semre_grep::{scan, ScanOptions};
+
+fn main() -> Result<(), semre::Error> {
     let workbench = Workbench::generate(2025, 0, 1500);
     let corpus = workbench.java();
     println!(
@@ -24,10 +28,13 @@ fn main() {
 
     for bench in ["pass", "file"] {
         let spec = workbench.benchmark(bench).expect("known benchmark");
-        let oracle = Instrumented::with_latency(spec.oracle.clone(), spec.latency);
-        let matcher = Matcher::new(spec.semre.clone(), &oracle);
+        let oracle = Arc::new(Instrumented::with_latency(
+            spec.oracle.clone(),
+            spec.latency,
+        ));
+        let re = SemRegexBuilder::new().build_semre_shared(spec.semre.clone(), oracle.clone())?;
         let report = scan(
-            &matcher,
+            &re,
             corpus.lines(),
             || oracle.stats(),
             ScanOptions::unlimited(),
@@ -43,10 +50,15 @@ fn main() {
             report.oracle_calls_per_line(),
             report.query_chars_per_line()
         );
-        println!("   first flagged lines:");
+        println!("   first flagged lines (with the matched span):");
         for record in report.records.iter().filter(|r| r.matched).take(5) {
-            println!("     {}", corpus.lines()[record.index].trim());
+            let line = corpus.lines()[record.index].trim();
+            match re.find(line.as_bytes()) {
+                Some(m) => println!("     [{}..{}] {}", m.start(), m.end(), line),
+                None => println!("     {line}"),
+            }
         }
         println!();
     }
+    Ok(())
 }

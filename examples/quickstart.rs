@@ -1,25 +1,26 @@
-//! Quick start: parse a semantic regular expression, attach an oracle, and
-//! test a few lines for membership.
+//! Quick start: compile a semantic regular expression into a [`SemRegex`]
+//! handle, test lines for membership, and search lines for matching spans —
+//! entirely through the `semre` facade crate.
 //!
 //! Run with `cargo run --example quickstart`.
 
-use semre::{Instrumented, Matcher, SetOracle, SimLlmOracle};
+use semre::{Instrumented, SemRegex, SemRegexBuilder, SetOracle, SimLlmOracle};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), semre::Error> {
     // --- 1. A SemRE with an LLM-style oracle -----------------------------
     // Example 2.8 of the paper: subject lines advertising medicines, where
-    // the medicine name must appear as a whole word.
-    let spam = semre::parse(r"Subject: .* (?<Medicine name>: [a-zA-Z]+) .*")?;
+    // the medicine name must appear as a whole word.  The simulated LLM
+    // answers lexicon questions deterministically; the Instrumented wrapper
+    // counts calls so we can see how sparingly the matcher uses the oracle.
+    let oracle = std::sync::Arc::new(Instrumented::new(SimLlmOracle::new()));
+    let spam = SemRegex::new_shared(
+        r"Subject: .* (?<Medicine name>: [a-zA-Z]+) .*",
+        oracle.clone(),
+    )?;
     println!("pattern      : {spam}");
-    println!("skeleton     : {}", semre::skeleton(&spam));
-    println!("|r|          : {}", spam.size());
-    println!("nested       : {}", spam.has_nested_queries());
-
-    // The simulated LLM answers lexicon questions deterministically; the
-    // Instrumented wrapper counts calls so we can see how sparingly the
-    // matcher uses the oracle.
-    let oracle = Instrumented::new(SimLlmOracle::new());
-    let matcher = Matcher::new(spam, oracle);
+    println!("skeleton     : {}", semre::skeleton(spam.semre()));
+    println!("|r|          : {}", spam.semre().size());
+    println!("algorithm    : {}", spam.algorithm());
 
     let lines: &[&str] = &[
         "Subject: buy cheap tramadol online now",
@@ -27,36 +28,54 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "Re: buy cheap tramadol online now",
         "Subject: weight loss miracle ambien offer",
     ];
-    println!("\nscanning {} lines:", lines.len());
+    println!("\nscanning {} lines (whole-line membership):", lines.len());
     for line in lines {
-        let verdict = if matcher.is_match(line.as_bytes()) {
+        let verdict = if spam.is_match(line.as_bytes()) {
             "MATCH "
         } else {
             "      "
         };
         println!("  {verdict} {line}");
     }
-    let stats = matcher.oracle().stats();
+    let stats = oracle.stats();
     println!(
         "\noracle usage : {} calls, {} bytes submitted, {} positive answers",
         stats.calls, stats.query_bytes, stats.positive
     );
 
-    // --- 2. A database-backed oracle --------------------------------------
+    // --- 2. Span search ---------------------------------------------------
+    // `find` / `find_iter` locate the pattern *inside* a noisy line
+    // (leftmost-earliest spans), like a classical regex engine.
+    let meds = SemRegex::new(r"(?<Medicine name>: [a-z]+)", SimLlmOracle::new())?;
+    let noisy = b"order: 2x tramadol, 1x ambien (refill) -- thanks!";
+    println!("\nspans of {:?} in a noisy line:", meds.pattern());
+    for m in meds.find_iter(noisy) {
+        println!(
+            "  [{:>2}..{:>2}] {}",
+            m.start(),
+            m.end(),
+            m.as_str().unwrap_or("<non-utf8>")
+        );
+    }
+
+    // --- 3. A database-backed oracle and a custom configuration ----------
     // Oracles need not be LLMs (Note 2.6): here the "Eastern European city"
-    // category is a plain set lookup.
+    // category is a plain set lookup, and the builder selects the paper
+    // prototype's per-call oracle plane.
     let mut cities = SetOracle::new();
     cities.insert_all(
         "Eastern European city",
         ["Warsaw", "Prague", "Budapest", "Kyiv"],
     );
-    let travel = semre::parse(r"travel to (?<Eastern European city>: [A-Za-z]+)")?;
-    let travel_matcher = Matcher::new(travel, cities);
+    let travel = SemRegexBuilder::new()
+        .per_call()
+        .build(r"travel to (?<Eastern European city>: [A-Za-z]+)", cities)?;
+    println!();
     for line in ["travel to Prague", "travel to Lisbon"] {
         println!(
             "{:<18} -> {}",
             line,
-            if travel_matcher.is_match(line.as_bytes()) {
+            if travel.is_match(line.as_bytes()) {
                 "match"
             } else {
                 "no match"

@@ -5,17 +5,20 @@
 //! Four of the paper's benchmark SemREs are applied to every line of a
 //! generated spam corpus: pharmaceutical subjects (`spam,1`), dead sender
 //! domains (`edom`), phishing URLs (`wdom,1`), and foreign IP addresses
-//! (`ip`).  For each rule the example reports how many lines were flagged
-//! and how the two algorithms compare in time and oracle calls.
+//! (`ip`).  Each rule is compiled once into a [`semre::SemRegex`] handle —
+//! the baseline via `SemRegexBuilder::dp_baseline` — and the example
+//! reports how many lines were flagged and how the two algorithms compare
+//! in time and oracle calls.
 //!
 //! Run with `cargo run --release --example spam_filter`.
 
+use std::sync::Arc;
 use std::time::Instant;
 
-use semre::{DpMatcher, Instrumented, Matcher};
-use semre_workloads::Workbench;
+use semre::workloads::Workbench;
+use semre::{Instrumented, SemRegexBuilder};
 
-fn main() {
+fn main() -> Result<(), semre::Error> {
     let workbench = Workbench::generate(99, 2000, 0);
     // Keep the baseline affordable: the DP matcher is cubic in line length.
     let corpus = workbench.spam().truncated_to(200);
@@ -28,8 +31,9 @@ fn main() {
     for rule in ["spam,1", "edom", "wdom,1", "ip"] {
         let spec = workbench.benchmark(rule).expect("known benchmark");
 
-        let snfa_oracle = Instrumented::new(spec.oracle.clone());
-        let snfa = Matcher::new(spec.semre.clone(), &snfa_oracle);
+        let snfa_oracle = Arc::new(Instrumented::new(spec.oracle.clone()));
+        let snfa =
+            SemRegexBuilder::new().build_semre_shared(spec.semre.clone(), snfa_oracle.clone())?;
         let started = Instant::now();
         let flagged = corpus
             .lines()
@@ -38,8 +42,10 @@ fn main() {
             .count();
         let snfa_time = started.elapsed();
 
-        let dp_oracle = Instrumented::new(spec.oracle.clone());
-        let dp = DpMatcher::new(spec.semre.clone(), &dp_oracle);
+        let dp_oracle = Arc::new(Instrumented::new(spec.oracle.clone()));
+        let dp = SemRegexBuilder::new()
+            .dp_baseline(true)
+            .build_semre_shared(spec.semre.clone(), dp_oracle.clone())?;
         let started = Instant::now();
         let dp_flagged = corpus
             .lines()
@@ -62,4 +68,5 @@ fn main() {
         );
     }
     println!("\n(absolute numbers vary by machine; the SNFA matcher should win on every rule)");
+    Ok(())
 }

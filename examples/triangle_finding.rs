@@ -12,7 +12,7 @@
 
 use std::time::Instant;
 
-use semre_workloads::triangle::{has_triangle_via_semre, Graph};
+use semre::workloads::triangle::{has_triangle_via_semre, Graph};
 
 fn main() {
     println!(

@@ -1,0 +1,94 @@
+//! The unified facade error type.
+
+use std::fmt;
+
+use semre_automata::SnfaInvariantError;
+use semre_syntax::ParseSemreError;
+
+/// Everything that can go wrong while compiling or using a
+/// [`SemRegex`](crate::SemRegex) handle, so facade results compose with `?`.
+///
+/// The variants mirror the compilation pipeline: the pattern may fail to
+/// *parse*, the parsed SemRE may fail to *elaborate* into a well-formed
+/// semantic NFA, and an *oracle* backend may fail to be constructed (e.g. a
+/// `set:` file that cannot be read).
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The pattern's concrete syntax is malformed.  The inner
+    /// [`ParseSemreError`] carries the byte offset of the problem, which
+    /// `Display` preserves.
+    Parse(ParseSemreError),
+    /// The compiled semantic NFA violates a structural invariant.
+    Elaboration(SnfaInvariantError),
+    /// An oracle backend could not be built or reached.
+    Oracle(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            // ParseSemreError's Display includes "… at offset N".
+            Error::Parse(e) => write!(f, "invalid pattern: {e}"),
+            Error::Elaboration(e) => write!(f, "elaboration failed: {e}"),
+            Error::Oracle(message) => write!(f, "oracle error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Parse(e) => Some(e),
+            Error::Elaboration(e) => Some(e),
+            Error::Oracle(_) => None,
+        }
+    }
+}
+
+impl From<ParseSemreError> for Error {
+    fn from(e: ParseSemreError) -> Self {
+        Error::Parse(e)
+    }
+}
+
+impl From<SnfaInvariantError> for Error {
+    fn from(e: SnfaInvariantError) -> Self {
+        Error::Elaboration(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn parse_errors_carry_their_byte_offset_through_display() {
+        let parse_error = semre_syntax::parse("ab(cd").unwrap_err();
+        let offset = parse_error.offset();
+        let error: Error = parse_error.into();
+        let shown = error.to_string();
+        assert!(
+            shown.contains(&format!("offset {offset}")),
+            "offset lost in {shown:?}"
+        );
+        assert!(error.source().is_some());
+    }
+
+    #[test]
+    fn oracle_errors_display_their_message() {
+        let error = Error::Oracle("no such backend".to_owned());
+        assert_eq!(error.to_string(), "oracle error: no such backend");
+        assert!(std::error::Error::source(&error).is_none());
+    }
+
+    #[test]
+    fn question_mark_composes() {
+        fn compile(pattern: &str) -> Result<semre_syntax::Semre, Error> {
+            Ok(semre_syntax::parse(pattern)?)
+        }
+        assert!(compile("a|b").is_ok());
+        assert!(matches!(compile("a|("), Err(Error::Parse(_))));
+    }
+}

@@ -8,53 +8,81 @@
 //! external oracle — an LLM, a database, a network service, or a file
 //! system.
 //!
-//! This facade crate re-exports the whole workspace:
+//! ## Quick start
+//!
+//! The facade API is [`SemRegex`]: a compiled, reusable, cheaply-cloneable
+//! pattern handle (`Clone + Send + Sync`) holding the elaborated automaton
+//! and a shared oracle.  It answers whole-input membership
+//! ([`is_match`](SemRegex::is_match) — the paper's `w ∈ ⟦r⟧`) and
+//! unanchored span search ([`find`](SemRegex::find),
+//! [`find_iter`](SemRegex::find_iter),
+//! [`shortest_match`](SemRegex::shortest_match)):
+//!
+//! ```
+//! use semre::{SemRegex, SimLlmOracle};
+//!
+//! // Example 2.8 of the paper: spam subjects advertising a medicine.
+//! let re = SemRegex::new(r"Subject: .* (?<Medicine name>: [a-zA-Z]+) .*",
+//!                        SimLlmOracle::new())?;
+//!
+//! assert!(re.is_match(b"Subject: buy xanax online today"));
+//! assert!(!re.is_match(b"Subject: minutes of the weekly sync"));
+//!
+//! // Span search: where inside a noisy line does the pattern match?
+//! // (Leftmost-earliest: the smallest start, then the smallest end.)
+//! let line = b"[fwd] Subject: buy xanax online today (auto)";
+//! let m = re.find(line).expect("span");
+//! assert_eq!(m.as_bytes(), b"Subject: buy xanax ");
+//! assert_eq!(m.start(), 6);
+//! # Ok::<(), semre::Error>(())
+//! ```
+//!
+//! Non-default configurations go through [`SemRegexBuilder`] (per-call vs
+//! batched oracle plane, the dynamic-programming baseline, scan chunk
+//! size), and every fallible facade call returns the unified [`Error`].
+//!
+//! ## Internals
+//!
+//! The facade sits on the workspace's internal crates, re-exported here as
+//! modules for direct use (see `DESIGN.md`, "Facade vs internals"):
 //!
 //! * [`syntax`] — the SemRE AST, parser, printer, and structural analyses;
-//! * [`oracle`] — the [`Oracle`](oracle::Oracle) trait, the batched query
-//!   plane ([`BatchOracle`], [`QueryLedger`], [`BatchSession`]), caching /
+//! * [`oracle`] — the [`Oracle`] trait, the batched query plane
+//!   ([`BatchOracle`], [`QueryLedger`], [`BatchSession`]), caching /
 //!   instrumentation wrappers, and a library of concrete oracles;
 //! * [`automata`] — semantic NFAs, the Thompson construction, and the
 //!   ε-feasibility closure;
-//! * [`core`] — the query-graph matcher ([`Matcher`]) and the
-//!   dynamic-programming baseline ([`DpMatcher`]);
-//! * [`grep`] — the `grep_O` line-scanning engine and CLI, including
-//!   chunk-batched scans ([`grep::scan_batched`]);
+//! * [`core`] — the query-graph matcher ([`Matcher`]), its unanchored
+//!   search entry points, and the DP baseline ([`DpMatcher`]);
 //! * [`workloads`] — synthetic corpora, the paper's nine benchmark SemREs,
 //!   and the lower-bound / reduction experiments.
 //!
-//! ## Quick start
-//!
-//! ```
-//! use semre::{Matcher, SimLlmOracle};
-//!
-//! // Example 2.8 of the paper: flag spam subject lines that mention a
-//! // medicine name as a whole word.
-//! let pattern = semre::parse(r"Subject: .* (?<Medicine name>: [a-zA-Z]+) .*")?;
-//! let matcher = Matcher::new(pattern, SimLlmOracle::new());
-//!
-//! assert!(matcher.is_match(b"Subject: buy xanax online today"));
-//! assert!(!matcher.is_match(b"Subject: minutes of the weekly sync"));
-//! # Ok::<(), semre::ParseSemreError>(())
-//! ```
+//! The `semre-grep` crate (the `grep_O` scanning engine and the `grepo`
+//! CLI) builds *on top of* this facade, so it is not re-exported here; use
+//! it directly for line-oriented scanning.
 //!
 //! See the `examples/` directory for larger scenarios (credential scanning,
-//! spam filtering, triangle finding), `DESIGN.md` for the architecture —
-//! in particular the batched oracle query plane threaded through
-//! eval → matcher → grep — and `EXPERIMENTS.md` for the reproduction
-//! methodology.
+//! spam filtering, triangle finding), `DESIGN.md` for the architecture, and
+//! `EXPERIMENTS.md` for the reproduction methodology.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod error;
+mod regex;
+mod spec;
+
+pub use error::Error;
+pub use regex::{Match, Matches, SemRegex, SemRegexBuilder, DEFAULT_CHUNK_LINES};
+pub use spec::{parse_set_oracle, OracleSpec};
+
 pub use semre_automata as automata;
 pub use semre_core as core;
-pub use semre_grep as grep;
 pub use semre_oracle as oracle;
 pub use semre_syntax as syntax;
 pub use semre_workloads as workloads;
 
-pub use semre_core::{DpMatcher, EvalReport, Matcher, MatcherConfig};
+pub use semre_core::{DpMatcher, EvalReport, Matcher, MatcherConfig, SearchKind};
 pub use semre_oracle::{
     BatchOracle, BatchSession, BatchStats, CachingOracle, ConstOracle, Instrumented, LatencyModel,
     Oracle, PalindromeOracle, PredicateOracle, QueryKey, QueryLedger, SetOracle, SimLlmOracle,

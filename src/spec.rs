@@ -1,0 +1,147 @@
+//! Textual oracle specifications.
+//!
+//! Tools that take an oracle on the command line (the `grepo` CLI, the
+//! experiment harness) describe backends with a small spec language; this
+//! module owns its parsing and construction so every tool dispatches the
+//! same way:
+//!
+//! ```text
+//! sim-llm        the deterministic simulated LLM (default)
+//! always-true    accept every question
+//! always-false   reject every question
+//! set:FILE       a SetOracle loaded from "query<TAB>accepted text" lines
+//! ```
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+
+use semre_oracle::{ConstOracle, Oracle, SetOracle, SimLlmOracle};
+
+use crate::Error;
+
+/// A parsed oracle specification, ready to [`build`](OracleSpec::build).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum OracleSpec {
+    /// The built-in simulated LLM ([`SimLlmOracle`]).
+    #[default]
+    SimLlm,
+    /// Accept every query.
+    AlwaysTrue,
+    /// Reject every query.
+    AlwaysFalse,
+    /// A [`SetOracle`] loaded from a tab-separated file.
+    SetFile(String),
+}
+
+impl OracleSpec {
+    /// Parses a spec string (`sim-llm`, `always-true`, `always-false`, or
+    /// `set:FILE`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Oracle`] for an unknown kind or an empty `set:`
+    /// path.  File contents are only read by [`build`](OracleSpec::build).
+    pub fn parse(spec: &str) -> Result<OracleSpec, Error> {
+        match spec {
+            "sim-llm" => Ok(OracleSpec::SimLlm),
+            "always-true" => Ok(OracleSpec::AlwaysTrue),
+            "always-false" => Ok(OracleSpec::AlwaysFalse),
+            other => match other.strip_prefix("set:") {
+                Some(path) if !path.is_empty() => Ok(OracleSpec::SetFile(path.to_owned())),
+                _ => Err(Error::Oracle(format!("unknown oracle kind {other:?}"))),
+            },
+        }
+    }
+
+    /// Builds the backend this spec describes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Oracle`] when a `set:` file cannot be read.
+    pub fn build(&self) -> Result<Arc<dyn Oracle>, Error> {
+        Ok(match self {
+            OracleSpec::SimLlm => Arc::new(SimLlmOracle::new()),
+            OracleSpec::AlwaysTrue => Arc::new(ConstOracle::always_true()),
+            OracleSpec::AlwaysFalse => Arc::new(ConstOracle::always_false()),
+            OracleSpec::SetFile(path) => {
+                let content = std::fs::read_to_string(path)
+                    .map_err(|e| Error::Oracle(format!("cannot read oracle file {path}: {e}")))?;
+                Arc::new(parse_set_oracle(&content))
+            }
+        })
+    }
+}
+
+impl FromStr for OracleSpec {
+    type Err = Error;
+
+    fn from_str(spec: &str) -> Result<Self, Self::Err> {
+        OracleSpec::parse(spec)
+    }
+}
+
+impl fmt::Display for OracleSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OracleSpec::SimLlm => f.write_str("sim-llm"),
+            OracleSpec::AlwaysTrue => f.write_str("always-true"),
+            OracleSpec::AlwaysFalse => f.write_str("always-false"),
+            OracleSpec::SetFile(path) => write!(f, "set:{path}"),
+        }
+    }
+}
+
+/// Parses the `query<TAB>text` lines of a `set:` oracle file; blank lines
+/// and lines starting with `#` are ignored.
+pub fn parse_set_oracle(content: &str) -> SetOracle {
+    let mut oracle = SetOracle::new();
+    for line in content.lines() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some((query, text)) = line.split_once('\t') {
+            oracle.insert(query, text);
+        }
+    }
+    oracle
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_parse_build_and_round_trip() {
+        for (spec, display) in [
+            (OracleSpec::SimLlm, "sim-llm"),
+            (OracleSpec::AlwaysTrue, "always-true"),
+            (OracleSpec::AlwaysFalse, "always-false"),
+            (OracleSpec::SetFile("x.tsv".into()), "set:x.tsv"),
+        ] {
+            assert_eq!(spec.to_string(), display);
+            assert_eq!(display.parse::<OracleSpec>().unwrap(), spec);
+        }
+        assert!(OracleSpec::parse("magic").is_err());
+        assert!(OracleSpec::parse("set:").is_err());
+
+        let yes = OracleSpec::AlwaysTrue.build().unwrap();
+        assert!(yes.holds("q", b"anything"));
+        let no = OracleSpec::AlwaysFalse.build().unwrap();
+        assert!(!no.holds("q", b"anything"));
+        assert!(matches!(
+            OracleSpec::SetFile("/definitely/not/here.tsv".into()).build(),
+            Err(Error::Oracle(_))
+        ));
+    }
+
+    #[test]
+    fn set_oracle_file_format() {
+        let oracle =
+            parse_set_oracle("# comment\nCity\tParis\nCity\tHouston\n\nCeleb\tParis Hilton\n");
+        assert!(oracle.holds("City", b"Paris"));
+        assert!(oracle.holds("Celeb", b"Paris Hilton"));
+        assert!(!oracle.holds("City", b"Paris Hilton"));
+    }
+}

@@ -1,13 +1,14 @@
 //! Cross-crate integration tests: the full pipeline from concrete syntax
-//! through oracles, corpora, matching, and the grep engine.
+//! through oracles, corpora, matching, and the grep engine — driven
+//! through the `semre` facade wherever a user would be.
 
 use std::sync::Arc;
 
-use semre::grep::{scan, scan_parallel, ScanOptions};
 use semre::{
-    CachingOracle, DpMatcher, Instrumented, LatencyModel, Matcher, MatcherConfig, Oracle,
+    CachingOracle, Instrumented, LatencyModel, MatcherConfig, Oracle, SemRegex, SemRegexBuilder,
     SimLlmOracle,
 };
+use semre_grep::{scan, scan_parallel, ScanOptions};
 use semre_workloads::{Dataset, Workbench};
 
 #[test]
@@ -16,8 +17,13 @@ fn both_algorithms_agree_on_a_corpus_sample() {
     for spec in workbench.benchmarks() {
         let corpus = workbench.corpus(spec.dataset).truncated_to(120);
         let lines: Vec<&String> = corpus.lines().iter().take(120).collect();
-        let snfa = Matcher::new(spec.semre.clone(), Arc::clone(&spec.oracle));
-        let dp = DpMatcher::new(spec.semre.clone(), Arc::clone(&spec.oracle));
+        let snfa = SemRegexBuilder::new()
+            .build_semre_shared(spec.semre.clone(), Arc::clone(&spec.oracle))
+            .expect("benchmark SemREs compile");
+        let dp = SemRegexBuilder::new()
+            .dp_baseline(true)
+            .build_semre_shared(spec.semre.clone(), Arc::clone(&spec.oracle))
+            .expect("benchmark SemREs compile");
         for line in lines {
             assert_eq!(
                 snfa.is_match(line.as_bytes()),
@@ -34,12 +40,13 @@ fn matcher_configurations_agree_on_membership() {
     let workbench = Workbench::generate(321, 200, 200);
     let spec = workbench.benchmark("edom").expect("edom exists");
     let corpus = workbench.corpus(Dataset::Spam).truncated_to(150);
-    let default = Matcher::new(spec.semre.clone(), Arc::clone(&spec.oracle));
-    let eager = Matcher::with_config(
-        spec.semre.clone(),
-        Arc::clone(&spec.oracle),
-        MatcherConfig::eager(),
-    );
+    let default = SemRegexBuilder::new()
+        .build_semre_shared(spec.semre.clone(), Arc::clone(&spec.oracle))
+        .unwrap();
+    let eager = SemRegexBuilder::new()
+        .matcher_config(MatcherConfig::eager())
+        .build_semre_shared(spec.semre.clone(), Arc::clone(&spec.oracle))
+        .unwrap();
     for line in corpus.lines().iter().take(150) {
         assert_eq!(
             default.is_match(line.as_bytes()),
@@ -54,21 +61,27 @@ fn caching_reduces_oracle_traffic_without_changing_answers() {
     let spec = workbench.benchmark("spam,1").expect("spam,1 exists");
     let corpus = workbench.corpus(Dataset::Spam).truncated_to(120);
 
-    let raw = Instrumented::new(Arc::clone(&spec.oracle));
-    let uncached_matcher = Matcher::new(spec.semre.clone(), &raw);
+    let raw = Arc::new(Instrumented::new(Arc::clone(&spec.oracle)));
+    let uncached = SemRegexBuilder::new()
+        .per_call()
+        .build_semre_shared(spec.semre.clone(), raw.clone())
+        .unwrap();
     let uncached_hits: Vec<bool> = corpus
         .lines()
         .iter()
-        .map(|l| uncached_matcher.is_match(l.as_bytes()))
+        .map(|l| uncached.is_match(l.as_bytes()))
         .collect();
 
-    let backend = Instrumented::new(Arc::clone(&spec.oracle));
-    let cached = CachingOracle::new(&backend);
-    let cached_matcher = Matcher::new(spec.semre.clone(), &cached);
+    let backend = Arc::new(Instrumented::new(Arc::clone(&spec.oracle)));
+    let cached_stack = Arc::new(CachingOracle::new(backend.clone()));
+    let cached = SemRegexBuilder::new()
+        .per_call()
+        .build_semre_shared(spec.semre.clone(), cached_stack.clone())
+        .unwrap();
     let cached_hits: Vec<bool> = corpus
         .lines()
         .iter()
-        .map(|l| cached_matcher.is_match(l.as_bytes()))
+        .map(|l| cached.is_match(l.as_bytes()))
         .collect();
 
     assert_eq!(uncached_hits, cached_hits);
@@ -78,34 +91,54 @@ fn caching_reduces_oracle_traffic_without_changing_answers() {
         backend.stats().calls,
         raw.stats().calls
     );
-    assert!(cached.hits() > 0);
+    assert!(cached_stack.hits() > 0);
 }
 
 #[test]
 fn grep_engine_matches_cli_outcome() {
-    let oracle = SimLlmOracle::new();
     let pattern = r"Subject: .*(?<Medicine name>: .+).*";
-    let matcher = Matcher::new(semre::parse(pattern).unwrap(), &oracle);
+    let re = SemRegex::new(pattern, SimLlmOracle::new()).unwrap();
     let lines = vec![
         "Subject: cheap adderall pills".to_owned(),
         "Subject: faculty meeting".to_owned(),
         "unrelated line".to_owned(),
     ];
     let report = scan(
-        &matcher,
+        &re,
         &lines,
         semre::oracle::OracleStats::default,
         ScanOptions::unlimited(),
     );
     assert_eq!(report.matched_lines(), 1);
 
-    let parallel = scan_parallel(&matcher, &lines, 3);
+    let parallel = scan_parallel(&re, &lines, 3);
     assert_eq!(parallel.matched_lines(), 1);
 
-    let options = semre::grep::cli::CliOptions::parse(["--count", pattern]).expect("valid options");
+    let options = semre_grep::cli::CliOptions::parse(["--count", pattern]).expect("valid options");
     let outcome =
-        semre::grep::cli::run_on_text(&options, &lines.join("\n")).expect("cli run succeeds");
+        semre_grep::cli::run_on_text(&options, &lines.join("\n")).expect("cli run succeeds");
     assert_eq!(outcome.stdout, vec!["1".to_owned()]);
+}
+
+#[test]
+fn cli_span_search_agrees_with_facade_find_iter() {
+    let pattern = r"(?<Medicine name>: [a-z]+)";
+    let text = "order tramadol now\nno meds\nambien ambien\n";
+    let re = SemRegex::new(pattern, SimLlmOracle::new()).unwrap();
+    let expected: Vec<String> = text
+        .lines()
+        .flat_map(|line| {
+            re.find_iter(line.as_bytes())
+                .map(|m| m.as_str().unwrap().to_owned())
+                .collect::<Vec<_>>()
+        })
+        .collect();
+
+    let options =
+        semre_grep::cli::CliOptions::parse(["--only-matching", pattern]).expect("valid options");
+    let outcome = semre_grep::cli::run_on_text(&options, text).expect("cli run succeeds");
+    assert_eq!(outcome.stdout, expected);
+    assert_eq!(expected, vec!["tramadol", "ambien", "ambien"]);
 }
 
 #[test]
@@ -113,10 +146,16 @@ fn latency_model_shows_up_in_oracle_fraction() {
     let workbench = Workbench::generate(77, 250, 0);
     let spec = workbench.benchmark("spam,1").expect("spam,1 exists");
     let corpus = workbench.corpus(Dataset::Spam).truncated_to(100);
-    let oracle = Instrumented::with_spun_latency(Arc::clone(&spec.oracle), LatencyModel::llm());
-    let matcher = Matcher::new(spec.semre.clone(), &oracle);
+    let oracle = Arc::new(Instrumented::with_spun_latency(
+        Arc::clone(&spec.oracle),
+        LatencyModel::llm(),
+    ));
+    let re = SemRegexBuilder::new()
+        .per_call()
+        .build_semre_shared(spec.semre.clone(), oracle.clone())
+        .unwrap();
     let report = scan(
-        &matcher,
+        &re,
         corpus.lines(),
         || oracle.stats(),
         ScanOptions::unlimited(),
@@ -136,17 +175,12 @@ fn skeleton_prefilter_spares_the_oracle_entirely_on_clean_corpora() {
     let lines: Vec<String> = (0..50)
         .map(|i| format!("ordinary log line number {i} with no e-mail headers"))
         .collect();
-    let oracle = Instrumented::new(SimLlmOracle::new());
-    let matcher = Matcher::new(
-        semre::parse(r"Subject: .*(?<Medicine name>: .+).*").unwrap(),
-        &oracle,
-    );
-    let report = scan(
-        &matcher,
-        &lines,
-        || oracle.stats(),
-        ScanOptions::unlimited(),
-    );
+    let oracle = Arc::new(Instrumented::new(SimLlmOracle::new()));
+    let re = SemRegexBuilder::new()
+        .per_call()
+        .build_shared(r"Subject: .*(?<Medicine name>: .+).*", oracle.clone())
+        .unwrap();
+    let report = scan(&re, &lines, || oracle.stats(), ScanOptions::unlimited());
     assert_eq!(report.matched_lines(), 0);
     assert_eq!(report.oracle_totals().calls, 0);
 }
@@ -162,7 +196,8 @@ fn facade_reexports_are_usable_together() {
     assert!(stack.holds("Medicine name", b"cialis"));
     let r = semre::parse("(?<Medicine name>: [a-z]+)").unwrap();
     assert!(semre::skeleton(&r).is_classical());
-    let matcher = Matcher::new(r, stack);
-    assert!(matcher.is_match(b"cialis"));
-    assert!(!matcher.is_match(b"42"));
+    let re = SemRegex::builder().build_semre(r, stack).unwrap();
+    assert!(re.is_match(b"cialis"));
+    assert!(!re.is_match(b"42"));
+    assert_eq!(re.find(b"__cialis__").unwrap().as_bytes(), b"cialis");
 }

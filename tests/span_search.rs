@@ -1,0 +1,174 @@
+//! Span-search correctness on the nine benchmark SemREs of Table 1.
+//!
+//! Deterministic property tests (vendored SplitMix64 sampling, no external
+//! dependencies) checking that:
+//!
+//! * `SemRegex::find` agrees with the brute-force oracle — the
+//!   leftmost-earliest `(start, end)` over all substrings accepted by
+//!   anchored `is_match` — on every benchmark SemRE;
+//! * `find_iter` produces identical span sequences on the batched and
+//!   per-call oracle planes, non-overlapping and in leftmost order, with
+//!   every span individually satisfying `is_match`.
+//!
+//! Lines are truncated: the brute force is quadratic in line length on top
+//! of the matcher's own cost, and equivalence on short prefixes is just as
+//! binding.
+
+use std::sync::Arc;
+
+use semre::{SemRegex, SemRegexBuilder};
+use semre_workloads::rng::StdRng;
+use semre_workloads::{BenchSpec, Workbench};
+
+/// The leftmost-earliest matching span by definition: scan starts
+/// ascending, ends ascending, return the first substring `is_match`
+/// accepts.
+fn brute_force_find(re: &SemRegex, line: &[u8]) -> Option<(usize, usize)> {
+    for start in 0..=line.len() {
+        for end in start..=line.len() {
+            if re.is_match(&line[start..end]) {
+                return Some((start, end));
+            }
+        }
+    }
+    None
+}
+
+/// A deterministic sample of corpus lines for `spec`, truncated to
+/// `max_len` bytes (the corpora are ASCII): up to `positives` lines whose
+/// truncation still matches `probe` whole-line (so every benchmark
+/// contributes real spans), padded with random picks.
+fn sample_lines(
+    workbench: &Workbench,
+    spec: &BenchSpec,
+    probe: &SemRegex,
+    rng: &mut StdRng,
+    positives: usize,
+    count: usize,
+    max_len: usize,
+) -> Vec<Vec<u8>> {
+    let corpus = workbench.corpus(spec.dataset);
+    let lines = corpus.lines();
+    let truncate = |line: &String| line.as_bytes()[..line.len().min(max_len)].to_vec();
+    let mut sample: Vec<Vec<u8>> = lines
+        .iter()
+        .map(truncate)
+        .filter(|line| probe.is_match(line))
+        .take(positives)
+        .collect();
+    while sample.len() < count && !lines.is_empty() {
+        let index = rng.gen_range(0..lines.len());
+        sample.push(truncate(&lines[index]));
+    }
+    sample
+}
+
+#[test]
+fn find_agrees_with_brute_force_on_the_bench_set() {
+    let workbench = Workbench::generate(0x5EED, 300, 300);
+    let mut rng = StdRng::seed_from_u64(0x5EED_F19D);
+    let mut spans_found = 0usize;
+    for spec in workbench.benchmarks() {
+        let re = SemRegexBuilder::new()
+            .build_semre_shared(spec.semre.clone(), Arc::clone(&spec.oracle))
+            .expect("benchmark SemREs compile");
+        for line in sample_lines(&workbench, &spec, &re, &mut rng, 2, 6, 28) {
+            let expected = brute_force_find(&re, &line);
+            let got = re.find(&line).map(|m| (m.start(), m.end()));
+            assert_eq!(
+                got,
+                expected,
+                "{}: find disagrees with brute force on {:?}",
+                spec.name,
+                String::from_utf8_lossy(&line)
+            );
+            if let Some((start, end)) = got {
+                assert!(
+                    re.is_match(&line[start..end]),
+                    "{}: reported span does not satisfy is_match",
+                    spec.name
+                );
+                spans_found += 1;
+            }
+        }
+    }
+    assert!(
+        spans_found > 0,
+        "the sample should contain at least one positive span"
+    );
+}
+
+#[test]
+fn find_iter_is_identical_across_planes_on_the_bench_set() {
+    let workbench = Workbench::generate(0xB0B, 300, 300);
+    let mut rng = StdRng::seed_from_u64(0xB0B_17E4);
+    let mut total_spans = 0usize;
+    for spec in workbench.benchmarks() {
+        let batched = SemRegexBuilder::new()
+            .build_semre_shared(spec.semre.clone(), Arc::clone(&spec.oracle))
+            .unwrap();
+        let per_call = SemRegexBuilder::new()
+            .per_call()
+            .build_semre_shared(spec.semre.clone(), Arc::clone(&spec.oracle))
+            .unwrap();
+        for line in sample_lines(&workbench, &spec, &batched, &mut rng, 3, 7, 60) {
+            let batched_spans: Vec<(usize, usize)> = batched
+                .find_iter(&line)
+                .map(|m| (m.start(), m.end()))
+                .collect();
+            let per_call_spans: Vec<(usize, usize)> = per_call
+                .find_iter(&line)
+                .map(|m| (m.start(), m.end()))
+                .collect();
+            assert_eq!(
+                batched_spans,
+                per_call_spans,
+                "{}: planes disagree on {:?}",
+                spec.name,
+                String::from_utf8_lossy(&line)
+            );
+
+            // Non-overlapping, in leftmost order, each span a member.
+            let mut next_valid_start = 0usize;
+            for &(start, end) in &batched_spans {
+                assert!(
+                    start >= next_valid_start,
+                    "{}: overlapping or out-of-order span ({start}, {end})",
+                    spec.name
+                );
+                assert!(
+                    batched.is_match(&line[start..end]),
+                    "{}: span ({start}, {end}) fails is_match on {:?}",
+                    spec.name,
+                    String::from_utf8_lossy(&line)
+                );
+                next_valid_start = end.max(start + 1);
+            }
+            total_spans += batched_spans.len();
+        }
+    }
+    assert!(total_spans > 0, "the sample should contain positive spans");
+}
+
+#[test]
+fn shortest_match_never_ends_after_find() {
+    let workbench = Workbench::generate(0xCAFE, 200, 200);
+    let mut rng = StdRng::seed_from_u64(0xCAFE_0123);
+    for spec in workbench.benchmarks() {
+        let re = SemRegexBuilder::new()
+            .build_semre_shared(spec.semre.clone(), Arc::clone(&spec.oracle))
+            .unwrap();
+        for line in sample_lines(&workbench, &spec, &re, &mut rng, 2, 4, 32) {
+            let found = re.find(&line).map(|m| m.end());
+            let shortest = re.shortest_match(&line);
+            assert_eq!(found.is_some(), shortest.is_some(), "{}", spec.name);
+            if let (Some(found_end), Some(shortest_end)) = (found, shortest) {
+                assert!(
+                    shortest_end <= found_end,
+                    "{}: shortest_match ended after find ({shortest_end} vs {found_end})",
+                    spec.name
+                );
+            }
+        }
+    }
+}
