@@ -1,0 +1,85 @@
+//! Compressed sparse row (CSR) adjacency storage.
+//!
+//! Several hot structures — the gadget topology's edge lists, the lazy
+//! DFA's ε-closures and per-class transitions — are logically
+//! `Vec<Vec<T>>` but are only ever built once and then read row by row.
+//! [`Csr`] flattens them into two contiguous arrays (`offsets`,
+//! `targets`), removing one pointer chase and one heap object per row.
+
+/// A flattened row-major adjacency structure: row `i` lives at
+/// `targets[offsets[i]..offsets[i + 1]]`.
+///
+/// Rows are appended with [`push_row`](Csr::push_row) (or converted
+/// wholesale with [`from_lists`](Csr::from_lists)) and read with
+/// [`row`](Csr::row).  Rows keep the order they were pushed in; callers
+/// that need sorted rows sort before pushing.
+#[derive(Clone, Debug)]
+pub struct Csr<T> {
+    offsets: Vec<u32>,
+    targets: Vec<T>,
+}
+
+impl<T> Csr<T> {
+    /// An empty structure with no rows.
+    pub fn new() -> Self {
+        Csr {
+            offsets: vec![0],
+            targets: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    pub fn push_row(&mut self, row: impl IntoIterator<Item = T>) {
+        self.targets.extend(row);
+        self.offsets.push(self.targets.len() as u32);
+    }
+
+    /// Flattens nested lists into CSR form.
+    pub fn from_lists(lists: Vec<Vec<T>>) -> Self {
+        let mut csr = Csr::new();
+        for list in lists {
+            csr.push_row(list);
+        }
+        csr
+    }
+
+    /// The elements of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[T] {
+        &self.targets[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.offsets.len() - 1
+    }
+}
+
+impl<T> Default for Csr<T> {
+    fn default() -> Self {
+        Csr::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_round_trip() {
+        let lists: Vec<Vec<usize>> = vec![vec![3, 1], vec![], vec![7]];
+        let csr = Csr::from_lists(lists);
+        assert_eq!(csr.num_rows(), 3);
+        assert_eq!(csr.row(0), &[3, 1]);
+        assert_eq!(csr.row(1), &[] as &[usize]);
+        assert_eq!(csr.row(2), &[7]);
+
+        let mut incremental: Csr<usize> = Csr::default();
+        incremental.push_row([3, 1]);
+        incremental.push_row([]);
+        incremental.push_row([7]);
+        for i in 0..3 {
+            assert_eq!(incremental.row(i), csr.row(i));
+        }
+    }
+}

@@ -1,0 +1,509 @@
+//! Lazily-determinized skeleton automata.
+//!
+//! The skeleton prefilter decides a purely classical question — does the
+//! input match `skel(r)`? — so it can run as a DFA: one table lookup per
+//! byte instead of an NFA state-set sweep.  Building the full DFA up front
+//! is exponential in the worst case, so [`LazyDfa`] determinizes on the
+//! fly, in the style of `regex-automata`'s hybrid NFA/DFA:
+//!
+//! * the 256-byte alphabet is compressed into **byte classes** — two bytes
+//!   that no transition guard distinguishes share a column, so the
+//!   transition table has `|D| × |classes|` entries rather than
+//!   `|D| × 256`;
+//! * DFA states (sets of NFA states, ε-closed) are interned into a
+//!   **bounded cache**; when the cache exceeds its budget it is cleared and
+//!   rebuilt, and an input that keeps blowing the cache falls back to the
+//!   classical NFA simulation (identical verdicts, `O(|S|)` per byte);
+//! * the cache lives in a **pool**: concurrent matchers (e.g. the parallel
+//!   chunk scanner) each check out their own cache, so matching requires no
+//!   lock while bytes are being consumed.
+//!
+//! The SNFA's query labels are ignored throughout — this is exactly the
+//! classical simulation of [`crate::SkeletonMatcher`], restated as a DFA.
+//! The dichotomy results for classical membership (Bringmann et al.) say
+//! this fragment is where near-linear text work is attainable; the DFA
+//! path realizes that bound with a hardware-friendly constant factor.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use crate::csr::Csr;
+use crate::snfa::{Snfa, StateId};
+
+/// A partition of the 256 byte values into equivalence classes: two bytes
+/// are equivalent when no character-transition guard of the automaton
+/// distinguishes them.
+#[derive(Clone, Debug)]
+pub struct ByteClasses {
+    map: [u8; 256],
+    len: usize,
+}
+
+impl ByteClasses {
+    /// Computes the byte classes of `snfa`'s transition guards.
+    pub fn of(snfa: &Snfa) -> Self {
+        // Refine the one-class partition by every distinct guard: after
+        // processing guard g, two bytes share a class iff they agreed on
+        // every guard so far.
+        let mut map = [0u8; 256];
+        let mut len = 1usize;
+        let mut seen: Vec<&semre_syntax::CharClass> = Vec::new();
+        for s in snfa.states() {
+            for (class, _) in snfa.char_out(s) {
+                if seen.contains(&class) {
+                    continue;
+                }
+                seen.push(class);
+                if len == 256 {
+                    break;
+                }
+                // Split every existing class into (∩ g, ∖ g).
+                let mut split: HashMap<(u8, bool), u8> = HashMap::new();
+                let mut next = 0u8;
+                let mut new_map = [0u8; 256];
+                for b in 0..=255u8 {
+                    let key = (map[b as usize], class.contains(b));
+                    let id = *split.entry(key).or_insert_with(|| {
+                        let id = next;
+                        next = next.wrapping_add(1);
+                        id
+                    });
+                    new_map[b as usize] = id;
+                }
+                map = new_map;
+                len = split.len();
+            }
+        }
+        ByteClasses { map, len }
+    }
+
+    /// Number of classes (at most 256).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether there is a single class (no guard distinguishes any byte).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The class of byte `b`.
+    #[inline]
+    pub fn class(&self, b: u8) -> usize {
+        self.map[b as usize] as usize
+    }
+}
+
+/// Sentinel transition: not yet computed.
+const UNKNOWN: u32 = u32::MAX;
+/// Sentinel transition: the dead state (empty NFA set).
+const DEAD: u32 = u32::MAX - 1;
+
+/// Per-match scratch: the interned DFA states and their (partially filled)
+/// transition rows.  Checked out of the [`LazyDfa`]'s pool for the duration
+/// of one `matches` call, so the warmed-up table survives across calls
+/// without any locking during the scan itself.
+#[derive(Debug, Default)]
+struct DfaCache {
+    /// NFA state set (sorted, ε-closed) → DFA state id.
+    ids: HashMap<Box<[u32]>, u32>,
+    /// DFA state id → its NFA state set.
+    sets: Vec<Box<[u32]>>,
+    /// DFA state id → whether the set contains the accept state.
+    accept: Vec<bool>,
+    /// Dense transition table: `trans[id * classes + class]`.
+    trans: Vec<u32>,
+    /// Times the cache was cleared since the current match started.
+    clears: u32,
+}
+
+impl DfaCache {
+    fn reset(&mut self) {
+        self.ids.clear();
+        self.sets.clear();
+        self.accept.clear();
+        self.trans.clear();
+    }
+}
+
+/// A lazily-determinized, byte-class-compressed DFA for the skeleton of an
+/// SNFA.
+///
+/// Construction precomputes the ε-closure and the per-(state, class)
+/// character transitions of the underlying automaton in CSR form (one
+/// `(offsets, targets)` pair each, no nested `Vec`s), so the determinizer
+/// and the NFA fallback never touch the original [`Snfa`] again.
+///
+/// `matches` takes `&self` and is safe to call from many threads at once;
+/// each concurrent call checks a cache out of an internal pool.
+///
+/// # Examples
+///
+/// ```
+/// use semre_automata::{compile, LazyDfa};
+/// use semre_syntax::parse;
+///
+/// let snfa = compile(&parse("(?<Q>: [0-9]+)-[0-9]+").unwrap());
+/// let dfa = LazyDfa::new(&snfa);
+/// assert!(dfa.matches(b"42-17"));       // skeleton verdict, oracle-free
+/// assert!(!dfa.matches(b"42-seventeen"));
+/// ```
+pub struct LazyDfa {
+    classes: ByteClasses,
+    num_states: usize,
+    /// Per-state ε-closure (row `s`), sorted, including `s` itself.
+    closure: Csr<u32>,
+    /// Character transitions by class: row `s * classes + c`, sorted.
+    trans: Csr<u32>,
+    /// ε-closure of the start state, sorted.
+    start_set: Box<[u32]>,
+    accept: u32,
+    /// Cache budget: maximum interned DFA states before a clear.
+    max_cache_states: usize,
+    pool: Mutex<Vec<DfaCache>>,
+}
+
+/// How many times the cache may be cleared within one `matches` call before
+/// the call falls back to the NFA simulation.
+const MAX_CLEARS_PER_MATCH: u32 = 3;
+
+impl LazyDfa {
+    /// Builds the lazy DFA of `snfa`'s skeleton (labels ignored).
+    pub fn new(snfa: &Snfa) -> Self {
+        let classes = ByteClasses::of(snfa);
+        let n = snfa.num_states();
+
+        // Per-state ε-closure, CSR.  Rows are emitted in ascending state
+        // order, so each row is already sorted.
+        let mut closure: Csr<u32> = Csr::new();
+        let mut seen = vec![false; n];
+        let mut stack: Vec<StateId> = Vec::new();
+        for s in 0..n {
+            seen.iter_mut().for_each(|b| *b = false);
+            seen[s] = true;
+            stack.push(s);
+            while let Some(u) = stack.pop() {
+                for &t in snfa.eps_out(u) {
+                    if !seen[t] {
+                        seen[t] = true;
+                        stack.push(t);
+                    }
+                }
+            }
+            closure.push_row((0..n).filter(|&t| seen[t]).map(|t| t as u32));
+        }
+
+        // Per-(state, class) character transitions, CSR.
+        let k = classes.len();
+        // One representative byte per class.
+        let mut representative = vec![0u8; k];
+        for b in (0..=255u8).rev() {
+            representative[classes.class(b)] = b;
+        }
+        let mut trans: Csr<u32> = Csr::new();
+        let mut row: Vec<u32> = Vec::new();
+        for s in 0..n {
+            for &byte in &representative {
+                row.clear();
+                for &(ref class, t) in snfa.char_out(s) {
+                    if class.contains(byte) {
+                        row.push(t as u32);
+                    }
+                }
+                row.sort_unstable();
+                trans.push_row(row.iter().copied());
+            }
+        }
+
+        let start_closure = closure.row(snfa.start()).to_vec().into_boxed_slice();
+
+        LazyDfa {
+            classes,
+            num_states: n,
+            closure,
+            trans,
+            start_set: start_closure,
+            accept: snfa.accept() as u32,
+            // Generous relative to the NFA: the skeleton DFAs of the
+            // benchmark SemREs intern a handful of states; the bound only
+            // exists to keep adversarial inputs from ballooning memory.
+            max_cache_states: (16 * n + 64).min(8192),
+            pool: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The byte-class partition driving the transition table width.
+    pub fn byte_classes(&self) -> &ByteClasses {
+        &self.classes
+    }
+
+    /// Whether `input` matches the skeleton (same verdict as
+    /// [`crate::skeleton_matches`] on the underlying SNFA).
+    pub fn matches(&self, input: &[u8]) -> bool {
+        let mut cache = self
+            .pool
+            .lock()
+            .expect("DFA cache pool poisoned")
+            .pop()
+            .unwrap_or_default();
+        cache.clears = 0;
+        let verdict = self
+            .matches_with(&mut cache, input)
+            .unwrap_or_else(|| self.matches_nfa(input));
+        self.pool
+            .lock()
+            .expect("DFA cache pool poisoned")
+            .push(cache);
+        verdict
+    }
+
+    fn closure_of(&self, s: u32) -> &[u32] {
+        self.closure.row(s as usize)
+    }
+
+    fn step_of(&self, s: u32, class: usize) -> &[u32] {
+        self.trans.row(s as usize * self.classes.len() + class)
+    }
+
+    /// DFA path; `None` when the cache blew its budget too often and the
+    /// caller should fall back to the NFA simulation.
+    fn matches_with(&self, cache: &mut DfaCache, input: &[u8]) -> Option<bool> {
+        let k = self.classes.len();
+        let mut current = self.intern(cache, self.start_set.clone());
+        for &byte in input {
+            let class = self.classes.class(byte);
+            let cached = cache.trans[current as usize * k + class];
+            let next = if cached == UNKNOWN {
+                let clears_before = cache.clears;
+                let computed = self.compute_transition(cache, current, class);
+                if computed == UNKNOWN {
+                    // The cache was cleared too many times on this input.
+                    return None;
+                }
+                if cache.clears == clears_before {
+                    cache.trans[current as usize * k + class] = computed;
+                } // else: `current` is an id of the discarded cache — do not
+                  // write through it; the next byte restarts from `computed`.
+                computed
+            } else {
+                cached
+            };
+            if next == DEAD {
+                return Some(false);
+            }
+            current = next;
+        }
+        Some(cache.accept[current as usize])
+    }
+
+    /// Interns an NFA set, returning its DFA id.
+    fn intern(&self, cache: &mut DfaCache, set: Box<[u32]>) -> u32 {
+        if let Some(&id) = cache.ids.get(&set) {
+            return id;
+        }
+        let id = cache.sets.len() as u32;
+        let k = self.classes.len();
+        cache.accept.push(set.contains(&self.accept));
+        cache.trans.extend(std::iter::repeat(UNKNOWN).take(k));
+        cache.ids.insert(set.clone(), id);
+        cache.sets.push(set);
+        id
+    }
+
+    /// Computes the successor of DFA state `current` on byte `class`,
+    /// interning it (clearing the cache first when over budget).  Returns
+    /// [`DEAD`] for the empty set and [`UNKNOWN`] when the fallback should
+    /// take over.
+    fn compute_transition(&self, cache: &mut DfaCache, current: u32, class: usize) -> u32 {
+        let mut mark = vec![false; self.num_states];
+        for &s in cache.sets[current as usize].iter() {
+            for &t in self.step_of(s, class) {
+                if !mark[t as usize] {
+                    mark[t as usize] = true;
+                    for &c in self.closure_of(t) {
+                        mark[c as usize] = true;
+                    }
+                }
+            }
+        }
+        let set: Box<[u32]> = (0..self.num_states as u32)
+            .filter(|&t| mark[t as usize])
+            .collect();
+        if set.is_empty() {
+            return DEAD;
+        }
+        if cache.sets.len() >= self.max_cache_states {
+            cache.clears += 1;
+            if cache.clears > MAX_CLEARS_PER_MATCH {
+                return UNKNOWN;
+            }
+            let clears = cache.clears;
+            cache.reset();
+            cache.clears = clears;
+            // Keep the start state resident so the next match starts warm.
+            self.intern(cache, self.start_set.clone());
+        }
+        self.intern(cache, set)
+    }
+
+    /// The classical sparse NFA simulation over the CSR tables — the
+    /// fallback when determinization thrashes.  Verdict-identical to the
+    /// DFA path by construction.
+    fn matches_nfa(&self, input: &[u8]) -> bool {
+        let mut current = vec![false; self.num_states];
+        let mut next = vec![false; self.num_states];
+        for &s in self.start_set.iter() {
+            current[s as usize] = true;
+        }
+        for &byte in input {
+            let class = self.classes.class(byte);
+            next.iter_mut().for_each(|b| *b = false);
+            let mut any = false;
+            for s in 0..self.num_states as u32 {
+                if !current[s as usize] {
+                    continue;
+                }
+                for &t in self.step_of(s, class) {
+                    if !next[t as usize] {
+                        any = true;
+                        for &c in self.closure_of(t) {
+                            next[c as usize] = true;
+                        }
+                    }
+                }
+            }
+            if !any {
+                return false;
+            }
+            std::mem::swap(&mut current, &mut next);
+        }
+        current[self.accept as usize]
+    }
+}
+
+impl Clone for LazyDfa {
+    fn clone(&self) -> Self {
+        LazyDfa {
+            classes: self.classes.clone(),
+            num_states: self.num_states,
+            closure: self.closure.clone(),
+            trans: self.trans.clone(),
+            start_set: self.start_set.clone(),
+            accept: self.accept,
+            max_cache_states: self.max_cache_states,
+            // Caches are scratch: the clone starts cold.
+            pool: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl std::fmt::Debug for LazyDfa {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LazyDfa")
+            .field("nfa_states", &self.num_states)
+            .field("byte_classes", &self.classes.len())
+            .field("max_cache_states", &self.max_cache_states)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classical::skeleton_matches;
+    use crate::thompson::compile;
+    use semre_syntax::parse;
+
+    fn dfa(pattern: &str) -> (Snfa, LazyDfa) {
+        let snfa = compile(&parse(pattern).unwrap());
+        let dfa = LazyDfa::new(&snfa);
+        (snfa, dfa)
+    }
+
+    #[test]
+    fn byte_classes_compress_the_alphabet() {
+        let (_, d) = dfa("[a-z]+[0-9]*");
+        // Classes: lowercase, digits, everything else — maybe split further
+        // by guard structure, but far fewer than 256.
+        assert!(d.byte_classes().len() <= 8, "{}", d.byte_classes().len());
+        let c = d.byte_classes();
+        assert_eq!(c.class(b'a'), c.class(b'z'));
+        assert_eq!(c.class(b'0'), c.class(b'9'));
+        assert_ne!(c.class(b'a'), c.class(b'0'));
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn agrees_with_the_nfa_simulation() {
+        let cases: &[(&str, &[&[u8]])] = &[
+            ("", &[b"", b"a"]),
+            ("abc", &[b"abc", b"abd", b"ab", b"abcd"]),
+            ("(ab)*", &[b"", b"ab", b"abab", b"aba"]),
+            ("a+b?", &[b"aaa", b"aaab", b"b", b""]),
+            ("[0-9]{2,4}", &[b"1", b"12", b"1234", b"12345"]),
+            (".*", &[b"anything", b""]),
+            ("(?<Q>: a+)b", &[b"aab", b"ab", b"b", b"aa"]),
+            ("x(?<A>: .*(?<B>: .*).*)y", &[b"xzy", b"xy", b"zz"]),
+        ];
+        for &(pattern, inputs) in cases {
+            let (snfa, d) = dfa(pattern);
+            for &input in inputs {
+                assert_eq!(
+                    d.matches(input),
+                    skeleton_matches(&snfa, input),
+                    "{pattern} on {:?}",
+                    String::from_utf8_lossy(input)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fallback_agrees_when_the_cache_is_tiny() {
+        // Force constant cache clears by shrinking the budget to one state.
+        let snfa = compile(&parse("(a|b|ab)*c").unwrap());
+        let mut d = LazyDfa::new(&snfa);
+        d.max_cache_states = 1;
+        for input in [&b"ababab"[..], b"abababc", b"abc", b"ca"] {
+            assert_eq!(
+                d.matches(input),
+                skeleton_matches(&snfa, input),
+                "{:?}",
+                String::from_utf8_lossy(input)
+            );
+        }
+        // The pure-NFA path agrees too.
+        assert!(d.matches_nfa(b"abc"));
+        assert!(!d.matches_nfa(b"ca"));
+    }
+
+    #[test]
+    fn cache_is_reused_across_calls_and_threads() {
+        let (_, d) = dfa("[a-z]+@[a-z]+");
+        assert!(d.matches(b"user@host"));
+        assert!(d.matches(b"a@b"));
+        assert!(!d.matches(b"nope"));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..50 {
+                        assert!(d.matches(b"user@host"));
+                        assert!(!d.matches(b"user@@host"));
+                    }
+                });
+            }
+        });
+        let clone = d.clone();
+        assert!(clone.matches(b"x@y"));
+        assert!(format!("{d:?}").contains("byte_classes"));
+    }
+
+    #[test]
+    fn dead_state_short_circuits() {
+        let (_, d) = dfa("abc");
+        // After the first mismatching byte the DFA hits the dead state and
+        // must reject no matter what follows.
+        assert!(!d.matches(b"xbc"));
+        assert!(!d.matches(&[b'x'; 1000]));
+    }
+}

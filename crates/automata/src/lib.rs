@@ -42,11 +42,15 @@
 mod ambiguity;
 mod classical;
 mod closure;
+mod csr;
+mod dfa;
 mod snfa;
 mod thompson;
 
 pub use ambiguity::skeleton_is_unambiguous;
 pub use classical::{skeleton_matches, SkeletonMatcher};
 pub use closure::EpsClosure;
+pub use csr::Csr;
+pub use dfa::{ByteClasses, LazyDfa};
 pub use snfa::{Label, Snfa, SnfaInvariantError, StateId};
 pub use thompson::compile;

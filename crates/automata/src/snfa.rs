@@ -13,6 +13,7 @@
 //! and the classical skeleton simulation.
 
 use std::fmt;
+use std::sync::OnceLock;
 
 use semre_syntax::{CharClass, QueryName};
 
@@ -97,6 +98,13 @@ pub struct Snfa {
     eps_out: Vec<Vec<StateId>>,
     start: StateId,
     accept: StateId,
+    /// Lazily-computed derived relations.  The automaton is immutable after
+    /// construction, so each is computed at most once and shared by every
+    /// later call (the ε-closure, gadget topology, and search seeding all
+    /// consult them repeatedly).
+    eps_in: OnceLock<Vec<Vec<StateId>>>,
+    reachable: OnceLock<Vec<bool>>,
+    co_reachable: OnceLock<Vec<bool>>,
 }
 
 impl Snfa {
@@ -136,6 +144,9 @@ impl Snfa {
             eps_out,
             start,
             accept,
+            eps_in: OnceLock::new(),
+            reachable: OnceLock::new(),
+            co_reachable: OnceLock::new(),
         }
     }
 
@@ -188,62 +199,70 @@ impl Snfa {
             .map(|&(_, t)| t)
     }
 
-    /// Incoming ε-transitions, computed on demand (one `Vec` per state).
-    pub fn eps_in(&self) -> Vec<Vec<StateId>> {
-        let mut inc = vec![Vec::new(); self.num_states()];
-        for s in self.states() {
-            for &t in self.eps_out(s) {
-                inc[t].push(s);
+    /// Incoming ε-transitions (one list per state), computed once on first
+    /// use and memoized — the automaton never changes after construction.
+    pub fn eps_in(&self) -> &[Vec<StateId>] {
+        self.eps_in.get_or_init(|| {
+            let mut inc = vec![Vec::new(); self.num_states()];
+            for s in self.states() {
+                for &t in self.eps_out(s) {
+                    inc[t].push(s);
+                }
             }
-        }
-        inc
+            inc
+        })
     }
 
-    /// States reachable from the start state by any number of transitions.
-    pub fn reachable(&self) -> Vec<bool> {
-        let mut seen = vec![false; self.num_states()];
-        let mut stack = vec![self.start];
-        seen[self.start] = true;
-        while let Some(s) = stack.pop() {
-            for &t in self.eps_out(s) {
-                if !seen[t] {
-                    seen[t] = true;
-                    stack.push(t);
+    /// States reachable from the start state by any number of transitions
+    /// (memoized).
+    pub fn reachable(&self) -> &[bool] {
+        self.reachable.get_or_init(|| {
+            let mut seen = vec![false; self.num_states()];
+            let mut stack = vec![self.start];
+            seen[self.start] = true;
+            while let Some(s) = stack.pop() {
+                for &t in self.eps_out(s) {
+                    if !seen[t] {
+                        seen[t] = true;
+                        stack.push(t);
+                    }
+                }
+                for &(_, t) in self.char_out(s) {
+                    if !seen[t] {
+                        seen[t] = true;
+                        stack.push(t);
+                    }
                 }
             }
-            for &(_, t) in self.char_out(s) {
-                if !seen[t] {
-                    seen[t] = true;
-                    stack.push(t);
-                }
-            }
-        }
-        seen
+            seen
+        })
     }
 
-    /// States from which the accepting state is reachable.
-    pub fn co_reachable(&self) -> Vec<bool> {
-        let mut rev: Vec<Vec<StateId>> = vec![Vec::new(); self.num_states()];
-        for s in self.states() {
-            for &t in self.eps_out(s) {
-                rev[t].push(s);
-            }
-            for &(_, t) in self.char_out(s) {
-                rev[t].push(s);
-            }
-        }
-        let mut seen = vec![false; self.num_states()];
-        let mut stack = vec![self.accept];
-        seen[self.accept] = true;
-        while let Some(s) = stack.pop() {
-            for &p in &rev[s] {
-                if !seen[p] {
-                    seen[p] = true;
-                    stack.push(p);
+    /// States from which the accepting state is reachable (memoized).
+    pub fn co_reachable(&self) -> &[bool] {
+        self.co_reachable.get_or_init(|| {
+            let mut rev: Vec<Vec<StateId>> = vec![Vec::new(); self.num_states()];
+            for s in self.states() {
+                for &t in self.eps_out(s) {
+                    rev[t].push(s);
+                }
+                for &(_, t) in self.char_out(s) {
+                    rev[t].push(s);
                 }
             }
-        }
-        seen
+            let mut seen = vec![false; self.num_states()];
+            let mut stack = vec![self.accept];
+            seen[self.accept] = true;
+            while let Some(s) = stack.pop() {
+                for &p in &rev[s] {
+                    if !seen[p] {
+                        seen[p] = true;
+                        stack.push(p);
+                    }
+                }
+            }
+            seen
+        })
     }
 
     /// Whether every state is both reachable and co-reachable
@@ -469,8 +488,11 @@ mod tests {
             1,
         );
         assert!(!orphan.is_trim());
-        assert_eq!(orphan.reachable(), vec![true, true, false]);
-        assert_eq!(orphan.co_reachable(), vec![true, true, false]);
+        assert_eq!(orphan.reachable(), &[true, true, false]);
+        assert_eq!(orphan.co_reachable(), &[true, true, false]);
+        // Memoized: repeated calls hand back the same slice.
+        assert!(std::ptr::eq(orphan.reachable(), orphan.reachable()));
+        assert!(std::ptr::eq(orphan.eps_in(), orphan.eps_in()));
     }
 
     #[test]

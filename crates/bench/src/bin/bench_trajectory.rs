@@ -1,0 +1,85 @@
+//! Emits the tracked perf trajectory as `BENCH_PR3.json`.
+//!
+//! ```text
+//! bench_trajectory [--quick] [--out PATH]
+//!
+//!   --quick      reduced sample sizes and repetitions (CI smoke runs)
+//!   --out PATH   output file (default BENCH_PR3.json)
+//! ```
+//!
+//! Prints a human-readable summary table and writes the JSON document the
+//! next PR regresses against.  See EXPERIMENTS.md ("prefilter-speedup").
+
+use semre_bench::trajectory::{self, TrajectoryConfig};
+
+fn main() {
+    let mut out_path = "BENCH_PR3.json".to_owned();
+    let mut config = TrajectoryConfig::full();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => config = TrajectoryConfig::quick(),
+            "--out" => {
+                out_path = args.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown option {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!("measuring trajectory ({config:?}) ...");
+    let trajectory = trajectory::measure(&config);
+
+    println!(
+        "{:<8} {:>12} {:>12} {:>8} {:>12} {:>12} {:>8} {:>10} {:>8}",
+        "SemRE",
+        "skel NFA ns",
+        "skel DFA ns",
+        "speedup",
+        "match NFA",
+        "match DFA",
+        "speedup",
+        "calls",
+        "equiv"
+    );
+    for b in &trajectory.benches {
+        println!(
+            "{:<8} {:>12.0} {:>12.0} {:>7.1}x {:>12.0} {:>12.0} {:>7.2}x {:>10} {:>8}",
+            b.name,
+            b.prefilter.reference_ns,
+            b.prefilter.fast_ns,
+            b.prefilter.speedup(),
+            b.is_match.reference_ns,
+            b.is_match.fast_ns,
+            b.is_match.speedup(),
+            b.is_match_oracle_calls,
+            if b.equivalent { "yes" } else { "NO" },
+        );
+    }
+    println!(
+        "\ngeomean prefilter speedup (DFA vs NFA): {:.2}x (anchored), {:.2}x (search)",
+        trajectory.geomean_prefilter_speedup(),
+        trajectory.geomean_search_prefilter_speedup()
+    );
+    println!(
+        "geomean end-to-end is_match speedup:    {:.2}x",
+        trajectory.geomean_is_match_speedup()
+    );
+
+    assert!(
+        trajectory.all_equivalent(),
+        "equivalence check failed — the trajectory must never ship with a verdict change"
+    );
+
+    let json = trajectory::to_json(&trajectory);
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("wrote {out_path}");
+}

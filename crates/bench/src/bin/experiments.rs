@@ -6,7 +6,8 @@
 //!
 //!   EXPERIMENT        table1 | table2 | fig10-dist | fig10 |
 //!                     query-complexity | triangle | ablation |
-//!                     batch-efficiency | search-overhead | all
+//!                     batch-efficiency | search-overhead |
+//!                     prefilter-speedup | all
 //!                     (default: all)
 //!
 //!   --lines N         corpus lines per dataset          (default 4000)
@@ -65,6 +66,7 @@ fn main() {
             "table2",
             "batch-efficiency",
             "search-overhead",
+            "prefilter-speedup",
             "fig10-dist",
             "fig10",
             "query-complexity",
@@ -88,6 +90,7 @@ fn main() {
             "table2" => table2(&config, &workbench),
             "batch-efficiency" => batch_efficiency(&config, &workbench),
             "search-overhead" => search_overhead(&config, &workbench),
+            "prefilter-speedup" => prefilter_speedup(&config),
             "fig10-dist" => fig10_dist(&workbench),
             "fig10" => fig10(&config, &workbench),
             "query-complexity" => query_complexity(),
@@ -242,6 +245,41 @@ fn search_overhead(config: &ExperimentConfig, workbench: &Workbench) {
             row.overhead(),
         );
     }
+}
+
+fn prefilter_speedup(config: &ExperimentConfig) {
+    use semre_bench::trajectory::{self, TrajectoryConfig};
+    println!("\n## Prefilter speedup: lazy-DFA vs NFA skeleton simulation (ns/line, best-of runs)");
+    let tconfig = if config.max_lines.is_some() {
+        TrajectoryConfig::quick()
+    } else {
+        TrajectoryConfig::full()
+    };
+    let trajectory = trajectory::measure(&tconfig);
+    println!(
+        "{:<8} {:>12} {:>12} {:>9} {:>12} {:>12} {:>9} {:>8}",
+        "SemRE", "skel NFA", "skel DFA", "speedup", "srch NFA", "srch DFA", "speedup", "equiv"
+    );
+    for b in &trajectory.benches {
+        println!(
+            "{:<8} {:>12.0} {:>12.0} {:>8.1}x {:>12.0} {:>12.0} {:>8.1}x {:>8}",
+            b.name,
+            b.prefilter.reference_ns,
+            b.prefilter.fast_ns,
+            b.prefilter.speedup(),
+            b.search_prefilter.reference_ns,
+            b.search_prefilter.fast_ns,
+            b.search_prefilter.speedup(),
+            if b.equivalent { "yes" } else { "NO" },
+        );
+        assert!(b.equivalent, "{}: prefilter engines disagree", b.name);
+    }
+    println!(
+        "\ngeomean speedup: {:.2}x anchored, {:.2}x search; end-to-end is_match {:.2}x",
+        trajectory.geomean_prefilter_speedup(),
+        trajectory.geomean_search_prefilter_speedup(),
+        trajectory.geomean_is_match_speedup()
+    );
 }
 
 fn fig10_dist(workbench: &Workbench) {

@@ -17,12 +17,18 @@
 //!
 //! Run `cargo run --release -p semre-bench --bin experiments -- all` to print
 //! every table, or `cargo bench -p semre-bench` for the micro-bench timings.
+//!
+//! The [`trajectory`] module measures the tracked perf baseline
+//! (`BENCH_PR3.json`, emitted by the `bench_trajectory` binary): skeleton
+//! prefilter DFA vs NFA, end-to-end `is_match`/`find` toggles, and the
+//! verdict-equivalence checks guarding them.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod harness;
 pub mod micro;
+pub mod trajectory;
 
 pub use harness::{
     ablation, batch_efficiency, fig10, fig10_distributions, query_complexity_experiment,

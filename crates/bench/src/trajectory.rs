@@ -1,0 +1,420 @@
+//! The tracked benchmark trajectory (`BENCH_PR3.json`).
+//!
+//! Subsequent PRs need a perf baseline to regress against; this module
+//! measures it and emits it as JSON.  Three families of numbers are
+//! recorded for every one of the nine benchmark SemREs:
+//!
+//! * **prefilter micro** — ns/line for the skeleton prefilter alone, NFA
+//!   state-set simulation vs the lazy DFA, on both the anchored skeleton
+//!   and the padded search skeleton;
+//! * **end-to-end** — ns/line and oracle calls for `is_match` and `find`
+//!   with the DFA prefilter on vs off (the arena'd evaluator has no
+//!   runtime toggle — it *is* the evaluator — so its effect is captured by
+//!   the end-to-end numbers themselves, tracked across PRs);
+//! * **equivalence** — booleans asserting that the DFA and NFA prefilters,
+//!   the batched and per-call planes, and the parallel and sequential
+//!   scans all produce identical verdicts on the sample.
+//!
+//! Timings are best-of-`repeat` over a fixed corpus sample — indicative,
+//! not rigorous; the *trajectory* (same harness, same seed, PR after PR)
+//! is what matters.  No latency is injected: these numbers isolate engine
+//! work, not oracle time.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use semre::automata::{compile, skeleton_matches, LazyDfa, SkeletonMatcher};
+use semre_core::{Matcher, MatcherConfig, SearchKind};
+use semre_grep::{scan_batched, scan_batched_parallel, ScanOptions};
+use semre_syntax::{skeleton, Semre};
+use semre_workloads::Workbench;
+
+/// Knobs for a trajectory run.
+#[derive(Clone, Copy, Debug)]
+pub struct TrajectoryConfig {
+    /// Corpus generation seed (fixed across PRs).
+    pub seed: u64,
+    /// Corpus lines sampled per benchmark for the prefilter micro and
+    /// `is_match` measurements.
+    pub lines_per_bench: usize,
+    /// Lines sampled for the (quadratic) `find` measurements.
+    pub find_lines: usize,
+    /// Maximum line length in the `find` sample.
+    pub find_max_len: usize,
+    /// Measurement repetitions (best-of).
+    pub repeat: u32,
+}
+
+impl TrajectoryConfig {
+    /// The checked-in baseline configuration.
+    pub fn full() -> Self {
+        TrajectoryConfig {
+            seed: 20250613,
+            lines_per_bench: 400,
+            find_lines: 40,
+            find_max_len: 120,
+            repeat: 5,
+        }
+    }
+
+    /// A reduced configuration for CI smoke runs.
+    pub fn quick() -> Self {
+        TrajectoryConfig {
+            seed: 20250613,
+            lines_per_bench: 80,
+            find_lines: 10,
+            find_max_len: 80,
+            repeat: 2,
+        }
+    }
+}
+
+/// One measured (engine, toggle) timing pair.
+#[derive(Clone, Copy, Debug)]
+pub struct Toggle {
+    /// ns/line on the optimized (DFA / default) path.
+    pub fast_ns: f64,
+    /// ns/line on the reference (NFA) path.
+    pub reference_ns: f64,
+}
+
+impl Toggle {
+    /// Reference over fast — how many times faster the optimized path is.
+    pub fn speedup(&self) -> f64 {
+        if self.fast_ns <= 0.0 {
+            0.0
+        } else {
+            self.reference_ns / self.fast_ns
+        }
+    }
+}
+
+/// The trajectory record of one benchmark SemRE.
+#[derive(Clone, Debug)]
+pub struct BenchTrajectory {
+    /// Table 1 name.
+    pub name: &'static str,
+    /// Lines in the `is_match` / prefilter sample.
+    pub lines: usize,
+    /// Lines in the `find` sample.
+    pub find_lines: usize,
+    /// Anchored skeleton prefilter, DFA vs NFA.
+    pub prefilter: Toggle,
+    /// Padded search-skeleton prefilter, DFA vs NFA.
+    pub search_prefilter: Toggle,
+    /// End-to-end `is_match`, DFA prefilter on vs off.
+    pub is_match: Toggle,
+    /// End-to-end `find`, DFA prefilter on vs off.
+    pub find: Toggle,
+    /// Logical oracle requests of the `is_match` sweep (identical across
+    /// all toggles and planes).
+    pub is_match_oracle_calls: u64,
+    /// Logical oracle requests of the `find` sweep.
+    pub find_oracle_calls: u64,
+    /// DFA and NFA prefilters agreed on every line, batched and per-call
+    /// planes agreed on every verdict, and the parallel scan (2 and 8
+    /// threads) reproduced the sequential scan.
+    pub equivalent: bool,
+}
+
+/// A full trajectory run.
+#[derive(Clone, Debug)]
+pub struct Trajectory {
+    /// The configuration measured under.
+    pub config: TrajectoryConfig,
+    /// One record per benchmark SemRE, Table 1 order.
+    pub benches: Vec<BenchTrajectory>,
+}
+
+impl Trajectory {
+    /// Geometric mean of the anchored-prefilter speedups.
+    pub fn geomean_prefilter_speedup(&self) -> f64 {
+        geomean(self.benches.iter().map(|b| b.prefilter.speedup()))
+    }
+
+    /// Geometric mean of the search-prefilter speedups.
+    pub fn geomean_search_prefilter_speedup(&self) -> f64 {
+        geomean(self.benches.iter().map(|b| b.search_prefilter.speedup()))
+    }
+
+    /// Geometric mean of the end-to-end `is_match` improvements.
+    pub fn geomean_is_match_speedup(&self) -> f64 {
+        geomean(self.benches.iter().map(|b| b.is_match.speedup()))
+    }
+
+    /// Whether every benchmark passed all equivalence checks.
+    pub fn all_equivalent(&self) -> bool {
+        self.benches.iter().all(|b| b.equivalent)
+    }
+}
+
+fn geomean(values: impl Iterator<Item = f64>) -> f64 {
+    let positive: Vec<f64> = values.filter(|v| *v > 0.0).collect();
+    if positive.is_empty() {
+        return 0.0;
+    }
+    (positive.iter().map(|v| v.ln()).sum::<f64>() / positive.len() as f64).exp()
+}
+
+/// Best-of-`repeat` wall time of `f`, expressed as ns per line.
+fn ns_per_line(repeat: u32, lines: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = Duration::MAX;
+    for _ in 0..repeat.max(1) {
+        let started = Instant::now();
+        f();
+        best = best.min(started.elapsed());
+    }
+    best.as_nanos() as f64 / lines.max(1) as f64
+}
+
+/// Runs the trajectory measurements.
+pub fn measure(config: &TrajectoryConfig) -> Trajectory {
+    let workbench = Workbench::generate(config.seed, 2000, 2000);
+    let benches = workbench
+        .benchmarks()
+        .iter()
+        .map(|spec| measure_spec(config, &workbench, spec))
+        .collect();
+    Trajectory {
+        config: *config,
+        benches,
+    }
+}
+
+fn measure_spec(
+    config: &TrajectoryConfig,
+    workbench: &Workbench,
+    spec: &semre_workloads::BenchSpec,
+) -> BenchTrajectory {
+    let corpus = workbench.corpus(spec.dataset).truncated_to(400);
+    let lines: Vec<&String> = corpus.lines().iter().take(config.lines_per_bench).collect();
+    let find_corpus = workbench
+        .corpus(spec.dataset)
+        .truncated_to(config.find_max_len);
+    let find_lines: Vec<&String> = find_corpus.lines().iter().take(config.find_lines).collect();
+
+    // --- prefilter micro: the skeleton engines head to head -------------
+    let skel = skeleton(&spec.semre);
+    let skeleton_snfa = compile(&skel);
+    let search_skeleton_snfa = compile(&Semre::padded(skel.clone()));
+    let skeleton_dfa = LazyDfa::new(&skeleton_snfa);
+    let search_skeleton_dfa = LazyDfa::new(&search_skeleton_snfa);
+
+    let repeat = config.repeat;
+    let prefilter = Toggle {
+        fast_ns: ns_per_line(repeat, lines.len(), || {
+            for line in &lines {
+                std::hint::black_box(skeleton_dfa.matches(line.as_bytes()));
+            }
+        }),
+        reference_ns: ns_per_line(repeat, lines.len(), || {
+            let mut nfa = SkeletonMatcher::new(&skeleton_snfa);
+            for line in &lines {
+                std::hint::black_box(nfa.matches(line.as_bytes()));
+            }
+        }),
+    };
+    let search_prefilter = Toggle {
+        fast_ns: ns_per_line(repeat, lines.len(), || {
+            for line in &lines {
+                std::hint::black_box(search_skeleton_dfa.matches(line.as_bytes()));
+            }
+        }),
+        reference_ns: ns_per_line(repeat, lines.len(), || {
+            let mut nfa = SkeletonMatcher::new(&search_skeleton_snfa);
+            for line in &lines {
+                std::hint::black_box(nfa.matches(line.as_bytes()));
+            }
+        }),
+    };
+
+    // --- end to end: is_match and find, DFA prefilter on vs off ---------
+    let dfa_matcher = Matcher::new(spec.semre.clone(), Arc::clone(&spec.oracle));
+    let nfa_matcher = Matcher::with_config(
+        spec.semre.clone(),
+        Arc::clone(&spec.oracle),
+        MatcherConfig::nfa_prefilter(),
+    );
+    let is_match = Toggle {
+        fast_ns: ns_per_line(repeat, lines.len(), || {
+            for line in &lines {
+                std::hint::black_box(dfa_matcher.is_match(line.as_bytes()));
+            }
+        }),
+        reference_ns: ns_per_line(repeat, lines.len(), || {
+            for line in &lines {
+                std::hint::black_box(nfa_matcher.is_match(line.as_bytes()));
+            }
+        }),
+    };
+    let find = Toggle {
+        fast_ns: ns_per_line(repeat, find_lines.len(), || {
+            for line in &find_lines {
+                std::hint::black_box(dfa_matcher.find(line.as_bytes()));
+            }
+        }),
+        reference_ns: ns_per_line(repeat, find_lines.len(), || {
+            for line in &find_lines {
+                std::hint::black_box(nfa_matcher.find(line.as_bytes()));
+            }
+        }),
+    };
+    let is_match_oracle_calls: u64 = lines
+        .iter()
+        .map(|line| dfa_matcher.run(line.as_bytes()).oracle_calls)
+        .sum();
+    let find_oracle_calls: u64 = find_lines
+        .iter()
+        .map(|line| {
+            dfa_matcher
+                .search(line.as_bytes(), SearchKind::Leftmost)
+                .oracle_calls
+        })
+        .sum();
+
+    // --- equivalence: every plane and engine, same verdicts --------------
+    let per_call_matcher = Matcher::with_config(
+        spec.semre.clone(),
+        Arc::clone(&spec.oracle),
+        MatcherConfig::per_call(),
+    );
+    let mut equivalent = true;
+    for line in &lines {
+        let bytes = line.as_bytes();
+        let skel_nfa = skeleton_matches(&skeleton_snfa, bytes);
+        equivalent &= skeleton_dfa.matches(bytes) == skel_nfa;
+        equivalent &=
+            search_skeleton_dfa.matches(bytes) == skeleton_matches(&search_skeleton_snfa, bytes);
+        let batched = dfa_matcher.is_match(bytes);
+        equivalent &= batched == nfa_matcher.is_match(bytes);
+        equivalent &= batched == per_call_matcher.is_match(bytes);
+    }
+    for line in &find_lines {
+        let bytes = line.as_bytes();
+        equivalent &= dfa_matcher.find(bytes) == nfa_matcher.find(bytes);
+        equivalent &= dfa_matcher.find(bytes) == per_call_matcher.find(bytes);
+    }
+    // Parallel chunk scan vs sequential, on the facade handle.
+    let re = semre::SemRegexBuilder::new()
+        .build_semre_shared(spec.semre.clone(), Arc::clone(&spec.oracle))
+        .expect("benchmark SemREs compile");
+    let owned: Vec<String> = lines.iter().map(|l| (*l).clone()).collect();
+    let sequential = scan_batched(&re, &owned, 64, ScanOptions::unlimited());
+    let expected: Vec<bool> = sequential.records.iter().map(|r| r.matched).collect();
+    for threads in [2, 8] {
+        let parallel = scan_batched_parallel(&re, &owned, 64, threads, ScanOptions::unlimited());
+        let got: Vec<bool> = parallel.records.iter().map(|r| r.matched).collect();
+        equivalent &= got == expected;
+    }
+
+    BenchTrajectory {
+        name: spec.name,
+        lines: lines.len(),
+        find_lines: find_lines.len(),
+        prefilter,
+        search_prefilter,
+        is_match,
+        find,
+        is_match_oracle_calls,
+        find_oracle_calls,
+        equivalent,
+    }
+}
+
+/// Serializes a trajectory as the `BENCH_PR3.json` document (hand-rolled:
+/// the workspace has no serde).
+pub fn to_json(trajectory: &Trajectory) -> String {
+    let mut out = String::new();
+    let c = &trajectory.config;
+    out.push_str("{\n");
+    out.push_str("  \"artifact\": \"BENCH_PR3\",\n");
+    out.push_str(
+        "  \"description\": \"Perf trajectory: lazy-DFA skeleton prefilter, arena evaluator, parallel chunk scan\",\n",
+    );
+    let _ = writeln!(
+        out,
+        "  \"config\": {{\"seed\": {}, \"lines_per_bench\": {}, \"find_lines\": {}, \"find_max_len\": {}, \"repeat\": {}}},",
+        c.seed, c.lines_per_bench, c.find_lines, c.find_max_len, c.repeat
+    );
+    out.push_str("  \"benchmarks\": [\n");
+    for (i, b) in trajectory.benches.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"name\": {:?}, \"lines\": {}, \"find_lines\": {},\n      \"prefilter\": {},\n      \"search_prefilter\": {},\n      \"is_match\": {},\n      \"find\": {},\n      \"is_match_oracle_calls\": {}, \"find_oracle_calls\": {}, \"equivalent\": {}}}",
+            b.name,
+            b.lines,
+            b.find_lines,
+            toggle_json(&b.prefilter, "dfa_ns_per_line", "nfa_ns_per_line"),
+            toggle_json(&b.search_prefilter, "dfa_ns_per_line", "nfa_ns_per_line"),
+            toggle_json(&b.is_match, "dfa_ns_per_line", "nfa_ns_per_line"),
+            toggle_json(&b.find, "dfa_ns_per_line", "nfa_ns_per_line"),
+            b.is_match_oracle_calls,
+            b.find_oracle_calls,
+            b.equivalent
+        );
+        out.push_str(if i + 1 < trajectory.benches.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  ],\n");
+    let _ = writeln!(
+        out,
+        "  \"summary\": {{\"geomean_prefilter_speedup\": {:.2}, \"geomean_search_prefilter_speedup\": {:.2}, \"geomean_is_match_speedup\": {:.2}, \"all_equivalent\": {}}}",
+        trajectory.geomean_prefilter_speedup(),
+        trajectory.geomean_search_prefilter_speedup(),
+        trajectory.geomean_is_match_speedup(),
+        trajectory.all_equivalent()
+    );
+    out.push_str("}\n");
+    out
+}
+
+fn toggle_json(toggle: &Toggle, fast_key: &str, reference_key: &str) -> String {
+    format!(
+        "{{\"{}\": {:.1}, \"{}\": {:.1}, \"speedup\": {:.2}}}",
+        fast_key,
+        toggle.fast_ns,
+        reference_key,
+        toggle.reference_ns,
+        toggle.speedup()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_trajectory_is_equivalent_and_serializes() {
+        let config = TrajectoryConfig {
+            lines_per_bench: 25,
+            find_lines: 5,
+            repeat: 1,
+            ..TrajectoryConfig::quick()
+        };
+        let trajectory = measure(&config);
+        assert_eq!(trajectory.benches.len(), 9);
+        assert!(
+            trajectory.all_equivalent(),
+            "some benchmark failed an equivalence check: {:?}",
+            trajectory
+                .benches
+                .iter()
+                .filter(|b| !b.equivalent)
+                .map(|b| b.name)
+                .collect::<Vec<_>>()
+        );
+        let json = to_json(&trajectory);
+        assert!(json.contains("\"artifact\": \"BENCH_PR3\""));
+        assert!(json.contains("\"name\": \"pass\""));
+        assert!(json.contains("geomean_prefilter_speedup"));
+        assert!(json.trim_end().ends_with('}'));
+        // Crude JSON sanity: balanced braces and brackets.
+        let braces = json.matches('{').count();
+        assert_eq!(braces, json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -40,7 +40,7 @@
 //! batched evaluation issues exactly the same logical requests as per-call
 //! evaluation, and the ledger's unique-key count can only be smaller.
 
-use std::collections::HashMap;
+use std::sync::Mutex;
 
 use semre_automata::{Label, Snfa, StateId};
 use semre_oracle::{BatchSession, Oracle, QueryKey, QueryLedger};
@@ -156,23 +156,148 @@ fn merge_refs(dst: &mut Vec<OpenRef>, src: &[OpenRef]) {
 }
 
 /// Per-layer frontier of one gadget copy.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 struct Layer {
     alive: Vec<bool>,
     backref: Vec<Vec<OpenRef>>,
 }
 
 impl Layer {
-    fn new(states: usize) -> Self {
-        Layer {
-            alive: vec![false; states],
-            backref: vec![Vec::new(); states],
+    /// Sizes the frontier for `states` states and clears it, keeping the
+    /// backref allocations of earlier evaluations alive for reuse.
+    fn ensure(&mut self, states: usize) {
+        if self.alive.len() != states {
+            self.alive.clear();
+            self.alive.resize(states, false);
+            self.backref.clear();
+            self.backref.resize_with(states, Vec::new);
+        } else {
+            self.clear();
         }
     }
 
     fn clear(&mut self) {
         self.alive.iter_mut().for_each(|a| *a = false);
         self.backref.iter_mut().for_each(Vec::clear);
+    }
+}
+
+/// Arena of `LOQ(o)` sets, keyed by dense `(open index, position)`
+/// arithmetic instead of a hash map.  Sets are appended to one backing
+/// array and never mutated after insertion; a slot records `(start, len)`
+/// into it.  Only nested SemREs and search seeds ever populate this.
+#[derive(Debug, Default)]
+struct LoqTable {
+    num_opens: usize,
+    positions: usize,
+    /// `(start, len)` into `data`, or `(u32::MAX, 0)` when absent; indexed
+    /// by `pos * num_opens + open_index`.  Allocated lazily on the first
+    /// insert: most evaluations (every non-nested SemRE outside search
+    /// mode) never populate the table, and eagerly zeroing
+    /// `positions × num_opens` slots would make anchored matching of a
+    /// long haystack pay for a structure it does not use.
+    slots: Vec<(u32, u32)>,
+    data: Vec<OpenRef>,
+    entries: usize,
+}
+
+impl LoqTable {
+    fn reset(&mut self, positions: usize, num_opens: usize) {
+        self.num_opens = num_opens;
+        self.positions = positions;
+        self.data.clear();
+        self.entries = 0;
+        self.slots.clear();
+    }
+
+    fn get(&self, open_idx: u32, pos: usize) -> Option<&[OpenRef]> {
+        if self.entries == 0 {
+            return None;
+        }
+        let (start, len) = self.slots[pos * self.num_opens + open_idx as usize];
+        (start != u32::MAX).then(|| &self.data[start as usize..start as usize + len as usize])
+    }
+
+    fn insert(&mut self, open_idx: u32, pos: usize, refs: &[OpenRef]) {
+        if self.slots.is_empty() {
+            self.slots
+                .resize(self.positions.saturating_mul(self.num_opens), (u32::MAX, 0));
+        }
+        let start = self.data.len() as u32;
+        self.data.extend_from_slice(refs);
+        self.slots[pos * self.num_opens + open_idx as usize] = (start, refs.len() as u32);
+        self.entries += 1;
+    }
+
+    fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+}
+
+/// The `LOQ(o)` set of the open vertex referenced by `o`, if any.  Seeds
+/// and non-open states never carry one.
+fn loq_of<'b>(topo: &GadgetTopology, loq: &'b LoqTable, o: OpenRef) -> Option<&'b [OpenRef]> {
+    let state = open_ref_state(o);
+    if state == SEED_STATE {
+        return None;
+    }
+    let idx = topo.open_index(state)?;
+    loq.get(idx, open_ref_pos(o))
+}
+
+/// Reusable buffers of one evaluation: the per-position frontiers, the
+/// flattened co-reachability bitmap, the LOQ arena, and the collect-phase
+/// cache.  A [`ScratchPool`] hands the same buffers to successive
+/// evaluations, so the steady state of a scan performs no per-line (let
+/// alone per-byte) frontier allocation.
+#[derive(Debug, Default)]
+pub(crate) struct EvalScratch {
+    layer1: Layer,
+    layer2: Layer,
+    layer3: Layer,
+    prev3: Layer,
+    close_cache: Vec<Option<CachedClose>>,
+    /// Co-reachability bits, `((pos - 1) * 3 + (layer - 1)) * states +
+    /// state` — one flat allocation instead of `3(n + 1)` nested `Vec`s.
+    coreach: Vec<bool>,
+    loq: LoqTable,
+    /// Staging buffer for backref merges at open vertices.
+    refs_buf: Vec<OpenRef>,
+}
+
+/// A lock-guarded stack of [`EvalScratch`] buffers.  `Matcher` keeps one so
+/// concurrent `is_match` / `find` calls each check out their own buffers
+/// (the lock is held only for the pop/push, never during evaluation).
+pub(crate) struct ScratchPool(Mutex<Vec<EvalScratch>>);
+
+impl ScratchPool {
+    pub(crate) fn new() -> Self {
+        ScratchPool(Mutex::new(Vec::new()))
+    }
+
+    pub(crate) fn take(&self) -> EvalScratch {
+        self.0
+            .lock()
+            .expect("scratch pool poisoned")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    pub(crate) fn put(&self, scratch: EvalScratch) {
+        self.0.lock().expect("scratch pool poisoned").push(scratch);
+    }
+}
+
+impl Clone for ScratchPool {
+    fn clone(&self) -> Self {
+        // Scratch is transient: clones start with an empty pool.
+        ScratchPool::new()
+    }
+}
+
+impl std::fmt::Debug for ScratchPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ScratchPool")
     }
 }
 
@@ -216,6 +341,7 @@ impl QueryTable {
 
 /// One close vertex's candidate computation, cached by the collect phase
 /// for reuse in the apply phase.
+#[derive(Debug)]
 struct CachedClose {
     candidates: Vec<OpenRef>,
     groups: Vec<(usize, bool)>,
@@ -253,17 +379,18 @@ fn flush_plane(plane: &mut Plane<'_, '_, '_>, input: &[u8]) {
 /// for refinement queries.  With `options.batched` a fresh, single-line
 /// [`BatchSession`] is used; [`evaluate_in_session`] shares one across
 /// lines.
-pub(crate) fn evaluate(
+pub(crate) fn evaluate_with_scratch(
     snfa: &Snfa,
     topo: &GadgetTopology,
     input: &[u8],
     oracle: &dyn Oracle,
     options: EvalOptions,
+    scratch: &mut EvalScratch,
 ) -> EvalReport {
     if options.batched {
         let table = QueryTable::build(snfa, topo);
         let mut session = BatchSession::new(oracle);
-        return evaluate_in_session(snfa, topo, &table, input, options, &mut session);
+        return evaluate_in_session(snfa, topo, &table, input, options, &mut session, scratch);
     }
     Evaluator {
         snfa,
@@ -271,17 +398,15 @@ pub(crate) fn evaluate(
         input,
         oracle,
         options,
-        loq: HashMap::new(),
         report: EvalReport {
             positions: input.len() + 1,
             ..EvalReport::default()
         },
-        close_cache: Vec::new(),
         plane: None,
         search: None,
         best: None,
     }
-    .run()
+    .run(scratch)
 }
 
 /// Unanchored search over `input`: finds the [`SearchKind`]-preferred span
@@ -289,18 +414,29 @@ pub(crate) fn evaluate(
 /// [`EvalReport::span`].  One pass over the text answers all start
 /// positions: every position seeds the start vertex (the implicit `.*`
 /// prefix) and the seeds ride the backreference rules to the accept vertex.
-pub(crate) fn evaluate_search(
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn evaluate_search_with_scratch(
     snfa: &Snfa,
     topo: &GadgetTopology,
     input: &[u8],
     oracle: &dyn Oracle,
     options: EvalOptions,
     kind: SearchKind,
+    scratch: &mut EvalScratch,
 ) -> EvalReport {
     if options.batched {
         let table = QueryTable::build(snfa, topo);
         let mut session = BatchSession::new(oracle);
-        return evaluate_search_in_session(snfa, topo, &table, input, options, kind, &mut session);
+        return evaluate_search_in_session(
+            snfa,
+            topo,
+            &table,
+            input,
+            options,
+            kind,
+            &mut session,
+            scratch,
+        );
     }
     Evaluator {
         snfa,
@@ -308,23 +444,22 @@ pub(crate) fn evaluate_search(
         input,
         oracle,
         options,
-        loq: HashMap::new(),
         report: EvalReport {
             positions: input.len() + 1,
             ..EvalReport::default()
         },
-        close_cache: Vec::new(),
         plane: None,
         search: Some(kind),
         best: None,
     }
-    .run()
+    .run(scratch)
 }
 
 /// Like [`evaluate_search`], but resolving oracle questions through
 /// `session` so answers are shared with every other evaluation using it
 /// (e.g. the successive suffix searches of a `find_iter`).  Implies the
 /// batched plane.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn evaluate_search_in_session<'a>(
     snfa: &'a Snfa,
     topo: &'a GadgetTopology,
@@ -333,6 +468,7 @@ pub(crate) fn evaluate_search_in_session<'a>(
     options: EvalOptions,
     kind: SearchKind,
     session: &mut BatchSession<'_>,
+    scratch: &mut EvalScratch,
 ) -> EvalReport {
     let oracle = session.backend();
     Evaluator {
@@ -341,12 +477,10 @@ pub(crate) fn evaluate_search_in_session<'a>(
         input,
         oracle,
         options,
-        loq: HashMap::new(),
         report: EvalReport {
             positions: input.len() + 1,
             ..EvalReport::default()
         },
-        close_cache: Vec::new(),
         plane: Some(Plane {
             ledger: QueryLedger::new(),
             session,
@@ -355,7 +489,7 @@ pub(crate) fn evaluate_search_in_session<'a>(
         search: Some(kind),
         best: None,
     }
-    .run()
+    .run(scratch)
 }
 
 /// Evaluates the query graph with oracle questions resolved through
@@ -369,6 +503,7 @@ pub(crate) fn evaluate_in_session<'a>(
     input: &'a [u8],
     options: EvalOptions,
     session: &mut BatchSession<'_>,
+    scratch: &mut EvalScratch,
 ) -> EvalReport {
     let oracle = session.backend();
     Evaluator {
@@ -377,12 +512,10 @@ pub(crate) fn evaluate_in_session<'a>(
         input,
         oracle,
         options,
-        loq: HashMap::new(),
         report: EvalReport {
             positions: input.len() + 1,
             ..EvalReport::default()
         },
-        close_cache: Vec::new(),
         plane: Some(Plane {
             ledger: QueryLedger::new(),
             session,
@@ -391,7 +524,7 @@ pub(crate) fn evaluate_in_session<'a>(
         search: None,
         best: None,
     }
-    .run()
+    .run(scratch)
 }
 
 struct Evaluator<'a, 's, 'o> {
@@ -400,14 +533,7 @@ struct Evaluator<'a, 's, 'o> {
     input: &'a [u8],
     oracle: &'a dyn Oracle,
     options: EvalOptions,
-    /// `LOQ(o)` for every alive open vertex `o` with a non-empty LOQ set
-    /// (only nested SemREs ever populate this).
-    loq: HashMap<OpenRef, Vec<OpenRef>>,
     report: EvalReport,
-    /// Per-position cache handing the collect phase's candidate
-    /// computations to the apply phase (always `None` per slot on the
-    /// per-call path; entries are taken as the apply phase visits them).
-    close_cache: Vec<Option<CachedClose>>,
     /// The batched query plane, absent on the per-call path.
     plane: Option<Plane<'a, 's, 'o>>,
     /// Unanchored search mode: `Some` makes every position seed the start
@@ -417,21 +543,9 @@ struct Evaluator<'a, 's, 'o> {
     best: Option<(usize, usize)>,
 }
 
-/// Co-reachability information: for each position and layer, which states'
-/// vertices can still reach `end`.
-struct CoReach {
-    layers: Vec<[Vec<bool>; 3]>,
-}
-
-impl CoReach {
-    fn allows(&self, layer: usize, state: StateId, pos: usize) -> bool {
-        self.layers[pos - 1][layer - 1][state]
-    }
-}
-
 impl Evaluator<'_, '_, '_> {
-    fn run(mut self) -> EvalReport {
-        let mut report = self.run_inner();
+    fn run(mut self, scratch: &mut EvalScratch) -> EvalReport {
+        let mut report = self.run_inner(scratch);
         if self.search.is_some() {
             report.span = self.best;
             report.matched = self.best.is_some();
@@ -452,20 +566,34 @@ impl Evaluator<'_, '_, '_> {
         report
     }
 
-    fn run_inner(&mut self) -> EvalReport {
+    fn run_inner(&mut self, scratch: &mut EvalScratch) -> EvalReport {
         let n = self.input.len();
         let states = self.snfa.num_states();
-        self.close_cache = std::iter::repeat_with(|| None).take(states).collect();
+        let EvalScratch {
+            layer1,
+            layer2,
+            layer3,
+            prev3,
+            close_cache,
+            coreach,
+            loq,
+            refs_buf,
+        } = scratch;
+        layer1.ensure(states);
+        layer2.ensure(states);
+        layer3.ensure(states);
+        prev3.ensure(states);
+        close_cache.clear();
+        close_cache.resize_with(states, || None);
+        loq.reset(n + 2, self.topo.num_open_states());
 
-        let coreach = if self.options.prune_coreachable {
-            Some(self.co_reachability())
-        } else {
-            None
-        };
-        let allowed = |layer: usize, state: StateId, pos: usize| -> bool {
-            coreach
-                .as_ref()
-                .map_or(true, |c| c.allows(layer, state, pos))
+        let prune = self.options.prune_coreachable;
+        if prune {
+            self.co_reachability(coreach);
+        }
+        let cr: &[bool] = coreach;
+        let allowed = move |layer: usize, state: StateId, pos: usize| -> bool {
+            !prune || cr[((pos - 1) * 3 + (layer - 1)) * states + state]
         };
 
         // If even the start vertex cannot reach end, the skeleton does not
@@ -474,11 +602,6 @@ impl Evaluator<'_, '_, '_> {
         if self.search.is_none() && !allowed(1, self.snfa.start(), 1) {
             return self.report;
         }
-
-        let mut layer1 = Layer::new(states);
-        let mut layer2 = Layer::new(states);
-        let mut layer3 = Layer::new(states);
-        let mut prev3 = Layer::new(states);
 
         for pos in 1..=n + 1 {
             layer1.clear();
@@ -529,7 +652,7 @@ impl Evaluator<'_, '_, '_> {
             // Collect phase: enlist every oracle question this position is
             // certain to need and resolve them in one batch.
             if self.plane.is_some() {
-                self.collect_close_queries(pos, &layer1, &allowed);
+                self.collect_close_queries(pos, layer1, &allowed, close_cache, loq);
             }
             // Apply phase: the Fig. 9 rules, in topological order, reading
             // answers from the ledger (or the oracle, on the per-call
@@ -538,7 +661,7 @@ impl Evaluator<'_, '_, '_> {
                 if !allowed(1, t, pos) {
                     continue;
                 }
-                self.eval_close_vertex(t, pos, &mut layer1);
+                self.eval_close_vertex(t, pos, layer1, close_cache, loq);
             }
 
             // ---- Layer 2: E12 copies, then open edges -------------------
@@ -551,14 +674,17 @@ impl Evaluator<'_, '_, '_> {
                 }
                 if layer1.alive[s] {
                     layer2.alive[s] = true;
-                    layer2.backref[s] = layer1.backref[s].clone();
+                    // Layer 1's set is not read again for non-open states,
+                    // so the copy of the Fig. 9 E12 rule can be a swap — no
+                    // allocation, no element clone.
+                    std::mem::swap(&mut layer2.backref[s], &mut layer1.backref[s]);
                 }
             }
             for &t in self.topo.open_order() {
                 if !allowed(2, t, pos) {
                     continue;
                 }
-                self.eval_open_vertex(t, pos, &layer1, &mut layer2);
+                self.eval_open_vertex(t, pos, layer1, layer2, loq, refs_buf);
             }
 
             // ---- Layer 3: balanced ε-reach edges -------------------------
@@ -630,7 +756,7 @@ impl Evaluator<'_, '_, '_> {
                         Some(SearchKind::EarliestEnd) => {}
                     }
                 }
-                std::mem::swap(&mut prev3, &mut layer3);
+                std::mem::swap(prev3, layer3);
             } else if self.search.is_none() {
                 self.report.matched = layer3.alive[self.snfa.accept()];
             }
@@ -669,11 +795,11 @@ impl Evaluator<'_, '_, '_> {
     /// member carries a LOQ set (nested queries).  Candidates are sorted,
     /// so the group order — and in particular the first group — is
     /// identical however the candidate set was reached.
-    fn group_candidates(&self, candidates: &[OpenRef]) -> Vec<(usize, bool)> {
+    fn group_candidates(&self, candidates: &[OpenRef], loq: &LoqTable) -> Vec<(usize, bool)> {
         let mut groups: Vec<(usize, bool)> = Vec::new();
         for &o in candidates {
             let p = open_ref_pos(o);
-            let has_loq = self.loq.contains_key(&o);
+            let has_loq = loq_of(self.topo, loq, o).is_some();
             match groups.iter_mut().find(|(gp, _)| *gp == p) {
                 Some((_, h)) => *h |= has_loq,
                 None => groups.push((p, has_loq)),
@@ -703,18 +829,24 @@ impl Evaluator<'_, '_, '_> {
     ///
     /// Anything else is left to the apply phase, which resolves stragglers
     /// through the same ledger.
-    fn collect_close_queries<F>(&mut self, pos: usize, layer1: &Layer, allowed: &F)
-    where
+    fn collect_close_queries<F>(
+        &mut self,
+        pos: usize,
+        layer1: &Layer,
+        allowed: &F,
+        close_cache: &mut [Option<CachedClose>],
+        loq: &LoqTable,
+    ) where
         F: Fn(usize, StateId, usize) -> bool,
     {
         // The apply phase takes every entry it visits, but clear anyway so
         // a stale computation can never leak across positions.
-        self.close_cache.iter_mut().for_each(|slot| *slot = None);
+        close_cache.iter_mut().for_each(|slot| *slot = None);
         // With no LOQ sets anywhere, candidate sets cannot change during
         // the close cascade (newly alive close vertices carry empty
         // backreferences), so the apply phase can reuse what is computed
         // here instead of recomputing it per vertex.
-        let cache_reusable = self.loq.is_empty();
+        let cache_reusable = loq.is_empty();
         let mut wanted: Vec<(StateId, usize)> = Vec::new();
         for &t in self.topo.close_order() {
             if !allowed(1, t, pos) {
@@ -724,7 +856,7 @@ impl Evaluator<'_, '_, '_> {
                 Some(c) if !c.is_empty() => c,
                 _ => continue,
             };
-            let groups = self.group_candidates(&candidates);
+            let groups = self.group_candidates(&candidates, loq);
             if !self.options.lazy_oracle {
                 wanted.extend(groups.iter().map(|&(open_pos, _)| (t, open_pos)));
             } else {
@@ -740,7 +872,7 @@ impl Evaluator<'_, '_, '_> {
                 }
             }
             if cache_reusable {
-                self.close_cache[t] = Some(CachedClose { candidates, groups });
+                close_cache[t] = Some(CachedClose { candidates, groups });
             }
         }
         if wanted.is_empty() {
@@ -760,23 +892,30 @@ impl Evaluator<'_, '_, '_> {
     /// Evaluates the close vertex `(t, layer 1, pos)`: discharges oracle
     /// queries for the opens recorded in its predecessors' backreference
     /// sets (rules M, Ac, Bc of Fig. 9).
-    fn eval_close_vertex(&mut self, t: StateId, pos: usize, layer1: &mut Layer) {
-        let query = self
-            .topo
-            .query(t)
-            .expect("close states carry a query")
-            .clone();
+    fn eval_close_vertex(
+        &mut self,
+        t: StateId,
+        pos: usize,
+        layer1: &mut Layer,
+        close_cache: &mut [Option<CachedClose>],
+        loq: &LoqTable,
+    ) {
+        // `topo` is a shared borrow independent of `self`, so the query
+        // name can stay borrowed across the `&mut self` oracle calls below
+        // — no per-vertex clone.
+        let topo = self.topo;
+        let query = topo.query(t).expect("close states carry a query");
         // Reuse the collect phase's computation when it cached one for this
         // vertex (valid only while no LOQ set exists, which is when the
         // candidate set provably cannot have changed since).
-        let (candidates, groups) = match self.close_cache[t].take() {
+        let (candidates, groups) = match close_cache[t].take() {
             Some(CachedClose { candidates, groups }) => (candidates, groups),
             None => {
                 let candidates = match self.close_candidates(t, layer1) {
                     Some(c) if !c.is_empty() => c,
                     _ => return,
                 };
-                let groups = self.group_candidates(&candidates);
+                let groups = self.group_candidates(&candidates, loq);
                 (candidates, groups)
             }
         };
@@ -786,16 +925,18 @@ impl Evaluator<'_, '_, '_> {
         let (with_loq, without_loq): (Vec<_>, Vec<_>) =
             groups.into_iter().partition(|&(_, has_loq)| has_loq);
 
-        let mut matched_backrefs: Vec<OpenRef> = Vec::new();
+        // Reuse the (empty) backref buffer already sitting in the frontier
+        // slot instead of allocating a fresh one per close vertex.
+        let mut matched_backrefs = std::mem::take(&mut layer1.backref[t]);
+        matched_backrefs.clear();
         let mut alive = false;
 
         for &(open_pos, _) in &with_loq {
-            if self.ask_oracle(t, &query, open_pos, pos) {
+            if self.ask_oracle(t, query, open_pos, pos) {
                 alive = true;
                 for &o in candidates.iter().filter(|&&o| open_ref_pos(o) == open_pos) {
-                    if let Some(refs) = self.loq.get(&o) {
-                        let refs = refs.clone();
-                        merge_refs(&mut matched_backrefs, &refs);
+                    if let Some(refs) = loq_of(topo, loq, o) {
+                        merge_refs(&mut matched_backrefs, refs);
                     }
                 }
             }
@@ -806,42 +947,58 @@ impl Evaluator<'_, '_, '_> {
                 // sets are empty) and Alive(v) is already established.
                 break;
             }
-            if self.ask_oracle(t, &query, open_pos, pos) {
+            if self.ask_oracle(t, query, open_pos, pos) {
                 alive = true;
             }
         }
 
         if alive {
             layer1.alive[t] = true;
-            layer1.backref[t] = matched_backrefs;
+        } else {
+            matched_backrefs.clear();
         }
+        layer1.backref[t] = matched_backrefs;
     }
 
     /// Evaluates the open vertex `(t, layer 2, pos)`: rule Ao plus the
     /// backreference rules Bo (the vertex references itself) and the LOQ
     /// bookkeeping needed by rule Bc at the matching close.
-    fn eval_open_vertex(&mut self, t: StateId, pos: usize, layer1: &Layer, layer2: &mut Layer) {
+    fn eval_open_vertex(
+        &mut self,
+        t: StateId,
+        pos: usize,
+        layer1: &Layer,
+        layer2: &mut Layer,
+        loq: &mut LoqTable,
+        refs_buf: &mut Vec<OpenRef>,
+    ) {
+        refs_buf.clear();
         let mut alive = false;
-        let mut loq: Vec<OpenRef> = Vec::new();
         if layer1.alive[t] {
             alive = true;
-            merge_refs(&mut loq, &layer1.backref[t]);
+            merge_refs(refs_buf, &layer1.backref[t]);
         }
         for &p in self.topo.open_in(t) {
             if !layer2.alive[p] {
                 continue;
             }
             alive = true;
-            merge_refs(&mut loq, &layer2.backref[p]);
+            merge_refs(refs_buf, &layer2.backref[p]);
         }
         if !alive {
             return;
         }
         let me = open_ref(t, pos);
         layer2.alive[t] = true;
-        layer2.backref[t] = vec![me];
-        if !loq.is_empty() {
-            self.loq.insert(me, loq);
+        let slot = &mut layer2.backref[t];
+        slot.clear();
+        slot.push(me);
+        if !refs_buf.is_empty() {
+            let idx = self
+                .topo
+                .open_index(t)
+                .expect("open states have a dense index");
+            loq.insert(idx, pos, refs_buf);
         }
     }
 
@@ -883,34 +1040,37 @@ impl Evaluator<'_, '_, '_> {
     }
 
     /// Backward, oracle-free pass computing for every vertex whether `end`
-    /// is syntactically reachable from it.
-    fn co_reachability(&self) -> CoReach {
+    /// is syntactically reachable from it, written into the flat `bits`
+    /// bitmap (`((pos - 1) * 3 + (layer - 1)) * states + state`).  One
+    /// resized allocation per evaluation instead of `3(|w| + 1)` nested
+    /// `Vec`s.
+    fn co_reachability(&self, bits: &mut Vec<bool>) {
         let n = self.input.len();
         let states = self.snfa.num_states();
-        let mut layers: Vec<[Vec<bool>; 3]> = (0..n + 1)
-            .map(|_| {
-                [
-                    vec![false; states],
-                    vec![false; states],
-                    vec![false; states],
-                ]
-            })
-            .collect();
+        let stride = 3 * states;
+        bits.clear();
+        bits.resize(stride * (n + 1), false);
 
         for pos in (1..=n + 1).rev() {
-            let (before, rest) = layers.split_at_mut(pos - 1 + 1);
-            let current = &mut before[pos - 1];
-            let next_layer1: Option<&Vec<bool>> = rest.first().map(|l| &l[0]);
+            let (before, rest) = bits.split_at_mut(pos * stride);
+            let current = &mut before[(pos - 1) * stride..];
+            let next_layer1: Option<&[bool]> = if pos == n + 1 {
+                None
+            } else {
+                Some(&rest[..states])
+            };
+            let (l1, tail) = current.split_at_mut(states);
+            let (l2, l3) = tail.split_at_mut(states);
 
             // Layer 3: end vertex, or a character edge into an allowed
             // layer-1 vertex of the next position.  Search mode checks the
             // accept vertex at *every* position, so it is always a target.
             if pos == n + 1 {
-                current[2][self.snfa.accept()] = true;
+                l3[self.snfa.accept()] = true;
             } else {
                 if let Some(next1) = next_layer1 {
                     let byte = self.input[pos - 1];
-                    for (s, slot) in current[2].iter_mut().enumerate() {
+                    for (s, slot) in l3.iter_mut().enumerate() {
                         if self
                             .snfa
                             .char_out(s)
@@ -922,42 +1082,40 @@ impl Evaluator<'_, '_, '_> {
                     }
                 }
                 if self.search.is_some() {
-                    current[2][self.snfa.accept()] = true;
+                    l3[self.snfa.accept()] = true;
                 }
             }
 
             // Layer 2: E23 edges into layer 3, then E22 edges (reverse
             // topological order so that later opens are settled first).
-            for s in 0..states {
-                if self.topo_balanced(s).iter().any(|&t| current[2][t]) {
-                    current[1][s] = true;
+            for (s, slot) in l2.iter_mut().enumerate() {
+                if self.topo_balanced(s).iter().any(|&t| l3[t]) {
+                    *slot = true;
                 }
             }
             for &t in self.topo.open_order().iter().rev() {
-                if current[1][t] {
+                if l2[t] {
                     for &s in self.topo.open_in(t) {
-                        current[1][s] = true;
+                        l2[s] = true;
                     }
                 }
             }
 
             // Layer 1: E12 edges into layer 2, then E11 edges in reverse
             // topological order.
-            let [layer1, layer2, _] = current;
-            for (dst, &src) in layer1.iter_mut().zip(layer2.iter()) {
+            for (dst, &src) in l1.iter_mut().zip(l2.iter()) {
                 if src {
                     *dst = true;
                 }
             }
             for &t in self.topo.close_order().iter().rev() {
-                if current[0][t] {
+                if l1[t] {
                     for &s in self.topo.close_in(t) {
-                        current[0][s] = true;
+                        l1[s] = true;
                     }
                 }
             }
         }
-        CoReach { layers }
     }
 
     fn topo_balanced(&self, s: StateId) -> &[StateId] {
@@ -981,7 +1139,14 @@ mod tests {
         let snfa = compile(r);
         let closure = EpsClosure::compute(&snfa, oracle);
         let topo = GadgetTopology::new(&snfa, &closure);
-        evaluate(&snfa, &topo, input, oracle, options)
+        evaluate_with_scratch(
+            &snfa,
+            &topo,
+            input,
+            oracle,
+            options,
+            &mut EvalScratch::default(),
+        )
     }
 
     fn all_option_combos() -> Vec<EvalOptions> {
@@ -1340,7 +1505,15 @@ mod tests {
         let snfa = compile(&r);
         let closure = EpsClosure::compute(&snfa, oracle);
         let topo = GadgetTopology::new(&snfa, &closure);
-        evaluate_search(&snfa, &topo, input, oracle, options, kind)
+        evaluate_search_with_scratch(
+            &snfa,
+            &topo,
+            input,
+            oracle,
+            options,
+            kind,
+            &mut EvalScratch::default(),
+        )
     }
 
     #[test]

@@ -7,13 +7,13 @@
 //! `O(|r|²|w|² + |r||w|³)` in the worst case (`O(|r|²|w|²)` without nested
 //! queries) plus the oracle's own response time.
 
-use semre_automata::{compile, EpsClosure, Snfa};
+use semre_automata::{compile, EpsClosure, LazyDfa, Snfa};
 use semre_oracle::{BatchSession, Oracle};
 use semre_syntax::{skeleton, Semre};
 
 use crate::eval::{
-    evaluate, evaluate_in_session, evaluate_search, evaluate_search_in_session, EvalOptions,
-    EvalReport, QueryTable, SearchKind,
+    evaluate_in_session, evaluate_search_in_session, evaluate_search_with_scratch,
+    evaluate_with_scratch, EvalOptions, EvalReport, QueryTable, ScratchPool, SearchKind,
 };
 use crate::topology::GadgetTopology;
 
@@ -28,6 +28,11 @@ pub struct MatcherConfig {
     /// Run a classical simulation of `skel(r)` first and skip the query
     /// graph entirely when it rejects (sound because `⟦r⟧ ⊆ ⟦skel(r)⟧`).
     pub skeleton_prefilter: bool,
+    /// Run the skeleton prefilter as a lazily-determinized DFA (one table
+    /// lookup per byte) instead of the NFA state-set simulation.  Verdicts
+    /// are identical; only the constant factor changes.  Ignored when
+    /// [`skeleton_prefilter`](Self::skeleton_prefilter) is off.
+    pub dfa_prefilter: bool,
     /// Restrict query-graph evaluation to vertices that are syntactically
     /// co-reachable from `end`.
     pub prune_coreachable: bool,
@@ -44,6 +49,7 @@ impl Default for MatcherConfig {
     fn default() -> Self {
         MatcherConfig {
             skeleton_prefilter: true,
+            dfa_prefilter: true,
             prune_coreachable: true,
             lazy_oracle: true,
             batched_oracle: true,
@@ -74,9 +80,20 @@ impl MatcherConfig {
     pub fn eager() -> Self {
         MatcherConfig {
             skeleton_prefilter: false,
+            dfa_prefilter: false,
             prune_coreachable: false,
             lazy_oracle: false,
             batched_oracle: false,
+        }
+    }
+
+    /// The optimized configuration with the skeleton prefilter forced onto
+    /// the classical NFA simulation — the reference point the lazy-DFA
+    /// path is benchmarked against.
+    pub fn nfa_prefilter() -> Self {
+        MatcherConfig {
+            dfa_prefilter: false,
+            ..MatcherConfig::default()
         }
     }
 }
@@ -110,8 +127,14 @@ pub struct Matcher<O> {
     /// Skeleton of `Σ* skel(r) Σ*`: the classical prefilter for unanchored
     /// span search (a line without any skeleton span has no semantic span).
     search_skeleton_snfa: Snfa,
+    /// Lazily-determinized DFA of `skel(r)`, the default prefilter engine.
+    skeleton_dfa: LazyDfa,
+    /// Lazily-determinized DFA of `Σ* skel(r) Σ*` for span-search seeding.
+    search_skeleton_dfa: LazyDfa,
     topo: GadgetTopology,
     query_table: QueryTable,
+    /// Reusable evaluator buffers, checked out per evaluation.
+    scratch: ScratchPool,
     oracle: O,
     config: MatcherConfig,
 }
@@ -131,17 +154,45 @@ impl<O: Oracle> Matcher<O> {
         let skel = skeleton(&semre);
         let skeleton_snfa = compile(&skel);
         let search_skeleton_snfa = compile(&Semre::padded(skel.clone()));
+        let skeleton_dfa = LazyDfa::new(&skeleton_snfa);
+        let search_skeleton_dfa = LazyDfa::new(&search_skeleton_snfa);
         Matcher {
             semre,
             skeleton: skel,
             snfa,
             skeleton_snfa,
             search_skeleton_snfa,
+            skeleton_dfa,
+            search_skeleton_dfa,
             topo,
             query_table,
+            scratch: ScratchPool::new(),
             oracle,
             config,
         }
+    }
+
+    /// Whether the skeleton prefilter (if enabled) proves `input ∉ ⟦r⟧`
+    /// without touching the oracle, via the DFA or NFA engine per
+    /// [`MatcherConfig::dfa_prefilter`].
+    fn skeleton_rejects(&self, input: &[u8]) -> bool {
+        self.config.skeleton_prefilter
+            && if self.config.dfa_prefilter {
+                !self.skeleton_dfa.matches(input)
+            } else {
+                !semre_automata::skeleton_matches(&self.skeleton_snfa, input)
+            }
+    }
+
+    /// Like [`skeleton_rejects`](Self::skeleton_rejects) for unanchored
+    /// search: a line without a skeleton span has no semantic span.
+    fn search_skeleton_rejects(&self, input: &[u8]) -> bool {
+        self.config.skeleton_prefilter
+            && if self.config.dfa_prefilter {
+                !self.search_skeleton_dfa.matches(input)
+            } else {
+                !semre_automata::skeleton_matches(&self.search_skeleton_snfa, input)
+            }
     }
 
     /// Whether `input` belongs to `⟦r⟧`.
@@ -152,34 +203,38 @@ impl<O: Oracle> Matcher<O> {
     /// Matches `input` and reports evaluation statistics (oracle calls,
     /// batch-plane usage, alive vertices).
     pub fn run(&self, input: &[u8]) -> EvalReport {
-        if self.config.skeleton_prefilter
-            && !semre_automata::skeleton_matches(&self.skeleton_snfa, input)
-        {
+        if self.skeleton_rejects(input) {
             return EvalReport {
                 positions: input.len() + 1,
                 ..EvalReport::default()
             };
         }
-        if self.config.batched_oracle {
+        let mut scratch = self.scratch.take();
+        let report = if self.config.batched_oracle {
             // Transient single-line session, reusing the precomputed query
             // table rather than rebuilding it per line.
             let mut session = self.session();
-            return evaluate_in_session(
+            evaluate_in_session(
                 &self.snfa,
                 &self.topo,
                 &self.query_table,
                 input,
                 self.eval_options(),
                 &mut session,
-            );
-        }
-        evaluate(
-            &self.snfa,
-            &self.topo,
-            input,
-            &self.oracle,
-            self.eval_options(),
-        )
+                &mut scratch,
+            )
+        } else {
+            evaluate_with_scratch(
+                &self.snfa,
+                &self.topo,
+                input,
+                &self.oracle,
+                self.eval_options(),
+                &mut scratch,
+            )
+        };
+        self.scratch.put(scratch);
+        report
     }
 
     /// A fresh [`BatchSession`] over this matcher's oracle, to be shared by
@@ -194,22 +249,24 @@ impl<O: Oracle> Matcher<O> {
     /// `session`, batching and deduplicating across every evaluation that
     /// shares it.  Always uses the batched plane.
     pub fn run_in_session(&self, input: &[u8], session: &mut BatchSession<'_>) -> EvalReport {
-        if self.config.skeleton_prefilter
-            && !semre_automata::skeleton_matches(&self.skeleton_snfa, input)
-        {
+        if self.skeleton_rejects(input) {
             return EvalReport {
                 positions: input.len() + 1,
                 ..EvalReport::default()
             };
         }
-        evaluate_in_session(
+        let mut scratch = self.scratch.take();
+        let report = evaluate_in_session(
             &self.snfa,
             &self.topo,
             &self.query_table,
             input,
             self.eval_options(),
             session,
-        )
+            &mut scratch,
+        );
+        self.scratch.put(scratch);
+        report
     }
 
     /// The leftmost-earliest span `(start, end)` with
@@ -228,17 +285,16 @@ impl<O: Oracle> Matcher<O> {
     /// Unanchored search with an explicit [`SearchKind`], reporting full
     /// evaluation statistics; the span is in [`EvalReport::span`].
     pub fn search(&self, input: &[u8], kind: SearchKind) -> EvalReport {
-        if self.config.skeleton_prefilter
-            && !semre_automata::skeleton_matches(&self.search_skeleton_snfa, input)
-        {
+        if self.search_skeleton_rejects(input) {
             return EvalReport {
                 positions: input.len() + 1,
                 ..EvalReport::default()
             };
         }
-        if self.config.batched_oracle {
+        let mut scratch = self.scratch.take();
+        let report = if self.config.batched_oracle {
             let mut session = self.session();
-            return evaluate_search_in_session(
+            evaluate_search_in_session(
                 &self.snfa,
                 &self.topo,
                 &self.query_table,
@@ -246,16 +302,21 @@ impl<O: Oracle> Matcher<O> {
                 self.eval_options(),
                 kind,
                 &mut session,
-            );
-        }
-        evaluate_search(
-            &self.snfa,
-            &self.topo,
-            input,
-            &self.oracle,
-            self.eval_options(),
-            kind,
-        )
+                &mut scratch,
+            )
+        } else {
+            evaluate_search_with_scratch(
+                &self.snfa,
+                &self.topo,
+                input,
+                &self.oracle,
+                self.eval_options(),
+                kind,
+                &mut scratch,
+            )
+        };
+        self.scratch.put(scratch);
+        report
     }
 
     /// Like [`search`](Matcher::search), but resolving oracle questions
@@ -268,15 +329,14 @@ impl<O: Oracle> Matcher<O> {
         kind: SearchKind,
         session: &mut BatchSession<'_>,
     ) -> EvalReport {
-        if self.config.skeleton_prefilter
-            && !semre_automata::skeleton_matches(&self.search_skeleton_snfa, input)
-        {
+        if self.search_skeleton_rejects(input) {
             return EvalReport {
                 positions: input.len() + 1,
                 ..EvalReport::default()
             };
         }
-        evaluate_search_in_session(
+        let mut scratch = self.scratch.take();
+        let report = evaluate_search_in_session(
             &self.snfa,
             &self.topo,
             &self.query_table,
@@ -284,7 +344,10 @@ impl<O: Oracle> Matcher<O> {
             self.eval_options(),
             kind,
             session,
-        )
+            &mut scratch,
+        );
+        self.scratch.put(scratch);
+        report
     }
 
     /// The end of the earliest-ending matching span: the first position at
@@ -404,12 +467,40 @@ mod tests {
     fn config_constructors() {
         assert_eq!(MatcherConfig::optimized(), MatcherConfig::default());
         assert!(MatcherConfig::default().batched_oracle);
+        assert!(MatcherConfig::default().dfa_prefilter);
         let eager = MatcherConfig::eager();
         assert!(!eager.skeleton_prefilter && !eager.prune_coreachable && !eager.lazy_oracle);
-        assert!(!eager.batched_oracle);
+        assert!(!eager.batched_oracle && !eager.dfa_prefilter);
         let per_call = MatcherConfig::per_call();
         assert!(per_call.skeleton_prefilter && per_call.prune_coreachable && per_call.lazy_oracle);
         assert!(!per_call.batched_oracle);
+        let nfa = MatcherConfig::nfa_prefilter();
+        assert!(nfa.skeleton_prefilter && !nfa.dfa_prefilter);
+        assert_eq!(
+            MatcherConfig {
+                dfa_prefilter: true,
+                ..nfa
+            },
+            MatcherConfig::default()
+        );
+    }
+
+    #[test]
+    fn dfa_and_nfa_prefilters_agree_on_verdicts() {
+        let llm = SimLlmOracle::new();
+        let pattern = Semre::padded(examples::r_spam1());
+        let dfa = Matcher::new(pattern.clone(), &llm);
+        let nfa = Matcher::with_config(pattern, &llm, MatcherConfig::nfa_prefilter());
+        let lines: [&[u8]; 4] = [
+            b"Subject: cheap viagra now",
+            b"Subject: meeting notes",
+            b"no subject at all",
+            b"",
+        ];
+        for line in lines {
+            assert_eq!(dfa.is_match(line), nfa.is_match(line), "{line:?}");
+            assert_eq!(dfa.find(line), nfa.find(line), "{line:?}");
+        }
     }
 
     #[test]

@@ -9,28 +9,33 @@
 //! (SemRE, oracle) pair and reused for every line.  [`GadgetTopology`] holds
 //! that precomputation.
 
-use semre_automata::{EpsClosure, Label, Snfa, StateId};
+use semre_automata::{Csr, EpsClosure, Label, Snfa, StateId};
 use semre_syntax::QueryName;
+
+/// Sentinel in [`GadgetTopology::open_index`]'s table: not an open state.
+const NOT_OPEN: u32 = u32::MAX;
 
 /// Precomputed, input-independent structure of the inter-character gadget.
 #[derive(Clone, Debug)]
 pub struct GadgetTopology {
-    /// `close_in[t]` = states `s` with a layer-1 edge `(s,1) → (t,1)`
+    /// `close_in.row(t)` = states `s` with a layer-1 edge `(s,1) → (t,1)`
     /// (non-empty only when `λ(t)` is a close label).
-    close_in: Vec<Vec<StateId>>,
-    /// `open_in[t]` = states `s` with a layer-2 edge `(s,2) → (t,2)`
+    close_in: Csr<StateId>,
+    /// `open_in.row(t)` = states `s` with a layer-2 edge `(s,2) → (t,2)`
     /// (non-empty only when `λ(t)` is an open label).
-    open_in: Vec<Vec<StateId>>,
-    /// `bal_in[t]` = states `s` with a layer-2 → layer-3 edge
+    open_in: Csr<StateId>,
+    /// `bal_in.row(t)` = states `s` with a layer-2 → layer-3 edge
     /// `(s,2) → (t,3)`; always contains `t` itself.
-    bal_in: Vec<Vec<StateId>>,
-    /// `bal_out[s]` = targets of the layer-2 → layer-3 edges of `s`
+    bal_in: Csr<StateId>,
+    /// `bal_out.row(s)` = targets of the layer-2 → layer-3 edges of `s`
     /// (the closure's balanced-reach sets); always contains `s` itself.
-    bal_out: Vec<Vec<StateId>>,
-    /// `close_out[s]` = close states reachable from `s` by a layer-1 edge.
-    close_out: Vec<Vec<StateId>>,
-    /// `open_out[s]` = open states reachable from `s` by a layer-2 edge.
-    open_out: Vec<Vec<StateId>>,
+    bal_out: Csr<StateId>,
+    /// `close_out.row(s)` = close states reachable from `s` by a layer-1
+    /// edge.
+    close_out: Csr<StateId>,
+    /// `open_out.row(s)` = open states reachable from `s` by a layer-2
+    /// edge.
+    open_out: Csr<StateId>,
     /// Close-labelled states in an order compatible with the layer-1 edges
     /// (sources before targets).
     close_order: Vec<StateId>,
@@ -38,6 +43,10 @@ pub struct GadgetTopology {
     open_order: Vec<StateId>,
     /// The query opened / closed by each state, if any.
     query: Vec<Option<QueryName>>,
+    /// Dense index of open-labelled states (`NOT_OPEN` elsewhere): the
+    /// evaluator keys its LOQ arena by `(open index, position)` arithmetic
+    /// instead of hashing.
+    open_index: Vec<u32>,
 }
 
 impl GadgetTopology {
@@ -100,16 +109,21 @@ impl GadgetTopology {
             .states()
             .map(|s| snfa.label(s).query().cloned())
             .collect();
+        let mut open_index = vec![NOT_OPEN; n];
+        for (i, &s) in open_states.iter().enumerate() {
+            open_index[s] = i as u32;
+        }
         GadgetTopology {
-            close_in,
-            open_in,
-            bal_in,
-            bal_out,
-            close_out,
-            open_out,
+            close_in: Csr::from_lists(close_in),
+            open_in: Csr::from_lists(open_in),
+            bal_in: Csr::from_lists(bal_in),
+            bal_out: Csr::from_lists(bal_out),
+            close_out: Csr::from_lists(close_out),
+            open_out: Csr::from_lists(open_out),
             close_order,
             open_order,
             query,
+            open_index,
         }
     }
 
@@ -117,35 +131,47 @@ impl GadgetTopology {
     /// the innermost open query can be closed at `t` between two input
     /// characters).
     pub fn close_in(&self, t: StateId) -> &[StateId] {
-        &self.close_in[t]
+        self.close_in.row(t)
     }
 
     /// Layer-2 predecessors of the open state `t`.
     pub fn open_in(&self, t: StateId) -> &[StateId] {
-        &self.open_in[t]
+        self.open_in.row(t)
     }
 
     /// Layer-2 states with an edge into the layer-3 vertex of `t`.
     pub fn bal_in(&self, t: StateId) -> &[StateId] {
-        &self.bal_in[t]
+        self.bal_in.row(t)
     }
 
     /// Layer-3 targets of the layer-2 vertex of `s` (the balanced-reach set
     /// of `s`, including `s` itself).
     pub fn balanced_targets(&self, s: StateId) -> &[StateId] {
-        &self.bal_out[s]
+        self.bal_out.row(s)
     }
 
     /// Close states reachable from `s` by a layer-1 edge (forward direction
     /// of [`close_in`](Self::close_in)).
     pub fn close_targets(&self, s: StateId) -> &[StateId] {
-        &self.close_out[s]
+        self.close_out.row(s)
     }
 
     /// Open states reachable from `s` by a layer-2 edge (forward direction
     /// of [`open_in`](Self::open_in)).
     pub fn open_targets(&self, s: StateId) -> &[StateId] {
-        &self.open_out[s]
+        self.open_out.row(s)
+    }
+
+    /// Dense index of the open state `s` among all open-labelled states
+    /// (`None` when `λ(s)` is not an open label).
+    pub fn open_index(&self, s: StateId) -> Option<u32> {
+        let i = self.open_index[s];
+        (i != NOT_OPEN).then_some(i)
+    }
+
+    /// Number of open-labelled states (the width of the dense open index).
+    pub fn num_open_states(&self) -> usize {
+        self.open_order.len()
     }
 
     /// Close-labelled states, ordered so that every layer-1 edge goes from

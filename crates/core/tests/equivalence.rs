@@ -76,13 +76,16 @@ fn all_configs() -> Vec<MatcherConfig> {
             prune_coreachable: true,
             lazy_oracle: true,
             batched_oracle: true,
+            ..MatcherConfig::default()
         },
         MatcherConfig {
             skeleton_prefilter: true,
             prune_coreachable: false,
             lazy_oracle: false,
             batched_oracle: false,
+            ..MatcherConfig::default()
         },
+        MatcherConfig::nfa_prefilter(),
     ]
 }
 

@@ -14,6 +14,8 @@
 //!                      repeated (query, text) questions reach the oracle
 //!                      backend once per chunk
 //!   --chunk-lines N    lines per batch-session chunk (default 256)
+//!   --threads N        fan chunks out over N worker threads (default 1);
+//!                      output is identical to a sequential scan
 //!   --only-matching    print each matched span instead of the whole line
 //!                      (lines match when the pattern matches a substring)
 //!   --color            highlight matched spans in printed lines
@@ -45,7 +47,10 @@ use std::time::Duration;
 
 use semre::{Instrumented, OracleSpec, SemRegexBuilder, DEFAULT_CHUNK_LINES};
 
-use crate::engine::{scan, scan_batched, scan_spans, ScanOptions};
+use crate::engine::{
+    scan, scan_batched, scan_batched_parallel, scan_per_call_parallel, scan_spans,
+    scan_spans_parallel, ScanOptions,
+};
 
 /// Errors produced while parsing command-line options or running the scan.
 #[derive(Debug)]
@@ -91,6 +96,9 @@ pub struct CliOptions {
     pub batched: bool,
     /// Lines per batch-session chunk (`0` means the default).
     pub chunk_lines: usize,
+    /// Worker threads for the scan (`0` means the handle's preference,
+    /// i.e. sequential).  Output is identical to a sequential scan.
+    pub threads: usize,
     /// Print matched spans instead of whole lines (span-search mode).
     pub only_matching: bool,
     /// Highlight matched spans in printed lines (presentational; never
@@ -108,7 +116,8 @@ pub struct CliOptions {
 
 /// The usage string printed on `--help` or malformed invocations.
 pub const USAGE: &str = "usage: grepo [--oracle KIND] [--baseline] [--batched] [--chunk-lines N] \
-[--only-matching] [--color] [--count] [--stats] [--max-lines N] [--timeout-secs S] PATTERN [FILE]";
+[--threads N] [--only-matching] [--color] [--count] [--stats] [--max-lines N] [--timeout-secs S] \
+PATTERN [FILE]";
 
 impl CliOptions {
     /// Parses command-line arguments (excluding the program name).
@@ -140,6 +149,18 @@ impl CliOptions {
                         return Err(CliError::new("--chunk-lines must be positive"));
                     }
                     options.chunk_lines = n;
+                }
+                "--threads" => {
+                    let n = args
+                        .next()
+                        .ok_or_else(|| CliError::new("--threads needs a value"))?;
+                    let n: usize = n
+                        .parse()
+                        .map_err(|_| CliError::new("--threads expects a number"))?;
+                    if n == 0 {
+                        return Err(CliError::new("--threads must be positive"));
+                    }
+                    options.threads = n;
                 }
                 "--only-matching" | "-o" => options.only_matching = true,
                 "--color" => options.color = true,
@@ -279,7 +300,9 @@ pub fn run_on_text(options: &CliOptions, text: &str) -> Result<CliOutcome, CliEr
         .dp_baseline(options.baseline)
         .batched(options.batched)
         .chunk_lines(chunk)
+        .threads(options.threads.max(1))
         .build_shared(&options.pattern, shared)?;
+    let threads = re.threads();
 
     let lines: Vec<&str> = text.lines().collect();
     let mut outcome = CliOutcome::default();
@@ -288,13 +311,24 @@ pub fn run_on_text(options: &CliOptions, text: &str) -> Result<CliOutcome, CliEr
     if options.span_mode() {
         // Only the first span per line is needed when nothing but the
         // count will be printed.
-        let (span_report, spans_per_line) = scan_spans(
-            &re,
-            &lines,
-            chunk,
-            options.scan_options(),
-            options.count_only,
-        );
+        let (span_report, spans_per_line) = if threads > 1 {
+            scan_spans_parallel(
+                &re,
+                &lines,
+                chunk,
+                threads,
+                options.scan_options(),
+                options.count_only,
+            )
+        } else {
+            scan_spans(
+                &re,
+                &lines,
+                chunk,
+                options.scan_options(),
+                options.count_only,
+            )
+        };
         if !options.count_only {
             for record in span_report.records.iter().filter(|r| r.matched) {
                 let line = lines[record.index];
@@ -313,7 +347,13 @@ pub fn run_on_text(options: &CliOptions, text: &str) -> Result<CliOutcome, CliEr
         }
         report = span_report;
     } else {
-        report = if options.batched {
+        report = if threads > 1 {
+            if options.batched {
+                scan_batched_parallel(&re, &lines, chunk, threads, options.scan_options())
+            } else {
+                scan_per_call_parallel(&re, &lines, chunk, threads, options.scan_options())
+            }
+        } else if options.batched {
             scan_batched(&re, &lines, chunk, options.scan_options())
         } else {
             scan(&re, &lines, || oracle.stats(), options.scan_options())
@@ -341,13 +381,14 @@ pub fn run_on_text(options: &CliOptions, text: &str) -> Result<CliOutcome, CliEr
     }
     if options.stats {
         outcome.stderr.push(format!(
-            "algorithm={} mode={} lines={} matched={} timed_out={}",
+            "algorithm={} mode={} threads={} lines={} matched={} timed_out={}",
             re.algorithm(),
             if options.span_mode() {
                 "search"
             } else {
                 "membership"
             },
+            threads,
             report.lines(),
             report.matched_lines(),
             report.timed_out
@@ -357,10 +398,10 @@ pub fn run_on_text(options: &CliOptions, text: &str) -> Result<CliOutcome, CliEr
             report.rt_total_ms(),
             report.rt_matched_ms()
         ));
-        if !options.batched && !options.span_mode() {
-            // Per-line oracle attribution only exists on the per-call
-            // membership path; batched and span scans attribute batches to
-            // chunks, reported by the batch-plane line below.
+        if !options.batched && !options.span_mode() && threads <= 1 {
+            // Per-line oracle attribution only exists on the sequential
+            // per-call membership path; batched, span, and parallel scans
+            // attribute oracle work to chunks, not lines.
             outcome.stderr.push(format!(
                 "oracle_calls={:.3}/line oracle_fraction={:.3} query_chars={:.3}/line",
                 report.oracle_calls_per_line(),

@@ -6,6 +6,7 @@
 //! budget (the paper uses 40 minutes per run), and can fan the work out
 //! over several threads when per-line statistics are not needed.
 
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use semre::SemRegex;
@@ -267,27 +268,225 @@ where
         chunk_lines,
         options,
         |re, index, line, session| {
-            let mut spans = Vec::new();
-            let mut at = 0;
-            while at <= line.len() {
-                match re.find_at_in_session(line, at, session) {
-                    Some(m) => {
-                        // The advance rule is shared with `find_iter`.
-                        at = m.next_search_start();
-                        spans.push((m.start(), m.end()));
-                        if first_span_only {
-                            break;
-                        }
-                    }
-                    None => break,
-                }
-            }
+            let spans = line_spans(re, line, session, first_span_only);
             let matched = !spans.is_empty();
             spans_per_line[index] = spans;
             matched
         },
     );
     (report, spans_per_line)
+}
+
+/// The non-overlapping leftmost-earliest spans of one line (all of them, or
+/// just the first).  The advance rule is shared with `find_iter`.
+fn line_spans(
+    re: &SemRegex,
+    line: &[u8],
+    session: &mut BatchSession<'_>,
+    first_span_only: bool,
+) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut at = 0;
+    while at <= line.len() {
+        match re.find_at_in_session(line, at, session) {
+            Some(m) => {
+                at = m.next_search_start();
+                spans.push((m.start(), m.end()));
+                if first_span_only {
+                    break;
+                }
+            }
+            None => break,
+        }
+    }
+    spans
+}
+
+/// Work-stealing parallel driver shared by the `*_parallel` scan modes:
+/// chunks are claimed off a shared counter, each worker owns one
+/// [`BatchSession`] per chunk it processes, and the per-chunk results are
+/// reassembled in chunk order afterwards — so for a scan that runs to
+/// completion the records (and hence any output derived from them) are
+/// byte-identical to the sequential scan, for any thread count.
+///
+/// `per_line` decides one line through the chunk's session and returns the
+/// verdict plus any per-line extra (e.g. the matched spans); extras are
+/// returned indexed by absolute line number.
+fn scan_chunks_parallel<M, L, T, F>(
+    matcher: &M,
+    lines: &[L],
+    chunk_lines: usize,
+    threads: usize,
+    options: ScanOptions,
+    per_line: F,
+) -> (ScanReport, Vec<T>)
+where
+    M: LineMatcher + ?Sized,
+    L: AsRef<str> + Sync,
+    T: Default + Send,
+    F: Fn(&M, usize, &[u8], &mut BatchSession<'_>) -> (bool, T) + Sync,
+{
+    let started = Instant::now();
+    let chunk_lines = chunk_lines.max(1);
+    let limit = options.max_lines.unwrap_or(usize::MAX).min(lines.len());
+    let lines = &lines[..limit];
+    let num_chunks = lines.len().div_ceil(chunk_lines);
+    let threads = threads.max(1).min(num_chunks.max(1));
+    let next_chunk = AtomicUsize::new(0);
+    let timed_out = AtomicBool::new(false);
+
+    type ChunkResult<T> = (usize, Vec<(LineRecord, T)>, semre::BatchStats);
+    let worker = || -> Vec<ChunkResult<T>> {
+        let mut out = Vec::new();
+        loop {
+            if timed_out.load(Ordering::Relaxed) {
+                break;
+            }
+            let chunk_index = next_chunk.fetch_add(1, Ordering::Relaxed);
+            if chunk_index >= num_chunks {
+                break;
+            }
+            let start_line = chunk_index * chunk_lines;
+            let chunk = &lines[start_line..(start_line + chunk_lines).min(lines.len())];
+            let mut session = matcher.session();
+            let mut records = Vec::with_capacity(chunk.len());
+            for (offset, line) in chunk.iter().enumerate() {
+                if let Some(budget) = options.time_budget {
+                    if started.elapsed() >= budget {
+                        timed_out.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                }
+                let index = start_line + offset;
+                let line = line.as_ref();
+                let line_start = Instant::now();
+                let (matched, extra) = per_line(matcher, index, line.as_bytes(), &mut session);
+                records.push((
+                    LineRecord {
+                        index,
+                        length: line.len(),
+                        matched,
+                        duration: line_start.elapsed(),
+                        oracle: OracleStats::default(),
+                    },
+                    extra,
+                ));
+            }
+            out.push((chunk_index, records, session.stats()));
+        }
+        out
+    };
+
+    let mut chunks: Vec<ChunkResult<T>> = if threads <= 1 {
+        worker()
+    } else {
+        let mut collected = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads).map(|_| scope.spawn(worker)).collect();
+            for handle in handles {
+                collected.extend(handle.join().expect("scan worker panicked"));
+            }
+        });
+        collected
+    };
+    chunks.sort_unstable_by_key(|&(index, _, _)| index);
+
+    let mut report = ScanReport::default();
+    let mut extras: Vec<T> = std::iter::repeat_with(T::default)
+        .take(lines.len())
+        .collect();
+    for (_, records, stats) in chunks {
+        for (record, extra) in records {
+            extras[record.index] = extra;
+            report.records.push(record);
+        }
+        report.batch = report.batch.merged(&stats);
+    }
+    report.timed_out = timed_out.load(Ordering::Relaxed);
+    report.total_duration = started.elapsed();
+    (report, extras)
+}
+
+/// Parallel [`scan_batched`]: fans the chunks out over `threads` worker
+/// threads, each chunk with its own [`BatchSession`], merging the sessions'
+/// [`BatchStats`](semre_oracle::BatchStats) and reassembling the records in
+/// line order.  A scan that runs to completion produces exactly the
+/// verdicts of the sequential scan for any `threads`; chunk boundaries (and
+/// hence cross-line deduplication scope) are the same as sequentially.
+pub fn scan_batched_parallel<M, L>(
+    matcher: &M,
+    lines: &[L],
+    chunk_lines: usize,
+    threads: usize,
+    options: ScanOptions,
+) -> ScanReport
+where
+    M: LineMatcher + ?Sized,
+    L: AsRef<str> + Sync,
+{
+    let (report, _) = scan_chunks_parallel(
+        matcher,
+        lines,
+        chunk_lines,
+        threads,
+        options,
+        |m, _, line, session| (m.matches_line_in_session(line, session), ()),
+    );
+    report
+}
+
+/// Parallel membership scan on the per-call oracle plane: like
+/// [`scan_batched_parallel`] but every line is decided through
+/// [`LineMatcher::matches_line`], so no session-level batching or
+/// deduplication takes place (the paper-prototype transport, fanned out).
+pub fn scan_per_call_parallel<M, L>(
+    matcher: &M,
+    lines: &[L],
+    chunk_lines: usize,
+    threads: usize,
+    options: ScanOptions,
+) -> ScanReport
+where
+    M: LineMatcher + ?Sized,
+    L: AsRef<str> + Sync,
+{
+    let (report, _) = scan_chunks_parallel(
+        matcher,
+        lines,
+        chunk_lines,
+        threads,
+        options,
+        |m, _, line, _session| (m.matches_line(line), ()),
+    );
+    report
+}
+
+/// Parallel [`scan_spans`]: span-search over chunks fanned out across
+/// `threads` workers, returning each processed line's non-overlapping
+/// leftmost-earliest spans.  Output order and content match the sequential
+/// scan exactly when the scan runs to completion.
+pub fn scan_spans_parallel<L>(
+    re: &SemRegex,
+    lines: &[L],
+    chunk_lines: usize,
+    threads: usize,
+    options: ScanOptions,
+    first_span_only: bool,
+) -> (ScanReport, Vec<Vec<(usize, usize)>>)
+where
+    L: AsRef<str> + Sync,
+{
+    scan_chunks_parallel(
+        re,
+        lines,
+        chunk_lines,
+        threads,
+        options,
+        |re, _, line, session| {
+            let spans = line_spans(re, line, session, first_span_only);
+            (!spans.is_empty(), spans)
+        },
+    )
 }
 
 /// The result of a parallel scan: only which lines matched and the total
@@ -553,6 +752,110 @@ mod tests {
         );
         assert_eq!(exhausted.lines(), 0);
         assert!(exhausted.timed_out);
+    }
+
+    #[test]
+    fn parallel_batched_scan_is_identical_to_sequential() {
+        let m = matcher();
+        let mut corpus = lines();
+        corpus.extend(lines());
+        for chunk in [1, 3, 64] {
+            let sequential = scan_batched(&m, &corpus, chunk, ScanOptions::unlimited());
+            for threads in [1, 2, 8] {
+                let parallel =
+                    scan_batched_parallel(&m, &corpus, chunk, threads, ScanOptions::unlimited());
+                let got: Vec<(usize, bool)> = parallel
+                    .records
+                    .iter()
+                    .map(|r| (r.index, r.matched))
+                    .collect();
+                let expected: Vec<(usize, bool)> = sequential
+                    .records
+                    .iter()
+                    .map(|r| (r.index, r.matched))
+                    .collect();
+                assert_eq!(got, expected, "chunk={chunk} threads={threads}");
+                // Same chunk boundaries → same session-level dedup totals.
+                assert_eq!(
+                    parallel.batch.keys_submitted, sequential.batch.keys_submitted,
+                    "chunk={chunk} threads={threads}"
+                );
+                assert_eq!(
+                    parallel.batch.keys_deduped, sequential.batch.keys_deduped,
+                    "chunk={chunk} threads={threads}"
+                );
+                assert!(!parallel.timed_out);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_span_scan_matches_sequential_spans() {
+        let re = semre::SemRegex::new(
+            r"(?<Medicine name>: [a-z]+)",
+            semre_oracle::SimLlmOracle::new(),
+        )
+        .unwrap();
+        let corpus = vec![
+            "take tramadol or ambien daily".to_owned(),
+            "nothing here".to_owned(),
+            "viagra viagra viagra".to_owned(),
+        ];
+        for first_only in [false, true] {
+            let (seq_report, seq_spans) =
+                scan_spans(&re, &corpus, 2, ScanOptions::unlimited(), first_only);
+            for threads in [1, 2, 8] {
+                let (par_report, par_spans) = scan_spans_parallel(
+                    &re,
+                    &corpus,
+                    2,
+                    threads,
+                    ScanOptions::unlimited(),
+                    first_only,
+                );
+                assert_eq!(par_spans, seq_spans, "threads={threads}");
+                assert_eq!(par_report.matched_lines(), seq_report.matched_lines());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_scans_honour_limits() {
+        let m = matcher();
+        let corpus = lines();
+        let limited = scan_batched_parallel(
+            &m,
+            &corpus,
+            2,
+            4,
+            ScanOptions {
+                max_lines: Some(2),
+                time_budget: None,
+            },
+        );
+        assert_eq!(limited.lines(), 2);
+        assert!(!limited.timed_out);
+
+        let exhausted = scan_batched_parallel(
+            &m,
+            &corpus,
+            2,
+            4,
+            ScanOptions::with_time_budget(Duration::ZERO),
+        );
+        assert_eq!(exhausted.lines(), 0);
+        assert!(exhausted.timed_out);
+
+        let per_call = scan_per_call_parallel(&m, &corpus, 2, 4, ScanOptions::unlimited());
+        assert_eq!(per_call.matched_lines(), 2);
+        assert_eq!(
+            per_call.batch.keys_submitted, 0,
+            "per-call plane batches nothing"
+        );
+
+        let empty =
+            scan_batched_parallel(&m, &Vec::<String>::new(), 4, 4, ScanOptions::unlimited());
+        assert_eq!(empty.lines(), 0);
     }
 
     #[test]

@@ -37,6 +37,7 @@ mod engine;
 mod stats;
 
 pub use engine::{
-    scan, scan_batched, scan_parallel, scan_spans, LineMatcher, ParallelScanReport, ScanOptions,
+    scan, scan_batched, scan_batched_parallel, scan_parallel, scan_per_call_parallel, scan_spans,
+    scan_spans_parallel, LineMatcher, ParallelScanReport, ScanOptions,
 };
 pub use stats::{LineRecord, ScanReport};

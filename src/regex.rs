@@ -55,6 +55,7 @@ pub struct SemRegex {
     engine: Engine,
     config: MatcherConfig,
     chunk_lines: usize,
+    threads: usize,
 }
 
 #[derive(Clone)]
@@ -123,6 +124,13 @@ impl SemRegex {
     /// tools (see [`SemRegexBuilder::chunk_lines`]).
     pub fn chunk_lines(&self) -> usize {
         self.chunk_lines
+    }
+
+    /// The preferred number of worker threads for scanning tools built on
+    /// this handle (see [`SemRegexBuilder::threads`]); `1` means
+    /// sequential.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Whether the whole `haystack` belongs to `⟦r⟧`.
@@ -283,6 +291,7 @@ pub struct SemRegexBuilder {
     config: MatcherConfig,
     baseline: bool,
     chunk_lines: usize,
+    threads: usize,
 }
 
 impl Default for SemRegexBuilder {
@@ -291,6 +300,7 @@ impl Default for SemRegexBuilder {
             config: MatcherConfig::default(),
             baseline: false,
             chunk_lines: DEFAULT_CHUNK_LINES,
+            threads: 1,
         }
     }
 }
@@ -333,6 +343,16 @@ impl SemRegexBuilder {
     /// this handle (clamped to at least 1; `grepo` honours it).
     pub fn chunk_lines(mut self, lines: usize) -> Self {
         self.chunk_lines = lines.max(1);
+        self
+    }
+
+    /// Preferred number of worker threads for scanning tools built on this
+    /// handle (clamped to at least 1; `grepo --threads` overrides it).
+    /// Parallel scans fan chunks out across workers, each with its own
+    /// batch session, and reassemble results in line order — verdicts and
+    /// output are identical to a sequential scan.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
         self
     }
 
@@ -405,6 +425,7 @@ impl SemRegexBuilder {
             engine,
             config: self.config,
             chunk_lines: self.chunk_lines,
+            threads: self.threads,
         })
     }
 }

@@ -1,0 +1,160 @@
+//! Differential suite for the lazy-DFA skeleton prefilter and the parallel
+//! chunk scanner.
+//!
+//! The perf work of PR 3 must never change a verdict: the DFA prefilter
+//! must agree with the classical NFA simulation byte for byte, and a
+//! `--threads N` scan must produce byte-identical output to the sequential
+//! scan.  Both properties are checked here on the nine benchmark SemREs
+//! plus SplitMix64-sampled random inputs.
+
+use semre::automata::{compile, skeleton_matches, LazyDfa};
+use semre::syntax::{skeleton, Semre};
+use semre::workloads::rng::StdRng;
+use semre::workloads::Workbench;
+use semre_grep::cli::{run_on_text, CliOptions};
+
+/// Random byte strings over three alphabets: full binary, lowercase ASCII,
+/// and the characters benchmark skeletons actually guard on.
+fn random_inputs(rng: &mut StdRng, count: usize) -> Vec<Vec<u8>> {
+    let structured: &[u8] = b"abz09AZ.:/@-_\" (),<>from:htp";
+    (0..count)
+        .map(|i| {
+            let len = rng.gen_range(0..40usize);
+            (0..len)
+                .map(|_| match i % 3 {
+                    0 => rng.gen_range(0..256u32) as u8,
+                    1 => b'a' + rng.gen_range(0..26u32) as u8,
+                    _ => structured[rng.gen_range(0..structured.len())],
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn lazy_dfa_agrees_with_nfa_on_benchmark_skeletons() {
+    let workbench = Workbench::generate(0xDF4, 300, 300);
+    let mut rng = StdRng::seed_from_u64(0xDF4_5EED);
+    let random = random_inputs(&mut rng, 120);
+    for spec in workbench.benchmarks() {
+        let skel = skeleton(&spec.semre);
+        for (kind, snfa) in [
+            ("skeleton", compile(&skel)),
+            ("search skeleton", compile(&Semre::padded(skel.clone()))),
+        ] {
+            let dfa = LazyDfa::new(&snfa);
+            let corpus = workbench.corpus(spec.dataset);
+            for line in corpus.lines().iter().take(150) {
+                assert_eq!(
+                    dfa.matches(line.as_bytes()),
+                    skeleton_matches(&snfa, line.as_bytes()),
+                    "{} ({kind}): corpus line {line:?}",
+                    spec.name
+                );
+            }
+            for input in &random {
+                assert_eq!(
+                    dfa.matches(input),
+                    skeleton_matches(&snfa, input),
+                    "{} ({kind}): random input {input:?}",
+                    spec.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn lazy_dfa_agrees_on_adversarial_classical_patterns() {
+    // Patterns whose determinization is non-trivial (state-set blowup,
+    // overlapping classes, counters).
+    let patterns = [
+        "(a|b)*a(a|b)(a|b)(a|b)",
+        "[a-p]*[g-z]+x?",
+        "(ab|ba)*(a|)",
+        ".*(ab|cd).*",
+        "[0-9]{2,6}(-[0-9]{2,4})*",
+    ];
+    let mut rng = StdRng::seed_from_u64(77);
+    let inputs = random_inputs(&mut rng, 200);
+    for pattern in patterns {
+        let snfa = compile(&semre::parse(pattern).unwrap());
+        let dfa = LazyDfa::new(&snfa);
+        for input in &inputs {
+            assert_eq!(
+                dfa.matches(input),
+                skeleton_matches(&snfa, input),
+                "{pattern} on {input:?}"
+            );
+        }
+    }
+}
+
+/// Builds a corpus mixing matching and non-matching lines for the spam,1
+/// pattern family.
+fn grep_corpus() -> String {
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut lines = Vec::new();
+    let meds = ["viagra", "tramadol", "xanax", "ambien"];
+    for i in 0..120 {
+        if rng.gen_bool(0.4) {
+            let med = meds[rng.gen_range(0..meds.len())];
+            lines.push(format!("Subject: cheap {med} deal number {i}"));
+        } else if rng.gen_bool(0.5) {
+            lines.push(format!("Subject: weekly report number {i}"));
+        } else {
+            lines.push(format!("unrelated chatter line {i}"));
+        }
+    }
+    lines.join("\n") + "\n"
+}
+
+fn outcome_for(args: &[&str], text: &str) -> (Vec<String>, i32) {
+    let options = CliOptions::parse(args.iter().map(|s| s.to_string())).unwrap();
+    let outcome = run_on_text(&options, text).unwrap();
+    (outcome.stdout, outcome.exit_code)
+}
+
+#[test]
+fn threaded_scans_produce_byte_identical_output() {
+    let pattern = r"Subject: .*(?<Medicine name>: [a-z]+).*";
+    let span_pattern = r"(?<Medicine name>: [a-z]+)";
+    let text = grep_corpus();
+    let modes: &[&[&str]] = &[
+        &[pattern],
+        &["--batched", pattern],
+        &["--batched", "--chunk-lines", "7", pattern],
+        &["--count", pattern],
+        &["--only-matching", span_pattern],
+        &["--only-matching", "--count", span_pattern],
+    ];
+    for mode in modes {
+        let sequential = outcome_for(mode, &text);
+        for threads in ["1", "2", "8"] {
+            let mut args: Vec<&str> = vec!["--threads", threads];
+            args.extend_from_slice(mode);
+            let parallel = outcome_for(&args, &text);
+            assert_eq!(
+                parallel, sequential,
+                "mode {mode:?} with --threads {threads} diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn builder_threads_preference_reaches_the_handle() {
+    let re = semre::SemRegexBuilder::new()
+        .threads(4)
+        .build("a+", semre::PalindromeOracle)
+        .unwrap();
+    assert_eq!(re.threads(), 4);
+    let default = semre::SemRegex::new("a+", semre::PalindromeOracle).unwrap();
+    assert_eq!(default.threads(), 1);
+    // Clamped, like chunk_lines.
+    let clamped = semre::SemRegexBuilder::new()
+        .threads(0)
+        .build("a+", semre::PalindromeOracle)
+        .unwrap();
+    assert_eq!(clamped.threads(), 1);
+}
