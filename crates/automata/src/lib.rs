@@ -11,7 +11,13 @@
 //!   summarize all balanced ε-moves between two input characters and drive
 //!   the inter-character gadget of the query graph;
 //! * [`SkeletonMatcher`] — a classical (oracle-free) simulation of the
-//!   skeleton `skel(r)`, used as a prefilter and as a testing baseline.
+//!   skeleton `skel(r)`, used as a prefilter and as a testing baseline;
+//! * [`LazyDfa`] — the same skeleton question as a lazily-determinized,
+//!   byte-class-compressed DFA with a bounded cache and NFA fallback (one
+//!   table lookup per byte instead of a state-set sweep);
+//! * [`Prescan`] / [`MultiLiteralSearcher`] / [`memchr`] — the literal
+//!   prescan: SWAR substring search for required literals, plus length
+//!   and first-byte screens, run before the DFA touches a line.
 //!
 //! The query-graph construction and evaluation built on top of these pieces
 //! live in the `semre-core` crate.
@@ -19,9 +25,9 @@
 //! # Example
 //!
 //! ```
-//! use semre_automata::{compile, skeleton_matches, EpsClosure};
+//! use semre_automata::{compile, skeleton_matches, EpsClosure, LazyDfa, Prescan};
 //! use semre_oracle::ConstOracle;
-//! use semre_syntax::parse;
+//! use semre_syntax::{parse, skeleton};
 //!
 //! let r = parse("(?<City>: [A-Za-z ]+), [0-9]{4}").unwrap();
 //! let snfa = compile(&r);
@@ -30,6 +36,17 @@
 //! // The skeleton already rules out ill-formed lines without any oracle.
 //! assert!(skeleton_matches(&snfa, b"Paris, 1889"));
 //! assert!(!skeleton_matches(&snfa, b"Paris 1889"));
+//!
+//! // The lazy DFA answers the same question one table lookup per byte.
+//! let skel = skeleton(&r);
+//! let dfa = LazyDfa::new(&compile(&skel));
+//! assert!(dfa.matches(b"Paris, 1889"));
+//!
+//! // The prescan rejects most lines before even the DFA runs: here the
+//! // required literal is ", ".
+//! let prescan = Prescan::for_membership(&compile(&skel), &skel);
+//! assert!(prescan.rejects(b"no comma-space anywhere"));
+//! assert!(!prescan.rejects(b"Paris, 1889"));
 //!
 //! // The ε-closure only ever asks the oracle about the empty string.
 //! let closure = EpsClosure::compute(&snfa, &ConstOracle::always_false());
@@ -44,6 +61,7 @@ mod classical;
 mod closure;
 mod csr;
 mod dfa;
+mod prescan;
 mod snfa;
 mod thompson;
 
@@ -52,5 +70,6 @@ pub use classical::{skeleton_matches, SkeletonMatcher};
 pub use closure::EpsClosure;
 pub use csr::Csr;
 pub use dfa::{ByteClasses, LazyDfa};
+pub use prescan::{memchr, MultiLiteralSearcher, Prescan};
 pub use snfa::{Label, Snfa, SnfaInvariantError, StateId};
 pub use thompson::compile;

@@ -1,0 +1,457 @@
+//! The literal prescan: SWAR substring search in front of the DFA.
+//!
+//! The skeleton prefilter of PR 3 already decides most lines without any
+//! oracle work, but it still inspects **every byte** of every line through
+//! a DFA transition table.  The prescan sits in front of it and answers a
+//! strictly weaker question — "could this line possibly match?" — using
+//! three constant-time-ish screens, each sound on its own:
+//!
+//! 1. **length** — inputs shorter than the skeleton's shortest word
+//!    cannot match ([`semre_syntax::literal_min_len`]);
+//! 2. **first byte** (anchored membership only) — the first byte of a
+//!    matching input must be enabled by some character transition leaving
+//!    the ε-closure of the SNFA's start state;
+//! 3. **required literals** — every matching line must contain one of the
+//!    [`LiteralSet`](semre_syntax::LiteralSet)'s literals; the search runs
+//!    on a vendored SWAR (SIMD-within-a-register) `memchr`/`memmem`, eight
+//!    bytes per step with no per-call locking or allocation, where the DFA
+//!    pays a pool checkout plus a table lookup per byte.
+//!
+//! Lines the prescan rejects never reach the DFA, the query graph, or the
+//! oracle; lines it passes are decided exactly as before, so verdicts are
+//! unchanged by construction.
+//!
+//! # Examples
+//!
+//! ```
+//! use semre_automata::{compile, Prescan};
+//! use semre_syntax::{parse, skeleton};
+//!
+//! let r = parse(r"Subject: .*(?<Medicine name>: [a-z]+).*").unwrap();
+//! let skel = skeleton(&r);
+//! let prescan = Prescan::for_membership(&compile(&skel), &skel);
+//! assert!(prescan.has_literals());
+//! assert!(prescan.rejects(b"no mail header in sight"));   // no "Subject: "
+//! assert!(!prescan.rejects(b"Subject: cheap tramadol"));  // candidate line
+//! ```
+
+use semre_syntax::{literal_min_len, LiteralSet, Semre};
+
+use crate::snfa::Snfa;
+
+const LO: u64 = 0x0101_0101_0101_0101;
+const HI: u64 = 0x8080_8080_8080_8080;
+
+/// Whether any byte of `x` is zero (the classic SWAR zero-byte test).
+#[inline]
+fn has_zero_byte(x: u64) -> bool {
+    x.wrapping_sub(LO) & !x & HI != 0
+}
+
+/// The position of the first occurrence of `needle` in `haystack`,
+/// scanning eight bytes per step (word-at-a-time XOR + zero-byte test).
+///
+/// ```
+/// use semre_automata::memchr;
+///
+/// assert_eq!(memchr(b'@', b"user@example.com"), Some(4));
+/// assert_eq!(memchr(b'!', b"no bang here"), None);
+/// ```
+#[inline]
+pub fn memchr(needle: u8, haystack: &[u8]) -> Option<usize> {
+    let broadcast = LO.wrapping_mul(needle as u64);
+    let mut offset = 0;
+    let mut chunks = haystack.chunks_exact(8);
+    for chunk in &mut chunks {
+        let word = u64::from_ne_bytes(chunk.try_into().expect("chunk of 8"));
+        if has_zero_byte(word ^ broadcast) {
+            for (i, &b) in chunk.iter().enumerate() {
+                if b == needle {
+                    return Some(offset + i);
+                }
+            }
+        }
+        offset += 8;
+    }
+    chunks
+        .remainder()
+        .iter()
+        .position(|&b| b == needle)
+        .map(|i| offset + i)
+}
+
+/// Approximate background frequency of a byte in text/code corpora:
+/// higher means more common.  Used to anchor the substring search on the
+/// rarest byte of a literal, so candidate verification runs rarely.
+fn frequency_rank(b: u8) -> u32 {
+    match b {
+        b' ' => 255,
+        b'e' | b't' | b'a' | b'o' | b'i' | b'n' | b's' | b'r' => 240,
+        b'h' | b'l' | b'd' | b'c' | b'u' | b'm' => 220,
+        b'a'..=b'z' => 190,
+        b'0'..=b'9' => 150,
+        b'A'..=b'Z' => 120,
+        b'.' | b',' | b'-' | b'_' | b'/' | b':' | b';' | b'\'' | b'"' | b'(' | b')' | b'=' => 100,
+        0x21..=0x7e => 60,
+        _ => 10,
+    }
+}
+
+/// One literal plus the offset of its rarest byte (the search anchor).
+#[derive(Clone, Debug)]
+struct Needle {
+    bytes: Vec<u8>,
+    anchor: usize,
+}
+
+impl Needle {
+    fn new(bytes: Vec<u8>) -> Needle {
+        let anchor = bytes
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &b)| frequency_rank(b))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        Needle { bytes, anchor }
+    }
+
+    /// First occurrence of the literal in `haystack`: SWAR-scan for the
+    /// anchor byte, verify the surrounding window on each candidate.
+    fn find(&self, haystack: &[u8]) -> Option<usize> {
+        let n = self.bytes.len();
+        if n == 0 {
+            return Some(0);
+        }
+        if n > haystack.len() {
+            return None;
+        }
+        if n == 1 {
+            return memchr(self.bytes[0], haystack);
+        }
+        let anchor_byte = self.bytes[self.anchor];
+        // The anchor byte of a match at position p sits at p + anchor,
+        // which ranges over [anchor, len - n + anchor].
+        let mut at = self.anchor;
+        let last = haystack.len() - n + self.anchor;
+        while at <= last {
+            match memchr(anchor_byte, &haystack[at..=last]) {
+                Some(i) => {
+                    let start = at + i - self.anchor;
+                    if haystack[start..start + n] == self.bytes[..] {
+                        return Some(start);
+                    }
+                    at = at + i + 1;
+                }
+                None => return None,
+            }
+        }
+        None
+    }
+}
+
+/// A multi-literal substring searcher over a [`LiteralSet`]: SWAR
+/// `memmem` per alternative, rarest-byte anchored.
+///
+/// An empty searcher (no usable literals) reports every haystack as a
+/// hit, mirroring the "no requirement known" semantics of the analysis.
+///
+/// ```
+/// use semre_automata::MultiLiteralSearcher;
+///
+/// let s = MultiLiteralSearcher::new([b"http://".to_vec(), b"www.".to_vec()]);
+/// assert!(s.contains_any(b"see www.example.com"));
+/// assert!(!s.contains_any(b"no links in this line"));
+/// assert_eq!(s.find_any(b"x http://a"), Some(2));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct MultiLiteralSearcher {
+    needles: Vec<Needle>,
+}
+
+impl MultiLiteralSearcher {
+    /// Builds a searcher over the given literal alternatives.  Empty
+    /// literals (which would match everywhere) disable the searcher.
+    pub fn new<I: IntoIterator<Item = Vec<u8>>>(literals: I) -> MultiLiteralSearcher {
+        let needles: Vec<Needle> = literals.into_iter().map(Needle::new).collect();
+        if needles.iter().any(|n| n.bytes.is_empty()) {
+            return MultiLiteralSearcher::default();
+        }
+        MultiLiteralSearcher { needles }
+    }
+
+    /// A searcher for the required literals of a [`LiteralSet`].
+    pub fn from_literal_set(set: &LiteralSet) -> MultiLiteralSearcher {
+        MultiLiteralSearcher::new(set.alts().iter().cloned())
+    }
+
+    /// Whether the searcher has no literals (and therefore never rejects).
+    pub fn is_empty(&self) -> bool {
+        self.needles.is_empty()
+    }
+
+    /// Number of literal alternatives.
+    pub fn len(&self) -> usize {
+        self.needles.len()
+    }
+
+    /// Whether `haystack` contains at least one of the literals
+    /// (vacuously true for an empty searcher).
+    pub fn contains_any(&self, haystack: &[u8]) -> bool {
+        self.is_empty() || self.needles.iter().any(|n| n.find(haystack).is_some())
+    }
+
+    /// The earliest start of any literal occurrence, or `None`.  An empty
+    /// searcher reports `Some(0)` (everything is a candidate).
+    pub fn find_any(&self, haystack: &[u8]) -> Option<usize> {
+        if self.is_empty() {
+            return Some(0);
+        }
+        self.needles.iter().filter_map(|n| n.find(haystack)).min()
+    }
+}
+
+/// A 256-bit byte set (the first-byte screen of anchored membership).
+#[derive(Clone, Copy, Debug, Default)]
+struct ByteSet {
+    bits: [u64; 4],
+}
+
+impl ByteSet {
+    fn insert(&mut self, b: u8) {
+        self.bits[(b >> 6) as usize] |= 1u64 << (b & 63);
+    }
+
+    fn contains(&self, b: u8) -> bool {
+        self.bits[(b >> 6) as usize] >> (b & 63) & 1 == 1
+    }
+
+    fn len(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// The compiled prescan of one skeleton: length, first-byte, and
+/// required-literal screens (see the module docs).  `rejects` is sound —
+/// it returns `true` only for inputs provably outside `⟦skel(r)⟧` ⊇ `⟦r⟧`.
+#[derive(Clone, Debug, Default)]
+pub struct Prescan {
+    searcher: MultiLiteralSearcher,
+    /// Bytes that may start a match; `None` disables the screen (search
+    /// mode, or a start set too dense to pay off).
+    start_bytes: Option<[u64; 4]>,
+    min_len: usize,
+}
+
+impl Prescan {
+    /// The prescan for **anchored membership** against `skel(r)`: all
+    /// three screens.  `snfa` must be the compiled skeleton automaton and
+    /// `skel` the skeleton expression it came from.
+    pub fn for_membership(snfa: &Snfa, skel: &Semre) -> Prescan {
+        let mut set = ByteSet::default();
+        // ε-closure of the start state; the union of the character guards
+        // leaving it bounds the first byte of any accepted input.
+        let mut seen = vec![false; snfa.num_states()];
+        let mut stack = vec![snfa.start()];
+        seen[snfa.start()] = true;
+        while let Some(s) = stack.pop() {
+            for &t in snfa.eps_out(s) {
+                if !seen[t] {
+                    seen[t] = true;
+                    stack.push(t);
+                }
+            }
+            for (class, _) in snfa.char_out(s) {
+                for b in class.iter() {
+                    set.insert(b);
+                }
+            }
+        }
+        // A near-universal set (e.g. a leading `.*`) rejects too rarely
+        // to be worth the check.
+        let start_bytes = if set.len() < 250 {
+            Some(set.bits)
+        } else {
+            None
+        };
+        Prescan {
+            searcher: MultiLiteralSearcher::from_literal_set(&LiteralSet::required(skel)),
+            start_bytes,
+            min_len: literal_min_len(skel).min(usize::MAX / 2),
+        }
+    }
+
+    /// The prescan for **unanchored span search**: the first-byte screen
+    /// does not apply (a span may start anywhere), but a line shorter
+    /// than the shortest skeleton word, or without any required literal,
+    /// still cannot contain a matching span.
+    pub fn for_search(skel: &Semre) -> Prescan {
+        Prescan {
+            searcher: MultiLiteralSearcher::from_literal_set(&LiteralSet::required(skel)),
+            start_bytes: None,
+            min_len: literal_min_len(skel).min(usize::MAX / 2),
+        }
+    }
+
+    /// Whether the literal screen is active (used by benchmarks to split
+    /// literal-bearing from literal-free patterns).
+    pub fn has_literals(&self) -> bool {
+        !self.searcher.is_empty()
+    }
+
+    /// The literal searcher (for seeding heuristics and diagnostics).
+    pub fn searcher(&self) -> &MultiLiteralSearcher {
+        &self.searcher
+    }
+
+    /// The shortest possible match length.
+    pub fn min_len(&self) -> usize {
+        self.min_len
+    }
+
+    /// Whether `input` provably cannot match (soundness: `false` means
+    /// "don't know", never "match").
+    #[inline]
+    pub fn rejects(&self, input: &[u8]) -> bool {
+        if input.len() < self.min_len {
+            return true;
+        }
+        if let (Some(bits), Some(&first)) = (&self.start_bytes, input.first()) {
+            let set = ByteSet { bits: *bits };
+            if !set.contains(first) {
+                return true;
+            }
+        }
+        !self.searcher.contains_any(input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classical::skeleton_matches;
+    use crate::thompson::compile;
+    use semre_syntax::{parse, skeleton};
+
+    #[test]
+    fn swar_memchr_agrees_with_naive() {
+        let hay: Vec<u8> = (0..255).map(|i| (i * 7 + 3) as u8).collect();
+        for needle in [0u8, b'a', 0x80, 0xff, 17] {
+            for len in [0, 1, 7, 8, 9, 63, 255] {
+                let h = &hay[..len];
+                assert_eq!(
+                    memchr(needle, h),
+                    h.iter().position(|&b| b == needle),
+                    "needle {needle} len {len}"
+                );
+            }
+        }
+        assert_eq!(memchr(b'x', b"xxxxxxxxxx"), Some(0));
+        assert_eq!(memchr(b'x', b"aaaaaaaax"), Some(8));
+    }
+
+    #[test]
+    fn needle_find_agrees_with_naive_windows() {
+        let hay = b"the quick brown fox jumps over the lazy dog; the end.";
+        for lit in ["the", "fox", "dog;", "q", " over ", "end.", "absent", "zz"] {
+            let needle = Needle::new(lit.as_bytes().to_vec());
+            let expected = hay.windows(lit.len()).position(|w| w == lit.as_bytes());
+            assert_eq!(needle.find(hay), expected, "{lit:?}");
+        }
+        // Needle longer than the haystack.
+        assert_eq!(Needle::new(vec![b'a'; 10]).find(b"aaa"), None);
+        // Repeated anchor bytes force several verification attempts.
+        let n = Needle::new(b"aab".to_vec());
+        assert_eq!(n.find(b"aaaaab"), Some(3));
+    }
+
+    #[test]
+    fn multi_literal_searcher() {
+        let s = MultiLiteralSearcher::new([b"http://".to_vec(), b"www.".to_vec()]);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert!(s.contains_any(b"go to http://x"));
+        assert!(s.contains_any(b"or www.y"));
+        assert!(!s.contains_any(b"neither scheme"));
+        assert_eq!(s.find_any(b"a www. then http://"), Some(2));
+        assert_eq!(s.find_any(b"nothing"), None);
+
+        let empty = MultiLiteralSearcher::new(Vec::<Vec<u8>>::new());
+        assert!(empty.is_empty());
+        assert!(empty.contains_any(b"anything"));
+        assert_eq!(empty.find_any(b"anything"), Some(0));
+
+        // An empty literal disables the searcher rather than matching all.
+        let degenerate = MultiLiteralSearcher::new([Vec::new(), b"x".to_vec()]);
+        assert!(degenerate.is_empty());
+    }
+
+    #[test]
+    fn membership_prescan_is_sound_on_random_inputs() {
+        // Whenever the prescan rejects, the skeleton NFA must reject too.
+        let patterns = [
+            "Subject: .*(?<q>: [a-z]+).*",
+            "[a-z]+@[a-z]+[.][a-z]{1,3}",
+            "(http(s)?://|www[.])[a-z.]+",
+            "abc|xyz",
+            ".*free.*",
+        ];
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as u8
+        };
+        for pattern in patterns {
+            let r = parse(pattern).unwrap();
+            let skel = skeleton(&r);
+            let snfa = compile(&skel);
+            let prescan = Prescan::for_membership(&snfa, &skel);
+            let search = Prescan::for_search(&skel);
+            for len in 0..48 {
+                let input: Vec<u8> = (0..len).map(|_| next() % 96 + 32).collect();
+                if prescan.rejects(&input) {
+                    assert!(
+                        !skeleton_matches(&snfa, &input),
+                        "{pattern}: prescan rejected a member {:?}",
+                        String::from_utf8_lossy(&input)
+                    );
+                }
+                if search.rejects(&input) {
+                    assert!(!skeleton_matches(&snfa, &input));
+                }
+            }
+            // Planted members always pass.
+            for sample in ["Subject: buy viagra now", "a@b.co", "http://x.dev", "abc"] {
+                if skeleton_matches(&snfa, sample.as_bytes()) {
+                    assert!(!prescan.rejects(sample.as_bytes()), "{pattern} on {sample}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn first_byte_screen_applies_to_anchored_membership_only() {
+        let r = parse("abc.*").unwrap();
+        let skel = skeleton(&r);
+        let snfa = compile(&skel);
+        let membership = Prescan::for_membership(&snfa, &skel);
+        // 'z' cannot start a match; the anchored screen catches it even
+        // though the line contains the literal.
+        assert!(membership.rejects(b"zzz abc"));
+        let search = Prescan::for_search(&skel);
+        assert!(!search.rejects(b"zzz abc"));
+        assert!(search.rejects(b"zzz"));
+    }
+
+    #[test]
+    fn min_len_screen() {
+        let r = parse("Subject: .*").unwrap();
+        let skel = skeleton(&r);
+        let prescan = Prescan::for_membership(&compile(&skel), &skel);
+        assert_eq!(prescan.min_len(), 9);
+        assert!(prescan.rejects(b"Subj"));
+        assert!(prescan.rejects(b""));
+        assert!(!prescan.rejects(b"Subject: x"));
+        assert!(prescan.has_literals());
+        assert_eq!(prescan.searcher().len(), 1);
+    }
+}

@@ -1,24 +1,29 @@
-//! Emits the tracked perf trajectory as `BENCH_PR3.json`.
+//! Emits the tracked perf trajectory as `BENCH_PR4.json`.
 //!
 //! ```text
-//! bench_trajectory [--quick] [--out PATH]
+//! bench_trajectory [--quick] [--check] [--out PATH]
 //!
 //!   --quick      reduced sample sizes and repetitions (CI smoke runs)
-//!   --out PATH   output file (default BENCH_PR3.json)
+//!   --check      fail (exit 1) when a tracked geomean drops below its
+//!                stored regression floor (see `Floors::tracked`)
+//!   --out PATH   output file (default BENCH_PR4.json)
 //! ```
 //!
 //! Prints a human-readable summary table and writes the JSON document the
-//! next PR regresses against.  See EXPERIMENTS.md ("prefilter-speedup").
+//! next PR regresses against.  See EXPERIMENTS.md ("prefilter-speedup",
+//! "prescan-speedup", "stream-throughput").
 
-use semre_bench::trajectory::{self, TrajectoryConfig};
+use semre_bench::trajectory::{self, Floors, TrajectoryConfig};
 
 fn main() {
-    let mut out_path = "BENCH_PR3.json".to_owned();
+    let mut out_path = "BENCH_PR4.json".to_owned();
     let mut config = TrajectoryConfig::full();
+    let mut check = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => config = TrajectoryConfig::quick(),
+            "--check" => check = true,
             "--out" => {
                 out_path = args.next().unwrap_or_else(|| {
                     eprintln!("--out needs a path");
@@ -36,28 +41,30 @@ fn main() {
     let trajectory = trajectory::measure(&config);
 
     println!(
-        "{:<8} {:>12} {:>12} {:>8} {:>12} {:>12} {:>8} {:>10} {:>8}",
+        "{:<8} {:>12} {:>12} {:>8} {:>12} {:>8} {:>12} {:>12} {:>8} {:>8}",
         "SemRE",
         "skel NFA ns",
         "skel DFA ns",
         "speedup",
+        "prescan ns",
+        "speedup",
         "match NFA",
         "match DFA",
         "speedup",
-        "calls",
         "equiv"
     );
     for b in &trajectory.benches {
         println!(
-            "{:<8} {:>12.0} {:>12.0} {:>7.1}x {:>12.0} {:>12.0} {:>7.2}x {:>10} {:>8}",
+            "{:<8} {:>12.0} {:>12.0} {:>7.1}x {:>12.0} {:>7.1}x {:>12.0} {:>12.0} {:>7.2}x {:>8}",
             b.name,
             b.prefilter.reference_ns,
             b.prefilter.fast_ns,
             b.prefilter.speedup(),
+            b.prescan.fast_ns,
+            b.prescan.speedup(),
             b.is_match.reference_ns,
             b.is_match.fast_ns,
             b.is_match.speedup(),
-            b.is_match_oracle_calls,
             if b.equivalent { "yes" } else { "NO" },
         );
     }
@@ -65,6 +72,14 @@ fn main() {
         "\ngeomean prefilter speedup (DFA vs NFA): {:.2}x (anchored), {:.2}x (search)",
         trajectory.geomean_prefilter_speedup(),
         trajectory.geomean_search_prefilter_speedup()
+    );
+    println!(
+        "geomean prescan speedup (literal-bearing prefilter stage): {:.2}x",
+        trajectory.geomean_prescan_speedup()
+    );
+    println!(
+        "geomean stream ratio (in-memory / streaming):              {:.2}x",
+        trajectory.geomean_stream_ratio()
     );
     println!(
         "geomean end-to-end is_match speedup:    {:.2}x",
@@ -82,4 +97,16 @@ fn main() {
         std::process::exit(1);
     });
     eprintln!("wrote {out_path}");
+
+    if check {
+        match trajectory.check(&Floors::tracked()) {
+            Ok(()) => eprintln!("--check: all tracked geomeans above their floors"),
+            Err(violations) => {
+                for violation in violations {
+                    eprintln!("--check: {violation}");
+                }
+                std::process::exit(1);
+            }
+        }
+    }
 }

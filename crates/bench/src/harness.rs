@@ -743,6 +743,7 @@ pub fn ablation<O: Oracle + Clone>(
             "no skeleton prefilter",
             MatcherConfig {
                 skeleton_prefilter: false,
+                literal_prescan: false,
                 ..MatcherConfig::per_call()
             },
         ),

@@ -1,31 +1,41 @@
-//! The tracked benchmark trajectory (`BENCH_PR3.json`).
+//! The tracked benchmark trajectory (`BENCH_PR4.json`).
 //!
 //! Subsequent PRs need a perf baseline to regress against; this module
-//! measures it and emits it as JSON.  Three families of numbers are
+//! measures it and emits it as JSON.  Five families of numbers are
 //! recorded for every one of the nine benchmark SemREs:
 //!
 //! * **prefilter micro** — ns/line for the skeleton prefilter alone, NFA
 //!   state-set simulation vs the lazy DFA, on both the anchored skeleton
 //!   and the padded search skeleton;
+//! * **prescan micro** (`prescan-speedup`) — ns/line for the membership
+//!   prefilter stage with the literal prescan gating the DFA vs the DFA
+//!   alone, plus whether the pattern yielded usable literals;
+//! * **stream throughput** (`stream-throughput`) — ns/line for a full
+//!   batched scan of the corpus through the streaming (chunked I/O) path
+//!   vs the in-memory path, split cost included on both sides;
 //! * **end-to-end** — ns/line and oracle calls for `is_match` and `find`
 //!   with the DFA prefilter on vs off (the arena'd evaluator has no
 //!   runtime toggle — it *is* the evaluator — so its effect is captured by
 //!   the end-to-end numbers themselves, tracked across PRs);
 //! * **equivalence** — booleans asserting that the DFA and NFA prefilters,
-//!   the batched and per-call planes, and the parallel and sequential
-//!   scans all produce identical verdicts on the sample.
+//!   the prescan-on and prescan-off matchers, the batched and per-call
+//!   planes, the parallel and sequential scans, and the streaming and
+//!   in-memory paths all produce identical verdicts on the sample.
 //!
 //! Timings are best-of-`repeat` over a fixed corpus sample — indicative,
 //! not rigorous; the *trajectory* (same harness, same seed, PR after PR)
 //! is what matters.  No latency is injected: these numbers isolate engine
-//! work, not oracle time.
+//! work, not oracle time.  [`Floors`] turns the trajectory into a
+//! regression gate: `bench_trajectory --check` fails when a tracked
+//! geomean drops below its stored floor.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use semre::automata::{compile, skeleton_matches, LazyDfa, SkeletonMatcher};
+use semre::automata::{compile, skeleton_matches, LazyDfa, Prescan, SkeletonMatcher};
 use semre_core::{Matcher, MatcherConfig, SearchKind};
+use semre_grep::stream::{scan_stream, StreamOptions};
 use semre_grep::{scan_batched, scan_batched_parallel, ScanOptions};
 use semre_syntax::{skeleton, Semre};
 use semre_workloads::Workbench;
@@ -103,6 +113,13 @@ pub struct BenchTrajectory {
     pub prefilter: Toggle,
     /// Padded search-skeleton prefilter, DFA vs NFA.
     pub search_prefilter: Toggle,
+    /// Membership prefilter stage, prescan-gated DFA vs DFA alone.
+    pub prescan: Toggle,
+    /// Whether the literal prescan extracted usable literals (the
+    /// `prescan-speedup` criterion only applies to these benchmarks).
+    pub has_literals: bool,
+    /// Full batched corpus scan, streaming (chunked I/O) vs in-memory.
+    pub stream: Toggle,
     /// End-to-end `is_match`, DFA prefilter on vs off.
     pub is_match: Toggle,
     /// End-to-end `find`, DFA prefilter on vs off.
@@ -143,9 +160,104 @@ impl Trajectory {
         geomean(self.benches.iter().map(|b| b.is_match.speedup()))
     }
 
+    /// Geometric mean of the prescan speedups over the literal-bearing
+    /// benchmarks (the only ones the literal screen can accelerate).
+    pub fn geomean_prescan_speedup(&self) -> f64 {
+        geomean(
+            self.benches
+                .iter()
+                .filter(|b| b.has_literals)
+                .map(|b| b.prescan.speedup()),
+        )
+    }
+
+    /// Geometric mean of in-memory over streaming scan time: 1.0 means
+    /// streaming is free, below 1.0 that it costs overhead.
+    pub fn geomean_stream_ratio(&self) -> f64 {
+        geomean(self.benches.iter().map(|b| b.stream.speedup()))
+    }
+
     /// Whether every benchmark passed all equivalence checks.
     pub fn all_equivalent(&self) -> bool {
         self.benches.iter().all(|b| b.equivalent)
+    }
+
+    /// Checks the trajectory against regression floors, returning one
+    /// message per violated floor.
+    ///
+    /// # Errors
+    ///
+    /// A list of human-readable violations (empty never — `Err` only when
+    /// at least one floor is broken).
+    pub fn check(&self, floors: &Floors) -> Result<(), Vec<String>> {
+        let mut violations = Vec::new();
+        let mut gate = |name: &str, value: f64, floor: f64| {
+            if value < floor {
+                violations.push(format!(
+                    "{name} regressed: {value:.2} is below the stored floor {floor:.2}"
+                ));
+            }
+        };
+        gate(
+            "geomean prefilter speedup (DFA vs NFA)",
+            self.geomean_prefilter_speedup(),
+            floors.prefilter_speedup,
+        );
+        gate(
+            "geomean end-to-end is_match speedup",
+            self.geomean_is_match_speedup(),
+            floors.is_match_speedup,
+        );
+        gate(
+            "geomean prescan speedup (literal-bearing)",
+            self.geomean_prescan_speedup(),
+            floors.prescan_speedup,
+        );
+        gate(
+            "geomean stream ratio (in-memory / streaming)",
+            self.geomean_stream_ratio(),
+            floors.stream_ratio,
+        );
+        if !self.all_equivalent() {
+            violations.push("equivalence check failed on some benchmark".to_owned());
+        }
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(violations)
+        }
+    }
+}
+
+/// Regression floors for `bench_trajectory --check`: the tracked geomeans
+/// must not drop below these.  Values are deliberately far below the
+/// checked-in full-run numbers (see `BENCH_PR4.json`) so that CI noise on
+/// shared runners does not flake, while a real regression — losing the
+/// DFA prefilter, the prescan, or streaming going several times slower
+/// than in-memory — still fails loudly.
+#[derive(Clone, Copy, Debug)]
+pub struct Floors {
+    /// Anchored-prefilter DFA-vs-NFA geomean (full run ≈ 17×).
+    pub prefilter_speedup: f64,
+    /// End-to-end `is_match` DFA-on-vs-off geomean (full run ≈ 1.6×).
+    pub is_match_speedup: f64,
+    /// Prescan-vs-DFA geomean over literal-bearing benchmarks (full run
+    /// ≥ 2×; see ROADMAP / ISSUE 4 acceptance).
+    pub prescan_speedup: f64,
+    /// In-memory-vs-streaming scan-time geomean (≈ 1.0 when streaming is
+    /// free; the floor only rejects pathological slowdowns).
+    pub stream_ratio: f64,
+}
+
+impl Floors {
+    /// The floors CI enforces.
+    pub fn tracked() -> Floors {
+        Floors {
+            prefilter_speedup: 3.0,
+            is_match_speedup: 1.05,
+            prescan_speedup: 1.25,
+            stream_ratio: 0.5,
+        }
     }
 }
 
@@ -202,6 +314,24 @@ fn measure_spec(
     let search_skeleton_dfa = LazyDfa::new(&search_skeleton_snfa);
 
     let repeat = config.repeat;
+    let prescan_screen = Prescan::for_membership(&skeleton_snfa, &skel);
+    let has_literals = prescan_screen.has_literals();
+    let prescan = Toggle {
+        // The full membership prefilter stage as the matcher runs it:
+        // prescan screens first, the DFA only on surviving lines.
+        fast_ns: ns_per_line(repeat, lines.len(), || {
+            for line in &lines {
+                let bytes = line.as_bytes();
+                let verdict = !prescan_screen.rejects(bytes) && skeleton_dfa.matches(bytes);
+                std::hint::black_box(verdict);
+            }
+        }),
+        reference_ns: ns_per_line(repeat, lines.len(), || {
+            for line in &lines {
+                std::hint::black_box(skeleton_dfa.matches(line.as_bytes()));
+            }
+        }),
+    };
     let prefilter = Toggle {
         fast_ns: ns_per_line(repeat, lines.len(), || {
             for line in &lines {
@@ -295,6 +425,17 @@ fn measure_spec(
         equivalent &= dfa_matcher.find(bytes) == nfa_matcher.find(bytes);
         equivalent &= dfa_matcher.find(bytes) == per_call_matcher.find(bytes);
     }
+    // Prescan on vs off: identical verdicts on every corpus line.
+    let no_prescan_matcher = Matcher::with_config(
+        spec.semre.clone(),
+        Arc::clone(&spec.oracle),
+        MatcherConfig::no_prescan(),
+    );
+    for line in &lines {
+        equivalent &=
+            dfa_matcher.is_match(line.as_bytes()) == no_prescan_matcher.is_match(line.as_bytes());
+    }
+
     // Parallel chunk scan vs sequential, on the facade handle.
     let re = semre::SemRegexBuilder::new()
         .build_semre_shared(spec.semre.clone(), Arc::clone(&spec.oracle))
@@ -308,12 +449,49 @@ fn measure_spec(
         equivalent &= got == expected;
     }
 
+    // --- stream throughput: chunked I/O vs in-memory, split included -----
+    let text: String = owned.iter().map(|l| format!("{l}\n")).collect();
+    let stream_options = StreamOptions {
+        chunk_bytes: 64 * 1024,
+        chunk_lines: 64,
+        threads: 1,
+        batched: true,
+        scan: ScanOptions::unlimited(),
+    };
+    let stream = Toggle {
+        fast_ns: ns_per_line(repeat, owned.len(), || {
+            let mut matched = 0u64;
+            scan_stream(&re, text.as_bytes(), &stream_options, |_, _, m| {
+                matched += u64::from(m);
+                true
+            })
+            .expect("in-memory reader cannot fail");
+            std::hint::black_box(matched);
+        }),
+        reference_ns: ns_per_line(repeat, owned.len(), || {
+            let split: Vec<&str> = text.lines().collect();
+            let report = scan_batched(&re, &split, 64, ScanOptions::unlimited());
+            std::hint::black_box(report.matched_lines());
+        }),
+    };
+    // Streaming vs in-memory: identical verdicts in identical order.
+    let mut stream_verdicts = Vec::new();
+    scan_stream(&re, text.as_bytes(), &stream_options, |_, _, m| {
+        stream_verdicts.push(m);
+        true
+    })
+    .expect("in-memory reader cannot fail");
+    equivalent &= stream_verdicts == expected;
+
     BenchTrajectory {
         name: spec.name,
         lines: lines.len(),
         find_lines: find_lines.len(),
         prefilter,
         search_prefilter,
+        prescan,
+        has_literals,
+        stream,
         is_match,
         find,
         is_match_oracle_calls,
@@ -322,15 +500,15 @@ fn measure_spec(
     }
 }
 
-/// Serializes a trajectory as the `BENCH_PR3.json` document (hand-rolled:
+/// Serializes a trajectory as the `BENCH_PR4.json` document (hand-rolled:
 /// the workspace has no serde).
 pub fn to_json(trajectory: &Trajectory) -> String {
     let mut out = String::new();
     let c = &trajectory.config;
     out.push_str("{\n");
-    out.push_str("  \"artifact\": \"BENCH_PR3\",\n");
+    out.push_str("  \"artifact\": \"BENCH_PR4\",\n");
     out.push_str(
-        "  \"description\": \"Perf trajectory: lazy-DFA skeleton prefilter, arena evaluator, parallel chunk scan\",\n",
+        "  \"description\": \"Perf trajectory: literal prescan, streaming scan pipeline, lazy-DFA skeleton prefilter, arena evaluator, parallel chunk scan\",\n",
     );
     let _ = writeln!(
         out,
@@ -341,10 +519,13 @@ pub fn to_json(trajectory: &Trajectory) -> String {
     for (i, b) in trajectory.benches.iter().enumerate() {
         let _ = write!(
             out,
-            "    {{\"name\": {:?}, \"lines\": {}, \"find_lines\": {},\n      \"prefilter\": {},\n      \"search_prefilter\": {},\n      \"is_match\": {},\n      \"find\": {},\n      \"is_match_oracle_calls\": {}, \"find_oracle_calls\": {}, \"equivalent\": {}}}",
+            "    {{\"name\": {:?}, \"lines\": {}, \"find_lines\": {}, \"has_literals\": {},\n      \"prescan\": {},\n      \"stream\": {},\n      \"prefilter\": {},\n      \"search_prefilter\": {},\n      \"is_match\": {},\n      \"find\": {},\n      \"is_match_oracle_calls\": {}, \"find_oracle_calls\": {}, \"equivalent\": {}}}",
             b.name,
             b.lines,
             b.find_lines,
+            b.has_literals,
+            toggle_json(&b.prescan, "prescan_ns_per_line", "dfa_ns_per_line"),
+            toggle_json(&b.stream, "stream_ns_per_line", "in_memory_ns_per_line"),
             toggle_json(&b.prefilter, "dfa_ns_per_line", "nfa_ns_per_line"),
             toggle_json(&b.search_prefilter, "dfa_ns_per_line", "nfa_ns_per_line"),
             toggle_json(&b.is_match, "dfa_ns_per_line", "nfa_ns_per_line"),
@@ -360,12 +541,23 @@ pub fn to_json(trajectory: &Trajectory) -> String {
         });
     }
     out.push_str("  ],\n");
+    let floors = Floors::tracked();
     let _ = writeln!(
         out,
-        "  \"summary\": {{\"geomean_prefilter_speedup\": {:.2}, \"geomean_search_prefilter_speedup\": {:.2}, \"geomean_is_match_speedup\": {:.2}, \"all_equivalent\": {}}}",
+        "  \"floors\": {{\"prefilter_speedup\": {:.2}, \"is_match_speedup\": {:.2}, \"prescan_speedup\": {:.2}, \"stream_ratio\": {:.2}}},",
+        floors.prefilter_speedup,
+        floors.is_match_speedup,
+        floors.prescan_speedup,
+        floors.stream_ratio
+    );
+    let _ = writeln!(
+        out,
+        "  \"summary\": {{\"geomean_prefilter_speedup\": {:.2}, \"geomean_search_prefilter_speedup\": {:.2}, \"geomean_is_match_speedup\": {:.2}, \"geomean_prescan_speedup\": {:.2}, \"geomean_stream_ratio\": {:.2}, \"all_equivalent\": {}}}",
         trajectory.geomean_prefilter_speedup(),
         trajectory.geomean_search_prefilter_speedup(),
         trajectory.geomean_is_match_speedup(),
+        trajectory.geomean_prescan_speedup(),
+        trajectory.geomean_stream_ratio(),
         trajectory.all_equivalent()
     );
     out.push_str("}\n");
@@ -408,13 +600,53 @@ mod tests {
                 .collect::<Vec<_>>()
         );
         let json = to_json(&trajectory);
-        assert!(json.contains("\"artifact\": \"BENCH_PR3\""));
+        assert!(json.contains("\"artifact\": \"BENCH_PR4\""));
         assert!(json.contains("\"name\": \"pass\""));
         assert!(json.contains("geomean_prefilter_speedup"));
+        assert!(json.contains("geomean_prescan_speedup"));
+        assert!(json.contains("\"prescan\""));
+        assert!(json.contains("\"stream\""));
+        assert!(json.contains("\"floors\""));
         assert!(json.trim_end().ends_with('}'));
         // Crude JSON sanity: balanced braces and brackets.
         let braces = json.matches('{').count();
         assert_eq!(braces, json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+        // The literal-bearing benchmarks are known: spam/pass/wdom carry
+        // multi-byte literals, edom/file/ip single-byte ones.
+        let literal_bearing = trajectory.benches.iter().filter(|b| b.has_literals).count();
+        assert!(
+            literal_bearing >= 6,
+            "only {literal_bearing} literal-bearing"
+        );
+    }
+
+    #[test]
+    fn floors_flag_regressions_and_pass_sane_numbers() {
+        let config = TrajectoryConfig {
+            lines_per_bench: 25,
+            find_lines: 5,
+            repeat: 1,
+            ..TrajectoryConfig::quick()
+        };
+        let trajectory = measure(&config);
+        // Impossible floors must be reported as violations.
+        let impossible = Floors {
+            prefilter_speedup: 1e9,
+            is_match_speedup: 1e9,
+            prescan_speedup: 1e9,
+            stream_ratio: 1e9,
+        };
+        let violations = trajectory.check(&impossible).unwrap_err();
+        assert_eq!(violations.len(), 4, "{violations:?}");
+        assert!(violations[0].contains("below the stored floor"));
+        // Trivial floors always pass (equivalence already asserted above).
+        let trivial = Floors {
+            prefilter_speedup: 0.0,
+            is_match_speedup: 0.0,
+            prescan_speedup: 0.0,
+            stream_ratio: 0.0,
+        };
+        assert!(trajectory.check(&trivial).is_ok());
     }
 }

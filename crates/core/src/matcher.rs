@@ -7,7 +7,7 @@
 //! `O(|r|²|w|² + |r||w|³)` in the worst case (`O(|r|²|w|²)` without nested
 //! queries) plus the oracle's own response time.
 
-use semre_automata::{compile, EpsClosure, LazyDfa, Snfa};
+use semre_automata::{compile, EpsClosure, LazyDfa, Prescan, Snfa};
 use semre_oracle::{BatchSession, Oracle};
 use semre_syntax::{skeleton, Semre};
 
@@ -33,6 +33,11 @@ pub struct MatcherConfig {
     /// are identical; only the constant factor changes.  Ignored when
     /// [`skeleton_prefilter`](Self::skeleton_prefilter) is off.
     pub dfa_prefilter: bool,
+    /// Run the literal prescan (length / first-byte / required-literal
+    /// screens, SWAR substring search) in front of the skeleton prefilter,
+    /// skipping the DFA — and everything behind it — on lines that cannot
+    /// contain a match.  Sound by construction; verdicts are identical.
+    pub literal_prescan: bool,
     /// Restrict query-graph evaluation to vertices that are syntactically
     /// co-reachable from `end`.
     pub prune_coreachable: bool,
@@ -50,6 +55,7 @@ impl Default for MatcherConfig {
         MatcherConfig {
             skeleton_prefilter: true,
             dfa_prefilter: true,
+            literal_prescan: true,
             prune_coreachable: true,
             lazy_oracle: true,
             batched_oracle: true,
@@ -81,6 +87,7 @@ impl MatcherConfig {
         MatcherConfig {
             skeleton_prefilter: false,
             dfa_prefilter: false,
+            literal_prescan: false,
             prune_coreachable: false,
             lazy_oracle: false,
             batched_oracle: false,
@@ -93,6 +100,15 @@ impl MatcherConfig {
     pub fn nfa_prefilter() -> Self {
         MatcherConfig {
             dfa_prefilter: false,
+            ..MatcherConfig::default()
+        }
+    }
+
+    /// The optimized configuration with the literal prescan disabled —
+    /// the reference point the prescan is benchmarked against.
+    pub fn no_prescan() -> Self {
+        MatcherConfig {
+            literal_prescan: false,
             ..MatcherConfig::default()
         }
     }
@@ -131,6 +147,12 @@ pub struct Matcher<O> {
     skeleton_dfa: LazyDfa,
     /// Lazily-determinized DFA of `Σ* skel(r) Σ*` for span-search seeding.
     search_skeleton_dfa: LazyDfa,
+    /// Literal prescan for anchored membership (length + first-byte +
+    /// required-literal screens), run before the skeleton DFA.
+    prescan: Prescan,
+    /// Literal prescan gating span seeding: a line without any required
+    /// literal seeds no span search at all.
+    search_prescan: Prescan,
     topo: GadgetTopology,
     query_table: QueryTable,
     /// Reusable evaluator buffers, checked out per evaluation.
@@ -156,6 +178,8 @@ impl<O: Oracle> Matcher<O> {
         let search_skeleton_snfa = compile(&Semre::padded(skel.clone()));
         let skeleton_dfa = LazyDfa::new(&skeleton_snfa);
         let search_skeleton_dfa = LazyDfa::new(&search_skeleton_snfa);
+        let prescan = Prescan::for_membership(&skeleton_snfa, &skel);
+        let search_prescan = Prescan::for_search(&skel);
         Matcher {
             semre,
             skeleton: skel,
@@ -164,6 +188,8 @@ impl<O: Oracle> Matcher<O> {
             search_skeleton_snfa,
             skeleton_dfa,
             search_skeleton_dfa,
+            prescan,
+            search_prescan,
             topo,
             query_table,
             scratch: ScratchPool::new(),
@@ -176,6 +202,9 @@ impl<O: Oracle> Matcher<O> {
     /// without touching the oracle, via the DFA or NFA engine per
     /// [`MatcherConfig::dfa_prefilter`].
     fn skeleton_rejects(&self, input: &[u8]) -> bool {
+        if self.config.literal_prescan && self.prescan.rejects(input) {
+            return true;
+        }
         self.config.skeleton_prefilter
             && if self.config.dfa_prefilter {
                 !self.skeleton_dfa.matches(input)
@@ -185,8 +214,13 @@ impl<O: Oracle> Matcher<O> {
     }
 
     /// Like [`skeleton_rejects`](Self::skeleton_rejects) for unanchored
-    /// search: a line without a skeleton span has no semantic span.
+    /// search: a line without a skeleton span has no semantic span.  The
+    /// prescan gates span seeding — a line without any required literal
+    /// never reaches the query graph, so no position in it is seeded.
     fn search_skeleton_rejects(&self, input: &[u8]) -> bool {
+        if self.config.literal_prescan && self.search_prescan.rejects(input) {
+            return true;
+        }
         self.config.skeleton_prefilter
             && if self.config.dfa_prefilter {
                 !self.search_skeleton_dfa.matches(input)
@@ -382,6 +416,16 @@ impl<O: Oracle> Matcher<O> {
         &self.snfa
     }
 
+    /// The literal prescan guarding anchored membership.
+    pub fn prescan(&self) -> &Prescan {
+        &self.prescan
+    }
+
+    /// The literal prescan gating span seeding in unanchored search.
+    pub fn search_prescan(&self) -> &Prescan {
+        &self.search_prescan
+    }
+
     /// The active configuration.
     pub fn config(&self) -> &MatcherConfig {
         &self.config
@@ -468,9 +512,19 @@ mod tests {
         assert_eq!(MatcherConfig::optimized(), MatcherConfig::default());
         assert!(MatcherConfig::default().batched_oracle);
         assert!(MatcherConfig::default().dfa_prefilter);
+        assert!(MatcherConfig::default().literal_prescan);
         let eager = MatcherConfig::eager();
         assert!(!eager.skeleton_prefilter && !eager.prune_coreachable && !eager.lazy_oracle);
-        assert!(!eager.batched_oracle && !eager.dfa_prefilter);
+        assert!(!eager.batched_oracle && !eager.dfa_prefilter && !eager.literal_prescan);
+        let no_prescan = MatcherConfig::no_prescan();
+        assert!(no_prescan.skeleton_prefilter && !no_prescan.literal_prescan);
+        assert_eq!(
+            MatcherConfig {
+                literal_prescan: true,
+                ..no_prescan
+            },
+            MatcherConfig::default()
+        );
         let per_call = MatcherConfig::per_call();
         assert!(per_call.skeleton_prefilter && per_call.prune_coreachable && per_call.lazy_oracle);
         assert!(!per_call.batched_oracle);
@@ -483,6 +537,30 @@ mod tests {
             },
             MatcherConfig::default()
         );
+    }
+
+    #[test]
+    fn prescan_gates_without_changing_verdicts() {
+        let llm = SimLlmOracle::new();
+        let pattern = Semre::padded(examples::r_spam1());
+        let with = Matcher::new(pattern.clone(), &llm);
+        let without = Matcher::with_config(pattern, &llm, MatcherConfig::no_prescan());
+        assert!(with.prescan().has_literals());
+        let lines: [&[u8]; 5] = [
+            b"Subject: cheap viagra now",
+            b"Subject: meeting notes",
+            b"no subject at all",
+            b"Subj",
+            b"",
+        ];
+        for line in lines {
+            assert_eq!(with.is_match(line), without.is_match(line), "{line:?}");
+            assert_eq!(with.find(line), without.find(line), "{line:?}");
+        }
+        // A prescan rejection costs no oracle work and no DFA work.
+        let report = with.run(b"completely unrelated line");
+        assert!(!report.matched);
+        assert_eq!(report.oracle_calls, 0);
     }
 
     #[test]

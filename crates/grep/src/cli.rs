@@ -23,6 +23,11 @@
 //!   --stats            print aggregate statistics to standard error
 //!   --max-lines N      process at most N lines
 //!   --timeout-secs S   stop after S seconds of wall-clock time
+//!   --stream           scan in streaming mode: chunked reads, bounded
+//!                      memory (the default for files and stdin)
+//!   --no-stream        materialize the whole input in memory first
+//!   --stream-chunk-bytes N   bytes per streaming I/O chunk (default 64 KiB)
+//!   --no-prescan       disable the literal prescan in front of the DFA
 //! ```
 //!
 //! The driver is built entirely on the `semre` facade: one
@@ -41,7 +46,7 @@
 use std::error::Error;
 use std::fmt;
 use std::fs;
-use std::io::Read;
+use std::io::{Read, Write};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -51,6 +56,7 @@ use crate::engine::{
     scan, scan_batched, scan_batched_parallel, scan_per_call_parallel, scan_spans,
     scan_spans_parallel, ScanOptions,
 };
+use crate::stream::{scan_stream, scan_stream_spans, StreamOptions};
 
 /// Errors produced while parsing command-line options or running the scan.
 #[derive(Debug)]
@@ -112,12 +118,19 @@ pub struct CliOptions {
     pub max_lines: Option<usize>,
     /// Wall-clock budget in seconds.
     pub timeout_secs: Option<u64>,
+    /// Streaming (chunked I/O) scan mode: `None` = default (on).
+    pub stream: Option<bool>,
+    /// Bytes per streaming I/O chunk (`0` means the handle's default).
+    pub stream_chunk_bytes: usize,
+    /// Disable the literal prescan in front of the skeleton DFA
+    /// (diagnostic; verdicts are identical either way).
+    pub no_prescan: bool,
 }
 
 /// The usage string printed on `--help` or malformed invocations.
 pub const USAGE: &str = "usage: grepo [--oracle KIND] [--baseline] [--batched] [--chunk-lines N] \
 [--threads N] [--only-matching] [--color] [--count] [--stats] [--max-lines N] [--timeout-secs S] \
-PATTERN [FILE]";
+[--stream | --no-stream] [--stream-chunk-bytes N] [--no-prescan] PATTERN [FILE]";
 
 impl CliOptions {
     /// Parses command-line arguments (excluding the program name).
@@ -164,6 +177,21 @@ impl CliOptions {
                 }
                 "--only-matching" | "-o" => options.only_matching = true,
                 "--color" => options.color = true,
+                "--stream" => options.stream = Some(true),
+                "--no-stream" => options.stream = Some(false),
+                "--no-prescan" => options.no_prescan = true,
+                "--stream-chunk-bytes" => {
+                    let n = args
+                        .next()
+                        .ok_or_else(|| CliError::new("--stream-chunk-bytes needs a value"))?;
+                    let n: usize = n
+                        .parse()
+                        .map_err(|_| CliError::new("--stream-chunk-bytes expects a number"))?;
+                    if n == 0 {
+                        return Err(CliError::new("--stream-chunk-bytes must be positive"));
+                    }
+                    options.stream_chunk_bytes = n;
+                }
                 "--count" => options.count_only = true,
                 "--stats" => options.stats = true,
                 "--help" | "-h" => return Err(CliError::new(USAGE)),
@@ -200,6 +228,11 @@ impl CliOptions {
         if options.chunk_lines != 0 && !options.batched {
             return Err(CliError::new("--chunk-lines requires --batched"));
         }
+        if options.stream_chunk_bytes != 0 && options.stream == Some(false) {
+            return Err(CliError::new(
+                "--stream-chunk-bytes conflicts with --no-stream",
+            ));
+        }
         let mut positional = positional.into_iter();
         options.pattern = positional
             .next()
@@ -218,12 +251,52 @@ impl CliOptions {
         self.only_matching
     }
 
+    /// Whether the scan streams the input in chunks (the default) instead
+    /// of materializing it in memory.  Output is byte-identical either
+    /// way; streaming bounds peak memory by the chunk size.
+    pub fn streaming(&self) -> bool {
+        self.stream.unwrap_or(true)
+    }
+
     fn scan_options(&self) -> ScanOptions {
         ScanOptions {
             max_lines: self.max_lines,
             time_budget: self.timeout_secs.map(Duration::from_secs),
         }
     }
+}
+
+/// The compiled artifacts one run needs: the facade handle, the
+/// instrumented oracle behind it, and the resolved batch-chunk size.
+struct Compiled {
+    re: semre::SemRegex,
+    oracle: Arc<Instrumented<Arc<dyn semre::Oracle>>>,
+    chunk: usize,
+}
+
+fn compile(options: &CliOptions) -> Result<Compiled, CliError> {
+    let backend = options.oracle.build()?;
+    let oracle = Arc::new(Instrumented::new(backend));
+    let chunk = if options.chunk_lines == 0 {
+        DEFAULT_CHUNK_LINES
+    } else {
+        options.chunk_lines
+    };
+    // Without --batched the per-call plane keeps the per-line
+    // `oracle_calls` statistic meaning what it says: one backend call per
+    // logical oracle question.
+    let shared: Arc<dyn semre::Oracle> = oracle.clone();
+    let mut builder = SemRegexBuilder::new()
+        .dp_baseline(options.baseline)
+        .batched(options.batched)
+        .prescan(!options.no_prescan)
+        .chunk_lines(chunk)
+        .threads(options.threads.max(1));
+    if options.stream_chunk_bytes != 0 {
+        builder = builder.stream_chunk_bytes(options.stream_chunk_bytes);
+    }
+    let re = builder.build_shared(&options.pattern, shared)?;
+    Ok(Compiled { re, oracle, chunk })
 }
 
 /// The output of [`run`], ready to be printed by the binary.
@@ -258,6 +331,64 @@ fn snap_span(line: &str, start: usize, end: usize) -> (usize, usize) {
     (start, end)
 }
 
+/// Snaps a byte span for display: to character boundaries when the line
+/// is valid UTF-8 (matching the in-memory path exactly), clamped to the
+/// line otherwise — streaming reads raw bytes, so non-UTF-8 lines are
+/// printed verbatim with byte-accurate offsets rather than through a
+/// lossy decode that would shift them.
+fn snap_span_bytes(line: &[u8], start: usize, end: usize) -> (usize, usize) {
+    match std::str::from_utf8(line) {
+        Ok(text) => snap_span(text, start, end),
+        Err(_) => {
+            let start = start.min(line.len());
+            (start, end.clamp(start, line.len()))
+        }
+    }
+}
+
+/// Writes one matched span (`--only-matching`) from the raw line bytes.
+fn write_span_line<W: Write>(
+    out: &mut W,
+    line: &[u8],
+    start: usize,
+    end: usize,
+    color: bool,
+) -> std::io::Result<()> {
+    let (start, end) = snap_span_bytes(line, start, end);
+    if color {
+        out.write_all(HIGHLIGHT_START.as_bytes())?;
+    }
+    out.write_all(&line[start..end])?;
+    if color {
+        out.write_all(HIGHLIGHT_END.as_bytes())?;
+    }
+    out.write_all(b"\n")
+}
+
+/// Writes `line` with every span ANSI-highlighted, from the raw bytes
+/// (the byte-level counterpart of [`highlight_spans`]; identical output
+/// for valid UTF-8).
+fn write_highlighted_line<W: Write>(
+    out: &mut W,
+    line: &[u8],
+    spans: &[(usize, usize)],
+) -> std::io::Result<()> {
+    let mut pos = 0;
+    for &(start, end) in spans {
+        let (start, end) = snap_span_bytes(line, start, end);
+        if start < pos {
+            continue;
+        }
+        out.write_all(&line[pos..start])?;
+        out.write_all(HIGHLIGHT_START.as_bytes())?;
+        out.write_all(&line[start..end])?;
+        out.write_all(HIGHLIGHT_END.as_bytes())?;
+        pos = end;
+    }
+    out.write_all(&line[pos..])?;
+    out.write_all(b"\n")
+}
+
 /// Renders `line` with every span wrapped in ANSI highlight codes.
 fn highlight_spans(line: &str, spans: &[(usize, usize)]) -> String {
     let mut out = String::new();
@@ -285,23 +416,7 @@ fn highlight_spans(line: &str, spans: &[(usize, usize)]) -> String {
 /// Returns a [`CliError`] if the pattern does not parse or the oracle file
 /// cannot be loaded.
 pub fn run_on_text(options: &CliOptions, text: &str) -> Result<CliOutcome, CliError> {
-    let backend = options.oracle.build()?;
-    let oracle = Arc::new(Instrumented::new(backend));
-    let chunk = if options.chunk_lines == 0 {
-        DEFAULT_CHUNK_LINES
-    } else {
-        options.chunk_lines
-    };
-    // Without --batched the per-call plane keeps the per-line
-    // `oracle_calls` statistic meaning what it says: one backend call per
-    // logical oracle question.
-    let shared: Arc<dyn semre::Oracle> = oracle.clone();
-    let re = SemRegexBuilder::new()
-        .dp_baseline(options.baseline)
-        .batched(options.batched)
-        .chunk_lines(chunk)
-        .threads(options.threads.max(1))
-        .build_shared(&options.pattern, shared)?;
+    let Compiled { re, oracle, chunk } = compile(options)?;
     let threads = re.threads();
 
     let lines: Vec<&str> = text.lines().collect();
@@ -427,12 +542,176 @@ pub fn run_on_text(options: &CliOptions, text: &str) -> Result<CliOutcome, CliEr
     Ok(outcome)
 }
 
-/// Reads the input (file or standard input) and runs the tool.
+/// Runs the tool in streaming mode: `reader` is consumed in
+/// [`stream_chunk_bytes`](semre::SemRegex::stream_chunk_bytes)-sized
+/// chunks and matched lines (or spans) are written to `out` as they are
+/// decided, so peak memory stays bounded by the chunk size plus the
+/// longest line regardless of the input length.  The bytes written to
+/// `out` are identical to what [`run_on_text`] would print for the same
+/// input, for any chunk size and thread count.
+///
+/// The returned [`CliOutcome`] carries only what is not known until the
+/// end of the scan: the `--count` line, the `--stats` lines, and the exit
+/// code; its `stdout` never duplicates lines already written to `out`.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for pattern, oracle, read, or write problems.
+pub fn run_stream<R: Read, W: Write>(
+    options: &CliOptions,
+    reader: R,
+    out: &mut W,
+) -> Result<CliOutcome, CliError> {
+    let Compiled { re, oracle, chunk } = compile(options)?;
+    let threads = re.threads();
+    let stream_options = StreamOptions {
+        chunk_bytes: re.stream_chunk_bytes(),
+        chunk_lines: chunk,
+        threads,
+        batched: options.batched,
+        scan: options.scan_options(),
+    };
+    // Snapshot after compilation so construction-time (q, ε) probes do
+    // not count against the scan, mirroring the in-memory attribution.
+    let oracle_before = oracle.stats();
+
+    // Callbacks cannot return errors; the first write failure is parked
+    // here and returning `false` cancels the scan (no point matching —
+    // and paying oracle calls for — input whose output pipe is gone).
+    let mut write_error: Option<std::io::Error> = None;
+    let report = if options.span_mode() {
+        scan_stream_spans(
+            &re,
+            reader,
+            &stream_options,
+            options.count_only,
+            |_, line, spans| {
+                if options.count_only || spans.is_empty() {
+                    return true;
+                }
+                for &(start, end) in spans {
+                    let result = write_span_line(out, line, start, end, options.color);
+                    if let Err(e) = result {
+                        write_error = Some(e);
+                        return false;
+                    }
+                }
+                true
+            },
+        )
+    } else {
+        scan_stream(&re, reader, &stream_options, |_, line, matched| {
+            if !matched || options.count_only {
+                return true;
+            }
+            let result = if options.color {
+                // Presentational only, exactly as in the in-memory path.
+                let spans: Vec<(usize, usize)> =
+                    re.find_iter(line).map(|m| (m.start(), m.end())).collect();
+                write_highlighted_line(out, line, &spans)
+            } else {
+                out.write_all(line).and_then(|()| out.write_all(b"\n"))
+            };
+            match result {
+                Ok(()) => true,
+                Err(e) => {
+                    write_error = Some(e);
+                    false
+                }
+            }
+        })
+    }
+    .map_err(|e| CliError::new(format!("cannot read input: {e}")))?;
+    if let Some(e) = write_error {
+        return Err(CliError::new(format!("cannot write output: {e}")));
+    }
+
+    let mut outcome = CliOutcome::default();
+    if options.count_only {
+        outcome.stdout.push(report.matched_lines.to_string());
+    }
+    if options.stats {
+        outcome.stderr.push(format!(
+            "algorithm={} mode={} threads={} lines={} matched={} timed_out={} stream=yes chunk_bytes={}",
+            re.algorithm(),
+            if options.span_mode() {
+                "search"
+            } else {
+                "membership"
+            },
+            threads,
+            report.lines,
+            report.matched_lines,
+            report.timed_out,
+            stream_options.chunk_bytes
+        ));
+        outcome.stderr.push(format!(
+            "rt_total={:.3} ms/line throughput={:.1} MB/s",
+            report.rt_total_ms(),
+            report.mb_per_s()
+        ));
+        if !options.batched && !options.span_mode() && threads <= 1 {
+            // Sequential per-call membership: the Instrumented counters
+            // mean one backend call per logical question, as in the
+            // in-memory path (the fraction is of total scan wall time,
+            // I/O included).
+            let delta = oracle.stats() - oracle_before;
+            let lines = report.lines.max(1) as f64;
+            let fraction = if report.total_duration.is_zero() {
+                0.0
+            } else {
+                (delta.oracle_time().as_secs_f64() / report.total_duration.as_secs_f64()).min(1.0)
+            };
+            outcome.stderr.push(format!(
+                "oracle_calls={:.3}/line oracle_fraction={fraction:.3} query_chars={:.3}/line",
+                delta.calls as f64 / lines,
+                delta.query_bytes as f64 / lines
+            ));
+        }
+        if options.batched {
+            outcome.stderr.push(format!(
+                "batches={} keys_submitted={} keys_deduped={} backend_keys={} dedup_ratio={:.3} mean_batch={:.2}",
+                report.batch.batches,
+                report.batch.keys_submitted,
+                report.batch.keys_deduped,
+                report.batch.backend_keys,
+                if report.batch.keys_submitted == 0 {
+                    0.0
+                } else {
+                    report.batch.keys_deduped as f64 / report.batch.keys_submitted as f64
+                },
+                if report.batch.batches == 0 {
+                    0.0
+                } else {
+                    report.batch.keys_submitted as f64 / report.batch.batches as f64
+                }
+            ));
+        }
+    }
+    outcome.exit_code = if report.matched_lines > 0 { 0 } else { 1 };
+    Ok(outcome)
+}
+
+/// Reads the input (file or standard input) and runs the tool — in
+/// streaming mode by default (see [`run_stream`]); `--no-stream` falls
+/// back to materializing the whole input and [`run_on_text`].
 ///
 /// # Errors
 ///
 /// Returns a [`CliError`] for option, pattern, oracle, or I/O problems.
 pub fn run(options: &CliOptions) -> Result<CliOutcome, CliError> {
+    if options.streaming() {
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        return match &options.file {
+            Some(path) => {
+                let file = fs::File::open(path)
+                    .map_err(|e| CliError::new(format!("cannot read {path}: {e}")))?;
+                run_stream(options, file, &mut out)
+            }
+            None => run_stream(options, std::io::stdin().lock(), &mut out),
+        };
+    }
     let text = match &options.file {
         Some(path) => fs::read_to_string(path)
             .map_err(|e| CliError::new(format!("cannot read {path}: {e}")))?,
@@ -647,5 +926,156 @@ mod tests {
         let options = CliOptions::parse(["(unclosed"]).unwrap();
         let err = run_on_text(&options, "x").unwrap_err();
         assert!(err.to_string().contains("invalid pattern"));
+    }
+
+    #[test]
+    fn stream_flags_parse() {
+        let o = CliOptions::parse(["x"]).unwrap();
+        assert!(o.streaming(), "streaming is the default");
+        let o = CliOptions::parse(["--no-stream", "x"]).unwrap();
+        assert!(!o.streaming());
+        let o = CliOptions::parse(["--stream", "--stream-chunk-bytes", "512", "x"]).unwrap();
+        assert!(o.streaming());
+        assert_eq!(o.stream_chunk_bytes, 512);
+        let o = CliOptions::parse(["--no-prescan", "x"]).unwrap();
+        assert!(o.no_prescan);
+        assert!(CliOptions::parse(["--stream-chunk-bytes", "0", "x"]).is_err());
+        assert!(CliOptions::parse(["--stream-chunk-bytes"]).is_err());
+        assert!(CliOptions::parse(["--no-stream", "--stream-chunk-bytes", "4", "x"]).is_err());
+    }
+
+    /// What the grepo binary would print to stdout for an in-memory run.
+    fn rendered_stdout(outcome: &CliOutcome) -> Vec<u8> {
+        let mut out = Vec::new();
+        for line in &outcome.stdout {
+            out.extend_from_slice(line.as_bytes());
+            out.push(b'\n');
+        }
+        out
+    }
+
+    #[test]
+    fn streaming_output_is_byte_identical_to_in_memory() {
+        let text = "Subject: cheap viagra\nSubject: team meeting\nhello\n\
+                    please buy tramadol today\nambien and xanax here\n";
+        let pattern = r"Subject: .*(?<Medicine name>: .+).*";
+        let span_pattern = r"(?<Medicine name>: [a-z]+)";
+        let variant_args: Vec<Vec<&str>> = vec![
+            vec![pattern],
+            vec!["--count", pattern],
+            vec!["--batched", pattern],
+            vec!["--batched", "--threads", "4", pattern],
+            vec!["--color", pattern],
+            vec!["--baseline", pattern],
+            vec!["--no-prescan", pattern],
+            vec!["--max-lines", "2", pattern],
+            vec!["--only-matching", span_pattern],
+            vec!["--only-matching", "--color", span_pattern],
+            vec!["--only-matching", "--count", span_pattern],
+        ];
+        for args in variant_args {
+            let in_memory = CliOptions::parse(args.iter().copied().chain(["--no-stream"])).unwrap();
+            let expected_outcome = run_on_text(&in_memory, text).unwrap();
+            let mut expected = rendered_stdout(&expected_outcome);
+            for chunk in ["1", "16", "65536"] {
+                let streaming = CliOptions::parse(
+                    ["--stream-chunk-bytes", chunk]
+                        .into_iter()
+                        .chain(args.iter().copied()),
+                )
+                .unwrap();
+                let mut got = Vec::new();
+                let outcome = run_stream(&streaming, text.as_bytes(), &mut got).unwrap();
+                got.extend(rendered_stdout(&outcome));
+                // In-memory runs return the count via `stdout` too; both
+                // renderings already include it.
+                assert_eq!(
+                    String::from_utf8_lossy(&got),
+                    String::from_utf8_lossy(&expected),
+                    "args {args:?} chunk {chunk}"
+                );
+                assert_eq!(outcome.exit_code, expected_outcome.exit_code, "{args:?}");
+            }
+            expected.clear();
+        }
+    }
+
+    #[test]
+    fn streaming_stats_and_missing_newline() {
+        let options = CliOptions::parse([
+            "--stats",
+            "--batched",
+            r"Subject: .*(?<Medicine name>: .+).*",
+        ])
+        .unwrap();
+        let mut out = Vec::new();
+        let outcome = run_stream(&options, &b"Subject: cheap viagra\nplain"[..], &mut out).unwrap();
+        assert_eq!(out, b"Subject: cheap viagra\n");
+        assert_eq!(outcome.exit_code, 0);
+        assert!(outcome.stderr[0].contains("stream=yes"));
+        assert!(outcome.stderr[0].contains("lines=2"));
+        assert!(outcome.stderr.iter().any(|l| l.starts_with("batches=")));
+        // Batched runs do not pretend to have per-line oracle attribution.
+        assert!(outcome
+            .stderr
+            .iter()
+            .all(|l| !l.starts_with("oracle_calls=")));
+
+        // The default invocation (sequential, per-call, membership) keeps
+        // its per-line oracle attribution in streaming mode too.
+        let options =
+            CliOptions::parse(["--stats", r"Subject: .*(?<Medicine name>: .+).*"]).unwrap();
+        let mut out = Vec::new();
+        let outcome = run_stream(&options, &b"Subject: cheap viagra\nplain"[..], &mut out).unwrap();
+        let oracle_line = outcome
+            .stderr
+            .iter()
+            .find(|l| l.starts_with("oracle_calls="))
+            .expect("streaming --stats keeps the oracle attribution line");
+        assert!(oracle_line.contains("query_chars="), "{oracle_line}");
+    }
+
+    #[test]
+    fn write_errors_cancel_the_stream() {
+        struct BrokenPipe;
+        impl std::io::Write for BrokenPipe {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::from(std::io::ErrorKind::BrokenPipe))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let options = CliOptions::parse([r"Subject: .*(?<Medicine name>: .+).*"]).unwrap();
+        let text = "Subject: cheap viagra\n".repeat(50);
+        let err = run_stream(&options, text.as_bytes(), &mut BrokenPipe).unwrap_err();
+        assert!(err.to_string().contains("cannot write output"), "{err}");
+    }
+
+    #[test]
+    fn non_utf8_lines_keep_byte_accurate_spans() {
+        // Streaming reads raw bytes; invalid UTF-8 before the match must
+        // not shift the printed span (a lossy decode would move offsets).
+        let options =
+            CliOptions::parse(["--only-matching", r"(?<Medicine name>: [a-z]+)"]).unwrap();
+        let mut input = vec![0xff, 0xfe, b' '];
+        input.extend_from_slice(b"buy tramadol now\n");
+        let mut out = Vec::new();
+        let outcome = run_stream(&options, &input[..], &mut out).unwrap();
+        assert_eq!(outcome.exit_code, 0);
+        let printed = String::from_utf8_lossy(&out);
+        assert!(
+            printed.lines().any(|l| l == "tramadol"),
+            "span misaligned: {printed:?}"
+        );
+
+        // --color on a valid-UTF-8 line is unchanged by the byte-level
+        // writer.
+        let options = CliOptions::parse(["--color", r".*(?<Medicine name>: [a-z]+).*"]).unwrap();
+        let mut out = Vec::new();
+        run_stream(&options, &b"take ambien nightly\n"[..], &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains(HIGHLIGHT_START) && text.contains(HIGHLIGHT_END));
+        assert!(text.ends_with(" nightly\n"), "{text:?}");
     }
 }

@@ -125,7 +125,7 @@ impl ScanOptions {
 pub fn scan<M, L, F>(matcher: &M, lines: &[L], oracle_stats: F, options: ScanOptions) -> ScanReport
 where
     M: LineMatcher + ?Sized,
-    L: AsRef<str>,
+    L: AsRef<[u8]>,
     F: Fn() -> OracleStats,
 {
     let started = Instant::now();
@@ -145,7 +145,7 @@ where
         let line = line.as_ref();
         let before = oracle_stats();
         let line_start = Instant::now();
-        let matched = matcher.matches_line(line.as_bytes());
+        let matched = matcher.matches_line(line);
         let duration = line_start.elapsed();
         let oracle = oracle_stats() - before;
         report.records.push(LineRecord {
@@ -174,7 +174,7 @@ fn scan_in_chunks<M, L>(
 ) -> ScanReport
 where
     M: LineMatcher + ?Sized,
-    L: AsRef<str>,
+    L: AsRef<[u8]>,
 {
     let started = Instant::now();
     let chunk_lines = chunk_lines.max(1);
@@ -198,7 +198,7 @@ where
             }
             let line = line.as_ref();
             let line_start = Instant::now();
-            let matched = match_line(matcher, index, line.as_bytes(), &mut session);
+            let matched = match_line(matcher, index, line, &mut session);
             let duration = line_start.elapsed();
             report.records.push(LineRecord {
                 index,
@@ -231,7 +231,7 @@ pub fn scan_batched<M, L>(
 ) -> ScanReport
 where
     M: LineMatcher + ?Sized,
-    L: AsRef<str>,
+    L: AsRef<[u8]>,
 {
     scan_in_chunks(
         matcher,
@@ -259,7 +259,7 @@ pub fn scan_spans<L>(
     first_span_only: bool,
 ) -> (ScanReport, Vec<Vec<(usize, usize)>>)
 where
-    L: AsRef<str>,
+    L: AsRef<[u8]>,
 {
     let mut spans_per_line: Vec<Vec<(usize, usize)>> = vec![Vec::new(); lines.len()];
     let report = scan_in_chunks(
@@ -322,7 +322,7 @@ fn scan_chunks_parallel<M, L, T, F>(
 ) -> (ScanReport, Vec<T>)
 where
     M: LineMatcher + ?Sized,
-    L: AsRef<str> + Sync,
+    L: AsRef<[u8]> + Sync,
     T: Default + Send,
     F: Fn(&M, usize, &[u8], &mut BatchSession<'_>) -> (bool, T) + Sync,
 {
@@ -360,7 +360,7 @@ where
                 let index = start_line + offset;
                 let line = line.as_ref();
                 let line_start = Instant::now();
-                let (matched, extra) = per_line(matcher, index, line.as_bytes(), &mut session);
+                let (matched, extra) = per_line(matcher, index, line, &mut session);
                 records.push((
                     LineRecord {
                         index,
@@ -422,7 +422,7 @@ pub fn scan_batched_parallel<M, L>(
 ) -> ScanReport
 where
     M: LineMatcher + ?Sized,
-    L: AsRef<str> + Sync,
+    L: AsRef<[u8]> + Sync,
 {
     let (report, _) = scan_chunks_parallel(
         matcher,
@@ -448,7 +448,7 @@ pub fn scan_per_call_parallel<M, L>(
 ) -> ScanReport
 where
     M: LineMatcher + ?Sized,
-    L: AsRef<str> + Sync,
+    L: AsRef<[u8]> + Sync,
 {
     let (report, _) = scan_chunks_parallel(
         matcher,
@@ -474,7 +474,7 @@ pub fn scan_spans_parallel<L>(
     first_span_only: bool,
 ) -> (ScanReport, Vec<Vec<(usize, usize)>>)
 where
-    L: AsRef<str> + Sync,
+    L: AsRef<[u8]> + Sync,
 {
     scan_chunks_parallel(
         re,
@@ -514,14 +514,14 @@ impl ParallelScanReport {
 pub fn scan_parallel<M, L>(matcher: &M, lines: &[L], threads: usize) -> ParallelScanReport
 where
     M: LineMatcher + ?Sized,
-    L: AsRef<str> + Sync,
+    L: AsRef<[u8]> + Sync,
 {
     let started = Instant::now();
     let threads = threads.max(1).min(lines.len().max(1));
     let mut matched = vec![false; lines.len()];
     if threads <= 1 {
         for (slot, line) in matched.iter_mut().zip(lines) {
-            *slot = matcher.matches_line(line.as_ref().as_bytes());
+            *slot = matcher.matches_line(line.as_ref());
         }
     } else {
         let chunk = lines.len().div_ceil(threads);
@@ -529,7 +529,7 @@ where
             for (line_chunk, out_chunk) in lines.chunks(chunk).zip(matched.chunks_mut(chunk)) {
                 scope.spawn(move || {
                     for (slot, line) in out_chunk.iter_mut().zip(line_chunk) {
-                        *slot = matcher.matches_line(line.as_ref().as_bytes());
+                        *slot = matcher.matches_line(line.as_ref());
                     }
                 });
             }

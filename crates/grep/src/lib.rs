@@ -10,23 +10,35 @@
 //! * [`LineMatcher`] / [`scan`] / [`scan_parallel`] / [`scan_batched`] —
 //!   the line-oriented scanning engine, accepting a facade handle or
 //!   either internal matcher;
+//! * [`stream`] — the streaming pipeline ([`scan_stream`],
+//!   [`scan_stream_spans`]): chunked reads with lines reassembled across
+//!   chunk boundaries, bounded memory, byte-identical output;
 //! * [`ScanReport`] — per-line records and the aggregate statistics of
 //!   Table 2 and Fig. 10;
-//! * [`cli`] — option parsing and the driver behind the `grepo` binary,
-//!   including span search (`--only-matching`, `--color`).
+//! * [`cli`] — option parsing and the drivers behind the `grepo` binary,
+//!   including span search (`--only-matching`, `--color`) and streaming
+//!   (`--stream`, the default for file and stdin input).
 //!
 //! # Example
 //!
 //! ```
 //! use semre::SemRegex;
-//! use semre_grep::{scan, ScanOptions};
+//! use semre_grep::{scan, scan_stream, ScanOptions, StreamOptions};
 //! use semre_oracle::{OracleStats, SimLlmOracle};
 //!
 //! let re = SemRegex::new("Subject: .*(?<Medicine name>: .+).*", SimLlmOracle::new())?;
 //! let lines = vec!["Subject: cheap cialis".to_owned(), "Subject: agenda".to_owned()];
 //! let report = scan(&re, &lines, OracleStats::default, ScanOptions::unlimited());
 //! assert_eq!(report.matched_lines(), 1);
-//! # Ok::<(), semre::Error>(())
+//!
+//! // The same scan, streaming from any `Read` without materializing it.
+//! let text = lines.join("\n");
+//! let mut matched = 0;
+//! let stream_report = scan_stream(&re, text.as_bytes(), &StreamOptions::default(),
+//!     |_, _, is_match| { matched += u64::from(is_match); true })?;
+//! assert_eq!(stream_report.lines, 2);
+//! assert_eq!(matched, 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -35,9 +47,11 @@
 pub mod cli;
 mod engine;
 mod stats;
+pub mod stream;
 
 pub use engine::{
     scan, scan_batched, scan_batched_parallel, scan_parallel, scan_per_call_parallel, scan_spans,
     scan_spans_parallel, LineMatcher, ParallelScanReport, ScanOptions,
 };
 pub use stats::{LineRecord, ScanReport};
+pub use stream::{scan_stream, scan_stream_spans, StreamOptions, StreamReport};

@@ -1,0 +1,507 @@
+//! The streaming scan engine: chunked I/O in front of the line scanners.
+//!
+//! The in-memory entry points ([`scan`],
+//! [`scan_batched`], …) take a slice of lines that
+//! already lives in memory; on a multi-gigabyte corpus the split alone
+//! costs more memory than the matcher ever will.  [`scan_stream`] instead
+//! pulls the input through [`semre::stream::LineChunks`] — fixed-size
+//! reads, lines reassembled across chunk boundaries — and feeds each batch
+//! of complete lines to the existing scanners, so every optimization of
+//! the in-memory path (batched oracle sessions, parallel chunk scanning,
+//! the literal prescan and lazy-DFA prefilter inside the matcher) applies
+//! unchanged while peak memory stays bounded by the chunk size plus the
+//! longest line.
+//!
+//! Results are delivered through a per-line callback in input order, and
+//! a scan that runs to completion produces exactly the verdicts (and
+//! therefore exactly the printed output) of the in-memory path, for any
+//! chunk size and thread count.
+//!
+//! # Examples
+//!
+//! ```
+//! use semre::{SemRegex, SimLlmOracle};
+//! use semre_grep::stream::{scan_stream, StreamOptions};
+//!
+//! let re = SemRegex::new(r"Subject: .*(?<Medicine name>: [a-z]+).*",
+//!                        SimLlmOracle::new())?;
+//! let mail = "Subject: cheap tramadol\nSubject: standup notes\n";
+//! let mut matched = Vec::new();
+//! let report = scan_stream(&re, mail.as_bytes(), &StreamOptions::default(),
+//!     |_index, line, is_match| {
+//!         if is_match {
+//!             matched.push(String::from_utf8_lossy(line).into_owned());
+//!         }
+//!         true // keep scanning; return false to cancel (e.g. broken pipe)
+//!     })?;
+//! assert_eq!(report.lines, 2);
+//! assert_eq!(matched, ["Subject: cheap tramadol"]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::io::{self, Read};
+use std::time::{Duration, Instant};
+
+use semre::stream::LineChunks;
+use semre::{BatchStats, SemRegex, DEFAULT_CHUNK_LINES, DEFAULT_STREAM_CHUNK_BYTES};
+use semre_oracle::OracleStats;
+
+use crate::engine::{
+    scan, scan_batched, scan_batched_parallel, scan_per_call_parallel, LineMatcher, ScanOptions,
+};
+use crate::stats::ScanReport;
+
+/// Options controlling a streaming scan.
+#[derive(Clone, Copy, Debug)]
+pub struct StreamOptions {
+    /// Bytes per I/O chunk (peak memory is O(chunk + longest line)).
+    pub chunk_bytes: usize,
+    /// Lines per batch-session chunk, as in [`scan_batched`].
+    pub chunk_lines: usize,
+    /// Worker threads per batch (1 = sequential), as in
+    /// [`scan_batched_parallel`].
+    pub threads: usize,
+    /// Share one batch session per `chunk_lines` lines (cross-line oracle
+    /// deduplication); otherwise every line pays its own oracle calls.
+    pub batched: bool,
+    /// Line and wall-clock limits, as in the in-memory scans.
+    pub scan: ScanOptions,
+}
+
+impl Default for StreamOptions {
+    fn default() -> Self {
+        StreamOptions {
+            chunk_bytes: DEFAULT_STREAM_CHUNK_BYTES,
+            chunk_lines: DEFAULT_CHUNK_LINES,
+            threads: 1,
+            batched: false,
+            scan: ScanOptions::unlimited(),
+        }
+    }
+}
+
+impl StreamOptions {
+    /// Options mirroring how a [`SemRegex`] handle prefers to be scanned:
+    /// its chunk sizes, thread count, and oracle plane.
+    pub fn for_regex(re: &SemRegex) -> StreamOptions {
+        StreamOptions {
+            chunk_bytes: re.stream_chunk_bytes(),
+            chunk_lines: re.chunk_lines(),
+            threads: re.threads(),
+            batched: re.config().batched_oracle,
+            scan: ScanOptions::unlimited(),
+        }
+    }
+}
+
+/// Aggregate statistics of a streaming scan.  Unlike
+/// [`ScanReport`] there are **no per-line records** —
+/// keeping them would make memory grow with the input, defeating the
+/// point of streaming; per-line data flows through the callback instead.
+#[derive(Clone, Debug, Default)]
+pub struct StreamReport {
+    /// Lines processed.
+    pub lines: u64,
+    /// Lines that matched.
+    pub matched_lines: u64,
+    /// Bytes consumed from the reader.
+    pub bytes: u64,
+    /// Whether the wall-clock budget expired before the input ended.
+    pub timed_out: bool,
+    /// Total wall-clock time of the scan.
+    pub total_duration: Duration,
+    /// Accumulated batch-plane statistics (batched scans only).
+    pub batch: BatchStats,
+}
+
+impl StreamReport {
+    /// Mean wall-clock milliseconds per processed line.
+    pub fn rt_total_ms(&self) -> f64 {
+        if self.lines == 0 {
+            0.0
+        } else {
+            self.total_duration.as_secs_f64() * 1e3 / self.lines as f64
+        }
+    }
+
+    /// Throughput in megabytes of input per second.
+    pub fn mb_per_s(&self) -> f64 {
+        let secs = self.total_duration.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.bytes as f64 / 1e6 / secs
+        }
+    }
+
+    fn absorb(&mut self, batch: &ScanReport, matched: u64) {
+        self.lines += batch.records.len() as u64;
+        self.matched_lines += matched;
+        self.batch = self.batch.merged(&batch.batch);
+        self.timed_out |= batch.timed_out;
+    }
+}
+
+/// The per-batch driver shared by membership and span streaming: pulls
+/// line batches off the chunker, applies the line/time limits across
+/// batches, and lets `scan_batch` run one in-memory scan per batch.
+/// `scan_batch`'s third return value is `false` to cancel the stream
+/// (a callback asked to stop, e.g. after a broken output pipe).
+fn drive_stream<R: Read>(
+    reader: R,
+    options: &StreamOptions,
+    mut scan_batch: impl FnMut(&[Vec<u8>], u64, ScanOptions) -> (ScanReport, u64, bool),
+) -> io::Result<StreamReport> {
+    let started = Instant::now();
+    let mut chunks = LineChunks::new(reader, options.chunk_bytes);
+    let mut report = StreamReport::default();
+    while let Some(mut batch) = chunks.next_batch()? {
+        if let Some(max) = options.scan.max_lines {
+            let remaining = max.saturating_sub(report.lines as usize);
+            if remaining == 0 {
+                break;
+            }
+            batch.truncate(remaining);
+        }
+        let budget = options.scan.time_budget.map(|b| {
+            let remaining = b.saturating_sub(started.elapsed());
+            if remaining.is_zero() {
+                report.timed_out = true;
+            }
+            remaining
+        });
+        if report.timed_out {
+            break;
+        }
+        let scan_options = ScanOptions {
+            max_lines: None,
+            time_budget: budget,
+        };
+        let (batch_report, matched, keep_going) = scan_batch(&batch, report.lines, scan_options);
+        report.absorb(&batch_report, matched);
+        if report.timed_out || !keep_going {
+            break;
+        }
+    }
+    report.bytes = chunks.bytes_read();
+    report.total_duration = started.elapsed();
+    Ok(report)
+}
+
+/// Streams `reader` through `matcher` in membership mode, invoking
+/// `on_line(index, line, matched)` for every processed line, in input
+/// order.  Verdicts are identical to the in-memory scans for any chunk
+/// size and thread count.  The callback returns whether to continue:
+/// `false` cancels the scan after at most the current batch (used by the
+/// CLI to stop matching — and paying oracle calls — once its output pipe
+/// breaks).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the reader; lines scanned before the error
+/// have already been delivered to the callback.
+pub fn scan_stream<M, R, F>(
+    matcher: &M,
+    reader: R,
+    options: &StreamOptions,
+    mut on_line: F,
+) -> io::Result<StreamReport>
+where
+    M: LineMatcher + ?Sized,
+    R: Read,
+    F: FnMut(u64, &[u8], bool) -> bool,
+{
+    drive_stream(reader, options, |batch, lines_done, scan_options| {
+        let report = if options.threads > 1 {
+            if options.batched {
+                scan_batched_parallel(
+                    matcher,
+                    batch,
+                    options.chunk_lines,
+                    options.threads,
+                    scan_options,
+                )
+            } else {
+                scan_per_call_parallel(
+                    matcher,
+                    batch,
+                    options.chunk_lines,
+                    options.threads,
+                    scan_options,
+                )
+            }
+        } else if options.batched {
+            scan_batched(matcher, batch, options.chunk_lines, scan_options)
+        } else {
+            scan(matcher, batch, OracleStats::default, scan_options)
+        };
+        let mut matched = 0;
+        let mut keep_going = true;
+        for record in &report.records {
+            if record.matched {
+                matched += 1;
+            }
+            if !on_line(
+                lines_done + record.index as u64,
+                &batch[record.index],
+                record.matched,
+            ) {
+                keep_going = false;
+                break;
+            }
+        }
+        (report, matched, keep_going)
+    })
+}
+
+/// Streams `reader` through `re` in span-search mode, invoking
+/// `on_line(index, line, spans)` for every processed line with its
+/// non-overlapping leftmost-earliest spans (empty = no match).  With
+/// `first_span_only` each line's search stops at its first span.  As in
+/// [`scan_stream`], the callback returns whether to continue.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the reader.
+pub fn scan_stream_spans<R, F>(
+    re: &SemRegex,
+    reader: R,
+    options: &StreamOptions,
+    first_span_only: bool,
+    mut on_line: F,
+) -> io::Result<StreamReport>
+where
+    R: Read,
+    F: FnMut(u64, &[u8], &[(usize, usize)]) -> bool,
+{
+    drive_stream(reader, options, |batch, lines_done, scan_options| {
+        let (report, spans) = if options.threads > 1 {
+            crate::engine::scan_spans_parallel(
+                re,
+                batch,
+                options.chunk_lines,
+                options.threads,
+                scan_options,
+                first_span_only,
+            )
+        } else {
+            crate::engine::scan_spans(
+                re,
+                batch,
+                options.chunk_lines,
+                scan_options,
+                first_span_only,
+            )
+        };
+        let mut matched = 0;
+        let mut keep_going = true;
+        for record in &report.records {
+            if record.matched {
+                matched += 1;
+            }
+            if !on_line(
+                lines_done + record.index as u64,
+                &batch[record.index],
+                &spans[record.index],
+            ) {
+                keep_going = false;
+                break;
+            }
+        }
+        (report, matched, keep_going)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::scan_spans;
+    use semre::SimLlmOracle;
+
+    fn regex() -> SemRegex {
+        SemRegex::new(
+            r"Subject: .*(?<Medicine name>: [a-z]+).*",
+            SimLlmOracle::new(),
+        )
+        .unwrap()
+    }
+
+    fn corpus() -> String {
+        let mut text = String::new();
+        for i in 0..40 {
+            match i % 4 {
+                0 => text.push_str("Subject: cheap viagra now\n"),
+                1 => text.push_str("Subject: weekly report attached\n"),
+                2 => text.push_str("nothing to see here\n"),
+                _ => text.push_str("Subject: more tramadol deals\n"),
+            }
+        }
+        text
+    }
+
+    #[test]
+    fn streaming_verdicts_match_in_memory_for_any_chunking() {
+        let re = regex();
+        let text = corpus();
+        let lines: Vec<&str> = text.lines().collect();
+        let expected: Vec<bool> = lines.iter().map(|l| re.is_match(l.as_bytes())).collect();
+        for chunk_bytes in [1, 7, 26, 64, 1 << 16] {
+            for threads in [1, 4] {
+                for batched in [false, true] {
+                    let options = StreamOptions {
+                        chunk_bytes,
+                        chunk_lines: 8,
+                        threads,
+                        batched,
+                        scan: ScanOptions::unlimited(),
+                    };
+                    let mut got = Vec::new();
+                    let report = scan_stream(&re, text.as_bytes(), &options, |i, line, m| {
+                        assert_eq!(line, lines[i as usize].as_bytes());
+                        got.push(m);
+                        true
+                    })
+                    .unwrap();
+                    assert_eq!(got, expected, "chunk={chunk_bytes} threads={threads}");
+                    assert_eq!(report.lines, lines.len() as u64);
+                    assert_eq!(
+                        report.matched_lines,
+                        expected.iter().filter(|&&m| m).count() as u64
+                    );
+                    assert_eq!(report.bytes, text.len() as u64);
+                    assert!(!report.timed_out);
+                    if batched {
+                        assert!(report.batch.keys_submitted > 0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_spans_match_in_memory() {
+        let re = SemRegex::new(r"(?<Medicine name>: [a-z]+)", SimLlmOracle::new()).unwrap();
+        let text = "take tramadol or ambien daily\nnothing here\nviagra viagra viagra\n";
+        let lines: Vec<&str> = text.lines().collect();
+        let (_, expected) = scan_spans(&re, &lines, 2, ScanOptions::unlimited(), false);
+        for chunk_bytes in [3, 17, 4096] {
+            for threads in [1, 4] {
+                let options = StreamOptions {
+                    chunk_bytes,
+                    chunk_lines: 2,
+                    threads,
+                    batched: true,
+                    scan: ScanOptions::unlimited(),
+                };
+                let mut got: Vec<Vec<(usize, usize)>> = Vec::new();
+                scan_stream_spans(&re, text.as_bytes(), &options, false, |_, _, spans| {
+                    got.push(spans.to_vec());
+                    true
+                })
+                .unwrap();
+                assert_eq!(got, expected, "chunk={chunk_bytes} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn limits_apply_across_batches() {
+        let re = regex();
+        let text = corpus();
+        let limited = StreamOptions {
+            chunk_bytes: 16,
+            scan: ScanOptions {
+                max_lines: Some(5),
+                time_budget: None,
+            },
+            ..StreamOptions::default()
+        };
+        let mut seen = 0;
+        let report = scan_stream(&re, text.as_bytes(), &limited, |_, _, _| {
+            seen += 1;
+            true
+        })
+        .unwrap();
+        assert_eq!(seen, 5);
+        assert_eq!(report.lines, 5);
+        assert!(!report.timed_out);
+
+        let exhausted = StreamOptions {
+            scan: ScanOptions::with_time_budget(Duration::ZERO),
+            ..StreamOptions::default()
+        };
+        let report = scan_stream(&re, text.as_bytes(), &exhausted, |_, _, _| {
+            panic!("no lines when the budget is zero")
+        })
+        .unwrap();
+        assert_eq!(report.lines, 0);
+        assert!(report.timed_out);
+    }
+
+    #[test]
+    fn callback_cancellation_stops_the_stream() {
+        let re = regex();
+        let text = corpus();
+        let total = text.lines().count() as u64;
+        let options = StreamOptions {
+            chunk_bytes: 16,
+            ..StreamOptions::default()
+        };
+        let mut seen = 0u64;
+        let report = scan_stream(&re, text.as_bytes(), &options, |_, _, _| {
+            seen += 1;
+            seen < 3
+        })
+        .unwrap();
+        assert_eq!(seen, 3);
+        assert!(
+            report.lines < total,
+            "cancelled scan still processed all {total} lines"
+        );
+    }
+
+    #[test]
+    fn empty_and_newline_free_inputs() {
+        let re = regex();
+        let report = scan_stream(&re, &b""[..], &StreamOptions::default(), |_, _, _| {
+            panic!("no lines in empty input")
+        })
+        .unwrap();
+        assert_eq!(report.lines, 0);
+        assert_eq!(report.rt_total_ms(), 0.0);
+
+        let mut got = Vec::new();
+        let report = scan_stream(
+            &re,
+            &b"Subject: cheap viagra now"[..],
+            &StreamOptions {
+                chunk_bytes: 4,
+                ..StreamOptions::default()
+            },
+            |_, line, m| {
+                got.push((line.to_vec(), m));
+                true
+            },
+        )
+        .unwrap();
+        assert_eq!(report.lines, 1);
+        assert_eq!(got.len(), 1);
+        assert!(got[0].1, "missing final newline must not lose the line");
+        assert!(report.mb_per_s() >= 0.0);
+    }
+
+    #[test]
+    fn options_for_regex_mirror_the_handle() {
+        let re = semre::SemRegexBuilder::new()
+            .threads(3)
+            .chunk_lines(17)
+            .stream_chunk_bytes(123)
+            .build("a+", semre::PalindromeOracle)
+            .unwrap();
+        let options = StreamOptions::for_regex(&re);
+        assert_eq!(options.threads, 3);
+        assert_eq!(options.chunk_lines, 17);
+        assert_eq!(options.chunk_bytes, 123);
+        assert!(options.batched);
+    }
+}

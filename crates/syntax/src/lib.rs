@@ -16,6 +16,8 @@
 //!   (`Display`);
 //! * [`skeleton`] / [`eliminate_bot`] — the structural transformations the
 //!   matching algorithm relies on;
+//! * [`LiteralSet`] / [`literal_min_len`] — the required-literal analysis
+//!   feeding the prescan layer in `semre-automata`;
 //! * [`examples`] — the paper's nine benchmark SemREs and worked examples.
 //!
 //! # Example
@@ -44,10 +46,12 @@ mod ast;
 mod charclass;
 mod display;
 pub mod examples;
+mod literal;
 mod parser;
 mod skeleton;
 
 pub use ast::{QueryName, Semre};
 pub use charclass::{Bytes, CharClass};
+pub use literal::{literal_min_len, LiteralSet};
 pub use parser::{parse, ParseSemreError};
 pub use skeleton::{eliminate_bot, skeleton};

@@ -1,0 +1,444 @@
+//! Required-literal extraction: the `LiteralSet` analysis.
+//!
+//! A [`LiteralSet`] for a SemRE `r` is a small set of byte strings such
+//! that **every** word of `⟦skel(r)⟧` — and therefore, since
+//! `⟦r⟧ ⊆ ⟦skel(r)⟧`, every word of `⟦r⟧` — contains at least one of them
+//! as a contiguous substring.  The prescan layer in `semre-automata`
+//! compiles such a set into a SWAR multi-literal searcher and skips the
+//! skeleton DFA (let alone the oracle machinery) on every line that
+//! contains none of the required literals.
+//!
+//! The analysis is a single bottom-up pass over the AST.  Alongside the
+//! requirement set it tracks, where feasible, the *exact* (finite, small)
+//! language of a subexpression, which is what lets multi-byte literals
+//! like `"Subject: "` or `"https://"` be assembled across concatenations
+//! and alternations.  All sets are capped; when a cap is exceeded the
+//! analysis degrades to "no requirement known", which is always sound —
+//! an empty [`LiteralSet`] simply filters nothing.
+//!
+//! # Examples
+//!
+//! ```
+//! use semre_syntax::{parse, LiteralSet};
+//!
+//! let r = parse(r"Subject: .*(?<Medicine name>: [a-z]+).*").unwrap();
+//! let lits = LiteralSet::required(&r);
+//! assert_eq!(lits.alts(), [b"Subject: ".to_vec()]);
+//!
+//! // Every matching line must contain one of the required literals.
+//! assert!(lits.could_match(b"fwd: Subject: cheap tramadol"));
+//! assert!(!lits.could_match(b"no mail header here"));
+//!
+//! // Nullable patterns admit the empty word, so nothing is required.
+//! assert!(LiteralSet::required(&parse("(abc)*").unwrap()).is_empty());
+//! ```
+
+use crate::ast::Semre;
+
+/// Maximum alternatives in a final requirement set.  More alternatives
+/// than this would make the prescan slower than the DFA it guards.
+const MAX_ALTS: usize = 8;
+/// Maximum strings tracked in an *exact* language set during the pass.
+const MAX_EXACT: usize = 16;
+/// Maximum length of any tracked literal.
+const MAX_LIT_LEN: usize = 24;
+/// Character classes wider than this stop being enumerated as literals.
+const MAX_CLASS_BYTES: usize = 4;
+
+/// A set of literals of which every matching word must contain at least
+/// one.  An empty set means "no requirement known" and filters nothing.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LiteralSet {
+    alts: Vec<Vec<u8>>,
+}
+
+impl LiteralSet {
+    /// The empty (non-filtering) set.
+    pub fn none() -> LiteralSet {
+        LiteralSet::default()
+    }
+
+    /// Extracts required literals from `r` (via its skeleton semantics:
+    /// oracle refinements only shrink the language, so a literal required
+    /// by `skel(r)` is required by `r`).
+    pub fn required(r: &Semre) -> LiteralSet {
+        let facts = analyze(r);
+        let alts = match required_of(&facts) {
+            Some(alts) if !alts.is_empty() => reduce(alts),
+            _ => Vec::new(),
+        };
+        LiteralSet { alts }
+    }
+
+    /// The literal alternatives.  Never contains an empty string.
+    pub fn alts(&self) -> &[Vec<u8>] {
+        &self.alts
+    }
+
+    /// Whether no requirement is known (the set filters nothing).
+    pub fn is_empty(&self) -> bool {
+        self.alts.is_empty()
+    }
+
+    /// Length of the shortest required literal, or 0 when the set is
+    /// empty.
+    pub fn min_len(&self) -> usize {
+        self.alts.iter().map(Vec::len).min().unwrap_or(0)
+    }
+
+    /// Reference implementation of the prescan question: does `haystack`
+    /// contain one of the required literals (vacuously true when the set
+    /// is empty)?  The production path uses the SWAR searcher in
+    /// `semre-automata`; this naive scan exists for tests and tools.
+    pub fn could_match(&self, haystack: &[u8]) -> bool {
+        self.is_empty()
+            || self
+                .alts
+                .iter()
+                .any(|lit| haystack.windows(lit.len()).any(|w| w == &lit[..]))
+    }
+}
+
+/// The shortest length of any word of `⟦skel(r)⟧` — inputs shorter than
+/// this cannot match.  `⊥` (the empty language) reports a huge sentinel;
+/// callers only compare input lengths against the result.
+///
+/// ```
+/// use semre_syntax::{literal_min_len, parse};
+///
+/// assert_eq!(literal_min_len(&parse("abc(de)?").unwrap()), 3);
+/// assert_eq!(literal_min_len(&parse("x*").unwrap()), 0);
+/// ```
+pub fn literal_min_len(r: &Semre) -> usize {
+    match r {
+        Semre::Bot => usize::MAX / 2,
+        Semre::Eps => 0,
+        Semre::Class(_) => 1,
+        Semre::Union(a, b) => literal_min_len(a).min(literal_min_len(b)),
+        Semre::Concat(a, b) => literal_min_len(a).saturating_add(literal_min_len(b)),
+        Semre::Star(_) => 0,
+        Semre::Query(a, _) => literal_min_len(a),
+    }
+}
+
+/// Per-node facts of the bottom-up pass.
+#[derive(Clone, Debug)]
+struct Facts {
+    /// `Some(set)`: the skeleton language of the node is *exactly* this
+    /// finite set of strings (all within the caps).
+    exact: Option<Vec<Vec<u8>>>,
+    /// Strings of which every match contains at least one; empty when no
+    /// requirement is known.
+    req: Vec<Vec<u8>>,
+}
+
+impl Facts {
+    fn unknown() -> Facts {
+        Facts {
+            exact: None,
+            req: Vec::new(),
+        }
+    }
+}
+
+fn analyze(r: &Semre) -> Facts {
+    match r {
+        // ⊥ never matches; claiming nothing is sound and keeps the
+        // downstream prescan from having to model the empty language.
+        Semre::Bot => Facts::unknown(),
+        Semre::Eps => Facts {
+            exact: Some(vec![Vec::new()]),
+            req: Vec::new(),
+        },
+        Semre::Class(c) => {
+            let n = c.len();
+            if n > 0 && n <= MAX_CLASS_BYTES {
+                let bytes: Vec<Vec<u8>> = c.iter().map(|b| vec![b]).collect();
+                Facts {
+                    exact: Some(bytes.clone()),
+                    req: bytes,
+                }
+            } else {
+                Facts::unknown()
+            }
+        }
+        Semre::Union(a, b) => {
+            let fa = analyze(a);
+            let fb = analyze(b);
+            let exact = match (&fa.exact, &fb.exact) {
+                (Some(x), Some(y)) if x.len() + y.len() <= MAX_EXACT => {
+                    let mut all = x.clone();
+                    all.extend(y.iter().cloned());
+                    all.dedup();
+                    Some(all)
+                }
+                _ => None,
+            };
+            // A literal is required by the union only when each branch
+            // has its own requirement: the combined set covers both.
+            let req = match (required_of(&fa), required_of(&fb)) {
+                (Some(x), Some(y)) => {
+                    let mut all = x;
+                    all.extend(y);
+                    all.sort();
+                    all.dedup();
+                    if all.len() <= MAX_ALTS {
+                        all
+                    } else {
+                        Vec::new()
+                    }
+                }
+                _ => Vec::new(),
+            };
+            Facts { exact, req }
+        }
+        Semre::Concat(..) => {
+            // The parser left-nests concatenation, so treat the whole
+            // chain as a sequence: every match factors as w₁·w₂·…·wₙ,
+            // and a requirement of any factor — or any literal assembled
+            // from a *run* of adjacent exact factors — carries over.
+            let mut factors: Vec<&Semre> = Vec::new();
+            flatten_concat(r, &mut factors);
+            let facts: Vec<Facts> = factors.iter().map(|f| analyze(f)).collect();
+
+            let mut exact: Option<Vec<Vec<u8>>> = Some(vec![Vec::new()]);
+            for f in &facts {
+                exact = product(exact.as_deref(), f.exact.as_deref());
+            }
+
+            let mut best: Option<Vec<Vec<u8>>> = None;
+            let consider = |candidate: Option<Vec<Vec<u8>>>, best: &mut Option<Vec<Vec<u8>>>| {
+                if let Some(cand) = candidate.and_then(usable_requirement) {
+                    match best {
+                        Some(b) if !better(&cand, b) => {}
+                        _ => *best = Some(cand),
+                    }
+                }
+            };
+            // Maximal runs of adjacent exact factors, assembled by cross
+            // product; a non-exact factor (or a cap overflow) closes the
+            // current run.
+            let mut run: Vec<Vec<u8>> = vec![Vec::new()];
+            for f in &facts {
+                match &f.exact {
+                    Some(e) => match product(Some(&run), Some(e)) {
+                        Some(p) => run = p,
+                        None => {
+                            consider(Some(std::mem::replace(&mut run, e.clone())), &mut best);
+                        }
+                    },
+                    None => {
+                        consider(Some(std::mem::take(&mut run)), &mut best);
+                        run = vec![Vec::new()];
+                        consider(required_of(f), &mut best);
+                    }
+                }
+            }
+            consider(Some(run), &mut best);
+
+            Facts {
+                exact,
+                req: best.unwrap_or_default(),
+            }
+        }
+        // Zero iterations are allowed, so nothing is required; the exact
+        // language is almost never small enough to track.
+        Semre::Star(_) => Facts::unknown(),
+        // ⟦r ∧ ⟨q⟩⟧ ⊆ ⟦r⟧: everything required of `r` stays required.
+        Semre::Query(a, _) => analyze(a),
+    }
+}
+
+/// Flattens a (left- or right-nested) concatenation chain into its
+/// factors, in order.
+fn flatten_concat<'r>(r: &'r Semre, out: &mut Vec<&'r Semre>) {
+    match r {
+        Semre::Concat(a, b) => {
+            flatten_concat(a, out);
+            flatten_concat(b, out);
+        }
+        other => out.push(other),
+    }
+}
+
+/// Cross product of two exact sets, `None` when either side is unknown
+/// or a cap (count, literal length) is exceeded.
+fn product(a: Option<&[Vec<u8>]>, b: Option<&[Vec<u8>]>) -> Option<Vec<Vec<u8>>> {
+    let (a, b) = (a?, b?);
+    if a.len().checked_mul(b.len())? > MAX_EXACT {
+        return None;
+    }
+    let mut all = Vec::with_capacity(a.len() * b.len());
+    for wa in a {
+        for wb in b {
+            if wa.len() + wb.len() > MAX_LIT_LEN {
+                return None;
+            }
+            let mut w = wa.clone();
+            w.extend_from_slice(wb);
+            all.push(w);
+        }
+    }
+    all.dedup();
+    Some(all)
+}
+
+/// Validates a raw candidate set as a usable requirement: non-empty, at
+/// most [`MAX_ALTS`] alternatives, and no empty string (which would make
+/// the requirement vacuous).
+fn usable_requirement(set: Vec<Vec<u8>>) -> Option<Vec<Vec<u8>>> {
+    if set.is_empty() || set.len() > MAX_ALTS || set.iter().any(Vec::is_empty) {
+        None
+    } else {
+        Some(set)
+    }
+}
+
+/// The usable requirement set of a node: its `req` when present,
+/// otherwise its exact language (every match *is* — hence contains — one
+/// of the strings).
+fn required_of(facts: &Facts) -> Option<Vec<Vec<u8>>> {
+    let set = if !facts.req.is_empty() {
+        facts.req.clone()
+    } else {
+        facts.exact.clone()?
+    };
+    usable_requirement(set)
+}
+
+/// Whether requirement set `x` filters better than `y`: a longer
+/// shortest literal wins (SWAR verification gets cheaper and false
+/// positives rarer); ties go to the smaller set.
+fn better(x: &[Vec<u8>], y: &[Vec<u8>]) -> bool {
+    let min_x = x.iter().map(Vec::len).min().unwrap_or(0);
+    let min_y = y.iter().map(Vec::len).min().unwrap_or(0);
+    min_x > min_y || (min_x == min_y && x.len() < y.len())
+}
+
+/// Final clean-up: drop any literal that contains another one of the set
+/// as a substring (containing the superstring implies containing the
+/// substring, so the smaller set is an equivalent requirement).
+fn reduce(mut alts: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+    alts.sort();
+    alts.dedup();
+    let keep: Vec<bool> = alts
+        .iter()
+        .map(|a| {
+            !alts
+                .iter()
+                .any(|b| b.len() < a.len() && a.windows(b.len()).any(|w| w == &b[..]))
+        })
+        .collect();
+    let mut it = keep.iter();
+    alts.retain(|_| *it.next().unwrap());
+    alts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples;
+    use crate::parser::parse;
+    use crate::skeleton::skeleton;
+
+    fn req(pattern: &str) -> Vec<Vec<u8>> {
+        LiteralSet::required(&parse(pattern).unwrap())
+            .alts()
+            .to_vec()
+    }
+
+    fn lits(strings: &[&str]) -> Vec<Vec<u8>> {
+        strings.iter().map(|s| s.as_bytes().to_vec()).collect()
+    }
+
+    #[test]
+    fn literals_survive_padding_and_queries() {
+        assert_eq!(req("abc"), lits(&["abc"]));
+        assert_eq!(req(".*abc.*"), lits(&["abc"]));
+        assert_eq!(
+            req("Subject: .*(?<Medicine name>: [a-z]+).*"),
+            lits(&["Subject: "])
+        );
+    }
+
+    #[test]
+    fn alternations_combine_branch_requirements() {
+        let mut got = req("(http(s)?://|www[.])x");
+        got.sort();
+        // The union's exact language stays small enough for the trailing
+        // `x` to be folded into every alternative.
+        assert_eq!(got, lits(&["http://x", "https://x", "www.x"]));
+        // After a `.*` the union's own branch requirements still combine.
+        let mut padded = req(".*(http(s)?://|www[.])[a-z]+");
+        padded.sort();
+        assert_eq!(padded, lits(&["http://", "https://", "www."]));
+        // One branch without a requirement poisons the union.
+        assert_eq!(req("(abc|[a-z]+)"), Vec::<Vec<u8>>::new());
+    }
+
+    #[test]
+    fn nullable_patterns_require_nothing() {
+        assert!(req("(abc)*").is_empty());
+        assert!(req("(abc)?").is_empty());
+        assert_eq!(req("(abc)+"), lits(&["abc"]));
+    }
+
+    #[test]
+    fn small_classes_enumerate_large_ones_do_not() {
+        let mut got = req("[Tt]rue");
+        got.sort();
+        assert_eq!(got, lits(&["True", "true"]));
+        assert!(req("[a-z]+").is_empty());
+        // Concatenation picks the literal factor next to a wide class.
+        assert_eq!(req("[a-z]+@[a-z]+"), lits(&["@"]));
+    }
+
+    #[test]
+    fn superstrings_are_reduced_away() {
+        let reduced = reduce(lits(&["abc", "ab", "xyz"]));
+        assert_eq!(reduced, lits(&["ab", "xyz"]));
+    }
+
+    #[test]
+    fn min_len_analysis() {
+        assert_eq!(literal_min_len(&parse("abc(de)?").unwrap()), 3);
+        assert_eq!(literal_min_len(&parse("a|bc").unwrap()), 1);
+        assert_eq!(literal_min_len(&parse(".*").unwrap()), 0);
+        // "Subject: " is 9 bytes and the refined `.+` adds one more.
+        assert_eq!(
+            literal_min_len(&parse("Subject: .*(?<q>: .+).*").unwrap()),
+            10,
+        );
+        assert!(literal_min_len(&Semre::Bot) > 1_000_000);
+    }
+
+    #[test]
+    fn requirement_is_sound_on_benchmark_skeletons() {
+        // Every literal-bearing benchmark skeleton: brute-force check on
+        // sample members that the requirement really is required.
+        for (name, r) in examples::table1_semres() {
+            let padded = Semre::padded(r);
+            let set = LiteralSet::required(&skeleton(&padded));
+            for alt in set.alts() {
+                assert!(!alt.is_empty(), "{name}: empty literal extracted");
+                assert!(alt.len() <= MAX_LIT_LEN);
+            }
+        }
+        // Spot-check spam,1: "Subject: " is required.
+        let spam = Semre::padded(examples::r_spam1());
+        let set = LiteralSet::required(&skeleton(&spam));
+        assert_eq!(set.alts(), lits(&["Subject: "]));
+        assert_eq!(set.min_len(), 9);
+        assert!(set.could_match(b"xx Subject: hello"));
+        assert!(!set.could_match(b"Subject hello"));
+    }
+
+    #[test]
+    fn empty_set_filters_nothing() {
+        let none = LiteralSet::none();
+        assert!(none.is_empty());
+        assert_eq!(none.min_len(), 0);
+        assert!(none.could_match(b"anything"));
+        assert!(none.could_match(b""));
+    }
+}

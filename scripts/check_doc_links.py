@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Check relative links and intra-document anchors in Markdown files.
+
+Usage: check_doc_links.py FILE.md [FILE.md ...]
+
+For every inline link `[text](target)` in the given files:
+
+* external links (http/https/mailto) are ignored;
+* a relative path must exist on disk (resolved against the linking
+  file's directory);
+* a `#anchor` (alone or after a path to another checked-in .md file)
+  must correspond to a heading in the target document, using GitHub's
+  slugification (lowercase, punctuation stripped, spaces to hyphens).
+
+Exits non-zero listing every broken link, so CI can gate on it.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug of a heading."""
+    heading = re.sub(r"`([^`]*)`", r"\1", heading).strip().lower()
+    heading = re.sub(r"[^\w\- ]", "", heading, flags=re.UNICODE)
+    return heading.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set:
+    text = CODE_FENCE.sub("", path.read_text(encoding="utf-8"))
+    slugs = set()
+    counts = {}
+    for match in HEADING.finditer(text):
+        slug = slugify(match.group(1))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def check_file(path: Path) -> list:
+    errors = []
+    text = CODE_FENCE.sub("", path.read_text(encoding="utf-8"))
+    for match in LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        raw_path, _, anchor = target.partition("#")
+        if raw_path:
+            resolved = (path.parent / raw_path).resolve()
+            if not resolved.exists():
+                errors.append(f"{path}: broken link {target!r} (no such file)")
+                continue
+        else:
+            resolved = path.resolve()
+        if anchor:
+            if resolved.suffix.lower() != ".md":
+                continue  # anchors into non-markdown files are not checked
+            if anchor not in anchors_of(resolved):
+                errors.append(
+                    f"{path}: broken anchor {target!r} (no heading "
+                    f"#{anchor} in {resolved.name})"
+                )
+    return errors
+
+
+def main(argv: list) -> int:
+    if not argv:
+        print(__doc__)
+        return 2
+    errors = []
+    for name in argv:
+        path = Path(name)
+        if not path.exists():
+            errors.append(f"{name}: file not found")
+            continue
+        errors.extend(check_file(path))
+    for error in errors:
+        print(error, file=sys.stderr)
+    if errors:
+        print(f"{len(errors)} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"checked {len(argv)} file(s): all relative links and anchors resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

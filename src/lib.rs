@@ -39,7 +39,11 @@
 //!
 //! Non-default configurations go through [`SemRegexBuilder`] (per-call vs
 //! batched oracle plane, the dynamic-programming baseline, scan chunk
-//! size), and every fallible facade call returns the unified [`Error`].
+//! sizes, the literal prescan), and every fallible facade call returns the
+//! unified [`Error`].  Large inputs stream without being materialized:
+//! [`SemRegex::scan_reader`] (and the [`stream`] module it builds on)
+//! decides membership line by line from chunked reads, with peak memory
+//! bounded by the chunk size plus the longest line.
 //!
 //! ## Internals
 //!
@@ -71,10 +75,14 @@
 mod error;
 mod regex;
 mod spec;
+pub mod stream;
 
 pub use error::Error;
-pub use regex::{Match, Matches, SemRegex, SemRegexBuilder, DEFAULT_CHUNK_LINES};
+pub use regex::{
+    Match, Matches, SemRegex, SemRegexBuilder, DEFAULT_CHUNK_LINES, DEFAULT_STREAM_CHUNK_BYTES,
+};
 pub use spec::{parse_set_oracle, OracleSpec};
+pub use stream::{LineChunks, LineVerdict, ScanReader};
 
 pub use semre_automata as automata;
 pub use semre_core as core;

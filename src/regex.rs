@@ -28,6 +28,10 @@ use crate::Error;
 /// Default number of lines per batch-session chunk for scanning tools.
 pub const DEFAULT_CHUNK_LINES: usize = 256;
 
+/// Default number of bytes per I/O chunk for streaming scans
+/// ([`SemRegex::scan_reader`], `grepo --stream`).
+pub const DEFAULT_STREAM_CHUNK_BYTES: usize = 64 * 1024;
+
 /// A compiled semantic regular expression bound to an oracle.
 ///
 /// Built with [`SemRegex::new`] or a [`SemRegexBuilder`]; cheap to clone
@@ -56,6 +60,7 @@ pub struct SemRegex {
     config: MatcherConfig,
     chunk_lines: usize,
     threads: usize,
+    stream_chunk_bytes: usize,
 }
 
 #[derive(Clone)]
@@ -131,6 +136,12 @@ impl SemRegex {
     /// sequential.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The preferred I/O chunk size in bytes for streaming scans (see
+    /// [`SemRegexBuilder::stream_chunk_bytes`]).
+    pub fn stream_chunk_bytes(&self) -> usize {
+        self.stream_chunk_bytes
     }
 
     /// Whether the whole `haystack` belongs to `⟦r⟧`.
@@ -292,6 +303,7 @@ pub struct SemRegexBuilder {
     baseline: bool,
     chunk_lines: usize,
     threads: usize,
+    stream_chunk_bytes: usize,
 }
 
 impl Default for SemRegexBuilder {
@@ -301,6 +313,7 @@ impl Default for SemRegexBuilder {
             baseline: false,
             chunk_lines: DEFAULT_CHUNK_LINES,
             threads: 1,
+            stream_chunk_bytes: DEFAULT_STREAM_CHUNK_BYTES,
         }
     }
 }
@@ -332,6 +345,15 @@ impl SemRegexBuilder {
         self.batched(false)
     }
 
+    /// Enables or disables the literal prescan (`true`, the default): the
+    /// length / first-byte / required-literal screens run in front of the
+    /// skeleton DFA and skip all matching work on lines that cannot
+    /// contain a match.  Verdicts are identical either way.
+    pub fn prescan(mut self, prescan: bool) -> Self {
+        self.config.literal_prescan = prescan;
+        self
+    }
+
     /// Uses the dynamic-programming baseline (the SMORE-style `O(|r||w|³)`
     /// algorithm) instead of the query-graph matcher.
     pub fn dp_baseline(mut self, baseline: bool) -> Self {
@@ -353,6 +375,17 @@ impl SemRegexBuilder {
     /// output are identical to a sequential scan.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Preferred I/O chunk size in bytes for streaming scans built on this
+    /// handle (clamped to at least 1; `grepo --stream-chunk-bytes`
+    /// overrides it).  Smaller chunks bound memory more tightly; larger
+    /// chunks amortize read calls.  Lines longer than a chunk are handled
+    /// correctly regardless — the chunker grows its carry buffer until a
+    /// newline arrives.
+    pub fn stream_chunk_bytes(mut self, bytes: usize) -> Self {
+        self.stream_chunk_bytes = bytes.max(1);
         self
     }
 
@@ -426,6 +459,7 @@ impl SemRegexBuilder {
             config: self.config,
             chunk_lines: self.chunk_lines,
             threads: self.threads,
+            stream_chunk_bytes: self.stream_chunk_bytes,
         })
     }
 }

@@ -1,0 +1,340 @@
+//! Streaming (chunked I/O) scanning: decide membership line by line
+//! without ever materializing the whole input.
+//!
+//! [`LineChunks`] reads any [`Read`] source in fixed-size chunks and
+//! reassembles complete lines across chunk boundaries: a line that
+//! straddles two reads is carried over, a line longer than the chunk size
+//! grows the carry buffer until its newline arrives, and a final line
+//! without a trailing newline is still delivered.  Line splitting matches
+//! `str::lines` — terminators are `\n` with an optional preceding `\r`,
+//! both stripped — so verdicts and printed output are byte-identical to
+//! an in-memory scan of the same text.
+//!
+//! [`SemRegex::scan_reader`] builds on it: an iterator of per-line
+//! [`LineVerdict`]s whose peak memory is bounded by the chunk size plus
+//! the longest line, independent of the input length.  The heavier
+//! streaming machinery (parallel chunk scanning, aggregate reports, span
+//! mode) lives in `semre_grep::stream`, which reuses [`LineChunks`].
+//!
+//! # Examples
+//!
+//! ```
+//! use semre::{SemRegex, SimLlmOracle};
+//!
+//! let re = SemRegex::new(r"Subject: .*(?<Medicine name>: [a-z]+).*",
+//!                        SimLlmOracle::new())?;
+//! let mail = "Subject: cheap tramadol\nSubject: team lunch\n";
+//! let matched: Vec<String> = re
+//!     .scan_reader(mail.as_bytes())
+//!     .filter_map(|v| {
+//!         let v = v.expect("in-memory read cannot fail");
+//!         v.matched.then(|| String::from_utf8_lossy(&v.bytes).into_owned())
+//!     })
+//!     .collect();
+//! assert_eq!(matched, ["Subject: cheap tramadol"]);
+//! # Ok::<(), semre::Error>(())
+//! ```
+
+use std::collections::VecDeque;
+use std::io::{self, Read};
+
+use crate::regex::SemRegex;
+
+/// Reads a byte stream in fixed-size chunks and yields batches of
+/// complete lines, handling lines that straddle (or exceed) a chunk.
+///
+/// ```
+/// use semre::stream::LineChunks;
+///
+/// // A 4-byte chunk size forces every line to straddle a boundary.
+/// let mut chunks = LineChunks::new("alpha\nbeta\rgamma\r\nd".as_bytes(), 4);
+/// let mut lines: Vec<Vec<u8>> = Vec::new();
+/// while let Some(batch) = chunks.next_batch().unwrap() {
+///     lines.extend(batch);
+/// }
+/// // `\r` only counts as part of a terminator directly before `\n`.
+/// assert_eq!(lines, [&b"alpha"[..], b"beta\rgamma", b"d"]);
+/// ```
+#[derive(Debug)]
+pub struct LineChunks<R> {
+    reader: R,
+    /// Reusable read buffer of the configured chunk size.
+    buf: Vec<u8>,
+    /// Bytes read but not yet returned as complete lines.
+    carry: Vec<u8>,
+    bytes_read: u64,
+    eof: bool,
+}
+
+impl<R: Read> LineChunks<R> {
+    /// Wraps `reader`, reading `chunk_bytes` (clamped to at least 1)
+    /// bytes per underlying read call.
+    pub fn new(reader: R, chunk_bytes: usize) -> LineChunks<R> {
+        LineChunks {
+            reader,
+            buf: vec![0u8; chunk_bytes.max(1)],
+            carry: Vec::new(),
+            bytes_read: 0,
+            eof: false,
+        }
+    }
+
+    /// Total bytes consumed from the reader so far.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    /// The next batch of complete lines (terminators stripped), or
+    /// `None` at end of input.  Reads more than one chunk only when a
+    /// single line is longer than the chunk size.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying reader.
+    pub fn next_batch(&mut self) -> io::Result<Option<Vec<Vec<u8>>>> {
+        loop {
+            if self.eof {
+                if self.carry.is_empty() {
+                    return Ok(None);
+                }
+                // Final line without a trailing newline: delivered as is —
+                // `str::lines` only strips `\r` as part of a `\r\n`
+                // terminator, and there is no terminator here (the carry
+                // never contains a `\n`).
+                return Ok(Some(vec![std::mem::take(&mut self.carry)]));
+            }
+            let n = match self.reader.read(&mut self.buf) {
+                Ok(n) => n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            if n == 0 {
+                self.eof = true;
+                continue;
+            }
+            self.bytes_read += n as u64;
+            let (carry, buf) = (&mut self.carry, &self.buf);
+            carry.extend_from_slice(&buf[..n]);
+            // Split off everything up to the last newline; the remainder
+            // carries over to the next batch.
+            if let Some(last_nl) = self.carry.iter().rposition(|&b| b == b'\n') {
+                let rest = self.carry.split_off(last_nl + 1);
+                let complete = std::mem::replace(&mut self.carry, rest);
+                let mut lines: Vec<Vec<u8>> = complete
+                    .split(|&b| b == b'\n')
+                    .map(|l| l.to_vec())
+                    .collect();
+                // `complete` ends with '\n', so the final piece is the
+                // empty remainder after it — exactly what `str::lines`
+                // does not yield.
+                lines.pop();
+                for line in &mut lines {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                }
+                return Ok(Some(lines));
+            }
+            // No newline yet: the current line spans more than one chunk;
+            // keep reading into the carry.
+        }
+    }
+}
+
+/// One line of a streaming scan: its 0-based index, its bytes
+/// (terminator stripped), and the membership verdict.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LineVerdict {
+    /// 0-based line number in the input.
+    pub index: u64,
+    /// The line's bytes, without the terminator.
+    pub bytes: Vec<u8>,
+    /// Whether the line belongs to the SemRE's language.
+    pub matched: bool,
+}
+
+/// Iterator over the per-line verdicts of a streaming scan, returned by
+/// [`SemRegex::scan_reader`].
+///
+/// On the batched oracle plane one [`BatchSession`](crate::BatchSession)
+/// covers each window of [`SemRegex::chunk_lines`] lines, so repeated
+/// oracle questions within a window reach the backend once.  After an
+/// I/O error the iterator yields that error once and then fuses.
+pub struct ScanReader<'r, R> {
+    re: &'r SemRegex,
+    chunks: LineChunks<R>,
+    pending: VecDeque<LineVerdict>,
+    next_index: u64,
+    done: bool,
+}
+
+impl<R: Read> ScanReader<'_, R> {
+    /// Total bytes consumed from the reader so far.
+    pub fn bytes_read(&self) -> u64 {
+        self.chunks.bytes_read()
+    }
+}
+
+impl<R: Read> Iterator for ScanReader<'_, R> {
+    type Item = io::Result<LineVerdict>;
+
+    fn next(&mut self) -> Option<io::Result<LineVerdict>> {
+        loop {
+            if let Some(verdict) = self.pending.pop_front() {
+                return Some(Ok(verdict));
+            }
+            if self.done {
+                return None;
+            }
+            match self.chunks.next_batch() {
+                Ok(Some(batch)) => {
+                    let batched = self.re.config().batched_oracle;
+                    for window in batch.chunks(self.re.chunk_lines().max(1)) {
+                        let mut session = self.re.session();
+                        for bytes in window {
+                            let matched = if batched {
+                                self.re.is_match_in_session(bytes, &mut session)
+                            } else {
+                                self.re.is_match(bytes)
+                            };
+                            self.pending.push_back(LineVerdict {
+                                index: self.next_index,
+                                bytes: bytes.clone(),
+                                matched,
+                            });
+                            self.next_index += 1;
+                        }
+                    }
+                }
+                Ok(None) => self.done = true,
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+    }
+}
+
+impl<R: Read> std::iter::FusedIterator for ScanReader<'_, R> {}
+
+impl SemRegex {
+    /// Scans `reader` line by line without materializing the input:
+    /// chunked reads of [`stream_chunk_bytes`](SemRegex::stream_chunk_bytes)
+    /// bytes, lines reassembled across chunk boundaries, one verdict per
+    /// line.  Peak memory is O(chunk size + longest line), independent of
+    /// the input length.
+    ///
+    /// Verdicts are identical to splitting the input in memory and
+    /// calling [`is_match`](SemRegex::is_match) per line.
+    pub fn scan_reader<R: Read>(&self, reader: R) -> ScanReader<'_, R> {
+        ScanReader {
+            chunks: LineChunks::new(reader, self.stream_chunk_bytes()),
+            re: self,
+            pending: VecDeque::new(),
+            next_index: 0,
+            done: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semre_oracle::SimLlmOracle;
+
+    fn collect_lines(text: &str, chunk: usize) -> Vec<Vec<u8>> {
+        let mut chunks = LineChunks::new(text.as_bytes(), chunk);
+        let mut all = Vec::new();
+        while let Some(batch) = chunks.next_batch().unwrap() {
+            all.extend(batch);
+        }
+        all
+    }
+
+    #[test]
+    fn chunked_line_splitting_matches_str_lines() {
+        let cases = [
+            "",
+            "\n",
+            "a\nb\nc\n",
+            "a\nb\nc",
+            "one line no newline",
+            "\n\n\n",
+            "mixed\r\ncrlf\nplain\rlone-cr\n",
+            // A lone trailing \r with no final newline is part of the
+            // line, not a terminator (str::lines keeps it too).
+            "ends with cr\r",
+            "a\nends with cr\r",
+            "exactly8\nand-more\n",
+            "a line that is much longer than any of the tiny chunk sizes used here\nshort\n",
+        ];
+        for text in cases {
+            let expected: Vec<Vec<u8>> = text.lines().map(|l| l.as_bytes().to_vec()).collect();
+            for chunk in [1, 2, 3, 7, 8, 9, 64, 4096] {
+                assert_eq!(
+                    collect_lines(text, chunk),
+                    expected,
+                    "text {text:?} chunk {chunk}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bytes_read_tracks_consumption() {
+        let mut chunks = LineChunks::new(&b"abc\ndef\n"[..], 3);
+        while chunks.next_batch().unwrap().is_some() {}
+        assert_eq!(chunks.bytes_read(), 8);
+    }
+
+    #[test]
+    fn scan_reader_agrees_with_in_memory_scan() {
+        let re = SemRegex::builder()
+            .stream_chunk_bytes(5)
+            .build(
+                r"Subject: .*(?<Medicine name>: [a-z]+).*",
+                SimLlmOracle::new(),
+            )
+            .unwrap();
+        assert_eq!(re.stream_chunk_bytes(), 5);
+        let text = "Subject: cheap viagra\nplain line\nSubject: agenda\n";
+        let verdicts: Vec<LineVerdict> = re
+            .scan_reader(text.as_bytes())
+            .map(|v| v.unwrap())
+            .collect();
+        let expected: Vec<bool> = text.lines().map(|l| re.is_match(l.as_bytes())).collect();
+        assert_eq!(verdicts.len(), expected.len());
+        for (v, (i, line)) in verdicts.iter().zip(text.lines().enumerate()) {
+            assert_eq!(v.index, i as u64);
+            assert_eq!(v.bytes, line.as_bytes());
+            assert_eq!(v.matched, expected[i], "line {i}");
+        }
+        // The iterator fuses.
+        let mut it = re.scan_reader(text.as_bytes());
+        it.by_ref().count();
+        assert!(it.next().is_none());
+    }
+
+    #[test]
+    fn scan_reader_surfaces_io_errors_once() {
+        struct Failing(bool);
+        impl Read for Failing {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                if self.0 {
+                    return Err(io::Error::other("backend went away"));
+                }
+                self.0 = true;
+                let src = b"ok line\npartial";
+                buf[..src.len()].copy_from_slice(src);
+                Ok(src.len())
+            }
+        }
+        let re = SemRegex::new("ok line", semre_oracle::PalindromeOracle).unwrap();
+        let mut it = re.scan_reader(Failing(false));
+        let first = it.next().unwrap().unwrap();
+        assert!(first.matched);
+        assert!(it.next().unwrap().is_err());
+        assert!(it.next().is_none());
+    }
+}
