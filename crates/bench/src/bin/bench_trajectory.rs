@@ -1,4 +1,4 @@
-//! Emits the tracked perf trajectory as `BENCH_PR4.json`.
+//! Emits the tracked perf trajectory as `BENCH_PR5.json`.
 //!
 //! ```text
 //! bench_trajectory [--quick] [--check] [--out PATH]
@@ -6,17 +6,17 @@
 //!   --quick      reduced sample sizes and repetitions (CI smoke runs)
 //!   --check      fail (exit 1) when a tracked geomean drops below its
 //!                stored regression floor (see `Floors::tracked`)
-//!   --out PATH   output file (default BENCH_PR4.json)
+//!   --out PATH   output file (default BENCH_PR5.json)
 //! ```
 //!
 //! Prints a human-readable summary table and writes the JSON document the
 //! next PR regresses against.  See EXPERIMENTS.md ("prefilter-speedup",
-//! "prescan-speedup", "stream-throughput").
+//! "prescan-speedup", "stream-throughput", "tree-scan").
 
 use semre_bench::trajectory::{self, Floors, TrajectoryConfig};
 
 fn main() {
-    let mut out_path = "BENCH_PR4.json".to_owned();
+    let mut out_path = "BENCH_PR5.json".to_owned();
     let mut config = TrajectoryConfig::full();
     let mut check = false;
     let mut args = std::env::args().skip(1);
@@ -85,9 +85,22 @@ fn main() {
         "geomean end-to-end is_match speedup:    {:.2}x",
         trajectory.geomean_is_match_speedup()
     );
+    let tree = &trajectory.tree_scan;
+    println!(
+        "tree-scan ({} files, {} lines): {:.0} ns/line sequential, {:.0} ns/line on 4 workers ({:.2}x), \
+         backend keys {} shared vs {} per-file, equivalent={}",
+        tree.files,
+        tree.lines,
+        tree.parallel.reference_ns,
+        tree.parallel.fast_ns,
+        tree.parallel.speedup(),
+        tree.shared_backend_keys,
+        tree.per_file_backend_keys,
+        tree.equivalent
+    );
 
     assert!(
-        trajectory.all_equivalent(),
+        trajectory.all_equivalent() && trajectory.tree_scan.equivalent,
         "equivalence check failed — the trajectory must never ship with a verdict change"
     );
 

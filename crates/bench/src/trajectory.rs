@@ -1,8 +1,9 @@
-//! The tracked benchmark trajectory (`BENCH_PR4.json`).
+//! The tracked benchmark trajectory (`BENCH_PR5.json`).
 //!
 //! Subsequent PRs need a perf baseline to regress against; this module
 //! measures it and emits it as JSON.  Five families of numbers are
-//! recorded for every one of the nine benchmark SemREs:
+//! recorded for every one of the nine benchmark SemREs, plus one
+//! tree-level entry:
 //!
 //! * **prefilter micro** — ns/line for the skeleton prefilter alone, NFA
 //!   state-set simulation vs the lazy DFA, on both the anchored skeleton
@@ -20,7 +21,12 @@
 //! * **equivalence** — booleans asserting that the DFA and NFA prefilters,
 //!   the prescan-on and prescan-off matchers, the batched and per-call
 //!   planes, the parallel and sequential scans, and the streaming and
-//!   in-memory paths all produce identical verdicts on the sample.
+//!   in-memory paths all produce identical verdicts on the sample;
+//! * **tree scan** (`tree-scan`) — ns/line for a full multi-file `grepo`
+//!   run over a generated corpus tree, file-level work stealing on 4
+//!   workers vs a sequential scan, plus byte-identity of the output
+//!   across thread counts and the cross-file oracle-deduplication check
+//!   (shared-session backend questions < per-file sum).
 //!
 //! Timings are best-of-`repeat` over a fixed corpus sample — indicative,
 //! not rigorous; the *trajectory* (same harness, same seed, PR after PR)
@@ -135,6 +141,34 @@ pub struct BenchTrajectory {
     pub equivalent: bool,
 }
 
+/// The tree-scan trajectory record: one multi-file `grepo` run over a
+/// generated corpus tree.
+#[derive(Clone, Debug)]
+pub struct TreeScanTrajectory {
+    /// Files in the generated tree.
+    pub files: usize,
+    /// Lines across all files.
+    pub lines: usize,
+    /// Full multi-file scan, 4 work-stealing workers vs sequential.
+    pub parallel: Toggle,
+    /// Backend questions of a whole-tree scan through one shared session.
+    pub shared_backend_keys: u64,
+    /// Backend questions when every file keeps its sessions to itself
+    /// (the per-file sum the shared session must beat).
+    pub per_file_backend_keys: u64,
+    /// Output bytes identical for `--threads` 1, 2, and 8.
+    pub equivalent: bool,
+}
+
+impl TreeScanTrajectory {
+    /// Whether cross-file sharing deduplicated anything: the shared
+    /// session reached the backend strictly less often than the per-file
+    /// sessions combined.
+    pub fn deduped(&self) -> bool {
+        self.shared_backend_keys < self.per_file_backend_keys
+    }
+}
+
 /// A full trajectory run.
 #[derive(Clone, Debug)]
 pub struct Trajectory {
@@ -142,6 +176,8 @@ pub struct Trajectory {
     pub config: TrajectoryConfig,
     /// One record per benchmark SemRE, Table 1 order.
     pub benches: Vec<BenchTrajectory>,
+    /// The multi-file tree-scan record.
+    pub tree_scan: TreeScanTrajectory,
 }
 
 impl Trajectory {
@@ -218,8 +254,22 @@ impl Trajectory {
             self.geomean_stream_ratio(),
             floors.stream_ratio,
         );
+        gate(
+            "tree-scan ratio (sequential / 4-worker)",
+            self.tree_scan.parallel.speedup(),
+            floors.tree_scan_ratio,
+        );
         if !self.all_equivalent() {
             violations.push("equivalence check failed on some benchmark".to_owned());
+        }
+        if !self.tree_scan.equivalent {
+            violations.push("tree-scan output differed across thread counts".to_owned());
+        }
+        if !self.tree_scan.deduped() {
+            violations.push(format!(
+                "tree-scan shared session did not dedupe across files ({} backend keys vs per-file sum {})",
+                self.tree_scan.shared_backend_keys, self.tree_scan.per_file_backend_keys
+            ));
         }
         if violations.is_empty() {
             Ok(())
@@ -231,7 +281,7 @@ impl Trajectory {
 
 /// Regression floors for `bench_trajectory --check`: the tracked geomeans
 /// must not drop below these.  Values are deliberately far below the
-/// checked-in full-run numbers (see `BENCH_PR4.json`) so that CI noise on
+/// checked-in full-run numbers (see `BENCH_PR5.json`) so that CI noise on
 /// shared runners does not flake, while a real regression — losing the
 /// DFA prefilter, the prescan, or streaming going several times slower
 /// than in-memory — still fails loudly.
@@ -247,6 +297,10 @@ pub struct Floors {
     /// In-memory-vs-streaming scan-time geomean (≈ 1.0 when streaming is
     /// free; the floor only rejects pathological slowdowns).
     pub stream_ratio: f64,
+    /// Sequential-vs-4-worker tree-scan ratio (> 1 when file-level work
+    /// stealing helps; the floor only rejects parallelism becoming a
+    /// pathological slowdown on shared CI runners).
+    pub tree_scan_ratio: f64,
 }
 
 impl Floors {
@@ -257,6 +311,7 @@ impl Floors {
             is_match_speedup: 1.05,
             prescan_speedup: 1.25,
             stream_ratio: 0.5,
+            tree_scan_ratio: 0.5,
         }
     }
 }
@@ -291,6 +346,101 @@ pub fn measure(config: &TrajectoryConfig) -> Trajectory {
     Trajectory {
         config: *config,
         benches,
+        tree_scan: measure_tree_scan(config),
+    }
+}
+
+/// The multi-file tree-scan measurement: a generated corpus tree scanned
+/// through the full `grepo` multi-file driver (walk → work-stealing
+/// scheduler → streaming per-file scans → shared oracle session).
+fn measure_tree_scan(config: &TrajectoryConfig) -> TreeScanTrajectory {
+    use semre::{Oracle, SemRegexBuilder, SharedSession, SimLlmOracle};
+    use semre_grep::cli::{expand_targets, run_paths, CliOptions};
+    use semre_workloads::{CorpusTree, CorpusTreeConfig};
+
+    let tree_config = CorpusTreeConfig {
+        seed: config.seed,
+        // Scale the tree with the run size: ~24 files full, ~10 quick.
+        files: (config.lines_per_bench / 16).clamp(8, 32),
+        mean_lines: (config.lines_per_bench / 8).clamp(10, 60),
+        ..CorpusTreeConfig::default()
+    };
+    let tree = CorpusTree::generate(&tree_config);
+    let root = std::env::temp_dir().join(format!(
+        "semre-trajectory-tree-{}-{}",
+        config.seed,
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&root);
+    tree.write_to(&root)
+        .expect("cannot write scratch corpus tree");
+
+    let pattern = r"Subject: .*(?<Medicine name>: [a-z]+).*";
+    let root_str = root.display().to_string();
+    let run = |threads: usize| -> Vec<u8> {
+        let args: Vec<String> = vec![
+            "--batched".to_owned(),
+            "--threads".to_owned(),
+            threads.to_string(),
+            pattern.to_owned(),
+            root_str.clone(),
+        ];
+        let options = CliOptions::parse(args).expect("trajectory CLI args parse");
+        let targets = expand_targets(&options);
+        let mut out = Vec::new();
+        let outcome = run_paths(&options, &targets, &mut out).expect("tree scan runs");
+        assert_ne!(outcome.exit_code, 2, "scratch tree must be readable");
+        out
+    };
+
+    let sequential_out = run(1);
+    let equivalent =
+        !sequential_out.is_empty() && [2, 8].iter().all(|&threads| run(threads) == sequential_out);
+    let parallel = Toggle {
+        fast_ns: ns_per_line(config.repeat, tree.total_lines, || {
+            std::hint::black_box(run(4));
+        }),
+        reference_ns: ns_per_line(config.repeat, tree.total_lines, || {
+            std::hint::black_box(run(1));
+        }),
+    };
+
+    // Cross-file deduplication, measured at the library layer so backend
+    // questions can be counted exactly: the same per-file batched scans,
+    // once through one shared session, once with each file on its own.
+    let count_backend_calls = |share_across_files: bool| -> u64 {
+        let backend = Arc::new(semre::Instrumented::new(SimLlmOracle::new()));
+        let oracle: Arc<dyn Oracle> = if share_across_files {
+            Arc::new(SharedSession::new(backend.clone()))
+        } else {
+            backend.clone()
+        };
+        let re = SemRegexBuilder::new()
+            .batched(true)
+            .build_shared(pattern, oracle)
+            .expect("trajectory pattern compiles");
+        let after_compile = backend.stats().calls;
+        let stream_options = semre_grep::stream::StreamOptions {
+            batched: true,
+            ..semre_grep::stream::StreamOptions::default()
+        };
+        for file in &tree.files {
+            scan_stream(&re, &file.contents[..], &stream_options, |_, _, _| true)
+                .expect("in-memory reader cannot fail");
+        }
+        backend.stats().calls - after_compile
+    };
+    let shared_backend_keys = count_backend_calls(true);
+    let per_file_backend_keys = count_backend_calls(false);
+
+    let _ = std::fs::remove_dir_all(&root);
+    TreeScanTrajectory {
+        files: tree.files.len(),
+        lines: tree.total_lines,
+        parallel,
+        shared_backend_keys,
+        per_file_backend_keys,
+        equivalent,
     }
 }
 
@@ -500,15 +650,15 @@ fn measure_spec(
     }
 }
 
-/// Serializes a trajectory as the `BENCH_PR4.json` document (hand-rolled:
+/// Serializes a trajectory as the `BENCH_PR5.json` document (hand-rolled:
 /// the workspace has no serde).
 pub fn to_json(trajectory: &Trajectory) -> String {
     let mut out = String::new();
     let c = &trajectory.config;
     out.push_str("{\n");
-    out.push_str("  \"artifact\": \"BENCH_PR4\",\n");
+    out.push_str("  \"artifact\": \"BENCH_PR5\",\n");
     out.push_str(
-        "  \"description\": \"Perf trajectory: literal prescan, streaming scan pipeline, lazy-DFA skeleton prefilter, arena evaluator, parallel chunk scan\",\n",
+        "  \"description\": \"Perf trajectory: multi-file tree scan, literal prescan, streaming scan pipeline, lazy-DFA skeleton prefilter, arena evaluator, parallel chunk scan\",\n",
     );
     let _ = writeln!(
         out,
@@ -541,24 +691,39 @@ pub fn to_json(trajectory: &Trajectory) -> String {
         });
     }
     out.push_str("  ],\n");
+    let tree = &trajectory.tree_scan;
+    let _ = writeln!(
+        out,
+        "  \"tree_scan\": {{\"files\": {}, \"lines\": {}, \"parallel\": {}, \"shared_backend_keys\": {}, \"per_file_backend_keys\": {}, \"deduped\": {}, \"equivalent\": {}}},",
+        tree.files,
+        tree.lines,
+        toggle_json(&tree.parallel, "workers4_ns_per_line", "sequential_ns_per_line"),
+        tree.shared_backend_keys,
+        tree.per_file_backend_keys,
+        tree.deduped(),
+        tree.equivalent
+    );
     let floors = Floors::tracked();
     let _ = writeln!(
         out,
-        "  \"floors\": {{\"prefilter_speedup\": {:.2}, \"is_match_speedup\": {:.2}, \"prescan_speedup\": {:.2}, \"stream_ratio\": {:.2}}},",
+        "  \"floors\": {{\"prefilter_speedup\": {:.2}, \"is_match_speedup\": {:.2}, \"prescan_speedup\": {:.2}, \"stream_ratio\": {:.2}, \"tree_scan_ratio\": {:.2}}},",
         floors.prefilter_speedup,
         floors.is_match_speedup,
         floors.prescan_speedup,
-        floors.stream_ratio
+        floors.stream_ratio,
+        floors.tree_scan_ratio
     );
     let _ = writeln!(
         out,
-        "  \"summary\": {{\"geomean_prefilter_speedup\": {:.2}, \"geomean_search_prefilter_speedup\": {:.2}, \"geomean_is_match_speedup\": {:.2}, \"geomean_prescan_speedup\": {:.2}, \"geomean_stream_ratio\": {:.2}, \"all_equivalent\": {}}}",
+        "  \"summary\": {{\"geomean_prefilter_speedup\": {:.2}, \"geomean_search_prefilter_speedup\": {:.2}, \"geomean_is_match_speedup\": {:.2}, \"geomean_prescan_speedup\": {:.2}, \"geomean_stream_ratio\": {:.2}, \"tree_scan_speedup\": {:.2}, \"tree_scan_deduped\": {}, \"all_equivalent\": {}}}",
         trajectory.geomean_prefilter_speedup(),
         trajectory.geomean_search_prefilter_speedup(),
         trajectory.geomean_is_match_speedup(),
         trajectory.geomean_prescan_speedup(),
         trajectory.geomean_stream_ratio(),
-        trajectory.all_equivalent()
+        trajectory.tree_scan.parallel.speedup(),
+        trajectory.tree_scan.deduped(),
+        trajectory.all_equivalent() && trajectory.tree_scan.equivalent
     );
     out.push_str("}\n");
     out
@@ -599,13 +764,25 @@ mod tests {
                 .map(|b| b.name)
                 .collect::<Vec<_>>()
         );
+        assert!(
+            trajectory.tree_scan.equivalent,
+            "tree-scan output must be thread-count independent"
+        );
+        assert!(
+            trajectory.tree_scan.deduped(),
+            "shared session must beat the per-file sum ({} vs {})",
+            trajectory.tree_scan.shared_backend_keys,
+            trajectory.tree_scan.per_file_backend_keys
+        );
         let json = to_json(&trajectory);
-        assert!(json.contains("\"artifact\": \"BENCH_PR4\""));
+        assert!(json.contains("\"artifact\": \"BENCH_PR5\""));
         assert!(json.contains("\"name\": \"pass\""));
         assert!(json.contains("geomean_prefilter_speedup"));
         assert!(json.contains("geomean_prescan_speedup"));
         assert!(json.contains("\"prescan\""));
         assert!(json.contains("\"stream\""));
+        assert!(json.contains("\"tree_scan\""));
+        assert!(json.contains("tree_scan_ratio"));
         assert!(json.contains("\"floors\""));
         assert!(json.trim_end().ends_with('}'));
         // Crude JSON sanity: balanced braces and brackets.
@@ -636,9 +813,10 @@ mod tests {
             is_match_speedup: 1e9,
             prescan_speedup: 1e9,
             stream_ratio: 1e9,
+            tree_scan_ratio: 1e9,
         };
         let violations = trajectory.check(&impossible).unwrap_err();
-        assert_eq!(violations.len(), 4, "{violations:?}");
+        assert_eq!(violations.len(), 5, "{violations:?}");
         assert!(violations[0].contains("below the stored floor"));
         // Trivial floors always pass (equivalence already asserted above).
         let trivial = Floors {
@@ -646,6 +824,7 @@ mod tests {
             is_match_speedup: 0.0,
             prescan_speedup: 0.0,
             stream_ratio: 0.0,
+            tree_scan_ratio: 0.0,
         };
         assert!(trajectory.check(&trivial).is_ok());
     }

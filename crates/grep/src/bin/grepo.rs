@@ -1,10 +1,12 @@
 //! The `grepo` command-line tool: grep for semantic regular expressions.
 //!
-//! See [`semre_grep::cli`] for the accepted options.
+//! See [`semre_grep::cli`] for the accepted options.  Exit status follows
+//! the grep convention: 0 when at least one line matched, 1 when none
+//! did, 2 when any error occurred.
 
 use std::process::ExitCode;
 
-use semre_grep::cli::{run, CliOptions};
+use semre_grep::cli::{run, CliOptions, USAGE};
 
 fn main() -> ExitCode {
     let options = match CliOptions::parse(std::env::args().skip(1)) {
@@ -14,6 +16,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if options.help {
+        println!("{USAGE}");
+        return ExitCode::from(0);
+    }
     match run(&options) {
         Ok(outcome) => {
             for line in &outcome.stdout {

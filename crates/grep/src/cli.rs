@@ -1,10 +1,11 @@
 //! Command-line interface of the `grepo` binary.
 //!
 //! ```text
-//! grepo [OPTIONS] PATTERN [FILE]
+//! grepo [OPTIONS] PATTERN [PATH...]
 //!
 //!   PATTERN            a SemRE in the concrete syntax of `semre-syntax`
-//!   FILE               input file (standard input when omitted)
+//!   PATH               input files and/or directories (standard input
+//!                      when omitted); directories are walked recursively
 //!
 //!   --oracle KIND      sim-llm (default) | always-true | always-false |
 //!                      set:FILE   (FILE holds "query<TAB>accepted text" lines)
@@ -14,21 +15,44 @@
 //!                      repeated (query, text) questions reach the oracle
 //!                      backend once per chunk
 //!   --chunk-lines N    lines per batch-session chunk (default 256)
-//!   --threads N        fan chunks out over N worker threads (default 1);
-//!                      output is identical to a sequential scan
+//!   --threads N        worker threads (default 1): whole files are
+//!                      work-stolen across workers on multi-file scans,
+//!                      chunks of lines on single-input scans; output is
+//!                      identical to a sequential scan either way
 //!   --only-matching    print each matched span instead of the whole line
 //!                      (lines match when the pattern matches a substring)
 //!   --color            highlight matched spans in printed lines
-//!   --count            print only the number of matching lines
+//!   --count            print only the number of matching lines (per file
+//!                      on multi-file scans)
+//!   --with-filename    prefix matches with "path:" (the default when
+//!                      scanning more than one file or any directory)
+//!   --no-filename      never prefix matches with the file path
+//!   --heading          print the file path once above its matches instead
+//!                      of on every line, with a blank line between files
+//!   --hidden           also scan hidden (dot-prefixed) files and dirs
+//!   --follow           follow symbolic links while walking directories
+//!   --binary           also scan files that look binary (NUL in the
+//!                      leading bytes); explicit file arguments are always
+//!                      scanned
+//!   --ignore GLOB      skip files/dirs matching GLOB while walking
+//!                      (repeatable; `*`, `?`, `**`; a GLOB with `/` is
+//!                      matched against the path relative to the walk root)
+//!   --max-depth N      descend at most N directory levels
 //!   --stats            print aggregate statistics to standard error
-//!   --max-lines N      process at most N lines
-//!   --timeout-secs S   stop after S seconds of wall-clock time
+//!   --max-lines N      process at most N lines (per file)
+//!   --timeout-secs S   stop after S seconds of wall-clock time (per file)
 //!   --stream           scan in streaming mode: chunked reads, bounded
 //!                      memory (the default for files and stdin)
-//!   --no-stream        materialize the whole input in memory first
+//!   --no-stream        materialize each input in memory first
 //!   --stream-chunk-bytes N   bytes per streaming I/O chunk (default 64 KiB)
 //!   --no-prescan       disable the literal prescan in front of the DFA
 //! ```
+//!
+//! Exit status follows the grep convention: **0** when at least one line
+//! matched, **1** when none did, **2** when any error occurred (malformed
+//! options, invalid pattern, unreadable input).  On multi-file scans an
+//! unreadable file is reported on standard error and the scan continues;
+//! the run still exits 2.
 //!
 //! The driver is built entirely on the `semre` facade: one
 //! [`semre::SemRegex`] handle per run, configured by [`SemRegexBuilder`],
@@ -40,6 +64,14 @@
 //! purely presentational — it highlights the spans `find` locates inside
 //! the printed lines and never changes which lines match.
 //!
+//! Multi-file scans go through [`crate::walk`](mod@crate::walk)
+//! (deterministic,
+//! name-sorted traversal) and [`crate::tree::scan_tree`] (file-level work
+//! stealing with output reassembled in file order), with one
+//! [`SharedSession`] interposed between the pattern and the oracle
+//! backend so repeated questions dedupe **globally across files**, not
+//! just within a chunk.  Output is byte-identical for any `--threads`.
+//!
 //! The option parsing and the scan driver live here (rather than in the
 //! binary) so they can be unit tested.
 
@@ -47,16 +79,19 @@ use std::error::Error;
 use std::fmt;
 use std::fs;
 use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
 
-use semre::{Instrumented, OracleSpec, SemRegexBuilder, DEFAULT_CHUNK_LINES};
+use semre::{Instrumented, OracleSpec, SemRegexBuilder, SharedSession, DEFAULT_CHUNK_LINES};
 
 use crate::engine::{
     scan, scan_batched, scan_batched_parallel, scan_per_call_parallel, scan_spans,
     scan_spans_parallel, ScanOptions,
 };
 use crate::stream::{scan_stream, scan_stream_spans, StreamOptions};
+use crate::tree::{scan_tree, FileSummary, TreeOptions, TreeReport};
+use crate::walk::{walk, WalkOptions};
 
 /// Errors produced while parsing command-line options or running the scan.
 #[derive(Debug)]
@@ -91,8 +126,26 @@ impl From<semre::Error> for CliError {
 pub struct CliOptions {
     /// The SemRE pattern.
     pub pattern: String,
-    /// Input file; standard input when `None`.
-    pub file: Option<String>,
+    /// Input files and/or directories; standard input when empty.
+    pub paths: Vec<String>,
+    /// `--help` was given: print the usage string and exit 0.
+    pub help: bool,
+    /// Prefix matches with `path:`; `None` means automatic (on when
+    /// scanning more than one file or any directory).
+    pub with_filename: Option<bool>,
+    /// Print each file's path once above its matches, with a blank line
+    /// between files, instead of a per-line prefix.
+    pub heading: bool,
+    /// Also scan hidden (dot-prefixed) files and directories.
+    pub hidden: bool,
+    /// Follow symbolic links while walking directories.
+    pub follow: bool,
+    /// Also scan files that look binary.
+    pub binary: bool,
+    /// Ignore globs applied while walking directories.
+    pub ignore: Vec<String>,
+    /// Maximum directory depth for walks.
+    pub max_depth: Option<usize>,
     /// Oracle backend specification.
     pub oracle: OracleSpec,
     /// Use the DP baseline instead of the query-graph matcher.
@@ -129,8 +182,10 @@ pub struct CliOptions {
 
 /// The usage string printed on `--help` or malformed invocations.
 pub const USAGE: &str = "usage: grepo [--oracle KIND] [--baseline] [--batched] [--chunk-lines N] \
-[--threads N] [--only-matching] [--color] [--count] [--stats] [--max-lines N] [--timeout-secs S] \
-[--stream | --no-stream] [--stream-chunk-bytes N] [--no-prescan] PATTERN [FILE]";
+[--threads N] [--only-matching] [--color] [--count] [--with-filename | --no-filename] [--heading] \
+[--hidden] [--follow] [--binary] [--ignore GLOB] [--max-depth N] [--stats] [--max-lines N] \
+[--timeout-secs S] [--stream | --no-stream] [--stream-chunk-bytes N] [--no-prescan] \
+PATTERN [PATH...]";
 
 impl CliOptions {
     /// Parses command-line arguments (excluding the program name).
@@ -177,6 +232,30 @@ impl CliOptions {
                 }
                 "--only-matching" | "-o" => options.only_matching = true,
                 "--color" => options.color = true,
+                "--with-filename" | "-H" => options.with_filename = Some(true),
+                "--no-filename" => options.with_filename = Some(false),
+                "--heading" => options.heading = true,
+                "--hidden" => options.hidden = true,
+                "--follow" => options.follow = true,
+                "--binary" => options.binary = true,
+                "--ignore" => {
+                    let glob = args
+                        .next()
+                        .ok_or_else(|| CliError::new("--ignore needs a glob"))?;
+                    options.ignore.push(glob);
+                }
+                "--max-depth" => {
+                    let n = args
+                        .next()
+                        .ok_or_else(|| CliError::new("--max-depth needs a value"))?;
+                    let n: usize = n
+                        .parse()
+                        .map_err(|_| CliError::new("--max-depth expects a number"))?;
+                    if n == 0 {
+                        return Err(CliError::new("--max-depth must be positive"));
+                    }
+                    options.max_depth = Some(n);
+                }
                 "--stream" => options.stream = Some(true),
                 "--no-stream" => options.stream = Some(false),
                 "--no-prescan" => options.no_prescan = true,
@@ -194,7 +273,7 @@ impl CliOptions {
                 }
                 "--count" => options.count_only = true,
                 "--stats" => options.stats = true,
-                "--help" | "-h" => return Err(CliError::new(USAGE)),
+                "--help" | "-h" => options.help = true,
                 "--oracle" => {
                     let kind = args
                         .next()
@@ -225,6 +304,11 @@ impl CliOptions {
                 _ => positional.push(arg),
             }
         }
+        if options.help {
+            // `--help` short-circuits: no pattern required, nothing else
+            // validated (the binary prints USAGE and exits 0).
+            return Ok(options);
+        }
         if options.chunk_lines != 0 && !options.batched {
             return Err(CliError::new("--chunk-lines requires --batched"));
         }
@@ -233,14 +317,14 @@ impl CliOptions {
                 "--stream-chunk-bytes conflicts with --no-stream",
             ));
         }
+        if options.with_filename == Some(true) && options.heading {
+            return Err(CliError::new("--with-filename conflicts with --heading"));
+        }
         let mut positional = positional.into_iter();
         options.pattern = positional
             .next()
             .ok_or_else(|| CliError::new(format!("missing PATTERN\n{USAGE}")))?;
-        options.file = positional.next();
-        if positional.next().is_some() {
-            return Err(CliError::new("too many positional arguments"));
-        }
+        options.paths = positional.collect();
         Ok(options)
     }
 
@@ -267,14 +351,25 @@ impl CliOptions {
 }
 
 /// The compiled artifacts one run needs: the facade handle, the
-/// instrumented oracle behind it, and the resolved batch-chunk size.
+/// instrumented oracle behind it, the cross-file shared session (multi-file
+/// runs only), and the resolved batch-chunk size.
 struct Compiled {
     re: semre::SemRegex,
     oracle: Arc<Instrumented<Arc<dyn semre::Oracle>>>,
+    session: Option<SharedSession>,
     chunk: usize,
 }
 
 fn compile(options: &CliOptions) -> Result<Compiled, CliError> {
+    compile_with(options, false)
+}
+
+/// Compiles the pattern.  With `share_across_files` a [`SharedSession`] is
+/// interposed between the matcher and the instrumented backend, so every
+/// chunk session of every file resolves through one global answer store —
+/// a `(query, text)` question repeated across files reaches the backend
+/// once for the whole run.
+fn compile_with(options: &CliOptions, share_across_files: bool) -> Result<Compiled, CliError> {
     let backend = options.oracle.build()?;
     let oracle = Arc::new(Instrumented::new(backend));
     let chunk = if options.chunk_lines == 0 {
@@ -285,7 +380,16 @@ fn compile(options: &CliOptions) -> Result<Compiled, CliError> {
     // Without --batched the per-call plane keeps the per-line
     // `oracle_calls` statistic meaning what it says: one backend call per
     // logical oracle question.
-    let shared: Arc<dyn semre::Oracle> = oracle.clone();
+    let instrumented: Arc<dyn semre::Oracle> = oracle.clone();
+    let (shared, session) = if share_across_files {
+        let session = SharedSession::new(instrumented);
+        (
+            Arc::new(session.clone()) as Arc<dyn semre::Oracle>,
+            Some(session),
+        )
+    } else {
+        (instrumented, None)
+    };
     let mut builder = SemRegexBuilder::new()
         .dp_baseline(options.baseline)
         .batched(options.batched)
@@ -296,7 +400,12 @@ fn compile(options: &CliOptions) -> Result<Compiled, CliError> {
         builder = builder.stream_chunk_bytes(options.stream_chunk_bytes);
     }
     let re = builder.build_shared(&options.pattern, shared)?;
-    Ok(Compiled { re, oracle, chunk })
+    Ok(Compiled {
+        re,
+        oracle,
+        session,
+        chunk,
+    })
 }
 
 /// The output of [`run`], ready to be printed by the binary.
@@ -305,10 +414,11 @@ pub struct CliOutcome {
     /// Lines to print on standard output (matching lines, spans, or the
     /// count).
     pub stdout: Vec<String>,
-    /// Lines to print on standard error (statistics).
+    /// Lines to print on standard error (warnings, then statistics).
     pub stderr: Vec<String>,
-    /// Process exit code: 0 if at least one line matched, 1 otherwise
-    /// (grep convention).
+    /// Process exit code, grep convention: 0 if at least one line
+    /// matched, 1 if none did, 2 if any error occurred (multi-file scans
+    /// survive per-file errors but still exit 2).
     pub exit_code: i32,
 }
 
@@ -416,7 +526,9 @@ fn highlight_spans(line: &str, spans: &[(usize, usize)]) -> String {
 /// Returns a [`CliError`] if the pattern does not parse or the oracle file
 /// cannot be loaded.
 pub fn run_on_text(options: &CliOptions, text: &str) -> Result<CliOutcome, CliError> {
-    let Compiled { re, oracle, chunk } = compile(options)?;
+    let Compiled {
+        re, oracle, chunk, ..
+    } = compile(options)?;
     let threads = re.threads();
 
     let lines: Vec<&str> = text.lines().collect();
@@ -562,7 +674,9 @@ pub fn run_stream<R: Read, W: Write>(
     reader: R,
     out: &mut W,
 ) -> Result<CliOutcome, CliError> {
-    let Compiled { re, oracle, chunk } = compile(options)?;
+    let Compiled {
+        re, oracle, chunk, ..
+    } = compile(options)?;
     let threads = re.threads();
     let stream_options = StreamOptions {
         chunk_bytes: re.stream_chunk_bytes(),
@@ -692,38 +806,369 @@ pub fn run_stream<R: Read, W: Write>(
     Ok(outcome)
 }
 
-/// Reads the input (file or standard input) and runs the tool — in
-/// streaming mode by default (see [`run_stream`]); `--no-stream` falls
-/// back to materializing the whole input and [`run_on_text`].
+/// Scan targets after expanding directory arguments: the files to scan in
+/// deterministic order, the expansion errors survived, and whether the
+/// run counts as multi-file (which turns the `path:` prefix on by
+/// default).
+#[derive(Debug, Default)]
+pub struct Targets {
+    /// Files to scan, in argument order with directories expanded to
+    /// their walked (name-sorted) contents in place.
+    pub files: Vec<PathBuf>,
+    /// Paths that could not be read or walked, in argument order.
+    pub errors: Vec<(PathBuf, String)>,
+    /// Whether more than one path argument was given or any argument was
+    /// a directory.
+    pub multi: bool,
+}
+
+/// Expands the path arguments of `options` into a deterministic file
+/// list.  Directory arguments are walked with the walk-related options
+/// (`--hidden`, `--follow`, `--binary`, `--ignore`, `--max-depth`);
+/// explicit file arguments are taken as given — naming a hidden or
+/// binary file means it should be scanned.
+pub fn expand_targets(options: &CliOptions) -> Targets {
+    let walk_options = WalkOptions {
+        hidden: options.hidden,
+        binary: options.binary,
+        follow: options.follow,
+        ignore: options.ignore.clone(),
+        max_depth: options.max_depth,
+    };
+    let mut targets = Targets {
+        multi: options.paths.len() > 1,
+        ..Targets::default()
+    };
+    for arg in &options.paths {
+        let path = PathBuf::from(arg);
+        match fs::metadata(&path) {
+            Ok(metadata) if metadata.is_dir() => {
+                targets.multi = true;
+                let walked = walk(&path, &walk_options);
+                targets.files.extend(walked.files);
+                targets.errors.extend(
+                    walked
+                        .errors
+                        .into_iter()
+                        .map(|e| (e.path, e.error.to_string())),
+                );
+            }
+            Ok(_) => targets.files.push(path),
+            Err(e) => targets.errors.push((path, e.to_string())),
+        }
+    }
+    targets
+}
+
+/// Runs the tool over an expanded multi-file target list, writing matches
+/// to `out` in deterministic file order (see [`scan_tree`]).  One
+/// [`SharedSession`] spans the whole run, so oracle questions repeated
+/// across files reach the backend once.  The returned [`CliOutcome`]
+/// carries the warnings/statistics lines and the exit code; match output
+/// has already been written to `out`.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for pattern, oracle, or output-write problems;
+/// per-file read problems are warnings in the outcome instead.
+pub fn run_paths<W: Write + Send>(
+    options: &CliOptions,
+    targets: &Targets,
+    out: &mut W,
+) -> Result<CliOutcome, CliError> {
+    let Compiled {
+        re,
+        oracle,
+        session,
+        chunk,
+    } = compile_with(options, true)?;
+    let session = session.expect("multi-file compile interposes a session");
+    // --count ignores --heading: a count is one line per file, and a bare
+    // count under a heading (or separated by blank lines) would be
+    // unattributable — grep's `path:count` shape wins.
+    let heading = options.heading && options.with_filename != Some(false) && !options.count_only;
+    let show_filename = options
+        .with_filename
+        .unwrap_or(targets.multi || targets.files.len() > 1)
+        && !heading;
+    let stream_options = StreamOptions {
+        chunk_bytes: re.stream_chunk_bytes(),
+        chunk_lines: chunk,
+        // File-level parallelism: each file is scanned sequentially; the
+        // workers of `scan_tree` provide the concurrency.
+        threads: 1,
+        batched: options.batched,
+        scan: options.scan_options(),
+    };
+
+    let scan_file = |_index: usize, path: &Path, buffer: &mut Vec<u8>| {
+        scan_one_file(
+            &re,
+            options,
+            &stream_options,
+            path,
+            show_filename,
+            heading,
+            buffer,
+        )
+    };
+    let tree_options = TreeOptions {
+        threads: options.threads.max(1),
+        separator: if heading { b"\n".to_vec() } else { Vec::new() },
+        ..TreeOptions::default()
+    };
+    let report = scan_tree(&targets.files, &tree_options, out, scan_file)
+        .map_err(|e| CliError::new(format!("cannot write output: {e}")))?;
+
+    let mut outcome = CliOutcome::default();
+    for (path, message) in targets.errors.iter().chain(&report.errors) {
+        outcome
+            .stderr
+            .push(format!("grepo: {}: {message}", path.display()));
+    }
+    if options.stats {
+        push_tree_stats(
+            &mut outcome,
+            options,
+            &re,
+            &report,
+            &session,
+            oracle.as_ref(),
+        );
+    }
+    let had_errors = !targets.errors.is_empty() || !report.errors.is_empty();
+    outcome.exit_code = if had_errors {
+        2
+    } else if report.matched_lines > 0 {
+        0
+    } else {
+        1
+    };
+    Ok(outcome)
+}
+
+/// Scans one file of a multi-file run into `buffer`, rendering matches
+/// exactly as the single-file streaming path would, plus the `path:`
+/// prefix or `--heading` group header.
+fn scan_one_file(
+    re: &semre::SemRegex,
+    options: &CliOptions,
+    stream_options: &StreamOptions,
+    path: &Path,
+    show_filename: bool,
+    heading: bool,
+    buffer: &mut Vec<u8>,
+) -> Result<FileSummary, String> {
+    let prefix: Vec<u8> = if show_filename {
+        format!("{}:", path.display()).into_bytes()
+    } else {
+        Vec::new()
+    };
+    let mut wrote_heading = false;
+    // Writing to a Vec cannot fail; per-line rendering errors are
+    // therefore impossible and the callbacks always continue.
+    let mut emit = |buffer: &mut Vec<u8>, render: &mut dyn FnMut(&mut Vec<u8>)| {
+        if heading && !wrote_heading {
+            buffer.extend_from_slice(format!("{}\n", path.display()).as_bytes());
+            wrote_heading = true;
+        }
+        buffer.extend_from_slice(&prefix);
+        render(buffer);
+    };
+
+    let read = |e: std::io::Error| e.to_string();
+    let report = if !options.streaming() {
+        // --no-stream: materialize the file, then reuse the streaming
+        // renderer over the in-memory bytes (output is identical).
+        let text = fs::read(path).map_err(|e| e.to_string())?;
+        scan_file_contents(re, options, stream_options, &text[..], buffer, &mut emit)
+            .map_err(read)?
+    } else {
+        let file = fs::File::open(path).map_err(|e| e.to_string())?;
+        scan_file_contents(re, options, stream_options, file, buffer, &mut emit).map_err(read)?
+    };
+
+    if options.count_only {
+        buffer.clear();
+        buffer.extend_from_slice(&prefix);
+        buffer.extend_from_slice(format!("{}\n", report.matched_lines).as_bytes());
+    }
+    Ok(FileSummary {
+        lines: report.lines,
+        matched_lines: report.matched_lines,
+        timed_out: report.timed_out,
+        batch: report.batch,
+    })
+}
+
+/// A per-match emitter: writes any pending heading and the `path:` prefix
+/// into the buffer, then lets the inner closure render the match body.
+type EmitFn<'a> = dyn FnMut(&mut Vec<u8>, &mut dyn FnMut(&mut Vec<u8>)) + 'a;
+
+/// The per-line rendering core shared by the streaming and `--no-stream`
+/// flavours of [`scan_one_file`].
+fn scan_file_contents<R: Read>(
+    re: &semre::SemRegex,
+    options: &CliOptions,
+    stream_options: &StreamOptions,
+    reader: R,
+    buffer: &mut Vec<u8>,
+    emit: &mut EmitFn<'_>,
+) -> std::io::Result<crate::stream::StreamReport> {
+    if options.span_mode() {
+        scan_stream_spans(
+            re,
+            reader,
+            stream_options,
+            options.count_only,
+            |_, line, spans| {
+                if options.count_only || spans.is_empty() {
+                    return true;
+                }
+                for &(start, end) in spans {
+                    emit(buffer, &mut |buffer| {
+                        let (start, end) = snap_span_bytes(line, start, end);
+                        if options.color {
+                            buffer.extend_from_slice(HIGHLIGHT_START.as_bytes());
+                            buffer.extend_from_slice(&line[start..end]);
+                            buffer.extend_from_slice(HIGHLIGHT_END.as_bytes());
+                        } else {
+                            buffer.extend_from_slice(&line[start..end]);
+                        }
+                        buffer.push(b'\n');
+                    });
+                }
+                true
+            },
+        )
+    } else {
+        scan_stream(re, reader, stream_options, |_, line, matched| {
+            if !matched || options.count_only {
+                return true;
+            }
+            emit(buffer, &mut |buffer| {
+                if options.color {
+                    let spans: Vec<(usize, usize)> =
+                        re.find_iter(line).map(|m| (m.start(), m.end())).collect();
+                    let mut rendered = Vec::new();
+                    // Vec writes are infallible.
+                    write_highlighted_line(&mut rendered, line, &spans)
+                        .expect("writing to a Vec cannot fail");
+                    buffer.extend_from_slice(&rendered);
+                } else {
+                    buffer.extend_from_slice(line);
+                    buffer.push(b'\n');
+                }
+            });
+            true
+        })
+    }
+}
+
+/// Appends the `--stats` lines of a multi-file run.
+fn push_tree_stats(
+    outcome: &mut CliOutcome,
+    options: &CliOptions,
+    re: &semre::SemRegex,
+    report: &TreeReport,
+    session: &SharedSession,
+    oracle: &Instrumented<Arc<dyn semre::Oracle>>,
+) {
+    outcome.stderr.push(format!(
+        "algorithm={} mode={} threads={} files={} files_matched={} lines={} matched={} timed_out={}",
+        re.algorithm(),
+        if options.span_mode() {
+            "search"
+        } else {
+            "membership"
+        },
+        options.threads.max(1),
+        report.files,
+        report.files_with_matches,
+        report.lines,
+        report.matched_lines,
+        report.timed_out
+    ));
+    let shared = session.stats();
+    outcome.stderr.push(format!(
+        "shared_session: keys={} deduped={} backend_keys={} dedup_ratio={:.3} backend_calls={}",
+        shared.keys_submitted,
+        shared.keys_deduped,
+        shared.backend_keys,
+        shared.dedup_ratio(),
+        oracle.stats().calls
+    ));
+    if options.batched {
+        outcome.stderr.push(format!(
+            "batches={} keys_submitted={} keys_deduped={} backend_keys={} dedup_ratio={:.3} mean_batch={:.2}",
+            report.batch.batches,
+            report.batch.keys_submitted,
+            report.batch.keys_deduped,
+            report.batch.backend_keys,
+            report.batch.dedup_ratio(),
+            report.batch.mean_batch_size()
+        ));
+    }
+}
+
+/// Reads the input (files, directories, or standard input) and runs the
+/// tool.
+///
+/// * No path arguments — standard input, streaming by default (see
+///   [`run_stream`]; `--no-stream` materializes and uses
+///   [`run_on_text`]).
+/// * One plain-file argument without filename-display flags — the
+///   single-file path, where `--threads` parallelizes over chunks of
+///   lines within the file.
+/// * Anything else (several paths, a directory, `--with-filename`,
+///   `--heading`) — the multi-file path ([`run_paths`]): walked,
+///   work-stolen across `--threads` workers a file at a time, output in
+///   deterministic path order with one oracle session shared across all
+///   files.
 ///
 /// # Errors
 ///
 /// Returns a [`CliError`] for option, pattern, oracle, or I/O problems.
+/// Per-file read failures on the multi-file path are reported in the
+/// outcome (stderr lines + exit code 2) instead, without aborting the
+/// scan.
 pub fn run(options: &CliOptions) -> Result<CliOutcome, CliError> {
-    if options.streaming() {
-        let stdout = std::io::stdout();
-        let mut out = stdout.lock();
-        return match &options.file {
-            Some(path) => {
-                let file = fs::File::open(path)
-                    .map_err(|e| CliError::new(format!("cannot read {path}: {e}")))?;
-                run_stream(options, file, &mut out)
-            }
-            None => run_stream(options, std::io::stdin().lock(), &mut out),
-        };
-    }
-    let text = match &options.file {
-        Some(path) => fs::read_to_string(path)
-            .map_err(|e| CliError::new(format!("cannot read {path}: {e}")))?,
-        None => {
-            let mut buffer = String::new();
-            std::io::stdin()
-                .read_to_string(&mut buffer)
-                .map_err(|e| CliError::new(format!("cannot read standard input: {e}")))?;
-            buffer
+    if options.paths.is_empty() {
+        if options.streaming() {
+            let stdout = std::io::stdout();
+            let mut out = stdout.lock();
+            return run_stream(options, std::io::stdin().lock(), &mut out);
         }
-    };
-    run_on_text(options, &text)
+        let mut buffer = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buffer)
+            .map_err(|e| CliError::new(format!("cannot read standard input: {e}")))?;
+        return run_on_text(options, &buffer);
+    }
+
+    let single_file = options.paths.len() == 1
+        && options.with_filename != Some(true)
+        && !options.heading
+        && fs::metadata(&options.paths[0])
+            .map(|m| m.is_file())
+            .unwrap_or(false);
+    if single_file {
+        let path = &options.paths[0];
+        if options.streaming() {
+            let file = fs::File::open(path)
+                .map_err(|e| CliError::new(format!("cannot read {path}: {e}")))?;
+            let stdout = std::io::stdout();
+            let mut out = stdout.lock();
+            return run_stream(options, file, &mut out);
+        }
+        let text = fs::read_to_string(path)
+            .map_err(|e| CliError::new(format!("cannot read {path}: {e}")))?;
+        return run_on_text(options, &text);
+    }
+
+    let targets = expand_targets(options);
+    let mut out = std::io::stdout();
+    run_paths(options, &targets, &mut out)
 }
 
 #[cfg(test)]
@@ -735,13 +1180,13 @@ mod tests {
         let o = CliOptions::parse(["--stats", "--count", "a+", "input.txt"]).unwrap();
         assert!(o.stats && o.count_only && !o.baseline);
         assert_eq!(o.pattern, "a+");
-        assert_eq!(o.file.as_deref(), Some("input.txt"));
+        assert_eq!(o.paths, ["input.txt"]);
         assert_eq!(o.oracle, OracleSpec::SimLlm);
 
         let o = CliOptions::parse(["--oracle", "always-true", "--baseline", "x"]).unwrap();
         assert!(o.baseline);
         assert_eq!(o.oracle, OracleSpec::AlwaysTrue);
-        assert_eq!(o.file, None);
+        assert!(o.paths.is_empty());
 
         let o =
             CliOptions::parse(["--oracle", "set:oracle.tsv", "--max-lines", "10", "x"]).unwrap();
@@ -762,6 +1207,46 @@ mod tests {
     }
 
     #[test]
+    fn multi_path_and_walk_flags_parse() {
+        let o = CliOptions::parse(["pat", "a.txt", "some/dir", "b.txt"]).unwrap();
+        assert_eq!(o.paths, ["a.txt", "some/dir", "b.txt"]);
+        assert_eq!(o.with_filename, None);
+        assert!(!o.heading && !o.hidden && !o.follow && !o.binary);
+
+        let o = CliOptions::parse([
+            "--with-filename",
+            "--hidden",
+            "--follow",
+            "--binary",
+            "--ignore",
+            "*.log",
+            "--ignore",
+            "target",
+            "--max-depth",
+            "3",
+            "pat",
+            "dir",
+        ])
+        .unwrap();
+        assert_eq!(o.with_filename, Some(true));
+        assert!(o.hidden && o.follow && o.binary);
+        assert_eq!(o.ignore, ["*.log", "target"]);
+        assert_eq!(o.max_depth, Some(3));
+
+        let o = CliOptions::parse(["-H", "pat", "f"]).unwrap();
+        assert_eq!(o.with_filename, Some(true));
+        let o = CliOptions::parse(["--no-filename", "--heading", "pat", "f"]).unwrap();
+        assert_eq!(o.with_filename, Some(false));
+        assert!(o.heading);
+
+        // --help short-circuits with exit-0 semantics, even pattern-less.
+        let o = CliOptions::parse(["--help"]).unwrap();
+        assert!(o.help);
+        let o = CliOptions::parse(["-h", "whatever"]).unwrap();
+        assert!(o.help);
+    }
+
+    #[test]
     fn malformed_options_are_rejected() {
         assert!(CliOptions::parse(Vec::<String>::new()).is_err());
         assert!(CliOptions::parse(["--oracle"]).is_err());
@@ -773,8 +1258,10 @@ mod tests {
         // --chunk-lines without --batched would be silently ignored.
         assert!(CliOptions::parse(["--chunk-lines", "64", "x"]).is_err());
         assert!(CliOptions::parse(["--frobnicate", "x"]).is_err());
-        assert!(CliOptions::parse(["a", "b", "c"]).is_err());
-        assert!(CliOptions::parse(["--help"]).is_err());
+        assert!(CliOptions::parse(["--ignore"]).is_err());
+        assert!(CliOptions::parse(["--max-depth", "0", "x"]).is_err());
+        assert!(CliOptions::parse(["--max-depth", "deep", "x"]).is_err());
+        assert!(CliOptions::parse(["--with-filename", "--heading", "x", "d"]).is_err());
     }
 
     #[test]
@@ -1050,6 +1537,117 @@ mod tests {
         let text = "Subject: cheap viagra\n".repeat(50);
         let err = run_stream(&options, text.as_bytes(), &mut BrokenPipe).unwrap_err();
         assert!(err.to_string().contains("cannot write output"), "{err}");
+    }
+
+    use crate::testutil::Scratch;
+
+    fn run_tree_args<S: Into<String> + Clone>(args: &[S]) -> (Vec<u8>, CliOutcome) {
+        let options = CliOptions::parse(args.iter().cloned()).unwrap();
+        let targets = expand_targets(&options);
+        let mut out = Vec::new();
+        let outcome = run_paths(&options, &targets, &mut out).unwrap();
+        (out, outcome)
+    }
+
+    #[test]
+    fn multi_file_scan_prefixes_paths_and_orders_deterministically() {
+        let scratch = Scratch::new("multi");
+        scratch.file("b/late.txt", "Subject: cheap viagra\n");
+        scratch.file("a.txt", "Subject: cheap viagra\nplain\n");
+        scratch.file("b/early.txt", "nothing\n");
+        let dir = scratch.0.display().to_string();
+        let pattern = r"Subject: .*(?<Medicine name>: .+).*";
+
+        let (out, outcome) = run_tree_args(&[pattern, &dir]);
+        let expected =
+            format!("{dir}/a.txt:Subject: cheap viagra\n{dir}/b/late.txt:Subject: cheap viagra\n");
+        assert_eq!(String::from_utf8_lossy(&out), expected);
+        assert_eq!(outcome.exit_code, 0);
+        assert!(outcome.stderr.is_empty());
+
+        // Byte-identical output for any thread count, and global oracle
+        // dedupe means the duplicated subject line is judged once.
+        for threads in ["2", "8"] {
+            let (parallel, para_outcome) =
+                run_tree_args(&["--threads", threads, "--stats", pattern, &dir]);
+            assert_eq!(parallel, out.as_slice(), "threads={threads}");
+            assert_eq!(para_outcome.exit_code, 0);
+            let shared = para_outcome
+                .stderr
+                .iter()
+                .find(|l| l.starts_with("shared_session:"))
+                .expect("multi-file stats include the shared session");
+            assert!(shared.contains("deduped="), "{shared}");
+        }
+
+        // --no-filename drops the prefix; --heading groups by file.
+        let (out, _) = run_tree_args(&["--no-filename", pattern, &dir]);
+        assert_eq!(
+            String::from_utf8_lossy(&out),
+            "Subject: cheap viagra\nSubject: cheap viagra\n"
+        );
+        let (out, _) = run_tree_args(&["--heading", pattern, &dir]);
+        assert_eq!(
+            String::from_utf8_lossy(&out),
+            format!(
+                "{dir}/a.txt\nSubject: cheap viagra\n\n{dir}/b/late.txt\nSubject: cheap viagra\n"
+            )
+        );
+
+        // --count prints per-file counts.
+        let (out, outcome) = run_tree_args(&["--count", pattern, &dir]);
+        assert_eq!(
+            String::from_utf8_lossy(&out),
+            format!("{dir}/a.txt:1\n{dir}/b/early.txt:0\n{dir}/b/late.txt:1\n")
+        );
+        assert_eq!(outcome.exit_code, 0);
+    }
+
+    #[test]
+    fn multi_file_scan_survives_unreadable_paths_with_exit_2() {
+        let scratch = Scratch::new("errors");
+        scratch.file("ok.txt", "Subject: cheap viagra\n");
+        let ok = scratch.0.join("ok.txt").display().to_string();
+        let missing = scratch.0.join("gone.txt").display().to_string();
+        let pattern = r"Subject: .*(?<Medicine name>: .+).*";
+
+        let (out, outcome) = run_tree_args(&[pattern, &ok, &missing]);
+        assert_eq!(
+            String::from_utf8_lossy(&out),
+            format!("{ok}:Subject: cheap viagra\n")
+        );
+        assert_eq!(outcome.exit_code, 2, "errors trump matches");
+        assert_eq!(outcome.stderr.len(), 1);
+        assert!(
+            outcome.stderr[0].starts_with("grepo: "),
+            "{:?}",
+            outcome.stderr
+        );
+        assert!(outcome.stderr[0].contains("gone.txt"));
+
+        // No matches anywhere and no errors: exit 1.
+        let (_, outcome) =
+            run_tree_args(&["--oracle", "always-false", r".*(?<q>: .+).*", &ok, &ok]);
+        assert_eq!(outcome.exit_code, 1);
+    }
+
+    #[test]
+    fn multi_file_span_mode_and_no_stream_agree() {
+        let scratch = Scratch::new("spans");
+        scratch.file("one.txt", "please buy tramadol today\n");
+        scratch.file("two.txt", "ambien and xanax\nnope\n");
+        let dir = scratch.0.display().to_string();
+        let pattern = r"(?<Medicine name>: [a-z]+)";
+
+        let (out, outcome) = run_tree_args(&["--only-matching", pattern, &dir]);
+        assert_eq!(
+            String::from_utf8_lossy(&out),
+            format!("{dir}/one.txt:tramadol\n{dir}/two.txt:ambien\n{dir}/two.txt:xanax\n")
+        );
+        assert_eq!(outcome.exit_code, 0);
+
+        let (buffered, _) = run_tree_args(&["--only-matching", "--no-stream", pattern, &dir]);
+        assert_eq!(buffered, out, "--no-stream output must be byte-identical");
     }
 
     #[test]

@@ -13,11 +13,18 @@
 //! * [`stream`] — the streaming pipeline ([`scan_stream`],
 //!   [`scan_stream_spans`]): chunked reads with lines reassembled across
 //!   chunk boundaries, bounded memory, byte-identical output;
+//! * [`walk`](mod@walk) — recursive directory traversal: deterministic
+//!   ordering, ignore globs, hidden/binary skipping, symlink policy, max
+//!   depth;
+//! * [`tree`] — the multi-file scheduler ([`scan_tree`]): file-level work
+//!   stealing across worker threads with output reassembled in file
+//!   order, so directory scans are byte-identical for any thread count;
 //! * [`ScanReport`] — per-line records and the aggregate statistics of
 //!   Table 2 and Fig. 10;
 //! * [`cli`] — option parsing and the drivers behind the `grepo` binary,
-//!   including span search (`--only-matching`, `--color`) and streaming
-//!   (`--stream`, the default for file and stdin input).
+//!   including span search (`--only-matching`, `--color`), streaming
+//!   (`--stream`, the default), and multi-path / directory scans with
+//!   grep-convention exit codes.
 //!
 //! # Example
 //!
@@ -48,6 +55,10 @@ pub mod cli;
 mod engine;
 mod stats;
 pub mod stream;
+#[cfg(test)]
+mod testutil;
+pub mod tree;
+pub mod walk;
 
 pub use engine::{
     scan, scan_batched, scan_batched_parallel, scan_parallel, scan_per_call_parallel, scan_spans,
@@ -55,3 +66,5 @@ pub use engine::{
 };
 pub use stats::{LineRecord, ScanReport};
 pub use stream::{scan_stream, scan_stream_spans, StreamOptions, StreamReport};
+pub use tree::{scan_tree, FileSummary, TreeOptions, TreeReport};
+pub use walk::{glob_match, walk, WalkError, WalkOptions, WalkResult};

@@ -1,0 +1,33 @@
+//! Shared test helpers for the in-crate unit tests.
+
+use std::fs;
+use std::path::PathBuf;
+
+/// A scratch directory removed on drop.  The path embeds the process id
+/// and the caller's tag, so concurrently running test binaries do not
+/// collide; two tests *within* one binary must use distinct tags.
+pub(crate) struct Scratch(pub(crate) PathBuf);
+
+impl Scratch {
+    pub(crate) fn new(tag: &str) -> Scratch {
+        let path = std::env::temp_dir().join(format!("semre-grep-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&path);
+        fs::create_dir_all(&path).unwrap();
+        Scratch(path)
+    }
+
+    /// Writes `contents` to `rel` under the scratch root, creating parent
+    /// directories, and returns the absolute path.
+    pub(crate) fn file(&self, rel: &str, contents: impl AsRef<[u8]>) -> PathBuf {
+        let path = self.0.join(rel);
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, contents).unwrap();
+        path
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}

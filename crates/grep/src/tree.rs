@@ -1,0 +1,466 @@
+//! The multi-file scan scheduler: file-level work stealing with
+//! deterministic output.
+//!
+//! Directory scans have embarrassingly parallel structure — files are
+//! independent — and (per the dichotomy results for classical regex
+//! membership) the text-side work per file is cheap, so the scheduling
+//! unit is a **whole file**: [`scan_tree`] spawns `threads` workers that
+//! claim files off a shared atomic counter (idle workers steal the next
+//! unclaimed file, so a directory of one huge file and many tiny ones
+//! stays balanced without any sizing heuristics).
+//!
+//! Each worker scans its file through a caller-supplied closure (the CLI
+//! plugs in the streaming pipeline of [`crate::stream`]) into a private
+//! byte buffer; a shared emitter then releases the buffers in file
+//! order, so the bytes written to `out` are **identical for any thread
+//! count** — the concurrency is invisible in the output.  Cross-file
+//! oracle deduplication is not handled here: the caller interposes a
+//! [`SharedSession`](semre_oracle::SharedSession) between the compiled
+//! pattern and its backend, and every per-chunk session of every worker
+//! then shares one global answer store.
+//!
+//! Per-file failures (unreadable file, transient I/O) are collected in
+//! [`TreeReport::errors`] and do not abort the scan; a failure to write
+//! `out` (e.g. a broken pipe) cancels the remaining work, exactly like
+//! the single-file streaming path.
+
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use semre_oracle::BatchStats;
+
+/// Default cap on out-of-order buffered output (see
+/// [`TreeOptions::max_pending_bytes`]).
+pub const DEFAULT_MAX_PENDING_BYTES: usize = 8 * 1024 * 1024;
+
+/// Options controlling a tree scan.
+#[derive(Clone, Debug)]
+pub struct TreeOptions {
+    /// Worker threads claiming files (`<= 1` runs inline on the calling
+    /// thread).
+    pub threads: usize,
+    /// Bytes emitted between consecutive non-empty per-file outputs
+    /// (e.g. `b"\n"` for `--heading` grouping).
+    pub separator: Vec<u8>,
+    /// Backpressure cap: when this many bytes of finished-but-not-yet-
+    /// next output are parked in the reorder buffer, workers stop
+    /// claiming new files until the head-of-line file flushes.  Peak
+    /// buffered output is therefore bounded by roughly this cap plus one
+    /// in-flight buffer per worker, even when the first file of a huge
+    /// tree is slow and every other file matches.  (The head-of-line
+    /// file itself is never blocked, so the scan always makes progress.)
+    pub max_pending_bytes: usize,
+}
+
+impl Default for TreeOptions {
+    fn default() -> Self {
+        TreeOptions {
+            threads: 1,
+            separator: Vec::new(),
+            max_pending_bytes: DEFAULT_MAX_PENDING_BYTES,
+        }
+    }
+}
+
+/// What one file's scan reports back to the scheduler.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FileSummary {
+    /// Lines processed in this file.
+    pub lines: u64,
+    /// Lines that matched.
+    pub matched_lines: u64,
+    /// Whether this file's scan hit its wall-clock budget.
+    pub timed_out: bool,
+    /// Batch-plane counters of this file's chunk sessions.
+    pub batch: BatchStats,
+}
+
+/// Aggregate outcome of a [`scan_tree`] run.
+#[derive(Debug, Default)]
+pub struct TreeReport {
+    /// Files scanned to completion (errored files are not counted).
+    pub files: u64,
+    /// Files with at least one matching line.
+    pub files_with_matches: u64,
+    /// Lines processed across all scanned files.
+    pub lines: u64,
+    /// Matching lines across all scanned files.
+    pub matched_lines: u64,
+    /// Whether any file's scan timed out.
+    pub timed_out: bool,
+    /// Per-file failures, in file order; the scan continued past them.
+    pub errors: Vec<(PathBuf, String)>,
+    /// Merged batch-plane counters of every file's chunk sessions.
+    pub batch: BatchStats,
+    /// Whether the scan was cancelled early (output pipe failure).
+    pub cancelled: bool,
+}
+
+/// Releases per-file output buffers in file order, regardless of the
+/// order workers finish in.
+struct Emitter<'w> {
+    out: &'w mut (dyn Write + Send),
+    next: usize,
+    pending: BTreeMap<usize, Vec<u8>>,
+    /// Bytes currently parked in `pending` (backpressure accounting).
+    pending_bytes: usize,
+    wrote_any: bool,
+    separator: Vec<u8>,
+    error: Option<io::Error>,
+}
+
+impl Emitter<'_> {
+    /// Hands file `index`'s output to the emitter and flushes every
+    /// buffer that is now next in line.  Returns `false` once writing has
+    /// failed (callers should stop claiming work).
+    fn submit(&mut self, index: usize, buffer: Vec<u8>) -> bool {
+        self.pending_bytes += buffer.len();
+        self.pending.insert(index, buffer);
+        while let Some(buffer) = self.pending.remove(&self.next) {
+            self.next += 1;
+            self.pending_bytes -= buffer.len();
+            if buffer.is_empty() {
+                continue;
+            }
+            if self.error.is_none() {
+                let result = if self.wrote_any && !self.separator.is_empty() {
+                    self.out
+                        .write_all(&self.separator)
+                        .and_then(|()| self.out.write_all(&buffer))
+                } else {
+                    self.out.write_all(&buffer)
+                };
+                if let Err(e) = result {
+                    self.error = Some(e);
+                }
+            }
+            self.wrote_any = true;
+        }
+        self.error.is_none()
+    }
+}
+
+/// Scans `files` with `threads` workers, writing each file's output to
+/// `out` in file order.
+///
+/// `scan_file(index, path, buffer)` scans one file, appending whatever
+/// should be printed for it to `buffer`, and returns its [`FileSummary`]
+/// — or an error message, which is recorded in [`TreeReport::errors`]
+/// without aborting the run.  The closure runs concurrently on several
+/// files at once; everything it captures must be `Sync`.
+///
+/// Output written to `out` is byte-identical for any `threads`, because
+/// buffers are released strictly in file order.
+///
+/// # Errors
+///
+/// Only a failure to write `out` is returned as an error (after
+/// cancelling the remaining files); per-file scan failures are data, not
+/// errors.
+pub fn scan_tree<W, F>(
+    files: &[PathBuf],
+    options: &TreeOptions,
+    out: &mut W,
+    scan_file: F,
+) -> io::Result<TreeReport>
+where
+    W: Write + Send,
+    F: Fn(usize, &Path, &mut Vec<u8>) -> Result<FileSummary, String> + Sync,
+{
+    let next_file = AtomicUsize::new(0);
+    let cancelled = AtomicBool::new(false);
+    let emitter = Mutex::new(Emitter {
+        out,
+        next: 0,
+        pending: BTreeMap::new(),
+        pending_bytes: 0,
+        wrote_any: false,
+        separator: options.separator.clone(),
+        error: None,
+    });
+    let drained = std::sync::Condvar::new();
+    let max_pending = options.max_pending_bytes.max(1);
+
+    let worker = || -> Vec<(usize, Result<FileSummary, String>)> {
+        let mut outcomes = Vec::new();
+        loop {
+            if cancelled.load(Ordering::Relaxed) {
+                break;
+            }
+            let index = next_file.fetch_add(1, Ordering::Relaxed);
+            if index >= files.len() {
+                break;
+            }
+            let mut buffer = Vec::new();
+            let outcome = scan_file(index, &files[index], &mut buffer);
+            if let Err(message) = &outcome {
+                // Failed files print nothing; the message is surfaced via
+                // the report so the caller can warn deterministically.
+                debug_assert!(!message.is_empty());
+                buffer.clear();
+            }
+            outcomes.push((index, outcome));
+            let mut guard = emitter.lock().expect("emitter lock poisoned");
+            // Backpressure: park this buffer only if the reorder window
+            // has room, or if it is the head-of-line buffer (which
+            // flushes immediately and advances `next`).  The head holder
+            // never waits, so the scan always makes progress and every
+            // waiter's turn eventually comes.
+            while guard.next != index && guard.pending_bytes >= max_pending && guard.error.is_none()
+            {
+                guard = drained.wait(guard).expect("emitter lock poisoned");
+            }
+            let keep_going = guard.submit(index, buffer);
+            drop(guard);
+            drained.notify_all();
+            if !keep_going {
+                cancelled.store(true, Ordering::Relaxed);
+                break;
+            }
+        }
+        outcomes
+    };
+
+    let threads = options.threads.max(1).min(files.len().max(1));
+    let mut outcomes: Vec<(usize, Result<FileSummary, String>)> = if threads <= 1 {
+        worker()
+    } else {
+        let mut collected = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads).map(|_| scope.spawn(worker)).collect();
+            for handle in handles {
+                collected.extend(handle.join().expect("tree-scan worker panicked"));
+            }
+        });
+        collected
+    };
+    outcomes.sort_unstable_by_key(|&(index, _)| index);
+
+    let mut report = TreeReport {
+        cancelled: cancelled.load(Ordering::Relaxed),
+        ..TreeReport::default()
+    };
+    for (index, outcome) in outcomes {
+        match outcome {
+            Ok(summary) => {
+                report.files += 1;
+                report.lines += summary.lines;
+                report.matched_lines += summary.matched_lines;
+                report.files_with_matches += u64::from(summary.matched_lines > 0);
+                report.timed_out |= summary.timed_out;
+                report.batch = report.batch.merged(&summary.batch);
+            }
+            Err(message) => report.errors.push((files[index].clone(), message)),
+        }
+    }
+    let emitter = emitter.into_inner().expect("emitter lock poisoned");
+    match emitter.error {
+        Some(error) => Err(error),
+        None => Ok(report),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paths(n: usize) -> Vec<PathBuf> {
+        (0..n)
+            .map(|i| PathBuf::from(format!("file-{i:03}")))
+            .collect()
+    }
+
+    #[test]
+    fn output_is_in_file_order_for_any_thread_count() {
+        let files = paths(17);
+        let mut expected = Vec::new();
+        for (i, path) in files.iter().enumerate() {
+            expected.extend_from_slice(format!("{}:{i}\n", path.display()).as_bytes());
+        }
+        for threads in [1, 2, 8] {
+            let mut out = Vec::new();
+            let report = scan_tree(
+                &files,
+                &TreeOptions {
+                    threads,
+                    separator: Vec::new(),
+                    ..TreeOptions::default()
+                },
+                &mut out,
+                |index, path, buffer| {
+                    // Finish in scrambled order to exercise reordering.
+                    std::thread::sleep(std::time::Duration::from_micros(
+                        ((index * 7919) % 23) as u64,
+                    ));
+                    buffer.extend_from_slice(format!("{}:{index}\n", path.display()).as_bytes());
+                    Ok(FileSummary {
+                        lines: 1,
+                        matched_lines: u64::from(index % 2 == 0),
+                        ..FileSummary::default()
+                    })
+                },
+            )
+            .unwrap();
+            assert_eq!(out, expected, "threads={threads}");
+            assert_eq!(report.files, 17);
+            assert_eq!(report.lines, 17);
+            assert_eq!(report.matched_lines, 9);
+            assert_eq!(report.files_with_matches, 9);
+            assert!(report.errors.is_empty());
+            assert!(!report.cancelled);
+        }
+    }
+
+    #[test]
+    fn separators_go_between_non_empty_outputs_only() {
+        let files = paths(4);
+        let mut out = Vec::new();
+        scan_tree(
+            &files,
+            &TreeOptions {
+                threads: 2,
+                separator: b"--\n".to_vec(),
+                ..TreeOptions::default()
+            },
+            &mut out,
+            |index, _, buffer| {
+                if index % 2 == 0 {
+                    buffer.extend_from_slice(format!("out{index}\n").as_bytes());
+                }
+                Ok(FileSummary::default())
+            },
+        )
+        .unwrap();
+        assert_eq!(out, b"out0\n--\nout2\n");
+    }
+
+    #[test]
+    fn per_file_errors_do_not_abort_and_stay_ordered() {
+        let files = paths(6);
+        for threads in [1, 4] {
+            let mut out = Vec::new();
+            let report = scan_tree(
+                &files,
+                &TreeOptions {
+                    threads,
+                    separator: Vec::new(),
+                    ..TreeOptions::default()
+                },
+                &mut out,
+                |index, _, buffer| {
+                    if index % 3 == 1 {
+                        // Errored files may have written partial output;
+                        // the scheduler must drop it.
+                        buffer.extend_from_slice(b"partial garbage");
+                        return Err(format!("cannot read file {index}"));
+                    }
+                    buffer.extend_from_slice(format!("{index}\n").as_bytes());
+                    Ok(FileSummary {
+                        lines: 1,
+                        ..FileSummary::default()
+                    })
+                },
+            )
+            .unwrap();
+            assert_eq!(out, b"0\n2\n3\n5\n", "threads={threads}");
+            assert_eq!(report.files, 4);
+            assert_eq!(
+                report
+                    .errors
+                    .iter()
+                    .map(|(p, m)| (p.to_string_lossy().into_owned(), m.clone()))
+                    .collect::<Vec<_>>(),
+                [
+                    ("file-001".to_owned(), "cannot read file 1".to_owned()),
+                    ("file-004".to_owned(), "cannot read file 4".to_owned())
+                ]
+            );
+        }
+    }
+
+    #[test]
+    fn backpressure_caps_pending_output_without_changing_it() {
+        // A 1-byte reorder window forces workers to wait on the
+        // head-of-line file; output must still be complete and ordered.
+        let files = paths(32);
+        let mut expected = Vec::new();
+        for (i, path) in files.iter().enumerate() {
+            expected.extend_from_slice(format!("{}:{i}\n", path.display()).as_bytes());
+        }
+        for threads in [2, 8] {
+            let mut out = Vec::new();
+            let report = scan_tree(
+                &files,
+                &TreeOptions {
+                    threads,
+                    separator: Vec::new(),
+                    max_pending_bytes: 1,
+                },
+                &mut out,
+                |index, path, buffer| {
+                    // Make the head of each batch slow so later files
+                    // finish first and hit the cap.
+                    if index % 8 == 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                    }
+                    buffer.extend_from_slice(format!("{}:{index}\n", path.display()).as_bytes());
+                    Ok(FileSummary {
+                        lines: 1,
+                        ..FileSummary::default()
+                    })
+                },
+            )
+            .unwrap();
+            assert_eq!(out, expected, "threads={threads}");
+            assert_eq!(report.files, 32);
+        }
+    }
+
+    #[test]
+    fn write_failures_cancel_the_scan() {
+        struct FailAfter(usize);
+        impl Write for FailAfter {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                if self.0 == 0 {
+                    return Err(io::Error::from(io::ErrorKind::BrokenPipe));
+                }
+                self.0 -= 1;
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let files = paths(64);
+        let mut out = FailAfter(3);
+        let err = scan_tree(
+            &files,
+            &TreeOptions {
+                threads: 4,
+                separator: Vec::new(),
+                ..TreeOptions::default()
+            },
+            &mut out,
+            |index, _, buffer| {
+                buffer.extend_from_slice(format!("{index}\n").as_bytes());
+                Ok(FileSummary::default())
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+    }
+
+    #[test]
+    fn empty_file_list() {
+        let mut out = Vec::new();
+        let report = scan_tree(&[], &TreeOptions::default(), &mut out, |_, _, _| {
+            panic!("no files to scan")
+        })
+        .unwrap();
+        assert_eq!(report.files, 0);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,475 @@
+//! Recursive directory traversal for multi-file scans.
+//!
+//! `grepo DIR` needs a file list before any matching starts.  This module
+//! produces it with the standard library alone: a depth-first walk with
+//! **deterministic ordering** (entries of every directory are visited in
+//! byte-wise name order, so the same tree always yields the same file
+//! list, which in turn makes multi-file output reproducible for any thread
+//! count), plus the filters a grep tool is expected to apply:
+//!
+//! * hidden files and directories (dot-prefixed names) are skipped unless
+//!   [`WalkOptions::hidden`] is set;
+//! * binary files are skipped by sniffing the first
+//!   [`BINARY_SNIFF_BYTES`] bytes for a NUL byte, unless
+//!   [`WalkOptions::binary`] is set;
+//! * symbolic links are not followed unless [`WalkOptions::follow`] is
+//!   set (followed directory links are cycle-checked via canonical
+//!   paths);
+//! * [`WalkOptions::ignore`] globs prune both files and whole subtrees;
+//! * [`WalkOptions::max_depth`] bounds the recursion.
+//!
+//! Unreadable directories or files do not abort the walk: they are
+//! recorded as [`WalkError`]s and the traversal continues — per-file
+//! resilience is a hard requirement for scanning large real trees.
+//!
+//! Binary sniffing opens each candidate file once during the walk — a
+//! deliberate trade: the downstream scheduler, per-file counts,
+//! `--heading` groups, and the golden-output tests all want the file
+//! list *fully classified before scheduling*, so a skipped binary never
+//! appears in any output shape.  Deferring the sniff to scan time would
+//! save one `open` per file at the cost of a list whose membership is
+//! only known after the scan.  (The file can still change between sniff
+//! and scan; the scan itself tolerates that like any other mid-read
+//! surprise.)
+
+use std::fs;
+use std::io::Read;
+use std::path::{Path, PathBuf};
+
+/// How many leading bytes are sniffed to classify a file as binary.
+pub const BINARY_SNIFF_BYTES: usize = 1024;
+
+/// Options controlling a directory walk.
+#[derive(Clone, Debug, Default)]
+pub struct WalkOptions {
+    /// Include hidden (dot-prefixed) files and directories.
+    pub hidden: bool,
+    /// Include files whose leading bytes contain NUL (binary files).
+    pub binary: bool,
+    /// Follow symbolic links (cycle-checked for directories).
+    pub follow: bool,
+    /// Ignore globs: `*` matches within a path component, `?` one
+    /// character, `**` any number of components.  A pattern containing
+    /// `/` is matched against the path relative to the walk root;
+    /// otherwise against each file or directory name.
+    pub ignore: Vec<String>,
+    /// Maximum depth below the root (`1` = the root's direct entries
+    /// only).  `None` means unbounded.
+    pub max_depth: Option<usize>,
+}
+
+/// A problem encountered (and survived) during a walk.
+#[derive(Debug)]
+pub struct WalkError {
+    /// The path that could not be read or classified.
+    pub path: PathBuf,
+    /// The underlying error.
+    pub error: std::io::Error,
+}
+
+impl std::fmt::Display for WalkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.path.display(), self.error)
+    }
+}
+
+/// The outcome of a walk: the files to scan, in deterministic order, plus
+/// every error survived along the way.
+#[derive(Debug, Default)]
+pub struct WalkResult {
+    /// Files selected for scanning, in deterministic (depth-first,
+    /// name-sorted) order.
+    pub files: Vec<PathBuf>,
+    /// Directories or files that could not be read; the walk continued
+    /// past them.
+    pub errors: Vec<WalkError>,
+}
+
+/// Matches one glob `pattern` against `text` (`*` within a component,
+/// `?` one character, `**` across components).  Matching is byte-wise.
+pub fn glob_match(pattern: &str, text: &str) -> bool {
+    glob_match_bytes(pattern.as_bytes(), text.as_bytes())
+}
+
+fn glob_match_bytes(pattern: &[u8], text: &[u8]) -> bool {
+    // Classic backtracking glob matcher, extended with `**`.  Patterns and
+    // names are tiny, so worst-case backtracking is irrelevant here.
+    match pattern.split_first() {
+        None => text.is_empty(),
+        Some((b'*', rest)) => {
+            if rest.first() == Some(&b'*') {
+                // `**`: swallow any number of bytes, separators included.
+                let rest = &rest[1..];
+                // Allow `**/` to also match zero components.
+                let rest_no_sep = rest.strip_prefix(b"/").unwrap_or(rest);
+                (0..=text.len()).any(|i| {
+                    glob_match_bytes(rest, &text[i..]) || glob_match_bytes(rest_no_sep, &text[i..])
+                })
+            } else {
+                // `*`: any run of bytes within one path component.
+                (0..=text.len())
+                    .take_while(|&i| i == 0 || text[i - 1] != b'/')
+                    .any(|i| glob_match_bytes(rest, &text[i..]))
+            }
+        }
+        Some((b'?', rest)) => match text.split_first() {
+            Some((&c, tail)) if c != b'/' => glob_match_bytes(rest, tail),
+            _ => false,
+        },
+        Some((&p, rest)) => match text.split_first() {
+            Some((&c, tail)) if c == p => glob_match_bytes(rest, tail),
+            _ => false,
+        },
+    }
+}
+
+/// Whether `name` (a single path component) is hidden, i.e. dot-prefixed.
+fn is_hidden(name: &str) -> bool {
+    name.starts_with('.') && name != "." && name != ".."
+}
+
+/// Whether the file at `path` looks binary: a NUL byte within its first
+/// [`BINARY_SNIFF_BYTES`] bytes.  Read errors are reported to the caller
+/// rather than guessed around.
+fn looks_binary(path: &Path) -> std::io::Result<bool> {
+    let mut file = fs::File::open(path)?;
+    let mut buf = [0u8; BINARY_SNIFF_BYTES];
+    let mut filled = 0;
+    while filled < buf.len() {
+        match file.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(buf[..filled].contains(&0))
+}
+
+impl WalkOptions {
+    /// Whether an ignore glob prunes the entry with the given `name` and
+    /// root-relative path `relative`.
+    fn ignored(&self, name: &str, relative: &str) -> bool {
+        self.ignore.iter().any(|pattern| {
+            if pattern.contains('/') {
+                glob_match(pattern, relative)
+            } else {
+                glob_match(pattern, name)
+            }
+        })
+    }
+}
+
+/// Walks `root` and returns every file selected by `options`, in
+/// deterministic order, together with the errors survived.
+///
+/// `root` must be a directory; pass plain files straight to the scanner.
+/// The root itself is exempt from the hidden-name filter (explicitly
+/// naming `.git/` means the caller wants it walked).
+pub fn walk(root: &Path, options: &WalkOptions) -> WalkResult {
+    let mut result = WalkResult::default();
+    let mut visited_dirs: Vec<PathBuf> = Vec::new();
+    if options.follow {
+        if let Ok(canonical) = fs::canonicalize(root) {
+            visited_dirs.push(canonical);
+        }
+    }
+    walk_dir(root, root, 1, options, &mut visited_dirs, &mut result);
+    result
+}
+
+fn relative_of(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+fn walk_dir(
+    root: &Path,
+    dir: &Path,
+    depth: usize,
+    options: &WalkOptions,
+    visited_dirs: &mut Vec<PathBuf>,
+    result: &mut WalkResult,
+) {
+    if let Some(max) = options.max_depth {
+        if depth > max {
+            return;
+        }
+    }
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(error) => {
+            result.errors.push(WalkError {
+                path: dir.to_path_buf(),
+                error,
+            });
+            return;
+        }
+    };
+    let mut names: Vec<(Vec<u8>, PathBuf)> = Vec::new();
+    for entry in entries {
+        match entry {
+            Ok(entry) => {
+                let path = entry.path();
+                let name = entry.file_name();
+                names.push((name.to_string_lossy().into_owned().into_bytes(), path));
+            }
+            Err(error) => result.errors.push(WalkError {
+                path: dir.to_path_buf(),
+                error,
+            }),
+        }
+    }
+    // Deterministic ordering: byte-wise name sort, independent of the file
+    // system's enumeration order.
+    names.sort();
+    for (name_bytes, path) in names {
+        let name = String::from_utf8_lossy(&name_bytes).into_owned();
+        if !options.hidden && is_hidden(&name) {
+            continue;
+        }
+        let relative = relative_of(root, &path);
+        if options.ignored(&name, &relative) {
+            continue;
+        }
+        let metadata = match fs::symlink_metadata(&path) {
+            Ok(metadata) => metadata,
+            Err(error) => {
+                result.errors.push(WalkError { path, error });
+                continue;
+            }
+        };
+        let file_type = metadata.file_type();
+        let (is_dir, is_file) = if file_type.is_symlink() {
+            if !options.follow {
+                continue;
+            }
+            match fs::metadata(&path) {
+                Ok(target) => (target.is_dir(), target.is_file()),
+                Err(error) => {
+                    // Dangling symlink: report and continue.
+                    result.errors.push(WalkError { path, error });
+                    continue;
+                }
+            }
+        } else {
+            (file_type.is_dir(), file_type.is_file())
+        };
+        if is_dir {
+            if options.follow {
+                // Cycle check on canonical paths: never descend into a
+                // directory currently on (or already off) the stack.
+                match fs::canonicalize(&path) {
+                    Ok(canonical) => {
+                        if visited_dirs.contains(&canonical) {
+                            continue;
+                        }
+                        visited_dirs.push(canonical);
+                    }
+                    Err(error) => {
+                        result.errors.push(WalkError { path, error });
+                        continue;
+                    }
+                }
+            }
+            walk_dir(root, &path, depth + 1, options, visited_dirs, result);
+        } else if is_file {
+            if !options.binary {
+                match looks_binary(&path) {
+                    Ok(true) => continue,
+                    Ok(false) => {}
+                    Err(error) => {
+                        result.errors.push(WalkError { path, error });
+                        continue;
+                    }
+                }
+            }
+            result.files.push(path);
+        }
+        // Sockets, FIFOs, devices: silently skipped.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    use crate::testutil::Scratch;
+
+    fn rel_files(result: &WalkResult, root: &Path) -> Vec<String> {
+        result.files.iter().map(|p| relative_of(root, p)).collect()
+    }
+
+    #[test]
+    fn glob_semantics() {
+        assert!(glob_match("*.txt", "notes.txt"));
+        assert!(!glob_match("*.txt", "dir/notes.txt"), "* stops at /");
+        assert!(glob_match("**/*.txt", "dir/sub/notes.txt"));
+        assert!(glob_match("**/*.txt", "notes.txt"), "** matches zero dirs");
+        assert!(glob_match("no?es.txt", "notes.txt"));
+        assert!(!glob_match("no?es.txt", "no/es.txt"));
+        assert!(glob_match("target", "target"));
+        assert!(!glob_match("target", "retarget"));
+        assert!(glob_match("a*b*c", "aXbYc"));
+        assert!(glob_match("mail/**", "mail/deep/spam.txt"));
+        assert!(!glob_match("mail/**", "inbox/spam.txt"));
+    }
+
+    #[test]
+    fn walk_is_sorted_and_filters() {
+        let scratch = Scratch::new("sorted");
+        scratch.file("b.txt", b"beta\n");
+        scratch.file("a.txt", b"alpha\n");
+        scratch.file("sub/z.txt", b"zeta\n");
+        scratch.file("sub/a.txt", b"alpha\n");
+        scratch.file(".hidden/h.txt", b"hidden\n");
+        scratch.file(".dotfile", b"dot\n");
+        scratch.file("blob.bin", b"bin\x00ary\n");
+
+        let result = walk(&scratch.0, &WalkOptions::default());
+        assert!(result.errors.is_empty());
+        assert_eq!(
+            rel_files(&result, &scratch.0),
+            ["a.txt", "b.txt", "sub/a.txt", "sub/z.txt"]
+        );
+
+        let hidden = walk(
+            &scratch.0,
+            &WalkOptions {
+                hidden: true,
+                ..WalkOptions::default()
+            },
+        );
+        assert_eq!(
+            rel_files(&hidden, &scratch.0),
+            [
+                ".dotfile",
+                ".hidden/h.txt",
+                "a.txt",
+                "b.txt",
+                "sub/a.txt",
+                "sub/z.txt"
+            ]
+        );
+
+        let binary = walk(
+            &scratch.0,
+            &WalkOptions {
+                binary: true,
+                ..WalkOptions::default()
+            },
+        );
+        assert!(rel_files(&binary, &scratch.0).contains(&"blob.bin".to_owned()));
+    }
+
+    #[test]
+    fn ignore_globs_prune_files_and_subtrees() {
+        let scratch = Scratch::new("ignore");
+        scratch.file("keep.txt", b"k\n");
+        scratch.file("skip.log", b"s\n");
+        scratch.file("target/deep/gone.txt", b"g\n");
+        scratch.file("src/ok.txt", b"o\n");
+
+        let result = walk(
+            &scratch.0,
+            &WalkOptions {
+                ignore: vec!["*.log".to_owned(), "target".to_owned()],
+                ..WalkOptions::default()
+            },
+        );
+        assert_eq!(rel_files(&result, &scratch.0), ["keep.txt", "src/ok.txt"]);
+
+        // A slash-bearing pattern matches against the relative path.
+        let result = walk(
+            &scratch.0,
+            &WalkOptions {
+                ignore: vec!["src/*.txt".to_owned()],
+                ..WalkOptions::default()
+            },
+        );
+        assert_eq!(
+            rel_files(&result, &scratch.0),
+            ["keep.txt", "skip.log", "target/deep/gone.txt"]
+        );
+    }
+
+    #[test]
+    fn max_depth_bounds_recursion() {
+        let scratch = Scratch::new("depth");
+        scratch.file("top.txt", b"t\n");
+        scratch.file("one/mid.txt", b"m\n");
+        scratch.file("one/two/deep.txt", b"d\n");
+
+        let result = walk(
+            &scratch.0,
+            &WalkOptions {
+                max_depth: Some(1),
+                ..WalkOptions::default()
+            },
+        );
+        assert_eq!(rel_files(&result, &scratch.0), ["top.txt"]);
+
+        let result = walk(
+            &scratch.0,
+            &WalkOptions {
+                max_depth: Some(2),
+                ..WalkOptions::default()
+            },
+        );
+        assert_eq!(rel_files(&result, &scratch.0), ["one/mid.txt", "top.txt"]);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn symlinks_follow_policy_and_cycles() {
+        use std::os::unix::fs::symlink;
+        let scratch = Scratch::new("symlink");
+        scratch.file("real/a.txt", b"a\n");
+        symlink(scratch.0.join("real"), scratch.0.join("link")).unwrap();
+        // A cycle back to the root.
+        symlink(&scratch.0, scratch.0.join("real/loop")).unwrap();
+
+        let skipped = walk(&scratch.0, &WalkOptions::default());
+        assert_eq!(rel_files(&skipped, &scratch.0), ["real/a.txt"]);
+
+        let followed = walk(
+            &scratch.0,
+            &WalkOptions {
+                follow: true,
+                ..WalkOptions::default()
+            },
+        );
+        // The cycle terminates, and each *physical* directory is scanned
+        // once: `link` sorts before `real` and canonicalizes to it, so the
+        // content appears a single time under the first name reached.
+        assert_eq!(rel_files(&followed, &scratch.0), ["link/a.txt"]);
+        assert!(followed.errors.is_empty());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unreadable_directories_are_survived() {
+        use std::os::unix::fs::PermissionsExt;
+        let scratch = Scratch::new("unreadable");
+        scratch.file("ok.txt", b"o\n");
+        scratch.file("locked/secret.txt", b"s\n");
+        let locked = scratch.0.join("locked");
+        let mut perms = fs::metadata(&locked).unwrap().permissions();
+        perms.set_mode(0o000);
+        fs::set_permissions(&locked, perms).unwrap();
+        // (Running as root bypasses permission bits; accept both shapes.)
+        let result = walk(&scratch.0, &WalkOptions::default());
+        let mut restore = fs::metadata(&locked).unwrap().permissions();
+        restore.set_mode(0o755);
+        fs::set_permissions(&locked, restore).unwrap();
+        assert!(rel_files(&result, &scratch.0).contains(&"ok.txt".to_owned()));
+        if result.errors.is_empty() {
+            assert!(rel_files(&result, &scratch.0).contains(&"locked/secret.txt".to_owned()));
+        } else {
+            assert!(result.errors[0].to_string().contains("locked"));
+        }
+    }
+}

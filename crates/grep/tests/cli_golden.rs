@@ -1,0 +1,366 @@
+//! Golden-output integration harness for the `grepo` binary.
+//!
+//! Runs the **built binary** (via `CARGO_BIN_EXE_grepo`) against the
+//! checked-in fixture tree under `tests/fixtures/tree/` and asserts
+//! **byte-exact** stdout, stderr, and exit codes across a matrix of flag
+//! combinations: membership and span mode, `--color`, `--stream` /
+//! `--no-stream`, `--threads {1,4}`, multiple paths, directory walking,
+//! `--heading`, `--hidden`, `--binary`, `--ignore`, `--max-depth`,
+//! `--count`, and the exit-code convention (0 match / 1 no match /
+//! 2 error).
+//!
+//! Expected stdout lives in `tests/golden/<key>.stdout` (and, where a
+//! case produces deterministic stderr, `tests/golden/<name>.stderr`).
+//! Several cases share one golden file on purpose — `--threads 4`,
+//! `--no-stream`, and tiny stream chunks must be byte-identical to the
+//! sequential streaming run.  To regenerate after an intentional output
+//! change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p semre-grep --test cli_golden
+//! ```
+//!
+//! The fixture tree is scanned with relative paths (the harness sets the
+//! subprocess working directory to `tests/fixtures/`), so printed paths —
+//! and therefore the goldens — are machine-independent.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+/// Example 2.8 membership pattern: spam subjects advertising a medicine.
+const MEMBERSHIP: &str = r"Subject: .*(?<Medicine name>: .+).*";
+/// Span pattern: any medicine name substring.
+const SPANS: &str = r"(?<Medicine name>: [a-z]+)";
+
+fn fixtures_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn golden_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn run_grepo(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_grepo"))
+        .args(args)
+        .current_dir(fixtures_root())
+        .output()
+        .expect("grepo binary runs")
+}
+
+struct Case {
+    /// Unique name, used for failure messages and stderr goldens.
+    name: &'static str,
+    /// Arguments passed to the binary (relative to `tests/fixtures/`).
+    args: Vec<&'static str>,
+    /// Expected exit code.
+    exit: i32,
+    /// Key of the golden stdout file; cases sharing a key must produce
+    /// byte-identical stdout.
+    golden: &'static str,
+}
+
+fn matrix() -> Vec<Case> {
+    let case = |name, args, exit, golden| Case {
+        name,
+        args,
+        exit,
+        golden,
+    };
+    vec![
+        // --- directory membership scan, and its must-be-identical twins ---
+        case(
+            "membership-dir",
+            vec![MEMBERSHIP, "tree"],
+            0,
+            "membership-dir",
+        ),
+        case(
+            "membership-dir-threads4",
+            vec!["--threads", "4", MEMBERSHIP, "tree"],
+            0,
+            "membership-dir",
+        ),
+        case(
+            "membership-dir-batched-threads4",
+            vec!["--batched", "--threads", "4", MEMBERSHIP, "tree"],
+            0,
+            "membership-dir",
+        ),
+        case(
+            "membership-dir-no-stream",
+            vec!["--no-stream", MEMBERSHIP, "tree"],
+            0,
+            "membership-dir",
+        ),
+        case(
+            "membership-dir-stream-tiny-chunks",
+            vec!["--stream", "--stream-chunk-bytes", "7", MEMBERSHIP, "tree"],
+            0,
+            "membership-dir",
+        ),
+        case(
+            "membership-dir-baseline",
+            vec!["--baseline", MEMBERSHIP, "tree"],
+            0,
+            "membership-dir",
+        ),
+        // --- display modes ------------------------------------------------
+        case(
+            "membership-dir-color",
+            vec!["--color", MEMBERSHIP, "tree"],
+            0,
+            "membership-dir-color",
+        ),
+        case(
+            "membership-dir-heading",
+            vec!["--heading", MEMBERSHIP, "tree"],
+            0,
+            "membership-dir-heading",
+        ),
+        case(
+            "membership-dir-no-filename",
+            vec!["--no-filename", MEMBERSHIP, "tree"],
+            0,
+            "membership-dir-no-filename",
+        ),
+        case(
+            "membership-dir-count",
+            vec!["--count", MEMBERSHIP, "tree"],
+            0,
+            "membership-dir-count",
+        ),
+        // --count ignores --heading: counts keep their path: prefixes so
+        // they stay attributable.
+        case(
+            "membership-dir-heading-count",
+            vec!["--heading", "--count", MEMBERSHIP, "tree"],
+            0,
+            "membership-dir-count",
+        ),
+        // --- span search --------------------------------------------------
+        case(
+            "spans-dir",
+            vec!["--only-matching", SPANS, "tree"],
+            0,
+            "spans-dir",
+        ),
+        case(
+            "spans-dir-threads4",
+            vec!["--only-matching", "--threads", "4", SPANS, "tree"],
+            0,
+            "spans-dir",
+        ),
+        case(
+            "spans-dir-color",
+            vec!["--only-matching", "--color", SPANS, "tree"],
+            0,
+            "spans-dir-color",
+        ),
+        // --- multiple paths: explicit file + directory --------------------
+        case(
+            "multi-path",
+            vec![MEMBERSHIP, "tree/notes.txt", "tree/mail"],
+            0,
+            "multi-path",
+        ),
+        case(
+            "multi-path-threads4",
+            vec!["--threads", "4", MEMBERSHIP, "tree/notes.txt", "tree/mail"],
+            0,
+            "multi-path",
+        ),
+        // --- walk filters -------------------------------------------------
+        case(
+            "hidden-dir",
+            vec!["--hidden", MEMBERSHIP, "tree"],
+            0,
+            "hidden-dir",
+        ),
+        case(
+            "binary-dir",
+            vec!["--binary", MEMBERSHIP, "tree"],
+            0,
+            "binary-dir",
+        ),
+        case(
+            "ignore-glob",
+            vec!["--ignore", "mail", "--ignore", "*.bin", MEMBERSHIP, "tree"],
+            0,
+            "ignore-glob",
+        ),
+        case(
+            "max-depth-1",
+            vec!["--max-depth", "1", MEMBERSHIP, "tree"],
+            1,
+            "max-depth-1",
+        ),
+        // --- single file: no prefix, within-file threading ----------------
+        case(
+            "single-file",
+            vec![MEMBERSHIP, "tree/mail/spam.txt"],
+            0,
+            "single-file",
+        ),
+        case(
+            "single-file-threads4",
+            vec!["--threads", "4", MEMBERSHIP, "tree/mail/spam.txt"],
+            0,
+            "single-file",
+        ),
+        case(
+            "single-file-with-filename",
+            vec!["--with-filename", MEMBERSHIP, "tree/mail/spam.txt"],
+            0,
+            "single-file-with-filename",
+        ),
+        // --- exit-code convention -----------------------------------------
+        case(
+            "no-match-dir",
+            vec![MEMBERSHIP, "tree/mail/work.txt"],
+            1,
+            "empty",
+        ),
+        case(
+            "no-match-always-false",
+            vec!["--oracle", "always-false", MEMBERSHIP, "tree"],
+            1,
+            "empty",
+        ),
+    ]
+}
+
+fn read_golden(path: &PathBuf) -> Vec<u8> {
+    fs::read(path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    })
+}
+
+#[test]
+fn golden_flag_matrix() {
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let golden_dir = golden_root();
+    fs::create_dir_all(&golden_dir).unwrap();
+
+    // First pass in update mode: write each golden key from its first case.
+    let mut written: BTreeMap<&str, &str> = BTreeMap::new();
+    for case in matrix() {
+        let output = run_grepo(&case.args);
+        let stdout_path = golden_dir.join(format!("{}.stdout", case.golden));
+        if update && !written.contains_key(case.golden) {
+            fs::write(&stdout_path, &output.stdout).unwrap();
+            written.insert(case.golden, case.name);
+        }
+        let expected_stdout = read_golden(&stdout_path);
+        assert_eq!(
+            output.stdout,
+            expected_stdout,
+            "case {}: stdout diverged from golden {} (got: {:?})",
+            case.name,
+            case.golden,
+            String::from_utf8_lossy(&output.stdout)
+        );
+        assert_eq!(
+            output.status.code(),
+            Some(case.exit),
+            "case {}: exit code (stderr: {:?})",
+            case.name,
+            String::from_utf8_lossy(&output.stderr)
+        );
+        // Matrix cases produce no stderr unless a .stderr golden exists.
+        let stderr_path = golden_dir.join(format!("{}.stderr", case.name));
+        if stderr_path.exists() {
+            assert_eq!(
+                output.stderr,
+                read_golden(&stderr_path),
+                "case {}",
+                case.name
+            );
+        } else {
+            assert!(
+                output.stderr.is_empty(),
+                "case {}: unexpected stderr {:?}",
+                case.name,
+                String::from_utf8_lossy(&output.stderr)
+            );
+        }
+    }
+}
+
+#[test]
+fn golden_error_resilience_and_exit_codes() {
+    // A missing path warns on stderr, the readable path is still scanned,
+    // and the run exits 2 (grep convention: errors trump matches).
+    let output = run_grepo(&[MEMBERSHIP, "tree/nope.txt", "tree/mail/spam.txt"]);
+    assert_eq!(output.status.code(), Some(2));
+    let golden = golden_root().join("missing-path.stdout");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::write(&golden, &output.stdout).unwrap();
+    }
+    assert_eq!(output.stdout, read_golden(&golden));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.starts_with("grepo: tree/nope.txt: "),
+        "stderr: {stderr:?}"
+    );
+    assert_eq!(stderr.lines().count(), 1, "exactly one warning: {stderr:?}");
+
+    // Same shape when the missing path is the only argument: no match
+    // output, exit 2.
+    let output = run_grepo(&[MEMBERSHIP, "tree/nope.txt"]);
+    assert_eq!(output.status.code(), Some(2));
+    assert!(output.stdout.is_empty());
+
+    // An invalid pattern is an error: exit 2, message on stderr.
+    let output = run_grepo(&["(unclosed", "tree"]);
+    assert_eq!(output.status.code(), Some(2));
+    assert!(output.stdout.is_empty());
+    assert!(
+        String::from_utf8_lossy(&output.stderr).contains("invalid pattern"),
+        "stderr: {:?}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    // Malformed options: exit 2.
+    let output = run_grepo(&["--frobnicate", "x", "tree"]);
+    assert_eq!(output.status.code(), Some(2));
+
+    // --help prints usage on stdout and exits 0.
+    let output = run_grepo(&["--help"]);
+    assert_eq!(output.status.code(), Some(0));
+    assert_eq!(
+        String::from_utf8_lossy(&output.stdout),
+        format!("{}\n", semre_grep::cli::USAGE)
+    );
+    assert!(output.stderr.is_empty());
+}
+
+#[test]
+fn golden_stdin_still_works() {
+    use std::io::Write;
+    use std::process::Stdio;
+    // No path arguments: scan standard input, no filename prefixes.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_grepo"))
+        .args([MEMBERSHIP])
+        .current_dir(fixtures_root())
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("grepo spawns");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(b"Subject: cheap viagra now\nplain\n")
+        .unwrap();
+    let output = child.wait_with_output().unwrap();
+    assert_eq!(output.status.code(), Some(0));
+    assert_eq!(output.stdout, b"Subject: cheap viagra now\n");
+    assert!(output.stderr.is_empty());
+}

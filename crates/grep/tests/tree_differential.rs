@@ -1,0 +1,170 @@
+//! Randomized differential tests for the multi-file engine.
+//!
+//! SplitMix64-generated directory trees (nested directories, empty files,
+//! non-UTF-8 lines, lines straddling streaming chunk boundaries) are
+//! scanned through the full multi-file CLI driver with `--threads`
+//! {1, 2, 8}; every parallel run must be **byte-identical** to the
+//! sequential one, and a straightforward per-file reference loop built on
+//! the facade's `scan_paths` must agree line for line.  On the oracle
+//! side, a whole-tree scan through the shared session must reach the
+//! backend at most as often as the per-file sum — cross-file
+//! deduplication can only remove questions, never add them.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use semre::{Instrumented, Oracle, SemRegexBuilder, SharedSession, SimLlmOracle};
+use semre_grep::cli::{expand_targets, run_paths, CliOptions};
+use semre_grep::stream::{scan_stream, StreamOptions};
+use semre_workloads::{CorpusTree, CorpusTreeConfig};
+
+const PATTERN: &str = r"Subject: .*(?<Medicine name>: [a-z]+).*";
+
+/// A scratch directory removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let path =
+            std::env::temp_dir().join(format!("semre-tree-diff-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).unwrap();
+        Scratch(path)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn run_with(extra: &[&str], root: &std::path::Path) -> (Vec<u8>, i32) {
+    let mut args: Vec<String> = extra.iter().map(|s| s.to_string()).collect();
+    args.push(PATTERN.to_owned());
+    args.push(root.display().to_string());
+    let options = CliOptions::parse(args).unwrap();
+    let targets = expand_targets(&options);
+    assert!(targets.errors.is_empty(), "{:?}", targets.errors);
+    let mut out = Vec::new();
+    let outcome = run_paths(&options, &targets, &mut out).unwrap();
+    (out, outcome.exit_code)
+}
+
+#[test]
+fn random_trees_scan_identically_for_any_thread_count() {
+    for seed in [1u64, 7, 20250726] {
+        let config = CorpusTreeConfig {
+            seed,
+            files: 14,
+            mean_lines: 24,
+            pool: 25,
+            pool_bias: 0.6,
+        };
+        let tree = CorpusTree::generate(&config);
+        let scratch = Scratch::new(&format!("threads-{seed}"));
+        tree.write_to(&scratch.0).unwrap();
+
+        // Tiny stream chunks force lines to straddle I/O boundaries.
+        for extra in [
+            vec![],
+            vec!["--batched"],
+            vec!["--stream-chunk-bytes", "7"],
+            vec!["--only-matching"],
+            vec!["--count"],
+            vec!["--heading"],
+        ] {
+            let (sequential, seq_exit) = run_with(&extra, &scratch.0);
+            for threads in ["2", "8"] {
+                let mut args = vec!["--threads", threads];
+                args.extend(extra.iter().copied());
+                let (parallel, par_exit) = run_with(&args, &scratch.0);
+                assert_eq!(
+                    parallel, sequential,
+                    "seed {seed}, extra {extra:?}, threads {threads}"
+                );
+                assert_eq!(par_exit, seq_exit);
+            }
+        }
+    }
+}
+
+#[test]
+fn tree_scan_agrees_with_a_sequential_per_file_reference_loop() {
+    let config = CorpusTreeConfig {
+        seed: 99,
+        files: 10,
+        mean_lines: 20,
+        ..CorpusTreeConfig::default()
+    };
+    let tree = CorpusTree::generate(&config);
+    let scratch = Scratch::new("reference");
+    tree.write_to(&scratch.0).unwrap();
+
+    // Reference: the facade's sequential multi-path scan over the same
+    // (sorted-walk) file list, rendering `path:line` by hand.
+    let options = CliOptions::parse([PATTERN, &scratch.0.display().to_string()]).unwrap();
+    let targets = expand_targets(&options);
+    let re = SemRegexBuilder::new()
+        .build(PATTERN, SimLlmOracle::new())
+        .unwrap();
+    let mut expected = Vec::new();
+    for (path, verdict) in re.scan_paths(targets.files.clone()) {
+        let verdict = verdict.expect("scratch tree is readable");
+        if verdict.matched {
+            expected.extend_from_slice(format!("{}:", path.display()).as_bytes());
+            expected.extend_from_slice(&verdict.bytes);
+            expected.push(b'\n');
+        }
+    }
+
+    let (got, exit) = run_with(&[], &scratch.0);
+    assert_eq!(got, expected);
+    assert_eq!(exit, i32::from(expected.is_empty()));
+}
+
+#[test]
+fn shared_session_never_exceeds_the_per_file_query_sum() {
+    let config = CorpusTreeConfig {
+        seed: 4242,
+        files: 12,
+        mean_lines: 30,
+        pool: 20,
+        pool_bias: 0.75,
+    };
+    let tree = CorpusTree::generate(&config);
+
+    let backend_calls = |share_across_files: bool| -> u64 {
+        let backend = Arc::new(Instrumented::new(SimLlmOracle::new()));
+        let oracle: Arc<dyn Oracle> = if share_across_files {
+            Arc::new(SharedSession::new(backend.clone()))
+        } else {
+            backend.clone()
+        };
+        let re = SemRegexBuilder::new()
+            .batched(true)
+            .build_shared(PATTERN, oracle)
+            .unwrap();
+        let after_compile = backend.stats().calls;
+        let stream_options = StreamOptions {
+            batched: true,
+            ..StreamOptions::default()
+        };
+        for file in &tree.files {
+            scan_stream(&re, &file.contents[..], &stream_options, |_, _, _| true).unwrap();
+        }
+        backend.stats().calls - after_compile
+    };
+
+    let shared = backend_calls(true);
+    let per_file_sum = backend_calls(false);
+    assert!(
+        shared <= per_file_sum,
+        "sharing can only remove backend questions ({shared} vs {per_file_sum})"
+    );
+    // On this pool-heavy corpus the shared session must dedupe for real.
+    assert!(
+        shared < per_file_sum,
+        "shared-query corpus must dedupe across files ({shared} vs {per_file_sum})"
+    );
+}

@@ -373,6 +373,173 @@ impl std::fmt::Debug for BatchSession<'_> {
     }
 }
 
+/// Shared state behind every clone of a [`SharedSession`].
+#[derive(Debug, Default)]
+struct SharedSessionState {
+    cache: std::sync::Mutex<AnswerStore>,
+    keys_submitted: std::sync::atomic::AtomicU64,
+    keys_deduped: std::sync::atomic::AtomicU64,
+    backend_keys: std::sync::atomic::AtomicU64,
+    batches: std::sync::atomic::AtomicU64,
+}
+
+/// A thread-safe answer store shared across *many* scans — the cross-file
+/// generalization of [`BatchSession`].
+///
+/// A [`BatchSession`] lives on one thread for the duration of one chunk; a
+/// `SharedSession` is `Clone + Send + Sync` and implements [`Oracle`]
+/// itself, so it can be interposed *between* a matcher (or many matchers on
+/// many threads) and the real backend: every per-chunk session that misses
+/// its local store forwards the question here, and only questions never
+/// seen by *any* chunk of *any* file reach the backend.  This is what makes
+/// a multi-file scan dedupe oracle questions globally — a medicine name
+/// repeated across a whole directory tree is judged once.
+///
+/// Answer-level counters are exposed as a [`BatchStats`]:
+/// `keys_submitted` / `keys_deduped` count questions arriving here (after
+/// per-chunk dedup), `backend_keys` counts questions that actually reached
+/// the backend.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use semre_oracle::{Instrumented, Oracle, SharedSession, SimLlmOracle};
+///
+/// let backend = Arc::new(Instrumented::new(SimLlmOracle::new()));
+/// let shared = SharedSession::new(backend.clone());
+/// // Two "files" asking the same question: one backend call.
+/// assert!(shared.holds("Medicine name", b"tramadol"));
+/// assert!(shared.clone().holds("Medicine name", b"tramadol"));
+/// assert_eq!(backend.stats().calls, 1);
+/// assert_eq!(shared.stats().keys_deduped, 1);
+/// ```
+#[derive(Clone)]
+pub struct SharedSession {
+    oracle: std::sync::Arc<dyn Oracle>,
+    state: std::sync::Arc<SharedSessionState>,
+}
+
+impl std::fmt::Debug for SharedSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedSession")
+            .field("backend", &self.oracle.describe())
+            .field("entries", &self.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl SharedSession {
+    /// A fresh shared session over `oracle`.  Clones share the same store
+    /// and counters.
+    pub fn new(oracle: std::sync::Arc<dyn Oracle>) -> Self {
+        SharedSession {
+            oracle,
+            state: std::sync::Arc::new(SharedSessionState::default()),
+        }
+    }
+
+    /// The backend this session resolves against.
+    pub fn backend(&self) -> &std::sync::Arc<dyn Oracle> {
+        &self.oracle
+    }
+
+    fn lock_cache(&self) -> std::sync::MutexGuard<'_, AnswerStore> {
+        self.state
+            .cache
+            .lock()
+            .expect("shared session lock poisoned")
+    }
+
+    /// Batch-plane counters accumulated across every clone.
+    pub fn stats(&self) -> BatchStats {
+        use std::sync::atomic::Ordering::Relaxed;
+        BatchStats {
+            batches: self.state.batches.load(Relaxed),
+            keys_submitted: self.state.keys_submitted.load(Relaxed),
+            keys_deduped: self.state.keys_deduped.load(Relaxed),
+            backend_keys: self.state.backend_keys.load(Relaxed),
+        }
+    }
+
+    /// Number of distinct `(query, text)` answers currently stored.
+    pub fn len(&self) -> usize {
+        self.lock_cache().len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all stored answers and counters.
+    pub fn clear(&self) {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.lock_cache().clear();
+        self.state.keys_submitted.store(0, Relaxed);
+        self.state.keys_deduped.store(0, Relaxed);
+        self.state.backend_keys.store(0, Relaxed);
+        self.state.batches.store(0, Relaxed);
+    }
+}
+
+impl Oracle for SharedSession {
+    fn holds(&self, query: &str, text: &[u8]) -> bool {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.state.keys_submitted.fetch_add(1, Relaxed);
+        let key = QueryKey::new(query, text);
+        if let Some(answer) = self.lock_cache().get(&key) {
+            self.state.keys_deduped.fetch_add(1, Relaxed);
+            return answer;
+        }
+        // The backend call happens outside the lock so a slow oracle does
+        // not serialize unrelated questions from other files' workers.  Two
+        // threads racing on the same fresh key may both reach the backend;
+        // determinism (the Oracle contract) makes that harmless, and the
+        // store converges to one entry.
+        let answer = self.oracle.holds(query, text);
+        self.state.backend_keys.fetch_add(1, Relaxed);
+        self.state.batches.fetch_add(1, Relaxed);
+        self.lock_cache().insert(&key, answer);
+        answer
+    }
+
+    fn resolve_batch(&self, batch: &[QueryKey<'_>]) -> Vec<bool> {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.state
+            .keys_submitted
+            .fetch_add(batch.len() as u64, Relaxed);
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        let plan = {
+            let cache = self.lock_cache();
+            BatchPlan::classify(batch, |key| cache.get(key))
+        };
+        self.state.keys_deduped.fetch_add(plan.hits(), Relaxed);
+        let miss_answers = if plan.misses.is_empty() {
+            Vec::new()
+        } else {
+            self.state.batches.fetch_add(1, Relaxed);
+            self.state
+                .backend_keys
+                .fetch_add(plan.misses.len() as u64, Relaxed);
+            let answers = self.oracle.resolve_batch(&plan.misses);
+            let mut cache = self.lock_cache();
+            for (key, &answer) in plan.misses.iter().zip(&answers) {
+                cache.insert(key, answer);
+            }
+            answers
+        };
+        plan.into_answers(miss_answers)
+    }
+
+    fn describe(&self) -> String {
+        format!("shared-session({})", self.oracle.describe())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -468,6 +635,72 @@ mod tests {
         assert!(session.is_empty());
         assert_eq!(session.stats(), BatchStats::default());
         assert_eq!(session.resolve(&[]), Vec::<bool>::new());
+    }
+
+    #[test]
+    fn shared_session_dedupes_across_clones_and_threads() {
+        use std::sync::Arc;
+        let backend = Arc::new(Instrumented::new(PredicateOracle::new(|_, t: &[u8]| {
+            t.starts_with(b"a")
+        })));
+        let shared = SharedSession::new(backend.clone());
+        assert!(shared.is_empty());
+
+        // Point-wise and batched questions share one store.
+        assert!(shared.holds("q", b"ab"));
+        assert_eq!(
+            shared.resolve_batch(&keys(&[("q", b"ab"), ("q", b"cd")])),
+            [true, false]
+        );
+        assert_eq!(backend.stats().calls, 2, "ab answered from the store");
+        assert_eq!(shared.len(), 2);
+        assert_eq!(shared.stats().keys_submitted, 3);
+        assert_eq!(shared.stats().keys_deduped, 1);
+        assert_eq!(shared.stats().backend_keys, 2);
+
+        // Clones on other threads see (and extend) the same store.
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let clone = shared.clone();
+                scope.spawn(move || {
+                    assert!(clone.holds("q", b"ab"));
+                    assert!(!clone.holds("q", b"cd"));
+                });
+            }
+        });
+        assert_eq!(backend.stats().calls, 2, "no new backend questions");
+        assert!(shared.stats().keys_deduped >= 9);
+        assert!(shared.describe().contains("shared-session"));
+
+        shared.clear();
+        assert!(shared.is_empty());
+        assert_eq!(shared.stats(), BatchStats::default());
+    }
+
+    #[test]
+    fn batch_sessions_layered_over_a_shared_session_dedupe_globally() {
+        use std::sync::Arc;
+        // The multi-file topology: each "file" scans with its own
+        // BatchSession, all of them resolving through one SharedSession.
+        let backend = Arc::new(Instrumented::new(PredicateOracle::new(|_, t: &[u8]| {
+            t.len() % 2 == 0
+        })));
+        let shared = SharedSession::new(backend.clone());
+        for _file in 0..3 {
+            let mut session = BatchSession::new(&shared);
+            assert_eq!(
+                session.resolve(&keys(&[("q", b"ab"), ("q", b"abc")])),
+                [true, false]
+            );
+        }
+        assert_eq!(
+            backend.stats().calls,
+            2,
+            "three files, one backend question per distinct key"
+        );
+        assert_eq!(shared.stats().backend_keys, 2);
+        assert_eq!(shared.stats().keys_submitted, 6);
+        assert_eq!(shared.stats().keys_deduped, 4);
     }
 
     #[test]

@@ -42,7 +42,7 @@ mod simple;
 mod stats;
 mod wrappers;
 
-pub use batch::{BatchOracle, BatchSession, LedgerSlot, QueryKey, QueryLedger};
+pub use batch::{BatchOracle, BatchSession, LedgerSlot, QueryKey, QueryLedger, SharedSession};
 pub use services::{
     FileSystemOracle, IpGeoDb, PhishingList, WhoisDb, DEAD_DOMAIN_QUERY, FOREIGN_IP_QUERY,
     NONEXISTENT_PATH_QUERY, PHISHING_QUERY, REGISTERED_AFTER_PREFIX,

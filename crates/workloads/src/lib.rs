@@ -5,6 +5,9 @@
 //!
 //! * [`corpus`] — the spam-e-mail and Java-code corpora (Section 5's two
 //!   datasets), with planted positives and ground truth;
+//! * [`tree`] — generated multi-file corpus trees (nested directories,
+//!   shared-line pools for cross-file oracle deduplication, non-UTF-8 and
+//!   chunk-straddling lines) for directory-scale scans;
 //! * [`bench_set`] — the nine benchmark SemREs of Table 1 wired to their
 //!   oracles ([`Workbench`] / [`BenchSpec`]);
 //! * [`triangle`] — the triangle-finding reduction of Section 4.2;
@@ -36,8 +39,10 @@ pub mod bench_set;
 pub mod corpus;
 pub mod query_complexity;
 pub mod rng;
+pub mod tree;
 pub mod triangle;
 
 pub use bench_set::{BenchSpec, Workbench};
 pub use corpus::{java_corpus, spam_corpus, Corpus, Dataset, GroundTruth};
+pub use tree::{CorpusTree, CorpusTreeConfig, TreeFile};
 pub use triangle::{Graph, TriangleInstance};

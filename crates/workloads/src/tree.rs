@@ -1,0 +1,269 @@
+//! Generated multi-file corpus trees.
+//!
+//! The single-file corpora of [`crate::corpus`] exercise the matcher;
+//! directory-scale features — recursive walking, file-level work
+//! stealing, cross-file oracle deduplication — need a *tree*.
+//! [`CorpusTree`] generates one deterministically (SplitMix64-seeded,
+//! like everything else in this crate) with the shapes that break naive
+//! multi-file engines:
+//!
+//! * nested directories of uneven depth and fan-out;
+//! * empty files and single-line files next to multi-kilobyte ones;
+//! * occasional non-UTF-8 lines (matching is byte-level; printing must
+//!   not shift offsets through a lossy decode);
+//! * long lines that straddle streaming chunk boundaries;
+//! * a **shared line pool**: most lines are drawn from a fixed pool, so
+//!   the same `(query, text)` oracle questions recur across many files —
+//!   the workload on which a cross-file shared session visibly beats
+//!   per-file sessions.
+//!
+//! The tree is a pure in-memory plan ([`CorpusTree::files`]) until
+//! [`CorpusTree::write_to`] materializes it; tests and benchmarks write
+//! it under a scratch directory and point `grepo`-level scans at it.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::rng::StdRng;
+use semre_oracle::MEDICINE_NAMES;
+
+/// Knobs for tree generation.
+#[derive(Clone, Copy, Debug)]
+pub struct CorpusTreeConfig {
+    /// Generation seed.
+    pub seed: u64,
+    /// Number of files (directories are derived from it).
+    pub files: usize,
+    /// Mean lines per non-empty file.
+    pub mean_lines: usize,
+    /// Size of the shared line pool duplicates are drawn from.
+    pub pool: usize,
+    /// Probability that a line is drawn from the shared pool rather than
+    /// generated fresh.
+    pub pool_bias: f64,
+}
+
+impl Default for CorpusTreeConfig {
+    fn default() -> Self {
+        CorpusTreeConfig {
+            seed: 20250726,
+            files: 24,
+            mean_lines: 60,
+            pool: 40,
+            pool_bias: 0.7,
+        }
+    }
+}
+
+/// One generated file of the tree: its root-relative path and raw bytes.
+#[derive(Clone, Debug)]
+pub struct TreeFile {
+    /// Path relative to the tree root (always `/`-separated).
+    pub path: PathBuf,
+    /// File contents; lines may be non-UTF-8 and the last line may lack a
+    /// terminator.
+    pub contents: Vec<u8>,
+}
+
+/// A deterministic multi-file corpus: a list of relative paths with
+/// contents, plus bookkeeping about what was planted.
+#[derive(Clone, Debug)]
+pub struct CorpusTree {
+    /// The files, in deterministic (sorted-path) order.
+    pub files: Vec<TreeFile>,
+    /// Lines across all files.
+    pub total_lines: usize,
+    /// Lines that carry a planted medicine-name positive.
+    pub planted_positives: usize,
+}
+
+/// The spam-shaped line pool and fresh-line generator shared by the tree.
+fn spam_line(rng: &mut StdRng, allow_non_utf8: bool) -> Vec<u8> {
+    let med = MEDICINE_NAMES[rng.gen_range(0..MEDICINE_NAMES.len())];
+    match rng.gen_range(0..10u32) {
+        // Positives: subject lines advertising a medicine.
+        0..=2 => format!("Subject: cheap {med} shipped overnight").into_bytes(),
+        3 => format!("Subject: {med} without prescription").into_bytes(),
+        // Plain negatives.
+        4 => b"Subject: minutes of the weekly sync".to_vec(),
+        5 => format!("order #{} confirmed", rng.gen_range(1000..9999u32)).into_bytes(),
+        6 => b"lorem ipsum dolor sit amet".to_vec(),
+        // A long line, comfortably past small streaming chunks.
+        7 => {
+            let mut line = Vec::with_capacity(300);
+            line.extend_from_slice(b"log: ");
+            for _ in 0..rng.gen_range(40..70usize) {
+                line.extend_from_slice(b"xyzzy ");
+            }
+            line
+        }
+        // Occasionally non-UTF-8 bytes before real content.
+        8 if allow_non_utf8 => {
+            let mut line = vec![0xff, 0xfe, b' '];
+            line.extend_from_slice(format!("buy {med} now").as_bytes());
+            line
+        }
+        _ => format!("re: {med} question").into_bytes(),
+    }
+}
+
+impl CorpusTree {
+    /// Generates the tree for `config`.  The same config always yields
+    /// the same tree, byte for byte.
+    pub fn generate(config: &CorpusTreeConfig) -> CorpusTree {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let pool: Vec<Vec<u8>> = (0..config.pool.max(1))
+            .map(|_| spam_line(&mut rng, true))
+            .collect();
+
+        let dirs = ["", "mail", "mail/inbox", "archive", "archive/2024/deep"];
+        let mut files = Vec::new();
+        let mut total_lines = 0;
+        let mut planted_positives = 0;
+        for index in 0..config.files.max(1) {
+            let dir = dirs[rng.gen_range(0..dirs.len())];
+            let name = format!("file-{index:03}.txt");
+            let path = if dir.is_empty() {
+                PathBuf::from(name)
+            } else {
+                Path::new(dir).join(name)
+            };
+            // A few empty and tiny files; otherwise mean_lines ± 50 %.
+            let lines = match rng.gen_range(0..8u32) {
+                0 => 0,
+                1 => 1,
+                _ => {
+                    let mean = config.mean_lines.max(2);
+                    rng.gen_range(mean / 2..mean + mean / 2)
+                }
+            };
+            let mut contents = Vec::new();
+            for line_index in 0..lines {
+                let line = if rng.gen_bool(config.pool_bias) {
+                    pool[rng.gen_range(0..pool.len())].clone()
+                } else {
+                    spam_line(&mut rng, true)
+                };
+                if line.starts_with(b"Subject: cheap") || line.starts_with(b"Subject: ") {
+                    planted_positives += usize::from(
+                        MEDICINE_NAMES
+                            .iter()
+                            .any(|m| line.windows(m.len()).any(|w| w == m.as_bytes())),
+                    );
+                }
+                contents.extend_from_slice(&line);
+                // A few files end without a trailing newline.
+                if line_index + 1 < lines || !rng.gen_bool(0.15) {
+                    contents.push(b'\n');
+                }
+                total_lines += 1;
+            }
+            files.push(TreeFile { path, contents });
+        }
+        // Deterministic path order, matching what a sorted walk yields.
+        files.sort_by(|a, b| a.path.cmp(&b.path));
+        CorpusTree {
+            files,
+            total_lines,
+            planted_positives,
+        }
+    }
+
+    /// Materializes the tree under `root`, creating directories as
+    /// needed.  Existing files are overwritten.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error creating directories or writing files.
+    pub fn write_to(&self, root: &Path) -> io::Result<()> {
+        for file in &self.files {
+            let path = root.join(&file.path);
+            if let Some(parent) = path.parent() {
+                std::fs::create_dir_all(parent)?;
+            }
+            std::fs::write(&path, &file.contents)?;
+        }
+        Ok(())
+    }
+
+    /// Total bytes across all files.
+    pub fn total_bytes(&self) -> usize {
+        self.files.iter().map(|f| f.contents.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_shaped() {
+        let config = CorpusTreeConfig::default();
+        let a = CorpusTree::generate(&config);
+        let b = CorpusTree::generate(&config);
+        assert_eq!(a.files.len(), b.files.len());
+        for (fa, fb) in a.files.iter().zip(&b.files) {
+            assert_eq!(fa.path, fb.path);
+            assert_eq!(fa.contents, fb.contents);
+        }
+        assert_eq!(a.files.len(), config.files);
+        assert!(a.total_lines > 0);
+        assert!(a.planted_positives > 0, "positives must be planted");
+        // The interesting shapes are present.
+        assert!(a.files.iter().any(|f| f.contents.is_empty()), "empty file");
+        assert!(
+            a.files.iter().any(|f| f.path.components().count() >= 3),
+            "nested dirs"
+        );
+        assert!(
+            a.files
+                .iter()
+                .any(|f| std::str::from_utf8(&f.contents).is_err()),
+            "non-UTF-8 lines"
+        );
+        assert!(
+            a.files
+                .iter()
+                .any(|f| f.contents.split(|&b| b == b'\n').any(|l| l.len() > 200)),
+            "chunk-straddling long lines"
+        );
+        // Cross-file duplication: some line occurs in many files.
+        let mut seen: std::collections::HashMap<&[u8], usize> = std::collections::HashMap::new();
+        for file in &a.files {
+            for line in file.contents.split(|&b| b == b'\n') {
+                if !line.is_empty() {
+                    *seen.entry(line).or_default() += 1;
+                }
+            }
+        }
+        assert!(
+            seen.values().any(|&n| n >= 5),
+            "shared pool must duplicate lines across files"
+        );
+        // A different seed yields a different tree.
+        let other = CorpusTree::generate(&CorpusTreeConfig { seed: 1, ..config });
+        assert!(a
+            .files
+            .iter()
+            .zip(&other.files)
+            .any(|(x, y)| x.contents != y.contents));
+    }
+
+    #[test]
+    fn write_to_materializes_the_plan() {
+        let config = CorpusTreeConfig {
+            files: 6,
+            mean_lines: 8,
+            ..CorpusTreeConfig::default()
+        };
+        let tree = CorpusTree::generate(&config);
+        let root = std::env::temp_dir().join(format!("semre-tree-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        tree.write_to(&root).unwrap();
+        for file in &tree.files {
+            let on_disk = std::fs::read(root.join(&file.path)).unwrap();
+            assert_eq!(on_disk, file.contents, "{:?}", file.path);
+        }
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

@@ -82,7 +82,7 @@ pub use regex::{
     Match, Matches, SemRegex, SemRegexBuilder, DEFAULT_CHUNK_LINES, DEFAULT_STREAM_CHUNK_BYTES,
 };
 pub use spec::{parse_set_oracle, OracleSpec};
-pub use stream::{LineChunks, LineVerdict, ScanReader};
+pub use stream::{LineChunks, LineVerdict, PathsScan, ScanReader};
 
 pub use semre_automata as automata;
 pub use semre_core as core;
@@ -93,7 +93,7 @@ pub use semre_workloads as workloads;
 pub use semre_core::{DpMatcher, EvalReport, Matcher, MatcherConfig, SearchKind};
 pub use semre_oracle::{
     BatchOracle, BatchSession, BatchStats, CachingOracle, ConstOracle, Instrumented, LatencyModel,
-    Oracle, PalindromeOracle, PredicateOracle, QueryKey, QueryLedger, SetOracle, SimLlmOracle,
-    TableOracle,
+    Oracle, PalindromeOracle, PredicateOracle, QueryKey, QueryLedger, SetOracle, SharedSession,
+    SimLlmOracle, TableOracle,
 };
 pub use semre_syntax::{parse, skeleton, CharClass, ParseSemreError, QueryName, Semre};

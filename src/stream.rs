@@ -236,7 +236,94 @@ impl SemRegex {
             done: false,
         }
     }
+
+    /// Scans several files in sequence, streaming each through
+    /// [`scan_reader`](SemRegex::scan_reader) and yielding every line's
+    /// verdict tagged with the file it came from.  A file that cannot be
+    /// opened (or fails mid-read) yields one `(path, Err(_))` item and the
+    /// scan moves on to the next file — per-file resilience, as a grep
+    /// over a directory tree needs.
+    ///
+    /// This is the facade-level, sequential entry point for multi-file
+    /// scanning; the `semre-grep` crate layers directory walking and
+    /// file-level parallelism (`scan_tree`) on top of the same pipeline.
+    ///
+    /// ```
+    /// use semre::{SemRegex, SimLlmOracle};
+    ///
+    /// let dir = std::env::temp_dir().join(format!("semre-paths-doc-{}", std::process::id()));
+    /// std::fs::create_dir_all(&dir)?;
+    /// std::fs::write(dir.join("a.txt"), "Subject: cheap tramadol\n")?;
+    /// std::fs::write(dir.join("b.txt"), "Subject: team lunch\n")?;
+    ///
+    /// let re = SemRegex::new(r"Subject: .*(?<Medicine name>: [a-z]+).*",
+    ///                        SimLlmOracle::new())?;
+    /// let matched: Vec<String> = re
+    ///     .scan_paths([dir.join("a.txt"), dir.join("b.txt")])
+    ///     .filter_map(|(path, verdict)| {
+    ///         let verdict = verdict.expect("files are readable");
+    ///         verdict.matched.then(|| path.display().to_string())
+    ///     })
+    ///     .collect();
+    /// assert_eq!(matched.len(), 1);
+    /// assert!(matched[0].ends_with("a.txt"));
+    /// # std::fs::remove_dir_all(&dir)?;
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn scan_paths<P, I>(&self, paths: I) -> PathsScan<'_>
+    where
+        P: Into<std::path::PathBuf>,
+        I: IntoIterator<Item = P>,
+    {
+        PathsScan {
+            re: self,
+            queue: paths.into_iter().map(Into::into).collect(),
+            current: None,
+        }
+    }
 }
+
+/// Iterator over the per-line verdicts of a multi-file scan, returned by
+/// [`SemRegex::scan_paths`].  Items are `(path, verdict)` pairs; an
+/// unreadable file produces a single `Err` item and the iteration
+/// continues with the next file.
+pub struct PathsScan<'r> {
+    re: &'r SemRegex,
+    queue: VecDeque<std::path::PathBuf>,
+    current: Option<(
+        std::sync::Arc<std::path::PathBuf>,
+        ScanReader<'r, std::fs::File>,
+    )>,
+}
+
+impl Iterator for PathsScan<'_> {
+    type Item = (std::sync::Arc<std::path::PathBuf>, io::Result<LineVerdict>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some((path, reader)) = &mut self.current {
+                match reader.next() {
+                    Some(Ok(verdict)) => return Some((path.clone(), Ok(verdict))),
+                    Some(Err(e)) => {
+                        // Mid-read failure: report it once, drop the file.
+                        let path = path.clone();
+                        self.current = None;
+                        return Some((path, Err(e)));
+                    }
+                    None => self.current = None,
+                }
+                continue;
+            }
+            let path = std::sync::Arc::new(self.queue.pop_front()?);
+            match std::fs::File::open(path.as_ref()) {
+                Ok(file) => self.current = Some((path, self.re.scan_reader(file))),
+                Err(e) => return Some((path, Err(e))),
+            }
+        }
+    }
+}
+
+impl std::iter::FusedIterator for PathsScan<'_> {}
 
 #[cfg(test)]
 mod tests {
@@ -314,6 +401,44 @@ mod tests {
         let mut it = re.scan_reader(text.as_bytes());
         it.by_ref().count();
         assert!(it.next().is_none());
+    }
+
+    #[test]
+    fn scan_paths_streams_files_in_order_and_survives_missing_ones() {
+        let dir = std::env::temp_dir().join(format!("semre-scan-paths-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("a.txt"), "Subject: cheap viagra\nplain\n").unwrap();
+        std::fs::write(dir.join("b.txt"), "Subject: cheap viagra\n").unwrap();
+        let re = SemRegex::new(
+            r"Subject: .*(?<Medicine name>: [a-z]+).*",
+            SimLlmOracle::new(),
+        )
+        .unwrap();
+
+        let mut items = re.scan_paths([
+            dir.join("a.txt"),
+            dir.join("missing.txt"),
+            dir.join("b.txt"),
+        ]);
+        let (path, verdict) = items.next().unwrap();
+        assert!(path.ends_with("a.txt"));
+        let verdict = verdict.unwrap();
+        assert_eq!(verdict.index, 0);
+        assert!(verdict.matched);
+        let (_, second) = items.next().unwrap();
+        assert!(!second.unwrap().matched);
+        // The missing file yields one error, then the scan continues.
+        let (path, err) = items.next().unwrap();
+        assert!(path.ends_with("missing.txt"));
+        assert_eq!(err.unwrap_err().kind(), io::ErrorKind::NotFound);
+        let (path, verdict) = items.next().unwrap();
+        assert!(path.ends_with("b.txt"));
+        // Indexes restart per file.
+        assert_eq!(verdict.unwrap().index, 0);
+        assert!(items.next().is_none());
+        assert!(items.next().is_none(), "fused after exhaustion");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
