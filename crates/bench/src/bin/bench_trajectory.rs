@@ -1,4 +1,4 @@
-//! Emits the tracked perf trajectory as `BENCH_PR5.json`.
+//! Emits the tracked perf trajectory as `BENCH_PR6.json`.
 //!
 //! ```text
 //! bench_trajectory [--quick] [--check] [--out PATH]
@@ -6,17 +6,17 @@
 //!   --quick      reduced sample sizes and repetitions (CI smoke runs)
 //!   --check      fail (exit 1) when a tracked geomean drops below its
 //!                stored regression floor (see `Floors::tracked`)
-//!   --out PATH   output file (default BENCH_PR5.json)
+//!   --out PATH   output file (default BENCH_PR6.json)
 //! ```
 //!
 //! Prints a human-readable summary table and writes the JSON document the
 //! next PR regresses against.  See EXPERIMENTS.md ("prefilter-speedup",
-//! "prescan-speedup", "stream-throughput", "tree-scan").
+//! "prescan-speedup", "stream-throughput", "tree-scan", "overlap").
 
 use semre_bench::trajectory::{self, Floors, TrajectoryConfig};
 
 fn main() {
-    let mut out_path = "BENCH_PR5.json".to_owned();
+    let mut out_path = "BENCH_PR6.json".to_owned();
     let mut config = TrajectoryConfig::full();
     let mut check = false;
     let mut args = std::env::args().skip(1);
@@ -99,8 +99,34 @@ fn main() {
         tree.equivalent
     );
 
+    let overlap = &trajectory.overlap;
+    println!(
+        "overlap ({} us/batch, {} resolver threads):",
+        overlap.per_batch_latency_us, overlap.oracle_threads
+    );
+    for b in &overlap.benches {
+        println!(
+            "  {:<8} {:>12.0} ns/line sync, {:>12.0} ns/line overlapped ({:.2}x), \
+             suspends={} resumes={} backend_keys={} equivalent={}",
+            b.name,
+            b.overlapped.reference_ns,
+            b.overlapped.fast_ns,
+            b.overlapped.speedup(),
+            b.suspends,
+            b.resumes,
+            b.backend_keys,
+            b.equivalent
+        );
+    }
+    println!(
+        "geomean overlap speedup (overlapped vs synchronous): {:.2}x",
+        overlap.geomean_speedup()
+    );
+
     assert!(
-        trajectory.all_equivalent() && trajectory.tree_scan.equivalent,
+        trajectory.all_equivalent()
+            && trajectory.tree_scan.equivalent
+            && trajectory.overlap.equivalent(),
         "equivalence check failed — the trajectory must never ship with a verdict change"
     );
 

@@ -1,9 +1,9 @@
-//! The tracked benchmark trajectory (`BENCH_PR5.json`).
+//! The tracked benchmark trajectory (`BENCH_PR6.json`).
 //!
 //! Subsequent PRs need a perf baseline to regress against; this module
 //! measures it and emits it as JSON.  Five families of numbers are
 //! recorded for every one of the nine benchmark SemREs, plus one
-//! tree-level entry:
+//! tree-level entry and one overlapped-resolution entry:
 //!
 //! * **prefilter micro** — ns/line for the skeleton prefilter alone, NFA
 //!   state-set simulation vs the lazy DFA, on both the anchored skeleton
@@ -23,17 +23,26 @@
 //!   planes, the parallel and sequential scans, and the streaming and
 //!   in-memory paths all produce identical verdicts on the sample;
 //! * **tree scan** (`tree-scan`) — ns/line for a full multi-file `grepo`
-//!   run over a generated corpus tree, file-level work stealing on 4
-//!   workers vs a sequential scan, plus byte-identity of the output
-//!   across thread counts and the cross-file oracle-deduplication check
-//!   (shared-session backend questions < per-file sum).
+//!   run over a generated corpus tree with a sleeping 2 ms/batch
+//!   `--oracle-delay` backend, file-level work stealing on 4 workers vs a
+//!   sequential scan.  The workers overlap the backend's sleeps across
+//!   files, so the ratio measures *latency hiding* — meaningful even on
+//!   a single core, where CPU-bound parallelism cannot win — plus
+//!   byte-identity of the output across thread counts and the cross-file
+//!   oracle-deduplication check (shared-session backend questions <
+//!   per-file sum);
+//! * **overlap** (`overlap-speedup`) — ns/line for a batched scan against
+//!   a deterministic 1 ms/batch `DelayOracle`, resolver pool (suspend /
+//!   resume scheduling) vs synchronous resolution, plus the verdict
+//!   equivalence and the suspends == resumes protocol check.
 //!
 //! Timings are best-of-`repeat` over a fixed corpus sample — indicative,
 //! not rigorous; the *trajectory* (same harness, same seed, PR after PR)
-//! is what matters.  No latency is injected: these numbers isolate engine
-//! work, not oracle time.  [`Floors`] turns the trajectory into a
-//! regression gate: `bench_trajectory --check` fails when a tracked
-//! geomean drops below its stored floor.
+//! is what matters.  No latency is injected except in the tree-scan and
+//! overlap entries, whose whole point is hiding it: the other numbers
+//! isolate engine work, not oracle time.  [`Floors`] turns the trajectory into a regression
+//! gate: `bench_trajectory --check` fails when a tracked geomean drops
+//! below its stored floor.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -141,6 +150,55 @@ pub struct BenchTrajectory {
     pub equivalent: bool,
 }
 
+/// One benchmark's overlapped-resolution record: a batched scan against a
+/// latency-injecting oracle, resolver pool on vs off.
+#[derive(Clone, Debug)]
+pub struct OverlapBench {
+    /// Table 1 name.
+    pub name: &'static str,
+    /// Lines in the scanned sample.
+    pub lines: usize,
+    /// Full batched scan under the `DelayOracle`, overlapped (resolver
+    /// pool) vs synchronous resolution.
+    pub overlapped: Toggle,
+    /// Lines the overlapped scan parked on in-flight answers.
+    pub suspends: u64,
+    /// Checkpoint resumptions that completed a parked line.
+    pub resumes: u64,
+    /// Keys that actually reached the backend from the pool.
+    pub backend_keys: u64,
+    /// Overlapped and synchronous verdict vectors were identical.
+    pub equivalent: bool,
+}
+
+/// The overlapped-resolution trajectory: latency-hiding measured under a
+/// deterministic `DelayOracle`, where resolver time — not engine work —
+/// dominates, so the overlap is what the numbers isolate.
+#[derive(Clone, Debug)]
+pub struct OverlapTrajectory {
+    /// Injected backend latency per batch, in microseconds.
+    pub per_batch_latency_us: u64,
+    /// Resolver threads of the overlapped handle.
+    pub oracle_threads: usize,
+    /// The tracked benchmarks (`spam,1` and `id`).
+    pub benches: Vec<OverlapBench>,
+}
+
+impl OverlapTrajectory {
+    /// Geometric mean of the overlapped-vs-synchronous speedups.
+    pub fn geomean_speedup(&self) -> f64 {
+        geomean(self.benches.iter().map(|b| b.overlapped.speedup()))
+    }
+
+    /// Whether every tracked benchmark matched the synchronous verdicts
+    /// and the suspension protocol was actually exercised.
+    pub fn equivalent(&self) -> bool {
+        self.benches
+            .iter()
+            .all(|b| b.equivalent && b.suspends > 0 && b.suspends == b.resumes)
+    }
+}
+
 /// The tree-scan trajectory record: one multi-file `grepo` run over a
 /// generated corpus tree.
 #[derive(Clone, Debug)]
@@ -149,7 +207,9 @@ pub struct TreeScanTrajectory {
     pub files: usize,
     /// Lines across all files.
     pub lines: usize,
-    /// Full multi-file scan, 4 work-stealing workers vs sequential.
+    /// Full multi-file scan, 4 work-stealing workers vs sequential, with
+    /// a sleeping per-batch `--oracle-delay` charged at the backend so
+    /// the workers have latency to hide.
     pub parallel: Toggle,
     /// Backend questions of a whole-tree scan through one shared session.
     pub shared_backend_keys: u64,
@@ -178,6 +238,8 @@ pub struct Trajectory {
     pub benches: Vec<BenchTrajectory>,
     /// The multi-file tree-scan record.
     pub tree_scan: TreeScanTrajectory,
+    /// The overlapped-resolution record.
+    pub overlap: OverlapTrajectory,
 }
 
 impl Trajectory {
@@ -259,8 +321,19 @@ impl Trajectory {
             self.tree_scan.parallel.speedup(),
             floors.tree_scan_ratio,
         );
+        gate(
+            "geomean overlap speedup (overlapped vs synchronous resolution)",
+            self.overlap.geomean_speedup(),
+            floors.overlap_speedup,
+        );
         if !self.all_equivalent() {
             violations.push("equivalence check failed on some benchmark".to_owned());
+        }
+        if !self.overlap.equivalent() {
+            violations.push(
+                "overlapped resolution diverged from synchronous verdicts (or never parked a line)"
+                    .to_owned(),
+            );
         }
         if !self.tree_scan.equivalent {
             violations.push("tree-scan output differed across thread counts".to_owned());
@@ -297,10 +370,15 @@ pub struct Floors {
     /// In-memory-vs-streaming scan-time geomean (≈ 1.0 when streaming is
     /// free; the floor only rejects pathological slowdowns).
     pub stream_ratio: f64,
-    /// Sequential-vs-4-worker tree-scan ratio (> 1 when file-level work
-    /// stealing helps; the floor only rejects parallelism becoming a
-    /// pathological slowdown on shared CI runners).
+    /// Sequential-vs-4-worker tree-scan ratio under the sleeping
+    /// per-batch `--oracle-delay`: with the sharded answer store, the
+    /// workers must actually hide backend latency (> 1), not merely
+    /// avoid a pathological slowdown.
     pub tree_scan_ratio: f64,
+    /// Overlapped-vs-synchronous resolution geomean under the 1 ms/batch
+    /// `DelayOracle` (full run well above this; the floor is the PR 6
+    /// acceptance bar).
+    pub overlap_speedup: f64,
 }
 
 impl Floors {
@@ -311,7 +389,8 @@ impl Floors {
             is_match_speedup: 1.05,
             prescan_speedup: 1.25,
             stream_ratio: 0.5,
-            tree_scan_ratio: 0.5,
+            tree_scan_ratio: 1.0,
+            overlap_speedup: 3.0,
         }
     }
 }
@@ -347,12 +426,100 @@ pub fn measure(config: &TrajectoryConfig) -> Trajectory {
         config: *config,
         benches,
         tree_scan: measure_tree_scan(config),
+        overlap: measure_overlap(config, &workbench),
+    }
+}
+
+/// The overlapped-resolution measurement: the tracked benchmarks scanned
+/// against their oracles behind a 1 ms/batch `DelayOracle`, once with
+/// synchronous resolution and once through an 8-thread resolver pool.
+/// Latency dominates engine work here, so the toggle isolates how much of
+/// it the suspend/resume scheduling hides.
+fn measure_overlap(config: &TrajectoryConfig, workbench: &Workbench) -> OverlapTrajectory {
+    use semre::{Oracle, SemRegexBuilder};
+    use semre_workloads::DelayOracle;
+
+    let per_batch = Duration::from_millis(1);
+    let oracle_threads = 8;
+    let chunk = 8;
+    let sample_lines = 48;
+    // Latency-bound, not engine-bound: one extra repetition is enough to
+    // shake scheduler warts without multiplying the injected delays.
+    let repeat = config.repeat.min(2);
+
+    let benches = ["spam,1", "id"]
+        .into_iter()
+        .map(|name| {
+            let spec = workbench
+                .benchmark(name)
+                .expect("tracked overlap benchmark exists");
+            let corpus = workbench.corpus(spec.dataset).truncated_to(200);
+            let lines: Vec<&str> = corpus
+                .lines()
+                .iter()
+                .take(sample_lines)
+                .map(String::as_str)
+                .collect();
+            let delayed: Arc<dyn Oracle> = Arc::new(DelayOracle::new(
+                Arc::clone(&spec.oracle),
+                per_batch,
+                Duration::ZERO,
+            ));
+            let build = |threads: usize| {
+                let mut builder = SemRegexBuilder::new().batched(true).chunk_lines(chunk);
+                if threads > 0 {
+                    builder = builder.overlapped(threads);
+                }
+                builder
+                    .build_semre_shared(spec.semre.clone(), Arc::clone(&delayed))
+                    .expect("benchmark SemREs compile")
+            };
+            let sync_re = build(0);
+            let over_re = build(oracle_threads);
+            let scan = |re: &semre::SemRegex| -> Vec<bool> {
+                scan_batched(re, &lines, chunk, ScanOptions::unlimited())
+                    .records
+                    .iter()
+                    .map(|r| r.matched)
+                    .collect()
+            };
+            let expected = scan(&sync_re);
+            let got = scan(&over_re);
+            let overlapped = Toggle {
+                fast_ns: ns_per_line(repeat, lines.len(), || {
+                    std::hint::black_box(scan(&over_re));
+                }),
+                reference_ns: ns_per_line(repeat, lines.len(), || {
+                    std::hint::black_box(scan(&sync_re));
+                }),
+            };
+            let stats = over_re
+                .resolver_pool()
+                .expect("overlapped handle has a pool")
+                .stats();
+            OverlapBench {
+                name: spec.name,
+                lines: lines.len(),
+                overlapped,
+                suspends: stats.suspends,
+                resumes: stats.resumes,
+                backend_keys: stats.backend_keys,
+                equivalent: got == expected,
+            }
+        })
+        .collect();
+    OverlapTrajectory {
+        per_batch_latency_us: per_batch.as_micros() as u64,
+        oracle_threads,
+        benches,
     }
 }
 
 /// The multi-file tree-scan measurement: a generated corpus tree scanned
 /// through the full `grepo` multi-file driver (walk → work-stealing
-/// scheduler → streaming per-file scans → shared oracle session).
+/// scheduler → streaming per-file scans → shared oracle session), with a
+/// sleeping per-batch `--oracle-delay` charged at the backend so the
+/// 4-worker run has real latency to overlap.
 fn measure_tree_scan(config: &TrajectoryConfig) -> TreeScanTrajectory {
     use semre::{Oracle, SemRegexBuilder, SharedSession, SimLlmOracle};
     use semre_grep::cli::{expand_targets, run_paths, CliOptions};
@@ -377,9 +544,18 @@ fn measure_tree_scan(config: &TrajectoryConfig) -> TreeScanTrajectory {
 
     let pattern = r"Subject: .*(?<Medicine name>: [a-z]+).*";
     let root_str = root.display().to_string();
+    // Each backend batch sleeps for a fixed simulated round-trip
+    // (`--oracle-delay`), so the sequential scan serializes one sleep per
+    // flush while the 4-worker scan overlaps them across files.  Sleeping
+    // latency releases the CPU, which keeps the ratio a latency-hiding
+    // measurement rather than a core-count measurement: it stays honest
+    // on single-core CI runners where CPU-bound work cannot speed up.
+    let per_batch_us: u64 = 2_000;
     let run = |threads: usize| -> Vec<u8> {
         let args: Vec<String> = vec![
             "--batched".to_owned(),
+            "--oracle-delay".to_owned(),
+            per_batch_us.to_string(),
             "--threads".to_owned(),
             threads.to_string(),
             pattern.to_owned(),
@@ -606,6 +782,7 @@ fn measure_spec(
         chunk_lines: 64,
         threads: 1,
         batched: true,
+        read_ahead: false,
         scan: ScanOptions::unlimited(),
     };
     let stream = Toggle {
@@ -650,15 +827,15 @@ fn measure_spec(
     }
 }
 
-/// Serializes a trajectory as the `BENCH_PR5.json` document (hand-rolled:
+/// Serializes a trajectory as the `BENCH_PR6.json` document (hand-rolled:
 /// the workspace has no serde).
 pub fn to_json(trajectory: &Trajectory) -> String {
     let mut out = String::new();
     let c = &trajectory.config;
     out.push_str("{\n");
-    out.push_str("  \"artifact\": \"BENCH_PR5\",\n");
+    out.push_str("  \"artifact\": \"BENCH_PR6\",\n");
     out.push_str(
-        "  \"description\": \"Perf trajectory: multi-file tree scan, literal prescan, streaming scan pipeline, lazy-DFA skeleton prefilter, arena evaluator, parallel chunk scan\",\n",
+        "  \"description\": \"Perf trajectory: overlapped oracle resolution, multi-file tree scan, literal prescan, streaming scan pipeline, lazy-DFA skeleton prefilter, arena evaluator, parallel chunk scan\",\n",
     );
     let _ = writeln!(
         out,
@@ -703,19 +880,50 @@ pub fn to_json(trajectory: &Trajectory) -> String {
         tree.deduped(),
         tree.equivalent
     );
+    let overlap = &trajectory.overlap;
+    let _ = writeln!(
+        out,
+        "  \"overlap\": {{\"per_batch_latency_us\": {}, \"oracle_threads\": {}, \"benchmarks\": [",
+        overlap.per_batch_latency_us, overlap.oracle_threads
+    );
+    for (i, b) in overlap.benches.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"name\": {:?}, \"lines\": {}, \"overlapped\": {}, \"suspends\": {}, \"resumes\": {}, \"backend_keys\": {}, \"equivalent\": {}}}",
+            b.name,
+            b.lines,
+            toggle_json(&b.overlapped, "overlapped_ns_per_line", "synchronous_ns_per_line"),
+            b.suspends,
+            b.resumes,
+            b.backend_keys,
+            b.equivalent
+        );
+        out.push_str(if i + 1 < overlap.benches.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    let _ = writeln!(
+        out,
+        "  ], \"geomean_overlap_speedup\": {:.2}, \"equivalent\": {}}},",
+        overlap.geomean_speedup(),
+        overlap.equivalent()
+    );
     let floors = Floors::tracked();
     let _ = writeln!(
         out,
-        "  \"floors\": {{\"prefilter_speedup\": {:.2}, \"is_match_speedup\": {:.2}, \"prescan_speedup\": {:.2}, \"stream_ratio\": {:.2}, \"tree_scan_ratio\": {:.2}}},",
+        "  \"floors\": {{\"prefilter_speedup\": {:.2}, \"is_match_speedup\": {:.2}, \"prescan_speedup\": {:.2}, \"stream_ratio\": {:.2}, \"tree_scan_ratio\": {:.2}, \"overlap_speedup\": {:.2}}},",
         floors.prefilter_speedup,
         floors.is_match_speedup,
         floors.prescan_speedup,
         floors.stream_ratio,
-        floors.tree_scan_ratio
+        floors.tree_scan_ratio,
+        floors.overlap_speedup
     );
     let _ = writeln!(
         out,
-        "  \"summary\": {{\"geomean_prefilter_speedup\": {:.2}, \"geomean_search_prefilter_speedup\": {:.2}, \"geomean_is_match_speedup\": {:.2}, \"geomean_prescan_speedup\": {:.2}, \"geomean_stream_ratio\": {:.2}, \"tree_scan_speedup\": {:.2}, \"tree_scan_deduped\": {}, \"all_equivalent\": {}}}",
+        "  \"summary\": {{\"geomean_prefilter_speedup\": {:.2}, \"geomean_search_prefilter_speedup\": {:.2}, \"geomean_is_match_speedup\": {:.2}, \"geomean_prescan_speedup\": {:.2}, \"geomean_stream_ratio\": {:.2}, \"tree_scan_speedup\": {:.2}, \"tree_scan_deduped\": {}, \"geomean_overlap_speedup\": {:.2}, \"all_equivalent\": {}}}",
         trajectory.geomean_prefilter_speedup(),
         trajectory.geomean_search_prefilter_speedup(),
         trajectory.geomean_is_match_speedup(),
@@ -723,7 +931,10 @@ pub fn to_json(trajectory: &Trajectory) -> String {
         trajectory.geomean_stream_ratio(),
         trajectory.tree_scan.parallel.speedup(),
         trajectory.tree_scan.deduped(),
-        trajectory.all_equivalent() && trajectory.tree_scan.equivalent
+        trajectory.overlap.geomean_speedup(),
+        trajectory.all_equivalent()
+            && trajectory.tree_scan.equivalent
+            && trajectory.overlap.equivalent()
     );
     out.push_str("}\n");
     out
@@ -774,8 +985,13 @@ mod tests {
             trajectory.tree_scan.shared_backend_keys,
             trajectory.tree_scan.per_file_backend_keys
         );
+        assert!(
+            trajectory.overlap.equivalent(),
+            "overlapped resolution must match synchronous verdicts and park lines: {:?}",
+            trajectory.overlap.benches
+        );
         let json = to_json(&trajectory);
-        assert!(json.contains("\"artifact\": \"BENCH_PR5\""));
+        assert!(json.contains("\"artifact\": \"BENCH_PR6\""));
         assert!(json.contains("\"name\": \"pass\""));
         assert!(json.contains("geomean_prefilter_speedup"));
         assert!(json.contains("geomean_prescan_speedup"));
@@ -783,6 +999,8 @@ mod tests {
         assert!(json.contains("\"stream\""));
         assert!(json.contains("\"tree_scan\""));
         assert!(json.contains("tree_scan_ratio"));
+        assert!(json.contains("\"overlap\""));
+        assert!(json.contains("overlap_speedup"));
         assert!(json.contains("\"floors\""));
         assert!(json.trim_end().ends_with('}'));
         // Crude JSON sanity: balanced braces and brackets.
@@ -814,9 +1032,10 @@ mod tests {
             prescan_speedup: 1e9,
             stream_ratio: 1e9,
             tree_scan_ratio: 1e9,
+            overlap_speedup: 1e9,
         };
         let violations = trajectory.check(&impossible).unwrap_err();
-        assert_eq!(violations.len(), 5, "{violations:?}");
+        assert_eq!(violations.len(), 6, "{violations:?}");
         assert!(violations[0].contains("below the stored floor"));
         // Trivial floors always pass (equivalence already asserted above).
         let trivial = Floors {
@@ -825,6 +1044,7 @@ mod tests {
             prescan_speedup: 0.0,
             stream_ratio: 0.0,
             tree_scan_ratio: 0.0,
+            overlap_speedup: 0.0,
         };
         assert!(trajectory.check(&trivial).is_ok());
     }

@@ -122,6 +122,13 @@ pub struct EvalReport {
     pub vertices_alive: u64,
     /// Number of gadget copies, i.e. `|w| + 1`.
     pub positions: usize,
+    /// Set when the evaluation bailed out because a needed oracle answer
+    /// was still in flight on the overlapped resolver plane.  Every other
+    /// field is then meaningless: the caller parks the input and replays
+    /// the evaluation once the resolver has made progress (replays are
+    /// cheap — previously resolved answers come straight from the answer
+    /// store).  Always `false` on the synchronous planes.
+    pub suspended: bool,
 }
 
 /// A reference to an open vertex `(state, layer 2, position)`, packed into a
@@ -305,6 +312,54 @@ impl std::fmt::Debug for ScratchPool {
 /// of an oracle question in the query graph.
 type LedgerKey = (u32, u32, u32);
 
+/// The saved state of a membership evaluation suspended mid-line on the
+/// overlapped resolver plane: the reusable buffers (whose `prev3` frontier,
+/// LOQ arena, and co-reachability bitmap hold everything positions before
+/// the suspension computed), the question ledger (whose pending slots are
+/// exactly the keys submitted to the resolver pool), and the position to
+/// re-run.
+///
+/// Resuming re-enters the position loop at [`position`](Self::position)
+/// instead of replaying the line from its first byte — that is what makes a
+/// parked line cheap to resume: a line that suspends at `k` flush points
+/// costs `O(|w|)` total evaluator work across all resumptions, not
+/// `O(k · |w|)`.
+#[derive(Debug)]
+pub struct SuspendedEval {
+    scratch: EvalScratch,
+    ledger: QueryLedger<LedgerKey>,
+    report: EvalReport,
+    best: Option<(usize, usize)>,
+    pos: usize,
+    search: Option<SearchKind>,
+}
+
+impl SuspendedEval {
+    /// The 1-based query-graph position the evaluation re-runs on resume.
+    /// Monotonically non-decreasing across re-suspensions of one line, so
+    /// drivers can tell a resumption that advanced (and submitted new keys)
+    /// from one that is still waiting on the same answers.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+/// What a resumable evaluation step produced: a finished report (plus the
+/// scratch buffers, returned for pooling) or a parked evaluation waiting on
+/// in-flight oracle answers.
+// The size skew is deliberate: `EvalOutcome` is transient (matched on
+// immediately, never stored), and boxing the scratch here would put a heap
+// allocation on the hot synchronous path that the scratch pool exists to
+// avoid — suspension, the rare case, already boxes.
+#[allow(clippy::large_enum_variant)]
+pub(crate) enum EvalOutcome {
+    /// The evaluation ran to a verdict.
+    Done(EvalReport, EvalScratch),
+    /// The evaluation suspended; resume with [`resume_evaluation`] once the
+    /// resolver pool has made progress.
+    Suspended(Box<SuspendedEval>),
+}
+
 /// Interned query names of an SNFA: the id carried by each open/close
 /// state, derivable once from the immutable topology and reused by every
 /// evaluation (`Matcher` precomputes one at construction).
@@ -358,21 +413,25 @@ struct Plane<'a, 's, 'o> {
 }
 
 /// Resolves every pending ledger key through the session in one batch.
-fn flush_plane(plane: &mut Plane<'_, '_, '_>, input: &[u8]) {
+/// Returns `false` when the session is overlapped and some answers are
+/// still in flight (the pending keys have been submitted to the resolver
+/// pool; the evaluation must suspend).  Synchronous sessions always
+/// return `true`.
+fn flush_plane(plane: &mut Plane<'_, '_, '_>, input: &[u8]) -> bool {
     let Plane {
         ledger,
         session,
         table,
     } = plane;
-    ledger.flush(
+    ledger.try_flush(
         |&(qid, start, end)| {
             QueryKey::new(
                 table.queries[qid as usize].as_str(),
                 &input[start as usize - 1..end as usize - 1],
             )
         },
-        |batch| session.resolve(batch),
-    );
+        |batch| session.try_resolve(batch),
+    )
 }
 
 /// Evaluates the query graph of `snfa` over `input`, consulting `oracle`
@@ -405,6 +464,7 @@ pub(crate) fn evaluate_with_scratch(
         plane: None,
         search: None,
         best: None,
+        suspended_at: None,
     }
     .run(scratch)
 }
@@ -451,6 +511,7 @@ pub(crate) fn evaluate_search_with_scratch(
         plane: None,
         search: Some(kind),
         best: None,
+        suspended_at: None,
     }
     .run(scratch)
 }
@@ -488,6 +549,7 @@ pub(crate) fn evaluate_search_in_session<'a>(
         }),
         search: Some(kind),
         best: None,
+        suspended_at: None,
     }
     .run(scratch)
 }
@@ -523,8 +585,125 @@ pub(crate) fn evaluate_in_session<'a>(
         }),
         search: None,
         best: None,
+        suspended_at: None,
     }
     .run(scratch)
+}
+
+/// The resumable flavour of [`evaluate_in_session`]: on an overlapped
+/// session, an evaluation whose answers are still in flight returns
+/// [`EvalOutcome::Suspended`] with everything needed to continue from the
+/// suspended position, instead of a throwaway report with
+/// [`EvalReport::suspended`] set.  Takes `scratch` by value because a
+/// suspension keeps the buffers parked with the line.
+pub(crate) fn try_evaluate_resumable<'a>(
+    snfa: &'a Snfa,
+    topo: &'a GadgetTopology,
+    table: &'a QueryTable,
+    input: &'a [u8],
+    options: EvalOptions,
+    session: &mut BatchSession<'_>,
+    scratch: EvalScratch,
+) -> EvalOutcome {
+    let oracle = session.backend();
+    let evaluator = Evaluator {
+        snfa,
+        topo,
+        input,
+        oracle,
+        options,
+        report: EvalReport {
+            positions: input.len() + 1,
+            ..EvalReport::default()
+        },
+        plane: Some(Plane {
+            ledger: QueryLedger::new(),
+            session,
+            table,
+        }),
+        search: None,
+        best: None,
+        suspended_at: None,
+    };
+    run_resumable(evaluator, scratch, None)
+}
+
+/// Continues a [suspended](EvalOutcome::Suspended) evaluation from the
+/// position that parked it.  `snfa` / `topo` / `table` / `input` must be
+/// the ones the evaluation started with, and `session` must resolve
+/// through the same resolver pool — the parked state is only meaningful
+/// against them.
+pub(crate) fn resume_evaluation<'a>(
+    snfa: &'a Snfa,
+    topo: &'a GadgetTopology,
+    table: &'a QueryTable,
+    input: &'a [u8],
+    options: EvalOptions,
+    session: &mut BatchSession<'_>,
+    suspended: Box<SuspendedEval>,
+) -> EvalOutcome {
+    let SuspendedEval {
+        scratch,
+        ledger,
+        mut report,
+        best,
+        pos,
+        search,
+    } = *suspended;
+    report.suspended = false;
+    let oracle = session.backend();
+    let evaluator = Evaluator {
+        snfa,
+        topo,
+        input,
+        oracle,
+        options,
+        report,
+        plane: Some(Plane {
+            ledger,
+            session,
+            table,
+        }),
+        search,
+        best,
+        suspended_at: None,
+    };
+    run_resumable(evaluator, scratch, Some(pos))
+}
+
+/// Runs (or continues) an evaluation and packages the result: the
+/// completion half mirrors [`Evaluator::run`], the suspension half moves
+/// the ledger and buffers into a [`SuspendedEval`].
+fn run_resumable(
+    mut evaluator: Evaluator<'_, '_, '_>,
+    mut scratch: EvalScratch,
+    resume_at: Option<usize>,
+) -> EvalOutcome {
+    let mut report = evaluator.run_inner(&mut scratch, resume_at);
+    if let Some(pos) = evaluator.suspended_at {
+        let plane = evaluator
+            .plane
+            .take()
+            .expect("resumable evaluations run on the batched plane");
+        return EvalOutcome::Suspended(Box::new(SuspendedEval {
+            scratch,
+            ledger: plane.ledger,
+            report: evaluator.report,
+            best: evaluator.best,
+            pos,
+            search: evaluator.search,
+        }));
+    }
+    if evaluator.search.is_some() {
+        report.span = evaluator.best;
+        report.matched = evaluator.best.is_some();
+    }
+    if let Some(plane) = &evaluator.plane {
+        report.unique_keys = plane.ledger.unique_keys();
+        report.batches = plane.ledger.stats().batches;
+    }
+    report.keys_deduped = report.oracle_calls.saturating_sub(report.unique_keys);
+    EvalOutcome::Done(report, scratch)
 }
 
 struct Evaluator<'a, 's, 'o> {
@@ -541,11 +720,16 @@ struct Evaluator<'a, 's, 'o> {
     search: Option<SearchKind>,
     /// Best span found so far by a search evaluation.
     best: Option<(usize, usize)>,
+    /// The position at which the evaluation suspended, recorded alongside
+    /// [`EvalReport::suspended`] so the resumable path knows where to
+    /// re-enter the position loop.  Legacy (replay-from-scratch) callers
+    /// ignore it.
+    suspended_at: Option<usize>,
 }
 
 impl Evaluator<'_, '_, '_> {
     fn run(mut self, scratch: &mut EvalScratch) -> EvalReport {
-        let mut report = self.run_inner(scratch);
+        let mut report = self.run_inner(scratch, None);
         if self.search.is_some() {
             report.span = self.best;
             report.matched = self.best.is_some();
@@ -566,7 +750,11 @@ impl Evaluator<'_, '_, '_> {
         report
     }
 
-    fn run_inner(&mut self, scratch: &mut EvalScratch) -> EvalReport {
+    /// The position loop.  `resume_at: Some(pos)` re-enters at `pos` with
+    /// the buffers in `scratch` carrying the state a suspension saved
+    /// (`prev3` = layer 3 of `pos - 1`, the LOQ arena and co-reachability
+    /// bitmap as computed on the initial run); `None` starts fresh.
+    fn run_inner(&mut self, scratch: &mut EvalScratch, resume_at: Option<usize>) -> EvalReport {
         let n = self.input.len();
         let states = self.snfa.num_states();
         let EvalScratch {
@@ -582,14 +770,15 @@ impl Evaluator<'_, '_, '_> {
         layer1.ensure(states);
         layer2.ensure(states);
         layer3.ensure(states);
-        prev3.ensure(states);
         close_cache.clear();
         close_cache.resize_with(states, || None);
-        loq.reset(n + 2, self.topo.num_open_states());
-
         let prune = self.options.prune_coreachable;
-        if prune {
-            self.co_reachability(coreach);
+        if resume_at.is_none() {
+            prev3.ensure(states);
+            loq.reset(n + 2, self.topo.num_open_states());
+            if prune {
+                self.co_reachability(coreach);
+            }
         }
         let cr: &[bool] = coreach;
         let allowed = move |layer: usize, state: StateId, pos: usize| -> bool {
@@ -598,12 +787,19 @@ impl Evaluator<'_, '_, '_> {
 
         // If even the start vertex cannot reach end, the skeleton does not
         // match and no oracle call is needed.  (In search mode each seed is
-        // gated individually below.)
-        if self.search.is_none() && !allowed(1, self.snfa.start(), 1) {
+        // gated individually below; a resumed evaluation proved this on its
+        // initial run.)
+        if resume_at.is_none() && self.search.is_none() && !allowed(1, self.snfa.start(), 1) {
             return self.report;
         }
 
-        for pos in 1..=n + 1 {
+        for pos in resume_at.unwrap_or(1)..=n + 1 {
+            // Suspensions abandon the position mid-phase and the resumption
+            // re-runs it from its first layer, re-asking what the aborted
+            // attempt already read from the ledger — so roll the logical
+            // request counter back to the position's entry value, keeping
+            // counts identical to an uninterrupted evaluation.
+            let calls_at_pos = self.report.oracle_calls;
             layer1.clear();
             layer2.clear();
             layer3.clear();
@@ -651,8 +847,13 @@ impl Evaluator<'_, '_, '_> {
             // ---- Layer 1: close edges ------------------------------------
             // Collect phase: enlist every oracle question this position is
             // certain to need and resolve them in one batch.
-            if self.plane.is_some() {
-                self.collect_close_queries(pos, layer1, &allowed, close_cache, loq);
+            if self.plane.is_some()
+                && !self.collect_close_queries(pos, layer1, &allowed, close_cache, loq)
+            {
+                self.report.oracle_calls = calls_at_pos;
+                self.report.suspended = true;
+                self.suspended_at = Some(pos);
+                return self.report;
             }
             // Apply phase: the Fig. 9 rules, in topological order, reading
             // answers from the ledger (or the oracle, on the per-call
@@ -661,7 +862,12 @@ impl Evaluator<'_, '_, '_> {
                 if !allowed(1, t, pos) {
                     continue;
                 }
-                self.eval_close_vertex(t, pos, layer1, close_cache, loq);
+                if !self.eval_close_vertex(t, pos, layer1, close_cache, loq) {
+                    self.report.oracle_calls = calls_at_pos;
+                    self.report.suspended = true;
+                    self.suspended_at = Some(pos);
+                    return self.report;
+                }
             }
 
             // ---- Layer 2: E12 copies, then open edges -------------------
@@ -829,6 +1035,10 @@ impl Evaluator<'_, '_, '_> {
     ///
     /// Anything else is left to the apply phase, which resolves stragglers
     /// through the same ledger.
+    ///
+    /// Returns `false` when the flush suspended on the overlapped plane
+    /// (pending keys are already with the resolver pool; the caller
+    /// abandons this evaluation and replays it later).
     fn collect_close_queries<F>(
         &mut self,
         pos: usize,
@@ -836,7 +1046,8 @@ impl Evaluator<'_, '_, '_> {
         allowed: &F,
         close_cache: &mut [Option<CachedClose>],
         loq: &LoqTable,
-    ) where
+    ) -> bool
+    where
         F: Fn(usize, StateId, usize) -> bool,
     {
         // The apply phase takes every entry it visits, but clear anyway so
@@ -876,7 +1087,7 @@ impl Evaluator<'_, '_, '_> {
             }
         }
         if wanted.is_empty() {
-            return;
+            return true;
         }
         let plane = self
             .plane
@@ -886,12 +1097,16 @@ impl Evaluator<'_, '_, '_> {
             let qid = plane.table.state_query[t].expect("close states carry a query");
             plane.ledger.enlist((qid, open_pos as u32, pos as u32));
         }
-        flush_plane(plane, self.input);
+        flush_plane(plane, self.input)
     }
 
     /// Evaluates the close vertex `(t, layer 1, pos)`: discharges oracle
     /// queries for the opens recorded in its predecessors' backreference
     /// sets (rules M, Ac, Bc of Fig. 9).
+    ///
+    /// Returns `false` when a straggler question suspended on the
+    /// overlapped plane; the half-updated frontier is then irrelevant
+    /// because the caller abandons the whole evaluation.
     fn eval_close_vertex(
         &mut self,
         t: StateId,
@@ -899,7 +1114,7 @@ impl Evaluator<'_, '_, '_> {
         layer1: &mut Layer,
         close_cache: &mut [Option<CachedClose>],
         loq: &LoqTable,
-    ) {
+    ) -> bool {
         // `topo` is a shared borrow independent of `self`, so the query
         // name can stay borrowed across the `&mut self` oracle calls below
         // — no per-vertex clone.
@@ -913,7 +1128,7 @@ impl Evaluator<'_, '_, '_> {
             None => {
                 let candidates = match self.close_candidates(t, layer1) {
                     Some(c) if !c.is_empty() => c,
-                    _ => return,
+                    _ => return true,
                 };
                 let groups = self.group_candidates(&candidates, loq);
                 (candidates, groups)
@@ -932,7 +1147,10 @@ impl Evaluator<'_, '_, '_> {
         let mut alive = false;
 
         for &(open_pos, _) in &with_loq {
-            if self.ask_oracle(t, query, open_pos, pos) {
+            let Some(answer) = self.ask_oracle(t, query, open_pos, pos) else {
+                return false;
+            };
+            if answer {
                 alive = true;
                 for &o in candidates.iter().filter(|&&o| open_ref_pos(o) == open_pos) {
                     if let Some(refs) = loq_of(topo, loq, o) {
@@ -947,8 +1165,9 @@ impl Evaluator<'_, '_, '_> {
                 // sets are empty) and Alive(v) is already established.
                 break;
             }
-            if self.ask_oracle(t, query, open_pos, pos) {
-                alive = true;
+            match self.ask_oracle(t, query, open_pos, pos) {
+                Some(answer) => alive |= answer,
+                None => return false,
             }
         }
 
@@ -958,6 +1177,7 @@ impl Evaluator<'_, '_, '_> {
             matched_backrefs.clear();
         }
         layer1.backref[t] = matched_backrefs;
+        true
     }
 
     /// Evaluates the open vertex `(t, layer 2, pos)`: rule Ao plus the
@@ -1006,14 +1226,16 @@ impl Evaluator<'_, '_, '_> {
     /// close at state `t` / position `close_pos` (both 1-based gadget
     /// positions).  On the batched plane the question goes through the
     /// ledger — usually answered by the collect phase's batch, otherwise
-    /// resolved as a straggler flush.
+    /// resolved as a straggler flush.  `None` means the straggler flush
+    /// suspended on the overlapped plane (synchronous planes always
+    /// answer).
     fn ask_oracle(
         &mut self,
         t: StateId,
         query: &QueryName,
         open_pos: usize,
         close_pos: usize,
-    ) -> bool {
+    ) -> Option<bool> {
         debug_assert!(open_pos <= close_pos);
         self.report.oracle_calls += 1;
         match &mut self.plane {
@@ -1024,17 +1246,21 @@ impl Evaluator<'_, '_, '_> {
                     .ledger
                     .enlist((qid, open_pos as u32, close_pos as u32));
                 if let Some(answer) = plane.ledger.answer(slot) {
-                    return answer;
+                    return Some(answer);
                 }
-                flush_plane(plane, self.input);
-                plane
-                    .ledger
-                    .answer(slot)
-                    .expect("a flush resolves every pending slot")
+                if !flush_plane(plane, self.input) {
+                    return None;
+                }
+                Some(
+                    plane
+                        .ledger
+                        .answer(slot)
+                        .expect("a successful flush resolves every pending slot"),
+                )
             }
             None => {
                 let text = &self.input[open_pos - 1..close_pos - 1];
-                self.oracle.holds(query.as_str(), text)
+                Some(self.oracle.holds(query.as_str(), text))
             }
         }
     }

@@ -56,5 +56,5 @@ mod topology;
 pub use baseline::{BaselineReport, DpMatcher};
 pub use eval::{EvalOptions, EvalReport, SearchKind};
 pub use graph::{Layer, QueryGraph, VertexId, VertexLabel};
-pub use matcher::{Matcher, MatcherConfig};
+pub use matcher::{Matcher, MatcherConfig, SuspendedMatch};
 pub use topology::GadgetTopology;

@@ -8,14 +8,41 @@
 //! queries) plus the oracle's own response time.
 
 use semre_automata::{compile, EpsClosure, LazyDfa, Prescan, Snfa};
-use semre_oracle::{BatchSession, Oracle};
+use semre_oracle::{BatchSession, Oracle, ResolverPool};
 use semre_syntax::{skeleton, Semre};
 
 use crate::eval::{
     evaluate_in_session, evaluate_search_in_session, evaluate_search_with_scratch,
-    evaluate_with_scratch, EvalOptions, EvalReport, QueryTable, ScratchPool, SearchKind,
+    evaluate_with_scratch, resume_evaluation, try_evaluate_resumable, EvalOptions, EvalOutcome,
+    EvalReport, QueryTable, ScratchPool, SearchKind, SuspendedEval,
 };
 use crate::topology::GadgetTopology;
+
+/// A membership evaluation parked mid-line on the overlapped resolver
+/// plane: the verdict depends on oracle answers still in flight, and this
+/// value carries everything needed to continue the evaluation from the
+/// exact position that suspended — the frontier of the preceding position,
+/// the LOQ arena, the co-reachability bitmap, and the question ledger whose
+/// pending keys are already with the resolver pool.
+///
+/// Obtained from [`Matcher::try_run_in_session`]; hand it back to
+/// [`Matcher::resume_run_in_session`] (same matcher, same input, a session
+/// over the same pool) once the pool has made progress.  Resuming re-runs
+/// only the suspended position onwards, so a line that parks at `k`
+/// distinct flush points costs `O(|w|)` evaluator work in total, not
+/// `O(k · |w|)` as replaying from scratch would.
+#[derive(Debug)]
+pub struct SuspendedMatch(Box<SuspendedEval>);
+
+impl SuspendedMatch {
+    /// The 1-based query-graph position the evaluation resumes at.  It
+    /// never decreases across re-suspensions of the same line, so a scan
+    /// driver can tell a resumption that advanced (and submitted new keys
+    /// to the pool) from one still waiting on the same answers.
+    pub fn position(&self) -> usize {
+        self.0.position()
+    }
+}
 
 /// Tuning knobs for the query-graph matcher.
 ///
@@ -48,6 +75,17 @@ pub struct MatcherConfig {
     /// plane (collect → flush → apply per position) instead of one
     /// `holds` call per question.
     pub batched_oracle: bool,
+    /// Number of background resolver threads for the overlapped oracle
+    /// plane (`0` = fully synchronous, the default).  The matcher itself
+    /// only records the knob; the scan drivers and the facade build the
+    /// [`ResolverPool`](semre_oracle::ResolverPool) and drive the
+    /// suspend/resume loop.  Requires
+    /// [`batched_oracle`](Self::batched_oracle).
+    pub oracle_threads: usize,
+    /// Bound on queued-plus-in-flight oracle keys when overlapped
+    /// (`0` = the pool's default window).  Ignored when
+    /// [`oracle_threads`](Self::oracle_threads) is `0`.
+    pub in_flight: usize,
 }
 
 impl Default for MatcherConfig {
@@ -59,6 +97,8 @@ impl Default for MatcherConfig {
             prune_coreachable: true,
             lazy_oracle: true,
             batched_oracle: true,
+            oracle_threads: 0,
+            in_flight: 0,
         }
     }
 }
@@ -91,6 +131,18 @@ impl MatcherConfig {
             prune_coreachable: false,
             lazy_oracle: false,
             batched_oracle: false,
+            oracle_threads: 0,
+            in_flight: 0,
+        }
+    }
+
+    /// The optimized configuration with the overlapped oracle plane
+    /// enabled: `threads` background resolvers and the pool's default
+    /// in-flight window.
+    pub fn overlapped(threads: usize) -> Self {
+        MatcherConfig {
+            oracle_threads: threads.max(1),
+            ..MatcherConfig::default()
         }
     }
 
@@ -279,6 +331,14 @@ impl<O: Oracle> Matcher<O> {
         BatchSession::new(&self.oracle)
     }
 
+    /// A fresh [`BatchSession`] whose straggler flushes go through `pool`
+    /// instead of blocking on the backend: batches the pool cannot answer
+    /// yet leave the evaluation [suspended](EvalReport::suspended), to be
+    /// replayed once the pool has made progress.
+    pub fn session_with_pool<'s>(&'s self, pool: &'s ResolverPool) -> BatchSession<'s> {
+        BatchSession::with_pool(&self.oracle, pool)
+    }
+
     /// Like [`run`](Matcher::run), but resolves oracle questions through
     /// `session`, batching and deduplicating across every evaluation that
     /// shares it.  Always uses the batched plane.
@@ -301,6 +361,72 @@ impl<O: Oracle> Matcher<O> {
         );
         self.scratch.put(scratch);
         report
+    }
+
+    /// The suspension-aware flavour of
+    /// [`run_in_session`](Matcher::run_in_session): on a session wired to a
+    /// resolver pool ([`session_with_pool`](Matcher::session_with_pool)), a
+    /// line whose oracle answers are still in flight returns `Err` with the
+    /// parked evaluation instead of a throwaway suspended report.  Resume
+    /// it with [`resume_run_in_session`](Matcher::resume_run_in_session)
+    /// once the pool has made progress.  Sessions without a pool never
+    /// suspend.
+    pub fn try_run_in_session(
+        &self,
+        input: &[u8],
+        session: &mut BatchSession<'_>,
+    ) -> Result<EvalReport, SuspendedMatch> {
+        if self.skeleton_rejects(input) {
+            return Ok(EvalReport {
+                positions: input.len() + 1,
+                ..EvalReport::default()
+            });
+        }
+        let scratch = self.scratch.take();
+        match try_evaluate_resumable(
+            &self.snfa,
+            &self.topo,
+            &self.query_table,
+            input,
+            self.eval_options(),
+            session,
+            scratch,
+        ) {
+            EvalOutcome::Done(report, scratch) => {
+                self.scratch.put(scratch);
+                Ok(report)
+            }
+            EvalOutcome::Suspended(state) => Err(SuspendedMatch(state)),
+        }
+    }
+
+    /// Continues a [suspended](Matcher::try_run_in_session) evaluation from
+    /// the position that parked it, re-suspending (with updated state) when
+    /// the next needed answers are still in flight.  `input` must be the
+    /// line the evaluation was suspended on and `session` must resolve
+    /// through the same resolver pool — the parked state is only meaningful
+    /// against them.
+    pub fn resume_run_in_session(
+        &self,
+        parked: SuspendedMatch,
+        input: &[u8],
+        session: &mut BatchSession<'_>,
+    ) -> Result<EvalReport, SuspendedMatch> {
+        match resume_evaluation(
+            &self.snfa,
+            &self.topo,
+            &self.query_table,
+            input,
+            self.eval_options(),
+            session,
+            parked.0,
+        ) {
+            EvalOutcome::Done(report, scratch) => {
+                self.scratch.put(scratch);
+                Ok(report)
+            }
+            EvalOutcome::Suspended(state) => Err(SuspendedMatch(state)),
+        }
     }
 
     /// The leftmost-earliest span `(start, end)` with
@@ -670,5 +796,39 @@ mod tests {
         let stats = session.stats();
         assert!(stats.keys_deduped > 0);
         assert_eq!(stats.backend_keys, shared_calls);
+    }
+
+    #[test]
+    fn overlapped_sessions_suspend_then_replay_to_synchronous_verdicts() {
+        use semre_oracle::ResolverPool;
+
+        let llm = SimLlmOracle::new();
+        let matcher = Matcher::new(Semre::padded(examples::r_spam1()), &llm);
+        let pool = ResolverPool::new(std::sync::Arc::new(SimLlmOracle::new()), 2, 0);
+        let lines: [&[u8]; 4] = [
+            b"Subject: cheap viagra now",
+            b"Subject: meeting notes for tuesday",
+            b"Re: cheap viagra now",
+            b"Subject: buy tramadol online",
+        ];
+        let mut suspensions = 0u32;
+        for line in lines {
+            let report = loop {
+                let generation = pool.generation();
+                let mut session = matcher.session_with_pool(&pool);
+                let report = matcher.run_in_session(line, &mut session);
+                if !report.suspended {
+                    break report;
+                }
+                suspensions += 1;
+                pool.wait_for_progress(generation);
+            };
+            assert_eq!(report.matched, matcher.is_match(line), "{line:?}");
+        }
+        assert!(
+            suspensions > 0,
+            "a cold pool must suspend at least one oracle-bearing line"
+        );
+        assert!(pool.stats().backend_keys > 0);
     }
 }

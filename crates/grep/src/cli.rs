@@ -15,6 +15,17 @@
 //!                      repeated (query, text) questions reach the oracle
 //!                      backend once per chunk
 //!   --chunk-lines N    lines per batch-session chunk (default 256)
+//!   --oracle-threads N resolve oracle questions on N background threads
+//!                      while the scan continues; lines waiting on an
+//!                      answer are parked and resumed when it lands, so
+//!                      oracle latency overlaps matching (requires
+//!                      --batched; output stays byte-identical)
+//!   --in-flight N      bound on unanswered oracle questions the resolver
+//!                      pool accepts before submitters wait (requires
+//!                      --oracle-threads; default 512)
+//!   --oracle-delay N   sleep N microseconds per oracle backend batch — a
+//!                      deterministic stand-in for a remote oracle's
+//!                      round-trip, used to demonstrate latency hiding
 //!   --threads N        worker threads (default 1): whole files are
 //!                      work-stolen across workers on multi-file scans,
 //!                      chunks of lines on single-input scans; output is
@@ -155,6 +166,17 @@ pub struct CliOptions {
     pub batched: bool,
     /// Lines per batch-session chunk (`0` means the default).
     pub chunk_lines: usize,
+    /// Background oracle-resolver threads (`0` means synchronous
+    /// resolution, the default).
+    pub oracle_threads: usize,
+    /// Bound on unanswered oracle questions in the resolver pool (`0`
+    /// means the default window).
+    pub in_flight: usize,
+    /// Sleeping latency charged per oracle backend batch, in microseconds
+    /// (`0`, the default, charges nothing).  A deterministic stand-in for
+    /// a remote oracle round-trip; the perf harness uses it to measure
+    /// how much latency concurrent scanning hides.
+    pub oracle_delay_us: u64,
     /// Worker threads for the scan (`0` means the handle's preference,
     /// i.e. sequential).  Output is identical to a sequential scan.
     pub threads: usize,
@@ -182,6 +204,7 @@ pub struct CliOptions {
 
 /// The usage string printed on `--help` or malformed invocations.
 pub const USAGE: &str = "usage: grepo [--oracle KIND] [--baseline] [--batched] [--chunk-lines N] \
+[--oracle-threads N] [--in-flight N] [--oracle-delay N] \
 [--threads N] [--only-matching] [--color] [--count] [--with-filename | --no-filename] [--heading] \
 [--hidden] [--follow] [--binary] [--ignore GLOB] [--max-depth N] [--stats] [--max-lines N] \
 [--timeout-secs S] [--stream | --no-stream] [--stream-chunk-bytes N] [--no-prescan] \
@@ -217,6 +240,39 @@ impl CliOptions {
                         return Err(CliError::new("--chunk-lines must be positive"));
                     }
                     options.chunk_lines = n;
+                }
+                "--oracle-threads" => {
+                    let n = args
+                        .next()
+                        .ok_or_else(|| CliError::new("--oracle-threads needs a value"))?;
+                    let n: usize = n
+                        .parse()
+                        .map_err(|_| CliError::new("--oracle-threads expects a number"))?;
+                    if n == 0 {
+                        return Err(CliError::new("--oracle-threads must be positive"));
+                    }
+                    options.oracle_threads = n;
+                }
+                "--in-flight" => {
+                    let n = args
+                        .next()
+                        .ok_or_else(|| CliError::new("--in-flight needs a value"))?;
+                    let n: usize = n
+                        .parse()
+                        .map_err(|_| CliError::new("--in-flight expects a number"))?;
+                    if n == 0 {
+                        return Err(CliError::new("--in-flight must be positive"));
+                    }
+                    options.in_flight = n;
+                }
+                "--oracle-delay" => {
+                    let n = args
+                        .next()
+                        .ok_or_else(|| CliError::new("--oracle-delay needs a value"))?;
+                    let n: u64 = n
+                        .parse()
+                        .map_err(|_| CliError::new("--oracle-delay expects microseconds"))?;
+                    options.oracle_delay_us = n;
                 }
                 "--threads" => {
                     let n = args
@@ -312,6 +368,14 @@ impl CliOptions {
         if options.chunk_lines != 0 && !options.batched {
             return Err(CliError::new("--chunk-lines requires --batched"));
         }
+        if options.oracle_threads != 0 && !options.batched {
+            // Overlapped resolution rides the batch plane; without it
+            // every question is asked (and answered) inline.
+            return Err(CliError::new("--oracle-threads requires --batched"));
+        }
+        if options.in_flight != 0 && options.oracle_threads == 0 {
+            return Err(CliError::new("--in-flight requires --oracle-threads"));
+        }
         if options.stream_chunk_bytes != 0 && options.stream == Some(false) {
             return Err(CliError::new(
                 "--stream-chunk-bytes conflicts with --no-stream",
@@ -371,6 +435,20 @@ fn compile(options: &CliOptions) -> Result<Compiled, CliError> {
 /// once for the whole run.
 fn compile_with(options: &CliOptions, share_across_files: bool) -> Result<Compiled, CliError> {
     let backend = options.oracle.build()?;
+    // `--oracle-delay` interposes the sleeping `DelayOracle` *below* the
+    // instrumented layer, so the call counters still tick and — when a
+    // cross-file shared session dedupes — only genuine backend misses pay
+    // the simulated round-trip.  Sleeping (not spinning) latency releases
+    // the CPU, so resolver threads can hide it even on a single core.
+    let backend: Arc<dyn semre::Oracle> = if options.oracle_delay_us != 0 {
+        Arc::new(semre::workloads::DelayOracle::sleeping(
+            backend,
+            Duration::from_micros(options.oracle_delay_us),
+            Duration::ZERO,
+        ))
+    } else {
+        backend
+    };
     let oracle = Arc::new(Instrumented::new(backend));
     let chunk = if options.chunk_lines == 0 {
         DEFAULT_CHUNK_LINES
@@ -398,6 +476,15 @@ fn compile_with(options: &CliOptions, share_across_files: bool) -> Result<Compil
         .threads(options.threads.max(1));
     if options.stream_chunk_bytes != 0 {
         builder = builder.stream_chunk_bytes(options.stream_chunk_bytes);
+    }
+    if options.oracle_threads != 0 {
+        // The pool sits between the matcher and `shared`, so on multi-file
+        // runs overlapped answers still publish through the cross-file
+        // shared session's sharded store.
+        builder = builder.overlapped(options.oracle_threads);
+    }
+    if options.in_flight != 0 {
+        builder = builder.in_flight(options.in_flight);
     }
     let re = builder.build_shared(&options.pattern, shared)?;
     Ok(Compiled {
@@ -649,9 +736,35 @@ pub fn run_on_text(options: &CliOptions, text: &str) -> Result<CliOutcome, CliEr
                 report.mean_batch_size()
             ));
         }
+        push_resolver_stats(&mut outcome.stderr, &re);
     }
     outcome.exit_code = if report.matched_lines() > 0 { 0 } else { 1 };
     Ok(outcome)
+}
+
+/// Appends the resolver-plane `--stats` line when overlapped resolution is
+/// on.  The pool's counters are cumulative over the whole run, so every
+/// path appends this **once per run** — per-file reporting on multi-file
+/// scans would double-count the same pool.
+fn push_resolver_stats(stderr: &mut Vec<String>, re: &semre::SemRegex) {
+    let Some(pool) = re.resolver_pool() else {
+        return;
+    };
+    let stats = pool.stats();
+    stderr.push(format!(
+        "resolver: threads={} window={} submitted={} coalesced={} batches={} backend_keys={} \
+high_water={} suspends={} resumes={} store_contended={}",
+        pool.threads(),
+        pool.in_flight_window(),
+        stats.submitted,
+        stats.coalesced,
+        stats.batches,
+        stats.backend_keys,
+        stats.in_flight_high_water,
+        stats.suspends,
+        stats.resumes,
+        stats.store_contended
+    ));
 }
 
 /// Runs the tool in streaming mode: `reader` is consumed in
@@ -669,10 +782,23 @@ pub fn run_on_text(options: &CliOptions, text: &str) -> Result<CliOutcome, CliEr
 /// # Errors
 ///
 /// Returns a [`CliError`] for pattern, oracle, read, or write problems.
-pub fn run_stream<R: Read, W: Write>(
+pub fn run_stream<R: Read + Send, W: Write>(
     options: &CliOptions,
     reader: R,
     out: &mut W,
+) -> Result<CliOutcome, CliError> {
+    run_stream_with(options, reader, out, false)
+}
+
+/// [`run_stream`] with the read-ahead thread enabled for seekable inputs.
+/// Standard input goes through [`run_stream`] directly: a cancelled scan
+/// must not leave a producer thread blocked on a read that may never
+/// complete.
+fn run_stream_with<R: Read + Send, W: Write>(
+    options: &CliOptions,
+    reader: R,
+    out: &mut W,
+    read_ahead: bool,
 ) -> Result<CliOutcome, CliError> {
     let Compiled {
         re, oracle, chunk, ..
@@ -683,6 +809,7 @@ pub fn run_stream<R: Read, W: Write>(
         chunk_lines: chunk,
         threads,
         batched: options.batched,
+        read_ahead,
         scan: options.scan_options(),
     };
     // Snapshot after compilation so construction-time (q, ε) probes do
@@ -801,6 +928,7 @@ pub fn run_stream<R: Read, W: Write>(
                 }
             ));
         }
+        push_resolver_stats(&mut outcome.stderr, &re);
     }
     outcome.exit_code = if report.matched_lines > 0 { 0 } else { 1 };
     Ok(outcome)
@@ -898,6 +1026,9 @@ pub fn run_paths<W: Write + Send>(
         // workers of `scan_tree` provide the concurrency.
         threads: 1,
         batched: options.batched,
+        // Files are seekable, so each worker double-buffers its reads
+        // (no effect on the --no-stream in-memory slices).
+        read_ahead: options.streaming(),
         scan: options.scan_options(),
     };
 
@@ -1007,7 +1138,7 @@ type EmitFn<'a> = dyn FnMut(&mut Vec<u8>, &mut dyn FnMut(&mut Vec<u8>)) + 'a;
 
 /// The per-line rendering core shared by the streaming and `--no-stream`
 /// flavours of [`scan_one_file`].
-fn scan_file_contents<R: Read>(
+fn scan_file_contents<R: Read + Send>(
     re: &semre::SemRegex,
     options: &CliOptions,
     stream_options: &StreamOptions,
@@ -1091,12 +1222,15 @@ fn push_tree_stats(
     ));
     let shared = session.stats();
     outcome.stderr.push(format!(
-        "shared_session: keys={} deduped={} backend_keys={} dedup_ratio={:.3} backend_calls={}",
+        "shared_session: keys={} deduped={} backend_keys={} dedup_ratio={:.3} backend_calls={} \
+shards={} contended={}",
         shared.keys_submitted,
         shared.keys_deduped,
         shared.backend_keys,
         shared.dedup_ratio(),
-        oracle.stats().calls
+        oracle.stats().calls,
+        session.shards(),
+        session.contended()
     ));
     if options.batched {
         outcome.stderr.push(format!(
@@ -1109,6 +1243,7 @@ fn push_tree_stats(
             report.batch.mean_batch_size()
         ));
     }
+    push_resolver_stats(&mut outcome.stderr, re);
 }
 
 /// Reads the input (files, directories, or standard input) and runs the
@@ -1137,7 +1272,9 @@ pub fn run(options: &CliOptions) -> Result<CliOutcome, CliError> {
         if options.streaming() {
             let stdout = std::io::stdout();
             let mut out = stdout.lock();
-            return run_stream(options, std::io::stdin().lock(), &mut out);
+            // `Stdin` (not `StdinLock`) because the streaming engine now
+            // wants `Send` readers; it still buffers internally.
+            return run_stream(options, std::io::stdin(), &mut out);
         }
         let mut buffer = String::new();
         std::io::stdin()
@@ -1159,7 +1296,8 @@ pub fn run(options: &CliOptions) -> Result<CliOutcome, CliError> {
                 .map_err(|e| CliError::new(format!("cannot read {path}: {e}")))?;
             let stdout = std::io::stdout();
             let mut out = stdout.lock();
-            return run_stream(options, file, &mut out);
+            // Files are seekable: overlap the next read with evaluation.
+            return run_stream_with(options, file, &mut out, true);
         }
         let text = fs::read_to_string(path)
             .map_err(|e| CliError::new(format!("cannot read {path}: {e}")))?;
@@ -1199,6 +1337,26 @@ mod tests {
         let o = CliOptions::parse(["--batched", "--chunk-lines", "64", "x"]).unwrap();
         assert!(o.batched);
         assert_eq!(o.chunk_lines, 64);
+
+        let o = CliOptions::parse(["--batched", "--oracle-threads", "4", "x"]).unwrap();
+        assert_eq!(o.oracle_threads, 4);
+        assert_eq!(o.in_flight, 0);
+        let o = CliOptions::parse([
+            "--batched",
+            "--oracle-threads",
+            "2",
+            "--in-flight",
+            "128",
+            "x",
+        ])
+        .unwrap();
+        assert_eq!((o.oracle_threads, o.in_flight), (2, 128));
+
+        let o = CliOptions::parse(["--oracle-delay", "750", "x"]).unwrap();
+        assert_eq!(o.oracle_delay_us, 750);
+        // Zero is an explicit no-op, not an error — handy for scripts.
+        let o = CliOptions::parse(["--oracle-delay", "0", "x"]).unwrap();
+        assert_eq!(o.oracle_delay_us, 0);
 
         let o = CliOptions::parse(["--only-matching", "--color", "x"]).unwrap();
         assert!(o.only_matching && o.color);
@@ -1257,6 +1415,22 @@ mod tests {
         assert!(CliOptions::parse(["--batched", "--chunk-lines"]).is_err());
         // --chunk-lines without --batched would be silently ignored.
         assert!(CliOptions::parse(["--chunk-lines", "64", "x"]).is_err());
+        // Overlapped resolution rides the batch plane.
+        assert!(CliOptions::parse(["--oracle-threads", "4", "x"]).is_err());
+        assert!(CliOptions::parse(["--batched", "--oracle-threads", "0", "x"]).is_err());
+        assert!(CliOptions::parse(["--batched", "--oracle-threads"]).is_err());
+        assert!(CliOptions::parse(["--batched", "--in-flight", "8", "x"]).is_err());
+        assert!(CliOptions::parse([
+            "--batched",
+            "--oracle-threads",
+            "2",
+            "--in-flight",
+            "0",
+            "x"
+        ])
+        .is_err());
+        assert!(CliOptions::parse(["--oracle-delay"]).is_err());
+        assert!(CliOptions::parse(["--oracle-delay", "soon", "x"]).is_err());
         assert!(CliOptions::parse(["--frobnicate", "x"]).is_err());
         assert!(CliOptions::parse(["--ignore"]).is_err());
         assert!(CliOptions::parse(["--max-depth", "0", "x"]).is_err());
@@ -1319,6 +1493,61 @@ mod tests {
         let baseline = CliOptions::parse(["--batched", "--baseline", "--count", pattern]).unwrap();
         let outcome = run_on_text(&baseline, text).unwrap();
         assert_eq!(outcome.stdout, vec!["2".to_owned()]);
+    }
+
+    #[test]
+    fn overlapped_scan_from_the_cli_reports_one_resolver_line() {
+        let pattern = r"Subject: .*(?<Medicine name>: .+).*";
+        let text = "Subject: cheap viagra\nSubject: cheap viagra\nSubject: team meeting\n";
+
+        let plain = CliOptions::parse([pattern]).unwrap();
+        let expected = run_on_text(&plain, text).unwrap();
+
+        for args in [
+            vec!["--batched", "--oracle-threads", "4", "--stats", pattern],
+            vec![
+                "--batched",
+                "--oracle-threads",
+                "2",
+                "--in-flight",
+                "8",
+                "--threads",
+                "4",
+                "--stats",
+                pattern,
+            ],
+        ] {
+            let overlapped = CliOptions::parse(args.iter().copied()).unwrap();
+            let outcome = run_on_text(&overlapped, text).unwrap();
+            assert_eq!(outcome.stdout, expected.stdout, "{args:?}");
+            let resolver_lines: Vec<&String> = outcome
+                .stderr
+                .iter()
+                .filter(|l| l.starts_with("resolver:"))
+                .collect();
+            assert_eq!(resolver_lines.len(), 1, "{:?}", outcome.stderr);
+            assert!(resolver_lines[0].contains("backend_keys="));
+
+            // And in streaming mode, still exactly one resolver line.
+            let mut out = Vec::new();
+            let streamed = run_stream(&overlapped, text.as_bytes(), &mut out).unwrap();
+            assert_eq!(
+                String::from_utf8_lossy(&out),
+                expected.stdout.join("\n") + "\n",
+                "{args:?}"
+            );
+            let resolver_lines = streamed
+                .stderr
+                .iter()
+                .filter(|l| l.starts_with("resolver:"))
+                .count();
+            assert_eq!(resolver_lines, 1, "{:?}", streamed.stderr);
+        }
+
+        // Without --oracle-threads there is no resolver plane to report.
+        let sync = CliOptions::parse(["--batched", "--stats", pattern]).unwrap();
+        let outcome = run_on_text(&sync, text).unwrap();
+        assert!(outcome.stderr.iter().all(|l| !l.starts_with("resolver:")));
     }
 
     #[test]
@@ -1578,7 +1807,29 @@ mod tests {
                 .find(|l| l.starts_with("shared_session:"))
                 .expect("multi-file stats include the shared session");
             assert!(shared.contains("deduped="), "{shared}");
+            assert!(shared.contains("shards=16"), "{shared}");
+            assert!(shared.contains("contended="), "{shared}");
         }
+
+        // Overlapped multi-file runs report the resolver pool exactly once
+        // for the whole run, not once per file.
+        let (overlapped_out, outcome) = run_tree_args(&[
+            "--batched",
+            "--oracle-threads",
+            "2",
+            "--threads",
+            "2",
+            "--stats",
+            pattern,
+            &dir,
+        ]);
+        assert_eq!(overlapped_out, out, "overlapped output must be identical");
+        let resolver_lines = outcome
+            .stderr
+            .iter()
+            .filter(|l| l.starts_with("resolver:"))
+            .count();
+        assert_eq!(resolver_lines, 1, "{:?}", outcome.stderr);
 
         // --no-filename drops the prefix; --heading groups by file.
         let (out, _) = run_tree_args(&["--no-filename", pattern, &dir]);

@@ -10,8 +10,8 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use semre::SemRegex;
-use semre_core::{DpMatcher, Matcher};
-use semre_oracle::{BatchSession, Oracle, OracleStats};
+use semre_core::{DpMatcher, Matcher, SuspendedMatch};
+use semre_oracle::{BatchSession, Oracle, OracleStats, ResolverPool};
 
 use crate::stats::{LineRecord, ScanReport};
 
@@ -36,6 +36,62 @@ pub trait LineMatcher: Sync {
 
     /// A short name identifying the algorithm ("snfa" or "dp").
     fn algorithm(&self) -> &'static str;
+
+    /// Suspension-aware membership: `None` means the verdict depends on
+    /// oracle answers still in flight on the overlapped plane — the scan
+    /// parks the line and replays it after the resolver pool has made
+    /// progress.  Synchronous matchers (the default) always answer.
+    fn try_matches_line_in_session(
+        &self,
+        line: &[u8],
+        session: &mut BatchSession<'_>,
+    ) -> Option<bool> {
+        Some(self.matches_line_in_session(line, session))
+    }
+
+    /// The resumable flavour of
+    /// [`try_matches_line_in_session`](LineMatcher::try_matches_line_in_session):
+    /// `Err` carries the evaluation parked at the position whose oracle
+    /// answers are still in flight, and
+    /// [`resume_matches_line`](LineMatcher::resume_matches_line) continues
+    /// from exactly there — so a parked line costs `O(|line|)` evaluator
+    /// work across all resumptions, not one full replay per flush point.
+    /// Synchronous matchers (the default) always answer.
+    fn try_matches_line_suspending(
+        &self,
+        line: &[u8],
+        session: &mut BatchSession<'_>,
+    ) -> Result<bool, SuspendedMatch> {
+        Ok(self.matches_line_in_session(line, session))
+    }
+
+    /// Continues a line parked by
+    /// [`try_matches_line_suspending`](LineMatcher::try_matches_line_suspending),
+    /// re-suspending (with updated state) when the next needed answers are
+    /// still in flight.  The default — for matchers that never suspend and
+    /// so can never have produced `parked` — re-evaluates synchronously.
+    fn resume_matches_line(
+        &self,
+        parked: SuspendedMatch,
+        line: &[u8],
+        session: &mut BatchSession<'_>,
+    ) -> Result<bool, SuspendedMatch> {
+        let _ = parked;
+        Ok(self.matches_line_in_session(line, session))
+    }
+
+    /// A session wired to this matcher's background resolver pool, when it
+    /// has one; chunk scans use it to overlap oracle latency with text
+    /// work.  `None` (the default) keeps the scan fully synchronous.
+    fn overlapped_session(&self) -> Option<BatchSession<'_>> {
+        None
+    }
+
+    /// This matcher's background resolver pool, when the overlapped plane
+    /// is enabled.
+    fn resolver_pool(&self) -> Option<&ResolverPool> {
+        None
+    }
 }
 
 impl LineMatcher for SemRegex {
@@ -53,6 +109,39 @@ impl LineMatcher for SemRegex {
 
     fn algorithm(&self) -> &'static str {
         SemRegex::algorithm(self)
+    }
+
+    fn try_matches_line_in_session(
+        &self,
+        line: &[u8],
+        session: &mut BatchSession<'_>,
+    ) -> Option<bool> {
+        SemRegex::try_is_match_in_session(self, line, session)
+    }
+
+    fn try_matches_line_suspending(
+        &self,
+        line: &[u8],
+        session: &mut BatchSession<'_>,
+    ) -> Result<bool, SuspendedMatch> {
+        SemRegex::try_is_match_suspending(self, line, session)
+    }
+
+    fn resume_matches_line(
+        &self,
+        parked: SuspendedMatch,
+        line: &[u8],
+        session: &mut BatchSession<'_>,
+    ) -> Result<bool, SuspendedMatch> {
+        SemRegex::resume_is_match(self, parked, line, session)
+    }
+
+    fn overlapped_session(&self) -> Option<BatchSession<'_>> {
+        SemRegex::overlapped_session(self)
+    }
+
+    fn resolver_pool(&self) -> Option<&ResolverPool> {
+        SemRegex::resolver_pool(self).map(|pool| &**pool)
     }
 }
 
@@ -160,17 +249,123 @@ where
     report
 }
 
+/// The session a chunk scan works through: wired to the matcher's
+/// resolver pool when `overlapped` is requested and the matcher has one,
+/// plain otherwise.
+fn chunk_session<M: LineMatcher + ?Sized>(matcher: &M, overlapped: bool) -> BatchSession<'_> {
+    if overlapped {
+        if let Some(session) = matcher.overlapped_session() {
+            return session;
+        }
+    }
+    matcher.session()
+}
+
+/// A line whose evaluation is suspended on in-flight oracle answers: the
+/// scan keeps its bytes (records only borrow the corpus) and the evaluator
+/// checkpoint to continue from.
+struct Parked {
+    index: usize,
+    length: usize,
+    line: Vec<u8>,
+    state: SuspendedMatch,
+}
+
+/// Completion-driven re-evaluation of a chunk's parked lines: resume each
+/// suspended line from its checkpoint, and when a whole round makes no
+/// progress — no line completed and none advanced past its parked position
+/// — block until the resolver pool publishes another batch.  Resumes are
+/// cheap: a line with `k` in-flight flush points costs `O(|line|)`
+/// evaluator work *total* across all its resumptions, not `k` replays.
+/// Returns the completed records (in whatever order lines resumed; callers
+/// re-sort by index).
+fn drain_parked<M, T>(
+    matcher: &M,
+    session: &mut BatchSession<'_>,
+    mut parked: Vec<Parked>,
+    mut resume: impl FnMut(
+        &M,
+        SuspendedMatch,
+        &[u8],
+        &mut BatchSession<'_>,
+    ) -> Result<(bool, T), SuspendedMatch>,
+) -> Vec<(LineRecord, T)>
+where
+    M: LineMatcher + ?Sized,
+{
+    let mut records = Vec::with_capacity(parked.len());
+    while !parked.is_empty() {
+        let pool = matcher
+            .resolver_pool()
+            .expect("lines suspend only on the overlapped plane");
+        // Snapshot *before* the resumes: a batch published while this
+        // round runs must wake the wait below, not be missed.
+        let generation = pool.generation();
+        let mut advanced = false;
+        let mut still = Vec::with_capacity(parked.len());
+        for entry in parked {
+            let Parked {
+                index,
+                length,
+                line,
+                state,
+            } = entry;
+            let from = state.position();
+            let line_start = Instant::now();
+            match resume(matcher, state, &line, session) {
+                Ok((matched, extra)) => {
+                    pool.note_resume();
+                    advanced = true;
+                    records.push((
+                        LineRecord {
+                            index,
+                            length,
+                            matched,
+                            duration: line_start.elapsed(),
+                            oracle: OracleStats::default(),
+                        },
+                        extra,
+                    ));
+                }
+                Err(state) => {
+                    advanced |= state.position() > from;
+                    still.push(Parked {
+                        index,
+                        length,
+                        line,
+                        state,
+                    });
+                }
+            }
+        }
+        parked = still;
+        if !advanced {
+            pool.wait_for_progress(generation);
+        }
+    }
+    records
+}
+
 /// Shared driver for chunk-session scans: one session per
 /// `chunk_lines`-sized chunk, the `max_lines` / `time_budget` limits, and
 /// batch-stats accumulation.  `match_line` decides one line through the
 /// chunk's session (recording whatever per-line detail it needs on the
-/// side).
+/// side); `Err` parks the line for completion-driven resumption through
+/// `resume_line` (overlapped plane only — with `overlapped` off, or on
+/// synchronous matchers, every line answers immediately).
 fn scan_in_chunks<M, L>(
     matcher: &M,
     lines: &[L],
     chunk_lines: usize,
     options: ScanOptions,
-    mut match_line: impl FnMut(&M, usize, &[u8], &mut BatchSession<'_>) -> bool,
+    overlapped: bool,
+    mut match_line: impl FnMut(&M, usize, &[u8], &mut BatchSession<'_>) -> Result<bool, SuspendedMatch>,
+    mut resume_line: impl FnMut(
+        &M,
+        SuspendedMatch,
+        &[u8],
+        &mut BatchSession<'_>,
+    ) -> Result<bool, SuspendedMatch>,
 ) -> ScanReport
 where
     M: LineMatcher + ?Sized,
@@ -180,35 +375,68 @@ where
     let chunk_lines = chunk_lines.max(1);
     let mut report = ScanReport::default();
     'scan: for (chunk_index, chunk) in lines.chunks(chunk_lines).enumerate() {
-        let mut session = matcher.session();
+        let mut session = chunk_session(matcher, overlapped);
+        let mut stop = false;
+        let mut chunk_records: Vec<(LineRecord, ())> = Vec::with_capacity(chunk.len());
+        let mut parked: Vec<Parked> = Vec::new();
         for (offset, line) in chunk.iter().enumerate() {
             let index = chunk_index * chunk_lines + offset;
             if let Some(max) = options.max_lines {
                 if index >= max {
-                    report.batch = report.batch.merged(&session.stats());
-                    break 'scan;
+                    stop = true;
+                    break;
                 }
             }
             if let Some(budget) = options.time_budget {
                 if started.elapsed() >= budget {
                     report.timed_out = true;
-                    report.batch = report.batch.merged(&session.stats());
-                    break 'scan;
+                    stop = true;
+                    break;
                 }
             }
             let line = line.as_ref();
             let line_start = Instant::now();
-            let matched = match_line(matcher, index, line, &mut session);
-            let duration = line_start.elapsed();
-            report.records.push(LineRecord {
-                index,
-                length: line.len(),
-                matched,
-                duration,
-                oracle: OracleStats::default(),
-            });
+            match match_line(matcher, index, line, &mut session) {
+                Ok(matched) => chunk_records.push((
+                    LineRecord {
+                        index,
+                        length: line.len(),
+                        matched,
+                        duration: line_start.elapsed(),
+                        oracle: OracleStats::default(),
+                    },
+                    (),
+                )),
+                Err(state) => {
+                    matcher
+                        .resolver_pool()
+                        .expect("lines suspend only on the overlapped plane")
+                        .note_suspend();
+                    parked.push(Parked {
+                        index,
+                        length: line.len(),
+                        line: line.to_vec(),
+                        state,
+                    });
+                }
+            }
         }
+        // Every admitted line gets a verdict, even when a limit stopped
+        // the chunk early: parked lines already have questions in flight.
+        chunk_records.extend(drain_parked(
+            matcher,
+            &mut session,
+            parked,
+            |m, state, line, session| resume_line(m, state, line, session).map(|v| (v, ())),
+        ));
+        chunk_records.sort_unstable_by_key(|(record, ())| record.index);
+        report
+            .records
+            .extend(chunk_records.into_iter().map(|(record, ())| record));
         report.batch = report.batch.merged(&session.stats());
+        if stop {
+            break 'scan;
+        }
     }
     report.total_duration = started.elapsed();
     report
@@ -223,6 +451,12 @@ where
 /// The per-chunk [`BatchStats`](semre_oracle::BatchStats) are accumulated
 /// into [`ScanReport::batch`]; per-line oracle attribution is not recorded
 /// (a batch belongs to a chunk, not a line).
+///
+/// On a matcher with a background resolver pool (built with
+/// `SemRegexBuilder::overlapped`), lines whose answers are in flight are
+/// parked while the scan continues, and resumed from their checkpoints as
+/// the pool publishes answers — verdicts and record order are identical to
+/// the synchronous scan.
 pub fn scan_batched<M, L>(
     matcher: &M,
     lines: &[L],
@@ -238,7 +472,9 @@ where
         lines,
         chunk_lines,
         options,
-        |m, _, line, session| m.matches_line_in_session(line, session),
+        true,
+        |m, _, line, session| m.try_matches_line_suspending(line, session),
+        |m, parked, line, session| m.resume_matches_line(parked, line, session),
     )
 }
 
@@ -262,17 +498,21 @@ where
     L: AsRef<[u8]>,
 {
     let mut spans_per_line: Vec<Vec<(usize, usize)>> = vec![Vec::new(); lines.len()];
+    // Span search resolves synchronously (overlap applies to membership
+    // scans), so the closure always answers.
     let report = scan_in_chunks(
         re,
         lines,
         chunk_lines,
         options,
+        false,
         |re, index, line, session| {
             let spans = line_spans(re, line, session, first_span_only);
             let matched = !spans.is_empty();
             spans_per_line[index] = spans;
-            matched
+            Ok(matched)
         },
+        |_, _, _, _| unreachable!("span scans run synchronously and never suspend"),
     );
     (report, spans_per_line)
 }
@@ -311,20 +551,27 @@ fn line_spans(
 ///
 /// `per_line` decides one line through the chunk's session and returns the
 /// verdict plus any per-line extra (e.g. the matched spans); extras are
-/// returned indexed by absolute line number.
-fn scan_chunks_parallel<M, L, T, F>(
+/// returned indexed by absolute line number.  `Err` parks the line for
+/// completion-driven resumption through `resume` on the overlapped plane
+/// (pass `overlapped: false` for closures that always answer).
+#[allow(clippy::too_many_arguments)] // private driver; every scan mode names all eight
+fn scan_chunks_parallel<M, L, T, F, R>(
     matcher: &M,
     lines: &[L],
     chunk_lines: usize,
     threads: usize,
     options: ScanOptions,
+    overlapped: bool,
     per_line: F,
+    resume: R,
 ) -> (ScanReport, Vec<T>)
 where
     M: LineMatcher + ?Sized,
     L: AsRef<[u8]> + Sync,
     T: Default + Send,
-    F: Fn(&M, usize, &[u8], &mut BatchSession<'_>) -> (bool, T) + Sync,
+    F: Fn(&M, usize, &[u8], &mut BatchSession<'_>) -> Result<(bool, T), SuspendedMatch> + Sync,
+    R: Fn(&M, SuspendedMatch, &[u8], &mut BatchSession<'_>) -> Result<(bool, T), SuspendedMatch>
+        + Sync,
 {
     let started = Instant::now();
     let chunk_lines = chunk_lines.max(1);
@@ -348,8 +595,9 @@ where
             }
             let start_line = chunk_index * chunk_lines;
             let chunk = &lines[start_line..(start_line + chunk_lines).min(lines.len())];
-            let mut session = matcher.session();
+            let mut session = chunk_session(matcher, overlapped);
             let mut records = Vec::with_capacity(chunk.len());
+            let mut parked: Vec<Parked> = Vec::new();
             for (offset, line) in chunk.iter().enumerate() {
                 if let Some(budget) = options.time_budget {
                     if started.elapsed() >= budget {
@@ -360,18 +608,33 @@ where
                 let index = start_line + offset;
                 let line = line.as_ref();
                 let line_start = Instant::now();
-                let (matched, extra) = per_line(matcher, index, line, &mut session);
-                records.push((
-                    LineRecord {
-                        index,
-                        length: line.len(),
-                        matched,
-                        duration: line_start.elapsed(),
-                        oracle: OracleStats::default(),
-                    },
-                    extra,
-                ));
+                match per_line(matcher, index, line, &mut session) {
+                    Ok((matched, extra)) => records.push((
+                        LineRecord {
+                            index,
+                            length: line.len(),
+                            matched,
+                            duration: line_start.elapsed(),
+                            oracle: OracleStats::default(),
+                        },
+                        extra,
+                    )),
+                    Err(state) => {
+                        matcher
+                            .resolver_pool()
+                            .expect("lines suspend only on the overlapped plane")
+                            .note_suspend();
+                        parked.push(Parked {
+                            index,
+                            length: line.len(),
+                            line: line.to_vec(),
+                            state,
+                        });
+                    }
+                }
             }
+            records.extend(drain_parked(matcher, &mut session, parked, &resume));
+            records.sort_unstable_by_key(|(record, _)| record.index);
             out.push((chunk_index, records, session.stats()));
         }
         out
@@ -430,7 +693,15 @@ where
         chunk_lines,
         threads,
         options,
-        |m, _, line, session| (m.matches_line_in_session(line, session), ()),
+        true,
+        |m, _, line, session| {
+            m.try_matches_line_suspending(line, session)
+                .map(|matched| (matched, ()))
+        },
+        |m, parked, line, session| {
+            m.resume_matches_line(parked, line, session)
+                .map(|matched| (matched, ()))
+        },
     );
     report
 }
@@ -456,7 +727,9 @@ where
         chunk_lines,
         threads,
         options,
-        |m, _, line, _session| (m.matches_line(line), ()),
+        false,
+        |m, _, line, _session| Ok((m.matches_line(line), ())),
+        |_, _, _, _| unreachable!("per-call scans run synchronously and never suspend"),
     );
     report
 }
@@ -482,10 +755,12 @@ where
         chunk_lines,
         threads,
         options,
+        false,
         |re, _, line, session| {
             let spans = line_spans(re, line, session, first_span_only);
-            (!spans.is_empty(), spans)
+            Ok((!spans.is_empty(), spans))
         },
+        |_, _, _, _| unreachable!("span scans run synchronously and never suspend"),
     )
 }
 
@@ -856,6 +1131,56 @@ mod tests {
         let empty =
             scan_batched_parallel(&m, &Vec::<String>::new(), 4, 4, ScanOptions::unlimited());
         assert_eq!(empty.lines(), 0);
+    }
+
+    #[test]
+    fn overlapped_scans_agree_with_synchronous_and_park_lines() {
+        let pattern = "Subject: .*(?<Medicine name>: .+).*";
+        let overlapped = semre::SemRegexBuilder::new()
+            .overlapped(4)
+            .build(pattern, SimLlmOracle::new())
+            .unwrap();
+        let sync = semre::SemRegex::new(pattern, SimLlmOracle::new()).unwrap();
+        let mut corpus = lines();
+        corpus.extend(lines());
+
+        for chunk in [1, 3, 64] {
+            let expected = scan_batched(&sync, &corpus, chunk, ScanOptions::unlimited());
+            let want: Vec<(usize, bool)> = expected
+                .records
+                .iter()
+                .map(|r| (r.index, r.matched))
+                .collect();
+            let seq = scan_batched(&overlapped, &corpus, chunk, ScanOptions::unlimited());
+            let got: Vec<(usize, bool)> =
+                seq.records.iter().map(|r| (r.index, r.matched)).collect();
+            assert_eq!(got, want, "sequential overlapped, chunk={chunk}");
+            for threads in [1, 4] {
+                let par = scan_batched_parallel(
+                    &overlapped,
+                    &corpus,
+                    chunk,
+                    threads,
+                    ScanOptions::unlimited(),
+                );
+                let got: Vec<(usize, bool)> =
+                    par.records.iter().map(|r| (r.index, r.matched)).collect();
+                assert_eq!(got, want, "chunk={chunk} threads={threads}");
+            }
+        }
+
+        let stats = LineMatcher::resolver_pool(&overlapped)
+            .expect("overlapped handle has a pool")
+            .stats();
+        assert!(
+            stats.suspends > 0,
+            "a cold pool must park oracle-bearing lines: {stats:?}"
+        );
+        assert_eq!(
+            stats.suspends, stats.resumes,
+            "every parked line resumed: {stats:?}"
+        );
+        assert!(stats.backend_keys > 0);
     }
 
     #[test]

@@ -64,6 +64,13 @@ pub struct StreamOptions {
     /// Share one batch session per `chunk_lines` lines (cross-line oracle
     /// deduplication); otherwise every line pays its own oracle calls.
     pub batched: bool,
+    /// Double-buffer the reads: a dedicated thread pulls the *next* I/O
+    /// chunk off the reader while the current batch is being matched, so
+    /// file I/O overlaps evaluation.  Verdicts, order, and reported bytes
+    /// are identical; peak memory grows by one extra chunk.  Leave off
+    /// for interactive readers (stdin): a cancelled scan would otherwise
+    /// wait on a read that may never complete.
+    pub read_ahead: bool,
     /// Line and wall-clock limits, as in the in-memory scans.
     pub scan: ScanOptions,
 }
@@ -75,6 +82,7 @@ impl Default for StreamOptions {
             chunk_lines: DEFAULT_CHUNK_LINES,
             threads: 1,
             batched: false,
+            read_ahead: false,
             scan: ScanOptions::unlimited(),
         }
     }
@@ -89,6 +97,7 @@ impl StreamOptions {
             chunk_lines: re.chunk_lines(),
             threads: re.threads(),
             batched: re.config().batched_oracle,
+            read_ahead: false,
             scan: ScanOptions::unlimited(),
         }
     }
@@ -147,19 +156,21 @@ impl StreamReport {
 /// batches, and lets `scan_batch` run one in-memory scan per batch.
 /// `scan_batch`'s third return value is `false` to cancel the stream
 /// (a callback asked to stop, e.g. after a broken output pipe).
-fn drive_stream<R: Read>(
+fn drive_stream<R: Read + Send>(
     reader: R,
     options: &StreamOptions,
     mut scan_batch: impl FnMut(&[Vec<u8>], u64, ScanOptions) -> (ScanReport, u64, bool),
 ) -> io::Result<StreamReport> {
     let started = Instant::now();
-    let mut chunks = LineChunks::new(reader, options.chunk_bytes);
     let mut report = StreamReport::default();
-    while let Some(mut batch) = chunks.next_batch()? {
+
+    // One iteration of the scan loop: limits, the batch scan, accounting.
+    // Returns whether to pull another batch.
+    let mut consume = |report: &mut StreamReport, mut batch: Vec<Vec<u8>>| -> bool {
         if let Some(max) = options.scan.max_lines {
             let remaining = max.saturating_sub(report.lines as usize);
             if remaining == 0 {
-                break;
+                return false;
             }
             batch.truncate(remaining);
         }
@@ -171,7 +182,7 @@ fn drive_stream<R: Read>(
             remaining
         });
         if report.timed_out {
-            break;
+            return false;
         }
         let scan_options = ScanOptions {
             max_lines: None,
@@ -179,11 +190,55 @@ fn drive_stream<R: Read>(
         };
         let (batch_report, matched, keep_going) = scan_batch(&batch, report.lines, scan_options);
         report.absorb(&batch_report, matched);
-        if report.timed_out || !keep_going {
-            break;
+        !report.timed_out && keep_going
+    };
+
+    if options.read_ahead {
+        // Double-buffered reads: a producer thread owns the chunker and
+        // stays one batch ahead (sync_channel(1) = the batch being
+        // matched plus the one being read), so file I/O overlaps
+        // evaluation.  Each message carries the byte count up to and
+        // including that batch, so cancellation reports exactly the bytes
+        // of the batches actually delivered — as the synchronous loop
+        // does.
+        type Prefetched = io::Result<Option<(Vec<Vec<u8>>, u64)>>;
+        let chunk_bytes = options.chunk_bytes;
+        std::thread::scope(|scope| -> io::Result<()> {
+            let (sender, receiver) = std::sync::mpsc::sync_channel::<Prefetched>(1);
+            scope.spawn(move || {
+                let mut chunks = LineChunks::new(reader, chunk_bytes);
+                loop {
+                    let item = chunks.next_batch();
+                    let done = !matches!(item, Ok(Some(_)));
+                    let message = item.map(|b| b.map(|batch| (batch, chunks.bytes_read())));
+                    // A send error means the consumer stopped early; the
+                    // prefetched batch is discarded, like the synchronous
+                    // loop never reading it.
+                    if sender.send(message).is_err() || done {
+                        return;
+                    }
+                }
+            });
+            while let Ok(message) = receiver.recv() {
+                let Some((batch, bytes)) = message? else {
+                    break;
+                };
+                report.bytes = bytes;
+                if !consume(&mut report, batch) {
+                    break;
+                }
+            }
+            Ok(())
+        })?;
+    } else {
+        let mut chunks = LineChunks::new(reader, options.chunk_bytes);
+        while let Some(batch) = chunks.next_batch()? {
+            if !consume(&mut report, batch) {
+                break;
+            }
         }
+        report.bytes = chunks.bytes_read();
     }
-    report.bytes = chunks.bytes_read();
     report.total_duration = started.elapsed();
     Ok(report)
 }
@@ -208,7 +263,7 @@ pub fn scan_stream<M, R, F>(
 ) -> io::Result<StreamReport>
 where
     M: LineMatcher + ?Sized,
-    R: Read,
+    R: Read + Send,
     F: FnMut(u64, &[u8], bool) -> bool,
 {
     drive_stream(reader, options, |batch, lines_done, scan_options| {
@@ -271,7 +326,7 @@ pub fn scan_stream_spans<R, F>(
     mut on_line: F,
 ) -> io::Result<StreamReport>
 where
-    R: Read,
+    R: Read + Send,
     F: FnMut(u64, &[u8], &[(usize, usize)]) -> bool,
 {
     drive_stream(reader, options, |batch, lines_done, scan_options| {
@@ -348,30 +403,36 @@ mod tests {
         for chunk_bytes in [1, 7, 26, 64, 1 << 16] {
             for threads in [1, 4] {
                 for batched in [false, true] {
-                    let options = StreamOptions {
-                        chunk_bytes,
-                        chunk_lines: 8,
-                        threads,
-                        batched,
-                        scan: ScanOptions::unlimited(),
-                    };
-                    let mut got = Vec::new();
-                    let report = scan_stream(&re, text.as_bytes(), &options, |i, line, m| {
-                        assert_eq!(line, lines[i as usize].as_bytes());
-                        got.push(m);
-                        true
-                    })
-                    .unwrap();
-                    assert_eq!(got, expected, "chunk={chunk_bytes} threads={threads}");
-                    assert_eq!(report.lines, lines.len() as u64);
-                    assert_eq!(
-                        report.matched_lines,
-                        expected.iter().filter(|&&m| m).count() as u64
-                    );
-                    assert_eq!(report.bytes, text.len() as u64);
-                    assert!(!report.timed_out);
-                    if batched {
-                        assert!(report.batch.keys_submitted > 0);
+                    for read_ahead in [false, true] {
+                        let options = StreamOptions {
+                            chunk_bytes,
+                            chunk_lines: 8,
+                            threads,
+                            batched,
+                            read_ahead,
+                            scan: ScanOptions::unlimited(),
+                        };
+                        let mut got = Vec::new();
+                        let report = scan_stream(&re, text.as_bytes(), &options, |i, line, m| {
+                            assert_eq!(line, lines[i as usize].as_bytes());
+                            got.push(m);
+                            true
+                        })
+                        .unwrap();
+                        assert_eq!(
+                            got, expected,
+                            "chunk={chunk_bytes} threads={threads} read_ahead={read_ahead}"
+                        );
+                        assert_eq!(report.lines, lines.len() as u64);
+                        assert_eq!(
+                            report.matched_lines,
+                            expected.iter().filter(|&&m| m).count() as u64
+                        );
+                        assert_eq!(report.bytes, text.len() as u64);
+                        assert!(!report.timed_out);
+                        if batched {
+                            assert!(report.batch.keys_submitted > 0);
+                        }
                     }
                 }
             }
@@ -391,6 +452,7 @@ mod tests {
                     chunk_lines: 2,
                     threads,
                     batched: true,
+                    read_ahead: chunk_bytes % 2 == 1,
                     scan: ScanOptions::unlimited(),
                 };
                 let mut got: Vec<Vec<(usize, usize)>> = Vec::new();
@@ -445,6 +507,7 @@ mod tests {
         let total = text.lines().count() as u64;
         let options = StreamOptions {
             chunk_bytes: 16,
+            read_ahead: true,
             ..StreamOptions::default()
         };
         let mut seen = 0u64;

@@ -23,8 +23,9 @@
 //!   `(query, text)` questions from different lines reach the backend once.
 
 use std::collections::HashMap;
-use std::hash::Hash;
+use std::hash::{Hash, Hasher};
 
+use crate::overlap::ResolverPool;
 use crate::stats::BatchStats;
 use crate::Oracle;
 
@@ -143,19 +144,41 @@ impl<K: Eq + Hash + Clone> QueryLedger<K> {
     /// # Panics
     ///
     /// Panics if the resolver returns a wrong-sized answer vector.
-    pub fn flush<'k, F, R>(&mut self, mut materialize: F, resolver: R)
+    pub fn flush<'k, F, R>(&mut self, materialize: F, resolver: R)
     where
         F: FnMut(&K) -> QueryKey<'k>,
         R: FnOnce(&[QueryKey<'k>]) -> Vec<bool>,
     {
+        let flushed = self.try_flush(materialize, |batch| Some(resolver(batch)));
+        debug_assert!(flushed, "an infallible resolver always flushes");
+    }
+
+    /// The fallible flavour of [`flush`](QueryLedger::flush), for resolvers
+    /// that may not have every answer yet (the overlapped resolver plane).
+    ///
+    /// Returns `true` when every pending slot was resolved.  When the
+    /// resolver returns `None` the pending slots stay pending, no counter
+    /// moves, and the caller is expected to retry after the answers it
+    /// needs have been published.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resolver returns a wrong-sized answer vector.
+    pub fn try_flush<'k, F, R>(&mut self, mut materialize: F, resolver: R) -> bool
+    where
+        F: FnMut(&K) -> QueryKey<'k>,
+        R: FnOnce(&[QueryKey<'k>]) -> Option<Vec<bool>>,
+    {
         if self.resolved == self.keys.len() {
-            return;
+            return true;
         }
         let batch: Vec<QueryKey<'k>> = self.keys[self.resolved..]
             .iter()
             .map(&mut materialize)
             .collect();
-        let answers = resolver(&batch);
+        let Some(answers) = resolver(&batch) else {
+            return false;
+        };
         assert_eq!(
             answers.len(),
             batch.len(),
@@ -167,6 +190,7 @@ impl<K: Eq + Hash + Clone> QueryLedger<K> {
         self.resolved = self.keys.len();
         self.stats.batches += 1;
         self.stats.backend_keys += batch.len() as u64;
+        true
     }
 }
 
@@ -206,6 +230,81 @@ impl AnswerStore {
 
     pub(crate) fn clear(&mut self) {
         self.map.clear();
+    }
+}
+
+/// Number of lock stripes in a [`ShardedAnswerStore`].
+pub(crate) const ANSWER_STORE_SHARDS: usize = 16;
+
+/// A lock-striped [`AnswerStore`]: 16 independent stripes, each behind its
+/// own mutex, with the stripe chosen by hashing the `(query, text)` key.
+///
+/// Concurrent readers and writers of *different* keys almost always land on
+/// different stripes, so the read-mostly fast path (a store probe) never
+/// serializes a whole multi-threaded scan behind one lock the way a single
+/// `Mutex<AnswerStore>` does.  Contention that does happen is counted (a
+/// failed `try_lock` before the blocking lock) and surfaced through
+/// [`contended`](ShardedAnswerStore::contended) for `--stats`.
+#[derive(Debug)]
+pub(crate) struct ShardedAnswerStore {
+    stripes: Vec<std::sync::Mutex<AnswerStore>>,
+    contended: std::sync::atomic::AtomicU64,
+}
+
+impl Default for ShardedAnswerStore {
+    fn default() -> Self {
+        ShardedAnswerStore {
+            stripes: (0..ANSWER_STORE_SHARDS)
+                .map(|_| std::sync::Mutex::new(AnswerStore::default()))
+                .collect(),
+            contended: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+}
+
+impl ShardedAnswerStore {
+    fn stripe(&self, key: &QueryKey<'_>) -> std::sync::MutexGuard<'_, AnswerStore> {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.query.hash(&mut hasher);
+        key.text.hash(&mut hasher);
+        let stripe = &self.stripes[(hasher.finish() as usize) % ANSWER_STORE_SHARDS];
+        match stripe.try_lock() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::WouldBlock) => {
+                self.contended
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                stripe.lock().expect("answer store stripe poisoned")
+            }
+            Err(std::sync::TryLockError::Poisoned(_)) => {
+                panic!("answer store stripe poisoned")
+            }
+        }
+    }
+
+    pub(crate) fn get(&self, key: &QueryKey<'_>) -> Option<bool> {
+        self.stripe(key).get(key)
+    }
+
+    pub(crate) fn insert(&self, key: &QueryKey<'_>, answer: bool) {
+        self.stripe(key).insert(key, answer);
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.stripes
+            .iter()
+            .map(|s| s.lock().expect("answer store stripe poisoned").len())
+            .sum()
+    }
+
+    pub(crate) fn clear(&self) {
+        for stripe in &self.stripes {
+            stripe.lock().expect("answer store stripe poisoned").clear();
+        }
+    }
+
+    /// Stripe-lock contention events observed so far.
+    pub(crate) fn contended(&self) -> u64 {
+        self.contended.load(std::sync::atomic::Ordering::Relaxed)
     }
 }
 
@@ -296,6 +395,7 @@ impl<'a> BatchPlan<'a> {
 /// into chunk-level batches.
 pub struct BatchSession<'o> {
     oracle: &'o dyn Oracle,
+    overlap: Option<&'o ResolverPool>,
     cache: AnswerStore,
     stats: BatchStats,
 }
@@ -305,9 +405,29 @@ impl<'o> BatchSession<'o> {
     pub fn new(oracle: &'o dyn Oracle) -> Self {
         BatchSession {
             oracle,
+            overlap: None,
             cache: AnswerStore::default(),
             stats: BatchStats::default(),
         }
+    }
+
+    /// A session that resolves through a background [`ResolverPool`]
+    /// instead of calling `oracle` inline: misses are *submitted* to the
+    /// pool and [`try_resolve`](BatchSession::try_resolve) reports them as
+    /// not-yet-available, letting the caller suspend the current line and
+    /// keep scanning while the pool works.
+    pub fn with_pool(oracle: &'o dyn Oracle, pool: &'o ResolverPool) -> Self {
+        BatchSession {
+            oracle,
+            overlap: Some(pool),
+            cache: AnswerStore::default(),
+            stats: BatchStats::default(),
+        }
+    }
+
+    /// The resolver pool this session submits to, if overlapped.
+    pub fn pool(&self) -> Option<&'o ResolverPool> {
+        self.overlap
     }
 
     /// The backend this session resolves against.
@@ -339,6 +459,63 @@ impl<'o> BatchSession<'o> {
             answers
         };
         plan.into_answers(miss_answers)
+    }
+
+    /// The non-blocking flavour of [`resolve`](BatchSession::resolve) for
+    /// overlapped sessions: answers come from the session store or from
+    /// answers the [`ResolverPool`] has already published; anything still
+    /// unknown is submitted to the pool and the whole batch reports
+    /// `None`, so the caller can suspend and retry once the pool has made
+    /// progress.
+    ///
+    /// Sessions without a pool (constructed by
+    /// [`new`](BatchSession::new)) resolve inline and never return `None`,
+    /// so callers can use `try_resolve` unconditionally.
+    ///
+    /// Counters only move when the batch completes, so a retried batch is
+    /// counted once — exactly as a synchronous session would count it.
+    pub fn try_resolve(&mut self, batch: &[QueryKey<'_>]) -> Option<Vec<bool>> {
+        let Some(pool) = self.overlap else {
+            return Some(self.resolve(batch));
+        };
+        if batch.is_empty() {
+            return Some(Vec::new());
+        }
+        let plan = BatchPlan::classify(batch, |key| self.cache.get(key));
+        let mut pending = Vec::new();
+        let miss_answers: Vec<Option<bool>> = plan
+            .misses
+            .iter()
+            .map(|key| {
+                let answer = pool.lookup(key);
+                if answer.is_none() {
+                    pending.push(*key);
+                }
+                answer
+            })
+            .collect();
+        if !pending.is_empty() {
+            pool.submit(&pending);
+            return None;
+        }
+        self.stats.keys_submitted += batch.len() as u64;
+        self.stats.keys_deduped += plan.hits();
+        let answers: Vec<bool> = miss_answers
+            .into_iter()
+            .map(|answer| answer.expect("every miss resolved"))
+            .collect();
+        if !plan.misses.is_empty() {
+            // The pool's store plays the backend role here: these keys
+            // went past the session, so they count as backend keys even
+            // though the true backend round trips happened in the pool
+            // (and are reported by its own counters).
+            self.stats.batches += 1;
+            self.stats.backend_keys += plan.misses.len() as u64;
+            for (key, &answer) in plan.misses.iter().zip(&answers) {
+                self.cache.insert(key, answer);
+            }
+        }
+        Some(plan.into_answers(answers))
     }
 
     /// Batch-plane counters accumulated by this session.
@@ -376,7 +553,7 @@ impl std::fmt::Debug for BatchSession<'_> {
 /// Shared state behind every clone of a [`SharedSession`].
 #[derive(Debug, Default)]
 struct SharedSessionState {
-    cache: std::sync::Mutex<AnswerStore>,
+    cache: ShardedAnswerStore,
     keys_submitted: std::sync::atomic::AtomicU64,
     keys_deduped: std::sync::atomic::AtomicU64,
     backend_keys: std::sync::atomic::AtomicU64,
@@ -394,6 +571,11 @@ struct SharedSessionState {
 /// seen by *any* chunk of *any* file reach the backend.  This is what makes
 /// a multi-file scan dedupe oracle questions globally — a medicine name
 /// repeated across a whole directory tree is judged once.
+///
+/// The store is **lock-striped** (`ShardedAnswerStore`, 16 stripes keyed
+/// by hashing the question), so concurrent workers probing different keys
+/// do not serialize behind one mutex; observed stripe contention is
+/// reported by [`contended`](SharedSession::contended).
 ///
 /// Answer-level counters are exposed as a [`BatchStats`]:
 /// `keys_submitted` / `keys_deduped` count questions arriving here (after
@@ -445,13 +627,6 @@ impl SharedSession {
         &self.oracle
     }
 
-    fn lock_cache(&self) -> std::sync::MutexGuard<'_, AnswerStore> {
-        self.state
-            .cache
-            .lock()
-            .expect("shared session lock poisoned")
-    }
-
     /// Batch-plane counters accumulated across every clone.
     pub fn stats(&self) -> BatchStats {
         use std::sync::atomic::Ordering::Relaxed;
@@ -463,9 +638,20 @@ impl SharedSession {
         }
     }
 
+    /// Number of lock stripes in the sharded answer store.
+    pub fn shards(&self) -> usize {
+        ANSWER_STORE_SHARDS
+    }
+
+    /// Stripe-lock contention events observed so far: a probe or insert
+    /// found its stripe held by another thread and had to block.
+    pub fn contended(&self) -> u64 {
+        self.state.cache.contended()
+    }
+
     /// Number of distinct `(query, text)` answers currently stored.
     pub fn len(&self) -> usize {
-        self.lock_cache().len()
+        self.state.cache.len()
     }
 
     /// Whether the store is empty.
@@ -476,7 +662,7 @@ impl SharedSession {
     /// Drops all stored answers and counters.
     pub fn clear(&self) {
         use std::sync::atomic::Ordering::Relaxed;
-        self.lock_cache().clear();
+        self.state.cache.clear();
         self.state.keys_submitted.store(0, Relaxed);
         self.state.keys_deduped.store(0, Relaxed);
         self.state.backend_keys.store(0, Relaxed);
@@ -489,19 +675,19 @@ impl Oracle for SharedSession {
         use std::sync::atomic::Ordering::Relaxed;
         self.state.keys_submitted.fetch_add(1, Relaxed);
         let key = QueryKey::new(query, text);
-        if let Some(answer) = self.lock_cache().get(&key) {
+        if let Some(answer) = self.state.cache.get(&key) {
             self.state.keys_deduped.fetch_add(1, Relaxed);
             return answer;
         }
-        // The backend call happens outside the lock so a slow oracle does
-        // not serialize unrelated questions from other files' workers.  Two
-        // threads racing on the same fresh key may both reach the backend;
-        // determinism (the Oracle contract) makes that harmless, and the
-        // store converges to one entry.
+        // The backend call happens outside any stripe lock so a slow
+        // oracle does not serialize unrelated questions from other files'
+        // workers.  Two threads racing on the same fresh key may both
+        // reach the backend; determinism (the Oracle contract) makes that
+        // harmless, and the store converges to one entry.
         let answer = self.oracle.holds(query, text);
         self.state.backend_keys.fetch_add(1, Relaxed);
         self.state.batches.fetch_add(1, Relaxed);
-        self.lock_cache().insert(&key, answer);
+        self.state.cache.insert(&key, answer);
         answer
     }
 
@@ -513,10 +699,7 @@ impl Oracle for SharedSession {
         if batch.is_empty() {
             return Vec::new();
         }
-        let plan = {
-            let cache = self.lock_cache();
-            BatchPlan::classify(batch, |key| cache.get(key))
-        };
+        let plan = BatchPlan::classify(batch, |key| self.state.cache.get(key));
         self.state.keys_deduped.fetch_add(plan.hits(), Relaxed);
         let miss_answers = if plan.misses.is_empty() {
             Vec::new()
@@ -526,9 +709,8 @@ impl Oracle for SharedSession {
                 .backend_keys
                 .fetch_add(plan.misses.len() as u64, Relaxed);
             let answers = self.oracle.resolve_batch(&plan.misses);
-            let mut cache = self.lock_cache();
             for (key, &answer) in plan.misses.iter().zip(&answers) {
-                cache.insert(key, answer);
+                self.state.cache.insert(key, answer);
             }
             answers
         };
@@ -701,6 +883,64 @@ mod tests {
         assert_eq!(shared.stats().backend_keys, 2);
         assert_eq!(shared.stats().keys_submitted, 6);
         assert_eq!(shared.stats().keys_deduped, 4);
+    }
+
+    #[test]
+    fn sharded_store_is_consistent_under_concurrent_mixed_access() {
+        let store = ShardedAnswerStore::default();
+        std::thread::scope(|scope| {
+            for worker in 0..8u32 {
+                let store = &store;
+                scope.spawn(move || {
+                    for i in 0..64u32 {
+                        let text = format!("text-{}", (worker + i) % 16);
+                        let key = QueryKey::new("q", text.as_bytes());
+                        store.insert(&key, (worker + i) % 16 % 2 == 0);
+                        assert_eq!(store.get(&key), Some((worker + i) % 16 % 2 == 0));
+                    }
+                });
+            }
+        });
+        assert_eq!(store.len(), 16, "one entry per distinct key");
+        store.clear();
+        assert_eq!(store.len(), 0);
+    }
+
+    #[test]
+    fn try_flush_leaves_slots_pending_until_answers_arrive() {
+        let input = b"abcdef";
+        let mut ledger: QueryLedger<(u32, u32, u32)> = QueryLedger::new();
+        let a = ledger.enlist((0, 1, 3));
+        let materialize = |&(_, s, e): &(u32, u32, u32)| {
+            QueryKey::new("q", &input[(s - 1) as usize..(e - 1) as usize])
+        };
+
+        // A resolver without answers leaves the ledger untouched.
+        assert!(!ledger.try_flush(materialize, |_| None));
+        assert!(ledger.answer(a).is_none());
+        assert_eq!(ledger.pending(), 1);
+        assert_eq!(ledger.stats().batches, 0);
+        assert_eq!(ledger.stats().backend_keys, 0);
+
+        // The retry resolves the same pending suffix and counts one batch.
+        assert!(ledger.try_flush(materialize, |batch| Some(vec![true; batch.len()])));
+        assert_eq!(ledger.answer(a), Some(true));
+        assert_eq!(ledger.pending(), 0);
+        assert_eq!(ledger.stats().batches, 1);
+        assert_eq!(ledger.stats().backend_keys, 1);
+
+        // Nothing pending: trivially flushed.
+        assert!(ledger.try_flush(materialize, |_| None));
+    }
+
+    #[test]
+    fn try_resolve_without_a_pool_is_resolve() {
+        let oracle = Instrumented::new(PredicateOracle::new(|_, t: &[u8]| t.starts_with(b"a")));
+        let mut session = BatchSession::new(&oracle);
+        assert!(session.pool().is_none());
+        let batch = keys(&[("q", b"ab"), ("q", b"cd")]);
+        assert_eq!(session.try_resolve(&batch), Some(vec![true, false]));
+        assert_eq!(session.stats().backend_keys, 2);
     }
 
     #[test]

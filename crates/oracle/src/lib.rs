@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 mod batch;
+mod overlap;
 mod services;
 mod sim_llm;
 mod simple;
@@ -43,6 +44,7 @@ mod stats;
 mod wrappers;
 
 pub use batch::{BatchOracle, BatchSession, LedgerSlot, QueryKey, QueryLedger, SharedSession};
+pub use overlap::{ResolverPool, ResolverStats, DEFAULT_IN_FLIGHT_WINDOW};
 pub use services::{
     FileSystemOracle, IpGeoDb, PhishingList, WhoisDb, DEAD_DOMAIN_QUERY, FOREIGN_IP_QUERY,
     NONEXISTENT_PATH_QUERY, PHISHING_QUERY, REGISTERED_AFTER_PREFIX,

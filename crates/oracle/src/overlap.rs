@@ -1,0 +1,574 @@
+//! The overlapped oracle resolution plane: a background resolver pool.
+//!
+//! The synchronous batch plane ([`BatchSession`](crate::BatchSession))
+//! blocks the scan on every backend round trip — acceptable for in-memory
+//! oracles, ruinous for the paper's real backends (LLMs, Whois, geo
+//! databases) whose per-batch latency dwarfs the text-side work by orders
+//! of magnitude.  This module hides that latency:
+//!
+//! * a [`ResolverPool`] owns a small team of worker threads (std threads +
+//!   mutex/condvar, zero external deps) that drain a queue of *certain*
+//!   questions — questions the evaluator provably needs, enlisted through
+//!   the usual `QueryLedger` seam — and resolve them through
+//!   [`Oracle::resolve_batch`] in the background;
+//! * answers are published into a sharded, lock-striped answer store
+//!   (16 stripes, the same layout that backs
+//!   [`SharedSession`](crate::SharedSession)), where any number of scan
+//!   threads can probe them without serializing;
+//! * submissions **coalesce**: a key already answered, already queued, or
+//!   already in flight is never queued twice, so identical questions from
+//!   different lines, chunks, or files of a scan cost one backend key;
+//! * a bounded **in-flight window** applies backpressure — submitters
+//!   block while the queue plus in-flight keys exceed the window, keeping
+//!   memory and backend pressure proportional to the window, not the
+//!   corpus;
+//! * a **completion generation** counter (bumped after every published
+//!   batch) lets scan drivers park a suspended line and
+//!   [`wait_for_progress`](ResolverPool::wait_for_progress) instead of
+//!   spinning.
+//!
+//! The pool also implements [`Oracle`] itself (blocking: submit, then wait
+//! for the answer), so it can stand wherever a synchronous backend does —
+//! the DP baseline and the per-call plane keep working unchanged.
+//!
+//! Correctness leans on Assumption 2.4 of the paper (oracle determinism):
+//! a question resolved twice — e.g. once by a racing synchronous path and
+//! once by the pool — always yields the same answer, so replaying a
+//! suspended line against published answers can never change its verdict.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use crate::batch::{ShardedAnswerStore, ANSWER_STORE_SHARDS};
+use crate::{Oracle, QueryKey};
+
+/// Default bound on queued-plus-in-flight keys when the caller does not
+/// choose one (see [`ResolverPool::new`]).
+pub const DEFAULT_IN_FLIGHT_WINDOW: usize = 512;
+
+/// How long a [`wait_for_progress`](ResolverPool::wait_for_progress) call
+/// sleeps before defensively re-checking the store even without a
+/// completion signal (lost-wakeup insurance, not the normal path).
+const PROGRESS_POLL: Duration = Duration::from_millis(20);
+
+/// Counters of the resolver plane, for `--stats` and the benchmarks.
+///
+/// All counters are cumulative since the pool was created and aggregate
+/// across every submitting thread — a multi-file scan reports them **once
+/// per run**, not once per worker.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResolverStats {
+    /// Keys handed to [`ResolverPool::submit`].
+    pub submitted: u64,
+    /// Submitted keys that were *not* queued because they were already
+    /// answered, already queued, or already in flight (cross-line,
+    /// cross-chunk, and cross-file coalescing).
+    pub coalesced: u64,
+    /// Backend round trips issued by the workers.
+    pub batches: u64,
+    /// Keys that reached the backend.
+    pub backend_keys: u64,
+    /// High-water mark of queued-plus-in-flight keys.
+    pub in_flight_high_water: u64,
+    /// Line evaluations suspended on pending answers (reported by the
+    /// scan driver through [`ResolverPool::note_suspend`]).
+    pub suspends: u64,
+    /// Suspended line evaluations that later completed (reported through
+    /// [`ResolverPool::note_resume`]).
+    pub resumes: u64,
+    /// Lock-stripe contention events in the sharded answer store.
+    pub store_contended: u64,
+}
+
+/// Owned `(query, text)` keys tracked as queued or in flight, probed with
+/// borrowed keys (the same nested shape as the answer store).
+#[derive(Default)]
+struct KeySet {
+    map: HashMap<String, HashSet<Vec<u8>>>,
+}
+
+impl KeySet {
+    fn contains(&self, key: &QueryKey<'_>) -> bool {
+        self.map
+            .get(key.query)
+            .is_some_and(|texts| texts.contains(key.text))
+    }
+
+    fn insert(&mut self, key: &QueryKey<'_>) {
+        self.map
+            .entry(key.query.to_owned())
+            .or_default()
+            .insert(key.text.to_vec());
+    }
+
+    fn remove(&mut self, query: &str, text: &[u8]) {
+        if let Some(texts) = self.map.get_mut(query) {
+            texts.remove(text);
+        }
+    }
+}
+
+/// The submission queue, guarded by one mutex (held only for queue
+/// bookkeeping — never across a backend call).
+#[derive(Default)]
+struct Queue {
+    /// Keys waiting for a worker, in submission order.
+    pending: Vec<(String, Vec<u8>)>,
+    /// Keys queued or claimed by a worker but not yet published.
+    tracked: KeySet,
+    /// Keys currently inside a worker's backend round trip.
+    in_flight: usize,
+    /// Set on shutdown; workers exit once the queue drains.
+    closed: bool,
+}
+
+struct PoolShared {
+    oracle: Arc<dyn Oracle>,
+    store: ShardedAnswerStore,
+    queue: Mutex<Queue>,
+    /// Signals workers that `pending` is non-empty (or the pool closed).
+    work_ready: Condvar,
+    /// Signals submitters that the in-flight window may have room again.
+    window_open: Condvar,
+    /// Completion generation: bumped once per published batch.
+    progress: Mutex<u64>,
+    progressed: Condvar,
+    threads: usize,
+    in_flight_window: usize,
+    submitted: AtomicU64,
+    coalesced: AtomicU64,
+    batches: AtomicU64,
+    backend_keys: AtomicU64,
+    high_water: AtomicU64,
+    suspends: AtomicU64,
+    resumes: AtomicU64,
+}
+
+/// A background pool of oracle-resolver threads with a sharded answer
+/// store (see the `overlap` module docs for the full picture).
+///
+/// # Examples
+///
+/// Submit now, collect later:
+///
+/// ```
+/// use std::sync::Arc;
+/// use semre_oracle::{PredicateOracle, QueryKey, ResolverPool};
+///
+/// let backend = Arc::new(PredicateOracle::new(|_, t: &[u8]| t.len() % 2 == 0));
+/// let pool = ResolverPool::new(backend, 2, 64);
+/// let key = QueryKey::new("q", b"ab");
+/// let generation = pool.generation();
+/// pool.submit(std::slice::from_ref(&key));
+/// let mut seen = generation;
+/// let answer = loop {
+///     if let Some(answer) = pool.lookup(&key) {
+///         break answer;
+///     }
+///     seen = pool.wait_for_progress(seen);
+/// };
+/// assert!(answer);
+/// ```
+pub struct ResolverPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ResolverPool {
+    /// Spawns `threads` resolver workers (at least one) over `oracle`,
+    /// with at most `in_flight` keys queued or in flight at once (`0`
+    /// means [`DEFAULT_IN_FLIGHT_WINDOW`]).
+    pub fn new(oracle: Arc<dyn Oracle>, threads: usize, in_flight: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(PoolShared {
+            oracle,
+            store: ShardedAnswerStore::default(),
+            queue: Mutex::new(Queue::default()),
+            work_ready: Condvar::new(),
+            window_open: Condvar::new(),
+            progress: Mutex::new(0),
+            progressed: Condvar::new(),
+            threads,
+            in_flight_window: if in_flight == 0 {
+                DEFAULT_IN_FLIGHT_WINDOW
+            } else {
+                in_flight
+            },
+            submitted: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            backend_keys: AtomicU64::new(0),
+            high_water: AtomicU64::new(0),
+            suspends: AtomicU64::new(0),
+            resumes: AtomicU64::new(0),
+        });
+        let workers = (0..threads)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker(&shared))
+            })
+            .collect();
+        ResolverPool { shared, workers }
+    }
+
+    /// Number of resolver worker threads.
+    pub fn threads(&self) -> usize {
+        self.shared.threads
+    }
+
+    /// The bound on queued-plus-in-flight keys.
+    pub fn in_flight_window(&self) -> usize {
+        self.shared.in_flight_window
+    }
+
+    /// A published answer for `key`, if the pool has resolved it (now or
+    /// at any earlier point of the run — answers are never evicted).
+    pub fn lookup(&self, key: &QueryKey<'_>) -> Option<bool> {
+        self.shared.store.get(key)
+    }
+
+    /// Number of distinct `(query, text)` answers published so far.
+    pub fn store_len(&self) -> usize {
+        self.shared.store.len()
+    }
+
+    /// Queues `keys` for background resolution.  Keys already answered,
+    /// queued, or in flight are coalesced away; the rest are enqueued in
+    /// order.  Blocks while the in-flight window is full (backpressure),
+    /// never while a backend call is running.
+    pub fn submit(&self, keys: &[QueryKey<'_>]) {
+        if keys.is_empty() {
+            return;
+        }
+        let shared = &*self.shared;
+        shared.submitted.fetch_add(keys.len() as u64, Relaxed);
+        let mut queued = 0usize;
+        let mut queue = shared.queue.lock().expect("resolver queue poisoned");
+        for key in keys {
+            loop {
+                if shared.store.get(key).is_some() || queue.tracked.contains(key) {
+                    shared.coalesced.fetch_add(1, Relaxed);
+                    break;
+                }
+                if queue.closed || queue.pending.len() + queue.in_flight < shared.in_flight_window {
+                    queue.tracked.insert(key);
+                    queue
+                        .pending
+                        .push((key.query.to_owned(), key.text.to_vec()));
+                    queued += 1;
+                    let depth = (queue.pending.len() + queue.in_flight) as u64;
+                    shared.high_water.fetch_max(depth, Relaxed);
+                    break;
+                }
+                // Window full: wake the workers (in case this submitter
+                // raced ahead of them) and wait for room.
+                shared.work_ready.notify_all();
+                queue = shared
+                    .window_open
+                    .wait(queue)
+                    .expect("resolver queue poisoned");
+            }
+        }
+        drop(queue);
+        if queued > 0 {
+            shared.work_ready.notify_all();
+        }
+    }
+
+    /// The current completion generation; bumped once per published batch.
+    pub fn generation(&self) -> u64 {
+        *self
+            .shared
+            .progress
+            .lock()
+            .expect("resolver progress poisoned")
+    }
+
+    /// Blocks until the completion generation moves past `seen` (i.e. at
+    /// least one batch of answers was published since the caller observed
+    /// `seen`), and returns the new generation.  Returns immediately when
+    /// progress already happened; wakes defensively every few
+    /// milliseconds so a lost wakeup degrades to polling, never to a
+    /// hang.
+    pub fn wait_for_progress(&self, seen: u64) -> u64 {
+        let mut generation = self
+            .shared
+            .progress
+            .lock()
+            .expect("resolver progress poisoned");
+        while *generation == seen {
+            let (guard, timeout) = self
+                .shared
+                .progressed
+                .wait_timeout(generation, PROGRESS_POLL)
+                .expect("resolver progress poisoned");
+            generation = guard;
+            if timeout.timed_out() {
+                break;
+            }
+        }
+        *generation
+    }
+
+    /// Records that a line evaluation suspended on pending answers
+    /// (called by the scan driver; counted once per suspension event).
+    pub fn note_suspend(&self) {
+        self.shared.suspends.fetch_add(1, Relaxed);
+    }
+
+    /// Records that a previously suspended line evaluation completed.
+    pub fn note_resume(&self) {
+        self.shared.resumes.fetch_add(1, Relaxed);
+    }
+
+    /// Number of lock stripes in the answer store.
+    pub fn shards(&self) -> usize {
+        ANSWER_STORE_SHARDS
+    }
+
+    /// A snapshot of the resolver-plane counters.
+    pub fn stats(&self) -> ResolverStats {
+        let shared = &*self.shared;
+        ResolverStats {
+            submitted: shared.submitted.load(Relaxed),
+            coalesced: shared.coalesced.load(Relaxed),
+            batches: shared.batches.load(Relaxed),
+            backend_keys: shared.backend_keys.load(Relaxed),
+            in_flight_high_water: shared.high_water.load(Relaxed),
+            suspends: shared.suspends.load(Relaxed),
+            resumes: shared.resumes.load(Relaxed),
+            store_contended: shared.store.contended(),
+        }
+    }
+}
+
+impl std::fmt::Debug for ResolverPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResolverPool")
+            .field("backend", &self.shared.oracle.describe())
+            .field("threads", &self.shared.threads)
+            .field("in_flight_window", &self.shared.in_flight_window)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Drop for ResolverPool {
+    fn drop(&mut self) {
+        {
+            let mut queue = self.shared.queue.lock().expect("resolver queue poisoned");
+            queue.closed = true;
+        }
+        self.shared.work_ready.notify_all();
+        self.shared.window_open.notify_all();
+        for worker in self.workers.drain(..) {
+            worker.join().expect("resolver worker panicked");
+        }
+    }
+}
+
+/// Blocking [`Oracle`] facade over the pool: a question not yet published
+/// is submitted and awaited, so the pool can stand wherever a synchronous
+/// backend does (the per-call plane, the DP baseline).
+impl Oracle for ResolverPool {
+    fn holds(&self, query: &str, text: &[u8]) -> bool {
+        let key = QueryKey::new(query, text);
+        if let Some(answer) = self.lookup(&key) {
+            return answer;
+        }
+        // Snapshot *before* submitting so a completion racing ahead of
+        // the first wait is never missed.
+        let mut seen = self.generation();
+        self.submit(std::slice::from_ref(&key));
+        loop {
+            if let Some(answer) = self.lookup(&key) {
+                return answer;
+            }
+            seen = self.wait_for_progress(seen);
+        }
+    }
+
+    fn resolve_batch(&self, batch: &[QueryKey<'_>]) -> Vec<bool> {
+        let mut seen = self.generation();
+        self.submit(batch);
+        loop {
+            let answers: Option<Vec<bool>> = batch.iter().map(|key| self.lookup(key)).collect();
+            if let Some(answers) = answers {
+                return answers;
+            }
+            seen = self.wait_for_progress(seen);
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "resolver-pool({} threads, window {}, {})",
+            self.shared.threads,
+            self.shared.in_flight_window,
+            self.shared.oracle.describe()
+        )
+    }
+}
+
+/// One resolver worker: claim a fair share of the pending queue, resolve
+/// it in one backend round trip, publish, signal.
+fn worker(shared: &PoolShared) {
+    loop {
+        let batch: Vec<(String, Vec<u8>)> = {
+            let mut queue = shared.queue.lock().expect("resolver queue poisoned");
+            loop {
+                if !queue.pending.is_empty() {
+                    break;
+                }
+                if queue.closed {
+                    return;
+                }
+                queue = shared
+                    .work_ready
+                    .wait(queue)
+                    .expect("resolver queue poisoned");
+            }
+            // Claim at most a 1/threads share so concurrent workers split
+            // a burst instead of one worker serializing it.
+            let take = queue.pending.len().div_ceil(shared.threads).max(1);
+            let batch: Vec<(String, Vec<u8>)> = queue.pending.drain(..take).collect();
+            queue.in_flight += batch.len();
+            batch
+        };
+
+        let keys: Vec<QueryKey<'_>> = batch
+            .iter()
+            .map(|(query, text)| QueryKey::new(query, text))
+            .collect();
+        let answers = shared.oracle.resolve_batch(&keys);
+        shared.batches.fetch_add(1, Relaxed);
+        shared.backend_keys.fetch_add(keys.len() as u64, Relaxed);
+        for (key, &answer) in keys.iter().zip(&answers) {
+            shared.store.insert(key, answer);
+        }
+
+        {
+            let mut queue = shared.queue.lock().expect("resolver queue poisoned");
+            for (query, text) in &batch {
+                queue.tracked.remove(query, text);
+            }
+            queue.in_flight -= batch.len();
+        }
+        shared.window_open.notify_all();
+        {
+            let mut generation = shared.progress.lock().expect("resolver progress poisoned");
+            *generation += 1;
+        }
+        shared.progressed.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simple::PredicateOracle;
+    use crate::wrappers::Instrumented;
+
+    fn keys<'a>(pairs: &'a [(&'a str, &'a [u8])]) -> Vec<QueryKey<'a>> {
+        pairs.iter().map(|&(q, t)| QueryKey::new(q, t)).collect()
+    }
+
+    #[test]
+    fn pool_resolves_submissions_in_the_background() {
+        let backend = Arc::new(Instrumented::new(PredicateOracle::new(|_, t: &[u8]| {
+            t.starts_with(b"a")
+        })));
+        let pool = ResolverPool::new(backend.clone(), 2, 0);
+        assert_eq!(pool.threads(), 2);
+        assert_eq!(pool.in_flight_window(), DEFAULT_IN_FLIGHT_WINDOW);
+        assert_eq!(pool.shards(), 16);
+
+        let batch = keys(&[("q", b"ab"), ("q", b"cd")]);
+        let mut seen = pool.generation();
+        pool.submit(&batch);
+        loop {
+            if batch.iter().all(|key| pool.lookup(key).is_some()) {
+                break;
+            }
+            seen = pool.wait_for_progress(seen);
+        }
+        assert_eq!(pool.lookup(&batch[0]), Some(true));
+        assert_eq!(pool.lookup(&batch[1]), Some(false));
+        assert_eq!(pool.store_len(), 2);
+        let stats = pool.stats();
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.backend_keys, 2);
+        assert!(stats.batches >= 1);
+        assert!(stats.in_flight_high_water >= 1);
+    }
+
+    #[test]
+    fn resubmissions_coalesce_instead_of_requeueing() {
+        let backend = Arc::new(Instrumented::new(PredicateOracle::new(|_, t: &[u8]| {
+            t.len() % 2 == 0
+        })));
+        let pool = ResolverPool::new(backend.clone(), 1, 0);
+        let batch = keys(&[("q", b"ab")]);
+        // Resolve once through the blocking facade, then resubmit.
+        assert_eq!(Oracle::resolve_batch(&pool, &batch), vec![true]);
+        pool.submit(&batch);
+        pool.submit(&batch);
+        let stats = pool.stats();
+        assert_eq!(stats.coalesced, 2, "answered keys never requeue");
+        assert_eq!(backend.stats().calls, 1);
+    }
+
+    #[test]
+    fn blocking_oracle_facade_agrees_with_the_backend() {
+        let backend = Arc::new(PredicateOracle::new(|q: &str, t: &[u8]| {
+            q == "even" && t.len() % 2 == 0
+        }));
+        let pool = ResolverPool::new(backend, 3, 4);
+        assert!(pool.holds("even", b"ab"));
+        assert!(!pool.holds("even", b"abc"));
+        assert!(!pool.holds("odd", b"ab"));
+        let batch = keys(&[("even", b"xyzw"), ("even", b"x"), ("odd", b"")]);
+        assert_eq!(
+            Oracle::resolve_batch(&pool, &batch),
+            vec![true, false, false]
+        );
+        assert!(pool.describe().contains("resolver-pool"));
+    }
+
+    #[test]
+    fn many_threads_submit_concurrently_under_a_tiny_window() {
+        // A 2-key window forces constant backpressure; every answer must
+        // still arrive, and no submission may deadlock.
+        let backend = Arc::new(PredicateOracle::new(|_, t: &[u8]| t.first() == Some(&b'y')));
+        let pool = ResolverPool::new(backend, 2, 2);
+        std::thread::scope(|scope| {
+            for worker in 0..4u32 {
+                let pool = &pool;
+                scope.spawn(move || {
+                    for i in 0..32u32 {
+                        let text =
+                            format!("{}{}-{}", if i % 2 == 0 { "y" } else { "n" }, worker, i);
+                        assert_eq!(pool.holds("q", text.as_bytes()), i % 2 == 0);
+                    }
+                });
+            }
+        });
+        let stats = pool.stats();
+        assert_eq!(stats.backend_keys, 128, "every distinct key resolved once");
+        assert!(stats.in_flight_high_water <= 2 + 1, "window respected");
+    }
+
+    #[test]
+    fn suspend_resume_counters_are_caller_driven() {
+        let backend = Arc::new(PredicateOracle::new(|_, _: &[u8]| true));
+        let pool = ResolverPool::new(backend, 1, 0);
+        pool.note_suspend();
+        pool.note_suspend();
+        pool.note_resume();
+        let stats = pool.stats();
+        assert_eq!((stats.suspends, stats.resumes), (2, 1));
+        assert!(format!("{pool:?}").contains("ResolverPool"));
+    }
+}

@@ -1,0 +1,179 @@
+//! A latency-injecting oracle wrapper for overlapped-resolution tests.
+//!
+//! [`DelayOracle`] wraps any backend and busy-waits a deterministic amount
+//! of wall-clock time per call before answering: a fixed cost per batch
+//! plus a cost per key inside it.  It models the round-trip of a remote
+//! oracle (an LLM endpoint, a database, a DNS resolver) precisely enough
+//! to measure how much of that latency a scan hides by resolving questions
+//! on background threads — without any nondeterminism in the *answers*,
+//! which are exactly the backend's.
+//!
+//! The wait is a spin (`std::hint::spin_loop`) by default, not
+//! `thread::sleep`: sleeps have coarse, platform-dependent wakeups that
+//! would add noise of the same magnitude as the latency being modeled.
+//! [`DelayOracle::sleeping`] opts into sleeping instead — the right model
+//! when the point is that *waiting releases the CPU* (e.g. measuring how
+//! much latency concurrent workers hide on a loaded machine), at the
+//! price of that coarser wakeup.
+
+use std::time::{Duration, Instant};
+
+use semre_oracle::{Oracle, QueryKey};
+
+/// An [`Oracle`] decorator that charges deterministic wall-clock latency
+/// per call: `per_batch` once per `resolve_batch` (or `holds`) invocation,
+/// plus `per_key` for every key answered.
+///
+/// Answers are delegated verbatim to the wrapped backend, so wrapping
+/// never changes verdicts — only timing.
+///
+/// # Example
+///
+/// ```
+/// use std::time::Duration;
+/// use semre_oracle::{Oracle, PredicateOracle};
+/// use semre_workloads::DelayOracle;
+///
+/// let backend = PredicateOracle::new(|_q: &str, text: &[u8]| !text.is_empty());
+/// let oracle = DelayOracle::new(backend, Duration::from_micros(200), Duration::ZERO);
+/// assert!(oracle.holds("nonempty", b"x"));
+/// assert!(!oracle.holds("nonempty", b""));
+/// ```
+#[derive(Debug)]
+pub struct DelayOracle<O> {
+    inner: O,
+    per_batch: Duration,
+    per_key: Duration,
+    sleep: bool,
+}
+
+impl<O> DelayOracle<O> {
+    /// Wraps `inner`, charging `per_batch` per backend call and `per_key`
+    /// per key answered.  The wait busy-spins (precise, but holds the
+    /// CPU); see [`DelayOracle::sleeping`] for the yielding variant.
+    pub fn new(inner: O, per_batch: Duration, per_key: Duration) -> Self {
+        DelayOracle {
+            inner,
+            per_batch,
+            per_key,
+            sleep: false,
+        }
+    }
+
+    /// Like [`DelayOracle::new`], but the wait `thread::sleep`s instead of
+    /// spinning, releasing the CPU to other workers for its duration —
+    /// the faithful model of a *remote* round-trip, where the caller's
+    /// core is genuinely free while the oracle thinks.
+    pub fn sleeping(inner: O, per_batch: Duration, per_key: Duration) -> Self {
+        DelayOracle {
+            inner,
+            per_batch,
+            per_key,
+            sleep: true,
+        }
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+
+    /// The simulated latency of answering `keys` questions in one call.
+    pub fn cost_of(&self, keys: usize) -> Duration {
+        self.per_batch + self.per_key * keys as u32
+    }
+
+    fn wait(&self, keys: usize) {
+        let cost = self.cost_of(keys);
+        if self.sleep {
+            if !cost.is_zero() {
+                std::thread::sleep(cost);
+            }
+        } else {
+            spin_for(cost);
+        }
+    }
+}
+
+/// Busy-waits for `d` of wall-clock time.
+fn spin_for(d: Duration) {
+    if d.is_zero() {
+        return;
+    }
+    let start = Instant::now();
+    while start.elapsed() < d {
+        std::hint::spin_loop();
+    }
+}
+
+impl<O: Oracle> Oracle for DelayOracle<O> {
+    fn holds(&self, query: &str, text: &[u8]) -> bool {
+        self.wait(1);
+        self.inner.holds(query, text)
+    }
+
+    fn resolve_batch(&self, batch: &[QueryKey<'_>]) -> Vec<bool> {
+        self.wait(batch.len());
+        self.inner.resolve_batch(batch)
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "delay({:?}/batch + {:?}/key over {})",
+            self.per_batch,
+            self.per_key,
+            self.inner.describe()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semre_oracle::ConstOracle;
+
+    #[test]
+    fn answers_are_the_backends() {
+        let oracle = DelayOracle::new(
+            ConstOracle::new(true),
+            Duration::from_micros(50),
+            Duration::from_micros(10),
+        );
+        assert!(oracle.holds("q", b"text"));
+        let keys = [QueryKey::new("q", b"a"), QueryKey::new("q", b"b")];
+        assert_eq!(oracle.resolve_batch(&keys), vec![true, true]);
+        assert!(oracle.describe().starts_with("delay("));
+    }
+
+    #[test]
+    fn latency_is_actually_charged() {
+        let oracle = DelayOracle::new(
+            ConstOracle::new(false),
+            Duration::from_millis(2),
+            Duration::ZERO,
+        );
+        let start = Instant::now();
+        oracle.holds("q", b"x");
+        assert!(start.elapsed() >= Duration::from_millis(2));
+        assert_eq!(oracle.cost_of(3), Duration::from_millis(2));
+
+        let per_key = DelayOracle::new(
+            ConstOracle::new(false),
+            Duration::ZERO,
+            Duration::from_millis(1),
+        );
+        assert_eq!(per_key.cost_of(3), Duration::from_millis(3));
+    }
+
+    #[test]
+    fn sleeping_variant_charges_and_delegates_identically() {
+        let oracle = DelayOracle::sleeping(
+            ConstOracle::new(true),
+            Duration::from_millis(2),
+            Duration::ZERO,
+        );
+        let start = Instant::now();
+        assert!(oracle.holds("q", b"x"));
+        assert!(start.elapsed() >= Duration::from_millis(2));
+    }
+}

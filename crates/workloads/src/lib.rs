@@ -10,6 +10,8 @@
 //!   chunk-straddling lines) for directory-scale scans;
 //! * [`bench_set`] — the nine benchmark SemREs of Table 1 wired to their
 //!   oracles ([`Workbench`] / [`BenchSpec`]);
+//! * [`delay`] — a deterministic latency-injecting oracle wrapper
+//!   ([`DelayOracle`]) for measuring overlapped oracle resolution;
 //! * [`triangle`] — the triangle-finding reduction of Section 4.2;
 //! * [`query_complexity`] — the Ω(|w|²) oracle-query lower-bound experiment
 //!   of Theorem 4.1.
@@ -37,6 +39,7 @@
 
 pub mod bench_set;
 pub mod corpus;
+pub mod delay;
 pub mod query_complexity;
 pub mod rng;
 pub mod tree;
@@ -44,5 +47,6 @@ pub mod triangle;
 
 pub use bench_set::{BenchSpec, Workbench};
 pub use corpus::{java_corpus, spam_corpus, Corpus, Dataset, GroundTruth};
+pub use delay::DelayOracle;
 pub use tree::{CorpusTree, CorpusTreeConfig, TreeFile};
 pub use triangle::{Graph, TriangleInstance};

@@ -19,8 +19,8 @@
 use std::ops::Range;
 use std::sync::Arc;
 
-use semre_core::{DpMatcher, Matcher, MatcherConfig, SearchKind};
-use semre_oracle::{BatchSession, Oracle};
+use semre_core::{DpMatcher, Matcher, MatcherConfig, SearchKind, SuspendedMatch};
+use semre_oracle::{BatchSession, Oracle, ResolverPool};
 use semre_syntax::{eliminate_bot, parse, Semre};
 
 use crate::Error;
@@ -61,6 +61,9 @@ pub struct SemRegex {
     chunk_lines: usize,
     threads: usize,
     stream_chunk_bytes: usize,
+    /// Background resolver pool for the overlapped oracle plane; present
+    /// when built with [`SemRegexBuilder::overlapped`].  Clones share it.
+    pool: Option<Arc<ResolverPool>>,
 }
 
 #[derive(Clone)]
@@ -265,6 +268,94 @@ impl SemRegex {
             Engine::Dp(m) => m.session(),
         }
     }
+
+    /// The background resolver pool, when this handle was built with
+    /// [`SemRegexBuilder::overlapped`].  Scan drivers use it to wait for
+    /// progress between re-evaluation rounds and to read the resolver
+    /// counters.
+    pub fn resolver_pool(&self) -> Option<&Arc<ResolverPool>> {
+        self.pool.as_ref()
+    }
+
+    /// A fresh [`BatchSession`] wired to the resolver pool: straggler
+    /// flushes are submitted to the pool instead of blocking, and a test
+    /// whose answers are still in flight suspends (see
+    /// [`try_is_match_in_session`](SemRegex::try_is_match_in_session)).
+    /// `None` when the handle is not overlapped (or uses the DP baseline,
+    /// which always resolves synchronously).
+    pub fn overlapped_session(&self) -> Option<BatchSession<'_>> {
+        let pool = self.pool.as_deref()?;
+        match &self.engine {
+            Engine::Snfa(m) => Some(m.session_with_pool(pool)),
+            Engine::Dp(_) => None,
+        }
+    }
+
+    /// Like [`is_match_in_session`](SemRegex::is_match_in_session), but
+    /// suspension-aware: `None` means the verdict depends on oracle
+    /// answers still in flight on the resolver pool — park the input,
+    /// [`wait_for_progress`](ResolverPool::wait_for_progress), and replay
+    /// (replays are cheap: resolved answers come from the answer store).
+    /// Always `Some` on a synchronous session.
+    pub fn try_is_match_in_session(
+        &self,
+        haystack: &[u8],
+        session: &mut BatchSession<'_>,
+    ) -> Option<bool> {
+        match &self.engine {
+            Engine::Snfa(m) => {
+                let report = m.run_in_session(haystack, session);
+                if report.suspended {
+                    None
+                } else {
+                    Some(report.matched)
+                }
+            }
+            Engine::Dp(m) => Some(m.run_in_session(haystack, session).matched),
+        }
+    }
+
+    /// Like [`try_is_match_in_session`](SemRegex::try_is_match_in_session),
+    /// but a suspension returns the parked evaluation state
+    /// ([`SuspendedMatch`]) so the caller resumes from the suspended
+    /// position with [`resume_is_match`](SemRegex::resume_is_match) instead
+    /// of replaying the whole line.  This is what the scan drivers use:
+    /// parked lines cost `O(|w|)` evaluator work across all resumptions.
+    /// Synchronous sessions and the DP baseline never suspend.
+    pub fn try_is_match_suspending(
+        &self,
+        haystack: &[u8],
+        session: &mut BatchSession<'_>,
+    ) -> Result<bool, SuspendedMatch> {
+        match &self.engine {
+            Engine::Snfa(m) => m
+                .try_run_in_session(haystack, session)
+                .map(|report| report.matched),
+            Engine::Dp(m) => Ok(m.run_in_session(haystack, session).matched),
+        }
+    }
+
+    /// Continues an evaluation parked by
+    /// [`try_is_match_suspending`](SemRegex::try_is_match_suspending), from
+    /// the position that suspended it.  `haystack` must be the line the
+    /// evaluation was parked on, and `session` must resolve through the
+    /// same resolver pool; re-suspends (with updated state) when the next
+    /// needed answers are still in flight.
+    pub fn resume_is_match(
+        &self,
+        parked: SuspendedMatch,
+        haystack: &[u8],
+        session: &mut BatchSession<'_>,
+    ) -> Result<bool, SuspendedMatch> {
+        match &self.engine {
+            Engine::Snfa(m) => m
+                .resume_run_in_session(parked, haystack, session)
+                .map(|report| report.matched),
+            // The DP baseline never suspends, so it can never have produced
+            // `parked`; answer synchronously rather than panic on misuse.
+            Engine::Dp(m) => Ok(m.run_in_session(haystack, session).matched),
+        }
+    }
 }
 
 impl std::fmt::Debug for SemRegex {
@@ -343,6 +434,28 @@ impl SemRegexBuilder {
     /// prototype.
     pub fn per_call(self) -> Self {
         self.batched(false)
+    }
+
+    /// Enables the overlapped oracle plane with `threads` background
+    /// resolver workers (clamped to at least 1; `0` disables overlap, the
+    /// default).  The built handle owns a [`ResolverPool`]; scans through
+    /// it suspend lines whose answers are in flight and keep scanning,
+    /// hiding backend latency while producing byte-identical output.
+    /// Implies the batched plane and is ignored by the DP baseline.
+    pub fn overlapped(mut self, threads: usize) -> Self {
+        self.config.oracle_threads = threads;
+        if threads > 0 {
+            self.config.batched_oracle = true;
+        }
+        self
+    }
+
+    /// Bounds the overlapped plane's queued-plus-in-flight oracle keys
+    /// (`0` = the pool's default window).  Only meaningful together with
+    /// [`overlapped`](SemRegexBuilder::overlapped).
+    pub fn in_flight(mut self, window: usize) -> Self {
+        self.config.in_flight = window;
+        self
     }
 
     /// Enables or disables the literal prescan (`true`, the default): the
@@ -445,6 +558,18 @@ impl SemRegexBuilder {
         // ⊥-elimination first (Section 3.1): the downstream constructions
         // assume ⊥-free input.
         let semre = eliminate_bot(&semre);
+        // The resolver pool shares the oracle Arc with the engine, so a
+        // question answered on either path lands in the same backend.
+        let pool = if self.config.oracle_threads > 0 && self.config.batched_oracle && !self.baseline
+        {
+            Some(Arc::new(ResolverPool::new(
+                oracle.clone(),
+                self.config.oracle_threads,
+                self.config.in_flight,
+            )))
+        } else {
+            None
+        };
         let engine = if self.baseline {
             Engine::Dp(DpMatcher::new(semre.clone(), oracle))
         } else {
@@ -460,6 +585,7 @@ impl SemRegexBuilder {
             chunk_lines: self.chunk_lines,
             threads: self.threads,
             stream_chunk_bytes: self.stream_chunk_bytes,
+            pool,
         })
     }
 }

@@ -85,6 +85,9 @@ fn chunk_boundary_lines_are_never_lost_or_altered() {
                     chunk_lines: 4,
                     threads,
                     batched: true,
+                    // Exercise both the double-buffered and the plain
+                    // reader across the chunk-size sweep.
+                    read_ahead: chunk % 2 == 0,
                     scan: ScanOptions::unlimited(),
                 };
                 let mut got = Vec::new();
@@ -135,6 +138,7 @@ fn streaming_is_byte_identical_on_all_nine_benchmarks() {
                     chunk_lines: 64,
                     threads,
                     batched: true,
+                    read_ahead: true,
                     scan: ScanOptions::unlimited(),
                 };
                 let mut got = Vec::new();
@@ -300,6 +304,7 @@ fn streaming_a_synthetic_corpus_stays_incremental() {
         chunk_lines: 256,
         threads: 4,
         batched: true,
+        read_ahead: true,
         scan: ScanOptions::unlimited(),
     };
     let reader = SyntheticCorpus {
