@@ -1,4 +1,4 @@
-//! Emits the tracked perf trajectory as `BENCH_PR6.json`.
+//! Emits the tracked perf trajectory as `BENCH_PR7.json`.
 //!
 //! ```text
 //! bench_trajectory [--quick] [--check] [--out PATH]
@@ -6,17 +6,17 @@
 //!   --quick      reduced sample sizes and repetitions (CI smoke runs)
 //!   --check      fail (exit 1) when a tracked geomean drops below its
 //!                stored regression floor (see `Floors::tracked`)
-//!   --out PATH   output file (default BENCH_PR6.json)
+//!   --out PATH   output file (default BENCH_PR7.json)
 //! ```
 //!
 //! Prints a human-readable summary table and writes the JSON document the
 //! next PR regresses against.  See EXPERIMENTS.md ("prefilter-speedup",
-//! "prescan-speedup", "stream-throughput", "tree-scan", "overlap").
+//! "prescan-speedup", "stream-throughput", "tree-scan", "overlap", "persist-dedupe").
 
 use semre_bench::trajectory::{self, Floors, TrajectoryConfig};
 
 fn main() {
-    let mut out_path = "BENCH_PR6.json".to_owned();
+    let mut out_path = "BENCH_PR7.json".to_owned();
     let mut config = TrajectoryConfig::full();
     let mut check = false;
     let mut args = std::env::args().skip(1);
@@ -123,10 +123,28 @@ fn main() {
         overlap.geomean_speedup()
     );
 
+    let persist = &trajectory.persist;
+    println!(
+        "persist ({} files, {} lines): {:.0} ns/line cold, {:.0} ns/line warm ({:.2}x), \
+         backend keys {} cold vs {} warm, {} persisted hits, {} replayed, log {} bytes, equivalent={}",
+        persist.files,
+        persist.lines,
+        persist.warm_vs_cold.reference_ns,
+        persist.warm_vs_cold.fast_ns,
+        persist.warm_vs_cold.speedup(),
+        persist.cold_backend_keys,
+        persist.warm_backend_keys,
+        persist.warm_persisted_hits,
+        persist.replayed,
+        persist.log_bytes,
+        persist.equivalent
+    );
+
     assert!(
         trajectory.all_equivalent()
             && trajectory.tree_scan.equivalent
-            && trajectory.overlap.equivalent(),
+            && trajectory.overlap.equivalent()
+            && trajectory.persist.equivalent,
         "equivalence check failed — the trajectory must never ship with a verdict change"
     );
 

@@ -1,4 +1,4 @@
-//! The tracked benchmark trajectory (`BENCH_PR6.json`).
+//! The tracked benchmark trajectory (`BENCH_PR7.json`).
 //!
 //! Subsequent PRs need a perf baseline to regress against; this module
 //! measures it and emits it as JSON.  Five families of numbers are
@@ -34,7 +34,12 @@
 //! * **overlap** (`overlap-speedup`) — ns/line for a batched scan against
 //!   a deterministic 1 ms/batch `DelayOracle`, resolver pool (suspend /
 //!   resume scheduling) vs synchronous resolution, plus the verdict
-//!   equivalence and the suspends == resumes protocol check.
+//!   equivalence and the suspends == resumes protocol check;
+//! * **persist** (`persist-dedupe`) — the same corpus tree scanned cold
+//!   (empty answer log) and then warm (fresh session, same log) through
+//!   `SharedSession::with_persistence`: the warm scan must issue **zero**
+//!   backend questions for previously-seen keys, with identical verdicts,
+//!   and the cold/warm backend-key ratio is gated by `--check`.
 //!
 //! Timings are best-of-`repeat` over a fixed corpus sample — indicative,
 //! not rigorous; the *trajectory* (same harness, same seed, PR after PR)
@@ -229,6 +234,43 @@ impl TreeScanTrajectory {
     }
 }
 
+/// The persistence trajectory record: the same corpus tree scanned cold
+/// (empty answer log) and then warm (a fresh session over the same log),
+/// through `SharedSession::with_persistence`.
+#[derive(Clone, Debug)]
+pub struct PersistTrajectory {
+    /// Files in the generated tree.
+    pub files: usize,
+    /// Lines across all files.
+    pub lines: usize,
+    /// Whole-scan wall time, warm vs cold, under a sleeping 1 ms/batch
+    /// backend (informational — the regression gate is on the key
+    /// counts, which are deterministic).
+    pub warm_vs_cold: Toggle,
+    /// Backend questions of the cold scan.
+    pub cold_backend_keys: u64,
+    /// Backend questions of the warm scan — must be **zero**: every key
+    /// was answered on the cold scan and replayed from the log.
+    pub warm_backend_keys: u64,
+    /// Questions the warm scan answered from the persistent store.
+    pub warm_persisted_hits: u64,
+    /// Distinct entries replayed from the log on the warm open.
+    pub replayed: u64,
+    /// Answer-log size after the cold scan, in bytes.
+    pub log_bytes: u64,
+    /// Warm verdicts identical to cold verdicts on every line.
+    pub equivalent: bool,
+}
+
+impl PersistTrajectory {
+    /// Cold-over-warm backend questions — the cross-process dedupe win.
+    /// A zero-question warm scan maps to the full cold count, so the
+    /// ratio stays finite and the floor stays meaningful.
+    pub fn dedupe_ratio(&self) -> f64 {
+        self.cold_backend_keys as f64 / self.warm_backend_keys.max(1) as f64
+    }
+}
+
 /// A full trajectory run.
 #[derive(Clone, Debug)]
 pub struct Trajectory {
@@ -240,6 +282,8 @@ pub struct Trajectory {
     pub tree_scan: TreeScanTrajectory,
     /// The overlapped-resolution record.
     pub overlap: OverlapTrajectory,
+    /// The cold-vs-warm persistent-store record.
+    pub persist: PersistTrajectory,
 }
 
 impl Trajectory {
@@ -326,6 +370,20 @@ impl Trajectory {
             self.overlap.geomean_speedup(),
             floors.overlap_speedup,
         );
+        gate(
+            "persist dedupe ratio (cold / warm backend keys)",
+            self.persist.dedupe_ratio(),
+            floors.persist_dedupe,
+        );
+        if self.persist.warm_backend_keys != 0 {
+            violations.push(format!(
+                "warm persistent store issued {} backend questions for previously-seen keys (must be 0)",
+                self.persist.warm_backend_keys
+            ));
+        }
+        if !self.persist.equivalent {
+            violations.push("warm-store verdicts diverged from the cold scan".to_owned());
+        }
         if !self.all_equivalent() {
             violations.push("equivalence check failed on some benchmark".to_owned());
         }
@@ -379,6 +437,11 @@ pub struct Floors {
     /// `DelayOracle` (full run well above this; the floor is the PR 6
     /// acceptance bar).
     pub overlap_speedup: f64,
+    /// Cold-over-warm backend-key ratio of the persistent answer store.
+    /// A correct store answers *every* repeated key from disk, so the
+    /// real ratio equals the full cold count (hundreds); the floor only
+    /// demands the store at least halve the backend traffic.
+    pub persist_dedupe: f64,
 }
 
 impl Floors {
@@ -391,6 +454,7 @@ impl Floors {
             stream_ratio: 0.5,
             tree_scan_ratio: 1.0,
             overlap_speedup: 3.0,
+            persist_dedupe: 2.0,
         }
     }
 }
@@ -427,6 +491,101 @@ pub fn measure(config: &TrajectoryConfig) -> Trajectory {
         benches,
         tree_scan: measure_tree_scan(config),
         overlap: measure_overlap(config, &workbench),
+        persist: measure_persist(config),
+    }
+}
+
+/// The cold-vs-warm persistence measurement: one corpus tree scanned
+/// through `SharedSession::with_persistence` over an empty answer log,
+/// then again with a fresh session (fresh process state, as far as the
+/// oracle plane is concerned) over the same log.  The oracle is
+/// deterministic (Assumption 2.4), so replayed answers are as good as
+/// fresh ones — the warm scan must not reach the backend at all.  A
+/// sleeping 1 ms/batch `DelayOracle` charges a simulated round-trip per
+/// backend batch, so the warm/cold wall-time ratio shows what the store
+/// saves; the regression gate itself is on the deterministic key counts.
+fn measure_persist(config: &TrajectoryConfig) -> PersistTrajectory {
+    use semre::{Oracle, PersistentAnswerStore, SemRegexBuilder, SharedSession, SimLlmOracle};
+    use semre_workloads::{CorpusTree, CorpusTreeConfig, DelayOracle};
+
+    let tree_config = CorpusTreeConfig {
+        // A different seed than the tree scan, so the two entries do not
+        // share a corpus by accident.
+        seed: config.seed ^ 0x7e57,
+        files: (config.lines_per_bench / 16).clamp(8, 32),
+        mean_lines: (config.lines_per_bench / 8).clamp(10, 60),
+        ..CorpusTreeConfig::default()
+    };
+    let tree = CorpusTree::generate(&tree_config);
+    let log = std::env::temp_dir().join(format!(
+        "semre-trajectory-persist-{}-{}.log",
+        config.seed,
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&log);
+
+    let pattern = r"Subject: .*(?<Medicine name>: [a-z]+).*";
+    let per_batch = Duration::from_millis(1);
+    let scan_all = |log: &std::path::Path| -> (SharedSession, Vec<bool>, Duration) {
+        let backend: Arc<dyn Oracle> = Arc::new(DelayOracle::sleeping(
+            Arc::new(SimLlmOracle::new()),
+            per_batch,
+            Duration::ZERO,
+        ));
+        let store = Arc::new(PersistentAnswerStore::open(log).expect("scratch log opens"));
+        let session = SharedSession::with_persistence(backend, store, "sim-llm");
+        let shared: Arc<dyn Oracle> = Arc::new(session.clone());
+        let re = SemRegexBuilder::new()
+            .batched(true)
+            .build_shared(pattern, shared)
+            .expect("trajectory pattern compiles");
+        let stream_options = StreamOptions {
+            batched: true,
+            ..StreamOptions::default()
+        };
+        let mut verdicts = Vec::new();
+        let started = Instant::now();
+        for file in &tree.files {
+            scan_stream(&re, &file.contents[..], &stream_options, |_, _, matched| {
+                verdicts.push(matched);
+                true
+            })
+            .expect("in-memory reader cannot fail");
+        }
+        (session, verdicts, started.elapsed())
+    };
+
+    let (cold_session, cold_verdicts, cold_elapsed) = scan_all(&log);
+    let cold_backend_keys = cold_session.stats().backend_keys;
+    // Dropping the session drops the store, which flushes and syncs the
+    // log — the warm open below replays a complete file.
+    drop(cold_session);
+
+    let (warm_session, warm_verdicts, warm_elapsed) = scan_all(&log);
+    let warm_backend_keys = warm_session.stats().backend_keys;
+    let warm_persisted_hits = warm_session.persisted_hits();
+    let store = warm_session
+        .persist_store()
+        .expect("persistence is configured");
+    let replayed = store.replay_report().live as u64;
+    let log_bytes = store.file_bytes();
+    drop(warm_session);
+
+    let _ = std::fs::remove_file(&log);
+    let per_line = |elapsed: Duration| elapsed.as_nanos() as f64 / tree.total_lines.max(1) as f64;
+    PersistTrajectory {
+        files: tree.files.len(),
+        lines: tree.total_lines,
+        warm_vs_cold: Toggle {
+            fast_ns: per_line(warm_elapsed),
+            reference_ns: per_line(cold_elapsed),
+        },
+        cold_backend_keys,
+        warm_backend_keys,
+        warm_persisted_hits,
+        replayed,
+        log_bytes,
+        equivalent: warm_verdicts == cold_verdicts,
     }
 }
 
@@ -827,15 +986,15 @@ fn measure_spec(
     }
 }
 
-/// Serializes a trajectory as the `BENCH_PR6.json` document (hand-rolled:
+/// Serializes a trajectory as the `BENCH_PR7.json` document (hand-rolled:
 /// the workspace has no serde).
 pub fn to_json(trajectory: &Trajectory) -> String {
     let mut out = String::new();
     let c = &trajectory.config;
     out.push_str("{\n");
-    out.push_str("  \"artifact\": \"BENCH_PR6\",\n");
+    out.push_str("  \"artifact\": \"BENCH_PR7\",\n");
     out.push_str(
-        "  \"description\": \"Perf trajectory: overlapped oracle resolution, multi-file tree scan, literal prescan, streaming scan pipeline, lazy-DFA skeleton prefilter, arena evaluator, parallel chunk scan\",\n",
+        "  \"description\": \"Perf trajectory: persistent cross-process answer store, overlapped oracle resolution, multi-file tree scan, literal prescan, streaming scan pipeline, lazy-DFA skeleton prefilter, arena evaluator, parallel chunk scan\",\n",
     );
     let _ = writeln!(
         out,
@@ -910,20 +1069,36 @@ pub fn to_json(trajectory: &Trajectory) -> String {
         overlap.geomean_speedup(),
         overlap.equivalent()
     );
+    let persist = &trajectory.persist;
+    let _ = writeln!(
+        out,
+        "  \"persist\": {{\"files\": {}, \"lines\": {}, \"warm_vs_cold\": {}, \"cold_backend_keys\": {}, \"warm_backend_keys\": {}, \"warm_persisted_hits\": {}, \"replayed\": {}, \"log_bytes\": {}, \"dedupe_ratio\": {:.2}, \"equivalent\": {}}},",
+        persist.files,
+        persist.lines,
+        toggle_json(&persist.warm_vs_cold, "warm_ns_per_line", "cold_ns_per_line"),
+        persist.cold_backend_keys,
+        persist.warm_backend_keys,
+        persist.warm_persisted_hits,
+        persist.replayed,
+        persist.log_bytes,
+        persist.dedupe_ratio(),
+        persist.equivalent
+    );
     let floors = Floors::tracked();
     let _ = writeln!(
         out,
-        "  \"floors\": {{\"prefilter_speedup\": {:.2}, \"is_match_speedup\": {:.2}, \"prescan_speedup\": {:.2}, \"stream_ratio\": {:.2}, \"tree_scan_ratio\": {:.2}, \"overlap_speedup\": {:.2}}},",
+        "  \"floors\": {{\"prefilter_speedup\": {:.2}, \"is_match_speedup\": {:.2}, \"prescan_speedup\": {:.2}, \"stream_ratio\": {:.2}, \"tree_scan_ratio\": {:.2}, \"overlap_speedup\": {:.2}, \"persist_dedupe\": {:.2}}},",
         floors.prefilter_speedup,
         floors.is_match_speedup,
         floors.prescan_speedup,
         floors.stream_ratio,
         floors.tree_scan_ratio,
-        floors.overlap_speedup
+        floors.overlap_speedup,
+        floors.persist_dedupe
     );
     let _ = writeln!(
         out,
-        "  \"summary\": {{\"geomean_prefilter_speedup\": {:.2}, \"geomean_search_prefilter_speedup\": {:.2}, \"geomean_is_match_speedup\": {:.2}, \"geomean_prescan_speedup\": {:.2}, \"geomean_stream_ratio\": {:.2}, \"tree_scan_speedup\": {:.2}, \"tree_scan_deduped\": {}, \"geomean_overlap_speedup\": {:.2}, \"all_equivalent\": {}}}",
+        "  \"summary\": {{\"geomean_prefilter_speedup\": {:.2}, \"geomean_search_prefilter_speedup\": {:.2}, \"geomean_is_match_speedup\": {:.2}, \"geomean_prescan_speedup\": {:.2}, \"geomean_stream_ratio\": {:.2}, \"tree_scan_speedup\": {:.2}, \"tree_scan_deduped\": {}, \"geomean_overlap_speedup\": {:.2}, \"persist_dedupe_ratio\": {:.2}, \"persist_warm_backend_keys\": {}, \"all_equivalent\": {}}}",
         trajectory.geomean_prefilter_speedup(),
         trajectory.geomean_search_prefilter_speedup(),
         trajectory.geomean_is_match_speedup(),
@@ -932,9 +1107,12 @@ pub fn to_json(trajectory: &Trajectory) -> String {
         trajectory.tree_scan.parallel.speedup(),
         trajectory.tree_scan.deduped(),
         trajectory.overlap.geomean_speedup(),
+        trajectory.persist.dedupe_ratio(),
+        trajectory.persist.warm_backend_keys,
         trajectory.all_equivalent()
             && trajectory.tree_scan.equivalent
             && trajectory.overlap.equivalent()
+            && trajectory.persist.equivalent
     );
     out.push_str("}\n");
     out
@@ -990,8 +1168,23 @@ mod tests {
             "overlapped resolution must match synchronous verdicts and park lines: {:?}",
             trajectory.overlap.benches
         );
+        assert_eq!(
+            trajectory.persist.warm_backend_keys, 0,
+            "the warm store must answer every previously-seen key from disk: {:?}",
+            trajectory.persist
+        );
+        assert!(
+            trajectory.persist.equivalent && trajectory.persist.cold_backend_keys > 0,
+            "{:?}",
+            trajectory.persist
+        );
+        assert!(
+            trajectory.persist.warm_persisted_hits > 0 && trajectory.persist.replayed > 0,
+            "{:?}",
+            trajectory.persist
+        );
         let json = to_json(&trajectory);
-        assert!(json.contains("\"artifact\": \"BENCH_PR6\""));
+        assert!(json.contains("\"artifact\": \"BENCH_PR7\""));
         assert!(json.contains("\"name\": \"pass\""));
         assert!(json.contains("geomean_prefilter_speedup"));
         assert!(json.contains("geomean_prescan_speedup"));
@@ -1001,6 +1194,9 @@ mod tests {
         assert!(json.contains("tree_scan_ratio"));
         assert!(json.contains("\"overlap\""));
         assert!(json.contains("overlap_speedup"));
+        assert!(json.contains("\"persist\""));
+        assert!(json.contains("persist_dedupe"));
+        assert!(json.contains("\"warm_backend_keys\": 0"));
         assert!(json.contains("\"floors\""));
         assert!(json.trim_end().ends_with('}'));
         // Crude JSON sanity: balanced braces and brackets.
@@ -1033,9 +1229,10 @@ mod tests {
             stream_ratio: 1e9,
             tree_scan_ratio: 1e9,
             overlap_speedup: 1e9,
+            persist_dedupe: 1e9,
         };
         let violations = trajectory.check(&impossible).unwrap_err();
-        assert_eq!(violations.len(), 6, "{violations:?}");
+        assert_eq!(violations.len(), 7, "{violations:?}");
         assert!(violations[0].contains("below the stored floor"));
         // Trivial floors always pass (equivalence already asserted above).
         let trivial = Floors {
@@ -1045,7 +1242,20 @@ mod tests {
             stream_ratio: 0.0,
             tree_scan_ratio: 0.0,
             overlap_speedup: 0.0,
+            persist_dedupe: 0.0,
         };
         assert!(trajectory.check(&trivial).is_ok());
+
+        // A trajectory whose warm scan reached the backend is a hard
+        // violation even when every floor is trivial.
+        let mut broken = trajectory.clone();
+        broken.persist.warm_backend_keys = 3;
+        let violations = broken.check(&trivial).unwrap_err();
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("warm persistent store")),
+            "{violations:?}"
+        );
     }
 }

@@ -1,0 +1,129 @@
+//! `semred` — the SemRE match daemon.
+//!
+//! ```text
+//! semred [OPTIONS]                 start the daemon
+//! semred --ping ADDR               liveness probe (exit 0/1)
+//! semred --stats ADDR              print the server's STATS payload
+//! semred --shutdown ADDR           ask the server to stop
+//!
+//! Options:
+//!   --addr HOST:PORT       bind address (default 127.0.0.1:7878; port 0
+//!                          picks a free port, printed on stdout)
+//!   --workers N            max concurrent connections (default 4)
+//!   --patterns N           compiled-pattern LRU capacity (default 64)
+//!   --answer-log FILE      persist oracle answers to FILE (replayed on
+//!                          startup; survives restarts)
+//!   --budget N             max backend oracle questions per tenant
+//!   --sync-every N         fsync the log every N records (default 64)
+//!   --compact-bytes N      compact the log past N bytes (default 8 MiB)
+//! ```
+//!
+//! On startup the daemon prints `semred listening on <addr>` so scripts
+//! binding port 0 can discover the real port.
+
+use std::io::Write;
+
+use semre_daemon::{DaemonClient, Server, ServerConfig};
+
+fn fail(message: &str) -> ! {
+    eprintln!("semred: {message}");
+    eprintln!("usage: semred [--addr HOST:PORT] [--workers N] [--patterns N] [--answer-log FILE] [--budget N] [--sync-every N] [--compact-bytes N]");
+    eprintln!("       semred --ping ADDR | --stats ADDR | --shutdown ADDR");
+    std::process::exit(2);
+}
+
+fn client(addr: &str) -> DaemonClient {
+    DaemonClient::connect(addr).unwrap_or_else(|e| fail(&format!("cannot connect to {addr}: {e}")))
+}
+
+fn main() {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:7878".to_owned(),
+        ..ServerConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    let value = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        args.next()
+            .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--ping" => {
+                let mut client = client(&value(&mut args, "--ping"));
+                match client.ping() {
+                    Ok(()) => {
+                        println!("pong");
+                        return;
+                    }
+                    Err(e) => fail(&format!("ping failed: {e}")),
+                }
+            }
+            "--stats" => {
+                let mut client = client(&value(&mut args, "--stats"));
+                match client.stats() {
+                    Ok(stats) => {
+                        print!("{stats}");
+                        return;
+                    }
+                    Err(e) => fail(&format!("stats failed: {e}")),
+                }
+            }
+            "--shutdown" => {
+                let mut client = client(&value(&mut args, "--shutdown"));
+                match client.shutdown() {
+                    Ok(()) => return,
+                    Err(e) => fail(&format!("shutdown failed: {e}")),
+                }
+            }
+            "--addr" => config.addr = value(&mut args, "--addr"),
+            "--workers" => {
+                config.workers = value(&mut args, "--workers")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--workers needs a number"));
+            }
+            "--patterns" => {
+                config.pattern_capacity = value(&mut args, "--patterns")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--patterns needs a number"));
+            }
+            "--answer-log" => {
+                config.answer_log = Some(value(&mut args, "--answer-log").into());
+            }
+            "--budget" => {
+                config.budget = Some(
+                    value(&mut args, "--budget")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--budget needs a number")),
+                );
+            }
+            "--sync-every" => {
+                config.persist.sync_every = value(&mut args, "--sync-every")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--sync-every needs a number"));
+            }
+            "--compact-bytes" => {
+                config.persist.compact_bytes = value(&mut args, "--compact-bytes")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--compact-bytes needs a number"));
+            }
+            "--help" | "-h" => {
+                println!("semred: a long-running SemRE match daemon");
+                println!("usage: semred [--addr HOST:PORT] [--workers N] [--patterns N] [--answer-log FILE] [--budget N] [--sync-every N] [--compact-bytes N]");
+                println!("       semred --ping ADDR | --stats ADDR | --shutdown ADDR");
+                return;
+            }
+            other => fail(&format!("unknown option {other:?}")),
+        }
+    }
+
+    let server = Server::bind(config).unwrap_or_else(|e| fail(&format!("cannot start: {e}")));
+    let addr = server
+        .local_addr()
+        .unwrap_or_else(|e| fail(&format!("cannot resolve bound address: {e}")));
+    println!("semred listening on {addr}");
+    // Scripts wait for this line before connecting; make sure it is out.
+    let _ = std::io::stdout().flush();
+    if let Err(e) = server.run() {
+        fail(&format!("server error: {e}"));
+    }
+}

@@ -1,0 +1,244 @@
+//! The daemon's LRU of compiled patterns.
+//!
+//! Elaborating a SemRE (parse → Thompson construction → ε-feasibility
+//! closure) is pure CPU work the daemon should pay once per distinct
+//! `(OracleSpec, pattern)` pair, not once per client.  `COMPILE` requests
+//! therefore go through this cache: a hit returns the existing handle
+//! (and refreshes its recency), a miss compiles and may evict the least
+//! recently used entry.  Evicted handles become invalid — a client
+//! holding one gets `ERR 2 unknown handle …` and simply re-`COMPILE`s.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use semre::{OracleSpec, SemRegex};
+
+/// One compiled pattern plus the identity it is cached under.
+#[derive(Debug)]
+pub struct CacheEntry {
+    /// The handle clients address this pattern by.
+    pub handle: u64,
+    /// The parsed oracle spec (`build()`-able per tenant).
+    pub spec: OracleSpec,
+    /// The canonical spec tag (cache / answer-log key).
+    pub spec_tag: String,
+    /// The source pattern.
+    pub pattern: String,
+    /// The compiled pattern (oracle questions route through the
+    /// per-tenant session bound at request time; see [`crate::tenant`]).
+    pub re: Arc<SemRegex>,
+}
+
+/// Counters the cache exposes through `STATS`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// `COMPILE`s answered from the cache.
+    pub hits: u64,
+    /// Patterns actually compiled.
+    pub compiles: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+}
+
+/// An LRU map `(spec_tag, pattern) → CacheEntry` with stable handles.
+#[derive(Debug)]
+pub struct PatternCache {
+    capacity: usize,
+    next_handle: u64,
+    by_key: HashMap<(String, String), u64>,
+    entries: HashMap<u64, Arc<CacheEntry>>,
+    /// Recency order, front = least recently used.
+    order: VecDeque<u64>,
+    stats: CacheStats,
+}
+
+impl PatternCache {
+    /// An empty cache holding at most `capacity` compiled patterns.
+    pub fn new(capacity: usize) -> Self {
+        PatternCache {
+            capacity: capacity.max(1),
+            next_handle: 1,
+            by_key: HashMap::new(),
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn touch(&mut self, handle: u64) {
+        if let Some(at) = self.order.iter().position(|&h| h == handle) {
+            self.order.remove(at);
+        }
+        self.order.push_back(handle);
+    }
+
+    /// The entry for `handle`, refreshing its recency; `None` for
+    /// unknown (or evicted) handles.
+    pub fn get(&mut self, handle: u64) -> Option<Arc<CacheEntry>> {
+        let entry = self.entries.get(&handle).cloned()?;
+        self.touch(handle);
+        Some(entry)
+    }
+
+    /// The cached handle for `(spec_tag, pattern)`, or compiles via
+    /// `compile` and inserts.  Returns `(entry, was_cached)`.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `compile` returns; the cache is unchanged on error.
+    pub fn get_or_compile<E>(
+        &mut self,
+        spec: &OracleSpec,
+        spec_tag: &str,
+        pattern: &str,
+        compile: impl FnOnce() -> Result<SemRegex, E>,
+    ) -> Result<(Arc<CacheEntry>, bool), E> {
+        let key = (spec_tag.to_owned(), pattern.to_owned());
+        if let Some(&handle) = self.by_key.get(&key) {
+            self.stats.hits += 1;
+            let entry = self.entries[&handle].clone();
+            self.touch(handle);
+            return Ok((entry, true));
+        }
+        let re = compile()?;
+        self.stats.compiles += 1;
+        if self.entries.len() >= self.capacity {
+            if let Some(oldest) = self.order.pop_front() {
+                if let Some(evicted) = self.entries.remove(&oldest) {
+                    self.by_key
+                        .remove(&(evicted.spec_tag.clone(), evicted.pattern.clone()));
+                    self.stats.evictions += 1;
+                }
+            }
+        }
+        let handle = self.next_handle;
+        self.next_handle += 1;
+        let entry = Arc::new(CacheEntry {
+            handle,
+            spec: spec.clone(),
+            spec_tag: spec_tag.to_owned(),
+            pattern: pattern.to_owned(),
+            re: Arc::new(re),
+        });
+        self.by_key.insert(key, handle);
+        self.entries.insert(handle, entry.clone());
+        self.order.push_back(handle);
+        Ok((entry, false))
+    }
+
+    /// Number of patterns currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Hit / compile / eviction counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semre::SemRegexBuilder;
+
+    fn compile(pattern: &str) -> Result<SemRegex, semre::Error> {
+        SemRegexBuilder::new().build(pattern, semre::ConstOracle::always_true())
+    }
+
+    fn spec() -> (OracleSpec, String) {
+        let spec = OracleSpec::AlwaysTrue;
+        let tag = spec.to_string();
+        (spec, tag)
+    }
+
+    #[test]
+    fn repeat_compiles_hit_and_keep_their_handle() {
+        let (spec, tag) = spec();
+        let mut cache = PatternCache::new(4);
+        let (first, cached) = cache
+            .get_or_compile(&spec, &tag, "abc", || compile("abc"))
+            .unwrap();
+        assert!(!cached);
+        assert_eq!(first.handle, 1);
+        let (again, cached) = cache
+            .get_or_compile(&spec, &tag, "abc", || compile("abc"))
+            .unwrap();
+        assert!(cached);
+        assert_eq!(again.handle, 1);
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                compiles: 1,
+                evictions: 0
+            }
+        );
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(99).is_none());
+    }
+
+    #[test]
+    fn same_pattern_under_different_specs_is_two_entries() {
+        let mut cache = PatternCache::new(4);
+        let a = OracleSpec::AlwaysTrue;
+        let b = OracleSpec::AlwaysFalse;
+        let (ea, _) = cache
+            .get_or_compile(&a, &a.to_string(), "abc", || compile("abc"))
+            .unwrap();
+        let (eb, _) = cache
+            .get_or_compile(&b, &b.to_string(), "abc", || compile("abc"))
+            .unwrap();
+        assert_ne!(ea.handle, eb.handle);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn eviction_is_lru_and_invalidates_the_handle() {
+        let (spec, tag) = spec();
+        let mut cache = PatternCache::new(2);
+        let h1 = cache
+            .get_or_compile(&spec, &tag, "a", || compile("a"))
+            .unwrap()
+            .0
+            .handle;
+        let h2 = cache
+            .get_or_compile(&spec, &tag, "b", || compile("b"))
+            .unwrap()
+            .0
+            .handle;
+        // Touch h1 so h2 is the LRU victim.
+        assert!(cache.get(h1).is_some());
+        let h3 = cache
+            .get_or_compile(&spec, &tag, "c", || compile("c"))
+            .unwrap()
+            .0
+            .handle;
+        assert!(cache.get(h2).is_none(), "LRU entry evicted");
+        assert!(cache.get(h1).is_some());
+        assert!(cache.get(h3).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+        // Re-compiling the evicted pattern gets a *fresh* handle.
+        let (fresh, cached) = cache
+            .get_or_compile(&spec, &tag, "b", || compile("b"))
+            .unwrap();
+        assert!(!cached);
+        assert_ne!(fresh.handle, h2);
+    }
+
+    #[test]
+    fn failed_compiles_leave_the_cache_unchanged() {
+        let (spec, tag) = spec();
+        let mut cache = PatternCache::new(2);
+        let result = cache.get_or_compile(&spec, &tag, "(", || compile("("));
+        assert!(result.is_err());
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().compiles, 0);
+    }
+}

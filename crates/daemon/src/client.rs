@@ -1,0 +1,244 @@
+//! A blocking client for the `semred` protocol.
+//!
+//! Used by `grepo --daemon` and the smoke tests.  One [`DaemonClient`]
+//! wraps one connection; requests are strictly sequential (the protocol
+//! has no pipelining), and every `ERR` response surfaces as an
+//! [`std::io::Error`] with the server's message.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::proto::{Request, MAX_PAYLOAD};
+
+fn protocol_error(message: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, message.into())
+}
+
+/// The result of a `SCAN`: per-line membership over one payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScanOutcome {
+    /// Grep-convention status: `0` some line matched, `1` none did.
+    pub status: i32,
+    /// Lines scanned.
+    pub lines: u64,
+    /// Lines that matched.
+    pub matched: u64,
+    /// The matching lines, newline-terminated, in input order — byte-
+    /// identical to what one-shot `grepo` prints for the same input.
+    pub payload: Vec<u8>,
+}
+
+/// A blocking connection to a `semred` server.
+#[derive(Debug)]
+pub struct DaemonClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl DaemonClient {
+    /// Connects to a `semred` server.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<DaemonClient> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(DaemonClient {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    fn send(&mut self, request: &Request, payload: Option<&[u8]>) -> std::io::Result<()> {
+        let mut line = request.to_string();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        if let Some(payload) = payload {
+            self.writer.write_all(payload)?;
+        }
+        self.writer.flush()
+    }
+
+    /// Reads one `OK <status> …` line; `ERR` becomes an error.
+    fn read_ok(&mut self) -> std::io::Result<(i32, Vec<String>)> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(protocol_error("server closed the connection"));
+        }
+        let line = line.trim_end_matches('\n');
+        let mut parts = line.split(' ');
+        match parts.next() {
+            Some("OK") => {}
+            Some("ERR") => {
+                let _status = parts.next();
+                let message: Vec<&str> = parts.collect();
+                return Err(std::io::Error::other(message.join(" ")));
+            }
+            _ => return Err(protocol_error(format!("malformed response {line:?}"))),
+        }
+        let status: i32 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| protocol_error(format!("malformed response {line:?}")))?;
+        Ok((status, parts.map(str::to_owned).collect()))
+    }
+
+    fn read_payload(&mut self, len: usize) -> std::io::Result<Vec<u8>> {
+        if len > MAX_PAYLOAD {
+            return Err(protocol_error(format!(
+                "oversized response payload ({len})"
+            )));
+        }
+        let mut payload = vec![0u8; len];
+        self.reader.read_exact(&mut payload)?;
+        Ok(payload)
+    }
+
+    /// Names this connection's tenant.
+    ///
+    /// # Errors
+    ///
+    /// Server-side rejections (bad name) and socket errors.
+    pub fn tenant(&mut self, name: &str) -> std::io::Result<()> {
+        self.send(
+            &Request::Tenant {
+                name: name.to_owned(),
+            },
+            None,
+        )?;
+        self.read_ok().map(|_| ())
+    }
+
+    /// Compiles (or re-uses) a pattern; returns its handle.
+    ///
+    /// # Errors
+    ///
+    /// Server-side rejections (bad spec, bad pattern) and socket errors.
+    pub fn compile(&mut self, spec: &str, pattern: &str) -> std::io::Result<u64> {
+        self.send(
+            &Request::Compile {
+                spec: spec.to_owned(),
+                pattern: pattern.to_owned(),
+            },
+            None,
+        )?;
+        let (_, args) = self.read_ok()?;
+        args.iter()
+            .find_map(|arg| arg.strip_prefix("handle=")?.parse().ok())
+            .ok_or_else(|| protocol_error("COMPILE response without a handle"))
+    }
+
+    /// Whole-payload membership: is `text ∈ ⟦r⟧`?
+    ///
+    /// # Errors
+    ///
+    /// Server-side rejections (unknown handle, budget) and socket errors.
+    pub fn is_match(&mut self, handle: u64, text: &[u8]) -> std::io::Result<bool> {
+        self.send(
+            &Request::Match {
+                handle,
+                len: text.len(),
+            },
+            Some(text),
+        )?;
+        Ok(self.read_ok()?.0 == 0)
+    }
+
+    /// Leftmost-earliest span search over the payload.
+    ///
+    /// # Errors
+    ///
+    /// Server-side rejections and socket errors.
+    pub fn find(&mut self, handle: u64, text: &[u8]) -> std::io::Result<Option<(usize, usize)>> {
+        self.send(
+            &Request::Find {
+                handle,
+                len: text.len(),
+            },
+            Some(text),
+        )?;
+        let (status, args) = self.read_ok()?;
+        if status != 0 {
+            return Ok(None);
+        }
+        let parse = |i: usize| args.get(i).and_then(|s| s.parse().ok());
+        match (parse(0), parse(1)) {
+            (Some(start), Some(end)) => Ok(Some((start, end))),
+            _ => Err(protocol_error("FIND response without a span")),
+        }
+    }
+
+    /// Per-line membership over the payload.
+    ///
+    /// # Errors
+    ///
+    /// Server-side rejections and socket errors.
+    pub fn scan(&mut self, handle: u64, text: &[u8]) -> std::io::Result<ScanOutcome> {
+        self.send(
+            &Request::Scan {
+                handle,
+                len: text.len(),
+            },
+            Some(text),
+        )?;
+        let (status, args) = self.read_ok()?;
+        let parse = |i: usize| args.get(i).and_then(|s: &String| s.parse::<u64>().ok());
+        let (Some(lines), Some(matched), Some(len)) = (parse(0), parse(1), parse(2)) else {
+            return Err(protocol_error("malformed SCAN response header"));
+        };
+        let payload = self.read_payload(len as usize)?;
+        Ok(ScanOutcome {
+            status,
+            lines,
+            matched,
+            payload,
+        })
+    }
+
+    /// Fetches the server's `STATS` text.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors and malformed responses.
+    pub fn stats(&mut self) -> std::io::Result<String> {
+        self.send(&Request::Stats, None)?;
+        let (_, args) = self.read_ok()?;
+        let len: usize = args
+            .first()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| protocol_error("malformed STATS response header"))?;
+        let payload = self.read_payload(len)?;
+        String::from_utf8(payload).map_err(|_| protocol_error("non-UTF-8 STATS payload"))
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors.
+    pub fn ping(&mut self) -> std::io::Result<()> {
+        self.send(&Request::Ping, None)?;
+        self.read_ok().map(|_| ())
+    }
+
+    /// Asks the server to stop.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors.
+    pub fn shutdown(&mut self) -> std::io::Result<()> {
+        self.send(&Request::Shutdown, None)?;
+        self.read_ok().map(|_| ())
+    }
+
+    /// Closes the connection politely.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors.
+    pub fn quit(mut self) -> std::io::Result<()> {
+        self.send(&Request::Quit, None)?;
+        self.read_ok().map(|_| ())
+    }
+}

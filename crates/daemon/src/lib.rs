@@ -1,0 +1,64 @@
+//! `semred` — a long-running SemRE match daemon.
+//!
+//! The paper's cost model counts oracle invocations, and the in-process
+//! query planes already minimize them *within* one run.  `semred` takes
+//! the amortization to its limit: a resident TCP server that keeps
+//! compiled patterns and — through the
+//! [`PersistentAnswerStore`](semre::PersistentAnswerStore) — oracle
+//! answers alive across client processes, runs, and restarts.  A question
+//! any client has ever asked is answered from the store; only genuinely
+//! novel questions reach a backend.
+//!
+//! # Protocol
+//!
+//! A line protocol over TCP (see [`proto`]): `COMPILE <spec> <pattern>`
+//! returns a handle, and `MATCH` / `FIND` / `SCAN` run that handle over a
+//! length-prefixed payload.  Responses carry grep-convention status codes
+//! (`0` match, `1` no match, `2` error).  `TENANT` names the caller for
+//! attribution and budgets, `STATS` exposes per-tenant counters and store
+//! health, `SHUTDOWN` stops the server.
+//!
+//! ```text
+//! → COMPILE sim-llm Subject: .*(?<Medicine name>: [a-z]+).*
+//! ← OK 0 handle=1 cache=new
+//! → MATCH 1 30
+//! → Subject: buy xanax online now
+//! ← OK 0
+//! → SCAN 1 63
+//! → Subject: buy xanax online now
+//! → Subject: weekly sync minutes
+//! ← OK 0 2 1 30
+//! ← Subject: buy xanax online now
+//! ```
+//!
+//! # Architecture
+//!
+//! * [`server`] — `TcpListener` + a bounded worker pool (thread-per-
+//!   connection, at most `workers` concurrent connections; further
+//!   accepts queue in the listener backlog).
+//! * [`cache`] — an LRU of compiled patterns keyed by
+//!   `(OracleSpec, pattern)`, so repeated `COMPILE`s are free.
+//! * [`tenant`] — per-`(tenant, spec)` [`SharedSession`](semre::SharedSession)s
+//!   over one global persistent store: counters attribute work to
+//!   tenants, answers amortize across everyone.
+//! * [`client`] — a blocking client ([`DaemonClient`]) used by
+//!   `grepo --daemon` and the smoke tests.
+//!
+//! Scans execute on the connection's worker thread with the batched
+//! oracle plane; the pattern's oracle is a thread-local *router* that
+//! forwards each question to the session of the tenant currently being
+//! served (see [`tenant`]), which is what lets one compiled pattern be
+//! shared by every tenant without mixing up their counters.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod proto;
+pub mod server;
+pub mod tenant;
+
+pub use client::{DaemonClient, ScanOutcome};
+pub use proto::{Request, MAX_PAYLOAD};
+pub use server::{Server, ServerConfig, ServerHandle};

@@ -1,0 +1,262 @@
+//! The `semred` wire protocol.
+//!
+//! One request per line, UTF-8, `\n`-terminated.  Commands that carry a
+//! payload (`MATCH`, `FIND`, `SCAN`) state its byte length on the command
+//! line and send the raw bytes immediately after the newline — no
+//! escaping, no base64, so a scanned file travels verbatim.
+//!
+//! ```text
+//! COMPILE <spec> <pattern>      compile; pattern runs to end of line
+//! TENANT <name>                 name this connection's tenant
+//! MATCH <handle> <nbytes>       whole-payload membership  (w ∈ ⟦r⟧?)
+//! FIND <handle> <nbytes>        leftmost-earliest span search
+//! SCAN <handle> <nbytes>        per-line membership over the payload
+//! STATS                         server + per-tenant counters
+//! PING                          liveness probe
+//! SHUTDOWN                      stop the server
+//! QUIT                          close this connection
+//! ```
+//!
+//! Responses are `OK <status> …` with grep-convention status codes
+//! (`0` match found, `1` no match, `2` error) or `ERR 2 <message>`.
+//! `SCAN` and `STATS` responses carry their own length-prefixed payload:
+//! `OK <status> <lines> <matched> <nbytes>\n<payload>`.
+//!
+//! The `<spec>` token is the canonical `OracleSpec` display form
+//! (`sim-llm`, `always-true`, `always-false`, `set:FILE`); it must be
+//! whitespace-free to survive tokenization (`OracleSpec::wire_token`).
+
+use std::fmt;
+
+/// Upper bound on any request payload (64 MiB) — a guard against a
+/// malformed length prefix allocating unbounded memory, not a practical
+/// scan limit (scans stream per connection, one payload at a time).
+pub const MAX_PAYLOAD: usize = 64 << 20;
+
+/// Upper bound on a tenant name.
+pub const MAX_TENANT_LEN: usize = 64;
+
+/// A parsed request line (payload bytes, if any, follow separately).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// `COMPILE <spec> <pattern>`.
+    Compile {
+        /// The oracle spec token.
+        spec: String,
+        /// The SemRE pattern (runs to end of line, spaces included).
+        pattern: String,
+    },
+    /// `TENANT <name>`.
+    Tenant {
+        /// The tenant name.
+        name: String,
+    },
+    /// `MATCH <handle> <nbytes>`.
+    Match {
+        /// Pattern handle from `COMPILE`.
+        handle: u64,
+        /// Payload length in bytes.
+        len: usize,
+    },
+    /// `FIND <handle> <nbytes>`.
+    Find {
+        /// Pattern handle from `COMPILE`.
+        handle: u64,
+        /// Payload length in bytes.
+        len: usize,
+    },
+    /// `SCAN <handle> <nbytes>`.
+    Scan {
+        /// Pattern handle from `COMPILE`.
+        handle: u64,
+        /// Payload length in bytes.
+        len: usize,
+    },
+    /// `STATS`.
+    Stats,
+    /// `PING`.
+    Ping,
+    /// `SHUTDOWN`.
+    Shutdown,
+    /// `QUIT`.
+    Quit,
+}
+
+impl fmt::Display for Request {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Request::Compile { spec, pattern } => write!(f, "COMPILE {spec} {pattern}"),
+            Request::Tenant { name } => write!(f, "TENANT {name}"),
+            Request::Match { handle, len } => write!(f, "MATCH {handle} {len}"),
+            Request::Find { handle, len } => write!(f, "FIND {handle} {len}"),
+            Request::Scan { handle, len } => write!(f, "SCAN {handle} {len}"),
+            Request::Stats => f.write_str("STATS"),
+            Request::Ping => f.write_str("PING"),
+            Request::Shutdown => f.write_str("SHUTDOWN"),
+            Request::Quit => f.write_str("QUIT"),
+        }
+    }
+}
+
+/// Whether `name` is acceptable as a tenant name: non-empty, at most
+/// [`MAX_TENANT_LEN`] bytes, and built from `[A-Za-z0-9._-]` only.
+pub fn valid_tenant(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= MAX_TENANT_LEN
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
+}
+
+fn parse_handle_len(args: Option<&str>, verb: &str) -> Result<(u64, usize), String> {
+    let args = args.ok_or_else(|| format!("{verb} needs <handle> <nbytes>"))?;
+    let mut parts = args.split_ascii_whitespace();
+    let (Some(handle), Some(len), None) = (parts.next(), parts.next(), parts.next()) else {
+        return Err(format!("{verb} needs exactly <handle> <nbytes>"));
+    };
+    let handle: u64 = handle
+        .parse()
+        .map_err(|_| format!("bad handle {handle:?}"))?;
+    let len: usize = len.parse().map_err(|_| format!("bad length {len:?}"))?;
+    if len > MAX_PAYLOAD {
+        return Err(format!(
+            "payload of {len} bytes exceeds the {MAX_PAYLOAD}-byte limit"
+        ));
+    }
+    Ok((handle, len))
+}
+
+/// Parses one request line (without its terminator).
+///
+/// # Errors
+///
+/// A human-readable message, sent back verbatim as `ERR 2 <message>`.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let line = line.strip_suffix('\r').unwrap_or(line);
+    let (verb, rest) = match line.split_once(' ') {
+        Some((verb, rest)) => (verb, Some(rest)),
+        None => (line, None),
+    };
+    match verb {
+        "COMPILE" => {
+            let rest = rest.ok_or("COMPILE needs <spec> <pattern>")?;
+            let (spec, pattern) = rest
+                .split_once(' ')
+                .ok_or("COMPILE needs <spec> <pattern>")?;
+            if spec.is_empty() || pattern.is_empty() {
+                return Err("COMPILE needs <spec> <pattern>".to_owned());
+            }
+            Ok(Request::Compile {
+                spec: spec.to_owned(),
+                pattern: pattern.to_owned(),
+            })
+        }
+        "TENANT" => {
+            let name = rest.unwrap_or("").trim();
+            if !valid_tenant(name) {
+                return Err(format!(
+                    "bad tenant name {name:?} (want 1-{MAX_TENANT_LEN} chars of [A-Za-z0-9._-])"
+                ));
+            }
+            Ok(Request::Tenant {
+                name: name.to_owned(),
+            })
+        }
+        "MATCH" => {
+            parse_handle_len(rest, "MATCH").map(|(handle, len)| Request::Match { handle, len })
+        }
+        "FIND" => parse_handle_len(rest, "FIND").map(|(handle, len)| Request::Find { handle, len }),
+        "SCAN" => parse_handle_len(rest, "SCAN").map(|(handle, len)| Request::Scan { handle, len }),
+        "STATS" if rest.is_none() => Ok(Request::Stats),
+        "PING" if rest.is_none() => Ok(Request::Ping),
+        "SHUTDOWN" if rest.is_none() => Ok(Request::Shutdown),
+        "QUIT" if rest.is_none() => Ok(Request::Quit),
+        "" => Err("empty request".to_owned()),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_parse_and_round_trip() {
+        for (line, request) in [
+            (
+                "COMPILE sim-llm Subject: .*(?<Medicine name>: [a-z]+).*",
+                Request::Compile {
+                    spec: "sim-llm".into(),
+                    pattern: "Subject: .*(?<Medicine name>: [a-z]+).*".into(),
+                },
+            ),
+            (
+                "TENANT ci-bot.7",
+                Request::Tenant {
+                    name: "ci-bot.7".into(),
+                },
+            ),
+            ("MATCH 3 17", Request::Match { handle: 3, len: 17 }),
+            ("FIND 1 0", Request::Find { handle: 1, len: 0 }),
+            (
+                "SCAN 9 4096",
+                Request::Scan {
+                    handle: 9,
+                    len: 4096,
+                },
+            ),
+            ("STATS", Request::Stats),
+            ("PING", Request::Ping),
+            ("SHUTDOWN", Request::Shutdown),
+            ("QUIT", Request::Quit),
+        ] {
+            assert_eq!(parse_request(line).unwrap(), request, "{line}");
+            // Display is the canonical line form.
+            assert_eq!(parse_request(&request.to_string()).unwrap(), request);
+        }
+        // CRLF tolerance.
+        assert_eq!(parse_request("PING\r").unwrap(), Request::Ping);
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_messages() {
+        for line in [
+            "",
+            "BOGUS",
+            "COMPILE",
+            "COMPILE sim-llm",
+            "COMPILE  leading-space-pattern",
+            "MATCH",
+            "MATCH 1",
+            "MATCH one 2",
+            "MATCH 1 two",
+            "MATCH 1 2 3",
+            "SCAN 1 999999999999999999999",
+            "TENANT",
+            "TENANT has space",
+            "TENANT ",
+            "STATS now",
+            "SHUTDOWN please",
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert!(!err.is_empty(), "{line:?} should explain its rejection");
+        }
+        // The payload cap is enforced at parse time.
+        let too_big = format!("SCAN 1 {}", MAX_PAYLOAD + 1);
+        assert!(parse_request(&too_big).unwrap_err().contains("limit"));
+        let at_cap = format!("SCAN 1 {MAX_PAYLOAD}");
+        assert!(parse_request(&at_cap).is_ok());
+    }
+
+    #[test]
+    fn tenant_name_policy() {
+        assert!(valid_tenant("default"));
+        assert!(valid_tenant("a"));
+        assert!(valid_tenant("ci-bot_7.east"));
+        assert!(!valid_tenant(""));
+        assert!(!valid_tenant("has space"));
+        assert!(!valid_tenant("uni\u{00e7}ode"));
+        assert!(!valid_tenant(&"x".repeat(MAX_TENANT_LEN + 1)));
+        assert!(valid_tenant(&"x".repeat(MAX_TENANT_LEN)));
+    }
+}

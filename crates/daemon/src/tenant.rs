@@ -1,0 +1,318 @@
+//! Tenancy: who asked, who pays, who shares.
+//!
+//! The daemon serves many clients ("tenants") with one pattern cache and
+//! one persistent answer store.  Answers are *shared* — oracle judgements
+//! are facts about strings, not about callers, so tenant B benefits from
+//! every question tenant A already paid for.  Attribution and budgets are
+//! *per tenant*: each `(tenant, spec)` pair gets its own
+//! [`SharedSession`], whose counters (`keys_submitted`, `keys_deduped`,
+//! `persisted_hits`, `backend_keys`) are exactly the tenant's `STATS`
+//! row, and whose `backend_keys` sum is what budgets cap.
+//!
+//! # Routing
+//!
+//! Compiled patterns are shared across tenants (the whole point of the
+//! LRU), but a [`semre::SemRegex`] binds its oracle at build time.  The
+//! daemon squares that circle with a *router*: every cached pattern is
+//! built over [`RoutedOracle`], which forwards each question to a
+//! thread-local [`SharedSession`] installed by the connection handler for
+//! the duration of one request ([`bind_session`]).  This is sound
+//! because a request executes entirely on its connection's worker thread
+//! — the daemon builds patterns with the default single-threaded,
+//! batched configuration, so no oracle question ever leaves the thread.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use semre::oracle::persist::PersistentAnswerStore;
+use semre::{BatchStats, Error, Oracle, OracleSpec, QueryKey, SharedSession};
+
+thread_local! {
+    static CURRENT_SESSION: RefCell<Option<SharedSession>> = const { RefCell::new(None) };
+}
+
+/// An oracle that forwards every question to the thread's currently
+/// bound [`SharedSession`].
+///
+/// # Panics
+///
+/// Panics if a question arrives with no session bound — an internal
+/// invariant violation: the server binds a session (see [`bind_session`])
+/// before touching any compiled pattern.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RoutedOracle;
+
+fn with_current<T>(f: impl FnOnce(&SharedSession) -> T) -> T {
+    CURRENT_SESSION.with(|current| {
+        let current = current.borrow();
+        let session = current
+            .as_ref()
+            .expect("oracle question with no tenant session bound (server bug)");
+        f(session)
+    })
+}
+
+impl Oracle for RoutedOracle {
+    fn holds(&self, query: &str, text: &[u8]) -> bool {
+        with_current(|session| session.holds(query, text))
+    }
+
+    fn resolve_batch(&self, batch: &[QueryKey<'_>]) -> Vec<bool> {
+        with_current(|session| session.resolve_batch(batch))
+    }
+
+    fn describe(&self) -> String {
+        "routed(per-tenant shared session)".to_owned()
+    }
+}
+
+/// Binds `session` as the thread's current session until the guard
+/// drops.  Bindings do not nest: the previous binding (if any) is
+/// restored on drop.
+pub fn bind_session(session: SharedSession) -> SessionGuard {
+    let previous = CURRENT_SESSION.with(|current| current.borrow_mut().replace(session));
+    SessionGuard { previous }
+}
+
+/// Restores the previous thread-local session binding on drop.
+#[derive(Debug)]
+pub struct SessionGuard {
+    previous: Option<SharedSession>,
+}
+
+impl Drop for SessionGuard {
+    fn drop(&mut self) {
+        let previous = self.previous.take();
+        CURRENT_SESSION.with(|current| *current.borrow_mut() = previous);
+    }
+}
+
+/// One tenant's sessions (one per oracle spec) plus budget bookkeeping.
+#[derive(Debug, Default)]
+struct TenantState {
+    sessions: HashMap<String, SharedSession>,
+    budget_denied: u64,
+}
+
+/// A snapshot of one tenant's counters for `STATS`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TenantSnapshot {
+    /// Tenant name.
+    pub name: String,
+    /// Summed batch-plane counters across the tenant's sessions.
+    pub stats: BatchStats,
+    /// Questions answered by the persistent store.
+    pub persisted_hits: u64,
+    /// Distinct answers in the tenant's in-memory stores.
+    pub entries: usize,
+    /// Requests refused because the tenant's oracle budget was spent.
+    pub budget_denied: u64,
+}
+
+/// The per-tenant session registry over one optional persistent store.
+#[derive(Debug)]
+pub struct TenantRegistry {
+    tenants: Mutex<HashMap<String, TenantState>>,
+    persist: Option<Arc<PersistentAnswerStore>>,
+    /// Max backend questions per tenant (`None` = unlimited).
+    budget: Option<u64>,
+}
+
+impl TenantRegistry {
+    /// A registry whose sessions layer over `persist` (when given) and
+    /// enforce `budget` backend questions per tenant (when given).
+    pub fn new(persist: Option<Arc<PersistentAnswerStore>>, budget: Option<u64>) -> Self {
+        TenantRegistry {
+            tenants: Mutex::new(HashMap::new()),
+            persist,
+            budget,
+        }
+    }
+
+    /// The persistent store sessions record to, if any.
+    pub fn persist(&self) -> Option<&Arc<PersistentAnswerStore>> {
+        self.persist.as_ref()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<String, TenantState>> {
+        self.tenants.lock().expect("tenant registry poisoned")
+    }
+
+    /// The `(tenant, spec)` session, creating it (and building the
+    /// spec's backend) on first use.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Oracle`] when the spec's backend cannot be built (e.g. a
+    /// missing `set:` file).
+    pub fn session(
+        &self,
+        tenant: &str,
+        spec: &OracleSpec,
+        spec_tag: &str,
+    ) -> Result<SharedSession, Error> {
+        let mut tenants = self.lock();
+        let state = tenants.entry(tenant.to_owned()).or_default();
+        if let Some(session) = state.sessions.get(spec_tag) {
+            return Ok(session.clone());
+        }
+        let backend = spec.build()?;
+        let session = match &self.persist {
+            Some(store) => SharedSession::with_persistence(backend, store.clone(), spec_tag),
+            None => SharedSession::new(backend),
+        };
+        state.sessions.insert(spec_tag.to_owned(), session.clone());
+        Ok(session)
+    }
+
+    /// Charges `tenant` against its budget: `Ok` when the tenant may
+    /// still reach the backend, `Err(spent)` when the budget is
+    /// exhausted (the denial is counted).
+    ///
+    /// Enforcement is request-granular: a request that starts under
+    /// budget runs to completion even if its own questions cross the
+    /// line — the *next* request is refused.  With a persistent store
+    /// this is the natural granularity: refused work can usually be
+    /// re-run warm for zero backend questions.
+    ///
+    /// # Errors
+    ///
+    /// `Err(spent)` with the backend questions the tenant has already
+    /// used.
+    pub fn charge(&self, tenant: &str) -> Result<(), u64> {
+        let Some(budget) = self.budget else {
+            return Ok(());
+        };
+        let mut tenants = self.lock();
+        let state = tenants.entry(tenant.to_owned()).or_default();
+        let spent: u64 = state
+            .sessions
+            .values()
+            .map(|s| s.stats().backend_keys)
+            .sum();
+        if spent >= budget {
+            state.budget_denied += 1;
+            return Err(spent);
+        }
+        Ok(())
+    }
+
+    /// The configured per-tenant budget, if any.
+    pub fn budget(&self) -> Option<u64> {
+        self.budget
+    }
+
+    /// Number of tenants seen so far.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether no tenant has connected yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Per-tenant counter snapshots, sorted by name (so `STATS` output
+    /// is deterministic).
+    pub fn snapshot(&self) -> Vec<TenantSnapshot> {
+        let tenants = self.lock();
+        let mut rows: Vec<TenantSnapshot> = tenants
+            .iter()
+            .map(|(name, state)| {
+                let mut stats = BatchStats::default();
+                let mut persisted_hits = 0;
+                let mut entries = 0;
+                for session in state.sessions.values() {
+                    stats = stats.merged(&session.stats());
+                    persisted_hits += session.persisted_hits();
+                    entries += session.len();
+                }
+                TenantSnapshot {
+                    name: name.clone(),
+                    stats,
+                    persisted_hits,
+                    entries,
+                    budget_denied: state.budget_denied,
+                }
+            })
+            .collect();
+        rows.sort_by(|a, b| a.name.cmp(&b.name));
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routed_oracle_forwards_to_the_bound_session() {
+        let session = SharedSession::new(OracleSpec::AlwaysTrue.build().unwrap());
+        let routed = RoutedOracle;
+        {
+            let _guard = bind_session(session.clone());
+            assert!(routed.holds("q", b"x"));
+            assert_eq!(
+                routed.resolve_batch(&[QueryKey::new("q", b"x"), QueryKey::new("q", b"y")]),
+                [true, true]
+            );
+        }
+        assert_eq!(session.stats().keys_submitted, 3);
+
+        // Bindings restore the previous session on drop.
+        let never = SharedSession::new(OracleSpec::AlwaysFalse.build().unwrap());
+        let _outer = bind_session(session.clone());
+        {
+            let _inner = bind_session(never.clone());
+            assert!(!routed.holds("q", b"x"));
+        }
+        assert!(routed.holds("q", b"z"), "outer binding restored");
+    }
+
+    #[test]
+    #[should_panic(expected = "no tenant session bound")]
+    fn routed_oracle_without_a_binding_is_a_server_bug() {
+        RoutedOracle.holds("q", b"x");
+    }
+
+    #[test]
+    fn sessions_are_per_tenant_per_spec_and_reused() {
+        let registry = TenantRegistry::new(None, None);
+        let spec = OracleSpec::AlwaysTrue;
+        let tag = spec.to_string();
+        let a1 = registry.session("alice", &spec, &tag).unwrap();
+        let a2 = registry.session("alice", &spec, &tag).unwrap();
+        a1.holds("q", b"x");
+        assert_eq!(a2.stats().keys_submitted, 1, "same session object");
+        let b = registry.session("bob", &spec, &tag).unwrap();
+        assert_eq!(b.stats().keys_submitted, 0, "tenants do not share counters");
+        assert_eq!(registry.len(), 2);
+        let rows = registry.snapshot();
+        assert_eq!(rows[0].name, "alice");
+        assert_eq!(rows[0].stats.keys_submitted, 1);
+        assert_eq!(rows[1].name, "bob");
+    }
+
+    #[test]
+    fn budget_is_charged_per_tenant() {
+        let registry = TenantRegistry::new(None, Some(2));
+        let spec = OracleSpec::AlwaysTrue;
+        let tag = spec.to_string();
+        let session = registry.session("alice", &spec, &tag).unwrap();
+        assert!(registry.charge("alice").is_ok());
+        session.holds("q", b"one");
+        session.holds("q", b"two");
+        assert_eq!(registry.charge("alice"), Err(2), "budget spent");
+        assert_eq!(registry.charge("alice"), Err(2));
+        assert!(registry.charge("bob").is_ok(), "budgets are per tenant");
+        assert_eq!(registry.snapshot()[0].budget_denied, 2);
+    }
+
+    #[test]
+    fn bad_spec_surfaces_as_an_oracle_error() {
+        let registry = TenantRegistry::new(None, None);
+        let spec = OracleSpec::SetFile("/definitely/not/here.tsv".into());
+        assert!(registry.session("alice", &spec, &spec.to_string()).is_err());
+    }
+}

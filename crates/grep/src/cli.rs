@@ -57,6 +57,12 @@
 //!   --no-stream        materialize each input in memory first
 //!   --stream-chunk-bytes N   bytes per streaming I/O chunk (default 64 KiB)
 //!   --no-prescan       disable the literal prescan in front of the DFA
+//!   --answer-log FILE  persist oracle answers to FILE and replay them on
+//!                      the next run, so a question answered once never
+//!                      reaches the backend again — across processes
+//!   --daemon ADDR      ship the scan to a running `semred` daemon at
+//!                      ADDR instead of matching in-process; output is
+//!                      byte-identical to a local run over the same files
 //! ```
 //!
 //! Exit status follows the grep convention: **0** when at least one line
@@ -94,7 +100,11 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
 
-use semre::{Instrumented, OracleSpec, SemRegexBuilder, SharedSession, DEFAULT_CHUNK_LINES};
+use semre::{
+    Instrumented, OracleSpec, PersistentAnswerStore, SemRegexBuilder, SharedSession,
+    DEFAULT_CHUNK_LINES,
+};
+use semre_daemon::DaemonClient;
 
 use crate::engine::{
     scan, scan_batched, scan_batched_parallel, scan_per_call_parallel, scan_spans,
@@ -200,6 +210,14 @@ pub struct CliOptions {
     /// Disable the literal prescan in front of the skeleton DFA
     /// (diagnostic; verdicts are identical either way).
     pub no_prescan: bool,
+    /// Persist oracle answers to this file and replay them on the next
+    /// run, so previously-answered questions never reach the backend
+    /// again (multi-file runs only; answers layer between the in-memory
+    /// session and the backend).
+    pub answer_log: Option<String>,
+    /// Ship the scan to a running `semred` daemon at this address
+    /// instead of matching in-process.
+    pub daemon: Option<String>,
 }
 
 /// The usage string printed on `--help` or malformed invocations.
@@ -208,6 +226,7 @@ pub const USAGE: &str = "usage: grepo [--oracle KIND] [--baseline] [--batched] [
 [--threads N] [--only-matching] [--color] [--count] [--with-filename | --no-filename] [--heading] \
 [--hidden] [--follow] [--binary] [--ignore GLOB] [--max-depth N] [--stats] [--max-lines N] \
 [--timeout-secs S] [--stream | --no-stream] [--stream-chunk-bytes N] [--no-prescan] \
+[--answer-log FILE] [--daemon ADDR] \
 PATTERN [PATH...]";
 
 impl CliOptions {
@@ -327,6 +346,18 @@ impl CliOptions {
                     }
                     options.stream_chunk_bytes = n;
                 }
+                "--answer-log" => {
+                    let path = args
+                        .next()
+                        .ok_or_else(|| CliError::new("--answer-log needs a file"))?;
+                    options.answer_log = Some(path);
+                }
+                "--daemon" => {
+                    let addr = args
+                        .next()
+                        .ok_or_else(|| CliError::new("--daemon needs an address"))?;
+                    options.daemon = Some(addr);
+                }
                 "--count" => options.count_only = true,
                 "--stats" => options.stats = true,
                 "--help" | "-h" => options.help = true,
@@ -383,6 +414,29 @@ impl CliOptions {
         }
         if options.with_filename == Some(true) && options.heading {
             return Err(CliError::new("--with-filename conflicts with --heading"));
+        }
+        if options.daemon.is_some() {
+            // A daemon run executes on the server with the server's
+            // engine configuration and answer store.  Reject options that
+            // would silently change the output or the cost accounting if
+            // they were applied locally instead.
+            let conflicts = [
+                (options.baseline, "--baseline"),
+                (options.batched, "--batched"),
+                (options.oracle_delay_us != 0, "--oracle-delay"),
+                (options.threads != 0, "--threads"),
+                (options.only_matching, "--only-matching"),
+                (options.color, "--color"),
+                (options.max_lines.is_some(), "--max-lines"),
+                (options.timeout_secs.is_some(), "--timeout-secs"),
+                (options.stream.is_some(), "--stream/--no-stream"),
+                (options.stream_chunk_bytes != 0, "--stream-chunk-bytes"),
+                (options.no_prescan, "--no-prescan"),
+                (options.answer_log.is_some(), "--answer-log"),
+            ];
+            if let Some((_, flag)) = conflicts.iter().find(|(set, _)| *set) {
+                return Err(CliError::new(format!("{flag} conflicts with --daemon")));
+            }
         }
         let mut positional = positional.into_iter();
         options.pattern = positional
@@ -460,7 +514,21 @@ fn compile_with(options: &CliOptions, share_across_files: bool) -> Result<Compil
     // logical oracle question.
     let instrumented: Arc<dyn semre::Oracle> = oracle.clone();
     let (shared, session) = if share_across_files {
-        let session = SharedSession::new(instrumented);
+        // --answer-log layers a persistent store between the in-memory
+        // session and the backend: questions answered on an earlier run
+        // are replayed from disk and never reach the backend again.
+        let session = match &options.answer_log {
+            Some(path) => {
+                let store = PersistentAnswerStore::open(path)
+                    .map_err(|e| CliError::new(format!("cannot open answer log {path}: {e}")))?;
+                SharedSession::with_persistence(
+                    instrumented,
+                    Arc::new(store),
+                    options.oracle.to_string(),
+                )
+            }
+            None => SharedSession::new(instrumented),
+        };
         (
             Arc::new(session.clone()) as Arc<dyn semre::Oracle>,
             Some(session),
@@ -1222,16 +1290,33 @@ fn push_tree_stats(
     ));
     let shared = session.stats();
     outcome.stderr.push(format!(
-        "shared_session: keys={} deduped={} backend_keys={} dedup_ratio={:.3} backend_calls={} \
-shards={} contended={}",
+        "shared_session: keys={} deduped={} persisted_hits={} backend_keys={} dedup_ratio={:.3} \
+backend_calls={} shards={} contended={}",
         shared.keys_submitted,
         shared.keys_deduped,
+        session.persisted_hits(),
         shared.backend_keys,
         shared.dedup_ratio(),
         oracle.stats().calls,
         session.shards(),
         session.contended()
     ));
+    if let Some(store) = session.persist_store() {
+        let replay = store.replay_report();
+        outcome.stderr.push(format!(
+            "answer_store: path={} entries={} replayed={} dropped_bytes={} appended={} \
+file_bytes={} compactions={} syncs={} write_errors={}",
+            store.path().display(),
+            store.len(),
+            replay.live,
+            replay.dropped_bytes,
+            store.appended(),
+            store.file_bytes(),
+            store.compactions(),
+            store.syncs(),
+            store.write_errors()
+        ));
+    }
     if options.batched {
         outcome.stderr.push(format!(
             "batches={} keys_submitted={} keys_deduped={} backend_keys={} dedup_ratio={:.3} mean_batch={:.2}",
@@ -1268,7 +1353,18 @@ shards={} contended={}",
 /// outcome (stderr lines + exit code 2) instead, without aborting the
 /// scan.
 pub fn run(options: &CliOptions) -> Result<CliOutcome, CliError> {
+    if let Some(addr) = options.daemon.clone() {
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        return run_daemon(options, &addr, &mut out);
+    }
     if options.paths.is_empty() {
+        if options.answer_log.is_some() {
+            // Persisted answers exist to make *re-runs* cheap; a pipe
+            // cannot be re-run, and the single-input paths have no
+            // shared session to layer the store under.
+            return Err(CliError::new("--answer-log requires file paths"));
+        }
         if options.streaming() {
             let stdout = std::io::stdout();
             let mut out = stdout.lock();
@@ -1286,6 +1382,9 @@ pub fn run(options: &CliOptions) -> Result<CliOutcome, CliError> {
     let single_file = options.paths.len() == 1
         && options.with_filename != Some(true)
         && !options.heading
+        // --answer-log rides the multi-file path: that is where the
+        // cross-file shared session (and thus the store) is interposed.
+        && options.answer_log.is_none()
         && fs::metadata(&options.paths[0])
             .map(|m| m.is_file())
             .unwrap_or(false);
@@ -1307,6 +1406,151 @@ pub fn run(options: &CliOptions) -> Result<CliOutcome, CliError> {
     let targets = expand_targets(options);
     let mut out = std::io::stdout();
     run_paths(options, &targets, &mut out)
+}
+
+/// Runs the scan against a remote `semred` daemon instead of the
+/// in-process engine.  The daemon owns the engine configuration and the
+/// persistent answer store; the client expands the path arguments with
+/// the same walk as a local run, ships each file's bytes as one `SCAN`,
+/// and renders the returned matched lines with the prefix/heading/count
+/// logic of [`run_paths`] — so output is byte-identical to a local run
+/// over the same inputs.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] when the daemon is unreachable, rejects the
+/// pattern or oracle spec, or output cannot be written.  Per-file
+/// problems (unreadable file, per-request refusal such as an exhausted
+/// budget) are warnings in the outcome and exit code 2, like a local
+/// multi-file run.
+pub fn run_daemon<W: Write>(
+    options: &CliOptions,
+    addr: &str,
+    out: &mut W,
+) -> Result<CliOutcome, CliError> {
+    let mut client = DaemonClient::connect(addr)
+        .map_err(|e| CliError::new(format!("cannot connect to daemon at {addr}: {e}")))?;
+    let spec = options.oracle.to_string();
+    let handle = client
+        .compile(&spec, &options.pattern)
+        .map_err(|e| CliError::new(format!("daemon: {e}")))?;
+    let write_err = |e: std::io::Error| CliError::new(format!("cannot write output: {e}"));
+    let mut outcome = CliOutcome::default();
+
+    if options.paths.is_empty() {
+        let mut text = Vec::new();
+        std::io::stdin()
+            .read_to_end(&mut text)
+            .map_err(|e| CliError::new(format!("cannot read standard input: {e}")))?;
+        let scan = client
+            .scan(handle, &text)
+            .map_err(|e| CliError::new(format!("daemon: {e}")))?;
+        if options.count_only {
+            out.write_all(format!("{}\n", scan.matched).as_bytes())
+                .map_err(write_err)?;
+        } else {
+            out.write_all(&scan.payload).map_err(write_err)?;
+        }
+        if options.stats {
+            push_daemon_stats(&mut outcome, &mut client);
+        }
+        outcome.exit_code = if scan.matched > 0 { 0 } else { 1 };
+        return Ok(outcome);
+    }
+
+    let targets = expand_targets(options);
+    // Same display rules as run_paths: counts ignore --heading, the
+    // prefix defaults on for multi-file scans.
+    let heading = options.heading && options.with_filename != Some(false) && !options.count_only;
+    let show_filename = options
+        .with_filename
+        .unwrap_or(targets.multi || targets.files.len() > 1)
+        && !heading;
+
+    let mut matched_total: u64 = 0;
+    let mut errors: Vec<(PathBuf, String)> = Vec::new();
+    let mut wrote_any = false;
+    for path in &targets.files {
+        let text = match fs::read(path) {
+            Ok(text) => text,
+            Err(e) => {
+                errors.push((path.clone(), e.to_string()));
+                continue;
+            }
+        };
+        let scan = match client.scan(handle, &text) {
+            Ok(scan) => scan,
+            Err(e) => {
+                errors.push((path.clone(), e.to_string()));
+                continue;
+            }
+        };
+        matched_total += scan.matched;
+        let mut buffer = Vec::new();
+        if options.count_only {
+            if show_filename {
+                buffer.extend_from_slice(format!("{}:", path.display()).as_bytes());
+            }
+            buffer.extend_from_slice(format!("{}\n", scan.matched).as_bytes());
+        } else if scan.matched > 0 {
+            if heading {
+                // scan_tree writes its separator between non-empty file
+                // outputs; prepending to each later group is equivalent.
+                if wrote_any {
+                    buffer.push(b'\n');
+                }
+                buffer.extend_from_slice(format!("{}\n", path.display()).as_bytes());
+                buffer.extend_from_slice(&scan.payload);
+            } else if show_filename {
+                let prefix = format!("{}:", path.display()).into_bytes();
+                // Matched lines are newline-terminated and contain no
+                // interior newlines, so this split is lossless.
+                for line in scan.payload.split_inclusive(|&b| b == b'\n') {
+                    buffer.extend_from_slice(&prefix);
+                    buffer.extend_from_slice(line);
+                }
+            } else {
+                buffer.extend_from_slice(&scan.payload);
+            }
+        }
+        if !buffer.is_empty() {
+            out.write_all(&buffer).map_err(write_err)?;
+            wrote_any = true;
+        }
+    }
+
+    for (path, message) in targets.errors.iter().chain(&errors) {
+        outcome
+            .stderr
+            .push(format!("grepo: {}: {message}", path.display()));
+    }
+    if options.stats {
+        push_daemon_stats(&mut outcome, &mut client);
+    }
+    let had_errors = !targets.errors.is_empty() || !errors.is_empty();
+    outcome.exit_code = if had_errors {
+        2
+    } else if matched_total > 0 {
+        0
+    } else {
+        1
+    };
+    Ok(outcome)
+}
+
+/// Appends the daemon's `STATS` payload to the outcome, one
+/// `daemon:`-prefixed stderr line per server line.
+fn push_daemon_stats(outcome: &mut CliOutcome, client: &mut DaemonClient) {
+    match client.stats() {
+        Ok(stats) => {
+            for line in stats.lines() {
+                outcome.stderr.push(format!("daemon: {line}"));
+            }
+        }
+        Err(e) => outcome
+            .stderr
+            .push(format!("grepo: daemon stats unavailable: {e}")),
+    }
 }
 
 #[cfg(test)]
@@ -1899,6 +2143,93 @@ mod tests {
 
         let (buffered, _) = run_tree_args(&["--only-matching", "--no-stream", pattern, &dir]);
         assert_eq!(buffered, out, "--no-stream output must be byte-identical");
+    }
+
+    #[test]
+    fn daemon_and_answer_log_option_parsing() {
+        let o = CliOptions::parse(["--daemon", "127.0.0.1:7878", "x", "dir"]).unwrap();
+        assert_eq!(o.daemon.as_deref(), Some("127.0.0.1:7878"));
+        let o = CliOptions::parse(["--answer-log", "answers.log", "x", "dir"]).unwrap();
+        assert_eq!(o.answer_log.as_deref(), Some("answers.log"));
+        assert!(CliOptions::parse(["--daemon"]).is_err());
+        assert!(CliOptions::parse(["--answer-log"]).is_err());
+
+        // Options that would change output or cost accounting client-side
+        // cannot combine with a daemon run.
+        for args in [
+            vec!["--daemon", "addr", "--baseline", "x"],
+            vec!["--daemon", "addr", "--batched", "x"],
+            vec!["--daemon", "addr", "--only-matching", "x"],
+            vec!["--daemon", "addr", "--color", "x"],
+            vec!["--daemon", "addr", "--threads", "2", "x"],
+            vec!["--daemon", "addr", "--max-lines", "5", "x"],
+            vec!["--daemon", "addr", "--no-stream", "x"],
+            vec!["--daemon", "addr", "--answer-log", "f", "x"],
+        ] {
+            let err = CliOptions::parse(args.clone()).unwrap_err();
+            assert!(err.to_string().contains("--daemon"), "{args:?}: {err}");
+        }
+        // Display and walk options ride along fine.
+        let o = CliOptions::parse([
+            "--daemon", "addr", "--count", "--hidden", "--ignore", "*.bin", "x", "d",
+        ])
+        .unwrap();
+        assert!(o.count_only && o.hidden);
+    }
+
+    fn stat(line: &str, name: &str) -> u64 {
+        line.split_whitespace()
+            .find_map(|part| part.strip_prefix(&format!("{name}="))?.parse().ok())
+            .unwrap_or_else(|| panic!("no {name}= field in {line:?}"))
+    }
+
+    #[test]
+    fn answer_log_replays_across_runs_with_zero_backend_questions() {
+        let scratch = Scratch::new("persisted");
+        scratch.file("a.txt", "Subject: cheap viagra\nplain\n");
+        scratch.file("b.txt", "Subject: cheap viagra\nSubject: buy xanax\n");
+        let dir = scratch.0.display().to_string();
+        let log = scratch.0.join("answers.log").display().to_string();
+        let pattern = r"Subject: .*(?<Medicine name>: .+).*";
+        let args = ["--stats", "--answer-log", &log, pattern, &dir];
+
+        let (cold_out, cold) = run_tree_args(&args);
+        let line = |outcome: &CliOutcome| {
+            outcome
+                .stderr
+                .iter()
+                .find(|l| l.starts_with("shared_session:"))
+                .expect("stats include the shared session")
+                .clone()
+        };
+        let cold_line = line(&cold);
+        assert!(stat(&cold_line, "backend_keys") > 0, "{cold_line}");
+        assert_eq!(stat(&cold_line, "persisted_hits"), 0, "{cold_line}");
+        assert!(
+            cold.stderr.iter().any(|l| l.starts_with("answer_store:")),
+            "{:?}",
+            cold.stderr
+        );
+
+        // A second run is a fresh session (fresh process state as far as
+        // the oracle plane is concerned) over the same log: identical
+        // output, and every question answered from disk.
+        let (warm_out, warm) = run_tree_args(&args);
+        assert_eq!(warm_out, cold_out, "verdicts must not change");
+        let warm_line = line(&warm);
+        assert_eq!(
+            stat(&warm_line, "backend_keys"),
+            0,
+            "warm run must not touch the backend: {warm_line}"
+        );
+        assert!(stat(&warm_line, "persisted_hits") > 0, "{warm_line}");
+
+        // Stdin runs have no store to layer; the flag is rejected there.
+        let options = CliOptions::parse(["--answer-log", &log, pattern]).unwrap();
+        assert!(run(&options)
+            .unwrap_err()
+            .to_string()
+            .contains("file paths"));
     }
 
     #[test]

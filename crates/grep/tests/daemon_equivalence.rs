@@ -1,0 +1,156 @@
+//! `grepo --daemon` equivalence: shipping a scan to a `semred` server
+//! must produce **byte-identical** stdout and the same exit code as the
+//! one-shot binary over the checked-in fixture tree, across the display
+//! modes the client renders (prefixes, headings, counts, multi-path,
+//! single file, walk filters, stdin) and the error-resilience cases.
+//!
+//! Also exercises the warm-restart path end to end through the CLI: a
+//! daemon restarted over the same answer log re-serves the fixture tree
+//! without a single backend oracle question.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::{Command, Output, Stdio};
+
+use semre_daemon::{DaemonClient, Server, ServerConfig, ServerHandle};
+
+/// Example 2.8 membership pattern: spam subjects advertising a medicine.
+const MEMBERSHIP: &str = r"Subject: .*(?<Medicine name>: .+).*";
+
+fn fixtures_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn run_grepo(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_grepo"))
+        .args(args)
+        .current_dir(fixtures_root())
+        .output()
+        .expect("grepo binary runs")
+}
+
+fn spawn_daemon(config: ServerConfig) -> ServerHandle {
+    Server::bind(config).unwrap().spawn().unwrap()
+}
+
+fn stop_daemon(handle: ServerHandle) {
+    let mut client = DaemonClient::connect(handle.addr).unwrap();
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn daemon_output_is_byte_identical_to_one_shot_grepo() {
+    let handle = spawn_daemon(ServerConfig::default());
+    let addr = handle.addr.to_string();
+
+    let cases: Vec<Vec<&str>> = vec![
+        vec![MEMBERSHIP, "tree"],
+        vec!["--count", MEMBERSHIP, "tree"],
+        vec!["--heading", MEMBERSHIP, "tree"],
+        vec!["--no-filename", MEMBERSHIP, "tree"],
+        vec!["--heading", "--count", MEMBERSHIP, "tree"],
+        vec![MEMBERSHIP, "tree/notes.txt", "tree/mail"],
+        vec![MEMBERSHIP, "tree/mail/spam.txt"],
+        vec!["--with-filename", MEMBERSHIP, "tree/mail/spam.txt"],
+        vec!["--hidden", MEMBERSHIP, "tree"],
+        vec!["--ignore", "mail", "--ignore", "*.bin", MEMBERSHIP, "tree"],
+        vec!["--max-depth", "1", MEMBERSHIP, "tree"],
+        // Exit-code convention: 1 on no match, 2 when a path is missing.
+        vec!["--oracle", "always-false", MEMBERSHIP, "tree"],
+        vec![MEMBERSHIP, "tree/nope.txt", "tree/mail/spam.txt"],
+    ];
+    for case in cases {
+        let local = run_grepo(&case);
+        let mut daemon_args = vec!["--daemon", &addr];
+        daemon_args.extend_from_slice(&case);
+        let remote = run_grepo(&daemon_args);
+        assert_eq!(
+            remote.stdout,
+            local.stdout,
+            "case {case:?}: daemon stdout diverged (got: {:?}, want: {:?})",
+            String::from_utf8_lossy(&remote.stdout),
+            String::from_utf8_lossy(&local.stdout)
+        );
+        assert_eq!(
+            remote.status.code(),
+            local.status.code(),
+            "case {case:?}: exit codes diverged (daemon stderr: {:?})",
+            String::from_utf8_lossy(&remote.stderr)
+        );
+    }
+
+    stop_daemon(handle);
+}
+
+#[test]
+fn daemon_stdin_matches_one_shot_stdin() {
+    let handle = spawn_daemon(ServerConfig::default());
+    let addr = handle.addr.to_string();
+    let input = b"Subject: cheap viagra now\nplain\n";
+
+    let pipe = |args: &[&str]| {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_grepo"))
+            .args(args)
+            .current_dir(fixtures_root())
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("grepo spawns");
+        child.stdin.take().unwrap().write_all(input).unwrap();
+        child.wait_with_output().unwrap()
+    };
+    let local = pipe(&[MEMBERSHIP]);
+    let remote = pipe(&["--daemon", &addr, MEMBERSHIP]);
+    assert_eq!(remote.stdout, local.stdout);
+    assert_eq!(remote.status.code(), local.status.code());
+
+    stop_daemon(handle);
+}
+
+#[test]
+fn daemon_restart_serves_the_fixture_tree_from_the_answer_log() {
+    let dir = std::env::temp_dir().join(format!("grepo-daemon-eq-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let log = dir.join("answers.log");
+    let _ = std::fs::remove_file(&log);
+    let config = || ServerConfig {
+        answer_log: Some(log.clone()),
+        ..ServerConfig::default()
+    };
+
+    // Cold daemon: pay the backend once for the whole tree.
+    let handle = spawn_daemon(config());
+    let addr = handle.addr.to_string();
+    let cold = run_grepo(&["--daemon", &addr, MEMBERSHIP, "tree"]);
+    assert_eq!(cold.status.code(), Some(0));
+    stop_daemon(handle);
+
+    // Warm daemon over the same log: identical bytes, zero backend
+    // questions for the whole fixture tree.
+    let handle = spawn_daemon(config());
+    let addr = handle.addr.to_string();
+    let warm = run_grepo(&["--daemon", &addr, MEMBERSHIP, "tree"]);
+    assert_eq!(
+        warm.stdout, cold.stdout,
+        "warm restart must not change verdicts"
+    );
+    let mut client = DaemonClient::connect(handle.addr).unwrap();
+    let stats = client.stats().unwrap();
+    let tenant = stats
+        .lines()
+        .find(|l| l.starts_with("tenant default:"))
+        .unwrap_or_else(|| panic!("no tenant line in {stats:?}"));
+    let backend: u64 = tenant
+        .split_whitespace()
+        .find_map(|part| part.strip_prefix("backend_keys=")?.parse().ok())
+        .unwrap_or_else(|| panic!("no backend_keys in {tenant:?}"));
+    assert_eq!(
+        backend, 0,
+        "warm restart must issue zero backend questions: {tenant}"
+    );
+    drop(client);
+    stop_daemon(handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -550,6 +550,14 @@ impl std::fmt::Debug for BatchSession<'_> {
     }
 }
 
+/// A session's binding to a cross-process answer log: the store itself
+/// plus the spec tag its records are filed under.
+#[derive(Debug)]
+struct PersistBinding {
+    store: std::sync::Arc<crate::persist::PersistentAnswerStore>,
+    spec: String,
+}
+
 /// Shared state behind every clone of a [`SharedSession`].
 #[derive(Debug, Default)]
 struct SharedSessionState {
@@ -558,6 +566,8 @@ struct SharedSessionState {
     keys_deduped: std::sync::atomic::AtomicU64,
     backend_keys: std::sync::atomic::AtomicU64,
     batches: std::sync::atomic::AtomicU64,
+    persisted_hits: std::sync::atomic::AtomicU64,
+    persist: Option<PersistBinding>,
 }
 
 /// A thread-safe answer store shared across *many* scans — the cross-file
@@ -622,9 +632,44 @@ impl SharedSession {
         }
     }
 
+    /// A shared session layered over a cross-process answer log.
+    ///
+    /// The probe order becomes: in-memory sharded store (a hit counts as
+    /// `keys_deduped`), then `store` under the tag `spec` (a hit counts
+    /// as [`persisted_hits`](SharedSession::persisted_hits) and is pulled
+    /// into the in-memory store), and only then the backend — whose fresh
+    /// answers are recorded back to `store`.  A question any earlier run
+    /// answered therefore never reaches the backend: a warm restart
+    /// issues zero backend questions for previously-seen keys.
+    ///
+    /// `spec` is the canonical oracle tag records are filed under (the
+    /// CLI's `OracleSpec` display form); sessions over different oracles
+    /// can share one store as long as their tags differ.
+    pub fn with_persistence(
+        oracle: std::sync::Arc<dyn Oracle>,
+        store: std::sync::Arc<crate::persist::PersistentAnswerStore>,
+        spec: impl Into<String>,
+    ) -> Self {
+        SharedSession {
+            oracle,
+            state: std::sync::Arc::new(SharedSessionState {
+                persist: Some(PersistBinding {
+                    store,
+                    spec: spec.into(),
+                }),
+                ..SharedSessionState::default()
+            }),
+        }
+    }
+
     /// The backend this session resolves against.
     pub fn backend(&self) -> &std::sync::Arc<dyn Oracle> {
         &self.oracle
+    }
+
+    /// The persistent answer store this session records to, if any.
+    pub fn persist_store(&self) -> Option<&std::sync::Arc<crate::persist::PersistentAnswerStore>> {
+        self.state.persist.as_ref().map(|binding| &binding.store)
     }
 
     /// Batch-plane counters accumulated across every clone.
@@ -636,6 +681,16 @@ impl SharedSession {
             keys_deduped: self.state.keys_deduped.load(Relaxed),
             backend_keys: self.state.backend_keys.load(Relaxed),
         }
+    }
+
+    /// Questions answered by the persistent store (a disk hit, distinct
+    /// from `keys_deduped`, which counts in-memory hits).  Always zero
+    /// for sessions built without
+    /// [`with_persistence`](SharedSession::with_persistence).
+    pub fn persisted_hits(&self) -> u64 {
+        self.state
+            .persisted_hits
+            .load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Number of lock stripes in the sharded answer store.
@@ -659,7 +714,8 @@ impl SharedSession {
         self.len() == 0
     }
 
-    /// Drops all stored answers and counters.
+    /// Drops all stored answers and counters.  The persistent store (if
+    /// any) is *not* cleared: it outlives sessions by design.
     pub fn clear(&self) {
         use std::sync::atomic::Ordering::Relaxed;
         self.state.cache.clear();
@@ -667,6 +723,7 @@ impl SharedSession {
         self.state.keys_deduped.store(0, Relaxed);
         self.state.backend_keys.store(0, Relaxed);
         self.state.batches.store(0, Relaxed);
+        self.state.persisted_hits.store(0, Relaxed);
     }
 }
 
@@ -679,6 +736,13 @@ impl Oracle for SharedSession {
             self.state.keys_deduped.fetch_add(1, Relaxed);
             return answer;
         }
+        if let Some(binding) = &self.state.persist {
+            if let Some(answer) = binding.store.lookup(&binding.spec, query, text) {
+                self.state.persisted_hits.fetch_add(1, Relaxed);
+                self.state.cache.insert(&key, answer);
+                return answer;
+            }
+        }
         // The backend call happens outside any stripe lock so a slow
         // oracle does not serialize unrelated questions from other files'
         // workers.  Two threads racing on the same fresh key may both
@@ -688,6 +752,9 @@ impl Oracle for SharedSession {
         self.state.backend_keys.fetch_add(1, Relaxed);
         self.state.batches.fetch_add(1, Relaxed);
         self.state.cache.insert(&key, answer);
+        if let Some(binding) = &self.state.persist {
+            binding.store.record(&binding.spec, query, text, answer);
+        }
         answer
     }
 
@@ -699,8 +766,24 @@ impl Oracle for SharedSession {
         if batch.is_empty() {
             return Vec::new();
         }
-        let plan = BatchPlan::classify(batch, |key| self.state.cache.get(key));
-        self.state.keys_deduped.fetch_add(plan.hits(), Relaxed);
+        // The classifying lookup layers the persistent store behind the
+        // in-memory one: a disk hit is pulled into memory (so intra-batch
+        // duplicates of it count as memory hits) and tallied separately.
+        let mut persisted = 0u64;
+        let plan = BatchPlan::classify(batch, |key| {
+            if let Some(answer) = self.state.cache.get(key) {
+                return Some(answer);
+            }
+            let binding = self.state.persist.as_ref()?;
+            let answer = binding.store.lookup(&binding.spec, key.query, key.text)?;
+            persisted += 1;
+            self.state.cache.insert(key, answer);
+            Some(answer)
+        });
+        self.state.persisted_hits.fetch_add(persisted, Relaxed);
+        self.state
+            .keys_deduped
+            .fetch_add(plan.hits() - persisted, Relaxed);
         let miss_answers = if plan.misses.is_empty() {
             Vec::new()
         } else {
@@ -711,6 +794,11 @@ impl Oracle for SharedSession {
             let answers = self.oracle.resolve_batch(&plan.misses);
             for (key, &answer) in plan.misses.iter().zip(&answers) {
                 self.state.cache.insert(key, answer);
+                if let Some(binding) = &self.state.persist {
+                    binding
+                        .store
+                        .record(&binding.spec, key.query, key.text, answer);
+                }
             }
             answers
         };
@@ -883,6 +971,74 @@ mod tests {
         assert_eq!(shared.stats().backend_keys, 2);
         assert_eq!(shared.stats().keys_submitted, 6);
         assert_eq!(shared.stats().keys_deduped, 4);
+    }
+
+    #[test]
+    fn shared_session_layers_a_persistent_store_between_memory_and_backend() {
+        use crate::persist::PersistentAnswerStore;
+        use std::sync::Arc;
+        let dir = std::env::temp_dir().join(format!("semre-batch-persist-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let log = dir.join("answers.log");
+        let _ = std::fs::remove_file(&log);
+
+        // Cold run: everything reaches the backend once and is recorded.
+        {
+            let store = Arc::new(PersistentAnswerStore::open(&log).unwrap());
+            let backend = Arc::new(Instrumented::new(PredicateOracle::new(|_, t: &[u8]| {
+                t.len() % 2 == 0
+            })));
+            let shared = SharedSession::with_persistence(backend.clone(), store, "pred");
+            assert_eq!(
+                shared.resolve_batch(&keys(&[("q", b"ab"), ("q", b"abc"), ("q", b"ab")])),
+                [true, false, true]
+            );
+            assert!(shared.holds("q", b"ab"));
+            assert_eq!(backend.stats().calls, 2);
+            assert_eq!(shared.stats().backend_keys, 2);
+            assert_eq!(shared.persisted_hits(), 0);
+            assert_eq!(shared.stats().keys_deduped, 2);
+            assert!(shared.persist_store().is_some());
+        }
+
+        // Warm run: a fresh session + fresh backend, same log.  Zero
+        // backend questions; hits are attributed to the disk store, not
+        // the in-memory dedupe counter.
+        {
+            let store = Arc::new(PersistentAnswerStore::open(&log).unwrap());
+            assert_eq!(store.replay_report().live, 2);
+            let backend = Arc::new(Instrumented::new(PredicateOracle::new(|_, t: &[u8]| {
+                t.len() % 2 == 0
+            })));
+            let shared = SharedSession::with_persistence(backend.clone(), store, "pred");
+            assert_eq!(
+                shared.resolve_batch(&keys(&[("q", b"ab"), ("q", b"abc"), ("q", b"ab")])),
+                [true, false, true]
+            );
+            assert!(!shared.holds("q", b"abc"));
+            assert_eq!(
+                backend.stats().calls,
+                0,
+                "warm restart: no backend questions"
+            );
+            assert_eq!(shared.stats().backend_keys, 0);
+            assert_eq!(shared.persisted_hits(), 2, "one disk hit per distinct key");
+            assert_eq!(
+                shared.stats().keys_deduped,
+                2,
+                "intra-batch duplicate + repeated holds hit memory"
+            );
+            // A different spec tag does not see the answers.
+            let other = SharedSession::with_persistence(
+                backend.clone(),
+                shared.persist_store().unwrap().clone(),
+                "other-spec",
+            );
+            assert!(other.holds("q", b"ab"));
+            assert_eq!(other.persisted_hits(), 0);
+            assert_eq!(backend.stats().calls, 1);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

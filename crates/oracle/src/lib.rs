@@ -15,7 +15,10 @@
 //! * basic oracles: [`ConstOracle`], [`PredicateOracle`], [`SetOracle`],
 //!   [`TableOracle`], [`PalindromeOracle`];
 //! * stand-ins for the paper's experimental backends: [`SimLlmOracle`],
-//!   [`WhoisDb`], [`PhishingList`], [`IpGeoDb`], [`FileSystemOracle`].
+//!   [`WhoisDb`], [`PhishingList`], [`IpGeoDb`], [`FileSystemOracle`];
+//! * the [`persist`] module — an append-only, checksummed, crash-recovering
+//!   answer log ([`PersistentAnswerStore`]) that carries oracle answers
+//!   across processes and runs.
 //!
 //! # Example
 //!
@@ -37,6 +40,7 @@
 
 mod batch;
 mod overlap;
+pub mod persist;
 mod services;
 mod sim_llm;
 mod simple;
@@ -45,6 +49,7 @@ mod wrappers;
 
 pub use batch::{BatchOracle, BatchSession, LedgerSlot, QueryKey, QueryLedger, SharedSession};
 pub use overlap::{ResolverPool, ResolverStats, DEFAULT_IN_FLIGHT_WINDOW};
+pub use persist::{PersistConfig, PersistentAnswerStore, ReplayReport};
 pub use services::{
     FileSystemOracle, IpGeoDb, PhishingList, WhoisDb, DEAD_DOMAIN_QUERY, FOREIGN_IP_QUERY,
     NONEXISTENT_PATH_QUERY, PHISHING_QUERY, REGISTERED_AFTER_PREFIX,

@@ -93,7 +93,8 @@ pub use semre_workloads as workloads;
 pub use semre_core::{DpMatcher, EvalReport, Matcher, MatcherConfig, SearchKind, SuspendedMatch};
 pub use semre_oracle::{
     BatchOracle, BatchSession, BatchStats, CachingOracle, ConstOracle, Instrumented, LatencyModel,
-    Oracle, PalindromeOracle, PredicateOracle, QueryKey, QueryLedger, ResolverPool, ResolverStats,
-    SetOracle, SharedSession, SimLlmOracle, TableOracle,
+    Oracle, PalindromeOracle, PersistConfig, PersistentAnswerStore, PredicateOracle, QueryKey,
+    QueryLedger, ReplayReport, ResolverPool, ResolverStats, SetOracle, SharedSession, SimLlmOracle,
+    TableOracle,
 };
 pub use semre_syntax::{parse, skeleton, CharClass, ParseSemreError, QueryName, Semre};

@@ -21,7 +21,15 @@ use semre_oracle::{ConstOracle, Oracle, SetOracle, SimLlmOracle};
 use crate::Error;
 
 /// A parsed oracle specification, ready to [`build`](OracleSpec::build).
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+///
+/// The [`Display`](fmt::Display) form is **canonical**: it round-trips
+/// through [`FromStr`] losslessly, so it doubles as a wire token (the
+/// `semred` protocol's `COMPILE <spec> …`) and as a cache / answer-log
+/// key (`Hash + Eq`).  Wire contexts split on whitespace, so a spec whose
+/// display form contains whitespace (possible only for `set:` paths)
+/// cannot travel over the wire — [`wire_token`](OracleSpec::wire_token)
+/// checks this.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
 pub enum OracleSpec {
     /// The built-in simulated LLM ([`SimLlmOracle`]).
     #[default]
@@ -52,6 +60,23 @@ impl OracleSpec {
                 _ => Err(Error::Oracle(format!("unknown oracle kind {other:?}"))),
             },
         }
+    }
+
+    /// The canonical single-token form for line protocols, or an error
+    /// when the display form cannot survive whitespace splitting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Oracle`] when the spec's display form contains
+    /// whitespace (a `set:` path with spaces).
+    pub fn wire_token(&self) -> Result<String, Error> {
+        let token = self.to_string();
+        if token.chars().any(char::is_whitespace) {
+            return Err(Error::Oracle(format!(
+                "oracle spec {token:?} contains whitespace and cannot be sent over the wire"
+            )));
+        }
+        Ok(token)
     }
 
     /// Builds the backend this spec describes.
@@ -134,6 +159,79 @@ mod tests {
             OracleSpec::SetFile("/definitely/not/here.tsv".into()).build(),
             Err(Error::Oracle(_))
         ));
+    }
+
+    /// Every variant must survive `Display → FromStr` — the daemon uses
+    /// the display form as its wire and cache key, so a variant that
+    /// fails to round-trip would silently split one logical oracle into
+    /// two store keys (or collapse two into one).
+    #[test]
+    fn every_variant_round_trips_canonically() {
+        let variants: [(OracleSpec, &str); 7] = [
+            (OracleSpec::SimLlm, "sim-llm"),
+            (OracleSpec::AlwaysTrue, "always-true"),
+            (OracleSpec::AlwaysFalse, "always-false"),
+            (OracleSpec::SetFile("x.tsv".into()), "set:x.tsv"),
+            // Paths with separators, dots, and a nested "set:" survive.
+            (
+                OracleSpec::SetFile("/a/b/c.d.tsv".into()),
+                "set:/a/b/c.d.tsv",
+            ),
+            (OracleSpec::SetFile("set:inner".into()), "set:set:inner"),
+            // Unicode path.
+            (
+                OracleSpec::SetFile("z\u{00fc}rich.tsv".into()),
+                "set:z\u{00fc}rich.tsv",
+            ),
+        ];
+        for (spec, display) in variants {
+            assert_eq!(spec.to_string(), display, "canonical display");
+            let reparsed: OracleSpec = display.parse().unwrap();
+            assert_eq!(reparsed, spec, "FromStr(Display) identity");
+            // Round-tripping the *display* is also the identity.
+            assert_eq!(reparsed.to_string(), display);
+        }
+        // The default is the simulated LLM, and its display parses back.
+        assert_eq!(OracleSpec::default(), OracleSpec::SimLlm);
+        assert_eq!(
+            OracleSpec::default()
+                .to_string()
+                .parse::<OracleSpec>()
+                .unwrap(),
+            OracleSpec::SimLlm
+        );
+    }
+
+    #[test]
+    fn hash_agrees_with_canonical_equality() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for spec in [
+            OracleSpec::SimLlm,
+            OracleSpec::AlwaysTrue,
+            OracleSpec::AlwaysFalse,
+            OracleSpec::SetFile("a.tsv".into()),
+            OracleSpec::SetFile("b.tsv".into()),
+        ] {
+            assert!(seen.insert(spec.clone()), "distinct specs hash apart");
+            assert!(!seen.insert(spec), "equal specs collapse");
+        }
+        assert_eq!(seen.len(), 5);
+    }
+
+    #[test]
+    fn wire_token_rejects_whitespace_paths_only() {
+        assert_eq!(OracleSpec::SimLlm.wire_token().unwrap(), "sim-llm");
+        assert_eq!(
+            OracleSpec::SetFile("ok.tsv".into()).wire_token().unwrap(),
+            "set:ok.tsv"
+        );
+        assert!(OracleSpec::SetFile("has space.tsv".into())
+            .wire_token()
+            .is_err());
+        assert!(OracleSpec::SetFile("tab\there.tsv".into())
+            .wire_token()
+            .is_err());
     }
 
     #[test]
