@@ -75,10 +75,9 @@ impl ExperimentConfig {
     }
 
     fn scan_options(&self) -> ScanOptions {
-        ScanOptions {
-            time_budget: Some(self.time_budget),
-            max_lines: self.max_lines,
-        }
+        let mut options = ScanOptions::with_time_budget(self.time_budget);
+        options.max_lines = self.max_lines;
+        options
     }
 
     /// Applies the line-length cap to a corpus.

@@ -14,8 +14,14 @@
 //!   --answer-log FILE      persist oracle answers to FILE (replayed on
 //!                          startup; survives restarts)
 //!   --budget N             max backend oracle questions per tenant
+//!   --request-timeout S    abort a SCAN that runs longer than S seconds
+//!                          (fractional allowed) with an ERR at the next
+//!                          line boundary, so one slow request cannot
+//!                          wedge a worker
 //!   --sync-every N         fsync the log every N records (default 64)
 //!   --compact-bytes N      compact the log past N bytes (default 8 MiB)
+//!   --max-log-bytes N      hard cap on the answer log size: compact
+//!                          whenever the file would pass N bytes
 //! ```
 //!
 //! On startup the daemon prints `semred listening on <addr>` so scripts
@@ -25,9 +31,13 @@ use std::io::Write;
 
 use semre_daemon::{DaemonClient, Server, ServerConfig};
 
+const USAGE: &str = "usage: semred [--addr HOST:PORT] [--workers N] [--patterns N] \
+[--answer-log FILE] [--budget N] [--request-timeout S] [--sync-every N] [--compact-bytes N] \
+[--max-log-bytes N]";
+
 fn fail(message: &str) -> ! {
     eprintln!("semred: {message}");
-    eprintln!("usage: semred [--addr HOST:PORT] [--workers N] [--patterns N] [--answer-log FILE] [--budget N] [--sync-every N] [--compact-bytes N]");
+    eprintln!("{USAGE}");
     eprintln!("       semred --ping ADDR | --stats ADDR | --shutdown ADDR");
     std::process::exit(2);
 }
@@ -96,6 +106,22 @@ fn main() {
                         .unwrap_or_else(|_| fail("--budget needs a number")),
                 );
             }
+            "--request-timeout" => {
+                let secs: f64 = value(&mut args, "--request-timeout")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--request-timeout needs seconds"));
+                if !secs.is_finite() || secs <= 0.0 {
+                    fail("--request-timeout must be positive");
+                }
+                config.request_timeout = Some(std::time::Duration::from_secs_f64(secs));
+            }
+            "--max-log-bytes" => {
+                config.persist.max_log_bytes = Some(
+                    value(&mut args, "--max-log-bytes")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--max-log-bytes needs a number")),
+                );
+            }
             "--sync-every" => {
                 config.persist.sync_every = value(&mut args, "--sync-every")
                     .parse()
@@ -108,7 +134,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!("semred: a long-running SemRE match daemon");
-                println!("usage: semred [--addr HOST:PORT] [--workers N] [--patterns N] [--answer-log FILE] [--budget N] [--sync-every N] [--compact-bytes N]");
+                println!("{USAGE}");
                 println!("       semred --ping ADDR | --stats ADDR | --shutdown ADDR");
                 return;
             }

@@ -33,9 +33,13 @@
 //!
 //! # Architecture
 //!
-//! * [`server`] — `TcpListener` + a bounded worker pool (thread-per-
-//!   connection, at most `workers` concurrent connections; further
-//!   accepts queue in the listener backlog).
+//! * [`server`] — `TcpListener` + a **bounded** pool of `workers`
+//!   threads, each serving one connection at a time (not
+//!   thread-per-connection: further accepted connections queue in a
+//!   rendezvous channel and then the listener backlog, so a connection
+//!   flood cannot spawn unbounded threads).  An optional per-`SCAN`
+//!   request timeout and mid-scan budget probes abort runaway requests
+//!   at line boundaries with an `ERR`, keeping every worker reclaimable.
 //! * [`cache`] — an LRU of compiled patterns keyed by
 //!   `(OracleSpec, pattern)`, so repeated `COMPILE`s are free.
 //! * [`tenant`] — per-`(tenant, spec)` [`SharedSession`](semre::SharedSession)s

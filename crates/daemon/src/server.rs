@@ -43,6 +43,10 @@ pub struct ServerConfig {
     pub persist: PersistConfig,
     /// Max backend oracle questions per tenant (`None` = unlimited).
     pub budget: Option<u64>,
+    /// Wall-clock ceiling per `SCAN` request (`None` = unlimited).  A
+    /// scan that overruns is aborted at the next line boundary with an
+    /// `ERR 2`, so one slow request cannot wedge a worker forever.
+    pub request_timeout: Option<std::time::Duration>,
 }
 
 impl Default for ServerConfig {
@@ -54,6 +58,7 @@ impl Default for ServerConfig {
             answer_log: None,
             persist: PersistConfig::default(),
             budget: None,
+            request_timeout: None,
         }
     }
 }
@@ -67,6 +72,7 @@ struct DaemonState {
     tenants: TenantRegistry,
     requests: AtomicU64,
     shutdown: AtomicBool,
+    request_timeout: Option<std::time::Duration>,
 }
 
 /// A bound, not-yet-running `semred` server.
@@ -124,6 +130,7 @@ impl Server {
             tenants: TenantRegistry::new(persist, config.budget),
             requests: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
+            request_timeout: config.request_timeout,
         });
         Ok(Server {
             listener,
@@ -322,7 +329,7 @@ fn compile(
 
 /// Executes a payload-carrying request under the tenant's session.
 fn execute(
-    state: &DaemonState,
+    state: &Arc<DaemonState>,
     tenant: &str,
     request: &Request,
     handle: u64,
@@ -345,26 +352,59 @@ fn execute(
         .session(tenant, &entry.spec, &entry.spec_tag)
         .map_err(|e| e.to_string())?;
     let _guard = bind_session(session);
+    // A fault left over from an earlier request on this worker thread
+    // must not leak into this one (a pending fault also suppresses
+    // answer-store inserts).
+    semre::clear_fault();
     let mut response = Vec::new();
     match request {
         Request::Match { .. } => {
             let status = i32::from(!entry.re.is_match(payload));
+            check_fault()?;
             response.extend_from_slice(format!("OK {status}\n").as_bytes());
         }
-        Request::Find { .. } => match entry.re.find(payload) {
-            Some(found) => response
-                .extend_from_slice(format!("OK 0 {} {}\n", found.start(), found.end()).as_bytes()),
-            None => response.extend_from_slice(b"OK 1\n"),
-        },
+        Request::Find { .. } => {
+            let found = entry.re.find(payload);
+            check_fault()?;
+            match found {
+                Some(found) => response.extend_from_slice(
+                    format!("OK 0 {} {}\n", found.start(), found.end()).as_bytes(),
+                ),
+                None => response.extend_from_slice(b"OK 1\n"),
+            }
+        }
         Request::Scan { .. } => {
             // Same per-line membership semantics as one-shot `grepo`:
             // `scan_reader` splits exactly like `str::lines` and decides
-            // each line on the batched plane.
+            // each line on the batched plane.  The control is polled at
+            // line boundaries: an admitted line always completes, then a
+            // blown deadline or budget aborts with an `ERR 2` instead of
+            // wedging the worker (or billing the tenant forever).
+            let control = scan_control(state, tenant);
             let mut lines: u64 = 0;
             let mut matched: u64 = 0;
             let mut body = Vec::new();
             for verdict in entry.re.scan_reader(payload) {
                 let verdict = verdict.map_err(|e| e.to_string())?;
+                // The first line rides the request-start `charge()` (a
+                // request admitted under budget does real work even if
+                // that work crosses the line); every later line re-checks
+                // at its boundary, so a long scan stops early instead of
+                // spending to the end of the payload or wedging the
+                // worker past its deadline.
+                if lines > 0 {
+                    if let Some(interrupt) = control.interrupted() {
+                        if matches!(interrupt, semre::ScanInterrupt::Budget(_)) {
+                            // One denial per aborted scan, like a refused
+                            // request — not one per remaining line.
+                            state.tenants.note_denial(tenant);
+                        }
+                        return Err(format!("scan aborted after {lines} line(s): {interrupt}"));
+                    }
+                }
+                if let Err(fault) = check_fault() {
+                    return Err(format!("line {}: {fault}", verdict.index));
+                }
                 lines += 1;
                 if verdict.matched {
                     matched += 1;
@@ -381,6 +421,36 @@ fn execute(
         _ => unreachable!("execute only sees payload requests"),
     }
     Ok(response)
+}
+
+/// Surfaces a pending oracle fault as the request's error.  The daemon
+/// has no degrade policy: a backend that failed even after retries makes
+/// the verdict untrustworthy, and the client sees `ERR 2` (it can re-run
+/// warm — every answered question is already in the store).
+fn check_fault() -> Result<(), String> {
+    match semre::take_fault() {
+        None => Ok(()),
+        Some(fault) => Err(fault.to_string()),
+    }
+}
+
+/// The per-request [`ScanControl`](semre::ScanControl): the configured
+/// request deadline plus a non-denying budget probe, so a scan whose
+/// tenant crosses its budget mid-request stops at the next line instead
+/// of running (and spending) to completion.
+fn scan_control(state: &Arc<DaemonState>, tenant: &str) -> semre::ScanControl {
+    let mut control = semre::ScanControl::none();
+    if let Some(timeout) = state.request_timeout {
+        control = control.with_timeout(timeout);
+    }
+    if state.tenants.budget().is_some() {
+        let probe_state = state.clone();
+        let probe_tenant = tenant.to_owned();
+        control = control.with_budget(Arc::new(move || {
+            probe_state.tenants.over_budget(&probe_tenant)
+        }));
+    }
+    control
 }
 
 /// Renders the `STATS` payload: one server line, one store line (when

@@ -198,6 +198,35 @@ impl TenantRegistry {
         Ok(())
     }
 
+    /// Non-denying budget peek: `Some(reason)` when the tenant's backend
+    /// spend has reached the budget, `None` otherwise.  Unlike
+    /// [`charge`](TenantRegistry::charge) this counts nothing — it is the
+    /// mid-scan probe a [`ScanControl`](semre::ScanControl) polls at line
+    /// boundaries, where a side effect per line would inflate the denial
+    /// counter.
+    pub fn over_budget(&self, tenant: &str) -> Option<String> {
+        let budget = self.budget?;
+        let tenants = self.lock();
+        let spent: u64 = tenants
+            .get(tenant)?
+            .sessions
+            .values()
+            .map(|s| s.stats().backend_keys)
+            .sum();
+        (spent >= budget)
+            .then(|| format!("tenant {tenant} spent {spent}/{budget} backend questions"))
+    }
+
+    /// Counts one budget denial against `tenant` — used when a running
+    /// request is aborted mid-scan by its budget probe, so the abort
+    /// shows up in `STATS` exactly once, like a refused request.
+    pub fn note_denial(&self, tenant: &str) {
+        self.lock()
+            .entry(tenant.to_owned())
+            .or_default()
+            .budget_denied += 1;
+    }
+
     /// The configured per-tenant budget, if any.
     pub fn budget(&self) -> Option<u64> {
         self.budget

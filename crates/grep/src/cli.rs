@@ -52,6 +52,13 @@
 //!   --stats            print aggregate statistics to standard error
 //!   --max-lines N      process at most N lines (per file)
 //!   --timeout-secs S   stop after S seconds of wall-clock time (per file)
+//!   --on-oracle-error P  what a scan does when an oracle backend call
+//!                      fails even after retries: fail (stop with an
+//!                      error, the default), skip-line (drop the line from
+//!                      the output), or no-match (report the line as a
+//!                      non-match); every degraded line is reported on
+//!                      standard error and the run exits 2, so degraded
+//!                      output is never mistaken for a clean run
 //!   --stream           scan in streaming mode: chunked reads, bounded
 //!                      memory (the default for files and stdin)
 //!   --no-stream        materialize each input in memory first
@@ -108,7 +115,7 @@ use semre_daemon::DaemonClient;
 
 use crate::engine::{
     scan, scan_batched, scan_batched_parallel, scan_per_call_parallel, scan_spans,
-    scan_spans_parallel, ScanOptions,
+    scan_spans_parallel, FaultPolicy, ScanOptions,
 };
 use crate::stream::{scan_stream, scan_stream_spans, StreamOptions};
 use crate::tree::{scan_tree, FileSummary, TreeOptions, TreeReport};
@@ -218,6 +225,12 @@ pub struct CliOptions {
     /// Ship the scan to a running `semred` daemon at this address
     /// instead of matching in-process.
     pub daemon: Option<String>,
+    /// What a scan does when an oracle backend call fails even after
+    /// retries (`None` means the default, [`FaultPolicy::Fail`]).
+    /// Degradation is always explicit: the `skip-line` and `no-match`
+    /// policies report every degraded line on standard error and the run
+    /// exits 2.
+    pub on_oracle_error: Option<FaultPolicy>,
 }
 
 /// The usage string printed on `--help` or malformed invocations.
@@ -225,7 +238,8 @@ pub const USAGE: &str = "usage: grepo [--oracle KIND] [--baseline] [--batched] [
 [--oracle-threads N] [--in-flight N] [--oracle-delay N] \
 [--threads N] [--only-matching] [--color] [--count] [--with-filename | --no-filename] [--heading] \
 [--hidden] [--follow] [--binary] [--ignore GLOB] [--max-depth N] [--stats] [--max-lines N] \
-[--timeout-secs S] [--stream | --no-stream] [--stream-chunk-bytes N] [--no-prescan] \
+[--timeout-secs S] [--on-oracle-error fail|skip-line|no-match] \
+[--stream | --no-stream] [--stream-chunk-bytes N] [--no-prescan] \
 [--answer-log FILE] [--daemon ADDR] \
 PATTERN [PATH...]";
 
@@ -385,6 +399,17 @@ impl CliOptions {
                             .map_err(|_| CliError::new("--timeout-secs expects a number"))?,
                     );
                 }
+                "--on-oracle-error" => {
+                    let policy = args
+                        .next()
+                        .ok_or_else(|| CliError::new("--on-oracle-error needs a policy"))?;
+                    options.on_oracle_error =
+                        Some(FaultPolicy::parse(&policy).ok_or_else(|| {
+                            CliError::new(format!(
+                            "--on-oracle-error expects fail, skip-line, or no-match, got {policy:?}"
+                        ))
+                        })?);
+                }
                 other if other.starts_with("--") => {
                     return Err(CliError::new(format!("unknown option {other:?}")));
                 }
@@ -433,6 +458,7 @@ impl CliOptions {
                 (options.stream_chunk_bytes != 0, "--stream-chunk-bytes"),
                 (options.no_prescan, "--no-prescan"),
                 (options.answer_log.is_some(), "--answer-log"),
+                (options.on_oracle_error.is_some(), "--on-oracle-error"),
             ];
             if let Some((_, flag)) = conflicts.iter().find(|(set, _)| *set) {
                 return Err(CliError::new(format!("{flag} conflicts with --daemon")));
@@ -464,17 +490,27 @@ impl CliOptions {
         ScanOptions {
             max_lines: self.max_lines,
             time_budget: self.timeout_secs.map(Duration::from_secs),
+            control: semre::ScanControl::none(),
+            fault_policy: self.fault_policy(),
         }
+    }
+
+    /// The effective fault policy (`--on-oracle-error`, defaulting to
+    /// `fail`).
+    fn fault_policy(&self) -> FaultPolicy {
+        self.on_oracle_error.unwrap_or_default()
     }
 }
 
 /// The compiled artifacts one run needs: the facade handle, the
 /// instrumented oracle behind it, the cross-file shared session (multi-file
-/// runs only), and the resolved batch-chunk size.
+/// runs only), the retry counters when the oracle spec has a retry layer,
+/// and the resolved batch-chunk size.
 struct Compiled {
     re: semre::SemRegex,
     oracle: Arc<Instrumented<Arc<dyn semre::Oracle>>>,
     session: Option<SharedSession>,
+    retry: Option<Arc<semre::RetryCounters>>,
     chunk: usize,
 }
 
@@ -488,7 +524,7 @@ fn compile(options: &CliOptions) -> Result<Compiled, CliError> {
 /// a `(query, text)` question repeated across files reaches the backend
 /// once for the whole run.
 fn compile_with(options: &CliOptions, share_across_files: bool) -> Result<Compiled, CliError> {
-    let backend = options.oracle.build()?;
+    let (backend, retry) = options.oracle.build_with_counters()?;
     // `--oracle-delay` interposes the sleeping `DelayOracle` *below* the
     // instrumented layer, so the call counters still tick and — when a
     // cross-file shared session dedupes — only genuine backend misses pay
@@ -559,6 +595,7 @@ fn compile_with(options: &CliOptions, share_across_files: bool) -> Result<Compil
         re,
         oracle,
         session,
+        retry,
         chunk,
     })
 }
@@ -682,7 +719,11 @@ fn highlight_spans(line: &str, spans: &[(usize, usize)]) -> String {
 /// cannot be loaded.
 pub fn run_on_text(options: &CliOptions, text: &str) -> Result<CliOutcome, CliError> {
     let Compiled {
-        re, oracle, chunk, ..
+        re,
+        oracle,
+        retry,
+        chunk,
+        ..
     } = compile(options)?;
     let threads = re.threads();
 
@@ -761,6 +802,13 @@ pub fn run_on_text(options: &CliOptions, text: &str) -> Result<CliOutcome, CliEr
     if options.count_only {
         outcome.stdout = vec![report.matched_lines().to_string()];
     }
+    let degraded: Vec<u64> = report.degraded.iter().map(|&i| i as u64).collect();
+    let had_fault = push_fault_warnings(
+        &mut outcome.stderr,
+        options.fault_policy(),
+        report.fault.as_ref(),
+        &degraded,
+    );
     if options.stats {
         outcome.stderr.push(format!(
             "algorithm={} mode={} threads={} lines={} matched={} timed_out={}",
@@ -805,8 +853,15 @@ pub fn run_on_text(options: &CliOptions, text: &str) -> Result<CliOutcome, CliEr
             ));
         }
         push_resolver_stats(&mut outcome.stderr, &re);
+        push_retry_stats(&mut outcome.stderr, retry.as_ref());
     }
-    outcome.exit_code = if report.matched_lines() > 0 { 0 } else { 1 };
+    outcome.exit_code = if had_fault {
+        2
+    } else if report.matched_lines() > 0 {
+        0
+    } else {
+        1
+    };
     Ok(outcome)
 }
 
@@ -821,7 +876,8 @@ fn push_resolver_stats(stderr: &mut Vec<String>, re: &semre::SemRegex) {
     let stats = pool.stats();
     stderr.push(format!(
         "resolver: threads={} window={} submitted={} coalesced={} batches={} backend_keys={} \
-high_water={} suspends={} resumes={} store_contended={}",
+high_water={} suspends={} resumes={} store_contended={} failed_batches={} failed_keys={} \
+dead_workers={}",
         pool.threads(),
         pool.in_flight_window(),
         stats.submitted,
@@ -831,8 +887,61 @@ high_water={} suspends={} resumes={} store_contended={}",
         stats.in_flight_high_water,
         stats.suspends,
         stats.resumes,
-        stats.store_contended
+        stats.store_contended,
+        stats.failed_batches,
+        stats.failed_keys,
+        stats.dead_workers
     ));
+}
+
+/// Appends the `--stats` retry line when the oracle spec has a retry
+/// layer in front of a fallible backend (`flaky:` specs).  The counters
+/// are cumulative over the whole run.
+fn push_retry_stats(stderr: &mut Vec<String>, retry: Option<&Arc<semre::RetryCounters>>) {
+    let Some(counters) = retry else {
+        return;
+    };
+    let s = counters.snapshot();
+    stderr.push(format!(
+        "retry: attempts={} retries={} failures={} breaker_trips={} fast_fails={} \
+half_open_probes={}",
+        s.attempts, s.retries, s.failures, s.breaker_trips, s.fast_fails, s.half_open_probes
+    ));
+}
+
+/// Appends the explicit-degradation warnings for one scanned input: the
+/// oracle fault that stopped the scan under the `fail` policy, and the
+/// (1-based) numbers of lines whose verdicts were degraded under
+/// `skip-line`/`no-match`.  Returns whether anything was reported — the
+/// run must then exit 2, so degraded output is never mistaken for a
+/// clean one.
+fn push_fault_warnings(
+    stderr: &mut Vec<String>,
+    policy: FaultPolicy,
+    fault: Option<&semre::OracleError>,
+    degraded: &[u64],
+) -> bool {
+    if let Some(fault) = fault {
+        stderr.push(format!("grepo: {fault}"));
+    }
+    if !degraded.is_empty() {
+        const SHOWN: usize = 10;
+        let mut lines: Vec<String> = degraded
+            .iter()
+            .take(SHOWN)
+            .map(|index| (index + 1).to_string())
+            .collect();
+        if degraded.len() > SHOWN {
+            lines.push(format!("(+{} more)", degraded.len() - SHOWN));
+        }
+        stderr.push(format!(
+            "grepo: {} line(s) degraded by oracle faults under --on-oracle-error {}: line {}",
+            degraded.len(),
+            policy.name(),
+            lines.join(", ")
+        ));
+    }
+    fault.is_some() || !degraded.is_empty()
 }
 
 /// Runs the tool in streaming mode: `reader` is consumed in
@@ -869,7 +978,11 @@ fn run_stream_with<R: Read + Send, W: Write>(
     read_ahead: bool,
 ) -> Result<CliOutcome, CliError> {
     let Compiled {
-        re, oracle, chunk, ..
+        re,
+        oracle,
+        retry,
+        chunk,
+        ..
     } = compile(options)?;
     let threads = re.threads();
     let stream_options = StreamOptions {
@@ -939,6 +1052,12 @@ fn run_stream_with<R: Read + Send, W: Write>(
     if options.count_only {
         outcome.stdout.push(report.matched_lines.to_string());
     }
+    let had_fault = push_fault_warnings(
+        &mut outcome.stderr,
+        options.fault_policy(),
+        report.fault.as_ref(),
+        &report.degraded,
+    );
     if options.stats {
         outcome.stderr.push(format!(
             "algorithm={} mode={} threads={} lines={} matched={} timed_out={} stream=yes chunk_bytes={}",
@@ -997,8 +1116,15 @@ fn run_stream_with<R: Read + Send, W: Write>(
             ));
         }
         push_resolver_stats(&mut outcome.stderr, &re);
+        push_retry_stats(&mut outcome.stderr, retry.as_ref());
     }
-    outcome.exit_code = if report.matched_lines > 0 { 0 } else { 1 };
+    outcome.exit_code = if had_fault {
+        2
+    } else if report.matched_lines > 0 {
+        0
+    } else {
+        1
+    };
     Ok(outcome)
 }
 
@@ -1076,6 +1202,7 @@ pub fn run_paths<W: Write + Send>(
         re,
         oracle,
         session,
+        retry,
         chunk,
     } = compile_with(options, true)?;
     let session = session.expect("multi-file compile interposes a session");
@@ -1125,6 +1252,16 @@ pub fn run_paths<W: Write + Send>(
             .stderr
             .push(format!("grepo: {}: {message}", path.display()));
     }
+    if report.degraded > 0 {
+        // Per-file degradation detail lives in each file's summary; the
+        // aggregate warning keeps the degraded/clean distinction visible
+        // (and the exit code honest) without a line per file.
+        outcome.stderr.push(format!(
+            "grepo: {} line(s) degraded by oracle faults under --on-oracle-error {}",
+            report.degraded,
+            options.fault_policy().name()
+        ));
+    }
     if options.stats {
         push_tree_stats(
             &mut outcome,
@@ -1133,9 +1270,10 @@ pub fn run_paths<W: Write + Send>(
             &report,
             &session,
             oracle.as_ref(),
+            retry.as_ref(),
         );
     }
-    let had_errors = !targets.errors.is_empty() || !report.errors.is_empty();
+    let had_errors = !targets.errors.is_empty() || !report.errors.is_empty() || report.degraded > 0;
     outcome.exit_code = if had_errors {
         2
     } else if report.matched_lines > 0 {
@@ -1187,6 +1325,13 @@ fn scan_one_file(
         scan_file_contents(re, options, stream_options, file, buffer, &mut emit).map_err(read)?
     };
 
+    // Under the `fail` policy an oracle fault aborts this file with a
+    // per-file error (reported like an unreadable file: warning + exit 2)
+    // while the rest of the tree still scans.
+    if let Some(fault) = &report.fault {
+        return Err(fault.to_string());
+    }
+
     if options.count_only {
         buffer.clear();
         buffer.extend_from_slice(&prefix);
@@ -1196,6 +1341,7 @@ fn scan_one_file(
         lines: report.lines,
         matched_lines: report.matched_lines,
         timed_out: report.timed_out,
+        degraded: report.degraded.len() as u64,
         batch: report.batch,
     })
 }
@@ -1272,9 +1418,11 @@ fn push_tree_stats(
     report: &TreeReport,
     session: &SharedSession,
     oracle: &Instrumented<Arc<dyn semre::Oracle>>,
+    retry: Option<&Arc<semre::RetryCounters>>,
 ) {
     outcome.stderr.push(format!(
-        "algorithm={} mode={} threads={} files={} files_matched={} lines={} matched={} timed_out={}",
+        "algorithm={} mode={} threads={} files={} files_matched={} lines={} matched={} \
+timed_out={} degraded={}",
         re.algorithm(),
         if options.span_mode() {
             "search"
@@ -1286,7 +1434,8 @@ fn push_tree_stats(
         report.files_with_matches,
         report.lines,
         report.matched_lines,
-        report.timed_out
+        report.timed_out,
+        report.degraded
     ));
     let shared = session.stats();
     outcome.stderr.push(format!(
@@ -1329,6 +1478,7 @@ file_bytes={} compactions={} syncs={} write_errors={}",
         ));
     }
     push_resolver_stats(&mut outcome.stderr, re);
+    push_retry_stats(&mut outcome.stderr, retry);
 }
 
 /// Reads the input (files, directories, or standard input) and runs the

@@ -6,12 +6,17 @@
 //! budget (the paper uses 40 minutes per run), and can fan the work out
 //! over several threads when per-line statistics are not needed.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use semre::SemRegex;
 use semre_core::{DpMatcher, Matcher, SuspendedMatch};
-use semre_oracle::{BatchSession, Oracle, OracleStats, ResolverPool};
+use semre_oracle::{
+    clear_fault, fault_pending, take_fault, BatchSession, Oracle, OracleError, OracleStats,
+    ResolverPool, ScanControl, ScanInterrupt,
+};
 
 use crate::stats::{LineRecord, ScanReport};
 
@@ -181,14 +186,65 @@ impl<O: Oracle> LineMatcher for DpMatcher<O> {
     }
 }
 
+/// What a scan driver does when the oracle plane reports a fault for a
+/// line — retries exhausted, breaker open, resolver batch failed — instead
+/// of an answer.
+///
+/// Whatever the policy, degradation is explicit: a faulted line either
+/// stops the scan, disappears from the report with its index recorded in
+/// [`ScanReport::degraded`], or is reported as a flagged non-match.  A
+/// fault never silently changes a verdict.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FaultPolicy {
+    /// Stop the scan at the first fault and surface it in
+    /// [`ScanReport::fault`] (the default — fail loudly).
+    #[default]
+    Fail,
+    /// Drop the affected line from the report, recording its index in
+    /// [`ScanReport::degraded`]; the scan continues.
+    SkipLine,
+    /// Report the affected line as a non-match with
+    /// [`LineRecord::degraded`] set (and its index in
+    /// [`ScanReport::degraded`]); the scan continues.
+    NoMatch,
+}
+
+impl FaultPolicy {
+    /// Parses the CLI spelling of a policy (`fail`, `skip-line`,
+    /// `no-match`).
+    pub fn parse(text: &str) -> Option<FaultPolicy> {
+        match text {
+            "fail" => Some(FaultPolicy::Fail),
+            "skip-line" => Some(FaultPolicy::SkipLine),
+            "no-match" => Some(FaultPolicy::NoMatch),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling of this policy.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultPolicy::Fail => "fail",
+            FaultPolicy::SkipLine => "skip-line",
+            FaultPolicy::NoMatch => "no-match",
+        }
+    }
+}
+
 /// Options controlling a scan.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct ScanOptions {
     /// Stop scanning (reporting `timed_out`) once this much wall-clock time
     /// has elapsed.
     pub time_budget: Option<Duration>,
     /// Process at most this many lines.
     pub max_lines: Option<usize>,
+    /// Cooperative interruption — deadline, cancellation flag, live budget
+    /// probe — checked at line boundaries; a tripped control stops the scan
+    /// cleanly with [`ScanReport::interrupted`] set.
+    pub control: ScanControl,
+    /// What to do when the oracle plane faults on a line.
+    pub fault_policy: FaultPolicy,
 }
 
 impl ScanOptions {
@@ -201,8 +257,66 @@ impl ScanOptions {
     pub fn with_time_budget(budget: Duration) -> Self {
         ScanOptions {
             time_budget: Some(budget),
-            max_lines: None,
+            ..ScanOptions::default()
         }
+    }
+
+    /// Returns `self` with the cooperative [`ScanControl`] installed.
+    #[must_use]
+    pub fn with_control(mut self, control: ScanControl) -> Self {
+        self.control = control;
+        self
+    }
+
+    /// Returns `self` scanning under the given fault policy.
+    #[must_use]
+    pub fn with_fault_policy(mut self, policy: FaultPolicy) -> Self {
+        self.fault_policy = policy;
+        self
+    }
+}
+
+/// Per-chunk fault bookkeeping shared between a driver's admit loop and
+/// [`drain_parked`]: the degraded line indices (in whatever order lines
+/// decided; drivers sort before merging) and the fault that aborted the
+/// chunk under [`FaultPolicy::Fail`].
+#[derive(Default)]
+struct FaultOutcome {
+    degraded: Vec<usize>,
+    fault: Option<OracleError>,
+}
+
+/// Applies the scan's fault policy to one decided line: consumes the
+/// thread's pending fault (if any) and returns the record to keep (if any)
+/// plus whether the scan must abort.
+fn apply_fault_policy(
+    policy: FaultPolicy,
+    record: LineRecord,
+    outcome: &mut FaultOutcome,
+) -> (Option<LineRecord>, bool) {
+    match take_fault() {
+        None => (Some(record), false),
+        Some(error) => match policy {
+            FaultPolicy::Fail => {
+                outcome.fault = Some(error);
+                (None, true)
+            }
+            FaultPolicy::SkipLine => {
+                outcome.degraded.push(record.index);
+                (None, false)
+            }
+            FaultPolicy::NoMatch => {
+                outcome.degraded.push(record.index);
+                (
+                    Some(LineRecord {
+                        matched: false,
+                        degraded: true,
+                        ..record
+                    }),
+                    false,
+                )
+            }
+        },
     }
 }
 
@@ -219,6 +333,7 @@ where
 {
     let started = Instant::now();
     let mut report = ScanReport::default();
+    clear_fault();
     for (index, line) in lines.iter().enumerate() {
         if let Some(max) = options.max_lines {
             if index >= max {
@@ -231,19 +346,34 @@ where
                 break;
             }
         }
+        if let Some(interrupt) = options.control.interrupted() {
+            report.interrupted = Some(interrupt);
+            break;
+        }
         let line = line.as_ref();
         let before = oracle_stats();
         let line_start = Instant::now();
         let matched = matcher.matches_line(line);
         let duration = line_start.elapsed();
         let oracle = oracle_stats() - before;
-        report.records.push(LineRecord {
+        let record = LineRecord {
             index,
             length: line.len(),
             matched,
+            degraded: false,
             duration,
             oracle,
-        });
+        };
+        let mut outcome = FaultOutcome::default();
+        let (keep, abort) = apply_fault_policy(options.fault_policy, record, &mut outcome);
+        if let Some(record) = keep {
+            report.records.push(record);
+        }
+        report.degraded.extend(outcome.degraded);
+        if abort {
+            report.fault = outcome.fault;
+            break;
+        }
     }
     report.total_duration = started.elapsed();
     report
@@ -278,11 +408,16 @@ struct Parked {
 /// cheap: a line with `k` in-flight flush points costs `O(|line|)`
 /// evaluator work *total* across all its resumptions, not `k` replays.
 /// Returns the completed records (in whatever order lines resumed; callers
-/// re-sort by index).
+/// re-sort by index).  Faulted resumes go through `outcome` under `policy`;
+/// a [`FaultPolicy::Fail`] fault aborts the drain, abandoning the remaining
+/// parked lines (the resolver pool completes their keys with placeholders,
+/// so nothing blocks — the scan is stopping anyway).
 fn drain_parked<M, T>(
     matcher: &M,
     session: &mut BatchSession<'_>,
     mut parked: Vec<Parked>,
+    policy: FaultPolicy,
+    outcome: &mut FaultOutcome,
     mut resume: impl FnMut(
         &M,
         SuspendedMatch,
@@ -316,16 +451,21 @@ where
                 Ok((matched, extra)) => {
                     pool.note_resume();
                     advanced = true;
-                    records.push((
-                        LineRecord {
-                            index,
-                            length,
-                            matched,
-                            duration: line_start.elapsed(),
-                            oracle: OracleStats::default(),
-                        },
-                        extra,
-                    ));
+                    let record = LineRecord {
+                        index,
+                        length,
+                        matched,
+                        degraded: false,
+                        duration: line_start.elapsed(),
+                        oracle: OracleStats::default(),
+                    };
+                    let (keep, abort) = apply_fault_policy(policy, record, outcome);
+                    if let Some(record) = keep {
+                        records.push((record, extra));
+                    }
+                    if abort {
+                        return records;
+                    }
                 }
                 Err(state) => {
                     advanced |= state.position() > from;
@@ -374,11 +514,13 @@ where
     let started = Instant::now();
     let chunk_lines = chunk_lines.max(1);
     let mut report = ScanReport::default();
+    clear_fault();
     'scan: for (chunk_index, chunk) in lines.chunks(chunk_lines).enumerate() {
         let mut session = chunk_session(matcher, overlapped);
         let mut stop = false;
         let mut chunk_records: Vec<(LineRecord, ())> = Vec::with_capacity(chunk.len());
         let mut parked: Vec<Parked> = Vec::new();
+        let mut outcome = FaultOutcome::default();
         for (offset, line) in chunk.iter().enumerate() {
             let index = chunk_index * chunk_lines + offset;
             if let Some(max) = options.max_lines {
@@ -394,19 +536,33 @@ where
                     break;
                 }
             }
+            if let Some(interrupt) = options.control.interrupted() {
+                report.interrupted = Some(interrupt);
+                stop = true;
+                break;
+            }
             let line = line.as_ref();
             let line_start = Instant::now();
             match match_line(matcher, index, line, &mut session) {
-                Ok(matched) => chunk_records.push((
-                    LineRecord {
+                Ok(matched) => {
+                    let record = LineRecord {
                         index,
                         length: line.len(),
                         matched,
+                        degraded: false,
                         duration: line_start.elapsed(),
                         oracle: OracleStats::default(),
-                    },
-                    (),
-                )),
+                    };
+                    let (keep, abort) =
+                        apply_fault_policy(options.fault_policy, record, &mut outcome);
+                    if let Some(record) = keep {
+                        chunk_records.push((record, ()));
+                    }
+                    if abort {
+                        stop = true;
+                        break;
+                    }
+                }
                 Err(state) => {
                     matcher
                         .resolver_pool()
@@ -423,16 +579,28 @@ where
         }
         // Every admitted line gets a verdict, even when a limit stopped
         // the chunk early: parked lines already have questions in flight.
-        chunk_records.extend(drain_parked(
-            matcher,
-            &mut session,
-            parked,
-            |m, state, line, session| resume_line(m, state, line, session).map(|v| (v, ())),
-        ));
+        // (Except under a `Fail` abort: the scan is stopping, so the
+        // remaining parked lines are abandoned.)
+        if outcome.fault.is_none() {
+            chunk_records.extend(drain_parked(
+                matcher,
+                &mut session,
+                parked,
+                options.fault_policy,
+                &mut outcome,
+                |m, state, line, session| resume_line(m, state, line, session).map(|v| (v, ())),
+            ));
+        }
+        if let Some(error) = outcome.fault.take() {
+            report.fault = Some(error);
+            stop = true;
+        }
         chunk_records.sort_unstable_by_key(|(record, ())| record.index);
         report
             .records
             .extend(chunk_records.into_iter().map(|(record, ())| record));
+        outcome.degraded.sort_unstable();
+        report.degraded.extend(outcome.degraded);
         report.batch = report.batch.merged(&session.stats());
         if stop {
             break 'scan;
@@ -507,7 +675,13 @@ where
         options,
         false,
         |re, index, line, session| {
-            let spans = line_spans(re, line, session, first_span_only);
+            let mut spans = line_spans(re, line, session, first_span_only);
+            // Spans computed from placeholder answers must not leak: a
+            // faulted line degrades (or fails) through the driver's
+            // policy, never reports half-decided spans.
+            if fault_pending() {
+                spans.clear();
+            }
             let matched = !spans.is_empty();
             spans_per_line[index] = spans;
             Ok(matched)
@@ -581,12 +755,19 @@ where
     let threads = threads.max(1).min(num_chunks.max(1));
     let next_chunk = AtomicUsize::new(0);
     let timed_out = AtomicBool::new(false);
+    // A `Fail` fault, a tripped ScanControl, or a panicked worker stops
+    // every worker from claiming further chunks; the first cause wins its
+    // slot.  Completed chunks are kept — the report is an honest prefix.
+    let stopped = AtomicBool::new(false);
+    let fault_slot: Mutex<Option<OracleError>> = Mutex::new(None);
+    let interrupt_slot: Mutex<Option<ScanInterrupt>> = Mutex::new(None);
 
-    type ChunkResult<T> = (usize, Vec<(LineRecord, T)>, semre::BatchStats);
+    type ChunkResult<T> = (usize, Vec<(LineRecord, T)>, semre::BatchStats, Vec<usize>);
     let worker = || -> Vec<ChunkResult<T>> {
+        clear_fault();
         let mut out = Vec::new();
         loop {
-            if timed_out.load(Ordering::Relaxed) {
+            if timed_out.load(Ordering::Relaxed) || stopped.load(Ordering::Relaxed) {
                 break;
             }
             let chunk_index = next_chunk.fetch_add(1, Ordering::Relaxed);
@@ -598,6 +779,7 @@ where
             let mut session = chunk_session(matcher, overlapped);
             let mut records = Vec::with_capacity(chunk.len());
             let mut parked: Vec<Parked> = Vec::new();
+            let mut outcome = FaultOutcome::default();
             for (offset, line) in chunk.iter().enumerate() {
                 if let Some(budget) = options.time_budget {
                     if started.elapsed() >= budget {
@@ -605,20 +787,36 @@ where
                         break;
                     }
                 }
+                if let Some(interrupt) = options.control.interrupted() {
+                    let mut slot = interrupt_slot
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner);
+                    slot.get_or_insert(interrupt);
+                    stopped.store(true, Ordering::Relaxed);
+                    break;
+                }
                 let index = start_line + offset;
                 let line = line.as_ref();
                 let line_start = Instant::now();
                 match per_line(matcher, index, line, &mut session) {
-                    Ok((matched, extra)) => records.push((
-                        LineRecord {
+                    Ok((matched, extra)) => {
+                        let record = LineRecord {
                             index,
                             length: line.len(),
                             matched,
+                            degraded: false,
                             duration: line_start.elapsed(),
                             oracle: OracleStats::default(),
-                        },
-                        extra,
-                    )),
+                        };
+                        let (keep, abort) =
+                            apply_fault_policy(options.fault_policy, record, &mut outcome);
+                        if let Some(record) = keep {
+                            records.push((record, extra));
+                        }
+                        if abort {
+                            break;
+                        }
+                    }
                     Err(state) => {
                         matcher
                             .resolver_pool()
@@ -633,9 +831,24 @@ where
                     }
                 }
             }
-            records.extend(drain_parked(matcher, &mut session, parked, &resume));
+            if outcome.fault.is_none() {
+                records.extend(drain_parked(
+                    matcher,
+                    &mut session,
+                    parked,
+                    options.fault_policy,
+                    &mut outcome,
+                    &resume,
+                ));
+            }
+            if let Some(error) = outcome.fault.take() {
+                let mut slot = fault_slot.lock().unwrap_or_else(PoisonError::into_inner);
+                slot.get_or_insert(error);
+                stopped.store(true, Ordering::Relaxed);
+            }
             records.sort_unstable_by_key(|(record, _)| record.index);
-            out.push((chunk_index, records, session.stats()));
+            outcome.degraded.sort_unstable();
+            out.push((chunk_index, records, session.stats(), outcome.degraded));
         }
         out
     };
@@ -645,27 +858,46 @@ where
     } else {
         let mut collected = Vec::new();
         std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads).map(|_| scope.spawn(worker)).collect();
+            let handles: Vec<_> = (0..threads)
+                .map(|_| scope.spawn(|| catch_unwind(AssertUnwindSafe(worker))))
+                .collect();
             for handle in handles {
-                collected.extend(handle.join().expect("scan worker panicked"));
+                match handle.join().expect("scan worker thread died") {
+                    Ok(chunk_results) => collected.extend(chunk_results),
+                    Err(_) => {
+                        // A panicking matcher (or oracle on the synchronous
+                        // plane) loses its worker's chunks but surfaces as a
+                        // scan fault instead of aborting the process.
+                        let mut slot = fault_slot.lock().unwrap_or_else(PoisonError::into_inner);
+                        slot.get_or_insert(OracleError::fatal("scan worker panicked"));
+                        stopped.store(true, Ordering::Relaxed);
+                    }
+                }
             }
         });
         collected
     };
-    chunks.sort_unstable_by_key(|&(index, _, _)| index);
+    chunks.sort_unstable_by_key(|&(index, _, _, _)| index);
 
     let mut report = ScanReport::default();
     let mut extras: Vec<T> = std::iter::repeat_with(T::default)
         .take(lines.len())
         .collect();
-    for (_, records, stats) in chunks {
+    for (_, records, stats, degraded) in chunks {
         for (record, extra) in records {
             extras[record.index] = extra;
             report.records.push(record);
         }
         report.batch = report.batch.merged(&stats);
+        report.degraded.extend(degraded);
     }
     report.timed_out = timed_out.load(Ordering::Relaxed);
+    report.fault = fault_slot
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
+    report.interrupted = interrupt_slot
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
     report.total_duration = started.elapsed();
     (report, extras)
 }
@@ -757,7 +989,10 @@ where
         options,
         false,
         |re, _, line, session| {
-            let spans = line_spans(re, line, session, first_span_only);
+            let mut spans = line_spans(re, line, session, first_span_only);
+            if fault_pending() {
+                spans.clear();
+            }
             Ok((!spans.is_empty(), spans))
         },
         |_, _, _, _| unreachable!("span scans run synchronously and never suspend"),
@@ -874,7 +1109,7 @@ mod tests {
             OracleStats::default,
             ScanOptions {
                 max_lines: Some(2),
-                time_budget: None,
+                ..ScanOptions::default()
             },
         );
         assert_eq!(limited.lines(), 2);
@@ -1013,7 +1248,7 @@ mod tests {
             2,
             ScanOptions {
                 max_lines: Some(2),
-                time_budget: None,
+                ..ScanOptions::default()
             },
         );
         assert_eq!(limited.lines(), 2);
@@ -1105,7 +1340,7 @@ mod tests {
             4,
             ScanOptions {
                 max_lines: Some(2),
-                time_budget: None,
+                ..ScanOptions::default()
             },
         );
         assert_eq!(limited.lines(), 2);

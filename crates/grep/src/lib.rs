@@ -62,7 +62,7 @@ pub mod walk;
 
 pub use engine::{
     scan, scan_batched, scan_batched_parallel, scan_parallel, scan_per_call_parallel, scan_spans,
-    scan_spans_parallel, LineMatcher, ParallelScanReport, ScanOptions,
+    scan_spans_parallel, FaultPolicy, LineMatcher, ParallelScanReport, ScanOptions,
 };
 pub use stats::{LineRecord, ScanReport};
 pub use stream::{scan_stream, scan_stream_spans, StreamOptions, StreamReport};

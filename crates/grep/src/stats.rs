@@ -10,7 +10,7 @@
 
 use std::time::Duration;
 
-use semre_oracle::{BatchStats, OracleStats};
+use semre_oracle::{BatchStats, OracleError, OracleStats, ScanInterrupt};
 
 /// Raw measurements for one scanned line.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -21,6 +21,12 @@ pub struct LineRecord {
     pub length: usize,
     /// Whether the line matched the SemRE.
     pub matched: bool,
+    /// Whether this verdict was degraded by an oracle fault under the
+    /// `no-match` policy: the backend could not answer, so the line was
+    /// *reported* as a non-match rather than decided (see
+    /// [`FaultPolicy`](crate::FaultPolicy)).  Always `false` for healthy
+    /// lines and for policies that do not emit degraded records.
+    pub degraded: bool,
     /// Wall-clock time spent matching the line.
     pub duration: Duration,
     /// Oracle usage attributable to this line.
@@ -41,6 +47,17 @@ pub struct ScanReport {
     /// [`scan_batched`](crate::scan_batched) run (all zero for per-call
     /// scans).
     pub batch: BatchStats,
+    /// Absolute indices of lines whose verdicts were degraded by oracle
+    /// faults (skipped under `skip-line`, reported as non-matches under
+    /// `no-match`), in ascending order.  Degradation is always explicit:
+    /// a fault never changes a verdict without an entry here.
+    pub degraded: Vec<usize>,
+    /// The oracle fault that stopped the scan under the `fail` policy
+    /// (`None` when the scan completed or degraded instead).
+    pub fault: Option<OracleError>,
+    /// Why the scan was cut short by its
+    /// [`ScanControl`](semre_oracle::ScanControl), if it was.
+    pub interrupted: Option<ScanInterrupt>,
 }
 
 impl ScanReport {
@@ -160,6 +177,7 @@ mod tests {
             index: 0,
             length,
             matched,
+            degraded: false,
             duration: Duration::from_millis(ms),
             oracle: OracleStats {
                 calls,
@@ -186,6 +204,7 @@ mod tests {
                 keys_deduped: 3,
                 backend_keys: 3,
             },
+            ..ScanReport::default()
         }
     }
 

@@ -44,7 +44,7 @@ use std::time::{Duration, Instant};
 
 use semre::stream::LineChunks;
 use semre::{BatchStats, SemRegex, DEFAULT_CHUNK_LINES, DEFAULT_STREAM_CHUNK_BYTES};
-use semre_oracle::OracleStats;
+use semre_oracle::{OracleError, OracleStats, ScanInterrupt};
 
 use crate::engine::{
     scan, scan_batched, scan_batched_parallel, scan_per_call_parallel, LineMatcher, ScanOptions,
@@ -52,7 +52,7 @@ use crate::engine::{
 use crate::stats::ScanReport;
 
 /// Options controlling a streaming scan.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct StreamOptions {
     /// Bytes per I/O chunk (peak memory is O(chunk + longest line)).
     pub chunk_bytes: usize,
@@ -121,6 +121,16 @@ pub struct StreamReport {
     pub total_duration: Duration,
     /// Accumulated batch-plane statistics (batched scans only).
     pub batch: BatchStats,
+    /// Absolute input-line indices whose verdicts were degraded by oracle
+    /// faults (see [`ScanReport::degraded`]), in ascending order.  Faults
+    /// are exceptional, so unlike per-line records this stays small.
+    pub degraded: Vec<u64>,
+    /// The oracle fault that stopped the stream under
+    /// [`FaultPolicy::Fail`](crate::FaultPolicy::Fail).
+    pub fault: Option<OracleError>,
+    /// Why the stream was cut short by its
+    /// [`ScanControl`](semre_oracle::ScanControl), if it was.
+    pub interrupted: Option<ScanInterrupt>,
 }
 
 impl StreamReport {
@@ -143,11 +153,22 @@ impl StreamReport {
         }
     }
 
-    fn absorb(&mut self, batch: &ScanReport, matched: u64) {
-        self.lines += batch.records.len() as u64;
+    fn absorb(&mut self, batch: &ScanReport, matched: u64, lines_done: u64) {
+        // Skipped (degraded) lines carry no record, so the processed count
+        // comes from records plus the skipped entries of this batch.
+        let skipped = batch.degraded.len() - batch.records.iter().filter(|r| r.degraded).count();
+        self.lines += batch.records.len() as u64 + skipped as u64;
         self.matched_lines += matched;
         self.batch = self.batch.merged(&batch.batch);
         self.timed_out |= batch.timed_out;
+        self.degraded
+            .extend(batch.degraded.iter().map(|&i| lines_done + i as u64));
+        if self.fault.is_none() {
+            self.fault = batch.fault.clone();
+        }
+        if self.interrupted.is_none() {
+            self.interrupted = batch.interrupted.clone();
+        }
     }
 }
 
@@ -187,10 +208,13 @@ fn drive_stream<R: Read + Send>(
         let scan_options = ScanOptions {
             max_lines: None,
             time_budget: budget,
+            control: options.scan.control.clone(),
+            fault_policy: options.scan.fault_policy,
         };
-        let (batch_report, matched, keep_going) = scan_batch(&batch, report.lines, scan_options);
-        report.absorb(&batch_report, matched);
-        !report.timed_out && keep_going
+        let lines_done = report.lines;
+        let (batch_report, matched, keep_going) = scan_batch(&batch, lines_done, scan_options);
+        report.absorb(&batch_report, matched, lines_done);
+        !report.timed_out && keep_going && report.fault.is_none() && report.interrupted.is_none()
     };
 
     if options.read_ahead {
@@ -474,7 +498,7 @@ mod tests {
             chunk_bytes: 16,
             scan: ScanOptions {
                 max_lines: Some(5),
-                time_budget: None,
+                ..ScanOptions::default()
             },
             ..StreamOptions::default()
         };

@@ -74,6 +74,10 @@ pub struct FileSummary {
     pub matched_lines: u64,
     /// Whether this file's scan hit its wall-clock budget.
     pub timed_out: bool,
+    /// Lines of this file whose verdicts were degraded by oracle faults
+    /// (skipped or reported as flagged non-matches; see
+    /// [`ScanReport::degraded`](crate::ScanReport)).
+    pub degraded: u64,
     /// Batch-plane counters of this file's chunk sessions.
     pub batch: BatchStats,
 }
@@ -91,6 +95,9 @@ pub struct TreeReport {
     pub matched_lines: u64,
     /// Whether any file's scan timed out.
     pub timed_out: bool,
+    /// Degraded lines across all scanned files (oracle faults absorbed by
+    /// a `skip-line` / `no-match` policy).
+    pub degraded: u64,
     /// Per-file failures, in file order; the scan continued past them.
     pub errors: Vec<(PathBuf, String)>,
     /// Merged batch-plane counters of every file's chunk sessions.
@@ -251,6 +258,7 @@ where
                 report.matched_lines += summary.matched_lines;
                 report.files_with_matches += u64::from(summary.matched_lines > 0);
                 report.timed_out |= summary.timed_out;
+                report.degraded += summary.degraded;
                 report.batch = report.batch.merged(&summary.batch);
             }
             Err(message) => report.errors.push((files[index].clone(), message)),

@@ -453,8 +453,13 @@ impl<'o> BatchSession<'o> {
             self.stats.batches += 1;
             self.stats.backend_keys += plan.misses.len() as u64;
             let answers = self.oracle.resolve_batch(&plan.misses);
-            for (key, &answer) in plan.misses.iter().zip(&answers) {
-                self.cache.insert(key, answer);
+            // Placeholder answers from a faulted backend (see the
+            // fault-sink contract in the `error` module) must not enter
+            // the session store.
+            if !crate::error::fault_pending() {
+                for (key, &answer) in plan.misses.iter().zip(&answers) {
+                    self.cache.insert(key, answer);
+                }
             }
             answers
         };
@@ -511,8 +516,13 @@ impl<'o> BatchSession<'o> {
             // (and are reported by its own counters).
             self.stats.batches += 1;
             self.stats.backend_keys += plan.misses.len() as u64;
-            for (key, &answer) in plan.misses.iter().zip(&answers) {
-                self.cache.insert(key, answer);
+            // A failed pool key completes as a placeholder with a fault
+            // pending (recorded by `pool.lookup`); keep it out of the
+            // session store.
+            if !crate::error::fault_pending() {
+                for (key, &answer) in plan.misses.iter().zip(&answers) {
+                    self.cache.insert(key, answer);
+                }
             }
         }
         Some(plan.into_answers(answers))
@@ -751,9 +761,14 @@ impl Oracle for SharedSession {
         let answer = self.oracle.holds(query, text);
         self.state.backend_keys.fetch_add(1, Relaxed);
         self.state.batches.fetch_add(1, Relaxed);
-        self.state.cache.insert(&key, answer);
-        if let Some(binding) = &self.state.persist {
-            binding.store.record(&binding.spec, query, text, answer);
+        // A faulted backend answers with a placeholder (fault-sink
+        // contract): never cache it, and above all never persist it —
+        // a placeholder in the answer log would replay as truth forever.
+        if !crate::error::fault_pending() {
+            self.state.cache.insert(&key, answer);
+            if let Some(binding) = &self.state.persist {
+                binding.store.record(&binding.spec, query, text, answer);
+            }
         }
         answer
     }
@@ -792,12 +807,16 @@ impl Oracle for SharedSession {
                 .backend_keys
                 .fetch_add(plan.misses.len() as u64, Relaxed);
             let answers = self.oracle.resolve_batch(&plan.misses);
-            for (key, &answer) in plan.misses.iter().zip(&answers) {
-                self.state.cache.insert(key, answer);
-                if let Some(binding) = &self.state.persist {
-                    binding
-                        .store
-                        .record(&binding.spec, key.query, key.text, answer);
+            // Same placeholder rule as `holds`: a pending fault keeps
+            // the whole miss batch out of the cache and the answer log.
+            if !crate::error::fault_pending() {
+                for (key, &answer) in plan.misses.iter().zip(&answers) {
+                    self.state.cache.insert(key, answer);
+                    if let Some(binding) = &self.state.persist {
+                        binding
+                            .store
+                            .record(&binding.spec, key.query, key.text, answer);
+                    }
                 }
             }
             answers

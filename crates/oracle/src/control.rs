@@ -1,0 +1,187 @@
+//! Cooperative scan-abort control.
+//!
+//! A [`ScanControl`] bundles the three ways a long scan can be told to
+//! stop early — a wall-clock **deadline**, an externally flipped
+//! **cancel flag**, and a live **budget probe** — behind one cheap check
+//! that scan drivers make at every line boundary.  It deliberately lives
+//! in the oracle crate, below both the grep engine and the daemon, so
+//! the same type threads through `grepo`'s scan drivers and `semred`'s
+//! per-request deadlines and mid-scan budget enforcement.
+//!
+//! The control is *cooperative*: nothing is interrupted mid-line.  A
+//! line already being evaluated (including oracle questions in flight)
+//! runs to its verdict; the abort happens before the next line starts.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A live resource probe: `None` means "keep going", `Some(reason)`
+/// aborts the scan with that reason.  The daemon uses this to enforce
+/// per-tenant oracle budgets *inside* a scan, not just between requests.
+pub type BudgetProbe = Arc<dyn Fn() -> Option<String> + Send + Sync>;
+
+/// Why a scan stopped early under a [`ScanControl`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScanInterrupt {
+    /// The control's deadline passed.
+    Deadline,
+    /// The control's cancel flag was set.
+    Cancelled,
+    /// The budget probe said stop, with its reason.
+    Budget(String),
+}
+
+impl fmt::Display for ScanInterrupt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScanInterrupt::Deadline => f.write_str("deadline exceeded"),
+            ScanInterrupt::Cancelled => f.write_str("cancelled"),
+            ScanInterrupt::Budget(reason) => write!(f, "budget exhausted: {reason}"),
+        }
+    }
+}
+
+/// Deadline + cancel flag + live budget, checked at line boundaries by
+/// every scan driver.
+///
+/// Cloning is cheap and clones observe the same cancel flag and budget
+/// probe (they are shared), so one control can govern the workers of a
+/// parallel scan.
+#[derive(Clone, Default)]
+pub struct ScanControl {
+    deadline: Option<Instant>,
+    cancel: Option<Arc<AtomicBool>>,
+    budget: Option<BudgetProbe>,
+}
+
+impl ScanControl {
+    /// A control that never interrupts (the default).
+    pub fn none() -> Self {
+        ScanControl::default()
+    }
+
+    /// Sets an absolute deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets a deadline `timeout` from now.
+    #[must_use]
+    pub fn with_timeout(self, timeout: Duration) -> Self {
+        self.with_deadline(Instant::now() + timeout)
+    }
+
+    /// Attaches a shared cancel flag; setting it to `true` aborts the
+    /// scan at the next line boundary.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// Attaches a live budget probe (see [`BudgetProbe`]).
+    #[must_use]
+    pub fn with_budget(mut self, probe: BudgetProbe) -> Self {
+        self.budget = Some(probe);
+        self
+    }
+
+    /// Whether this control can ever interrupt anything.  Drivers may
+    /// skip per-line checks entirely when not.
+    pub fn is_none(&self) -> bool {
+        self.deadline.is_none() && self.cancel.is_none() && self.budget.is_none()
+    }
+
+    /// The line-boundary check: `Some` when the scan must stop now.
+    ///
+    /// Order: cancel flag (cheapest), deadline, budget probe (may take a
+    /// lock in the caller's registry).
+    pub fn interrupted(&self) -> Option<ScanInterrupt> {
+        if let Some(cancel) = &self.cancel {
+            if cancel.load(Ordering::Relaxed) {
+                return Some(ScanInterrupt::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Some(ScanInterrupt::Deadline);
+            }
+        }
+        if let Some(probe) = &self.budget {
+            if let Some(reason) = probe() {
+                return Some(ScanInterrupt::Budget(reason));
+            }
+        }
+        None
+    }
+}
+
+impl fmt::Debug for ScanControl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ScanControl")
+            .field("deadline", &self.deadline)
+            .field(
+                "cancel",
+                &self.cancel.as_ref().map(|c| c.load(Ordering::Relaxed)),
+            )
+            .field("budget", &self.budget.as_ref().map(|_| "<probe>"))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_control_never_interrupts() {
+        let control = ScanControl::none();
+        assert!(control.is_none());
+        assert_eq!(control.interrupted(), None);
+        assert!(format!("{control:?}").contains("ScanControl"));
+    }
+
+    #[test]
+    fn deadline_interrupts_once_passed() {
+        let control = ScanControl::none().with_timeout(Duration::from_secs(3600));
+        assert!(!control.is_none());
+        assert_eq!(control.interrupted(), None, "an hour away");
+        let expired = ScanControl::none().with_deadline(Instant::now() - Duration::from_millis(1));
+        assert_eq!(expired.interrupted(), Some(ScanInterrupt::Deadline));
+    }
+
+    #[test]
+    fn cancel_flag_is_shared_across_clones() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let control = ScanControl::none().with_cancel(flag.clone());
+        let clone = control.clone();
+        assert_eq!(clone.interrupted(), None);
+        flag.store(true, Ordering::Relaxed);
+        assert_eq!(control.interrupted(), Some(ScanInterrupt::Cancelled));
+        assert_eq!(clone.interrupted(), Some(ScanInterrupt::Cancelled));
+    }
+
+    #[test]
+    fn budget_probe_reports_its_reason() {
+        let spent = Arc::new(AtomicBool::new(false));
+        let probe_spent = spent.clone();
+        let control = ScanControl::none().with_budget(Arc::new(move || {
+            probe_spent
+                .load(Ordering::Relaxed)
+                .then(|| "tenant alice spent 10/10".to_owned())
+        }));
+        assert_eq!(control.interrupted(), None);
+        spent.store(true, Ordering::Relaxed);
+        match control.interrupted() {
+            Some(ScanInterrupt::Budget(reason)) => assert!(reason.contains("alice")),
+            other => panic!("expected budget interrupt, got {other:?}"),
+        }
+        assert!(ScanInterrupt::Budget("x".into()).to_string().contains("x"));
+        assert_eq!(ScanInterrupt::Deadline.to_string(), "deadline exceeded");
+        assert_eq!(ScanInterrupt::Cancelled.to_string(), "cancelled");
+    }
+}

@@ -18,7 +18,11 @@
 //!   [`WhoisDb`], [`PhishingList`], [`IpGeoDb`], [`FileSystemOracle`];
 //! * the [`persist`] module — an append-only, checksummed, crash-recovering
 //!   answer log ([`PersistentAnswerStore`]) that carries oracle answers
-//!   across processes and runs.
+//!   across processes and runs;
+//! * the fault-tolerant plane: [`TryOracle`] + [`OracleError`] for fallible
+//!   backends, [`RetryOracle`] (deterministic backoff + circuit breaking),
+//!   the thread-local fault sink ([`record_fault`] / [`take_fault`]), and
+//!   [`ScanControl`] (deadline / cancel / budget checks at line boundaries).
 //!
 //! # Example
 //!
@@ -39,8 +43,11 @@
 #![warn(missing_docs)]
 
 mod batch;
+mod control;
+mod error;
 mod overlap;
 pub mod persist;
+mod retry;
 mod services;
 mod sim_llm;
 mod simple;
@@ -48,8 +55,13 @@ mod stats;
 mod wrappers;
 
 pub use batch::{BatchOracle, BatchSession, LedgerSlot, QueryKey, QueryLedger, SharedSession};
+pub use control::{BudgetProbe, ScanControl, ScanInterrupt};
+pub use error::{
+    clear_fault, fault_pending, record_fault, take_fault, OracleError, OracleErrorKind, TryOracle,
+};
 pub use overlap::{ResolverPool, ResolverStats, DEFAULT_IN_FLIGHT_WINDOW};
 pub use persist::{PersistConfig, PersistentAnswerStore, ReplayReport};
+pub use retry::{RetryCounters, RetryOracle, RetryPolicy, RetryStats};
 pub use services::{
     FileSystemOracle, IpGeoDb, PhishingList, WhoisDb, DEAD_DOMAIN_QUERY, FOREIGN_IP_QUERY,
     NONEXISTENT_PATH_QUERY, PHISHING_QUERY, REGISTERED_AFTER_PREFIX,
@@ -169,7 +181,7 @@ mod tests {
                 false
             }
         }
-        assert_eq!(Bare.describe(), "oracle");
-        assert_eq!(Box::new(Bare).describe(), "oracle");
+        assert_eq!(Oracle::describe(&Bare), "oracle");
+        assert_eq!(Oracle::describe(&Box::new(Bare)), "oracle");
     }
 }

@@ -37,11 +37,16 @@
 //! suspended line against published answers can never change its verdict.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
-use std::sync::{Arc, Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{
+    AtomicBool, AtomicU64,
+    Ordering::{Acquire, Relaxed, Release},
+};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
 use crate::batch::{ShardedAnswerStore, ANSWER_STORE_SHARDS};
+use crate::error::{record_fault, take_fault, OracleError};
 use crate::{Oracle, QueryKey};
 
 /// Default bound on queued-plus-in-flight keys when the caller does not
@@ -80,6 +85,16 @@ pub struct ResolverStats {
     pub resumes: u64,
     /// Lock-stripe contention events in the sharded answer store.
     pub store_contended: u64,
+    /// Backend round trips that failed (panicked or reported an
+    /// [`OracleError`]) and completed as per-batch failures.
+    pub failed_batches: u64,
+    /// Keys whose answers were lost to a failed batch (sticky: they
+    /// complete with a recorded fault, never silently).
+    pub failed_keys: u64,
+    /// Resolver workers that died to an unexpected panic outside the
+    /// guarded backend call (should stay 0; a nonzero value means the
+    /// pool is running degraded).
+    pub dead_workers: u64,
 }
 
 /// Owned `(query, text)` keys tracked as queued or in flight, probed with
@@ -108,6 +123,13 @@ impl KeySet {
             texts.remove(text);
         }
     }
+
+    /// Moves every key of `self` into `other` (worker-death recovery).
+    fn drain_into(&mut self, other: &mut KeySet) {
+        for (query, texts) in self.map.drain() {
+            other.map.entry(query).or_default().extend(texts);
+        }
+    }
 }
 
 /// The submission queue, guarded by one mutex (held only for queue
@@ -122,6 +144,30 @@ struct Queue {
     in_flight: usize,
     /// Set on shutdown; workers exit once the queue drains.
     closed: bool,
+    /// Keys whose batch failed.  Sticky for the pool's lifetime:
+    /// [`ResolverPool::lookup`] answers them with a placeholder plus a
+    /// recorded fault, and resubmissions coalesce away instead of
+    /// retrying (the retry policy lives *below* the pool, in
+    /// [`RetryOracle`](crate::RetryOracle)).
+    failed: KeySet,
+    /// The first failure's error, kept as the pool's root cause.
+    error: Option<OracleError>,
+}
+
+/// Locks the queue, recovering the guard if a worker died while holding
+/// it — the queue is plain bookkeeping, safe to read after any panic,
+/// and a poisoned lock must degrade to a reported fault, not a cascade
+/// of caller panics.
+fn lock_queue(shared: &PoolShared) -> MutexGuard<'_, Queue> {
+    shared.queue.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Locks the progress generation with the same poison recovery.
+fn lock_progress(shared: &PoolShared) -> MutexGuard<'_, u64> {
+    shared
+        .progress
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
 }
 
 struct PoolShared {
@@ -144,6 +190,12 @@ struct PoolShared {
     high_water: AtomicU64,
     suspends: AtomicU64,
     resumes: AtomicU64,
+    failed_batches: AtomicU64,
+    failed_keys: AtomicU64,
+    dead_workers: AtomicU64,
+    /// Fast-path flag: `lookup` only takes the queue lock to consult the
+    /// failed set once at least one batch has failed.
+    has_failures: AtomicBool,
 }
 
 /// A background pool of oracle-resolver threads with a sharded answer
@@ -203,11 +255,24 @@ impl ResolverPool {
             high_water: AtomicU64::new(0),
             suspends: AtomicU64::new(0),
             resumes: AtomicU64::new(0),
+            failed_batches: AtomicU64::new(0),
+            failed_keys: AtomicU64::new(0),
+            dead_workers: AtomicU64::new(0),
+            has_failures: AtomicBool::new(false),
         });
         let workers = (0..threads)
             .map(|_| {
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker(&shared))
+                std::thread::spawn(move || {
+                    // Last line of defense: the backend call inside
+                    // `worker` is individually guarded, so this only
+                    // trips on a bug in the pool's own bookkeeping —
+                    // but even then the pool must degrade to reported
+                    // faults, never wedge waiters or poison `join`.
+                    if catch_unwind(AssertUnwindSafe(|| worker(&shared))).is_err() {
+                        worker_died(&shared);
+                    }
+                })
             })
             .collect();
         ResolverPool { shared, workers }
@@ -225,8 +290,28 @@ impl ResolverPool {
 
     /// A published answer for `key`, if the pool has resolved it (now or
     /// at any earlier point of the run — answers are never evicted).
+    ///
+    /// A key lost to a failed batch also *completes* here — with a
+    /// placeholder `false` and the batch's error recorded in the calling
+    /// thread's fault sink — so waiters observe the failure instead of
+    /// spinning forever on an answer that will never be published.
     pub fn lookup(&self, key: &QueryKey<'_>) -> Option<bool> {
-        self.shared.store.get(key)
+        if let Some(answer) = self.shared.store.get(key) {
+            return Some(answer);
+        }
+        if self.shared.has_failures.load(Acquire) {
+            let queue = lock_queue(&self.shared);
+            if queue.failed.contains(key) {
+                let error = queue
+                    .error
+                    .clone()
+                    .unwrap_or_else(|| OracleError::fatal("resolver batch failed"));
+                drop(queue);
+                record_fault(error);
+                return Some(false);
+            }
+        }
+        None
     }
 
     /// Number of distinct `(query, text)` answers published so far.
@@ -245,10 +330,13 @@ impl ResolverPool {
         let shared = &*self.shared;
         shared.submitted.fetch_add(keys.len() as u64, Relaxed);
         let mut queued = 0usize;
-        let mut queue = shared.queue.lock().expect("resolver queue poisoned");
+        let mut queue = lock_queue(shared);
         for key in keys {
             loop {
-                if shared.store.get(key).is_some() || queue.tracked.contains(key) {
+                if shared.store.get(key).is_some()
+                    || queue.tracked.contains(key)
+                    || queue.failed.contains(key)
+                {
                     shared.coalesced.fetch_add(1, Relaxed);
                     break;
                 }
@@ -268,7 +356,7 @@ impl ResolverPool {
                 queue = shared
                     .window_open
                     .wait(queue)
-                    .expect("resolver queue poisoned");
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         }
         drop(queue);
@@ -277,13 +365,20 @@ impl ResolverPool {
         }
     }
 
-    /// The current completion generation; bumped once per published batch.
+    /// The current completion generation; bumped once per completed
+    /// batch, successful or failed.
     pub fn generation(&self) -> u64 {
-        *self
-            .shared
-            .progress
-            .lock()
-            .expect("resolver progress poisoned")
+        *lock_progress(&self.shared)
+    }
+
+    /// The first backend failure this pool has seen, if any.  Failures
+    /// are sticky: once a batch fails its keys stay failed for the
+    /// pool's lifetime (see [`lookup`](ResolverPool::lookup)).
+    pub fn fault(&self) -> Option<OracleError> {
+        if !self.shared.has_failures.load(Acquire) {
+            return None;
+        }
+        lock_queue(&self.shared).error.clone()
     }
 
     /// Blocks until the completion generation moves past `seen` (i.e. at
@@ -293,17 +388,13 @@ impl ResolverPool {
     /// milliseconds so a lost wakeup degrades to polling, never to a
     /// hang.
     pub fn wait_for_progress(&self, seen: u64) -> u64 {
-        let mut generation = self
-            .shared
-            .progress
-            .lock()
-            .expect("resolver progress poisoned");
+        let mut generation = lock_progress(&self.shared);
         while *generation == seen {
             let (guard, timeout) = self
                 .shared
                 .progressed
                 .wait_timeout(generation, PROGRESS_POLL)
-                .expect("resolver progress poisoned");
+                .unwrap_or_else(PoisonError::into_inner);
             generation = guard;
             if timeout.timed_out() {
                 break;
@@ -340,6 +431,9 @@ impl ResolverPool {
             suspends: shared.suspends.load(Relaxed),
             resumes: shared.resumes.load(Relaxed),
             store_contended: shared.store.contended(),
+            failed_batches: shared.failed_batches.load(Relaxed),
+            failed_keys: shared.failed_keys.load(Relaxed),
+            dead_workers: shared.dead_workers.load(Relaxed),
         }
     }
 }
@@ -358,13 +452,18 @@ impl std::fmt::Debug for ResolverPool {
 impl Drop for ResolverPool {
     fn drop(&mut self) {
         {
-            let mut queue = self.shared.queue.lock().expect("resolver queue poisoned");
+            let mut queue = lock_queue(&self.shared);
             queue.closed = true;
         }
         self.shared.work_ready.notify_all();
         self.shared.window_open.notify_all();
         for worker in self.workers.drain(..) {
-            worker.join().expect("resolver worker panicked");
+            // A dead worker is an error already reported through the
+            // fault plane (dead_workers + the queue's sticky error) —
+            // never a reason to panic whoever drops the pool.
+            if worker.join().is_err() {
+                self.shared.dead_workers.fetch_add(1, Relaxed);
+            }
         }
     }
 }
@@ -413,11 +512,11 @@ impl Oracle for ResolverPool {
 }
 
 /// One resolver worker: claim a fair share of the pending queue, resolve
-/// it in one backend round trip, publish, signal.
+/// it in one backend round trip, publish (or fail the batch), signal.
 fn worker(shared: &PoolShared) {
     loop {
         let batch: Vec<(String, Vec<u8>)> = {
-            let mut queue = shared.queue.lock().expect("resolver queue poisoned");
+            let mut queue = lock_queue(shared);
             loop {
                 if !queue.pending.is_empty() {
                     break;
@@ -428,7 +527,7 @@ fn worker(shared: &PoolShared) {
                 queue = shared
                     .work_ready
                     .wait(queue)
-                    .expect("resolver queue poisoned");
+                    .unwrap_or_else(PoisonError::into_inner);
             }
             // Claim at most a 1/threads share so concurrent workers split
             // a burst instead of one worker serializing it.
@@ -442,26 +541,91 @@ fn worker(shared: &PoolShared) {
             .iter()
             .map(|(query, text)| QueryKey::new(query, text))
             .collect();
-        let answers = shared.oracle.resolve_batch(&keys);
+        // The backend call is the untrusted part: catch its panics, and
+        // collect any fault a retry adapter recorded on this worker
+        // thread — placeholder answers must fail the batch, not publish.
+        let outcome = catch_unwind(AssertUnwindSafe(|| shared.oracle.resolve_batch(&keys)));
         shared.batches.fetch_add(1, Relaxed);
         shared.backend_keys.fetch_add(keys.len() as u64, Relaxed);
-        for (key, &answer) in keys.iter().zip(&answers) {
-            shared.store.insert(key, answer);
-        }
+        let failure = match outcome {
+            Ok(answers) => match take_fault() {
+                Some(error) => Some(error),
+                None => {
+                    for (key, &answer) in keys.iter().zip(&answers) {
+                        shared.store.insert(key, answer);
+                    }
+                    None
+                }
+            },
+            Err(panic) => {
+                take_fault();
+                Some(OracleError::fatal(format!(
+                    "resolver worker panicked: {}",
+                    panic_message(panic.as_ref())
+                )))
+            }
+        };
 
         {
-            let mut queue = shared.queue.lock().expect("resolver queue poisoned");
+            let mut queue = lock_queue(shared);
             for (query, text) in &batch {
                 queue.tracked.remove(query, text);
             }
-            queue.in_flight -= batch.len();
+            queue.in_flight = queue.in_flight.saturating_sub(batch.len());
+            if let Some(error) = failure {
+                for (query, text) in &batch {
+                    queue.failed.insert(&QueryKey::new(query, text));
+                }
+                if queue.error.is_none() {
+                    queue.error = Some(error);
+                }
+                shared.failed_batches.fetch_add(1, Relaxed);
+                shared.failed_keys.fetch_add(batch.len() as u64, Relaxed);
+                shared.has_failures.store(true, Release);
+            }
         }
         shared.window_open.notify_all();
         {
-            let mut generation = shared.progress.lock().expect("resolver progress poisoned");
+            let mut generation = lock_progress(shared);
             *generation += 1;
         }
         shared.progressed.notify_all();
+    }
+}
+
+/// Recovery when a worker dies outside the guarded backend call: every
+/// key it might have owned — everything tracked, queued or claimed —
+/// fails, so no waiter blocks on an answer that will never come.
+fn worker_died(shared: &PoolShared) {
+    shared.dead_workers.fetch_add(1, Relaxed);
+    {
+        let mut queue = lock_queue(shared);
+        queue.pending.clear();
+        let mut tracked = std::mem::take(&mut queue.tracked);
+        tracked.drain_into(&mut queue.failed);
+        queue.in_flight = 0;
+        if queue.error.is_none() {
+            queue.error = Some(OracleError::fatal("resolver worker died unexpectedly"));
+        }
+        shared.has_failures.store(true, Release);
+    }
+    shared.window_open.notify_all();
+    shared.work_ready.notify_all();
+    {
+        let mut generation = lock_progress(shared);
+        *generation += 1;
+    }
+    shared.progressed.notify_all();
+}
+
+/// Best-effort text of a panic payload for diagnostics.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(message) = panic.downcast_ref::<&str>() {
+        (*message).to_owned()
+    } else if let Some(message) = panic.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "non-string panic payload".to_owned()
     }
 }
 
@@ -558,6 +722,70 @@ mod tests {
         let stats = pool.stats();
         assert_eq!(stats.backend_keys, 128, "every distinct key resolved once");
         assert!(stats.in_flight_high_water <= 2 + 1, "window respected");
+    }
+
+    #[test]
+    fn panicking_backend_fails_the_batch_instead_of_wedging_the_pool() {
+        let backend = Arc::new(PredicateOracle::new(|_, t: &[u8]| {
+            assert!(t != b"boom", "injected backend panic");
+            t.starts_with(b"a")
+        }));
+        let pool = ResolverPool::new(backend, 1, 0);
+
+        crate::error::clear_fault();
+        // The doomed key completes (placeholder false) with a fault.
+        assert!(!pool.holds("q", b"boom"));
+        let fault = crate::error::take_fault().expect("panic surfaces as a fault");
+        assert!(fault.message.contains("resolver worker panicked"));
+        let stats = pool.stats();
+        assert_eq!(stats.failed_batches, 1);
+        assert_eq!(stats.failed_keys, 1);
+        assert_eq!(stats.dead_workers, 0, "worker survives its batch panic");
+        assert!(pool.fault().is_some());
+
+        // The pool keeps serving healthy keys afterwards.
+        assert!(pool.holds("q", b"ab"));
+        assert!(!pool.holds("q", b"xy"));
+        assert!(crate::error::take_fault().is_none());
+
+        // Failed keys are sticky: a resubmission coalesces away and the
+        // lookup keeps reporting the fault.
+        let doomed = QueryKey::new("q", b"boom");
+        let before = pool.stats().coalesced;
+        pool.submit(std::slice::from_ref(&doomed));
+        assert_eq!(pool.stats().coalesced, before + 1);
+        assert_eq!(pool.lookup(&doomed), Some(false));
+        assert!(crate::error::take_fault().is_some());
+        // Dropping the pool must not panic (the old join().expect did).
+    }
+
+    #[test]
+    fn retry_adapter_faults_fail_the_batch_through_the_worker_sink() {
+        use crate::error::{OracleError, TryOracle};
+        use crate::retry::{RetryOracle, RetryPolicy};
+
+        /// Fails every call for one specific text, transiently.
+        struct FailText;
+        impl TryOracle for FailText {
+            fn try_holds(&self, _query: &str, text: &[u8]) -> Result<bool, OracleError> {
+                if text == b"down" {
+                    Err(OracleError::transient("backend down"))
+                } else {
+                    Ok(text.len() % 2 == 0)
+                }
+            }
+        }
+
+        let backend = Arc::new(RetryOracle::with_policy(FailText, RetryPolicy::attempts(2)));
+        let pool = ResolverPool::new(backend, 2, 0);
+        crate::error::clear_fault();
+        assert!(!pool.holds("q", b"down"), "placeholder, not a hang");
+        let fault = crate::error::take_fault().expect("retry exhaustion surfaces");
+        assert_eq!(fault.kind, crate::OracleErrorKind::Transient);
+        assert!(pool.stats().failed_batches >= 1);
+        // Healthy keys resolve normally through the same pool.
+        assert!(pool.holds("q", b"ab"));
+        assert!(crate::error::take_fault().is_none());
     }
 
     #[test]

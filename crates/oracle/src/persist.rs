@@ -71,6 +71,16 @@ pub struct PersistConfig {
     /// doubles from the compacted size so steady append-only growth does
     /// not re-trigger compaction on every record.
     pub compact_bytes: u64,
+    /// Hard size cap on the log file (`--max-log-bytes`): when set, the
+    /// compaction threshold never grows past the cap, so the file is
+    /// compacted back down as soon as it crosses it — regardless of how
+    /// far the post-compaction doubling would otherwise have raised the
+    /// threshold.  One escape hatch keeps a pathological cap live-able:
+    /// if the *live set itself* no longer fits in half the cap, the
+    /// threshold falls back to twice the compacted size (compaction
+    /// cannot shrink below the live set, and re-compacting on every
+    /// record would thrash).  `None` (the default) means unbounded.
+    pub max_log_bytes: Option<u64>,
 }
 
 impl Default for PersistConfig {
@@ -78,6 +88,20 @@ impl Default for PersistConfig {
         PersistConfig {
             sync_every: 64,
             compact_bytes: 8 * 1024 * 1024,
+            max_log_bytes: None,
+        }
+    }
+}
+
+impl PersistConfig {
+    /// The compaction threshold for a log currently `file_bytes` long
+    /// (used at open and after every compaction).
+    fn compact_floor_for(&self, file_bytes: u64) -> u64 {
+        let doubled = file_bytes.saturating_mul(2);
+        let floor = self.compact_bytes.max(doubled);
+        match self.max_log_bytes {
+            Some(cap) => floor.min(cap.max(doubled)),
+            None => floor,
         }
     }
 }
@@ -349,7 +373,7 @@ impl PersistentAnswerStore {
             .sum();
         file.seek(SeekFrom::Start(file_bytes))?;
 
-        let compact_floor = config.compact_bytes.max(file_bytes.saturating_mul(2));
+        let compact_floor = config.compact_floor_for(file_bytes);
         let inner = Inner {
             map,
             writer: std::io::BufWriter::new(file),
@@ -357,7 +381,7 @@ impl PersistentAnswerStore {
             unsynced: 0,
             compact_floor,
         };
-        Ok(PersistentAnswerStore {
+        let store = PersistentAnswerStore {
             path,
             config,
             inner: Mutex::new(inner),
@@ -366,7 +390,17 @@ impl PersistentAnswerStore {
             compactions: AtomicU64::new(0),
             syncs: AtomicU64::new(0),
             write_errors: AtomicU64::new(0),
-        })
+        };
+        // With a size cap, an inherited over-cap log (duplicate records
+        // accumulated across process generations) is compacted right at
+        // open, so the cap holds from the first record of this run.
+        if let Some(cap) = store.config.max_log_bytes {
+            let mut inner = store.lock();
+            if inner.file_bytes > cap && store.compact_locked(&mut inner).is_err() {
+                store.write_errors.fetch_add(1, Relaxed);
+            }
+        }
+        Ok(store)
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
@@ -485,10 +519,7 @@ impl PersistentAnswerStore {
         inner.writer = std::io::BufWriter::new(file);
         inner.file_bytes = encoded.len() as u64;
         inner.unsynced = 0;
-        inner.compact_floor = self
-            .config
-            .compact_bytes
-            .max(inner.file_bytes.saturating_mul(2));
+        inner.compact_floor = self.config.compact_floor_for(inner.file_bytes);
         self.compactions.fetch_add(1, Relaxed);
         Ok(())
     }
@@ -662,6 +693,7 @@ mod tests {
         let config = PersistConfig {
             sync_every: 4,
             compact_bytes: 256,
+            max_log_bytes: None,
         };
         {
             let store = PersistentAnswerStore::open_with(&path, config.clone()).unwrap();
@@ -712,6 +744,105 @@ mod tests {
         assert!(store.file_bytes() < before);
         assert_eq!(store.compactions(), 1);
         assert_eq!(store.len(), 16);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn max_log_bytes_caps_growth_across_rotations_without_losing_answers() {
+        let path = temp_log("size-cap");
+        let _ = std::fs::remove_file(&path);
+        let cap = 2048u64;
+        let config = PersistConfig {
+            sync_every: 1,
+            compact_bytes: 512,
+            max_log_bytes: Some(cap),
+        };
+        // Generation 0 writes the base answers.
+        {
+            let store = PersistentAnswerStore::open_with(&path, config.clone()).unwrap();
+            for i in 0..16 {
+                store.record("sim-llm", "q", format!("base-{i}").as_bytes(), i % 2 == 0);
+            }
+        }
+        // Each later generation inherits a log bloated with duplicate
+        // records (the cross-process accumulation pattern), which the
+        // cap must compact away at open — and every generation's fresh
+        // answers must survive every rotation.
+        for generation in 1..=3u32 {
+            let mut dup = Vec::new();
+            for _ in 0..4 {
+                for i in 0..16 {
+                    encode_record(
+                        "sim-llm",
+                        "q",
+                        format!("base-{i}").as_bytes(),
+                        i % 2 == 0,
+                        &mut dup,
+                    );
+                }
+            }
+            {
+                let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+                file.write_all(&dup).unwrap();
+            }
+            assert!(
+                std::fs::metadata(&path).unwrap().len() > cap,
+                "generation {generation} starts over the cap"
+            );
+
+            let store = PersistentAnswerStore::open_with(&path, config.clone()).unwrap();
+            assert!(
+                store.compactions() >= 1,
+                "generation {generation} must rotate the over-cap log at open"
+            );
+            assert!(
+                store.file_bytes() <= cap,
+                "generation {generation} back under the cap: {} vs {cap}",
+                store.file_bytes()
+            );
+            store.record("sim-llm", "q", format!("gen-{generation}").as_bytes(), true);
+        }
+        // Every answer from every generation survives all rotations.
+        let store = PersistentAnswerStore::open_with(&path, config).unwrap();
+        for i in 0..16 {
+            assert_eq!(
+                store.lookup("sim-llm", "q", format!("base-{i}").as_bytes()),
+                Some(i % 2 == 0),
+                "base key {i} lost across rotations"
+            );
+        }
+        for generation in 1..=3u32 {
+            assert_eq!(
+                store.lookup("sim-llm", "q", format!("gen-{generation}").as_bytes()),
+                Some(true),
+                "generation {generation} answer lost"
+            );
+        }
+
+        // Escape hatch: a cap smaller than the live set must not thrash —
+        // the floor falls back to twice the compacted size.
+        let tiny = PersistConfig {
+            sync_every: 1,
+            compact_bytes: 64,
+            max_log_bytes: Some(128),
+        };
+        let tiny_path = temp_log("size-cap-tiny");
+        let _ = std::fs::remove_file(&tiny_path);
+        let store = PersistentAnswerStore::open_with(&tiny_path, tiny).unwrap();
+        for i in 0..64 {
+            store.record("sim-llm", "q", format!("live-{i}").as_bytes(), true);
+        }
+        let after_settle = store.compactions();
+        for i in 64..96 {
+            store.record("sim-llm", "q", format!("live-{i}").as_bytes(), true);
+        }
+        assert!(
+            store.compactions() - after_settle < 16,
+            "oversized live set must not compact on every record ({} rotations for 32 appends)",
+            store.compactions() - after_settle
+        );
+        assert_eq!(store.len(), 96);
+        cleanup(&tiny_path);
         cleanup(&path);
     }
 

@@ -1,0 +1,589 @@
+//! Retry, backoff, and circuit breaking for fallible backends.
+//!
+//! [`RetryOracle`] is the bridge from the fallible [`TryOracle`] world
+//! back to the infallible [`Oracle`] plane the matchers speak: it
+//! retries retryable failures with deterministic exponential backoff
+//! (SplitMix64 jitter), trips a circuit breaker after `K` consecutive
+//! failures so a dead backend fails fast instead of stalling every scan
+//! behind full retry ladders, and reports failures that survive the
+//! policy through the thread-local fault sink
+//! ([`record_fault`](crate::record_fault)) while returning placeholder
+//! `false` answers — which the answer stores refuse to cache (see the
+//! [`error`](crate::error) module's contract) and the scan drivers turn
+//! into explicit degradation.
+//!
+//! Everything is deterministic: the jitter comes from a seeded SplitMix64
+//! stream and the breaker cooldown counts *calls*, not wall-clock time,
+//! so a failure schedule replays identically run after run — the
+//! property the fault-injection suite leans on.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::batch::QueryKey;
+use crate::error::{record_fault, OracleError, TryOracle};
+use crate::Oracle;
+
+/// How [`RetryOracle`] reacts to backend failures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Attempts per call, including the first (`1` = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per further retry.
+    pub base_backoff: Duration,
+    /// Upper bound on any single backoff.
+    pub max_backoff: Duration,
+    /// Consecutive *call* failures that trip the breaker (`0` disables
+    /// the breaker entirely).
+    pub breaker_threshold: u32,
+    /// Calls failed fast while the breaker is open before the next call
+    /// is let through as a half-open probe.
+    pub breaker_cooldown: u32,
+    /// Seed of the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(1),
+            breaker_threshold: 5,
+            breaker_cooldown: 8,
+            jitter_seed: 0x5eed,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with `attempts` attempts per call, zero backoff, and no
+    /// breaker — the deterministic, sleep-free shape fault-injection
+    /// tests want.
+    pub fn attempts(attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts: attempts.max(1),
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            breaker_threshold: 0,
+            breaker_cooldown: 0,
+            jitter_seed: 0x5eed,
+        }
+    }
+
+    /// The deterministic backoff before retry number `retry` (1-based),
+    /// advancing `rng` (a SplitMix64 state) for the jitter draw.
+    ///
+    /// The delay is `base · 2^(retry-1)`, capped at `max_backoff`, then
+    /// scaled by a jitter factor in `[0.5, 1.0)` — "equal jitter", so
+    /// concurrent retriers decorrelate without ever collapsing to zero
+    /// wait.
+    pub fn backoff(&self, retry: u32, rng: &mut u64) -> Duration {
+        if self.base_backoff.is_zero() {
+            return Duration::ZERO;
+        }
+        let exp = retry.saturating_sub(1).min(32);
+        let raw = self
+            .base_backoff
+            .saturating_mul(1u32.checked_shl(exp).unwrap_or(u32::MAX))
+            .min(self.max_backoff);
+        let jitter = 0.5 + splitmix_f64(rng) / 2.0;
+        raw.mul_f64(jitter)
+    }
+}
+
+/// One SplitMix64 step (the same generator the workloads crate vendors;
+/// duplicated here because the dependency arrow points the other way).
+fn splitmix_u64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A uniform draw in `[0, 1)` from the SplitMix64 stream.
+fn splitmix_f64(state: &mut u64) -> f64 {
+    (splitmix_u64(state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A snapshot of [`RetryOracle`] counters, surfaced by `--stats`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Backend attempts made (first tries + retries).
+    pub attempts: u64,
+    /// Attempts that were retries of a failed attempt.
+    pub retries: u64,
+    /// Calls that ultimately failed (retries exhausted, non-retryable
+    /// error, or breaker fast-fail).
+    pub failures: u64,
+    /// Times the breaker tripped closed → open.
+    pub breaker_trips: u64,
+    /// Calls failed fast by an open breaker (no backend attempt made).
+    pub fast_fails: u64,
+    /// Calls let through an open breaker as half-open probes.
+    pub half_open_probes: u64,
+}
+
+/// The shared atomic cells behind [`RetryStats`], handed out by
+/// [`RetryOracle::counters`] so callers (the CLI's `--stats`) can read
+/// the counters after the oracle itself has been type-erased behind
+/// `Arc<dyn Oracle>`.
+#[derive(Debug, Default)]
+pub struct RetryCounters {
+    attempts: AtomicU64,
+    retries: AtomicU64,
+    failures: AtomicU64,
+    breaker_trips: AtomicU64,
+    fast_fails: AtomicU64,
+    half_open_probes: AtomicU64,
+}
+
+impl RetryCounters {
+    /// The current snapshot.
+    pub fn snapshot(&self) -> RetryStats {
+        RetryStats {
+            attempts: self.attempts.load(Relaxed),
+            retries: self.retries.load(Relaxed),
+            failures: self.failures.load(Relaxed),
+            breaker_trips: self.breaker_trips.load(Relaxed),
+            fast_fails: self.fast_fails.load(Relaxed),
+            half_open_probes: self.half_open_probes.load(Relaxed),
+        }
+    }
+}
+
+/// The circuit breaker's state machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Breaker {
+    /// Traffic flows; `failures` consecutive call failures so far.
+    Closed { failures: u32 },
+    /// Failing fast; `remaining` more fast-fails until a half-open probe.
+    Open { remaining: u32 },
+    /// One probe call is in flight; its outcome closes or reopens.
+    HalfOpen,
+}
+
+/// Wraps a [`TryOracle`], making it an infallible [`Oracle`] again:
+/// retryable failures are retried with deterministic backoff, a breaker
+/// fails fast while the backend looks dead, and unrecoverable failures
+/// surface through the fault sink with placeholder `false` answers.
+///
+/// # Examples
+///
+/// ```
+/// use semre_oracle::{clear_fault, take_fault, Oracle, RetryOracle, RetryPolicy, SimLlmOracle};
+///
+/// // An infallible backend passes through unchanged (and never faults).
+/// clear_fault();
+/// let oracle = RetryOracle::with_policy(SimLlmOracle::new(), RetryPolicy::attempts(3));
+/// assert!(oracle.holds("Medicine name", b"tramadol"));
+/// assert!(take_fault().is_none());
+/// assert_eq!(oracle.stats().attempts, 1);
+/// ```
+#[derive(Debug)]
+pub struct RetryOracle<O> {
+    inner: O,
+    policy: RetryPolicy,
+    breaker: Mutex<Breaker>,
+    jitter: Mutex<u64>,
+    counters: Arc<RetryCounters>,
+}
+
+impl<O: TryOracle> RetryOracle<O> {
+    /// Wraps `inner` with the default policy.
+    pub fn new(inner: O) -> Self {
+        RetryOracle::with_policy(inner, RetryPolicy::default())
+    }
+
+    /// Wraps `inner` with `policy`.
+    pub fn with_policy(inner: O, policy: RetryPolicy) -> Self {
+        RetryOracle {
+            inner,
+            breaker: Mutex::new(Breaker::Closed { failures: 0 }),
+            jitter: Mutex::new(policy.jitter_seed),
+            policy,
+            counters: Arc::new(RetryCounters::default()),
+        }
+    }
+
+    /// A reference to the wrapped backend.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> RetryPolicy {
+        self.policy
+    }
+
+    /// The current counter snapshot.
+    pub fn stats(&self) -> RetryStats {
+        self.counters.snapshot()
+    }
+
+    /// A shared handle to the counters that outlives type erasure
+    /// (clone it before putting the oracle behind `Arc<dyn Oracle>`).
+    pub fn counters(&self) -> Arc<RetryCounters> {
+        self.counters.clone()
+    }
+
+    fn lock_breaker(&self) -> std::sync::MutexGuard<'_, Breaker> {
+        self.breaker.lock().expect("retry breaker lock poisoned")
+    }
+
+    /// Admission control: `Ok(probe)` lets the call through (`probe` =
+    /// this is a half-open probe), `Err` fails it fast.
+    fn admit(&self) -> Result<bool, OracleError> {
+        if self.policy.breaker_threshold == 0 {
+            return Ok(false);
+        }
+        let mut breaker = self.lock_breaker();
+        match *breaker {
+            Breaker::Closed { .. } => Ok(false),
+            Breaker::HalfOpen => {
+                // A probe is already in flight on another thread; fail
+                // fast rather than stampede the recovering backend.
+                self.counters.fast_fails.fetch_add(1, Relaxed);
+                self.counters.failures.fetch_add(1, Relaxed);
+                Err(OracleError::transient(format!(
+                    "circuit breaker half-open: probe in flight against {}",
+                    self.inner.describe()
+                )))
+            }
+            Breaker::Open { remaining } => {
+                if remaining == 0 {
+                    *breaker = Breaker::HalfOpen;
+                    self.counters.half_open_probes.fetch_add(1, Relaxed);
+                    Ok(true)
+                } else {
+                    *breaker = Breaker::Open {
+                        remaining: remaining - 1,
+                    };
+                    self.counters.fast_fails.fetch_add(1, Relaxed);
+                    self.counters.failures.fetch_add(1, Relaxed);
+                    Err(OracleError::transient(format!(
+                        "circuit breaker open ({} more fast-fails until a probe) against {}",
+                        remaining - 1,
+                        self.inner.describe()
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Records a whole-call outcome in the breaker.
+    fn settle(&self, succeeded: bool) {
+        if self.policy.breaker_threshold == 0 {
+            return;
+        }
+        let mut breaker = self.lock_breaker();
+        *breaker = match (*breaker, succeeded) {
+            (_, true) => Breaker::Closed { failures: 0 },
+            (Breaker::Closed { failures }, false) => {
+                if failures + 1 >= self.policy.breaker_threshold {
+                    self.counters.breaker_trips.fetch_add(1, Relaxed);
+                    Breaker::Open {
+                        remaining: self.policy.breaker_cooldown,
+                    }
+                } else {
+                    Breaker::Closed {
+                        failures: failures + 1,
+                    }
+                }
+            }
+            // A failed half-open probe reopens the breaker for a full
+            // cooldown.  (Open, false) is unreachable in practice —
+            // admitted calls leave Open — but mapping it is harmless.
+            (Breaker::HalfOpen | Breaker::Open { .. }, false) => {
+                self.counters.breaker_trips.fetch_add(1, Relaxed);
+                Breaker::Open {
+                    remaining: self.policy.breaker_cooldown,
+                }
+            }
+        };
+    }
+
+    /// One call through admission, the retry ladder, and settlement.
+    fn call<T>(
+        &self,
+        mut attempt: impl FnMut() -> Result<T, OracleError>,
+    ) -> Result<T, OracleError> {
+        self.admit()?;
+        let mut retry = 0u32;
+        loop {
+            self.counters.attempts.fetch_add(1, Relaxed);
+            match attempt() {
+                Ok(answers) => {
+                    self.settle(true);
+                    return Ok(answers);
+                }
+                Err(error) => {
+                    if error.is_retryable() && retry + 1 < self.policy.max_attempts.max(1) {
+                        retry += 1;
+                        self.counters.retries.fetch_add(1, Relaxed);
+                        let delay = {
+                            let mut rng = self.jitter.lock().expect("jitter lock poisoned");
+                            self.policy.backoff(retry, &mut rng)
+                        };
+                        if !delay.is_zero() {
+                            std::thread::sleep(delay);
+                        }
+                        continue;
+                    }
+                    self.counters.failures.fetch_add(1, Relaxed);
+                    self.settle(false);
+                    return Err(error);
+                }
+            }
+        }
+    }
+}
+
+impl<O: TryOracle> Oracle for RetryOracle<O> {
+    fn holds(&self, query: &str, text: &[u8]) -> bool {
+        match self.call(|| self.inner.try_holds(query, text)) {
+            Ok(answer) => answer,
+            Err(error) => {
+                record_fault(error);
+                false
+            }
+        }
+    }
+
+    fn resolve_batch(&self, batch: &[QueryKey<'_>]) -> Vec<bool> {
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        match self.call(|| self.inner.try_resolve_batch(batch)) {
+            Ok(answers) => {
+                assert_eq!(
+                    answers.len(),
+                    batch.len(),
+                    "backend returned a wrong-sized answer vector"
+                );
+                answers
+            }
+            Err(error) => {
+                record_fault(error);
+                vec![false; batch.len()]
+            }
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "retry(attempts={}, breaker={}, {})",
+            self.policy.max_attempts,
+            self.policy.breaker_threshold,
+            TryOracle::describe(&self.inner)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::{clear_fault, fault_pending, take_fault};
+    use std::sync::atomic::AtomicU64;
+
+    /// Fails the first `fail_first` calls with the given kind, then
+    /// answers `text.len() % 2 == 0`.
+    struct Schedule {
+        fail_first: u64,
+        kind: crate::OracleErrorKind,
+        calls: AtomicU64,
+    }
+
+    impl Schedule {
+        fn new(fail_first: u64, kind: crate::OracleErrorKind) -> Self {
+            Schedule {
+                fail_first,
+                kind,
+                calls: AtomicU64::new(0),
+            }
+        }
+    }
+
+    impl TryOracle for Schedule {
+        fn try_holds(&self, _query: &str, text: &[u8]) -> Result<bool, OracleError> {
+            let call = self.calls.fetch_add(1, Relaxed);
+            if call < self.fail_first {
+                return Err(OracleError::new(
+                    self.kind,
+                    format!("scheduled fail {call}"),
+                ));
+            }
+            Ok(text.len() % 2 == 0)
+        }
+
+        fn describe(&self) -> String {
+            "schedule".to_owned()
+        }
+    }
+
+    #[test]
+    fn retries_recover_transient_failures_with_correct_answers() {
+        clear_fault();
+        let oracle = RetryOracle::with_policy(
+            Schedule::new(2, crate::OracleErrorKind::Transient),
+            RetryPolicy::attempts(3),
+        );
+        assert!(oracle.holds("q", b"ab"), "third attempt answers");
+        assert!(!fault_pending(), "recovered calls leave no fault");
+        let stats = oracle.stats();
+        assert_eq!(stats.attempts, 3);
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.failures, 0);
+        assert!(Oracle::describe(&oracle).contains("retry"));
+    }
+
+    #[test]
+    fn exhausted_retries_record_a_fault_and_placeholder() {
+        clear_fault();
+        let oracle = RetryOracle::with_policy(
+            Schedule::new(u64::MAX, crate::OracleErrorKind::Transient),
+            RetryPolicy::attempts(3),
+        );
+        let batch = [QueryKey::new("q", b"ab"), QueryKey::new("q", b"abc")];
+        assert_eq!(
+            oracle.resolve_batch(&batch),
+            vec![false, false],
+            "placeholders"
+        );
+        let fault = take_fault().expect("exhausted retries fault");
+        assert!(fault.is_retryable());
+        let stats = oracle.stats();
+        assert_eq!(stats.attempts, 3);
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.failures, 1);
+    }
+
+    #[test]
+    fn non_retryable_errors_fail_immediately() {
+        clear_fault();
+        let oracle = RetryOracle::with_policy(
+            Schedule::new(u64::MAX, crate::OracleErrorKind::Fatal),
+            RetryPolicy::attempts(5),
+        );
+        assert!(!oracle.holds("q", b"ab"));
+        assert_eq!(take_fault().unwrap().kind, crate::OracleErrorKind::Fatal);
+        let stats = oracle.stats();
+        assert_eq!(stats.attempts, 1, "fatal errors are not retried");
+        assert_eq!(stats.failures, 1);
+    }
+
+    #[test]
+    fn breaker_trips_fails_fast_and_recovers_through_a_probe() {
+        clear_fault();
+        // 4 failing calls trip the breaker (threshold 2 × 2 attempts);
+        // then the backend recovers.
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            breaker_threshold: 2,
+            breaker_cooldown: 3,
+            jitter_seed: 1,
+        };
+        let oracle =
+            RetryOracle::with_policy(Schedule::new(4, crate::OracleErrorKind::Transient), policy);
+        // Two failing calls: 2 attempts each, breaker trips on the 2nd.
+        assert!(!oracle.holds("q", b"ab"));
+        assert!(!oracle.holds("q", b"ab"));
+        clear_fault();
+        assert_eq!(oracle.stats().breaker_trips, 1);
+        assert_eq!(oracle.stats().attempts, 4);
+
+        // Cooldown: three calls fail fast without touching the backend.
+        for _ in 0..3 {
+            assert!(!oracle.holds("q", b"ab"));
+        }
+        let fault = take_fault().expect("fast fails fault");
+        assert!(fault.message.contains("circuit breaker open"));
+        let stats = oracle.stats();
+        assert_eq!(stats.fast_fails, 3);
+        assert_eq!(stats.attempts, 4, "no backend attempts while open");
+
+        // The next call is the half-open probe; the backend has
+        // recovered, so it closes the breaker and answers correctly.
+        assert!(oracle.holds("q", b"ab"), "probe succeeds");
+        assert!(take_fault().is_none());
+        assert_eq!(oracle.stats().half_open_probes, 1);
+        // And traffic flows normally again.
+        assert!(!oracle.holds("q", b"abc"));
+        assert!(take_fault().is_none());
+    }
+
+    #[test]
+    fn failed_probe_reopens_the_breaker() {
+        let policy = RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            breaker_threshold: 1,
+            breaker_cooldown: 1,
+            jitter_seed: 1,
+        };
+        let oracle = RetryOracle::with_policy(
+            Schedule::new(u64::MAX, crate::OracleErrorKind::Transient),
+            policy,
+        );
+        assert!(!oracle.holds("q", b"ab")); // trips (threshold 1)
+        assert!(!oracle.holds("q", b"ab")); // fast fail (cooldown 1)
+        assert!(!oracle.holds("q", b"ab")); // half-open probe, fails
+        clear_fault();
+        let stats = oracle.stats();
+        assert_eq!(stats.breaker_trips, 2, "probe failure re-trips");
+        assert_eq!(stats.half_open_probes, 1);
+        assert_eq!(stats.fast_fails, 1);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_exponential_and_jittered() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+            ..RetryPolicy::default()
+        };
+        let mut rng_a = 42u64;
+        let mut rng_b = 42u64;
+        for retry in 1..=6 {
+            let a = policy.backoff(retry, &mut rng_a);
+            let b = policy.backoff(retry, &mut rng_b);
+            assert_eq!(a, b, "same seed, same delays");
+            let raw = Duration::from_millis(10 * (1 << (retry - 1))).min(policy.max_backoff);
+            assert!(a >= raw.mul_f64(0.5), "jitter floor: {a:?} vs {raw:?}");
+            assert!(a < raw, "jitter ceiling: {a:?} vs {raw:?}");
+        }
+        // A different seed gives a different (but still bounded) stream.
+        let mut rng_c = 43u64;
+        assert_ne!(policy.backoff(1, &mut rng_c), {
+            let mut rng = 42u64;
+            policy.backoff(1, &mut rng)
+        });
+        // Zero base means no sleeping at all.
+        let fast = RetryPolicy::attempts(4);
+        let mut rng = 7u64;
+        assert_eq!(fast.backoff(3, &mut rng), Duration::ZERO);
+    }
+
+    #[test]
+    fn infallible_backends_pass_through_via_the_blanket_adapter() {
+        clear_fault();
+        let oracle = RetryOracle::new(crate::simple::PredicateOracle::new(|_, t: &[u8]| {
+            t.starts_with(b"a")
+        }));
+        assert!(oracle.holds("q", b"ab"));
+        assert_eq!(
+            oracle.resolve_batch(&[QueryKey::new("q", b"ab"), QueryKey::new("q", b"xy")]),
+            vec![true, false]
+        );
+        assert!(!fault_pending());
+        let counters = oracle.counters();
+        assert_eq!(counters.snapshot().attempts, 2);
+        assert_eq!(counters.snapshot().failures, 0);
+    }
+}

@@ -350,7 +350,11 @@ impl<O: Oracle> Oracle for CachingOracle<O> {
         // does not serialize unrelated queries from other threads.
         let answer = self.inner.holds(query, text);
         self.misses.fetch_add(1, Ordering::Relaxed);
-        self.lock_cache().insert(&key, answer);
+        // Placeholder answers from a faulted backend are never cached
+        // (the fault-sink contract in the `error` module).
+        if !crate::error::fault_pending() {
+            self.lock_cache().insert(&key, answer);
+        }
         answer
     }
 
@@ -376,9 +380,11 @@ impl<O: Oracle> Oracle for CachingOracle<O> {
             let answers = self.inner.resolve_batch(&plan.misses);
             self.misses
                 .fetch_add(plan.misses.len() as u64, Ordering::Relaxed);
-            let mut cache = self.lock_cache();
-            for (key, &answer) in plan.misses.iter().zip(&answers) {
-                cache.insert(key, answer);
+            if !crate::error::fault_pending() {
+                let mut cache = self.lock_cache();
+                for (key, &answer) in plan.misses.iter().zip(&answers) {
+                    cache.insert(key, answer);
+                }
             }
             answers
         };

@@ -1,0 +1,349 @@
+//! Fault-injecting oracle wrappers for the fault-tolerance test suite.
+//!
+//! [`FlakyOracle`] wraps any infallible backend and turns it into a
+//! *deterministically unreliable* [`TryOracle`]: calls fail according to
+//! a [`FlakySchedule`] — an explicit fail-these-ordinals list, a seeded
+//! failure rate, or both — and optional latency spikes model a backend
+//! that stalls periodically.  Answers that do get through are exactly the
+//! backend's, so a run that survives the faults (e.g. through
+//! [`RetryOracle`](semre_oracle::RetryOracle)) must be byte-identical to
+//! the fault-free run — the central property the fault-injection suite
+//! asserts.
+//!
+//! Failure decisions are keyed on the call *ordinal* (0-based, counted
+//! per wrapper), with the rate decision derived by hashing
+//! `seed ⊕ ordinal` rather than drawing from a shared stream — so the
+//! schedule is reproducible even when calls arrive from racing threads
+//! in different interleavings.  One ordinal is consumed per `try_holds`
+//! *or* `try_resolve_batch` call: real backends fail per round trip, not
+//! per question, and this matches the resolver pool's per-batch failure
+//! completions.
+//!
+//! [`PanickingOracle`] is the blunter instrument: an infallible
+//! [`Oracle`] that *panics* on chosen ordinals, for proving that a
+//! resolver worker panic surfaces as a scan error instead of a hang or
+//! a process abort.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::Duration;
+
+use semre_oracle::{Oracle, OracleError, OracleErrorKind, QueryKey, TryOracle};
+
+use crate::rng::StdRng;
+
+/// When and how a [`FlakyOracle`] fails.
+#[derive(Clone, Debug)]
+pub struct FlakySchedule {
+    /// Probability in `[0, 1]` that any given call fails (decided
+    /// deterministically per ordinal from [`seed`](FlakySchedule::seed)).
+    pub fail_rate: f64,
+    /// Call ordinals (0-based) that always fail, regardless of rate.
+    pub fail_nth: Vec<u64>,
+    /// The kind every injected failure carries.
+    pub kind: OracleErrorKind,
+    /// `Some((every, pause))`: every `every`-th call (ordinals `every`,
+    /// `2·every`, …) sleeps `pause` before answering — a periodic
+    /// latency spike.
+    pub latency_spike: Option<(u64, Duration)>,
+    /// Seed of the per-ordinal failure-rate hash.
+    pub seed: u64,
+}
+
+impl Default for FlakySchedule {
+    fn default() -> Self {
+        FlakySchedule {
+            fail_rate: 0.0,
+            fail_nth: Vec::new(),
+            kind: OracleErrorKind::Transient,
+            latency_spike: None,
+            seed: 0,
+        }
+    }
+}
+
+impl FlakySchedule {
+    /// A schedule failing each call with probability `fail_rate`,
+    /// decided deterministically from `seed`.
+    pub fn with_rate(fail_rate: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fail_rate),
+            "fail rate {fail_rate} out of range"
+        );
+        FlakySchedule {
+            fail_rate,
+            seed,
+            ..FlakySchedule::default()
+        }
+    }
+
+    /// A schedule failing exactly the given 0-based call ordinals.
+    pub fn with_fail_nth(fail_nth: impl Into<Vec<u64>>) -> Self {
+        FlakySchedule {
+            fail_nth: fail_nth.into(),
+            ..FlakySchedule::default()
+        }
+    }
+
+    /// Sets the error kind injected failures carry.
+    #[must_use]
+    pub fn kind(mut self, kind: OracleErrorKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Adds a latency spike: every `every`-th call sleeps `pause`.
+    #[must_use]
+    pub fn spike(mut self, every: u64, pause: Duration) -> Self {
+        assert!(every > 0, "spike period must be positive");
+        self.latency_spike = Some((every, pause));
+        self
+    }
+
+    /// Whether the call with this 0-based `ordinal` fails.
+    pub fn fails(&self, ordinal: u64) -> bool {
+        if self.fail_nth.contains(&ordinal) {
+            return true;
+        }
+        if self.fail_rate <= 0.0 {
+            return false;
+        }
+        // Per-ordinal hash, not a shared stream: the decision for call
+        // N is the same no matter which thread makes it or in which
+        // order calls interleave.
+        StdRng::seed_from_u64(self.seed ^ ordinal.wrapping_mul(0x9e37_79b9_7f4a_7c15)).next_f64()
+            < self.fail_rate
+    }
+}
+
+/// A deterministic fault injector: wraps an infallible backend as a
+/// [`TryOracle`] whose calls fail per a [`FlakySchedule`].
+///
+/// `FlakyOracle` deliberately does **not** implement `Oracle` — a
+/// fallible backend has no honest `bool`-returning shape.  Route it
+/// through [`RetryOracle`](semre_oracle::RetryOracle) (or any other
+/// `TryOracle` consumer) to re-enter the infallible plane.
+///
+/// # Example
+///
+/// ```
+/// use semre_oracle::{Oracle, RetryOracle, RetryPolicy, SimLlmOracle, TryOracle};
+/// use semre_workloads::{FlakyOracle, FlakySchedule};
+///
+/// // Fails the first two calls; retries ride over both.
+/// let flaky = FlakyOracle::new(SimLlmOracle::new(), FlakySchedule::with_fail_nth([0, 1]));
+/// assert!(flaky.try_holds("Medicine name", b"tramadol").is_err());
+/// let flaky = FlakyOracle::new(SimLlmOracle::new(), FlakySchedule::with_fail_nth([0, 1]));
+/// let oracle = RetryOracle::with_policy(flaky, RetryPolicy::attempts(3));
+/// assert!(oracle.holds("Medicine name", b"tramadol"));
+/// assert_eq!(oracle.inner().failures(), 2);
+/// ```
+#[derive(Debug)]
+pub struct FlakyOracle<O> {
+    inner: O,
+    schedule: FlakySchedule,
+    calls: AtomicU64,
+    failures: AtomicU64,
+}
+
+impl<O: Oracle> FlakyOracle<O> {
+    /// Wraps `inner` with the given failure schedule.
+    pub fn new(inner: O, schedule: FlakySchedule) -> Self {
+        FlakyOracle {
+            inner,
+            schedule,
+            calls: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+
+    /// The active schedule.
+    pub fn schedule(&self) -> &FlakySchedule {
+        &self.schedule
+    }
+
+    /// Calls made so far (each `try_holds` or `try_resolve_batch` is
+    /// one call).
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Relaxed)
+    }
+
+    /// Calls that failed per the schedule.
+    pub fn failures(&self) -> u64 {
+        self.failures.load(Relaxed)
+    }
+
+    /// Claims the next ordinal, applies its latency spike, and reports
+    /// whether the call fails.
+    fn step(&self) -> Result<(), OracleError> {
+        let ordinal = self.calls.fetch_add(1, Relaxed);
+        if let Some((every, pause)) = self.schedule.latency_spike {
+            if ordinal > 0 && ordinal % every == 0 {
+                std::thread::sleep(pause);
+            }
+        }
+        if self.schedule.fails(ordinal) {
+            self.failures.fetch_add(1, Relaxed);
+            return Err(OracleError::new(
+                self.schedule.kind,
+                format!(
+                    "injected {} failure at call {ordinal}",
+                    self.schedule.kind.name()
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl<O: Oracle> TryOracle for FlakyOracle<O> {
+    fn try_holds(&self, query: &str, text: &[u8]) -> Result<bool, OracleError> {
+        self.step()?;
+        Ok(self.inner.holds(query, text))
+    }
+
+    fn try_resolve_batch(&self, batch: &[QueryKey<'_>]) -> Result<Vec<bool>, OracleError> {
+        self.step()?;
+        Ok(self.inner.resolve_batch(batch))
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "flaky(rate={}, nth={:?}, {})",
+            self.schedule.fail_rate,
+            self.schedule.fail_nth,
+            self.inner.describe()
+        )
+    }
+}
+
+/// An infallible backend that *panics* on the chosen 0-based call
+/// ordinals — the worst-behaved oracle possible, for proving the
+/// resolver pool contains worker panics.
+#[derive(Debug)]
+pub struct PanickingOracle<O> {
+    inner: O,
+    panic_nth: Vec<u64>,
+    calls: AtomicU64,
+}
+
+impl<O: Oracle> PanickingOracle<O> {
+    /// Wraps `inner`, panicking on each call ordinal in `panic_nth`.
+    pub fn new(inner: O, panic_nth: impl Into<Vec<u64>>) -> Self {
+        PanickingOracle {
+            inner,
+            panic_nth: panic_nth.into(),
+            calls: AtomicU64::new(0),
+        }
+    }
+
+    /// Calls made so far (panicking ones included).
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Relaxed)
+    }
+
+    fn step(&self) {
+        let ordinal = self.calls.fetch_add(1, Relaxed);
+        assert!(
+            !self.panic_nth.contains(&ordinal),
+            "injected oracle panic at call {ordinal}"
+        );
+    }
+}
+
+impl<O: Oracle> Oracle for PanickingOracle<O> {
+    fn holds(&self, query: &str, text: &[u8]) -> bool {
+        self.step();
+        self.inner.holds(query, text)
+    }
+
+    fn resolve_batch(&self, batch: &[QueryKey<'_>]) -> Vec<bool> {
+        self.step();
+        self.inner.resolve_batch(batch)
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "panicking(nth={:?}, {})",
+            self.panic_nth,
+            self.inner.describe()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semre_oracle::PredicateOracle;
+
+    fn backend() -> PredicateOracle<impl Fn(&str, &[u8]) -> bool + Send + Sync> {
+        PredicateOracle::new(|_, t: &[u8]| t.len() % 2 == 0)
+    }
+
+    #[test]
+    fn fail_nth_schedule_is_exact() {
+        let flaky = FlakyOracle::new(backend(), FlakySchedule::with_fail_nth([1, 3]));
+        assert_eq!(flaky.try_holds("q", b"ab"), Ok(true)); // call 0
+        assert!(flaky.try_holds("q", b"ab").is_err()); // call 1
+        assert_eq!(flaky.try_holds("q", b"abc"), Ok(false)); // call 2
+        let batch = [QueryKey::new("q", b"ab")];
+        assert!(flaky.try_resolve_batch(&batch).is_err()); // call 3
+        assert_eq!(flaky.try_resolve_batch(&batch), Ok(vec![true])); // call 4
+        assert_eq!(flaky.calls(), 5);
+        assert_eq!(flaky.failures(), 2);
+        assert!(TryOracle::describe(&flaky).contains("flaky"));
+    }
+
+    #[test]
+    fn rate_schedule_is_deterministic_and_order_independent() {
+        let schedule = FlakySchedule::with_rate(0.3, 42);
+        let decisions: Vec<bool> = (0..200).map(|n| schedule.fails(n)).collect();
+        // Same schedule, same decisions — in any order.
+        let again = FlakySchedule::with_rate(0.3, 42);
+        for n in (0..200).rev() {
+            assert_eq!(again.fails(n), decisions[n as usize]);
+        }
+        let failures = decisions.iter().filter(|&&f| f).count();
+        assert!(
+            (30..90).contains(&failures),
+            "rate 0.3 produced {failures}/200 failures"
+        );
+        // A different seed gives a different schedule.
+        let other = FlakySchedule::with_rate(0.3, 43);
+        assert_ne!(
+            (0..200).map(|n| other.fails(n)).collect::<Vec<_>>(),
+            decisions
+        );
+    }
+
+    #[test]
+    fn error_kind_and_answers_pass_through() {
+        let flaky = FlakyOracle::new(
+            backend(),
+            FlakySchedule::with_fail_nth([0]).kind(OracleErrorKind::Timeout),
+        );
+        let err = flaky.try_holds("q", b"ab").unwrap_err();
+        assert_eq!(err.kind, OracleErrorKind::Timeout);
+        assert!(err.message.contains("call 0"));
+        // Surviving answers are exactly the backend's.
+        let batch = [QueryKey::new("q", b"ab"), QueryKey::new("q", b"abc")];
+        assert_eq!(flaky.try_resolve_batch(&batch), Ok(vec![true, false]));
+    }
+
+    #[test]
+    fn panicking_oracle_panics_exactly_on_schedule() {
+        let oracle = PanickingOracle::new(backend(), [1u64]);
+        assert!(oracle.holds("q", b"ab")); // call 0
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            oracle.holds("q", b"ab") // call 1: boom
+        }));
+        assert!(caught.is_err());
+        assert!(!oracle.holds("q", b"abc")); // call 2
+        assert_eq!(oracle.calls(), 3);
+        assert!(Oracle::describe(&oracle).contains("panicking"));
+    }
+}

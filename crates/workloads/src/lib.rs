@@ -12,6 +12,8 @@
 //!   oracles ([`Workbench`] / [`BenchSpec`]);
 //! * [`delay`] — a deterministic latency-injecting oracle wrapper
 //!   ([`DelayOracle`]) for measuring overlapped oracle resolution;
+//! * [`flaky`] — deterministic fault injectors ([`FlakyOracle`],
+//!   [`PanickingOracle`]) driving the fault-tolerance test suite;
 //! * [`triangle`] — the triangle-finding reduction of Section 4.2;
 //! * [`query_complexity`] — the Ω(|w|²) oracle-query lower-bound experiment
 //!   of Theorem 4.1.
@@ -40,6 +42,7 @@
 pub mod bench_set;
 pub mod corpus;
 pub mod delay;
+pub mod flaky;
 pub mod query_complexity;
 pub mod rng;
 pub mod tree;
@@ -48,5 +51,6 @@ pub mod triangle;
 pub use bench_set::{BenchSpec, Workbench};
 pub use corpus::{java_corpus, spam_corpus, Corpus, Dataset, GroundTruth};
 pub use delay::DelayOracle;
+pub use flaky::{FlakyOracle, FlakySchedule, PanickingOracle};
 pub use tree::{CorpusTree, CorpusTreeConfig, TreeFile};
 pub use triangle::{Graph, TriangleInstance};

@@ -92,9 +92,10 @@ pub use semre_workloads as workloads;
 
 pub use semre_core::{DpMatcher, EvalReport, Matcher, MatcherConfig, SearchKind, SuspendedMatch};
 pub use semre_oracle::{
-    BatchOracle, BatchSession, BatchStats, CachingOracle, ConstOracle, Instrumented, LatencyModel,
-    Oracle, PalindromeOracle, PersistConfig, PersistentAnswerStore, PredicateOracle, QueryKey,
-    QueryLedger, ReplayReport, ResolverPool, ResolverStats, SetOracle, SharedSession, SimLlmOracle,
-    TableOracle,
+    clear_fault, fault_pending, record_fault, take_fault, BatchOracle, BatchSession, BatchStats,
+    CachingOracle, ConstOracle, Instrumented, LatencyModel, Oracle, OracleError, OracleErrorKind,
+    PalindromeOracle, PersistConfig, PersistentAnswerStore, PredicateOracle, QueryKey, QueryLedger,
+    ReplayReport, ResolverPool, ResolverStats, RetryCounters, RetryOracle, RetryPolicy, RetryStats,
+    ScanControl, ScanInterrupt, SetOracle, SharedSession, SimLlmOracle, TableOracle, TryOracle,
 };
 pub use semre_syntax::{parse, skeleton, CharClass, ParseSemreError, QueryName, Semre};

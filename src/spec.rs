@@ -10,15 +10,30 @@
 //! always-true    accept every question
 //! always-false   reject every question
 //! set:FILE       a SetOracle loaded from "query<TAB>accepted text" lines
+//! flaky:P:S:A:I  fault injection: the inner spec I fails P% of calls
+//!                (seed S), behind a retry wrapper with A attempts
 //! ```
+//!
+//! The `flaky:` form is how fault injection reaches every tool without
+//! bespoke plumbing: it works on the `grepo` command line and — because
+//! the canonical display form doubles as the daemon's `COMPILE` wire
+//! token — against a running `semred` too.
 
 use std::fmt;
 use std::str::FromStr;
 use std::sync::Arc;
 
-use semre_oracle::{ConstOracle, Oracle, SetOracle, SimLlmOracle};
+use semre_oracle::{
+    ConstOracle, Oracle, RetryCounters, RetryOracle, RetryPolicy, SetOracle, SimLlmOracle,
+};
+use semre_workloads::{FlakyOracle, FlakySchedule};
 
 use crate::Error;
+
+/// A built backend, plus a handle to the counters of its retry layer
+/// when the spec has one (`flaky:` — see
+/// [`build_with_counters`](OracleSpec::build_with_counters)).
+pub type BuiltOracle = (Arc<dyn Oracle>, Option<Arc<RetryCounters>>);
 
 /// A parsed oracle specification, ready to [`build`](OracleSpec::build).
 ///
@@ -40,6 +55,21 @@ pub enum OracleSpec {
     AlwaysFalse,
     /// A [`SetOracle`] loaded from a tab-separated file.
     SetFile(String),
+    /// Deterministic fault injection: the inner spec's backend wrapped
+    /// in a [`FlakyOracle`] failing `percent`% of calls (seeded), behind
+    /// a [`RetryOracle`] making `attempts` attempts per call with zero
+    /// backoff and no breaker — the sleep-free shape the fault-injection
+    /// suite wants.
+    Flaky {
+        /// Failure percentage, `0..=100`.
+        percent: u8,
+        /// Seed of the per-call failure schedule.
+        seed: u64,
+        /// Retry attempts per call (including the first; min 1).
+        attempts: u32,
+        /// The backend being made unreliable.
+        inner: Box<OracleSpec>,
+    },
 }
 
 impl OracleSpec {
@@ -55,10 +85,15 @@ impl OracleSpec {
             "sim-llm" => Ok(OracleSpec::SimLlm),
             "always-true" => Ok(OracleSpec::AlwaysTrue),
             "always-false" => Ok(OracleSpec::AlwaysFalse),
-            other => match other.strip_prefix("set:") {
-                Some(path) if !path.is_empty() => Ok(OracleSpec::SetFile(path.to_owned())),
-                _ => Err(Error::Oracle(format!("unknown oracle kind {other:?}"))),
-            },
+            other => {
+                if let Some(rest) = other.strip_prefix("flaky:") {
+                    return parse_flaky(rest);
+                }
+                match other.strip_prefix("set:") {
+                    Some(path) if !path.is_empty() => Ok(OracleSpec::SetFile(path.to_owned())),
+                    _ => Err(Error::Oracle(format!("unknown oracle kind {other:?}"))),
+                }
+            }
         }
     }
 
@@ -85,17 +120,84 @@ impl OracleSpec {
     ///
     /// Returns [`Error::Oracle`] when a `set:` file cannot be read.
     pub fn build(&self) -> Result<Arc<dyn Oracle>, Error> {
+        Ok(self.build_with_counters()?.0)
+    }
+
+    /// Builds the backend, also returning the retry counters when the
+    /// spec has a retry layer (`flaky:`), so tools can report
+    /// attempts/retries/failures in `--stats` after the oracle is
+    /// type-erased.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Oracle`] when a `set:` file cannot be read.
+    pub fn build_with_counters(&self) -> Result<BuiltOracle, Error> {
         Ok(match self {
-            OracleSpec::SimLlm => Arc::new(SimLlmOracle::new()),
-            OracleSpec::AlwaysTrue => Arc::new(ConstOracle::always_true()),
-            OracleSpec::AlwaysFalse => Arc::new(ConstOracle::always_false()),
+            OracleSpec::SimLlm => (Arc::new(SimLlmOracle::new()), None),
+            OracleSpec::AlwaysTrue => (Arc::new(ConstOracle::always_true()), None),
+            OracleSpec::AlwaysFalse => (Arc::new(ConstOracle::always_false()), None),
             OracleSpec::SetFile(path) => {
                 let content = std::fs::read_to_string(path)
                     .map_err(|e| Error::Oracle(format!("cannot read oracle file {path}: {e}")))?;
-                Arc::new(parse_set_oracle(&content))
+                (Arc::new(parse_set_oracle(&content)), None)
+            }
+            OracleSpec::Flaky {
+                percent,
+                seed,
+                attempts,
+                inner,
+            } => {
+                let backend = inner.build()?;
+                let flaky = FlakyOracle::new(
+                    backend,
+                    FlakySchedule::with_rate(f64::from(*percent) / 100.0, *seed),
+                );
+                let retry = RetryOracle::with_policy(flaky, RetryPolicy::attempts(*attempts));
+                let counters = retry.counters();
+                (Arc::new(retry), Some(counters))
             }
         })
     }
+}
+
+/// Parses the `<pct>:<seed>:<attempts>:<inner>` tail of a `flaky:` spec.
+/// The inner spec is the greedy remainder, so nested specs with colons
+/// (`set:FILE`, another `flaky:`) survive.
+fn parse_flaky(rest: &str) -> Result<OracleSpec, Error> {
+    let bad = |what: &str| {
+        Error::Oracle(format!(
+            "bad flaky spec ({what}); expected flaky:<pct>:<seed>:<attempts>:<inner>, got flaky:{rest}"
+        ))
+    };
+    let mut parts = rest.splitn(4, ':');
+    let percent: u8 = parts
+        .next()
+        .and_then(|p| p.parse().ok())
+        .ok_or_else(|| bad("percent"))?;
+    if percent > 100 {
+        return Err(bad("percent over 100"));
+    }
+    let seed: u64 = parts
+        .next()
+        .and_then(|p| p.parse().ok())
+        .ok_or_else(|| bad("seed"))?;
+    let attempts: u32 = parts
+        .next()
+        .and_then(|p| p.parse().ok())
+        .ok_or_else(|| bad("attempts"))?;
+    if attempts == 0 {
+        return Err(bad("zero attempts"));
+    }
+    let inner = parts
+        .next()
+        .filter(|i| !i.is_empty())
+        .ok_or_else(|| bad("inner spec"))?;
+    Ok(OracleSpec::Flaky {
+        percent,
+        seed,
+        attempts,
+        inner: Box::new(OracleSpec::parse(inner)?),
+    })
 }
 
 impl FromStr for OracleSpec {
@@ -113,6 +215,12 @@ impl fmt::Display for OracleSpec {
             OracleSpec::AlwaysTrue => f.write_str("always-true"),
             OracleSpec::AlwaysFalse => f.write_str("always-false"),
             OracleSpec::SetFile(path) => write!(f, "set:{path}"),
+            OracleSpec::Flaky {
+                percent,
+                seed,
+                attempts,
+                inner,
+            } => write!(f, "flaky:{percent}:{seed}:{attempts}:{inner}"),
         }
     }
 }
@@ -167,7 +275,7 @@ mod tests {
     /// two store keys (or collapse two into one).
     #[test]
     fn every_variant_round_trips_canonically() {
-        let variants: [(OracleSpec, &str); 7] = [
+        let variants: [(OracleSpec, &str); 9] = [
             (OracleSpec::SimLlm, "sim-llm"),
             (OracleSpec::AlwaysTrue, "always-true"),
             (OracleSpec::AlwaysFalse, "always-false"),
@@ -182,6 +290,25 @@ mod tests {
             (
                 OracleSpec::SetFile("z\u{00fc}rich.tsv".into()),
                 "set:z\u{00fc}rich.tsv",
+            ),
+            // Fault injection, including a colon-bearing inner spec.
+            (
+                OracleSpec::Flaky {
+                    percent: 30,
+                    seed: 7,
+                    attempts: 4,
+                    inner: Box::new(OracleSpec::SimLlm),
+                },
+                "flaky:30:7:4:sim-llm",
+            ),
+            (
+                OracleSpec::Flaky {
+                    percent: 100,
+                    seed: 0,
+                    attempts: 1,
+                    inner: Box::new(OracleSpec::SetFile("a:b.tsv".into())),
+                },
+                "flaky:100:0:1:set:a:b.tsv",
             ),
         ];
         for (spec, display) in variants {
@@ -232,6 +359,49 @@ mod tests {
         assert!(OracleSpec::SetFile("tab\there.tsv".into())
             .wire_token()
             .is_err());
+    }
+
+    #[test]
+    fn flaky_specs_parse_validate_and_build_with_counters() {
+        // Malformed tails are rejected with a usage hint.
+        for bad in [
+            "flaky:",
+            "flaky:30",
+            "flaky:30:7",
+            "flaky:30:7:4",
+            "flaky:30:7:4:",
+            "flaky:101:7:4:sim-llm",
+            "flaky:30:7:0:sim-llm",
+            "flaky:x:7:4:sim-llm",
+            "flaky:30:7:4:nonsense",
+        ] {
+            assert!(OracleSpec::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+
+        // A 0%-failure spec behaves exactly like its inner backend, and
+        // the counters handle observes the retry layer's attempts.
+        let spec = OracleSpec::parse("flaky:0:1:3:always-true").unwrap();
+        let (oracle, counters) = spec.build_with_counters().unwrap();
+        let counters = counters.expect("flaky specs expose retry counters");
+        assert!(oracle.holds("q", b"x"));
+        assert_eq!(counters.snapshot().attempts, 1);
+        assert_eq!(counters.snapshot().failures, 0);
+
+        // 100% failure with one attempt: placeholder + fault recorded.
+        semre_oracle::clear_fault();
+        let spec = OracleSpec::parse("flaky:100:1:1:always-true").unwrap();
+        let (oracle, counters) = spec.build_with_counters().unwrap();
+        assert!(!oracle.holds("q", b"x"), "placeholder answer");
+        assert!(semre_oracle::take_fault().is_some(), "fault surfaced");
+        assert_eq!(counters.unwrap().snapshot().failures, 1);
+
+        // Non-flaky specs report no counters, via either entry point.
+        assert!(OracleSpec::SimLlm
+            .build_with_counters()
+            .unwrap()
+            .1
+            .is_none());
+        assert!(OracleSpec::SimLlm.build().is_ok());
     }
 
     #[test]
