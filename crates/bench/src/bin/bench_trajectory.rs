@@ -1,4 +1,4 @@
-//! Emits the tracked perf trajectory as `BENCH_PR7.json`.
+//! Emits the tracked perf trajectory as `BENCH_PR9.json`.
 //!
 //! ```text
 //! bench_trajectory [--quick] [--check] [--out PATH]
@@ -6,17 +6,18 @@
 //!   --quick      reduced sample sizes and repetitions (CI smoke runs)
 //!   --check      fail (exit 1) when a tracked geomean drops below its
 //!                stored regression floor (see `Floors::tracked`)
-//!   --out PATH   output file (default BENCH_PR7.json)
+//!   --out PATH   output file (default BENCH_PR9.json)
 //! ```
 //!
 //! Prints a human-readable summary table and writes the JSON document the
 //! next PR regresses against.  See EXPERIMENTS.md ("prefilter-speedup",
-//! "prescan-speedup", "stream-throughput", "tree-scan", "overlap", "persist-dedupe").
+//! "prescan-speedup", "stream-throughput", "tree-scan", "overlap",
+//! "persist-dedupe", "tiered-cost").
 
 use semre_bench::trajectory::{self, Floors, TrajectoryConfig};
 
 fn main() {
-    let mut out_path = "BENCH_PR7.json".to_owned();
+    let mut out_path = "BENCH_PR9.json".to_owned();
     let mut config = TrajectoryConfig::full();
     let mut check = false;
     let mut args = std::env::args().skip(1);
@@ -140,11 +141,28 @@ fn main() {
         persist.equivalent
     );
 
+    let tiered = &trajectory.tiered_cost;
+    println!(
+        "tiered-cost ({} files, {} lines): {:.0} ns/line flat, {:.0} ns/line tiered ({:.2}x), \
+         backend keys {} flat vs {} authoritative ({:.2}x reduction, {} cheap hits), equivalent={}",
+        tiered.files,
+        tiered.lines,
+        tiered.tiered_vs_flat.reference_ns,
+        tiered.tiered_vs_flat.fast_ns,
+        tiered.tiered_vs_flat.speedup(),
+        tiered.flat_backend_keys,
+        tiered.tiered_authority_keys,
+        tiered.key_reduction(),
+        tiered.tiered_cheap_hits,
+        tiered.equivalent
+    );
+
     assert!(
         trajectory.all_equivalent()
             && trajectory.tree_scan.equivalent
             && trajectory.overlap.equivalent()
-            && trajectory.persist.equivalent,
+            && trajectory.persist.equivalent
+            && trajectory.tiered_cost.equivalent,
         "equivalence check failed — the trajectory must never ship with a verdict change"
     );
 

@@ -1,4 +1,4 @@
-//! The tracked benchmark trajectory (`BENCH_PR7.json`).
+//! The tracked benchmark trajectory (`BENCH_PR9.json`).
 //!
 //! Subsequent PRs need a perf baseline to regress against; this module
 //! measures it and emits it as JSON.  Five families of numbers are
@@ -39,7 +39,13 @@
 //!   (empty answer log) and then warm (fresh session, same log) through
 //!   `SharedSession::with_persistence`: the warm scan must issue **zero**
 //!   backend questions for previously-seen keys, with identical verdicts,
-//!   and the cold/warm backend-key ratio is gated by `--check`.
+//!   and the cold/warm backend-key ratio is gated by `--check`;
+//! * **tiered cost** (`tiered-cost`) — the same kind of corpus tree
+//!   scanned once against the flat `sim-llm` backend and once through the
+//!   full built-in tier stack (`tiered:cache+screen+dict:sim-llm`): the
+//!   verdicts must be identical, and the flat-over-tiered ratio of
+//!   *authoritative-tier* backend keys — how many questions the cheap
+//!   tiers shed before the simulated LLM — is gated by `--check`.
 //!
 //! Timings are best-of-`repeat` over a fixed corpus sample — indicative,
 //! not rigorous; the *trajectory* (same harness, same seed, PR after PR)
@@ -271,6 +277,43 @@ impl PersistTrajectory {
     }
 }
 
+/// The tiered-cost record: the same corpus tree scanned against the flat
+/// `sim-llm` backend and against the full built-in tier stack
+/// (cache → screen → dict → authority), measuring how many questions the
+/// cheap tiers shed before the authoritative backend.
+#[derive(Clone, Debug)]
+pub struct TieredCostTrajectory {
+    /// Files in the generated tree.
+    pub files: usize,
+    /// Lines across all files.
+    pub lines: usize,
+    /// Whole-scan wall time, tiered vs flat, under a sleeping 1 ms/batch
+    /// authoritative backend (informational — the regression gate is on
+    /// the key counts, which are deterministic).
+    pub tiered_vs_flat: Toggle,
+    /// Backend questions of the flat scan.
+    pub flat_backend_keys: u64,
+    /// Questions that escaped every cheap tier and reached the
+    /// authoritative backend on the tiered scan.
+    pub tiered_authority_keys: u64,
+    /// Questions the cheap tiers (cache / screen / dict) decided.
+    pub tiered_cheap_hits: u64,
+    /// The rendered per-tier hit/escalation breakdown of the tiered scan.
+    pub tier_stats: String,
+    /// Tiered verdicts identical to flat verdicts on every line.
+    pub equivalent: bool,
+}
+
+impl TieredCostTrajectory {
+    /// Flat-over-tiered authoritative-tier backend keys — the question
+    /// reduction the cheap tiers buy.  The built-in dict tier decides
+    /// every lexicon-backed key, so the real authoritative count is zero;
+    /// mapping it to the full flat count keeps the ratio finite.
+    pub fn key_reduction(&self) -> f64 {
+        self.flat_backend_keys as f64 / self.tiered_authority_keys.max(1) as f64
+    }
+}
+
 /// A full trajectory run.
 #[derive(Clone, Debug)]
 pub struct Trajectory {
@@ -284,6 +327,8 @@ pub struct Trajectory {
     pub overlap: OverlapTrajectory,
     /// The cold-vs-warm persistent-store record.
     pub persist: PersistTrajectory,
+    /// The tiered-vs-flat oracle-routing record.
+    pub tiered_cost: TieredCostTrajectory,
 }
 
 impl Trajectory {
@@ -375,6 +420,11 @@ impl Trajectory {
             self.persist.dedupe_ratio(),
             floors.persist_dedupe,
         );
+        gate(
+            "tiered-cost key reduction (flat / authoritative-tier backend keys)",
+            self.tiered_cost.key_reduction(),
+            floors.tiered_cost_ratio,
+        );
         if self.persist.warm_backend_keys != 0 {
             violations.push(format!(
                 "warm persistent store issued {} backend questions for previously-seen keys (must be 0)",
@@ -383,6 +433,10 @@ impl Trajectory {
         }
         if !self.persist.equivalent {
             violations.push("warm-store verdicts diverged from the cold scan".to_owned());
+        }
+        if !self.tiered_cost.equivalent {
+            violations
+                .push("tiered oracle routing diverged from the flat backend's verdicts".to_owned());
         }
         if !self.all_equivalent() {
             violations.push("equivalence check failed on some benchmark".to_owned());
@@ -442,6 +496,13 @@ pub struct Floors {
     /// real ratio equals the full cold count (hundreds); the floor only
     /// demands the store at least halve the backend traffic.
     pub persist_dedupe: f64,
+    /// Flat-over-tiered authoritative-tier backend keys.  The built-in
+    /// dict tier completely decides the lexicon-backed `Medicine name`
+    /// query the tiered-cost corpus exercises, so the real authoritative
+    /// count is zero and the true ratio equals the full flat count; the
+    /// floor only demands the tiers at least halve the authoritative
+    /// traffic (the ISSUE 9 acceptance bar).
+    pub tiered_cost_ratio: f64,
 }
 
 impl Floors {
@@ -455,6 +516,7 @@ impl Floors {
             tree_scan_ratio: 1.0,
             overlap_speedup: 3.0,
             persist_dedupe: 2.0,
+            tiered_cost_ratio: 2.0,
         }
     }
 }
@@ -492,6 +554,7 @@ pub fn measure(config: &TrajectoryConfig) -> Trajectory {
         tree_scan: measure_tree_scan(config),
         overlap: measure_overlap(config, &workbench),
         persist: measure_persist(config),
+        tiered_cost: measure_tiered_cost(config),
     }
 }
 
@@ -586,6 +649,91 @@ fn measure_persist(config: &TrajectoryConfig) -> PersistTrajectory {
         replayed,
         log_bytes,
         equivalent: warm_verdicts == cold_verdicts,
+    }
+}
+
+/// The tiered-cost measurement: one corpus tree scanned through a
+/// `SharedSession` twice — once with the flat `sim-llm` backend, once
+/// with the full built-in tier stack (`tiered:cache+screen+dict:sim-llm`)
+/// in front of it.  The dict tier is derived from the same lexicons the
+/// simulated LLM answers from, so the verdicts must be byte-identical
+/// while the authoritative backend sees only the questions no cheap tier
+/// could decide.  A sleeping 1 ms/batch `DelayOracle` charges a simulated
+/// round-trip per authoritative batch, so the tiered/flat wall-time ratio
+/// shows what the shed questions save; the regression gate itself is on
+/// the deterministic key counts.
+fn measure_tiered_cost(config: &TrajectoryConfig) -> TieredCostTrajectory {
+    use semre::{
+        BuiltinTier, Oracle, SemRegexBuilder, SharedSession, SimLlmOracle, TieredResolver,
+    };
+    use semre_workloads::{CorpusTree, CorpusTreeConfig, DelayOracle};
+
+    let tree_config = CorpusTreeConfig {
+        // A seed of its own, so this entry shares a corpus with neither
+        // the tree-scan nor the persistence entry.
+        seed: config.seed ^ 0x71e2,
+        files: (config.lines_per_bench / 16).clamp(8, 32),
+        mean_lines: (config.lines_per_bench / 8).clamp(10, 60),
+        ..CorpusTreeConfig::default()
+    };
+    let tree = CorpusTree::generate(&tree_config);
+
+    let pattern = r"Subject: .*(?<Medicine name>: [a-z]+).*";
+    let per_batch = Duration::from_millis(1);
+    let authority = || -> Arc<dyn Oracle> {
+        Arc::new(DelayOracle::sleeping(
+            Arc::new(SimLlmOracle::new()),
+            per_batch,
+            Duration::ZERO,
+        ))
+    };
+    let scan_all = |oracle: Arc<dyn Oracle>| -> (SharedSession, Vec<bool>, Duration) {
+        let session = SharedSession::new(oracle);
+        let shared: Arc<dyn Oracle> = Arc::new(session.clone());
+        let re = SemRegexBuilder::new()
+            .batched(true)
+            .build_shared(pattern, shared)
+            .expect("trajectory pattern compiles");
+        let stream_options = StreamOptions {
+            batched: true,
+            ..StreamOptions::default()
+        };
+        let mut verdicts = Vec::new();
+        let started = Instant::now();
+        for file in &tree.files {
+            scan_stream(&re, &file.contents[..], &stream_options, |_, _, matched| {
+                verdicts.push(matched);
+                true
+            })
+            .expect("in-memory reader cannot fail");
+        }
+        (session, verdicts, started.elapsed())
+    };
+
+    let (flat_session, flat_verdicts, flat_elapsed) = scan_all(authority());
+    let flat_backend_keys = flat_session.stats().backend_keys;
+
+    let tiered = TieredResolver::with_builtins(
+        &[BuiltinTier::Cache, BuiltinTier::Screen, BuiltinTier::Dict],
+        authority(),
+    );
+    let counters = tiered.counters();
+    let (_tiered_session, tiered_verdicts, tiered_elapsed) = scan_all(Arc::new(tiered));
+    let stats = counters.snapshot();
+
+    let per_line = |elapsed: Duration| elapsed.as_nanos() as f64 / tree.total_lines.max(1) as f64;
+    TieredCostTrajectory {
+        files: tree.files.len(),
+        lines: tree.total_lines,
+        tiered_vs_flat: Toggle {
+            fast_ns: per_line(tiered_elapsed),
+            reference_ns: per_line(flat_elapsed),
+        },
+        flat_backend_keys,
+        tiered_authority_keys: stats.authority_keys(),
+        tiered_cheap_hits: stats.cheap_hits(),
+        tier_stats: stats.render(),
+        equivalent: tiered_verdicts == flat_verdicts,
     }
 }
 
@@ -986,15 +1134,15 @@ fn measure_spec(
     }
 }
 
-/// Serializes a trajectory as the `BENCH_PR7.json` document (hand-rolled:
+/// Serializes a trajectory as the `BENCH_PR9.json` document (hand-rolled:
 /// the workspace has no serde).
 pub fn to_json(trajectory: &Trajectory) -> String {
     let mut out = String::new();
     let c = &trajectory.config;
     out.push_str("{\n");
-    out.push_str("  \"artifact\": \"BENCH_PR7\",\n");
+    out.push_str("  \"artifact\": \"BENCH_PR9\",\n");
     out.push_str(
-        "  \"description\": \"Perf trajectory: persistent cross-process answer store, overlapped oracle resolution, multi-file tree scan, literal prescan, streaming scan pipeline, lazy-DFA skeleton prefilter, arena evaluator, parallel chunk scan\",\n",
+        "  \"description\": \"Perf trajectory: cost-tiered oracle routing, persistent cross-process answer store, overlapped oracle resolution, multi-file tree scan, literal prescan, streaming scan pipeline, lazy-DFA skeleton prefilter, arena evaluator, parallel chunk scan\",\n",
     );
     let _ = writeln!(
         out,
@@ -1084,21 +1232,36 @@ pub fn to_json(trajectory: &Trajectory) -> String {
         persist.dedupe_ratio(),
         persist.equivalent
     );
+    let tiered = &trajectory.tiered_cost;
+    let _ = writeln!(
+        out,
+        "  \"tiered_cost\": {{\"files\": {}, \"lines\": {}, \"tiered_vs_flat\": {}, \"flat_backend_keys\": {}, \"tiered_authority_keys\": {}, \"tiered_cheap_hits\": {}, \"tier_stats\": {:?}, \"key_reduction\": {:.2}, \"equivalent\": {}}},",
+        tiered.files,
+        tiered.lines,
+        toggle_json(&tiered.tiered_vs_flat, "tiered_ns_per_line", "flat_ns_per_line"),
+        tiered.flat_backend_keys,
+        tiered.tiered_authority_keys,
+        tiered.tiered_cheap_hits,
+        tiered.tier_stats,
+        tiered.key_reduction(),
+        tiered.equivalent
+    );
     let floors = Floors::tracked();
     let _ = writeln!(
         out,
-        "  \"floors\": {{\"prefilter_speedup\": {:.2}, \"is_match_speedup\": {:.2}, \"prescan_speedup\": {:.2}, \"stream_ratio\": {:.2}, \"tree_scan_ratio\": {:.2}, \"overlap_speedup\": {:.2}, \"persist_dedupe\": {:.2}}},",
+        "  \"floors\": {{\"prefilter_speedup\": {:.2}, \"is_match_speedup\": {:.2}, \"prescan_speedup\": {:.2}, \"stream_ratio\": {:.2}, \"tree_scan_ratio\": {:.2}, \"overlap_speedup\": {:.2}, \"persist_dedupe\": {:.2}, \"tiered_cost_ratio\": {:.2}}},",
         floors.prefilter_speedup,
         floors.is_match_speedup,
         floors.prescan_speedup,
         floors.stream_ratio,
         floors.tree_scan_ratio,
         floors.overlap_speedup,
-        floors.persist_dedupe
+        floors.persist_dedupe,
+        floors.tiered_cost_ratio
     );
     let _ = writeln!(
         out,
-        "  \"summary\": {{\"geomean_prefilter_speedup\": {:.2}, \"geomean_search_prefilter_speedup\": {:.2}, \"geomean_is_match_speedup\": {:.2}, \"geomean_prescan_speedup\": {:.2}, \"geomean_stream_ratio\": {:.2}, \"tree_scan_speedup\": {:.2}, \"tree_scan_deduped\": {}, \"geomean_overlap_speedup\": {:.2}, \"persist_dedupe_ratio\": {:.2}, \"persist_warm_backend_keys\": {}, \"all_equivalent\": {}}}",
+        "  \"summary\": {{\"geomean_prefilter_speedup\": {:.2}, \"geomean_search_prefilter_speedup\": {:.2}, \"geomean_is_match_speedup\": {:.2}, \"geomean_prescan_speedup\": {:.2}, \"geomean_stream_ratio\": {:.2}, \"tree_scan_speedup\": {:.2}, \"tree_scan_deduped\": {}, \"geomean_overlap_speedup\": {:.2}, \"persist_dedupe_ratio\": {:.2}, \"persist_warm_backend_keys\": {}, \"tiered_key_reduction\": {:.2}, \"tiered_authority_keys\": {}, \"all_equivalent\": {}}}",
         trajectory.geomean_prefilter_speedup(),
         trajectory.geomean_search_prefilter_speedup(),
         trajectory.geomean_is_match_speedup(),
@@ -1109,10 +1272,13 @@ pub fn to_json(trajectory: &Trajectory) -> String {
         trajectory.overlap.geomean_speedup(),
         trajectory.persist.dedupe_ratio(),
         trajectory.persist.warm_backend_keys,
+        trajectory.tiered_cost.key_reduction(),
+        trajectory.tiered_cost.tiered_authority_keys,
         trajectory.all_equivalent()
             && trajectory.tree_scan.equivalent
             && trajectory.overlap.equivalent()
             && trajectory.persist.equivalent
+            && trajectory.tiered_cost.equivalent
     );
     out.push_str("}\n");
     out
@@ -1183,8 +1349,29 @@ mod tests {
             "{:?}",
             trajectory.persist
         );
+        assert!(
+            trajectory.tiered_cost.equivalent,
+            "tiered routing must not change verdicts: {:?}",
+            trajectory.tiered_cost
+        );
+        assert_eq!(
+            trajectory.tiered_cost.tiered_authority_keys, 0,
+            "the dict tier decides every Medicine-name key: {:?}",
+            trajectory.tiered_cost
+        );
+        assert!(
+            trajectory.tiered_cost.flat_backend_keys > 0
+                && trajectory.tiered_cost.tiered_cheap_hits > 0,
+            "{:?}",
+            trajectory.tiered_cost
+        );
+        assert!(
+            trajectory.tiered_cost.key_reduction() >= Floors::tracked().tiered_cost_ratio,
+            "the acceptance floor must hold even on the quick corpus: {:?}",
+            trajectory.tiered_cost
+        );
         let json = to_json(&trajectory);
-        assert!(json.contains("\"artifact\": \"BENCH_PR7\""));
+        assert!(json.contains("\"artifact\": \"BENCH_PR9\""));
         assert!(json.contains("\"name\": \"pass\""));
         assert!(json.contains("geomean_prefilter_speedup"));
         assert!(json.contains("geomean_prescan_speedup"));
@@ -1197,6 +1384,10 @@ mod tests {
         assert!(json.contains("\"persist\""));
         assert!(json.contains("persist_dedupe"));
         assert!(json.contains("\"warm_backend_keys\": 0"));
+        assert!(json.contains("\"tiered_cost\""));
+        assert!(json.contains("tiered_cost_ratio"));
+        assert!(json.contains("\"tiered_authority_keys\": 0"));
+        assert!(json.contains("dict_hits="));
         assert!(json.contains("\"floors\""));
         assert!(json.trim_end().ends_with('}'));
         // Crude JSON sanity: balanced braces and brackets.
@@ -1230,9 +1421,10 @@ mod tests {
             tree_scan_ratio: 1e9,
             overlap_speedup: 1e9,
             persist_dedupe: 1e9,
+            tiered_cost_ratio: 1e9,
         };
         let violations = trajectory.check(&impossible).unwrap_err();
-        assert_eq!(violations.len(), 7, "{violations:?}");
+        assert_eq!(violations.len(), 8, "{violations:?}");
         assert!(violations[0].contains("below the stored floor"));
         // Trivial floors always pass (equivalence already asserted above).
         let trivial = Floors {
@@ -1243,6 +1435,7 @@ mod tests {
             tree_scan_ratio: 0.0,
             overlap_speedup: 0.0,
             persist_dedupe: 0.0,
+            tiered_cost_ratio: 0.0,
         };
         assert!(trajectory.check(&trivial).is_ok());
 
@@ -1255,6 +1448,17 @@ mod tests {
             violations
                 .iter()
                 .any(|v| v.contains("warm persistent store")),
+            "{violations:?}"
+        );
+
+        // Diverged tiered verdicts are likewise a hard violation.
+        let mut forged = trajectory.clone();
+        forged.tiered_cost.equivalent = false;
+        let violations = forged.check(&trivial).unwrap_err();
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("tiered oracle routing diverged")),
             "{violations:?}"
         );
     }

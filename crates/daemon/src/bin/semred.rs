@@ -18,6 +18,12 @@
 //!                          (fractional allowed) with an ERR at the next
 //!                          line boundary, so one slow request cannot
 //!                          wedge a worker
+//!   --max-requests-per-conn N
+//!                          close a connection (after a final ERR line)
+//!                          once it has issued N requests
+//!   --max-bytes-per-conn N close a connection (after a final ERR line)
+//!                          once it has sent N bytes of requests and
+//!                          payloads
 //!   --sync-every N         fsync the log every N records (default 64)
 //!   --compact-bytes N      compact the log past N bytes (default 8 MiB)
 //!   --max-log-bytes N      hard cap on the answer log size: compact
@@ -32,8 +38,8 @@ use std::io::Write;
 use semre_daemon::{DaemonClient, Server, ServerConfig};
 
 const USAGE: &str = "usage: semred [--addr HOST:PORT] [--workers N] [--patterns N] \
-[--answer-log FILE] [--budget N] [--request-timeout S] [--sync-every N] [--compact-bytes N] \
-[--max-log-bytes N]";
+[--answer-log FILE] [--budget N] [--request-timeout S] [--max-requests-per-conn N] \
+[--max-bytes-per-conn N] [--sync-every N] [--compact-bytes N] [--max-log-bytes N]";
 
 fn fail(message: &str) -> ! {
     eprintln!("semred: {message}");
@@ -114,6 +120,20 @@ fn main() {
                     fail("--request-timeout must be positive");
                 }
                 config.request_timeout = Some(std::time::Duration::from_secs_f64(secs));
+            }
+            "--max-requests-per-conn" => {
+                config.max_requests_per_conn = Some(
+                    value(&mut args, "--max-requests-per-conn")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--max-requests-per-conn needs a number")),
+                );
+            }
+            "--max-bytes-per-conn" => {
+                config.max_bytes_per_conn = Some(
+                    value(&mut args, "--max-bytes-per-conn")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--max-bytes-per-conn needs a number")),
+                );
             }
             "--max-log-bytes" => {
                 config.persist.max_log_bytes = Some(

@@ -47,6 +47,14 @@ pub struct ServerConfig {
     /// scan that overruns is aborted at the next line boundary with an
     /// `ERR 2`, so one slow request cannot wedge a worker forever.
     pub request_timeout: Option<std::time::Duration>,
+    /// Max requests one connection may issue (`None` = unlimited).  The
+    /// request over the limit is answered with a final `ERR 2` line and
+    /// the connection is closed cleanly — never hung.
+    pub max_requests_per_conn: Option<u64>,
+    /// Max bytes one connection may send — request lines plus payloads
+    /// (`None` = unlimited).  Enforced before the oversized payload is
+    /// read, with the same final-`ERR 2`-then-close discipline.
+    pub max_bytes_per_conn: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -59,6 +67,8 @@ impl Default for ServerConfig {
             persist: PersistConfig::default(),
             budget: None,
             request_timeout: None,
+            max_requests_per_conn: None,
+            max_bytes_per_conn: None,
         }
     }
 }
@@ -73,6 +83,8 @@ struct DaemonState {
     requests: AtomicU64,
     shutdown: AtomicBool,
     request_timeout: Option<std::time::Duration>,
+    max_requests_per_conn: Option<u64>,
+    max_bytes_per_conn: Option<u64>,
 }
 
 /// A bound, not-yet-running `semred` server.
@@ -131,6 +143,8 @@ impl Server {
             requests: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             request_timeout: config.request_timeout,
+            max_requests_per_conn: config.max_requests_per_conn,
+            max_bytes_per_conn: config.max_bytes_per_conn,
         });
         Ok(Server {
             listener,
@@ -234,10 +248,38 @@ fn handle_connection(state: &Arc<DaemonState>, stream: TcpStream) -> std::io::Re
     // "default".
     let mut tenant = "default".to_owned();
     let mut line = String::new();
+    // Connection-level limits: both counters cover everything the peer
+    // sent (request lines and payloads).  Exceeding a limit is a clean
+    // refusal — one final `ERR 2` line, flush, close — so a limited
+    // client always reads a parseable response, never a hang.
+    let mut served: u64 = 0;
+    let mut received: u64 = 0;
     loop {
         line.clear();
         if reader.read_line(&mut line)? == 0 {
             return Ok(()); // clean EOF
+        }
+        served += 1;
+        received += line.len() as u64;
+        if let Some(max) = state.max_requests_per_conn {
+            if served > max {
+                writeln!(
+                    writer,
+                    "ERR 2 connection limit: more than {max} request(s) on one connection"
+                )?;
+                writer.flush()?;
+                return Ok(());
+            }
+        }
+        if let Some(max) = state.max_bytes_per_conn {
+            if received > max {
+                writeln!(
+                    writer,
+                    "ERR 2 connection limit: more than {max} byte(s) on one connection"
+                )?;
+                writer.flush()?;
+                return Ok(());
+            }
         }
         state.requests.fetch_add(1, Relaxed);
         let request = match proto::parse_request(line.trim_end_matches('\n')) {
@@ -290,6 +332,20 @@ fn handle_connection(state: &Arc<DaemonState>, stream: TcpStream) -> std::io::Re
             Request::Match { handle, len }
             | Request::Find { handle, len }
             | Request::Scan { handle, len } => {
+                // The payload counts against the byte limit *before* it
+                // is read: refusing is closing, so the unread bytes can
+                // never desynchronize a later request.
+                received += len as u64;
+                if let Some(max) = state.max_bytes_per_conn {
+                    if received > max {
+                        writeln!(
+                            writer,
+                            "ERR 2 connection limit: more than {max} byte(s) on one connection"
+                        )?;
+                        writer.flush()?;
+                        return Ok(());
+                    }
+                }
                 let mut payload = vec![0u8; len];
                 reader.read_exact(&mut payload)?;
                 match execute(state, &tenant, &request, handle, &payload) {
@@ -486,7 +542,18 @@ fn render_stats(state: &DaemonState) -> String {
             store.write_errors(),
         ));
     }
-    for row in state.tenants.snapshot() {
+    let rows = state.tenants.snapshot();
+    // One aggregate tier-routing line when any tenant has a `tiered:`
+    // session, merged by label across tenants — absent otherwise, so
+    // flat-backend deployments keep their exact historical STATS shape.
+    let mut tiers = semre::TierStats::default();
+    for row in &rows {
+        tiers.merge(&row.tiers);
+    }
+    if !tiers.tiers.is_empty() {
+        out.push_str(&format!("tiers: {}\n", tiers.render()));
+    }
+    for row in rows {
         out.push_str(&format!(
             "tenant {}: submitted={} deduped={} persisted_hits={} backend_keys={} entries={} budget_denied={}\n",
             row.name,

@@ -26,7 +26,9 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use semre::oracle::persist::PersistentAnswerStore;
-use semre::{BatchStats, Error, Oracle, OracleSpec, QueryKey, SharedSession};
+use semre::{
+    BatchStats, Error, Oracle, OracleSpec, QueryKey, SharedSession, TierCounters, TierStats,
+};
 
 thread_local! {
     static CURRENT_SESSION: RefCell<Option<SharedSession>> = const { RefCell::new(None) };
@@ -88,10 +90,18 @@ impl Drop for SessionGuard {
     }
 }
 
+/// One `(tenant, spec)` session plus the spec's tier counters, when the
+/// spec is a `tiered:` registry stack.
+#[derive(Clone, Debug)]
+struct TenantSession {
+    session: SharedSession,
+    tiers: Option<Arc<TierCounters>>,
+}
+
 /// One tenant's sessions (one per oracle spec) plus budget bookkeeping.
 #[derive(Debug, Default)]
 struct TenantState {
-    sessions: HashMap<String, SharedSession>,
+    sessions: HashMap<String, TenantSession>,
     budget_denied: u64,
 }
 
@@ -108,6 +118,9 @@ pub struct TenantSnapshot {
     pub entries: usize,
     /// Requests refused because the tenant's oracle budget was spent.
     pub budget_denied: u64,
+    /// Per-tier hit/escalation counters, merged by label across the
+    /// tenant's `tiered:` sessions (empty when the tenant has none).
+    pub tiers: TierStats,
 }
 
 /// The per-tenant session registry over one optional persistent store.
@@ -154,15 +167,21 @@ impl TenantRegistry {
     ) -> Result<SharedSession, Error> {
         let mut tenants = self.lock();
         let state = tenants.entry(tenant.to_owned()).or_default();
-        if let Some(session) = state.sessions.get(spec_tag) {
-            return Ok(session.clone());
+        if let Some(entry) = state.sessions.get(spec_tag) {
+            return Ok(entry.session.clone());
         }
-        let backend = spec.build()?;
+        let built = spec.build_with_counters()?;
         let session = match &self.persist {
-            Some(store) => SharedSession::with_persistence(backend, store.clone(), spec_tag),
-            None => SharedSession::new(backend),
+            Some(store) => SharedSession::with_persistence(built.oracle, store.clone(), spec_tag),
+            None => SharedSession::new(built.oracle),
         };
-        state.sessions.insert(spec_tag.to_owned(), session.clone());
+        state.sessions.insert(
+            spec_tag.to_owned(),
+            TenantSession {
+                session: session.clone(),
+                tiers: built.tiers,
+            },
+        );
         Ok(session)
     }
 
@@ -189,7 +208,7 @@ impl TenantRegistry {
         let spent: u64 = state
             .sessions
             .values()
-            .map(|s| s.stats().backend_keys)
+            .map(|s| s.session.stats().backend_keys)
             .sum();
         if spent >= budget {
             state.budget_denied += 1;
@@ -211,7 +230,7 @@ impl TenantRegistry {
             .get(tenant)?
             .sessions
             .values()
-            .map(|s| s.stats().backend_keys)
+            .map(|s| s.session.stats().backend_keys)
             .sum();
         (spent >= budget)
             .then(|| format!("tenant {tenant} spent {spent}/{budget} backend questions"))
@@ -252,10 +271,14 @@ impl TenantRegistry {
                 let mut stats = BatchStats::default();
                 let mut persisted_hits = 0;
                 let mut entries = 0;
-                for session in state.sessions.values() {
-                    stats = stats.merged(&session.stats());
-                    persisted_hits += session.persisted_hits();
-                    entries += session.len();
+                let mut tiers = TierStats::default();
+                for entry in state.sessions.values() {
+                    stats = stats.merged(&entry.session.stats());
+                    persisted_hits += entry.session.persisted_hits();
+                    entries += entry.session.len();
+                    if let Some(counters) = &entry.tiers {
+                        tiers.merge(&counters.snapshot());
+                    }
                 }
                 TenantSnapshot {
                     name: name.clone(),
@@ -263,6 +286,7 @@ impl TenantRegistry {
                     persisted_hits,
                     entries,
                     budget_denied: state.budget_denied,
+                    tiers,
                 }
             })
             .collect();

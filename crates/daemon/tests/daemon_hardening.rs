@@ -284,6 +284,168 @@ fn concurrent_tenants_keep_counters_coherent_and_lose_no_appends() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// A `tiered:` spec over the wire routes cheap answers through the
+/// registry tiers, matches the flat backend byte-for-byte, and surfaces
+/// per-tier counters on a `STATS` `tiers:` line.
+#[test]
+fn tiered_specs_route_over_the_wire_and_surface_tier_stats() {
+    let handle = spawn(ServerConfig::default());
+    let mut client = DaemonClient::connect(handle.addr).unwrap();
+    let corpus: &[u8] =
+        b"Subject: buy xanax online now\nSubject: cheap tramadol here\nSubject: weekly sync\n";
+
+    let flat = client.compile("sim-llm", MEMBERSHIP).unwrap();
+    let flat_scan = client.scan(flat, corpus).unwrap();
+
+    let tiered = client
+        .compile("tiered:cache+screen+dict:sim-llm", MEMBERSHIP)
+        .unwrap();
+    let tiered_scan = client.scan(tiered, corpus).unwrap();
+    assert_eq!(tiered_scan.payload, flat_scan.payload, "verdicts identical");
+    assert_eq!(tiered_scan.matched, flat_scan.matched);
+
+    let stats = client.stats().unwrap();
+    let tiers = stats_line(&stats, "tiers:");
+    assert_eq!(
+        field(&tiers, "authority_keys"),
+        0,
+        "the dict tier answers every Medicine-name key: {tiers}"
+    );
+    assert!(
+        field(&tiers, "dict_hits") + field(&tiers, "screen_hits") + field(&tiers, "cache_hits") > 0,
+        "{tiers}"
+    );
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// Circuit breakers are keyed by *backend identity*, not by compiled
+/// spec: when tenant A's requests trip the breaker on a failing backend,
+/// tenant B's very first request over the same backend fast-fails
+/// instead of burning its own failure budget against a backend already
+/// known to be down.
+#[test]
+fn breaker_trips_per_backend_identity_across_tenants() {
+    let handle = spawn(ServerConfig::default());
+    let mut alice = DaemonClient::connect(handle.addr).unwrap();
+    alice.tenant("alice").unwrap();
+    // Threshold 1, long cooldown, over a backend that always fails with
+    // a single attempt: the first real call trips the breaker for the
+    // rest of the test.  The flaky seed 91 keeps this backend identity
+    // distinct from every other test in this binary — the breaker
+    // registry is process-wide by design.
+    const BREAKER_SPEC: &str = "breaker:1:100000:flaky:100:91:1:sim-llm";
+    let broken = alice.compile(BREAKER_SPEC, MEMBERSHIP).unwrap();
+    let err = alice
+        .is_match(broken, b"Subject: buy xanax online now")
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("oracle"), "{err}");
+
+    // Tenant B gets its own session (and its own RetryOracle instance)
+    // for the same spec — but the breaker state is shared per backend
+    // identity, so its first request fails fast.
+    let mut bob = DaemonClient::connect(handle.addr).unwrap();
+    bob.tenant("bob").unwrap();
+    let same = bob.compile(BREAKER_SPEC, MEMBERSHIP).unwrap();
+    assert_eq!(same, broken, "pattern cache shared across tenants");
+    let err = bob
+        .is_match(same, b"Subject: buy xanax online now")
+        .unwrap_err()
+        .to_string();
+    assert!(
+        err.contains("circuit breaker"),
+        "tenant B must hit the shared breaker, not retry the backend: {err}"
+    );
+
+    // Fast-fail placeholders are degraded answers: they ride the fault
+    // sink, so neither tenant's session may memoize them as facts.
+    let stats = bob.stats().unwrap();
+    assert_eq!(
+        field(&stats_line(&stats, "tenant bob:"), "entries"),
+        0,
+        "fault-tainted placeholders must never be memoized: {stats}"
+    );
+    // Close bob's connection before shutdown, or the drain would wait on
+    // the worker still serving it.
+    drop(bob);
+    alice.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// Connection limits refuse with a final `ERR` line and a clean close —
+/// a protocol-level guarantee: the limited client can always parse the
+/// refusal and then reads EOF, never a hang or a reset mid-line.
+#[test]
+fn connection_limits_close_cleanly_with_an_err_line() {
+    use std::io::{Read, Write};
+
+    // Request-count limit: the third request on one connection is
+    // refused.
+    let handle = spawn(ServerConfig {
+        max_requests_per_conn: Some(2),
+        ..ServerConfig::default()
+    });
+    let mut stream = std::net::TcpStream::connect(handle.addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(b"PING\nPING\nPING\n").unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    for _ in 0..2 {
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line, "OK 0 pong\n");
+    }
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(
+        line.starts_with("ERR 2 connection limit:"),
+        "refusal is a parseable ERR line: {line:?}"
+    );
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "clean EOF after the refusal: {rest:?}");
+    drop((reader, stream));
+    // A fresh connection starts a fresh allowance.
+    let mut client = DaemonClient::connect(handle.addr).unwrap();
+    client.ping().unwrap();
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+
+    // Byte limit: an oversized payload is refused *before* it is read,
+    // with the same ERR-then-EOF shape.  The limit leaves room for the
+    // setup connection's COMPILE and SHUTDOWN lines but not for the
+    // 1000-byte MATCH payload below.
+    let handle = spawn(ServerConfig {
+        max_bytes_per_conn: Some(200),
+        ..ServerConfig::default()
+    });
+    let mut setup = DaemonClient::connect(handle.addr).unwrap();
+    let pattern_handle = setup.compile("sim-llm", MEMBERSHIP).unwrap();
+    let mut stream = std::net::TcpStream::connect(handle.addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .write_all(format!("MATCH {pattern_handle} 1000\n").as_bytes())
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(
+        line.starts_with("ERR 2 connection limit:"),
+        "oversized payload refused up front: {line:?}"
+    );
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "clean EOF after the refusal: {rest:?}");
+    drop((reader, stream));
+    setup.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
 /// The shipped binary accepts the hardening flags.
 #[test]
 fn semred_binary_accepts_hardening_flags() {

@@ -505,12 +505,14 @@ impl CliOptions {
 /// The compiled artifacts one run needs: the facade handle, the
 /// instrumented oracle behind it, the cross-file shared session (multi-file
 /// runs only), the retry counters when the oracle spec has a retry layer,
-/// and the resolved batch-chunk size.
+/// the tier counters when it has a `tiered:` registry stack, and the
+/// resolved batch-chunk size.
 struct Compiled {
     re: semre::SemRegex,
     oracle: Arc<Instrumented<Arc<dyn semre::Oracle>>>,
     session: Option<SharedSession>,
     retry: Option<Arc<semre::RetryCounters>>,
+    tiers: Option<Arc<semre::TierCounters>>,
     chunk: usize,
 }
 
@@ -524,7 +526,8 @@ fn compile(options: &CliOptions) -> Result<Compiled, CliError> {
 /// a `(query, text)` question repeated across files reaches the backend
 /// once for the whole run.
 fn compile_with(options: &CliOptions, share_across_files: bool) -> Result<Compiled, CliError> {
-    let (backend, retry) = options.oracle.build_with_counters()?;
+    let built = options.oracle.build_with_counters()?;
+    let (backend, retry, tiers) = (built.oracle, built.retry, built.tiers);
     // `--oracle-delay` interposes the sleeping `DelayOracle` *below* the
     // instrumented layer, so the call counters still tick and — when a
     // cross-file shared session dedupes — only genuine backend misses pay
@@ -596,6 +599,7 @@ fn compile_with(options: &CliOptions, share_across_files: bool) -> Result<Compil
         oracle,
         session,
         retry,
+        tiers,
         chunk,
     })
 }
@@ -722,6 +726,7 @@ pub fn run_on_text(options: &CliOptions, text: &str) -> Result<CliOutcome, CliEr
         re,
         oracle,
         retry,
+        tiers,
         chunk,
         ..
     } = compile(options)?;
@@ -854,6 +859,7 @@ pub fn run_on_text(options: &CliOptions, text: &str) -> Result<CliOutcome, CliEr
         }
         push_resolver_stats(&mut outcome.stderr, &re);
         push_retry_stats(&mut outcome.stderr, retry.as_ref());
+        push_tier_stats(&mut outcome.stderr, tiers.as_ref());
     }
     outcome.exit_code = if had_fault {
         2
@@ -907,6 +913,21 @@ fn push_retry_stats(stderr: &mut Vec<String>, retry: Option<&Arc<semre::RetryCou
 half_open_probes={}",
         s.attempts, s.retries, s.failures, s.breaker_trips, s.fast_fails, s.half_open_probes
     ));
+}
+
+/// Appends the `--stats` tier-routing line when the oracle spec has a
+/// `tiered:` registry stack: per-tier hit/escalation counters plus the
+/// number of keys that reached the authoritative backend.  Cumulative
+/// over the whole run, like the retry line.
+fn push_tier_stats(stderr: &mut Vec<String>, tiers: Option<&Arc<semre::TierCounters>>) {
+    let Some(counters) = tiers else {
+        return;
+    };
+    let stats = counters.snapshot();
+    if stats.is_empty() {
+        return;
+    }
+    stderr.push(format!("tiers: {}", stats.render()));
 }
 
 /// Appends the explicit-degradation warnings for one scanned input: the
@@ -981,6 +1002,7 @@ fn run_stream_with<R: Read + Send, W: Write>(
         re,
         oracle,
         retry,
+        tiers,
         chunk,
         ..
     } = compile(options)?;
@@ -1117,6 +1139,7 @@ fn run_stream_with<R: Read + Send, W: Write>(
         }
         push_resolver_stats(&mut outcome.stderr, &re);
         push_retry_stats(&mut outcome.stderr, retry.as_ref());
+        push_tier_stats(&mut outcome.stderr, tiers.as_ref());
     }
     outcome.exit_code = if had_fault {
         2
@@ -1203,6 +1226,7 @@ pub fn run_paths<W: Write + Send>(
         oracle,
         session,
         retry,
+        tiers,
         chunk,
     } = compile_with(options, true)?;
     let session = session.expect("multi-file compile interposes a session");
@@ -1270,7 +1294,7 @@ pub fn run_paths<W: Write + Send>(
             &report,
             &session,
             oracle.as_ref(),
-            retry.as_ref(),
+            (retry.as_ref(), tiers.as_ref()),
         );
     }
     let had_errors = !targets.errors.is_empty() || !report.errors.is_empty() || report.degraded > 0;
@@ -1410,7 +1434,14 @@ fn scan_file_contents<R: Read + Send>(
     }
 }
 
-/// Appends the `--stats` lines of a multi-file run.
+/// Appends the `--stats` lines of a multi-file run.  The oracle-plane
+/// counters (retry and tier) travel as one pair: both are optional
+/// per-backend accounting surfaced on their own stderr lines.
+type OracleCounters<'a> = (
+    Option<&'a Arc<semre::RetryCounters>>,
+    Option<&'a Arc<semre::TierCounters>>,
+);
+
 fn push_tree_stats(
     outcome: &mut CliOutcome,
     options: &CliOptions,
@@ -1418,7 +1449,7 @@ fn push_tree_stats(
     report: &TreeReport,
     session: &SharedSession,
     oracle: &Instrumented<Arc<dyn semre::Oracle>>,
-    retry: Option<&Arc<semre::RetryCounters>>,
+    (retry, tiers): OracleCounters<'_>,
 ) {
     outcome.stderr.push(format!(
         "algorithm={} mode={} threads={} files={} files_matched={} lines={} matched={} \
@@ -1479,6 +1510,7 @@ file_bytes={} compactions={} syncs={} write_errors={}",
     }
     push_resolver_stats(&mut outcome.stderr, re);
     push_retry_stats(&mut outcome.stderr, retry);
+    push_tier_stats(&mut outcome.stderr, tiers);
 }
 
 /// Reads the input (files, directories, or standard input) and runs the

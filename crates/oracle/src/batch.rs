@@ -385,6 +385,36 @@ impl<'a> BatchPlan<'a> {
     }
 }
 
+/// Resolves `misses` through `oracle` with the flush ordered by the
+/// oracle's own [`question_cost`](Oracle::question_cost) model, cheapest
+/// first; answers come back in the original miss order.
+///
+/// Cheap questions are the most likely to be answered without the
+/// authoritative backend (a cache or heuristic tier), so flushing them
+/// first front-loads the pruning.  Answers are keyed, so the reordering
+/// is invisible to callers; when every question prices the same (any flat
+/// backend under the default cost model) the batch is forwarded as-is.
+fn resolve_cost_ordered(oracle: &dyn Oracle, misses: &[QueryKey<'_>]) -> Vec<bool> {
+    let costs: Vec<u32> = misses
+        .iter()
+        .map(|key| oracle.question_cost(key.query, key.text))
+        .collect();
+    if costs.windows(2).all(|pair| pair[0] == pair[1]) {
+        return oracle.resolve_batch(misses);
+    }
+    let mut order: Vec<usize> = (0..misses.len()).collect();
+    // Stable, so equal-cost questions keep their scan order and the
+    // flush stays deterministic.
+    order.sort_by_key(|&i| costs[i]);
+    let ordered: Vec<QueryKey<'_>> = order.iter().map(|&i| misses[i]).collect();
+    let answers = oracle.resolve_batch(&ordered);
+    let mut by_miss = vec![false; misses.len()];
+    for (slot, &i) in order.iter().enumerate() {
+        by_miss[i] = answers[slot];
+    }
+    by_miss
+}
+
 /// A content-keyed answer store shared across membership tests.
 ///
 /// A session owns a borrowed backend plus a `(query, text) → bool` map.
@@ -452,7 +482,7 @@ impl<'o> BatchSession<'o> {
         } else {
             self.stats.batches += 1;
             self.stats.backend_keys += plan.misses.len() as u64;
-            let answers = self.oracle.resolve_batch(&plan.misses);
+            let answers = resolve_cost_ordered(self.oracle, &plan.misses);
             // Placeholder answers from a faulted backend (see the
             // fault-sink contract in the `error` module) must not enter
             // the session store.
@@ -500,6 +530,10 @@ impl<'o> BatchSession<'o> {
             })
             .collect();
         if !pending.is_empty() {
+            // Submit cheapest-first: the pool drains its queue in FIFO
+            // order, so the questions most likely to prune (cache or
+            // heuristic-tier answers) complete ahead of LLM-class ones.
+            pending.sort_by_cached_key(|key| self.oracle.question_cost(key.query, key.text));
             pool.submit(&pending);
             return None;
         }
@@ -806,7 +840,7 @@ impl Oracle for SharedSession {
             self.state
                 .backend_keys
                 .fetch_add(plan.misses.len() as u64, Relaxed);
-            let answers = self.oracle.resolve_batch(&plan.misses);
+            let answers = resolve_cost_ordered(self.oracle.as_ref(), &plan.misses);
             // Same placeholder rule as `holds`: a pending fault keeps
             // the whole miss batch out of the cache and the answer log.
             if !crate::error::fault_pending() {
@@ -822,6 +856,16 @@ impl Oracle for SharedSession {
             answers
         };
         plan.into_answers(miss_answers)
+    }
+
+    fn question_cost(&self, query: &str, text: &[u8]) -> u32 {
+        // A key any clone has already answered is free; fresh keys cost
+        // whatever the backend charges.
+        let key = QueryKey::new(query, text);
+        if self.state.cache.get(&key).is_some() {
+            return 0;
+        }
+        self.oracle.question_cost(query, text)
     }
 
     fn describe(&self) -> String {

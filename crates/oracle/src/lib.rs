@@ -47,6 +47,7 @@ mod control;
 mod error;
 mod overlap;
 pub mod persist;
+pub mod registry;
 mod retry;
 mod services;
 mod sim_llm;
@@ -61,6 +62,10 @@ pub use error::{
 };
 pub use overlap::{ResolverPool, ResolverStats, DEFAULT_IN_FLIGHT_WINDOW};
 pub use persist::{PersistConfig, PersistentAnswerStore, ReplayReport};
+pub use registry::{
+    BuiltinTier, DictDriver, DriverCaps, LatencyClass, ScreenDriver, TierAnswer, TierCounters,
+    TierDriver, TierStats, TierTally, TieredResolver, AUTHORITY_TIER,
+};
 pub use retry::{RetryCounters, RetryOracle, RetryPolicy, RetryStats};
 pub use services::{
     FileSystemOracle, IpGeoDb, PhishingList, WhoisDb, DEAD_DOMAIN_QUERY, FOREIGN_IP_QUERY,
@@ -73,6 +78,14 @@ pub use sim_llm::{
 pub use simple::{ConstOracle, PalindromeOracle, PredicateOracle, SetOracle, TableOracle};
 pub use stats::{BatchStats, OracleStats};
 pub use wrappers::{CachingOracle, Instrumented, LatencyModel};
+
+/// The cost [`Oracle::question_cost`] reports when an oracle has no
+/// better estimate: the price of one authoritative (LLM-class) question.
+///
+/// The scale is relative, not a unit of time or money; cheaper tiers in
+/// [`registry`] report small values (0 for a cache hit) on the same scale
+/// so that flush paths can order certain questions cheapest first.
+pub const DEFAULT_QUESTION_COST: u32 = 100;
 
 /// An external oracle `⟦·⟧ : Q × Σ* → bool`.
 ///
@@ -105,6 +118,21 @@ pub trait Oracle: Send + Sync {
             .collect()
     }
 
+    /// An estimate of what answering `(query, text)` will cost, on the
+    /// relative scale anchored by [`DEFAULT_QUESTION_COST`].
+    ///
+    /// The flush paths use this to order *certain* questions cheapest
+    /// first (the paper's cost model: minimize what reaches the expensive
+    /// backend).  The estimate is advisory — answers are keyed, so any
+    /// order yields identical verdicts — and must be side-effect free.
+    /// The default prices every question at the full authoritative cost,
+    /// which keeps flat backends order-stable; the tiered resolver in
+    /// [`registry`] overrides it with per-tier prices.
+    fn question_cost(&self, query: &str, text: &[u8]) -> u32 {
+        let _ = (query, text);
+        DEFAULT_QUESTION_COST
+    }
+
     /// A short human-readable description of the oracle, used in logs and
     /// experiment reports.
     fn describe(&self) -> String {
@@ -121,6 +149,10 @@ impl<O: Oracle + ?Sized> Oracle for &O {
         (**self).resolve_batch(batch)
     }
 
+    fn question_cost(&self, query: &str, text: &[u8]) -> u32 {
+        (**self).question_cost(query, text)
+    }
+
     fn describe(&self) -> String {
         (**self).describe()
     }
@@ -135,6 +167,10 @@ impl<O: Oracle + ?Sized> Oracle for Box<O> {
         (**self).resolve_batch(batch)
     }
 
+    fn question_cost(&self, query: &str, text: &[u8]) -> u32 {
+        (**self).question_cost(query, text)
+    }
+
     fn describe(&self) -> String {
         (**self).describe()
     }
@@ -147,6 +183,10 @@ impl<O: Oracle + ?Sized> Oracle for std::sync::Arc<O> {
 
     fn resolve_batch(&self, batch: &[QueryKey<'_>]) -> Vec<bool> {
         (**self).resolve_batch(batch)
+    }
+
+    fn question_cost(&self, query: &str, text: &[u8]) -> u32 {
+        (**self).question_cost(query, text)
     }
 
     fn describe(&self) -> String {

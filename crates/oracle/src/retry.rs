@@ -165,6 +165,39 @@ enum Breaker {
     HalfOpen,
 }
 
+/// One shareable breaker cell.  [`RetryOracle`]s built through
+/// [`with_shared_breaker`](RetryOracle::with_shared_breaker) hold the
+/// *same* cell whenever they name the same backend identity, so that one
+/// dead backend trips a single breaker for every spec, tenant, and
+/// session routing to it — rather than each compiled spec discovering the
+/// outage through its own private failure ladder.
+type BreakerCell = Arc<Mutex<Breaker>>;
+
+fn fresh_breaker() -> BreakerCell {
+    Arc::new(Mutex::new(Breaker::Closed { failures: 0 }))
+}
+
+/// The process-global registry of breaker cells, keyed by backend
+/// identity (canonically: the inner oracle spec's wire token).  Entries
+/// are held weakly so a backend nobody routes to anymore costs nothing;
+/// dead entries are pruned on the next lookup.
+fn shared_breaker(identity: &str) -> BreakerCell {
+    use std::collections::HashMap;
+    use std::sync::{OnceLock, Weak};
+    static REGISTRY: OnceLock<Mutex<HashMap<String, Weak<Mutex<Breaker>>>>> = OnceLock::new();
+    let mut registry = REGISTRY
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .expect("breaker registry lock poisoned");
+    if let Some(cell) = registry.get(identity).and_then(Weak::upgrade) {
+        return cell;
+    }
+    registry.retain(|_, weak| weak.strong_count() > 0);
+    let cell = fresh_breaker();
+    registry.insert(identity.to_owned(), Arc::downgrade(&cell));
+    cell
+}
+
 /// Wraps a [`TryOracle`], making it an infallible [`Oracle`] again:
 /// retryable failures are retried with deterministic backoff, a breaker
 /// fails fast while the backend looks dead, and unrecoverable failures
@@ -186,7 +219,7 @@ enum Breaker {
 pub struct RetryOracle<O> {
     inner: O,
     policy: RetryPolicy,
-    breaker: Mutex<Breaker>,
+    breaker: BreakerCell,
     jitter: Mutex<u64>,
     counters: Arc<RetryCounters>,
 }
@@ -197,11 +230,32 @@ impl<O: TryOracle> RetryOracle<O> {
         RetryOracle::with_policy(inner, RetryPolicy::default())
     }
 
-    /// Wraps `inner` with `policy`.
+    /// Wraps `inner` with `policy` and a breaker private to this
+    /// instance (the historical scope: one breaker per compiled spec).
     pub fn with_policy(inner: O, policy: RetryPolicy) -> Self {
         RetryOracle {
             inner,
-            breaker: Mutex::new(Breaker::Closed { failures: 0 }),
+            breaker: fresh_breaker(),
+            jitter: Mutex::new(policy.jitter_seed),
+            policy,
+            counters: Arc::new(RetryCounters::default()),
+        }
+    }
+
+    /// Wraps `inner` with `policy`, sharing breaker state with every
+    /// other `RetryOracle` in this process constructed for the same
+    /// backend `identity` (canonically: the inner spec's wire token).
+    ///
+    /// Breakers exist to protect a *backend*, not a compiled pattern:
+    /// when one tenant's scans prove a backend dead, every other tenant
+    /// and spec routing to that same backend should fail fast too,
+    /// instead of each paying its own full failure ladder.  Counters
+    /// remain per-instance, so stats still attribute trips and fast
+    /// fails to the session that observed them.
+    pub fn with_shared_breaker(inner: O, policy: RetryPolicy, identity: &str) -> Self {
+        RetryOracle {
+            inner,
+            breaker: shared_breaker(identity),
             jitter: Mutex::new(policy.jitter_seed),
             policy,
             counters: Arc::new(RetryCounters::default()),
@@ -568,6 +622,70 @@ mod tests {
         let fast = RetryPolicy::attempts(4);
         let mut rng = 7u64;
         assert_eq!(fast.backoff(3, &mut rng), Duration::ZERO);
+    }
+
+    #[test]
+    fn shared_breakers_trip_across_instances_for_one_identity() {
+        clear_fault();
+        let policy = RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            breaker_threshold: 1,
+            breaker_cooldown: 8,
+            jitter_seed: 1,
+        };
+        // Two independent wrappers — different compiled specs, same
+        // backend identity.  The second one's backend is healthy, but it
+        // must still fail fast once the first proves the identity dead.
+        let bad = RetryOracle::with_shared_breaker(
+            Schedule::new(u64::MAX, crate::OracleErrorKind::Transient),
+            policy,
+            "unit-test:shared-identity",
+        );
+        let healthy = RetryOracle::with_shared_breaker(
+            Schedule::new(0, crate::OracleErrorKind::Transient),
+            policy,
+            "unit-test:shared-identity",
+        );
+        assert!(!bad.holds("q", b"ab"));
+        assert_eq!(bad.stats().breaker_trips, 1);
+        clear_fault();
+        assert!(!healthy.holds("q", b"ab"), "fast-fail placeholder");
+        let fault = take_fault().expect("shared breaker faults the call");
+        assert!(fault.message.contains("circuit breaker open"), "{fault}");
+        let stats = healthy.stats();
+        assert_eq!(stats.fast_fails, 1, "tripped by the sibling instance");
+        assert_eq!(stats.attempts, 0, "healthy backend never consulted");
+    }
+
+    #[test]
+    fn distinct_identities_keep_independent_breakers() {
+        clear_fault();
+        let policy = RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            breaker_threshold: 1,
+            breaker_cooldown: 8,
+            jitter_seed: 1,
+        };
+        let bad = RetryOracle::with_shared_breaker(
+            Schedule::new(u64::MAX, crate::OracleErrorKind::Transient),
+            policy,
+            "unit-test:identity-a",
+        );
+        let other = RetryOracle::with_shared_breaker(
+            Schedule::new(0, crate::OracleErrorKind::Transient),
+            policy,
+            "unit-test:identity-b",
+        );
+        assert!(!bad.holds("q", b"ab"));
+        clear_fault();
+        assert!(other.holds("q", b"ab"), "different identity, traffic flows");
+        assert!(take_fault().is_none());
+        assert_eq!(other.stats().fast_fails, 0);
+        assert_eq!(other.stats().attempts, 1);
     }
 
     #[test]

@@ -201,7 +201,10 @@ impl SimLlmOracle {
         if t.len() == 1 {
             return false;
         }
-        let has_underscore_interior = t[1..].contains('_') && t.chars().any(|c| c.is_lowercase());
+        // Skip by char, not byte: a multi-byte first character (e.g. the
+        // U+FFFD a lossy decode produces) would make `t[1..]` panic.
+        let has_underscore_interior =
+            t.chars().skip(1).any(|c| c == '_') && t.chars().any(|c| c.is_lowercase());
         let all_consonant_blob = t.len() >= 4
             && t.chars().all(|c| c.is_ascii_alphabetic())
             && !t.chars().any(|c| "aeiouAEIOU".contains(c));

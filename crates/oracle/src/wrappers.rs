@@ -245,6 +245,10 @@ impl<O: Oracle> Oracle for Instrumented<O> {
         answers
     }
 
+    fn question_cost(&self, query: &str, text: &[u8]) -> u32 {
+        self.inner.question_cost(query, text)
+    }
+
     fn describe(&self) -> String {
         format!("instrumented({})", self.inner.describe())
     }
@@ -389,6 +393,16 @@ impl<O: Oracle> Oracle for CachingOracle<O> {
             answers
         };
         plan.into_answers(miss_answers)
+    }
+
+    fn question_cost(&self, query: &str, text: &[u8]) -> u32 {
+        // A cached answer is free; everything else costs whatever the
+        // wrapped backend would charge.
+        let key = crate::QueryKey::new(query, text);
+        if self.lock_cache().get(&key).is_some() {
+            return 0;
+        }
+        self.inner.question_cost(query, text)
     }
 
     fn describe(&self) -> String {

@@ -1,0 +1,337 @@
+//! Routing equivalence for the tiered oracle registry, at the oracle
+//! level: whatever tier stack sits in front of the authoritative
+//! backend, the *answers* must be exactly the flat backend's answers —
+//! tiers may only change **who** answers and **what it costs**, never
+//! what is answered.  (The matcher-level half of this suite — verdicts,
+//! spans, and CLI bytes across the nine paper benchmarks — lives in
+//! `crates/grep/tests/tiered_equivalence.rs`, which can drive the full
+//! scan pipeline.)
+//!
+//! # The trust contract
+//!
+//! A [`TierDriver`] that answers `Yes` or `No` is **trusted**: the
+//! resolver never double-checks a decided answer against the authority,
+//! because doing so would spend exactly the questions the tier exists to
+//! save.  Soundness is therefore a property of the *driver*, not of the
+//! resolver — the built-in screen/dict drivers are sound by construction
+//! (they are derived from the same lexicons the simulated LLM answers
+//! from), and a custom driver that is wrong-but-confident produces
+//! answer divergence that only a differential run like this suite can
+//! catch.  Two tests below pin both halves of the contract down: an
+//! `Uncertain`-always driver degrades to exactly the flat question set,
+//! and a deliberately wrong driver is *detected* by the comparison.
+
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex};
+
+use semre_oracle::{
+    BuiltinTier, DriverCaps, LatencyClass, Oracle, QueryKey, SimLlmOracle, TierAnswer, TierDriver,
+    TieredResolver, CELEBRITY_NAMES, CITY_NAMES, MEDICINE_NAMES, POLITICIAN_NAMES, SCIENTIST_NAMES,
+    SPORTSPERSON_NAMES,
+};
+
+/// SplitMix64 — the deterministic generator the repo's random suites use.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[(self.next() % items.len() as u64) as usize]
+    }
+}
+
+/// The distinct `(query, text)` keys a [`Recording`] wrapper saw.
+type KeyLog = Arc<Mutex<HashSet<(String, Vec<u8>)>>>;
+
+/// Counts the distinct `(query, text)` keys that reach the wrapped
+/// backend — the "flat-backend keys" / "authoritative-tier keys" both
+/// sides of the differential comparison are measured in.
+struct Recording {
+    inner: Arc<dyn Oracle>,
+    log: KeyLog,
+}
+
+impl Recording {
+    fn new(inner: Arc<dyn Oracle>) -> (Recording, KeyLog) {
+        let log = Arc::new(Mutex::new(HashSet::new()));
+        (
+            Recording {
+                inner,
+                log: Arc::clone(&log),
+            },
+            log,
+        )
+    }
+}
+
+impl Oracle for Recording {
+    fn holds(&self, query: &str, text: &[u8]) -> bool {
+        self.log
+            .lock()
+            .unwrap()
+            .insert((query.to_owned(), text.to_vec()));
+        self.inner.holds(query, text)
+    }
+
+    fn resolve_batch(&self, batch: &[QueryKey<'_>]) -> Vec<bool> {
+        {
+            let mut log = self.log.lock().unwrap();
+            for key in batch {
+                log.insert((key.query.to_owned(), key.text.to_vec()));
+            }
+        }
+        self.inner.resolve_batch(batch)
+    }
+
+    fn describe(&self) -> String {
+        self.inner.describe()
+    }
+}
+
+/// A deterministic mixed key stream: lexicon queries the built-in tiers
+/// can decide, heuristic and unknown queries they must escalate, and
+/// texts ranging from exact lexicon entries through case/whitespace
+/// variants to pure noise and non-UTF-8 bytes.
+fn random_keys(seed: u64, count: usize) -> Vec<(String, Vec<u8>)> {
+    let queries = [
+        "Medicine name",
+        "City",
+        "Celebrity",
+        "Politician",
+        "Sportsperson",
+        "Scientist",
+        "Password or SSH key",
+        "Inappropriately named Java identifier",
+        "Continent", // unknown to every backend: always `false`
+    ];
+    let entries: Vec<&str> = MEDICINE_NAMES
+        .iter()
+        .chain(CITY_NAMES)
+        .chain(CELEBRITY_NAMES)
+        .chain(POLITICIAN_NAMES)
+        .chain(SPORTSPERSON_NAMES)
+        .chain(SCIENTIST_NAMES)
+        .copied()
+        .collect();
+    let noise = [
+        "paperclip",
+        "xyzzy",
+        "meeting notes",
+        "hunter2",
+        "m_x",
+        "",
+        "a-very-long-string-no-lexicon-would-ever-hold",
+    ];
+    let mut rng = SplitMix64(seed);
+    let mut keys = Vec::with_capacity(count);
+    for _ in 0..count {
+        let query = (*rng.pick(&queries)).to_owned();
+        let text: Vec<u8> = match rng.next() % 5 {
+            0 => rng.pick(&entries).as_bytes().to_vec(),
+            1 => format!("  {}  ", rng.pick(&entries)).into_bytes(),
+            2 => rng.pick(&entries).to_uppercase().into_bytes(),
+            3 => rng.pick(&noise).as_bytes().to_vec(),
+            _ => vec![0xff, 0xfe, b'x', (rng.next() % 256) as u8],
+        };
+        keys.push((query, text));
+    }
+    keys
+}
+
+fn borrow(keys: &[(String, Vec<u8>)]) -> Vec<QueryKey<'_>> {
+    keys.iter().map(|(q, t)| QueryKey::new(q, t)).collect()
+}
+
+/// The three tier stacks the ISSUE's matrix names, as builder inputs.
+const STACKS: [&[BuiltinTier]; 3] = [
+    &[],                                                           // authoritative-only
+    &[BuiltinTier::Screen, BuiltinTier::Dict],                     // heuristic + authoritative
+    &[BuiltinTier::Cache, BuiltinTier::Screen, BuiltinTier::Dict], // full stack
+];
+
+/// Every tier stack answers a SplitMix64-random key stream exactly like
+/// the flat backend — point-wise and batched — while sending at most as
+/// many keys to the authority as the flat run's backend saw.
+#[test]
+fn tier_stacks_answer_random_key_streams_identically_to_the_flat_backend() {
+    let keys = random_keys(0x7e57_11ed, 400);
+    let batch = borrow(&keys);
+
+    let flat: Arc<dyn Oracle> = Arc::new(SimLlmOracle::new());
+    let (flat_rec, flat_log) = Recording::new(Arc::clone(&flat));
+    let expected = flat_rec.resolve_batch(&batch);
+    let flat_keys = flat_log.lock().unwrap().len();
+    assert!(expected.iter().any(|&a| a), "stream hits the lexicons");
+    assert!(expected.iter().any(|&a| !a), "stream misses the lexicons");
+
+    for stack in STACKS {
+        let (recording, authority_log) = Recording::new(Arc::clone(&flat));
+        let tiered = TieredResolver::with_builtins(stack, Arc::new(recording));
+
+        // Batched resolution.
+        let got = tiered.resolve_batch(&batch);
+        assert_eq!(got, expected, "stack {stack:?} diverged on resolve_batch");
+
+        // Point-wise resolution must agree too (and with the full stack,
+        // repeats are now free: the cache tier already holds them).
+        for ((query, text), &want) in keys.iter().zip(&expected) {
+            assert_eq!(
+                tiered.holds(query, text),
+                want,
+                "stack {stack:?} diverged on holds({query:?}, {text:?})"
+            );
+        }
+
+        let authority_keys = authority_log.lock().unwrap().len();
+        assert!(
+            authority_keys <= flat_keys,
+            "stack {stack:?}: {authority_keys} authority keys > {flat_keys} flat keys"
+        );
+        if stack.is_empty() {
+            assert_eq!(
+                authority_keys, flat_keys,
+                "the empty stack is the flat backend"
+            );
+        } else {
+            assert!(
+                authority_keys < flat_keys,
+                "a lexicon-backed stack must decide some keys itself"
+            );
+        }
+
+        // Counter bookkeeping: counters tally *routed* keys (repeats
+        // included — 400 batched + 400 point-wise), and every routed key
+        // was decided by exactly one tier.
+        let stats = tiered.stats();
+        assert_eq!(
+            stats.cheap_hits() + stats.authority_keys(),
+            2 * keys.len() as u64,
+            "stack {stack:?}: {stats:?}"
+        );
+    }
+}
+
+/// A driver that abstains on every key.  Stacking it must change
+/// *nothing*: the authority sees exactly the flat-backend question set
+/// and every answer is the flat answer.
+struct UncertainAlways;
+
+impl TierDriver for UncertainAlways {
+    fn name(&self) -> &str {
+        "shrug"
+    }
+
+    fn caps(&self) -> DriverCaps {
+        DriverCaps {
+            latency: LatencyClass::Memory,
+            cost_per_key: 1,
+            max_batch: usize::MAX,
+            stable: true,
+            can_abstain: true,
+        }
+    }
+
+    fn probe(&self, _: &str, _: &[u8]) -> TierAnswer {
+        TierAnswer::Uncertain
+    }
+}
+
+#[test]
+fn uncertain_always_driver_degrades_to_exactly_the_flat_question_set() {
+    let keys = random_keys(0xdeca_f000, 250);
+    let batch = borrow(&keys);
+
+    let backend: Arc<dyn Oracle> = Arc::new(SimLlmOracle::new());
+    let (flat_rec, flat_log) = Recording::new(Arc::clone(&backend));
+    let expected = flat_rec.resolve_batch(&batch);
+    let flat_questions = flat_log.lock().unwrap().clone();
+
+    let (recording, authority_log) = Recording::new(backend);
+    let tiered =
+        TieredResolver::from_drivers(vec![Box::new(UncertainAlways)], false, Arc::new(recording));
+    let got = tiered.resolve_batch(&batch);
+
+    assert_eq!(got, expected, "zero answer divergence");
+    assert_eq!(
+        *authority_log.lock().unwrap(),
+        flat_questions,
+        "an always-uncertain tier must not add, drop, or rewrite questions"
+    );
+    let stats = tiered.stats();
+    assert_eq!(stats.cheap_hits(), 0, "{stats:?}");
+    assert_eq!(
+        stats.authority_keys() as usize,
+        batch.len(),
+        "every routed key (repeats included) escalated: {stats:?}"
+    );
+}
+
+/// A wrong-but-confident driver: claims every medicine query is a `No`.
+/// The resolver trusts it (that is the contract — see the module docs),
+/// so the only way to catch it is exactly this differential comparison
+/// against the flat backend.
+struct ConfidentlyWrong;
+
+impl TierDriver for ConfidentlyWrong {
+    fn name(&self) -> &str {
+        "liar"
+    }
+
+    fn caps(&self) -> DriverCaps {
+        DriverCaps {
+            latency: LatencyClass::Memory,
+            cost_per_key: 1,
+            max_batch: usize::MAX,
+            stable: true,
+            can_abstain: true,
+        }
+    }
+
+    fn probe(&self, query: &str, _: &[u8]) -> TierAnswer {
+        if query == "Medicine name" {
+            TierAnswer::No // confidently wrong for every real medicine
+        } else {
+            TierAnswer::Uncertain
+        }
+    }
+}
+
+#[test]
+fn wrong_but_confident_driver_is_detected_by_differential_comparison() {
+    let keys = random_keys(0xbad_d21e5, 250);
+    let batch = borrow(&keys);
+
+    let backend: Arc<dyn Oracle> = Arc::new(SimLlmOracle::new());
+    let expected = backend.resolve_batch(&batch);
+
+    let (recording, authority_log) = Recording::new(Arc::clone(&backend));
+    let tiered =
+        TieredResolver::from_drivers(vec![Box::new(ConfidentlyWrong)], false, Arc::new(recording));
+    let got = tiered.resolve_batch(&batch);
+
+    // Detection: the differential run sees the divergence, exactly on
+    // the keys the liar decided and the flat backend affirms.
+    let diverged: Vec<usize> = (0..keys.len()).filter(|&i| got[i] != expected[i]).collect();
+    assert!(
+        !diverged.is_empty(),
+        "the stream must contain real medicine names for the liar to deny"
+    );
+    let authority_saw = authority_log.lock().unwrap().clone();
+    for &i in &diverged {
+        let (query, text) = &keys[i];
+        assert_eq!(query, "Medicine name", "only medicine answers were forged");
+        assert!(!got[i] && expected[i], "the forgery is always a denial");
+        assert!(
+            !authority_saw.contains(&(query.clone(), text.clone())),
+            "a trusted answer is never double-checked — that IS the trust \
+contract; detection belongs to this suite, not to the resolver"
+        );
+    }
+}

@@ -81,7 +81,7 @@ pub use error::Error;
 pub use regex::{
     Match, Matches, SemRegex, SemRegexBuilder, DEFAULT_CHUNK_LINES, DEFAULT_STREAM_CHUNK_BYTES,
 };
-pub use spec::{parse_set_oracle, OracleSpec};
+pub use spec::{parse_set_oracle, BuiltOracle, OracleSpec};
 pub use stream::{LineChunks, LineVerdict, PathsScan, ScanReader};
 
 pub use semre_automata as automata;
@@ -97,5 +97,9 @@ pub use semre_oracle::{
     PalindromeOracle, PersistConfig, PersistentAnswerStore, PredicateOracle, QueryKey, QueryLedger,
     ReplayReport, ResolverPool, ResolverStats, RetryCounters, RetryOracle, RetryPolicy, RetryStats,
     ScanControl, ScanInterrupt, SetOracle, SharedSession, SimLlmOracle, TableOracle, TryOracle,
+};
+pub use semre_oracle::{
+    BuiltinTier, DictDriver, DriverCaps, LatencyClass, ScreenDriver, TierAnswer, TierCounters,
+    TierDriver, TierStats, TierTally, TieredResolver, AUTHORITY_TIER, DEFAULT_QUESTION_COST,
 };
 pub use semre_syntax::{parse, skeleton, CharClass, ParseSemreError, QueryName, Semre};

@@ -12,28 +12,48 @@
 //! set:FILE       a SetOracle loaded from "query<TAB>accepted text" lines
 //! flaky:P:S:A:I  fault injection: the inner spec I fails P% of calls
 //!                (seed S), behind a retry wrapper with A attempts
+//! tiered:T:I     cost-tiered routing: the `+`-separated stack T (from
+//!                cache, screen, dict — or none) screens questions before
+//!                they escalate to the authoritative inner spec I
+//! breaker:K:C:I  circuit breaking: the inner spec I behind a breaker
+//!                tripping after K consecutive call failures, failing
+//!                fast for C calls per cooldown; breaker state is shared
+//!                process-wide by the inner spec's identity
 //! ```
 //!
 //! The `flaky:` form is how fault injection reaches every tool without
 //! bespoke plumbing: it works on the `grepo` command line and — because
 //! the canonical display form doubles as the daemon's `COMPILE` wire
-//! token — against a running `semred` too.
+//! token — against a running `semred` too.  `tiered:` and `breaker:`
+//! compose the same way (their inner spec is the greedy remainder, so
+//! `tiered:cache+dict:flaky:30:7:4:sim-llm` nests).
 
 use std::fmt;
 use std::str::FromStr;
 use std::sync::Arc;
 
 use semre_oracle::{
-    ConstOracle, Oracle, RetryCounters, RetryOracle, RetryPolicy, SetOracle, SimLlmOracle,
+    BuiltinTier, ConstOracle, Oracle, RetryCounters, RetryOracle, RetryPolicy, SetOracle,
+    SimLlmOracle, TierCounters, TieredResolver,
 };
 use semre_workloads::{FlakyOracle, FlakySchedule};
 
 use crate::Error;
 
-/// A built backend, plus a handle to the counters of its retry layer
-/// when the spec has one (`flaky:` — see
+/// A built backend, plus handles to any layer counters that must survive
+/// the oracle's type erasure behind `Arc<dyn Oracle>` (see
 /// [`build_with_counters`](OracleSpec::build_with_counters)).
-pub type BuiltOracle = (Arc<dyn Oracle>, Option<Arc<RetryCounters>>);
+#[derive(Clone)]
+pub struct BuiltOracle {
+    /// The backend, ready to be shared.
+    pub oracle: Arc<dyn Oracle>,
+    /// Counters of the retry layer, when the spec has one (`flaky:` and
+    /// `breaker:` specs).
+    pub retry: Option<Arc<RetryCounters>>,
+    /// Per-tier routing counters, when the spec routes through a
+    /// [`TieredResolver`] (`tiered:` specs).
+    pub tiers: Option<Arc<TierCounters>>,
+}
 
 /// A parsed oracle specification, ready to [`build`](OracleSpec::build).
 ///
@@ -70,6 +90,29 @@ pub enum OracleSpec {
         /// The backend being made unreliable.
         inner: Box<OracleSpec>,
     },
+    /// Cost-tiered routing: the listed built-in tiers screen every
+    /// question (cheapest first), escalating to the authoritative inner
+    /// backend only on uncertainty.  An empty stack (`tiered:none:…`)
+    /// routes everything straight through — the degenerate case the
+    /// differential suite compares against.
+    Tiered {
+        /// The cheap tiers, in the order they were specified.
+        tiers: Vec<BuiltinTier>,
+        /// The authoritative backend.
+        inner: Box<OracleSpec>,
+    },
+    /// Circuit breaking: the inner backend behind a [`RetryOracle`]
+    /// whose breaker state is shared process-wide across every spec
+    /// naming the same inner backend — one dead backend trips a single
+    /// breaker for all tenants and compiled specs routing to it.
+    Breaker {
+        /// Consecutive call failures that trip the breaker (min 1).
+        threshold: u32,
+        /// Calls failed fast per open period before a half-open probe.
+        cooldown: u32,
+        /// The backend being protected.
+        inner: Box<OracleSpec>,
+    },
 }
 
 impl OracleSpec {
@@ -88,6 +131,12 @@ impl OracleSpec {
             other => {
                 if let Some(rest) = other.strip_prefix("flaky:") {
                     return parse_flaky(rest);
+                }
+                if let Some(rest) = other.strip_prefix("tiered:") {
+                    return parse_tiered(rest);
+                }
+                if let Some(rest) = other.strip_prefix("breaker:") {
+                    return parse_breaker(rest);
                 }
                 match other.strip_prefix("set:") {
                     Some(path) if !path.is_empty() => Ok(OracleSpec::SetFile(path.to_owned())),
@@ -120,26 +169,32 @@ impl OracleSpec {
     ///
     /// Returns [`Error::Oracle`] when a `set:` file cannot be read.
     pub fn build(&self) -> Result<Arc<dyn Oracle>, Error> {
-        Ok(self.build_with_counters()?.0)
+        Ok(self.build_with_counters()?.oracle)
     }
 
     /// Builds the backend, also returning the retry counters when the
-    /// spec has a retry layer (`flaky:`), so tools can report
-    /// attempts/retries/failures in `--stats` after the oracle is
-    /// type-erased.
+    /// spec has a retry layer (`flaky:`, `breaker:`) and the tier
+    /// counters when it routes through a [`TieredResolver`] (`tiered:`),
+    /// so tools can report layer statistics in `--stats` after the
+    /// oracle is type-erased.
     ///
     /// # Errors
     ///
     /// Returns [`Error::Oracle`] when a `set:` file cannot be read.
     pub fn build_with_counters(&self) -> Result<BuiltOracle, Error> {
+        let plain = |oracle: Arc<dyn Oracle>| BuiltOracle {
+            oracle,
+            retry: None,
+            tiers: None,
+        };
         Ok(match self {
-            OracleSpec::SimLlm => (Arc::new(SimLlmOracle::new()), None),
-            OracleSpec::AlwaysTrue => (Arc::new(ConstOracle::always_true()), None),
-            OracleSpec::AlwaysFalse => (Arc::new(ConstOracle::always_false()), None),
+            OracleSpec::SimLlm => plain(Arc::new(SimLlmOracle::new())),
+            OracleSpec::AlwaysTrue => plain(Arc::new(ConstOracle::always_true())),
+            OracleSpec::AlwaysFalse => plain(Arc::new(ConstOracle::always_false())),
             OracleSpec::SetFile(path) => {
                 let content = std::fs::read_to_string(path)
                     .map_err(|e| Error::Oracle(format!("cannot read oracle file {path}: {e}")))?;
-                (Arc::new(parse_set_oracle(&content)), None)
+                plain(Arc::new(parse_set_oracle(&content)))
             }
             OracleSpec::Flaky {
                 percent,
@@ -154,7 +209,76 @@ impl OracleSpec {
                 );
                 let retry = RetryOracle::with_policy(flaky, RetryPolicy::attempts(*attempts));
                 let counters = retry.counters();
-                (Arc::new(retry), Some(counters))
+                BuiltOracle {
+                    oracle: Arc::new(retry),
+                    retry: Some(counters),
+                    tiers: None,
+                }
+            }
+            OracleSpec::Tiered { tiers, inner } => {
+                // The inner build may itself carry retry counters (a
+                // flaky or breaker authority); keep the handle so stats
+                // report both layers.
+                let built = inner.build_with_counters()?;
+                let resolver = TieredResolver::with_builtins(tiers, built.oracle);
+                let tier_counters = resolver.counters();
+                BuiltOracle {
+                    oracle: Arc::new(resolver),
+                    retry: built.retry,
+                    tiers: Some(tier_counters),
+                }
+            }
+            OracleSpec::Breaker {
+                threshold,
+                cooldown,
+                inner,
+            } => {
+                // Breaker state is keyed by the *inner* spec's canonical
+                // form: every breaker spec protecting the same backend
+                // shares one breaker, whatever pattern or tenant it was
+                // compiled for.
+                let identity = inner.to_string();
+                let policy = |attempts: u32| RetryPolicy {
+                    max_attempts: attempts.max(1),
+                    base_backoff: std::time::Duration::ZERO,
+                    max_backoff: std::time::Duration::ZERO,
+                    breaker_threshold: (*threshold).max(1),
+                    breaker_cooldown: *cooldown,
+                    jitter_seed: 0x5eed,
+                };
+                let (oracle, counters): (Arc<dyn Oracle>, Arc<RetryCounters>) =
+                    if let OracleSpec::Flaky {
+                        percent,
+                        seed,
+                        attempts,
+                        inner: flaky_inner,
+                    } = inner.as_ref()
+                    {
+                        // A flaky inner folds into the breaker's own
+                        // retry wrapper: wrapping the flaky spec's
+                        // ready-made RetryOracle would never trip,
+                        // because that layer already converts failures
+                        // into placeholder answers.
+                        let backend = flaky_inner.build()?;
+                        let flaky = FlakyOracle::new(
+                            backend,
+                            FlakySchedule::with_rate(f64::from(*percent) / 100.0, *seed),
+                        );
+                        let retry =
+                            RetryOracle::with_shared_breaker(flaky, policy(*attempts), &identity);
+                        let counters = retry.counters();
+                        (Arc::new(retry), counters)
+                    } else {
+                        let backend = inner.build()?;
+                        let retry = RetryOracle::with_shared_breaker(backend, policy(1), &identity);
+                        let counters = retry.counters();
+                        (Arc::new(retry), counters)
+                    };
+                BuiltOracle {
+                    oracle,
+                    retry: Some(counters),
+                    tiers: None,
+                }
             }
         })
     }
@@ -200,6 +324,71 @@ fn parse_flaky(rest: &str) -> Result<OracleSpec, Error> {
     })
 }
 
+/// Parses the `<stack>:<inner>` tail of a `tiered:` spec.  The stack is
+/// `+`-separated built-in tier tokens (`cache`, `screen`, `dict`) or the
+/// literal `none`; the inner spec is the greedy remainder, as in
+/// `flaky:`.
+fn parse_tiered(rest: &str) -> Result<OracleSpec, Error> {
+    let bad = |what: &str| {
+        Error::Oracle(format!(
+            "bad tiered spec ({what}); expected tiered:<cache|screen|dict[+…]|none>:<inner>, got tiered:{rest}"
+        ))
+    };
+    let (stack, inner) = rest.split_once(':').ok_or_else(|| bad("missing inner"))?;
+    if inner.is_empty() {
+        return Err(bad("empty inner spec"));
+    }
+    let tiers = if stack == "none" {
+        Vec::new()
+    } else {
+        let mut tiers = Vec::new();
+        for token in stack.split('+') {
+            let tier =
+                BuiltinTier::parse(token).ok_or_else(|| bad(&format!("unknown tier {token:?}")))?;
+            if tiers.contains(&tier) {
+                return Err(bad(&format!("duplicate tier {token:?}")));
+            }
+            tiers.push(tier);
+        }
+        tiers
+    };
+    Ok(OracleSpec::Tiered {
+        tiers,
+        inner: Box::new(OracleSpec::parse(inner)?),
+    })
+}
+
+/// Parses the `<threshold>:<cooldown>:<inner>` tail of a `breaker:`
+/// spec; the inner spec is the greedy remainder.
+fn parse_breaker(rest: &str) -> Result<OracleSpec, Error> {
+    let bad = |what: &str| {
+        Error::Oracle(format!(
+            "bad breaker spec ({what}); expected breaker:<threshold>:<cooldown>:<inner>, got breaker:{rest}"
+        ))
+    };
+    let mut parts = rest.splitn(3, ':');
+    let threshold: u32 = parts
+        .next()
+        .and_then(|p| p.parse().ok())
+        .ok_or_else(|| bad("threshold"))?;
+    if threshold == 0 {
+        return Err(bad("zero threshold (would disable the breaker)"));
+    }
+    let cooldown: u32 = parts
+        .next()
+        .and_then(|p| p.parse().ok())
+        .ok_or_else(|| bad("cooldown"))?;
+    let inner = parts
+        .next()
+        .filter(|i| !i.is_empty())
+        .ok_or_else(|| bad("inner spec"))?;
+    Ok(OracleSpec::Breaker {
+        threshold,
+        cooldown,
+        inner: Box::new(OracleSpec::parse(inner)?),
+    })
+}
+
 impl FromStr for OracleSpec {
     type Err = Error;
 
@@ -221,6 +410,19 @@ impl fmt::Display for OracleSpec {
                 attempts,
                 inner,
             } => write!(f, "flaky:{percent}:{seed}:{attempts}:{inner}"),
+            OracleSpec::Tiered { tiers, inner } => {
+                if tiers.is_empty() {
+                    write!(f, "tiered:none:{inner}")
+                } else {
+                    let stack: Vec<&str> = tiers.iter().map(|t| t.token()).collect();
+                    write!(f, "tiered:{}:{inner}", stack.join("+"))
+                }
+            }
+            OracleSpec::Breaker {
+                threshold,
+                cooldown,
+                inner,
+            } => write!(f, "breaker:{threshold}:{cooldown}:{inner}"),
         }
     }
 }
@@ -275,7 +477,7 @@ mod tests {
     /// two store keys (or collapse two into one).
     #[test]
     fn every_variant_round_trips_canonically() {
-        let variants: [(OracleSpec, &str); 9] = [
+        let variants: [(OracleSpec, &str); 14] = [
             (OracleSpec::SimLlm, "sim-llm"),
             (OracleSpec::AlwaysTrue, "always-true"),
             (OracleSpec::AlwaysFalse, "always-false"),
@@ -309,6 +511,56 @@ mod tests {
                     inner: Box::new(OracleSpec::SetFile("a:b.tsv".into())),
                 },
                 "flaky:100:0:1:set:a:b.tsv",
+            ),
+            // Tiered routing, in all three tracked stack shapes.
+            (
+                OracleSpec::Tiered {
+                    tiers: vec![],
+                    inner: Box::new(OracleSpec::SimLlm),
+                },
+                "tiered:none:sim-llm",
+            ),
+            (
+                OracleSpec::Tiered {
+                    tiers: vec![BuiltinTier::Cache, BuiltinTier::Screen, BuiltinTier::Dict],
+                    inner: Box::new(OracleSpec::SimLlm),
+                },
+                "tiered:cache+screen+dict:sim-llm",
+            ),
+            // A colon-bearing (flaky) authority survives the greedy tail.
+            (
+                OracleSpec::Tiered {
+                    tiers: vec![BuiltinTier::Dict],
+                    inner: Box::new(OracleSpec::Flaky {
+                        percent: 30,
+                        seed: 7,
+                        attempts: 4,
+                        inner: Box::new(OracleSpec::SimLlm),
+                    }),
+                },
+                "tiered:dict:flaky:30:7:4:sim-llm",
+            ),
+            // Circuit breaking, flat and over a flaky inner.
+            (
+                OracleSpec::Breaker {
+                    threshold: 2,
+                    cooldown: 5,
+                    inner: Box::new(OracleSpec::SimLlm),
+                },
+                "breaker:2:5:sim-llm",
+            ),
+            (
+                OracleSpec::Breaker {
+                    threshold: 1,
+                    cooldown: 3,
+                    inner: Box::new(OracleSpec::Flaky {
+                        percent: 100,
+                        seed: 9,
+                        attempts: 1,
+                        inner: Box::new(OracleSpec::AlwaysTrue),
+                    }),
+                },
+                "breaker:1:3:flaky:100:9:1:always-true",
             ),
         ];
         for (spec, display) in variants {
@@ -381,27 +633,114 @@ mod tests {
         // A 0%-failure spec behaves exactly like its inner backend, and
         // the counters handle observes the retry layer's attempts.
         let spec = OracleSpec::parse("flaky:0:1:3:always-true").unwrap();
-        let (oracle, counters) = spec.build_with_counters().unwrap();
-        let counters = counters.expect("flaky specs expose retry counters");
-        assert!(oracle.holds("q", b"x"));
+        let built = spec.build_with_counters().unwrap();
+        let counters = built.retry.expect("flaky specs expose retry counters");
+        assert!(built.oracle.holds("q", b"x"));
         assert_eq!(counters.snapshot().attempts, 1);
         assert_eq!(counters.snapshot().failures, 0);
+        assert!(built.tiers.is_none());
 
         // 100% failure with one attempt: placeholder + fault recorded.
         semre_oracle::clear_fault();
         let spec = OracleSpec::parse("flaky:100:1:1:always-true").unwrap();
-        let (oracle, counters) = spec.build_with_counters().unwrap();
-        assert!(!oracle.holds("q", b"x"), "placeholder answer");
+        let built = spec.build_with_counters().unwrap();
+        assert!(!built.oracle.holds("q", b"x"), "placeholder answer");
         assert!(semre_oracle::take_fault().is_some(), "fault surfaced");
-        assert_eq!(counters.unwrap().snapshot().failures, 1);
+        assert_eq!(built.retry.unwrap().snapshot().failures, 1);
 
         // Non-flaky specs report no counters, via either entry point.
-        assert!(OracleSpec::SimLlm
-            .build_with_counters()
-            .unwrap()
-            .1
-            .is_none());
+        let plain = OracleSpec::SimLlm.build_with_counters().unwrap();
+        assert!(plain.retry.is_none() && plain.tiers.is_none());
         assert!(OracleSpec::SimLlm.build().is_ok());
+    }
+
+    #[test]
+    fn tiered_specs_parse_validate_and_route() {
+        // Malformed stacks are rejected with a usage hint.
+        for bad in [
+            "tiered:",
+            "tiered:cache",
+            "tiered:cache:",
+            "tiered:llm:sim-llm",
+            "tiered:cache+cache:sim-llm",
+            "tiered:cache+:sim-llm",
+            "tiered::sim-llm",
+            "tiered:none:nonsense",
+        ] {
+            assert!(OracleSpec::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+
+        // A full stack answers lexicon questions without the authority
+        // and exposes the tier counters.
+        let spec = OracleSpec::parse("tiered:cache+screen+dict:sim-llm").unwrap();
+        let built = spec.build_with_counters().unwrap();
+        let tiers = built.tiers.expect("tiered specs expose tier counters");
+        assert!(built.oracle.holds("Medicine name", b"tramadol"));
+        assert!(!built.oracle.holds("Medicine name", b"paperclip"));
+        let stats = tiers.snapshot();
+        assert_eq!(stats.authority_keys(), 0, "{stats:?}");
+        assert_eq!(stats.cheap_hits(), 2, "{stats:?}");
+        assert!(built.retry.is_none());
+
+        // An empty stack escalates everything (the flat-backend shape).
+        let spec = OracleSpec::parse("tiered:none:sim-llm").unwrap();
+        let built = spec.build_with_counters().unwrap();
+        assert!(built.oracle.holds("Medicine name", b"tramadol"));
+        let tiers = built.tiers.unwrap();
+        assert_eq!(tiers.snapshot().authority_keys(), 1);
+
+        // A flaky authority threads its retry counters through.
+        let spec = OracleSpec::parse("tiered:none:flaky:0:1:3:always-true").unwrap();
+        let built = spec.build_with_counters().unwrap();
+        assert!(built.oracle.holds("q", b"x"));
+        assert_eq!(built.retry.unwrap().snapshot().attempts, 1);
+    }
+
+    #[test]
+    fn breaker_specs_parse_validate_and_share_state_by_identity() {
+        for bad in [
+            "breaker:",
+            "breaker:2",
+            "breaker:2:5",
+            "breaker:2:5:",
+            "breaker:0:5:sim-llm",
+            "breaker:x:5:sim-llm",
+            "breaker:2:5:nonsense",
+        ] {
+            assert!(OracleSpec::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+
+        // A healthy inner passes through (and the breaker stays closed).
+        let built = OracleSpec::parse("breaker:2:5:always-true")
+            .unwrap()
+            .build_with_counters()
+            .unwrap();
+        assert!(built.oracle.holds("q", b"x"));
+        let counters = built.retry.expect("breaker specs expose retry counters");
+        assert_eq!(counters.snapshot().breaker_trips, 0);
+
+        // Two *separately built* specs over the same always-failing inner
+        // share one breaker: the first build trips it, the second fails
+        // fast without ever reaching its own backend.
+        semre_oracle::clear_fault();
+        let spec = "breaker:1:6:flaky:100:41:1:always-true";
+        let first = OracleSpec::parse(spec)
+            .unwrap()
+            .build_with_counters()
+            .unwrap();
+        let second = OracleSpec::parse(spec)
+            .unwrap()
+            .build_with_counters()
+            .unwrap();
+        assert!(!first.oracle.holds("q", b"x"), "failure trips the breaker");
+        assert_eq!(first.retry.as_ref().unwrap().snapshot().breaker_trips, 1);
+        semre_oracle::clear_fault();
+        assert!(!second.oracle.holds("q", b"x"), "fast-fail placeholder");
+        let fault = semre_oracle::take_fault().expect("fast fail faults");
+        assert!(fault.message.contains("circuit breaker"), "{fault}");
+        let stats = second.retry.unwrap().snapshot();
+        assert_eq!(stats.fast_fails, 1, "tripped by the sibling build");
+        assert_eq!(stats.attempts, 0, "backend never consulted");
     }
 
     #[test]
