@@ -1,4 +1,4 @@
-//! Emits the tracked perf trajectory as `BENCH_PR9.json`.
+//! Emits the tracked perf trajectory as `BENCH_PR10.json`.
 //!
 //! ```text
 //! bench_trajectory [--quick] [--check] [--out PATH]
@@ -6,18 +6,18 @@
 //!   --quick      reduced sample sizes and repetitions (CI smoke runs)
 //!   --check      fail (exit 1) when a tracked geomean drops below its
 //!                stored regression floor (see `Floors::tracked`)
-//!   --out PATH   output file (default BENCH_PR9.json)
+//!   --out PATH   output file (default BENCH_PR10.json)
 //! ```
 //!
 //! Prints a human-readable summary table and writes the JSON document the
 //! next PR regresses against.  See EXPERIMENTS.md ("prefilter-speedup",
 //! "prescan-speedup", "stream-throughput", "tree-scan", "overlap",
-//! "persist-dedupe", "tiered-cost").
+//! "persist-dedupe", "tiered-cost", "skewed-tree").
 
 use semre_bench::trajectory::{self, Floors, TrajectoryConfig};
 
 fn main() {
-    let mut out_path = "BENCH_PR9.json".to_owned();
+    let mut out_path = "BENCH_PR10.json".to_owned();
     let mut config = TrajectoryConfig::full();
     let mut check = false;
     let mut args = std::env::args().skip(1);
@@ -100,6 +100,25 @@ fn main() {
         tree.equivalent
     );
 
+    let skew = &trajectory.skewed_tree;
+    println!(
+        "skewed-tree ({} files, {} lines, giant {} of {} bytes, split {} bytes, {} ranges): \
+         {:.0} ns/line whole-file, {:.0} ns/line split ({:.2}x) on 4 workers, equivalent={}",
+        skew.files,
+        skew.lines,
+        skew.giant_bytes,
+        skew.total_bytes,
+        skew.split_bytes,
+        skew.ranges,
+        skew.split.reference_ns,
+        skew.split.fast_ns,
+        skew.speedup(),
+        skew.equivalent
+    );
+    for (workers, ns) in &skew.worker_sweep {
+        println!("  split-on contention sweep: {workers} workers, {ns:.0} ns/line");
+    }
+
     let overlap = &trajectory.overlap;
     println!(
         "overlap ({} us/batch, {} resolver threads):",
@@ -160,6 +179,7 @@ fn main() {
     assert!(
         trajectory.all_equivalent()
             && trajectory.tree_scan.equivalent
+            && trajectory.skewed_tree.equivalent
             && trajectory.overlap.equivalent()
             && trajectory.persist.equivalent
             && trajectory.tiered_cost.equivalent,

@@ -1,4 +1,4 @@
-//! The tracked benchmark trajectory (`BENCH_PR9.json`).
+//! The tracked benchmark trajectory (`BENCH_PR10.json`).
 //!
 //! Subsequent PRs need a perf baseline to regress against; this module
 //! measures it and emits it as JSON.  Five families of numbers are
@@ -31,6 +31,11 @@
 //!   byte-identity of the output across thread counts and the cross-file
 //!   oracle-deduplication check (shared-session backend questions <
 //!   per-file sum);
+//! * **skewed tree** (`skewed-tree`) — the same kind of run over a tree
+//!   whose bytes one giant file of mostly-unique lines dominates,
+//!   `--split-bytes` sub-file range stealing on vs off at 4 workers,
+//!   plus a 1/2/4/8-worker contention sweep and byte-identity across
+//!   the whole split x thread grid;
 //! * **overlap** (`overlap-speedup`) — ns/line for a batched scan against
 //!   a deterministic 1 ms/batch `DelayOracle`, resolver pool (suspend /
 //!   resume scheduling) vs synchronous resolution, plus the verdict
@@ -240,6 +245,48 @@ impl TreeScanTrajectory {
     }
 }
 
+/// The skewed-tree trajectory record (ISSUE 10): a tree whose byte count
+/// one giant file dominates, scanned at 4 workers with sub-file range
+/// splitting on vs off.  Whole-file stealing degenerates to one worker
+/// serializing the giant file's oracle batches while the others idle;
+/// range splitting spreads them, so the toggle isolates exactly what
+/// sub-file work stealing buys.
+#[derive(Clone, Debug)]
+pub struct SkewedTreeTrajectory {
+    /// Files in the generated tree.
+    pub files: usize,
+    /// Lines across all files.
+    pub lines: usize,
+    /// Bytes of the dominating giant file.
+    pub giant_bytes: u64,
+    /// Bytes across the whole tree (the giant file carries > 90 %).
+    pub total_bytes: u64,
+    /// The `--split-bytes` value of the split-on runs (sized so the
+    /// giant file splits into ~4 ranges).
+    pub split_bytes: u64,
+    /// Scan units of the split-on run, as reported by the scheduler
+    /// (small files count one each; the giant file several).
+    pub ranges: u64,
+    /// Full multi-file scan at 4 workers under the sleeping per-batch
+    /// `--oracle-delay`: sub-file splitting on (fast) vs whole-file
+    /// stealing (reference).
+    pub split: Toggle,
+    /// Split-on ns/line at 1, 2, 4, and 8 workers — the contention
+    /// sweep, informational.
+    pub worker_sweep: Vec<(usize, f64)>,
+    /// Output bytes identical across `--split-bytes` {off, on} x
+    /// `--threads` {1, 2, 4, 8}.
+    pub equivalent: bool,
+}
+
+impl SkewedTreeTrajectory {
+    /// Whole-file over split wall time at 4 workers — what range
+    /// splitting buys on the skew.
+    pub fn speedup(&self) -> f64 {
+        self.split.speedup()
+    }
+}
+
 /// The persistence trajectory record: the same corpus tree scanned cold
 /// (empty answer log) and then warm (a fresh session over the same log),
 /// through `SharedSession::with_persistence`.
@@ -323,6 +370,8 @@ pub struct Trajectory {
     pub benches: Vec<BenchTrajectory>,
     /// The multi-file tree-scan record.
     pub tree_scan: TreeScanTrajectory,
+    /// The skewed-tree sub-file work-stealing record.
+    pub skewed_tree: SkewedTreeTrajectory,
     /// The overlapped-resolution record.
     pub overlap: OverlapTrajectory,
     /// The cold-vs-warm persistent-store record.
@@ -411,6 +460,11 @@ impl Trajectory {
             floors.tree_scan_ratio,
         );
         gate(
+            "skewed-tree split speedup (4 workers, sub-file ranges vs whole-file)",
+            self.skewed_tree.speedup(),
+            floors.skewed_tree_speedup,
+        );
+        gate(
             "geomean overlap speedup (overlapped vs synchronous resolution)",
             self.overlap.geomean_speedup(),
             floors.overlap_speedup,
@@ -450,6 +504,11 @@ impl Trajectory {
         if !self.tree_scan.equivalent {
             violations.push("tree-scan output differed across thread counts".to_owned());
         }
+        if !self.skewed_tree.equivalent {
+            violations.push(
+                "skewed-tree output differed across the split-bytes / thread grid".to_owned(),
+            );
+        }
         if !self.tree_scan.deduped() {
             violations.push(format!(
                 "tree-scan shared session did not dedupe across files ({} backend keys vs per-file sum {})",
@@ -487,6 +546,11 @@ pub struct Floors {
     /// workers must actually hide backend latency (> 1), not merely
     /// avoid a pathological slowdown.
     pub tree_scan_ratio: f64,
+    /// Split-on-vs-off wall time at 4 workers on the one-giant-file
+    /// tree.  The ISSUE 10 acceptance bar: sub-file range stealing must
+    /// beat whole-file stealing at least 1.5x where whole-file stealing
+    /// degenerates to a sequential scan of the giant file.
+    pub skewed_tree_speedup: f64,
     /// Overlapped-vs-synchronous resolution geomean under the 1 ms/batch
     /// `DelayOracle` (full run well above this; the floor is the PR 6
     /// acceptance bar).
@@ -514,6 +578,7 @@ impl Floors {
             prescan_speedup: 1.25,
             stream_ratio: 0.5,
             tree_scan_ratio: 1.0,
+            skewed_tree_speedup: 1.5,
             overlap_speedup: 3.0,
             persist_dedupe: 2.0,
             tiered_cost_ratio: 2.0,
@@ -552,6 +617,7 @@ pub fn measure(config: &TrajectoryConfig) -> Trajectory {
         config: *config,
         benches,
         tree_scan: measure_tree_scan(config),
+        skewed_tree: measure_skewed_tree(config),
         overlap: measure_overlap(config, &workbench),
         persist: measure_persist(config),
         tiered_cost: measure_tiered_cost(config),
@@ -927,6 +993,120 @@ fn measure_tree_scan(config: &TrajectoryConfig) -> TreeScanTrajectory {
     }
 }
 
+/// The skewed-tree measurement (ISSUE 10): generate a tree whose bytes
+/// one giant file dominates, then scan it at 4 workers with and without
+/// sub-file range splitting under the sleeping per-batch
+/// `--oracle-delay`.  The giant file's lines are mostly unique, so the
+/// shared session cannot flatten its per-batch cost; without splitting,
+/// one worker serializes every giant-file batch while the others idle.
+/// `--split-bytes` is sized to cut the giant file into ~4 ranges, one
+/// per worker.
+fn measure_skewed_tree(config: &TrajectoryConfig) -> SkewedTreeTrajectory {
+    use semre_grep::cli::{expand_targets, run_paths, CliOptions};
+    use semre_workloads::{CorpusTree, CorpusTreeConfig};
+
+    let tree_config = CorpusTreeConfig {
+        seed: config.seed ^ 0x5e3d,
+        files: 6,
+        mean_lines: 10,
+        ..CorpusTreeConfig::default()
+    };
+    let tree = CorpusTree::generate_skewed(&tree_config, 4_000);
+    let root = std::env::temp_dir().join(format!(
+        "semre-trajectory-skew-{}-{}",
+        config.seed,
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&root);
+    tree.write_to(&root)
+        .expect("cannot write scratch skewed tree");
+    let giant_bytes = tree
+        .files
+        .iter()
+        .find(|f| f.path == std::path::Path::new("giant.txt"))
+        .map(|f| f.contents.len() as u64)
+        .expect("skewed tree has a giant file");
+    let total_bytes = tree.total_bytes() as u64;
+    // ~4 ranges over the giant file — one per timed worker.
+    let split_bytes = (giant_bytes / 4).max(4096);
+
+    let pattern = r"Subject: .*(?<Medicine name>: [a-z]+).*";
+    let root_str = root.display().to_string();
+    let per_batch_us: u64 = 2_000;
+    let run = |threads: usize, split: Option<u64>| -> (Vec<u8>, u64) {
+        let args: Vec<String> = vec![
+            "--batched".to_owned(),
+            // --stats puts the scheduler's split_files=/ranges= counters
+            // on stderr, where `ranges` is read back below.
+            "--stats".to_owned(),
+            "--oracle-delay".to_owned(),
+            per_batch_us.to_string(),
+            "--threads".to_owned(),
+            threads.to_string(),
+            "--split-bytes".to_owned(),
+            split.map_or_else(|| "off".to_owned(), |n| n.to_string()),
+            pattern.to_owned(),
+            root_str.clone(),
+        ];
+        let options = CliOptions::parse(args).expect("trajectory CLI args parse");
+        let targets = expand_targets(&options);
+        let mut out = Vec::new();
+        let outcome = run_paths(&options, &targets, &mut out).expect("skewed tree scan runs");
+        assert_ne!(outcome.exit_code, 2, "scratch tree must be readable");
+        let ranges = outcome
+            .stderr
+            .iter()
+            .rev()
+            .find_map(|line| {
+                line.split_whitespace()
+                    .find_map(|tok| tok.strip_prefix("ranges=").and_then(|v| v.parse().ok()))
+            })
+            .unwrap_or(0);
+        (out, ranges)
+    };
+
+    let (sequential_out, _) = run(1, None);
+    let (_, ranges) = run(4, Some(split_bytes));
+    let mut equivalent = !sequential_out.is_empty();
+    for threads in [1usize, 2, 4, 8] {
+        for split in [None, Some(split_bytes)] {
+            equivalent &= run(threads, split).0 == sequential_out;
+        }
+    }
+    let split = Toggle {
+        fast_ns: ns_per_line(config.repeat, tree.total_lines, || {
+            std::hint::black_box(run(4, Some(split_bytes)));
+        }),
+        reference_ns: ns_per_line(config.repeat, tree.total_lines, || {
+            std::hint::black_box(run(4, None));
+        }),
+    };
+    let worker_sweep = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&workers| {
+            (
+                workers,
+                ns_per_line(config.repeat, tree.total_lines, || {
+                    std::hint::black_box(run(workers, Some(split_bytes)));
+                }),
+            )
+        })
+        .collect();
+
+    let _ = std::fs::remove_dir_all(&root);
+    SkewedTreeTrajectory {
+        files: tree.files.len(),
+        lines: tree.total_lines,
+        giant_bytes,
+        total_bytes,
+        split_bytes,
+        ranges,
+        split,
+        worker_sweep,
+        equivalent,
+    }
+}
+
 fn measure_spec(
     config: &TrajectoryConfig,
     workbench: &Workbench,
@@ -1134,15 +1314,15 @@ fn measure_spec(
     }
 }
 
-/// Serializes a trajectory as the `BENCH_PR9.json` document (hand-rolled:
-/// the workspace has no serde).
+/// Serializes a trajectory as the `BENCH_PR10.json` document
+/// (hand-rolled: the workspace has no serde).
 pub fn to_json(trajectory: &Trajectory) -> String {
     let mut out = String::new();
     let c = &trajectory.config;
     out.push_str("{\n");
-    out.push_str("  \"artifact\": \"BENCH_PR9\",\n");
+    out.push_str("  \"artifact\": \"BENCH_PR10\",\n");
     out.push_str(
-        "  \"description\": \"Perf trajectory: cost-tiered oracle routing, persistent cross-process answer store, overlapped oracle resolution, multi-file tree scan, literal prescan, streaming scan pipeline, lazy-DFA skeleton prefilter, arena evaluator, parallel chunk scan\",\n",
+        "  \"description\": \"Perf trajectory: sub-file work stealing on skewed trees, cost-tiered oracle routing, persistent cross-process answer store, overlapped oracle resolution, multi-file tree scan, literal prescan, streaming scan pipeline, lazy-DFA skeleton prefilter, arena evaluator, parallel chunk scan\",\n",
     );
     let _ = writeln!(
         out,
@@ -1186,6 +1366,25 @@ pub fn to_json(trajectory: &Trajectory) -> String {
         tree.per_file_backend_keys,
         tree.deduped(),
         tree.equivalent
+    );
+    let skew = &trajectory.skewed_tree;
+    let sweep: Vec<String> = skew
+        .worker_sweep
+        .iter()
+        .map(|(workers, ns)| format!("{{\"workers\": {workers}, \"ns_per_line\": {ns:.1}}}"))
+        .collect();
+    let _ = writeln!(
+        out,
+        "  \"skewed_tree\": {{\"files\": {}, \"lines\": {}, \"giant_bytes\": {}, \"total_bytes\": {}, \"split_bytes\": {}, \"ranges\": {}, \"split\": {}, \"worker_sweep\": [{}], \"equivalent\": {}}},",
+        skew.files,
+        skew.lines,
+        skew.giant_bytes,
+        skew.total_bytes,
+        skew.split_bytes,
+        skew.ranges,
+        toggle_json(&skew.split, "split_ns_per_line", "whole_file_ns_per_line"),
+        sweep.join(", "),
+        skew.equivalent
     );
     let overlap = &trajectory.overlap;
     let _ = writeln!(
@@ -1249,19 +1448,20 @@ pub fn to_json(trajectory: &Trajectory) -> String {
     let floors = Floors::tracked();
     let _ = writeln!(
         out,
-        "  \"floors\": {{\"prefilter_speedup\": {:.2}, \"is_match_speedup\": {:.2}, \"prescan_speedup\": {:.2}, \"stream_ratio\": {:.2}, \"tree_scan_ratio\": {:.2}, \"overlap_speedup\": {:.2}, \"persist_dedupe\": {:.2}, \"tiered_cost_ratio\": {:.2}}},",
+        "  \"floors\": {{\"prefilter_speedup\": {:.2}, \"is_match_speedup\": {:.2}, \"prescan_speedup\": {:.2}, \"stream_ratio\": {:.2}, \"tree_scan_ratio\": {:.2}, \"skewed_tree_speedup\": {:.2}, \"overlap_speedup\": {:.2}, \"persist_dedupe\": {:.2}, \"tiered_cost_ratio\": {:.2}}},",
         floors.prefilter_speedup,
         floors.is_match_speedup,
         floors.prescan_speedup,
         floors.stream_ratio,
         floors.tree_scan_ratio,
+        floors.skewed_tree_speedup,
         floors.overlap_speedup,
         floors.persist_dedupe,
         floors.tiered_cost_ratio
     );
     let _ = writeln!(
         out,
-        "  \"summary\": {{\"geomean_prefilter_speedup\": {:.2}, \"geomean_search_prefilter_speedup\": {:.2}, \"geomean_is_match_speedup\": {:.2}, \"geomean_prescan_speedup\": {:.2}, \"geomean_stream_ratio\": {:.2}, \"tree_scan_speedup\": {:.2}, \"tree_scan_deduped\": {}, \"geomean_overlap_speedup\": {:.2}, \"persist_dedupe_ratio\": {:.2}, \"persist_warm_backend_keys\": {}, \"tiered_key_reduction\": {:.2}, \"tiered_authority_keys\": {}, \"all_equivalent\": {}}}",
+        "  \"summary\": {{\"geomean_prefilter_speedup\": {:.2}, \"geomean_search_prefilter_speedup\": {:.2}, \"geomean_is_match_speedup\": {:.2}, \"geomean_prescan_speedup\": {:.2}, \"geomean_stream_ratio\": {:.2}, \"tree_scan_speedup\": {:.2}, \"tree_scan_deduped\": {}, \"skewed_tree_speedup\": {:.2}, \"skewed_tree_ranges\": {}, \"geomean_overlap_speedup\": {:.2}, \"persist_dedupe_ratio\": {:.2}, \"persist_warm_backend_keys\": {}, \"tiered_key_reduction\": {:.2}, \"tiered_authority_keys\": {}, \"all_equivalent\": {}}}",
         trajectory.geomean_prefilter_speedup(),
         trajectory.geomean_search_prefilter_speedup(),
         trajectory.geomean_is_match_speedup(),
@@ -1269,6 +1469,8 @@ pub fn to_json(trajectory: &Trajectory) -> String {
         trajectory.geomean_stream_ratio(),
         trajectory.tree_scan.parallel.speedup(),
         trajectory.tree_scan.deduped(),
+        trajectory.skewed_tree.speedup(),
+        trajectory.skewed_tree.ranges,
         trajectory.overlap.geomean_speedup(),
         trajectory.persist.dedupe_ratio(),
         trajectory.persist.warm_backend_keys,
@@ -1276,6 +1478,7 @@ pub fn to_json(trajectory: &Trajectory) -> String {
         trajectory.tiered_cost.tiered_authority_keys,
         trajectory.all_equivalent()
             && trajectory.tree_scan.equivalent
+            && trajectory.skewed_tree.equivalent
             && trajectory.overlap.equivalent()
             && trajectory.persist.equivalent
             && trajectory.tiered_cost.equivalent
@@ -1330,6 +1533,21 @@ mod tests {
             trajectory.tree_scan.per_file_backend_keys
         );
         assert!(
+            trajectory.skewed_tree.equivalent,
+            "skewed-tree output must be split- and thread-independent"
+        );
+        assert!(
+            trajectory.skewed_tree.ranges > trajectory.skewed_tree.files as u64,
+            "the giant file must split into several ranges: {:?}",
+            trajectory.skewed_tree
+        );
+        assert!(
+            trajectory.skewed_tree.giant_bytes * 10 >= trajectory.skewed_tree.total_bytes * 9,
+            "the giant file must dominate the tree: {:?}",
+            trajectory.skewed_tree
+        );
+        assert_eq!(trajectory.skewed_tree.worker_sweep.len(), 4);
+        assert!(
             trajectory.overlap.equivalent(),
             "overlapped resolution must match synchronous verdicts and park lines: {:?}",
             trajectory.overlap.benches
@@ -1371,7 +1589,10 @@ mod tests {
             trajectory.tiered_cost
         );
         let json = to_json(&trajectory);
-        assert!(json.contains("\"artifact\": \"BENCH_PR9\""));
+        assert!(json.contains("\"artifact\": \"BENCH_PR10\""));
+        assert!(json.contains("\"skewed_tree\""));
+        assert!(json.contains("skewed_tree_speedup"));
+        assert!(json.contains("\"worker_sweep\""));
         assert!(json.contains("\"name\": \"pass\""));
         assert!(json.contains("geomean_prefilter_speedup"));
         assert!(json.contains("geomean_prescan_speedup"));
@@ -1419,12 +1640,13 @@ mod tests {
             prescan_speedup: 1e9,
             stream_ratio: 1e9,
             tree_scan_ratio: 1e9,
+            skewed_tree_speedup: 1e9,
             overlap_speedup: 1e9,
             persist_dedupe: 1e9,
             tiered_cost_ratio: 1e9,
         };
         let violations = trajectory.check(&impossible).unwrap_err();
-        assert_eq!(violations.len(), 8, "{violations:?}");
+        assert_eq!(violations.len(), 9, "{violations:?}");
         assert!(violations[0].contains("below the stored floor"));
         // Trivial floors always pass (equivalence already asserted above).
         let trivial = Floors {
@@ -1433,11 +1655,24 @@ mod tests {
             prescan_speedup: 0.0,
             stream_ratio: 0.0,
             tree_scan_ratio: 0.0,
+            skewed_tree_speedup: 0.0,
             overlap_speedup: 0.0,
             persist_dedupe: 0.0,
             tiered_cost_ratio: 0.0,
         };
         assert!(trajectory.check(&trivial).is_ok());
+
+        // Byte-divergence across the split/thread grid is a hard
+        // violation regardless of floors.
+        let mut skew_broken = trajectory.clone();
+        skew_broken.skewed_tree.equivalent = false;
+        let violations = skew_broken.check(&trivial).unwrap_err();
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("skewed-tree output differed")),
+            "{violations:?}"
+        );
 
         // A trajectory whose warm scan reached the backend is a hard
         // violation even when every floor is trivial.

@@ -28,6 +28,10 @@
 //!   --compact-bytes N      compact the log past N bytes (default 8 MiB)
 //!   --max-log-bytes N      hard cap on the answer log size: compact
 //!                          whenever the file would pass N bytes
+//!   --max-log-generations N keep up to N rotated answer-log
+//!                          generations (log.1 .. log.N) before paying a
+//!                          full merge-compaction (default 0: always
+//!                          compact in place)
 //! ```
 //!
 //! On startup the daemon prints `semred listening on <addr>` so scripts
@@ -39,7 +43,8 @@ use semre_daemon::{DaemonClient, Server, ServerConfig};
 
 const USAGE: &str = "usage: semred [--addr HOST:PORT] [--workers N] [--patterns N] \
 [--answer-log FILE] [--budget N] [--request-timeout S] [--max-requests-per-conn N] \
-[--max-bytes-per-conn N] [--sync-every N] [--compact-bytes N] [--max-log-bytes N]";
+[--max-bytes-per-conn N] [--sync-every N] [--compact-bytes N] [--max-log-bytes N] \
+[--max-log-generations N]";
 
 fn fail(message: &str) -> ! {
     eprintln!("semred: {message}");
@@ -141,6 +146,11 @@ fn main() {
                         .parse()
                         .unwrap_or_else(|_| fail("--max-log-bytes needs a number")),
                 );
+            }
+            "--max-log-generations" => {
+                config.persist.max_generations = value(&mut args, "--max-log-generations")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--max-log-generations needs a number"));
             }
             "--sync-every" => {
                 config.persist.sync_every = value(&mut args, "--sync-every")

@@ -26,10 +26,17 @@
 //!   --oracle-delay N   sleep N microseconds per oracle backend batch — a
 //!                      deterministic stand-in for a remote oracle's
 //!                      round-trip, used to demonstrate latency hiding
-//!   --threads N        worker threads (default 1): whole files are
+//!   --threads N        worker threads (default 1): files — and byte
+//!                      ranges of large files, see --split-bytes — are
 //!                      work-stolen across workers on multi-file scans,
 //!                      chunks of lines on single-input scans; output is
 //!                      identical to a sequential scan either way
+//!   --split-bytes N|off  sub-file work stealing on multi-file scans:
+//!                      files of at least 2N bytes are split into ~N-byte
+//!                      line-aligned ranges scanned as independent work
+//!                      units, so one giant file no longer serializes the
+//!                      scan (default 4 MiB; `off` restores whole-file
+//!                      stealing; output is byte-identical either way)
 //!   --only-matching    print each matched span instead of the whole line
 //!                      (lines match when the pattern matches a substring)
 //!   --color            highlight matched spans in printed lines
@@ -102,7 +109,7 @@
 use std::error::Error;
 use std::fmt;
 use std::fs;
-use std::io::{Read, Write};
+use std::io::{Cursor, Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
@@ -117,8 +124,8 @@ use crate::engine::{
     scan, scan_batched, scan_batched_parallel, scan_per_call_parallel, scan_spans,
     scan_spans_parallel, FaultPolicy, ScanOptions,
 };
-use crate::stream::{scan_stream, scan_stream_spans, StreamOptions};
-use crate::tree::{scan_tree, FileSummary, TreeOptions, TreeReport};
+use crate::stream::{scan_stream, scan_stream_spans, RangeReader, StreamOptions};
+use crate::tree::{scan_tree, FileSummary, ScanUnit, TreeOptions, TreeReport};
 use crate::walk::{walk, WalkOptions};
 
 /// Errors produced while parsing command-line options or running the scan.
@@ -197,6 +204,14 @@ pub struct CliOptions {
     /// Worker threads for the scan (`0` means the handle's preference,
     /// i.e. sequential).  Output is identical to a sequential scan.
     pub threads: usize,
+    /// Sub-file work stealing on multi-file scans: files of at least
+    /// twice this many bytes are split into roughly this-sized
+    /// line-aligned byte ranges scanned as independent work units.
+    /// `None` means the default ([`DEFAULT_SPLIT_BYTES`], except under
+    /// per-file `--max-lines`/`--timeout-secs` limits, whose semantics
+    /// are order-dependent); `Some(0)` (`--split-bytes off`) restores
+    /// whole-file stealing.  Output is byte-identical either way.
+    pub split_bytes: Option<u64>,
     /// Print matched spans instead of whole lines (span-search mode).
     pub only_matching: bool,
     /// Highlight matched spans in printed lines (presentational; never
@@ -233,10 +248,17 @@ pub struct CliOptions {
     pub on_oracle_error: Option<FaultPolicy>,
 }
 
+/// Default `--split-bytes` threshold: on multi-file scans, files of at
+/// least twice this size are split into roughly this-sized ranges so a
+/// skewed tree (one giant file, many small ones) no longer serializes on
+/// its biggest file.
+pub const DEFAULT_SPLIT_BYTES: u64 = 4 * 1024 * 1024;
+
 /// The usage string printed on `--help` or malformed invocations.
 pub const USAGE: &str = "usage: grepo [--oracle KIND] [--baseline] [--batched] [--chunk-lines N] \
 [--oracle-threads N] [--in-flight N] [--oracle-delay N] \
-[--threads N] [--only-matching] [--color] [--count] [--with-filename | --no-filename] [--heading] \
+[--threads N] [--split-bytes N|off] [--only-matching] [--color] [--count] \
+[--with-filename | --no-filename] [--heading] \
 [--hidden] [--follow] [--binary] [--ignore GLOB] [--max-depth N] [--stats] [--max-lines N] \
 [--timeout-secs S] [--on-oracle-error fail|skip-line|no-match] \
 [--stream | --no-stream] [--stream-chunk-bytes N] [--no-prescan] \
@@ -318,6 +340,24 @@ impl CliOptions {
                         return Err(CliError::new("--threads must be positive"));
                     }
                     options.threads = n;
+                }
+                "--split-bytes" => {
+                    let v = args
+                        .next()
+                        .ok_or_else(|| CliError::new("--split-bytes needs a byte count or off"))?;
+                    if v == "off" {
+                        options.split_bytes = Some(0);
+                    } else {
+                        let n: u64 = v.parse().map_err(|_| {
+                            CliError::new("--split-bytes expects a byte count or off")
+                        })?;
+                        if n == 0 {
+                            return Err(CliError::new(
+                                "--split-bytes must be positive (use off to disable)",
+                            ));
+                        }
+                        options.split_bytes = Some(n);
+                    }
                 }
                 "--only-matching" | "-o" => options.only_matching = true,
                 "--color" => options.color = true,
@@ -440,6 +480,16 @@ impl CliOptions {
         if options.with_filename == Some(true) && options.heading {
             return Err(CliError::new("--with-filename conflicts with --heading"));
         }
+        if options.split_bytes.is_some_and(|n| n > 0)
+            && (options.max_lines.is_some() || options.timeout_secs.is_some())
+        {
+            // --max-lines/--timeout-secs are per-file limits whose effect
+            // depends on scan order within the file; ranges scanned
+            // concurrently would each apply their own limit.
+            return Err(CliError::new(
+                "--split-bytes conflicts with --max-lines/--timeout-secs",
+            ));
+        }
         if options.daemon.is_some() {
             // A daemon run executes on the server with the server's
             // engine configuration and answer store.  Reject options that
@@ -450,6 +500,7 @@ impl CliOptions {
                 (options.batched, "--batched"),
                 (options.oracle_delay_us != 0, "--oracle-delay"),
                 (options.threads != 0, "--threads"),
+                (options.split_bytes.is_some(), "--split-bytes"),
                 (options.only_matching, "--only-matching"),
                 (options.color, "--color"),
                 (options.max_lines.is_some(), "--max-lines"),
@@ -484,6 +535,20 @@ impl CliOptions {
     /// way; streaming bounds peak memory by the chunk size.
     pub fn streaming(&self) -> bool {
         self.stream.unwrap_or(true)
+    }
+
+    /// The effective sub-file splitting threshold for multi-file scans
+    /// (`None` = whole-file stealing).  Defaults to
+    /// [`DEFAULT_SPLIT_BYTES`], except under per-file
+    /// `--max-lines`/`--timeout-secs` limits, whose effect depends on
+    /// scan order within the file.
+    pub fn effective_split_bytes(&self) -> Option<u64> {
+        match self.split_bytes {
+            Some(0) => None,
+            Some(n) => Some(n),
+            None if self.max_lines.is_some() || self.timeout_secs.is_some() => None,
+            None => Some(DEFAULT_SPLIT_BYTES),
+        }
     }
 
     fn scan_options(&self) -> ScanOptions {
@@ -1251,23 +1316,40 @@ pub fn run_paths<W: Write + Send>(
         scan: options.scan_options(),
     };
 
-    let scan_file = |_index: usize, path: &Path, buffer: &mut Vec<u8>| {
-        scan_one_file(
+    let scan_unit = |unit: &ScanUnit, path: &Path, buffer: &mut Vec<u8>| {
+        scan_one_unit(
             &re,
             options,
             &stream_options,
             path,
+            unit.range,
             show_filename,
-            heading,
             buffer,
         )
+    };
+    // Per-file decoration (--count totals, --heading headers) happens
+    // once per file, after a split file's range outputs were reassembled
+    // in range order — so it cannot depend on which worker scanned what.
+    let finish_file = |_index: usize, path: &Path, summary: &FileSummary, buffer: &mut Vec<u8>| {
+        if options.count_only {
+            buffer.clear();
+            if show_filename {
+                buffer.extend_from_slice(format!("{}:", path.display()).as_bytes());
+            }
+            buffer.extend_from_slice(format!("{}\n", summary.matched_lines).as_bytes());
+        } else if heading && !buffer.is_empty() {
+            let mut decorated = format!("{}\n", path.display()).into_bytes();
+            decorated.append(buffer);
+            *buffer = decorated;
+        }
     };
     let tree_options = TreeOptions {
         threads: options.threads.max(1),
         separator: if heading { b"\n".to_vec() } else { Vec::new() },
+        split_bytes: options.effective_split_bytes(),
         ..TreeOptions::default()
     };
-    let report = scan_tree(&targets.files, &tree_options, out, scan_file)
+    let report = scan_tree(&targets.files, &tree_options, out, scan_unit, finish_file)
         .map_err(|e| CliError::new(format!("cannot write output: {e}")))?;
 
     let mut outcome = CliOutcome::default();
@@ -1308,16 +1390,28 @@ pub fn run_paths<W: Write + Send>(
     Ok(outcome)
 }
 
-/// Scans one file of a multi-file run into `buffer`, rendering matches
-/// exactly as the single-file streaming path would, plus the `path:`
-/// prefix or `--heading` group header.
-fn scan_one_file(
+/// Scans one work unit of a multi-file run into `buffer` — a whole file,
+/// or one byte range of a split file (see
+/// [`TreeOptions::split_bytes`]) — rendering matched lines exactly as
+/// the single-file streaming path would, plus the `path:` prefix.
+/// Per-file decoration (`--heading` headers, `--count` totals) is *not*
+/// rendered here: it belongs to the `finish_file` stage of
+/// [`scan_tree`], which runs once per file after range reassembly.
+///
+/// Range units resynchronize to line boundaries through
+/// [`RangeReader`], so a unit scans exactly the lines whose first byte
+/// falls inside its range; the per-range outputs concatenate to the
+/// whole-file output.  Every unit's chunk sessions resolve through the
+/// run's one [`SharedSession`] (interposed at compile time), so oracle
+/// dedupe — and the set of questions reaching the backend — is
+/// unchanged by splitting.
+fn scan_one_unit(
     re: &semre::SemRegex,
     options: &CliOptions,
     stream_options: &StreamOptions,
     path: &Path,
+    range: Option<(u64, u64)>,
     show_filename: bool,
-    heading: bool,
     buffer: &mut Vec<u8>,
 ) -> Result<FileSummary, String> {
     let prefix: Vec<u8> = if show_filename {
@@ -1325,48 +1419,56 @@ fn scan_one_file(
     } else {
         Vec::new()
     };
-    let mut wrote_heading = false;
     // Writing to a Vec cannot fail; per-line rendering errors are
     // therefore impossible and the callbacks always continue.
     let mut emit = |buffer: &mut Vec<u8>, render: &mut dyn FnMut(&mut Vec<u8>)| {
-        if heading && !wrote_heading {
-            buffer.extend_from_slice(format!("{}\n", path.display()).as_bytes());
-            wrote_heading = true;
-        }
         buffer.extend_from_slice(&prefix);
         render(buffer);
     };
 
     let read = |e: std::io::Error| e.to_string();
-    let report = if !options.streaming() {
-        // --no-stream: materialize the file, then reuse the streaming
-        // renderer over the in-memory bytes (output is identical).
-        let text = fs::read(path).map_err(|e| e.to_string())?;
-        scan_file_contents(re, options, stream_options, &text[..], buffer, &mut emit)
-            .map_err(read)?
-    } else {
-        let file = fs::File::open(path).map_err(|e| e.to_string())?;
-        scan_file_contents(re, options, stream_options, file, buffer, &mut emit).map_err(read)?
+    let report = match (options.streaming(), range) {
+        (false, None) => {
+            // --no-stream: materialize the file, then reuse the streaming
+            // renderer over the in-memory bytes (output is identical).
+            let text = fs::read(path).map_err(|e| e.to_string())?;
+            scan_file_contents(re, options, stream_options, &text[..], buffer, &mut emit)
+                .map_err(read)?
+        }
+        (false, Some((start, end))) => {
+            let text = fs::read(path).map_err(|e| e.to_string())?;
+            let reader = RangeReader::new(Cursor::new(text), start, end).map_err(read)?;
+            scan_file_contents(re, options, stream_options, reader, buffer, &mut emit)
+                .map_err(read)?
+        }
+        (true, None) => {
+            let file = fs::File::open(path).map_err(|e| e.to_string())?;
+            scan_file_contents(re, options, stream_options, file, buffer, &mut emit)
+                .map_err(read)?
+        }
+        (true, Some((start, end))) => {
+            let file = fs::File::open(path).map_err(|e| e.to_string())?;
+            let reader = RangeReader::new(file, start, end).map_err(read)?;
+            scan_file_contents(re, options, stream_options, reader, buffer, &mut emit)
+                .map_err(read)?
+        }
     };
 
     // Under the `fail` policy an oracle fault aborts this file with a
     // per-file error (reported like an unreadable file: warning + exit 2)
-    // while the rest of the tree still scans.
+    // while the rest of the tree still scans.  For a split file the
+    // scheduler fails the whole file on any range's fault.
     if let Some(fault) = &report.fault {
         return Err(fault.to_string());
     }
 
-    if options.count_only {
-        buffer.clear();
-        buffer.extend_from_slice(&prefix);
-        buffer.extend_from_slice(format!("{}\n", report.matched_lines).as_bytes());
-    }
     Ok(FileSummary {
         lines: report.lines,
         matched_lines: report.matched_lines,
         timed_out: report.timed_out,
         degraded: report.degraded.len() as u64,
         batch: report.batch,
+        ranges: 0, // set by the scheduler when per-range summaries merge
     })
 }
 
@@ -1375,7 +1477,7 @@ fn scan_one_file(
 type EmitFn<'a> = dyn FnMut(&mut Vec<u8>, &mut dyn FnMut(&mut Vec<u8>)) + 'a;
 
 /// The per-line rendering core shared by the streaming and `--no-stream`
-/// flavours of [`scan_one_file`].
+/// flavours of [`scan_one_unit`].
 fn scan_file_contents<R: Read + Send>(
     re: &semre::SemRegex,
     options: &CliOptions,
@@ -1453,7 +1555,7 @@ fn push_tree_stats(
 ) {
     outcome.stderr.push(format!(
         "algorithm={} mode={} threads={} files={} files_matched={} lines={} matched={} \
-timed_out={} degraded={}",
+timed_out={} degraded={} split_files={} ranges={}",
         re.algorithm(),
         if options.span_mode() {
             "search"
@@ -1466,7 +1568,9 @@ timed_out={} degraded={}",
         report.lines,
         report.matched_lines,
         report.timed_out,
-        report.degraded
+        report.degraded,
+        report.split_files,
+        report.ranges
     ));
     let shared = session.stats();
     outcome.stderr.push(format!(

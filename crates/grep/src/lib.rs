@@ -16,9 +16,11 @@
 //! * [`walk`](mod@walk) — recursive directory traversal: deterministic
 //!   ordering, ignore globs, hidden/binary skipping, symlink policy, max
 //!   depth;
-//! * [`tree`] — the multi-file scheduler ([`scan_tree`]): file-level work
-//!   stealing across worker threads with output reassembled in file
-//!   order, so directory scans are byte-identical for any thread count;
+//! * [`tree`] — the multi-file scheduler ([`scan_tree`]): sub-file work
+//!   stealing across worker threads (large files split into line-aligned
+//!   byte ranges) with output reassembled in range and file order, so
+//!   directory scans are byte-identical for any thread count and split
+//!   size;
 //! * [`ScanReport`] — per-line records and the aggregate statistics of
 //!   Table 2 and Fig. 10;
 //! * [`cli`] — option parsing and the drivers behind the `grepo` binary,
@@ -65,6 +67,6 @@ pub use engine::{
     scan_spans_parallel, FaultPolicy, LineMatcher, ParallelScanReport, ScanOptions,
 };
 pub use stats::{LineRecord, ScanReport};
-pub use stream::{scan_stream, scan_stream_spans, StreamOptions, StreamReport};
-pub use tree::{scan_tree, FileSummary, TreeOptions, TreeReport};
+pub use stream::{scan_stream, scan_stream_spans, RangeReader, StreamOptions, StreamReport};
+pub use tree::{scan_tree, FileSummary, ScanUnit, TreeOptions, TreeReport};
 pub use walk::{glob_match, walk, WalkError, WalkOptions, WalkResult};

@@ -39,7 +39,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-use std::io::{self, Read};
+use std::io::{self, Read, Seek, SeekFrom};
 use std::time::{Duration, Instant};
 
 use semre::stream::LineChunks;
@@ -391,11 +391,128 @@ where
     })
 }
 
+/// A line-aligned view of one byte range of a seekable reader, for
+/// sub-file work stealing: each range of a split file is scanned by an
+/// independent [`RangeReader`] and the per-range outputs are reassembled
+/// in range order, so the concatenation is byte-identical to one
+/// whole-file scan.
+///
+/// Byte ranges handed out by the scheduler are arbitrary — they split
+/// lines.  Ownership is resolved with the same resynchronization trick
+/// [`LineChunks`] uses for chunk-straddling lines: a range owns exactly
+/// the lines whose **first byte** falls inside `[start, end)`.
+///
+/// * On open, a reader starting at `start > 0` seeks to `start - 1` and
+///   discards through the first `\n` — the line straddling the boundary
+///   belongs to the previous range.  (Reading from `start - 1` means a
+///   line *ending* exactly at the boundary is recognized without peeking
+///   backwards.)
+/// * On read, the reader serves bytes through the first `\n` at absolute
+///   position `end - 1` or later, then reports EOF.  That newline
+///   terminates the last owned line: the next line starts at `>= end`
+///   and belongs to the next range.  The final range uses
+///   `end = u64::MAX`, so it runs to true EOF even if the file grew
+///   after the ranges were planned.
+///
+/// Every byte of the underlying stream is served by exactly one range,
+/// so per-range scans compose into the whole-file scan.  `\r\n` needs no
+/// special casing: only `\n` defines line boundaries here, exactly as in
+/// [`LineChunks`].
+#[derive(Debug)]
+pub struct RangeReader<R> {
+    inner: R,
+    /// Absolute position of the next byte `read` will serve.
+    pos: u64,
+    /// First byte *not* owned by this range (the closing `\n` of the last
+    /// owned line is at `pos >= end - 1`).
+    end: u64,
+    done: bool,
+}
+
+impl<R: Read + Seek> RangeReader<R> {
+    /// Opens the view of `[start, end)` over `inner`, resynchronizing to
+    /// the first line boundary at or after `start`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates seek/read errors from the underlying reader.
+    pub fn new(mut inner: R, start: u64, end: u64) -> io::Result<RangeReader<R>> {
+        let mut pos = if start == 0 {
+            inner.seek(SeekFrom::Start(0))?;
+            0
+        } else {
+            // Scan forward from start - 1 for the first newline; the
+            // range's first owned line begins just after it.
+            let mut at = inner.seek(SeekFrom::Start(start - 1))?;
+            let mut buf = [0u8; 4096];
+            loop {
+                let n = inner.read(&mut buf)?;
+                if n == 0 {
+                    break; // no newline until EOF: nothing starts in range
+                }
+                if let Some(i) = buf[..n].iter().position(|&b| b == b'\n') {
+                    at += i as u64 + 1;
+                    inner.seek(SeekFrom::Start(at))?;
+                    break;
+                }
+                at += n as u64;
+            }
+            at
+        };
+        // An unterminated final line is owned by whichever range its first
+        // byte falls in; a resync landing at EOF inside `[start, end)` is
+        // simply an empty range.
+        if pos >= end {
+            pos = end;
+        }
+        Ok(RangeReader {
+            inner,
+            pos,
+            end,
+            done: pos >= end,
+        })
+    }
+}
+
+impl<R: Read> Read for RangeReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.done {
+            return Ok(0);
+        }
+        let n = self.inner.read(buf)?;
+        if n == 0 {
+            self.done = true; // true EOF before the closing newline
+            return Ok(0);
+        }
+        // Serve freely while every byte read so far precedes `end - 1`;
+        // past that, the first newline closes the last owned line.
+        let tail_from = self.end.saturating_sub(1);
+        if self.pos + n as u64 <= tail_from {
+            self.pos += n as u64;
+            return Ok(n);
+        }
+        let search_start = tail_from.saturating_sub(self.pos) as usize;
+        match buf[search_start..n].iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                let served = search_start + i + 1;
+                self.pos += served as u64;
+                self.done = true;
+                Ok(served)
+            }
+            None => {
+                self.pos += n as u64;
+                Ok(n)
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::engine::scan_spans;
     use semre::SimLlmOracle;
+    use std::io::Cursor;
 
     fn regex() -> SemRegex {
         SemRegex::new(
@@ -575,6 +692,84 @@ mod tests {
         assert_eq!(got.len(), 1);
         assert!(got[0].1, "missing final newline must not lose the line");
         assert!(report.mb_per_s() >= 0.0);
+    }
+
+    /// Reads `reader` to EOF through buffers of `step` bytes, exercising
+    /// the partial-read paths of [`RangeReader::read`].
+    fn drain(mut reader: impl Read, step: usize) -> Vec<u8> {
+        let mut out = Vec::new();
+        let mut buf = vec![0u8; step];
+        loop {
+            let n = reader.read(&mut buf).unwrap();
+            if n == 0 {
+                return out;
+            }
+            out.extend_from_slice(&buf[..n]);
+        }
+    }
+
+    #[test]
+    fn range_readers_partition_every_byte_exactly_once() {
+        let texts: [&[u8]; 6] = [
+            b"alpha\nbeta\ngamma\ndelta\n",
+            b"no trailing newline at all",
+            b"line\nunterminated tail",
+            b"\n\n\n\n",
+            b"crlf line\r\nanother\r\n",
+            b"",
+        ];
+        for text in texts {
+            for ranges in 1..=6u64 {
+                for step in [1usize, 3, 4096] {
+                    let stride = ((text.len() as u64) / ranges).max(1);
+                    let mut assembled = Vec::new();
+                    for k in 0..ranges {
+                        let start = k * stride;
+                        let end = if k + 1 == ranges {
+                            u64::MAX
+                        } else {
+                            (k + 1) * stride
+                        };
+                        let reader = RangeReader::new(Cursor::new(text), start, end).unwrap();
+                        let part = drain(reader, step);
+                        // Every served range is line-aligned: it only ends
+                        // mid-line when the input's own tail is unterminated.
+                        if !part.is_empty() && end != u64::MAX && text.ends_with(b"\n") {
+                            assert_eq!(*part.last().unwrap(), b'\n');
+                        }
+                        assembled.extend_from_slice(&part);
+                    }
+                    assert_eq!(assembled, text, "ranges={ranges} step={step} text={text:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn range_ownership_follows_line_start() {
+        let text = b"0123\n5678\nabcd\n";
+        // A boundary mid-line: the straddling line belongs to the range
+        // holding its first byte.
+        let first = drain(RangeReader::new(Cursor::new(&text[..]), 0, 7).unwrap(), 64);
+        let second = drain(
+            RangeReader::new(Cursor::new(&text[..]), 7, u64::MAX).unwrap(),
+            64,
+        );
+        assert_eq!(first, b"0123\n5678\n");
+        assert_eq!(second, b"abcd\n");
+        // A boundary exactly on a line start hands the line to the second
+        // range.
+        let first = drain(RangeReader::new(Cursor::new(&text[..]), 0, 5).unwrap(), 64);
+        let second = drain(
+            RangeReader::new(Cursor::new(&text[..]), 5, u64::MAX).unwrap(),
+            64,
+        );
+        assert_eq!(first, b"0123\n");
+        assert_eq!(second, b"5678\nabcd\n");
+        // A range entirely inside one line owns nothing.
+        let long = b"one very long single line without breaks\n";
+        let middle = drain(RangeReader::new(Cursor::new(&long[..]), 5, 10).unwrap(), 64);
+        assert!(middle.is_empty());
     }
 
     #[test]

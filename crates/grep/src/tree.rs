@@ -1,30 +1,49 @@
-//! The multi-file scan scheduler: file-level work stealing with
+//! The multi-file scan scheduler: sub-file work stealing with
 //! deterministic output.
 //!
 //! Directory scans have embarrassingly parallel structure — files are
 //! independent — and (per the dichotomy results for classical regex
-//! membership) the text-side work per file is cheap, so the scheduling
-//! unit is a **whole file**: [`scan_tree`] spawns `threads` workers that
-//! claim files off a shared atomic counter (idle workers steal the next
-//! unclaimed file, so a directory of one huge file and many tiny ones
-//! stays balanced without any sizing heuristics).
+//! membership) the text-side work per file is cheap, so the natural
+//! scheduling unit is a file.  But whole-file stealing serializes on
+//! skewed trees: one giant file and many tiny ones leaves every worker
+//! but one idle.  [`scan_tree`] therefore plans **units**: small files
+//! are one unit, and files at least twice [`TreeOptions::split_bytes`]
+//! are split into roughly `split_bytes`-sized byte ranges
+//! ([`ScanUnit`]).  Workers claim units off a shared atomic counter in
+//! file-major order (idle workers steal the next unclaimed unit, so the
+//! giant file's ranges are scanned concurrently without any sizing
+//! heuristics).
 //!
-//! Each worker scans its file through a caller-supplied closure (the CLI
-//! plugs in the streaming pipeline of [`crate::stream`]) into a private
-//! byte buffer; a shared emitter then releases the buffers in file
-//! order, so the bytes written to `out` are **identical for any thread
-//! count** — the concurrency is invisible in the output.  Cross-file
-//! oracle deduplication is not handled here: the caller interposes a
+//! Each worker scans its unit through a caller-supplied closure (the CLI
+//! plugs in the streaming pipeline of [`crate::stream`], opening split
+//! files through a line-resynchronizing
+//! [`RangeReader`](crate::stream::RangeReader)) into a private byte
+//! buffer.  Range buffers of a split file are parked until the file's
+//! last range lands, then concatenated in range order, finalized by a
+//! per-file `finish_file` callback (the CLI renders `--count` totals and
+//! `--heading` headers there, once per file), and handed — like every
+//! whole-file buffer — to a shared emitter that releases files strictly
+//! in file order.  The bytes written to `out` are therefore **identical
+//! for any thread count and any split size** — the concurrency is
+//! invisible in the output.  Cross-file (and cross-range) oracle
+//! deduplication is not handled here: the caller interposes a
 //! [`SharedSession`](semre_oracle::SharedSession) between the compiled
 //! pattern and its backend, and every per-chunk session of every worker
 //! then shares one global answer store.
 //!
 //! Per-file failures (unreadable file, transient I/O) are collected in
-//! [`TreeReport::errors`] and do not abort the scan; a failure to write
-//! `out` (e.g. a broken pipe) cancels the remaining work, exactly like
-//! the single-file streaming path.
+//! [`TreeReport::errors`] and do not abort the scan; a failure in any
+//! range fails its whole file (the file prints nothing, as if it had
+//! been unreadable outright).  A failure to write `out` (e.g. a broken
+//! pipe) cancels the remaining work, exactly like the single-file
+//! streaming path.
+//!
+//! Each file's [`FileSummary`] — including its batch-plane counters — is
+//! merged into the [`TreeReport`] **once per file**, after its per-range
+//! summaries are combined, so split files are not double-counted in
+//! `--stats` output no matter how many workers touched them.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -39,20 +58,30 @@ pub const DEFAULT_MAX_PENDING_BYTES: usize = 8 * 1024 * 1024;
 /// Options controlling a tree scan.
 #[derive(Clone, Debug)]
 pub struct TreeOptions {
-    /// Worker threads claiming files (`<= 1` runs inline on the calling
+    /// Worker threads claiming units (`<= 1` runs inline on the calling
     /// thread).
     pub threads: usize,
     /// Bytes emitted between consecutive non-empty per-file outputs
     /// (e.g. `b"\n"` for `--heading` grouping).
     pub separator: Vec<u8>,
     /// Backpressure cap: when this many bytes of finished-but-not-yet-
-    /// next output are parked in the reorder buffer, workers stop
-    /// claiming new files until the head-of-line file flushes.  Peak
+    /// next output are parked in the reorder buffer (including range
+    /// buffers awaiting their file's remaining ranges), workers stop
+    /// claiming new units until the head-of-line file flushes.  Peak
     /// buffered output is therefore bounded by roughly this cap plus one
     /// in-flight buffer per worker, even when the first file of a huge
-    /// tree is slow and every other file matches.  (The head-of-line
-    /// file itself is never blocked, so the scan always makes progress.)
+    /// tree is slow and every other file matches.  (Units of the
+    /// head-of-line file are never blocked, so the scan always makes
+    /// progress — a single buffer larger than the cap flushes the moment
+    /// its file reaches the head.)
     pub max_pending_bytes: usize,
+    /// Sub-file work stealing: files of at least **twice** this many
+    /// bytes are split into roughly this-sized byte ranges scanned as
+    /// independent units.  `None` scans every file as a single unit
+    /// (whole-file stealing, the pre-split behavior).  Range boundaries
+    /// are resynchronized to line starts by the scan closure's reader;
+    /// the scheduler only plans byte offsets.
+    pub split_bytes: Option<u64>,
 }
 
 impl Default for TreeOptions {
@@ -61,25 +90,62 @@ impl Default for TreeOptions {
             threads: 1,
             separator: Vec::new(),
             max_pending_bytes: DEFAULT_MAX_PENDING_BYTES,
+            split_bytes: None,
         }
     }
 }
 
-/// What one file's scan reports back to the scheduler.
+/// One schedulable piece of work: a whole file, or one byte range of a
+/// split file.
+#[derive(Clone, Debug)]
+pub struct ScanUnit {
+    /// Index of the unit's file in the `files` slice.
+    pub file_index: usize,
+    /// This unit's position among its file's ranges (`0`-based).
+    pub range_index: usize,
+    /// How many ranges the file was split into (`1` = whole file).
+    pub ranges_in_file: usize,
+    /// The planned byte range `[start, end)`, or `None` for a whole-file
+    /// unit.  The last range of a file uses `end == u64::MAX` so it runs
+    /// to true EOF.  Boundaries are arbitrary byte offsets; the scanner
+    /// owns exactly the lines whose first byte falls inside the range
+    /// (see [`RangeReader`](crate::stream::RangeReader)).
+    pub range: Option<(u64, u64)>,
+}
+
+/// What one unit's scan reports back to the scheduler.  Per-range
+/// summaries of a split file are merged into one per-file summary before
+/// they reach the [`TreeReport`], so batch-plane counters are counted
+/// once per file regardless of how many workers scanned it.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct FileSummary {
-    /// Lines processed in this file.
+    /// Lines processed in this unit.
     pub lines: u64,
     /// Lines that matched.
     pub matched_lines: u64,
-    /// Whether this file's scan hit its wall-clock budget.
+    /// Whether this unit's scan hit its wall-clock budget.
     pub timed_out: bool,
-    /// Lines of this file whose verdicts were degraded by oracle faults
+    /// Lines of this unit whose verdicts were degraded by oracle faults
     /// (skipped or reported as flagged non-matches; see
     /// [`ScanReport::degraded`](crate::ScanReport)).
     pub degraded: u64,
-    /// Batch-plane counters of this file's chunk sessions.
+    /// Batch-plane counters of this unit's chunk sessions.
     pub batch: BatchStats,
+    /// Ranges the file was scanned as (`1` = single unit).  Set by the
+    /// scheduler when per-range summaries are merged; scan closures
+    /// leave it default.
+    pub ranges: u64,
+}
+
+impl FileSummary {
+    /// Folds another range's summary of the same file into this one.
+    fn merge_range(&mut self, other: &FileSummary) {
+        self.lines += other.lines;
+        self.matched_lines += other.matched_lines;
+        self.timed_out |= other.timed_out;
+        self.degraded += other.degraded;
+        self.batch = self.batch.merged(&other.batch);
+    }
 }
 
 /// Aggregate outcome of a [`scan_tree`] run.
@@ -99,27 +165,97 @@ pub struct TreeReport {
     /// a `skip-line` / `no-match` policy).
     pub degraded: u64,
     /// Per-file failures, in file order; the scan continued past them.
+    /// A split file reports its lowest-range error.
     pub errors: Vec<(PathBuf, String)>,
-    /// Merged batch-plane counters of every file's chunk sessions.
+    /// Merged batch-plane counters of every file's chunk sessions,
+    /// counted once per file.
     pub batch: BatchStats,
     /// Whether the scan was cancelled early (output pipe failure).
     pub cancelled: bool,
+    /// Files that were split into more than one range.
+    pub split_files: u64,
+    /// Total units scanned across all completed files (equals `files`
+    /// when nothing was split).
+    pub ranges: u64,
+}
+
+/// In-flight per-range state of a split file, parked until the last
+/// range lands.
+struct FileAgg {
+    buffers: Vec<Option<Vec<u8>>>,
+    outcomes: Vec<Option<Result<FileSummary, String>>>,
+    done: usize,
 }
 
 /// Releases per-file output buffers in file order, regardless of the
-/// order workers finish in.
+/// order workers finish in.  Also holds the parked range buffers of
+/// split files (under the same lock, so `pending_bytes` covers them).
 struct Emitter<'w> {
     out: &'w mut (dyn Write + Send),
     next: usize,
     pending: BTreeMap<usize, Vec<u8>>,
-    /// Bytes currently parked in `pending` (backpressure accounting).
+    /// Bytes currently parked in `pending` and `aggs` (backpressure
+    /// accounting).
     pending_bytes: usize,
+    aggs: HashMap<usize, FileAgg>,
     wrote_any: bool,
     separator: Vec<u8>,
     error: Option<io::Error>,
 }
 
 impl Emitter<'_> {
+    /// Parks one range's output and outcome.  When this was the file's
+    /// last outstanding range, returns the assembled whole-file buffer
+    /// (ranges concatenated in range order) and the merged outcome —
+    /// the lowest-range error, or the summed summary.
+    fn deposit(
+        &mut self,
+        unit: &ScanUnit,
+        buffer: Vec<u8>,
+        outcome: Result<FileSummary, String>,
+    ) -> Option<(Vec<u8>, Result<FileSummary, String>)> {
+        let agg = self.aggs.entry(unit.file_index).or_insert_with(|| FileAgg {
+            buffers: vec![None; unit.ranges_in_file],
+            outcomes: vec![None; unit.ranges_in_file],
+            done: 0,
+        });
+        self.pending_bytes += buffer.len();
+        agg.buffers[unit.range_index] = Some(buffer);
+        agg.outcomes[unit.range_index] = Some(outcome);
+        agg.done += 1;
+        if agg.done < unit.ranges_in_file {
+            return None;
+        }
+        let agg = self
+            .aggs
+            .remove(&unit.file_index)
+            .expect("file aggregation vanished");
+        let mut assembled = Vec::new();
+        for buffer in agg.buffers.into_iter().flatten() {
+            self.pending_bytes -= buffer.len();
+            assembled.extend_from_slice(&buffer);
+        }
+        let mut merged = FileSummary {
+            ranges: unit.ranges_in_file as u64,
+            ..FileSummary::default()
+        };
+        let mut first_error = None;
+        for outcome in agg.outcomes.into_iter().flatten() {
+            match outcome {
+                Ok(summary) => merged.merge_range(&summary),
+                Err(message) => {
+                    if first_error.is_none() {
+                        first_error = Some(message);
+                    }
+                }
+            }
+        }
+        Some(match first_error {
+            Some(message) => (assembled, Err(message)),
+            None => (assembled, Ok(merged)),
+        })
+    }
+
     /// Hands file `index`'s output to the emitter and flushes every
     /// buffer that is now next in line.  Returns `false` once writing has
     /// failed (callers should stop claiming work).
@@ -150,40 +286,104 @@ impl Emitter<'_> {
     }
 }
 
+/// Plans the work queue: one unit per small file, several byte-range
+/// units per large file, in file-major order (every unit of file `i`
+/// precedes every unit of file `i + 1` — the progress argument for the
+/// head-of-line rule depends on this).  Files that cannot be stat'ed
+/// (or are not regular files) fall back to a single whole-file unit;
+/// the scan closure surfaces the real error.
+fn plan_units(files: &[PathBuf], split_bytes: Option<u64>) -> Vec<ScanUnit> {
+    let mut units = Vec::with_capacity(files.len());
+    for (file_index, path) in files.iter().enumerate() {
+        let split_len = split_bytes.filter(|&split| split > 0).and_then(|split| {
+            std::fs::metadata(path)
+                .ok()
+                .filter(|meta| meta.is_file())
+                .map(|meta| meta.len())
+                .filter(|&len| len >= split.saturating_mul(2))
+                .map(|len| (split, len))
+        });
+        match split_len {
+            Some((split, len)) => {
+                let ranges = (len / split).max(2) as usize;
+                let stride = len.div_ceil(ranges as u64).max(1);
+                for range_index in 0..ranges {
+                    let start = stride * range_index as u64;
+                    // The last range runs to true EOF even if the file
+                    // grew after planning.
+                    let end = if range_index + 1 == ranges {
+                        u64::MAX
+                    } else {
+                        stride * (range_index as u64 + 1)
+                    };
+                    units.push(ScanUnit {
+                        file_index,
+                        range_index,
+                        ranges_in_file: ranges,
+                        range: Some((start, end)),
+                    });
+                }
+            }
+            None => units.push(ScanUnit {
+                file_index,
+                range_index: 0,
+                ranges_in_file: 1,
+                range: None,
+            }),
+        }
+    }
+    units
+}
+
 /// Scans `files` with `threads` workers, writing each file's output to
 /// `out` in file order.
 ///
-/// `scan_file(index, path, buffer)` scans one file, appending whatever
-/// should be printed for it to `buffer`, and returns its [`FileSummary`]
-/// — or an error message, which is recorded in [`TreeReport::errors`]
-/// without aborting the run.  The closure runs concurrently on several
-/// files at once; everything it captures must be `Sync`.
+/// `scan_unit(unit, path, buffer)` scans one unit — a whole file, or one
+/// byte range of a split file (see [`TreeOptions::split_bytes`]) —
+/// appending whatever should be printed for it to `buffer`, and returns
+/// its [`FileSummary`] — or an error message.  An error in any unit
+/// fails its whole file: the file prints nothing and the lowest-range
+/// message is recorded in [`TreeReport::errors`], without aborting the
+/// run.  The closure runs concurrently on several units at once;
+/// everything it captures must be `Sync`.
 ///
-/// Output written to `out` is byte-identical for any `threads`, because
-/// buffers are released strictly in file order.
+/// `finish_file(index, path, summary, buffer)` runs exactly once per
+/// successfully scanned file, after its range buffers were concatenated
+/// in range order, and may rewrite the assembled buffer — the CLI
+/// renders `--count` totals and prepends `--heading` headers here, so
+/// per-file decoration is applied once no matter how the file was
+/// split.
+///
+/// Output written to `out` is byte-identical for any `threads` and any
+/// `split_bytes`, because ranges are reassembled per file and files are
+/// released strictly in file order.
 ///
 /// # Errors
 ///
 /// Only a failure to write `out` is returned as an error (after
-/// cancelling the remaining files); per-file scan failures are data, not
+/// cancelling the remaining units); per-file scan failures are data, not
 /// errors.
-pub fn scan_tree<W, F>(
+pub fn scan_tree<W, F, G>(
     files: &[PathBuf],
     options: &TreeOptions,
     out: &mut W,
-    scan_file: F,
+    scan_unit: F,
+    finish_file: G,
 ) -> io::Result<TreeReport>
 where
     W: Write + Send,
-    F: Fn(usize, &Path, &mut Vec<u8>) -> Result<FileSummary, String> + Sync,
+    F: Fn(&ScanUnit, &Path, &mut Vec<u8>) -> Result<FileSummary, String> + Sync,
+    G: Fn(usize, &Path, &FileSummary, &mut Vec<u8>) + Sync,
 {
-    let next_file = AtomicUsize::new(0);
+    let units = plan_units(files, options.split_bytes);
+    let next_unit = AtomicUsize::new(0);
     let cancelled = AtomicBool::new(false);
     let emitter = Mutex::new(Emitter {
         out,
         next: 0,
         pending: BTreeMap::new(),
         pending_bytes: 0,
+        aggs: HashMap::new(),
         wrote_any: false,
         separator: options.separator.clone(),
         error: None,
@@ -197,30 +397,58 @@ where
             if cancelled.load(Ordering::Relaxed) {
                 break;
             }
-            let index = next_file.fetch_add(1, Ordering::Relaxed);
-            if index >= files.len() {
+            let at = next_unit.fetch_add(1, Ordering::Relaxed);
+            let Some(unit) = units.get(at) else {
                 break;
-            }
+            };
+            let path = &files[unit.file_index];
             let mut buffer = Vec::new();
-            let outcome = scan_file(index, &files[index], &mut buffer);
+            let outcome = scan_unit(unit, path, &mut buffer);
             if let Err(message) = &outcome {
-                // Failed files print nothing; the message is surfaced via
+                // Failed units print nothing; the message is surfaced via
                 // the report so the caller can warn deterministically.
                 debug_assert!(!message.is_empty());
                 buffer.clear();
             }
-            outcomes.push((index, outcome));
             let mut guard = emitter.lock().expect("emitter lock poisoned");
             // Backpressure: park this buffer only if the reorder window
-            // has room, or if it is the head-of-line buffer (which
-            // flushes immediately and advances `next`).  The head holder
-            // never waits, so the scan always makes progress and every
-            // waiter's turn eventually comes.
-            while guard.next != index && guard.pending_bytes >= max_pending && guard.error.is_none()
+            // has room, or if it belongs to the head-of-line file (whose
+            // units must land so the file can flush and advance `next`).
+            // Head holders never wait, and units are claimed in
+            // file-major order, so every unit of the head file is either
+            // scanned-and-deposited or in flight on some worker — the
+            // scan always makes progress and every waiter's turn
+            // eventually comes.
+            while guard.next != unit.file_index
+                && guard.pending_bytes >= max_pending
+                && guard.error.is_none()
             {
                 guard = drained.wait(guard).expect("emitter lock poisoned");
             }
-            let keep_going = guard.submit(index, buffer);
+            let completed = if unit.ranges_in_file == 1 {
+                Some((
+                    buffer,
+                    outcome.map(|mut s| {
+                        s.ranges = 1;
+                        s
+                    }),
+                ))
+            } else {
+                guard.deposit(unit, buffer, outcome)
+            };
+            let keep_going = match completed {
+                Some((mut buffer, outcome)) => {
+                    match &outcome {
+                        Ok(summary) => finish_file(unit.file_index, path, summary, &mut buffer),
+                        // A failed range fails the whole file: drop the
+                        // surviving ranges' output too.
+                        Err(_) => buffer.clear(),
+                    }
+                    outcomes.push((unit.file_index, outcome));
+                    guard.submit(unit.file_index, buffer)
+                }
+                None => guard.error.is_none(),
+            };
             drop(guard);
             drained.notify_all();
             if !keep_going {
@@ -231,7 +459,7 @@ where
         outcomes
     };
 
-    let threads = options.threads.max(1).min(files.len().max(1));
+    let threads = options.threads.max(1).min(units.len().max(1));
     let mut outcomes: Vec<(usize, Result<FileSummary, String>)> = if threads <= 1 {
         worker()
     } else {
@@ -260,6 +488,8 @@ where
                 report.timed_out |= summary.timed_out;
                 report.degraded += summary.degraded;
                 report.batch = report.batch.merged(&summary.batch);
+                report.split_files += u64::from(summary.ranges > 1);
+                report.ranges += summary.ranges.max(1);
             }
             Err(message) => report.errors.push((files[index].clone(), message)),
         }
@@ -281,6 +511,46 @@ mod tests {
             .collect()
     }
 
+    /// No-op per-file finalizer for tests that only exercise ordering.
+    fn no_finish(_: usize, _: &Path, _: &FileSummary, _: &mut Vec<u8>) {}
+
+    /// A scratch directory holding real files (unit planning stats the
+    /// filesystem), removed on drop.
+    struct ScratchTree {
+        root: PathBuf,
+        files: Vec<PathBuf>,
+    }
+
+    impl ScratchTree {
+        fn new(tag: &str, sizes: &[usize]) -> ScratchTree {
+            let root =
+                std::env::temp_dir().join(format!("semre-tree-test-{tag}-{}", std::process::id()));
+            std::fs::create_dir_all(&root).unwrap();
+            let files = sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &size)| {
+                    let path = root.join(format!("file-{i:03}"));
+                    // Line-oriented content: 9 bytes per line.
+                    let mut body = Vec::new();
+                    while body.len() < size {
+                        body.extend_from_slice(format!("l{:07}\n", body.len()).as_bytes());
+                    }
+                    body.truncate(size);
+                    std::fs::write(&path, body).unwrap();
+                    path
+                })
+                .collect();
+            ScratchTree { root, files }
+        }
+    }
+
+    impl Drop for ScratchTree {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.root);
+        }
+    }
+
     #[test]
     fn output_is_in_file_order_for_any_thread_count() {
         let files = paths(17);
@@ -298,7 +568,8 @@ mod tests {
                     ..TreeOptions::default()
                 },
                 &mut out,
-                |index, path, buffer| {
+                |unit: &ScanUnit, path, buffer| {
+                    let index = unit.file_index;
                     // Finish in scrambled order to exercise reordering.
                     std::thread::sleep(std::time::Duration::from_micros(
                         ((index * 7919) % 23) as u64,
@@ -310,6 +581,7 @@ mod tests {
                         ..FileSummary::default()
                     })
                 },
+                no_finish,
             )
             .unwrap();
             assert_eq!(out, expected, "threads={threads}");
@@ -317,6 +589,8 @@ mod tests {
             assert_eq!(report.lines, 17);
             assert_eq!(report.matched_lines, 9);
             assert_eq!(report.files_with_matches, 9);
+            assert_eq!(report.split_files, 0);
+            assert_eq!(report.ranges, 17);
             assert!(report.errors.is_empty());
             assert!(!report.cancelled);
         }
@@ -334,12 +608,13 @@ mod tests {
                 ..TreeOptions::default()
             },
             &mut out,
-            |index, _, buffer| {
-                if index % 2 == 0 {
-                    buffer.extend_from_slice(format!("out{index}\n").as_bytes());
+            |unit: &ScanUnit, _, buffer| {
+                if unit.file_index % 2 == 0 {
+                    buffer.extend_from_slice(format!("out{}\n", unit.file_index).as_bytes());
                 }
                 Ok(FileSummary::default())
             },
+            no_finish,
         )
         .unwrap();
         assert_eq!(out, b"out0\n--\nout2\n");
@@ -358,7 +633,8 @@ mod tests {
                     ..TreeOptions::default()
                 },
                 &mut out,
-                |index, _, buffer| {
+                |unit: &ScanUnit, _, buffer| {
+                    let index = unit.file_index;
                     if index % 3 == 1 {
                         // Errored files may have written partial output;
                         // the scheduler must drop it.
@@ -371,6 +647,7 @@ mod tests {
                         ..FileSummary::default()
                     })
                 },
+                no_finish,
             )
             .unwrap();
             assert_eq!(out, b"0\n2\n3\n5\n", "threads={threads}");
@@ -406,9 +683,11 @@ mod tests {
                     threads,
                     separator: Vec::new(),
                     max_pending_bytes: 1,
+                    ..TreeOptions::default()
                 },
                 &mut out,
-                |index, path, buffer| {
+                |unit: &ScanUnit, path, buffer| {
+                    let index = unit.file_index;
                     // Make the head of each batch slow so later files
                     // finish first and hit the cap.
                     if index % 8 == 0 {
@@ -420,10 +699,178 @@ mod tests {
                         ..FileSummary::default()
                     })
                 },
+                no_finish,
             )
             .unwrap();
             assert_eq!(out, expected, "threads={threads}");
             assert_eq!(report.files, 32);
+        }
+    }
+
+    #[test]
+    fn oversized_buffers_progress_through_a_tiny_window() {
+        // Regression (PR 10): a single file — or a single range — whose
+        // rendered output exceeds `max_pending_bytes` must still
+        // complete, byte-identically.  The head-of-line rule is what
+        // makes this work: an oversized buffer is only ever parked when
+        // its file is not yet at the head, and flushes unconditionally
+        // once it is.
+        let scratch = ScratchTree::new("oversized", &[9 * 64, 10, 9 * 64]);
+        let big = vec![b'x'; 64 * 1024];
+        for (threads, split_bytes) in [(1, None), (4, None), (4, Some(128))] {
+            let mut out = Vec::new();
+            let report = scan_tree(
+                &scratch.files,
+                &TreeOptions {
+                    threads,
+                    separator: Vec::new(),
+                    max_pending_bytes: 1,
+                    split_bytes,
+                },
+                &mut out,
+                |_: &ScanUnit, _: &Path, buffer: &mut Vec<u8>| {
+                    // Every unit renders far more than the 1-byte cap.
+                    buffer.extend_from_slice(&big);
+                    buffer.push(b'\n');
+                    Ok(FileSummary {
+                        lines: 1,
+                        ..FileSummary::default()
+                    })
+                },
+                no_finish,
+            )
+            .unwrap();
+            assert_eq!(report.files, 3);
+            let expected_units: u64 = if split_bytes.is_some() {
+                // files 0 and 2 (576 bytes) split at 128 → 4 ranges each.
+                4 + 1 + 4
+            } else {
+                3
+            };
+            assert_eq!(report.ranges, expected_units);
+            assert_eq!(
+                out.len() as u64,
+                expected_units * (big.len() as u64 + 1),
+                "threads={threads} split={split_bytes:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn split_files_assemble_in_range_order_and_merge_once() {
+        // One 4 KiB file (split) and one tiny file (whole); the per-range
+        // outputs must concatenate in range order, the per-range
+        // summaries must merge into one per-file summary (batch counters
+        // counted once per file), and `finish_file` must run exactly
+        // once per file, after assembly.
+        let scratch = ScratchTree::new("split", &[4096, 10]);
+        let expected_ranges = 4; // 4096 / 1024
+        for threads in [1, 2, 8] {
+            let mut out = Vec::new();
+            let report = scan_tree(
+                &scratch.files,
+                &TreeOptions {
+                    threads,
+                    separator: Vec::new(),
+                    max_pending_bytes: DEFAULT_MAX_PENDING_BYTES,
+                    split_bytes: Some(1024),
+                },
+                &mut out,
+                |unit: &ScanUnit, _: &Path, buffer: &mut Vec<u8>| {
+                    // Scramble completion order across ranges.
+                    std::thread::sleep(std::time::Duration::from_micros(
+                        ((unit.range_index * 5347) % 17) as u64,
+                    ));
+                    buffer.extend_from_slice(
+                        format!(
+                            "f{}r{}/{}\n",
+                            unit.file_index, unit.range_index, unit.ranges_in_file
+                        )
+                        .as_bytes(),
+                    );
+                    Ok(FileSummary {
+                        lines: 3,
+                        matched_lines: 1,
+                        batch: BatchStats {
+                            keys_submitted: 10,
+                            ..BatchStats::default()
+                        },
+                        ..FileSummary::default()
+                    })
+                },
+                |index, _, summary: &FileSummary, buffer: &mut Vec<u8>| {
+                    let mut decorated =
+                        format!("== file {index} ranges {} ==\n", summary.ranges).into_bytes();
+                    decorated.append(buffer);
+                    *buffer = decorated;
+                },
+            )
+            .unwrap();
+            let mut expected = format!("== file 0 ranges {expected_ranges} ==\n");
+            for r in 0..expected_ranges {
+                expected.push_str(&format!("f0r{r}/{expected_ranges}\n"));
+            }
+            expected.push_str("== file 1 ranges 1 ==\nf1r0/1\n");
+            assert_eq!(
+                String::from_utf8(out).unwrap(),
+                expected,
+                "threads={threads}"
+            );
+            assert_eq!(report.files, 2);
+            assert_eq!(report.split_files, 1);
+            assert_eq!(report.ranges, expected_ranges as u64 + 1);
+            assert_eq!(report.lines, 3 * (expected_ranges as u64 + 1));
+            assert_eq!(report.matched_lines, expected_ranges as u64 + 1);
+            assert_eq!(report.files_with_matches, 2);
+            // Once per file: per-range batch counters summed, not
+            // re-merged per worker.
+            assert_eq!(
+                report.batch.keys_submitted,
+                10 * (expected_ranges as u64 + 1)
+            );
+        }
+    }
+
+    #[test]
+    fn one_failed_range_fails_its_whole_file() {
+        let scratch = ScratchTree::new("range-error", &[4096, 20]);
+        for threads in [1, 4] {
+            let mut out = Vec::new();
+            let report = scan_tree(
+                &scratch.files,
+                &TreeOptions {
+                    threads,
+                    separator: Vec::new(),
+                    split_bytes: Some(1024),
+                    ..TreeOptions::default()
+                },
+                &mut out,
+                |unit: &ScanUnit, _: &Path, buffer: &mut Vec<u8>| {
+                    if unit.file_index == 0 && unit.range_index >= 2 {
+                        return Err(format!("range {} failed", unit.range_index));
+                    }
+                    buffer.extend_from_slice(format!("f{}ok\n", unit.file_index).as_bytes());
+                    Ok(FileSummary {
+                        lines: 1,
+                        ..FileSummary::default()
+                    })
+                },
+                no_finish,
+            )
+            .unwrap();
+            // The split file prints nothing — not even its surviving
+            // ranges — and reports its lowest-range error.
+            assert_eq!(out, b"f1ok\n", "threads={threads}");
+            assert_eq!(report.files, 1);
+            assert_eq!(report.split_files, 0);
+            assert_eq!(
+                report
+                    .errors
+                    .iter()
+                    .map(|(_, m)| m.as_str())
+                    .collect::<Vec<_>>(),
+                ["range 2 failed"]
+            );
         }
     }
 
@@ -452,10 +899,11 @@ mod tests {
                 ..TreeOptions::default()
             },
             &mut out,
-            |index, _, buffer| {
-                buffer.extend_from_slice(format!("{index}\n").as_bytes());
+            |unit: &ScanUnit, _, buffer| {
+                buffer.extend_from_slice(format!("{}\n", unit.file_index).as_bytes());
                 Ok(FileSummary::default())
             },
+            no_finish,
         )
         .unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
@@ -464,9 +912,13 @@ mod tests {
     #[test]
     fn empty_file_list() {
         let mut out = Vec::new();
-        let report = scan_tree(&[], &TreeOptions::default(), &mut out, |_, _, _| {
-            panic!("no files to scan")
-        })
+        let report = scan_tree(
+            &[],
+            &TreeOptions::default(),
+            &mut out,
+            |_: &ScanUnit, _, _: &mut Vec<u8>| panic!("no files to scan"),
+            no_finish,
+        )
         .unwrap();
         assert_eq!(report.files, 0);
         assert!(out.is_empty());

@@ -10,12 +10,15 @@
 //! backend at most as often as the per-file sum — cross-file
 //! deduplication can only remove questions, never add them.
 
-use std::path::PathBuf;
-use std::sync::Arc;
+use std::collections::BTreeSet;
+use std::fs::File;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
 
 use semre::{Instrumented, Oracle, SemRegexBuilder, SharedSession, SimLlmOracle};
 use semre_grep::cli::{expand_targets, run_paths, CliOptions};
 use semre_grep::stream::{scan_stream, StreamOptions};
+use semre_grep::{scan_tree, FileSummary, RangeReader, ScanUnit, TreeOptions, TreeReport};
 use semre_workloads::{CorpusTree, CorpusTreeConfig};
 
 const PATTERN: &str = r"Subject: .*(?<Medicine name>: [a-z]+).*";
@@ -123,6 +126,219 @@ fn tree_scan_agrees_with_a_sequential_per_file_reference_loop() {
     assert_eq!(exit, i32::from(expected.is_empty()));
 }
 
+/// A small skewed tree (one file dominating the byte count) written to a
+/// scratch directory: the workload sub-file splitting exists for.
+fn skewed_scratch(tag: &str, giant_lines: usize) -> (Scratch, CorpusTree) {
+    let config = CorpusTreeConfig {
+        files: 6,
+        mean_lines: 12,
+        pool: 20,
+        pool_bias: 0.7,
+        ..CorpusTreeConfig::default()
+    };
+    let tree = CorpusTree::generate_skewed(&config, giant_lines);
+    let scratch = Scratch::new(tag);
+    tree.write_to(&scratch.0).unwrap();
+    (scratch, tree)
+}
+
+#[test]
+fn skewed_trees_scan_identically_across_the_split_and_thread_grid() {
+    // The tentpole differential: stdout bytes (lines, spans, counts,
+    // headings) must be identical across the full
+    // `--split-bytes {off, 4 KiB, 1 MiB} x --threads {1, 2, 8}` grid.
+    // 4 KiB splits the giant file into many ranges; 1 MiB splits
+    // nothing here, exercising the threshold path.
+    let (scratch, _) = skewed_scratch("split-grid", 900);
+    for extra in [
+        vec![],
+        vec!["--batched"],
+        vec!["--stream-chunk-bytes", "7"],
+        vec!["--only-matching"],
+        vec!["--count"],
+        vec!["--heading"],
+    ] {
+        let mut base = vec!["--split-bytes", "off"];
+        base.extend(extra.iter().copied());
+        let (sequential, seq_exit) = run_with(&base, &scratch.0);
+        assert!(!sequential.is_empty(), "skewed tree must produce output");
+        for split in ["off", "4096", "1048576"] {
+            for threads in ["1", "2", "8"] {
+                let mut args = vec!["--split-bytes", split, "--threads", threads];
+                args.extend(extra.iter().copied());
+                let (got, exit) = run_with(&args, &scratch.0);
+                assert_eq!(
+                    got, sequential,
+                    "extra {extra:?}, split {split}, threads {threads}"
+                );
+                assert_eq!(exit, seq_exit);
+            }
+        }
+    }
+}
+
+/// An oracle that records every `(query, text)` question it is asked.
+/// Interposed *below* the shared session, it sees exactly the questions
+/// that survive cross-file deduplication — the set that would reach a
+/// paid backend.
+struct RecordingOracle {
+    inner: SimLlmOracle,
+    seen: Mutex<BTreeSet<(String, Vec<u8>)>>,
+}
+
+impl RecordingOracle {
+    fn new() -> RecordingOracle {
+        RecordingOracle {
+            inner: SimLlmOracle::new(),
+            seen: Mutex::new(BTreeSet::new()),
+        }
+    }
+}
+
+impl Oracle for RecordingOracle {
+    fn holds(&self, query: &str, text: &[u8]) -> bool {
+        self.seen
+            .lock()
+            .unwrap()
+            .insert((query.to_owned(), text.to_vec()));
+        self.inner.holds(query, text)
+    }
+}
+
+/// Scans `files` through the real tree scheduler with a recording
+/// backend, mirroring the CLI's scan-unit closure (whole file or
+/// [`RangeReader`] sub-range, one cross-file shared session).  Returns
+/// the assembled output, the report, and the backend question set.
+type QuestionSet = BTreeSet<(String, Vec<u8>)>;
+
+fn tree_scan_with(
+    re: &semre::SemRegex,
+    files: &[PathBuf],
+    threads: usize,
+    split_bytes: Option<u64>,
+) -> (Vec<u8>, TreeReport) {
+    let stream_options = StreamOptions {
+        batched: true,
+        ..StreamOptions::default()
+    };
+    let mut out = Vec::new();
+    let report = scan_tree(
+        files,
+        &TreeOptions {
+            threads,
+            split_bytes,
+            ..TreeOptions::default()
+        },
+        &mut out,
+        |unit: &ScanUnit, path: &Path, buffer: &mut Vec<u8>| {
+            let file = File::open(path).map_err(|e| e.to_string())?;
+            let mut summary = FileSummary::default();
+            let mut sink = |_line: u64, bytes: &[u8], is_match: bool| {
+                summary.lines += 1;
+                if is_match {
+                    summary.matched_lines += 1;
+                    buffer.extend_from_slice(format!("{}:", path.display()).as_bytes());
+                    buffer.extend_from_slice(bytes);
+                    buffer.push(b'\n');
+                }
+                true
+            };
+            match unit.range {
+                Some((start, end)) => {
+                    let reader = RangeReader::new(file, start, end).map_err(|e| e.to_string())?;
+                    scan_stream(re, reader, &stream_options, &mut sink)
+                        .map_err(|e| e.to_string())?;
+                }
+                None => {
+                    scan_stream(re, file, &stream_options, &mut sink).map_err(|e| e.to_string())?;
+                }
+            }
+            Ok(summary)
+        },
+        |_, _, _, _| {},
+    )
+    .unwrap();
+    (out, report)
+}
+
+fn scan_skewed_recording(
+    files: &[PathBuf],
+    threads: usize,
+    split_bytes: Option<u64>,
+) -> (Vec<u8>, TreeReport, QuestionSet) {
+    let recording = Arc::new(RecordingOracle::new());
+    let session = SharedSession::new(recording.clone());
+    let re = SemRegexBuilder::new()
+        .batched(true)
+        .build_shared(PATTERN, Arc::new(session))
+        .unwrap();
+    let (out, report) = tree_scan_with(&re, files, threads, split_bytes);
+    let seen = std::mem::take(&mut *recording.seen.lock().unwrap());
+    (out, report, seen)
+}
+
+#[test]
+fn splitting_preserves_the_oracle_question_set() {
+    // Range boundaries resync to line starts, so the *lines* scanned —
+    // and therefore the oracle questions asked — are independent of the
+    // split plan.  The deduplicated backend question set must be
+    // identical across every split x thread combination, not merely the
+    // same size.
+    let (scratch, _) = skewed_scratch("question-set", 500);
+    let options = CliOptions::parse([PATTERN, &scratch.0.display().to_string()]).unwrap();
+    let files = expand_targets(&options).files;
+
+    let (base_out, base_report, base_questions) = scan_skewed_recording(&files, 1, None);
+    assert!(base_report.matched_lines > 0);
+    assert!(!base_questions.is_empty());
+    for split_bytes in [Some(4096u64), Some(1 << 20)] {
+        for threads in [1usize, 2, 8] {
+            let (out, report, questions) = scan_skewed_recording(&files, threads, split_bytes);
+            assert_eq!(
+                out, base_out,
+                "split {split_bytes:?}, threads {threads}: output diverged"
+            );
+            assert_eq!(report.lines, base_report.lines);
+            assert_eq!(report.matched_lines, base_report.matched_lines);
+            assert_eq!(
+                questions, base_questions,
+                "split {split_bytes:?}, threads {threads}: question set diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn skewed_contention_sweep_is_stable_and_attributes_ranges_once() {
+    // The contention experiment: 1/2/4/8 workers over a skewed plan with
+    // 4 KiB splits.  Every worker count must produce the sequential
+    // bytes, report the same per-file batch-plane totals (per-range
+    // counters merged once per file, never double-counted), and actually
+    // split the giant file into many claimable ranges.
+    let (scratch, tree) = skewed_scratch("contention", 700);
+    let options = CliOptions::parse([PATTERN, &scratch.0.display().to_string()]).unwrap();
+    let files = expand_targets(&options).files;
+
+    let (base_out, base_report, _) = scan_skewed_recording(&files, 1, Some(4096));
+    assert!(base_report.split_files >= 1, "giant file must split");
+    assert!(
+        base_report.ranges >= base_report.files + 4,
+        "the giant file must contribute several ranges ({} ranges over {} files)",
+        base_report.ranges,
+        base_report.files
+    );
+    assert_eq!(base_report.lines as usize, tree.total_lines);
+    for workers in [2usize, 4, 8] {
+        let (out, report, _) = scan_skewed_recording(&files, workers, Some(4096));
+        assert_eq!(out, base_out, "{workers} workers diverged");
+        assert_eq!(report.files, base_report.files);
+        assert_eq!(report.lines, base_report.lines);
+        assert_eq!(report.matched_lines, base_report.matched_lines);
+        assert_eq!(report.split_files, base_report.split_files);
+        assert_eq!(report.ranges, base_report.ranges);
+    }
+}
+
 #[test]
 fn shared_session_never_exceeds_the_per_file_query_sum() {
     let config = CorpusTreeConfig {
@@ -166,5 +382,33 @@ fn shared_session_never_exceeds_the_per_file_query_sum() {
     assert!(
         shared < per_file_sum,
         "shared-query corpus must dedupe across files ({shared} vs {per_file_sum})"
+    );
+
+    // Sub-file splitting must not re-open the dedupe: the same tree
+    // scanned through the tree scheduler with 4-way range splitting and
+    // one shared session still reaches the backend at most the per-file
+    // sum (ranges of a file share the file's session, so per-range
+    // scans add no duplicate backend questions).
+    let scratch = Scratch::new("split-shared");
+    tree.write_to(&scratch.0).unwrap();
+    let options = CliOptions::parse([PATTERN, &scratch.0.display().to_string()]).unwrap();
+    let files = expand_targets(&options).files;
+    let backend = Arc::new(Instrumented::new(SimLlmOracle::new()));
+    let session = SharedSession::new(backend.clone());
+    let re = SemRegexBuilder::new()
+        .batched(true)
+        .build_shared(PATTERN, Arc::new(session))
+        .unwrap();
+    let after_compile = backend.stats().calls;
+    let (_, report) = tree_scan_with(&re, &files, 4, Some(1024));
+    let split_shared = backend.stats().calls - after_compile;
+    assert!(
+        split_shared <= per_file_sum,
+        "split ranges must not duplicate backend questions ({split_shared} vs {per_file_sum})"
+    );
+    assert!(
+        report.batch.keys_submitted == 0
+            || report.batch.backend_keys <= report.batch.keys_submitted,
+        "per-file merged batch counters must stay consistent"
     );
 }

@@ -40,6 +40,20 @@
 //! the log — so dead weight from recovered tails or overlapping histories
 //! is bounded.
 //!
+//! In-place compaction rewrites the whole live set, so its pause grows
+//! with the store — unbounded in the worst case.
+//! [`PersistConfig::max_generations`] bounds it with **generation
+//! rotation**: a log crossing its threshold is renamed to `<path>.1`
+//! (older generations shifting to `.2`, `.3`, …) and a fresh active log
+//! is started — an O(1) rename — and the full merge is only paid once
+//! the generation bound is reached, deleting every generation.  Replay
+//! reads the oldest generation first and the active log last, so later
+//! answers supersede earlier ones; a torn tail in *any* generation is
+//! tolerated (the tail's records are dropped; only the active file is
+//! truncated, generations being immutable history).  The generation
+//! files share the active log's single-writer ownership: `<path>.N` is
+//! the store's namespace.
+//!
 //! One store serves any number of oracles: records are keyed by a *spec
 //! tag* (the canonical `Display` form of the CLI's `OracleSpec`), so the
 //! daemon can persist `sim-llm` and `set:…` answers side by side in one
@@ -81,6 +95,22 @@ pub struct PersistConfig {
     /// cannot shrink below the live set, and re-compacting on every
     /// record would thrash).  `None` (the default) means unbounded.
     pub max_log_bytes: Option<u64>,
+    /// Generation rotation (`--max-log-generations`): when positive, a
+    /// log crossing its size threshold is **rotated** instead of
+    /// compacted in place — the active file is renamed to `<path>.1`
+    /// (existing generations shift to `.2`, `.3`, …) and a fresh active
+    /// log is started, an O(1) pause regardless of how large the live
+    /// set has grown.  Only once this many generations exist does the
+    /// store pay a full merge-compaction (rewriting the live set into
+    /// the active file and deleting every generation), so worst-case
+    /// pauses are amortized over `max_generations` rotations.  Replay at
+    /// open reads the oldest generation first, then newer ones, then the
+    /// active log, so later answers supersede earlier ones exactly as in
+    /// a single file.  `0` (the default) disables rotation: every
+    /// threshold crossing compacts in place, the pre-rotation behavior.
+    /// With a size cap, total disk is bounded by roughly
+    /// `max_log_bytes * (max_generations + 1)`.
+    pub max_generations: usize,
 }
 
 impl Default for PersistConfig {
@@ -89,6 +119,7 @@ impl Default for PersistConfig {
             sync_every: 64,
             compact_bytes: 8 * 1024 * 1024,
             max_log_bytes: None,
+            max_generations: 0,
         }
     }
 }
@@ -230,10 +261,14 @@ pub struct ReplayReport {
     pub records: usize,
     /// Distinct `(spec, query, text)` entries after replay.
     pub live: usize,
-    /// Bytes of torn tail dropped (and truncated away) during recovery.
+    /// Bytes of torn tail dropped during recovery — truncated away in
+    /// the active log, ignored in (immutable) generation files.
     pub dropped_bytes: u64,
-    /// Whether the log decoded cleanly (no torn tail).
+    /// Whether every replayed file decoded cleanly (no torn tail).
     pub clean: bool,
+    /// Rotated generation files replayed before the active log (see
+    /// [`PersistConfig::max_generations`]).
+    pub generations: usize,
 }
 
 /// The mutable half of the store: the live mirror map plus the log writer.
@@ -245,8 +280,20 @@ struct Inner {
     file_bytes: u64,
     /// Records appended since the last fsync.
     unsynced: usize,
-    /// Compact when `file_bytes` reaches this.
+    /// Compact (or rotate) when `file_bytes` reaches this.
     compact_floor: u64,
+    /// Highest rotated-generation index currently on disk (`0` = none):
+    /// `<path>.1` is the youngest generation, `<path>.generations` the
+    /// oldest.
+    generations: usize,
+}
+
+/// The on-disk name of rotated generation `k` (`answers.log` →
+/// `answers.log.1`, `answers.log.2`, …).
+fn generation_path(path: &Path, k: usize) -> PathBuf {
+    let mut name = path.as_os_str().to_owned();
+    name.push(format!(".{k}"));
+    PathBuf::from(name)
 }
 
 impl Inner {
@@ -299,6 +346,7 @@ pub struct PersistentAnswerStore {
     replay: ReplayReport,
     appended: AtomicU64,
     compactions: AtomicU64,
+    rotations: AtomicU64,
     syncs: AtomicU64,
     write_errors: AtomicU64,
 }
@@ -333,14 +381,55 @@ impl PersistentAnswerStore {
         let mut bytes = Vec::new();
         file.read_to_end(&mut bytes)?;
 
-        let mut replay = ReplayReport::default();
+        let mut replay = ReplayReport {
+            clean: true,
+            ..ReplayReport::default()
+        };
         let mut map: HashMap<String, HashMap<String, HashMap<Vec<u8>, bool>>> = HashMap::new();
+
+        // Replay rotated generations first, oldest (highest index) to
+        // youngest, so the active log's answers supersede theirs.  Files
+        // beyond the configured bound are still replayed — answers must
+        // survive a later run shrinking `max_generations`.
+        let probe_to = config.max_generations.max(64);
+        let found: Vec<usize> = (1..=probe_to)
+            .filter(|&k| generation_path(&path, k).exists())
+            .collect();
+        let generations = found.last().copied().unwrap_or(0);
+        for &k in found.iter().rev() {
+            let gen_bytes = std::fs::read(generation_path(&path, k))?;
+            if gen_bytes.len() < LOG_MAGIC.len() || gen_bytes[..LOG_MAGIC.len()] != LOG_MAGIC {
+                // A generation torn down into (or corrupted in) its
+                // header holds nothing recoverable; treat it as one big
+                // torn tail rather than refusing to open the store.
+                replay.dropped_bytes += gen_bytes.len() as u64;
+                replay.clean = false;
+            } else {
+                let body = &gen_bytes[LOG_MAGIC.len()..];
+                let decoded = decode_log(body);
+                replay.records += decoded.records.len();
+                for record in decoded.records {
+                    map.entry(record.spec)
+                        .or_default()
+                        .entry(record.query)
+                        .or_default()
+                        .insert(record.text, record.answer);
+                }
+                if !decoded.clean {
+                    // Generations are immutable history: drop the torn
+                    // records but do not rewrite the file.
+                    replay.dropped_bytes += (body.len() - decoded.consumed) as u64;
+                    replay.clean = false;
+                }
+            }
+            replay.generations += 1;
+        }
+
         let file_bytes;
         if bytes.is_empty() {
             file.write_all(&LOG_MAGIC)?;
             file.sync_data()?;
             file_bytes = LOG_MAGIC.len() as u64;
-            replay.clean = true;
         } else {
             if bytes.len() < LOG_MAGIC.len() || bytes[..LOG_MAGIC.len()] != LOG_MAGIC {
                 return Err(std::io::Error::new(
@@ -350,8 +439,8 @@ impl PersistentAnswerStore {
             }
             let body = &bytes[LOG_MAGIC.len()..];
             let decoded = decode_log(body);
-            replay.records = decoded.records.len();
-            replay.clean = decoded.clean;
+            replay.records += decoded.records.len();
+            replay.clean &= decoded.clean;
             for record in decoded.records {
                 map.entry(record.spec)
                     .or_default()
@@ -361,7 +450,7 @@ impl PersistentAnswerStore {
             }
             file_bytes = (LOG_MAGIC.len() + decoded.consumed) as u64;
             if !decoded.clean {
-                replay.dropped_bytes = (body.len() - decoded.consumed) as u64;
+                replay.dropped_bytes += (body.len() - decoded.consumed) as u64;
                 file.set_len(file_bytes)?;
                 file.sync_data()?;
             }
@@ -380,6 +469,7 @@ impl PersistentAnswerStore {
             file_bytes,
             unsynced: 0,
             compact_floor,
+            generations,
         };
         let store = PersistentAnswerStore {
             path,
@@ -388,15 +478,18 @@ impl PersistentAnswerStore {
             replay,
             appended: AtomicU64::new(0),
             compactions: AtomicU64::new(0),
+            rotations: AtomicU64::new(0),
             syncs: AtomicU64::new(0),
             write_errors: AtomicU64::new(0),
         };
         // With a size cap, an inherited over-cap log (duplicate records
-        // accumulated across process generations) is compacted right at
-        // open, so the cap holds from the first record of this run.
+        // accumulated across process generations) is shrunk right at
+        // open — rotated away when generations are enabled, compacted in
+        // place otherwise — so the cap holds from the first record of
+        // this run.
         if let Some(cap) = store.config.max_log_bytes {
             let mut inner = store.lock();
-            if inner.file_bytes > cap && store.compact_locked(&mut inner).is_err() {
+            if inner.file_bytes > cap && store.shrink_locked(&mut inner).is_err() {
                 store.write_errors.fetch_add(1, Relaxed);
             }
         }
@@ -450,7 +543,7 @@ impl PersistentAnswerStore {
                     self.write_errors.fetch_add(1, Relaxed);
                 }
                 if inner.file_bytes >= inner.compact_floor
-                    && self.compact_locked(&mut inner).is_err()
+                    && self.shrink_locked(&mut inner).is_err()
                 {
                     self.write_errors.fetch_add(1, Relaxed);
                     // Back off so one failing compaction does not retry
@@ -485,8 +578,11 @@ impl PersistentAnswerStore {
 
     /// Rewrites the log to exactly the live set: encode every mirror
     /// entry into `<path>.compact`, fsync it, and atomically rename it
-    /// over the log.  Called automatically past the size threshold; also
-    /// available explicitly (the daemon's shutdown path uses it).
+    /// over the log — deleting any rotated generations, whose records
+    /// the rewrite subsumes.  Called automatically past the size
+    /// threshold (unless generation rotation defers it; see
+    /// [`PersistConfig::max_generations`]); also available explicitly
+    /// (the daemon's shutdown path uses it).
     ///
     /// # Errors
     ///
@@ -495,6 +591,48 @@ impl PersistentAnswerStore {
     pub fn compact(&self) -> std::io::Result<()> {
         let mut inner = self.lock();
         self.compact_locked(&mut inner)
+    }
+
+    /// The size-threshold action: an O(1) generation rotation when
+    /// enabled and the bound allows, the full merge-compaction
+    /// otherwise.
+    fn shrink_locked(&self, inner: &mut Inner) -> std::io::Result<()> {
+        if self.config.max_generations > 0 && inner.generations < self.config.max_generations {
+            self.rotate_locked(inner)
+        } else {
+            self.compact_locked(inner)
+        }
+    }
+
+    /// Rotates the active log away: flush + fsync it, shift existing
+    /// generations up by one (`<path>.k` → `<path>.k+1`), rename the
+    /// active file to `<path>.1`, and start a fresh active log.  The
+    /// pause is a handful of renames — independent of the live-set size.
+    fn rotate_locked(&self, inner: &mut Inner) -> std::io::Result<()> {
+        // Durability first: every record of the active file must survive
+        // the renames (a generation file is never truncated on replay).
+        self.sync_locked(inner)?;
+        for k in (1..=inner.generations).rev() {
+            let from = generation_path(&self.path, k);
+            if from.exists() {
+                std::fs::rename(&from, generation_path(&self.path, k + 1))?;
+            }
+        }
+        std::fs::rename(&self.path, generation_path(&self.path, 1))?;
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&self.path)?;
+        file.write_all(&LOG_MAGIC)?;
+        file.sync_data()?;
+        inner.writer = std::io::BufWriter::new(file);
+        inner.file_bytes = LOG_MAGIC.len() as u64;
+        inner.unsynced = 0;
+        inner.generations += 1;
+        inner.compact_floor = self.config.compact_floor_for(inner.file_bytes);
+        self.rotations.fetch_add(1, Relaxed);
+        Ok(())
     }
 
     fn compact_locked(&self, inner: &mut Inner) -> std::io::Result<()> {
@@ -515,6 +653,12 @@ impl PersistentAnswerStore {
         tmp.sync_data()?;
         drop(tmp);
         std::fs::rename(&tmp_path, &self.path)?;
+        // The rewrite holds the entire live set, so any rotated
+        // generations are now redundant history.
+        for k in 1..=inner.generations {
+            let _ = std::fs::remove_file(generation_path(&self.path, k));
+        }
+        inner.generations = 0;
         let file = OpenOptions::new().append(true).open(&self.path)?;
         inner.writer = std::io::BufWriter::new(file);
         inner.file_bytes = encoded.len() as u64;
@@ -557,6 +701,17 @@ impl PersistentAnswerStore {
     /// Compactions performed since the store was opened.
     pub fn compactions(&self) -> u64 {
         self.compactions.load(Relaxed)
+    }
+
+    /// Generation rotations performed since the store was opened (see
+    /// [`PersistConfig::max_generations`]).
+    pub fn rotations(&self) -> u64 {
+        self.rotations.load(Relaxed)
+    }
+
+    /// Rotated generation files currently on disk.
+    pub fn generations(&self) -> usize {
+        self.lock().generations
     }
 
     /// Fsync batches flushed since the store was opened.
@@ -694,6 +849,7 @@ mod tests {
             sync_every: 4,
             compact_bytes: 256,
             max_log_bytes: None,
+            max_generations: 0,
         };
         {
             let store = PersistentAnswerStore::open_with(&path, config.clone()).unwrap();
@@ -756,6 +912,7 @@ mod tests {
             sync_every: 1,
             compact_bytes: 512,
             max_log_bytes: Some(cap),
+            max_generations: 0,
         };
         // Generation 0 writes the base answers.
         {
@@ -825,6 +982,7 @@ mod tests {
             sync_every: 1,
             compact_bytes: 64,
             max_log_bytes: Some(128),
+            max_generations: 0,
         };
         let tiny_path = temp_log("size-cap-tiny");
         let _ = std::fs::remove_file(&tiny_path);
@@ -844,6 +1002,180 @@ mod tests {
         assert_eq!(store.len(), 96);
         cleanup(&tiny_path);
         cleanup(&path);
+    }
+
+    #[test]
+    fn rotation_defers_merge_and_replays_across_generations() {
+        let path = temp_log("rotate");
+        let _ = std::fs::remove_file(&path);
+        let config = PersistConfig {
+            sync_every: 1,
+            compact_bytes: 512,
+            max_log_bytes: None,
+            max_generations: 3,
+        };
+        let store = PersistentAnswerStore::open_with(&path, config.clone()).unwrap();
+        let mut i = 0u32;
+        // Keep appending distinct answers until three rotations happened.
+        while store.rotations() < 3 {
+            store.record("sim-llm", "q", format!("key-{i}").as_bytes(), i % 2 == 0);
+            i += 1;
+            assert!(i < 10_000, "rotation never triggered");
+        }
+        let learned = i;
+        // Three generations on disk, no merge yet.
+        assert_eq!(store.generations(), 3);
+        assert_eq!(store.compactions(), 0);
+        for k in 1..=3 {
+            assert!(
+                generation_path(&path, k).exists(),
+                "generation {k} missing after rotation"
+            );
+        }
+        // The next threshold crossing pays the merge: generations gone,
+        // one compaction, everything still answerable.
+        while store.compactions() == 0 {
+            store.record("sim-llm", "q", format!("key-{i}").as_bytes(), i % 2 == 0);
+            i += 1;
+            assert!(i < 20_000, "merge never triggered");
+        }
+        assert_eq!(store.generations(), 0);
+        for k in 1..=3 {
+            assert!(
+                !generation_path(&path, k).exists(),
+                "generation {k} must be deleted by the merge"
+            );
+        }
+        assert_eq!(store.len(), i as usize);
+        drop(store);
+
+        // Reopen replays the merged log; every answer of every
+        // generation era survives.
+        let store = PersistentAnswerStore::open_with(&path, config).unwrap();
+        let report = store.replay_report();
+        assert!(report.clean);
+        assert_eq!(report.generations, 0);
+        for j in 0..learned {
+            assert_eq!(
+                store.lookup("sim-llm", "q", format!("key-{j}").as_bytes()),
+                Some(j % 2 == 0),
+                "key {j} lost"
+            );
+        }
+        cleanup(&path);
+    }
+
+    #[test]
+    fn replay_reads_generations_oldest_first_so_newer_answers_win() {
+        let path = temp_log("rotate-order");
+        let _ = std::fs::remove_file(&path);
+        // Hand-build a rotated family: the *same* key with different
+        // answers per generation.  `.2` is older than `.1`, which is
+        // older than the active log.
+        let encode_file = |answer: bool, extra: u32| {
+            let mut bytes = LOG_MAGIC.to_vec();
+            encode_record("sim-llm", "q", b"disputed", answer, &mut bytes);
+            encode_record(
+                "sim-llm",
+                "q",
+                format!("only-{extra}").as_bytes(),
+                true,
+                &mut bytes,
+            );
+            bytes
+        };
+        std::fs::write(generation_path(&path, 2), encode_file(true, 2)).unwrap();
+        std::fs::write(generation_path(&path, 1), encode_file(false, 1)).unwrap();
+        std::fs::write(&path, encode_file(true, 0)).unwrap();
+
+        let store = PersistentAnswerStore::open(&path).unwrap();
+        let report = store.replay_report();
+        assert_eq!(report.generations, 2);
+        assert_eq!(report.records, 6);
+        // Active log wins over .1 wins over .2.
+        assert_eq!(store.lookup("sim-llm", "q", b"disputed"), Some(true));
+        // Keys unique to each generation all survive.
+        for extra in 0..=2 {
+            assert_eq!(
+                store.lookup("sim-llm", "q", format!("only-{extra}").as_bytes()),
+                Some(true),
+                "generation-unique key only-{extra} lost"
+            );
+        }
+        cleanup(&path);
+    }
+
+    #[test]
+    fn torn_tails_in_every_generation_recover_their_prefixes() {
+        // Property: tear the tail of EVERY file of a rotated family at
+        // several byte offsets; open must never fail, every record
+        // before each tear must be recovered, only the active file may
+        // be truncated, and the store must keep learning afterwards.
+        for torn_bytes in [1usize, 3, 7, 11] {
+            let path = temp_log(&format!("rotate-torn-{torn_bytes}"));
+            let _ = std::fs::remove_file(&path);
+            let config = PersistConfig {
+                sync_every: 1,
+                compact_bytes: 400,
+                max_log_bytes: None,
+                max_generations: 4,
+            };
+            {
+                let store = PersistentAnswerStore::open_with(&path, config.clone()).unwrap();
+                let mut i = 0u32;
+                while store.rotations() < 2 {
+                    store.record("sim-llm", "q", format!("t-{i:04}").as_bytes(), true);
+                    i += 1;
+                    assert!(i < 10_000, "rotation never triggered");
+                }
+                // A few records into the fresh active file too.
+                for _ in 0..3 {
+                    store.record("sim-llm", "q", format!("t-{i:04}").as_bytes(), true);
+                    i += 1;
+                }
+                store.sync().unwrap();
+            }
+            // Tear every file in the family.
+            let mut family = vec![path.clone()];
+            for k in 1..=2 {
+                family.push(generation_path(&path, k));
+            }
+            let mut expect_survivors = Vec::new();
+            for file in &family {
+                let full = std::fs::read(file).unwrap();
+                assert!(full.len() > LOG_MAGIC.len() + torn_bytes);
+                let torn = &full[..full.len() - torn_bytes];
+                std::fs::write(file, torn).unwrap();
+                // Independently decode what must survive the tear.
+                let decoded = decode_log(&torn[LOG_MAGIC.len()..]);
+                assert!(!decoded.clean, "{torn_bytes}-byte tear must be visible");
+                expect_survivors.extend(decoded.records);
+            }
+
+            let store = PersistentAnswerStore::open_with(&path, config).unwrap();
+            let report = store.replay_report();
+            assert!(!report.clean);
+            assert_eq!(report.generations, 2);
+            assert!(report.dropped_bytes > 0);
+            assert_eq!(report.records, expect_survivors.len());
+            for record in &expect_survivors {
+                assert_eq!(
+                    store.lookup(&record.spec, &record.query, &record.text),
+                    Some(record.answer),
+                    "pre-tear record lost (tear={torn_bytes})"
+                );
+            }
+            // Generations are immutable: the tear stays on disk there...
+            for k in 1..=2 {
+                let decoded_len = std::fs::metadata(generation_path(&path, k)).unwrap().len();
+                assert!(decoded_len > 0);
+            }
+            // ...and the store still learns and re-reads new answers.
+            assert!(store.record("sim-llm", "q", b"after-the-tear", false));
+            store.sync().unwrap();
+            assert_eq!(store.lookup("sim-llm", "q", b"after-the-tear"), Some(false));
+            cleanup(&path);
+        }
     }
 
     #[test]

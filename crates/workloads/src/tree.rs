@@ -107,6 +107,21 @@ fn spam_line(rng: &mut StdRng, allow_non_utf8: bool) -> Vec<u8> {
     }
 }
 
+/// A lowercase word unique to `n`: `u` followed by base-26 digits.
+/// Distinct line numbers yield distinct tokens, which is what makes the
+/// skewed tree's oracle questions per-line unique.
+fn lower_token(mut n: usize) -> String {
+    let mut token = String::from("u");
+    loop {
+        token.push((b'a' + (n % 26) as u8) as char);
+        n /= 26;
+        if n == 0 {
+            break;
+        }
+    }
+    token
+}
+
 impl CorpusTree {
     /// Generates the tree for `config`.  The same config always yields
     /// the same tree, byte for byte.
@@ -167,6 +182,50 @@ impl CorpusTree {
             total_lines,
             planted_positives,
         }
+    }
+
+    /// Generates a **skewed** tree: the regular tree for `config` plus
+    /// one giant file (`giant.txt`, at the root) of `giant_lines` lines
+    /// that dominates the byte count.  With the small default-ish
+    /// configs used by tests and benchmarks, the giant file carries well
+    /// over 90 % of the tree's bytes, so whole-file work stealing
+    /// degenerates to one worker scanning the giant file while the rest
+    /// idle — the workload sub-file range splitting exists for.
+    ///
+    /// Most giant-file lines are *unique*: each positive embeds a
+    /// line-numbered lowercase token ahead of the medicine name, so the
+    /// oracle faces fresh `(query, text)` questions on nearly every line
+    /// and cross-file answer sharing cannot flatten the per-line cost
+    /// the way it does on the pool-heavy regular tree.  Without that,
+    /// a delayed oracle would pay its round-trip only a handful of times
+    /// and the skew would cost nothing worth measuring.
+    pub fn generate_skewed(config: &CorpusTreeConfig, giant_lines: usize) -> CorpusTree {
+        let mut tree = CorpusTree::generate(config);
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x9e37_79b9_7f4a_7c15);
+        let mut contents = Vec::new();
+        let mut planted = 0;
+        for n in 0..giant_lines.max(1) {
+            if rng.gen_bool(0.9) {
+                let med = MEDICINE_NAMES[rng.gen_range(0..MEDICINE_NAMES.len())];
+                planted += 1;
+                contents.extend_from_slice(
+                    format!("Subject: cheap {} {med} shipped overnight", lower_token(n)).as_bytes(),
+                );
+            } else {
+                contents.extend_from_slice(
+                    format!("order #{} confirmed", rng.gen_range(1000..9999u32)).as_bytes(),
+                );
+            }
+            contents.push(b'\n');
+        }
+        tree.total_lines += giant_lines.max(1);
+        tree.planted_positives += planted;
+        tree.files.push(TreeFile {
+            path: PathBuf::from("giant.txt"),
+            contents,
+        });
+        tree.files.sort_by(|a, b| a.path.cmp(&b.path));
+        tree
     }
 
     /// Materializes the tree under `root`, creating directories as
@@ -247,6 +306,48 @@ mod tests {
             .iter()
             .zip(&other.files)
             .any(|(x, y)| x.contents != y.contents));
+    }
+
+    #[test]
+    fn skewed_tree_is_dominated_by_one_file_of_unique_lines() {
+        let config = CorpusTreeConfig {
+            files: 8,
+            mean_lines: 10,
+            ..CorpusTreeConfig::default()
+        };
+        let tree = CorpusTree::generate_skewed(&config, 2_000);
+        let again = CorpusTree::generate_skewed(&config, 2_000);
+        assert_eq!(tree.files.len(), again.files.len());
+        for (a, b) in tree.files.iter().zip(&again.files) {
+            assert_eq!(a.contents, b.contents, "{:?}", a.path);
+        }
+        let giant = tree
+            .files
+            .iter()
+            .find(|f| f.path == Path::new("giant.txt"))
+            .expect("giant file present");
+        assert!(
+            giant.contents.len() * 10 >= tree.total_bytes() * 9,
+            "giant file must carry >= 90 % of bytes ({} of {})",
+            giant.contents.len(),
+            tree.total_bytes()
+        );
+        // Nearly every giant line is unique — the oracle cannot be
+        // flattened by cross-line answer sharing.
+        let lines: Vec<&[u8]> = giant
+            .contents
+            .split(|&b| b == b'\n')
+            .filter(|l| !l.is_empty())
+            .collect();
+        let distinct: std::collections::HashSet<&[u8]> = lines.iter().copied().collect();
+        assert_eq!(lines.len(), 2_000);
+        assert!(
+            distinct.len() * 10 >= lines.len() * 8,
+            "most giant lines must be distinct ({} of {})",
+            distinct.len(),
+            lines.len()
+        );
+        assert!(tree.planted_positives > 1_000);
     }
 
     #[test]
